@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation (§IV-B1/§IV-B2): conventional matched-filter receiver vs.
+ * the paper's asynchronous pipeline on the same captures.
+ *
+ * The transmitter's usleep clock wanders (positively skewed overshoot),
+ * so a receiver that builds its own fixed symbol clock drifts out of
+ * alignment within tens of bits; the paper had to replace it with edge
+ * tracking + median signaling time + gap filling. This bench measures
+ * both on identical captures of growing length.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "channel/matched_filter.hpp"
+#include "channel/metrics.hpp"
+#include "covert_rig.hpp"
+
+using namespace emsc;
+
+int
+main()
+{
+    bench::header(
+        "Ablation — matched filter vs. asynchronous timing recovery");
+
+    std::printf("%-10s %-24s %-24s\n", "", "matched filter",
+                "async pipeline (paper)");
+    std::printf("%-10s %-8s %-7s %-7s  %-8s %-7s %-7s\n", "bits",
+                "BER", "IP", "DP", "BER", "IP", "DP");
+
+    for (std::size_t nbits : {100ul, 400ul, 1500ul, 4000ul}) {
+        bench::CovertRun run = bench::runInstrumented(nbits, 9000 + nbits);
+
+        channel::ReceiverConfig rc;
+        std::size_t prefix = rc.frame.syncBits + rc.frame.zeroBits +
+                             rc.frame.preamble.size();
+        channel::Bits tx_body(run.frameBits.begin() +
+                                  static_cast<std::ptrdiff_t>(prefix),
+                              run.frameBits.end());
+
+        // Asynchronous pipeline (already decoded by the rig).
+        channel::Bits rx_async(
+            run.rx.labeled.bits.begin() +
+                static_cast<std::ptrdiff_t>(std::min(
+                    run.rx.frame.payloadStart,
+                    run.rx.labeled.bits.size())),
+            run.rx.labeled.bits.end());
+        channel::AlignmentCounts async_counts =
+            channel::alignBitsSemiGlobal(tx_body, rx_async);
+
+        // Matched filter on the same acquired envelope.
+        channel::MatchedFilterResult mf = channel::matchedFilterDecode(
+            run.rx.acquired, channel::MatchedFilterConfig{});
+        channel::ParsedFrame mf_frame =
+            channel::parseFrame(mf.bits, rc.frame);
+        channel::AlignmentCounts mf_counts;
+        if (mf_frame.found) {
+            channel::Bits rx_mf(
+                mf.bits.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                      mf_frame.payloadStart,
+                                      mf.bits.size())),
+                mf.bits.end());
+            mf_counts = channel::alignBitsSemiGlobal(tx_body, rx_mf);
+        } else {
+            // No lock at all: every sent bit is effectively lost.
+            mf_counts.sentLength = tx_body.size();
+            mf_counts.deletions = tx_body.size();
+        }
+
+        std::printf("%-10zu %-8.1e %-7.1e %-7.1e  %-8.1e %-7.1e %-7.1e\n",
+                    nbits, mf_counts.errorRate(),
+                    mf_counts.insertionRate(), mf_counts.deletionRate(),
+                    async_counts.errorRate(), async_counts.insertionRate(),
+                    async_counts.deletionRate());
+    }
+
+    std::printf("\npaper: the fixed receiver clock quickly misaligns "
+                "with the transmitter's drifting\n"
+                "usleep timing, so matched-filter BER collapses with "
+                "capture length while the\n"
+                "asynchronous pipeline stays flat\n");
+    return 0;
+}

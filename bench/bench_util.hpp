@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: row
+ * formatting and tiny ASCII plotting.
+ */
+
+#ifndef EMSC_BENCH_BENCH_UTIL_HPP
+#define EMSC_BENCH_BENCH_UTIL_HPP
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "support/stats.hpp"
+
+namespace emsc::bench {
+
+/**
+ * Median covert-channel metrics over several runs. The paper averages
+ * 5 runs per cell; with simulated seeds an occasional run loses the
+ * timing lock entirely, and the median keeps one such outlier from
+ * dominating a cell the way it would a mean.
+ */
+inline core::CovertChannelResult
+medianCovertRun(const core::DeviceProfile &dev,
+                const core::MeasurementSetup &setup,
+                core::CovertChannelOptions o, std::size_t runs = 5)
+{
+    std::vector<core::CovertChannelResult> all;
+    for (std::size_t r = 0; r < runs; ++r) {
+        o.seed = o.seed * 2654435761u + 97;
+        all.push_back(core::runCovertChannel(dev, setup, o));
+    }
+    auto med_of = [&](auto getter) {
+        std::vector<double> xs;
+        for (const auto &res : all)
+            xs.push_back(res.frameFound ? getter(res) : 1.0);
+        return median(xs);
+    };
+    core::CovertChannelResult out = all.front();
+    out.frameFound = false;
+    for (const auto &res : all)
+        out.frameFound |= res.frameFound;
+    out.ber = med_of([](const auto &r) { return r.ber; });
+    out.insertionProb =
+        med_of([](const auto &r) { return r.insertionProb; });
+    out.deletionProb =
+        med_of([](const auto &r) { return r.deletionProb; });
+    out.trBps = med_of([](const auto &r) { return r.trBps; });
+    out.trPayloadBps =
+        med_of([](const auto &r) { return r.trPayloadBps; });
+    return out;
+}
+
+/** Print a section header. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Print a horizontal ASCII bar scaled to a maximum width. */
+inline std::string
+bar(double value, double max_value, std::size_t width = 48)
+{
+    if (max_value <= 0.0)
+        return "";
+    auto n = static_cast<std::size_t>(value / max_value *
+                                      static_cast<double>(width));
+    n = std::min(n, width);
+    return std::string(n, '#');
+}
+
+/** Render a 1-D series as a rough ASCII oscillogram. */
+inline void
+plotSeries(const std::vector<double> &y, std::size_t rows = 12,
+           std::size_t cols = 110)
+{
+    if (y.empty())
+        return;
+    double lo = y[0], hi = y[0];
+    for (double v : y) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    if (hi <= lo)
+        hi = lo + 1.0;
+
+    std::vector<std::string> grid(rows, std::string(cols, ' '));
+    std::size_t n = std::min(cols, y.size());
+    for (std::size_t c = 0; c < n; ++c) {
+        std::size_t idx = c * y.size() / n;
+        double norm = (y[idx] - lo) / (hi - lo);
+        auto r = static_cast<std::size_t>(norm * (rows - 1) + 0.5);
+        grid[rows - 1 - r][c] = '*';
+    }
+    for (const std::string &line : grid)
+        std::printf("|%s|\n", line.c_str());
+    std::printf("min=%.3g max=%.3g\n", lo, hi);
+}
+
+} // namespace emsc::bench
+
+#endif // EMSC_BENCH_BENCH_UTIL_HPP

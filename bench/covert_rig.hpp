@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared rig for the Fig. 4-8 benches: run one covert transmission on
+ * the reference laptop and keep every intermediate product (ground
+ * truth, capture, acquisition, timing, labeling) for inspection.
+ */
+
+#ifndef EMSC_BENCH_COVERT_RIG_HPP
+#define EMSC_BENCH_COVERT_RIG_HPP
+
+#include "core/api.hpp"
+#include "sdr/rtlsdr.hpp"
+#include "vrm/pmu.hpp"
+
+namespace emsc::bench {
+
+/** Everything one instrumented covert run produces. */
+struct CovertRun
+{
+    channel::Bits payload;
+    channel::Bits frameBits;
+    std::vector<channel::TxBitRecord> sentBits;
+    TimeNs captureStart = 0;
+    sdr::IqCapture capture;
+    channel::ReceiverResult rx;
+};
+
+/** Run a near-field transmission on the DELL Inspiron profile. */
+inline CovertRun
+runInstrumented(std::size_t payload_bits, std::uint64_t seed,
+                double background_intensity = 1.0,
+                const core::MeasurementSetup &setup =
+                    core::nearFieldSetup())
+{
+    core::DeviceProfile dev = core::referenceDevice();
+
+    Rng master(seed);
+    Rng rng_payload = master.fork();
+    Rng rng_os = master.fork();
+    Rng rng_vrm = master.fork();
+    Rng rng_em = master.fork();
+    Rng rng_sdr = master.fork();
+
+    CovertRun run;
+    run.payload.resize(payload_bits);
+    for (auto &b : run.payload)
+        b = rng_payload.chance(0.5) ? 1 : 0;
+
+    channel::ReceiverConfig rx_cfg;
+    run.frameBits = channel::buildFrame(run.payload, rx_cfg.frame);
+
+    sim::EventKernel kernel;
+    cpu::CpuCore core(kernel, dev.core);
+    cpu::OsModel os(kernel, core, dev.os, rng_os);
+    os.setBackgroundIntensity(background_intensity);
+    os.startBackgroundActivity(fromSeconds(30.0));
+
+    channel::TxParams tx_params;
+    tx_params.sleepPeriodUs = dev.defaultSleepUs;
+    channel::CovertTransmitter tx(os, run.frameBits, tx_params);
+
+    bool done = false;
+    TimeNs tx_end = 0;
+    kernel.scheduleAt(5 * kMillisecond, [&] {
+        tx.start([&] {
+            done = true;
+            tx_end = kernel.now();
+        });
+    });
+    while (!done && kernel.now() < fromSeconds(30.0))
+        kernel.runUntil(kernel.now() + 10 * kMillisecond);
+
+    run.sentBits = tx.sentBits();
+    TimeNs t0 = run.sentBits.front().start - 20 * kMillisecond;
+    TimeNs t1 = tx_end + 20 * kMillisecond;
+    run.captureStart = t0;
+
+    vrm::Pmu pmu(core, dev.buck, rng_vrm);
+    auto events = pmu.switchingEvents(t0, t1);
+    em::SceneConfig scene = core::makeScene(dev.emitterCoupling, setup);
+    em::ReceptionPlan plan =
+        em::buildReceptionPlan(scene, events, t0, t1, rng_em);
+
+    sdr::SdrConfig sc;
+    sc.centerFrequency = 1.5 * dev.buck.switchFrequency;
+    sdr::RtlSdr radio(sc, rng_sdr);
+    run.capture = radio.capture(plan, t0, t1);
+
+    run.rx = channel::receive(run.capture, rx_cfg);
+    return run;
+}
+
+} // namespace emsc::bench
+
+#endif // EMSC_BENCH_COVERT_RIG_HPP

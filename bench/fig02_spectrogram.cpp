@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fig. 2 reproduction: spectrogram of the EM emanations while the
+ * Fig. 1 micro-benchmark alternates between active and idle states.
+ *
+ * The paper's figure shows strong spectral spikes at the PMU's
+ * switching frequency (~970 kHz on the DELL Inspiron) and its first
+ * harmonic that appear during active periods and fade during idle
+ * ones. This bench runs the same experiment on the simulated Inspiron
+ * and renders the capture's spectrogram plus per-state spike levels.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "cpu/apps.hpp"
+#include "dsp/stft.hpp"
+#include "sdr/rtlsdr.hpp"
+#include "vrm/pmu.hpp"
+
+using namespace emsc;
+
+int
+main()
+{
+    bench::header("Fig. 2 — active/idle alternation spectrogram");
+
+    core::DeviceProfile dev = core::referenceDevice();
+    core::MeasurementSetup setup = core::nearFieldSetup();
+
+    Rng master(2026);
+    Rng rng_os = master.fork(), rng_vrm = master.fork(),
+        rng_em = master.fork(), rng_sdr = master.fork();
+
+    // Fig. 1 micro-benchmark: ~1 ms active, ~1 ms idle, so several
+    // alternations fit in a short capture.
+    sim::EventKernel kernel;
+    cpu::CpuCore cpu(kernel, dev.core);
+    cpu::OsModel os(kernel, cpu, dev.os, rng_os);
+    cpu::AlternatingLoadApp app(os, {1000.0, 1000.0});
+    kernel.scheduleAt(0, [&] { app.start(); });
+    TimeNs t1 = fromSeconds(0.02);
+    kernel.runUntil(t1);
+
+    vrm::Pmu pmu(cpu, dev.buck, rng_vrm);
+    auto events = pmu.switchingEvents(0, t1);
+    em::SceneConfig scene = core::makeScene(dev.emitterCoupling, setup);
+    em::ReceptionPlan plan =
+        em::buildReceptionPlan(scene, events, 0, t1, rng_em);
+
+    sdr::SdrConfig sc;
+    sc.centerFrequency = 1.5 * dev.buck.switchFrequency;
+    sdr::RtlSdr radio(sc, rng_sdr);
+    sdr::IqCapture cap = radio.capture(plan, 0, t1);
+
+    dsp::StftConfig stft_cfg;
+    stft_cfg.fftSize = 1024;
+    stft_cfg.hop = 256;
+    dsp::Spectrogram spec =
+        dsp::stftComplex(cap.samples, cap.sampleRate, stft_cfg,
+                         cap.centerFrequency);
+
+    std::printf("device: %s, VRM at %.0f kHz (true effective %.1f kHz)\n",
+                dev.name.c_str(), dev.buck.switchFrequency / 1e3,
+                pmu.switchingFrequency() / 1e3);
+    std::printf("capture: %.0f ms at %.1f Msps, tuned to %.2f MHz\n",
+                toSeconds(t1) * 1e3, cap.sampleRate / 1e6,
+                cap.centerFrequency / 1e6);
+    std::printf("\nspectrogram (time ->, frequency ^, %zu frames):\n",
+                spec.numFrames());
+    std::printf("%s", spec.renderAscii(28, 100).c_str());
+
+    // Per-state spike levels at the fundamental.
+    std::size_t k = spec.nearestBin(pmu.switchingFrequency());
+    double active_level = 0.0, idle_level = 0.0;
+    std::size_t na = 0, ni = 0;
+    for (std::size_t t = 0; t < spec.numFrames(); ++t) {
+        TimeNs when = fromSeconds(spec.frameTime(t));
+        if (cpu.busyTrace().at(when)) {
+            active_level += spec.frames[t][k];
+            ++na;
+        } else {
+            idle_level += spec.frames[t][k];
+            ++ni;
+        }
+    }
+    if (na)
+        active_level /= static_cast<double>(na);
+    if (ni)
+        idle_level /= static_cast<double>(ni);
+
+    std::printf("\nfundamental-bin magnitude: active=%.1f idle=%.1f "
+                "(%.1f dB modulation depth)\n",
+                active_level, idle_level,
+                20.0 * std::log10(active_level /
+                                  std::max(idle_level, 1e-9)));
+    std::printf("paper: spikes at ~970 kHz appear during active and "
+                "fade during idle periods\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 5 reproduction: the +1/-1 edge-detection convolution whose
+ * local maxima mark the starting point of each transmitted bit.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "covert_rig.hpp"
+
+using namespace emsc;
+
+int
+main()
+{
+    bench::header("Fig. 5 — edge detection marks bit starting points");
+
+    bench::CovertRun run = bench::runInstrumented(150, 505);
+    const auto &timing = run.rx.timing;
+
+    // Plot the edge-detector output over the first ~12 bits.
+    double dec_rate = run.rx.acquired.sampleRate;
+    auto start_idx = static_cast<std::size_t>(
+        toSeconds(run.sentBits.front().start - run.captureStart) *
+        dec_rate);
+    auto end_idx = static_cast<std::size_t>(
+        toSeconds(run.sentBits[12].start - run.captureStart) * dec_rate);
+    end_idx = std::min(end_idx, timing.edgeSignal.size());
+
+    std::vector<double> slice(
+        timing.edgeSignal.begin() +
+            static_cast<std::ptrdiff_t>(start_idx),
+        timing.edgeSignal.begin() +
+            static_cast<std::ptrdiff_t>(end_idx));
+    std::printf("edge-detector output (first 12 bits):\n");
+    bench::plotSeries(slice, 12, 110);
+
+    // Compare detected starts with ground truth.
+    std::printf("\nrecovered signaling time: %.1f samples (%.1f us)\n",
+                timing.signalingTime,
+                timing.signalingTime / dec_rate * 1e6);
+    std::printf("detected starts: %zu for %zu transmitted bits\n",
+                timing.starts.size(), run.frameBits.size());
+
+    std::size_t shown = 0;
+    std::printf("\n%-6s %-14s %-14s %s\n", "bit", "true start",
+                "detected", "error (us)");
+    for (std::size_t i = 0; i < 10 && i < run.sentBits.size(); ++i) {
+        double truth =
+            toSeconds(run.sentBits[i].start - run.captureStart);
+        // Nearest detected start.
+        double best = 1e9;
+        for (std::size_t s : timing.starts) {
+            double t = static_cast<double>(s) / dec_rate;
+            if (std::abs(t - truth) < std::abs(best - truth))
+                best = t;
+        }
+        std::printf("%-6zu %-14.6f %-14.6f %+.1f\n", i, truth, best,
+                    (best - truth) * 1e6);
+        ++shown;
+    }
+    std::printf("\npaper: convolution peaks line up with the sharp rise "
+                "at each bit's beginning\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig. 6 reproduction: the distribution of distances between
+ * subsequent bit starting points ("pulse width variation"), which the
+ * paper observes to be Rayleigh-like with a positive skew — the tails
+ * are where detection errors come from. The receiver takes its
+ * signaling time from the CDF = 0.5 point (the median).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "covert_rig.hpp"
+#include "support/stats.hpp"
+
+using namespace emsc;
+
+int
+main()
+{
+    bench::header("Fig. 6 — pulse-width (bit spacing) distribution");
+
+    bench::CovertRun run = bench::runInstrumented(4000, 606);
+    const auto &spacings = run.rx.timing.rawSpacings;
+    double dec_rate = run.rx.acquired.sampleRate;
+
+    // Convert to microseconds for readability.
+    std::vector<double> us;
+    us.reserve(spacings.size());
+    for (double s : spacings)
+        us.push_back(s / dec_rate * 1e6);
+
+    // Clamp the extreme tail for display only (interrupt-stretched
+    // periods run to milliseconds and would crush the axis).
+    std::vector<double> display(us);
+    double p995 = quantile(us, 0.995);
+    for (double &v : display)
+        v = std::min(v, p995);
+
+    Histogram h = Histogram::fromSamples(display, 48);
+    std::printf("bit-spacing PDF (%zu samples; display clipped at "
+                "p99.5=%.0f us):\n",
+                us.size(), p995);
+    double max_count = 0.0;
+    for (std::size_t i = 0; i < h.size(); ++i)
+        max_count = std::max(max_count, h.count(i));
+    for (std::size_t i = 0; i < h.size(); ++i) {
+        if (h.count(i) == 0.0)
+            continue;
+        std::printf("%8.1f us |%s\n", h.binCenter(i),
+                    bench::bar(h.count(i), max_count, 60).c_str());
+    }
+
+    double med = median(us);
+    double upper = quantile(us, 0.999) - med;
+    double lower = med - quantile(us, 0.001);
+
+    // Fit the variation (spacing above the minimum) to a Rayleigh.
+    double lo = quantile(us, 0.01);
+    std::vector<double> excess;
+    for (double v : us)
+        if (v > lo)
+            excess.push_back(v - lo);
+    double sigma = fitRayleighSigma(excess);
+    double goodness = rayleighGoodness(excess, sigma);
+
+    std::printf("\nmedian (CDF=0.5, the recovered signaling time): "
+                "%.1f us\n",
+                med);
+    std::printf("extreme tails: p99.9 reaches +%.0f us above the median "
+                "vs p0.1 only -%.0f us below —\nthe long upper tail "
+                "(interrupt-stretched periods) is what produces "
+                "detection errors,\nexactly the paper's point about "
+                "this distribution\n",
+                upper, lower);
+    std::printf("Rayleigh fit of the excess over the floor: sigma=%.1f "
+                "us (CvM goodness %.2e; smaller = better)\n",
+                sigma, goodness);
+    std::printf("paper: the signal time has a Rayleigh-like, positively "
+                "skewed distribution whose\n"
+                "tails cause occasional insertion/deletion errors\n");
+    return 0;
+}

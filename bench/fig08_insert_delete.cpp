@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 8 reproduction: bit deletions and insertions caused by other
+ * system activity (interrupts, long background bursts) disturbing the
+ * signaling periods. With heavy background activity the edge at a
+ * bit's beginning can disappear (deletion) or a stretched period can
+ * be split by the gap filler (insertion); parity coding then repairs
+ * what it can.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "channel/metrics.hpp"
+#include "covert_rig.hpp"
+
+using namespace emsc;
+
+int
+main()
+{
+    bench::header("Fig. 8 — bit deletion/insertion under system activity");
+
+    std::printf("%-22s %-10s %-10s %-10s %-10s\n", "background",
+                "BER", "IP", "DP", "corrected");
+    for (double intensity : {1.0, 3.0, 6.0}) {
+        bench::CovertRun run =
+            bench::runInstrumented(3000, 808, intensity);
+        if (!run.rx.frame.found) {
+            std::printf("%-22.1f frame not found\n", intensity);
+            continue;
+        }
+        channel::ReceiverConfig rc;
+        std::size_t prefix = rc.frame.syncBits + rc.frame.zeroBits +
+                             rc.frame.preamble.size();
+        channel::Bits tx_body(run.frameBits.begin() +
+                                  static_cast<std::ptrdiff_t>(prefix),
+                              run.frameBits.end());
+        channel::Bits rx_tail(
+            run.rx.labeled.bits.begin() +
+                static_cast<std::ptrdiff_t>(std::min(
+                    run.rx.frame.payloadStart,
+                    run.rx.labeled.bits.size())),
+            run.rx.labeled.bits.end());
+        channel::AlignmentCounts c =
+            channel::alignBitsSemiGlobal(tx_body, rx_tail);
+
+        std::printf("%-22.1f %-10.2e %-10.2e %-10.2e %zu\n", intensity,
+                    c.errorRate(), c.insertionRate(), c.deletionRate(),
+                    run.rx.frame.corrected);
+    }
+
+    std::printf("\npaper: deletions happen when other activity "
+                "suppresses a bit's starting edge\n"
+                "(probability <0.2%%), insertions when timing variation "
+                "splits a stretched period;\n"
+                "simple parity (Hamming) coding repairs most of the "
+                "residue\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the DSP kernels the receiver
+ * leans on: FFT, sliding DFT, edge detection, convolution.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dsp/convolution.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/sliding_dft.hpp"
+#include "dsp/stft.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace emsc;
+
+std::vector<dsp::Complex>
+randomComplex(std::size_t n)
+{
+    Rng rng(n);
+    std::vector<dsp::Complex> x(n);
+    for (auto &v : x)
+        v = dsp::Complex{rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+    return x;
+}
+
+void
+BM_FftRadix2(benchmark::State &state)
+{
+    auto n = static_cast<std::size_t>(state.range(0));
+    auto x = randomComplex(n);
+    for (auto _ : state) {
+        auto copy = x;
+        dsp::fftRadix2(copy, false);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftRadix2)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void
+BM_FftBluestein(benchmark::State &state)
+{
+    auto n = static_cast<std::size_t>(state.range(0));
+    auto x = randomComplex(n);
+    for (auto _ : state) {
+        auto out = dsp::fft(x);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(4093);
+
+void
+BM_SlidingDftPush(benchmark::State &state)
+{
+    auto bins = static_cast<std::size_t>(state.range(0));
+    std::vector<std::size_t> tracked;
+    for (std::size_t i = 0; i < bins; ++i)
+        tracked.push_back(i * 37 + 3);
+    dsp::SlidingDft sdft(1024, tracked);
+    auto x = randomComplex(4096);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sdft.push(x[i++ & 4095]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlidingDftPush)->Arg(1)->Arg(2)->Arg(6);
+
+void
+BM_EdgeDetect(benchmark::State &state)
+{
+    auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    std::vector<double> y(n);
+    for (auto &v : y)
+        v = rng.uniform(0.0, 1.0);
+    for (auto _ : state) {
+        auto e = dsp::edgeDetect(y, 24);
+        benchmark::DoNotOptimize(e.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EdgeDetect)->Arg(100000)->Arg(1000000);
+
+void
+BM_ConvolveFft(benchmark::State &state)
+{
+    Rng rng(8);
+    std::vector<double> a(static_cast<std::size_t>(state.range(0)));
+    std::vector<double> b(512);
+    for (auto &v : a)
+        v = rng.uniform(-1.0, 1.0);
+    for (auto &v : b)
+        v = rng.uniform(-1.0, 1.0);
+    for (auto _ : state) {
+        auto c = dsp::convolveFft(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_ConvolveFft)->Arg(4096)->Arg(65536);
+
+void
+BM_Spectrogram(benchmark::State &state)
+{
+    auto x = randomComplex(262144);
+    dsp::StftConfig cfg;
+    cfg.fftSize = 1024;
+    cfg.hop = 256;
+    for (auto _ : state) {
+        auto s = dsp::stftComplex(x, 2.4e6, cfg, 1.45e6);
+        benchmark::DoNotOptimize(s.frames.data());
+    }
+}
+BENCHMARK(BM_Spectrogram);
+
+} // namespace

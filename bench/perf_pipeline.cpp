@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark end-to-end benchmarks: how fast the simulator
+ * produces captures and the receiver decodes them.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "cpu/apps.hpp"
+#include "covert_rig.hpp"
+#include "sdr/rtlsdr.hpp"
+#include "vrm/pmu.hpp"
+
+namespace {
+
+using namespace emsc;
+
+void
+BM_CpuOsSimulation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Rng rng(1);
+        sim::EventKernel kernel;
+        cpu::CpuCore core(kernel, cpu::CoreConfig{});
+        cpu::OsModel os(kernel, core, cpu::makeUnixOsConfig(), rng);
+        os.startBackgroundActivity(fromSeconds(1.0));
+        cpu::AlternatingLoadApp app(os, {100.0, 100.0});
+        app.start();
+        kernel.runUntil(fromSeconds(1.0));
+        benchmark::DoNotOptimize(core.cyclesRetired());
+    }
+    state.SetLabel("1 s of simulated CPU/OS time per iteration");
+}
+BENCHMARK(BM_CpuOsSimulation);
+
+void
+BM_VrmEventGeneration(benchmark::State &state)
+{
+    sim::Timeline<double> load(14.0);
+    Rng rng(2);
+    vrm::BuckConverter buck(vrm::BuckConfig{}, rng);
+    for (auto _ : state) {
+        auto events = buck.generate(load, 0, fromSeconds(0.1));
+        benchmark::DoNotOptimize(events.data());
+    }
+    state.SetLabel("0.1 s of switching events per iteration");
+}
+BENCHMARK(BM_VrmEventGeneration);
+
+void
+BM_CaptureSynthesis(benchmark::State &state)
+{
+    // 100 ms capture of a busy VRM with interference and noise.
+    sim::Timeline<double> load(14.0);
+    Rng rng(3);
+    vrm::BuckConverter buck(vrm::BuckConfig{}, rng);
+    auto events = buck.generate(load, 0, fromSeconds(0.1));
+    em::SceneConfig scene =
+        core::makeScene(0.08, core::nearFieldSetup());
+    for (auto _ : state) {
+        Rng rng_em(4), rng_sdr(5);
+        auto plan = em::buildReceptionPlan(scene, events, 0,
+                                           fromSeconds(0.1), rng_em);
+        sdr::SdrConfig sc;
+        sc.centerFrequency = 1.455e6;
+        sdr::RtlSdr radio(sc, rng_sdr);
+        auto cap = radio.capture(plan, 0, fromSeconds(0.1));
+        benchmark::DoNotOptimize(cap.samples.data());
+    }
+    state.SetLabel("100 ms @ 2.4 Msps per iteration");
+}
+BENCHMARK(BM_CaptureSynthesis);
+
+void
+BM_FullCovertChannel(benchmark::State &state)
+{
+    for (auto _ : state) {
+        core::CovertChannelOptions o;
+        o.payloadBits = 300;
+        o.seed = 7;
+        auto r = core::runCovertChannel(core::referenceDevice(),
+                                        core::nearFieldSetup(), o);
+        benchmark::DoNotOptimize(r.ber);
+    }
+    state.SetLabel("300-bit payload end to end per iteration");
+}
+BENCHMARK(BM_FullCovertChannel);
+
+void
+BM_ReceiverOnly(benchmark::State &state)
+{
+    bench::CovertRun run = bench::runInstrumented(600, 8);
+    channel::ReceiverConfig cfg;
+    for (auto _ : state) {
+        auto rx = channel::receive(run.capture, cfg);
+        benchmark::DoNotOptimize(rx.frame.found);
+    }
+    state.SetLabel("600-bit capture decode per iteration");
+}
+BENCHMARK(BM_ReceiverOnly);
+
+} // namespace

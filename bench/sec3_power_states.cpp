@@ -1,0 +1,60 @@
+/**
+ * @file
+ * §III reproduction: the BIOS power-state study.
+ *
+ * The paper disables C-states, P-states, and both, and observes: with
+ * either family still enabled the spikes keep appearing/disappearing
+ * with program activity; with both disabled the spikes become strong
+ * and continuously present (no side channel). This bench runs the
+ * Fig. 1 micro-benchmark under all four configurations.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+
+using namespace emsc;
+
+int
+main()
+{
+    bench::header("Sec. III — effect of disabling P-/C-states");
+
+    core::DeviceProfile dev = core::referenceDevice();
+    core::MeasurementSetup setup = core::nearFieldSetup();
+
+    struct Config
+    {
+        const char *name;
+        bool pstates;
+        bool cstates;
+        const char *expected;
+    };
+    const Config configs[] = {
+        {"P on,  C on ", true, true, "modulated (side channel present)"},
+        {"P on,  C off", true, false, "modulated (via P-states)"},
+        {"P off, C on ", false, true, "modulated (via C-states)"},
+        {"P off, C off", false, false,
+         "continuously strong (no modulation)"},
+    };
+
+    std::printf("%-14s %-12s %-12s %-10s %-8s  %s\n", "BIOS", "active",
+                "idle", "contrast", "always", "expectation");
+    for (const Config &cfg : configs) {
+        core::StateProbeOptions opt;
+        opt.pstatesEnabled = cfg.pstates;
+        opt.cstatesEnabled = cfg.cstates;
+        core::StateProbeResult r =
+            core::runStateProbe(dev, setup, opt);
+        std::printf("%-14s %-12.1f %-12.1f %-7.1fdB  %-8s  %s\n",
+                    cfg.name, r.activeLevel, r.idleLevel, r.contrastDb,
+                    r.alwaysStrong ? "strong" : "no", cfg.expected);
+    }
+
+    std::printf("\npaper: any single family left enabled preserves the "
+                "signal; disabling both leaves\n"
+                "continuously present spikes (the \"idle\" OS loop keeps "
+                "the VRM in its high-power mode)\n");
+    return 0;
+}

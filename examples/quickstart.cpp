@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: exfiltrate a short message from an air-gapped laptop.
+ *
+ * Sets up the paper's default scenario — the DELL Inspiron (Table I)
+ * with a coil probe 10 cm above the keyboard — transmits an ASCII
+ * message through the PMU/VRM EM covert channel, and prints what the
+ * receiver decoded along with the channel metrics.
+ */
+
+#include <cstdio>
+
+#include "core/api.hpp"
+
+int
+main()
+{
+    using namespace emsc;
+
+    const std::string secret = "PMU leaks: all your states are belong to us";
+
+    core::DeviceProfile laptop = core::referenceDevice();
+    core::MeasurementSetup setup = core::nearFieldSetup();
+
+    core::CovertChannelOptions opts;
+    opts.payload = channel::bytesToBits(secret);
+    opts.seed = 42;
+
+    std::printf("Target   : %s (%s, %s)\n", laptop.name.c_str(),
+                laptop.osName.c_str(), laptop.archName.c_str());
+    std::printf("Receiver : %s\n", setup.name.c_str());
+    std::printf("Message  : \"%s\" (%zu bits)\n\n", secret.c_str(),
+                opts.payload.size());
+
+    core::CovertChannelResult res =
+        core::runCovertChannel(laptop, setup, opts);
+
+    if (!res.frameFound) {
+        std::printf("Receiver failed to lock onto the transmission.\n");
+        return 1;
+    }
+
+    std::string decoded = channel::bitsToBytes(res.decodedPayload);
+    std::printf("Decoded  : \"%s\"\n", decoded.c_str());
+    std::printf("Carrier  : %.1f kHz (VRM switching frequency)\n",
+                res.carrierHz / 1e3);
+    std::printf("Rate     : %.0f bps on air, %.0f bps payload "
+                "(%.3f s)\n",
+                res.trBps, res.trPayloadBps, res.elapsedS);
+    std::printf("Channel  : BER=%.2e  IP=%.2e  DP=%.2e  "
+                "(%zu Hamming corrections)\n",
+                res.ber, res.insertionProb, res.deletionProb,
+                res.corrected);
+    std::printf("Payload  : post-correction BER=%.2e\n", res.berPayload);
+    return 0;
+}

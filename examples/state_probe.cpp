@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Defender's view (§III + §VI countermeasures): probe how much
+ * power-state information a machine leaks through its VRM, and verify
+ * that the BIOS countermeasure — disabling both P- and C-states during
+ * sensitive computation — actually removes the modulation (at a large
+ * energy cost).
+ */
+
+#include <cstdio>
+
+#include "core/api.hpp"
+
+using namespace emsc;
+
+int
+main()
+{
+    core::MeasurementSetup setup = core::nearFieldSetup();
+
+    std::printf("Power-state leakage audit (coil probe at 10 cm)\n\n");
+    std::printf("%-20s %-12s %-34s\n", "device", "contrast",
+                "verdict");
+    for (const core::DeviceProfile &dev : core::table1Devices()) {
+        core::StateProbeResult r =
+            core::runStateProbe(dev, setup, core::StateProbeOptions{});
+        std::printf("%-20s %8.1f dB  %s\n", dev.name.c_str(),
+                    r.contrastDb,
+                    r.contrastDb > 10.0
+                        ? "LEAKS power states (exploitable)"
+                        : "low leakage");
+    }
+
+    std::printf("\nCountermeasure check on %s:\n",
+                core::referenceDevice().name.c_str());
+    struct Mode
+    {
+        const char *name;
+        bool p, c;
+    };
+    const Mode modes[] = {
+        {"default (P+C on)", true, true},
+        {"C-states disabled", true, false},
+        {"P-states disabled", false, true},
+        {"both disabled", false, false},
+    };
+    for (const Mode &m : modes) {
+        core::StateProbeOptions o;
+        o.pstatesEnabled = m.p;
+        o.cstatesEnabled = m.c;
+        core::StateProbeResult r =
+            core::runStateProbe(core::referenceDevice(), setup, o);
+        std::printf("  %-20s contrast %5.1f dB -> %s\n", m.name,
+                    r.contrastDb,
+                    r.alwaysStrong ? "side channel SUPPRESSED"
+                                   : "still exploitable");
+    }
+
+    std::printf("\nOnly disabling BOTH families removes the modulation "
+                "(at significant energy cost),\n"
+                "matching the paper's §III finding and its suggested "
+                "system-level countermeasure.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Prior-art covert channels used as Fig. 9 comparison baselines.
+ *
+ * The paper compares its transmission rate against seven published
+ * physical covert channels. We re-implement the four whose limiting
+ * physics is simple enough to model faithfully (thermal, fan-acoustic,
+ * memory-bus EM, power-budget contention) and carry the published
+ * rates for the rest. Each implementation sweeps its bit period to
+ * find the highest rate that still meets a BER target, so the Fig. 9
+ * ordering emerges from channel physics — the slow actuators (thermal
+ * mass, fan inertia) versus the fast ones (power-state switching) —
+ * rather than from hard-coded numbers.
+ */
+
+#ifndef EMSC_BASELINES_BASELINE_HPP
+#define EMSC_BASELINES_BASELINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace emsc::baselines {
+
+/** Outcome of evaluating one covert channel. */
+struct BaselineResult
+{
+    std::string name;
+    /** Highest rate meeting the BER target (bits/second). */
+    double bitRateBps = 0.0;
+    /** BER measured at that rate. */
+    double ber = 0.0;
+    /** False when the number is carried from the literature instead
+     *  of produced by a simulation in this repository. */
+    bool simulated = true;
+    /** Mechanism / citation note for the Fig. 9 legend. */
+    std::string notes;
+};
+
+/** Common interface: find the best rate under a BER constraint. */
+class CovertChannelBaseline
+{
+  public:
+    virtual ~CovertChannelBaseline() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Evaluate the channel: transmit `nbits` random bits per candidate
+     * rate, decode, and return the fastest rate with BER at or below
+     * `target_ber`.
+     */
+    virtual BaselineResult evaluate(std::size_t nbits, double target_ber,
+                                    std::uint64_t seed) = 0;
+};
+
+/**
+ * Thermal covert channel (BitWhisper-style): bits modulate CPU heat
+ * output; the receiver watches a temperature sensor. Limited by the
+ * package's thermal time constant (seconds).
+ */
+std::unique_ptr<CovertChannelBaseline> makeThermalChannel();
+
+/**
+ * Fan-acoustic channel (Fansmitter-style): bits switch the fan RPM
+ * setpoint; a microphone tracks the blade-pass tone. Limited by rotor
+ * inertia and the acoustic estimator.
+ */
+std::unique_ptr<CovertChannelBaseline> makeFanAcousticChannel();
+
+/**
+ * Memory-bus EM channel (GSMem-style): bits gate bursts of memory
+ * traffic whose DRAM-bus emanations a nearby radio receives. Limited
+ * by scheduling jitter of the memory bursts and the low modulation
+ * depth of the bus emission.
+ */
+std::unique_ptr<CovertChannelBaseline> makeGsmemChannel();
+
+/**
+ * Power-budget contention channel (POWERT-style, digital): the source
+ * modulates its power draw; a co-located sink infers the shared power
+ * budget from its own performance. Limited by the power-limit
+ * actuation window and performance-measurement noise.
+ */
+std::unique_ptr<CovertChannelBaseline> makePowertChannel();
+
+/** All simulated baselines, in Fig. 9 order. */
+std::vector<std::unique_ptr<CovertChannelBaseline>> allBaselines();
+
+/** Literature-reported rates for the attacks we do not re-implement. */
+std::vector<BaselineResult> literatureBaselines();
+
+} // namespace emsc::baselines
+
+#endif // EMSC_BASELINES_BASELINE_HPP

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fan-acoustic covert channel baseline (Fansmitter-style).
+ *
+ * Bits switch the fan RPM setpoint between two levels; the rotor's
+ * inertia low-passes the command, and a microphone estimates the
+ * blade-pass frequency over short analysis frames. The rotor time
+ * constant (~1-2 s) plus the need for the tone to settle inside a bit
+ * limits the channel to around one bit per second.
+ */
+
+#include "baselines/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emsc::baselines {
+
+namespace {
+
+class FanAcousticChannel : public CovertChannelBaseline
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "Fan acoustic (Fansmitter-style)";
+    }
+
+    BaselineResult
+    evaluate(std::size_t nbits, double target_ber,
+             std::uint64_t seed) override
+    {
+        BaselineResult best;
+        best.name = name();
+        best.notes = "fan RPM keying vs. rotor inertia";
+
+        const double periods[] = {0.4, 0.7, 1.0, 1.6, 2.5, 4.0};
+        for (double period : periods) {
+            double ber = simulate(nbits, period, seed);
+            if (ber <= target_ber) {
+                best.bitRateBps = 1.0 / period;
+                best.ber = ber;
+                return best;
+            }
+        }
+        best.bitRateBps = 1.0 / periods[std::size(periods) - 1];
+        best.ber = simulate(nbits, periods[std::size(periods) - 1], seed);
+        return best;
+    }
+
+  private:
+    double
+    simulate(std::size_t nbits, double period, std::uint64_t seed)
+    {
+        Rng rng(seed ^ 0xfa9);
+
+        // Rotor: first-order toward the setpoint, tau = 1.4 s; RPM
+        // levels 2600/3200. Microphone: blade-pass frequency estimate
+        // every 100 ms with ~12 RPM rms error plus room acoustics
+        // disturbances.
+        const double tau = 1.4;
+        const double lo = 2600.0, hi = 3200.0;
+        const double dt = 0.1;
+        const double est_noise = 12.0;
+
+        double rpm = lo;
+        std::size_t errors = 0;
+        for (std::size_t i = 0; i < nbits; ++i) {
+            int bit = rng.chance(0.5) ? 1 : 0;
+            double target = bit ? hi : lo;
+            double acc = 0.0;
+            int frames = 0;
+            for (double t = 0.0; t < period; t += dt) {
+                rpm += (target - rpm) * dt / tau;
+                double est = rpm + rng.gaussian(0.0, est_noise);
+                if (rng.chance(0.02))
+                    est += rng.gaussian(0.0, 150.0); // door slam, speech
+                acc += est;
+                ++frames;
+            }
+            double mean = frames ? acc / frames : lo;
+            int decided = mean > 0.5 * (lo + hi) ? 1 : 0;
+            errors += decided != bit;
+        }
+        return static_cast<double>(errors) / static_cast<double>(nbits);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<CovertChannelBaseline>
+makeFanAcousticChannel()
+{
+    return std::make_unique<FanAcousticChannel>();
+}
+
+} // namespace emsc::baselines

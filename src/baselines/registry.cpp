@@ -1,0 +1,34 @@
+#include "baselines/baseline.hpp"
+
+namespace emsc::baselines {
+
+std::vector<std::unique_ptr<CovertChannelBaseline>>
+allBaselines()
+{
+    std::vector<std::unique_ptr<CovertChannelBaseline>> out;
+    out.push_back(makeThermalChannel());
+    out.push_back(makeFanAcousticChannel());
+    out.push_back(makeGsmemChannel());
+    out.push_back(makePowertChannel());
+    return out;
+}
+
+std::vector<BaselineResult>
+literatureBaselines()
+{
+    // Attacks whose limiting mechanism we do not re-implement; rates
+    // as reported by the cited papers under comparable conditions.
+    std::vector<BaselineResult> out;
+    out.push_back(BaselineResult{
+        "AirHopper (FM from video cable)", 480.0, 0.0, false,
+        "Guri et al., MALWARE'14 (60 B/s reported)"});
+    out.push_back(BaselineResult{
+        "USBee (USB data-bus EM)", 640.0, 0.0, false,
+        "Guri et al. 2016 (80 B/s reported)"});
+    out.push_back(BaselineResult{
+        "Acoustic mesh (near-ultrasound)", 20.0, 0.0, false,
+        "Hanspach & Goetz 2013 (~20 bps reported)"});
+    return out;
+}
+
+} // namespace emsc::baselines

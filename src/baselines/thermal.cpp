@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Thermal covert channel baseline (BitWhisper-style).
+ *
+ * The transmitter runs the CPU hot (bit 1) or idle (bit 0) for one bit
+ * period; the package temperature follows a first-order thermal RC
+ * toward the corresponding steady state; the receiver samples a
+ * temperature sensor (quantised, noisy, slow) and decides each bit
+ * from the temperature trend over the bit window. The thermal time
+ * constant of a laptop package is seconds, which caps the channel at
+ * a few bits per second regardless of receiver quality.
+ */
+
+#include "baselines/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emsc::baselines {
+
+namespace {
+
+class ThermalChannel : public CovertChannelBaseline
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "Thermal (BitWhisper-style)";
+    }
+
+    BaselineResult
+    evaluate(std::size_t nbits, double target_ber,
+             std::uint64_t seed) override
+    {
+        BaselineResult best;
+        best.name = name();
+        best.notes = "CPU heat pulses vs. package thermal RC";
+
+        // Candidate bit periods, fast to slow.
+        const double periods[] = {0.1, 0.2, 0.35, 0.5, 0.8,
+                                  1.2, 2.0, 3.5, 6.0};
+        for (double period : periods) {
+            double ber = simulate(nbits, period, seed);
+            if (ber <= target_ber) {
+                best.bitRateBps = 1.0 / period;
+                best.ber = ber;
+                return best;
+            }
+        }
+        best.bitRateBps = 1.0 / periods[std::size(periods) - 1];
+        best.ber = simulate(nbits, periods[std::size(periods) - 1], seed);
+        return best;
+    }
+
+  private:
+    double
+    simulate(std::size_t nbits, double period, std::uint64_t seed)
+    {
+        Rng rng(seed ^ 0x7e47);
+
+        // First-order package model: tau ~ 6 s, 18 C swing between
+        // idle and full power; sensor: 0.25 C quantisation, 0.1 C rms
+        // noise, 10 Hz sampling.
+        const double tau = 6.0;
+        const double swing = 18.0;
+        const double dt = 0.1;
+        const double q = 0.25;
+        const double noise = 0.1;
+
+        double temp = 0.0;
+        std::size_t errors = 0;
+        for (std::size_t i = 0; i < nbits; ++i) {
+            int bit = rng.chance(0.5) ? 1 : 0;
+            double target = bit ? swing : 0.0;
+            double first = 1e9, last = 0.0;
+            bool have_first = false;
+            for (double t = 0.0; t < period; t += dt) {
+                temp += (target - temp) * dt / tau;
+                double reading =
+                    std::round((temp + rng.gaussian(0.0, noise)) / q) * q;
+                if (!have_first) {
+                    first = reading;
+                    have_first = true;
+                }
+                last = reading;
+            }
+            // Trend decision: rising temperature over the bit => 1.
+            int decided = last > first ? 1 : 0;
+            if (period < 2.0 * dt) // too fast to even take two samples
+                decided = rng.chance(0.5) ? 1 : 0;
+            errors += decided != bit;
+        }
+        return static_cast<double>(errors) / static_cast<double>(nbits);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<CovertChannelBaseline>
+makeThermalChannel()
+{
+    return std::make_unique<ThermalChannel>();
+}
+
+} // namespace emsc::baselines

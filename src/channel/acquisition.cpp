@@ -1,0 +1,303 @@
+#include "channel/acquisition.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "dsp/fft.hpp"
+#include "dsp/sliding_dft.hpp"
+#include "dsp/window.hpp"
+#include "support/logging.hpp"
+
+namespace emsc::channel {
+
+std::vector<double>
+welchSpectrum(const sdr::IqCapture &capture, std::size_t window,
+              std::size_t frames)
+{
+    if (capture.samples.size() < window)
+        fatal("capture too short (%zu samples) for a %zu-point spectrum",
+              capture.samples.size(), window);
+    std::vector<double> sum(window, 0.0);
+    std::vector<double> win = dsp::makeWindow(dsp::WindowKind::Hann,
+                                              window);
+    std::vector<dsp::Complex> buf(window);
+    std::size_t count =
+        std::min<std::size_t>(frames, capture.samples.size() / window);
+    count = std::max<std::size_t>(count, 1);
+    std::size_t stride = capture.samples.size() / count;
+    std::size_t used = 0;
+    for (std::size_t f = 0; f < count; ++f) {
+        std::size_t start = f * stride;
+        if (start + window > capture.samples.size())
+            break;
+        for (std::size_t i = 0; i < window; ++i)
+            buf[i] = capture.samples[start + i] * win[i];
+        dsp::fftRadix2(buf, false);
+        for (std::size_t k = 0; k < window; ++k)
+            sum[k] += std::abs(buf[k]);
+        ++used;
+    }
+    for (double &v : sum)
+        v /= static_cast<double>(used);
+    return sum;
+}
+
+double
+estimateCarrier(const sdr::IqCapture &capture,
+                const AcquisitionConfig &config)
+{
+    // The VRM line is the one spectral feature whose magnitude is
+    // *modulated* by processor activity — that is the side channel
+    // itself. Steady interferer tones (and their window-leakage
+    // skirts) have large means but almost no frame-to-frame swing,
+    // and noise bins have swing proportional to their (low) level.
+    // So the detector ranks bins by the p90-p50 swing of per-frame
+    // magnitudes rather than by mean magnitude; p90 (not max) keeps
+    // sparse broadband impulses from lending swing to steady tones.
+    std::size_t m = config.searchWindow;
+    while (m > 512 && capture.samples.size() < 8 * m)
+        m /= 2;
+    if (capture.samples.size() < m)
+        fatal("capture too short (%zu samples) for carrier estimation",
+              capture.samples.size());
+
+    std::size_t frames =
+        std::min<std::size_t>(256, capture.samples.size() / m);
+    std::vector<double> win = dsp::makeWindow(dsp::WindowKind::Hann, m);
+    std::vector<dsp::Complex> buf(m);
+    // mags[k] holds the per-frame magnitudes of bin k.
+    std::vector<std::vector<double>> mags(
+        m, std::vector<double>(frames, 0.0));
+    std::size_t stride = capture.samples.size() / frames;
+    std::size_t used = 0;
+    for (std::size_t f = 0; f < frames; ++f) {
+        std::size_t start = f * stride;
+        if (start + m > capture.samples.size())
+            break;
+        for (std::size_t i = 0; i < m; ++i)
+            buf[i] = capture.samples[start + i] * win[i];
+        dsp::fftRadix2(buf, false);
+        for (std::size_t k = 0; k < m; ++k)
+            mags[k][f] = std::abs(buf[k]);
+        ++used;
+    }
+    if (used < 8)
+        fatal("capture too short for carrier estimation");
+
+    std::vector<double> swing(m, 0.0);
+    std::vector<double> med(m, 0.0);
+    for (std::size_t k = 0; k < m; ++k) {
+        std::vector<double> v(mags[k].begin(),
+                              mags[k].begin() +
+                                  static_cast<std::ptrdiff_t>(used));
+        std::sort(v.begin(), v.end());
+        auto idx = [&](double q) {
+            return v[std::min(used - 1,
+                              static_cast<std::size_t>(
+                                  q * static_cast<double>(used - 1) +
+                                  0.5))];
+        };
+        med[k] = idx(0.5);
+        swing[k] = idx(0.90) - med[k];
+    }
+
+    // Reference level: the typical swing of a noise bin.
+    std::vector<double> sorted_swing(swing);
+    std::sort(sorted_swing.begin(), sorted_swing.end());
+    double noise_swing = sorted_swing[m / 2];
+
+    double fs = capture.sampleRate;
+    auto bin_freq = [&](std::size_t k) {
+        double off = static_cast<double>(k) * fs / static_cast<double>(m);
+        if (off >= fs / 2.0)
+            off -= fs;
+        return capture.centerFrequency + off;
+    };
+
+    double best_score = -1.0;
+    double best_freq = 0.0;
+    std::size_t best_bin = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+        double freq = bin_freq(k);
+        if (freq < config.searchLowHz || freq > config.searchHighHz)
+            continue;
+        double sw = swing[k];
+        if (sw < 3.2 * noise_swing)
+            continue;
+        // Local maximum of the swing (a tone's steady skirt cannot
+        // mask a modulated line here, since skirts barely swing).
+        std::size_t prev = (k + m - 1) % m;
+        std::size_t nxt = (k + 1) % m;
+        if (swing[prev] > sw || swing[nxt] > sw)
+            continue;
+
+        double score = sw;
+        // Relative modulation depth: a strong but slightly wobbling
+        // tone (oscillator drift scalloping across the bin) can show
+        // sizable absolute swing, yet only a small fraction of its
+        // median; a real on-off-keyed line swings by at least its
+        // idle-floor level. Anything below ~20% relative modulation is
+        // certainly not the side channel.
+        double rel = med[k] > 0.0 ? sw / med[k] : 1.0;
+        score *= std::clamp((rel - 0.2) / 0.55, 0.02, 1.0);
+        // Harmonic structure: a genuine switching fundamental has a
+        // modulated partner at 2f (when in band); a bin that is itself
+        // the second harmonic of a modulated lower line is demoted so
+        // we lock the fundamental.
+        double f2 = 2.0 * freq;
+        if (std::abs(f2 - capture.centerFrequency) < fs / 2.0) {
+            double sw2 = swing[capture.binForFrequency(f2, m)];
+            if (sw2 > std::max(0.25 * sw, 2.0 * noise_swing))
+                score *= 1.6;
+        }
+        double fhalf = freq / 2.0;
+        if (fhalf >= config.searchLowHz &&
+            std::abs(fhalf - capture.centerFrequency) < fs / 2.0) {
+            double swh = swing[capture.binForFrequency(fhalf, m)];
+            if (swh > std::max(0.35 * sw, 2.0 * noise_swing))
+                score *= 0.25;
+        }
+
+        if (std::getenv("EMSC_DEBUG_CARRIER"))
+            std::fprintf(stderr,
+                         "carrier cand f=%.0f swing=%.2f score=%.2f\n",
+                         freq, sw, score);
+
+        if (score > best_score) {
+            best_score = score;
+            best_freq = freq;
+            best_bin = k;
+        }
+    }
+    if (best_score < 0.0) {
+        warn("no modulated spectral line found in the %g-%g Hz band",
+             config.searchLowHz, config.searchHighHz);
+        return 0.0;
+    }
+
+    // The jitter-broadened line spans a few bins; refine the estimate
+    // to the swing-weighted centroid of its neighbourhood so the
+    // tracked bin lands on the line's true centre.
+    double wsum = 0.0, fsum = 0.0;
+    for (std::ptrdiff_t d = -3; d <= 3; ++d) {
+        std::size_t kk = (best_bin + m + static_cast<std::size_t>(
+                              static_cast<std::ptrdiff_t>(m) + d)) % m;
+        double w = std::max(swing[kk] - noise_swing, 0.0);
+        wsum += w;
+        fsum += w * bin_freq(kk);
+    }
+    return wsum > 0.0 ? fsum / wsum : best_freq;
+}
+
+StreamingAcquirer::StreamingAcquirer(double carrier_hz,
+                                     double center_freq,
+                                     double sample_rate,
+                                     const AcquisitionConfig &config)
+    : cfg(config), carrier(carrier_hz)
+{
+    if (cfg.decimation == 0)
+        fatal("acquisition decimation must be positive");
+    if (carrier_hz <= 0.0)
+        fatal("StreamingAcquirer requires a known carrier");
+    decimatedRate = sample_rate / static_cast<double>(cfg.decimation);
+
+    // Tracked components: the carrier and harmonics inside Nyquist of
+    // the complex capture. Each component is evaluated with a
+    // Hann-windowed sliding DFT, synthesised from the rectangular
+    // sliding bins via the 3-bin convolution identity
+    //     F_hann[k] = 0.5 F[k] - 0.25 (F[k-1] + F[k+1]),
+    // which pushes window sidelobes far down and keeps strong
+    // interferer tones elsewhere in the band from leaking into (and
+    // beating inside) the tracked bins.
+    std::size_t m = cfg.window;
+    std::vector<std::size_t> centers;
+    for (std::size_t h = 1; h <= cfg.harmonics; ++h) {
+        double freq = carrier * static_cast<double>(h);
+        double off = freq - center_freq;
+        if (std::abs(off) >= sample_rate / 2.0)
+            break;
+        // Same mapping as IqCapture::binForFrequency.
+        double bin = off * static_cast<double>(m) / sample_rate;
+        auto k = static_cast<long long>(std::llround(bin));
+        auto mm = static_cast<long long>(m);
+        k %= mm;
+        if (k < 0)
+            k += mm;
+        centers.push_back(static_cast<std::size_t>(k));
+    }
+    if (centers.empty())
+        fatal("no trackable harmonic of %.0f Hz within the capture band",
+              carrier);
+
+    auto index_of = [&](std::size_t bin) {
+        for (std::size_t i = 0; i < bins.size(); ++i)
+            if (bins[i] == bin)
+                return i;
+        bins.push_back(bin);
+        return bins.size() - 1;
+    };
+    for (std::size_t c : centers) {
+        std::array<std::size_t, 3> t{};
+        t[0] = index_of((c + m - 1) % m);
+        t[1] = index_of(c);
+        t[2] = index_of((c + 1) % m);
+        triplets.push_back(t);
+    }
+    sdft = std::make_unique<dsp::SlidingDft>(m, bins);
+}
+
+void
+StreamingAcquirer::feed(const std::vector<sdr::IqSample> &samples)
+{
+    y.reserve(y.size() + samples.size() / cfg.decimation + 1);
+    for (const sdr::IqSample &s : samples) {
+        sdft->push(s);
+        if (counter++ % cfg.decimation == 0) {
+            double v = 0.0;
+            for (const auto &t : triplets) {
+                dsp::Complex hann =
+                    0.5 * sdft->binValue(t[1]) -
+                    0.25 * (sdft->binValue(t[0]) + sdft->binValue(t[2]));
+                v += std::abs(hann);
+            }
+            y.push_back(v);
+        }
+    }
+}
+
+AcquiredSignal
+StreamingAcquirer::take()
+{
+    AcquiredSignal out;
+    out.carrierHz = carrier;
+    out.sampleRate = decimatedRate;
+    out.bins = bins;
+    out.y = std::move(y);
+    y.clear();
+    return out;
+}
+
+AcquiredSignal
+acquire(const sdr::IqCapture &capture, const AcquisitionConfig &config,
+        double carrier_hz)
+{
+    double carrier = carrier_hz > 0.0 ? carrier_hz
+                                      : estimateCarrier(capture, config);
+    if (carrier <= 0.0) {
+        AcquiredSignal out;
+        out.sampleRate = capture.sampleRate /
+                         static_cast<double>(std::max<std::size_t>(
+                             config.decimation, 1));
+        return out; // no carrier: empty acquisition, caller bails out
+    }
+
+    StreamingAcquirer acq(carrier, capture.centerFrequency,
+                          capture.sampleRate, config);
+    acq.feed(capture.samples);
+    return acq.take();
+}
+
+} // namespace emsc::channel

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Eq. (1) signal acquisition: Y[n] = sum over bins S of |F_n[k]|.
+ *
+ * The receiver first locates the VRM's spectral spikes (it knows the
+ * rough band for the device class, or scans for the strongest
+ * low-frequency comb), then runs a sliding M-point DFT tracking the
+ * fundamental and its first harmonic, summing their magnitudes into a
+ * single real envelope. The envelope is decimated for the downstream
+ * timing/labeling stages.
+ */
+
+#ifndef EMSC_CHANNEL_ACQUISITION_HPP
+#define EMSC_CHANNEL_ACQUISITION_HPP
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dsp/sliding_dft.hpp"
+#include "sdr/iq.hpp"
+
+namespace emsc::channel {
+
+/** Acquisition configuration. */
+struct AcquisitionConfig
+{
+    /** Sliding DFT window M (the paper's 1024-point FFT). */
+    std::size_t window = 1024;
+    /**
+     * FFT size for the carrier *search* only: longer windows pull weak
+     * lines out of the per-bin noise floor. The VRM's cycle-to-cycle
+     * period jitter bounds the line's coherence to a few milliseconds,
+     * so gains saturate beyond ~4096 samples at 2.4 Msps.
+     */
+    std::size_t searchWindow = 4096;
+    /** Decimation applied to the Y[n] output. */
+    std::size_t decimation = 16;
+    /** Number of harmonics tracked (1 = fundamental only). */
+    std::size_t harmonics = 2;
+    /** Search band for the VRM fundamental (absolute Hz). */
+    double searchLowHz = 200e3;
+    double searchHighHz = 1.2e6;
+};
+
+/** Acquired envelope plus its geometry. */
+struct AcquiredSignal
+{
+    /** Decimated Y[n]. */
+    std::vector<double> y;
+    /** Effective sample rate of y (capture rate / decimation). */
+    double sampleRate = 0.0;
+    /** Estimated VRM fundamental (absolute Hz). */
+    double carrierHz = 0.0;
+    /** Tracked bin indices within the M-point window. */
+    std::vector<std::size_t> bins;
+};
+
+/**
+ * Welch-averaged magnitude spectrum of a capture: mean |X[k]| over up
+ * to `frames` Hann-windowed FFTs of the given size spread across the
+ * capture. Bin k maps to frequency via IqCapture::binForFrequency.
+ */
+std::vector<double> welchSpectrum(const sdr::IqCapture &capture,
+                                  std::size_t window, std::size_t frames);
+
+/**
+ * Estimate the VRM fundamental frequency from the capture's average
+ * spectrum (Welch-style magnitude averaging + strongest peak in band).
+ */
+double estimateCarrier(const sdr::IqCapture &capture,
+                       const AcquisitionConfig &config);
+
+/**
+ * Run Eq. (1) over the capture: track the carrier and its harmonics
+ * with a sliding DFT, output the decimated magnitude-sum envelope.
+ *
+ * @param carrier_hz  pass 0 to auto-estimate via estimateCarrier()
+ */
+AcquiredSignal acquire(const sdr::IqCapture &capture,
+                       const AcquisitionConfig &config,
+                       double carrier_hz = 0.0);
+
+/**
+ * Streaming variant of acquire() for captures too long to materialise
+ * at once (e.g. a typing session): the sliding-DFT state persists
+ * across feed() calls, so chunked captures produce the same envelope
+ * as a single long one.
+ */
+class StreamingAcquirer
+{
+  public:
+    /**
+     * @param carrier_hz   VRM fundamental to track (must be known)
+     * @param center_freq  the SDR's believed center frequency
+     * @param sample_rate  capture sample rate
+     */
+    StreamingAcquirer(double carrier_hz, double center_freq,
+                      double sample_rate, const AcquisitionConfig &config);
+
+    /** Feed the next chunk of contiguous samples. */
+    void feed(const std::vector<sdr::IqSample> &samples);
+
+    /** Envelope accumulated so far. */
+    const std::vector<double> &envelope() const { return y; }
+
+    /** Move the accumulated signal out as an AcquiredSignal. */
+    AcquiredSignal take();
+
+  private:
+    AcquisitionConfig cfg;
+    double carrier;
+    double decimatedRate;
+    std::vector<std::size_t> bins;
+    std::vector<std::array<std::size_t, 3>> triplets;
+    std::unique_ptr<dsp::SlidingDft> sdft;
+    std::size_t counter = 0;
+    std::vector<double> y;
+};
+
+} // namespace emsc::channel
+
+#endif // EMSC_CHANNEL_ACQUISITION_HPP

@@ -1,0 +1,224 @@
+#include "channel/coding.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace emsc::channel {
+
+namespace {
+
+/**
+ * Hamming(15,11) geometry: codeword positions 1..15, parity bits at
+ * the powers of two (1, 2, 4, 8), data bits filling the rest in
+ * ascending position order.
+ */
+constexpr std::size_t kBlockData = 11;
+constexpr std::size_t kBlockCoded = 15;
+
+bool
+isPowerOfTwoPos(std::size_t pos)
+{
+    return (pos & (pos - 1)) == 0;
+}
+
+/** Encode one 11-bit block into 15 coded bits. */
+void
+encodeBlock(const std::uint8_t *data, std::uint8_t *out)
+{
+    // Place data bits.
+    std::size_t di = 0;
+    for (std::size_t pos = 1; pos <= kBlockCoded; ++pos) {
+        if (isPowerOfTwoPos(pos))
+            continue;
+        out[pos - 1] = data[di++];
+    }
+    // Compute even parity for each parity position.
+    for (std::size_t p = 1; p <= kBlockCoded; p <<= 1) {
+        std::uint8_t parity = 0;
+        for (std::size_t pos = 1; pos <= kBlockCoded; ++pos) {
+            if (pos == p || !(pos & p))
+                continue;
+            parity ^= out[pos - 1];
+        }
+        out[p - 1] = parity;
+    }
+}
+
+/** Decode one 15-bit block; returns corrections applied (0 or 1). */
+std::size_t
+decodeBlock(const std::uint8_t *coded, std::uint8_t *data)
+{
+    std::uint8_t block[kBlockCoded];
+    std::copy(coded, coded + kBlockCoded, block);
+
+    std::size_t syndrome = 0;
+    for (std::size_t p = 1; p <= kBlockCoded; p <<= 1) {
+        std::uint8_t parity = 0;
+        for (std::size_t pos = 1; pos <= kBlockCoded; ++pos) {
+            if (!(pos & p))
+                continue;
+            parity ^= block[pos - 1];
+        }
+        if (parity)
+            syndrome |= p;
+    }
+
+    std::size_t corrected = 0;
+    if (syndrome != 0 && syndrome <= kBlockCoded) {
+        block[syndrome - 1] ^= 1;
+        corrected = 1;
+    }
+
+    std::size_t di = 0;
+    for (std::size_t pos = 1; pos <= kBlockCoded; ++pos) {
+        if (isPowerOfTwoPos(pos))
+            continue;
+        data[di++] = block[pos - 1];
+    }
+    return corrected;
+}
+
+} // namespace
+
+Bits
+bytesToBits(const std::string &bytes)
+{
+    Bits bits;
+    bits.reserve(bytes.size() * 8);
+    for (unsigned char c : bytes)
+        for (int b = 7; b >= 0; --b)
+            bits.push_back((c >> b) & 1);
+    return bits;
+}
+
+std::string
+bitsToBytes(const Bits &bits)
+{
+    std::string out;
+    out.reserve(bits.size() / 8);
+    for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+        unsigned char c = 0;
+        for (std::size_t b = 0; b < 8; ++b)
+            c = static_cast<unsigned char>((c << 1) | (bits[i + b] & 1));
+        out.push_back(static_cast<char>(c));
+    }
+    return out;
+}
+
+Bits
+hammingEncode(const Bits &data)
+{
+    Bits padded(data);
+    while (padded.size() % kBlockData != 0)
+        padded.push_back(0);
+
+    Bits coded(padded.size() / kBlockData * kBlockCoded, 0);
+    for (std::size_t i = 0; i < padded.size() / kBlockData; ++i)
+        encodeBlock(&padded[i * kBlockData], &coded[i * kBlockCoded]);
+    return coded;
+}
+
+HammingDecodeResult
+hammingDecode(const Bits &coded)
+{
+    HammingDecodeResult res;
+    std::size_t blocks = coded.size() / kBlockCoded;
+    res.bits.resize(blocks * kBlockData);
+    for (std::size_t i = 0; i < blocks; ++i)
+        res.corrected += decodeBlock(&coded[i * kBlockCoded],
+                                     &res.bits[i * kBlockData]);
+    return res;
+}
+
+Bits
+buildFrame(const Bits &payload, const FrameConfig &config)
+{
+    if (payload.size() > 0xffff)
+        fatal("frame payload of %zu bits exceeds the 16-bit length field",
+              payload.size());
+
+    Bits frame;
+    for (std::size_t i = 0; i < config.syncBits; ++i)
+        frame.push_back(i % 2 == 0 ? 1 : 0);
+    frame.insert(frame.end(), config.zeroBits, 0);
+    frame.insert(frame.end(), config.preamble.begin(),
+                 config.preamble.end());
+
+    Bits body;
+    auto len = static_cast<std::uint16_t>(payload.size());
+    for (int b = 15; b >= 0; --b)
+        body.push_back((len >> b) & 1);
+    body.insert(body.end(), payload.begin(), payload.end());
+
+    Bits coded = hammingEncode(body);
+    frame.insert(frame.end(), coded.begin(), coded.end());
+    return frame;
+}
+
+ParsedFrame
+parseFrame(const Bits &received, const FrameConfig &config)
+{
+    ParsedFrame out;
+    const Bits &pre = config.preamble;
+    if (pre.empty() || received.size() < pre.size())
+        return out;
+
+    // The preamble is preceded by a run of zeros; search for the best
+    // (fewest-mismatch) occurrence of [zeros..., preamble], preferring
+    // earlier matches on ties so we lock to the true frame start.
+    std::size_t best_pos = 0;
+    std::size_t best_cost = pre.size() + 1;
+    std::size_t zcheck = std::min<std::size_t>(config.zeroBits, 4);
+    for (std::size_t pos = zcheck;
+         pos + pre.size() <= received.size(); ++pos) {
+        std::size_t cost = 0;
+        for (std::size_t i = 0; i < pre.size(); ++i)
+            cost += received[pos + i] != pre[i];
+        for (std::size_t i = 0; i < zcheck; ++i)
+            cost += received[pos - 1 - i] != 0;
+        if (cost < best_cost) {
+            best_cost = cost;
+            best_pos = pos;
+        }
+        if (best_cost == 0)
+            break;
+    }
+    if (best_cost > config.preambleTolerance)
+        return out;
+
+    out.found = true;
+    out.payloadStart = best_pos + pre.size();
+    if (std::getenv("EMSC_DEBUG_FRAME"))
+        std::fprintf(stderr,
+                     "frame: best_pos=%zu cost=%zu stream=%zu\n",
+                     best_pos, best_cost, received.size());
+
+    Bits coded(received.begin() +
+                   static_cast<std::ptrdiff_t>(out.payloadStart),
+               received.end());
+    HammingDecodeResult dec = hammingDecode(coded);
+    out.corrected = dec.corrected;
+
+    if (dec.bits.size() < 16)
+        return out;
+    std::uint16_t len = 0;
+    for (std::size_t b = 0; b < 16; ++b)
+        len = static_cast<std::uint16_t>((len << 1) | (dec.bits[b] & 1));
+    out.claimedLength = len;
+    if (std::getenv("EMSC_DEBUG_FRAME"))
+        std::fprintf(stderr, "frame: claimedLength=%u decoded=%zu\n",
+                     len, dec.bits.size());
+
+    std::size_t avail = dec.bits.size() - 16;
+    std::size_t take = std::min<std::size_t>(len, avail);
+    out.payload.assign(dec.bits.begin() + 16,
+                       dec.bits.begin() + 16 +
+                           static_cast<std::ptrdiff_t>(take));
+    return out;
+}
+
+} // namespace emsc::channel

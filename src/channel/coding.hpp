@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Channel coding and framing for the covert channel.
+ *
+ * §IV-B4/§IV-C2: the transmitter inserts parity bits so that the
+ * minimum Hamming distance between codewords is at least three,
+ * allowing single-error correction while staying simple enough to
+ * re-implement on a target machine by hand. We use the classic
+ * Hamming(15,11) code (rate 11/15, distance 3). Framing follows
+ * §IV-C1: a synchronisation run of interleaved ones and zeros, a short
+ * run of zeros, and a preamble marking the start of the data, followed
+ * by a length header and the coded payload.
+ */
+
+#ifndef EMSC_CHANNEL_CODING_HPP
+#define EMSC_CHANNEL_CODING_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emsc::channel {
+
+/** A bit sequence, one bit per byte (0 or 1). */
+using Bits = std::vector<std::uint8_t>;
+
+/** Convert a byte string to its bit sequence (MSB first). */
+Bits bytesToBits(const std::string &bytes);
+
+/** Convert a bit sequence back to bytes (length truncated to octets). */
+std::string bitsToBytes(const Bits &bits);
+
+/**
+ * Encode data bits with Hamming(15,11). The input is zero-padded to a
+ * multiple of 11 bits.
+ */
+Bits hammingEncode(const Bits &data);
+
+/** Result of Hamming decoding. */
+struct HammingDecodeResult
+{
+    /** Decoded data bits (11 per complete received block of 15). */
+    Bits bits;
+    /** Number of single-bit errors corrected. */
+    std::size_t corrected = 0;
+};
+
+/**
+ * Decode a Hamming(15,11) coded stream. A trailing partial block is
+ * dropped. Any single-bit error per block is corrected; double errors
+ * decode to a wrong codeword (distance-3 code).
+ */
+HammingDecodeResult hammingDecode(const Bits &coded);
+
+/** Frame layout parameters. */
+struct FrameConfig
+{
+    /** Leading alternating 1-0 synchronisation bits. */
+    std::size_t syncBits = 16;
+    /** Zero run after the sync pattern. */
+    std::size_t zeroBits = 8;
+    /** Start-of-data delimiter. */
+    Bits preamble = {1, 1, 1, 1, 0, 0, 1, 0};
+    /** Maximum mismatches tolerated when locating the preamble. */
+    std::size_t preambleTolerance = 1;
+};
+
+/**
+ * Build the on-air bit stream for a payload: sync + zeros + preamble +
+ * Hamming-coded [16-bit length || payload].
+ */
+Bits buildFrame(const Bits &payload, const FrameConfig &config);
+
+/** Outcome of locating and decoding a frame in a received stream. */
+struct ParsedFrame
+{
+    /** Whether a plausible preamble was located. */
+    bool found = false;
+    /** Index just past the preamble in the channel stream. */
+    std::size_t payloadStart = 0;
+    /** Payload length claimed by the (decoded) header. */
+    std::size_t claimedLength = 0;
+    /** Decoded payload bits (clamped to the claimed length). */
+    Bits payload;
+    /** Single-bit corrections applied by the Hamming decoder. */
+    std::size_t corrected = 0;
+};
+
+/**
+ * Locate the frame in a received channel-bit stream and decode its
+ * payload. Tolerates a limited number of mismatches in the preamble
+ * search to survive substitution errors.
+ */
+ParsedFrame parseFrame(const Bits &received, const FrameConfig &config);
+
+} // namespace emsc::channel
+
+#endif // EMSC_CHANNEL_CODING_HPP

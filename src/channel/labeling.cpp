@@ -1,0 +1,91 @@
+#include "channel/labeling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+#include "support/stats.hpp"
+
+namespace emsc::channel {
+
+double
+selectThreshold(const std::vector<double> &bit_power,
+                const LabelingConfig &config)
+{
+    if (bit_power.empty())
+        fatal("selectThreshold with no bit powers");
+    if (bit_power.size() < 8) {
+        // Too few samples for a histogram; fall back to the midpoint
+        // of the extremes.
+        auto [mn, mx] =
+            std::minmax_element(bit_power.begin(), bit_power.end());
+        return 0.5 * (*mn + *mx);
+    }
+
+    Histogram h =
+        Histogram::fromSamples(bit_power, config.histogramBins);
+    std::vector<std::size_t> peaks =
+        h.findPeaks(config.smoothingRadius, config.peakSeparation);
+
+    if (peaks.size() < 2) {
+        // Unimodal histogram (all-same bits or extreme noise):
+        // fall back to the mean of min/max.
+        auto [mn, mx] =
+            std::minmax_element(bit_power.begin(), bit_power.end());
+        return 0.5 * (*mn + *mx);
+    }
+
+    double a = h.binCenter(peaks[0]);
+    double b = h.binCenter(peaks[1]);
+    return 0.5 * (a + b);
+}
+
+LabeledBits
+labelBits(const std::vector<double> &y,
+          const std::vector<std::size_t> &starts, double signaling_time,
+          const LabelingConfig &config)
+{
+    LabeledBits out;
+    if (starts.empty() || y.empty())
+        return out;
+
+    std::size_t nbits = starts.size();
+    out.bitPower.reserve(nbits);
+
+    for (std::size_t i = 0; i < nbits; ++i) {
+        std::size_t lo = starts[i];
+        std::size_t hi =
+            i + 1 < nbits
+                ? starts[i + 1]
+                : std::min<std::size_t>(
+                      y.size(), lo + static_cast<std::size_t>(std::lround(
+                                         signaling_time)));
+        hi = std::min(hi, y.size());
+        if (hi <= lo) {
+            out.bitPower.push_back(0.0);
+            continue;
+        }
+        double acc = 0.0;
+        for (std::size_t j = lo; j < hi; ++j)
+            acc += y[j] * y[j];
+        out.bitPower.push_back(acc / static_cast<double>(hi - lo));
+    }
+
+    // Batch-wise thresholding tracks slow amplitude drift.
+    std::size_t batch = config.batchBits == 0 ? nbits : config.batchBits;
+    out.bits.resize(nbits);
+    for (std::size_t b0 = 0; b0 < nbits; b0 += batch) {
+        std::size_t b1 = std::min(nbits, b0 + batch);
+        std::vector<double> slice(out.bitPower.begin() +
+                                      static_cast<std::ptrdiff_t>(b0),
+                                  out.bitPower.begin() +
+                                      static_cast<std::ptrdiff_t>(b1));
+        double thr = selectThreshold(slice, config);
+        out.thresholds.push_back(thr);
+        for (std::size_t i = b0; i < b1; ++i)
+            out.bits[i] = out.bitPower[i] > thr ? 1 : 0;
+    }
+    return out;
+}
+
+} // namespace emsc::channel

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bit labeling from average per-bit signal power (§IV-B3, Fig. 7).
+ *
+ * Each recovered bit interval is summarised by the mean squared
+ * magnitude of its Y samples. Because the active part of a period can
+ * stretch, raw energy would mislabel; averaging over the interval's
+ * actual duration compensates. The decision threshold is found from
+ * the bimodal distribution of per-bit averages: locate the two
+ * strongest peaks of the (smoothed) histogram and threshold at their
+ * midpoint, per batch so slow gain drift is tracked.
+ */
+
+#ifndef EMSC_CHANNEL_LABELING_HPP
+#define EMSC_CHANNEL_LABELING_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "channel/coding.hpp"
+
+namespace emsc::channel {
+
+/** Labeling configuration. */
+struct LabelingConfig
+{
+    /** Histogram bins used for threshold selection. */
+    std::size_t histogramBins = 64;
+    /** Histogram smoothing radius (bins). */
+    std::size_t smoothingRadius = 2;
+    /** Minimum separation between the two power peaks (bins). */
+    std::size_t peakSeparation = 8;
+    /** Bits per threshold batch (0 = single batch for the capture). */
+    std::size_t batchBits = 4096;
+};
+
+/** Labeling output. */
+struct LabeledBits
+{
+    /** Decided channel bits, one per recovered interval. */
+    Bits bits;
+    /** Per-bit average power values (Fig. 7's samples). */
+    std::vector<double> bitPower;
+    /** Thresholds chosen per batch. */
+    std::vector<double> thresholds;
+};
+
+/**
+ * Label each interval [starts[i], starts[i+1]) of the envelope.
+ * The final interval extends one signaling time beyond the last start.
+ */
+LabeledBits labelBits(const std::vector<double> &y,
+                      const std::vector<std::size_t> &starts,
+                      double signaling_time,
+                      const LabelingConfig &config);
+
+/**
+ * Threshold selection on a set of per-bit powers: the midpoint of the
+ * two dominant histogram peaks (exposed separately for Fig. 7).
+ */
+double selectThreshold(const std::vector<double> &bit_power,
+                       const LabelingConfig &config);
+
+} // namespace emsc::channel
+
+#endif // EMSC_CHANNEL_LABELING_HPP

@@ -1,0 +1,70 @@
+#include "channel/matched_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/labeling.hpp"
+#include "channel/timing.hpp"
+#include "dsp/convolution.hpp"
+#include "dsp/peaks.hpp"
+#include "support/logging.hpp"
+#include "support/stats.hpp"
+
+namespace emsc::channel {
+
+MatchedFilterResult
+matchedFilterDecode(const AcquiredSignal &signal,
+                    const MatchedFilterConfig &config)
+{
+    MatchedFilterResult out;
+    const std::vector<double> &y = signal.y;
+    if (y.size() < 64)
+        return out;
+
+    // One-shot clock recovery: the conventional receiver estimates the
+    // symbol rate once (here via the same autocorrelation used by the
+    // asynchronous pipeline, so the comparison is apples to apples).
+    double period = config.symbolPeriod;
+    if (period <= 0.0)
+        period = estimateBitPeriod(y, TimingConfig{});
+    if (period <= 0.0)
+        return out;
+    out.symbolPeriod = period;
+
+    // Phase: align the clock to the strongest early rising edge.
+    auto l_d = static_cast<std::size_t>(
+        std::clamp(period / 2.0, 4.0, static_cast<double>(y.size()) / 4));
+    l_d &= ~std::size_t{1};
+    l_d = std::max<std::size_t>(l_d, 4);
+    std::vector<double> edge = dsp::edgeDetect(y, l_d);
+    std::size_t search =
+        std::min<std::size_t>(y.size(), static_cast<std::size_t>(
+                                            period * 8.0));
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < search; ++i)
+        if (edge[i] > edge[best])
+            best = i;
+    out.firstSymbol = static_cast<double>(best);
+
+    // Integrate-and-dump on the fixed clock.
+    std::vector<double> powers;
+    for (double t = out.firstSymbol;
+         t + period <= static_cast<double>(y.size()); t += period) {
+        auto lo = static_cast<std::size_t>(t);
+        auto hi = static_cast<std::size_t>(t + period);
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            acc += y[i] * y[i];
+        powers.push_back(acc / static_cast<double>(hi - lo));
+    }
+    if (powers.empty())
+        return out;
+
+    double thr = selectThreshold(powers, LabelingConfig{});
+    out.bits.reserve(powers.size());
+    for (double p : powers)
+        out.bits.push_back(p > thr ? 1 : 0);
+    return out;
+}
+
+} // namespace emsc::channel

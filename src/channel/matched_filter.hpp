@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Conventional matched-filter receiver — the paper's straw man.
+ *
+ * §IV-B1: "It is a common practice for conventional communication
+ * systems to use a matched filter and sample the filtered signal at
+ * each symbol (bit), but that approach assumes that the symbols have
+ * practically no variation in their duration... we found that, when
+ * applying the matched filter approach to our received signal, the BER
+ * was high [because] the actual bit positions in the signal quickly
+ * become misaligned with the clock created at the receiver."
+ *
+ * This implements exactly that conventional receiver: estimate the
+ * symbol rate once, build the receiver's own symbol clock, integrate
+ * the envelope over each fixed-length symbol window, and threshold.
+ * Its failure against the drifting usleep clock — contrasted with the
+ * asynchronous pipeline of receiver.hpp — is reproduced by
+ * bench/ablation_receiver.
+ */
+
+#ifndef EMSC_CHANNEL_MATCHED_FILTER_HPP
+#define EMSC_CHANNEL_MATCHED_FILTER_HPP
+
+#include "channel/acquisition.hpp"
+#include "channel/coding.hpp"
+
+namespace emsc::channel {
+
+/** Matched-filter (synchronous) decoder configuration. */
+struct MatchedFilterConfig
+{
+    /**
+     * Symbol period in envelope samples; 0 = estimate once from the
+     * envelope autocorrelation (the receiver's one-shot clock
+     * recovery).
+     */
+    double symbolPeriod = 0.0;
+    /** Decision threshold ratio between the two power peaks. */
+    double thresholdRatio = 0.5;
+};
+
+/** Matched-filter decoder output. */
+struct MatchedFilterResult
+{
+    /** Decided bits, one per receiver-clock symbol slot. */
+    Bits bits;
+    /** The symbol period the receiver locked (envelope samples). */
+    double symbolPeriod = 0.0;
+    /** First symbol boundary the receiver chose (sample index). */
+    double firstSymbol = 0.0;
+};
+
+/**
+ * Decode an acquired envelope with a fixed receiver-side symbol clock:
+ * integrate |Y|^2 over [k*T, (k+1)*T) and threshold. No edge tracking,
+ * no gap filling — the conventional approach.
+ */
+MatchedFilterResult matchedFilterDecode(const AcquiredSignal &signal,
+                                        const MatchedFilterConfig &config);
+
+} // namespace emsc::channel
+
+#endif // EMSC_CHANNEL_MATCHED_FILTER_HPP

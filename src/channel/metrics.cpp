@@ -1,0 +1,147 @@
+#include "channel/metrics.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace emsc::channel {
+
+namespace {
+
+/**
+ * Width of the diagonal band explored by the alignment. Insertions
+ * and deletions are rare (<1% in every experiment), so the optimal
+ * path stays close to the diagonal; the band keeps the DP linear in
+ * sequence length instead of quadratic.
+ */
+constexpr std::ptrdiff_t kBandSlack = 96;
+
+constexpr std::uint32_t kInf = 0x3fffffff;
+
+AlignmentCounts
+alignImpl(const Bits &sent, const Bits &received, bool semi_global)
+{
+    AlignmentCounts out;
+    out.sentLength = sent.size();
+    out.receivedLength = received.size();
+
+    auto n = static_cast<std::ptrdiff_t>(sent.size());
+    auto m = static_cast<std::ptrdiff_t>(received.size());
+    if (n == 0) {
+        out.insertions = semi_global ? 0 : static_cast<std::size_t>(m);
+        return out;
+    }
+    if (m == 0) {
+        out.deletions = static_cast<std::size_t>(n);
+        return out;
+    }
+
+    // Banded Levenshtein: only |j - i| <= half is explored, with the
+    // band sized to cover the length difference plus slack.
+    std::ptrdiff_t half = kBandSlack + std::abs(m - n);
+    std::ptrdiff_t width = 2 * half + 1;
+
+    std::vector<std::uint32_t> dp(
+        static_cast<std::size_t>((n + 1) * width), kInf);
+    auto idx = [&](std::ptrdiff_t i, std::ptrdiff_t j) -> std::size_t {
+        return static_cast<std::size_t>(i * width + (j - i + half));
+    };
+    auto inBand = [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+        return j >= 0 && j <= m && j - i >= -half && j - i <= half;
+    };
+
+    dp[idx(0, 0)] = 0;
+    for (std::ptrdiff_t j = 1; j <= std::min(m, half); ++j)
+        dp[idx(0, j)] = static_cast<std::uint32_t>(j);
+
+    for (std::ptrdiff_t i = 1; i <= n; ++i) {
+        std::ptrdiff_t jlo = std::max<std::ptrdiff_t>(0, i - half);
+        std::ptrdiff_t jhi = std::min(m, i + half);
+        for (std::ptrdiff_t j = jlo; j <= jhi; ++j) {
+            std::uint32_t best = kInf;
+            if (j > 0 && inBand(i - 1, j - 1)) {
+                std::uint32_t c =
+                    dp[idx(i - 1, j - 1)] +
+                    (sent[static_cast<std::size_t>(i - 1)] !=
+                     received[static_cast<std::size_t>(j - 1)]);
+                best = std::min(best, c);
+            }
+            if (inBand(i - 1, j))
+                best = std::min(best, dp[idx(i - 1, j)] + 1);
+            if (j > 0 && inBand(i, j - 1))
+                best = std::min(best, dp[idx(i, j - 1)] + 1);
+            dp[idx(i, j)] = best;
+        }
+    }
+
+    // Terminal cell: the corner for a global alignment; the cheapest
+    // end column in the last row for a semi-global one (trailing
+    // received bits are then simply not part of the alignment).
+    std::ptrdiff_t jend = m;
+    if (semi_global) {
+        std::uint32_t best = kInf;
+        std::ptrdiff_t jlo = std::max<std::ptrdiff_t>(0, n - half);
+        for (std::ptrdiff_t j = jlo; j <= std::min(m, n + half); ++j) {
+            if (dp[idx(n, j)] < best) {
+                best = dp[idx(n, j)];
+                jend = j;
+            }
+        }
+    }
+
+    // Backtrace, preferring match/substitution so counts are stable.
+    std::ptrdiff_t i = n, j = jend;
+    while (i > 0 || j > 0) {
+        std::uint32_t cur = dp[idx(i, j)];
+        if (i > 0 && j > 0 && inBand(i - 1, j - 1)) {
+            std::uint32_t sub_cost =
+                sent[static_cast<std::size_t>(i - 1)] !=
+                received[static_cast<std::size_t>(j - 1)];
+            if (cur == dp[idx(i - 1, j - 1)] + sub_cost) {
+                if (sub_cost)
+                    ++out.substitutions;
+                else
+                    ++out.matched;
+                --i;
+                --j;
+                continue;
+            }
+        }
+        if (i > 0 && inBand(i - 1, j) && cur == dp[idx(i - 1, j)] + 1) {
+            ++out.deletions;
+            --i;
+            continue;
+        }
+        if (j > 0 && inBand(i, j - 1) && cur == dp[idx(i, j - 1)] + 1) {
+            ++out.insertions;
+            --j;
+            continue;
+        }
+        // Band edge fallback (should not happen for sane inputs).
+        if (i > 0) {
+            ++out.deletions;
+            --i;
+        } else {
+            ++out.insertions;
+            --j;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+AlignmentCounts
+alignBits(const Bits &sent, const Bits &received)
+{
+    return alignImpl(sent, received, false);
+}
+
+AlignmentCounts
+alignBitsSemiGlobal(const Bits &sent, const Bits &received)
+{
+    return alignImpl(sent, received, true);
+}
+
+} // namespace emsc::channel

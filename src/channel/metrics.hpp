@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Channel quality metrics: BER, insertion and deletion probabilities.
+ *
+ * The channel suffers substitutions (mislabeled bits) but also
+ * insertions and deletions from timing-recovery failures (§IV-B4,
+ * Fig. 8). Plain positional comparison misattributes everything after
+ * the first insertion/deletion, so the metrics align the transmitted
+ * and received sequences with minimum edit distance and count each
+ * operation type, exactly the bookkeeping Table II/III report.
+ */
+
+#ifndef EMSC_CHANNEL_METRICS_HPP
+#define EMSC_CHANNEL_METRICS_HPP
+
+#include <cstddef>
+
+#include "channel/coding.hpp"
+
+namespace emsc::channel {
+
+/** Edit-distance alignment summary between sent and received bits. */
+struct AlignmentCounts
+{
+    std::size_t substitutions = 0;
+    std::size_t insertions = 0; //!< bits present only in the received
+    std::size_t deletions = 0;  //!< sent bits missing from the received
+    std::size_t matched = 0;
+    std::size_t sentLength = 0;
+    std::size_t receivedLength = 0;
+
+    /** Substitution rate per transmitted bit. */
+    double
+    errorRate() const
+    {
+        return sentLength
+                   ? static_cast<double>(substitutions) /
+                         static_cast<double>(sentLength)
+                   : 0.0;
+    }
+
+    /** Insertion probability per transmitted bit. */
+    double
+    insertionRate() const
+    {
+        return sentLength
+                   ? static_cast<double>(insertions) /
+                         static_cast<double>(sentLength)
+                   : 0.0;
+    }
+
+    /** Deletion probability per transmitted bit. */
+    double
+    deletionRate() const
+    {
+        return sentLength
+                   ? static_cast<double>(deletions) /
+                         static_cast<double>(sentLength)
+                   : 0.0;
+    }
+};
+
+/**
+ * Minimum-edit-distance alignment (unit costs) of received against
+ * sent, counting substitutions, insertions and deletions.
+ */
+AlignmentCounts alignBits(const Bits &sent, const Bits &received);
+
+/**
+ * Semi-global variant: trailing received bits beyond the best match of
+ * the full sent sequence are ignored (neither counted as insertions
+ * nor errors). Used when the received stream may run past the end of
+ * the transmission into post-capture noise bits.
+ */
+AlignmentCounts alignBitsSemiGlobal(const Bits &sent,
+                                    const Bits &received);
+
+} // namespace emsc::channel
+
+#endif // EMSC_CHANNEL_METRICS_HPP

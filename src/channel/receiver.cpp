@@ -1,0 +1,47 @@
+#include "channel/receiver.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace emsc::channel {
+
+ReceiverResult
+receive(const sdr::IqCapture &capture, const ReceiverConfig &config)
+{
+    ReceiverResult res;
+
+    AcquisitionConfig acq = config.acquisition;
+    res.carrierHz = estimateCarrier(capture, acq);
+    if (res.carrierHz <= 0.0)
+        return res; // no carrier found: nothing to decode
+
+    // Acquire and recover timing; if the recovered signaling time is
+    // too short for the analysis window (the window smears adjacent
+    // bits together), halve the window and retry.
+    while (true) {
+        res.acquired = acquire(capture, acq, res.carrierHz);
+        res.windowUsed = acq.window;
+        channel::TimingConfig timing_cfg = config.timing;
+        if (timing_cfg.rampHint == 0)
+            timing_cfg.rampHint = acq.window / acq.decimation;
+        res.timing = recoverTiming(res.acquired.y, timing_cfg);
+
+        if (!config.adaptiveWindow)
+            break;
+        double bit_samples =
+            res.timing.signalingTime * static_cast<double>(acq.decimation);
+        bool too_coarse = res.timing.signalingTime > 0.0 &&
+                          bit_samples < 2.5 * static_cast<double>(acq.window);
+        if (!too_coarse || acq.window / 2 < config.minWindow)
+            break;
+        acq.window /= 2;
+    }
+
+    res.labeled = labelBits(res.acquired.y, res.timing.starts,
+                            res.timing.signalingTime, config.labeling);
+    res.frame = parseFrame(res.labeled.bits, config.frame);
+    return res;
+}
+
+} // namespace emsc::channel

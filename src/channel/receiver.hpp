@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The complete covert-channel receiver pipeline.
+ *
+ * Capture -> Eq. (1) acquisition (sliding DFT over the VRM's
+ * fundamental + harmonic) -> asynchronous bit-timing recovery (edge
+ * convolution, median signaling time, gap filling) -> per-bit power
+ * labeling with a bimodal-histogram threshold -> frame
+ * synchronisation -> Hamming correction. Each stage's intermediate
+ * products are kept in the result for the figure benches and tests.
+ */
+
+#ifndef EMSC_CHANNEL_RECEIVER_HPP
+#define EMSC_CHANNEL_RECEIVER_HPP
+
+#include "channel/acquisition.hpp"
+#include "channel/coding.hpp"
+#include "channel/labeling.hpp"
+#include "channel/timing.hpp"
+#include "sdr/iq.hpp"
+
+namespace emsc::channel {
+
+/** Aggregate receiver configuration. */
+struct ReceiverConfig
+{
+    AcquisitionConfig acquisition;
+    TimingConfig timing;
+    LabelingConfig labeling;
+    FrameConfig frame;
+    /**
+     * Shrink the sliding-DFT window when the recovered signaling time
+     * shows the bits are shorter than the window can resolve (the
+     * receiver-side equivalent of picking a sensible FFT length for
+     * the observed symbol rate).
+     */
+    bool adaptiveWindow = true;
+    /** Smallest window the adaptation may fall to. */
+    std::size_t minWindow = 128;
+};
+
+/** Everything the receiver extracted from one capture. */
+struct ReceiverResult
+{
+    /** Estimated VRM fundamental (Hz). */
+    double carrierHz = 0.0;
+    /** Window size actually used after adaptation. */
+    std::size_t windowUsed = 0;
+    /** Acquired (decimated) envelope. */
+    AcquiredSignal acquired;
+    /** Timing recovery output. */
+    BitTiming timing;
+    /** Labeling output; labeled.bits is the raw channel bit stream. */
+    LabeledBits labeled;
+    /** Frame parse of the channel stream. */
+    ParsedFrame frame;
+
+    /** Convenience: the decoded payload (empty if no frame found). */
+    const Bits &payload() const { return frame.payload; }
+};
+
+/** Run the full pipeline on a capture. */
+ReceiverResult receive(const sdr::IqCapture &capture,
+                       const ReceiverConfig &config);
+
+} // namespace emsc::channel
+
+#endif // EMSC_CHANNEL_RECEIVER_HPP

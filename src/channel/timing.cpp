@@ -1,0 +1,312 @@
+#include "channel/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/convolution.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+#include "support/logging.hpp"
+#include "support/stats.hpp"
+
+namespace emsc::channel {
+
+namespace {
+
+/** One edge-detection pass; returns detected start indices. */
+std::vector<std::size_t>
+detectStarts(const std::vector<double> &y, std::size_t l_d,
+             std::size_t min_distance, const TimingConfig &cfg,
+             std::vector<double> *edge_out)
+{
+    std::vector<double> edge = dsp::edgeDetect(y, l_d);
+
+    dsp::PeakOptions opt;
+    opt.minDistance = std::max<std::size_t>(1, min_distance);
+    opt.minHeight = 0.0;
+    std::vector<std::size_t> cand = dsp::findPeaks(edge, opt);
+    if (cand.empty()) {
+        if (edge_out)
+            *edge_out = std::move(edge);
+        return cand;
+    }
+
+    // Threshold relative to the strong-edge population so weak noise
+    // wiggles are rejected without knowing absolute signal levels.
+    std::vector<double> heights;
+    heights.reserve(cand.size());
+    for (std::size_t c : cand)
+        heights.push_back(edge[c]);
+    double ref = quantile(heights, cfg.peakQuantile);
+    double thr = cfg.peakThresholdRatio * ref;
+
+    std::vector<std::size_t> starts;
+    for (std::size_t c : cand)
+        if (edge[c] >= thr)
+            starts.push_back(c);
+
+    if (edge_out)
+        *edge_out = std::move(edge);
+    return starts;
+}
+
+} // namespace
+
+double
+estimateBitPeriod(const std::vector<double> &y, const TimingConfig &config)
+{
+    if (y.size() < 2 * config.minLag + 16)
+        return 0.0;
+
+    // Work on the *rising-edge* signal rather than the raw envelope:
+    // every bit (one or zero) opens with exactly one rise — the
+    // housekeeping blip or the busy plateau — while falls also occur
+    // mid-bit. The rise train is therefore periodic at precisely the
+    // signaling time, for any payload bit pattern.
+    constexpr std::size_t kDiffSpan = 3;
+    std::vector<double> d(y.size() - kDiffSpan, 0.0);
+    double mean = 0.0;
+    for (std::size_t i = 0; i + kDiffSpan < y.size(); ++i) {
+        d[i] = std::max(y[i + kDiffSpan] - y[i], 0.0);
+        mean += d[i];
+    }
+    mean /= static_cast<double>(d.size());
+
+    std::size_t n2 = dsp::nextPowerOfTwo(2 * d.size());
+    std::vector<dsp::Complex> buf(n2, dsp::Complex{0.0, 0.0});
+    for (std::size_t i = 0; i < d.size(); ++i)
+        buf[i] = dsp::Complex{d[i] - mean, 0.0};
+    dsp::fftRadix2(buf, false);
+    for (auto &c : buf)
+        c = dsp::Complex{std::norm(c), 0.0};
+    dsp::fftRadix2(buf, true);
+
+    double r0 = buf[0].real();
+    if (r0 <= 0.0)
+        return 0.0;
+
+    std::size_t max_lag = std::min<std::size_t>(config.maxLag,
+                                                d.size() / 2);
+    if (max_lag <= config.minLag + 2)
+        return 0.0;
+
+    // Normalised, lightly smoothed autocorrelation.
+    std::vector<double> r(max_lag + 2, 0.0);
+    for (std::size_t lag = 0; lag <= max_lag + 1 && lag < n2; ++lag)
+        r[lag] = buf[lag].real() / r0;
+    std::vector<double> rs(r.size(), 0.0);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+        std::size_t lo = i >= 2 ? i - 2 : 0;
+        std::size_t hi = std::min(r.size() - 1, i + 2);
+        double acc = 0.0;
+        for (std::size_t j = lo; j <= hi; ++j)
+            acc += r[j];
+        rs[i] = acc / static_cast<double>(hi - lo + 1);
+    }
+
+    // Skip the zero-lag main lobe (rise events have the width of the
+    // acquisition window's edge ramp): advance to its first smoothed
+    // local minimum.
+    std::size_t lag_lo = std::max<std::size_t>(config.minLag, 2);
+    while (lag_lo + 1 < max_lag && rs[lag_lo + 1] < rs[lag_lo])
+        ++lag_lo;
+    // A bit is never shorter than the envelope's edge ramp; noise
+    // dimples on the (ramp-wide) main lobe must not end the walk early.
+    if (config.rampHint > 0)
+        lag_lo = std::max(lag_lo, config.rampHint);
+    if (lag_lo + 1 >= max_lag)
+        return 0.0;
+
+    // Harmonic-comb period search (as robust pitch detectors do): a
+    // true period T aligns autocorrelation peaks at T, 2T, 3T, ...;
+    // noise ripples and period multiples do not align a full comb.
+    auto peak_near = [&](double lag) {
+        auto c = static_cast<std::ptrdiff_t>(std::lround(lag));
+        double best = -1e300;
+        for (std::ptrdiff_t d = -2; d <= 2; ++d) {
+            std::ptrdiff_t i = c + d;
+            if (i >= static_cast<std::ptrdiff_t>(lag_lo) &&
+                i <= static_cast<std::ptrdiff_t>(max_lag))
+                best = std::max(best, r[static_cast<std::size_t>(i)]);
+        }
+        return best;
+    };
+
+    // Only genuine autocorrelation peaks may anchor a comb; broadband
+    // ripple near the main lobe otherwise wins at small periods.
+    double r_max = 0.0;
+    for (std::size_t t = lag_lo; t <= max_lag; ++t)
+        r_max = std::max(r_max, r[t]);
+    if (r_max <= 0.0)
+        return 0.0;
+
+    double best_comb = -1e300;
+    std::size_t lag_pick = 0;
+    for (std::size_t t = lag_lo; t <= max_lag; ++t) {
+        if (r[t] < 0.35 * r_max || r[t] < r[t - 1] || r[t] < r[t + 1])
+            continue;
+        std::size_t teeth = std::min<std::size_t>(
+            5, max_lag / std::max<std::size_t>(t, 1));
+        if (teeth == 0)
+            continue;
+        double acc = 0.0;
+        for (std::size_t j = 1; j <= teeth; ++j)
+            acc += peak_near(static_cast<double>(j * t));
+        double comb = acc / static_cast<double>(teeth);
+        // Prefer the smallest period among near-equal combs (a comb at
+        // 2T scores like T when r has peaks at every multiple of T).
+        if (comb > best_comb * 1.02 ||
+            (lag_pick != 0 && comb > 0.9 * best_comb && t < lag_pick &&
+             comb >= best_comb)) {
+            best_comb = comb;
+            lag_pick = t;
+        }
+    }
+    if (lag_pick == 0 || best_comb <= 0.0)
+        return 0.0;
+
+    // Snap to the actual local maximum near the chosen period.
+    {
+        auto c = static_cast<std::ptrdiff_t>(lag_pick);
+        std::ptrdiff_t best_i = c;
+        for (std::ptrdiff_t d = -2; d <= 2; ++d) {
+            std::ptrdiff_t i = c + d;
+            if (i >= static_cast<std::ptrdiff_t>(lag_lo) &&
+                i <= static_cast<std::ptrdiff_t>(max_lag) &&
+                r[static_cast<std::size_t>(i)] >
+                    r[static_cast<std::size_t>(best_i)])
+                best_i = i;
+        }
+        lag_pick = static_cast<std::size_t>(best_i);
+    }
+
+    // Parabolic refinement for sub-sample period accuracy.
+    double prev = r[lag_pick - 1];
+    double next = r[lag_pick + 1];
+    double denom = prev - 2.0 * r[lag_pick] + next;
+    double delta = denom < 0.0 ? 0.5 * (prev - next) / denom : 0.0;
+    return static_cast<double>(lag_pick) + std::clamp(delta, -0.5, 0.5);
+}
+
+BitTiming
+recoverTiming(const std::vector<double> &y, const TimingConfig &config)
+{
+    BitTiming out;
+    if (y.size() < 16)
+        return out;
+
+    // Coarse period estimate sets the edge-kernel scale. The estimate
+    // can lock onto a period multiple when the envelope ramps are as
+    // long as a bit, so it is treated as a hypothesis to be checked
+    // against the spacings the edge detector actually measures.
+    double tsig0;
+    if (config.edgeKernel != 0) {
+        tsig0 = static_cast<double>(2 * config.edgeKernel);
+    } else {
+        tsig0 = estimateBitPeriod(y, config);
+        if (tsig0 <= 0.0)
+            tsig0 = 64.0; // fall back to a generic scale
+    }
+
+    auto clamp_kernel = [&](double t) {
+        auto l = static_cast<std::size_t>(std::lround(t * 0.5));
+        if (config.edgeKernel != 0)
+            l = config.edgeKernel;
+        return std::clamp<std::size_t>(l & ~std::size_t{1}, 4,
+                                       y.size() / 4);
+    };
+
+    // Permissive first detection: the minimum spacing allows edges at
+    // half the hypothesised period, so a 2x period lock is visible in
+    // the measured spacings instead of being enforced.
+    std::size_t l_d = clamp_kernel(tsig0);
+    auto min_dist = static_cast<std::size_t>(
+        std::max(4.0, 0.3 * tsig0));
+    std::vector<std::size_t> starts =
+        detectStarts(y, l_d, min_dist, config, &out.edgeSignal);
+    if (starts.size() < 3) {
+        out.starts = std::move(starts);
+        out.signalingTime = tsig0;
+        return out;
+    }
+
+    auto spacing_median = [](const std::vector<std::size_t> &st) {
+        std::vector<double> sp;
+        sp.reserve(st.size() - 1);
+        for (std::size_t i = 1; i < st.size(); ++i)
+            sp.push_back(static_cast<double>(st[i] - st[i - 1]));
+        return median(sp);
+    };
+
+    double msp = spacing_median(starts);
+    double tsig = tsig0;
+    auto near = [](double a, double b) {
+        return std::abs(a - b) <= 0.25 * b;
+    };
+    if (near(msp, tsig0)) {
+        tsig = msp;
+    } else if (near(msp, tsig0 / 2.0) || near(msp, 2.0 * tsig0)) {
+        // The autocorrelation locked a period multiple/submultiple;
+        // the detector's own spacings win. Re-run the detection with a
+        // kernel matched to the corrected period.
+        tsig = msp;
+        l_d = clamp_kernel(tsig);
+        min_dist = static_cast<std::size_t>(
+            std::max(4.0, config.minSpacingRatio * tsig));
+        starts = detectStarts(y, l_d, min_dist, config,
+                              &out.edgeSignal);
+        if (starts.size() < 3) {
+            out.starts = std::move(starts);
+            out.signalingTime = tsig;
+            return out;
+        }
+        msp = spacing_median(starts);
+        if (near(msp, tsig))
+            tsig = msp;
+    }
+    out.signalingTime = tsig;
+
+    std::vector<double> spacings;
+    spacings.reserve(starts.size() - 1);
+    for (std::size_t i = 1; i < starts.size(); ++i)
+        spacings.push_back(static_cast<double>(starts[i] - starts[i - 1]));
+    out.rawSpacings = spacings;
+    if (tsig <= 0.0) {
+        out.starts = std::move(starts);
+        return out;
+    }
+
+    // Merge spuriously close starts (keep the earlier of each pair).
+    std::vector<std::size_t> merged;
+    merged.push_back(starts[0]);
+    for (std::size_t i = 1; i < starts.size(); ++i) {
+        double gap = static_cast<double>(starts[i] - merged.back());
+        if (gap >= config.minSpacingRatio * tsig)
+            merged.push_back(starts[i]);
+    }
+
+    // Fill gaps where edges disappeared (§IV-B2 "fill the gaps"):
+    // a long spacing of ~n signaling times hides n-1 missed starts.
+    out.starts.clear();
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        out.starts.push_back(merged[i]);
+        if (i + 1 >= merged.size())
+            continue;
+        double gap = static_cast<double>(merged[i + 1] - merged[i]);
+        if (gap >= config.gapFillRatio * tsig) {
+            auto missing = static_cast<std::size_t>(
+                std::lround(gap / tsig)) - 1;
+            for (std::size_t k = 1; k <= missing; ++k) {
+                double pos = static_cast<double>(merged[i]) +
+                             gap * static_cast<double>(k) /
+                                 static_cast<double>(missing + 1);
+                out.starts.push_back(
+                    static_cast<std::size_t>(std::lround(pos)));
+            }
+        }
+    }
+    std::sort(out.starts.begin(), out.starts.end());
+    return out;
+}
+
+} // namespace emsc::channel

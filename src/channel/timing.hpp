@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bit-timing recovery (§IV-B2, Figs. 5 and 6).
+ *
+ * The covert signal is asynchronous: sleep overshoot makes every bit a
+ * slightly different length, so a matched filter against a fixed
+ * symbol clock fails (§IV-B1). Instead, the receiver finds the sharp
+ * rise at the start of every bit by convolving Y[n] with a +1/-1
+ * step kernel and taking local maxima (Fig. 5); the median of the
+ * distances between detected starts gives the signaling time (the
+ * distances follow a Rayleigh-like, positively skewed distribution —
+ * Fig. 6); and gaps where edges were missed are filled at multiples of
+ * the signaling time.
+ */
+
+#ifndef EMSC_CHANNEL_TIMING_HPP
+#define EMSC_CHANNEL_TIMING_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace emsc::channel {
+
+/** Timing-recovery configuration. */
+struct TimingConfig
+{
+    /**
+     * Edge kernel length l_d in (decimated) samples; 0 = derive
+     * automatically from the envelope's autocorrelation.
+     */
+    std::size_t edgeKernel = 0;
+    /** Fraction of the strongest edges used to set the peak threshold. */
+    double peakQuantile = 0.85;
+    /** Peak threshold as a fraction of that quantile height. */
+    double peakThresholdRatio = 0.32;
+    /** Spacings below this fraction of the median are merged. */
+    double minSpacingRatio = 0.55;
+    /** Spacings above this multiple of the median get starts inserted. */
+    double gapFillRatio = 1.55;
+    /** Autocorrelation lag search range (decimated samples). */
+    std::size_t minLag = 4;
+    std::size_t maxLag = 4000;
+    /**
+     * Length of the acquisition envelope's edge ramps (the sliding-DFT
+     * window divided by the decimation), in decimated samples. Bit
+     * periods cannot be shorter than the ramp, so the period search
+     * starts beyond it. Zero = unknown.
+     */
+    std::size_t rampHint = 0;
+};
+
+/**
+ * Estimate the bit period of an RZ-keyed envelope from the first
+ * dominant peak of its autocorrelation. Every bit opens with an
+ * activity burst, so the envelope is strongly periodic at the
+ * signaling time even before any edge detection.
+ *
+ * @return the period in samples, or 0 when no periodicity was found
+ */
+double estimateBitPeriod(const std::vector<double> &y,
+                         const TimingConfig &config);
+
+/** Timing-recovery output. */
+struct BitTiming
+{
+    /** Start index (in Y samples) of each detected bit. */
+    std::vector<std::size_t> starts;
+    /** Median bit spacing (Y samples): the recovered signaling time. */
+    double signalingTime = 0.0;
+    /** Raw spacings between detected starts before gap filling. */
+    std::vector<double> rawSpacings;
+    /** Edge-detector output of the final pass (for Fig. 5). */
+    std::vector<double> edgeSignal;
+};
+
+/**
+ * Recover bit starting points from the acquired envelope.
+ */
+BitTiming recoverTiming(const std::vector<double> &y,
+                        const TimingConfig &config);
+
+} // namespace emsc::channel
+
+#endif // EMSC_CHANNEL_TIMING_HPP

@@ -1,0 +1,85 @@
+#include "channel/transmitter.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace emsc::channel {
+
+CovertTransmitter::CovertTransmitter(cpu::OsModel &os, Bits bits,
+                                     const TxParams &params)
+    : os(os), data(std::move(bits)), p(params)
+{
+    if (data.empty())
+        fatal("CovertTransmitter given an empty bit stream");
+    if (p.sleepPeriodUs <= 0.0)
+        fatal("sleep period must be positive");
+
+    if (p.loopCycles != 0) {
+        cycles1 = p.loopCycles;
+    } else {
+        // Auto: busy for about as long as the (granularity-rounded)
+        // sleep actually lasts, as the paper's setup does.
+        const auto &cfg = os.config();
+        TimeNs gran = std::max<TimeNs>(1, cfg.timerGranularity);
+        TimeNs req = fromMicroseconds(p.sleepPeriodUs);
+        TimeNs rounded = ((req + gran - 1) / gran) * gran;
+        double freq = os.cpu().config().pstates.fastest().frequency;
+        cycles1 = std::max<std::uint64_t>(
+            1000, static_cast<std::uint64_t>(toSeconds(rounded) * freq));
+    }
+    record.reserve(data.size());
+}
+
+double
+CovertTransmitter::estimatedBitPeriod(const cpu::OsModel &os,
+                                      const TxParams &params)
+{
+    const auto &cfg = os.config();
+    TimeNs gran = std::max<TimeNs>(1, cfg.timerGranularity);
+    TimeNs req = fromMicroseconds(params.sleepPeriodUs);
+    TimeNs rounded = ((req + gran - 1) / gran) * gran;
+    TimeNs req0 = fromMicroseconds(params.sleepPeriodUs *
+                                   params.zeroSleepFactor);
+    TimeNs rounded0 = ((req0 + gran - 1) / gran) * gran;
+
+    double one = 2.0 * toSeconds(rounded); // busy ~= sleep for a 1-bit
+    double zero = toSeconds(rounded0);
+    return 0.5 * (one + zero);
+}
+
+void
+CovertTransmitter::start(std::function<void()> done)
+{
+    completion = std::move(done);
+    next = 0;
+    sendNext();
+}
+
+void
+CovertTransmitter::sendNext()
+{
+    if (next >= data.size()) {
+        if (completion)
+            completion();
+        return;
+    }
+
+    std::uint8_t bit = data[next++];
+    // Housekeeping at the bit boundary: read the next bit, loop
+    // control, entry into the timing path. This is the "sharp increase
+    // whenever a new bit is transmitted, even when the bit is a zero".
+    os.runBusyCycles(p.perBitOverheadCycles, [this, bit] {
+        record.push_back(TxBitRecord{os.now(), bit});
+        if (bit) {
+            os.runBusyCycles(cycles1, [this] {
+                os.sleepUs(p.sleepPeriodUs, [this] { sendNext(); });
+            });
+        } else {
+            os.sleepUs(p.sleepPeriodUs * p.zeroSleepFactor,
+                       [this] { sendNext(); });
+        }
+    });
+}
+
+} // namespace emsc::channel

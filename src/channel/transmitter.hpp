@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The covert-channel transmitter application (Fig. 3).
+ *
+ * An unprivileged process that, for each channel bit, either performs
+ * busy-loop activity followed by a sleep (bit 1) or only sleeps for
+ * twice as long (bit 0) — return-to-zero encoding of the data onto the
+ * processor's power state. The per-bit housekeeping (reading the next
+ * bit, the syscall path into usleep) itself produces the short
+ * activity blip at every bit boundary that the receiver's edge
+ * detector relies on (§IV-B1).
+ */
+
+#ifndef EMSC_CHANNEL_TRANSMITTER_HPP
+#define EMSC_CHANNEL_TRANSMITTER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "channel/coding.hpp"
+#include "cpu/os.hpp"
+
+namespace emsc::channel {
+
+/** Transmitter timing parameters (Fig. 3's knobs). */
+struct TxParams
+{
+    /** SLEEP_PERIOD in microseconds. */
+    double sleepPeriodUs = 100.0;
+    /**
+     * Busy-loop cycles for a 1-bit (LOOP_PERIOD). Zero means
+     * "auto": pick cycles so active and idle periods have (almost)
+     * equal length, as §IV-C1 does.
+     */
+    std::uint64_t loopCycles = 0;
+    /** Sleep multiplier for a 0-bit (Fig. 3 uses 2x). */
+    double zeroSleepFactor = 2.0;
+    /** Housekeeping cycles burned at the start of every bit. */
+    std::uint64_t perBitOverheadCycles = 40000;
+};
+
+/** Ground-truth record of one transmitted channel bit. */
+struct TxBitRecord
+{
+    TimeNs start;
+    std::uint8_t value;
+};
+
+/**
+ * Drives the OS/CPU model to emit one frame of channel bits.
+ */
+class CovertTransmitter
+{
+  public:
+    /**
+     * @param os    OS services of the target machine
+     * @param bits  channel bits to send (typically from buildFrame())
+     */
+    CovertTransmitter(cpu::OsModel &os, Bits bits, const TxParams &params);
+
+    /** Begin transmission; `done` fires after the final bit. */
+    void start(std::function<void()> done);
+
+    /** Ground-truth timing of every transmitted bit. */
+    const std::vector<TxBitRecord> &sentBits() const { return record; }
+
+    /** Channel bits handed to the transmitter. */
+    const Bits &bits() const { return data; }
+
+    /** Cycles of busy work actually used per 1-bit. */
+    std::uint64_t effectiveLoopCycles() const { return cycles1; }
+
+    /** Estimated average seconds per channel bit for these params. */
+    static double estimatedBitPeriod(const cpu::OsModel &os,
+                                     const TxParams &params);
+
+  private:
+    void sendNext();
+
+    cpu::OsModel &os;
+    Bits data;
+    TxParams p;
+    std::uint64_t cycles1 = 0;
+    std::size_t next = 0;
+    std::vector<TxBitRecord> record;
+    std::function<void()> completion;
+};
+
+} // namespace emsc::channel
+
+#endif // EMSC_CHANNEL_TRANSMITTER_HPP

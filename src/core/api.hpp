@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Umbrella header: the emsc public API.
+ *
+ * Pulls in the experiment drivers, device registry, measurement
+ * setups, and the channel/keylogging building blocks a downstream
+ * user composes. Include this and link emsc_core.
+ */
+
+#ifndef EMSC_CORE_API_HPP
+#define EMSC_CORE_API_HPP
+
+#include "channel/coding.hpp"
+#include "channel/metrics.hpp"
+#include "channel/receiver.hpp"
+#include "channel/transmitter.hpp"
+#include "core/device.hpp"
+#include "core/experiment.hpp"
+#include "core/fingerprinting.hpp"
+#include "core/keylogging.hpp"
+#include "core/setup.hpp"
+
+#endif // EMSC_CORE_API_HPP

@@ -1,0 +1,136 @@
+#include "core/device.hpp"
+
+#include "support/logging.hpp"
+
+namespace emsc::core {
+
+namespace {
+
+DeviceProfile
+baseUnixDevice()
+{
+    DeviceProfile d;
+    d.os = cpu::makeUnixOsConfig();
+    d.core = cpu::CoreConfig{};
+    d.buck = vrm::BuckConfig{};
+    return d;
+}
+
+DeviceProfile
+baseWindowsDevice()
+{
+    DeviceProfile d;
+    d.os = cpu::makeWindowsOsConfig();
+    d.core = cpu::CoreConfig{};
+    d.buck = vrm::BuckConfig{};
+    d.defaultSleepUs = 500.0;
+    return d;
+}
+
+} // namespace
+
+std::vector<DeviceProfile>
+table1Devices()
+{
+    std::vector<DeviceProfile> out;
+
+    {
+        // Dell Precision 7290 / Windows 10 / Kaby Lake. Windows Sleep
+        // granularity caps the rate near 1 kbps; clean board -> low BER.
+        DeviceProfile d = baseWindowsDevice();
+        d.name = "DELL Precision";
+        d.osName = "Windows 10";
+        d.archName = "Kaby Lake";
+        d.buck.switchFrequency = 820e3;
+        d.buck.frequencyErrorPpm = 1400.0;
+        d.emitterCoupling = 0.10;
+        out.push_back(d);
+    }
+    {
+        // MacBookPro 2015 / macOS Mojave / Broadwell. Very precise
+        // usleep (highest TR) but a noisier/weaker emission path
+        // (denser board) -> the highest BER of the set.
+        DeviceProfile d = baseUnixDevice();
+        d.name = "MacBookPro (2015)";
+        d.osName = "macOS (Mojave)";
+        d.archName = "Broadwell";
+        d.os.overshootCoreSigma = 2 * kMicrosecond;
+        d.os.overshootTailMean = 1500; // 1.5 us
+        d.buck.switchFrequency = 540e3;
+        d.buck.frequencyErrorPpm = -900.0;
+        d.emitterCoupling = 0.006;
+        out.push_back(d);
+    }
+    {
+        // Dell Inspiron 15-3537 / Debian / Haswell: the paper's
+        // workhorse (Figs. 2-8, Table III). 970 kHz VRM.
+        DeviceProfile d = baseUnixDevice();
+        d.name = "DELL Inspiron";
+        d.osName = "Linux (Debian)";
+        d.archName = "Haswell";
+        d.os.overshootCoreSigma = 6 * kMicrosecond;
+        d.os.overshootTailMean = 7 * kMicrosecond;
+        d.buck.switchFrequency = 970e3;
+        d.buck.frequencyErrorPpm = 600.0;
+        d.emitterCoupling = 0.08;
+        out.push_back(d);
+    }
+    {
+        // MacBookPro 2018 / macOS Mojave / Coffee Lake.
+        DeviceProfile d = baseUnixDevice();
+        d.name = "MacBookPro (2018)";
+        d.osName = "macOS (Mojave)";
+        d.archName = "Coffee Lake";
+        d.os.overshootCoreSigma = 2 * kMicrosecond;
+        d.os.overshootTailMean = 2 * kMicrosecond;
+        d.buck.switchFrequency = 610e3;
+        d.buck.frequencyErrorPpm = 300.0;
+        d.emitterCoupling = 0.009;
+        out.push_back(d);
+    }
+    {
+        // Lenovo Thinkpad / Ubuntu / Skylake.
+        DeviceProfile d = baseUnixDevice();
+        d.name = "Lenovo Thinkpad";
+        d.osName = "Linux (Ubuntu)";
+        d.archName = "SkyLake";
+        d.os.overshootCoreSigma = 7 * kMicrosecond;
+        d.os.overshootTailMean = 9 * kMicrosecond;
+        d.buck.switchFrequency = 750e3;
+        d.buck.frequencyErrorPpm = -400.0;
+        d.emitterCoupling = 0.0075;
+        out.push_back(d);
+    }
+    {
+        // Sony Ultrabook / Windows 8 / Ivy Bridge.
+        DeviceProfile d = baseWindowsDevice();
+        d.name = "Sony Ultrabook";
+        d.osName = "Windows 8";
+        d.archName = "Ivy Bridge";
+        d.os.overshootCoreSigma = 50 * kMicrosecond;
+        d.os.overshootTailMean = 70 * kMicrosecond;
+        d.buck.switchFrequency = 430e3;
+        d.buck.frequencyErrorPpm = 2100.0;
+        d.emitterCoupling = 0.095;
+        out.push_back(d);
+    }
+    return out;
+}
+
+const DeviceProfile &
+findDevice(const std::string &name)
+{
+    static const std::vector<DeviceProfile> devices = table1Devices();
+    for (const DeviceProfile &d : devices)
+        if (d.name.find(name) != std::string::npos)
+            return d;
+    fatal("unknown device '%s'", name.c_str());
+}
+
+DeviceProfile
+referenceDevice()
+{
+    return findDevice("DELL Inspiron");
+}
+
+} // namespace emsc::core

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Target-device profiles (Table I).
+ *
+ * The paper evaluates six laptops from five vendors spanning Ivy
+ * Bridge to Coffee Lake and three OS families. A DeviceProfile bundles
+ * everything the simulation needs to stand in for one machine: OS
+ * timing behaviour, CPU power/state tables, the VRM's switching
+ * parameters, and the EM coupling strength of its board layout.
+ * Values are calibrated so each simulated laptop reproduces its
+ * paper-reported behaviour (UNIX-class timer precision vs. Windows
+ * Sleep(), per-device SNR/jitter); the receiver never reads them.
+ */
+
+#ifndef EMSC_CORE_DEVICE_HPP
+#define EMSC_CORE_DEVICE_HPP
+
+#include <string>
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "cpu/os.hpp"
+#include "vrm/buck.hpp"
+
+namespace emsc::core {
+
+/** Everything that defines one target machine. */
+struct DeviceProfile
+{
+    std::string name;
+    std::string osName;
+    std::string archName;
+
+    cpu::OsConfig os;
+    cpu::CoreConfig core;
+    vrm::BuckConfig buck;
+
+    /** Board-layout EM coupling (antenna units per ampere at 10 cm). */
+    double emitterCoupling = 0.08;
+
+    /** SLEEP_PERIOD used for this device's Table II row (us). */
+    double defaultSleepUs = 100.0;
+};
+
+/** The six Table I laptops. */
+std::vector<DeviceProfile> table1Devices();
+
+/** Look up a Table I device by (partial) name. */
+const DeviceProfile &findDevice(const std::string &name);
+
+/** The distance/NLoS reference machine (DELL Inspiron, Table III). */
+DeviceProfile referenceDevice();
+
+} // namespace emsc::core
+
+#endif // EMSC_CORE_DEVICE_HPP

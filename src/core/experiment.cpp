@@ -1,0 +1,293 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/metrics.hpp"
+#include "cpu/apps.hpp"
+#include "support/logging.hpp"
+#include "support/stats.hpp"
+#include "support/units.hpp"
+#include "vrm/pmu.hpp"
+
+namespace emsc::core {
+
+namespace {
+
+/** Lead-in of system idle time before the transmitter starts. */
+constexpr TimeNs kLeadIn = 5 * kMillisecond;
+
+channel::Bits
+randomPayload(std::size_t nbits, Rng &rng)
+{
+    channel::Bits bits(nbits);
+    for (auto &b : bits)
+        b = rng.chance(0.5) ? 1 : 0;
+    return bits;
+}
+
+/** Tune the SDR so the fundamental and first harmonic fall in band. */
+void
+autoTuneSdr(sdr::SdrConfig &cfg, double vrm_freq)
+{
+    // Center between f and 2f: both sit at +-f/2 offsets, inside the
+    // +-fs/2 = +-1.2 MHz baseband for every plausible VRM frequency.
+    cfg.centerFrequency = 1.5 * vrm_freq;
+}
+
+} // namespace
+
+CovertChannelResult
+runCovertChannel(const DeviceProfile &device, const MeasurementSetup &setup,
+                 const CovertChannelOptions &options)
+{
+    Rng master(options.seed);
+    Rng rng_payload = master.fork();
+    Rng rng_os = master.fork();
+    Rng rng_vrm = master.fork();
+    Rng rng_em = master.fork();
+    Rng rng_sdr = master.fork();
+
+    CovertChannelResult result;
+
+    channel::Bits payload =
+        options.payload.empty()
+            ? randomPayload(options.payloadBits, rng_payload)
+            : options.payload;
+    result.payloadBits = payload.size();
+
+    channel::Bits frame_bits =
+        channel::buildFrame(payload, options.receiver.frame);
+    result.channelBits = frame_bits.size();
+
+    // --- Transmitter side: discrete-event CPU/OS simulation. -------
+    sim::EventKernel kernel;
+    cpu::CpuCore core(kernel, device.core);
+    cpu::OsModel os(kernel, core, device.os, rng_os);
+
+    channel::TxParams tx_params;
+    tx_params.sleepPeriodUs = options.sleepPeriodUs > 0.0
+                                  ? options.sleepPeriodUs
+                                  : device.defaultSleepUs;
+    channel::CovertTransmitter tx(os, frame_bits, tx_params);
+
+    double est_bit =
+        channel::CovertTransmitter::estimatedBitPeriod(os, tx_params);
+    TimeNs horizon =
+        kLeadIn +
+        fromSeconds(est_bit * static_cast<double>(frame_bits.size()) * 3.0) +
+        kSecond;
+
+    if (options.backgroundActivity) {
+        os.setBackgroundIntensity(options.backgroundIntensity);
+        os.startBackgroundActivity(horizon);
+    }
+
+    bool done = false;
+    TimeNs tx_end = 0;
+    kernel.scheduleAt(kLeadIn, [&] {
+        tx.start([&] {
+            done = true;
+            tx_end = kernel.now();
+        });
+    });
+
+    while (!done && kernel.now() < horizon)
+        kernel.runUntil(kernel.now() + 10 * kMillisecond);
+    if (!done) {
+        warn("transmission did not finish within the horizon");
+        tx_end = kernel.now();
+    }
+
+    TimeNs tx_start = tx.sentBits().empty() ? kLeadIn
+                                            : tx.sentBits().front().start;
+    result.elapsedS = toSeconds(tx_end - tx_start);
+    if (result.elapsedS > 0.0) {
+        result.trBps =
+            static_cast<double>(frame_bits.size()) / result.elapsedS;
+        result.trPayloadBps =
+            static_cast<double>(payload.size()) / result.elapsedS;
+    }
+
+    // --- Emission, propagation, capture. ----------------------------
+    TimeNs margin = fromSeconds(options.captureMarginS);
+    TimeNs t0 = std::max<TimeNs>(0, tx_start - margin);
+    TimeNs t1 = tx_end + margin;
+
+    vrm::Pmu pmu(core, device.buck, rng_vrm);
+    std::vector<vrm::SwitchEvent> events = pmu.switchingEvents(t0, t1);
+
+    em::SceneConfig scene = makeScene(device.emitterCoupling, setup);
+    em::ReceptionPlan plan =
+        em::buildReceptionPlan(scene, events, t0, t1, rng_em);
+
+    sdr::SdrConfig sdr_cfg = options.sdr;
+    if (options.autoTune)
+        autoTuneSdr(sdr_cfg, device.buck.switchFrequency);
+    sdr::RtlSdr radio(sdr_cfg, rng_sdr);
+    sdr::IqCapture capture = radio.capture(plan, t0, t1);
+
+    // --- Receiver pipeline. ------------------------------------------
+    channel::ReceiverResult rx = channel::receive(capture,
+                                                  options.receiver);
+    result.carrierHz = rx.carrierHz;
+    result.frameFound = rx.frame.found;
+    result.corrected = rx.frame.corrected;
+    result.decodedPayload = rx.frame.payload;
+
+    if (!rx.frame.found)
+        return result;
+
+    // Channel-level metrics: align the transmitted coded body against
+    // the received bits from the locked frame position onward,
+    // ignoring trailing noise bits (semi-global alignment).
+    const channel::FrameConfig &fc = options.receiver.frame;
+    std::size_t prefix =
+        fc.syncBits + fc.zeroBits + fc.preamble.size();
+    channel::Bits tx_body(frame_bits.begin() +
+                              static_cast<std::ptrdiff_t>(prefix),
+                          frame_bits.end());
+    channel::Bits rx_tail(
+        rx.labeled.bits.begin() +
+            static_cast<std::ptrdiff_t>(std::min(
+                rx.frame.payloadStart, rx.labeled.bits.size())),
+        rx.labeled.bits.end());
+
+    channel::AlignmentCounts counts =
+        channel::alignBitsSemiGlobal(tx_body, rx_tail);
+    result.ber = counts.errorRate();
+    result.insertionProb = counts.insertionRate();
+    result.deletionProb = counts.deletionRate();
+
+    channel::AlignmentCounts pcounts =
+        channel::alignBits(payload, rx.frame.payload);
+    result.berPayload =
+        (static_cast<double>(pcounts.substitutions) +
+         static_cast<double>(pcounts.insertions) +
+         static_cast<double>(pcounts.deletions)) /
+        static_cast<double>(payload.size());
+
+    return result;
+}
+
+CovertChannelResult
+averageCovertChannel(const DeviceProfile &device,
+                     const MeasurementSetup &setup,
+                     CovertChannelOptions options, std::size_t runs)
+{
+    if (runs == 0)
+        fatal("averageCovertChannel needs at least one run");
+
+    CovertChannelResult avg;
+    std::size_t found = 0;
+    for (std::size_t r = 0; r < runs; ++r) {
+        options.seed = options.seed * 6364136223846793005ull + 1442695040888963407ull;
+        CovertChannelResult one =
+            runCovertChannel(device, setup, options);
+        avg.payloadBits = one.payloadBits;
+        avg.channelBits = one.channelBits;
+        avg.carrierHz = one.carrierHz;
+        if (!one.frameFound)
+            continue;
+        ++found;
+        avg.ber += one.ber;
+        avg.berPayload += one.berPayload;
+        avg.trBps += one.trBps;
+        avg.trPayloadBps += one.trPayloadBps;
+        avg.insertionProb += one.insertionProb;
+        avg.deletionProb += one.deletionProb;
+        avg.elapsedS += one.elapsedS;
+        avg.corrected += one.corrected;
+    }
+    if (found) {
+        auto f = static_cast<double>(found);
+        avg.frameFound = true;
+        avg.ber /= f;
+        avg.berPayload /= f;
+        avg.trBps /= f;
+        avg.trPayloadBps /= f;
+        avg.insertionProb /= f;
+        avg.deletionProb /= f;
+        avg.elapsedS /= f;
+    }
+    return avg;
+}
+
+StateProbeResult
+runStateProbe(const DeviceProfile &device, const MeasurementSetup &setup,
+              const StateProbeOptions &options)
+{
+    Rng master(options.seed);
+    Rng rng_os = master.fork();
+    Rng rng_vrm = master.fork();
+    Rng rng_em = master.fork();
+    Rng rng_sdr = master.fork();
+
+    DeviceProfile dev = device;
+    dev.core.pgov.enabled = options.pstatesEnabled;
+    dev.core.cgov.enabled = options.cstatesEnabled;
+
+    sim::EventKernel kernel;
+    cpu::CpuCore core(kernel, dev.core);
+    cpu::OsModel os(kernel, core, dev.os, rng_os);
+
+    cpu::AlternatingLoadApp::Params app_params;
+    app_params.activeUs = options.activeUs;
+    app_params.idleUs = options.idleUs;
+    cpu::AlternatingLoadApp app(os, app_params);
+
+    kernel.scheduleAt(1 * kMillisecond, [&] { app.start(); });
+    TimeNs t1 = fromSeconds(options.durationS);
+    kernel.runUntil(t1);
+
+    vrm::Pmu pmu(core, dev.buck, rng_vrm);
+    std::vector<vrm::SwitchEvent> events = pmu.switchingEvents(0, t1);
+
+    em::SceneConfig scene = makeScene(dev.emitterCoupling, setup);
+    em::ReceptionPlan plan =
+        em::buildReceptionPlan(scene, events, 0, t1, rng_em);
+
+    sdr::SdrConfig sdr_cfg;
+    autoTuneSdr(sdr_cfg, dev.buck.switchFrequency);
+    sdr::RtlSdr radio(sdr_cfg, rng_sdr);
+    sdr::IqCapture capture = radio.capture(plan, 0, t1);
+
+    // A shorter analysis window keeps the envelope's edge ramps well
+    // inside each active/idle phase so the guard band below does not
+    // swallow whole phases.
+    channel::AcquisitionConfig acq;
+    acq.window = 256;
+    channel::AcquiredSignal sig =
+        channel::acquire(capture, acq, pmu.switchingFrequency());
+
+    // Classify envelope samples by ground-truth busy state, skipping a
+    // guard of one DFT window around each transition (smearing).
+    const auto &busy = core.busyTrace();
+    double guard_s = static_cast<double>(acq.window) / capture.sampleRate;
+    TimeNs guard = fromSeconds(guard_s);
+
+    RunningStats active_stats, idle_stats;
+    double dec_rate = sig.sampleRate;
+    for (std::size_t i = 0; i < sig.y.size(); ++i) {
+        TimeNs t = static_cast<TimeNs>(
+            static_cast<double>(i) / dec_rate * 1e9);
+        int now_busy = busy.at(t);
+        if (busy.at(std::max<TimeNs>(0, t - guard)) != now_busy ||
+            busy.at(t + guard) != now_busy)
+            continue; // transition region
+        if (now_busy)
+            active_stats.add(sig.y[i]);
+        else
+            idle_stats.add(sig.y[i]);
+    }
+
+    StateProbeResult res;
+    res.activeLevel = active_stats.mean();
+    res.idleLevel = idle_stats.mean();
+    if (res.idleLevel > 0.0)
+        res.contrastDb = amplitudeToDb(res.activeLevel / res.idleLevel);
+    res.alwaysStrong = res.idleLevel > 0.5 * res.activeLevel;
+    return res;
+}
+
+} // namespace emsc::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * End-to-end experiment drivers: the public API most users want.
+ *
+ * A covert-channel experiment wires the whole chain together —
+ * transmitter app on the simulated laptop, VRM emission, propagation,
+ * SDR capture, receiver pipeline — and reports the metrics the paper's
+ * tables use (BER, TR, IP, DP). A power-state probe reproduces the
+ * §III BIOS study. Everything is driven by one seed and fully
+ * reproducible.
+ */
+
+#ifndef EMSC_CORE_EXPERIMENT_HPP
+#define EMSC_CORE_EXPERIMENT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "channel/receiver.hpp"
+#include "channel/transmitter.hpp"
+#include "core/device.hpp"
+#include "core/setup.hpp"
+#include "sdr/rtlsdr.hpp"
+
+namespace emsc::core {
+
+/** Covert-channel run options. */
+struct CovertChannelOptions
+{
+    /** Number of payload (pre-coding) bits to exfiltrate. */
+    std::size_t payloadBits = 2048;
+    /** Explicit payload; overrides payloadBits when non-empty. */
+    channel::Bits payload;
+    /** Master seed for the whole run. */
+    std::uint64_t seed = 1;
+    /** SLEEP_PERIOD in us (0 = the device's default). */
+    double sleepPeriodUs = 0.0;
+    /** Include normal OS background activity (§IV-C1). */
+    bool backgroundActivity = true;
+    /** Scale of background activity (1 = normal, ~8 = resource heavy). */
+    double backgroundIntensity = 1.0;
+    /** Capture margin before/after the transmission (seconds). */
+    double captureMarginS = 0.02;
+    /** Receiver configuration. */
+    channel::ReceiverConfig receiver;
+    /** SDR configuration (center frequency auto-set near the VRM). */
+    sdr::SdrConfig sdr;
+    /** Auto-tune the SDR so the fundamental + harmonic are in band. */
+    bool autoTune = true;
+};
+
+/** Covert-channel run outcome. */
+struct CovertChannelResult
+{
+    /** Whether the receiver located the frame at all. */
+    bool frameFound = false;
+    /** Channel-level bit error rate (substitutions, post-alignment). */
+    double ber = 0.0;
+    /** Payload BER after Hamming correction (post-alignment). */
+    double berPayload = 0.0;
+    /**
+     * Transmission rate in channel bits/second (the paper's TR: raw
+     * bits on the air, before coding overhead is removed).
+     */
+    double trBps = 0.0;
+    /** Net payload throughput after coding overhead (bits/second). */
+    double trPayloadBps = 0.0;
+    /** Insertion probability per transmitted channel bit. */
+    double insertionProb = 0.0;
+    /** Deletion probability per transmitted channel bit. */
+    double deletionProb = 0.0;
+    /** Payload bits transmitted. */
+    std::size_t payloadBits = 0;
+    /** Channel bits on the air. */
+    std::size_t channelBits = 0;
+    /** Wall-clock of the transmission inside the simulation (s). */
+    double elapsedS = 0.0;
+    /** Receiver's carrier estimate (Hz). */
+    double carrierHz = 0.0;
+    /** Hamming corrections applied. */
+    std::size_t corrected = 0;
+    /** Decoded payload bits. */
+    channel::Bits decodedPayload;
+};
+
+/** Run one covert-channel transmission end to end. */
+CovertChannelResult runCovertChannel(const DeviceProfile &device,
+                                     const MeasurementSetup &setup,
+                                     const CovertChannelOptions &options);
+
+/**
+ * Average `runs` covert-channel runs with derived seeds (the paper
+ * averages 5 runs per Table II cell).
+ */
+CovertChannelResult averageCovertChannel(const DeviceProfile &device,
+                                         const MeasurementSetup &setup,
+                                         CovertChannelOptions options,
+                                         std::size_t runs);
+
+/** §III BIOS-toggle probe options. */
+struct StateProbeOptions
+{
+    bool pstatesEnabled = true;
+    bool cstatesEnabled = true;
+    /** Fig. 1 micro-benchmark period halves (us). */
+    double activeUs = 400.0;
+    double idleUs = 400.0;
+    double durationS = 0.25;
+    std::uint64_t seed = 7;
+};
+
+/** §III probe outcome. */
+struct StateProbeResult
+{
+    /** Mean Eq. (1) envelope while the benchmark is busy. */
+    double activeLevel = 0.0;
+    /** Mean envelope while it sleeps. */
+    double idleLevel = 0.0;
+    /** Active/idle contrast in dB. */
+    double contrastDb = 0.0;
+    /**
+     * True when the spectral spikes are continuously present (both
+     * state families disabled -> no modulation to exploit).
+     */
+    bool alwaysStrong = false;
+};
+
+/** Run the §III power-state experiment under one BIOS configuration. */
+StateProbeResult runStateProbe(const DeviceProfile &device,
+                               const MeasurementSetup &setup,
+                               const StateProbeOptions &options);
+
+} // namespace emsc::core
+
+#endif // EMSC_CORE_EXPERIMENT_HPP

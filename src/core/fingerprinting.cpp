@@ -1,0 +1,122 @@
+#include "core/fingerprinting.hpp"
+
+#include <algorithm>
+
+#include "channel/acquisition.hpp"
+#include "cpu/core.hpp"
+#include "cpu/os.hpp"
+#include "sdr/rtlsdr.hpp"
+#include "support/logging.hpp"
+#include "vrm/pmu.hpp"
+
+namespace emsc::core {
+
+namespace {
+
+/** Idle lead-in before the navigation starts. */
+constexpr TimeNs kLeadIn = 200 * kMillisecond;
+
+/**
+ * Schedule the CPU work of one realised load phase: duty-cycled work
+ * slices, as a browser's renderer and script threads produce.
+ */
+void
+schedulePhase(sim::EventKernel &kernel, cpu::OsModel &os,
+              const fingerprint::RealizedPhase &phase)
+{
+    if (phase.duty <= 0.01)
+        return;
+    double freq = os.cpu().config().pstates.fastest().frequency;
+    constexpr TimeNs kSlice = 4 * kMillisecond;
+    for (TimeNs t = phase.start; t < phase.start + phase.duration;
+         t += kSlice) {
+        auto busy = static_cast<std::uint64_t>(
+            phase.duty * toSeconds(kSlice) * freq);
+        if (busy == 0)
+            continue;
+        kernel.scheduleAt(t, [&os, busy] { os.injectBurst(busy); });
+    }
+}
+
+} // namespace
+
+fingerprint::Features
+captureLoadFeatures(const DeviceProfile &device,
+                    const MeasurementSetup &setup,
+                    const fingerprint::WebsiteProfile &site,
+                    std::uint64_t seed)
+{
+    Rng master(seed);
+    Rng rng_load = master.fork();
+    Rng rng_os = master.fork();
+    Rng rng_vrm = master.fork();
+    Rng rng_em = master.fork();
+    Rng rng_sdr = master.fork();
+
+    sim::EventKernel kernel;
+    cpu::CpuCore core(kernel, device.core);
+    cpu::OsModel os(kernel, core, device.os, rng_os);
+
+    auto phases = fingerprint::realizeLoad(site, kLeadIn, rng_load);
+    TimeNs end = phases.back().start + phases.back().duration +
+                 300 * kMillisecond;
+    for (const auto &phase : phases)
+        schedulePhase(kernel, os, phase);
+    os.startBackgroundActivity(end);
+    kernel.runUntil(end);
+
+    vrm::Pmu pmu(core, device.buck, rng_vrm);
+    auto events = pmu.switchingEvents(0, end);
+    em::SceneConfig scene = makeScene(device.emitterCoupling, setup);
+    em::ReceptionPlan plan =
+        em::buildReceptionPlan(scene, events, 0, end, rng_em);
+
+    sdr::SdrConfig sc;
+    sc.centerFrequency = 1.5 * device.buck.switchFrequency;
+    sdr::RtlSdr radio(sc, rng_sdr);
+    sdr::IqCapture cap = radio.capture(plan, 0, end);
+
+    // The attacker knows the device class's VRM band (§V-C).
+    channel::AcquisitionConfig acq;
+    channel::AcquiredSignal sig =
+        channel::acquire(cap, acq, device.buck.switchFrequency);
+    return fingerprint::extractFeatures(sig);
+}
+
+FingerprintingResult
+runWebsiteFingerprinting(const DeviceProfile &device,
+                         const MeasurementSetup &setup,
+                         const FingerprintingOptions &options)
+{
+    std::vector<fingerprint::WebsiteProfile> sites =
+        options.sites.empty() ? fingerprint::builtinWebsites()
+                              : options.sites;
+    if (sites.empty())
+        fatal("website fingerprinting needs at least one site profile");
+
+    fingerprint::WebsiteClassifier classifier;
+    std::uint64_t seq = options.seed * 1000003ull;
+
+    for (const auto &site : sites)
+        for (std::size_t k = 0; k < options.trainPerSite; ++k)
+            classifier.addExample(
+                site.name,
+                captureLoadFeatures(device, setup, site, seq++));
+    classifier.finalize();
+
+    FingerprintingResult result;
+    for (const auto &site : sites) {
+        for (std::size_t k = 0; k < options.testPerSite; ++k) {
+            fingerprint::Features f =
+                captureLoadFeatures(device, setup, site, seq++);
+            FingerprintTrial trial;
+            trial.truth = site.name;
+            trial.predicted = classifier.classify(f);
+            result.correct += trial.predicted == trial.truth;
+            result.trials.push_back(trial);
+        }
+    }
+    return result;
+}
+
+} // namespace emsc::core

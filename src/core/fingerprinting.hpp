@@ -1,0 +1,78 @@
+/**
+ * @file
+ * End-to-end website-fingerprinting experiment (§III attack (ii)(b)).
+ *
+ * The attacker first profiles known sites on a reference machine of
+ * the same model (training), then watches the victim's EM envelope and
+ * classifies each observed page load. Everything runs through the same
+ * CPU/VRM/EM/SDR chain as the covert channel.
+ */
+
+#ifndef EMSC_CORE_FINGERPRINTING_HPP
+#define EMSC_CORE_FINGERPRINTING_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/setup.hpp"
+#include "fingerprint/classifier.hpp"
+#include "fingerprint/profile.hpp"
+
+namespace emsc::core {
+
+/** Fingerprinting run options. */
+struct FingerprintingOptions
+{
+    /** Training loads per site (attacker's reference machine). */
+    std::size_t trainPerSite = 4;
+    /** Test loads per site (observations of the victim). */
+    std::size_t testPerSite = 3;
+    std::uint64_t seed = 5;
+    /** Site catalogue; empty = builtinWebsites(). */
+    std::vector<fingerprint::WebsiteProfile> sites;
+};
+
+/** One classified observation. */
+struct FingerprintTrial
+{
+    std::string truth;
+    std::string predicted;
+};
+
+/** Fingerprinting outcome. */
+struct FingerprintingResult
+{
+    std::vector<FingerprintTrial> trials;
+    std::size_t correct = 0;
+
+    double
+    accuracy() const
+    {
+        return trials.empty()
+                   ? 0.0
+                   : static_cast<double>(correct) /
+                         static_cast<double>(trials.size());
+    }
+};
+
+/**
+ * Capture one page load of `site` on the device/setup and return its
+ * feature vector (exposed for tests and examples).
+ */
+fingerprint::Features
+captureLoadFeatures(const DeviceProfile &device,
+                    const MeasurementSetup &setup,
+                    const fingerprint::WebsiteProfile &site,
+                    std::uint64_t seed);
+
+/** Run the full train/test experiment. */
+FingerprintingResult
+runWebsiteFingerprinting(const DeviceProfile &device,
+                         const MeasurementSetup &setup,
+                         const FingerprintingOptions &options);
+
+} // namespace emsc::core
+
+#endif // EMSC_CORE_FINGERPRINTING_HPP

@@ -1,0 +1,204 @@
+#include "core/keylogging.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/acquisition.hpp"
+#include "keylog/textgen.hpp"
+#include "sdr/rtlsdr.hpp"
+#include "support/logging.hpp"
+#include "vrm/pmu.hpp"
+
+namespace emsc::core {
+
+namespace {
+
+/** Idle lead-in before the first keystroke. */
+constexpr TimeNs kLeadIn = 500 * kMillisecond;
+
+/**
+ * Schedule the processor-side effects of one keystroke: the interrupt
+ * handler fires immediately, followed by the application/browser
+ * processing burst (echoing the character, re-rendering), and a small
+ * burst on key release. This is the "burst of activity" of §V-B.
+ */
+void
+scheduleKeystrokeWork(sim::EventKernel &kernel, cpu::OsModel &os,
+                      const keylog::Keystroke &k, Rng &rng)
+{
+    double freq = os.cpu().config().pstates.fastest().frequency;
+    auto cycles_for_ms = [&](double ms) {
+        return static_cast<std::uint64_t>(ms * 1e-3 * freq);
+    };
+
+    double ui_ms = rng.uniform(24.0, 55.0);
+    kernel.scheduleAt(k.press, [&os, &kernel, ui_ms, cycles_for_ms] {
+        // Interrupt + input-stack handling, then UI processing.
+        os.injectBurst(cycles_for_ms(1.2));
+        kernel.scheduleAfter(fromMilliseconds(1.5),
+                             [&os, ui_ms, cycles_for_ms] {
+                                 os.injectBurst(cycles_for_ms(ui_ms));
+                             });
+    });
+    kernel.scheduleAt(k.release, [&os, cycles_for_ms] {
+        os.injectBurst(cycles_for_ms(2.0));
+    });
+}
+
+/**
+ * Browser housekeeping bursts: duty-cycled (I/O-bound) activity whose
+ * average EM level sits below a solid keystroke burst — near the
+ * receiver they occasionally cross the detection threshold (the false
+ * positives of Table IV), at distance they sink into the noise.
+ */
+void
+scheduleBrowserActivity(sim::EventKernel &kernel, cpu::OsModel &os,
+                        double rate, TimeNs until, Rng &rng)
+{
+    if (rate <= 0.0)
+        return;
+    double freq = os.cpu().config().pstates.fastest().frequency;
+    auto gap = fromSeconds(rng.exponential(1.0 / rate));
+    TimeNs when = kernel.now() + std::max<TimeNs>(gap, 1);
+    if (when > until)
+        return;
+    kernel.scheduleAt(when, [&kernel, &os, rate, until, &rng, freq] {
+        // 8-20 sub-bursts of ~0.5 ms separated by ~0.7 ms idle.
+        auto subs = static_cast<int>(rng.uniformInt(8, 20));
+        TimeNs t = kernel.now();
+        for (int i = 0; i < subs; ++i) {
+            kernel.scheduleAt(t, [&os, freq] {
+                os.injectBurst(
+                    static_cast<std::uint64_t>(0.5e-3 * freq));
+            });
+            t += fromMicroseconds(1200);
+        }
+        scheduleBrowserActivity(kernel, os, rate, until, rng);
+    });
+}
+
+} // namespace
+
+KeyloggingResult
+runKeylogging(const DeviceProfile &device, const MeasurementSetup &setup,
+              const KeyloggingOptions &options)
+{
+    Rng master(options.seed);
+    Rng rng_text = master.fork();
+    Rng rng_typist = master.fork();
+    Rng rng_os = master.fork();
+    Rng rng_vrm = master.fork();
+    Rng rng_em = master.fork();
+    Rng rng_sdr = master.fork();
+    Rng rng_bursts = master.fork();
+
+    KeyloggingResult result;
+
+    // --- Ground truth: what the user types and when. ---------------
+    result.text = options.text;
+    std::vector<std::string> words;
+    if (result.text.empty()) {
+        words = keylog::randomWords(options.words, rng_text);
+        result.text = keylog::joinWords(words);
+    } else {
+        std::string cur;
+        for (char c : result.text) {
+            if (c == ' ') {
+                if (!cur.empty())
+                    words.push_back(cur);
+                cur.clear();
+            } else {
+                cur.push_back(c);
+            }
+        }
+        if (!cur.empty())
+            words.push_back(cur);
+    }
+
+    keylog::Typist typist(options.typist, rng_typist);
+    result.truth = typist.type(result.text, kLeadIn);
+    result.keystrokes = result.truth.size();
+
+    // --- Transmitter side: the victim machine. ---------------------
+    sim::EventKernel kernel;
+    cpu::CpuCore core(kernel, device.core);
+    cpu::OsModel os(kernel, core, device.os, rng_os);
+
+    TimeNs session_end =
+        result.truth.back().release + 300 * kMillisecond;
+    result.sessionSeconds = toSeconds(session_end);
+
+    for (const keylog::Keystroke &k : result.truth)
+        scheduleKeystrokeWork(kernel, os, k, rng_bursts);
+    scheduleBrowserActivity(kernel, os, options.browserBurstRate,
+                            session_end, rng_bursts);
+    os.startBackgroundActivity(session_end);
+    kernel.runUntil(session_end);
+
+    // --- Chunked capture + streaming acquisition. ------------------
+    vrm::Pmu pmu(core, device.buck, rng_vrm);
+    em::SceneConfig scene = makeScene(device.emitterCoupling, setup);
+
+    sdr::SdrConfig sdr_cfg;
+    sdr_cfg.centerFrequency = 1.5 * device.buck.switchFrequency;
+    sdr::RtlSdr radio(sdr_cfg, rng_sdr);
+
+    TimeNs chunk = fromSeconds(options.chunkSeconds);
+    TimeNs t0 = 0;
+
+    // Freeze the gain on the first chunk so chunk boundaries are
+    // seamless, and estimate the carrier from a chunk of actual typing.
+    {
+        auto events = pmu.switchingEvents(t0, t0 + chunk);
+        em::ReceptionPlan plan =
+            em::buildReceptionPlan(scene, events, t0, t0 + chunk, rng_em);
+        sdr_cfg.fixedGain = radio.measureAgcGain(plan, t0, t0 + chunk);
+    }
+    sdr::RtlSdr fixed_radio(sdr_cfg, rng_sdr);
+
+    channel::AcquisitionConfig acq_cfg;
+    result.carrierHz = options.carrierHintHz;
+    if (result.carrierHz <= 0.0) {
+        TimeNs probe0 = kLeadIn;
+        TimeNs probe1 = std::min<TimeNs>(session_end, probe0 + chunk);
+        auto events = pmu.switchingEvents(probe0, probe1);
+        em::ReceptionPlan plan =
+            em::buildReceptionPlan(scene, events, probe0, probe1, rng_em);
+        sdr::IqCapture probe = fixed_radio.capture(plan, probe0, probe1);
+        result.carrierHz = channel::estimateCarrier(probe, acq_cfg);
+        if (result.carrierHz <= 0.0) {
+            warn("keylogging: no carrier found; falling back to the "
+                 "device band");
+            result.carrierHz = device.buck.switchFrequency;
+        }
+    }
+
+    channel::StreamingAcquirer acquirer(result.carrierHz,
+                                        sdr_cfg.centerFrequency,
+                                        sdr_cfg.sampleRate, acq_cfg);
+    for (TimeNs c0 = t0; c0 < session_end; c0 += chunk) {
+        TimeNs c1 = std::min(session_end, c0 + chunk);
+        auto events = pmu.switchingEvents(c0, c1);
+        em::ReceptionPlan plan =
+            em::buildReceptionPlan(scene, events, c0, c1, rng_em);
+        sdr::IqCapture cap = fixed_radio.capture(plan, c0, c1);
+        acquirer.feed(cap.samples);
+    }
+
+    channel::AcquiredSignal signal = acquirer.take();
+
+    // --- Detection and scoring. -------------------------------------
+    keylog::DetectionResult det =
+        keylog::detectKeystrokes(signal, t0, options.detector);
+    result.detections = det.keystrokes;
+    result.windowEnergy = std::move(det.windowEnergy);
+    result.windowSeconds = toSeconds(det.windowNs);
+
+    result.chars = keylog::scoreCharacters(result.truth, result.detections);
+    std::vector<keylog::DetectedWord> groups =
+        keylog::groupWords(result.detections, options.grouping);
+    result.words = keylog::scoreWords(words, groups);
+    return result;
+}
+
+} // namespace emsc::core

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * End-to-end keylogging experiment (§V, Table IV, Fig. 11).
+ *
+ * A simulated user types random words in a browser on the target
+ * laptop; each keystroke briefly wakes the otherwise idle processor,
+ * so the PMU's EM emanation carries a burst the receiver can detect.
+ * The capture is processed in chunks (a typing session lasts tens of
+ * simulated seconds, far too long to materialise at 2.4 Msps), with
+ * the sliding-DFT acquisition state carried across chunk boundaries
+ * and the SDR gain frozen after an initial AGC measurement.
+ */
+
+#ifndef EMSC_CORE_KEYLOGGING_HPP
+#define EMSC_CORE_KEYLOGGING_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/setup.hpp"
+#include "keylog/detector.hpp"
+#include "keylog/typist.hpp"
+#include "keylog/words.hpp"
+
+namespace emsc::core {
+
+/** Keylogging run options. */
+struct KeyloggingOptions
+{
+    /** Number of random words to type (the paper types 1000; the
+     *  default keeps bench runtimes sensible — see DESIGN.md). */
+    std::size_t words = 60;
+    /** Explicit text; overrides `words` when non-empty. */
+    std::string text;
+    /** Master seed. */
+    std::uint64_t seed = 3;
+    /** Typist behaviour. */
+    keylog::TypistParams typist;
+    /** Detector configuration. */
+    keylog::DetectorConfig detector;
+    /** Word grouping configuration. */
+    keylog::WordGroupingConfig grouping;
+    /** Mean rate of browser housekeeping bursts (false-positive source). */
+    double browserBurstRate = 1.2;
+    /** Capture chunk length (seconds). */
+    double chunkSeconds = 2.0;
+    /**
+     * Carrier handling: 0 = estimate from the first chunk's spectrum;
+     * otherwise the known band for the device (§V-C: "the band is
+     * typically known for each device").
+     */
+    double carrierHintHz = 0.0;
+};
+
+/** Keylogging run outcome (Table IV row). */
+struct KeyloggingResult
+{
+    keylog::CharAccuracy chars;
+    keylog::WordAccuracy words;
+    /** Carrier used by the detector. */
+    double carrierHz = 0.0;
+    /** Ground truth keystroke count. */
+    std::size_t keystrokes = 0;
+    /** Typing session length (seconds). */
+    double sessionSeconds = 0.0;
+    /** Detected keystrokes (for inspection / Fig. 11-style output). */
+    std::vector<keylog::DetectedKeystroke> detections;
+    /** Ground-truth keystrokes. */
+    std::vector<keylog::Keystroke> truth;
+    /** The typed text. */
+    std::string text;
+    /** Detector window energies (a coarse Fig. 11 time series). */
+    std::vector<double> windowEnergy;
+    double windowSeconds = 0.0;
+};
+
+/** Run one keylogging session end to end. */
+KeyloggingResult runKeylogging(const DeviceProfile &device,
+                               const MeasurementSetup &setup,
+                               const KeyloggingOptions &options);
+
+} // namespace emsc::core
+
+#endif // EMSC_CORE_KEYLOGGING_HPP

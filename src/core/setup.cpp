@@ -1,0 +1,54 @@
+#include "core/setup.hpp"
+
+#include "support/logging.hpp"
+
+namespace emsc::core {
+
+MeasurementSetup
+nearFieldSetup()
+{
+    MeasurementSetup s;
+    s.name = "near-field (coil probe, 10 cm)";
+    s.path.distanceMeters = 0.1;
+    s.path.referenceMeters = 0.1;
+    s.antenna = em::makeCoilProbe();
+    s.environment = em::officeEnvironment();
+    return s;
+}
+
+MeasurementSetup
+distanceSetup(double meters)
+{
+    if (meters <= 0.0)
+        fatal("distance must be positive, got %g m", meters);
+    MeasurementSetup s;
+    s.name = "LoS " + std::to_string(meters) + " m (loop antenna)";
+    s.path.distanceMeters = meters;
+    s.path.referenceMeters = 0.1;
+    s.antenna = em::makeLoopAntenna();
+    s.environment = em::officeEnvironment();
+    return s;
+}
+
+MeasurementSetup
+throughWallSetup()
+{
+    MeasurementSetup s = distanceSetup(1.5);
+    s.name = "NLoS 1.5 m through 35 cm wall (loop antenna)";
+    s.path.wallAttenuationDb = 8.0;
+    s.environment = em::twoRoomEnvironment();
+    return s;
+}
+
+em::SceneConfig
+makeScene(double emitter_coupling, const MeasurementSetup &setup)
+{
+    em::SceneConfig scene;
+    scene.emitterCoupling = emitter_coupling;
+    scene.path = setup.path;
+    scene.antenna = setup.antenna;
+    scene.environment = setup.environment;
+    return scene;
+}
+
+} // namespace emsc::core

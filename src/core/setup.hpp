@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Measurement setups: where the receiver sits and what is in the way.
+ *
+ * The paper's three configurations (§IV-C): near field (coil probe at
+ * 10 cm on the keyboard deck), line-of-sight distance (loop antenna in
+ * a briefcase, 1-2.5 m), and non-line-of-sight (loop antenna behind a
+ * 35 cm structural wall, with a printer and a refrigerator adding
+ * interference, Fig. 10).
+ */
+
+#ifndef EMSC_CORE_SETUP_HPP
+#define EMSC_CORE_SETUP_HPP
+
+#include <string>
+
+#include "em/scene.hpp"
+
+namespace emsc::core {
+
+/** A named receiver placement. */
+struct MeasurementSetup
+{
+    std::string name;
+    em::PropagationPath path;
+    em::AntennaModel antenna;
+    em::InterferenceEnvironment environment;
+};
+
+/** Coil probe 10 cm above the keyboard (Table II). */
+MeasurementSetup nearFieldSetup();
+
+/** Loop antenna at the given line-of-sight distance (Table III). */
+MeasurementSetup distanceSetup(double meters);
+
+/**
+ * Loop antenna in the adjacent room: 1.5 m total with a 35 cm wall in
+ * the path, printer + refrigerator interference (Fig. 10).
+ */
+MeasurementSetup throughWallSetup();
+
+/** Fold a device's coupling and a setup into an EM scene. */
+em::SceneConfig makeScene(double emitter_coupling,
+                          const MeasurementSetup &setup);
+
+} // namespace emsc::core
+
+#endif // EMSC_CORE_SETUP_HPP

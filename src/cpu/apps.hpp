@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Canonical user-level workloads from the paper.
+ *
+ * AlternatingLoadApp is the Fig. 1 micro-benchmark: an infinite loop
+ * that performs processor-intensive activity for t1, then idles for
+ * t2. It is used in §III to demonstrate that power-state alternation
+ * produces the strong/weak EM spike pattern of Fig. 2.
+ */
+
+#ifndef EMSC_CPU_APPS_HPP
+#define EMSC_CPU_APPS_HPP
+
+#include <cstdint>
+
+#include "cpu/os.hpp"
+
+namespace emsc::cpu {
+
+/**
+ * Fig. 1: while (1) { busy for t1; usleep(t2); }.
+ */
+class AlternatingLoadApp
+{
+  public:
+    struct Params
+    {
+        /** Active-period length t1 (microseconds of busy work). */
+        double activeUs = 200.0;
+        /** Idle-period length t2 (microseconds of sleep). */
+        double idleUs = 200.0;
+    };
+
+    AlternatingLoadApp(OsModel &os, const Params &params)
+        : os(os), p(params)
+    {
+    }
+
+    /** Start looping; the app runs until the kernel stops executing. */
+    void
+    start()
+    {
+        runActivePhase();
+    }
+
+    /** Number of completed active/idle iterations. */
+    std::uint64_t iterations() const { return iters; }
+
+  private:
+    void
+    runActivePhase()
+    {
+        // Convert the requested busy time to cycles at the sustained
+        // clock, as a calibrated busy loop would.
+        double freq = os.cpu().config().pstates.fastest().frequency;
+        auto cycles =
+            static_cast<std::uint64_t>(p.activeUs * 1e-6 * freq);
+        os.runBusyCycles(std::max<std::uint64_t>(cycles, 1),
+                         [this] { runIdlePhase(); });
+    }
+
+    void
+    runIdlePhase()
+    {
+        os.sleepUs(p.idleUs, [this] {
+            ++iters;
+            runActivePhase();
+        });
+    }
+
+    OsModel &os;
+    Params p;
+    std::uint64_t iters = 0;
+};
+
+} // namespace emsc::cpu
+
+#endif // EMSC_CPU_APPS_HPP

@@ -1,0 +1,181 @@
+#include "cpu/core.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace emsc::cpu {
+
+CpuCore::CpuCore(sim::EventKernel &kernel, const CoreConfig &config)
+    : kernel(kernel),
+      cfg(config),
+      power(config.power),
+      pgovernor(cfg.pstates, config.pgov),
+      cgovernor(cfg.cstates, config.cgov)
+{
+    pstate = &pgovernor.idleLoopState();
+    // The core starts idle; record the initial condition at t = 0.
+    enterIdle();
+}
+
+void
+CpuCore::recordCurrent(Amps amps)
+{
+    current.set(kernel.now(), amps);
+}
+
+void
+CpuCore::applyPState(const PState &ps)
+{
+    pstate = &ps;
+    pstates.set(kernel.now(), ps.index);
+}
+
+void
+CpuCore::submit(std::uint64_t cycles, WorkDone done)
+{
+    if (cycles == 0)
+        fatal("CpuCore::submit of a zero-cycle work item");
+    queue.push_back(WorkItem{cycles, std::move(done)});
+    if (!running && !waking)
+        beginWake();
+}
+
+void
+CpuCore::beginWake()
+{
+    // Leaving a C-state costs its exit latency before execution
+    // resumes. The OS idle loop (C-states disabled) resumes instantly.
+    TimeNs latency = cstate ? cstate->exitLatency : 0;
+    waking = true;
+
+    // During the wake transition the power-delivery path is already
+    // being brought up; model the current as active from wake start.
+    bool sticky = kernel.now() - lastBusyEnd <= cfg.pstateStickyWindow;
+    const PState &start_ps =
+        sticky ? pgovernor.sustained() : pgovernor.initialOnWake();
+    applyPState(start_ps);
+    cstate = nullptr;
+    cstates.set(kernel.now(), 0);
+    recordCurrent(power.activeCurrent(*pstate, ActivityClass::Working));
+
+    if (!sticky && pgovernor.enabled() &&
+        pstate->index != pgovernor.sustained().index) {
+        rampPending = true;
+        rampEvent = kernel.scheduleAfter(pgovernor.rampLatency(),
+                                         [this] { onRampComplete(); });
+    }
+
+    kernel.scheduleAfter(latency, [this] {
+        waking = false;
+        startNext();
+    });
+}
+
+void
+CpuCore::onRampComplete()
+{
+    rampPending = false;
+    if (!running && !waking)
+        return;
+    // Recharge the remaining-cycle accounting at the old frequency,
+    // then continue at the sustained state.
+    if (running) {
+        double elapsed = toSeconds(kernel.now() - segmentStart);
+        auto burned = static_cast<std::uint64_t>(elapsed * pstate->frequency);
+        remainingCycles -= std::min(remainingCycles, burned);
+        segmentStart = kernel.now();
+    }
+    applyPState(pgovernor.sustained());
+    recordCurrent(power.activeCurrent(*pstate, ActivityClass::Working));
+    if (running)
+        rescheduleCompletion();
+}
+
+void
+CpuCore::rescheduleCompletion()
+{
+    if (completionEvent)
+        kernel.cancel(completionEvent);
+    double secs = static_cast<double>(remainingCycles) / pstate->frequency;
+    completionEvent =
+        kernel.scheduleAfter(std::max<TimeNs>(1, fromSeconds(secs)),
+                             [this] { finishCurrent(); });
+}
+
+void
+CpuCore::startNext()
+{
+    if (queue.empty()) {
+        enterIdle();
+        return;
+    }
+    running = true;
+    busyTl.set(kernel.now(), 1);
+    remainingCycles = queue.front().cycles;
+    segmentStart = kernel.now();
+    recordCurrent(power.activeCurrent(*pstate, ActivityClass::Working));
+    rescheduleCompletion();
+}
+
+void
+CpuCore::finishCurrent()
+{
+    completionEvent = 0;
+    running = false;
+    retired += queue.front().cycles;
+    remainingCycles = 0;
+
+    WorkDone done = std::move(queue.front().done);
+    queue.pop_front();
+    if (done)
+        done(); // may synchronously submit more work
+
+    if (!queue.empty()) {
+        startNext();
+    } else if (!waking) {
+        lastBusyEnd = kernel.now();
+        busyTl.set(kernel.now(), 0);
+        enterIdle();
+    }
+}
+
+void
+CpuCore::enterIdle()
+{
+    if (rampPending) {
+        kernel.cancel(rampEvent);
+        rampPending = false;
+    }
+
+    // With no timer armed (or a stale hint), the menu-style governor
+    // predicts an unbounded idle and parks as deep as possible.
+    TimeNs predicted = nextWakeHint > kernel.now()
+                           ? nextWakeHint - kernel.now()
+                           : kSecond;
+    const CState &target = cgovernor.select(predicted);
+
+    if (target.index == 0) {
+        // C-states disabled: the "idle" core spins in the OS idle loop
+        // at the governor's idle-loop P-state (§III footnote 2).
+        cstate = nullptr;
+        cstates.set(kernel.now(), 0);
+        applyPState(pgovernor.idleLoopState());
+        recordCurrent(
+            power.activeCurrent(*pstate, ActivityClass::IdleLoop));
+    } else {
+        cstate = &target;
+        cstates.set(kernel.now(), target.index);
+        recordCurrent(power.sleepCurrent(target));
+    }
+}
+
+double
+CpuCore::utilization(TimeNs t0, TimeNs t1) const
+{
+    if (t1 <= t0)
+        return 0.0;
+    return busyTl.integrate(t0, t1) / toSeconds(t1 - t0);
+}
+
+} // namespace emsc::cpu

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Single-core execution engine with P-/C-state behaviour.
+ *
+ * The core executes submitted work items (measured in cycles) FIFO on
+ * the event kernel, transitioning between active execution (C0 at a
+ * governor-chosen P-state) and idleness (a governor-chosen C-state, or
+ * the OS idle loop when C-states are disabled). Every transition is
+ * recorded on a load-current timeline — the exact signal the VRM, and
+ * therefore the EM side channel, reacts to.
+ */
+
+#ifndef EMSC_CPU_CORE_HPP
+#define EMSC_CPU_CORE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "cpu/governor.hpp"
+#include "cpu/power.hpp"
+#include "cpu/states.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+
+namespace emsc::cpu {
+
+/** Aggregate configuration for a core. */
+struct CoreConfig
+{
+    PStateTable pstates = defaultPStates();
+    CStateTable cstates = defaultCStates();
+    PowerModel::Params power;
+    PStateGovernor::Params pgov;
+    CStateGovernor::Params cgov;
+    /**
+     * If the core became idle less than this long ago, a fresh wake
+     * resumes directly at the sustained P-state (models Speed-Shift's
+     * short-term memory of the load level).
+     */
+    TimeNs pstateStickyWindow = 500 * kMicrosecond;
+};
+
+/**
+ * The simulated core.
+ */
+class CpuCore
+{
+  public:
+    using WorkDone = std::function<void()>;
+
+    CpuCore(sim::EventKernel &kernel, const CoreConfig &config);
+
+    CpuCore(const CpuCore &) = delete;
+    CpuCore &operator=(const CpuCore &) = delete;
+
+    /**
+     * Enqueue a work item of the given cycle count; `done` fires on the
+     * kernel when the item completes. Items run FIFO.
+     */
+    void submit(std::uint64_t cycles, WorkDone done);
+
+    /**
+     * Tell the idle-entry path when the next timer wakeup is expected;
+     * the C-state governor uses (hint - now) as its idle prediction.
+     */
+    void hintNextWake(TimeNs when) { nextWakeHint = when; }
+
+    /** Whether the core currently has work (running or queued). */
+    bool busy() const { return running || !queue.empty(); }
+
+    /** Load current drawn from the VRM over time. */
+    const sim::Timeline<double> &currentTrace() const { return current; }
+
+    /** C-state index over time (0 while executing / idle-looping). */
+    const sim::Timeline<int> &cstateTrace() const { return cstates; }
+
+    /** P-state index over time. */
+    const sim::Timeline<int> &pstateTrace() const { return pstates; }
+
+    /** Busy (1) vs idle (0) over time. */
+    const sim::Timeline<int> &busyTrace() const { return busyTl; }
+
+    /** Fraction of [t0, t1) spent executing work. */
+    double utilization(TimeNs t0, TimeNs t1) const;
+
+    /** Total cycles retired so far. */
+    std::uint64_t cyclesRetired() const { return retired; }
+
+    const CoreConfig &config() const { return cfg; }
+
+  private:
+    struct WorkItem
+    {
+        std::uint64_t cycles;
+        WorkDone done;
+    };
+
+    void startNext();
+    void finishCurrent();
+    void enterIdle();
+    void beginWake();
+    void applyPState(const PState &ps);
+    void onRampComplete();
+    void rescheduleCompletion();
+    void recordCurrent(Amps amps);
+
+    sim::EventKernel &kernel;
+    CoreConfig cfg;
+    PowerModel power;
+    PStateGovernor pgovernor;
+    CStateGovernor cgovernor;
+
+    std::deque<WorkItem> queue;
+    bool running = false;       //!< a work item is executing now
+    bool waking = false;        //!< C-state exit latency in progress
+    std::uint64_t remainingCycles = 0;
+    TimeNs segmentStart = 0;    //!< when the current run segment began
+    const PState *pstate = nullptr;
+    const CState *cstate = nullptr; //!< nullptr while in C0
+    sim::EventId completionEvent = 0;
+    sim::EventId rampEvent = 0;
+    bool rampPending = false;
+    TimeNs nextWakeHint = 0;
+    TimeNs lastBusyEnd = -(1 << 30);
+    std::uint64_t retired = 0;
+
+    sim::Timeline<double> current{0.0};
+    sim::Timeline<int> cstates{0};
+    sim::Timeline<int> pstates{0};
+    sim::Timeline<int> busyTl{0};
+};
+
+} // namespace emsc::cpu
+
+#endif // EMSC_CPU_CORE_HPP

@@ -1,0 +1,43 @@
+#include "cpu/governor.hpp"
+
+namespace emsc::cpu {
+
+const PState &
+PStateGovernor::initialOnWake() const
+{
+    return p.enabled ? table.slowest() : table.fastest();
+}
+
+const PState &
+PStateGovernor::idleLoopState() const
+{
+    // The OS knows the idle loop is not useful utilisation, so with
+    // DVFS enabled it parks the clock at the most efficient point;
+    // with DVFS disabled the core is pinned at nominal.
+    return p.enabled ? table.slowest() : table.fastest();
+}
+
+const CState &
+CStateGovernor::select(TimeNs predicted_idle) const
+{
+    if (!p.enabled)
+        return table.c0();
+
+    const CState *best = &table.c0();
+    for (const CState &s : table.states) {
+        if (s.index == 0)
+            continue;
+        auto need = static_cast<TimeNs>(p.residencyMargin *
+                                        static_cast<double>(s.targetResidency));
+        if (predicted_idle >= need)
+            best = &s;
+    }
+    // Always at least clock-gate when C-states are available: even a
+    // zero-length prediction enters C1 (this matches hardware, where
+    // HLT immediately clock-gates).
+    if (best->index == 0 && table.size() > 1)
+        best = &table.at(1);
+    return *best;
+}
+
+} // namespace emsc::cpu

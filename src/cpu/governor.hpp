@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Power-management policies: P-state and C-state selection.
+ *
+ * The P-state governor models Speed-Shift-like hardware control: the
+ * operating point ramps toward P0 shortly after work arrives and falls
+ * back to the most efficient state when the core goes idle. The
+ * C-state governor models a menu-like policy: given a prediction of
+ * how long the core will stay idle, choose the deepest state whose
+ * target residency fits (§II). The actual vendor algorithms are not
+ * public; these capture the behaviour the side channel depends on —
+ * that idleness reliably reaches a low-current state and activity a
+ * high-current one.
+ */
+
+#ifndef EMSC_CPU_GOVERNOR_HPP
+#define EMSC_CPU_GOVERNOR_HPP
+
+#include <cstddef>
+
+#include "cpu/states.hpp"
+
+namespace emsc::cpu {
+
+/**
+ * Hardware-P-state style frequency selection.
+ */
+class PStateGovernor
+{
+  public:
+    struct Params
+    {
+        /** Delay from work arrival to reaching the fastest state. */
+        TimeNs rampLatency = 30 * kMicrosecond;
+        /** Whether DVFS is enabled at all (BIOS switch, §III). */
+        bool enabled = true;
+    };
+
+    PStateGovernor(const PStateTable &table, const Params &params)
+        : table(table), p(params)
+    {
+    }
+
+    /**
+     * State used immediately when work starts after an idle period
+     * (before the ramp completes): the most efficient state, or the
+     * fastest when DVFS is disabled (the core is pinned at nominal).
+     */
+    const PState &initialOnWake() const;
+
+    /** State reached once the ramp latency has elapsed under load. */
+    const PState &sustained() const { return table.fastest(); }
+
+    /** State while the OS idle loop runs (C-states disabled case). */
+    const PState &idleLoopState() const;
+
+    /** Ramp delay before sustained() applies. */
+    TimeNs rampLatency() const { return p.enabled ? p.rampLatency : 0; }
+
+    bool enabled() const { return p.enabled; }
+
+  private:
+    const PStateTable &table;
+    Params p;
+};
+
+/**
+ * Menu-governor style C-state selection from predicted idle duration.
+ */
+class CStateGovernor
+{
+  public:
+    struct Params
+    {
+        /** Whether C-states are enabled (BIOS switch, §III). */
+        bool enabled = true;
+        /**
+         * Safety factor applied to the prediction: a state is chosen
+         * only if predicted_idle >= margin * targetResidency.
+         */
+        double residencyMargin = 1.0;
+    };
+
+    CStateGovernor(const CStateTable &table, const Params &params)
+        : table(table), p(params)
+    {
+    }
+
+    /**
+     * Pick the C-state for an idle period predicted to last
+     * `predicted_idle` ns. Returns C0 (index 0 in the table) when
+     * C-states are disabled — the caller then runs the OS idle loop.
+     */
+    const CState &select(TimeNs predicted_idle) const;
+
+    bool enabled() const { return p.enabled; }
+
+  private:
+    const CStateTable &table;
+    Params p;
+};
+
+} // namespace emsc::cpu
+
+#endif // EMSC_CPU_GOVERNOR_HPP

@@ -1,0 +1,119 @@
+#include "cpu/os.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "support/logging.hpp"
+
+namespace emsc::cpu {
+
+OsConfig
+makeUnixOsConfig()
+{
+    return OsConfig{}; // defaults model Linux/macOS usleep behaviour
+}
+
+OsConfig
+makeWindowsOsConfig()
+{
+    OsConfig cfg;
+    cfg.family = OsFamily::Windows;
+    // Sleep() with timeBeginPeriod(1) on a multimedia timer: requests
+    // quantise to ~0.5 ms and overshoot substantially more than usleep.
+    cfg.timerGranularity = 500 * kMicrosecond;
+    cfg.overshootCoreSigma = 40 * kMicrosecond;
+    cfg.overshootTailMean = 60 * kMicrosecond;
+    cfg.syscallCycles = 40000;
+    return cfg;
+}
+
+OsModel::OsModel(sim::EventKernel &kernel, CpuCore &core,
+                 const OsConfig &config, Rng &rng)
+    : kernel(kernel), core(core), cfg(config), rng(rng)
+{
+}
+
+void
+OsModel::sleepUs(double us, std::function<void()> wake)
+{
+    if (us <= 0.0)
+        fatal("OsModel::sleepUs of a non-positive duration %g", us);
+
+    TimeNs requested = fromMicroseconds(us);
+    TimeNs gran = std::max<TimeNs>(1, cfg.timerGranularity);
+    TimeNs rounded = ((requested + gran - 1) / gran) * gran;
+    auto overshoot = static_cast<TimeNs>(rng.skewedOvershoot(
+        static_cast<double>(cfg.overshootCoreSigma),
+        static_cast<double>(cfg.overshootTailMean)));
+    TimeNs actual = rounded + overshoot;
+
+    // The sleeping process first burns the syscall entry path, then the
+    // core may idle until the timer fires; the timer interrupt burns
+    // the exit path before the process-level callback runs.
+    auto wake_shared =
+        std::make_shared<std::function<void()>>(std::move(wake));
+    core.submit(cfg.syscallCycles, [this, actual, wake_shared] {
+        TimeNs due = kernel.now() + actual;
+        core.hintNextWake(due);
+        kernel.scheduleAt(due, [this, wake_shared] {
+            core.submit(cfg.syscallCycles, [wake_shared] {
+                (*wake_shared)();
+            });
+        });
+    });
+}
+
+void
+OsModel::runBusyCycles(std::uint64_t cycles, std::function<void()> done)
+{
+    core.submit(cycles, std::move(done));
+}
+
+void
+OsModel::injectBurst(std::uint64_t cycles)
+{
+    core.submit(cfg.interruptCycles + cycles, nullptr);
+}
+
+void
+OsModel::setBackgroundIntensity(double scale)
+{
+    if (scale < 0.0)
+        fatal("background intensity must be non-negative, got %g", scale);
+    intensity = scale;
+}
+
+void
+OsModel::scheduleNextBackground(bool long_burst, TimeNs until)
+{
+    double rate = (long_burst ? cfg.longBurstRate
+                              : cfg.backgroundBurstRate) *
+                  intensity;
+    if (rate <= 0.0)
+        return;
+    auto gap = static_cast<TimeNs>(
+        fromSeconds(rng.exponential(1.0 / rate)));
+    TimeNs when = kernel.now() + std::max<TimeNs>(gap, 1);
+    if (when > until)
+        return;
+
+    kernel.scheduleAt(when, [this, long_burst, until] {
+        std::uint64_t lo =
+            long_burst ? cfg.longCyclesMin : cfg.backgroundCyclesMin;
+        std::uint64_t hi =
+            long_burst ? cfg.longCyclesMax : cfg.backgroundCyclesMax;
+        auto cycles = static_cast<std::uint64_t>(rng.uniformInt(
+            static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+        core.submit(cfg.interruptCycles + cycles, nullptr);
+        scheduleNextBackground(long_burst, until);
+    });
+}
+
+void
+OsModel::startBackgroundActivity(TimeNs until)
+{
+    scheduleNextBackground(false, until);
+    scheduleNextBackground(true, until);
+}
+
+} // namespace emsc::cpu

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Operating-system services relevant to the side channel.
+ *
+ * The covert channel's bit rate is limited by how precisely a
+ * user-level process can control idleness (§IV-A): usleep() on
+ * UNIX-like systems has microsecond granularity but is "lengthened
+ * slightly" by system activity; Sleep() on Windows rounds to the
+ * multimedia-timer period (0.5-1 ms). This model provides sleep with
+ * calibrated granularity and positively skewed overshoot, syscall
+ * overhead as real core work, and background activity (short interrupt
+ * service bursts plus occasional longer bursts) that perturbs the
+ * channel exactly the way §IV-B4 describes.
+ */
+
+#ifndef EMSC_CPU_OS_HPP
+#define EMSC_CPU_OS_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "cpu/core.hpp"
+#include "sim/kernel.hpp"
+#include "support/rng.hpp"
+
+namespace emsc::cpu {
+
+/** OS family, which determines sleep primitive behaviour. */
+enum class OsFamily
+{
+    Linux,
+    MacOs,
+    Windows,
+};
+
+/** Tunable OS timing/activity parameters. */
+struct OsConfig
+{
+    OsFamily family = OsFamily::Linux;
+
+    /** Sleep requests round up to a multiple of this. */
+    TimeNs timerGranularity = 1 * kMicrosecond;
+    /** Gaussian core of the sleep overshoot (see Rng::skewedOvershoot). */
+    TimeNs overshootCoreSigma = 4 * kMicrosecond;
+    /** Exponential tail of the sleep overshoot. */
+    TimeNs overshootTailMean = 3 * kMicrosecond;
+
+    /** Cycles burned entering/exiting a sleep syscall + housekeeping. */
+    std::uint64_t syscallCycles = 22000;
+    /** Cycles burned servicing a routine interrupt. */
+    std::uint64_t interruptCycles = 9000;
+
+    /** Mean rate of short background service bursts (per second). */
+    double backgroundBurstRate = 120.0;
+    /** Cycle range of short background bursts. */
+    std::uint64_t backgroundCyclesMin = 4000;
+    std::uint64_t backgroundCyclesMax = 60000;
+
+    /** Mean rate of long background bursts (per second). */
+    double longBurstRate = 1.5;
+    /**
+     * Cycle range of long bursts. §IV-C2 observes that normal
+     * background services produce "short bursts of activity ... smaller
+     * than one sleep/active period"; ~50-150 us at nominal clock.
+     */
+    std::uint64_t longCyclesMin = 150000;
+    std::uint64_t longCyclesMax = 400000;
+};
+
+/** A reasonable Linux/macOS timing profile. */
+OsConfig makeUnixOsConfig();
+/** A Windows profile: 0.5 ms multimedia-timer granularity. */
+OsConfig makeWindowsOsConfig();
+
+/**
+ * The OS service layer bound to one core.
+ */
+class OsModel
+{
+  public:
+    OsModel(sim::EventKernel &kernel, CpuCore &core, const OsConfig &config,
+            Rng &rng);
+
+    OsModel(const OsModel &) = delete;
+    OsModel &operator=(const OsModel &) = delete;
+
+    /**
+     * Sleep for the requested microseconds (as usleep()/Sleep() would),
+     * then run `wake` on the kernel. The actual duration is the request
+     * rounded up to the timer granularity plus a positively skewed
+     * overshoot; the syscall overhead is burned as core work before the
+     * core can idle, and again at wakeup.
+     */
+    void sleepUs(double us, std::function<void()> wake);
+
+    /** Run a busy loop of the given cycle count, then `done`. */
+    void runBusyCycles(std::uint64_t cycles, std::function<void()> done);
+
+    /**
+     * Deliver an interrupt whose handler (plus downstream processing)
+     * costs the given cycles. Used for keystrokes and device activity.
+     */
+    void injectBurst(std::uint64_t cycles);
+
+    /**
+     * Start generating background activity (short IRQ-like bursts and
+     * occasional long bursts) until the given time.
+     */
+    void startBackgroundActivity(TimeNs until);
+
+    /**
+     * Scale background burst rates (1.0 = config values). Used to model
+     * "resource-intensive background activity" (§IV-C2).
+     */
+    void setBackgroundIntensity(double scale);
+
+    const OsConfig &config() const { return cfg; }
+    CpuCore &cpu() { return core; }
+    const CpuCore &cpu() const { return core; }
+
+    /** Current simulation time (the system clock). */
+    TimeNs now() const { return kernel.now(); }
+
+  private:
+    void scheduleNextBackground(bool long_burst, TimeNs until);
+
+    sim::EventKernel &kernel;
+    CpuCore &core;
+    OsConfig cfg;
+    Rng &rng;
+    double intensity = 1.0;
+};
+
+} // namespace emsc::cpu
+
+#endif // EMSC_CPU_OS_HPP

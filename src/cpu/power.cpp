@@ -1,0 +1,25 @@
+#include "cpu/power.hpp"
+
+#include "support/logging.hpp"
+
+namespace emsc::cpu {
+
+Amps
+PowerModel::activeCurrent(const PState &pstate, ActivityClass activity) const
+{
+    if (activity == ActivityClass::Sleeping)
+        panic("activeCurrent queried for a sleeping core");
+
+    double alpha = activity == ActivityClass::Working ? p.workActivity
+                                                      : p.idleLoopActivity;
+    // Dynamic power C * V^2 * f * alpha, leakage scaling ~ V^2 (a
+    // reasonable fit for subthreshold + gate leakage over small ranges),
+    // divided by V to yield current.
+    double v = pstate.voltage;
+    Watts dynamic = p.dynCapacitance * v * v * pstate.frequency * alpha;
+    double vr = v / p.nominalVoltage;
+    Amps leak = p.leakageNominal * vr * vr;
+    return dynamic / v + leak;
+}
+
+} // namespace emsc::cpu

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Load-current model: what the core asks of its voltage regulator.
+ *
+ * The side channel exists because active and idle states draw very
+ * different currents from the VRM (§II). The model combines switching
+ * power C_dyn * V^2 * f * alpha with voltage-dependent leakage, then
+ * converts watts to amps at the operating voltage. C-state residency
+ * overrides the dynamic term with the state's parked current.
+ */
+
+#ifndef EMSC_CPU_POWER_HPP
+#define EMSC_CPU_POWER_HPP
+
+#include "cpu/states.hpp"
+#include "support/types.hpp"
+
+namespace emsc::cpu {
+
+/** What kind of code (if any) the core is running. */
+enum class ActivityClass
+{
+    /** Parked in a C-state (no instruction execution). */
+    Sleeping,
+    /**
+     * The OS idle loop: spinning without useful work. Only occurs when
+     * C-states are disabled in the BIOS (§III footnote 2).
+     */
+    IdleLoop,
+    /** Executing a workload at full tilt (busy loop, app code). */
+    Working,
+};
+
+/**
+ * Converts an execution condition to the instantaneous current drawn
+ * from the VRM.
+ */
+class PowerModel
+{
+  public:
+    struct Params
+    {
+        /** Effective switched capacitance (farads), sets dynamic power. */
+        double dynCapacitance = 4.5e-9;
+        /** Activity factor while running real work. */
+        double workActivity = 1.0;
+        /** Activity factor of the OS idle spin loop. */
+        double idleLoopActivity = 0.55;
+        /** Leakage current at nominal voltage (amps). */
+        Amps leakageNominal = 0.9;
+        /** Nominal voltage at which leakageNominal is specified. */
+        Volts nominalVoltage = 1.05;
+    };
+
+    explicit PowerModel(const Params &params) : p(params) {}
+
+    /**
+     * Current drawn while executing in C0 at the given P-state.
+     * @param activity Working or IdleLoop
+     */
+    Amps activeCurrent(const PState &pstate, ActivityClass activity) const;
+
+    /** Current drawn while parked in the given C-state. */
+    Amps
+    sleepCurrent(const CState &cstate) const
+    {
+        return cstate.idleCurrent;
+    }
+
+    const Params &params() const { return p; }
+
+  private:
+    Params p;
+};
+
+} // namespace emsc::cpu
+
+#endif // EMSC_CPU_POWER_HPP

@@ -1,0 +1,32 @@
+#include "cpu/states.hpp"
+
+namespace emsc::cpu {
+
+PStateTable
+defaultPStates()
+{
+    PStateTable t;
+    // (frequency GHz, voltage V) pairs loosely modelled on a mobile
+    // Intel part: voltage scales roughly linearly with frequency.
+    const double freqs[] = {2.8e9, 2.4e9, 2.0e9, 1.6e9, 1.2e9, 0.8e9};
+    const double volts[] = {1.05, 0.98, 0.91, 0.85, 0.78, 0.72};
+    for (int i = 0; i < 6; ++i)
+        t.states.push_back(PState{i, freqs[i], volts[i]});
+    return t;
+}
+
+CStateTable
+defaultCStates()
+{
+    CStateTable t;
+    t.states.push_back(CState{0, "C0", 0, 0, 0.0});
+    t.states.push_back(
+        CState{1, "C1", 2 * kMicrosecond, 2 * kMicrosecond, 1.8});
+    t.states.push_back(
+        CState{3, "C3", 30 * kMicrosecond, 60 * kMicrosecond, 0.7});
+    t.states.push_back(
+        CState{6, "C6", 90 * kMicrosecond, 300 * kMicrosecond, 0.12});
+    return t;
+}
+
+} // namespace emsc::cpu

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Processor performance (P) and idle (C) state descriptions.
+ *
+ * Mirrors the Intel model described in §II: P-states are
+ * voltage/frequency operating points for the active processor
+ * (P0 = fastest); C-states are idle levels of increasing clock/power
+ * gating (C0 = executing). The tables here drive both the power model
+ * (load current seen by the VRM) and the governors.
+ */
+
+#ifndef EMSC_CPU_STATES_HPP
+#define EMSC_CPU_STATES_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace emsc::cpu {
+
+/** One performance operating point. */
+struct PState
+{
+    /** State index; 0 is the highest-performance state. */
+    int index = 0;
+    /** Core clock frequency at this state. */
+    Hertz frequency = 0.0;
+    /** Supply voltage requested from the VRM at this state. */
+    Volts voltage = 0.0;
+};
+
+/** One idle level. */
+struct CState
+{
+    /** State index; 0 means "executing instructions". */
+    int index = 0;
+    /** Conventional name (C0, C1, C3, C6, ...). */
+    std::string name;
+    /** Time to resume execution when leaving this state. */
+    TimeNs exitLatency = 0;
+    /**
+     * Minimum idle duration for which entering this state pays off;
+     * the menu-style governor will not pick it for shorter idles.
+     */
+    TimeNs targetResidency = 0;
+    /** Load current drawn from the VRM while parked in this state. */
+    Amps idleCurrent = 0.0;
+};
+
+/** Ordered collection of P-states (index 0 first). */
+struct PStateTable
+{
+    std::vector<PState> states;
+
+    const PState &fastest() const { return states.front(); }
+    const PState &slowest() const { return states.back(); }
+    const PState &at(std::size_t i) const { return states[i]; }
+    std::size_t size() const { return states.size(); }
+};
+
+/** Ordered collection of C-states (C0 first, deepest last). */
+struct CStateTable
+{
+    std::vector<CState> states;
+
+    const CState &c0() const { return states.front(); }
+    const CState &deepest() const { return states.back(); }
+    const CState &at(std::size_t i) const { return states[i]; }
+    std::size_t size() const { return states.size(); }
+};
+
+/**
+ * A representative laptop-class P-state table: 2.8 GHz @ 1.05 V down
+ * to 800 MHz @ 0.72 V in roughly equal steps.
+ */
+PStateTable defaultPStates();
+
+/**
+ * A representative C-state table: C1/C1E (clock gating), C3, C6/C7
+ * (voltage reduction and power gating) with realistic exit latencies.
+ */
+CStateTable defaultCStates();
+
+} // namespace emsc::cpu
+
+#endif // EMSC_CPU_STATES_HPP

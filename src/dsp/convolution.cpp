@@ -1,0 +1,89 @@
+#include "dsp/convolution.hpp"
+
+#include <algorithm>
+
+#include "dsp/fft.hpp"
+#include "support/logging.hpp"
+
+namespace emsc::dsp {
+
+std::vector<double>
+convolve(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.empty() || b.empty())
+        return {};
+    std::vector<double> out(a.size() + b.size() - 1, 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double ai = a[i];
+        if (ai == 0.0)
+            continue;
+        for (std::size_t j = 0; j < b.size(); ++j)
+            out[i + j] += ai * b[j];
+    }
+    return out;
+}
+
+std::vector<double>
+convolveFft(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.empty() || b.empty())
+        return {};
+    std::size_t out_len = a.size() + b.size() - 1;
+    std::size_t n = nextPowerOfTwo(out_len);
+
+    std::vector<Complex> fa(n, Complex{0.0, 0.0});
+    std::vector<Complex> fb(n, Complex{0.0, 0.0});
+    for (std::size_t i = 0; i < a.size(); ++i)
+        fa[i] = Complex{a[i], 0.0};
+    for (std::size_t i = 0; i < b.size(); ++i)
+        fb[i] = Complex{b[i], 0.0};
+
+    fftRadix2(fa, false);
+    fftRadix2(fb, false);
+    for (std::size_t i = 0; i < n; ++i)
+        fa[i] *= fb[i];
+    fftRadix2(fa, true);
+
+    std::vector<double> out(out_len);
+    for (std::size_t i = 0; i < out_len; ++i)
+        out[i] = fa[i].real();
+    return out;
+}
+
+std::vector<double>
+edgeDetect(const std::vector<double> &signal, std::size_t l_d)
+{
+    if (l_d < 2 || l_d % 2 != 0)
+        fatal("edgeDetect kernel length must be even and >= 2, got %zu",
+              l_d);
+    if (signal.empty())
+        return {};
+
+    std::size_t half = l_d / 2;
+    std::vector<double> out(signal.size(), 0.0);
+
+    // out[i] = sum(signal[i .. i+half-1]) - sum(signal[i-half .. i-1]),
+    // computed with a running window for O(N) total cost. A rising step
+    // at index i maximises this difference at i.
+    auto n = static_cast<std::ptrdiff_t>(signal.size());
+    auto h = static_cast<std::ptrdiff_t>(half);
+    auto sample = [&](std::ptrdiff_t idx) {
+        idx = std::clamp<std::ptrdiff_t>(idx, 0, n - 1);
+        return signal[static_cast<std::size_t>(idx)];
+    };
+
+    double ahead = 0.0, behind = 0.0;
+    for (std::ptrdiff_t j = 0; j < h; ++j) {
+        ahead += sample(j);
+        behind += sample(-1 - j);
+    }
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+        out[static_cast<std::size_t>(i)] = ahead - behind;
+        // Slide the window one sample to the right.
+        ahead += sample(i + h) - sample(i);
+        behind += sample(i) - sample(i - h);
+    }
+    return out;
+}
+
+} // namespace emsc::dsp

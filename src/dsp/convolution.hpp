@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Linear convolution and the edge-detection kernel of §IV-B2.
+ *
+ * The timing-recovery step convolves the acquired magnitude signal
+ * Y[n] with a vector of length l_d whose first half is +1 and second
+ * half is -1, approximating a derivative; its local maxima mark bit
+ * starting points (Fig. 5).
+ */
+
+#ifndef EMSC_DSP_CONVOLUTION_HPP
+#define EMSC_DSP_CONVOLUTION_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace emsc::dsp {
+
+/**
+ * Full linear convolution (output length = |a| + |b| - 1) computed
+ * directly; suitable for short kernels.
+ */
+std::vector<double> convolve(const std::vector<double> &a,
+                             const std::vector<double> &b);
+
+/**
+ * FFT-based full linear convolution; asymptotically faster for long
+ * kernels, numerically equivalent to convolve().
+ */
+std::vector<double> convolveFft(const std::vector<double> &a,
+                                const std::vector<double> &b);
+
+/**
+ * "Same"-length correlation of the signal with the +1/-1 edge kernel
+ * of length l_d (first half +1, second half -1). Output[i] is aligned
+ * so that a rising step in the signal at index i produces a local
+ * maximum at (approximately) i.
+ *
+ * @param signal  acquired magnitude signal Y[n]
+ * @param l_d     kernel length; must be even and >= 2
+ */
+std::vector<double> edgeDetect(const std::vector<double> &signal,
+                               std::size_t l_d);
+
+} // namespace emsc::dsp
+
+#endif // EMSC_DSP_CONVOLUTION_HPP

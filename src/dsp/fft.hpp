@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fast Fourier transform, implemented from scratch.
+ *
+ * The receiver chain needs FFTs for spectrograms (Figs. 2 and 11) and
+ * fast convolution. A radix-2 iterative Cooley-Tukey transform covers
+ * power-of-two sizes (the paper uses M = 1024); Bluestein's chirp-z
+ * algorithm extends it to arbitrary sizes so window sweeps in tests and
+ * benches are unconstrained.
+ */
+
+#ifndef EMSC_DSP_FFT_HPP
+#define EMSC_DSP_FFT_HPP
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace emsc::dsp {
+
+using Complex = std::complex<double>;
+
+/** @return true when n is a power of two (n >= 1). */
+constexpr bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Smallest power of two that is >= n. */
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/**
+ * In-place forward FFT of a power-of-two-length buffer.
+ * No normalisation is applied (inverse applies 1/N).
+ */
+void fftRadix2(std::vector<Complex> &data, bool inverse);
+
+/**
+ * Forward DFT of arbitrary length: radix-2 when possible, Bluestein
+ * otherwise. Returns a new vector; the input is untouched.
+ */
+std::vector<Complex> fft(const std::vector<Complex> &input);
+
+/** Inverse DFT of arbitrary length, normalised by 1/N. */
+std::vector<Complex> ifft(const std::vector<Complex> &input);
+
+/**
+ * Forward DFT of a real signal; returns all N complex bins (the upper
+ * half is the conjugate mirror, retained for simplicity of use).
+ */
+std::vector<Complex> fftReal(const std::vector<double> &input);
+
+/** Magnitudes |X[k]| of a complex spectrum. */
+std::vector<double> magnitudes(const std::vector<Complex> &spectrum);
+
+/**
+ * Direct O(N^2) DFT used as a reference implementation in tests.
+ */
+std::vector<Complex> dftReference(const std::vector<Complex> &input);
+
+} // namespace emsc::dsp
+
+#endif // EMSC_DSP_FFT_HPP

@@ -1,0 +1,81 @@
+#include "dsp/filters.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace emsc::dsp {
+
+std::vector<double>
+movingAverage(const std::vector<double> &signal, std::size_t radius)
+{
+    std::size_t n = signal.size();
+    std::vector<double> out(n, 0.0);
+    if (n == 0)
+        return out;
+
+    // Prefix sums give O(1) window sums.
+    std::vector<double> prefix(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        prefix[i + 1] = prefix[i] + signal[i];
+
+    auto r = static_cast<std::ptrdiff_t>(radius);
+    auto sn = static_cast<std::ptrdiff_t>(n);
+    for (std::ptrdiff_t i = 0; i < sn; ++i) {
+        std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - r);
+        std::ptrdiff_t hi = std::min<std::ptrdiff_t>(sn - 1, i + r);
+        double sum = prefix[static_cast<std::size_t>(hi + 1)] -
+                     prefix[static_cast<std::size_t>(lo)];
+        out[static_cast<std::size_t>(i)] =
+            sum / static_cast<double>(hi - lo + 1);
+    }
+    return out;
+}
+
+std::vector<double>
+medianFilter(const std::vector<double> &signal, std::size_t radius)
+{
+    std::size_t n = signal.size();
+    std::vector<double> out(n, 0.0);
+    std::vector<double> window;
+    auto r = static_cast<std::ptrdiff_t>(radius);
+    auto sn = static_cast<std::ptrdiff_t>(n);
+    for (std::ptrdiff_t i = 0; i < sn; ++i) {
+        window.clear();
+        for (std::ptrdiff_t j = i - r; j <= i + r; ++j) {
+            if (j < 0 || j >= sn)
+                continue;
+            window.push_back(signal[static_cast<std::size_t>(j)]);
+        }
+        auto mid = window.begin() +
+                   static_cast<std::ptrdiff_t>(window.size() / 2);
+        std::nth_element(window.begin(), mid, window.end());
+        out[static_cast<std::size_t>(i)] = *mid;
+    }
+    return out;
+}
+
+std::vector<double>
+singlePoleLowPass(const std::vector<double> &signal, double alpha)
+{
+    if (alpha <= 0.0 || alpha > 1.0)
+        fatal("singlePoleLowPass alpha must be in (0, 1], got %g", alpha);
+    std::vector<double> out(signal.size(), 0.0);
+    double y = signal.empty() ? 0.0 : signal[0];
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        y = alpha * signal[i] + (1.0 - alpha) * y;
+        out[i] = y;
+    }
+    return out;
+}
+
+std::vector<double>
+power(const std::vector<double> &signal)
+{
+    std::vector<double> out(signal.size());
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        out[i] = signal[i] * signal[i];
+    return out;
+}
+
+} // namespace emsc::dsp

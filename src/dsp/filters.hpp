@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Simple smoothing filters used throughout the receiver pipeline.
+ */
+
+#ifndef EMSC_DSP_FILTERS_HPP
+#define EMSC_DSP_FILTERS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace emsc::dsp {
+
+/**
+ * Centered moving average of the given radius (window 2r+1), with
+ * edge windows shortened to available samples.
+ */
+std::vector<double> movingAverage(const std::vector<double> &signal,
+                                  std::size_t radius);
+
+/**
+ * Sliding median filter of the given radius; robust smoothing used to
+ * suppress isolated interrupt spikes without blurring edges.
+ */
+std::vector<double> medianFilter(const std::vector<double> &signal,
+                                 std::size_t radius);
+
+/**
+ * One-pole low-pass IIR: y[n] = alpha * x[n] + (1 - alpha) * y[n-1],
+ * 0 < alpha <= 1.
+ */
+std::vector<double> singlePoleLowPass(const std::vector<double> &signal,
+                                      double alpha);
+
+/** Per-sample squared magnitude |x|^2 of a real signal. */
+std::vector<double> power(const std::vector<double> &signal);
+
+} // namespace emsc::dsp
+
+#endif // EMSC_DSP_FILTERS_HPP

@@ -1,0 +1,83 @@
+#include "dsp/peaks.hpp"
+
+#include <algorithm>
+
+namespace emsc::dsp {
+
+std::vector<std::size_t>
+findPeaks(const std::vector<double> &signal, const PeakOptions &options)
+{
+    std::vector<std::size_t> candidates;
+    std::size_t n = signal.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = signal[i];
+        if (v < options.minHeight)
+            continue;
+        if (i > 0 && signal[i - 1] >= v)
+            continue;
+        // Walk any plateau to find where it ends; peak iff it then drops.
+        std::size_t j = i;
+        while (j + 1 < n && signal[j + 1] == v)
+            ++j;
+        bool rises_after = j + 1 < n && signal[j + 1] > v;
+        if (!rises_after)
+            candidates.push_back(i);
+    }
+
+    if (options.minDistance <= 1 || candidates.size() < 2)
+        return candidates;
+
+    // Enforce spacing, keeping the taller of any conflicting pair.
+    std::vector<std::size_t> by_height(candidates);
+    std::sort(by_height.begin(), by_height.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return signal[a] > signal[b];
+              });
+    std::vector<bool> keep(signal.size(), false);
+    std::vector<std::size_t> accepted;
+    for (std::size_t c : by_height) {
+        bool ok = true;
+        for (std::size_t a : accepted) {
+            std::size_t d = c > a ? c - a : a - c;
+            if (d < options.minDistance) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            accepted.push_back(c);
+            keep[c] = true;
+        }
+    }
+
+    std::vector<std::size_t> out;
+    for (std::size_t c : candidates)
+        if (keep[c])
+            out.push_back(c);
+    return out;
+}
+
+std::vector<double>
+refinePeaks(const std::vector<double> &signal,
+            const std::vector<std::size_t> &peaks, std::size_t radius)
+{
+    std::vector<double> out;
+    out.reserve(peaks.size());
+    auto n = static_cast<std::ptrdiff_t>(signal.size());
+    for (std::size_t p : peaks) {
+        double wsum = 0.0, xsum = 0.0;
+        auto c = static_cast<std::ptrdiff_t>(p);
+        for (std::ptrdiff_t i = c - static_cast<std::ptrdiff_t>(radius);
+             i <= c + static_cast<std::ptrdiff_t>(radius); ++i) {
+            if (i < 0 || i >= n)
+                continue;
+            double w = std::max(signal[static_cast<std::size_t>(i)], 0.0);
+            wsum += w;
+            xsum += w * static_cast<double>(i);
+        }
+        out.push_back(wsum > 0.0 ? xsum / wsum : static_cast<double>(p));
+    }
+    return out;
+}
+
+} // namespace emsc::dsp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Local-maximum (peak) detection on one-dimensional signals.
+ *
+ * Used to turn the edge-detector output into candidate bit starting
+ * points (§IV-B2) and to locate VRM spectral spikes in spectra.
+ */
+
+#ifndef EMSC_DSP_PEAKS_HPP
+#define EMSC_DSP_PEAKS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace emsc::dsp {
+
+/** Options controlling findPeaks(). */
+struct PeakOptions
+{
+    /** Minimum value a peak must reach (absolute units). */
+    double minHeight = 0.0;
+    /**
+     * Minimum index distance between two reported peaks; when two
+     * candidates are closer, the taller one wins.
+     */
+    std::size_t minDistance = 1;
+};
+
+/**
+ * Indices of local maxima of the signal satisfying the options, in
+ * ascending index order. Plateau maxima report their first index.
+ */
+std::vector<std::size_t> findPeaks(const std::vector<double> &signal,
+                                   const PeakOptions &options);
+
+/**
+ * Refine each peak index to the weighted centroid of the samples in a
+ * +-radius neighbourhood, for sub-sample edge localisation.
+ */
+std::vector<double> refinePeaks(const std::vector<double> &signal,
+                                const std::vector<std::size_t> &peaks,
+                                std::size_t radius);
+
+} // namespace emsc::dsp
+
+#endif // EMSC_DSP_PEAKS_HPP

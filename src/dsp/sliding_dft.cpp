@@ -1,0 +1,96 @@
+#include "dsp/sliding_dft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/logging.hpp"
+
+namespace emsc::dsp {
+
+namespace {
+
+/** Renormalise every this many samples to bound rounding drift. */
+constexpr std::size_t kRenormInterval = 1 << 16;
+
+} // namespace
+
+SlidingDft::SlidingDft(std::size_t window_size, std::vector<std::size_t> bins)
+    : m(window_size), binIdx(std::move(bins))
+{
+    if (m == 0)
+        fatal("SlidingDft window size must be positive");
+    if (binIdx.empty())
+        fatal("SlidingDft requires at least one tracked bin");
+    for (std::size_t k : binIdx) {
+        if (k >= m)
+            fatal("SlidingDft bin %zu out of range for window %zu", k, m);
+        double angle = 2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(m);
+        twiddle.push_back(std::polar(1.0, angle));
+    }
+    accum.assign(binIdx.size(), Complex{0.0, 0.0});
+    history.assign(m, Complex{0.0, 0.0});
+}
+
+void
+SlidingDft::reset()
+{
+    accum.assign(binIdx.size(), Complex{0.0, 0.0});
+    history.assign(m, Complex{0.0, 0.0});
+    head = 0;
+    seen = 0;
+}
+
+void
+SlidingDft::renormalize()
+{
+    // Recompute each tracked bin exactly from the buffered window. The
+    // circular buffer holds the window with its oldest sample at head;
+    // rebuilding uses the standard DFT definition over that ordering.
+    for (std::size_t i = 0; i < binIdx.size(); ++i) {
+        std::size_t k = binIdx[i];
+        Complex acc{0.0, 0.0};
+        double base = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                      static_cast<double>(m);
+        for (std::size_t j = 0; j < m; ++j) {
+            Complex sample = history[(head + j) % m];
+            acc += sample *
+                   std::polar(1.0, base * static_cast<double>(j));
+        }
+        accum[i] = acc;
+    }
+}
+
+double
+SlidingDft::push(Complex sample)
+{
+    Complex oldest = history[head];
+    history[head] = sample;
+    head = (head + 1) % m;
+    ++seen;
+
+    double y = 0.0;
+    for (std::size_t i = 0; i < binIdx.size(); ++i) {
+        accum[i] = (accum[i] + sample - oldest) * twiddle[i];
+        y += std::abs(accum[i]);
+    }
+
+    if (seen % kRenormInterval == 0)
+        renormalize();
+    return y;
+}
+
+std::vector<double>
+SlidingDft::acquire(const std::vector<Complex> &capture,
+                    std::size_t window_size,
+                    const std::vector<std::size_t> &bins)
+{
+    SlidingDft sdft(window_size, bins);
+    std::vector<double> out;
+    out.reserve(capture.size());
+    for (Complex s : capture)
+        out.push_back(sdft.push(s));
+    return out;
+}
+
+} // namespace emsc::dsp

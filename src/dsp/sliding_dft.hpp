@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sliding DFT for the paper's Eq. (1) signal acquisition.
+ *
+ * Eq. (1) computes Y[n] = sum over a bin set S of |F_n[k]|, where F_n
+ * is an M-point DFT of the most recent M samples ("1024 point FFT with
+ * maximum overlapping", §IV-C1). Recomputing a full FFT per sample is
+ * O(M log M) per output; the sliding DFT updates each tracked bin in
+ * O(1) per sample: F_{n+1}[k] = (F_n[k] + x_{n+1} - x_{n+1-M}) * W^k.
+ * Periodic renormalisation bounds the phasor drift from floating-point
+ * rounding.
+ */
+
+#ifndef EMSC_DSP_SLIDING_DFT_HPP
+#define EMSC_DSP_SLIDING_DFT_HPP
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "dsp/fft.hpp"
+
+namespace emsc::dsp {
+
+/**
+ * Streaming per-bin sliding DFT over a fixed window of M samples.
+ */
+class SlidingDft
+{
+  public:
+    /**
+     * @param window_size  M, the DFT length
+     * @param bins         indices k of the tracked bins (0 <= k < M)
+     */
+    SlidingDft(std::size_t window_size, std::vector<std::size_t> bins);
+
+    /**
+     * Push one complex sample; @return the current Eq. (1) output
+     * Y[n] = sum_k |F_n[k]| over the tracked bins.
+     */
+    double push(Complex sample);
+
+    /** Current complex value of tracked bin i (index into bins()). */
+    Complex binValue(std::size_t i) const { return accum[i]; }
+
+    /** Tracked bin indices. */
+    const std::vector<std::size_t> &bins() const { return binIdx; }
+
+    /** Window size M. */
+    std::size_t windowSize() const { return m; }
+
+    /** Number of samples consumed so far. */
+    std::size_t samplesSeen() const { return seen; }
+
+    /** Reset all state as if freshly constructed. */
+    void reset();
+
+    /**
+     * Convenience batch driver: run the whole capture through the
+     * sliding DFT and return Y[n] for every sample (first M-1 outputs
+     * are the partial-window warmup values).
+     */
+    static std::vector<double> acquire(const std::vector<Complex> &capture,
+                                       std::size_t window_size,
+                                       const std::vector<std::size_t> &bins);
+
+  private:
+    void renormalize();
+
+    std::size_t m;
+    std::vector<std::size_t> binIdx;
+    std::vector<Complex> twiddle; //!< exp(+2*pi*i*k/M) per tracked bin
+    std::vector<Complex> accum;   //!< running F_n[k] per tracked bin
+    std::vector<Complex> history; //!< circular buffer of the last M samples
+    std::size_t head = 0;
+    std::size_t seen = 0;
+};
+
+} // namespace emsc::dsp
+
+#endif // EMSC_DSP_SLIDING_DFT_HPP

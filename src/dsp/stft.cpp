@@ -1,0 +1,159 @@
+#include "dsp/stft.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace emsc::dsp {
+
+double
+Spectrogram::frameTime(std::size_t t) const
+{
+    double center = static_cast<double>(t) * static_cast<double>(hop) +
+                    static_cast<double>(fftSize) / 2.0;
+    return center / sampleRate;
+}
+
+double
+Spectrogram::binFrequency(std::size_t k) const
+{
+    return binZeroHz +
+           static_cast<double>(k) * sampleRate /
+               static_cast<double>(fftSize);
+}
+
+std::size_t
+Spectrogram::nearestBin(double freq_hz) const
+{
+    double k = (freq_hz - binZeroHz) * static_cast<double>(fftSize) /
+               sampleRate;
+    auto idx = static_cast<std::ptrdiff_t>(std::lround(k));
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+            static_cast<std::ptrdiff_t>(numBins()) - 1);
+    return static_cast<std::size_t>(idx);
+}
+
+std::string
+Spectrogram::renderAscii(std::size_t max_rows, std::size_t max_cols) const
+{
+    if (frames.empty())
+        return "(empty spectrogram)\n";
+
+    const char *ramp = " .:-=+*#%@";
+    const std::size_t ramp_len = 10;
+
+    std::size_t bins = numBins();
+    std::size_t cols = std::min(max_cols, numFrames());
+    std::size_t rows = std::min(max_rows, bins);
+
+    // Max-pool the grid down to rows x cols.
+    std::vector<std::vector<double>> grid(rows,
+                                          std::vector<double>(cols, 0.0));
+    double peak = 1e-300;
+    for (std::size_t t = 0; t < numFrames(); ++t) {
+        std::size_t c = t * cols / numFrames();
+        for (std::size_t k = 0; k < bins; ++k) {
+            std::size_t r = k * rows / bins;
+            grid[r][c] = std::max(grid[r][c], frames[t][k]);
+            peak = std::max(peak, frames[t][k]);
+        }
+    }
+
+    // Log scale over 60 dB of dynamic range, high frequencies on top.
+    std::string out;
+    out.reserve((cols + 16) * rows);
+    for (std::size_t r = rows; r-- > 0;) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            double db = 20.0 * std::log10(grid[r][c] / peak + 1e-12);
+            double norm = std::clamp((db + 60.0) / 60.0, 0.0, 1.0);
+            auto level = static_cast<std::size_t>(norm * (ramp_len - 1));
+            out.push_back(ramp[level]);
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+namespace {
+
+Spectrogram
+stftImpl(const std::vector<Complex> &signal, double sample_rate,
+         const StftConfig &config, bool real_input, double center_freq_hz)
+{
+    if (config.fftSize == 0 || config.hop == 0)
+        fatal("stft requires positive fftSize and hop");
+    if (sample_rate <= 0.0)
+        fatal("stft requires a positive sample rate");
+
+    std::vector<double> window = makeWindow(config.window, config.fftSize);
+
+    Spectrogram out;
+    out.sampleRate = sample_rate;
+    out.hop = config.hop;
+    out.fftSize = config.fftSize;
+
+    std::size_t half = config.fftSize / 2;
+    if (real_input) {
+        out.binZeroHz = 0.0;
+    } else {
+        out.binZeroHz = center_freq_hz - sample_rate / 2.0;
+    }
+
+    if (signal.size() < config.fftSize)
+        return out;
+
+    std::size_t frames = (signal.size() - config.fftSize) / config.hop + 1;
+    out.frames.reserve(frames);
+
+    std::vector<Complex> buf(config.fftSize);
+    for (std::size_t t = 0; t < frames; ++t) {
+        std::size_t start = t * config.hop;
+        for (std::size_t i = 0; i < config.fftSize; ++i)
+            buf[i] = signal[start + i] * window[i];
+        fftRadix2(buf, false);
+
+        if (real_input) {
+            std::vector<double> mags(half + 1);
+            for (std::size_t k = 0; k <= half; ++k)
+                mags[k] = std::abs(buf[k]);
+            out.frames.push_back(std::move(mags));
+        } else {
+            // fftshift: bins [-fs/2, fs/2) in ascending frequency.
+            std::vector<double> mags(config.fftSize);
+            for (std::size_t k = 0; k < config.fftSize; ++k) {
+                std::size_t src = (k + half) % config.fftSize;
+                mags[k] = std::abs(buf[src]);
+            }
+            out.frames.push_back(std::move(mags));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Spectrogram
+stft(const std::vector<double> &signal, double sample_rate,
+     const StftConfig &config)
+{
+    if (!isPowerOfTwo(config.fftSize))
+        fatal("stft fftSize must be a power of two, got %zu",
+              config.fftSize);
+    std::vector<Complex> cplx(signal.size());
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        cplx[i] = Complex{signal[i], 0.0};
+    return stftImpl(cplx, sample_rate, config, true, 0.0);
+}
+
+Spectrogram
+stftComplex(const std::vector<Complex> &signal, double sample_rate,
+            const StftConfig &config, double center_freq_hz)
+{
+    if (!isPowerOfTwo(config.fftSize))
+        fatal("stft fftSize must be a power of two, got %zu",
+              config.fftSize);
+    return stftImpl(signal, sample_rate, config, false, center_freq_hz);
+}
+
+} // namespace emsc::dsp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Short-time Fourier transform and spectrogram containers.
+ *
+ * Spectrograms are the paper's primary visualisation (Figs. 2 and 11)
+ * and the keylogger's feature extractor (§V-C uses non-overlapping 5 ms
+ * STFT windows). The Spectrogram type stores magnitude frames with the
+ * frequency/time geometry needed to map bins back to physical units.
+ */
+
+#ifndef EMSC_DSP_STFT_HPP
+#define EMSC_DSP_STFT_HPP
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dsp/fft.hpp"
+#include "dsp/window.hpp"
+
+namespace emsc::dsp {
+
+/** STFT configuration. */
+struct StftConfig
+{
+    /** Samples per analysis window (FFT size; power of two preferred). */
+    std::size_t fftSize = 1024;
+    /** Samples between successive frames. */
+    std::size_t hop = 256;
+    /** Analysis window shape. */
+    WindowKind window = WindowKind::Hann;
+};
+
+/**
+ * Time-frequency magnitude grid produced by stft().
+ *
+ * frames[t][k] is |X_t[k]| for frame t and bin k, with only the lower
+ * half-spectrum (k in [0, fftSize/2]) retained for real inputs and the
+ * full bin range for complex inputs.
+ */
+struct Spectrogram
+{
+    /** Magnitude frames, outer index = time. */
+    std::vector<std::vector<double>> frames;
+    /** Sample rate of the analysed signal (Hz). */
+    double sampleRate = 0.0;
+    /** Hop size in samples. */
+    std::size_t hop = 0;
+    /** FFT size in samples. */
+    std::size_t fftSize = 0;
+    /** Frequency of bin 0 (baseband offset for complex captures). */
+    double binZeroHz = 0.0;
+
+    /** Number of time frames. */
+    std::size_t numFrames() const { return frames.size(); }
+    /** Number of frequency bins per frame. */
+    std::size_t numBins() const { return frames.empty() ? 0 : frames[0].size(); }
+    /** Time of the center of frame t, in seconds. */
+    double frameTime(std::size_t t) const;
+    /** Frequency of bin k, in Hz. */
+    double binFrequency(std::size_t k) const;
+    /** Index of the bin closest to the given frequency. */
+    std::size_t nearestBin(double freq_hz) const;
+
+    /**
+     * Render the grid as coarse ASCII art (time on the x-axis), mainly
+     * for the figure-reproduction benches. Rows are downsampled to at
+     * most max_rows bins and columns to at most max_cols frames.
+     */
+    std::string renderAscii(std::size_t max_rows, std::size_t max_cols) const;
+};
+
+/** STFT of a real signal; keeps bins [0, fftSize/2]. */
+Spectrogram stft(const std::vector<double> &signal, double sample_rate,
+                 const StftConfig &config);
+
+/**
+ * STFT of a complex baseband capture; keeps all fftSize bins,
+ * fftshifted so bin 0 corresponds to -fs/2.
+ */
+Spectrogram stftComplex(const std::vector<Complex> &signal,
+                        double sample_rate, const StftConfig &config,
+                        double center_freq_hz);
+
+} // namespace emsc::dsp
+
+#endif // EMSC_DSP_STFT_HPP

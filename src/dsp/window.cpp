@@ -1,0 +1,59 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/logging.hpp"
+
+namespace emsc::dsp {
+
+std::vector<double>
+makeWindow(WindowKind kind, std::size_t length)
+{
+    if (length == 0)
+        fatal("window length must be positive");
+    std::vector<double> w(length, 1.0);
+    if (length == 1 || kind == WindowKind::Rectangular)
+        return w;
+
+    const double pi = std::numbers::pi;
+    auto denom = static_cast<double>(length - 1);
+    for (std::size_t i = 0; i < length; ++i) {
+        double x = static_cast<double>(i) / denom;
+        switch (kind) {
+          case WindowKind::Hann:
+            w[i] = 0.5 - 0.5 * std::cos(2.0 * pi * x);
+            break;
+          case WindowKind::Hamming:
+            w[i] = 0.54 - 0.46 * std::cos(2.0 * pi * x);
+            break;
+          case WindowKind::Blackman:
+            w[i] = 0.42 - 0.5 * std::cos(2.0 * pi * x) +
+                   0.08 * std::cos(4.0 * pi * x);
+            break;
+          case WindowKind::Rectangular:
+            break;
+        }
+    }
+    return w;
+}
+
+double
+windowSum(const std::vector<double> &window)
+{
+    double acc = 0.0;
+    for (double w : window)
+        acc += w;
+    return acc;
+}
+
+double
+windowPower(const std::vector<double> &window)
+{
+    double acc = 0.0;
+    for (double w : window)
+        acc += w * w;
+    return acc;
+}
+
+} // namespace emsc::dsp

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Analysis window functions for short-time spectral processing.
+ */
+
+#ifndef EMSC_DSP_WINDOW_HPP
+#define EMSC_DSP_WINDOW_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace emsc::dsp {
+
+/** Supported analysis window shapes. */
+enum class WindowKind
+{
+    Rectangular,
+    Hann,
+    Hamming,
+    Blackman,
+};
+
+/** Generate a window of the given shape and length. */
+std::vector<double> makeWindow(WindowKind kind, std::size_t length);
+
+/** Sum of window samples (useful for amplitude normalisation). */
+double windowSum(const std::vector<double> &window);
+
+/** Sum of squared window samples (useful for power normalisation). */
+double windowPower(const std::vector<double> &window);
+
+} // namespace emsc::dsp
+
+#endif // EMSC_DSP_WINDOW_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Receive-antenna models.
+ *
+ * The paper uses two receivers (§IV-C1): a coin-sized 33-turn coil
+ * probe (5 mm radius, <$5, no amplifier) held 10 cm from the laptop,
+ * and an AOR-LA390 magnetic loop antenna (30 cm radius, built-in 20 dB
+ * amplifier) for distance and through-wall captures. An antenna here
+ * is a voltage gain applied to the incident field plus a self/ambient
+ * noise contribution referred to its output.
+ */
+
+#ifndef EMSC_EM_ANTENNA_HPP
+#define EMSC_EM_ANTENNA_HPP
+
+#include <string>
+
+namespace emsc::em {
+
+/** Which physical receive antenna is in use. */
+enum class AntennaKind
+{
+    /** Handmade 33-turn, 5 mm radius coil probe (near field). */
+    CoilProbe,
+    /** AOR-LA390 30 cm loop with built-in 20 dB LNA. */
+    LoopAntenna,
+};
+
+/** Electrical summary of an antenna + front-end amplifier. */
+struct AntennaModel
+{
+    AntennaKind kind = AntennaKind::CoilProbe;
+    std::string name;
+    /** Field-to-output voltage gain (arbitrary consistent units). */
+    double gain = 1.0;
+    /**
+     * Ambient + amplifier noise at the antenna output, RMS per complex
+     * sample at 2.4 Msps (same units as the signal). Larger apertures
+     * collect proportionally more man-made ambient noise, so the loop's
+     * gain advantage does not translate into the same SNR advantage.
+     */
+    double noiseRms = 0.0;
+};
+
+/** The handmade near-field coil probe. */
+AntennaModel makeCoilProbe();
+
+/** The AOR-LA390 loop antenna with its 20 dB amplifier. */
+AntennaModel makeLoopAntenna();
+
+} // namespace emsc::em
+
+#endif // EMSC_EM_ANTENNA_HPP

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Environmental interference sources.
+ *
+ * The NLoS experiment (Fig. 10) deliberately includes other electronic
+ * devices — a printer in the transmitter's room and a refrigerator in
+ * the receiver's room — whose unintentional emanations make the signal
+ * noisier. Two archetypes cover what matters at the receiver: narrow
+ * spectral tones from other switching power supplies, and broadband
+ * impulsive bursts from commutation/relay events.
+ */
+
+#ifndef EMSC_EM_INTERFERENCE_HPP
+#define EMSC_EM_INTERFERENCE_HPP
+
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace emsc::em {
+
+/** A continuous narrowband interferer (e.g. another SMPS harmonic). */
+struct ToneInterferer
+{
+    std::string name;
+    /** Tone frequency at the antenna (Hz). */
+    Hertz frequency = 0.0;
+    /** Amplitude at the antenna output (signal units). */
+    double amplitude = 0.0;
+    /** Slow frequency wander amplitude (Hz peak). */
+    double driftHz = 0.0;
+    /** Wander period (seconds). */
+    double driftPeriodS = 10.0;
+};
+
+/** A random broadband impulsive source (e.g. compressor commutation). */
+struct ImpulsiveInterferer
+{
+    std::string name;
+    /** Mean impulse rate (per second). */
+    double ratePerSecond = 0.0;
+    /** Impulse amplitude at the antenna output (signal units). */
+    double amplitude = 0.0;
+    /** Number of consecutive impulses per burst (ringing length). */
+    std::size_t burstLength = 3;
+    /** Spacing of impulses within a burst. */
+    TimeNs burstSpacing = 2 * kMicrosecond;
+};
+
+/** The full interference environment of a measurement. */
+struct InterferenceEnvironment
+{
+    std::vector<ToneInterferer> tones;
+    std::vector<ImpulsiveInterferer> impulses;
+};
+
+/** A quiet lab: nothing but receiver noise. */
+InterferenceEnvironment quietEnvironment();
+
+/**
+ * A normal office: a distant AM-broadcast-like tone and light
+ * impulsive activity.
+ */
+InterferenceEnvironment officeEnvironment();
+
+/**
+ * The Fig. 10 two-room setup: printer PSU harmonics near the VRM band
+ * plus refrigerator compressor impulses near the receiver.
+ */
+InterferenceEnvironment twoRoomEnvironment();
+
+} // namespace emsc::em
+
+#endif // EMSC_EM_INTERFERENCE_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Magnetic near-field propagation between the VRM and the antenna.
+ *
+ * At the VRM's switching frequency (<= ~1 MHz) the wavelength exceeds
+ * 300 m, so every distance in the paper (10 cm to a few metres) is deep
+ * in the near field. An ideal magnetic dipole falls off as 1/r^3, but
+ * an extended source (the laptop's power-delivery network) in a real
+ * room with reflections measures closer to 1/r^2; the exponent is a
+ * model parameter. A wall contributes a fixed attenuation.
+ */
+
+#ifndef EMSC_EM_PROPAGATION_HPP
+#define EMSC_EM_PROPAGATION_HPP
+
+#include "support/units.hpp"
+
+namespace emsc::em {
+
+/** Propagation-path description. */
+struct PropagationPath
+{
+    /** Antenna distance from the VRM, metres. */
+    double distanceMeters = 0.1;
+    /** Near-field roll-off exponent (1/r^n). */
+    double rolloffExponent = 1.6;
+    /** Distance at which the emitter constant is referenced. */
+    double referenceMeters = 0.1;
+    /** Extra attenuation of an intervening wall, dB (0 = no wall). */
+    double wallAttenuationDb = 0.0;
+    /**
+     * Antenna orientation factor in [0, 1]; 1 = manually aligned for
+     * maximum SNR as in §IV-C3.
+     */
+    double orientationFactor = 1.0;
+
+    /** Total amplitude scale applied to the emitted field. */
+    double
+    amplitudeFactor() const
+    {
+        double ratio = referenceMeters / distanceMeters;
+        double spread = ratio > 0.0
+                            ? std::pow(ratio, rolloffExponent)
+                            : 0.0;
+        return spread * dbToAmplitude(-wallAttenuationDb) *
+               orientationFactor;
+    }
+};
+
+} // namespace emsc::em
+
+#endif // EMSC_EM_PROPAGATION_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Measurement scene: emitter + path + antenna + interference.
+ *
+ * A Scene combines the VRM's switching-event stream with the
+ * propagation path, antenna model and interference environment, and
+ * produces a ReceptionPlan: the fully scaled description of what
+ * reaches the SDR front-end. The SDR sample synthesiser consumes the
+ * plan to produce the complex baseband capture.
+ */
+
+#ifndef EMSC_EM_SCENE_HPP
+#define EMSC_EM_SCENE_HPP
+
+#include <vector>
+
+#include "em/antenna.hpp"
+#include "em/interference.hpp"
+#include "em/propagation.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+#include "vrm/buck.hpp"
+
+namespace emsc::em {
+
+/** A di/dt impulse pair arriving at the SDR input. */
+struct FieldImpulse
+{
+    /** Time of the rising edge. */
+    TimeNs time;
+    /** Amplitude at the antenna output (positive impulse). */
+    double amplitude;
+    /** Delay of the equal-and-opposite falling edge (burst width). */
+    TimeNs width;
+};
+
+/** Everything the SDR needs to synthesise the capture. */
+struct ReceptionPlan
+{
+    /** Scaled VRM impulses. */
+    std::vector<FieldImpulse> impulses;
+    /** Scaled narrowband interferers. */
+    std::vector<ToneInterferer> tones;
+    /** Scaled broadband interference impulses (times pre-drawn). */
+    std::vector<FieldImpulse> noiseImpulses;
+    /** Receiver/ambient noise RMS per complex sample. */
+    double noiseRms = 0.0;
+};
+
+/** Scene description. */
+struct SceneConfig
+{
+    /**
+     * Emitter coupling constant: antenna-output amplitude per ampere
+     * of burst current at the reference distance with unit-gain
+     * antenna. Device-specific (board layout, package).
+     */
+    double emitterCoupling = 1.0;
+    PropagationPath path;
+    AntennaModel antenna = makeCoilProbe();
+    InterferenceEnvironment environment = quietEnvironment();
+};
+
+/**
+ * Assemble the reception plan for a capture window.
+ *
+ * @param config  scene description
+ * @param events  VRM switching bursts from the PMU
+ * @param t0,t1   capture window
+ * @param rng     source for interference event times
+ */
+ReceptionPlan buildReceptionPlan(const SceneConfig &config,
+                                 const std::vector<vrm::SwitchEvent> &events,
+                                 TimeNs t0, TimeNs t1, Rng &rng);
+
+/**
+ * Predicted signal-to-noise ratio (dB) of the VRM's fundamental bin
+ * for an active core drawing `active_current`, given a DFT window of
+ * `window` samples at `sample_rate`. A planning/diagnostic helper; the
+ * receiver never uses it.
+ */
+double predictBinSnrDb(const SceneConfig &config, double active_current,
+                       double switching_frequency, std::size_t window,
+                       double sample_rate);
+
+} // namespace emsc::em
+
+#endif // EMSC_EM_SCENE_HPP

@@ -1,0 +1,158 @@
+#include "fingerprint/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+#include "channel/labeling.hpp"
+#include "support/stats.hpp"
+#include "support/types.hpp"
+
+namespace emsc::fingerprint {
+
+Features
+extractFeatures(const channel::AcquiredSignal &signal)
+{
+    Features f{};
+    const std::vector<double> &y = signal.y;
+    if (y.size() < 16 || signal.sampleRate <= 0.0)
+        return f;
+
+    // Activity threshold from the bimodal envelope histogram (idle
+    // floor vs. active level); a MAD rule would break whenever the
+    // page keeps the processor busy for most of the capture.
+    channel::LabelingConfig lab;
+    lab.histogramBins = 96;
+    lab.peakSeparation = 12;
+    double thr = channel::selectThreshold(y, lab);
+
+    double dt = 1.0 / signal.sampleRate;
+    double active_s = 0.0, active_level = 0.0;
+    std::size_t bursts = 0;
+    double longest = 0.0, current = 0.0;
+    bool in_burst = false;
+    // Distribution of activity across the thirds of the *active span*
+    // (first hot sample to last hot sample), which captures the
+    // temporal shape of the load independent of capture margins.
+    std::size_t first_hot = y.size(), last_hot = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        if (y[i] > thr) {
+            first_hot = std::min(first_hot, i);
+            last_hot = i;
+        }
+    }
+    double thirds[3] = {0.0, 0.0, 0.0};
+    std::size_t span =
+        first_hot < last_hot ? last_hot - first_hot + 1 : 1;
+
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        bool hot = y[i] > thr;
+        if (hot) {
+            active_s += dt;
+            active_level += y[i];
+            current += dt;
+            if (!in_burst) {
+                ++bursts;
+                in_burst = true;
+            }
+            std::size_t third =
+                std::min<std::size_t>(2, 3 * (i - first_hot) / span);
+            thirds[third] += dt;
+        } else if (in_burst) {
+            longest = std::max(longest, current);
+            current = 0.0;
+            in_burst = false;
+        }
+    }
+    longest = std::max(longest, current);
+
+    f[0] = active_s;
+    f[1] = toSeconds(fromSeconds(static_cast<double>(span) * dt));
+    f[2] = static_cast<double>(bursts);
+    f[3] = longest;
+    f[4] = active_s > 0.0 ? active_level / (active_s / dt) : 0.0;
+    for (int t = 0; t < 3; ++t)
+        f[5 + static_cast<std::size_t>(t)] =
+            active_s > 0.0 ? thirds[t] / active_s : 0.0;
+    return f;
+}
+
+WebsiteClassifier::ClassData &
+WebsiteClassifier::classFor(const std::string &label)
+{
+    for (ClassData &c : classes)
+        if (c.label == label)
+            return c;
+    classes.push_back(ClassData{label, {}, {}});
+    return classes.back();
+}
+
+void
+WebsiteClassifier::addExample(const std::string &label, const Features &f)
+{
+    classFor(label).examples.push_back(f);
+    finalized = false;
+}
+
+void
+WebsiteClassifier::finalize()
+{
+    if (classes.empty())
+        fatal("WebsiteClassifier has no training data");
+
+    // Per-class centroids.
+    for (ClassData &c : classes) {
+        c.centroid = Features{};
+        for (const Features &f : c.examples)
+            for (std::size_t i = 0; i < kFeatureCount; ++i)
+                c.centroid[i] += f[i];
+        for (std::size_t i = 0; i < kFeatureCount; ++i)
+            c.centroid[i] /= static_cast<double>(c.examples.size());
+    }
+
+    // Global per-feature scale (std across all examples) for
+    // z-normalised distances.
+    for (std::size_t i = 0; i < kFeatureCount; ++i) {
+        RunningStats s;
+        for (const ClassData &c : classes)
+            for (const Features &f : c.examples)
+                s.add(f[i]);
+        scale[i] = std::max(s.stddev(), 1e-9);
+    }
+    finalized = true;
+}
+
+std::string
+WebsiteClassifier::classify(const Features &f) const
+{
+    if (!finalized || classes.empty())
+        return "";
+    // Nearest centroid in z-normalised feature space: with handfuls
+    // of training loads per site, averaging is more robust than
+    // nearest-neighbour against per-load noise.
+    double best = 1e300;
+    const ClassData *winner = nullptr;
+    for (const ClassData &c : classes) {
+        double d = 0.0;
+        for (std::size_t i = 0; i < kFeatureCount; ++i) {
+            double z = (f[i] - c.centroid[i]) / scale[i];
+            d += z * z;
+        }
+        if (d < best) {
+            best = d;
+            winner = &c;
+        }
+    }
+    return winner ? winner->label : "";
+}
+
+std::vector<std::string>
+WebsiteClassifier::labels() const
+{
+    std::vector<std::string> out;
+    for (const ClassData &c : classes)
+        out.push_back(c.label);
+    return out;
+}
+
+} // namespace emsc::fingerprint

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * EM-trace features and a nearest-centroid website classifier.
+ *
+ * The attacker reduces each captured load to a handful of features of
+ * the band-energy envelope — total active time, burst structure,
+ * energy — trains centroids on loads of known sites (on their own
+ * reference machine), and classifies observed loads by normalised
+ * distance. Deliberately simple: the point (as in the paper) is how
+ * much the EM envelope alone gives away, not classifier sophistication.
+ */
+
+#ifndef EMSC_FINGERPRINT_CLASSIFIER_HPP
+#define EMSC_FINGERPRINT_CLASSIFIER_HPP
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "channel/acquisition.hpp"
+
+namespace emsc::fingerprint {
+
+/** Number of scalar features per trace. */
+inline constexpr std::size_t kFeatureCount = 8;
+
+/** Feature vector of one captured page load. */
+using Features = std::array<double, kFeatureCount>;
+
+/**
+ * Extract features from an acquired envelope: total active seconds,
+ * active fraction, burst count, longest burst seconds, mean active
+ * level, and the distribution of activity across the first/middle/last
+ * thirds of the capture (which separates one-shot renders from
+ * sustained playback).
+ */
+Features extractFeatures(const channel::AcquiredSignal &signal);
+
+/** Nearest-centroid classifier with per-feature z-normalisation. */
+class WebsiteClassifier
+{
+  public:
+    /** Accumulate one labelled training example. */
+    void addExample(const std::string &label, const Features &f);
+
+    /** Finish training: compute centroids and feature scales. */
+    void finalize();
+
+    /** Classify a trace; empty string when untrained. */
+    std::string classify(const Features &f) const;
+
+    /** Labels known to the classifier. */
+    std::vector<std::string> labels() const;
+
+  private:
+    struct ClassData
+    {
+        std::string label;
+        std::vector<Features> examples;
+        Features centroid{};
+    };
+
+    ClassData &classFor(const std::string &label);
+
+    std::vector<ClassData> classes;
+    Features scale{};
+    bool finalized = false;
+};
+
+} // namespace emsc::fingerprint
+
+#endif // EMSC_FINGERPRINT_CLASSIFIER_HPP

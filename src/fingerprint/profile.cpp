@@ -1,0 +1,74 @@
+#include "fingerprint/profile.hpp"
+
+#include <algorithm>
+
+namespace emsc::fingerprint {
+
+std::vector<WebsiteProfile>
+builtinWebsites()
+{
+    std::vector<WebsiteProfile> sites;
+
+    // A text-heavy news front page: long parse + render, bursty ads.
+    sites.push_back(WebsiteProfile{
+        "news-site",
+        {{180.0, 0.05, 0.25},   // network wait
+         {420.0, 0.90, 0.12},   // HTML/CSS parse
+         {650.0, 0.70, 0.15},   // layout + paint
+         {350.0, 0.45, 0.30},   // ad/analytics scripts
+         {250.0, 0.10, 0.40}}}); // late trickle
+
+    // A search engine results page: short and sharp.
+    sites.push_back(WebsiteProfile{
+        "search-page",
+        {{90.0, 0.05, 0.25},
+         {140.0, 0.85, 0.10},
+         {120.0, 0.55, 0.20}}});
+
+    // A video portal: medium load, then sustained decode activity.
+    sites.push_back(WebsiteProfile{
+        "video-portal",
+        {{200.0, 0.05, 0.25},
+         {380.0, 0.85, 0.12},
+         {300.0, 0.60, 0.15},
+         {1400.0, 0.35, 0.10}}}); // steady playback
+
+    // A webmail client: heavy script start-up, then quiet.
+    sites.push_back(WebsiteProfile{
+        "webmail",
+        {{150.0, 0.05, 0.25},
+         {300.0, 0.90, 0.10},
+         {900.0, 0.80, 0.12},   // JS app boot
+         {150.0, 0.20, 0.30}}});
+
+    // A static documentation page: almost nothing.
+    sites.push_back(WebsiteProfile{
+        "docs-page",
+        {{100.0, 0.05, 0.25},
+         {160.0, 0.75, 0.12},
+         {90.0, 0.35, 0.25}}});
+
+    return sites;
+}
+
+std::vector<RealizedPhase>
+realizeLoad(const WebsiteProfile &profile, TimeNs start, Rng &rng)
+{
+    std::vector<RealizedPhase> out;
+    TimeNs t = start;
+    for (const ActivityPhase &phase : profile.phases) {
+        double ms = phase.durationMs *
+                    (1.0 + phase.variability * rng.gaussian(0.0, 1.0));
+        ms = std::max(ms, 10.0);
+        RealizedPhase r;
+        r.start = t;
+        r.duration = fromMilliseconds(ms);
+        r.duty = std::clamp(
+            phase.duty * (1.0 + 0.1 * rng.gaussian(0.0, 1.0)), 0.0, 1.0);
+        out.push_back(r);
+        t += r.duration;
+    }
+    return out;
+}
+
+} // namespace emsc::fingerprint

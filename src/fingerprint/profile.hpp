@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Workload activity profiles for website fingerprinting.
+ *
+ * §III's attack model (ii)(b): by watching how long the processor
+ * stays active, an attacker can tell *which* website was loaded. A
+ * page load is modelled as a sequence of activity phases (network
+ * wait, parse, render, script), each with a duration, a CPU duty
+ * cycle, and run-to-run variability — coarse but faithful to how real
+ * page loads differ from each other in the EM trace.
+ */
+
+#ifndef EMSC_FINGERPRINT_PROFILE_HPP
+#define EMSC_FINGERPRINT_PROFILE_HPP
+
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace emsc::fingerprint {
+
+/** One phase of a page load. */
+struct ActivityPhase
+{
+    /** Mean phase duration (ms). */
+    double durationMs = 0.0;
+    /** CPU duty cycle within the phase (0..1; 0 = pure waiting). */
+    double duty = 0.0;
+    /** Run-to-run duration variability (fraction of the mean). */
+    double variability = 0.15;
+};
+
+/** A website's load behaviour. */
+struct WebsiteProfile
+{
+    std::string name;
+    std::vector<ActivityPhase> phases;
+};
+
+/** A small catalogue of distinguishable sites. */
+std::vector<WebsiteProfile> builtinWebsites();
+
+/**
+ * Realise one load of the profile: per-phase (start, duration, duty)
+ * work segments with this run's randomness, starting at `start`.
+ */
+struct RealizedPhase
+{
+    TimeNs start = 0;
+    TimeNs duration = 0;
+    double duty = 0.0;
+};
+
+std::vector<RealizedPhase> realizeLoad(const WebsiteProfile &profile,
+                                       TimeNs start, Rng &rng);
+
+} // namespace emsc::fingerprint
+
+#endif // EMSC_FINGERPRINT_PROFILE_HPP

@@ -1,0 +1,137 @@
+#include "keylog/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/labeling.hpp"
+#include "support/logging.hpp"
+#include "support/stats.hpp"
+
+namespace emsc::keylog {
+
+namespace {
+
+/**
+ * Decision threshold for window energies. Keystrokes are sparse, so
+ * the histogram is dominated by the idle floor with a separate bump of
+ * active windows; when the bump is too small for reliable bimodal peak
+ * finding, fall back to a robust floor + k*MAD rule.
+ */
+double
+selectEnergyThreshold(const std::vector<double> &energy,
+                      const DetectorConfig &cfg)
+{
+    if (energy.size() < 16) {
+        auto [mn, mx] = std::minmax_element(energy.begin(), energy.end());
+        return 0.5 * (*mn + *mx);
+    }
+
+    // Robust floor statistics.
+    std::vector<double> sorted(energy);
+    std::sort(sorted.begin(), sorted.end());
+    double med = sorted[sorted.size() / 2];
+    std::vector<double> dev;
+    dev.reserve(sorted.size());
+    for (double e : sorted)
+        dev.push_back(std::fabs(e - med));
+    std::sort(dev.begin(), dev.end());
+    double mad = dev[dev.size() / 2];
+    double fallback = med + cfg.madFactor * std::max(mad, 1e-12);
+
+    // Bimodal attempt: take the two strongest histogram peaks if they
+    // are well separated; otherwise the robust rule stands.
+    channel::LabelingConfig lab;
+    lab.histogramBins = cfg.histogramBins;
+    lab.smoothingRadius = 2;
+    lab.peakSeparation = cfg.histogramBins / 8;
+    double bimodal = channel::selectThreshold(energy, lab);
+    if (bimodal > med + 3.0 * mad)
+        return std::min(bimodal, fallback * 4.0);
+    return fallback;
+}
+
+} // namespace
+
+DetectionResult
+detectKeystrokes(const channel::AcquiredSignal &signal,
+                 TimeNs capture_start, const DetectorConfig &config)
+{
+    DetectionResult out;
+    if (signal.y.empty() || signal.sampleRate <= 0.0)
+        return out;
+
+    // Cut the envelope into non-overlapping windowMs segments and
+    // average |Y|^2 within each (the §IV-B3 power statistic).
+    auto per_window = static_cast<std::size_t>(
+        signal.sampleRate * config.windowMs * 1e-3);
+    per_window = std::max<std::size_t>(per_window, 1);
+    out.windowNs = fromSeconds(static_cast<double>(per_window) /
+                               signal.sampleRate);
+
+    std::size_t windows = signal.y.size() / per_window;
+    out.windowEnergy.reserve(windows);
+    for (std::size_t w = 0; w < windows; ++w) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < per_window; ++i) {
+            double v = signal.y[w * per_window + i];
+            acc += v * v;
+        }
+        out.windowEnergy.push_back(acc / static_cast<double>(per_window));
+    }
+    if (out.windowEnergy.empty())
+        return out;
+
+    out.threshold = selectEnergyThreshold(out.windowEnergy, config);
+
+    // Runs of above-threshold windows, merged across short dropouts,
+    // filtered by the 30 ms minimum duration.
+    auto merge_gap = static_cast<std::size_t>(
+        std::ceil(config.mergeGapMs / config.windowMs));
+    auto min_run = static_cast<std::size_t>(
+        std::ceil(config.minDurationMs / config.windowMs));
+
+    std::size_t run_start = 0;
+    bool in_run = false;
+    std::size_t gap = 0;
+    auto window_time = [&](std::size_t w) {
+        return capture_start +
+               static_cast<TimeNs>(w) * out.windowNs;
+    };
+    auto close_run = [&](std::size_t end_window) {
+        std::size_t len = end_window - run_start;
+        if (len >= min_run) {
+            DetectedKeystroke k;
+            k.start = window_time(run_start);
+            k.end = window_time(end_window);
+            double acc = 0.0;
+            for (std::size_t w = run_start; w < end_window; ++w)
+                acc += out.windowEnergy[w];
+            k.level = acc / static_cast<double>(len);
+            out.keystrokes.push_back(k);
+        }
+    };
+
+    for (std::size_t w = 0; w < out.windowEnergy.size(); ++w) {
+        bool hot = out.windowEnergy[w] > out.threshold;
+        if (hot) {
+            if (!in_run) {
+                in_run = true;
+                run_start = w;
+            }
+            gap = 0;
+        } else if (in_run) {
+            ++gap;
+            if (gap > merge_gap) {
+                close_run(w - gap + 1);
+                in_run = false;
+                gap = 0;
+            }
+        }
+    }
+    if (in_run)
+        close_run(out.windowEnergy.size() - gap);
+
+    return out;
+}
+
+} // namespace emsc::keylog

@@ -1,0 +1,151 @@
+#include "keylog/keyboard.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+
+namespace emsc::keylog {
+
+namespace {
+
+/** Row layouts with per-row column stagger, standard US QWERTY. */
+struct RowDef
+{
+    const char *keys;
+    double stagger;
+};
+
+constexpr RowDef kRows[] = {
+    {"1234567890", 0.0},
+    {"qwertyuiop", 0.5},
+    {"asdfghjkl;", 0.75},
+    {"zxcvbnm,./", 1.25},
+};
+
+/** Finger assignment by column for letter rows (0=index..3=pinky). */
+int
+fingerForColumn(int col)
+{
+    switch (col) {
+      case 0:
+        return 3;
+      case 1:
+        return 2;
+      case 2:
+        return 1;
+      case 3:
+      case 4:
+        return 0;
+      case 5:
+      case 6:
+        return 0;
+      case 7:
+        return 1;
+      case 8:
+        return 2;
+      default:
+        return 3;
+    }
+}
+
+/**
+ * The most frequent English digraphs with rough relative weights
+ * (th ~ 1.0); everything else reads as 0.
+ */
+struct Digraph
+{
+    const char *pair;
+    double weight;
+};
+
+constexpr Digraph kDigraphs[] = {
+    {"th", 1.00}, {"he", 0.98}, {"in", 0.75}, {"er", 0.72}, {"an", 0.70},
+    {"re", 0.62}, {"on", 0.57}, {"at", 0.51}, {"en", 0.49}, {"nd", 0.47},
+    {"ti", 0.45}, {"es", 0.44}, {"or", 0.43}, {"te", 0.41}, {"of", 0.40},
+    {"ed", 0.39}, {"is", 0.38}, {"it", 0.37}, {"al", 0.35}, {"ar", 0.35},
+    {"st", 0.34}, {"to", 0.34}, {"nt", 0.33}, {"ng", 0.30}, {"se", 0.29},
+    {"ha", 0.28}, {"as", 0.27}, {"ou", 0.27}, {"io", 0.25}, {"le", 0.25},
+    {"ve", 0.24}, {"co", 0.23}, {"me", 0.23}, {"de", 0.22}, {"hi", 0.22},
+    {"ri", 0.21}, {"ro", 0.21}, {"ic", 0.20}, {"ne", 0.20}, {"ea", 0.19},
+    {"ra", 0.19}, {"ce", 0.18}, {"li", 0.18}, {"ch", 0.16}, {"ll", 0.16},
+    {"be", 0.16}, {"ma", 0.15}, {"si", 0.15}, {"om", 0.15}, {"ur", 0.14},
+};
+
+} // namespace
+
+KeyInfo
+lookupKey(char c)
+{
+    KeyInfo info;
+    char lower = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+
+    if (lower == ' ') {
+        info.row = 4;
+        info.col = 5.0;
+        info.hand = Hand::Either;
+        info.finger = -1;
+        info.known = true;
+        return info;
+    }
+
+    for (int r = 0; r < 4; ++r) {
+        const char *pos = std::strchr(kRows[r].keys, lower);
+        if (!pos)
+            continue;
+        int col = static_cast<int>(pos - kRows[r].keys);
+        info.row = r;
+        info.col = kRows[r].stagger + static_cast<double>(col);
+        info.hand = col <= 4 ? Hand::Left : Hand::Right;
+        info.finger = fingerForColumn(col);
+        info.known = true;
+        return info;
+    }
+    return info; // unknown key: caller treats it as a generic press
+}
+
+double
+keyDistance(char a, char b)
+{
+    KeyInfo ka = lookupKey(a);
+    KeyInfo kb = lookupKey(b);
+    if (!ka.known || !kb.known)
+        return 2.0;
+    double dr = static_cast<double>(ka.row - kb.row);
+    double dc = ka.col - kb.col;
+    return std::sqrt(dr * dr + dc * dc);
+}
+
+bool
+differentHands(char a, char b)
+{
+    KeyInfo ka = lookupKey(a);
+    KeyInfo kb = lookupKey(b);
+    if (ka.hand == Hand::Either || kb.hand == Hand::Either)
+        return true; // the space bar never blocks either hand
+    return ka.hand != kb.hand;
+}
+
+bool
+sameFinger(char a, char b)
+{
+    KeyInfo ka = lookupKey(a);
+    KeyInfo kb = lookupKey(b);
+    if (ka.hand == Hand::Either || kb.hand == Hand::Either)
+        return false;
+    return ka.hand == kb.hand && ka.finger == kb.finger;
+}
+
+double
+digraphFrequency(char a, char b)
+{
+    char pair[2] = {
+        static_cast<char>(std::tolower(static_cast<unsigned char>(a))),
+        static_cast<char>(std::tolower(static_cast<unsigned char>(b)))};
+    for (const Digraph &d : kDigraphs)
+        if (d.pair[0] == pair[0] && d.pair[1] == pair[1])
+            return d.weight;
+    return 0.0;
+}
+
+} // namespace emsc::keylog

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * QWERTY keyboard geometry for the typist model.
+ *
+ * §V-B cites Salthouse's findings that inter-key timing depends on the
+ * physical relationship of successive keys (far-apart keys — usually
+ * typed by alternating hands — come in quicker succession than
+ * same-finger neighbours). That needs key coordinates, hand and finger
+ * assignments, which this table provides.
+ */
+
+#ifndef EMSC_KEYLOG_KEYBOARD_HPP
+#define EMSC_KEYLOG_KEYBOARD_HPP
+
+namespace emsc::keylog {
+
+/** Which hand conventionally types a key. */
+enum class Hand
+{
+    Left,
+    Right,
+    Either, // space bar (thumbs)
+};
+
+/** Physical description of one key. */
+struct KeyInfo
+{
+    /** Row: 0 = number row, 1 = top letter row, 2 = home, 3 = bottom. */
+    int row = 0;
+    /** Column within the row (staggered layout folded in). */
+    double col = 0.0;
+    Hand hand = Hand::Either;
+    /** Finger index 0..3 (index..pinky); thumbs = -1. */
+    int finger = -1;
+    bool known = false;
+};
+
+/** Geometry of a character's key ('a'-'z', '0'-'9', space, basic punctuation). */
+KeyInfo lookupKey(char c);
+
+/** Euclidean distance between two keys in key-pitch units. */
+double keyDistance(char a, char b);
+
+/** Whether two characters are typed by different hands. */
+bool differentHands(char a, char b);
+
+/** Whether two characters share the same finger of the same hand. */
+bool sameFinger(char a, char b);
+
+/**
+ * Relative frequency (0..1) of the digraph `ab` in English text, from
+ * a compact embedded table of the most common digraphs; 0 for rare
+ * pairs. §V-B: frequent pairs are typed in quicker succession.
+ */
+double digraphFrequency(char a, char b);
+
+} // namespace emsc::keylog
+
+#endif // EMSC_KEYLOG_KEYBOARD_HPP

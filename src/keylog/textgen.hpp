@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Random text generation for keylogging experiments.
+ *
+ * §V-C types 1000 random words from a typing-test corpus. We embed a
+ * compact list of common English words and draw uniformly, which
+ * reproduces the relevant statistics: realistic word lengths, realistic
+ * digraph mix, spaces between words.
+ */
+
+#ifndef EMSC_KEYLOG_TEXTGEN_HPP
+#define EMSC_KEYLOG_TEXTGEN_HPP
+
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace emsc::keylog {
+
+/** The embedded common-word corpus. */
+const std::vector<std::string> &wordCorpus();
+
+/** Draw `count` words uniformly from the corpus. */
+std::vector<std::string> randomWords(std::size_t count, Rng &rng);
+
+/** Join words with single spaces. */
+std::string joinWords(const std::vector<std::string> &words);
+
+} // namespace emsc::keylog
+
+#endif // EMSC_KEYLOG_TEXTGEN_HPP

@@ -1,0 +1,84 @@
+#include "keylog/typist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "keylog/keyboard.hpp"
+
+namespace emsc::keylog {
+
+TimeNs
+Typist::interval(char prev, char next)
+{
+    double mean = p.baseIntervalMs;
+
+    if (prev != 0) {
+        // Salthouse (i): alternating hands overlap their motions and
+        // land sooner; same-finger travel is the slowest case, scaled
+        // further by how far the finger must move.
+        if (differentHands(prev, next)) {
+            mean *= p.alternateHandFactor;
+        } else if (sameFinger(prev, next)) {
+            double travel = keyDistance(prev, next);
+            mean *= p.sameFingerFactor * (1.0 + 0.1 * travel);
+        }
+
+        // Salthouse (ii): frequent digraphs are faster.
+        mean *= 1.0 - p.digraphSpeedup * digraphFrequency(prev, next);
+
+        // Word boundaries: typists plan the next word after the
+        // space, and reach for the space bar slightly deliberately.
+        if (prev == ' ')
+            mean *= p.wordInitialFactor;
+        else if (next == ' ')
+            mean *= p.preSpaceFactor;
+
+        // Salthouse (iii): practice within the session. Space-adjacent
+        // transitions are lifelong-practised and already at asymptote,
+        // so only letter digraphs speed up within the session.
+        if (prev != ' ' && next != ' ') {
+            auto key = std::make_pair(prev, next);
+            int &count = practiceCount[key];
+            double practice = std::max(
+                p.practiceFloor,
+                std::pow(p.practiceFactor, static_cast<double>(count)));
+            mean *= practice;
+            ++count;
+        }
+    }
+
+    // Positively skewed draw around the mean (humans pause, they do
+    // not anticipate): Gaussian core plus occasional hesitation tail.
+    double ms = mean * (1.0 + p.intervalSpread * rng.gaussian(0.0, 1.0));
+    // Hesitations cluster at word boundaries (thinking of the next
+    // word), rarely mid-word.
+    if (rng.chance(prev == ' ' ? 0.10 : 0.01))
+        ms += rng.exponential(mean);
+    ms = std::max(ms, p.minIntervalMs);
+    return fromMilliseconds(ms);
+}
+
+std::vector<Keystroke>
+Typist::type(const std::string &text, TimeNs start)
+{
+    std::vector<Keystroke> out;
+    out.reserve(text.size());
+
+    TimeNs t = start;
+    char prev = 0;
+    for (char c : text) {
+        if (prev != 0)
+            t += interval(prev, c);
+        double dwell =
+            std::max(25.0, rng.gaussian(p.dwellMs, p.dwellSigmaMs));
+        Keystroke k;
+        k.press = t;
+        k.release = t + fromMilliseconds(dwell);
+        k.key = c;
+        out.push_back(k);
+        prev = c;
+    }
+    return out;
+}
+
+} // namespace emsc::keylog

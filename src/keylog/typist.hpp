@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Human typist model: keystroke timing with Salthouse-style structure.
+ *
+ * §V-B summarises the empirical regularities the keylogger can later
+ * exploit: (i) far-apart keys (alternating hands) come in quicker
+ * succession than close/same-finger keys, (ii) frequent digraphs are
+ * typed faster than rare ones, (iii) practised sequences speed up over
+ * a session. The model draws inter-key intervals from a lognormal-ish
+ * base modulated by those factors, plus per-key dwell (press-release)
+ * times — producing the (t_p, t_r, k) tuples of §V-A as ground truth.
+ */
+
+#ifndef EMSC_KEYLOG_TYPIST_HPP
+#define EMSC_KEYLOG_TYPIST_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace emsc::keylog {
+
+/** One keystroke: the (t_p, t_r, k) tuple of §V-A. */
+struct Keystroke
+{
+    TimeNs press = 0;
+    TimeNs release = 0;
+    char key = 0;
+};
+
+/** Typist behaviour parameters. */
+struct TypistParams
+{
+    /** Mean inter-key interval for a neutral pair (ms). */
+    double baseIntervalMs = 230.0;
+    /** Lognormal-ish spread of the interval (fraction of mean). */
+    double intervalSpread = 0.17;
+    /** Floor below which no interval can fall (ms). */
+    double minIntervalMs = 70.0;
+    /** Multiplier when hands alternate (Salthouse (i): faster). */
+    double alternateHandFactor = 0.82;
+    /** Multiplier when the same finger must travel (slower). */
+    double sameFingerFactor = 1.25;
+    /** Maximum speed-up for the most frequent digraphs. */
+    double digraphSpeedup = 0.25;
+    /** Per-repetition speed-up of practised digraphs (iii). */
+    double practiceFactor = 0.985;
+    /** Floor of the practice effect. */
+    double practiceFloor = 0.75;
+    /** Slowdown entering a new word (after typing the space). */
+    double wordInitialFactor = 2.2;
+    /** Slight slowdown reaching for the space bar. */
+    double preSpaceFactor = 1.1;
+    /** Mean key dwell (press to release, ms). */
+    double dwellMs = 85.0;
+    /** Dwell spread (ms). */
+    double dwellSigmaMs = 16.0;
+};
+
+/**
+ * Generates keystroke sequences for given text.
+ */
+class Typist
+{
+  public:
+    Typist(const TypistParams &params, Rng &rng)
+        : p(params), rng(rng)
+    {
+    }
+
+    /**
+     * Type the text starting at `start`; returns one Keystroke per
+     * character, in press order. Practice state persists across calls
+     * (a session-long model).
+     */
+    std::vector<Keystroke> type(const std::string &text, TimeNs start);
+
+  private:
+    /** Inter-key interval (ns) between previous and next characters. */
+    TimeNs interval(char prev, char next);
+
+    TypistParams p;
+    Rng &rng;
+    std::map<std::pair<char, char>, int> practiceCount;
+};
+
+} // namespace emsc::keylog
+
+#endif // EMSC_KEYLOG_TYPIST_HPP

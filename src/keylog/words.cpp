@@ -1,0 +1,134 @@
+#include "keylog/words.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/stats.hpp"
+
+namespace emsc::keylog {
+
+std::vector<DetectedWord>
+groupWords(const std::vector<DetectedKeystroke> &keys,
+           const WordGroupingConfig &config)
+{
+    std::vector<DetectedWord> out;
+    if (keys.empty())
+        return out;
+
+    // Median inter-keystroke gap (start-to-start) sets the scale.
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < keys.size(); ++i)
+        gaps.push_back(toSeconds(keys[i].start - keys[i - 1].start));
+    double med = gaps.empty() ? 0.25 : median(gaps);
+    double split = std::max(config.gapFactor * med,
+                            config.minGapMs * 1e-3);
+
+    std::size_t first = 0;
+    for (std::size_t i = 1; i <= keys.size(); ++i) {
+        bool boundary =
+            i == keys.size() ||
+            toSeconds(keys[i].start - keys[i - 1].start) > split;
+        if (!boundary)
+            continue;
+        DetectedWord w;
+        w.first = first;
+        w.last = i - 1;
+        std::size_t count = i - first;
+        // A word group normally carries its trailing space keystroke;
+        // strip it from the letter count (the final group has none).
+        w.length = (i == keys.size()) ? count
+                                      : std::max<std::size_t>(1, count - 1);
+        out.push_back(w);
+        first = i;
+    }
+    return out;
+}
+
+CharAccuracy
+scoreCharacters(const std::vector<Keystroke> &truth,
+                const std::vector<DetectedKeystroke> &detected,
+                TimeNs tolerance)
+{
+    CharAccuracy acc;
+    acc.trueKeystrokes = truth.size();
+    acc.detections = detected.size();
+
+    // Greedy 1:1 matching in time order: each detection may claim the
+    // earliest unmatched true keystroke whose (press - tol, release +
+    // tol) interval overlaps the detection.
+    std::vector<bool> taken(truth.size(), false);
+    std::size_t cursor = 0;
+    for (const DetectedKeystroke &d : detected) {
+        bool matched = false;
+        for (std::size_t i = cursor; i < truth.size(); ++i) {
+            if (taken[i])
+                continue;
+            TimeNs lo = truth[i].press - tolerance;
+            TimeNs hi = truth[i].release + tolerance;
+            if (d.end < lo)
+                break; // truth is sorted; nothing earlier can match
+            if (d.start <= hi && d.end >= lo) {
+                taken[i] = true;
+                matched = true;
+                while (cursor < truth.size() && taken[cursor])
+                    ++cursor;
+                break;
+            }
+        }
+        if (matched)
+            ++acc.matched;
+        else
+            ++acc.falsePositives;
+    }
+    return acc;
+}
+
+WordAccuracy
+scoreWords(const std::vector<std::string> &true_words,
+           const std::vector<DetectedWord> &detected)
+{
+    WordAccuracy acc;
+    acc.trueWords = true_words.size();
+    acc.retrievedWords = detected.size();
+
+    // Align the two length sequences by minimum edit distance (unit
+    // indel, zero-cost match irrespective of length equality) and then
+    // score aligned pairs.
+    std::size_t n = true_words.size();
+    std::size_t m = detected.size();
+    std::vector<std::vector<std::uint32_t>> dp(
+        n + 1, std::vector<std::uint32_t>(m + 1, 0));
+    for (std::size_t i = 0; i <= n; ++i)
+        dp[i][0] = static_cast<std::uint32_t>(i);
+    for (std::size_t j = 0; j <= m; ++j)
+        dp[0][j] = static_cast<std::uint32_t>(j);
+    for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t j = 1; j <= m; ++j) {
+            std::uint32_t sub =
+                dp[i - 1][j - 1] +
+                (true_words[i - 1].size() == detected[j - 1].length ? 0
+                                                                    : 1);
+            dp[i][j] = std::min({sub, dp[i - 1][j] + 2, dp[i][j - 1] + 2});
+        }
+    }
+
+    std::size_t i = n, j = m;
+    while (i > 0 && j > 0) {
+        std::uint32_t sub_cost =
+            true_words[i - 1].size() == detected[j - 1].length ? 0 : 1;
+        if (dp[i][j] == dp[i - 1][j - 1] + sub_cost) {
+            ++acc.alignedWords;
+            if (sub_cost == 0)
+                ++acc.correctLength;
+            --i;
+            --j;
+        } else if (dp[i][j] == dp[i - 1][j] + 2) {
+            --i;
+        } else {
+            --j;
+        }
+    }
+    return acc;
+}
+
+} // namespace emsc::keylog

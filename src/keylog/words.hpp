@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Word segmentation and keylogging accuracy metrics (§V-C, Table IV).
+ *
+ * Once keystrokes are detected, words are reconstructed by grouping
+ * temporally close keystrokes (the Berger et al. style approach the
+ * paper uses): a new word starts whenever the gap to the previous
+ * keystroke exceeds a multiple of the running median gap. Character
+ * accuracy is scored as TPR/FPR against the ground-truth keystrokes;
+ * word-length accuracy as precision (retrieved words with the correct
+ * length) and recall (true words that were retrieved at all).
+ */
+
+#ifndef EMSC_KEYLOG_WORDS_HPP
+#define EMSC_KEYLOG_WORDS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "keylog/detector.hpp"
+#include "keylog/typist.hpp"
+
+namespace emsc::keylog {
+
+/** Word grouping configuration. */
+struct WordGroupingConfig
+{
+    /** A gap above this multiple of the median gap splits words. */
+    double gapFactor = 1.50;
+    /** Absolute minimum word-splitting gap (ms). */
+    double minGapMs = 300.0;
+};
+
+/** One reconstructed word. */
+struct DetectedWord
+{
+    /** Index range [first, last] into the detected keystroke list. */
+    std::size_t first = 0;
+    std::size_t last = 0;
+    /** Estimated letter count (trailing space keystroke removed). */
+    std::size_t length = 0;
+};
+
+/** Group detected keystrokes into words. */
+std::vector<DetectedWord>
+groupWords(const std::vector<DetectedKeystroke> &keys,
+           const WordGroupingConfig &config);
+
+/** Character-level detection quality (Table IV "Char. Acc."). */
+struct CharAccuracy
+{
+    std::size_t trueKeystrokes = 0;
+    std::size_t detections = 0;
+    std::size_t matched = 0;
+    std::size_t falsePositives = 0;
+
+    /** Fraction of true keystrokes that were detected. */
+    double
+    tpr() const
+    {
+        return trueKeystrokes
+                   ? static_cast<double>(matched) /
+                         static_cast<double>(trueKeystrokes)
+                   : 0.0;
+    }
+    /** Fraction of detections not matching any true keystroke. */
+    double
+    fpr() const
+    {
+        return detections
+                   ? static_cast<double>(falsePositives) /
+                         static_cast<double>(detections)
+                   : 0.0;
+    }
+};
+
+/**
+ * Match detections against ground truth: a detection matches a true
+ * keystroke when their intervals overlap (with `tolerance` slack);
+ * matching is 1:1 greedy in time order.
+ */
+CharAccuracy scoreCharacters(const std::vector<Keystroke> &truth,
+                             const std::vector<DetectedKeystroke> &detected,
+                             TimeNs tolerance = 30 * kMillisecond);
+
+/** Word-level accuracy (Table IV "Word Acc."). */
+struct WordAccuracy
+{
+    std::size_t trueWords = 0;
+    std::size_t retrievedWords = 0;
+    std::size_t alignedWords = 0;
+    std::size_t correctLength = 0;
+
+    /** Correct-length fraction of the retrieved words. */
+    double
+    precision() const
+    {
+        return retrievedWords
+                   ? static_cast<double>(correctLength) /
+                         static_cast<double>(retrievedWords)
+                   : 0.0;
+    }
+    /** Fraction of true words retrieved at all. */
+    double
+    recall() const
+    {
+        return trueWords
+                   ? static_cast<double>(alignedWords) /
+                         static_cast<double>(trueWords)
+                   : 0.0;
+    }
+};
+
+/**
+ * Score reconstructed word lengths against the true ones by aligning
+ * the two length sequences with minimum edit distance.
+ */
+WordAccuracy scoreWords(const std::vector<std::string> &true_words,
+                        const std::vector<DetectedWord> &detected);
+
+} // namespace emsc::keylog
+
+#endif // EMSC_KEYLOG_WORDS_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * IQ capture container for the software-defined-radio model.
+ */
+
+#ifndef EMSC_SDR_IQ_HPP
+#define EMSC_SDR_IQ_HPP
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace emsc::sdr {
+
+using IqSample = std::complex<double>;
+
+/** A complex-baseband capture with its acquisition geometry. */
+struct IqCapture
+{
+    /** Complex baseband samples. */
+    std::vector<IqSample> samples;
+    /** Sample rate (Hz). */
+    double sampleRate = 0.0;
+    /**
+     * Frequency the receiver *believes* it is tuned to (Hz). The
+     * tuner's ppm error means the true center differs slightly; the
+     * receiver does not know by how much.
+     */
+    double centerFrequency = 0.0;
+    /** Capture start time in the simulation. */
+    TimeNs startTime = 0;
+
+    /** Capture duration in seconds. */
+    double
+    duration() const
+    {
+        return sampleRate > 0.0
+                   ? static_cast<double>(samples.size()) / sampleRate
+                   : 0.0;
+    }
+
+    /**
+     * Baseband DFT bin index (for an M-point DFT) of an absolute
+     * radio frequency, as the receiver would compute it from its
+     * believed center frequency. Negative offsets wrap to the upper
+     * bins, matching DFT periodicity.
+     */
+    std::size_t
+    binForFrequency(double freq_hz, std::size_t window) const
+    {
+        double offset = freq_hz - centerFrequency;
+        double bin = offset * static_cast<double>(window) / sampleRate;
+        auto k = static_cast<long long>(std::llround(bin));
+        auto m = static_cast<long long>(window);
+        k %= m;
+        if (k < 0)
+            k += m;
+        return static_cast<std::size_t>(k);
+    }
+};
+
+} // namespace emsc::sdr
+
+#endif // EMSC_SDR_IQ_HPP

@@ -1,0 +1,101 @@
+#include "sdr/iqfile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace emsc::sdr {
+
+namespace {
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+unsigned char
+toU8(double v)
+{
+    double clamped = std::clamp(v, -1.0, 1.0);
+    // rtl_sdr convention: 0..255 with 127.5 as zero.
+    return static_cast<unsigned char>(
+        std::lround(clamped * 127.5 + 127.5));
+}
+
+} // namespace
+
+std::size_t
+writeIqU8(const IqCapture &capture, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+
+    std::vector<unsigned char> buf;
+    buf.reserve(capture.samples.size() * 2);
+    for (const IqSample &s : capture.samples) {
+        buf.push_back(toU8(s.real()));
+        buf.push_back(toU8(s.imag()));
+    }
+    std::size_t written =
+        std::fwrite(buf.data(), 1, buf.size(), f.get());
+    if (written != buf.size())
+        fatal("short write to '%s' (%zu of %zu bytes)", path.c_str(),
+              written, buf.size());
+    return capture.samples.size();
+}
+
+IqCapture
+readIqU8(const std::string &path, double sample_rate,
+         double center_frequency)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fatal("cannot open '%s' for reading", path.c_str());
+
+    IqCapture cap;
+    cap.sampleRate = sample_rate;
+    cap.centerFrequency = center_frequency;
+
+    std::vector<unsigned char> buf(1 << 16);
+    unsigned char pending = 0;
+    bool have_pending = false;
+    while (true) {
+        std::size_t n = std::fread(buf.data(), 1, buf.size(), f.get());
+        if (n == 0)
+            break;
+        std::size_t i = 0;
+        if (have_pending) {
+            cap.samples.push_back(IqSample{
+                (static_cast<double>(pending) - 127.5) / 127.5,
+                (static_cast<double>(buf[0]) - 127.5) / 127.5});
+            have_pending = false;
+            i = 1;
+        }
+        for (; i + 1 < n; i += 2) {
+            cap.samples.push_back(IqSample{
+                (static_cast<double>(buf[i]) - 127.5) / 127.5,
+                (static_cast<double>(buf[i + 1]) - 127.5) / 127.5});
+        }
+        if (i < n) {
+            pending = buf[i];
+            have_pending = true;
+        }
+    }
+    if (have_pending)
+        warn("'%s' has an odd byte count; trailing I sample dropped",
+             path.c_str());
+    return cap;
+}
+
+} // namespace emsc::sdr

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * IQ capture file I/O in the RTL-SDR interleaved-u8 format.
+ *
+ * rtl_sdr(1) and most SDR toolchains exchange captures as interleaved
+ * unsigned 8-bit I/Q samples with 127.5 as the zero level. Writing our
+ * simulated captures in that format lets them be inspected with the
+ * exact tools the paper's authors used (GNU Radio, gqrx, inspectrum),
+ * and reading lets externally recorded captures run through this
+ * repository's receiver pipeline.
+ */
+
+#ifndef EMSC_SDR_IQFILE_HPP
+#define EMSC_SDR_IQFILE_HPP
+
+#include <string>
+
+#include "sdr/iq.hpp"
+
+namespace emsc::sdr {
+
+/**
+ * Write the capture as interleaved u8 I/Q (rtl_sdr format). Sample
+ * values are expected in [-1, 1] (the RtlSdr model's full scale) and
+ * are clamped otherwise.
+ *
+ * @return number of complex samples written
+ */
+std::size_t writeIqU8(const IqCapture &capture, const std::string &path);
+
+/**
+ * Read an interleaved u8 I/Q file into a capture. The file carries no
+ * metadata, so the caller supplies the acquisition geometry.
+ */
+IqCapture readIqU8(const std::string &path, double sample_rate,
+                   double center_frequency);
+
+} // namespace emsc::sdr
+
+#endif // EMSC_SDR_IQFILE_HPP

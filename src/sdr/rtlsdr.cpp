@@ -1,0 +1,186 @@
+#include "sdr/rtlsdr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/logging.hpp"
+
+namespace emsc::sdr {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+} // namespace
+
+RtlSdr::RtlSdr(const SdrConfig &config, Rng &rng) : cfg(config), rng(rng)
+{
+    if (cfg.sampleRate <= 0.0)
+        fatal("SDR sample rate must be positive");
+    if (cfg.adcBits < 2 || cfg.adcBits > 16)
+        fatal("SDR ADC resolution %d out of range", cfg.adcBits);
+}
+
+double
+RtlSdr::actualLoFrequency() const
+{
+    return cfg.centerFrequency * (1.0 + cfg.tunerPpm * 1e-6);
+}
+
+void
+RtlSdr::depositImpulses(std::vector<IqSample> &buf,
+                        const std::vector<em::FieldImpulse> &impulses,
+                        TimeNs t0)
+{
+    double fs = cfg.sampleRate;
+    double lo = actualLoFrequency();
+    double drift = cfg.driftHzPerSecond;
+    auto n = static_cast<std::ptrdiff_t>(buf.size());
+
+    // Deposit a single complex impulse of amplitude `amp` occurring
+    // `t_rel` seconds into the capture, linearly split between its two
+    // neighbouring samples (adequately band-limited for bins well
+    // inside Nyquist; the fixed roll-off folds into calibration).
+    auto deposit = [&](double t_rel, double amp) {
+        // Mixer phase at the impulse instant, including slow LO drift:
+        // phi(t) = 2*pi*(lo*t + drift*t^2/2).
+        double phase = kTwoPi * (lo * t_rel + 0.5 * drift * t_rel * t_rel);
+        IqSample rotated = amp * IqSample{std::cos(phase),
+                                          -std::sin(phase)};
+        double pos = t_rel * fs;
+        auto i0 = static_cast<std::ptrdiff_t>(std::floor(pos));
+        double frac = pos - std::floor(pos);
+        if (i0 >= 0 && i0 < n)
+            buf[static_cast<std::size_t>(i0)] += rotated * (1.0 - frac);
+        if (i0 + 1 >= 0 && i0 + 1 < n)
+            buf[static_cast<std::size_t>(i0 + 1)] += rotated * frac;
+    };
+
+    for (const em::FieldImpulse &imp : impulses) {
+        double t_rel = toSeconds(imp.time - t0);
+        // di/dt of a trapezoidal current burst: a positive impulse at
+        // the rising edge and a negative one at the falling edge.
+        deposit(t_rel, imp.amplitude);
+        deposit(t_rel + toSeconds(imp.width), -imp.amplitude);
+    }
+}
+
+void
+RtlSdr::addTones(std::vector<IqSample> &buf,
+                 const std::vector<em::ToneInterferer> &tones, TimeNs t0)
+{
+    double fs = cfg.sampleRate;
+    double lo = actualLoFrequency();
+    double start_s = toSeconds(t0);
+
+    for (const em::ToneInterferer &tone : tones) {
+        if (tone.amplitude <= 0.0)
+            continue;
+        // Baseband offset of this tone through the (erroneous) LO.
+        double base = tone.frequency - lo;
+        // Recompute the phasor step once per block to track drift
+        // cheaply; within a block the frequency is constant. The
+        // initial phase derives from absolute time so chunked captures
+        // stay phase-continuous across boundaries.
+        constexpr std::size_t kBlock = 2048;
+        double phase = std::fmod(kTwoPi * base * start_s, kTwoPi);
+        for (std::size_t i = 0; i < buf.size(); i += kBlock) {
+            double t_mid = start_s +
+                           static_cast<double>(i) / fs;
+            double wobble =
+                tone.driftHz *
+                std::sin(kTwoPi * t_mid / tone.driftPeriodS);
+            double f_off = base + wobble;
+            double step = kTwoPi * f_off / fs;
+            std::size_t end = std::min(buf.size(), i + kBlock);
+            for (std::size_t j = i; j < end; ++j) {
+                buf[j] += tone.amplitude *
+                          IqSample{std::cos(phase), std::sin(phase)};
+                phase += step;
+            }
+            if (phase > kTwoPi * 1e6)
+                phase = std::fmod(phase, kTwoPi);
+        }
+    }
+}
+
+void
+RtlSdr::addNoise(std::vector<IqSample> &buf, double rms)
+{
+    if (rms <= 0.0)
+        return;
+    double per_component = rms / std::numbers::sqrt2;
+    for (IqSample &s : buf)
+        s += IqSample{rng.gaussian(0.0, per_component),
+                      rng.gaussian(0.0, per_component)};
+}
+
+double
+RtlSdr::measureAgcGain(const em::ReceptionPlan &plan, TimeNs t0, TimeNs t1)
+{
+    SdrConfig saved = cfg;
+    cfg.idealFrontEnd = true; // skip quantisation for the probe
+    IqCapture probe = capture(plan, t0, t1);
+    cfg = saved;
+    double acc = 0.0;
+    for (const IqSample &s : probe.samples)
+        acc += std::norm(s);
+    double rms = std::sqrt(acc /
+                           std::max<std::size_t>(probe.samples.size(), 1));
+    return rms > 0.0 ? cfg.agcTargetRms / rms : 1.0;
+}
+
+void
+RtlSdr::quantize(std::vector<IqSample> &buf)
+{
+    if (buf.empty())
+        return;
+
+    // AGC: normalise RMS to the target fraction of full scale, unless
+    // the operator fixed the gain (chunked captures).
+    double gain = cfg.fixedGain;
+    if (gain <= 0.0) {
+        double acc = 0.0;
+        for (const IqSample &s : buf)
+            acc += std::norm(s);
+        double rms = std::sqrt(acc / static_cast<double>(buf.size()));
+        gain = rms > 0.0 ? cfg.agcTargetRms / rms : 1.0;
+    }
+
+    double levels = static_cast<double>((1 << (cfg.adcBits - 1)) - 1);
+    for (IqSample &s : buf) {
+        double re = std::clamp(s.real() * gain + cfg.dcOffset, -1.0, 1.0);
+        double im = std::clamp(s.imag() * gain + cfg.dcOffset, -1.0, 1.0);
+        re = std::round(re * levels) / levels;
+        im = std::round(im * levels) / levels;
+        s = IqSample{re, im};
+    }
+}
+
+IqCapture
+RtlSdr::capture(const em::ReceptionPlan &plan, TimeNs t0, TimeNs t1)
+{
+    if (t1 <= t0)
+        fatal("RtlSdr::capture of an empty window");
+
+    IqCapture cap;
+    cap.sampleRate = cfg.sampleRate;
+    cap.centerFrequency = cfg.centerFrequency;
+    cap.startTime = t0;
+
+    auto count = static_cast<std::size_t>(toSeconds(t1 - t0) *
+                                          cfg.sampleRate);
+    cap.samples.assign(count, IqSample{0.0, 0.0});
+
+    depositImpulses(cap.samples, plan.impulses, t0);
+    depositImpulses(cap.samples, plan.noiseImpulses, t0);
+    addTones(cap.samples, plan.tones, t0);
+    addNoise(cap.samples, plan.noiseRms);
+    if (!cfg.idealFrontEnd)
+        quantize(cap.samples);
+
+    return cap;
+}
+
+} // namespace emsc::sdr

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * RTL-SDR v3 receiver model: baseband synthesis + front-end artefacts.
+ *
+ * The paper's receiver is a $25 RTL-SDR v3 sampling at 2.4 Msps
+ * (its maximum). This model synthesises the complex baseband the
+ * dongle would deliver for a ReceptionPlan: each di/dt field impulse
+ * is deposited as a band-limited (fractionally delayed) complex
+ * impulse after mixing with the (slightly inaccurate) local
+ * oscillator, tones and impulsive interference are added, then AWGN,
+ * automatic gain, a DC spur, and 8-bit quantisation are applied.
+ */
+
+#ifndef EMSC_SDR_RTLSDR_HPP
+#define EMSC_SDR_RTLSDR_HPP
+
+#include "em/scene.hpp"
+#include "sdr/iq.hpp"
+#include "support/rng.hpp"
+
+namespace emsc::sdr {
+
+/** Receiver configuration. */
+struct SdrConfig
+{
+    /** Sample rate (Hz); 2.4 Msps is the RTL-SDR's maximum. */
+    double sampleRate = 2.4e6;
+    /** Frequency the operator tunes to (Hz). */
+    double centerFrequency = 1.45e6;
+    /** Crystal error (parts per million); shifts the true LO. */
+    double tunerPpm = 9.0;
+    /** Slow LO drift (Hz per second), e.g. thermal. */
+    double driftHzPerSecond = 0.4;
+    /** ADC resolution in bits (RTL-SDR: 8). */
+    int adcBits = 8;
+    /** AGC target RMS as a fraction of ADC full scale. */
+    double agcTargetRms = 0.2;
+    /** Residual DC offset as a fraction of full scale. */
+    double dcOffset = 0.004;
+    /** Disable quantisation (ideal front end) for diagnostics. */
+    bool idealFrontEnd = false;
+    /**
+     * Fixed front-end gain. Zero (default) engages the AGC, which
+     * normalises each capture's RMS to agcTargetRms. Chunked
+     * (streaming) captures must use a fixed gain so chunk boundaries
+     * do not step in level; measureAgcGain() provides one.
+     */
+    double fixedGain = 0.0;
+};
+
+/**
+ * The receiver: turns a reception plan into the capture the attack
+ * pipeline processes.
+ */
+class RtlSdr
+{
+  public:
+    RtlSdr(const SdrConfig &config, Rng &rng);
+
+    /**
+     * Synthesise the capture for [t0, t1).
+     *
+     * @param plan  scaled emissions + interference from the EM scene
+     */
+    IqCapture capture(const em::ReceptionPlan &plan, TimeNs t0, TimeNs t1);
+
+    const SdrConfig &config() const { return cfg; }
+
+    /** True LO frequency including the ppm error (diagnostic). */
+    double actualLoFrequency() const;
+
+    /**
+     * Measure the AGC gain a capture of this plan would get, without
+     * producing samples — used to fix the gain before chunked capture.
+     */
+    double measureAgcGain(const em::ReceptionPlan &plan, TimeNs t0,
+                          TimeNs t1);
+
+  private:
+    void depositImpulses(std::vector<IqSample> &buf,
+                         const std::vector<em::FieldImpulse> &impulses,
+                         TimeNs t0);
+    void addTones(std::vector<IqSample> &buf,
+                  const std::vector<em::ToneInterferer> &tones, TimeNs t0);
+    void addNoise(std::vector<IqSample> &buf, double rms);
+    void quantize(std::vector<IqSample> &buf);
+
+    SdrConfig cfg;
+    Rng &rng;
+};
+
+} // namespace emsc::sdr
+
+#endif // EMSC_SDR_RTLSDR_HPP

@@ -1,0 +1,75 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace emsc::sim {
+
+EventId
+EventKernel::scheduleAt(TimeNs when, EventFn fn)
+{
+    if (when < now_)
+        panic("event scheduled in the past (when=%lld now=%lld)",
+              static_cast<long long>(when), static_cast<long long>(now_));
+    EventId id = nextId++;
+    queue.push(Entry{when, nextSeq++, id, std::move(fn)});
+    return id;
+}
+
+void
+EventKernel::cancel(EventId id)
+{
+    cancelledIds.push_back(id);
+    ++cancelled;
+}
+
+bool
+EventKernel::isCancelled(EventId id) const
+{
+    return std::find(cancelledIds.begin(), cancelledIds.end(), id) !=
+           cancelledIds.end();
+}
+
+std::size_t
+EventKernel::runUntil(TimeNs limit)
+{
+    std::size_t executed = 0;
+    while (!queue.empty() && queue.top().when <= limit) {
+        Entry e = queue.top();
+        queue.pop();
+        if (isCancelled(e.id)) {
+            cancelledIds.erase(std::find(cancelledIds.begin(),
+                                         cancelledIds.end(), e.id));
+            --cancelled;
+            continue;
+        }
+        now_ = e.when;
+        e.fn();
+        ++executed;
+    }
+    now_ = std::max(now_, limit);
+    return executed;
+}
+
+std::size_t
+EventKernel::runToExhaustion()
+{
+    std::size_t executed = 0;
+    while (!queue.empty()) {
+        Entry e = queue.top();
+        queue.pop();
+        if (isCancelled(e.id)) {
+            cancelledIds.erase(std::find(cancelledIds.begin(),
+                                         cancelledIds.end(), e.id));
+            --cancelled;
+            continue;
+        }
+        now_ = e.when;
+        e.fn();
+        ++executed;
+    }
+    return executed;
+}
+
+} // namespace emsc::sim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * All behavioural models (CPU core, OS timers, VRM, interference
+ * sources) schedule callbacks on a shared EventKernel. Time is an
+ * integer nanosecond tick; events at the same tick execute in
+ * scheduling order (a monotonically increasing sequence number breaks
+ * ties), so runs are fully deterministic.
+ */
+
+#ifndef EMSC_SIM_KERNEL_HPP
+#define EMSC_SIM_KERNEL_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace emsc::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/**
+ * Priority-queue based event kernel.
+ *
+ * The kernel is intentionally minimal: schedule, cancel, and run until
+ * either a time bound is reached or the queue drains. Models interact
+ * only through scheduled callbacks, which keeps subsystem coupling
+ * explicit and ordering reproducible.
+ */
+class EventKernel
+{
+  public:
+    EventKernel() = default;
+    EventKernel(const EventKernel &) = delete;
+    EventKernel &operator=(const EventKernel &) = delete;
+
+    /** Current simulation time. */
+    TimeNs now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute time (>= now()).
+     * @return an id usable with cancel().
+     */
+    EventId scheduleAt(TimeNs when, EventFn fn);
+
+    /** Schedule a callback delay ticks after now(). */
+    EventId
+    scheduleAfter(TimeNs delay, EventFn fn)
+    {
+        return scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an event that has
+     * already fired (or was already cancelled) is a harmless no-op.
+     */
+    void cancel(EventId id);
+
+    /**
+     * Execute events in time order until the queue is empty or the next
+     * event lies beyond the limit. Simulation time is left at the later
+     * of the last executed event and the limit.
+     *
+     * @param limit  inclusive time bound
+     * @return number of events executed
+     */
+    std::size_t runUntil(TimeNs limit);
+
+    /** Execute all remaining events (use with care: needs a finite set). */
+    std::size_t runToExhaustion();
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return queue.size() - cancelled; }
+
+  private:
+    struct Entry
+    {
+        TimeNs when;
+        std::uint64_t seq;
+        EventId id;
+        EventFn fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    bool isCancelled(EventId id) const;
+
+    TimeNs now_ = 0;
+    std::uint64_t nextSeq = 0;
+    EventId nextId = 1;
+    std::size_t cancelled = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    std::vector<EventId> cancelledIds;
+};
+
+} // namespace emsc::sim
+
+#endif // EMSC_SIM_KERNEL_HPP

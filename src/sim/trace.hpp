@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Piecewise-constant timelines of simulation quantities.
+ *
+ * The CPU model records its power state and load current as
+ * step-functions of time; the VRM and emanation models then sample or
+ * integrate these traces. A Timeline is append-only in time order,
+ * which matches how discrete-event models produce them.
+ */
+
+#ifndef EMSC_SIM_TRACE_HPP
+#define EMSC_SIM_TRACE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "support/logging.hpp"
+#include "support/types.hpp"
+
+namespace emsc::sim {
+
+/**
+ * Append-only piecewise-constant function of time.
+ *
+ * A timeline holds (time, value) change points; the value holds from
+ * its change point until the next one. Queries before the first change
+ * point return the initial value supplied at construction.
+ */
+template <typename T>
+class Timeline
+{
+  public:
+    struct Point
+    {
+        TimeNs time;
+        T value;
+    };
+
+    /** @param initial value in effect from time 0 until the first set(). */
+    explicit Timeline(T initial) : initial(initial) {}
+
+    /**
+     * Record that the quantity takes the given value from `when` on.
+     * Change points must be appended in non-decreasing time order;
+     * a same-time append overwrites the previous value.
+     */
+    void
+    set(TimeNs when, T value)
+    {
+        if (!points.empty()) {
+            if (when < points.back().time)
+                panic("Timeline::set out of order (%lld < %lld)",
+                      static_cast<long long>(when),
+                      static_cast<long long>(points.back().time));
+            if (when == points.back().time) {
+                points.back().value = value;
+                return;
+            }
+        }
+        points.push_back(Point{when, value});
+    }
+
+    /** Value in effect at the given time. */
+    T
+    at(TimeNs when) const
+    {
+        // Binary search for the last change point at or before `when`.
+        std::size_t lo = 0, hi = points.size();
+        while (lo < hi) {
+            std::size_t mid = (lo + hi) / 2;
+            if (points[mid].time <= when)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        if (lo == 0)
+            return initial;
+        return points[lo - 1].value;
+    }
+
+    /** Value currently at the end of the timeline. */
+    T
+    last() const
+    {
+        return points.empty() ? initial : points.back().value;
+    }
+
+    /** All recorded change points, in time order. */
+    const std::vector<Point> &changePoints() const { return points; }
+
+    /** Number of change points. */
+    std::size_t size() const { return points.size(); }
+
+    /** Remove all change points (the initial value is retained). */
+    void clear() { points.clear(); }
+
+    /**
+     * Integrate the timeline over [t0, t1) treating T as arithmetic;
+     * returns the time-weighted sum in units of value * seconds.
+     */
+    double
+    integrate(TimeNs t0, TimeNs t1) const
+        requires std::is_arithmetic_v<T>
+    {
+        if (t1 <= t0)
+            return 0.0;
+        double acc = 0.0;
+        TimeNs cursor = t0;
+        T current = at(t0);
+        for (const Point &p : points) {
+            if (p.time <= t0)
+                continue;
+            if (p.time >= t1)
+                break;
+            acc += static_cast<double>(current) * toSeconds(p.time - cursor);
+            cursor = p.time;
+            current = p.value;
+        }
+        acc += static_cast<double>(current) * toSeconds(t1 - cursor);
+        return acc;
+    }
+
+  private:
+    T initial;
+    std::vector<Point> points;
+};
+
+} // namespace emsc::sim
+
+#endif // EMSC_SIM_TRACE_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal gem5-style status and error reporting.
+ *
+ * Severity model follows the gem5 convention:
+ *  - inform(): normal operating message, no connotation of error.
+ *  - warn():   something may be modelled imperfectly but can proceed.
+ *  - fatal():  the user asked for something impossible; exit(1).
+ *  - panic():  an internal invariant was violated (a bug); abort().
+ */
+
+#ifndef EMSC_SUPPORT_LOGGING_HPP
+#define EMSC_SUPPORT_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace emsc {
+
+/** Print an informational message to stderr with an "info:" prefix. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message to stderr with a "warn:" prefix. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-caused error (bad configuration, impossible parameters)
+ * and terminate the process with exit code 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal logic error (a bug in emsc itself) and abort(),
+ * producing a core dump where enabled.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Enable or disable inform() output (warnings/errors always print). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is currently enabled. */
+bool verbose();
+
+} // namespace emsc
+
+#endif // EMSC_SUPPORT_LOGGING_HPP

@@ -1,0 +1,34 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace emsc {
+
+double
+Rng::rayleigh(double sigma)
+{
+    // Inverse-CDF sampling: F(x) = 1 - exp(-x^2 / (2 sigma^2)).
+    double u = uniform();
+    if (u >= 1.0)
+        u = std::nextafter(1.0, 0.0);
+    return sigma * std::sqrt(-2.0 * std::log1p(-u));
+}
+
+double
+Rng::skewedOvershoot(double core_sigma, double tail_mean)
+{
+    double core = std::fabs(gaussian(0.0, core_sigma));
+    double tail = tail_mean > 0.0 ? exponential(tail_mean) : 0.0;
+    return core + tail;
+}
+
+Rng
+Rng::fork()
+{
+    // Derive a child seed from the parent stream; children remain
+    // deterministic but decorrelated from subsequent parent draws.
+    std::uint64_t child_seed = engine();
+    return Rng(child_seed ^ 0x9e3779b97f4a7c15ull);
+}
+
+} // namespace emsc

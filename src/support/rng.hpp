@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic random-number generation for all stochastic models.
+ *
+ * Every model that needs randomness owns (or is handed) an Rng seeded
+ * explicitly by the experiment, so whole-system runs are reproducible.
+ * Beyond the standard distributions, this provides the two distributions
+ * the paper's measurements exhibit: Rayleigh (pulse-width spread,
+ * Fig. 6) and a positively skewed sleep-overshoot ("usleep may be
+ * lengthened slightly", §IV-A).
+ */
+
+#ifndef EMSC_SUPPORT_RNG_HPP
+#define EMSC_SUPPORT_RNG_HPP
+
+#include <cstdint>
+#include <random>
+
+namespace emsc {
+
+/**
+ * Seeded pseudo-random source wrapping std::mt19937_64 with the handful
+ * of draw helpers the simulation models need.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed) : engine(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine);
+    }
+
+    /** Standard normal scaled to the given mean and standard deviation. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine);
+    }
+
+    /** Exponential with the given mean (not rate). */
+    double
+    exponential(double mean)
+    {
+        return std::exponential_distribution<double>(1.0 / mean)(engine);
+    }
+
+    /**
+     * Rayleigh-distributed draw with scale parameter sigma
+     * (mode = sigma, mean = sigma * sqrt(pi/2)).
+     */
+    double rayleigh(double sigma);
+
+    /**
+     * Positively skewed timer-overshoot draw: a small Gaussian core plus
+     * an exponential right tail. Models how usleep()/timer wakeups are
+     * "lengthened slightly due to other system activity" but essentially
+     * never wake early.
+     *
+     * @param core_sigma  standard deviation of the symmetric component
+     * @param tail_mean   mean of the additive exponential tail
+     * @return a non-negative overshoot amount
+     */
+    double skewedOvershoot(double core_sigma, double tail_mean);
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Fork a child generator with an independent but derived stream. */
+    Rng fork();
+
+    /** Access the raw engine (for std::shuffle and friends). */
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace emsc
+
+#endif // EMSC_SUPPORT_RNG_HPP

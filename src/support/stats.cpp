@@ -1,0 +1,196 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace emsc {
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins)
+    : lo(lo_), hi(hi_), counts(bins, 0.0)
+{
+    if (bins == 0)
+        fatal("Histogram requires at least one bin");
+    if (!(hi > lo))
+        fatal("Histogram range must be non-empty (lo=%g hi=%g)", lo, hi);
+    width = (hi - lo) / static_cast<double>(bins);
+}
+
+Histogram
+Histogram::fromSamples(const std::vector<double> &samples, std::size_t bins)
+{
+    if (samples.empty())
+        fatal("Histogram::fromSamples requires a non-empty sample set");
+    auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
+    double lo = *mn;
+    double hi = *mx;
+    if (hi <= lo)
+        hi = lo + 1e-12; // degenerate constant input
+    Histogram h(lo, hi, bins);
+    for (double x : samples)
+        h.add(x);
+    return h;
+}
+
+void
+Histogram::add(double x)
+{
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+            static_cast<std::ptrdiff_t>(counts.size()) - 1);
+    counts[static_cast<std::size_t>(idx)] += 1.0;
+    total_ += 1.0;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo + (static_cast<double>(i) + 0.5) * width;
+}
+
+std::vector<double>
+Histogram::density() const
+{
+    std::vector<double> d(counts.size(), 0.0);
+    if (total_ <= 0.0)
+        return d;
+    double norm = 1.0 / (total_ * width);
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        d[i] = counts[i] * norm;
+    return d;
+}
+
+std::vector<double>
+Histogram::smoothedCounts(std::size_t radius) const
+{
+    std::vector<double> out(counts.size(), 0.0);
+    auto n = static_cast<std::ptrdiff_t>(counts.size());
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        int used = 0;
+        for (std::ptrdiff_t j = i - static_cast<std::ptrdiff_t>(radius);
+             j <= i + static_cast<std::ptrdiff_t>(radius); ++j) {
+            if (j < 0 || j >= n)
+                continue;
+            acc += counts[static_cast<std::size_t>(j)];
+            ++used;
+        }
+        out[static_cast<std::size_t>(i)] = used ? acc / used : 0.0;
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+Histogram::findPeaks(std::size_t radius, std::size_t min_separation) const
+{
+    std::vector<double> s = smoothedCounts(radius);
+    auto n = static_cast<std::ptrdiff_t>(s.size());
+
+    // Collect strict-or-plateau local maxima.
+    std::vector<std::size_t> candidates;
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+        double left = i > 0 ? s[static_cast<std::size_t>(i - 1)] : -1.0;
+        double right = i + 1 < n ? s[static_cast<std::size_t>(i + 1)] : -1.0;
+        double v = s[static_cast<std::size_t>(i)];
+        if (v > 0.0 && v >= left && v > right)
+            candidates.push_back(static_cast<std::size_t>(i));
+    }
+
+    // Strongest-first greedy selection with a separation constraint.
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::size_t a, std::size_t b) { return s[a] > s[b]; });
+    std::vector<std::size_t> picked;
+    for (std::size_t c : candidates) {
+        bool ok = true;
+        for (std::size_t p : picked) {
+            std::size_t d = c > p ? c - p : p - c;
+            if (d < min_separation) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            picked.push_back(c);
+    }
+    return picked;
+}
+
+double
+quantile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        fatal("quantile of an empty sample set");
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(samples.begin(), samples.end());
+    double pos = q * static_cast<double>(samples.size() - 1);
+    auto i = static_cast<std::size_t>(pos);
+    double frac = pos - static_cast<double>(i);
+    if (i + 1 >= samples.size())
+        return samples.back();
+    return samples[i] * (1.0 - frac) + samples[i + 1] * frac;
+}
+
+double
+median(std::vector<double> samples)
+{
+    return quantile(std::move(samples), 0.5);
+}
+
+double
+fitRayleighSigma(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        fatal("fitRayleighSigma of an empty sample set");
+    double acc = 0.0;
+    for (double x : samples)
+        acc += x * x;
+    return std::sqrt(acc / (2.0 * static_cast<double>(samples.size())));
+}
+
+double
+rayleighGoodness(const std::vector<double> &samples, double sigma)
+{
+    if (samples.empty() || sigma <= 0.0)
+        fatal("rayleighGoodness requires samples and a positive sigma");
+    std::vector<double> xs(samples);
+    std::sort(xs.begin(), xs.end());
+    auto n = static_cast<double>(xs.size());
+    // Cramer-von-Mises statistic against F(x) = 1 - exp(-x^2/(2 sigma^2)).
+    double w = 1.0 / (12.0 * n);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double z = xs[i] / sigma;
+        double f = 1.0 - std::exp(-0.5 * z * z);
+        double target = (2.0 * static_cast<double>(i) + 1.0) / (2.0 * n);
+        double d = f - target;
+        w += d * d;
+    }
+    return w / n;
+}
+
+} // namespace emsc

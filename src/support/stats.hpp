@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Streaming statistics, histograms and quantile helpers.
+ *
+ * The receiver-side algorithms in the paper are built on simple
+ * statistics of measured quantities: the median bit spacing (§IV-B2),
+ * the bimodal per-bit power histogram whose two peaks pick the decision
+ * threshold (Fig. 7), and the Rayleigh-shaped pulse-width PDF (Fig. 6).
+ * This header provides those primitives.
+ */
+
+#ifndef EMSC_SUPPORT_STATS_HPP
+#define EMSC_SUPPORT_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace emsc {
+
+/**
+ * Numerically stable running mean/variance/extrema accumulator
+ * (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n; }
+    /** Mean of the observations (0 when empty). */
+    double mean() const { return n ? mu : 0.0; }
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+    /** Square root of variance(). */
+    double stddev() const;
+    /** Smallest observation (+inf when empty). */
+    double min() const { return lo; }
+    /** Largest observation (-inf when empty). */
+    double max() const { return hi; }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 1e308;
+    double hi = -1e308;
+};
+
+/**
+ * Fixed-range equal-width histogram with the smoothing and peak-finding
+ * operations the threshold-selection algorithm needs.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    lower edge of the first bin
+     * @param hi    upper edge of the last bin (must exceed lo)
+     * @param bins  number of bins (must be at least 1)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Build a histogram spanning [min, max] of the given samples. */
+    static Histogram fromSamples(const std::vector<double> &samples,
+                                 std::size_t bins);
+
+    /** Add one sample; out-of-range samples clamp to the edge bins. */
+    void add(double x);
+
+    /** Number of bins. */
+    std::size_t size() const { return counts.size(); }
+    /** Raw count in bin i. */
+    double count(std::size_t i) const { return counts[i]; }
+    /** Center value of bin i. */
+    double binCenter(std::size_t i) const;
+    /** Total number of samples added. */
+    double total() const { return total_; }
+
+    /** Counts normalised to a probability density (integrates to ~1). */
+    std::vector<double> density() const;
+
+    /**
+     * Return a copy of the counts smoothed with a centered moving
+     * average of the given half-width (radius).
+     */
+    std::vector<double> smoothedCounts(std::size_t radius) const;
+
+    /**
+     * Find local maxima of the smoothed counts, strongest first.
+     *
+     * @param radius        smoothing radius applied before peak finding
+     * @param min_separation  minimum distance between peaks, in bins
+     * @return bin indices of the located peaks
+     */
+    std::vector<std::size_t> findPeaks(std::size_t radius,
+                                       std::size_t min_separation) const;
+
+  private:
+    double lo;
+    double hi;
+    double width;
+    double total_ = 0.0;
+    std::vector<double> counts;
+};
+
+/**
+ * Return the q-quantile (0 <= q <= 1) of the samples using linear
+ * interpolation between order statistics. The input is copied.
+ */
+double quantile(std::vector<double> samples, double q);
+
+/** Convenience wrapper: quantile(samples, 0.5). */
+double median(std::vector<double> samples);
+
+/**
+ * Maximum-likelihood Rayleigh scale estimate
+ * sigma^2 = sum(x_i^2) / (2 n). Used to check the Fig. 6 pulse-width
+ * distribution really is Rayleigh-shaped.
+ */
+double fitRayleighSigma(const std::vector<double> &samples);
+
+/**
+ * One-sample Cramer-von-Mises-style goodness statistic of the samples
+ * against a Rayleigh(sigma) distribution; smaller is a better fit.
+ */
+double rayleighGoodness(const std::vector<double> &samples, double sigma);
+
+} // namespace emsc
+
+#endif // EMSC_SUPPORT_STATS_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every emsc module.
+ *
+ * Simulation time is kept as a signed 64-bit count of nanoseconds. Using
+ * an integer tick (rather than floating-point seconds) keeps event
+ * ordering exact and makes every experiment bit-for-bit reproducible.
+ */
+
+#ifndef EMSC_SUPPORT_TYPES_HPP
+#define EMSC_SUPPORT_TYPES_HPP
+
+#include <cstdint>
+
+namespace emsc {
+
+/** Simulation time in integer nanoseconds. */
+using TimeNs = std::int64_t;
+
+/** Frequency in hertz. */
+using Hertz = double;
+
+/** Electrical quantities. */
+using Volts = double;
+using Amps = double;
+using Watts = double;
+using Coulombs = double;
+
+/** Dimensionless ratio expressed in decibels. */
+using Decibels = double;
+
+/** One microsecond expressed in simulation ticks. */
+inline constexpr TimeNs kMicrosecond = 1000;
+/** One millisecond expressed in simulation ticks. */
+inline constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+/** One second expressed in simulation ticks. */
+inline constexpr TimeNs kSecond = 1000 * kMillisecond;
+
+/** Convert a tick count to floating-point seconds. */
+constexpr double
+toSeconds(TimeNs t)
+{
+    return static_cast<double>(t) * 1e-9;
+}
+
+/** Convert floating-point seconds to the nearest tick count. */
+constexpr TimeNs
+fromSeconds(double s)
+{
+    return static_cast<TimeNs>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/** Convert floating-point microseconds to ticks. */
+constexpr TimeNs
+fromMicroseconds(double us)
+{
+    return fromSeconds(us * 1e-6);
+}
+
+/** Convert floating-point milliseconds to ticks. */
+constexpr TimeNs
+fromMilliseconds(double ms)
+{
+    return fromSeconds(ms * 1e-3);
+}
+
+} // namespace emsc
+
+#endif // EMSC_SUPPORT_TYPES_HPP

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Decibel and ratio conversion helpers used across the EM and SDR models.
+ */
+
+#ifndef EMSC_SUPPORT_UNITS_HPP
+#define EMSC_SUPPORT_UNITS_HPP
+
+#include <cmath>
+
+namespace emsc {
+
+/** Convert a power ratio to decibels. */
+inline double
+powerToDb(double ratio)
+{
+    return 10.0 * std::log10(ratio);
+}
+
+/** Convert decibels to a power ratio. */
+inline double
+dbToPower(double db)
+{
+    return std::pow(10.0, db / 10.0);
+}
+
+/** Convert an amplitude (field/voltage) ratio to decibels. */
+inline double
+amplitudeToDb(double ratio)
+{
+    return 20.0 * std::log10(ratio);
+}
+
+/** Convert decibels to an amplitude (field/voltage) ratio. */
+inline double
+dbToAmplitude(double db)
+{
+    return std::pow(10.0, db / 20.0);
+}
+
+} // namespace emsc
+
+#endif // EMSC_SUPPORT_UNITS_HPP

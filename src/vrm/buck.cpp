@@ -1,0 +1,81 @@
+#include "vrm/buck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace emsc::vrm {
+
+BuckConverter::BuckConverter(const BuckConfig &config, Rng &rng)
+    : cfg(config), rng(rng)
+{
+    if (cfg.switchFrequency <= 0.0)
+        fatal("buck switching frequency must be positive");
+    if (cfg.dutyCycle <= 0.0 || cfg.dutyCycle >= 1.0)
+        fatal("buck duty cycle must be in (0, 1)");
+}
+
+Hertz
+BuckConverter::effectiveFrequency() const
+{
+    return cfg.switchFrequency * (1.0 + cfg.frequencyErrorPpm * 1e-6);
+}
+
+std::vector<SwitchEvent>
+BuckConverter::generate(const sim::Timeline<double> &load, TimeNs t0,
+                        TimeNs t1)
+{
+    std::vector<SwitchEvent> events;
+    if (t1 <= t0)
+        return events;
+
+    double period_s = 1.0 / effectiveFrequency();
+    auto nominal_period = static_cast<double>(fromSeconds(period_s));
+    auto width = std::max<TimeNs>(
+        1, static_cast<TimeNs>(nominal_period * cfg.dutyCycle));
+
+    // Walk the load's change points alongside the switching grid so
+    // each period sees the load in effect at its start.
+    const auto &points = load.changePoints();
+    std::size_t pi = 0;
+    double current = load.at(t0);
+    double t = static_cast<double>(t0);
+    double deficit = 0.0; // accumulated un-replenished charge (coulombs)
+    double q_nominal = cfg.shedThreshold * period_s;
+
+    std::size_t estimated = static_cast<std::size_t>(
+        toSeconds(t1 - t0) * effectiveFrequency()) + 16;
+    events.reserve(estimated);
+
+    while (t < static_cast<double>(t1)) {
+        auto now = static_cast<TimeNs>(t);
+        while (pi < points.size() && points[pi].time <= now) {
+            current = points[pi].value;
+            ++pi;
+        }
+
+        if (current >= cfg.shedThreshold) {
+            // Continuous PWM: one burst per period carrying I * T.
+            events.push_back(SwitchEvent{now, current, width});
+            deficit = 0.0;
+        } else if (current > 0.0) {
+            // Pulse skipping: accumulate the deficit; emit a nominal
+            // burst only when a full pulse of charge is owed.
+            deficit += current * period_s;
+            if (deficit >= q_nominal) {
+                events.push_back(
+                    SwitchEvent{now, cfg.shedThreshold, width});
+                deficit -= q_nominal;
+            }
+        }
+
+        double jitter = cfg.periodJitterRms > 0.0
+                            ? rng.gaussian(0.0, cfg.periodJitterRms)
+                            : 0.0;
+        t += nominal_period * (1.0 + jitter);
+    }
+    return events;
+}
+
+} // namespace emsc::vrm

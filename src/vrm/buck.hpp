@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Buck-converter (step-down VRM) switching model.
+ *
+ * §II: the VRM replenishes its output capacitor with a burst of input
+ * current once per switching period T (1-4 us). Under light load it
+ * improves efficiency by *skipping* replenishment periods whose charge
+ * is not needed ("phase shedding" / pulse skipping). We model the skip
+ * decision as a first-order sigma-delta on the charge deficit, which
+ * keeps switching aligned to the T grid exactly as the paper
+ * describes, and makes the spectral line at f = 1/T proportional to
+ * the average load current — strong when the core is active, weak when
+ * it idles. That amplitude modulation *is* the side channel.
+ */
+
+#ifndef EMSC_VRM_BUCK_HPP
+#define EMSC_VRM_BUCK_HPP
+
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace emsc::vrm {
+
+/** One input-current burst produced by the converter. */
+struct SwitchEvent
+{
+    /** Burst start time. */
+    TimeNs time;
+    /**
+     * Burst current amplitude (amps). The EM emission couples to the
+     * di/dt edges of the burst, so this scales the emitted impulse.
+     */
+    double amplitude;
+    /** Burst (on-time) duration. */
+    TimeNs width;
+};
+
+/** Converter electrical/behavioural parameters. */
+struct BuckConfig
+{
+    /** Nominal switching frequency f = 1/T. */
+    Hertz switchFrequency = 970e3;
+    /**
+     * Load current above which the converter runs in continuous PWM
+     * (one burst per period); below it, periods are skipped.
+     */
+    Amps shedThreshold = 2.5;
+    /** On-time as a fraction of the switching period. */
+    double dutyCycle = 0.12;
+    /** RMS cycle-to-cycle period jitter, as a fraction of T. */
+    double periodJitterRms = 0.002;
+    /** Static frequency error of this unit (parts per million). */
+    double frequencyErrorPpm = 0.0;
+};
+
+/**
+ * Generates the switching-event stream for a load-current timeline.
+ */
+class BuckConverter
+{
+  public:
+    BuckConverter(const BuckConfig &config, Rng &rng);
+
+    /**
+     * Produce all bursts in [t0, t1) given the load the core drew.
+     *
+     * @param load  piecewise-constant load current (amps) vs. time
+     */
+    std::vector<SwitchEvent> generate(const sim::Timeline<double> &load,
+                                      TimeNs t0, TimeNs t1);
+
+    /** Effective switching frequency including the static error. */
+    Hertz effectiveFrequency() const;
+
+    const BuckConfig &config() const { return cfg; }
+
+  private:
+    BuckConfig cfg;
+    Rng &rng;
+};
+
+} // namespace emsc::vrm
+
+#endif // EMSC_VRM_BUCK_HPP

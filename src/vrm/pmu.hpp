@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Power management unit: couples the core to its voltage regulator.
+ *
+ * The PMU owns the VID interface (which voltage the VRM must supply
+ * for the current P-state) and exposes the VRM's switching activity
+ * for a simulated capture window. The processor side runs first (the
+ * discrete-event CPU/OS simulation fills the load-current timeline);
+ * the PMU then expands that timeline into the burst stream the
+ * emanation model radiates. The VRM never influences the core, so this
+ * two-phase split is exact and much faster than per-switch events.
+ */
+
+#ifndef EMSC_VRM_PMU_HPP
+#define EMSC_VRM_PMU_HPP
+
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "vrm/buck.hpp"
+
+namespace emsc::vrm {
+
+/**
+ * The PMU/VRM pair attached to one core.
+ */
+class Pmu
+{
+  public:
+    Pmu(const cpu::CpuCore &core, const BuckConfig &buck_config, Rng &rng)
+        : core(core), buck(buck_config, rng)
+    {
+    }
+
+    /** VID request: the supply voltage for a given P-state. */
+    static Volts
+    vidVoltage(const cpu::PState &pstate)
+    {
+        return pstate.voltage;
+    }
+
+    /** Switching bursts emitted during [t0, t1). */
+    std::vector<SwitchEvent>
+    switchingEvents(TimeNs t0, TimeNs t1)
+    {
+        return buck.generate(core.currentTrace(), t0, t1);
+    }
+
+    /** The VRM's actual switching frequency (with unit error). */
+    Hertz switchingFrequency() const { return buck.effectiveFrequency(); }
+
+    const BuckConverter &converter() const { return buck; }
+
+  private:
+    const cpu::CpuCore &core;
+    BuckConverter buck;
+};
+
+} // namespace emsc::vrm
+
+#endif // EMSC_VRM_PMU_HPP

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the Fig. 9 baseline covert channels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.hpp"
+
+namespace emsc::baselines {
+namespace {
+
+TEST(Baselines, AllEvaluateToPositiveRates)
+{
+    for (auto &b : allBaselines()) {
+        BaselineResult r = b->evaluate(1500, 0.01, 42);
+        EXPECT_GT(r.bitRateBps, 0.0) << r.name;
+        EXPECT_GE(r.ber, 0.0) << r.name;
+        EXPECT_LE(r.ber, 0.5) << r.name;
+        EXPECT_TRUE(r.simulated) << r.name;
+        EXPECT_FALSE(r.name.empty());
+        EXPECT_FALSE(r.notes.empty());
+    }
+}
+
+TEST(Baselines, DeterministicForEqualSeeds)
+{
+    auto thermal_a = makeThermalChannel();
+    auto thermal_b = makeThermalChannel();
+    BaselineResult a = thermal_a->evaluate(1000, 0.01, 7);
+    BaselineResult b = thermal_b->evaluate(1000, 0.01, 7);
+    EXPECT_DOUBLE_EQ(a.bitRateBps, b.bitRateBps);
+    EXPECT_DOUBLE_EQ(a.ber, b.ber);
+}
+
+TEST(Baselines, PhysicsOrderingHolds)
+{
+    // The defining claim behind Fig. 9: actuator speed orders the
+    // channels. Fan (rotor inertia) < thermal (package RC) <
+    // power-budget (ms actuation) < memory-bus EM (us bursts).
+    auto fan = makeFanAcousticChannel()->evaluate(1500, 0.01, 1);
+    auto thermal = makeThermalChannel()->evaluate(1500, 0.01, 1);
+    auto powert = makePowertChannel()->evaluate(1500, 0.01, 1);
+    auto gsmem = makeGsmemChannel()->evaluate(1500, 0.01, 1);
+    EXPECT_LT(fan.bitRateBps, thermal.bitRateBps);
+    EXPECT_LT(thermal.bitRateBps, powert.bitRateBps);
+    EXPECT_LT(powert.bitRateBps, gsmem.bitRateBps);
+}
+
+TEST(Baselines, GsmemLandsNearItsPublishedRate)
+{
+    auto gsmem = makeGsmemChannel()->evaluate(4000, 0.01, 3);
+    EXPECT_GT(gsmem.bitRateBps, 500.0);
+    EXPECT_LT(gsmem.bitRateBps, 2500.0);
+}
+
+TEST(Baselines, PowertLandsNearItsPublishedRate)
+{
+    auto powert = makePowertChannel()->evaluate(4000, 0.01, 3);
+    EXPECT_GT(powert.bitRateBps, 50.0);
+    EXPECT_LT(powert.bitRateBps, 300.0);
+}
+
+TEST(Baselines, ThermalIsSingleDigitBps)
+{
+    auto thermal = makeThermalChannel()->evaluate(2000, 0.01, 3);
+    EXPECT_GT(thermal.bitRateBps, 0.1);
+    EXPECT_LT(thermal.bitRateBps, 10.0);
+}
+
+TEST(Baselines, TighterBerTargetNeverSpeedsUp)
+{
+    for (auto &b : allBaselines()) {
+        BaselineResult loose = b->evaluate(2000, 0.05, 9);
+        BaselineResult tight = b->evaluate(2000, 0.002, 9);
+        EXPECT_GE(loose.bitRateBps, tight.bitRateBps) << loose.name;
+    }
+}
+
+TEST(Baselines, LiteratureEntriesAreLabelled)
+{
+    auto lit = literatureBaselines();
+    EXPECT_GE(lit.size(), 3u);
+    for (const auto &r : lit) {
+        EXPECT_FALSE(r.simulated);
+        EXPECT_GT(r.bitRateBps, 0.0);
+        EXPECT_FALSE(r.notes.empty());
+    }
+}
+
+} // namespace
+} // namespace emsc::baselines

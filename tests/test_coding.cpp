@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for channel coding and framing: Hamming(15,11) and the
+ * sync/preamble/length frame format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "channel/coding.hpp"
+#include "support/rng.hpp"
+
+namespace emsc::channel {
+namespace {
+
+Bits
+randomBits(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Bits b(n);
+    for (auto &v : b)
+        v = rng.chance(0.5) ? 1 : 0;
+    return b;
+}
+
+TEST(BitsBytes, RoundTripAscii)
+{
+    std::string msg = "Hello, PMU side channel!";
+    EXPECT_EQ(bitsToBytes(bytesToBits(msg)), msg);
+}
+
+TEST(BitsBytes, MsbFirstConvention)
+{
+    Bits b = bytesToBits(std::string(1, static_cast<char>(0x80)));
+    ASSERT_EQ(b.size(), 8u);
+    EXPECT_EQ(b[0], 1);
+    for (int i = 1; i < 8; ++i)
+        EXPECT_EQ(b[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(BitsBytes, PartialOctetsDropped)
+{
+    Bits b = {1, 0, 1};
+    EXPECT_TRUE(bitsToBytes(b).empty());
+}
+
+TEST(Hamming, EncodeExpandsElevenToFifteen)
+{
+    Bits data = randomBits(11, 1);
+    Bits coded = hammingEncode(data);
+    EXPECT_EQ(coded.size(), 15u);
+}
+
+TEST(Hamming, PadsPartialBlocks)
+{
+    Bits data = randomBits(5, 2);
+    Bits coded = hammingEncode(data);
+    EXPECT_EQ(coded.size(), 15u);
+}
+
+TEST(Hamming, CleanRoundTrip)
+{
+    Bits data = randomBits(110, 3);
+    auto res = hammingDecode(hammingEncode(data));
+    EXPECT_EQ(res.corrected, 0u);
+    ASSERT_GE(res.bits.size(), data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(res.bits[i], data[i]);
+}
+
+TEST(Hamming, CorrectsAnySingleBitErrorPerBlock)
+{
+    Bits data = randomBits(11, 4);
+    Bits coded = hammingEncode(data);
+    for (std::size_t pos = 0; pos < 15; ++pos) {
+        Bits corrupted = coded;
+        corrupted[pos] ^= 1;
+        auto res = hammingDecode(corrupted);
+        EXPECT_EQ(res.corrected, 1u) << "error position " << pos;
+        for (std::size_t i = 0; i < 11; ++i)
+            EXPECT_EQ(res.bits[i], data[i]) << "error position " << pos;
+    }
+}
+
+TEST(Hamming, MinimumDistanceIsThree)
+{
+    // Every pair of single-bit data differences produces codewords at
+    // Hamming distance >= 3 (spot-check all single-data-bit flips).
+    Bits zero(11, 0);
+    Bits base = hammingEncode(zero);
+    for (std::size_t i = 0; i < 11; ++i) {
+        Bits one(11, 0);
+        one[i] = 1;
+        Bits coded = hammingEncode(one);
+        int dist = 0;
+        for (std::size_t j = 0; j < 15; ++j)
+            dist += coded[j] != base[j];
+        EXPECT_GE(dist, 3) << "data bit " << i;
+    }
+}
+
+TEST(Hamming, DoubleErrorsDecodeWrongButDontCrash)
+{
+    Bits data = randomBits(11, 5);
+    Bits coded = hammingEncode(data);
+    coded[2] ^= 1;
+    coded[9] ^= 1;
+    auto res = hammingDecode(coded);
+    EXPECT_EQ(res.bits.size(), 11u); // decodes *something*
+}
+
+TEST(Hamming, TrailingPartialBlockDropped)
+{
+    Bits coded = randomBits(20, 6); // 15 + 5 stray bits
+    auto res = hammingDecode(coded);
+    EXPECT_EQ(res.bits.size(), 11u);
+}
+
+TEST(Frame, LayoutHasSyncZerosPreamblePayload)
+{
+    FrameConfig cfg;
+    Bits payload = randomBits(33, 7);
+    Bits frame = buildFrame(payload, cfg);
+
+    // Alternating sync.
+    for (std::size_t i = 0; i < cfg.syncBits; ++i)
+        EXPECT_EQ(frame[i], i % 2 == 0 ? 1 : 0);
+    // Zero run.
+    for (std::size_t i = 0; i < cfg.zeroBits; ++i)
+        EXPECT_EQ(frame[cfg.syncBits + i], 0);
+    // Preamble.
+    for (std::size_t i = 0; i < cfg.preamble.size(); ++i)
+        EXPECT_EQ(frame[cfg.syncBits + cfg.zeroBits + i],
+                  cfg.preamble[i]);
+    // Coded body: (16 + 33) bits -> 5 blocks of 15.
+    std::size_t body = frame.size() - cfg.syncBits - cfg.zeroBits -
+                       cfg.preamble.size();
+    EXPECT_EQ(body, 75u);
+}
+
+TEST(Frame, ParseRecoversPayloadExactly)
+{
+    FrameConfig cfg;
+    Bits payload = randomBits(200, 8);
+    Bits frame = buildFrame(payload, cfg);
+    ParsedFrame parsed = parseFrame(frame, cfg);
+    ASSERT_TRUE(parsed.found);
+    EXPECT_EQ(parsed.claimedLength, payload.size());
+    EXPECT_EQ(parsed.payload, payload);
+    EXPECT_EQ(parsed.corrected, 0u);
+}
+
+TEST(Frame, ParseSurvivesLeadingAndTrailingJunk)
+{
+    FrameConfig cfg;
+    Bits payload = randomBits(64, 9);
+    Bits frame = buildFrame(payload, cfg);
+    Bits stream = randomBits(40, 10);
+    // Junk rarely contains zeros+preamble; force a quiet prefix end.
+    for (std::size_t i = 30; i < 40; ++i)
+        stream[i] = 1;
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    Bits tail = randomBits(25, 11);
+    stream.insert(stream.end(), tail.begin(), tail.end());
+
+    ParsedFrame parsed = parseFrame(stream, cfg);
+    ASSERT_TRUE(parsed.found);
+    ASSERT_GE(parsed.payload.size(), payload.size());
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        EXPECT_EQ(parsed.payload[i], payload[i]);
+}
+
+TEST(Frame, SingleBitErrorsInBodyAreCorrected)
+{
+    FrameConfig cfg;
+    Bits payload = randomBits(44, 12);
+    Bits frame = buildFrame(payload, cfg);
+    std::size_t prefix =
+        cfg.syncBits + cfg.zeroBits + cfg.preamble.size();
+    // One flip per coded block.
+    for (std::size_t block = 0; block * 15 + prefix < frame.size();
+         ++block)
+        frame[prefix + block * 15 + (block % 15)] ^= 1;
+    ParsedFrame parsed = parseFrame(frame, cfg);
+    ASSERT_TRUE(parsed.found);
+    EXPECT_GT(parsed.corrected, 0u);
+    EXPECT_EQ(parsed.payload, payload);
+}
+
+TEST(Frame, PreambleToleranceAllowsOneError)
+{
+    FrameConfig cfg;
+    Bits payload = randomBits(22, 13);
+    Bits frame = buildFrame(payload, cfg);
+    frame[cfg.syncBits + cfg.zeroBits + 2] ^= 1; // corrupt preamble
+    ParsedFrame parsed = parseFrame(frame, cfg);
+    EXPECT_TRUE(parsed.found);
+}
+
+TEST(Frame, TooManyPreambleErrorsRejects)
+{
+    FrameConfig cfg;
+    // All-zero payload: the coded body cannot imitate the preamble, so
+    // the only possible lock is the genuine (corrupted) one.
+    Bits payload(22, 0);
+    Bits frame = buildFrame(payload, cfg);
+    std::size_t p0 = cfg.syncBits + cfg.zeroBits;
+    frame[p0 + 0] ^= 1;
+    frame[p0 + 3] ^= 1;
+    frame[p0 + 5] ^= 1;
+    ParsedFrame parsed = parseFrame(frame, cfg);
+    EXPECT_FALSE(parsed.found);
+}
+
+TEST(Frame, EmptyStreamNotFound)
+{
+    EXPECT_FALSE(parseFrame({}, FrameConfig{}).found);
+    EXPECT_FALSE(parseFrame({1, 0, 1}, FrameConfig{}).found);
+}
+
+TEST(Frame, OversizedPayloadIsFatal)
+{
+    Bits huge(70000, 1);
+    EXPECT_DEATH(buildFrame(huge, FrameConfig{}), "length");
+}
+
+/** Parameterised: frame round trip across payload sizes. */
+class FrameSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FrameSizes, RoundTrip)
+{
+    FrameConfig cfg;
+    Bits payload = randomBits(GetParam(), 100 + GetParam());
+    ParsedFrame parsed = parseFrame(buildFrame(payload, cfg), cfg);
+    ASSERT_TRUE(parsed.found);
+    EXPECT_EQ(parsed.payload, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FrameSizes,
+                         ::testing::Values(1, 2, 10, 11, 12, 100, 1000,
+                                           4096));
+
+} // namespace
+} // namespace emsc::channel

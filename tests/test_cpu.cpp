@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests for the CPU power-state model: tables, power, governors, the
+ * core state machine and the OS service layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/apps.hpp"
+#include "cpu/core.hpp"
+#include "cpu/governor.hpp"
+#include "cpu/os.hpp"
+#include "cpu/power.hpp"
+#include "cpu/states.hpp"
+
+namespace emsc::cpu {
+namespace {
+
+TEST(States, PStateTableOrderedByPerformance)
+{
+    PStateTable t = defaultPStates();
+    ASSERT_GE(t.size(), 2u);
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        EXPECT_LT(t.at(i).frequency, t.at(i - 1).frequency);
+        EXPECT_LT(t.at(i).voltage, t.at(i - 1).voltage);
+    }
+    EXPECT_EQ(t.fastest().index, 0);
+    EXPECT_EQ(t.slowest().index, static_cast<int>(t.size()) - 1);
+}
+
+TEST(States, CStateTableDeepensMonotonically)
+{
+    CStateTable t = defaultCStates();
+    ASSERT_GE(t.size(), 3u);
+    EXPECT_EQ(t.c0().index, 0);
+    for (std::size_t i = 2; i < t.size(); ++i) {
+        EXPECT_GT(t.at(i).exitLatency, t.at(i - 1).exitLatency);
+        EXPECT_GT(t.at(i).targetResidency, t.at(i - 1).targetResidency);
+        EXPECT_LT(t.at(i).idleCurrent, t.at(i - 1).idleCurrent);
+    }
+}
+
+TEST(Power, WorkDrawsMoreThanIdleLoop)
+{
+    PowerModel pm{PowerModel::Params{}};
+    PStateTable t = defaultPStates();
+    double work = pm.activeCurrent(t.fastest(), ActivityClass::Working);
+    double idle =
+        pm.activeCurrent(t.fastest(), ActivityClass::IdleLoop);
+    EXPECT_GT(work, idle);
+}
+
+TEST(Power, CurrentScalesWithPState)
+{
+    PowerModel pm{PowerModel::Params{}};
+    PStateTable t = defaultPStates();
+    double fast = pm.activeCurrent(t.fastest(), ActivityClass::Working);
+    double slow = pm.activeCurrent(t.slowest(), ActivityClass::Working);
+    EXPECT_GT(fast, 3.0 * slow); // V^2*f scaling is strong
+}
+
+TEST(Power, SleepCurrentComesFromTheTable)
+{
+    PowerModel pm{PowerModel::Params{}};
+    CStateTable t = defaultCStates();
+    EXPECT_DOUBLE_EQ(pm.sleepCurrent(t.deepest()),
+                     t.deepest().idleCurrent);
+}
+
+TEST(Power, ActiveVastlyExceedsDeepSleep)
+{
+    // The side channel requires a large active/idle current contrast.
+    PowerModel pm{PowerModel::Params{}};
+    double active = pm.activeCurrent(defaultPStates().fastest(),
+                                     ActivityClass::Working);
+    double sleep = pm.sleepCurrent(defaultCStates().deepest());
+    EXPECT_GT(active / sleep, 20.0);
+}
+
+TEST(Governor, CStateSelectionRespectsResidency)
+{
+    CStateTable t = defaultCStates();
+    CStateGovernor gov(t, CStateGovernor::Params{});
+    // Very short idle: the shallowest real C-state.
+    EXPECT_EQ(gov.select(1 * kMicrosecond).index, t.at(1).index);
+    // Very long idle: the deepest.
+    EXPECT_EQ(gov.select(kSecond).index, t.deepest().index);
+}
+
+TEST(Governor, DeeperStatesForLongerIdle)
+{
+    CStateTable t = defaultCStates();
+    CStateGovernor gov(t, CStateGovernor::Params{});
+    int prev = 0;
+    for (TimeNs idle :
+         {kMicrosecond, 100 * kMicrosecond, kMillisecond, kSecond}) {
+        int idx = gov.select(idle).index;
+        EXPECT_GE(idx, prev);
+        prev = idx;
+    }
+}
+
+TEST(Governor, DisabledCStatesAlwaysC0)
+{
+    CStateTable t = defaultCStates();
+    CStateGovernor::Params p;
+    p.enabled = false;
+    CStateGovernor gov(t, p);
+    EXPECT_EQ(gov.select(kSecond).index, 0);
+}
+
+TEST(Governor, PStateDisabledPinsNominal)
+{
+    PStateTable t = defaultPStates();
+    PStateGovernor::Params p;
+    p.enabled = false;
+    PStateGovernor gov(t, p);
+    EXPECT_EQ(gov.initialOnWake().index, 0);
+    EXPECT_EQ(gov.idleLoopState().index, 0);
+    EXPECT_EQ(gov.rampLatency(), 0);
+}
+
+TEST(Governor, PStateEnabledWakesSlow)
+{
+    PStateTable t = defaultPStates();
+    PStateGovernor gov(t, PStateGovernor::Params{});
+    EXPECT_EQ(gov.initialOnWake().index, t.slowest().index);
+    EXPECT_EQ(gov.sustained().index, 0);
+    EXPECT_GT(gov.rampLatency(), 0);
+}
+
+TEST(Core, StartsIdleInADeepState)
+{
+    sim::EventKernel k;
+    CpuCore core(k, CoreConfig{});
+    EXPECT_FALSE(core.busy());
+    // No wake hint: the governor picks the deepest state.
+    EXPECT_EQ(core.cstateTrace().last(),
+              defaultCStates().deepest().index);
+}
+
+TEST(Core, SubmitRunsWorkAndCallsBack)
+{
+    sim::EventKernel k;
+    CpuCore core(k, CoreConfig{});
+    bool done = false;
+    core.submit(1000000, [&] { done = true; });
+    EXPECT_TRUE(core.busy());
+    k.runUntil(kSecond);
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(core.busy());
+    EXPECT_EQ(core.cyclesRetired(), 1000000u);
+}
+
+TEST(Core, WorkDurationMatchesFrequency)
+{
+    sim::EventKernel k;
+    CoreConfig cfg;
+    CpuCore core(k, cfg);
+    TimeNs finished = 0;
+    // 2.8e9 cycles at 2.8 GHz sustained ~= 1 s (plus wake/ramp).
+    core.submit(2800000000ull, [&] { finished = k.now(); });
+    k.runUntil(3 * kSecond);
+    EXPECT_GT(finished, 900 * kMillisecond);
+    EXPECT_LT(finished, 1300 * kMillisecond);
+}
+
+TEST(Core, CurrentRisesWhenBusyFallsWhenIdle)
+{
+    sim::EventKernel k;
+    CpuCore core(k, CoreConfig{});
+    core.hintNextWake(10 * kMillisecond);
+    core.submit(2800000, nullptr); // ~1 ms of work
+    k.runUntil(5 * kMillisecond);
+    const auto &trace = core.currentTrace();
+    double busy_current = trace.at(500 * kMicrosecond);
+    double idle_current = trace.at(4 * kMillisecond);
+    EXPECT_GT(busy_current, 5.0);
+    EXPECT_LT(idle_current, 2.0);
+}
+
+TEST(Core, FifoOrderingOfWorkItems)
+{
+    sim::EventKernel k;
+    CpuCore core(k, CoreConfig{});
+    std::vector<int> order;
+    core.submit(1000, [&] { order.push_back(1); });
+    core.submit(1000, [&] { order.push_back(2); });
+    core.submit(1000, [&] { order.push_back(3); });
+    k.runUntil(kSecond);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Core, UtilizationReflectsDutyCycle)
+{
+    sim::EventKernel k;
+    CpuCore core(k, CoreConfig{});
+    // ~1 ms of work at 2.8 GHz, then idle until 10 ms.
+    core.submit(2800000, nullptr);
+    k.runUntil(10 * kMillisecond);
+    double util = core.utilization(0, 10 * kMillisecond);
+    EXPECT_GT(util, 0.05);
+    EXPECT_LT(util, 0.25);
+}
+
+TEST(Core, IdleHintSelectsShallowerStateThanNoHint)
+{
+    // Two identical cores run the same short job; one expects a wake
+    // shortly after finishing, the other has no timer armed. The
+    // hinted core must park shallower.
+    sim::EventKernel k1, k2;
+    CpuCore hinted(k1, CoreConfig{});
+    CpuCore unhinted(k2, CoreConfig{});
+    hinted.hintNextWake(260 * kMicrosecond);
+    hinted.submit(28000, nullptr); // ~10 us of work (plus wake costs)
+    unhinted.submit(28000, nullptr);
+    k1.runUntil(200 * kMicrosecond);
+    k2.runUntil(200 * kMicrosecond);
+    EXPECT_LT(hinted.cstateTrace().last(),
+              unhinted.cstateTrace().last());
+    EXPECT_EQ(unhinted.cstateTrace().last(),
+              defaultCStates().deepest().index);
+}
+
+TEST(Core, DisabledCStatesSpinInIdleLoop)
+{
+    sim::EventKernel k;
+    CoreConfig cfg;
+    cfg.cgov.enabled = false;
+    CpuCore core(k, cfg);
+    core.submit(28000, nullptr);
+    k.runUntil(kMillisecond);
+    EXPECT_EQ(core.cstateTrace().last(), 0);
+    // The idle loop draws real current.
+    EXPECT_GT(core.currentTrace().last(), 1.0);
+}
+
+TEST(Core, BothDisabledIdlesHot)
+{
+    sim::EventKernel k;
+    CoreConfig cfg;
+    cfg.cgov.enabled = false;
+    cfg.pgov.enabled = false;
+    CpuCore core(k, cfg);
+    core.submit(28000, nullptr);
+    k.runUntil(kMillisecond);
+    // Idle loop at nominal frequency: far above the shed threshold.
+    EXPECT_GT(core.currentTrace().last(), 5.0);
+}
+
+TEST(Os, SleepWakesAfterRequestedTime)
+{
+    Rng rng(1);
+    sim::EventKernel k;
+    CpuCore core(k, CoreConfig{});
+    OsModel os(k, core, makeUnixOsConfig(), rng);
+    TimeNs woke = 0;
+    os.sleepUs(100.0, [&] { woke = k.now(); });
+    k.runUntil(10 * kMillisecond);
+    EXPECT_GE(woke, 100 * kMicrosecond);
+    // Overshoot is bounded in practice (core+tail well under 100 us).
+    EXPECT_LT(woke, kMillisecond);
+}
+
+TEST(Os, WindowsSleepRoundsToGranularity)
+{
+    Rng rng(2);
+    sim::EventKernel k;
+    CpuCore core(k, CoreConfig{});
+    OsModel os(k, core, makeWindowsOsConfig(), rng);
+    TimeNs woke = 0;
+    os.sleepUs(100.0, [&] { woke = k.now(); });
+    k.runUntil(100 * kMillisecond);
+    // 100 us request rounds up to the 500 us multimedia tick.
+    EXPECT_GE(woke, 500 * kMicrosecond);
+}
+
+TEST(Os, SleepOvershootIsPositivelySkewed)
+{
+    Rng rng(3);
+    sim::EventKernel k;
+    CpuCore core(k, CoreConfig{});
+    OsModel os(k, core, makeUnixOsConfig(), rng);
+
+    std::vector<double> actuals;
+    std::function<void()> loop = [&] {
+        if (actuals.size() >= 200)
+            return;
+        TimeNs start = k.now();
+        os.sleepUs(100.0, [&, start] {
+            actuals.push_back(toSeconds(k.now() - start));
+            loop();
+        });
+    };
+    loop();
+    k.runUntil(10 * kSecond);
+    ASSERT_GE(actuals.size(), 100u);
+    double mean = 0.0;
+    for (double a : actuals)
+        mean += a;
+    mean /= static_cast<double>(actuals.size());
+    // Never early; mean noticeably above the request.
+    for (double a : actuals)
+        EXPECT_GE(a, 100e-6);
+    EXPECT_GT(mean, 103e-6);
+}
+
+TEST(Os, InjectBurstMakesTheCoreBusy)
+{
+    Rng rng(4);
+    sim::EventKernel k;
+    CpuCore core(k, CoreConfig{});
+    OsModel os(k, core, makeUnixOsConfig(), rng);
+    os.injectBurst(2800000);
+    EXPECT_TRUE(core.busy());
+    k.runUntil(10 * kMillisecond);
+    EXPECT_FALSE(core.busy());
+}
+
+TEST(Os, BackgroundActivityGeneratesWork)
+{
+    Rng rng(5);
+    sim::EventKernel k;
+    CpuCore core(k, CoreConfig{});
+    OsModel os(k, core, makeUnixOsConfig(), rng);
+    os.startBackgroundActivity(kSecond);
+    k.runUntil(kSecond);
+    EXPECT_GT(core.cyclesRetired(), 0u);
+    EXPECT_GT(core.utilization(0, kSecond), 0.0);
+}
+
+TEST(Os, BackgroundIntensityScalesActivity)
+{
+    auto busy_cycles = [](double intensity) {
+        Rng rng(6);
+        sim::EventKernel k;
+        CpuCore core(k, CoreConfig{});
+        OsModel os(k, core, makeUnixOsConfig(), rng);
+        os.setBackgroundIntensity(intensity);
+        os.startBackgroundActivity(kSecond);
+        k.runUntil(kSecond);
+        return core.cyclesRetired();
+    };
+    EXPECT_GT(busy_cycles(4.0), 2 * busy_cycles(1.0));
+    EXPECT_EQ(busy_cycles(0.0), 0u);
+}
+
+TEST(Apps, AlternatingLoadIterates)
+{
+    Rng rng(7);
+    sim::EventKernel k;
+    CpuCore core(k, CoreConfig{});
+    OsModel os(k, core, makeUnixOsConfig(), rng);
+    cpu::AlternatingLoadApp app(os, {200.0, 200.0});
+    app.start();
+    k.runUntil(100 * kMillisecond);
+    // ~100 ms / ~450 us per iteration: roughly 200 iterations.
+    EXPECT_GT(app.iterations(), 120u);
+    EXPECT_LT(app.iterations(), 260u);
+    // Utilization near 50%.
+    double util = core.utilization(0, 100 * kMillisecond);
+    EXPECT_GT(util, 0.3);
+    EXPECT_LT(util, 0.7);
+}
+
+/** Parameterised C-state selection sweep. */
+class CStateSweep : public ::testing::TestWithParam<long long>
+{
+};
+
+TEST_P(CStateSweep, SelectedStateResidencyFitsPrediction)
+{
+    CStateTable t = defaultCStates();
+    CStateGovernor gov(t, CStateGovernor::Params{});
+    TimeNs idle = GetParam();
+    const CState &s = gov.select(idle);
+    // Never pick a state whose residency exceeds the prediction,
+    // except the mandatory shallowest state.
+    if (s.index != t.at(1).index)
+        EXPECT_LE(s.targetResidency, idle);
+}
+
+INSTANTIATE_TEST_SUITE_P(IdleDurations, CStateSweep,
+                         ::testing::Values(0, 1000, 30000, 59000, 61000,
+                                           299000, 301000, 5000000,
+                                           1000000000));
+
+} // namespace
+} // namespace emsc::cpu

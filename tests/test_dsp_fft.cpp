@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the FFT implementation against first principles and the
+ * O(N^2) reference DFT.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "dsp/fft.hpp"
+#include "support/rng.hpp"
+
+namespace emsc::dsp {
+namespace {
+
+std::vector<Complex>
+randomSignal(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Complex> x(n);
+    for (auto &v : x)
+        v = Complex{rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+    return x;
+}
+
+double
+maxError(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+TEST(FftBasics, PowerOfTwoDetection)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(1000));
+}
+
+TEST(FftBasics, NextPowerOfTwo)
+{
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(2), 2u);
+    EXPECT_EQ(nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(nextPowerOfTwo(1000), 1024u);
+    EXPECT_EQ(nextPowerOfTwo(1024), 1024u);
+}
+
+TEST(FftBasics, ImpulseHasFlatSpectrum)
+{
+    std::vector<Complex> x(64, Complex{0.0, 0.0});
+    x[0] = Complex{1.0, 0.0};
+    auto X = fft(x);
+    for (const Complex &v : X)
+        EXPECT_NEAR(std::abs(v - Complex{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(FftBasics, ConstantConcentratesInDc)
+{
+    std::vector<Complex> x(32, Complex{1.0, 0.0});
+    auto X = fft(x);
+    EXPECT_NEAR(X[0].real(), 32.0, 1e-10);
+    for (std::size_t k = 1; k < X.size(); ++k)
+        EXPECT_NEAR(std::abs(X[k]), 0.0, 1e-10);
+}
+
+TEST(FftBasics, PureToneLandsOnItsBin)
+{
+    const std::size_t n = 128;
+    const std::size_t bin = 9;
+    std::vector<Complex> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double phase = 2.0 * std::numbers::pi *
+                       static_cast<double>(bin * i) /
+                       static_cast<double>(n);
+        x[i] = Complex{std::cos(phase), std::sin(phase)};
+    }
+    auto X = fft(x);
+    EXPECT_NEAR(std::abs(X[bin]), static_cast<double>(n), 1e-9);
+    for (std::size_t k = 0; k < n; ++k)
+        if (k != bin)
+            EXPECT_NEAR(std::abs(X[k]), 0.0, 1e-8);
+}
+
+TEST(FftBasics, EmptyInputGivesEmptyOutput)
+{
+    EXPECT_TRUE(fft({}).empty());
+    EXPECT_TRUE(ifft({}).empty());
+}
+
+TEST(FftBasics, LinearityHolds)
+{
+    auto a = randomSignal(256, 1);
+    auto b = randomSignal(256, 2);
+    std::vector<Complex> sum(256);
+    for (std::size_t i = 0; i < 256; ++i)
+        sum[i] = 2.0 * a[i] + 3.0 * b[i];
+    auto fa = fft(a);
+    auto fb = fft(b);
+    auto fsum = fft(sum);
+    std::vector<Complex> expected(256);
+    for (std::size_t i = 0; i < 256; ++i)
+        expected[i] = 2.0 * fa[i] + 3.0 * fb[i];
+    EXPECT_LT(maxError(fsum, expected), 1e-9);
+}
+
+TEST(FftBasics, RealInputHasConjugateSymmetry)
+{
+    Rng rng(3);
+    std::vector<double> x(64);
+    for (double &v : x)
+        v = rng.gaussian(0.0, 1.0);
+    auto X = fftReal(x);
+    for (std::size_t k = 1; k < 32; ++k)
+        EXPECT_NEAR(std::abs(X[k] - std::conj(X[64 - k])), 0.0, 1e-10);
+}
+
+TEST(FftBasics, MagnitudesMatchAbs)
+{
+    auto x = randomSignal(32, 5);
+    auto X = fft(x);
+    auto m = magnitudes(X);
+    for (std::size_t i = 0; i < X.size(); ++i)
+        EXPECT_DOUBLE_EQ(m[i], std::abs(X[i]));
+}
+
+/** Parameterised: FFT equals the reference DFT for many sizes. */
+class FftMatchesDft : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FftMatchesDft, ForwardAgreesWithReference)
+{
+    std::size_t n = GetParam();
+    auto x = randomSignal(n, 100 + n);
+    auto fast = fft(x);
+    auto ref = dftReference(x);
+    EXPECT_LT(maxError(fast, ref), 1e-7 * static_cast<double>(n));
+}
+
+TEST_P(FftMatchesDft, RoundTripRecoversInput)
+{
+    std::size_t n = GetParam();
+    auto x = randomSignal(n, 200 + n);
+    auto back = ifft(fft(x));
+    EXPECT_LT(maxError(back, x), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(FftMatchesDft, ParsevalHolds)
+{
+    std::size_t n = GetParam();
+    auto x = randomSignal(n, 300 + n);
+    auto X = fft(x);
+    double time_energy = 0.0, freq_energy = 0.0;
+    for (const Complex &v : x)
+        time_energy += std::norm(v);
+    for (const Complex &v : X)
+        freq_energy += std::norm(v);
+    EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+                1e-6 * time_energy * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, FftMatchesDft,
+    ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 45, 64,
+                      100, 128, 129, 255, 256),
+    [](const auto &info) {
+        return "N" + std::to_string(info.param);
+    });
+
+} // namespace
+} // namespace emsc::dsp

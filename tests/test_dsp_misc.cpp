@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Tests for windows, STFT, sliding DFT, convolution, peaks, filters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/convolution.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/filters.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/sliding_dft.hpp"
+#include "dsp/stft.hpp"
+#include "dsp/window.hpp"
+#include "support/rng.hpp"
+
+namespace emsc::dsp {
+namespace {
+
+TEST(Window, RectangularIsAllOnes)
+{
+    auto w = makeWindow(WindowKind::Rectangular, 16);
+    for (double v : w)
+        EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HannEndpointsAreZeroAndCenterIsOne)
+{
+    auto w = makeWindow(WindowKind::Hann, 65);
+    EXPECT_NEAR(w.front(), 0.0, 1e-12);
+    EXPECT_NEAR(w.back(), 0.0, 1e-12);
+    EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, HammingEndpointsAreNonZero)
+{
+    auto w = makeWindow(WindowKind::Hamming, 33);
+    EXPECT_NEAR(w.front(), 0.08, 1e-12);
+    EXPECT_NEAR(w.back(), 0.08, 1e-12);
+}
+
+TEST(Window, SumsMatchDirectComputation)
+{
+    auto w = makeWindow(WindowKind::Blackman, 50);
+    double s = 0.0, p = 0.0;
+    for (double v : w) {
+        s += v;
+        p += v * v;
+    }
+    EXPECT_DOUBLE_EQ(windowSum(w), s);
+    EXPECT_DOUBLE_EQ(windowPower(w), p);
+}
+
+TEST(Window, LengthOneIsUnity)
+{
+    auto w = makeWindow(WindowKind::Hann, 1);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(Stft, FrameCountMatchesGeometry)
+{
+    std::vector<double> x(10000, 0.0);
+    StftConfig cfg;
+    cfg.fftSize = 512;
+    cfg.hop = 128;
+    Spectrogram s = stft(x, 48000.0, cfg);
+    EXPECT_EQ(s.numFrames(), (10000 - 512) / 128 + 1);
+    EXPECT_EQ(s.numBins(), 257u);
+}
+
+TEST(Stft, ToneAppearsInCorrectBin)
+{
+    const double fs = 10000.0;
+    const double f0 = 1250.0;
+    std::vector<double> x(8192);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = std::sin(2.0 * std::numbers::pi * f0 *
+                        static_cast<double>(i) / fs);
+    StftConfig cfg;
+    cfg.fftSize = 1024;
+    cfg.hop = 512;
+    Spectrogram s = stft(x, fs, cfg);
+    ASSERT_GT(s.numFrames(), 0u);
+    // Strongest bin of the middle frame should be at f0.
+    const auto &frame = s.frames[s.numFrames() / 2];
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < frame.size(); ++k)
+        if (frame[k] > frame[best])
+            best = k;
+    EXPECT_NEAR(s.binFrequency(best), f0, fs / 1024.0);
+}
+
+TEST(Stft, ComplexVariantCoversFullBand)
+{
+    std::vector<Complex> x(4096, Complex{0.0, 0.0});
+    StftConfig cfg;
+    cfg.fftSize = 1024;
+    cfg.hop = 1024;
+    Spectrogram s = stftComplex(x, 2.4e6, cfg, 1.45e6);
+    EXPECT_EQ(s.numBins(), 1024u);
+    EXPECT_NEAR(s.binFrequency(0), 1.45e6 - 1.2e6, 1.0);
+    EXPECT_NEAR(s.binFrequency(1023), 1.45e6 + 1.2e6 - 2.4e6 / 1024,
+                1e3);
+}
+
+TEST(Stft, NearestBinInvertsBinFrequency)
+{
+    std::vector<double> x(4096, 0.0);
+    StftConfig cfg;
+    Spectrogram s = stft(x, 2.4e6, cfg);
+    for (std::size_t k : {std::size_t{0}, std::size_t{100},
+                          std::size_t{512}})
+        EXPECT_EQ(s.nearestBin(s.binFrequency(k)), k);
+}
+
+TEST(Stft, AsciiRenderIsNonEmpty)
+{
+    std::vector<double> x(4096, 1.0);
+    Spectrogram s = stft(x, 1e6, StftConfig{});
+    std::string art = s.renderAscii(16, 60);
+    EXPECT_FALSE(art.empty());
+    EXPECT_NE(art.find('\n'), std::string::npos);
+}
+
+TEST(SlidingDft, MatchesDirectDftOnRandomInput)
+{
+    const std::size_t m = 64;
+    Rng rng(8);
+    std::vector<Complex> x(400);
+    for (auto &v : x)
+        v = Complex{rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+
+    SlidingDft sdft(m, {3, 17});
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        double y = sdft.push(x[n]);
+        if (n < m - 1)
+            continue;
+        // Direct DFT over the last m samples.
+        double expected = 0.0;
+        for (std::size_t kidx = 0; kidx < 2; ++kidx) {
+            std::size_t k = kidx == 0 ? 3 : 17;
+            Complex acc{0.0, 0.0};
+            for (std::size_t j = 0; j < m; ++j) {
+                double angle = -2.0 * std::numbers::pi *
+                               static_cast<double>(k * j) /
+                               static_cast<double>(m);
+                acc += x[n - m + 1 + j] *
+                       Complex{std::cos(angle), std::sin(angle)};
+            }
+            expected += std::abs(acc);
+        }
+        EXPECT_NEAR(y, expected, 1e-6);
+    }
+}
+
+TEST(SlidingDft, ResetClearsState)
+{
+    SlidingDft sdft(16, {1});
+    for (int i = 0; i < 40; ++i)
+        sdft.push(Complex{1.0, 0.0});
+    sdft.reset();
+    EXPECT_EQ(sdft.samplesSeen(), 0u);
+    double y = sdft.push(Complex{0.0, 0.0});
+    EXPECT_NEAR(y, 0.0, 1e-12);
+}
+
+TEST(SlidingDft, TrackedToneGivesFullWindowMagnitude)
+{
+    const std::size_t m = 128;
+    const std::size_t bin = 5;
+    SlidingDft sdft(m, {bin});
+    double last = 0.0;
+    for (std::size_t i = 0; i < 4 * m; ++i) {
+        double angle = 2.0 * std::numbers::pi *
+                       static_cast<double>(bin * i) /
+                       static_cast<double>(m);
+        last = sdft.push(Complex{std::cos(angle), std::sin(angle)});
+    }
+    EXPECT_NEAR(last, static_cast<double>(m), 1e-6);
+}
+
+TEST(SlidingDft, AcquireBatchesWholeCapture)
+{
+    std::vector<Complex> x(300, Complex{1.0, 0.0});
+    auto y = SlidingDft::acquire(x, 32, {0});
+    EXPECT_EQ(y.size(), x.size());
+    EXPECT_NEAR(y.back(), 32.0, 1e-9);
+}
+
+TEST(Convolution, KnownSmallCase)
+{
+    auto c = convolve({1.0, 2.0, 3.0}, {0.0, 1.0, 0.5});
+    ASSERT_EQ(c.size(), 5u);
+    EXPECT_DOUBLE_EQ(c[0], 0.0);
+    EXPECT_DOUBLE_EQ(c[1], 1.0);
+    EXPECT_DOUBLE_EQ(c[2], 2.5);
+    EXPECT_DOUBLE_EQ(c[3], 4.0);
+    EXPECT_DOUBLE_EQ(c[4], 1.5);
+}
+
+TEST(Convolution, FftAgreesWithDirect)
+{
+    Rng rng(10);
+    std::vector<double> a(123), b(77);
+    for (double &v : a)
+        v = rng.gaussian(0.0, 1.0);
+    for (double &v : b)
+        v = rng.gaussian(0.0, 1.0);
+    auto direct = convolve(a, b);
+    auto fast = convolveFft(a, b);
+    ASSERT_EQ(direct.size(), fast.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_NEAR(direct[i], fast[i], 1e-8);
+}
+
+TEST(Convolution, EmptyInputsGiveEmptyOutput)
+{
+    EXPECT_TRUE(convolve({}, {1.0}).empty());
+    EXPECT_TRUE(convolveFft({1.0}, {}).empty());
+}
+
+TEST(EdgeDetect, StepProducesPeakAtStepLocation)
+{
+    std::vector<double> x(200, 0.0);
+    for (std::size_t i = 100; i < 200; ++i)
+        x[i] = 1.0;
+    auto e = edgeDetect(x, 20);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < e.size(); ++i)
+        if (e[i] > e[best])
+            best = i;
+    EXPECT_NEAR(static_cast<double>(best), 100.0, 1.0);
+    // Peak value equals half the kernel length times the step height.
+    EXPECT_NEAR(e[best], 10.0, 1e-9);
+}
+
+TEST(EdgeDetect, FallingEdgeGivesNegativeResponse)
+{
+    std::vector<double> x(200, 1.0);
+    for (std::size_t i = 100; i < 200; ++i)
+        x[i] = 0.0;
+    auto e = edgeDetect(x, 20);
+    double mn = 1e9;
+    for (double v : e)
+        mn = std::min(mn, v);
+    EXPECT_LT(mn, -9.0);
+}
+
+TEST(EdgeDetect, RejectsOddKernel)
+{
+    std::vector<double> x(50, 0.0);
+    EXPECT_DEATH(edgeDetect(x, 7), "even");
+}
+
+TEST(Peaks, FindsIsolatedMaxima)
+{
+    std::vector<double> x(100, 0.0);
+    x[20] = 5.0;
+    x[60] = 3.0;
+    auto p = findPeaks(x, PeakOptions{});
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p[0], 20u);
+    EXPECT_EQ(p[1], 60u);
+}
+
+TEST(Peaks, MinHeightFilters)
+{
+    std::vector<double> x(100, 0.0);
+    x[20] = 5.0;
+    x[60] = 1.0;
+    PeakOptions opt;
+    opt.minHeight = 2.0;
+    auto p = findPeaks(x, opt);
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p[0], 20u);
+}
+
+TEST(Peaks, MinDistanceKeepsTaller)
+{
+    std::vector<double> x(100, 0.0);
+    x[20] = 3.0;
+    x[25] = 5.0;
+    PeakOptions opt;
+    opt.minDistance = 10;
+    auto p = findPeaks(x, opt);
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p[0], 25u);
+}
+
+TEST(Peaks, PlateauReportsFirstIndex)
+{
+    std::vector<double> x = {0.0, 1.0, 1.0, 1.0, 0.0};
+    auto p = findPeaks(x, PeakOptions{});
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p[0], 1u);
+}
+
+TEST(Peaks, RefineCentroidsSymmetricPeak)
+{
+    std::vector<double> x(50, 0.0);
+    x[24] = 1.0;
+    x[25] = 2.0;
+    x[26] = 1.0;
+    auto refined = refinePeaks(x, {25}, 2);
+    ASSERT_EQ(refined.size(), 1u);
+    EXPECT_NEAR(refined[0], 25.0, 1e-9);
+}
+
+TEST(Filters, MovingAverageOfConstantIsConstant)
+{
+    std::vector<double> x(50, 3.0);
+    auto y = movingAverage(x, 4);
+    for (double v : y)
+        EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(Filters, MovingAverageSmoothsImpulse)
+{
+    std::vector<double> x(21, 0.0);
+    x[10] = 9.0;
+    auto y = movingAverage(x, 4);
+    EXPECT_NEAR(y[10], 1.0, 1e-12);
+    EXPECT_NEAR(y[6], 1.0, 1e-12); // impulse inside the window
+    EXPECT_NEAR(y[5], 0.0, 1e-12);
+}
+
+TEST(Filters, MedianRemovesIsolatedSpike)
+{
+    std::vector<double> x(21, 1.0);
+    x[10] = 100.0;
+    auto y = medianFilter(x, 2);
+    EXPECT_DOUBLE_EQ(y[10], 1.0);
+}
+
+TEST(Filters, LowPassConvergesToStep)
+{
+    std::vector<double> x(200, 1.0);
+    auto y = singlePoleLowPass(x, 0.1);
+    EXPECT_GT(y[0], 0.0);
+    EXPECT_NEAR(y.back(), 1.0, 1e-6);
+    for (std::size_t i = 1; i < y.size(); ++i)
+        EXPECT_GE(y[i] + 1e-12, y[i - 1]); // monotone approach
+}
+
+TEST(Filters, PowerSquares)
+{
+    auto y = power({1.0, -2.0, 3.0});
+    EXPECT_DOUBLE_EQ(y[0], 1.0);
+    EXPECT_DOUBLE_EQ(y[1], 4.0);
+    EXPECT_DOUBLE_EQ(y[2], 9.0);
+}
+
+/** Parameterised: convolution sizes round-trip through both paths. */
+class ConvSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(ConvSizes, DirectAndFftAgree)
+{
+    auto [na, nb] = GetParam();
+    Rng rng(na * 131 + nb);
+    std::vector<double> a(na), b(nb);
+    for (double &v : a)
+        v = rng.uniform(-1.0, 1.0);
+    for (double &v : b)
+        v = rng.uniform(-1.0, 1.0);
+    auto d = convolve(a, b);
+    auto f = convolveFft(a, b);
+    ASSERT_EQ(d.size(), f.size());
+    for (std::size_t i = 0; i < d.size(); ++i)
+        EXPECT_NEAR(d[i], f[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ConvSizes,
+    ::testing::Values(std::make_pair(std::size_t{1}, std::size_t{1}),
+                      std::make_pair(std::size_t{5}, std::size_t{1}),
+                      std::make_pair(std::size_t{16}, std::size_t{16}),
+                      std::make_pair(std::size_t{33}, std::size_t{7}),
+                      std::make_pair(std::size_t{100}, std::size_t{64})));
+
+} // namespace
+} // namespace emsc::dsp

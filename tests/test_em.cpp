@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the EM scene: propagation, antennas, interference and
+ * reception-plan assembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/antenna.hpp"
+#include "em/interference.hpp"
+#include "em/propagation.hpp"
+#include "em/scene.hpp"
+#include "support/units.hpp"
+
+namespace emsc::em {
+namespace {
+
+TEST(Propagation, UnityAtReferenceDistance)
+{
+    PropagationPath p;
+    p.distanceMeters = p.referenceMeters;
+    EXPECT_NEAR(p.amplitudeFactor(), 1.0, 1e-12);
+}
+
+TEST(Propagation, AmplitudeFallsWithDistance)
+{
+    PropagationPath p;
+    double prev = 1e18;
+    for (double d : {0.1, 0.5, 1.0, 1.5, 2.5, 5.0}) {
+        p.distanceMeters = d;
+        double a = p.amplitudeFactor();
+        EXPECT_LT(a, prev);
+        prev = a;
+    }
+}
+
+TEST(Propagation, RolloffExponentGovernsSlope)
+{
+    PropagationPath p;
+    p.distanceMeters = 1.0;
+    p.rolloffExponent = 2.0;
+    double a2 = p.amplitudeFactor();
+    p.rolloffExponent = 1.0;
+    double a1 = p.amplitudeFactor();
+    // 0.1 -> 1.0 m is 10x: exponent 2 gives 100x loss, exponent 1
+    // gives 10x.
+    EXPECT_NEAR(a2, 0.01, 1e-9);
+    EXPECT_NEAR(a1, 0.1, 1e-9);
+}
+
+TEST(Propagation, WallAttenuationAppliesInDb)
+{
+    PropagationPath p;
+    p.distanceMeters = p.referenceMeters;
+    p.wallAttenuationDb = 20.0;
+    EXPECT_NEAR(p.amplitudeFactor(), 0.1, 1e-9);
+}
+
+TEST(Propagation, OrientationScalesLinearly)
+{
+    PropagationPath p;
+    p.distanceMeters = p.referenceMeters;
+    p.orientationFactor = 0.5;
+    EXPECT_NEAR(p.amplitudeFactor(), 0.5, 1e-12);
+}
+
+TEST(Antenna, LoopHasMoreGainThanCoil)
+{
+    AntennaModel coil = makeCoilProbe();
+    AntennaModel loop = makeLoopAntenna();
+    EXPECT_GT(loop.gain, coil.gain);
+    EXPECT_GT(coil.noiseRms, 0.0);
+    EXPECT_GT(loop.noiseRms, 0.0);
+    EXPECT_EQ(coil.kind, AntennaKind::CoilProbe);
+    EXPECT_EQ(loop.kind, AntennaKind::LoopAntenna);
+}
+
+TEST(Interference, EnvironmentsGrowRicher)
+{
+    EXPECT_TRUE(quietEnvironment().tones.empty());
+    EXPECT_TRUE(quietEnvironment().impulses.empty());
+    InterferenceEnvironment office = officeEnvironment();
+    InterferenceEnvironment rooms = twoRoomEnvironment();
+    EXPECT_GE(rooms.tones.size(), office.tones.size() + 1);
+    EXPECT_GE(rooms.impulses.size(), office.impulses.size() + 1);
+}
+
+TEST(Scene, PlanScalesImpulsesByPathAndGain)
+{
+    SceneConfig cfg;
+    cfg.emitterCoupling = 0.1;
+    cfg.path.distanceMeters = cfg.path.referenceMeters;
+    cfg.antenna = makeCoilProbe();
+    cfg.environment = quietEnvironment();
+
+    std::vector<vrm::SwitchEvent> events = {
+        {100, 10.0, 120},
+        {200, 5.0, 120},
+    };
+    Rng rng(1);
+    ReceptionPlan plan = buildReceptionPlan(cfg, events, 0, 1000, rng);
+    ASSERT_EQ(plan.impulses.size(), 2u);
+    EXPECT_NEAR(plan.impulses[0].amplitude, 1.0, 1e-12);
+    EXPECT_NEAR(plan.impulses[1].amplitude, 0.5, 1e-12);
+    EXPECT_EQ(plan.impulses[0].time, 100);
+    EXPECT_DOUBLE_EQ(plan.noiseRms, cfg.antenna.noiseRms);
+}
+
+TEST(Scene, PlanFiltersEventsOutsideWindow)
+{
+    SceneConfig cfg;
+    std::vector<vrm::SwitchEvent> events = {
+        {50, 1.0, 10}, {150, 1.0, 10}, {250, 1.0, 10}};
+    Rng rng(2);
+    ReceptionPlan plan = buildReceptionPlan(cfg, events, 100, 200, rng);
+    ASSERT_EQ(plan.impulses.size(), 1u);
+    EXPECT_EQ(plan.impulses[0].time, 150);
+}
+
+TEST(Scene, ImpulsiveInterferenceRealizedAtConfiguredRate)
+{
+    SceneConfig cfg;
+    cfg.environment = quietEnvironment();
+    ImpulsiveInterferer imp;
+    imp.ratePerSecond = 100.0;
+    imp.amplitude = 1.0;
+    imp.burstLength = 1;
+    cfg.environment.impulses.push_back(imp);
+
+    Rng rng(3);
+    ReceptionPlan plan =
+        buildReceptionPlan(cfg, {}, 0, 10 * kSecond, rng);
+    // ~1000 Poisson events over 10 s.
+    EXPECT_GT(plan.noiseImpulses.size(), 800u);
+    EXPECT_LT(plan.noiseImpulses.size(), 1200u);
+}
+
+TEST(Scene, BurstsAlternatePolarityAndDecay)
+{
+    SceneConfig cfg;
+    cfg.environment = quietEnvironment();
+    ImpulsiveInterferer imp;
+    imp.ratePerSecond = 1.0;
+    imp.amplitude = 1.0;
+    imp.burstLength = 4;
+    cfg.environment.impulses.push_back(imp);
+
+    Rng rng(4);
+    ReceptionPlan plan =
+        buildReceptionPlan(cfg, {}, 0, 30 * kSecond, rng);
+    ASSERT_GE(plan.noiseImpulses.size(), 4u);
+    // First burst: signs alternate, magnitudes decay.
+    EXPECT_GT(plan.noiseImpulses[0].amplitude, 0.0);
+    EXPECT_LT(plan.noiseImpulses[1].amplitude, 0.0);
+    EXPECT_GT(std::fabs(plan.noiseImpulses[0].amplitude),
+              std::fabs(plan.noiseImpulses[1].amplitude));
+}
+
+TEST(Scene, TonesScaleWithAntennaGain)
+{
+    SceneConfig cfg;
+    cfg.antenna = makeLoopAntenna();
+    cfg.environment = quietEnvironment();
+    cfg.environment.tones.push_back(
+        ToneInterferer{"test", 1e6, 0.01, 0.0, 1.0});
+    Rng rng(5);
+    ReceptionPlan plan = buildReceptionPlan(cfg, {}, 0, 1000, rng);
+    ASSERT_EQ(plan.tones.size(), 1u);
+    EXPECT_NEAR(plan.tones[0].amplitude, 0.01 * cfg.antenna.gain, 1e-12);
+}
+
+TEST(Scene, PredictedSnrFallsWithDistance)
+{
+    SceneConfig cfg;
+    cfg.antenna = makeLoopAntenna();
+    double prev = 1e9;
+    for (double d : {0.5, 1.0, 2.0, 4.0}) {
+        cfg.path.distanceMeters = d;
+        double snr =
+            predictBinSnrDb(cfg, 14.0, 970e3, 1024, 2.4e6);
+        EXPECT_LT(snr, prev);
+        prev = snr;
+    }
+}
+
+TEST(Scene, EmptyWindowIsFatal)
+{
+    SceneConfig cfg;
+    Rng rng(6);
+    EXPECT_DEATH(buildReceptionPlan(cfg, {}, 100, 100, rng), "empty");
+}
+
+} // namespace
+} // namespace emsc::em

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the website-fingerprinting extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fingerprinting.hpp"
+#include "fingerprint/classifier.hpp"
+#include "fingerprint/profile.hpp"
+
+namespace emsc::fingerprint {
+namespace {
+
+TEST(Profiles, CatalogueIsWellFormed)
+{
+    auto sites = builtinWebsites();
+    ASSERT_GE(sites.size(), 4u);
+    for (const auto &s : sites) {
+        EXPECT_FALSE(s.name.empty());
+        ASSERT_FALSE(s.phases.empty());
+        for (const auto &p : s.phases) {
+            EXPECT_GT(p.durationMs, 0.0);
+            EXPECT_GE(p.duty, 0.0);
+            EXPECT_LE(p.duty, 1.0);
+        }
+    }
+}
+
+TEST(Profiles, RealizedLoadIsContiguousAndRandomised)
+{
+    auto sites = builtinWebsites();
+    Rng rng(3);
+    auto a = realizeLoad(sites[0], kSecond, rng);
+    ASSERT_EQ(a.size(), sites[0].phases.size());
+    EXPECT_EQ(a[0].start, kSecond);
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_EQ(a[i].start, a[i - 1].start + a[i - 1].duration);
+
+    auto b = realizeLoad(sites[0], kSecond, rng);
+    // Different randomness: at least one duration differs.
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs |= a[i].duration != b[i].duration;
+    EXPECT_TRUE(differs);
+}
+
+TEST(FeaturesTest, SyntheticEnvelopeProducesSaneFeatures)
+{
+    channel::AcquiredSignal sig;
+    sig.sampleRate = 1000.0;
+    // 1 s idle, 0.5 s active, 1 s idle, 0.25 s active, 0.25 s idle.
+    auto put = [&](double level, double seconds) {
+        for (int i = 0; i < seconds * 1000; ++i)
+            sig.y.push_back(level + 0.01 * ((i % 7) - 3));
+    };
+    put(0.1, 1.0);
+    put(5.0, 0.5);
+    put(0.1, 1.0);
+    put(5.0, 0.25);
+    put(0.1, 0.25);
+
+    Features f = extractFeatures(sig);
+    EXPECT_NEAR(f[0], 0.75, 0.05);  // total active seconds
+    EXPECT_NEAR(f[1], 1.75, 0.08);  // active span
+    EXPECT_NEAR(f[2], 2.0, 0.1);    // bursts
+    EXPECT_NEAR(f[3], 0.5, 0.05);   // longest burst
+    EXPECT_GT(f[4], 1.0);           // active level
+    // Activity concentrated in the first and last thirds of the span.
+    EXPECT_GT(f[5], 0.5);
+    EXPECT_GT(f[7], 0.2);
+}
+
+TEST(FeaturesTest, EmptySignalGivesZeros)
+{
+    channel::AcquiredSignal sig;
+    Features f = extractFeatures(sig);
+    for (double v : f)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Classifier, SeparatesWellSeparatedClasses)
+{
+    WebsiteClassifier c;
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i) {
+        Features a{}, b{};
+        a[0] = 1.0 + rng.gaussian(0.0, 0.05);
+        a[3] = 0.2 + rng.gaussian(0.0, 0.02);
+        b[0] = 3.0 + rng.gaussian(0.0, 0.05);
+        b[3] = 0.9 + rng.gaussian(0.0, 0.02);
+        c.addExample("short", a);
+        c.addExample("long", b);
+    }
+    c.finalize();
+    Features q{};
+    q[0] = 1.1;
+    q[3] = 0.25;
+    EXPECT_EQ(c.classify(q), "short");
+    q[0] = 2.8;
+    q[3] = 0.85;
+    EXPECT_EQ(c.classify(q), "long");
+    EXPECT_EQ(c.labels().size(), 2u);
+}
+
+TEST(Classifier, UntrainedReturnsEmpty)
+{
+    WebsiteClassifier c;
+    EXPECT_EQ(c.classify(Features{}), "");
+}
+
+TEST(EndToEnd, LoadFeaturesScaleWithSiteWeight)
+{
+    // The heavier site must show more active seconds end to end.
+    auto sites = builtinWebsites();
+    const WebsiteProfile *video = nullptr, *docs = nullptr;
+    for (const auto &s : sites) {
+        if (s.name == "video-portal")
+            video = &s;
+        if (s.name == "docs-page")
+            docs = &s;
+    }
+    ASSERT_TRUE(video && docs);
+    Features fv = core::captureLoadFeatures(
+        core::referenceDevice(), core::nearFieldSetup(), *video, 11);
+    Features fd = core::captureLoadFeatures(
+        core::referenceDevice(), core::nearFieldSetup(), *docs, 11);
+    EXPECT_GT(fv[0], 2.0 * fd[0]);
+    EXPECT_GT(fv[1], fd[1]);
+}
+
+TEST(EndToEnd, SmallExperimentBeatsChance)
+{
+    core::FingerprintingOptions o;
+    o.trainPerSite = 2;
+    o.testPerSite = 1;
+    o.seed = 21;
+    // Two very different sites keep this test fast and stable.
+    auto all = builtinWebsites();
+    for (const auto &s : all)
+        if (s.name == "video-portal" || s.name == "docs-page")
+            o.sites.push_back(s);
+    core::FingerprintingResult r = core::runWebsiteFingerprinting(
+        core::referenceDevice(), core::nearFieldSetup(), o);
+    EXPECT_EQ(r.trials.size(), 2u);
+    EXPECT_EQ(r.correct, 2u);
+}
+
+} // namespace
+} // namespace emsc::fingerprint

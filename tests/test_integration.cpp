@@ -1,0 +1,245 @@
+/**
+ * @file
+ * End-to-end integration tests: the full covert channel, the §III
+ * power-state study, receiver behaviour across devices and setups,
+ * and the keylogging chain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "core/keylogging.hpp"
+
+namespace emsc::core {
+namespace {
+
+CovertChannelOptions
+smallRun(std::uint64_t seed)
+{
+    CovertChannelOptions o;
+    o.payloadBits = 600;
+    o.seed = seed;
+    return o;
+}
+
+TEST(CovertChannel, NearFieldDecodesPayloadExactly)
+{
+    DeviceProfile dev = referenceDevice();
+    CovertChannelOptions o = smallRun(101);
+    o.payload = channel::bytesToBits("attack at dawn");
+    CovertChannelResult r =
+        runCovertChannel(dev, nearFieldSetup(), o);
+    ASSERT_TRUE(r.frameFound);
+    EXPECT_EQ(channel::bitsToBytes(r.decodedPayload), "attack at dawn");
+    EXPECT_LT(r.ber, 0.01);
+    EXPECT_GT(r.trBps, 2500.0);
+}
+
+TEST(CovertChannel, CarrierEstimateMatchesTheDeviceVrm)
+{
+    DeviceProfile dev = referenceDevice();
+    CovertChannelResult r =
+        runCovertChannel(dev, nearFieldSetup(), smallRun(102));
+    ASSERT_TRUE(r.frameFound);
+    double truth = dev.buck.switchFrequency *
+                   (1.0 + dev.buck.frequencyErrorPpm * 1e-6);
+    EXPECT_NEAR(r.carrierHz, truth, 4000.0);
+}
+
+TEST(CovertChannel, DeterministicForEqualSeeds)
+{
+    DeviceProfile dev = referenceDevice();
+    CovertChannelResult a =
+        runCovertChannel(dev, nearFieldSetup(), smallRun(103));
+    CovertChannelResult b =
+        runCovertChannel(dev, nearFieldSetup(), smallRun(103));
+    EXPECT_EQ(a.frameFound, b.frameFound);
+    EXPECT_DOUBLE_EQ(a.ber, b.ber);
+    EXPECT_DOUBLE_EQ(a.trBps, b.trBps);
+    EXPECT_EQ(a.decodedPayload, b.decodedPayload);
+}
+
+TEST(CovertChannel, AllTableOneDevicesWork)
+{
+    for (const DeviceProfile &dev : table1Devices()) {
+        CovertChannelResult r =
+            runCovertChannel(dev, nearFieldSetup(), smallRun(104));
+        EXPECT_TRUE(r.frameFound) << dev.name;
+        EXPECT_LT(r.ber, 0.03) << dev.name;
+    }
+}
+
+TEST(CovertChannel, UnixFasterThanWindows)
+{
+    // Table II's main structural finding: sleep precision sets TR.
+    CovertChannelResult unix_r = runCovertChannel(
+        findDevice("MacBookPro (2015)"), nearFieldSetup(), smallRun(105));
+    CovertChannelResult win_r = runCovertChannel(
+        findDevice("Precision"), nearFieldSetup(), smallRun(105));
+    ASSERT_TRUE(unix_r.frameFound);
+    ASSERT_TRUE(win_r.frameFound);
+    EXPECT_GT(unix_r.trBps, 3.0 * win_r.trBps);
+}
+
+TEST(CovertChannel, WorksAtDistanceAndThroughTheWall)
+{
+    DeviceProfile dev = referenceDevice();
+    CovertChannelOptions o = smallRun(106);
+    o.sleepPeriodUs = 400.0; // the paper lowers TR at distance
+
+    CovertChannelResult far =
+        runCovertChannel(dev, distanceSetup(2.5), o);
+    ASSERT_TRUE(far.frameFound);
+    EXPECT_LT(far.ber, 0.02);
+    EXPECT_LT(far.trBps, 1500.0);
+
+    CovertChannelResult wall =
+        runCovertChannel(dev, throughWallSetup(), o);
+    ASSERT_TRUE(wall.frameFound);
+    EXPECT_LT(wall.ber, 0.05);
+}
+
+TEST(CovertChannel, HeavyBackgroundDegradesButDoesNotKill)
+{
+    DeviceProfile dev = referenceDevice();
+    CovertChannelOptions o = smallRun(107);
+    o.backgroundIntensity = 8.0;
+    CovertChannelResult r =
+        runCovertChannel(dev, nearFieldSetup(), o);
+    EXPECT_TRUE(r.frameFound);
+    // Heavy interference costs accuracy but stays decodable (§IV-C2).
+    EXPECT_LT(r.ber + r.insertionProb + r.deletionProb, 0.15);
+}
+
+TEST(CovertChannel, AverageAggregatesRuns)
+{
+    DeviceProfile dev = referenceDevice();
+    CovertChannelResult avg = averageCovertChannel(
+        dev, nearFieldSetup(), smallRun(108), 3);
+    EXPECT_TRUE(avg.frameFound);
+    EXPECT_GT(avg.trBps, 1000.0);
+}
+
+TEST(PowerStates, EnabledStatesGiveStrongContrast)
+{
+    // §III: with P- and C-states on, active/idle modulation is deep.
+    StateProbeResult r = runStateProbe(referenceDevice(),
+                                       nearFieldSetup(),
+                                       StateProbeOptions{});
+    EXPECT_GT(r.contrastDb, 10.0);
+    EXPECT_FALSE(r.alwaysStrong);
+}
+
+TEST(PowerStates, OnlyCStatesDisabledStillModulates)
+{
+    StateProbeOptions o;
+    o.cstatesEnabled = false;
+    StateProbeResult r =
+        runStateProbe(referenceDevice(), nearFieldSetup(), o);
+    EXPECT_GT(r.contrastDb, 6.0);
+    EXPECT_FALSE(r.alwaysStrong);
+}
+
+TEST(PowerStates, OnlyPStatesDisabledStillModulates)
+{
+    StateProbeOptions o;
+    o.pstatesEnabled = false;
+    StateProbeResult r =
+        runStateProbe(referenceDevice(), nearFieldSetup(), o);
+    EXPECT_GT(r.contrastDb, 6.0);
+    EXPECT_FALSE(r.alwaysStrong);
+}
+
+TEST(PowerStates, BothDisabledKillTheSideChannel)
+{
+    // §III: spikes become continuously present — no modulation left.
+    StateProbeOptions o;
+    o.pstatesEnabled = false;
+    o.cstatesEnabled = false;
+    StateProbeResult r =
+        runStateProbe(referenceDevice(), nearFieldSetup(), o);
+    EXPECT_TRUE(r.alwaysStrong);
+    EXPECT_LT(r.contrastDb, 6.0);
+    EXPECT_GT(r.idleLevel, 0.0);
+}
+
+TEST(PowerStates, BothDisabledIdleLevelIsHighAbsolute)
+{
+    StateProbeOptions off;
+    off.pstatesEnabled = false;
+    off.cstatesEnabled = false;
+    StateProbeResult disabled =
+        runStateProbe(referenceDevice(), nearFieldSetup(), off);
+    StateProbeResult enabled = runStateProbe(
+        referenceDevice(), nearFieldSetup(), StateProbeOptions{});
+    // "Idle" with everything disabled emits more than a real idle.
+    EXPECT_GT(disabled.idleLevel, 3.0 * enabled.idleLevel);
+}
+
+TEST(Keylogging, NearFieldDetectsEveryKeystroke)
+{
+    KeyloggingOptions o;
+    o.words = 8;
+    o.seed = 9;
+    KeyloggingResult r = runKeylogging(findDevice("Precision"),
+                                       nearFieldSetup(), o);
+    EXPECT_GE(r.chars.tpr(), 0.95);
+    EXPECT_LE(r.chars.fpr(), 0.10);
+    EXPECT_GT(r.keystrokes, 20u);
+    EXPECT_GE(r.words.recall(), 0.7);
+}
+
+TEST(Keylogging, CarrierHintSkipsEstimation)
+{
+    DeviceProfile dev = findDevice("Precision");
+    KeyloggingOptions o;
+    o.words = 5;
+    o.seed = 10;
+    o.carrierHintHz = dev.buck.switchFrequency;
+    KeyloggingResult r = runKeylogging(dev, nearFieldSetup(), o);
+    EXPECT_DOUBLE_EQ(r.carrierHz, dev.buck.switchFrequency);
+    EXPECT_GE(r.chars.tpr(), 0.9);
+}
+
+TEST(Keylogging, ExplicitTextIsTyped)
+{
+    KeyloggingOptions o;
+    o.text = "can you hear me";
+    o.seed = 11;
+    KeyloggingResult r = runKeylogging(findDevice("Precision"),
+                                       nearFieldSetup(), o);
+    EXPECT_EQ(r.keystrokes, o.text.size());
+    EXPECT_GE(r.chars.tpr(), 0.9);
+}
+
+TEST(Devices, RegistryMatchesTableOne)
+{
+    auto devices = table1Devices();
+    ASSERT_EQ(devices.size(), 6u);
+    EXPECT_EQ(devices[0].name, "DELL Precision");
+    EXPECT_EQ(devices[2].archName, "Haswell");
+    // Two Windows machines use the coarse Sleep() granularity.
+    int windows = 0;
+    for (const auto &d : devices)
+        windows += d.os.family == cpu::OsFamily::Windows;
+    EXPECT_EQ(windows, 2);
+}
+
+TEST(Devices, FindDeviceMatchesSubstring)
+{
+    EXPECT_EQ(findDevice("Lenovo").archName, "SkyLake");
+    EXPECT_DEATH(findDevice("Amiga"), "unknown device");
+}
+
+TEST(Setups, PresetGeometryIsSane)
+{
+    EXPECT_DOUBLE_EQ(nearFieldSetup().path.distanceMeters, 0.1);
+    EXPECT_DOUBLE_EQ(distanceSetup(2.5).path.distanceMeters, 2.5);
+    MeasurementSetup wall = throughWallSetup();
+    EXPECT_GT(wall.path.wallAttenuationDb, 0.0);
+    EXPECT_EQ(wall.antenna.kind, em::AntennaKind::LoopAntenna);
+    EXPECT_DEATH(distanceSetup(-1.0), "positive");
+}
+
+} // namespace
+} // namespace emsc::core

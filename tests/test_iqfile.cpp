@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for rtl_sdr-format IQ file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sdr/iqfile.hpp"
+#include "support/rng.hpp"
+
+namespace emsc::sdr {
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/emsc_iq_" + tag +
+           ".bin";
+}
+
+TEST(IqFile, RoundTripPreservesSamplesWithinQuantisation)
+{
+    Rng rng(1);
+    IqCapture cap;
+    cap.sampleRate = 2.4e6;
+    cap.centerFrequency = 1.45e6;
+    for (int i = 0; i < 5000; ++i)
+        cap.samples.push_back(IqSample{rng.uniform(-0.9, 0.9),
+                                       rng.uniform(-0.9, 0.9)});
+
+    std::string path = tempPath("roundtrip");
+    EXPECT_EQ(writeIqU8(cap, path), cap.samples.size());
+    IqCapture back = readIqU8(path, cap.sampleRate,
+                              cap.centerFrequency);
+
+    ASSERT_EQ(back.samples.size(), cap.samples.size());
+    for (std::size_t i = 0; i < cap.samples.size(); ++i) {
+        EXPECT_NEAR(back.samples[i].real(), cap.samples[i].real(),
+                    1.0 / 127.0);
+        EXPECT_NEAR(back.samples[i].imag(), cap.samples[i].imag(),
+                    1.0 / 127.0);
+    }
+    EXPECT_DOUBLE_EQ(back.sampleRate, 2.4e6);
+    EXPECT_DOUBLE_EQ(back.centerFrequency, 1.45e6);
+    std::remove(path.c_str());
+}
+
+TEST(IqFile, OutOfRangeSamplesClampToFullScale)
+{
+    IqCapture cap;
+    cap.sampleRate = 1e6;
+    cap.samples.push_back(IqSample{5.0, -5.0});
+
+    std::string path = tempPath("clamp");
+    writeIqU8(cap, path);
+    IqCapture back = readIqU8(path, 1e6, 0.0);
+    ASSERT_EQ(back.samples.size(), 1u);
+    EXPECT_NEAR(back.samples[0].real(), 1.0, 0.01);
+    EXPECT_NEAR(back.samples[0].imag(), -1.0, 0.01);
+    std::remove(path.c_str());
+}
+
+TEST(IqFile, FileSizeIsTwoBytesPerSample)
+{
+    IqCapture cap;
+    cap.sampleRate = 1e6;
+    cap.samples.assign(1234, IqSample{0.0, 0.0});
+    std::string path = tempPath("size");
+    writeIqU8(cap, path);
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    EXPECT_EQ(size, 2468);
+    std::remove(path.c_str());
+}
+
+TEST(IqFile, ZeroMapsToMidScale)
+{
+    IqCapture cap;
+    cap.sampleRate = 1e6;
+    cap.samples.push_back(IqSample{0.0, 0.0});
+    std::string path = tempPath("zero");
+    writeIqU8(cap, path);
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    unsigned char bytes[2] = {0, 0};
+    ASSERT_EQ(std::fread(bytes, 1, 2, f), 2u);
+    std::fclose(f);
+    // 127.5 rounds to 128.
+    EXPECT_EQ(bytes[0], 128);
+    EXPECT_EQ(bytes[1], 128);
+    std::remove(path.c_str());
+}
+
+TEST(IqFile, MissingFileIsFatal)
+{
+    EXPECT_DEATH(readIqU8("/nonexistent/emsc.bin", 1e6, 0.0),
+                 "cannot open");
+}
+
+} // namespace
+} // namespace emsc::sdr

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the keylogging stack: keyboard geometry, typist timing,
+ * detection, word grouping and scoring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "keylog/detector.hpp"
+#include "keylog/keyboard.hpp"
+#include "keylog/textgen.hpp"
+#include "keylog/typist.hpp"
+#include "keylog/words.hpp"
+#include "support/rng.hpp"
+
+namespace emsc::keylog {
+namespace {
+
+TEST(Keyboard, KnownKeysResolve)
+{
+    for (char c : std::string("abcdefghijklmnopqrstuvwxyz1234567890 "))
+        EXPECT_TRUE(lookupKey(c).known) << c;
+    EXPECT_TRUE(lookupKey('A').known); // case folded
+    EXPECT_FALSE(lookupKey('\t').known);
+}
+
+TEST(Keyboard, HandsAssignedByColumn)
+{
+    EXPECT_EQ(lookupKey('a').hand, Hand::Left);
+    EXPECT_EQ(lookupKey('f').hand, Hand::Left);
+    EXPECT_EQ(lookupKey('j').hand, Hand::Right);
+    EXPECT_EQ(lookupKey('p').hand, Hand::Right);
+    EXPECT_EQ(lookupKey(' ').hand, Hand::Either);
+}
+
+TEST(Keyboard, DistanceIsMetricLike)
+{
+    EXPECT_DOUBLE_EQ(keyDistance('a', 'a'), 0.0);
+    EXPECT_GT(keyDistance('q', 'p'), keyDistance('q', 'w'));
+    EXPECT_NEAR(keyDistance('a', 's'), 1.0, 1e-9);
+}
+
+TEST(Keyboard, DifferentHandsDetected)
+{
+    EXPECT_TRUE(differentHands('a', 'k'));
+    EXPECT_FALSE(differentHands('a', 's'));
+    EXPECT_TRUE(differentHands('a', ' '));
+}
+
+TEST(Keyboard, SameFingerDetected)
+{
+    // 'f' and 'r' are both left index keys.
+    EXPECT_TRUE(sameFinger('f', 'r'));
+    EXPECT_FALSE(sameFinger('f', 'j'));
+    EXPECT_FALSE(sameFinger('f', ' '));
+}
+
+TEST(Keyboard, DigraphFrequencies)
+{
+    EXPECT_GT(digraphFrequency('t', 'h'), 0.9);
+    EXPECT_GT(digraphFrequency('h', 'e'), 0.9);
+    EXPECT_DOUBLE_EQ(digraphFrequency('q', 'z'), 0.0);
+    // Case-insensitive.
+    EXPECT_GT(digraphFrequency('T', 'H'), 0.9);
+}
+
+TEST(TextGen, CorpusIsSubstantialAndLowercase)
+{
+    const auto &corpus = wordCorpus();
+    EXPECT_GE(corpus.size(), 150u);
+    for (const auto &w : corpus)
+        for (char c : w)
+            EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)));
+}
+
+TEST(TextGen, RandomWordsComeFromTheCorpus)
+{
+    Rng rng(1);
+    auto words = randomWords(50, rng);
+    EXPECT_EQ(words.size(), 50u);
+    const auto &corpus = wordCorpus();
+    for (const auto &w : words)
+        EXPECT_NE(std::find(corpus.begin(), corpus.end(), w),
+                  corpus.end());
+}
+
+TEST(TextGen, JoinWordsSingleSpaces)
+{
+    EXPECT_EQ(joinWords({"a", "bb", "c"}), "a bb c");
+    EXPECT_EQ(joinWords({}), "");
+}
+
+TEST(Typist, ProducesOneKeystrokePerCharacterInOrder)
+{
+    Rng rng(2);
+    Typist typist(TypistParams{}, rng);
+    auto ks = typist.type("hello world", kSecond);
+    ASSERT_EQ(ks.size(), 11u);
+    EXPECT_EQ(ks[0].press, kSecond);
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+        EXPECT_EQ(ks[i].key, "hello world"[i]);
+        EXPECT_GT(ks[i].release, ks[i].press);
+        if (i)
+            EXPECT_GT(ks[i].press, ks[i - 1].press);
+    }
+}
+
+TEST(Typist, AlternatingHandsAreFasterThanSameFinger)
+{
+    TypistParams p;
+    p.intervalSpread = 0.0; // deterministic means
+    Rng rng(3);
+    Typist typist(p, rng);
+    // 'fj' alternates hands; 'fr' reuses the left index finger.
+    auto alt = typist.type("fj", 0);
+    Rng rng2(3);
+    Typist typist2(p, rng2);
+    auto same = typist2.type("fr", 0);
+    TimeNs alt_gap = alt[1].press - alt[0].press;
+    TimeNs same_gap = same[1].press - same[0].press;
+    EXPECT_LT(alt_gap, same_gap);
+}
+
+TEST(Typist, PracticeSpeedsUpRepeatedDigraphs)
+{
+    TypistParams p;
+    p.intervalSpread = 0.0;
+    Rng rng(4);
+    Typist typist(p, rng);
+    std::string text;
+    for (int i = 0; i < 30; ++i)
+        text += "ab";
+    auto ks = typist.type(text, 0);
+    // Interval of the first 'a'->'b' vs a late one.
+    TimeNs early = ks[1].press - ks[0].press;
+    TimeNs late = ks[49].press - ks[48].press;
+    EXPECT_LT(late, early);
+}
+
+TEST(Typist, WordBoundariesGetLongerGaps)
+{
+    TypistParams p;
+    p.intervalSpread = 0.0;
+    Rng rng(5);
+    Typist typist(p, rng);
+    auto ks = typist.type("ab cd", 0);
+    TimeNs within = ks[1].press - ks[0].press;      // a->b
+    TimeNs boundary = ks[3].press - ks[2].press;    // ' '->c
+    EXPECT_GT(boundary, within);
+}
+
+TEST(Detector, FindsSyntheticBursts)
+{
+    // Envelope at 150 kS/s: idle floor with three 60 ms bursts.
+    channel::AcquiredSignal sig;
+    sig.sampleRate = 150e3;
+    Rng rng(6);
+    auto put = [&](double level, double seconds) {
+        auto n = static_cast<std::size_t>(seconds * sig.sampleRate);
+        for (std::size_t i = 0; i < n; ++i)
+            sig.y.push_back(level + rng.gaussian(0.0, 0.05));
+    };
+    put(0.2, 0.3);
+    put(2.0, 0.06);
+    put(0.2, 0.25);
+    put(2.0, 0.06);
+    put(0.2, 0.25);
+    put(2.0, 0.06);
+    put(0.2, 0.3);
+
+    DetectionResult det =
+        detectKeystrokes(sig, 0, DetectorConfig{});
+    ASSERT_EQ(det.keystrokes.size(), 3u);
+    EXPECT_NEAR(toSeconds(det.keystrokes[0].start), 0.3, 0.02);
+    EXPECT_NEAR(toSeconds(det.keystrokes[0].end -
+                          det.keystrokes[0].start),
+                0.06, 0.02);
+}
+
+TEST(Detector, RejectsShortBursts)
+{
+    channel::AcquiredSignal sig;
+    sig.sampleRate = 150e3;
+    Rng rng(7);
+    auto put = [&](double level, double seconds) {
+        auto n = static_cast<std::size_t>(seconds * sig.sampleRate);
+        for (std::size_t i = 0; i < n; ++i)
+            sig.y.push_back(level + rng.gaussian(0.0, 0.05));
+    };
+    put(0.2, 0.3);
+    put(2.0, 0.012); // 12 ms: below the 30 ms minimum
+    put(0.2, 0.3);
+    put(2.0, 0.06); // a real keystroke
+    put(0.2, 0.3);
+
+    DetectionResult det =
+        detectKeystrokes(sig, 0, DetectorConfig{});
+    ASSERT_EQ(det.keystrokes.size(), 1u);
+    EXPECT_NEAR(toSeconds(det.keystrokes[0].start), 0.612, 0.03);
+}
+
+TEST(Detector, MergesBriefDropouts)
+{
+    channel::AcquiredSignal sig;
+    sig.sampleRate = 150e3;
+    Rng rng(8);
+    auto put = [&](double level, double seconds) {
+        auto n = static_cast<std::size_t>(seconds * sig.sampleRate);
+        for (std::size_t i = 0; i < n; ++i)
+            sig.y.push_back(level + rng.gaussian(0.0, 0.05));
+    };
+    put(0.2, 0.3);
+    put(2.0, 0.03);
+    put(0.2, 0.006); // 6 ms dropout inside the burst
+    put(2.0, 0.03);
+    put(0.2, 0.3);
+
+    DetectionResult det =
+        detectKeystrokes(sig, 0, DetectorConfig{});
+    EXPECT_EQ(det.keystrokes.size(), 1u);
+}
+
+TEST(Detector, EmptySignalProducesNothing)
+{
+    channel::AcquiredSignal sig;
+    DetectionResult det = detectKeystrokes(sig, 0, DetectorConfig{});
+    EXPECT_TRUE(det.keystrokes.empty());
+}
+
+TEST(Words, GroupsByGapStructure)
+{
+    // Keystrokes at 0.2 s spacing in words of 4, separated by 0.6 s.
+    std::vector<DetectedKeystroke> keys;
+    TimeNs t = 0;
+    for (int w = 0; w < 5; ++w) {
+        for (int c = 0; c < 4; ++c) {
+            keys.push_back({t, t + 60 * kMillisecond, 1.0});
+            t += 200 * kMillisecond;
+        }
+        t += 400 * kMillisecond; // extra gap between words
+    }
+    auto groups = groupWords(keys, WordGroupingConfig{});
+    ASSERT_EQ(groups.size(), 5u);
+    // Interior groups lose one keystroke to the trailing space.
+    for (std::size_t i = 0; i + 1 < groups.size(); ++i)
+        EXPECT_EQ(groups[i].length, 3u);
+    EXPECT_EQ(groups.back().length, 4u);
+}
+
+TEST(Words, SingleRunIsOneWord)
+{
+    std::vector<DetectedKeystroke> keys;
+    for (int i = 0; i < 6; ++i)
+        keys.push_back({i * 200 * kMillisecond,
+                        i * 200 * kMillisecond + 60 * kMillisecond,
+                        1.0});
+    auto groups = groupWords(keys, WordGroupingConfig{});
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].length, 6u);
+}
+
+TEST(Words, EmptyDetectionsGiveNoWords)
+{
+    EXPECT_TRUE(groupWords({}, WordGroupingConfig{}).empty());
+}
+
+TEST(Scoring, PerfectDetectionScoresPerfectly)
+{
+    Rng rng(9);
+    Typist typist(TypistParams{}, rng);
+    auto truth = typist.type("abc def", 0);
+    std::vector<DetectedKeystroke> det;
+    for (const Keystroke &k : truth)
+        det.push_back({k.press, k.release, 1.0});
+    CharAccuracy acc = scoreCharacters(truth, det);
+    EXPECT_DOUBLE_EQ(acc.tpr(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.fpr(), 0.0);
+}
+
+TEST(Scoring, MissedAndSpuriousCounted)
+{
+    Rng rng(10);
+    Typist typist(TypistParams{}, rng);
+    auto truth = typist.type("abcd", 0);
+    std::vector<DetectedKeystroke> det;
+    // Detect only the first two, plus one far-away spurious event.
+    det.push_back({truth[0].press, truth[0].release, 1.0});
+    det.push_back({truth[1].press, truth[1].release, 1.0});
+    det.push_back({truth.back().release + kSecond,
+                   truth.back().release + kSecond + 50 * kMillisecond,
+                   1.0});
+    CharAccuracy acc = scoreCharacters(truth, det);
+    EXPECT_DOUBLE_EQ(acc.tpr(), 0.5);
+    EXPECT_NEAR(acc.fpr(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Scoring, WordLengthsScoredByAlignment)
+{
+    std::vector<std::string> truth = {"hello", "brave", "new", "world"};
+    std::vector<DetectedWord> det(4);
+    det[0].length = 5;
+    det[1].length = 4; // wrong length
+    det[2].length = 3;
+    det[3].length = 5;
+    WordAccuracy acc = scoreWords(truth, det);
+    EXPECT_EQ(acc.retrievedWords, 4u);
+    EXPECT_EQ(acc.alignedWords, 4u);
+    EXPECT_EQ(acc.correctLength, 3u);
+    EXPECT_DOUBLE_EQ(acc.precision(), 0.75);
+    EXPECT_DOUBLE_EQ(acc.recall(), 1.0);
+}
+
+TEST(Scoring, MissingWordReducesRecall)
+{
+    std::vector<std::string> truth = {"one", "two", "three"};
+    std::vector<DetectedWord> det(2);
+    det[0].length = 3;
+    det[1].length = 5;
+    WordAccuracy acc = scoreWords(truth, det);
+    EXPECT_EQ(acc.alignedWords, 2u);
+    EXPECT_NEAR(acc.recall(), 2.0 / 3.0, 1e-12);
+}
+
+} // namespace
+} // namespace emsc::keylog

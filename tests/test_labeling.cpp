@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for per-bit power labeling and bimodal threshold selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "channel/labeling.hpp"
+#include "support/rng.hpp"
+
+namespace emsc::channel {
+namespace {
+
+TEST(Threshold, BimodalMidpoint)
+{
+    Rng rng(1);
+    std::vector<double> powers;
+    for (int i = 0; i < 600; ++i)
+        powers.push_back(rng.gaussian(1.0, 0.1));
+    for (int i = 0; i < 600; ++i)
+        powers.push_back(rng.gaussian(5.0, 0.3));
+    double thr = selectThreshold(powers, LabelingConfig{});
+    EXPECT_GT(thr, 1.8);
+    EXPECT_LT(thr, 4.2);
+}
+
+TEST(Threshold, UnbalancedClassesStillSeparate)
+{
+    Rng rng(2);
+    std::vector<double> powers;
+    for (int i = 0; i < 1800; ++i)
+        powers.push_back(rng.gaussian(0.5, 0.05));
+    for (int i = 0; i < 200; ++i)
+        powers.push_back(rng.gaussian(4.0, 0.2));
+    double thr = selectThreshold(powers, LabelingConfig{});
+    EXPECT_GT(thr, 0.8);
+    EXPECT_LT(thr, 3.8);
+}
+
+TEST(Threshold, TinySampleFallsBackToMidpoint)
+{
+    std::vector<double> powers = {1.0, 9.0};
+    EXPECT_DOUBLE_EQ(selectThreshold(powers, LabelingConfig{}), 5.0);
+}
+
+TEST(Threshold, UnimodalFallsBackToExtremesMidpoint)
+{
+    Rng rng(3);
+    std::vector<double> powers;
+    for (int i = 0; i < 500; ++i)
+        powers.push_back(rng.gaussian(2.0, 0.01));
+    double thr = selectThreshold(powers, LabelingConfig{});
+    EXPECT_NEAR(thr, 2.0, 0.2);
+}
+
+TEST(Labeling, SeparatesCleanBits)
+{
+    // Envelope: bits of 20 samples, 1-bits high for the first half.
+    Rng rng(4);
+    std::vector<double> y;
+    std::vector<std::size_t> starts;
+    std::vector<int> truth;
+    for (int i = 0; i < 200; ++i) {
+        int b = rng.chance(0.5) ? 1 : 0;
+        truth.push_back(b);
+        starts.push_back(y.size());
+        for (int j = 0; j < 20; ++j) {
+            double v = (b && j < 10) ? 1.0 : 0.05;
+            y.push_back(v + rng.gaussian(0.0, 0.02));
+        }
+    }
+    LabeledBits lab = labelBits(y, starts, 20.0, LabelingConfig{});
+    ASSERT_EQ(lab.bits.size(), truth.size());
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        errors += lab.bits[i] != truth[i];
+    EXPECT_EQ(errors, 0u);
+    EXPECT_EQ(lab.bitPower.size(), truth.size());
+    EXPECT_FALSE(lab.thresholds.empty());
+}
+
+TEST(Labeling, StretchedBitsStillLabelledByAverage)
+{
+    // A 1-bit whose active part lasts longer than usual must not make
+    // a following 0-bit look hot: average power normalises by length.
+    std::vector<double> y;
+    std::vector<std::size_t> starts;
+    // Normal 1-bit.
+    starts.push_back(y.size());
+    for (int j = 0; j < 20; ++j)
+        y.push_back(j < 10 ? 1.0 : 0.05);
+    // Stretched 0-bit (long, all low).
+    starts.push_back(y.size());
+    for (int j = 0; j < 35; ++j)
+        y.push_back(0.05);
+    // Normal 1-bit.
+    starts.push_back(y.size());
+    for (int j = 0; j < 20; ++j)
+        y.push_back(j < 10 ? 1.0 : 0.05);
+    // And a short 0.
+    starts.push_back(y.size());
+    for (int j = 0; j < 15; ++j)
+        y.push_back(0.05);
+
+    LabeledBits lab = labelBits(y, starts, 20.0, LabelingConfig{});
+    ASSERT_EQ(lab.bits.size(), 4u);
+    EXPECT_EQ(lab.bits[0], 1);
+    EXPECT_EQ(lab.bits[1], 0);
+    EXPECT_EQ(lab.bits[2], 1);
+    EXPECT_EQ(lab.bits[3], 0);
+}
+
+TEST(Labeling, BatchesTrackDriftingGain)
+{
+    // The amplitude drifts by 3x over the capture; per-batch
+    // thresholds must keep labeling correct.
+    Rng rng(5);
+    std::vector<double> y;
+    std::vector<std::size_t> starts;
+    std::vector<int> truth;
+    const int nbits = 2000;
+    for (int i = 0; i < nbits; ++i) {
+        double gain =
+            1.0 + 2.0 * static_cast<double>(i) / nbits;
+        int b = rng.chance(0.5) ? 1 : 0;
+        truth.push_back(b);
+        starts.push_back(y.size());
+        for (int j = 0; j < 20; ++j) {
+            double v = (b && j < 10) ? gain : 0.05 * gain;
+            y.push_back(v + rng.gaussian(0.0, 0.02));
+        }
+    }
+    LabelingConfig cfg;
+    cfg.batchBits = 500;
+    LabeledBits lab = labelBits(y, starts, 20.0, cfg);
+    EXPECT_EQ(lab.thresholds.size(), 4u);
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        errors += lab.bits[i] != truth[i];
+    EXPECT_LT(errors, 10u);
+}
+
+TEST(Labeling, EmptyInputsProduceEmptyOutputs)
+{
+    LabeledBits lab = labelBits({}, {}, 10.0, LabelingConfig{});
+    EXPECT_TRUE(lab.bits.empty());
+    LabeledBits lab2 = labelBits({1.0, 2.0}, {}, 10.0, LabelingConfig{});
+    EXPECT_TRUE(lab2.bits.empty());
+}
+
+TEST(Labeling, FinalBitUsesSignalingTimeExtent)
+{
+    std::vector<double> y(50, 0.05);
+    for (std::size_t i = 30; i < 40; ++i)
+        y[i] = 1.0;
+    // Only one start at 30; the bit extends one signaling time (20).
+    LabeledBits lab = labelBits(y, {30}, 20.0, LabelingConfig{});
+    ASSERT_EQ(lab.bitPower.size(), 1u);
+    // Mean power over [30, 50): half high, half low.
+    EXPECT_NEAR(lab.bitPower[0], 0.5 * 1.0 + 0.5 * 0.0025, 0.01);
+}
+
+} // namespace
+} // namespace emsc::channel

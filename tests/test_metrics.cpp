@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the edit-distance alignment metrics (BER / IP / DP).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "channel/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace emsc::channel {
+namespace {
+
+Bits
+randomBits(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Bits b(n);
+    for (auto &v : b)
+        v = rng.chance(0.5) ? 1 : 0;
+    return b;
+}
+
+TEST(Align, IdenticalSequencesAreClean)
+{
+    Bits x = randomBits(500, 1);
+    AlignmentCounts c = alignBits(x, x);
+    EXPECT_EQ(c.substitutions, 0u);
+    EXPECT_EQ(c.insertions, 0u);
+    EXPECT_EQ(c.deletions, 0u);
+    EXPECT_EQ(c.matched, 500u);
+    EXPECT_DOUBLE_EQ(c.errorRate(), 0.0);
+}
+
+TEST(Align, CountsPureSubstitutions)
+{
+    Bits sent = randomBits(400, 2);
+    Bits recv = sent;
+    for (std::size_t i : {7u, 100u, 399u})
+        recv[i] ^= 1;
+    AlignmentCounts c = alignBits(sent, recv);
+    EXPECT_EQ(c.substitutions, 3u);
+    EXPECT_EQ(c.insertions, 0u);
+    EXPECT_EQ(c.deletions, 0u);
+    EXPECT_NEAR(c.errorRate(), 3.0 / 400.0, 1e-12);
+}
+
+TEST(Align, CountsSingleDeletion)
+{
+    Bits sent = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1};
+    Bits recv = sent;
+    recv.erase(recv.begin() + 4);
+    AlignmentCounts c = alignBits(sent, recv);
+    EXPECT_EQ(c.deletions, 1u);
+    EXPECT_EQ(c.insertions, 0u);
+    EXPECT_EQ(c.substitutions, 0u);
+}
+
+TEST(Align, CountsSingleInsertion)
+{
+    Bits sent = randomBits(50, 3);
+    Bits recv = sent;
+    recv.insert(recv.begin() + 20, 1 - recv[20]);
+    AlignmentCounts c = alignBits(sent, recv);
+    EXPECT_EQ(c.insertions, 1u);
+    EXPECT_EQ(c.deletions, 0u);
+}
+
+TEST(Align, MixedEditsCounted)
+{
+    Bits sent = randomBits(300, 4);
+    Bits recv = sent;
+    recv[50] ^= 1;                        // substitution
+    recv.erase(recv.begin() + 120);       // deletion
+    recv.insert(recv.begin() + 200, 1);   // insertion
+    AlignmentCounts c = alignBits(sent, recv);
+    // Total edit distance is at most 3 (an optimal aligner may trade
+    // one representation for another of equal cost).
+    EXPECT_LE(c.substitutions + c.insertions + c.deletions, 3u);
+    EXPECT_GE(c.substitutions + c.insertions + c.deletions, 1u);
+    EXPECT_GE(c.deletions + c.insertions, 1u);
+}
+
+TEST(Align, EmptySequences)
+{
+    AlignmentCounts c1 = alignBits({}, randomBits(10, 5));
+    EXPECT_EQ(c1.insertions, 10u);
+    AlignmentCounts c2 = alignBits(randomBits(10, 6), {});
+    EXPECT_EQ(c2.deletions, 10u);
+    AlignmentCounts c3 = alignBits({}, {});
+    EXPECT_EQ(c3.matched, 0u);
+}
+
+TEST(Align, RatesNormalisedBySentLength)
+{
+    Bits sent = randomBits(200, 7);
+    Bits recv = sent;
+    recv[0] ^= 1;
+    recv.push_back(0);
+    AlignmentCounts c = alignBits(sent, recv);
+    EXPECT_NEAR(c.errorRate(), 1.0 / 200.0, 1e-12);
+    EXPECT_NEAR(c.insertionRate(), 1.0 / 200.0, 1e-12);
+}
+
+TEST(AlignSemiGlobal, IgnoresTrailingReceivedBits)
+{
+    Bits sent = randomBits(100, 8);
+    Bits recv = sent;
+    Bits junk = randomBits(40, 9);
+    recv.insert(recv.end(), junk.begin(), junk.end());
+
+    AlignmentCounts global = alignBits(sent, recv);
+    AlignmentCounts semi = alignBitsSemiGlobal(sent, recv);
+    EXPECT_GE(global.insertions, 30u);
+    EXPECT_EQ(semi.insertions, 0u);
+    EXPECT_EQ(semi.substitutions, 0u);
+    EXPECT_EQ(semi.matched, 100u);
+}
+
+TEST(AlignSemiGlobal, StillCountsRealErrors)
+{
+    Bits sent = randomBits(100, 10);
+    Bits recv = sent;
+    recv[30] ^= 1;
+    recv.insert(recv.end(), {0, 0, 0, 0, 0});
+    AlignmentCounts c = alignBitsSemiGlobal(sent, recv);
+    EXPECT_EQ(c.substitutions, 1u);
+    EXPECT_EQ(c.insertions, 0u);
+}
+
+TEST(AlignSemiGlobal, EmptySentIgnoresEverything)
+{
+    AlignmentCounts c = alignBitsSemiGlobal({}, randomBits(20, 11));
+    EXPECT_EQ(c.insertions, 0u);
+}
+
+/** Property sweep: k random substitutions are counted exactly. */
+class SubstitutionCount : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SubstitutionCount, ExactForSubstitutionOnlyChannels)
+{
+    int k = GetParam();
+    Rng rng(static_cast<std::uint64_t>(k) * 977 + 5);
+    Bits sent = randomBits(1000, 40 + static_cast<std::uint64_t>(k));
+    Bits recv = sent;
+    // Flip k distinct positions.
+    std::vector<std::size_t> pos;
+    while (pos.size() < static_cast<std::size_t>(k)) {
+        auto p = static_cast<std::size_t>(rng.uniformInt(0, 999));
+        if (std::find(pos.begin(), pos.end(), p) == pos.end())
+            pos.push_back(p);
+    }
+    for (std::size_t p : pos)
+        recv[p] ^= 1;
+    AlignmentCounts c = alignBits(sent, recv);
+    // The aligner may occasionally explain dense flips with an
+    // indel pair, but never reports more total edits than k.
+    EXPECT_LE(c.substitutions + c.insertions + c.deletions,
+              static_cast<std::size_t>(k));
+    EXPECT_GE(c.substitutions + c.insertions + c.deletions,
+              static_cast<std::size_t>(k) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flips, SubstitutionCount,
+                         ::testing::Values(0, 1, 2, 5, 10, 25, 50));
+
+} // namespace
+} // namespace emsc::channel

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the RTL-SDR receiver model: synthesis, front-end artefacts
+ * and capture geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dsp/fft.hpp"
+#include "sdr/rtlsdr.hpp"
+
+namespace emsc::sdr {
+namespace {
+
+em::ReceptionPlan
+emptyPlan(double noise = 0.0)
+{
+    em::ReceptionPlan plan;
+    plan.noiseRms = noise;
+    return plan;
+}
+
+TEST(Capture, SampleCountMatchesDuration)
+{
+    Rng rng(1);
+    SdrConfig cfg;
+    RtlSdr radio(cfg, rng);
+    IqCapture cap = radio.capture(emptyPlan(), 0, 10 * kMillisecond);
+    EXPECT_EQ(cap.samples.size(),
+              static_cast<std::size_t>(0.010 * cfg.sampleRate));
+    EXPECT_DOUBLE_EQ(cap.sampleRate, cfg.sampleRate);
+    EXPECT_DOUBLE_EQ(cap.centerFrequency, cfg.centerFrequency);
+}
+
+TEST(Capture, BinForFrequencyRoundTripsAndWraps)
+{
+    IqCapture cap;
+    cap.sampleRate = 2.4e6;
+    cap.centerFrequency = 1.45e6;
+    // Positive offset.
+    EXPECT_EQ(cap.binForFrequency(1.45e6, 1024), 0u);
+    std::size_t k = cap.binForFrequency(1.45e6 + 2343.75, 1024);
+    EXPECT_EQ(k, 1u);
+    // Negative offsets wrap to the top bins.
+    std::size_t k2 = cap.binForFrequency(1.45e6 - 2343.75, 1024);
+    EXPECT_EQ(k2, 1023u);
+}
+
+TEST(Tones, AppearAtTheExpectedBasebandBin)
+{
+    Rng rng(2);
+    SdrConfig cfg;
+    cfg.tunerPpm = 0.0;
+    cfg.driftHzPerSecond = 0.0;
+    cfg.idealFrontEnd = true;
+    RtlSdr radio(cfg, rng);
+
+    em::ReceptionPlan plan = emptyPlan();
+    plan.tones.push_back(em::ToneInterferer{"t", 1.0e6, 0.5, 0.0, 1.0});
+
+    IqCapture cap = radio.capture(plan, 0, 4 * kMillisecond);
+    std::vector<dsp::Complex> head(cap.samples.begin(),
+                                   cap.samples.begin() + 4096);
+    auto X = dsp::fft(head);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < X.size(); ++i)
+        if (std::abs(X[i]) > std::abs(X[best]))
+            best = i;
+    EXPECT_EQ(best, cap.binForFrequency(1.0e6, 4096));
+}
+
+TEST(Tones, TunerPpmShiftsTheObservedFrequency)
+{
+    auto peak_bin = [](double ppm) {
+        Rng rng(3);
+        SdrConfig cfg;
+        cfg.tunerPpm = ppm;
+        cfg.driftHzPerSecond = 0.0;
+        cfg.idealFrontEnd = true;
+        RtlSdr radio(cfg, rng);
+        em::ReceptionPlan plan;
+        plan.tones.push_back(
+            em::ToneInterferer{"t", 1.0e6, 0.5, 0.0, 1.0});
+        IqCapture cap = radio.capture(plan, 0, 30 * kMillisecond);
+        std::vector<dsp::Complex> head(cap.samples.begin(),
+                                       cap.samples.begin() + 65536);
+        auto X = dsp::fft(head);
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < X.size(); ++i)
+            if (std::abs(X[i]) > std::abs(X[best]))
+                best = i;
+        return best;
+    };
+    // A large crystal error moves the tone by whole (fine) bins:
+    // 500 ppm of 1.45 MHz = 725 Hz; bins are 36.6 Hz at 65536 points.
+    EXPECT_NE(peak_bin(0.0), peak_bin(500.0));
+}
+
+TEST(Impulses, DepositConservesAmplitudeAcrossNeighbours)
+{
+    Rng rng(4);
+    SdrConfig cfg;
+    cfg.idealFrontEnd = true;
+    cfg.tunerPpm = 0.0;
+    cfg.driftHzPerSecond = 0.0;
+    RtlSdr radio(cfg, rng);
+
+    em::ReceptionPlan plan = emptyPlan();
+    // One impulse pair well inside the capture.
+    plan.impulses.push_back(em::FieldImpulse{50 * kMicrosecond, 2.0,
+                                             100 * kMicrosecond});
+    IqCapture cap = radio.capture(plan, 0, kMillisecond);
+
+    // The deposited rising-edge impulse splits across two samples with
+    // unit total weight: the magnitudes around its position sum to 2.
+    auto pos = static_cast<std::size_t>(50e-6 * cfg.sampleRate);
+    double local = 0.0;
+    for (std::size_t i = pos - 1; i <= pos + 2; ++i)
+        local += std::abs(cap.samples[i]);
+    EXPECT_NEAR(local, 2.0, 1e-6);
+}
+
+TEST(Noise, RmsMatchesConfiguredLevel)
+{
+    Rng rng(5);
+    SdrConfig cfg;
+    cfg.idealFrontEnd = true;
+    RtlSdr radio(cfg, rng);
+    IqCapture cap = radio.capture(emptyPlan(0.3), 0, 10 * kMillisecond);
+    double acc = 0.0;
+    for (const IqSample &s : cap.samples)
+        acc += std::norm(s);
+    double rms = std::sqrt(acc / static_cast<double>(cap.samples.size()));
+    EXPECT_NEAR(rms, 0.3, 0.01);
+}
+
+TEST(Quantize, OutputLiesOnTheAdcGrid)
+{
+    Rng rng(6);
+    SdrConfig cfg;
+    cfg.adcBits = 8;
+    cfg.dcOffset = 0.0;
+    RtlSdr radio(cfg, rng);
+    IqCapture cap = radio.capture(emptyPlan(0.2), 0, kMillisecond);
+    const double levels = 127.0;
+    std::set<long> seen;
+    for (const IqSample &s : cap.samples) {
+        double scaled = s.real() * levels;
+        EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+        seen.insert(std::lround(scaled));
+    }
+    // AGC should exercise a healthy share of the 8-bit range.
+    EXPECT_GT(seen.size(), 30u);
+    for (long v : seen) {
+        EXPECT_GE(v, -127);
+        EXPECT_LE(v, 127);
+    }
+}
+
+TEST(Quantize, AgcNormalisesRms)
+{
+    Rng rng(7);
+    SdrConfig cfg;
+    cfg.agcTargetRms = 0.25;
+    cfg.dcOffset = 0.0;
+    RtlSdr radio(cfg, rng);
+    // Very weak input: the AGC boosts it to the target.
+    IqCapture cap = radio.capture(emptyPlan(0.001), 0, 4 * kMillisecond);
+    double acc = 0.0;
+    for (const IqSample &s : cap.samples)
+        acc += std::norm(s);
+    double rms = std::sqrt(acc / static_cast<double>(cap.samples.size()));
+    EXPECT_NEAR(rms, 0.25, 0.03);
+}
+
+TEST(Quantize, FixedGainKeepsChunksConsistent)
+{
+    SdrConfig cfg;
+    cfg.dcOffset = 0.0;
+    em::ReceptionPlan plan = emptyPlan(0.0);
+    plan.tones.push_back(em::ToneInterferer{"t", 1.2e6, 0.1, 0.0, 1.0});
+
+    Rng rng_a(8);
+    RtlSdr probe(cfg, rng_a);
+    cfg.fixedGain = probe.measureAgcGain(plan, 0, kMillisecond);
+    ASSERT_GT(cfg.fixedGain, 0.0);
+
+    Rng rng_b(8);
+    RtlSdr radio(cfg, rng_b);
+    IqCapture a = radio.capture(plan, 0, kMillisecond);
+    IqCapture b = radio.capture(plan, kMillisecond, 2 * kMillisecond);
+    auto rms = [](const IqCapture &c) {
+        double acc = 0.0;
+        for (const IqSample &s : c.samples)
+            acc += std::norm(s);
+        return std::sqrt(acc / static_cast<double>(c.samples.size()));
+    };
+    EXPECT_NEAR(rms(a), rms(b), 0.02);
+    EXPECT_NEAR(rms(a), cfg.agcTargetRms, 0.05);
+}
+
+TEST(Quantize, DcOffsetShiftsTheMean)
+{
+    Rng rng(9);
+    SdrConfig cfg;
+    cfg.dcOffset = 0.05;
+    cfg.fixedGain = 1.0;
+    RtlSdr radio(cfg, rng);
+    IqCapture cap = radio.capture(emptyPlan(0.05), 0, 4 * kMillisecond);
+    double mean_re = 0.0;
+    for (const IqSample &s : cap.samples)
+        mean_re += s.real();
+    mean_re /= static_cast<double>(cap.samples.size());
+    EXPECT_NEAR(mean_re, 0.05, 0.01);
+}
+
+TEST(Config, RejectsNonsense)
+{
+    Rng rng(10);
+    SdrConfig bad;
+    bad.sampleRate = -1.0;
+    EXPECT_DEATH(RtlSdr(bad, rng), "sample rate");
+    SdrConfig bad2;
+    bad2.adcBits = 40;
+    EXPECT_DEATH(RtlSdr(bad2, rng), "resolution");
+}
+
+TEST(Capture, EmptyWindowIsFatal)
+{
+    Rng rng(11);
+    RtlSdr radio(SdrConfig{}, rng);
+    EXPECT_DEATH(radio.capture(emptyPlan(), 5, 5), "empty");
+}
+
+} // namespace
+} // namespace emsc::sdr

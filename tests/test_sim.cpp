@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel and timelines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+
+namespace emsc::sim {
+namespace {
+
+TEST(EventKernel, ExecutesInTimeOrder)
+{
+    EventKernel k;
+    std::vector<int> order;
+    k.scheduleAt(30, [&] { order.push_back(3); });
+    k.scheduleAt(10, [&] { order.push_back(1); });
+    k.scheduleAt(20, [&] { order.push_back(2); });
+    k.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(k.now(), 100);
+}
+
+TEST(EventKernel, SameTimeEventsRunInScheduleOrder)
+{
+    EventKernel k;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        k.scheduleAt(5, [&order, i] { order.push_back(i); });
+    k.runUntil(10);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventKernel, RunUntilRespectsLimit)
+{
+    EventKernel k;
+    int fired = 0;
+    k.scheduleAt(10, [&] { ++fired; });
+    k.scheduleAt(20, [&] { ++fired; });
+    k.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(k.now(), 15);
+    k.runUntil(25);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventKernel, EventAtExactLimitRuns)
+{
+    EventKernel k;
+    bool fired = false;
+    k.scheduleAt(10, [&] { fired = true; });
+    k.runUntil(10);
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventKernel, CancelPreventsExecution)
+{
+    EventKernel k;
+    bool fired = false;
+    EventId id = k.scheduleAt(10, [&] { fired = true; });
+    k.cancel(id);
+    k.runUntil(100);
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventKernel, CancelOneOfSeveral)
+{
+    EventKernel k;
+    int fired = 0;
+    k.scheduleAt(10, [&] { ++fired; });
+    EventId id = k.scheduleAt(10, [&] { fired += 100; });
+    k.scheduleAt(10, [&] { ++fired; });
+    k.cancel(id);
+    k.runUntil(100);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventKernel, EventsScheduledDuringExecutionRun)
+{
+    EventKernel k;
+    std::vector<int> order;
+    k.scheduleAt(10, [&] {
+        order.push_back(1);
+        k.scheduleAfter(5, [&] { order.push_back(2); });
+    });
+    k.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventKernel, SameTickSelfScheduledEventRunsThisPass)
+{
+    EventKernel k;
+    int count = 0;
+    k.scheduleAt(10, [&] {
+        ++count;
+        if (count < 3)
+            k.scheduleAfter(0, [&] { ++count; });
+    });
+    k.runUntil(10);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventKernel, RunToExhaustionDrainsEverything)
+{
+    EventKernel k;
+    int fired = 0;
+    for (int i = 0; i < 50; ++i)
+        k.scheduleAt(i * 7, [&] { ++fired; });
+    std::size_t executed = k.runToExhaustion();
+    EXPECT_EQ(fired, 50);
+    EXPECT_EQ(executed, 50u);
+    EXPECT_EQ(k.pending(), 0u);
+}
+
+TEST(EventKernel, NowAdvancesToEventTimes)
+{
+    EventKernel k;
+    TimeNs seen = -1;
+    k.scheduleAt(42, [&] { seen = k.now(); });
+    k.runUntil(100);
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventKernel, SchedulingInThePastPanics)
+{
+    EventKernel k;
+    k.scheduleAt(100, [] {});
+    k.runUntil(100);
+    EXPECT_DEATH(k.scheduleAt(50, [] {}), "past");
+}
+
+TEST(Timeline, InitialValueHoldsBeforeFirstChange)
+{
+    Timeline<int> t(7);
+    EXPECT_EQ(t.at(0), 7);
+    EXPECT_EQ(t.at(1000), 7);
+    t.set(50, 9);
+    EXPECT_EQ(t.at(49), 7);
+    EXPECT_EQ(t.at(50), 9);
+    EXPECT_EQ(t.at(51), 9);
+}
+
+TEST(Timeline, LastReflectsMostRecent)
+{
+    Timeline<double> t(1.0);
+    EXPECT_DOUBLE_EQ(t.last(), 1.0);
+    t.set(10, 2.0);
+    t.set(20, 3.0);
+    EXPECT_DOUBLE_EQ(t.last(), 3.0);
+}
+
+TEST(Timeline, SameTimeOverwrites)
+{
+    Timeline<int> t(0);
+    t.set(10, 1);
+    t.set(10, 2);
+    EXPECT_EQ(t.at(10), 2);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Timeline, IntegrateConstant)
+{
+    Timeline<double> t(2.0);
+    // 2.0 over one second = 2.0 value-seconds.
+    EXPECT_NEAR(t.integrate(0, kSecond), 2.0, 1e-12);
+}
+
+TEST(Timeline, IntegratePiecewise)
+{
+    Timeline<double> t(0.0);
+    t.set(kSecond, 10.0);       // 10 from 1 s to 3 s
+    t.set(3 * kSecond, 0.0);    // back to 0
+    EXPECT_NEAR(t.integrate(0, 4 * kSecond), 20.0, 1e-9);
+    EXPECT_NEAR(t.integrate(2 * kSecond, 4 * kSecond), 10.0, 1e-9);
+}
+
+TEST(Timeline, IntegrateEmptyRange)
+{
+    Timeline<double> t(5.0);
+    EXPECT_DOUBLE_EQ(t.integrate(100, 100), 0.0);
+    EXPECT_DOUBLE_EQ(t.integrate(100, 50), 0.0);
+}
+
+TEST(Timeline, OutOfOrderSetPanics)
+{
+    Timeline<int> t(0);
+    t.set(100, 1);
+    EXPECT_DEATH(t.set(50, 2), "out of order");
+}
+
+TEST(Timeline, BinarySearchFindsCorrectSegments)
+{
+    Timeline<int> t(0);
+    for (int i = 1; i <= 100; ++i)
+        t.set(i * 10, i);
+    EXPECT_EQ(t.at(5), 0);
+    EXPECT_EQ(t.at(10), 1);
+    EXPECT_EQ(t.at(999), 99);
+    EXPECT_EQ(t.at(1000), 100);
+    EXPECT_EQ(t.at(100000), 100);
+}
+
+} // namespace
+} // namespace emsc::sim

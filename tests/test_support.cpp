@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit tests for the support library: statistics, RNG, units, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/types.hpp"
+#include "support/units.hpp"
+
+namespace emsc {
+namespace {
+
+TEST(RunningStats, EmptyIsZeroed)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MatchesDirectComputationOnRandomData)
+{
+    Rng rng(11);
+    RunningStats s;
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.gaussian(2.0, 3.0);
+        xs.push_back(x);
+        s.add(x);
+    }
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= static_cast<double>(xs.size() - 1);
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(Histogram, BinsAndCenters)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_EQ(h.size(), 10u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binCenter(9), 9.5);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(15.0);
+    EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+    EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(Histogram, DensityIntegratesToOne)
+{
+    Rng rng(5);
+    Histogram h(-4.0, 4.0, 32);
+    for (int i = 0; i < 5000; ++i)
+        h.add(rng.gaussian(0.0, 1.0));
+    double integral = 0.0;
+    for (double d : h.density())
+        integral += d * (8.0 / 32.0);
+    EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, FindPeaksLocatesBimodalModes)
+{
+    Rng rng(7);
+    Histogram h(0.0, 10.0, 50);
+    for (int i = 0; i < 4000; ++i)
+        h.add(rng.gaussian(2.5, 0.4));
+    for (int i = 0; i < 4000; ++i)
+        h.add(rng.gaussian(7.5, 0.4));
+    auto peaks = h.findPeaks(2, 10);
+    ASSERT_GE(peaks.size(), 2u);
+    double a = h.binCenter(peaks[0]);
+    double b = h.binCenter(peaks[1]);
+    if (a > b)
+        std::swap(a, b);
+    EXPECT_NEAR(a, 2.5, 0.6);
+    EXPECT_NEAR(b, 7.5, 0.6);
+}
+
+TEST(Histogram, FromSamplesSpansData)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 9.0};
+    Histogram h = Histogram::fromSamples(xs, 8);
+    EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Quantile, MedianOfOddSet)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics)
+{
+    std::vector<double> xs = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 3.0);
+}
+
+TEST(RayleighFit, RecoversScaleFromSamples)
+{
+    Rng rng(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(rng.rayleigh(2.0));
+    double sigma = fitRayleighSigma(xs);
+    EXPECT_NEAR(sigma, 2.0, 0.05);
+}
+
+TEST(RayleighFit, GoodnessPrefersTrueDistribution)
+{
+    Rng rng(4);
+    std::vector<double> rayleigh_samples, uniform_samples;
+    for (int i = 0; i < 3000; ++i) {
+        rayleigh_samples.push_back(rng.rayleigh(1.5));
+        uniform_samples.push_back(rng.uniform(0.0, 3.0));
+    }
+    double g_true = rayleighGoodness(rayleigh_samples, 1.5);
+    double g_false = rayleighGoodness(uniform_samples,
+                                      fitRayleighSigma(uniform_samples));
+    EXPECT_LT(g_true, g_false);
+}
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.uniform() == b.uniform();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RayleighMomentsMatchTheory)
+{
+    Rng rng(13);
+    RunningStats s;
+    const double sigma = 3.0;
+    for (int i = 0; i < 50000; ++i)
+        s.add(rng.rayleigh(sigma));
+    // Mean = sigma * sqrt(pi/2).
+    EXPECT_NEAR(s.mean(), sigma * std::sqrt(M_PI / 2.0), 0.05);
+    EXPECT_GT(s.min(), 0.0);
+}
+
+TEST(Rng, SkewedOvershootIsNonNegativeAndSkewed)
+{
+    Rng rng(17);
+    RunningStats s;
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i) {
+        double x = rng.skewedOvershoot(5.0, 10.0);
+        EXPECT_GE(x, 0.0);
+        s.add(x);
+        xs.push_back(x);
+    }
+    // Positive skew: mean exceeds median.
+    EXPECT_GT(s.mean(), median(xs));
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(21);
+    Rng child = parent.fork();
+    // Child and parent draws should not track each other.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.uniform() == child.uniform();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(31);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Units, DbRoundTrips)
+{
+    EXPECT_NEAR(dbToPower(powerToDb(7.3)), 7.3, 1e-12);
+    EXPECT_NEAR(dbToAmplitude(amplitudeToDb(0.02)), 0.02, 1e-12);
+    EXPECT_DOUBLE_EQ(powerToDb(10.0), 10.0);
+    EXPECT_DOUBLE_EQ(amplitudeToDb(10.0), 20.0);
+}
+
+TEST(Types, TimeConversionsRoundTrip)
+{
+    EXPECT_EQ(fromSeconds(1.0), kSecond);
+    EXPECT_EQ(fromMicroseconds(1.0), kMicrosecond);
+    EXPECT_EQ(fromMilliseconds(1.0), kMillisecond);
+    EXPECT_DOUBLE_EQ(toSeconds(kSecond), 1.0);
+    EXPECT_EQ(fromSeconds(toSeconds(123456789)), 123456789);
+}
+
+/** Property sweep: quantiles are monotone in q. */
+class QuantileMonotone : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantileMonotone, MonotoneInQ)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    std::vector<double> xs;
+    for (int i = 0; i < 200; ++i)
+        xs.push_back(rng.gaussian(0.0, 1.0));
+    double prev = quantile(xs, 0.0);
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+        double v = quantile(xs, q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace emsc

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for asynchronous bit-timing recovery: period estimation, edge
+ * detection, gap filling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/timing.hpp"
+#include "support/rng.hpp"
+
+namespace emsc::channel {
+namespace {
+
+/**
+ * Synthesise an RZ-keyed envelope: each bit opens with a short blip,
+ * 1-bits additionally hold a high plateau for the first half.
+ */
+std::vector<double>
+rzEnvelope(const std::vector<int> &bits, double period, double jitter,
+           std::uint64_t seed, double noise = 0.02)
+{
+    Rng rng(seed);
+    std::vector<double> y;
+    for (int b : bits) {
+        auto len = static_cast<std::size_t>(
+            period * (1.0 + jitter * rng.gaussian(0.0, 1.0)));
+        len = std::max<std::size_t>(len, 8);
+        std::size_t blip = std::max<std::size_t>(2, len / 12);
+        std::size_t high = b ? len / 2 : blip;
+        for (std::size_t i = 0; i < len; ++i) {
+            double v = i < high ? 1.0 : 0.05;
+            y.push_back(v + rng.gaussian(0.0, noise));
+        }
+    }
+    return y;
+}
+
+std::vector<int>
+randomBits(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<int> b(n);
+    for (auto &v : b)
+        v = rng.chance(0.5) ? 1 : 0;
+    return b;
+}
+
+TEST(BitPeriod, RecoversCleanPeriod)
+{
+    auto y = rzEnvelope(randomBits(400, 1), 40.0, 0.0, 2);
+    double est = estimateBitPeriod(y, TimingConfig{});
+    EXPECT_NEAR(est, 40.0, 1.5);
+}
+
+TEST(BitPeriod, RobustToTimingJitter)
+{
+    auto y = rzEnvelope(randomBits(400, 3), 50.0, 0.08, 4);
+    double est = estimateBitPeriod(y, TimingConfig{});
+    EXPECT_NEAR(est, 50.0, 3.0);
+}
+
+TEST(BitPeriod, TooShortSignalReturnsZero)
+{
+    std::vector<double> y(10, 1.0);
+    EXPECT_DOUBLE_EQ(estimateBitPeriod(y, TimingConfig{}), 0.0);
+}
+
+TEST(BitPeriod, RampHintSkipsLongLobes)
+{
+    // Bit period 90 with wide (30-sample) ramps: a naive search might
+    // stop inside the lobe; the hint must not break the estimate.
+    auto bits = randomBits(200, 5);
+    Rng rng(6);
+    std::vector<double> y;
+    for (int b : bits) {
+        std::size_t len = 90;
+        std::size_t high = b ? 45 : 8;
+        for (std::size_t i = 0; i < len; ++i) {
+            double v;
+            if (i < 30)
+                v = static_cast<double>(i) / 30.0; // slow ramp
+            else if (i < high + 30)
+                v = 1.0;
+            else
+                v = 0.05;
+            y.push_back(v + rng.gaussian(0.0, 0.02));
+        }
+    }
+    TimingConfig cfg;
+    cfg.rampHint = 30;
+    double est = estimateBitPeriod(y, cfg);
+    EXPECT_NEAR(est, 90.0, 4.0);
+}
+
+TEST(RecoverTiming, FindsEveryBitStartOnCleanSignal)
+{
+    auto bits = randomBits(300, 7);
+    auto y = rzEnvelope(bits, 44.0, 0.03, 8);
+    BitTiming t = recoverTiming(y, TimingConfig{});
+    EXPECT_NEAR(static_cast<double>(t.starts.size()),
+                static_cast<double>(bits.size()), 9.0);
+    EXPECT_NEAR(t.signalingTime, 44.0, 3.0);
+}
+
+TEST(RecoverTiming, StartsAlignWithTrueBoundaries)
+{
+    auto bits = randomBits(100, 9);
+    auto y = rzEnvelope(bits, 50.0, 0.0, 10, 0.01);
+    BitTiming t = recoverTiming(y, TimingConfig{});
+    ASSERT_GT(t.starts.size(), 50u);
+    // Each detected start should be within a few samples of a
+    // multiple of the bit period.
+    for (std::size_t s : t.starts) {
+        double phase = std::fmod(static_cast<double>(s), 50.0);
+        double err = std::min(phase, 50.0 - phase);
+        EXPECT_LE(err, 10.0);
+    }
+}
+
+TEST(RecoverTiming, GapFillingInsertsMissedStarts)
+{
+    // Build an envelope, then flatten two bits in the middle (their
+    // edges disappear, as an interrupt would cause).
+    auto bits = randomBits(120, 11);
+    auto y = rzEnvelope(bits, 40.0, 0.0, 12, 0.01);
+    for (std::size_t i = 40 * 50; i < 40 * 52; ++i)
+        y[i] = 0.05;
+    BitTiming t = recoverTiming(y, TimingConfig{});
+    // The count should still be close to the bit count because the
+    // gap filler interpolates the missing starts.
+    EXPECT_NEAR(static_cast<double>(t.starts.size()),
+                static_cast<double>(bits.size()), 5.0);
+}
+
+TEST(RecoverTiming, RawSpacingsHavePositiveSkewUnderJitter)
+{
+    auto bits = randomBits(600, 13);
+    // Positively skewed jitter, as usleep overshoot produces.
+    Rng rng(14);
+    std::vector<double> y;
+    for (int b : bits) {
+        auto len = static_cast<std::size_t>(
+            42.0 + rng.skewedOvershoot(1.5, 3.0));
+        std::size_t high = b ? len / 2 : 4;
+        for (std::size_t i = 0; i < len; ++i)
+            y.push_back((i < high ? 1.0 : 0.05) +
+                        rng.gaussian(0.0, 0.02));
+    }
+    BitTiming t = recoverTiming(y, TimingConfig{});
+    ASSERT_GT(t.rawSpacings.size(), 100u);
+    double mean = 0.0;
+    for (double s : t.rawSpacings)
+        mean += s;
+    mean /= static_cast<double>(t.rawSpacings.size());
+    // Mean above median: the Fig. 6 positive skew.
+    std::vector<double> sorted = t.rawSpacings;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_GT(mean, sorted[sorted.size() / 2] - 0.5);
+}
+
+TEST(RecoverTiming, ExplicitKernelIsHonoured)
+{
+    auto bits = randomBits(100, 15);
+    auto y = rzEnvelope(bits, 60.0, 0.0, 16);
+    TimingConfig cfg;
+    cfg.edgeKernel = 30;
+    BitTiming t = recoverTiming(y, cfg);
+    EXPECT_GT(t.starts.size(), 80u);
+}
+
+TEST(RecoverTiming, EmptySignalYieldsNothing)
+{
+    BitTiming t = recoverTiming({}, TimingConfig{});
+    EXPECT_TRUE(t.starts.empty());
+    EXPECT_DOUBLE_EQ(t.signalingTime, 0.0);
+}
+
+/** Parameterised sweep over bit periods. */
+class PeriodSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PeriodSweep, EstimatorTracksThePeriod)
+{
+    double period = GetParam();
+    auto y = rzEnvelope(randomBits(300, 21), period, 0.05,
+                        static_cast<std::uint64_t>(period));
+    double est = estimateBitPeriod(y, TimingConfig{});
+    EXPECT_NEAR(est, period, std::max(2.0, period * 0.08));
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodSweep,
+                         ::testing::Values(20.0, 30.0, 40.0, 60.0, 90.0,
+                                           150.0, 250.0));
+
+} // namespace
+} // namespace emsc::channel

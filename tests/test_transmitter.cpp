@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the Fig. 3 transmitter application: return-to-zero timing
+ * on the simulated OS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "channel/transmitter.hpp"
+#include "support/stats.hpp"
+
+namespace emsc::channel {
+namespace {
+
+struct Rig
+{
+    Rng rng{99};
+    sim::EventKernel kernel;
+    cpu::CpuCore core;
+    cpu::OsModel os;
+
+    explicit Rig(cpu::OsConfig cfg = cpu::makeUnixOsConfig())
+        : core(kernel, cpu::CoreConfig{}), os(kernel, core, cfg, rng)
+    {
+    }
+};
+
+TEST(Transmitter, SendsEveryBitAndCompletes)
+{
+    Rig rig;
+    Bits bits = {1, 0, 1, 1, 0, 0, 1, 0, 1, 0};
+    CovertTransmitter tx(rig.os, bits, TxParams{});
+    bool done = false;
+    tx.start([&] { done = true; });
+    rig.kernel.runUntil(kSecond);
+    EXPECT_TRUE(done);
+    ASSERT_EQ(tx.sentBits().size(), bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        EXPECT_EQ(tx.sentBits()[i].value, bits[i]);
+}
+
+TEST(Transmitter, BitStartsAreMonotonic)
+{
+    Rig rig;
+    Bits bits(50, 1);
+    CovertTransmitter tx(rig.os, bits, TxParams{});
+    tx.start(nullptr);
+    rig.kernel.runUntil(kSecond);
+    const auto &rec = tx.sentBits();
+    for (std::size_t i = 1; i < rec.size(); ++i)
+        EXPECT_GT(rec[i].start, rec[i - 1].start);
+}
+
+TEST(Transmitter, ZeroAndOneBitsHaveSimilarDurations)
+{
+    // RZ with equal active/idle: both symbols last about 2x the sleep
+    // period (§IV-A).
+    Rig rig;
+    Bits bits;
+    for (int i = 0; i < 200; ++i)
+        bits.push_back(i % 2);
+    TxParams params;
+    params.sleepPeriodUs = 100.0;
+    CovertTransmitter tx(rig.os, bits, params);
+    tx.start(nullptr);
+    rig.kernel.runUntil(kSecond);
+
+    RunningStats ones, zeros;
+    const auto &rec = tx.sentBits();
+    for (std::size_t i = 1; i < rec.size(); ++i) {
+        double d = toSeconds(rec[i].start - rec[i - 1].start);
+        if (rec[i - 1].value)
+            ones.add(d);
+        else
+            zeros.add(d);
+    }
+    EXPECT_NEAR(ones.mean(), 200e-6, 80e-6);
+    EXPECT_NEAR(zeros.mean(), 200e-6, 80e-6);
+    EXPECT_NEAR(ones.mean() / zeros.mean(), 1.0, 0.3);
+}
+
+TEST(Transmitter, OneBitsBurnCycles)
+{
+    Rig rig_ones, rig_zeros;
+    Bits ones(40, 1), zeros(40, 0);
+    CovertTransmitter tx1(rig_ones.os, ones, TxParams{});
+    CovertTransmitter tx0(rig_zeros.os, zeros, TxParams{});
+    tx1.start(nullptr);
+    tx0.start(nullptr);
+    rig_ones.kernel.runUntil(kSecond);
+    rig_zeros.kernel.runUntil(kSecond);
+    EXPECT_GT(rig_ones.core.cyclesRetired(),
+              3 * rig_zeros.core.cyclesRetired());
+}
+
+TEST(Transmitter, AutoLoopCyclesMatchSleepPeriod)
+{
+    Rig rig;
+    TxParams params;
+    params.sleepPeriodUs = 250.0;
+    CovertTransmitter tx(rig.os, {1}, params);
+    double freq =
+        rig.core.config().pstates.fastest().frequency;
+    EXPECT_NEAR(static_cast<double>(tx.effectiveLoopCycles()),
+                250e-6 * freq, 250e-6 * freq * 0.05);
+}
+
+TEST(Transmitter, ExplicitLoopCyclesHonoured)
+{
+    Rig rig;
+    TxParams params;
+    params.loopCycles = 12345;
+    CovertTransmitter tx(rig.os, {1, 0}, params);
+    EXPECT_EQ(tx.effectiveLoopCycles(), 12345u);
+}
+
+TEST(Transmitter, WindowsGranularityStretchesBits)
+{
+    Rig unix_rig{cpu::makeUnixOsConfig()};
+    Rig win_rig{cpu::makeWindowsOsConfig()};
+    Bits bits(60, 1);
+    TxParams params;
+    params.sleepPeriodUs = 100.0; // rounds to 500 us on Windows
+
+    CovertTransmitter tx_u(unix_rig.os, bits, params);
+    CovertTransmitter tx_w(win_rig.os, bits, params);
+    TimeNs end_u = 0, end_w = 0;
+    tx_u.start(nullptr);
+    tx_w.start(nullptr);
+    unix_rig.kernel.runUntil(kSecond);
+    win_rig.kernel.runUntil(kSecond);
+    end_u = tx_u.sentBits().back().start;
+    end_w = tx_w.sentBits().back().start;
+    // Windows bits are several times longer.
+    EXPECT_GT(end_w, 2 * end_u);
+}
+
+TEST(Transmitter, EstimatedBitPeriodApproximatesReality)
+{
+    Rig rig;
+    TxParams params;
+    params.sleepPeriodUs = 100.0;
+    double est = CovertTransmitter::estimatedBitPeriod(rig.os, params);
+
+    Bits bits(300, 1);
+    for (std::size_t i = 0; i < bits.size(); i += 2)
+        bits[i] = 0;
+    CovertTransmitter tx(rig.os, bits, params);
+    bool done = false;
+    TimeNs end = 0;
+    tx.start([&] {
+        done = true;
+        end = rig.kernel.now();
+    });
+    rig.kernel.runUntil(kSecond);
+    ASSERT_TRUE(done);
+    double measured = toSeconds(end - tx.sentBits().front().start) /
+                      static_cast<double>(bits.size());
+    EXPECT_NEAR(measured, est, est * 0.5);
+}
+
+TEST(Transmitter, EmptyBitsAreFatal)
+{
+    Rig rig;
+    EXPECT_DEATH(CovertTransmitter(rig.os, {}, TxParams{}), "empty");
+}
+
+} // namespace
+} // namespace emsc::channel

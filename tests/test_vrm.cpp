@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the buck-converter/PMU model: switching rates, pulse
+ * skipping, amplitudes and the coupling to the core's current trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/core.hpp"
+#include "sim/trace.hpp"
+#include "vrm/buck.hpp"
+#include "vrm/pmu.hpp"
+
+namespace emsc::vrm {
+namespace {
+
+sim::Timeline<double>
+constantLoad(double amps)
+{
+    return sim::Timeline<double>(amps);
+}
+
+TEST(Buck, ContinuousModeSwitchesEveryPeriod)
+{
+    Rng rng(1);
+    BuckConfig cfg;
+    cfg.switchFrequency = 1e6;
+    cfg.periodJitterRms = 0.0;
+    BuckConverter buck(cfg, rng);
+    auto load = constantLoad(10.0); // above the shed threshold
+    auto events = buck.generate(load, 0, kMillisecond);
+    // 1 MHz for 1 ms: ~1000 events.
+    EXPECT_NEAR(static_cast<double>(events.size()), 1000.0, 3.0);
+}
+
+TEST(Buck, ContinuousModeAmplitudeTracksLoad)
+{
+    Rng rng(2);
+    BuckConfig cfg;
+    BuckConverter buck(cfg, rng);
+    auto load = constantLoad(12.5);
+    auto events = buck.generate(load, 0, 100 * kMicrosecond);
+    ASSERT_FALSE(events.empty());
+    for (const SwitchEvent &e : events)
+        EXPECT_DOUBLE_EQ(e.amplitude, 12.5);
+}
+
+TEST(Buck, PulseSkippingReducesEventRateProportionally)
+{
+    Rng rng(3);
+    BuckConfig cfg;
+    cfg.switchFrequency = 1e6;
+    cfg.shedThreshold = 2.5;
+    cfg.periodJitterRms = 0.0;
+    BuckConverter buck(cfg, rng);
+
+    auto light = constantLoad(0.5); // 20% of the threshold
+    auto events = buck.generate(light, 0, 10 * kMillisecond);
+    // Expected rate = f * I/I_shed = 1e6 * 0.2 = 2e5 -> 2000 events.
+    EXPECT_NEAR(static_cast<double>(events.size()), 2000.0, 40.0);
+}
+
+TEST(Buck, SkippedBurstsCarryNominalAmplitude)
+{
+    Rng rng(4);
+    BuckConfig cfg;
+    cfg.shedThreshold = 2.5;
+    BuckConverter buck(cfg, rng);
+    auto light = constantLoad(0.5);
+    auto events = buck.generate(light, 0, 5 * kMillisecond);
+    ASSERT_FALSE(events.empty());
+    for (const SwitchEvent &e : events)
+        EXPECT_DOUBLE_EQ(e.amplitude, 2.5);
+}
+
+TEST(Buck, ZeroLoadProducesNoEvents)
+{
+    Rng rng(5);
+    BuckConverter buck(BuckConfig{}, rng);
+    auto off = constantLoad(0.0);
+    EXPECT_TRUE(buck.generate(off, 0, kMillisecond).empty());
+}
+
+TEST(Buck, EventsAreTimeOrderedAndBounded)
+{
+    Rng rng(6);
+    BuckConverter buck(BuckConfig{}, rng);
+    auto load = constantLoad(5.0);
+    auto events = buck.generate(load, kMillisecond, 2 * kMillisecond);
+    ASSERT_FALSE(events.empty());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_GE(events[i].time, kMillisecond);
+        EXPECT_LT(events[i].time, 2 * kMillisecond);
+        if (i)
+            EXPECT_GE(events[i].time, events[i - 1].time);
+        EXPECT_GT(events[i].width, 0);
+    }
+}
+
+TEST(Buck, FrequencyErrorShiftsEffectiveFrequency)
+{
+    Rng rng(7);
+    BuckConfig cfg;
+    cfg.switchFrequency = 1e6;
+    cfg.frequencyErrorPpm = 1000.0; // +0.1%
+    BuckConverter buck(cfg, rng);
+    EXPECT_NEAR(buck.effectiveFrequency(), 1.001e6, 1.0);
+}
+
+TEST(Buck, JitterSpreadsPeriodsButKeepsMeanRate)
+{
+    Rng rng(8);
+    BuckConfig cfg;
+    cfg.switchFrequency = 1e6;
+    cfg.periodJitterRms = 0.01;
+    BuckConverter buck(cfg, rng);
+    auto load = constantLoad(10.0);
+    auto events = buck.generate(load, 0, 10 * kMillisecond);
+    EXPECT_NEAR(static_cast<double>(events.size()), 10000.0, 120.0);
+
+    // Period spread should be visible.
+    double mn = 1e18, mx = 0.0;
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        double d = static_cast<double>(events[i].time -
+                                       events[i - 1].time);
+        mn = std::min(mn, d);
+        mx = std::max(mx, d);
+    }
+    EXPECT_GT(mx - mn, 10.0); // more than 10 ns of spread
+}
+
+TEST(Buck, StepLoadSwitchesModesAtTheStep)
+{
+    Rng rng(9);
+    BuckConfig cfg;
+    cfg.switchFrequency = 1e6;
+    cfg.shedThreshold = 2.5;
+    cfg.periodJitterRms = 0.0;
+    BuckConverter buck(cfg, rng);
+
+    sim::Timeline<double> load(10.0);
+    load.set(kMillisecond, 0.25); // drop to 10% of the threshold
+    auto events = buck.generate(load, 0, 2 * kMillisecond);
+
+    std::size_t before = 0, after = 0;
+    for (const SwitchEvent &e : events)
+        (e.time < kMillisecond ? before : after)++;
+    EXPECT_NEAR(static_cast<double>(before), 1000.0, 5.0);
+    EXPECT_NEAR(static_cast<double>(after), 100.0, 10.0);
+}
+
+TEST(Buck, RejectsInvalidConfig)
+{
+    Rng rng(10);
+    BuckConfig bad;
+    bad.switchFrequency = 0.0;
+    EXPECT_DEATH(BuckConverter(bad, rng), "positive");
+    BuckConfig bad2;
+    bad2.dutyCycle = 1.5;
+    EXPECT_DEATH(BuckConverter(bad2, rng), "duty");
+}
+
+TEST(Pmu, ActiveCoreEmitsFarMoreChargeThanIdle)
+{
+    // Drive a real core: busy for 0.5 ms, then idle.
+    sim::EventKernel k;
+    cpu::CpuCore core(k, cpu::CoreConfig{});
+    core.hintNextWake(10 * kMillisecond);
+    core.submit(1400000, nullptr); // ~0.5 ms at 2.8 GHz
+    k.runUntil(4 * kMillisecond);
+
+    Rng rng(11);
+    Pmu pmu(core, BuckConfig{}, rng);
+    auto events = pmu.switchingEvents(0, 4 * kMillisecond);
+    ASSERT_FALSE(events.empty());
+
+    double active_charge = 0.0, idle_charge = 0.0;
+    for (const SwitchEvent &e : events) {
+        double q = e.amplitude;
+        if (e.time < kMillisecond)
+            active_charge += q;
+        else
+            idle_charge += q;
+    }
+    // Per unit time, the active window carries far more emission.
+    EXPECT_GT(active_charge / 1.0, 5.0 * (idle_charge / 3.0));
+}
+
+TEST(Pmu, VidFollowsPStateVoltage)
+{
+    cpu::PStateTable t = cpu::defaultPStates();
+    EXPECT_DOUBLE_EQ(Pmu::vidVoltage(t.fastest()), t.fastest().voltage);
+    EXPECT_DOUBLE_EQ(Pmu::vidVoltage(t.slowest()), t.slowest().voltage);
+}
+
+/** Parameterised: skip-mode event rate tracks the load ratio. */
+class SkipRatio : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SkipRatio, EventRateMatchesLoadFraction)
+{
+    double frac = GetParam();
+    Rng rng(static_cast<std::uint64_t>(frac * 1000));
+    BuckConfig cfg;
+    cfg.switchFrequency = 1e6;
+    cfg.shedThreshold = 2.0;
+    cfg.periodJitterRms = 0.0;
+    BuckConverter buck(cfg, rng);
+    auto load = constantLoad(frac * cfg.shedThreshold);
+    auto events = buck.generate(load, 0, 20 * kMillisecond);
+    double expected = 1e6 * frac * 0.02;
+    EXPECT_NEAR(static_cast<double>(events.size()), expected,
+                std::max(4.0, expected * 0.03));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SkipRatio,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75,
+                                           0.9));
+
+} // namespace
+} // namespace emsc::vrm

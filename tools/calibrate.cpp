@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Calibration sweep used while fitting the Table I device profiles
+ * (src/core/device.cpp). Not part of the build; compile standalone:
+ *
+ *   g++ -std=c++20 -O2 -I src tools/calibrate.cpp \
+ *       build/src/core/libemsc_core.a build/src/fingerprint/libemsc_fingerprint.a \
+ *       build/src/keylog/libemsc_keylog.a build/src/baselines/libemsc_baselines.a \
+ *       build/src/channel/libemsc_channel.a build/src/sdr/libemsc_sdr.a \
+ *       build/src/em/libemsc_em.a build/src/vrm/libemsc_vrm.a \
+ *       build/src/cpu/libemsc_cpu.a build/src/dsp/libemsc_dsp.a \
+ *       build/src/sim/libemsc_sim.a build/src/support/libemsc_support.a \
+ *       -o calibrate
+ */
+
+#include <cstdio>
+
+#include "core/api.hpp"
+
+using namespace emsc;
+
+namespace {
+
+void
+runOne(const core::DeviceProfile &d, const core::MeasurementSetup &s,
+       std::size_t bits, std::uint64_t seed)
+{
+    core::CovertChannelOptions o;
+    o.payloadBits = bits;
+    o.seed = seed;
+    core::CovertChannelResult r = core::runCovertChannel(d, s, o);
+    std::printf("%-20s %-44s found=%d TR=%6.0f BER=%.2e IP=%.2e "
+                "DP=%.2e f=%.0f\n",
+                d.name.c_str(), s.name.c_str(), r.frameFound, r.trBps,
+                r.ber, r.insertionProb, r.deletionProb, r.carrierHz);
+}
+
+} // namespace
+
+int
+main()
+{
+    for (const auto &d : core::table1Devices())
+        runOne(d, core::nearFieldSetup(), 3000, 11);
+    core::DeviceProfile ref = core::referenceDevice();
+    for (double m : {1.0, 1.5, 2.5})
+        runOne(ref, core::distanceSetup(m), 2000, 22);
+    runOne(ref, core::throughWallSetup(), 2000, 33);
+    return 0;
+}
