@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_acquisition.dir/ablation_acquisition.cpp.o"
+  "CMakeFiles/ablation_acquisition.dir/ablation_acquisition.cpp.o.d"
+  "ablation_acquisition"
+  "ablation_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_countermeasures.dir/ablation_countermeasures.cpp.o"
+  "CMakeFiles/ablation_countermeasures.dir/ablation_countermeasures.cpp.o.d"
+  "ablation_countermeasures"
+  "ablation_countermeasures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_countermeasures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_receiver.dir/ablation_receiver.cpp.o"
+  "CMakeFiles/ablation_receiver.dir/ablation_receiver.cpp.o.d"
+  "ablation_receiver"
+  "ablation_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fingerprinting.dir/ext_fingerprinting.cpp.o"
+  "CMakeFiles/ext_fingerprinting.dir/ext_fingerprinting.cpp.o.d"
+  "ext_fingerprinting"
+  "ext_fingerprinting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fingerprinting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_spectrogram.dir/fig02_spectrogram.cpp.o"
+  "CMakeFiles/fig02_spectrogram.dir/fig02_spectrogram.cpp.o.d"
+  "fig02_spectrogram"
+  "fig02_spectrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_spectrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

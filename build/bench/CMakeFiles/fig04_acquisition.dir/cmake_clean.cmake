@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_acquisition.dir/fig04_acquisition.cpp.o"
+  "CMakeFiles/fig04_acquisition.dir/fig04_acquisition.cpp.o.d"
+  "fig04_acquisition"
+  "fig04_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_edges.dir/fig05_edges.cpp.o"
+  "CMakeFiles/fig05_edges.dir/fig05_edges.cpp.o.d"
+  "fig05_edges"
+  "fig05_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pulse_width.dir/fig06_pulse_width.cpp.o"
+  "CMakeFiles/fig06_pulse_width.dir/fig06_pulse_width.cpp.o.d"
+  "fig06_pulse_width"
+  "fig06_pulse_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pulse_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_pulse_width.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_power_hist.dir/fig07_power_hist.cpp.o"
+  "CMakeFiles/fig07_power_hist.dir/fig07_power_hist.cpp.o.d"
+  "fig07_power_hist"
+  "fig07_power_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_power_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

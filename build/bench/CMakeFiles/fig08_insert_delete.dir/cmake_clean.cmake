@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_insert_delete.dir/fig08_insert_delete.cpp.o"
+  "CMakeFiles/fig08_insert_delete.dir/fig08_insert_delete.cpp.o.d"
+  "fig08_insert_delete"
+  "fig08_insert_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_insert_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

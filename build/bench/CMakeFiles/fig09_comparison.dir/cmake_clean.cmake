@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_comparison.dir/fig09_comparison.cpp.o"
+  "CMakeFiles/fig09_comparison.dir/fig09_comparison.cpp.o.d"
+  "fig09_comparison"
+  "fig09_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nlos_wall.dir/fig10_nlos_wall.cpp.o"
+  "CMakeFiles/fig10_nlos_wall.dir/fig10_nlos_wall.cpp.o.d"
+  "fig10_nlos_wall"
+  "fig10_nlos_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nlos_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_keylog_spectrogram.dir/fig11_keylog_spectrogram.cpp.o"
+  "CMakeFiles/fig11_keylog_spectrogram.dir/fig11_keylog_spectrogram.cpp.o.d"
+  "fig11_keylog_spectrogram"
+  "fig11_keylog_spectrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_keylog_spectrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

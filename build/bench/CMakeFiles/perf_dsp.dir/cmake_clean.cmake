@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_dsp.dir/perf_dsp.cpp.o"
+  "CMakeFiles/perf_dsp.dir/perf_dsp.cpp.o.d"
+  "perf_dsp"
+  "perf_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_power_states.dir/sec3_power_states.cpp.o"
+  "CMakeFiles/sec3_power_states.dir/sec3_power_states.cpp.o.d"
+  "sec3_power_states"
+  "sec3_power_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_power_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

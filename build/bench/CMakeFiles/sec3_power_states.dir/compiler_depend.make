@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec3_power_states.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_background.dir/table2_background.cpp.o"
+  "CMakeFiles/table2_background.dir/table2_background.cpp.o.d"
+  "table2_background"
+  "table2_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_nearfield.dir/table2_nearfield.cpp.o"
+  "CMakeFiles/table2_nearfield.dir/table2_nearfield.cpp.o.d"
+  "table2_nearfield"
+  "table2_nearfield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_nearfield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_distance.dir/table3_distance.cpp.o"
+  "CMakeFiles/table3_distance.dir/table3_distance.cpp.o.d"
+  "table3_distance"
+  "table3_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_keylogging.dir/table4_keylogging.cpp.o"
+  "CMakeFiles/table4_keylogging.dir/table4_keylogging.cpp.o.d"
+  "table4_keylogging"
+  "table4_keylogging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_keylogging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

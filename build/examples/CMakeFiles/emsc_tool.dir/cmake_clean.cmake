@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_tool.dir/emsc_tool.cpp.o"
+  "CMakeFiles/emsc_tool.dir/emsc_tool.cpp.o.d"
+  "emsc_tool"
+  "emsc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

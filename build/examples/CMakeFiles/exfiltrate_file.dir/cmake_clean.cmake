@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exfiltrate_file.dir/exfiltrate_file.cpp.o"
+  "CMakeFiles/exfiltrate_file.dir/exfiltrate_file.cpp.o.d"
+  "exfiltrate_file"
+  "exfiltrate_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exfiltrate_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

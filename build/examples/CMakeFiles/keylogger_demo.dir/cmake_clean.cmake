@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keylogger_demo.dir/keylogger_demo.cpp.o"
+  "CMakeFiles/keylogger_demo.dir/keylogger_demo.cpp.o.d"
+  "keylogger_demo"
+  "keylogger_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keylogger_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

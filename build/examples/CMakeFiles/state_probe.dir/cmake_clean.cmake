@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_probe.dir/state_probe.cpp.o"
+  "CMakeFiles/state_probe.dir/state_probe.cpp.o.d"
+  "state_probe"
+  "state_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

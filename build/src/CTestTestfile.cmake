@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sim")
+subdirs("dsp")
+subdirs("cpu")
+subdirs("vrm")
+subdirs("em")
+subdirs("sdr")
+subdirs("channel")
+subdirs("keylog")
+subdirs("baselines")
+subdirs("fingerprint")
+subdirs("core")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fan_acoustic.cpp" "src/baselines/CMakeFiles/emsc_baselines.dir/fan_acoustic.cpp.o" "gcc" "src/baselines/CMakeFiles/emsc_baselines.dir/fan_acoustic.cpp.o.d"
+  "/root/repo/src/baselines/gsmem.cpp" "src/baselines/CMakeFiles/emsc_baselines.dir/gsmem.cpp.o" "gcc" "src/baselines/CMakeFiles/emsc_baselines.dir/gsmem.cpp.o.d"
+  "/root/repo/src/baselines/powert.cpp" "src/baselines/CMakeFiles/emsc_baselines.dir/powert.cpp.o" "gcc" "src/baselines/CMakeFiles/emsc_baselines.dir/powert.cpp.o.d"
+  "/root/repo/src/baselines/registry.cpp" "src/baselines/CMakeFiles/emsc_baselines.dir/registry.cpp.o" "gcc" "src/baselines/CMakeFiles/emsc_baselines.dir/registry.cpp.o.d"
+  "/root/repo/src/baselines/thermal.cpp" "src/baselines/CMakeFiles/emsc_baselines.dir/thermal.cpp.o" "gcc" "src/baselines/CMakeFiles/emsc_baselines.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/emsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

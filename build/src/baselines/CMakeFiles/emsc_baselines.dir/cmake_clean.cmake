@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_baselines.dir/fan_acoustic.cpp.o"
+  "CMakeFiles/emsc_baselines.dir/fan_acoustic.cpp.o.d"
+  "CMakeFiles/emsc_baselines.dir/gsmem.cpp.o"
+  "CMakeFiles/emsc_baselines.dir/gsmem.cpp.o.d"
+  "CMakeFiles/emsc_baselines.dir/powert.cpp.o"
+  "CMakeFiles/emsc_baselines.dir/powert.cpp.o.d"
+  "CMakeFiles/emsc_baselines.dir/registry.cpp.o"
+  "CMakeFiles/emsc_baselines.dir/registry.cpp.o.d"
+  "CMakeFiles/emsc_baselines.dir/thermal.cpp.o"
+  "CMakeFiles/emsc_baselines.dir/thermal.cpp.o.d"
+  "libemsc_baselines.a"
+  "libemsc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

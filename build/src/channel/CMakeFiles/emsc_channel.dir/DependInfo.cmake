@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/acquisition.cpp" "src/channel/CMakeFiles/emsc_channel.dir/acquisition.cpp.o" "gcc" "src/channel/CMakeFiles/emsc_channel.dir/acquisition.cpp.o.d"
+  "/root/repo/src/channel/coding.cpp" "src/channel/CMakeFiles/emsc_channel.dir/coding.cpp.o" "gcc" "src/channel/CMakeFiles/emsc_channel.dir/coding.cpp.o.d"
+  "/root/repo/src/channel/labeling.cpp" "src/channel/CMakeFiles/emsc_channel.dir/labeling.cpp.o" "gcc" "src/channel/CMakeFiles/emsc_channel.dir/labeling.cpp.o.d"
+  "/root/repo/src/channel/matched_filter.cpp" "src/channel/CMakeFiles/emsc_channel.dir/matched_filter.cpp.o" "gcc" "src/channel/CMakeFiles/emsc_channel.dir/matched_filter.cpp.o.d"
+  "/root/repo/src/channel/metrics.cpp" "src/channel/CMakeFiles/emsc_channel.dir/metrics.cpp.o" "gcc" "src/channel/CMakeFiles/emsc_channel.dir/metrics.cpp.o.d"
+  "/root/repo/src/channel/receiver.cpp" "src/channel/CMakeFiles/emsc_channel.dir/receiver.cpp.o" "gcc" "src/channel/CMakeFiles/emsc_channel.dir/receiver.cpp.o.d"
+  "/root/repo/src/channel/timing.cpp" "src/channel/CMakeFiles/emsc_channel.dir/timing.cpp.o" "gcc" "src/channel/CMakeFiles/emsc_channel.dir/timing.cpp.o.d"
+  "/root/repo/src/channel/transmitter.cpp" "src/channel/CMakeFiles/emsc_channel.dir/transmitter.cpp.o" "gcc" "src/channel/CMakeFiles/emsc_channel.dir/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/emsc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emsc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdr/CMakeFiles/emsc_sdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/emsc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/emsc_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/vrm/CMakeFiles/emsc_vrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emsc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

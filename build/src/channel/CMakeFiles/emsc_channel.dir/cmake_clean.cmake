@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_channel.dir/acquisition.cpp.o"
+  "CMakeFiles/emsc_channel.dir/acquisition.cpp.o.d"
+  "CMakeFiles/emsc_channel.dir/coding.cpp.o"
+  "CMakeFiles/emsc_channel.dir/coding.cpp.o.d"
+  "CMakeFiles/emsc_channel.dir/labeling.cpp.o"
+  "CMakeFiles/emsc_channel.dir/labeling.cpp.o.d"
+  "CMakeFiles/emsc_channel.dir/matched_filter.cpp.o"
+  "CMakeFiles/emsc_channel.dir/matched_filter.cpp.o.d"
+  "CMakeFiles/emsc_channel.dir/metrics.cpp.o"
+  "CMakeFiles/emsc_channel.dir/metrics.cpp.o.d"
+  "CMakeFiles/emsc_channel.dir/receiver.cpp.o"
+  "CMakeFiles/emsc_channel.dir/receiver.cpp.o.d"
+  "CMakeFiles/emsc_channel.dir/timing.cpp.o"
+  "CMakeFiles/emsc_channel.dir/timing.cpp.o.d"
+  "CMakeFiles/emsc_channel.dir/transmitter.cpp.o"
+  "CMakeFiles/emsc_channel.dir/transmitter.cpp.o.d"
+  "libemsc_channel.a"
+  "libemsc_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

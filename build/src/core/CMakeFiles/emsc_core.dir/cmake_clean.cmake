@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_core.dir/device.cpp.o"
+  "CMakeFiles/emsc_core.dir/device.cpp.o.d"
+  "CMakeFiles/emsc_core.dir/experiment.cpp.o"
+  "CMakeFiles/emsc_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/emsc_core.dir/fingerprinting.cpp.o"
+  "CMakeFiles/emsc_core.dir/fingerprinting.cpp.o.d"
+  "CMakeFiles/emsc_core.dir/keylogging.cpp.o"
+  "CMakeFiles/emsc_core.dir/keylogging.cpp.o.d"
+  "CMakeFiles/emsc_core.dir/setup.cpp.o"
+  "CMakeFiles/emsc_core.dir/setup.cpp.o.d"
+  "libemsc_core.a"
+  "libemsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cpp" "src/cpu/CMakeFiles/emsc_cpu.dir/core.cpp.o" "gcc" "src/cpu/CMakeFiles/emsc_cpu.dir/core.cpp.o.d"
+  "/root/repo/src/cpu/governor.cpp" "src/cpu/CMakeFiles/emsc_cpu.dir/governor.cpp.o" "gcc" "src/cpu/CMakeFiles/emsc_cpu.dir/governor.cpp.o.d"
+  "/root/repo/src/cpu/os.cpp" "src/cpu/CMakeFiles/emsc_cpu.dir/os.cpp.o" "gcc" "src/cpu/CMakeFiles/emsc_cpu.dir/os.cpp.o.d"
+  "/root/repo/src/cpu/power.cpp" "src/cpu/CMakeFiles/emsc_cpu.dir/power.cpp.o" "gcc" "src/cpu/CMakeFiles/emsc_cpu.dir/power.cpp.o.d"
+  "/root/repo/src/cpu/states.cpp" "src/cpu/CMakeFiles/emsc_cpu.dir/states.cpp.o" "gcc" "src/cpu/CMakeFiles/emsc_cpu.dir/states.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/emsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/emsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

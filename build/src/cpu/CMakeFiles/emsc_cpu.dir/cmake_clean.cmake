@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_cpu.dir/core.cpp.o"
+  "CMakeFiles/emsc_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/emsc_cpu.dir/governor.cpp.o"
+  "CMakeFiles/emsc_cpu.dir/governor.cpp.o.d"
+  "CMakeFiles/emsc_cpu.dir/os.cpp.o"
+  "CMakeFiles/emsc_cpu.dir/os.cpp.o.d"
+  "CMakeFiles/emsc_cpu.dir/power.cpp.o"
+  "CMakeFiles/emsc_cpu.dir/power.cpp.o.d"
+  "CMakeFiles/emsc_cpu.dir/states.cpp.o"
+  "CMakeFiles/emsc_cpu.dir/states.cpp.o.d"
+  "libemsc_cpu.a"
+  "libemsc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/convolution.cpp" "src/dsp/CMakeFiles/emsc_dsp.dir/convolution.cpp.o" "gcc" "src/dsp/CMakeFiles/emsc_dsp.dir/convolution.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/emsc_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/emsc_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/filters.cpp" "src/dsp/CMakeFiles/emsc_dsp.dir/filters.cpp.o" "gcc" "src/dsp/CMakeFiles/emsc_dsp.dir/filters.cpp.o.d"
+  "/root/repo/src/dsp/peaks.cpp" "src/dsp/CMakeFiles/emsc_dsp.dir/peaks.cpp.o" "gcc" "src/dsp/CMakeFiles/emsc_dsp.dir/peaks.cpp.o.d"
+  "/root/repo/src/dsp/sliding_dft.cpp" "src/dsp/CMakeFiles/emsc_dsp.dir/sliding_dft.cpp.o" "gcc" "src/dsp/CMakeFiles/emsc_dsp.dir/sliding_dft.cpp.o.d"
+  "/root/repo/src/dsp/stft.cpp" "src/dsp/CMakeFiles/emsc_dsp.dir/stft.cpp.o" "gcc" "src/dsp/CMakeFiles/emsc_dsp.dir/stft.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/emsc_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/emsc_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/emsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_dsp.dir/convolution.cpp.o"
+  "CMakeFiles/emsc_dsp.dir/convolution.cpp.o.d"
+  "CMakeFiles/emsc_dsp.dir/fft.cpp.o"
+  "CMakeFiles/emsc_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/emsc_dsp.dir/filters.cpp.o"
+  "CMakeFiles/emsc_dsp.dir/filters.cpp.o.d"
+  "CMakeFiles/emsc_dsp.dir/peaks.cpp.o"
+  "CMakeFiles/emsc_dsp.dir/peaks.cpp.o.d"
+  "CMakeFiles/emsc_dsp.dir/sliding_dft.cpp.o"
+  "CMakeFiles/emsc_dsp.dir/sliding_dft.cpp.o.d"
+  "CMakeFiles/emsc_dsp.dir/stft.cpp.o"
+  "CMakeFiles/emsc_dsp.dir/stft.cpp.o.d"
+  "CMakeFiles/emsc_dsp.dir/window.cpp.o"
+  "CMakeFiles/emsc_dsp.dir/window.cpp.o.d"
+  "libemsc_dsp.a"
+  "libemsc_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/scene.cpp" "src/em/CMakeFiles/emsc_em.dir/scene.cpp.o" "gcc" "src/em/CMakeFiles/emsc_em.dir/scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vrm/CMakeFiles/emsc_vrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/emsc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/emsc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emsc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

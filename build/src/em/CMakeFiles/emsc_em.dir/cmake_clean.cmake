@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_em.dir/scene.cpp.o"
+  "CMakeFiles/emsc_em.dir/scene.cpp.o.d"
+  "libemsc_em.a"
+  "libemsc_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for emsc_em.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_fingerprint.dir/classifier.cpp.o"
+  "CMakeFiles/emsc_fingerprint.dir/classifier.cpp.o.d"
+  "CMakeFiles/emsc_fingerprint.dir/profile.cpp.o"
+  "CMakeFiles/emsc_fingerprint.dir/profile.cpp.o.d"
+  "libemsc_fingerprint.a"
+  "libemsc_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_keylog.dir/detector.cpp.o"
+  "CMakeFiles/emsc_keylog.dir/detector.cpp.o.d"
+  "CMakeFiles/emsc_keylog.dir/keyboard.cpp.o"
+  "CMakeFiles/emsc_keylog.dir/keyboard.cpp.o.d"
+  "CMakeFiles/emsc_keylog.dir/textgen.cpp.o"
+  "CMakeFiles/emsc_keylog.dir/textgen.cpp.o.d"
+  "CMakeFiles/emsc_keylog.dir/typist.cpp.o"
+  "CMakeFiles/emsc_keylog.dir/typist.cpp.o.d"
+  "CMakeFiles/emsc_keylog.dir/words.cpp.o"
+  "CMakeFiles/emsc_keylog.dir/words.cpp.o.d"
+  "libemsc_keylog.a"
+  "libemsc_keylog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_keylog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

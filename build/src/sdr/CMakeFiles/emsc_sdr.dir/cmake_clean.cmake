@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_sdr.dir/iqfile.cpp.o"
+  "CMakeFiles/emsc_sdr.dir/iqfile.cpp.o.d"
+  "CMakeFiles/emsc_sdr.dir/rtlsdr.cpp.o"
+  "CMakeFiles/emsc_sdr.dir/rtlsdr.cpp.o.d"
+  "libemsc_sdr.a"
+  "libemsc_sdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_sdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_sim.dir/kernel.cpp.o"
+  "CMakeFiles/emsc_sim.dir/kernel.cpp.o.d"
+  "libemsc_sim.a"
+  "libemsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_support.dir/logging.cpp.o"
+  "CMakeFiles/emsc_support.dir/logging.cpp.o.d"
+  "CMakeFiles/emsc_support.dir/rng.cpp.o"
+  "CMakeFiles/emsc_support.dir/rng.cpp.o.d"
+  "CMakeFiles/emsc_support.dir/stats.cpp.o"
+  "CMakeFiles/emsc_support.dir/stats.cpp.o.d"
+  "libemsc_support.a"
+  "libemsc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vrm/buck.cpp" "src/vrm/CMakeFiles/emsc_vrm.dir/buck.cpp.o" "gcc" "src/vrm/CMakeFiles/emsc_vrm.dir/buck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/emsc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/emsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

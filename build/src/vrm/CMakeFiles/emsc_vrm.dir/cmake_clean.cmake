@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsc_vrm.dir/buck.cpp.o"
+  "CMakeFiles/emsc_vrm.dir/buck.cpp.o.d"
+  "libemsc_vrm.a"
+  "libemsc_vrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsc_vrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

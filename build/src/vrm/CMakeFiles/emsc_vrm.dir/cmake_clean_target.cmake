@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemsc_vrm.a"
+)

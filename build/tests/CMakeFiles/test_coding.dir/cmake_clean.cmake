@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coding.dir/test_coding.cpp.o"
+  "CMakeFiles/test_coding.dir/test_coding.cpp.o.d"
+  "test_coding"
+  "test_coding.pdb"
+  "test_coding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fingerprint.dir/test_fingerprint.cpp.o"
+  "CMakeFiles/test_fingerprint.dir/test_fingerprint.cpp.o.d"
+  "test_fingerprint"
+  "test_fingerprint.pdb"
+  "test_fingerprint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

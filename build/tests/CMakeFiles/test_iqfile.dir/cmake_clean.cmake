@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iqfile.dir/test_iqfile.cpp.o"
+  "CMakeFiles/test_iqfile.dir/test_iqfile.cpp.o.d"
+  "test_iqfile"
+  "test_iqfile.pdb"
+  "test_iqfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iqfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keylog.dir/test_keylog.cpp.o"
+  "CMakeFiles/test_keylog.dir/test_keylog.cpp.o.d"
+  "test_keylog"
+  "test_keylog.pdb"
+  "test_keylog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keylog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

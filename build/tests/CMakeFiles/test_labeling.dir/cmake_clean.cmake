@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_labeling.dir/test_labeling.cpp.o"
+  "CMakeFiles/test_labeling.dir/test_labeling.cpp.o.d"
+  "test_labeling"
+  "test_labeling.pdb"
+  "test_labeling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_receiver.dir/test_receiver.cpp.o"
+  "CMakeFiles/test_receiver.dir/test_receiver.cpp.o.d"
+  "test_receiver"
+  "test_receiver.pdb"
+  "test_receiver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdr.dir/test_sdr.cpp.o"
+  "CMakeFiles/test_sdr.dir/test_sdr.cpp.o.d"
+  "test_sdr"
+  "test_sdr.pdb"
+  "test_sdr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

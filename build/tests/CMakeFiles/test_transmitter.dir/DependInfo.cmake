@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_transmitter.cpp" "tests/CMakeFiles/test_transmitter.dir/test_transmitter.cpp.o" "gcc" "tests/CMakeFiles/test_transmitter.dir/test_transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/emsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/emsc_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/emsc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/keylog/CMakeFiles/emsc_keylog.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/emsc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdr/CMakeFiles/emsc_sdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/emsc_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/vrm/CMakeFiles/emsc_vrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/emsc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emsc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/emsc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

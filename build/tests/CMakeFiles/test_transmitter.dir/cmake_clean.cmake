@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transmitter.dir/test_transmitter.cpp.o"
+  "CMakeFiles/test_transmitter.dir/test_transmitter.cpp.o.d"
+  "test_transmitter"
+  "test_transmitter.pdb"
+  "test_transmitter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transmitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vrm.dir/test_vrm.cpp.o"
+  "CMakeFiles/test_vrm.dir/test_vrm.cpp.o.d"
+  "test_vrm"
+  "test_vrm.pdb"
+  "test_vrm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

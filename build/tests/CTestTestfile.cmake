@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_vrm[1]_include.cmake")
+include("/root/repo/build/tests/test_em[1]_include.cmake")
+include("/root/repo/build/tests/test_sdr[1]_include.cmake")
+include("/root/repo/build/tests/test_coding[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_labeling[1]_include.cmake")
+include("/root/repo/build/tests/test_transmitter[1]_include.cmake")
+include("/root/repo/build/tests/test_keylog[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_receiver[1]_include.cmake")
+include("/root/repo/build/tests/test_iqfile[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_fingerprint[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
