@@ -22,17 +22,25 @@ namespace emsc::bench {
  * 5 runs per cell; with simulated seeds an occasional run loses the
  * timing lock entirely, and the median keeps one such outlier from
  * dominating a cell the way it would a mean.
+ *
+ * Runs fan out across the worker pool (EMSC_THREADS); the seed chain
+ * is the historical serial one, precomputed up front, so the metrics
+ * are bit-identical to the old serial loop for any thread count.
  */
 inline core::CovertChannelResult
 medianCovertRun(const core::DeviceProfile &dev,
                 const core::MeasurementSetup &setup,
                 core::CovertChannelOptions o, std::size_t runs = 5)
 {
-    std::vector<core::CovertChannelResult> all;
-    for (std::size_t r = 0; r < runs; ++r) {
-        o.seed = o.seed * 2654435761u + 97;
-        all.push_back(core::runCovertChannel(dev, setup, o));
-    }
+    std::vector<std::uint64_t> seeds =
+        core::chainedSeeds(o.seed, runs, 2654435761u, 97);
+    std::vector<core::CovertChannelResult> all =
+        core::TrialRunner::runSeeded<core::CovertChannelResult>(
+            seeds, [&](std::size_t, std::uint64_t seed) {
+                core::CovertChannelOptions oo = o;
+                oo.seed = seed;
+                return core::runCovertChannel(dev, setup, oo);
+            });
     auto med_of = [&](auto getter) {
         std::vector<double> xs;
         for (const auto &res : all)

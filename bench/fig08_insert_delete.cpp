@@ -9,10 +9,12 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "channel/metrics.hpp"
 #include "covert_rig.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace emsc;
 
@@ -23,9 +25,16 @@ main()
 
     std::printf("%-22s %-10s %-10s %-10s %-10s\n", "background",
                 "BER", "IP", "DP", "corrected");
-    for (double intensity : {1.0, 3.0, 6.0}) {
-        bench::CovertRun run =
-            bench::runInstrumented(3000, 808, intensity);
+    // The intensity sweep points are independent: run them across the
+    // worker pool, then align and print rows in sweep order.
+    const std::vector<double> intensities = {1.0, 3.0, 6.0};
+    std::vector<bench::CovertRun> runs(intensities.size());
+    parallelFor(intensities.size(), [&](std::size_t i) {
+        runs[i] = bench::runInstrumented(3000, 808, intensities[i]);
+    });
+    for (std::size_t i = 0; i < intensities.size(); ++i) {
+        double intensity = intensities[i];
+        bench::CovertRun &run = runs[i];
         if (!run.rx.frame.found) {
             std::printf("%-22.1f frame not found\n", intensity);
             continue;

@@ -8,9 +8,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/api.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace emsc;
 
@@ -34,14 +36,21 @@ main()
 
     std::printf("%-12s %-10s %-10s %-10s %-10s\n", "sleep (us)",
                 "TR (bps)", "BER", "IP", "DP");
-    core::CovertChannelResult best;
-    for (double sleep_us : {300.0, 400.0, 600.0, 800.0}) {
+    // Each sleep period is an independent sweep point: fan them out
+    // across the worker pool, then print and pick the best in order.
+    const std::vector<double> sweep = {300.0, 400.0, 600.0, 800.0};
+    std::vector<core::CovertChannelResult> rows(sweep.size());
+    parallelFor(sweep.size(), [&](std::size_t i) {
         core::CovertChannelOptions o;
         o.payloadBits = 1200;
         o.seed = 1010;
-        o.sleepPeriodUs = sleep_us;
-        core::CovertChannelResult r =
-            bench::medianCovertRun(dev, setup, o, 3);
+        o.sleepPeriodUs = sweep[i];
+        rows[i] = bench::medianCovertRun(dev, setup, o, 3);
+    });
+    core::CovertChannelResult best;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        double sleep_us = sweep[i];
+        const core::CovertChannelResult &r = rows[i];
         double err = r.ber + r.insertionProb + r.deletionProb;
         if (!r.frameFound || err > 0.5) {
             std::printf("%-12.0f no reliable decode (rate too high "

@@ -11,6 +11,7 @@
 #include "dsp/sliding_dft.hpp"
 #include "dsp/stft.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -104,9 +105,17 @@ BM_ConvolveFft(benchmark::State &state)
 }
 BENCHMARK(BM_ConvolveFft)->Arg(4096)->Arg(65536);
 
+/**
+ * STFT over a 262144-sample capture at a pinned worker count: Arg(1)
+ * is the serial baseline, Arg(4) the four-worker frame fan-out. The
+ * frames land in disjoint slots, so the spectrogram is bit-identical
+ * at every thread count.
+ */
 void
 BM_Spectrogram(benchmark::State &state)
 {
+    auto threads = static_cast<std::size_t>(state.range(0));
+    ScopedThreadCount scoped(threads);
     auto x = randomComplex(262144);
     dsp::StftConfig cfg;
     cfg.fftSize = 1024;
@@ -116,6 +125,6 @@ BM_Spectrogram(benchmark::State &state)
         benchmark::DoNotOptimize(s.frames.data());
     }
 }
-BENCHMARK(BM_Spectrogram);
+BENCHMARK(BM_Spectrogram)->Arg(1)->Arg(4)->UseRealTime();
 
 } // namespace

@@ -11,6 +11,7 @@
 #include "cpu/apps.hpp"
 #include "covert_rig.hpp"
 #include "sdr/rtlsdr.hpp"
+#include "support/thread_pool.hpp"
 #include "vrm/pmu.hpp"
 
 namespace {
@@ -100,5 +101,28 @@ BM_ReceiverOnly(benchmark::State &state)
     state.SetLabel("600-bit capture decode per iteration");
 }
 BENCHMARK(BM_ReceiverOnly);
+
+/**
+ * A six-trial averaged sweep through TrialRunner at a pinned thread
+ * count — the acceptance workload for the parallel execution layer.
+ * Arg(1) is the serial baseline, Arg(4) the four-worker fan-out; the
+ * results are bit-identical between the two by construction.
+ */
+void
+BM_TrialSweep(benchmark::State &state)
+{
+    auto threads = static_cast<std::size_t>(state.range(0));
+    ScopedThreadCount scoped(threads);
+    for (auto _ : state) {
+        core::CovertChannelOptions o;
+        o.payloadBits = 300;
+        o.seed = 7;
+        auto avg = core::averageCovertChannel(core::referenceDevice(),
+                                              core::nearFieldSetup(), o, 6);
+        benchmark::DoNotOptimize(avg.ber);
+    }
+    state.SetLabel("6 averaged 300-bit trials per iteration");
+}
+BENCHMARK(BM_TrialSweep)->Arg(1)->Arg(4)->UseRealTime();
 
 } // namespace

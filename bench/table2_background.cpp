@@ -42,11 +42,19 @@ medianRun(const core::DeviceProfile &dev,
           const core::MeasurementSetup &setup,
           core::CovertChannelOptions o, std::size_t runs)
 {
+    // Historical serial seed chain, precomputed so the runs can fan
+    // out across the worker pool without changing any result.
+    std::vector<std::uint64_t> seeds =
+        core::chainedSeeds(o.seed, runs, 2654435761u, 17);
+    std::vector<core::CovertChannelResult> all =
+        core::TrialRunner::runSeeded<core::CovertChannelResult>(
+            seeds, [&](std::size_t, std::uint64_t seed) {
+                core::CovertChannelOptions oo = o;
+                oo.seed = seed;
+                return core::runCovertChannel(dev, setup, oo);
+            });
     std::vector<double> errs, trs;
-    for (std::size_t r = 0; r < runs; ++r) {
-        o.seed = o.seed * 2654435761u + 17;
-        core::CovertChannelResult res =
-            core::runCovertChannel(dev, setup, o);
+    for (const core::CovertChannelResult &res : all) {
         errs.push_back(res.frameFound ? totalErrorRate(res) : 1.0);
         trs.push_back(res.trBps);
     }

@@ -8,9 +8,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/keylogging.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace emsc;
 
@@ -47,12 +49,17 @@ main()
     std::printf("%-14s | %-5s %-5s %-5s %-5s | %-5s %-5s %-5s %-5s\n",
                 "setup", "TPR", "FPR", "P", "R", "TPR", "FPR", "P", "R");
 
-    for (std::size_t i = 0; i < 3; ++i) {
+    // The three placements are independent trials with fixed seeds:
+    // run them across the worker pool, then print rows in table order.
+    std::vector<core::KeyloggingResult> results(3);
+    parallelFor(3, [&](std::size_t i) {
         core::KeyloggingOptions o;
         o.words = 50;
         o.seed = 4400 + i;
-        core::KeyloggingResult r =
-            core::runKeylogging(dev, setups[i], o);
+        results[i] = core::runKeylogging(dev, setups[i], o);
+    });
+    for (std::size_t i = 0; i < 3; ++i) {
+        const core::KeyloggingResult &r = results[i];
         const PaperRow &p = kPaper[i];
         std::printf("%-14s | %-5.2f %-5.3f %-5.2f %-5.2f | "
                     "%-5.2f %-5.3f %-5.2f %-5.2f\n",

@@ -7,9 +7,11 @@
 #include <cstdlib>
 
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 #include "dsp/sliding_dft.hpp"
 #include "dsp/window.hpp"
 #include "support/logging.hpp"
+#include "support/thread_pool.hpp"
 
 namespace emsc::channel {
 
@@ -20,26 +22,38 @@ welchSpectrum(const sdr::IqCapture &capture, std::size_t window,
     if (capture.samples.size() < window)
         fatal("capture too short (%zu samples) for a %zu-point spectrum",
               capture.samples.size(), window);
-    std::vector<double> sum(window, 0.0);
-    std::vector<double> win = dsp::makeWindow(dsp::WindowKind::Hann,
-                                              window);
-    std::vector<dsp::Complex> buf(window);
+    auto win_sp = dsp::cachedWindow(dsp::WindowKind::Hann, window);
+    const std::vector<double> &win = *win_sp;
+    auto plan = dsp::FftPlan::forSize(window);
     std::size_t count =
         std::min<std::size_t>(frames, capture.samples.size() / window);
     count = std::max<std::size_t>(count, 1);
     std::size_t stride = capture.samples.size() / count;
     std::size_t used = 0;
-    for (std::size_t f = 0; f < count; ++f) {
+    while (used < count &&
+           used * stride + window <= capture.samples.size())
+        ++used;
+
+    // FFT the frames in parallel into per-frame rows, then accumulate
+    // serially in frame order so the sum is bit-identical to the old
+    // single-threaded loop.
+    std::vector<std::vector<double>> rows(used);
+    parallelFor(used, [&](std::size_t f) {
+        thread_local std::vector<dsp::Complex> buf;
+        buf.resize(window);
         std::size_t start = f * stride;
-        if (start + window > capture.samples.size())
-            break;
         for (std::size_t i = 0; i < window; ++i)
             buf[i] = capture.samples[start + i] * win[i];
-        dsp::fftRadix2(buf, false);
+        plan->transform(buf, false);
+        std::vector<double> row(window);
         for (std::size_t k = 0; k < window; ++k)
-            sum[k] += std::abs(buf[k]);
-        ++used;
-    }
+            row[k] = std::abs(buf[k]);
+        rows[f] = std::move(row);
+    });
+    std::vector<double> sum(window, 0.0);
+    for (const std::vector<double> &row : rows)
+        for (std::size_t k = 0; k < window; ++k)
+            sum[k] += row[k];
     for (double &v : sum)
         v /= static_cast<double>(used);
     return sum;
@@ -66,30 +80,36 @@ estimateCarrier(const sdr::IqCapture &capture,
 
     std::size_t frames =
         std::min<std::size_t>(256, capture.samples.size() / m);
-    std::vector<double> win = dsp::makeWindow(dsp::WindowKind::Hann, m);
-    std::vector<dsp::Complex> buf(m);
+    auto win_sp = dsp::cachedWindow(dsp::WindowKind::Hann, m);
+    const std::vector<double> &win = *win_sp;
+    auto plan = dsp::FftPlan::forSize(m);
     // mags[k] holds the per-frame magnitudes of bin k.
     std::vector<std::vector<double>> mags(
         m, std::vector<double>(frames, 0.0));
     std::size_t stride = capture.samples.size() / frames;
     std::size_t used = 0;
-    for (std::size_t f = 0; f < frames; ++f) {
-        std::size_t start = f * stride;
-        if (start + m > capture.samples.size())
-            break;
-        for (std::size_t i = 0; i < m; ++i)
-            buf[i] = capture.samples[start + i] * win[i];
-        dsp::fftRadix2(buf, false);
-        for (std::size_t k = 0; k < m; ++k)
-            mags[k][f] = std::abs(buf[k]);
+    while (used < frames &&
+           used * stride + m <= capture.samples.size())
         ++used;
-    }
     if (used < 8)
         fatal("capture too short for carrier estimation");
 
+    // Each frame writes column f of every bin row — disjoint slots, so
+    // the fan-out leaves mags bit-identical to the serial fill.
+    parallelFor(used, [&](std::size_t f) {
+        thread_local std::vector<dsp::Complex> buf;
+        buf.resize(m);
+        std::size_t start = f * stride;
+        for (std::size_t i = 0; i < m; ++i)
+            buf[i] = capture.samples[start + i] * win[i];
+        plan->transform(buf, false);
+        for (std::size_t k = 0; k < m; ++k)
+            mags[k][f] = std::abs(buf[k]);
+    });
+
     std::vector<double> swing(m, 0.0);
     std::vector<double> med(m, 0.0);
-    for (std::size_t k = 0; k < m; ++k) {
+    parallelFor(m, [&](std::size_t k) {
         std::vector<double> v(mags[k].begin(),
                               mags[k].begin() +
                                   static_cast<std::ptrdiff_t>(used));
@@ -102,7 +122,7 @@ estimateCarrier(const sdr::IqCapture &capture,
         };
         med[k] = idx(0.5);
         swing[k] = idx(0.90) - med[k];
-    }
+    });
 
     // Reference level: the typical swing of a noise bin.
     std::vector<double> sorted_swing(swing);

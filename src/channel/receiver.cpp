@@ -1,10 +1,31 @@
 #include "channel/receiver.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "dsp/fft.hpp"
 #include "support/logging.hpp"
 
 namespace emsc::channel {
+
+namespace {
+
+/**
+ * Smallest analysis window the adaptation is ever allowed to reach: a
+ * sliding DFT narrower than this has no frequency selectivity left,
+ * and downstream STFT stages require power-of-two sizes outright.
+ */
+constexpr std::size_t kWindowFloor = 16;
+
+void
+appendNote(std::string &diag, const std::string &note)
+{
+    if (!diag.empty())
+        diag += "; ";
+    diag += note;
+}
+
+} // namespace
 
 ReceiverResult
 receive(const sdr::IqCapture &capture, const ReceiverConfig &config)
@@ -12,6 +33,40 @@ receive(const sdr::IqCapture &capture, const ReceiverConfig &config)
     ReceiverResult res;
 
     AcquisitionConfig acq = config.acquisition;
+
+    // Validate the window geometry up front instead of letting a
+    // misconfigured minWindow (e.g. 0) drive the adaptation loop down
+    // to sizes the DFT stages reject with fatal().
+    std::size_t min_window = config.minWindow;
+    if (min_window < kWindowFloor) {
+        char note[96];
+        std::snprintf(note, sizeof(note),
+                      "minWindow %zu clamped to %zu", min_window,
+                      kWindowFloor);
+        appendNote(res.diagnostic, note);
+        min_window = kWindowFloor;
+    }
+    if (!dsp::isPowerOfTwo(min_window)) {
+        std::size_t rounded = dsp::nextPowerOfTwo(min_window);
+        char note[96];
+        std::snprintf(note, sizeof(note),
+                      "minWindow %zu rounded up to power of two %zu",
+                      min_window, rounded);
+        appendNote(res.diagnostic, note);
+        min_window = rounded;
+    }
+    if (acq.window == 0 || !dsp::isPowerOfTwo(acq.window) ||
+        acq.window < min_window) {
+        std::size_t rounded =
+            std::max(dsp::nextPowerOfTwo(acq.window), min_window);
+        char note[96];
+        std::snprintf(note, sizeof(note),
+                      "acquisition window %zu adjusted to %zu",
+                      acq.window, rounded);
+        appendNote(res.diagnostic, note);
+        acq.window = rounded;
+    }
+
     res.carrierHz = estimateCarrier(capture, acq);
     if (res.carrierHz <= 0.0)
         return res; // no carrier found: nothing to decode
@@ -33,9 +88,18 @@ receive(const sdr::IqCapture &capture, const ReceiverConfig &config)
             res.timing.signalingTime * static_cast<double>(acq.decimation);
         bool too_coarse = res.timing.signalingTime > 0.0 &&
                           bit_samples < 2.5 * static_cast<double>(acq.window);
-        if (!too_coarse || acq.window / 2 < config.minWindow)
+        std::size_t halved = acq.window / 2;
+        if (!too_coarse || halved < min_window)
             break;
-        acq.window /= 2;
+        if (!dsp::isPowerOfTwo(halved)) {
+            // Unreachable while the entry validation holds; bail out
+            // with a diagnostic rather than aborting mid-pipeline.
+            appendNote(res.diagnostic,
+                       "adaptation stopped: halved window not a power "
+                       "of two");
+            break;
+        }
+        acq.window = halved;
     }
 
     res.labeled = labelBits(res.acquired.y, res.timing.starts,

@@ -13,6 +13,8 @@
 #ifndef EMSC_CHANNEL_RECEIVER_HPP
 #define EMSC_CHANNEL_RECEIVER_HPP
 
+#include <string>
+
 #include "channel/acquisition.hpp"
 #include "channel/coding.hpp"
 #include "channel/labeling.hpp"
@@ -35,7 +37,12 @@ struct ReceiverConfig
      * the observed symbol rate).
      */
     bool adaptiveWindow = true;
-    /** Smallest window the adaptation may fall to. */
+    /**
+     * Smallest window the adaptation may fall to. Values below 16 or
+     * not a power of two are clamped/rounded at receive() entry (a
+     * zero here used to let the adaptation halve the window to sizes
+     * the DFT stages reject with fatal()).
+     */
     std::size_t minWindow = 128;
 };
 
@@ -54,6 +61,13 @@ struct ReceiverResult
     LabeledBits labeled;
     /** Frame parse of the channel stream. */
     ParsedFrame frame;
+    /**
+     * Notes about configuration values receive() had to adjust to keep
+     * the pipeline well-formed (e.g. a clamped minWindow or a window
+     * rounded to a power of two). Empty when the config was usable
+     * as given.
+     */
+    std::string diagnostic;
 
     /** Convenience: the decoded payload (empty if no frame found). */
     const Bits &payload() const { return frame.payload; }

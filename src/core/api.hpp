@@ -19,5 +19,6 @@
 #include "core/fingerprinting.hpp"
 #include "core/keylogging.hpp"
 #include "core/setup.hpp"
+#include "core/trial_runner.hpp"
 
 #endif // EMSC_CORE_API_HPP

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "channel/metrics.hpp"
+#include "core/trial_runner.hpp"
 #include "cpu/apps.hpp"
 #include "support/logging.hpp"
 #include "support/stats.hpp"
@@ -178,12 +179,24 @@ averageCovertChannel(const DeviceProfile &device,
     if (runs == 0)
         fatal("averageCovertChannel needs at least one run");
 
+    // Historical seed schedule (an LCG chain), precomputed so the
+    // independent runs can fan out across cores; the accumulation below
+    // stays in run order, keeping the average bit-identical to the old
+    // serial loop for any thread count.
+    std::vector<std::uint64_t> seeds = chainedSeeds(
+        options.seed, runs, 6364136223846793005ull,
+        1442695040888963407ull);
+    std::vector<CovertChannelResult> all =
+        TrialRunner::runSeeded<CovertChannelResult>(
+            seeds, [&](std::size_t, std::uint64_t seed) {
+                CovertChannelOptions o = options;
+                o.seed = seed;
+                return runCovertChannel(device, setup, o);
+            });
+
     CovertChannelResult avg;
     std::size_t found = 0;
-    for (std::size_t r = 0; r < runs; ++r) {
-        options.seed = options.seed * 6364136223846793005ull + 1442695040888963407ull;
-        CovertChannelResult one =
-            runCovertChannel(device, setup, options);
+    for (const CovertChannelResult &one : all) {
         avg.payloadBits = one.payloadBits;
         avg.channelBits = one.channelBits;
         avg.carrierHz = one.carrierHz;

@@ -1,0 +1,27 @@
+#include "core/trial_runner.hpp"
+
+namespace emsc::core {
+
+TrialRunner::TrialRunner(std::uint64_t master_seed) : master(master_seed)
+{
+}
+
+std::uint64_t
+TrialRunner::trialSeed(std::size_t trial) const
+{
+    return deriveSeed(master, trial);
+}
+
+std::vector<std::uint64_t>
+chainedSeeds(std::uint64_t seed, std::size_t count, std::uint64_t mult,
+             std::uint64_t add)
+{
+    std::vector<std::uint64_t> seeds(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        seed = seed * mult + add;
+        seeds[i] = seed;
+    }
+    return seeds;
+}
+
+} // namespace emsc::core

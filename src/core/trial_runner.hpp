@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Parallel Monte-Carlo trial execution with serial-identical results.
+ *
+ * Every paper table/figure averages (or takes the median of) several
+ * independent covert-channel or keylogging runs per cell, and sweeps
+ * such cells over devices, distances, and rates. Each trial is a pure
+ * function of its seed, so the sweep fans out across cores via
+ * parallelFor while each result lands in its trial's slot — the
+ * returned vector is bit-identical to running the same seeds in a
+ * serial loop (EMSC_THREADS=1 *is* that serial loop).
+ *
+ * Two seeding modes:
+ *  - TrialRunner(master).run(n, fn): per-trial seeds come from
+ *    deriveSeed(master, trial) — the preferred map for new code.
+ *  - runSeeded(seeds, fn): explicit per-trial seeds, for callers that
+ *    must reproduce a legacy serial seed chain exactly.
+ */
+
+#ifndef EMSC_CORE_TRIAL_RUNNER_HPP
+#define EMSC_CORE_TRIAL_RUNNER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace emsc::core {
+
+/** Fans independent experiment trials out across the worker pool. */
+class TrialRunner
+{
+  public:
+    /** @param master_seed  root of the per-trial seed derivation */
+    explicit TrialRunner(std::uint64_t master_seed);
+
+    /** Deterministic seed for one trial index. */
+    std::uint64_t trialSeed(std::size_t trial) const;
+
+    /** The master seed this runner derives from. */
+    std::uint64_t masterSeed() const { return master; }
+
+    /**
+     * Run fn(trial, seed) for trial in [0, trials), in parallel, and
+     * return the results in trial order. fn must be a pure function of
+     * its arguments (no shared mutable state) — then the output is
+     * bit-identical for any thread count.
+     */
+    template <typename R, typename Fn>
+    std::vector<R>
+    run(std::size_t trials, Fn &&fn) const
+    {
+        std::vector<R> out(trials);
+        parallelFor(trials, [&](std::size_t i) {
+            out[i] = fn(i, trialSeed(i));
+        });
+        return out;
+    }
+
+    /**
+     * Run fn(trial, seeds[trial]) with caller-supplied seeds, one trial
+     * per seed. Lets benches keep their historical serial seed chains
+     * (precomputed up front) while still executing in parallel.
+     */
+    template <typename R, typename Fn>
+    static std::vector<R>
+    runSeeded(const std::vector<std::uint64_t> &seeds, Fn &&fn)
+    {
+        std::vector<R> out(seeds.size());
+        parallelFor(seeds.size(), [&](std::size_t i) {
+            out[i] = fn(i, seeds[i]);
+        });
+        return out;
+    }
+
+  private:
+    std::uint64_t master;
+};
+
+/**
+ * The seed schedule the serial benches have always used: repeated
+ * application of seed = seed * mult + add, collected into a vector so
+ * the trials can run in any order yet see the same seeds.
+ */
+std::vector<std::uint64_t> chainedSeeds(std::uint64_t seed,
+                                        std::size_t count,
+                                        std::uint64_t mult,
+                                        std::uint64_t add);
+
+} // namespace emsc::core
+
+#endif // EMSC_CORE_TRIAL_RUNNER_HPP

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "dsp/fft_plan.hpp"
 #include "support/logging.hpp"
 
 namespace emsc::dsp {
@@ -10,59 +11,6 @@ namespace emsc::dsp {
 namespace {
 
 constexpr double kPi = std::numbers::pi;
-
-/** Reorder the buffer into bit-reversed index order. */
-void
-bitReversePermute(std::vector<Complex> &data)
-{
-    std::size_t n = data.size();
-    for (std::size_t i = 1, j = 0; i < n; ++i) {
-        std::size_t bit = n >> 1;
-        for (; j & bit; bit >>= 1)
-            j ^= bit;
-        j ^= bit;
-        if (i < j)
-            std::swap(data[i], data[j]);
-    }
-}
-
-/** Bluestein chirp-z transform for arbitrary N, built on radix-2. */
-std::vector<Complex>
-bluestein(const std::vector<Complex> &input, bool inverse)
-{
-    std::size_t n = input.size();
-    std::size_t m = nextPowerOfTwo(2 * n - 1);
-    double sign = inverse ? 1.0 : -1.0;
-
-    // Chirp w[k] = exp(sign * i * pi * k^2 / n).
-    std::vector<Complex> chirp(n);
-    for (std::size_t k = 0; k < n; ++k) {
-        // k^2 mod 2n keeps the angle argument small and exact.
-        std::size_t k2 = (k * k) % (2 * n);
-        double angle = sign * kPi * static_cast<double>(k2) /
-                       static_cast<double>(n);
-        chirp[k] = std::polar(1.0, angle);
-    }
-
-    std::vector<Complex> a(m, Complex{0.0, 0.0});
-    std::vector<Complex> b(m, Complex{0.0, 0.0});
-    for (std::size_t k = 0; k < n; ++k)
-        a[k] = input[k] * chirp[k];
-    b[0] = std::conj(chirp[0]);
-    for (std::size_t k = 1; k < n; ++k)
-        b[k] = b[m - k] = std::conj(chirp[k]);
-
-    fftRadix2(a, false);
-    fftRadix2(b, false);
-    for (std::size_t k = 0; k < m; ++k)
-        a[k] *= b[k];
-    fftRadix2(a, true);
-
-    std::vector<Complex> out(n);
-    for (std::size_t k = 0; k < n; ++k)
-        out[k] = a[k] * chirp[k];
-    return out;
-}
 
 } // namespace
 
@@ -81,30 +29,7 @@ fftRadix2(std::vector<Complex> &data, bool inverse)
     std::size_t n = data.size();
     if (!isPowerOfTwo(n))
         panic("fftRadix2 requires a power-of-two size, got %zu", n);
-
-    bitReversePermute(data);
-
-    for (std::size_t len = 2; len <= n; len <<= 1) {
-        double angle = 2.0 * kPi / static_cast<double>(len) *
-                       (inverse ? 1.0 : -1.0);
-        Complex wlen = std::polar(1.0, angle);
-        for (std::size_t i = 0; i < n; i += len) {
-            Complex w{1.0, 0.0};
-            for (std::size_t j = 0; j < len / 2; ++j) {
-                Complex u = data[i + j];
-                Complex v = data[i + j + len / 2] * w;
-                data[i + j] = u + v;
-                data[i + j + len / 2] = u - v;
-                w *= wlen;
-            }
-        }
-    }
-
-    if (inverse) {
-        double inv = 1.0 / static_cast<double>(n);
-        for (Complex &x : data)
-            x *= inv;
-    }
+    FftPlan::forSize(n)->transform(data, inverse);
 }
 
 std::vector<Complex>
@@ -117,7 +42,7 @@ fft(const std::vector<Complex> &input)
         fftRadix2(data, false);
         return data;
     }
-    return bluestein(input, false);
+    return BluesteinPlan::forSize(input.size())->transform(input, false);
 }
 
 std::vector<Complex>
@@ -130,7 +55,8 @@ ifft(const std::vector<Complex> &input)
         fftRadix2(data, true);
         return data;
     }
-    std::vector<Complex> out = bluestein(input, true);
+    std::vector<Complex> out =
+        BluesteinPlan::forSize(input.size())->transform(input, true);
     double inv = 1.0 / static_cast<double>(out.size());
     for (Complex &x : out)
         x *= inv;

@@ -1,0 +1,208 @@
+#include "dsp/fft_plan.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <numbers>
+#include <unordered_map>
+
+#include "support/logging.hpp"
+
+namespace emsc::dsp {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/**
+ * Size-keyed plan registry. Lookup takes the mutex only long enough to
+ * copy the shared_ptr; plan construction for a missing size happens
+ * outside the critical path of other sizes but inside the lock so two
+ * threads racing on the same size build it once.
+ */
+template <typename Plan>
+class PlanRegistry
+{
+  public:
+    std::shared_ptr<const Plan>
+    get(std::size_t n)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto it = plans.find(n);
+        if (it != plans.end())
+            return it->second;
+        auto plan = std::shared_ptr<const Plan>(new Plan(n));
+        plans.emplace(n, plan);
+        return plan;
+    }
+
+    std::size_t
+    count() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return plans.size();
+    }
+
+  private:
+    mutable std::mutex mtx;
+    std::unordered_map<std::size_t, std::shared_ptr<const Plan>> plans;
+};
+
+PlanRegistry<FftPlan> &
+radix2Registry()
+{
+    static auto *reg = new PlanRegistry<FftPlan>();
+    return *reg;
+}
+
+PlanRegistry<BluesteinPlan> &
+bluesteinRegistry()
+{
+    static auto *reg = new PlanRegistry<BluesteinPlan>();
+    return *reg;
+}
+
+} // namespace
+
+FftPlan::FftPlan(std::size_t n) : n_(n)
+{
+    if (!isPowerOfTwo(n))
+        panic("FftPlan requires a power-of-two size, got %zu", n);
+
+    bitrev_.resize(n);
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        bitrev_[i] = j;
+    }
+
+    roots_.resize(n / 2);
+    for (std::size_t j = 0; j < n / 2; ++j) {
+        double angle = -2.0 * kPi * static_cast<double>(j) /
+                       static_cast<double>(n);
+        roots_[j] = std::polar(1.0, angle);
+    }
+}
+
+std::shared_ptr<const FftPlan>
+FftPlan::forSize(std::size_t n)
+{
+    return radix2Registry().get(n);
+}
+
+std::size_t
+FftPlan::cachedCount()
+{
+    return radix2Registry().count();
+}
+
+void
+FftPlan::transform(std::vector<Complex> &data, bool inverse) const
+{
+    if (data.size() != n_)
+        panic("FftPlan size mismatch: plan %zu, data %zu", n_,
+              data.size());
+
+    for (std::size_t i = 1; i < n_; ++i) {
+        std::size_t j = bitrev_[i];
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n_; len <<= 1) {
+        std::size_t stride = n_ / len;
+        for (std::size_t i = 0; i < n_; i += len) {
+            for (std::size_t j = 0; j < len / 2; ++j) {
+                Complex w = roots_[j * stride];
+                if (inverse)
+                    w = std::conj(w);
+                Complex u = data[i + j];
+                Complex v = data[i + j + len / 2] * w;
+                data[i + j] = u + v;
+                data[i + j + len / 2] = u - v;
+            }
+        }
+    }
+
+    if (inverse) {
+        double inv = 1.0 / static_cast<double>(n_);
+        for (Complex &x : data)
+            x *= inv;
+    }
+}
+
+BluesteinPlan::BluesteinPlan(std::size_t n) : n_(n)
+{
+    if (n == 0)
+        panic("BluesteinPlan requires a positive size");
+    m_ = nextPowerOfTwo(2 * n - 1);
+    inner_ = FftPlan::forSize(m_);
+
+    // Forward chirp c[k] = exp(-i * pi * k^2 / n); the inverse chirp is
+    // its conjugate, so only the forward sequence is stored.
+    chirp_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        // k^2 mod 2n keeps the angle argument small and exact.
+        std::size_t k2 = (k * k) % (2 * n);
+        double angle = -kPi * static_cast<double>(k2) /
+                       static_cast<double>(n);
+        chirp_[k] = std::polar(1.0, angle);
+    }
+
+    // Filter b[k] = conj(chirp[k]) mirrored into the padded buffer,
+    // pre-transformed for both directions (the inverse filter is the
+    // unconjugated chirp mirrored the same way).
+    filterFwd_.assign(m_, Complex{0.0, 0.0});
+    filterInv_.assign(m_, Complex{0.0, 0.0});
+    filterFwd_[0] = std::conj(chirp_[0]);
+    filterInv_[0] = chirp_[0];
+    for (std::size_t k = 1; k < n; ++k) {
+        filterFwd_[k] = filterFwd_[m_ - k] = std::conj(chirp_[k]);
+        filterInv_[k] = filterInv_[m_ - k] = chirp_[k];
+    }
+    inner_->transform(filterFwd_, false);
+    inner_->transform(filterInv_, false);
+}
+
+std::shared_ptr<const BluesteinPlan>
+BluesteinPlan::forSize(std::size_t n)
+{
+    return bluesteinRegistry().get(n);
+}
+
+std::size_t
+BluesteinPlan::cachedCount()
+{
+    return bluesteinRegistry().count();
+}
+
+std::vector<Complex>
+BluesteinPlan::transform(const std::vector<Complex> &input,
+                         bool inverse) const
+{
+    if (input.size() != n_)
+        panic("BluesteinPlan size mismatch: plan %zu, data %zu", n_,
+              input.size());
+
+    std::vector<Complex> a(m_, Complex{0.0, 0.0});
+    for (std::size_t k = 0; k < n_; ++k) {
+        Complex c = inverse ? std::conj(chirp_[k]) : chirp_[k];
+        a[k] = input[k] * c;
+    }
+
+    inner_->transform(a, false);
+    const std::vector<Complex> &filter = inverse ? filterInv_ : filterFwd_;
+    for (std::size_t k = 0; k < m_; ++k)
+        a[k] *= filter[k];
+    inner_->transform(a, true);
+
+    std::vector<Complex> out(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+        Complex c = inverse ? std::conj(chirp_[k]) : chirp_[k];
+        out[k] = a[k] * c;
+    }
+    return out;
+}
+
+} // namespace emsc::dsp

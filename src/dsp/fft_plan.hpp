@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reusable FFT plans: precomputed twiddle factors, bit-reversal
+ * tables, and Bluestein chirp spectra, cached per transform size.
+ *
+ * The STFT runs thousands of same-size FFTs per spectrogram and the
+ * Monte-Carlo trial sweeps repeat that across hundreds of captures;
+ * re-deriving sin/cos twiddles and the bit-reversal permutation on
+ * every call dominated the per-frame cost. A plan is computed once per
+ * size, shared via a thread-safe registry, and is immutable after
+ * construction, so concurrent transforms need no locking.
+ */
+
+#ifndef EMSC_DSP_FFT_PLAN_HPP
+#define EMSC_DSP_FFT_PLAN_HPP
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dsp/fft.hpp"
+
+namespace emsc::dsp {
+
+/**
+ * Radix-2 plan for one power-of-two size: the bit-reversal permutation
+ * and the n/2 forward roots of unity. Inverse transforms conjugate the
+ * same table, so one plan serves both directions.
+ */
+class FftPlan
+{
+  public:
+    /**
+     * Fetch (or build and cache) the plan for a power-of-two size.
+     * Thread-safe; the returned plan is immutable and shared.
+     */
+    static std::shared_ptr<const FftPlan> forSize(std::size_t n);
+
+    /** Number of distinct radix-2 plans currently cached. */
+    static std::size_t cachedCount();
+
+    /** In-place transform (unnormalised forward; inverse applies 1/N). */
+    void transform(std::vector<Complex> &data, bool inverse) const;
+
+    /** Transform size. */
+    std::size_t size() const { return n_; }
+
+    /** Build an uncached plan; prefer forSize() for shared reuse. */
+    explicit FftPlan(std::size_t n);
+
+  private:
+    std::size_t n_;
+    std::vector<std::size_t> bitrev_; //!< index permutation table
+    std::vector<Complex> roots_;      //!< exp(-2*pi*i*j/n), j < n/2
+};
+
+/**
+ * Bluestein chirp-z plan for one arbitrary size: the chirp sequence
+ * and the pre-transformed filter spectra for both directions, plus the
+ * shared radix-2 inner plan of size m = nextPowerOfTwo(2n - 1).
+ */
+class BluesteinPlan
+{
+  public:
+    /** Fetch (or build and cache) the plan for an arbitrary size. */
+    static std::shared_ptr<const BluesteinPlan> forSize(std::size_t n);
+
+    /** Number of distinct Bluestein plans currently cached. */
+    static std::size_t cachedCount();
+
+    /**
+     * Unnormalised DFT of `input` (length must equal size()); the
+     * inverse direction omits the 1/N factor, matching fftRadix2's
+     * convention before normalisation.
+     */
+    std::vector<Complex> transform(const std::vector<Complex> &input,
+                                   bool inverse) const;
+
+    /** Transform size. */
+    std::size_t size() const { return n_; }
+
+    /** Build an uncached plan; prefer forSize() for shared reuse. */
+    explicit BluesteinPlan(std::size_t n);
+
+  private:
+    std::size_t n_;
+    std::size_t m_;
+    std::shared_ptr<const FftPlan> inner_;
+    std::vector<Complex> chirp_;        //!< forward chirp, length n
+    std::vector<Complex> filterFwd_;    //!< FFT of the forward filter
+    std::vector<Complex> filterInv_;    //!< FFT of the inverse filter
+};
+
+} // namespace emsc::dsp
+
+#endif // EMSC_DSP_FFT_PLAN_HPP

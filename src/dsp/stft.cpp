@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dsp/fft_plan.hpp"
 #include "support/logging.hpp"
+#include "support/thread_pool.hpp"
 
 namespace emsc::dsp {
 
@@ -86,7 +88,10 @@ stftImpl(const std::vector<Complex> &signal, double sample_rate,
     if (sample_rate <= 0.0)
         fatal("stft requires a positive sample rate");
 
-    std::vector<double> window = makeWindow(config.window, config.fftSize);
+    std::shared_ptr<const std::vector<double>> window_sp =
+        cachedWindow(config.window, config.fftSize);
+    const std::vector<double> &window = *window_sp;
+    std::shared_ptr<const FftPlan> plan = FftPlan::forSize(config.fftSize);
 
     Spectrogram out;
     out.sampleRate = sample_rate;
@@ -104,20 +109,23 @@ stftImpl(const std::vector<Complex> &signal, double sample_rate,
         return out;
 
     std::size_t frames = (signal.size() - config.fftSize) / config.hop + 1;
-    out.frames.reserve(frames);
+    out.frames.resize(frames);
 
-    std::vector<Complex> buf(config.fftSize);
-    for (std::size_t t = 0; t < frames; ++t) {
+    // Frames are independent and each writes only its own row, so the
+    // fan-out is bit-identical to the serial loop for any thread count.
+    parallelFor(frames, [&](std::size_t t) {
+        thread_local std::vector<Complex> buf;
+        buf.resize(config.fftSize);
         std::size_t start = t * config.hop;
         for (std::size_t i = 0; i < config.fftSize; ++i)
             buf[i] = signal[start + i] * window[i];
-        fftRadix2(buf, false);
+        plan->transform(buf, false);
 
         if (real_input) {
             std::vector<double> mags(half + 1);
             for (std::size_t k = 0; k <= half; ++k)
                 mags[k] = std::abs(buf[k]);
-            out.frames.push_back(std::move(mags));
+            out.frames[t] = std::move(mags);
         } else {
             // fftshift: bins [-fs/2, fs/2) in ascending frequency.
             std::vector<double> mags(config.fftSize);
@@ -125,9 +133,9 @@ stftImpl(const std::vector<Complex> &signal, double sample_rate,
                 std::size_t src = (k + half) % config.fftSize;
                 mags[k] = std::abs(buf[src]);
             }
-            out.frames.push_back(std::move(mags));
+            out.frames[t] = std::move(mags);
         }
-    }
+    });
     return out;
 }
 

@@ -1,7 +1,9 @@
 #include "dsp/window.hpp"
 
 #include <cmath>
+#include <mutex>
 #include <numbers>
+#include <unordered_map>
 
 #include "support/logging.hpp"
 
@@ -36,6 +38,42 @@ makeWindow(WindowKind kind, std::size_t length)
         }
     }
     return w;
+}
+
+std::shared_ptr<const std::vector<double>>
+cachedWindow(WindowKind kind, std::size_t length)
+{
+    struct Key
+    {
+        WindowKind kind;
+        std::size_t length;
+        bool operator==(const Key &) const = default;
+    };
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return std::hash<std::size_t>{}(k.length * 4 +
+                                            static_cast<std::size_t>(
+                                                k.kind));
+        }
+    };
+    // Leaked on purpose: windows may be requested from static
+    // destructors of long-lived experiment objects.
+    static auto *cache = new std::unordered_map<
+        Key, std::shared_ptr<const std::vector<double>>, KeyHash>();
+    static std::mutex mtx;
+
+    std::lock_guard<std::mutex> lock(mtx);
+    Key key{kind, length};
+    auto it = cache->find(key);
+    if (it != cache->end())
+        return it->second;
+    auto win = std::make_shared<const std::vector<double>>(
+        makeWindow(kind, length));
+    cache->emplace(key, win);
+    return win;
 }
 
 double

@@ -7,6 +7,7 @@
 #define EMSC_DSP_WINDOW_HPP
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 namespace emsc::dsp {
@@ -22,6 +23,15 @@ enum class WindowKind
 
 /** Generate a window of the given shape and length. */
 std::vector<double> makeWindow(WindowKind kind, std::size_t length);
+
+/**
+ * Shared immutable window from a thread-safe (kind, length)-keyed
+ * registry. The STFT and carrier-search hot paths request the same
+ * window for every frame of every trial; the registry computes it
+ * once and hands out the cached copy.
+ */
+std::shared_ptr<const std::vector<double>> cachedWindow(WindowKind kind,
+                                                        std::size_t length);
 
 /** Sum of window samples (useful for amplitude normalisation). */
 double windowSum(const std::vector<double> &window);

@@ -1,7 +1,5 @@
 #include "sim/kernel.hpp"
 
-#include <algorithm>
-
 #include "support/logging.hpp"
 
 namespace emsc::sim {
@@ -14,21 +12,18 @@ EventKernel::scheduleAt(TimeNs when, EventFn fn)
               static_cast<long long>(when), static_cast<long long>(now_));
     EventId id = nextId++;
     queue.push(Entry{when, nextSeq++, id, std::move(fn)});
+    pendingIds.insert(id);
     return id;
 }
 
 void
 EventKernel::cancel(EventId id)
 {
-    cancelledIds.push_back(id);
-    ++cancelled;
-}
-
-bool
-EventKernel::isCancelled(EventId id) const
-{
-    return std::find(cancelledIds.begin(), cancelledIds.end(), id) !=
-           cancelledIds.end();
+    // Only a still-pending, not-yet-cancelled id leaves a mark; every
+    // other cancel (already fired, double cancel, never scheduled) is a
+    // counted no-op so the cancellation set stays bounded by the queue.
+    if (!pendingIds.contains(id) || !cancelledIds.insert(id).second)
+        ++ignoredCancels_;
 }
 
 std::size_t
@@ -38,12 +33,9 @@ EventKernel::runUntil(TimeNs limit)
     while (!queue.empty() && queue.top().when <= limit) {
         Entry e = queue.top();
         queue.pop();
-        if (isCancelled(e.id)) {
-            cancelledIds.erase(std::find(cancelledIds.begin(),
-                                         cancelledIds.end(), e.id));
-            --cancelled;
+        pendingIds.erase(e.id);
+        if (cancelledIds.erase(e.id) > 0)
             continue;
-        }
         now_ = e.when;
         e.fn();
         ++executed;
@@ -59,12 +51,9 @@ EventKernel::runToExhaustion()
     while (!queue.empty()) {
         Entry e = queue.top();
         queue.pop();
-        if (isCancelled(e.id)) {
-            cancelledIds.erase(std::find(cancelledIds.begin(),
-                                         cancelledIds.end(), e.id));
-            --cancelled;
+        pendingIds.erase(e.id);
+        if (cancelledIds.erase(e.id) > 0)
             continue;
-        }
         now_ = e.when;
         e.fn();
         ++executed;

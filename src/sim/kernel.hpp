@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "support/types.hpp"
@@ -60,9 +61,17 @@ class EventKernel
 
     /**
      * Cancel a previously scheduled event. Cancelling an event that has
-     * already fired (or was already cancelled) is a harmless no-op.
+     * already fired, was already cancelled, or was never scheduled is a
+     * harmless no-op, counted in ignoredCancels() — it leaves no
+     * residual bookkeeping behind.
      */
     void cancel(EventId id);
+
+    /** Cancels that targeted no pending event (no-ops). */
+    std::uint64_t ignoredCancels() const { return ignoredCancels_; }
+
+    /** Cancelled events still sitting in the queue (bounded by it). */
+    std::size_t cancelledBacklog() const { return cancelledIds.size(); }
 
     /**
      * Execute events in time order until the queue is empty or the next
@@ -78,7 +87,7 @@ class EventKernel
     std::size_t runToExhaustion();
 
     /** Number of events currently pending. */
-    std::size_t pending() const { return queue.size() - cancelled; }
+    std::size_t pending() const { return queue.size() - cancelledIds.size(); }
 
   private:
     struct Entry
@@ -97,14 +106,13 @@ class EventKernel
         }
     };
 
-    bool isCancelled(EventId id) const;
-
     TimeNs now_ = 0;
     std::uint64_t nextSeq = 0;
     EventId nextId = 1;
-    std::size_t cancelled = 0;
+    std::uint64_t ignoredCancels_ = 0;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
-    std::vector<EventId> cancelledIds;
+    std::unordered_set<EventId> pendingIds;   //!< scheduled, not yet popped
+    std::unordered_set<EventId> cancelledIds; //!< pending and cancelled
 };
 
 } // namespace emsc::sim

@@ -1,0 +1,221 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "support/logging.hpp"
+
+namespace emsc {
+
+namespace {
+
+thread_local bool tl_inside_worker = false;
+
+/** Environment/hardware default, resolved once. */
+std::size_t
+defaultThreadCount()
+{
+    static const std::size_t resolved = [] {
+        if (const char *env = std::getenv("EMSC_THREADS")) {
+            char *end = nullptr;
+            long v = std::strtol(env, &end, 10);
+            if (end != env && v > 0)
+                return static_cast<std::size_t>(v);
+            warn("ignoring invalid EMSC_THREADS value \"%s\"", env);
+        }
+        unsigned hc = std::thread::hardware_concurrency();
+        return static_cast<std::size_t>(hc > 0 ? hc : 1);
+    }();
+    return resolved;
+}
+
+std::atomic<std::size_t> g_override{0};
+
+/**
+ * Shared pool backing parallelFor. Created on first parallel use and
+ * intentionally leaked: worker threads must outlive every static
+ * destructor that might still fan out work during teardown.
+ */
+ThreadPool &
+globalPool()
+{
+    static ThreadPool *pool = new ThreadPool(parallelThreads() - 1);
+    return *pool;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    ensureWorkers(workers);
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+std::size_t
+ThreadPool::workerCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return threads.size();
+}
+
+void
+ThreadPool::ensureWorkers(std::size_t workers)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (stopping)
+        panic("ThreadPool::ensureWorkers after shutdown");
+    while (threads.size() < workers)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (threads.empty())
+            fatal("ThreadPool::submit on a pool with no workers");
+        tasks.push_back(std::move(task));
+    }
+    cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tl_inside_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock, [this] { return stopping || !tasks.empty(); });
+            if (stopping && tasks.empty())
+                return;
+            task = std::move(tasks.back());
+            tasks.pop_back();
+        }
+        task();
+    }
+}
+
+std::size_t
+parallelThreads()
+{
+    std::size_t o = g_override.load(std::memory_order_relaxed);
+    return o > 0 ? o : defaultThreadCount();
+}
+
+void
+setParallelThreads(std::size_t threads)
+{
+    g_override.store(threads, std::memory_order_relaxed);
+}
+
+ScopedThreadCount::ScopedThreadCount(std::size_t threads)
+    : previous(g_override.load(std::memory_order_relaxed))
+{
+    setParallelThreads(threads);
+}
+
+ScopedThreadCount::~ScopedThreadCount()
+{
+    setParallelThreads(previous);
+}
+
+bool
+insideParallelWorker()
+{
+    return tl_inside_worker;
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &body)
+{
+    std::size_t threads = parallelThreads();
+    // Serial path: configured single-threaded, trivially small, or a
+    // nested call from inside a pool worker (fanning out again would
+    // have the worker wait on tasks only it could run).
+    if (threads <= 1 || n <= 1 || tl_inside_worker) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    struct Job
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> active{0};
+        std::mutex done_mtx;
+        std::condition_variable done_cv;
+        std::exception_ptr error;
+        std::mutex error_mtx;
+    };
+    auto job = std::make_shared<Job>();
+
+    auto drain = [job, &body, n] {
+        for (;;) {
+            std::size_t i =
+                job->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                break;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(job->error_mtx);
+                if (!job->error)
+                    job->error = std::current_exception();
+            }
+        }
+    };
+
+    ThreadPool &pool = globalPool();
+    std::size_t helpers = std::min(threads, n) - 1;
+    pool.ensureWorkers(helpers);
+    job->active.store(helpers, std::memory_order_relaxed);
+    for (std::size_t w = 0; w < helpers; ++w) {
+        pool.submit([job, drain] {
+            drain();
+            if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(job->done_mtx);
+                job->done_cv.notify_all();
+            }
+        });
+    }
+
+    // The caller works the same queue instead of idling.
+    drain();
+
+    std::unique_lock<std::mutex> lock(job->done_mtx);
+    job->done_cv.wait(lock, [&job] {
+        return job->active.load(std::memory_order_acquire) == 0;
+    });
+
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t master, std::uint64_t index)
+{
+    // SplitMix64 applied to the master seed offset by the stream index
+    // (golden-ratio spacing keeps adjacent indices far apart in state
+    // space). Bijective mixing: no two indices collide for a fixed
+    // master seed.
+    std::uint64_t z = master + (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace emsc

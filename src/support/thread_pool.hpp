@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fixed-size worker pool and deterministic parallel-for.
+ *
+ * The experiment drivers run hundreds of independent Monte-Carlo
+ * trials, and the STFT/carrier-search hot paths process thousands of
+ * independent frames. Both decompose into "run body(i) for i in
+ * [0, n)" with each index writing only its own output slot, so results
+ * are bit-identical regardless of scheduling. parallelFor() is that
+ * primitive: it fans indices out over a shared worker pool, and when
+ * the configured thread count is 1 (EMSC_THREADS=1) it degenerates to
+ * the plain serial loop — same iteration order, no threads touched.
+ *
+ * Determinism contract: parallelFor itself never reorders *writes*
+ * (each index owns its slot) and never introduces randomness. For
+ * stochastic trials, deriveSeed() maps (master seed, trial index) to a
+ * statistically independent per-trial seed, so a trial's RNG stream
+ * depends only on its index — not on which thread ran it or when.
+ */
+
+#ifndef EMSC_SUPPORT_THREAD_POOL_HPP
+#define EMSC_SUPPORT_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace emsc {
+
+/**
+ * Fixed-size pool of worker threads consuming a shared task queue.
+ *
+ * Most callers want parallelFor() instead; the pool is exposed for
+ * tests and for callers that need raw task submission.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn `workers` threads (0 is allowed: submit() then fatals). */
+    explicit ThreadPool(std::size_t workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads currently running. */
+    std::size_t workerCount() const;
+
+    /** Grow the pool to at least `workers` threads (never shrinks). */
+    void ensureWorkers(std::size_t workers);
+
+    /** Enqueue a task for any idle worker. */
+    void submit(std::function<void()> task);
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mtx;
+    std::condition_variable cv;
+    std::vector<std::thread> threads;
+    std::vector<std::function<void()>> tasks;
+    bool stopping = false;
+};
+
+/**
+ * Number of threads parallelFor() uses: the EMSC_THREADS environment
+ * variable when set to a positive integer, otherwise
+ * std::thread::hardware_concurrency(). Always >= 1. The environment is
+ * read once, on first use; setParallelThreads() overrides it.
+ */
+std::size_t parallelThreads();
+
+/**
+ * Override the parallelFor() thread count at runtime (tests, benches).
+ * Pass 0 to drop the override and return to the environment/hardware
+ * default.
+ */
+void setParallelThreads(std::size_t threads);
+
+/** RAII thread-count override: restores the previous value on exit. */
+class ScopedThreadCount
+{
+  public:
+    explicit ScopedThreadCount(std::size_t threads);
+    ~ScopedThreadCount();
+
+    ScopedThreadCount(const ScopedThreadCount &) = delete;
+    ScopedThreadCount &operator=(const ScopedThreadCount &) = delete;
+
+  private:
+    std::size_t previous;
+};
+
+/**
+ * Run body(i) for every i in [0, n), spread across parallelThreads()
+ * threads. Blocks until every index has completed.
+ *
+ * - Each index must write only state owned by that index; under that
+ *   contract the result is bit-identical for any thread count.
+ * - With 1 configured thread (or n <= 1) the loop runs inline in
+ *   ascending order, exactly like the serial code it replaces.
+ * - Nested calls (a body that itself calls parallelFor) run inline in
+ *   the calling worker rather than deadlocking the pool.
+ */
+void parallelFor(std::size_t n, const std::function<void(std::size_t)> &body);
+
+/** @return true when the calling thread is a pool worker. */
+bool insideParallelWorker();
+
+/**
+ * Deterministic per-trial seed derivation (SplitMix64 over the master
+ * seed and stream index). Distinct indices give statistically
+ * independent streams; the map depends only on (master, index), never
+ * on thread scheduling.
+ */
+std::uint64_t deriveSeed(std::uint64_t master, std::uint64_t index);
+
+} // namespace emsc
+
+#endif // EMSC_SUPPORT_THREAD_POOL_HPP

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests for the parallel execution layer: thread pool, parallelFor
+ * determinism, per-trial seed derivation, cached FFT plans, and the
+ * TrialRunner's bit-identity guarantee between thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <complex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/trial_runner.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
+#include "dsp/stft.hpp"
+#include "dsp/window.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace emsc {
+namespace {
+
+// ---------------------------------------------------------------------
+// ThreadPool / parallelFor
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.workerCount(), 2u);
+
+    std::atomic<int> counter{0};
+    std::mutex mtx;
+    std::condition_variable cv;
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&] {
+            if (counter.fetch_add(1) + 1 == 16)
+                cv.notify_one();
+        });
+    std::unique_lock<std::mutex> lock(mtx);
+    cv.wait(lock, [&] { return counter.load() == 16; });
+    EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, EnsureWorkersGrowsButNeverShrinks)
+{
+    ThreadPool pool(1);
+    pool.ensureWorkers(3);
+    EXPECT_EQ(pool.workerCount(), 3u);
+    pool.ensureWorkers(2);
+    EXPECT_EQ(pool.workerCount(), 3u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce)
+{
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ScopedThreadCount scoped(threads);
+        std::vector<int> hits(1000, 0);
+        parallelFor(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+        for (int h : hits)
+            ASSERT_EQ(h, 1);
+    }
+}
+
+TEST(ParallelFor, SlotWritesAreBitIdenticalAcrossThreadCounts)
+{
+    auto render = [](std::size_t threads) {
+        ScopedThreadCount scoped(threads);
+        std::vector<double> out(512);
+        parallelFor(out.size(), [&](std::size_t i) {
+            Rng rng(deriveSeed(99, i));
+            out[i] = rng.gaussian(0.0, 1.0) + std::sin(0.1 * double(i));
+        });
+        return out;
+    };
+    std::vector<double> serial = render(1);
+    std::vector<double> threaded = render(4);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        ASSERT_EQ(serial[i], threaded[i]) << "slot " << i;
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock)
+{
+    ScopedThreadCount scoped(4);
+    std::atomic<int> inner_total{0};
+    std::atomic<bool> saw_worker_flag{false};
+    parallelFor(8, [&](std::size_t) {
+        if (insideParallelWorker())
+            saw_worker_flag = true;
+        // A nested parallelFor must not wait on the already-busy pool.
+        parallelFor(8, [&](std::size_t) { inner_total.fetch_add(1); });
+    });
+    EXPECT_EQ(inner_total.load(), 64);
+    EXPECT_FALSE(insideParallelWorker());
+    // With 4 configured threads at least one index should have run on a
+    // pool worker (the caller drains too, so not necessarily all).
+    EXPECT_TRUE(saw_worker_flag.load());
+}
+
+TEST(ParallelFor, PropagatesBodyException)
+{
+    ScopedThreadCount scoped(4);
+    EXPECT_THROW(parallelFor(64,
+                             [&](std::size_t i) {
+                                 if (i == 13)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelThreads, OverrideAndRestore)
+{
+    std::size_t base = parallelThreads();
+    {
+        ScopedThreadCount scoped(7);
+        EXPECT_EQ(parallelThreads(), 7u);
+    }
+    EXPECT_EQ(parallelThreads(), base);
+}
+
+// ---------------------------------------------------------------------
+// Seed derivation
+// ---------------------------------------------------------------------
+
+TEST(DeriveSeed, DeterministicAndDistinct)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t trial = 0; trial < 1000; ++trial) {
+        std::uint64_t s = deriveSeed(42, trial);
+        EXPECT_EQ(s, deriveSeed(42, trial));
+        seen.insert(s);
+    }
+    // SplitMix64 is a bijection per master seed: no collisions expected.
+    EXPECT_EQ(seen.size(), 1000u);
+    EXPECT_NE(deriveSeed(42, 0), deriveSeed(43, 0));
+}
+
+TEST(ChainedSeeds, ReproducesTheSerialRecurrence)
+{
+    std::uint64_t seed = 42;
+    std::vector<std::uint64_t> expected;
+    for (int i = 0; i < 5; ++i) {
+        seed = seed * 2654435761u + 97;
+        expected.push_back(seed);
+    }
+    EXPECT_EQ(core::chainedSeeds(42, 5, 2654435761u, 97), expected);
+}
+
+// ---------------------------------------------------------------------
+// FFT plans and window cache
+// ---------------------------------------------------------------------
+
+TEST(FftPlan, CacheReturnsSharedInstance)
+{
+    auto a = dsp::FftPlan::forSize(2048);
+    auto b = dsp::FftPlan::forSize(2048);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_GE(dsp::FftPlan::cachedCount(), 1u);
+}
+
+TEST(FftPlan, MatchesReferenceDft)
+{
+    Rng rng(5);
+    std::vector<dsp::Complex> x(64);
+    for (auto &v : x)
+        v = {rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+    auto got = x;
+    dsp::FftPlan::forSize(64)->transform(got, false);
+    auto want = dsp::dftReference(x);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-9);
+}
+
+TEST(BluesteinPlan, MatchesReferenceDftOnPrimeAndOddSizes)
+{
+    for (std::size_t n : {std::size_t{17}, std::size_t{97},
+                          std::size_t{125}, std::size_t{251}}) {
+        Rng rng(n);
+        std::vector<dsp::Complex> x(n);
+        for (auto &v : x)
+            v = {rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+        auto got = dsp::fft(x);
+        auto want = dsp::dftReference(x);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-8)
+                << "n=" << n << " bin=" << i;
+    }
+}
+
+TEST(BluesteinPlan, RoundTripInverseIsIdentity)
+{
+    for (std::size_t n : {std::size_t{17}, std::size_t{100},
+                          std::size_t{127}}) {
+        Rng rng(n + 1);
+        std::vector<dsp::Complex> x(n);
+        for (auto &v : x)
+            v = {rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+        auto back = dsp::ifft(dsp::fft(x));
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(std::abs(back[i] - x[i]), 0.0, 1e-9)
+                << "n=" << n << " sample=" << i;
+    }
+}
+
+TEST(WindowCache, SharedPerKindAndLength)
+{
+    auto a = dsp::cachedWindow(dsp::WindowKind::Hann, 512);
+    auto b = dsp::cachedWindow(dsp::WindowKind::Hann, 512);
+    auto c = dsp::cachedWindow(dsp::WindowKind::Hann, 256);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(*a, dsp::makeWindow(dsp::WindowKind::Hann, 512));
+}
+
+// ---------------------------------------------------------------------
+// STFT bit-identity under parallelism
+// ---------------------------------------------------------------------
+
+TEST(StftParallel, SpectrogramBitIdenticalAcrossThreadCounts)
+{
+    Rng rng(11);
+    std::vector<dsp::Complex> x(16384);
+    for (auto &v : x)
+        v = {rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+    dsp::StftConfig cfg;
+    cfg.fftSize = 256;
+    cfg.hop = 64;
+
+    auto render = [&](std::size_t threads) {
+        ScopedThreadCount scoped(threads);
+        return dsp::stftComplex(x, 2.4e6, cfg, 1.45e6);
+    };
+    dsp::Spectrogram serial = render(1);
+    dsp::Spectrogram threaded = render(4);
+
+    ASSERT_EQ(serial.frames.size(), threaded.frames.size());
+    for (std::size_t t = 0; t < serial.frames.size(); ++t) {
+        ASSERT_EQ(serial.frames[t].size(), threaded.frames[t].size());
+        for (std::size_t k = 0; k < serial.frames[t].size(); ++k)
+            ASSERT_EQ(serial.frames[t][k], threaded.frames[t][k])
+                << "frame " << t << " bin " << k;
+    }
+}
+
+// ---------------------------------------------------------------------
+// TrialRunner
+// ---------------------------------------------------------------------
+
+TEST(TrialRunner, ResultsLandInTrialOrder)
+{
+    ScopedThreadCount scoped(4);
+    core::TrialRunner runner(123);
+    std::vector<std::uint64_t> out = runner.run<std::uint64_t>(
+        64, [](std::size_t trial, std::uint64_t seed) {
+            EXPECT_EQ(seed, deriveSeed(123, trial));
+            return seed ^ trial;
+        });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], runner.trialSeed(i) ^ i);
+}
+
+TEST(TrialRunner, BitIdenticalBetweenSerialAndThreaded)
+{
+    auto sweep = [](std::size_t threads) {
+        ScopedThreadCount scoped(threads);
+        core::TrialRunner runner(2024);
+        return runner.run<double>(
+            32, [](std::size_t, std::uint64_t seed) {
+                Rng rng(seed);
+                double acc = 0.0;
+                for (int i = 0; i < 100; ++i)
+                    acc += rng.gaussian(0.0, 1.0);
+                return acc;
+            });
+    };
+    std::vector<double> serial = sweep(1);
+    std::vector<double> threaded = sweep(4);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        ASSERT_EQ(serial[i], threaded[i]) << "trial " << i;
+}
+
+TEST(TrialRunner, CovertChannelAverageBitIdenticalAcrossThreadCounts)
+{
+    core::DeviceProfile dev = core::referenceDevice();
+    core::MeasurementSetup setup = core::nearFieldSetup();
+    core::CovertChannelOptions o;
+    o.payloadBits = 120;
+    o.seed = 31;
+
+    auto sweep = [&](std::size_t threads) {
+        ScopedThreadCount scoped(threads);
+        return core::averageCovertChannel(dev, setup, o, 3);
+    };
+    core::CovertChannelResult serial = sweep(1);
+    core::CovertChannelResult threaded = sweep(4);
+    EXPECT_EQ(serial.ber, threaded.ber);
+    EXPECT_EQ(serial.trBps, threaded.trBps);
+    EXPECT_EQ(serial.insertionProb, threaded.insertionProb);
+    EXPECT_EQ(serial.deletionProb, threaded.deletionProb);
+    EXPECT_EQ(serial.frameFound, threaded.frameFound);
+}
+
+} // namespace
+} // namespace emsc

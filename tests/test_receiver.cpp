@@ -11,6 +11,8 @@
 
 #include "channel/acquisition.hpp"
 #include "channel/matched_filter.hpp"
+#include "channel/receiver.hpp"
+#include "dsp/fft.hpp"
 #include "sdr/rtlsdr.hpp"
 #include "support/rng.hpp"
 
@@ -162,6 +164,65 @@ TEST(WelchSpectrum, FindsATonePeak)
     // The tone bin should dominate a far-away reference bin.
     std::size_t ref_bin = cap.binForFrequency(700e3, 1024);
     EXPECT_GT(spec[tone_bin], 10.0 * spec[ref_bin]);
+}
+
+TEST(Receive, ZeroMinWindowIsClampedNotFatal)
+{
+    // A minWindow of 0 used to let the adaptive loop halve the window
+    // down to sizes the DFT stages reject with fatal(). Now it is
+    // clamped at entry and reported through the diagnostic field.
+    sdr::IqCapture cap = makeCapture(970e3, 2e-3, 0.0, 0.05, 21);
+    ReceiverConfig cfg;
+    cfg.minWindow = 0;
+    ReceiverResult res = receive(cap, cfg);
+    EXPECT_NE(res.diagnostic.find("minWindow 0 clamped"),
+              std::string::npos)
+        << "diagnostic: " << res.diagnostic;
+    EXPECT_TRUE(dsp::isPowerOfTwo(res.windowUsed));
+    EXPECT_GE(res.windowUsed, 16u);
+}
+
+TEST(Receive, NonPowerOfTwoMinWindowIsRoundedUp)
+{
+    sdr::IqCapture cap = makeCapture(970e3, 2e-3, 0.0, 0.05, 22);
+    ReceiverConfig cfg;
+    cfg.minWindow = 100; // -> 128
+    ReceiverResult res = receive(cap, cfg);
+    EXPECT_NE(res.diagnostic.find("rounded up to power of two 128"),
+              std::string::npos)
+        << "diagnostic: " << res.diagnostic;
+    EXPECT_TRUE(dsp::isPowerOfTwo(res.windowUsed));
+    EXPECT_GE(res.windowUsed, 128u);
+}
+
+TEST(Receive, NonPowerOfTwoWindowIsAdjusted)
+{
+    sdr::IqCapture cap = makeCapture(970e3, 2e-3, 0.0, 0.05, 23);
+    ReceiverConfig cfg;
+    cfg.acquisition.window = 1000; // -> 1024
+    ReceiverResult res = receive(cap, cfg);
+    EXPECT_NE(res.diagnostic.find("window 1000 adjusted"),
+              std::string::npos)
+        << "diagnostic: " << res.diagnostic;
+    EXPECT_TRUE(dsp::isPowerOfTwo(res.windowUsed));
+}
+
+TEST(Receive, DefaultConfigLeavesNoDiagnostic)
+{
+    sdr::IqCapture cap = makeCapture(970e3, 2e-3, 0.0, 0.05, 24);
+    ReceiverResult res = receive(cap, ReceiverConfig{});
+    EXPECT_TRUE(res.diagnostic.empty()) << res.diagnostic;
+    EXPECT_TRUE(dsp::isPowerOfTwo(res.windowUsed));
+}
+
+TEST(Receive, AdaptedWindowNeverFallsBelowMinWindow)
+{
+    sdr::IqCapture cap = makeCapture(970e3, 2e-3, 0.0, 0.05, 25);
+    ReceiverConfig cfg;
+    cfg.minWindow = 256;
+    ReceiverResult res = receive(cap, cfg);
+    EXPECT_GE(res.windowUsed, 256u);
+    EXPECT_TRUE(dsp::isPowerOfTwo(res.windowUsed));
 }
 
 TEST(MatchedFilter, DecodesACleanFixedClockSignal)

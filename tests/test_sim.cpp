@@ -80,6 +80,75 @@ TEST(EventKernel, CancelOneOfSeveral)
     EXPECT_EQ(fired, 2);
 }
 
+TEST(EventKernel, CancelUnknownIdIsCountedNoOp)
+{
+    EventKernel k;
+    bool fired = false;
+    k.scheduleAt(10, [&] { fired = true; });
+    k.cancel(99999); // never scheduled
+    EXPECT_EQ(k.ignoredCancels(), 1u);
+    k.runUntil(100);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(k.cancelledBacklog(), 0u);
+}
+
+TEST(EventKernel, CancelAfterExecutionIsCountedNoOp)
+{
+    EventKernel k;
+    EventId id = k.scheduleAt(10, [] {});
+    k.runUntil(100);
+    k.cancel(id);
+    EXPECT_EQ(k.ignoredCancels(), 1u);
+    EXPECT_EQ(k.cancelledBacklog(), 0u);
+}
+
+TEST(EventKernel, DoubleCancelCountsOnce)
+{
+    EventKernel k;
+    bool fired = false;
+    EventId id = k.scheduleAt(10, [&] { fired = true; });
+    k.cancel(id);
+    k.cancel(id);
+    EXPECT_EQ(k.ignoredCancels(), 1u);
+    k.runUntil(100);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(k.cancelledBacklog(), 0u);
+}
+
+TEST(EventKernel, CancellationSetStaysBounded)
+{
+    // The original kernel kept every cancelled id forever; a long-lived
+    // kernel cancelling periodic events leaked without bound. Now the
+    // backlog empties as cancelled entries pop, and cancels of ids that
+    // are no longer pending leave no residue at all.
+    EventKernel k;
+    for (int round = 0; round < 100; ++round) {
+        TimeNs when = k.now() + 10;
+        EventId a = k.scheduleAt(when, [] {});
+        k.scheduleAt(when, [] {});
+        k.cancel(a);
+        k.cancel(a + 1000000); // unknown id: pure no-op
+        k.runUntil(when);
+        EXPECT_EQ(k.cancelledBacklog(), 0u);
+        EXPECT_EQ(k.pending(), 0u);
+    }
+    EXPECT_EQ(k.ignoredCancels(), 100u);
+}
+
+TEST(EventKernel, PendingExcludesCancelledEvents)
+{
+    EventKernel k;
+    k.scheduleAt(10, [] {});
+    EventId id = k.scheduleAt(20, [] {});
+    EXPECT_EQ(k.pending(), 2u);
+    k.cancel(id);
+    EXPECT_EQ(k.pending(), 1u);
+    EXPECT_EQ(k.cancelledBacklog(), 1u);
+    k.runUntil(100);
+    EXPECT_EQ(k.pending(), 0u);
+    EXPECT_EQ(k.cancelledBacklog(), 0u);
+}
+
 TEST(EventKernel, EventsScheduledDuringExecutionRun)
 {
     EventKernel k;
