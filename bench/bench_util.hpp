@@ -41,16 +41,29 @@ medianCovertRun(const core::DeviceProfile &dev,
                 oo.seed = seed;
                 return core::runCovertChannel(dev, setup, oo);
             });
+    // A run that ended in a recoverable failure (res.ok() false) is
+    // scored like a lost timing lock rather than polluting the median
+    // with its zeroed metrics, and is tallied in failedRuns.
     auto med_of = [&](auto getter) {
         std::vector<double> xs;
         for (const auto &res : all)
-            xs.push_back(res.frameFound ? getter(res) : 1.0);
+            xs.push_back(res.ok() && res.frameFound ? getter(res)
+                                                    : 1.0);
         return median(xs);
     };
     core::CovertChannelResult out = all.front();
     out.frameFound = false;
-    for (const auto &res : all)
-        out.frameFound |= res.frameFound;
+    out.failure.reset();
+    for (const auto &res : all) {
+        out.frameFound |= res.ok() && res.frameFound;
+        if (!res.ok()) {
+            ++out.failedRuns;
+            if (!out.failure)
+                out.failure = res.failure;
+        }
+    }
+    if (out.failedRuns < all.size())
+        out.failure.reset();
     out.ber = med_of([](const auto &r) { return r.ber; });
     out.insertionProb =
         med_of([](const auto &r) { return r.insertionProb; });

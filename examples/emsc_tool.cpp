@@ -24,6 +24,7 @@
 #include "core/api.hpp"
 #include "sdr/iqfile.hpp"
 #include "sdr/rtlsdr.hpp"
+#include "support/error.hpp"
 #include "vrm/pmu.hpp"
 
 using namespace emsc;
@@ -240,32 +241,37 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
+    // A bad file path or degenerate option surfaces here as a
+    // RecoverableError; exiting with fatal() is the CLI's job, not
+    // the library's.
+    return emsc::runOrDie([&]() -> int {
+        if (argc < 2) {
+            usage();
+            return 2;
+        }
+        std::string cmd = argv[1];
+        if (cmd == "scan")
+            return cmdScan();
+        if (cmd == "covert")
+            return cmdCovert(parse(argc, argv, 2));
+        if (cmd == "keylog")
+            return cmdKeylog(parse(argc, argv, 2));
+        if (cmd == "capture") {
+            if (argc < 3) {
+                usage();
+                return 2;
+            }
+            return cmdCapture(argv[2], parse(argc, argv, 3));
+        }
+        if (cmd == "decode") {
+            if (argc < 5) {
+                usage();
+                return 2;
+            }
+            return cmdDecode(argv[2], std::atof(argv[3]),
+                             std::atof(argv[4]));
+        }
         usage();
         return 2;
-    }
-    std::string cmd = argv[1];
-    if (cmd == "scan")
-        return cmdScan();
-    if (cmd == "covert")
-        return cmdCovert(parse(argc, argv, 2));
-    if (cmd == "keylog")
-        return cmdKeylog(parse(argc, argv, 2));
-    if (cmd == "capture") {
-        if (argc < 3) {
-            usage();
-            return 2;
-        }
-        return cmdCapture(argv[2], parse(argc, argv, 3));
-    }
-    if (cmd == "decode") {
-        if (argc < 5) {
-            usage();
-            return 2;
-        }
-        return cmdDecode(argv[2], std::atof(argv[3]),
-                         std::atof(argv[4]));
-    }
-    usage();
-    return 2;
+    });
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "support/error.hpp"
 
 using namespace emsc;
 
@@ -115,10 +116,8 @@ sendPacket(const core::DeviceProfile &laptop,
     return body;
 }
 
-} // namespace
-
 int
-main()
+run()
 {
     const std::string secret = secretFile();
     const std::size_t packet_bytes = 12;
@@ -185,4 +184,12 @@ main()
                 secret.size() - byte_errors, secret.size(), seconds,
                 bps);
     return byte_errors == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main()
+{
+    return runOrDie(run);
 }

@@ -10,11 +10,14 @@
 #include <string>
 
 #include "core/keylogging.hpp"
+#include "support/error.hpp"
 
 using namespace emsc;
 
+namespace {
+
 int
-main()
+run()
 {
     core::DeviceProfile laptop = core::findDevice("Precision");
     core::MeasurementSetup setup = core::throughWallSetup();
@@ -64,4 +67,12 @@ main()
                 "pattern above reduces the passphrase search space by "
                 "orders of magnitude (§V-B).\n");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return runOrDie(run);
 }

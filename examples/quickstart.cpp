@@ -11,9 +11,12 @@
 #include <cstdio>
 
 #include "core/api.hpp"
+#include "support/error.hpp"
+
+namespace {
 
 int
-main()
+run()
 {
     using namespace emsc;
 
@@ -53,4 +56,14 @@ main()
                 res.corrected);
     std::printf("Payload  : post-correction BER=%.2e\n", res.berPayload);
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    // The library reports malformed runtime input via RecoverableError;
+    // this CLI boundary is where that becomes an exit(1).
+    return emsc::runOrDie(run);
 }

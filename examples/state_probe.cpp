@@ -10,11 +10,14 @@
 #include <cstdio>
 
 #include "core/api.hpp"
+#include "support/error.hpp"
 
 using namespace emsc;
 
+namespace {
+
 int
-main()
+run()
 {
     core::MeasurementSetup setup = core::nearFieldSetup();
 
@@ -61,4 +64,12 @@ main()
                 "matching the paper's §III finding and its suggested "
                 "system-level countermeasure.\n");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return runOrDie(run);
 }

@@ -10,6 +10,7 @@
 #include "dsp/fft_plan.hpp"
 #include "dsp/sliding_dft.hpp"
 #include "dsp/window.hpp"
+#include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
 
@@ -20,8 +21,9 @@ welchSpectrum(const sdr::IqCapture &capture, std::size_t window,
               std::size_t frames)
 {
     if (capture.samples.size() < window)
-        fatal("capture too short (%zu samples) for a %zu-point spectrum",
-              capture.samples.size(), window);
+        raiseError(ErrorKind::InsufficientData,
+                   "capture too short (%zu samples) for a %zu-point "
+                   "spectrum", capture.samples.size(), window);
     auto win_sp = dsp::cachedWindow(dsp::WindowKind::Hann, window);
     const std::vector<double> &win = *win_sp;
     auto plan = dsp::FftPlan::forSize(window);
@@ -75,8 +77,9 @@ estimateCarrier(const sdr::IqCapture &capture,
     while (m > 512 && capture.samples.size() < 8 * m)
         m /= 2;
     if (capture.samples.size() < m)
-        fatal("capture too short (%zu samples) for carrier estimation",
-              capture.samples.size());
+        raiseError(ErrorKind::InsufficientData,
+                   "capture too short (%zu samples) for carrier "
+                   "estimation", capture.samples.size());
 
     std::size_t frames =
         std::min<std::size_t>(256, capture.samples.size() / m);
@@ -92,7 +95,8 @@ estimateCarrier(const sdr::IqCapture &capture,
            used * stride + m <= capture.samples.size())
         ++used;
     if (used < 8)
-        fatal("capture too short for carrier estimation");
+        raiseError(ErrorKind::InsufficientData,
+                   "capture too short for carrier estimation");
 
     // Each frame writes column f of every bin row — disjoint slots, so
     // the fan-out leaves mags bit-identical to the serial fill.
@@ -219,9 +223,11 @@ StreamingAcquirer::StreamingAcquirer(double carrier_hz,
     : cfg(config), carrier(carrier_hz)
 {
     if (cfg.decimation == 0)
-        fatal("acquisition decimation must be positive");
+        raiseError(ErrorKind::InvalidConfig,
+                   "acquisition decimation must be positive");
     if (carrier_hz <= 0.0)
-        fatal("StreamingAcquirer requires a known carrier");
+        raiseError(ErrorKind::InvalidConfig,
+                   "StreamingAcquirer requires a known carrier");
     decimatedRate = sample_rate / static_cast<double>(cfg.decimation);
 
     // Tracked components: the carrier and harmonics inside Nyquist of
@@ -249,8 +255,9 @@ StreamingAcquirer::StreamingAcquirer(double carrier_hz,
         centers.push_back(static_cast<std::size_t>(k));
     }
     if (centers.empty())
-        fatal("no trackable harmonic of %.0f Hz within the capture band",
-              carrier);
+        raiseError(ErrorKind::InsufficientData,
+                   "no trackable harmonic of %.0f Hz within the "
+                   "capture band", carrier);
 
     auto index_of = [&](std::size_t bin) {
         for (std::size_t i = 0; i < bins.size(); ++i)

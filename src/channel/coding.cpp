@@ -5,7 +5,7 @@
 
 #include <algorithm>
 
-#include "support/logging.hpp"
+#include "support/error.hpp"
 
 namespace emsc::channel {
 
@@ -138,8 +138,9 @@ Bits
 buildFrame(const Bits &payload, const FrameConfig &config)
 {
     if (payload.size() > 0xffff)
-        fatal("frame payload of %zu bits exceeds the 16-bit length field",
-              payload.size());
+        raiseError(ErrorKind::MalformedInput,
+                   "frame payload of %zu bits exceeds the 16-bit "
+                   "length field", payload.size());
 
     Bits frame;
     for (std::size_t i = 0; i < config.syncBits; ++i)

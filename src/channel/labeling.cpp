@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/stats.hpp"
 
@@ -13,7 +14,8 @@ selectThreshold(const std::vector<double> &bit_power,
                 const LabelingConfig &config)
 {
     if (bit_power.empty())
-        fatal("selectThreshold with no bit powers");
+        raiseError(ErrorKind::InsufficientData,
+                   "selectThreshold with no bit powers");
     if (bit_power.size() < 8) {
         // Too few samples for a histogram; fall back to the midpoint
         // of the extremes.

@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "dsp/fft.hpp"
-#include "support/logging.hpp"
+#include "support/error.hpp"
 
 namespace emsc::channel {
 
@@ -25,18 +25,19 @@ appendNote(std::string &diag, const std::string &note)
     diag += note;
 }
 
-} // namespace
-
-ReceiverResult
-receive(const sdr::IqCapture &capture, const ReceiverConfig &config)
+/**
+ * Pipeline body; any stage may throw RecoverableError, which the
+ * public receive() converts into ReceiverResult::failure.
+ */
+void
+receiveInto(const sdr::IqCapture &capture, const ReceiverConfig &config,
+            ReceiverResult &res)
 {
-    ReceiverResult res;
-
     AcquisitionConfig acq = config.acquisition;
 
     // Validate the window geometry up front instead of letting a
     // misconfigured minWindow (e.g. 0) drive the adaptation loop down
-    // to sizes the DFT stages reject with fatal().
+    // to sizes the DFT stages reject.
     std::size_t min_window = config.minWindow;
     if (min_window < kWindowFloor) {
         char note[96];
@@ -69,7 +70,7 @@ receive(const sdr::IqCapture &capture, const ReceiverConfig &config)
 
     res.carrierHz = estimateCarrier(capture, acq);
     if (res.carrierHz <= 0.0)
-        return res; // no carrier found: nothing to decode
+        return; // no carrier found: nothing to decode
 
     // Acquire and recover timing; if the recovered signaling time is
     // too short for the analysis window (the window smears adjacent
@@ -105,6 +106,21 @@ receive(const sdr::IqCapture &capture, const ReceiverConfig &config)
     res.labeled = labelBits(res.acquired.y, res.timing.starts,
                             res.timing.signalingTime, config.labeling);
     res.frame = parseFrame(res.labeled.bits, config.frame);
+}
+
+} // namespace
+
+ReceiverResult
+receive(const sdr::IqCapture &capture, const ReceiverConfig &config)
+{
+    ReceiverResult res;
+    try {
+        receiveInto(capture, config, res);
+    } catch (const RecoverableError &e) {
+        // Degrade per-capture: keep whatever stages completed and
+        // report the stage error instead of terminating the sweep.
+        res.failure = e.toError();
+    }
     return res;
 }
 

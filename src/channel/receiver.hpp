@@ -13,6 +13,7 @@
 #ifndef EMSC_CHANNEL_RECEIVER_HPP
 #define EMSC_CHANNEL_RECEIVER_HPP
 
+#include <optional>
 #include <string>
 
 #include "channel/acquisition.hpp"
@@ -20,6 +21,7 @@
 #include "channel/labeling.hpp"
 #include "channel/timing.hpp"
 #include "sdr/iq.hpp"
+#include "support/error.hpp"
 
 namespace emsc::channel {
 
@@ -41,12 +43,24 @@ struct ReceiverConfig
      * Smallest window the adaptation may fall to. Values below 16 or
      * not a power of two are clamped/rounded at receive() entry (a
      * zero here used to let the adaptation halve the window to sizes
-     * the DFT stages reject with fatal()).
+     * the DFT stages reject).
      */
     std::size_t minWindow = 128;
 };
 
-/** Everything the receiver extracted from one capture. */
+/**
+ * Everything the receiver extracted from one capture.
+ *
+ * Failure reporting is structured, never process-terminating:
+ *  - failure holds the Error (kind + message) when a pipeline stage
+ *    raised a RecoverableError on this capture (too short to analyse,
+ *    degenerate timing config, ...). Stages completed before the
+ *    error keep their intermediate products for post-mortems.
+ *  - diagnostic records configuration values receive() silently
+ *    adjusted while still producing a full result.
+ *  - A capture with no detectable carrier is not a failure: the
+ *    result is simply empty (carrierHz == 0, no frame).
+ */
 struct ReceiverResult
 {
     /** Estimated VRM fundamental (Hz). */
@@ -68,12 +82,24 @@ struct ReceiverResult
      * as given.
      */
     std::string diagnostic;
+    /**
+     * Set when the pipeline stopped on a recoverable error; empty on
+     * success. See the struct comment for the reporting contract.
+     */
+    std::optional<Error> failure;
+
+    /** Whether the pipeline ran to completion on this capture. */
+    bool ok() const { return !failure.has_value(); }
 
     /** Convenience: the decoded payload (empty if no frame found). */
     const Bits &payload() const { return frame.payload; }
 };
 
-/** Run the full pipeline on a capture. */
+/**
+ * Run the full pipeline on a capture. Never terminates the process on
+ * a malformed capture or config: recoverable errors from any stage are
+ * caught and reported in ReceiverResult::failure.
+ */
 ReceiverResult receive(const sdr::IqCapture &capture,
                        const ReceiverConfig &config);
 

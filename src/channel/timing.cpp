@@ -6,12 +6,45 @@
 #include "dsp/convolution.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/peaks.hpp"
-#include "support/logging.hpp"
+#include "support/error.hpp"
 #include "support/stats.hpp"
 
 namespace emsc::channel {
 
 namespace {
+
+/**
+ * Reject ratio configurations outside their meaningful domains up
+ * front (negated comparisons so NaN fails too). In particular a
+ * gapFillRatio <= 1 used to make the gap filler compute
+ * lround(gap/tsig) - 1 == -1 in size_t arithmetic — SIZE_MAX inserted
+ * starts, looping until OOM.
+ */
+void
+validateConfig(const TimingConfig &cfg)
+{
+    if (!(cfg.peakQuantile >= 0.0 && cfg.peakQuantile <= 1.0))
+        raiseError(ErrorKind::InvalidConfig,
+                   "TimingConfig.peakQuantile must be in [0, 1], "
+                   "got %g", cfg.peakQuantile);
+    if (!(cfg.peakThresholdRatio >= 0.0))
+        raiseError(ErrorKind::InvalidConfig,
+                   "TimingConfig.peakThresholdRatio must be "
+                   "non-negative, got %g", cfg.peakThresholdRatio);
+    if (!(cfg.minSpacingRatio > 0.0 && cfg.minSpacingRatio <= 1.0))
+        raiseError(ErrorKind::InvalidConfig,
+                   "TimingConfig.minSpacingRatio must be in (0, 1], "
+                   "got %g", cfg.minSpacingRatio);
+    if (!(cfg.gapFillRatio > 1.0))
+        raiseError(ErrorKind::InvalidConfig,
+                   "TimingConfig.gapFillRatio must exceed 1 (a gap "
+                   "shorter than a signaling time hides no starts), "
+                   "got %g", cfg.gapFillRatio);
+    if (cfg.maxLag <= cfg.minLag)
+        raiseError(ErrorKind::InvalidConfig,
+                   "TimingConfig.maxLag (%zu) must exceed minLag "
+                   "(%zu)", cfg.maxLag, cfg.minLag);
+}
 
 /** One edge-detection pass; returns detected start indices. */
 std::vector<std::size_t>
@@ -191,6 +224,8 @@ estimateBitPeriod(const std::vector<double> &y, const TimingConfig &config)
 BitTiming
 recoverTiming(const std::vector<double> &y, const TimingConfig &config)
 {
+    validateConfig(config);
+
     BitTiming out;
     if (y.size() < 16)
         return out;
@@ -294,8 +329,11 @@ recoverTiming(const std::vector<double> &y, const TimingConfig &config)
             continue;
         double gap = static_cast<double>(merged[i + 1] - merged[i]);
         if (gap >= config.gapFillRatio * tsig) {
-            auto missing = static_cast<std::size_t>(
-                std::lround(gap / tsig)) - 1;
+            // lround can still land on <= 1 for gaps just past the
+            // ratio; clamp so `missing` never wraps through zero.
+            long periods = std::lround(gap / tsig);
+            std::size_t missing =
+                periods > 1 ? static_cast<std::size_t>(periods - 1) : 0;
             for (std::size_t k = 1; k <= missing; ++k) {
                 double pos = static_cast<double>(merged[i]) +
                              gap * static_cast<double>(k) /

@@ -21,7 +21,14 @@
 
 namespace emsc::channel {
 
-/** Timing-recovery configuration. */
+/**
+ * Timing-recovery configuration.
+ *
+ * recoverTiming() validates the ratio fields up front and raises a
+ * RecoverableError (kind InvalidConfig) when one is outside its
+ * documented domain: peakQuantile in [0, 1], peakThresholdRatio >= 0,
+ * minSpacingRatio in (0, 1], gapFillRatio > 1, maxLag > minLag.
+ */
 struct TimingConfig
 {
     /**

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "support/logging.hpp"
+#include "support/error.hpp"
 
 namespace emsc::channel {
 
@@ -11,9 +11,11 @@ CovertTransmitter::CovertTransmitter(cpu::OsModel &os, Bits bits,
     : os(os), data(std::move(bits)), p(params)
 {
     if (data.empty())
-        fatal("CovertTransmitter given an empty bit stream");
+        raiseError(ErrorKind::InsufficientData,
+                   "CovertTransmitter given an empty bit stream");
     if (p.sleepPeriodUs <= 0.0)
-        fatal("sleep period must be positive");
+        raiseError(ErrorKind::InvalidConfig,
+                   "sleep period must be positive");
 
     if (p.loopCycles != 0) {
         cycles1 = p.loopCycles;

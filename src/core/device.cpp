@@ -1,5 +1,6 @@
 #include "core/device.hpp"
 
+#include "support/error.hpp"
 #include "support/logging.hpp"
 
 namespace emsc::core {
@@ -124,7 +125,8 @@ findDevice(const std::string &name)
     for (const DeviceProfile &d : devices)
         if (d.name.find(name) != std::string::npos)
             return d;
-    fatal("unknown device '%s'", name.c_str());
+    raiseError(ErrorKind::InvalidConfig, "unknown device '%s'",
+               name.c_str());
 }
 
 DeviceProfile

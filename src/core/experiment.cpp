@@ -38,9 +38,13 @@ autoTuneSdr(sdr::SdrConfig &cfg, double vrm_freq)
 
 } // namespace
 
+namespace {
+
+/** Body of runCovertChannel; may throw RecoverableError. */
 CovertChannelResult
-runCovertChannel(const DeviceProfile &device, const MeasurementSetup &setup,
-                 const CovertChannelOptions &options)
+runCovertChannelImpl(const DeviceProfile &device,
+                     const MeasurementSetup &setup,
+                     const CovertChannelOptions &options)
 {
     Rng master(options.seed);
     Rng rng_payload = master.fork();
@@ -136,6 +140,13 @@ runCovertChannel(const DeviceProfile &device, const MeasurementSetup &setup,
     result.corrected = rx.frame.corrected;
     result.decodedPayload = rx.frame.payload;
 
+    // A receiver-stage failure (not merely a missed frame) is this
+    // run's structured failure.
+    if (!rx.ok()) {
+        result.failure = rx.failure;
+        return result;
+    }
+
     if (!rx.frame.found)
         return result;
 
@@ -171,13 +182,33 @@ runCovertChannel(const DeviceProfile &device, const MeasurementSetup &setup,
     return result;
 }
 
+} // namespace
+
+CovertChannelResult
+runCovertChannel(const DeviceProfile &device, const MeasurementSetup &setup,
+                 const CovertChannelOptions &options)
+{
+    try {
+        return runCovertChannelImpl(device, setup, options);
+    } catch (const RecoverableError &e) {
+        CovertChannelResult result;
+        result.failure = e.toError();
+        return result;
+    }
+}
+
 CovertChannelResult
 averageCovertChannel(const DeviceProfile &device,
                      const MeasurementSetup &setup,
                      CovertChannelOptions options, std::size_t runs)
 {
-    if (runs == 0)
-        fatal("averageCovertChannel needs at least one run");
+    if (runs == 0) {
+        CovertChannelResult result;
+        result.failure = Error{ErrorKind::InvalidConfig,
+                               "averageCovertChannel needs at least "
+                               "one run"};
+        return result;
+    }
 
     // Historical seed schedule (an LCG chain), precomputed so the
     // independent runs can fan out across cores; the accumulation below
@@ -197,6 +228,14 @@ averageCovertChannel(const DeviceProfile &device,
     CovertChannelResult avg;
     std::size_t found = 0;
     for (const CovertChannelResult &one : all) {
+        // Degrade per-trial: a failed run is counted and skipped, and
+        // the sweep carries on with the runs that worked.
+        if (!one.ok()) {
+            ++avg.failedRuns;
+            if (!avg.failure)
+                avg.failure = one.failure;
+            continue;
+        }
         avg.payloadBits = one.payloadBits;
         avg.channelBits = one.channelBits;
         avg.carrierHz = one.carrierHz;
@@ -212,6 +251,10 @@ averageCovertChannel(const DeviceProfile &device,
         avg.elapsedS += one.elapsedS;
         avg.corrected += one.corrected;
     }
+    // The aggregate is only a failure when no run survived; otherwise
+    // the per-run error is advisory (failedRuns says how many).
+    if (avg.failedRuns < runs)
+        avg.failure.reset();
     if (found) {
         auto f = static_cast<double>(found);
         avg.frameFound = true;
@@ -226,9 +269,13 @@ averageCovertChannel(const DeviceProfile &device,
     return avg;
 }
 
+namespace {
+
+/** Body of runStateProbe; may throw RecoverableError. */
 StateProbeResult
-runStateProbe(const DeviceProfile &device, const MeasurementSetup &setup,
-              const StateProbeOptions &options)
+runStateProbeImpl(const DeviceProfile &device,
+                  const MeasurementSetup &setup,
+                  const StateProbeOptions &options)
 {
     Rng master(options.seed);
     Rng rng_os = master.fork();
@@ -301,6 +348,21 @@ runStateProbe(const DeviceProfile &device, const MeasurementSetup &setup,
         res.contrastDb = amplitudeToDb(res.activeLevel / res.idleLevel);
     res.alwaysStrong = res.idleLevel > 0.5 * res.activeLevel;
     return res;
+}
+
+} // namespace
+
+StateProbeResult
+runStateProbe(const DeviceProfile &device, const MeasurementSetup &setup,
+              const StateProbeOptions &options)
+{
+    try {
+        return runStateProbeImpl(device, setup, options);
+    } catch (const RecoverableError &e) {
+        StateProbeResult res;
+        res.failure = e.toError();
+        return res;
+    }
 }
 
 } // namespace emsc::core

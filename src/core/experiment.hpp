@@ -14,6 +14,7 @@
 #define EMSC_CORE_EXPERIMENT_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "channel/receiver.hpp"
@@ -21,6 +22,7 @@
 #include "core/device.hpp"
 #include "core/setup.hpp"
 #include "sdr/rtlsdr.hpp"
+#include "support/error.hpp"
 
 namespace emsc::core {
 
@@ -81,16 +83,35 @@ struct CovertChannelResult
     std::size_t corrected = 0;
     /** Decoded payload bits. */
     channel::Bits decodedPayload;
+    /**
+     * Set when the run stopped on a recoverable error (degenerate
+     * config, unusable capture, ...); empty on success. A transmission
+     * the receiver simply failed to decode is NOT a failure — that is
+     * frameFound == false with ok().
+     */
+    std::optional<Error> failure;
+    /** In averaged sweeps: how many runs ended with a failure. */
+    std::size_t failedRuns = 0;
+
+    /** Whether the run completed without a recoverable error. */
+    bool ok() const { return !failure.has_value(); }
 };
 
-/** Run one covert-channel transmission end to end. */
+/**
+ * Run one covert-channel transmission end to end. Malformed options
+ * or degenerate captures are reported in CovertChannelResult::failure
+ * instead of terminating the process.
+ */
 CovertChannelResult runCovertChannel(const DeviceProfile &device,
                                      const MeasurementSetup &setup,
                                      const CovertChannelOptions &options);
 
 /**
  * Average `runs` covert-channel runs with derived seeds (the paper
- * averages 5 runs per Table II cell).
+ * averages 5 runs per Table II cell). Failed runs are excluded from
+ * the average and counted in CovertChannelResult::failedRuns; the
+ * aggregate only carries a failure itself when every run failed (the
+ * first run's error is reported) or runs == 0.
  */
 CovertChannelResult averageCovertChannel(const DeviceProfile &device,
                                          const MeasurementSetup &setup,
@@ -123,6 +144,11 @@ struct StateProbeResult
      * state families disabled -> no modulation to exploit).
      */
     bool alwaysStrong = false;
+    /** Set when the probe stopped on a recoverable error. */
+    std::optional<Error> failure;
+
+    /** Whether the probe completed without a recoverable error. */
+    bool ok() const { return !failure.has_value(); }
 };
 
 /** Run the §III power-state experiment under one BIOS configuration. */

@@ -6,6 +6,7 @@
 #include "cpu/core.hpp"
 #include "cpu/os.hpp"
 #include "sdr/rtlsdr.hpp"
+#include "support/error.hpp"
 #include "support/logging.hpp"
 #include "vrm/pmu.hpp"
 
@@ -83,16 +84,21 @@ captureLoadFeatures(const DeviceProfile &device,
     return fingerprint::extractFeatures(sig);
 }
 
+namespace {
+
+/** Body of runWebsiteFingerprinting; may throw RecoverableError. */
 FingerprintingResult
-runWebsiteFingerprinting(const DeviceProfile &device,
-                         const MeasurementSetup &setup,
-                         const FingerprintingOptions &options)
+runWebsiteFingerprintingImpl(const DeviceProfile &device,
+                             const MeasurementSetup &setup,
+                             const FingerprintingOptions &options)
 {
     std::vector<fingerprint::WebsiteProfile> sites =
         options.sites.empty() ? fingerprint::builtinWebsites()
                               : options.sites;
     if (sites.empty())
-        fatal("website fingerprinting needs at least one site profile");
+        raiseError(ErrorKind::InsufficientData,
+                   "website fingerprinting needs at least one site "
+                   "profile");
 
     fingerprint::WebsiteClassifier classifier;
     std::uint64_t seq = options.seed * 1000003ull;
@@ -117,6 +123,22 @@ runWebsiteFingerprinting(const DeviceProfile &device,
         }
     }
     return result;
+}
+
+} // namespace
+
+FingerprintingResult
+runWebsiteFingerprinting(const DeviceProfile &device,
+                         const MeasurementSetup &setup,
+                         const FingerprintingOptions &options)
+{
+    try {
+        return runWebsiteFingerprintingImpl(device, setup, options);
+    } catch (const RecoverableError &e) {
+        FingerprintingResult result;
+        result.failure = e.toError();
+        return result;
+    }
 }
 
 } // namespace emsc::core

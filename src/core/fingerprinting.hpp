@@ -12,6 +12,7 @@
 #define EMSC_CORE_FINGERPRINTING_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "core/setup.hpp"
 #include "fingerprint/classifier.hpp"
 #include "fingerprint/profile.hpp"
+#include "support/error.hpp"
 
 namespace emsc::core {
 
@@ -46,6 +48,11 @@ struct FingerprintingResult
 {
     std::vector<FingerprintTrial> trials;
     std::size_t correct = 0;
+    /** Set when the experiment stopped on a recoverable error. */
+    std::optional<Error> failure;
+
+    /** Whether the experiment completed without a recoverable error. */
+    bool ok() const { return !failure.has_value(); }
 
     double
     accuracy() const

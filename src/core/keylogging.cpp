@@ -6,6 +6,7 @@
 #include "channel/acquisition.hpp"
 #include "keylog/textgen.hpp"
 #include "sdr/rtlsdr.hpp"
+#include "support/error.hpp"
 #include "support/logging.hpp"
 #include "vrm/pmu.hpp"
 
@@ -79,9 +80,13 @@ scheduleBrowserActivity(sim::EventKernel &kernel, cpu::OsModel &os,
 
 } // namespace
 
+namespace {
+
+/** Body of runKeylogging; may throw RecoverableError. */
 KeyloggingResult
-runKeylogging(const DeviceProfile &device, const MeasurementSetup &setup,
-              const KeyloggingOptions &options)
+runKeyloggingImpl(const DeviceProfile &device,
+                  const MeasurementSetup &setup,
+                  const KeyloggingOptions &options)
 {
     Rng master(options.seed);
     Rng rng_text = master.fork();
@@ -199,6 +204,21 @@ runKeylogging(const DeviceProfile &device, const MeasurementSetup &setup,
         keylog::groupWords(result.detections, options.grouping);
     result.words = keylog::scoreWords(words, groups);
     return result;
+}
+
+} // namespace
+
+KeyloggingResult
+runKeylogging(const DeviceProfile &device, const MeasurementSetup &setup,
+              const KeyloggingOptions &options)
+{
+    try {
+        return runKeyloggingImpl(device, setup, options);
+    } catch (const RecoverableError &e) {
+        KeyloggingResult result;
+        result.failure = e.toError();
+        return result;
+    }
 }
 
 } // namespace emsc::core

@@ -15,6 +15,7 @@
 #define EMSC_CORE_KEYLOGGING_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "keylog/detector.hpp"
 #include "keylog/typist.hpp"
 #include "keylog/words.hpp"
+#include "support/error.hpp"
 
 namespace emsc::core {
 
@@ -74,6 +76,11 @@ struct KeyloggingResult
     /** Detector window energies (a coarse Fig. 11 time series). */
     std::vector<double> windowEnergy;
     double windowSeconds = 0.0;
+    /** Set when the session stopped on a recoverable error. */
+    std::optional<Error> failure;
+
+    /** Whether the session completed without a recoverable error. */
+    bool ok() const { return !failure.has_value(); }
 };
 
 /** Run one keylogging session end to end. */

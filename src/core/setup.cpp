@@ -1,5 +1,6 @@
 #include "core/setup.hpp"
 
+#include "support/error.hpp"
 #include "support/logging.hpp"
 
 namespace emsc::core {
@@ -20,7 +21,8 @@ MeasurementSetup
 distanceSetup(double meters)
 {
     if (meters <= 0.0)
-        fatal("distance must be positive, got %g m", meters);
+        raiseError(ErrorKind::InvalidConfig,
+                   "distance must be positive, got %g m", meters);
     MeasurementSetup s;
     s.name = "LoS " + std::to_string(meters) + " m (loop antenna)";
     s.path.distanceMeters = meters;

@@ -15,6 +15,10 @@
  *    deriveSeed(master, trial) — the preferred map for new code.
  *  - runSeeded(seeds, fn): explicit per-trial seeds, for callers that
  *    must reproduce a legacy serial seed chain exactly.
+ *
+ * Both have *Checked variants that catch a trial's RecoverableError
+ * into a failed Result slot, so one degenerate trial (a capture too
+ * noisy to analyse, say) never kills a whole sweep.
  */
 
 #ifndef EMSC_CORE_TRIAL_RUNNER_HPP
@@ -22,8 +26,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
+#include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
 namespace emsc::core {
@@ -71,6 +78,45 @@ class TrialRunner
         parallelFor(seeds.size(), [&](std::size_t i) {
             out[i] = fn(i, seeds[i]);
         });
+        return out;
+    }
+
+    /**
+     * Like run(), but a trial that throws RecoverableError records a
+     * failed Result in its slot instead of aborting the sweep: the
+     * other trials still run, and the caller inspects which failed.
+     * Non-recoverable exceptions (bugs) still propagate.
+     */
+    template <typename R, typename Fn>
+    std::vector<Result<R>>
+    runChecked(std::size_t trials, Fn &&fn) const
+    {
+        // Result<R> has no default state, so trials land in optional
+        // slots (each written exactly once) and are unwrapped after.
+        std::vector<std::optional<Result<R>>> slots(trials);
+        parallelFor(trials, [&](std::size_t i) {
+            slots[i] = attempt([&] { return fn(i, trialSeed(i)); });
+        });
+        std::vector<Result<R>> out;
+        out.reserve(trials);
+        for (auto &s : slots)
+            out.push_back(std::move(*s));
+        return out;
+    }
+
+    /** runSeeded() with the per-trial failure recording of runChecked(). */
+    template <typename R, typename Fn>
+    static std::vector<Result<R>>
+    runSeededChecked(const std::vector<std::uint64_t> &seeds, Fn &&fn)
+    {
+        std::vector<std::optional<Result<R>>> slots(seeds.size());
+        parallelFor(seeds.size(), [&](std::size_t i) {
+            slots[i] = attempt([&] { return fn(i, seeds[i]); });
+        });
+        std::vector<Result<R>> out;
+        out.reserve(seeds.size());
+        for (auto &s : slots)
+            out.push_back(std::move(*s));
         return out;
     }
 

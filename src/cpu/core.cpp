@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/error.hpp"
 #include "support/logging.hpp"
 
 namespace emsc::cpu {
@@ -35,7 +36,8 @@ void
 CpuCore::submit(std::uint64_t cycles, WorkDone done)
 {
     if (cycles == 0)
-        fatal("CpuCore::submit of a zero-cycle work item");
+        raiseError(ErrorKind::InvalidConfig,
+                   "CpuCore::submit of a zero-cycle work item");
     queue.push_back(WorkItem{cycles, std::move(done)});
     if (!running && !waking)
         beginWake();

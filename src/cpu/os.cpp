@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "support/error.hpp"
 #include "support/logging.hpp"
 
 namespace emsc::cpu {
@@ -37,7 +38,9 @@ void
 OsModel::sleepUs(double us, std::function<void()> wake)
 {
     if (us <= 0.0)
-        fatal("OsModel::sleepUs of a non-positive duration %g", us);
+        raiseError(ErrorKind::InvalidConfig,
+                   "OsModel::sleepUs of a non-positive duration %g",
+                   us);
 
     TimeNs requested = fromMicroseconds(us);
     TimeNs gran = std::max<TimeNs>(1, cfg.timerGranularity);
@@ -79,7 +82,9 @@ void
 OsModel::setBackgroundIntensity(double scale)
 {
     if (scale < 0.0)
-        fatal("background intensity must be non-negative, got %g", scale);
+        raiseError(ErrorKind::InvalidConfig,
+                   "background intensity must be non-negative, got %g",
+                   scale);
     intensity = scale;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dsp/fft.hpp"
+#include "support/error.hpp"
 #include "support/logging.hpp"
 
 namespace emsc::dsp {
@@ -54,8 +55,9 @@ std::vector<double>
 edgeDetect(const std::vector<double> &signal, std::size_t l_d)
 {
     if (l_d < 2 || l_d % 2 != 0)
-        fatal("edgeDetect kernel length must be even and >= 2, got %zu",
-              l_d);
+        raiseError(ErrorKind::InvalidConfig,
+                   "edgeDetect kernel length must be even and >= 2, "
+                   "got %zu", l_d);
     if (signal.empty())
         return {};
 

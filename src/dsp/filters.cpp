@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "support/logging.hpp"
+#include "support/error.hpp"
 
 namespace emsc::dsp {
 
@@ -59,7 +59,9 @@ std::vector<double>
 singlePoleLowPass(const std::vector<double> &signal, double alpha)
 {
     if (alpha <= 0.0 || alpha > 1.0)
-        fatal("singlePoleLowPass alpha must be in (0, 1], got %g", alpha);
+        raiseError(ErrorKind::InvalidConfig,
+                   "singlePoleLowPass alpha must be in (0, 1], got %g",
+                   alpha);
     std::vector<double> out(signal.size(), 0.0);
     double y = signal.empty() ? 0.0 : signal[0];
     for (std::size_t i = 0; i < signal.size(); ++i) {

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <numbers>
 
-#include "support/logging.hpp"
+#include "support/error.hpp"
 
 namespace emsc::dsp {
 
@@ -18,12 +18,16 @@ SlidingDft::SlidingDft(std::size_t window_size, std::vector<std::size_t> bins)
     : m(window_size), binIdx(std::move(bins))
 {
     if (m == 0)
-        fatal("SlidingDft window size must be positive");
+        raiseError(ErrorKind::InvalidConfig,
+                   "SlidingDft window size must be positive");
     if (binIdx.empty())
-        fatal("SlidingDft requires at least one tracked bin");
+        raiseError(ErrorKind::InvalidConfig,
+                   "SlidingDft requires at least one tracked bin");
     for (std::size_t k : binIdx) {
         if (k >= m)
-            fatal("SlidingDft bin %zu out of range for window %zu", k, m);
+            raiseError(ErrorKind::InvalidConfig,
+                       "SlidingDft bin %zu out of range for window "
+                       "%zu", k, m);
         double angle = 2.0 * std::numbers::pi * static_cast<double>(k) /
                        static_cast<double>(m);
         twiddle.push_back(std::polar(1.0, angle));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/fft_plan.hpp"
+#include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
 
@@ -84,9 +85,11 @@ stftImpl(const std::vector<Complex> &signal, double sample_rate,
          const StftConfig &config, bool real_input, double center_freq_hz)
 {
     if (config.fftSize == 0 || config.hop == 0)
-        fatal("stft requires positive fftSize and hop");
+        raiseError(ErrorKind::InvalidConfig,
+                   "stft requires positive fftSize and hop");
     if (sample_rate <= 0.0)
-        fatal("stft requires a positive sample rate");
+        raiseError(ErrorKind::InvalidConfig,
+                   "stft requires a positive sample rate");
 
     std::shared_ptr<const std::vector<double>> window_sp =
         cachedWindow(config.window, config.fftSize);
@@ -146,8 +149,9 @@ stft(const std::vector<double> &signal, double sample_rate,
      const StftConfig &config)
 {
     if (!isPowerOfTwo(config.fftSize))
-        fatal("stft fftSize must be a power of two, got %zu",
-              config.fftSize);
+        raiseError(ErrorKind::InvalidConfig,
+                   "stft fftSize must be a power of two, got %zu",
+                   config.fftSize);
     std::vector<Complex> cplx(signal.size());
     for (std::size_t i = 0; i < signal.size(); ++i)
         cplx[i] = Complex{signal[i], 0.0};
@@ -159,8 +163,9 @@ stftComplex(const std::vector<Complex> &signal, double sample_rate,
             const StftConfig &config, double center_freq_hz)
 {
     if (!isPowerOfTwo(config.fftSize))
-        fatal("stft fftSize must be a power of two, got %zu",
-              config.fftSize);
+        raiseError(ErrorKind::InvalidConfig,
+                   "stft fftSize must be a power of two, got %zu",
+                   config.fftSize);
     return stftImpl(signal, sample_rate, config, false, center_freq_hz);
 }
 

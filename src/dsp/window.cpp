@@ -5,7 +5,7 @@
 #include <numbers>
 #include <unordered_map>
 
-#include "support/logging.hpp"
+#include "support/error.hpp"
 
 namespace emsc::dsp {
 
@@ -13,7 +13,8 @@ std::vector<double>
 makeWindow(WindowKind kind, std::size_t length)
 {
     if (length == 0)
-        fatal("window length must be positive");
+        raiseError(ErrorKind::InvalidConfig,
+                   "window length must be positive");
     std::vector<double> w(length, 1.0);
     if (length == 1 || kind == WindowKind::Rectangular)
         return w;

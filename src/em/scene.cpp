@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "support/error.hpp"
 #include "support/logging.hpp"
 
 namespace emsc::em {
@@ -73,7 +74,8 @@ buildReceptionPlan(const SceneConfig &config,
                    TimeNs t1, Rng &rng)
 {
     if (t1 <= t0)
-        fatal("buildReceptionPlan: empty capture window");
+        raiseError(ErrorKind::MalformedInput,
+                   "buildReceptionPlan: empty capture window");
 
     ReceptionPlan plan;
     double scale = config.emitterCoupling *

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/error.hpp"
 #include "support/logging.hpp"
 #include "channel/labeling.hpp"
 #include "support/stats.hpp"
@@ -98,7 +99,8 @@ void
 WebsiteClassifier::finalize()
 {
     if (classes.empty())
-        fatal("WebsiteClassifier has no training data");
+        raiseError(ErrorKind::InsufficientData,
+                   "WebsiteClassifier has no training data");
 
     // Per-class centroids.
     for (ClassData &c : classes) {

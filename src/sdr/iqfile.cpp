@@ -5,7 +5,7 @@
 #include <memory>
 #include <vector>
 
-#include "support/logging.hpp"
+#include "support/error.hpp"
 
 namespace emsc::sdr {
 
@@ -39,7 +39,8 @@ writeIqU8(const IqCapture &capture, const std::string &path)
 {
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
-        fatal("cannot open '%s' for writing", path.c_str());
+        raiseError(ErrorKind::IoError, "cannot open '%s' for writing",
+                   path.c_str());
 
     std::vector<unsigned char> buf;
     buf.reserve(capture.samples.size() * 2);
@@ -50,8 +51,19 @@ writeIqU8(const IqCapture &capture, const std::string &path)
     std::size_t written =
         std::fwrite(buf.data(), 1, buf.size(), f.get());
     if (written != buf.size())
-        fatal("short write to '%s' (%zu of %zu bytes)", path.c_str(),
-              written, buf.size());
+        raiseError(ErrorKind::IoError,
+                   "short write to '%s' (%zu of %zu bytes)",
+                   path.c_str(), written, buf.size());
+    // fwrite() only fills stdio's buffer; a full disk surfaces at
+    // flush/close time, so both must be checked before reporting
+    // success (FileCloser would silently discard the fclose result).
+    if (std::fflush(f.get()) != 0)
+        raiseError(ErrorKind::IoError, "cannot flush '%s'",
+                   path.c_str());
+    std::FILE *raw = f.release();
+    if (std::fclose(raw) != 0)
+        raiseError(ErrorKind::IoError, "cannot close '%s'",
+                   path.c_str());
     return capture.samples.size();
 }
 
@@ -61,7 +73,8 @@ readIqU8(const std::string &path, double sample_rate,
 {
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
-        fatal("cannot open '%s' for reading", path.c_str());
+        raiseError(ErrorKind::IoError, "cannot open '%s' for reading",
+                   path.c_str());
 
     IqCapture cap;
     cap.sampleRate = sample_rate;
@@ -72,8 +85,15 @@ readIqU8(const std::string &path, double sample_rate,
     bool have_pending = false;
     while (true) {
         std::size_t n = std::fread(buf.data(), 1, buf.size(), f.get());
-        if (n == 0)
+        if (n == 0) {
+            // fread() returns 0 both at EOF and on a read error; the
+            // latter must not masquerade as a clean (truncated) EOF.
+            if (std::ferror(f.get()))
+                raiseError(ErrorKind::IoError,
+                           "read error on '%s' after %zu samples",
+                           path.c_str(), cap.samples.size());
             break;
+        }
         std::size_t i = 0;
         if (have_pending) {
             cap.samples.push_back(IqSample{

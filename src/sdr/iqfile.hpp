@@ -22,7 +22,10 @@ namespace emsc::sdr {
 /**
  * Write the capture as interleaved u8 I/Q (rtl_sdr format). Sample
  * values are expected in [-1, 1] (the RtlSdr model's full scale) and
- * are clamped otherwise.
+ * are clamped otherwise. The stream is flushed and closed before
+ * returning, so success really means the bytes reached the OS; any
+ * failure (unwritable path, short write, full disk at flush/close)
+ * raises a RecoverableError of kind IoError.
  *
  * @return number of complex samples written
  */
@@ -30,7 +33,10 @@ std::size_t writeIqU8(const IqCapture &capture, const std::string &path);
 
 /**
  * Read an interleaved u8 I/Q file into a capture. The file carries no
- * metadata, so the caller supplies the acquisition geometry.
+ * metadata, so the caller supplies the acquisition geometry. An
+ * odd-length file only costs the trailing half sample (with a warn());
+ * an unreadable path or a mid-file read error raises a
+ * RecoverableError of kind IoError instead of being mistaken for EOF.
  */
 IqCapture readIqU8(const std::string &path, double sample_rate,
                    double center_frequency);

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numbers>
 
-#include "support/logging.hpp"
+#include "support/error.hpp"
 
 namespace emsc::sdr {
 
@@ -17,9 +17,11 @@ constexpr double kTwoPi = 2.0 * std::numbers::pi;
 RtlSdr::RtlSdr(const SdrConfig &config, Rng &rng) : cfg(config), rng(rng)
 {
     if (cfg.sampleRate <= 0.0)
-        fatal("SDR sample rate must be positive");
+        raiseError(ErrorKind::InvalidConfig,
+                   "SDR sample rate must be positive");
     if (cfg.adcBits < 2 || cfg.adcBits > 16)
-        fatal("SDR ADC resolution %d out of range", cfg.adcBits);
+        raiseError(ErrorKind::InvalidConfig,
+                   "SDR ADC resolution %d out of range", cfg.adcBits);
 }
 
 double
@@ -162,7 +164,8 @@ IqCapture
 RtlSdr::capture(const em::ReceptionPlan &plan, TimeNs t0, TimeNs t1)
 {
     if (t1 <= t0)
-        fatal("RtlSdr::capture of an empty window");
+        raiseError(ErrorKind::MalformedInput,
+                   "RtlSdr::capture of an empty window");
 
     IqCapture cap;
     cap.sampleRate = cfg.sampleRate;

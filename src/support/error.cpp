@@ -1,0 +1,50 @@
+#include "support/error.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace emsc {
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::InvalidConfig:
+        return "invalid-config";
+      case ErrorKind::MalformedInput:
+        return "malformed-input";
+      case ErrorKind::InsufficientData:
+        return "insufficient-data";
+      case ErrorKind::IoError:
+        return "io-error";
+    }
+    return "unknown";
+}
+
+std::string
+Error::describe() const
+{
+    return std::string(errorKindName(kind)) + ": " + message;
+}
+
+void
+raiseError(ErrorKind kind, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+
+    std::string msg;
+    if (needed > 0) {
+        msg.resize(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(msg.data(), msg.size(), fmt, args);
+        msg.resize(static_cast<std::size_t>(needed));
+    }
+    va_end(args);
+    throw RecoverableError(kind, msg);
+}
+
+} // namespace emsc

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Recoverable runtime errors and Result-style failure propagation.
+ *
+ * The library distinguishes three failure tiers (see also logging.hpp):
+ *
+ *  - RecoverableError / raiseError(): a *runtime-data* problem — a
+ *    capture too short to analyse, an unreadable IQ file, a degenerate
+ *    configuration value, an empty sample set. Thrown by library code
+ *    in src/ and caught at stage boundaries (channel::receive, the
+ *    core:: experiment drivers, TrialRunner::runChecked), which turn
+ *    it into a structured per-result failure so a long-running sweep
+ *    degrades per-capture instead of dying fleet-wide.
+ *  - fatal(): reserved for CLI entry points (examples/, tools/,
+ *    bench/) where exiting the process *is* the right response; see
+ *    runOrDie() for the boundary adapter.
+ *  - panic(): an internal invariant was violated (a bug); abort().
+ */
+
+#ifndef EMSC_SUPPORT_ERROR_HPP
+#define EMSC_SUPPORT_ERROR_HPP
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "support/logging.hpp"
+
+namespace emsc {
+
+/** Broad classification of a recoverable runtime error. */
+enum class ErrorKind {
+    /** A configuration value is outside its meaningful domain. */
+    InvalidConfig,
+    /** Input data (a file, a bit stream) is malformed. */
+    MalformedInput,
+    /** Too little data to run the requested analysis. */
+    InsufficientData,
+    /** A file or device I/O operation failed. */
+    IoError,
+};
+
+/** Human-readable name of an ErrorKind ("invalid-config", ...). */
+const char *errorKindName(ErrorKind kind);
+
+/** Structured description of a recoverable failure. */
+struct Error
+{
+    ErrorKind kind = ErrorKind::MalformedInput;
+    std::string message;
+
+    /** "kind: message" rendering for logs and diagnostics. */
+    std::string describe() const;
+};
+
+/**
+ * Exception carrying an Error. Thrown by raiseError() from library
+ * code on malformed runtime input; callers either let it propagate to
+ * a stage boundary or convert it with attempt().
+ */
+class RecoverableError : public std::runtime_error
+{
+  public:
+    RecoverableError(ErrorKind kind, const std::string &message)
+        : std::runtime_error(message), kind_(kind)
+    {
+    }
+
+    ErrorKind kind() const { return kind_; }
+
+    /** Copy into a value-type Error for storage in a result struct. */
+    Error toError() const { return Error{kind_, what()}; }
+
+  private:
+    ErrorKind kind_;
+};
+
+/**
+ * Report a recoverable runtime-data error: format the message
+ * printf-style and throw RecoverableError. The counterpart of fatal()
+ * for conditions a long-running pipeline must survive.
+ */
+[[noreturn]] void raiseError(ErrorKind kind, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Either a value or an Error. Used where explicit-return error
+ * handling reads better than exceptions (per-trial sweep results).
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : val(std::move(value)) {}
+    Result(Error error) : err(std::move(error)) {}
+
+    /** Whether a value is present. */
+    bool ok() const { return !err.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** The value; panics (a bug) when called on a failed Result. */
+    const T &
+    value() const
+    {
+        requireOk();
+        return *val;
+    }
+
+    T &
+    value()
+    {
+        requireOk();
+        return *val;
+    }
+
+    /** The error; panics (a bug) when called on a successful Result. */
+    const Error &
+    error() const
+    {
+        if (ok())
+            panic("Result::error on a successful Result");
+        return *err;
+    }
+
+  private:
+    void
+    requireOk() const
+    {
+        if (!ok())
+            panic("Result::value on a failed Result: %s",
+                  err->message.c_str());
+    }
+
+    std::optional<T> val;
+    std::optional<Error> err;
+};
+
+/**
+ * Run fn(), converting a thrown RecoverableError into a failed
+ * Result; any other exception propagates (it is not a data error).
+ */
+template <typename Fn>
+auto
+attempt(Fn &&fn) -> Result<decltype(fn())>
+{
+    using R = decltype(fn());
+    try {
+        return Result<R>(fn());
+    } catch (const RecoverableError &e) {
+        return Result<R>(e.toError());
+    }
+}
+
+/**
+ * CLI boundary adapter: run fn() and turn a RecoverableError into
+ * fatal(). Keeps exit(1)-on-bad-input behaviour in examples/, tools/
+ * and bench/ entry points without any library code calling fatal()
+ * on runtime data itself.
+ */
+template <typename Fn>
+int
+runOrDie(Fn &&fn)
+{
+    try {
+        return fn();
+    } catch (const RecoverableError &e) {
+        fatal("%s", e.what());
+    }
+}
+
+} // namespace emsc
+
+#endif // EMSC_SUPPORT_ERROR_HPP

@@ -6,6 +6,9 @@
  *  - inform(): normal operating message, no connotation of error.
  *  - warn():   something may be modelled imperfectly but can proceed.
  *  - fatal():  the user asked for something impossible; exit(1).
+ *              Reserved for CLI entry points (examples/, tools/,
+ *              bench/); library code in src/ reports runtime-data
+ *              problems via raiseError() (support/error.hpp) instead.
  *  - panic():  an internal invariant was violated (a bug); abort().
  */
 
@@ -24,8 +27,10 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
- * Report a user-caused error (bad configuration, impossible parameters)
- * and terminate the process with exit code 1.
+ * Report a user-caused error (bad CLI flags, impossible parameters)
+ * and terminate the process with exit code 1. Only CLI entry points
+ * may call this; for runtime data reachable inside the library, throw
+ * with raiseError() (support/error.hpp) so pipelines can recover.
  */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

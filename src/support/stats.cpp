@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "support/logging.hpp"
+#include "support/error.hpp"
 
 namespace emsc {
 
@@ -36,20 +36,40 @@ Histogram::Histogram(double lo_, double hi_, std::size_t bins)
     : lo(lo_), hi(hi_), counts(bins, 0.0)
 {
     if (bins == 0)
-        fatal("Histogram requires at least one bin");
+        raiseError(ErrorKind::InvalidConfig,
+                   "Histogram requires at least one bin");
+    if (!std::isfinite(lo) || !std::isfinite(hi))
+        raiseError(ErrorKind::InvalidConfig,
+                   "Histogram range must be finite (lo=%g hi=%g)", lo,
+                   hi);
     if (!(hi > lo))
-        fatal("Histogram range must be non-empty (lo=%g hi=%g)", lo, hi);
+        raiseError(ErrorKind::InvalidConfig,
+                   "Histogram range must be non-empty (lo=%g hi=%g)",
+                   lo, hi);
     width = (hi - lo) / static_cast<double>(bins);
 }
 
 Histogram
 Histogram::fromSamples(const std::vector<double> &samples, std::size_t bins)
 {
-    if (samples.empty())
-        fatal("Histogram::fromSamples requires a non-empty sample set");
-    auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
-    double lo = *mn;
-    double hi = *mx;
+    double lo = 0.0;
+    double hi = 0.0;
+    bool any = false;
+    for (double x : samples) {
+        if (std::isnan(x))
+            continue;
+        if (!any) {
+            lo = hi = x;
+            any = true;
+        } else {
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+        }
+    }
+    if (!any)
+        raiseError(ErrorKind::InsufficientData,
+                   "Histogram::fromSamples requires a non-empty "
+                   "(non-NaN) sample set");
     if (hi <= lo)
         hi = lo + 1e-12; // degenerate constant input
     Histogram h(lo, hi, bins);
@@ -61,9 +81,23 @@ Histogram::fromSamples(const std::vector<double> &samples, std::size_t bins)
 void
 Histogram::add(double x)
 {
-    auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
-    idx = std::clamp<std::ptrdiff_t>(idx, 0,
-            static_cast<std::ptrdiff_t>(counts.size()) - 1);
+    // A NaN bin index would be UB to cast; NaN carries no bin
+    // information, so such samples are counted apart from the bins.
+    if (std::isnan(x)) {
+        ++nan_;
+        return;
+    }
+    double bin = (x - lo) / width;
+    std::ptrdiff_t last = static_cast<std::ptrdiff_t>(counts.size()) - 1;
+    // Clamp in floating point first: a huge sample (or +-inf) can
+    // exceed the ptrdiff_t range, which is UB to cast directly.
+    std::ptrdiff_t idx;
+    if (bin <= 0.0)
+        idx = 0;
+    else if (bin >= static_cast<double>(last))
+        idx = last;
+    else
+        idx = static_cast<std::ptrdiff_t>(bin);
     counts[static_cast<std::size_t>(idx)] += 1.0;
     total_ += 1.0;
 }
@@ -144,8 +178,14 @@ Histogram::findPeaks(std::size_t radius, std::size_t min_separation) const
 double
 quantile(std::vector<double> samples, double q)
 {
+    // NaN samples have no order; sorting them in leaves the order
+    // statistics unspecified, so they are dropped up front.
+    samples.erase(std::remove_if(samples.begin(), samples.end(),
+                                 [](double x) { return std::isnan(x); }),
+                  samples.end());
     if (samples.empty())
-        fatal("quantile of an empty sample set");
+        raiseError(ErrorKind::InsufficientData,
+                   "quantile of an empty (or all-NaN) sample set");
     q = std::clamp(q, 0.0, 1.0);
     std::sort(samples.begin(), samples.end());
     double pos = q * static_cast<double>(samples.size() - 1);
@@ -166,7 +206,8 @@ double
 fitRayleighSigma(const std::vector<double> &samples)
 {
     if (samples.empty())
-        fatal("fitRayleighSigma of an empty sample set");
+        raiseError(ErrorKind::InsufficientData,
+                   "fitRayleighSigma of an empty sample set");
     double acc = 0.0;
     for (double x : samples)
         acc += x * x;
@@ -177,7 +218,9 @@ double
 rayleighGoodness(const std::vector<double> &samples, double sigma)
 {
     if (samples.empty() || sigma <= 0.0)
-        fatal("rayleighGoodness requires samples and a positive sigma");
+        raiseError(ErrorKind::InsufficientData,
+                   "rayleighGoodness requires samples and a positive "
+                   "sigma");
     std::vector<double> xs(samples);
     std::sort(xs.begin(), xs.end());
     auto n = static_cast<double>(xs.size());

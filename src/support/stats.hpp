@@ -62,11 +62,20 @@ class Histogram
      */
     Histogram(double lo, double hi, std::size_t bins);
 
-    /** Build a histogram spanning [min, max] of the given samples. */
+    /**
+     * Build a histogram spanning [min, max] of the given samples.
+     * NaN samples are excluded from the range (and subsequently
+     * ignored by add()); raises a RecoverableError when no non-NaN
+     * sample remains.
+     */
     static Histogram fromSamples(const std::vector<double> &samples,
                                  std::size_t bins);
 
-    /** Add one sample; out-of-range samples clamp to the edge bins. */
+    /**
+     * Add one sample; out-of-range samples clamp to the edge bins.
+     * NaN samples carry no bin information: they are ignored (not
+     * binned, not part of total()) and tallied in nanDropped().
+     */
     void add(double x);
 
     /** Number of bins. */
@@ -75,8 +84,10 @@ class Histogram
     double count(std::size_t i) const { return counts[i]; }
     /** Center value of bin i. */
     double binCenter(std::size_t i) const;
-    /** Total number of samples added. */
+    /** Total number of samples added (excluding dropped NaNs). */
     double total() const { return total_; }
+    /** Number of NaN samples dropped by add(). */
+    std::size_t nanDropped() const { return nan_; }
 
     /** Counts normalised to a probability density (integrates to ~1). */
     std::vector<double> density() const;
@@ -102,12 +113,15 @@ class Histogram
     double hi;
     double width;
     double total_ = 0.0;
+    std::size_t nan_ = 0;
     std::vector<double> counts;
 };
 
 /**
  * Return the q-quantile (0 <= q <= 1) of the samples using linear
- * interpolation between order statistics. The input is copied.
+ * interpolation between order statistics. The input is copied. NaN
+ * samples are dropped before ranking; a sample set that is empty (or
+ * entirely NaN) raises a RecoverableError.
  */
 double quantile(std::vector<double> samples, double q);
 

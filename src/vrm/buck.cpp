@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "support/logging.hpp"
+#include "support/error.hpp"
 
 namespace emsc::vrm {
 
@@ -11,9 +11,11 @@ BuckConverter::BuckConverter(const BuckConfig &config, Rng &rng)
     : cfg(config), rng(rng)
 {
     if (cfg.switchFrequency <= 0.0)
-        fatal("buck switching frequency must be positive");
+        raiseError(ErrorKind::InvalidConfig,
+                   "buck switching frequency must be positive");
     if (cfg.dutyCycle <= 0.0 || cfg.dutyCycle >= 1.0)
-        fatal("buck duty cycle must be in (0, 1)");
+        raiseError(ErrorKind::InvalidConfig,
+                   "buck duty cycle must be in (0, 1)");
 }
 
 Hertz

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/error.hpp"
+
 #include "channel/coding.hpp"
 #include "support/rng.hpp"
 
@@ -217,10 +219,10 @@ TEST(Frame, EmptyStreamNotFound)
     EXPECT_FALSE(parseFrame({1, 0, 1}, FrameConfig{}).found);
 }
 
-TEST(Frame, OversizedPayloadIsFatal)
+TEST(Frame, OversizedPayloadIsRecoverable)
 {
     Bits huge(70000, 1);
-    EXPECT_DEATH(buildFrame(huge, FrameConfig{}), "length");
+    EXPECT_THROW(buildFrame(huge, FrameConfig{}), RecoverableError);
 }
 
 /** Parameterised: frame round trip across payload sizes. */

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/error.hpp"
+
 #include <cmath>
 #include <numbers>
 
@@ -253,7 +255,7 @@ TEST(EdgeDetect, FallingEdgeGivesNegativeResponse)
 TEST(EdgeDetect, RejectsOddKernel)
 {
     std::vector<double> x(50, 0.0);
-    EXPECT_DEATH(edgeDetect(x, 7), "even");
+    EXPECT_THROW(edgeDetect(x, 7), RecoverableError);
 }
 
 TEST(Peaks, FindsIsolatedMaxima)

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/error.hpp"
+
 #include <cmath>
 
 #include "em/antenna.hpp"
@@ -185,11 +187,12 @@ TEST(Scene, PredictedSnrFallsWithDistance)
     }
 }
 
-TEST(Scene, EmptyWindowIsFatal)
+TEST(Scene, EmptyWindowIsRecoverable)
 {
     SceneConfig cfg;
     Rng rng(6);
-    EXPECT_DEATH(buildReceptionPlan(cfg, {}, 100, 100, rng), "empty");
+    EXPECT_THROW(buildReceptionPlan(cfg, {}, 100, 100, rng),
+                 RecoverableError);
 }
 
 } // namespace

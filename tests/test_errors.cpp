@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Fault-injection suite for the recoverable-error contract.
+ *
+ * Every test here feeds a library entry point malformed runtime input
+ * (an unreadable file, a degenerate configuration, NaN samples, a
+ * capture too short to analyse) and checks that the failure surfaces
+ * as a RecoverableError or a structured per-result failure — never as
+ * process termination. Runs under the sanitize label so tsan/ubsan
+ * also exercise the throw/catch paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "channel/receiver.hpp"
+#include "channel/timing.hpp"
+#include "core/device.hpp"
+#include "core/experiment.hpp"
+#include "core/setup.hpp"
+#include "core/trial_runner.hpp"
+#include "dsp/filters.hpp"
+#include "dsp/sliding_dft.hpp"
+#include "dsp/stft.hpp"
+#include "sdr/iqfile.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace emsc {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+ErrorKind
+caughtKind(const std::function<void()> &fn)
+{
+    try {
+        fn();
+    } catch (const RecoverableError &e) {
+        return e.kind();
+    }
+    ADD_FAILURE() << "expected a RecoverableError";
+    return ErrorKind::MalformedInput;
+}
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/emsc_err_" + tag +
+           ".bin";
+}
+
+// ---------------------------------------------------------------- core
+
+TEST(ErrorBasics, KindNamesAreStable)
+{
+    EXPECT_STREQ(errorKindName(ErrorKind::InvalidConfig),
+                 "invalid-config");
+    EXPECT_STREQ(errorKindName(ErrorKind::MalformedInput),
+                 "malformed-input");
+    EXPECT_STREQ(errorKindName(ErrorKind::InsufficientData),
+                 "insufficient-data");
+    EXPECT_STREQ(errorKindName(ErrorKind::IoError), "io-error");
+}
+
+TEST(ErrorBasics, DescribePrefixesTheKind)
+{
+    Error e{ErrorKind::IoError, "disk fell over"};
+    EXPECT_EQ(e.describe(), "io-error: disk fell over");
+}
+
+TEST(ErrorBasics, RaiseErrorFormatsPrintfStyle)
+{
+    try {
+        raiseError(ErrorKind::InsufficientData,
+                   "only %zu of %d samples", std::size_t{3}, 16);
+        FAIL() << "raiseError returned";
+    } catch (const RecoverableError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::InsufficientData);
+        EXPECT_STREQ(e.what(), "only 3 of 16 samples");
+        EXPECT_EQ(e.toError().kind, ErrorKind::InsufficientData);
+    }
+}
+
+TEST(ErrorBasics, ResultHoldsValueOrError)
+{
+    Result<int> good(7);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 7);
+
+    Result<int> bad(Error{ErrorKind::MalformedInput, "nope"});
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().kind, ErrorKind::MalformedInput);
+    EXPECT_EQ(bad.error().message, "nope");
+}
+
+TEST(ErrorBasics, AttemptCapturesRecoverableErrors)
+{
+    auto good = attempt([] { return 41 + 1; });
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+
+    auto bad = attempt([]() -> int {
+        raiseError(ErrorKind::IoError, "device unplugged");
+    });
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().kind, ErrorKind::IoError);
+}
+
+TEST(ErrorBasics, RunOrDiePassesThroughOnSuccess)
+{
+    EXPECT_EQ(runOrDie([] { return 5; }), 5);
+}
+
+// -------------------------------------------------------------- file IO
+
+TEST(IoFaults, UnreadablePathRaisesIoError)
+{
+    EXPECT_EQ(caughtKind([] {
+        sdr::readIqU8("/nonexistent/emsc_errors.bin", 1e6, 0.0);
+    }), ErrorKind::IoError);
+}
+
+TEST(IoFaults, UnwritableDirectoryRaisesIoError)
+{
+    sdr::IqCapture cap;
+    cap.sampleRate = 1e6;
+    cap.samples.push_back(sdr::IqSample{0.0, 0.0});
+    EXPECT_EQ(caughtKind([&] {
+        sdr::writeIqU8(cap, "/nonexistent/dir/emsc_errors.bin");
+    }), ErrorKind::IoError);
+}
+
+TEST(IoFaults, OddByteCountDropsTrailingSampleWithoutFailing)
+{
+    std::string path = tempPath("odd");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    unsigned char bytes[5] = {10, 20, 30, 40, 50};
+    ASSERT_EQ(std::fwrite(bytes, 1, 5, f), 5u);
+    std::fclose(f);
+
+    sdr::IqCapture cap = sdr::readIqU8(path, 1e6, 0.0);
+    EXPECT_EQ(cap.samples.size(), 2u); // fifth byte warned away
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ dsp config
+
+TEST(ConfigFaults, StftRejectsDegenerateGeometry)
+{
+    std::vector<double> x(256, 0.0);
+    dsp::StftConfig zero_hop;
+    zero_hop.hop = 0;
+    EXPECT_EQ(caughtKind([&] { dsp::stft(x, 1e6, zero_hop); }),
+              ErrorKind::InvalidConfig);
+
+    dsp::StftConfig cfg;
+    EXPECT_EQ(caughtKind([&] { dsp::stft(x, 0.0, cfg); }),
+              ErrorKind::InvalidConfig);
+}
+
+TEST(ConfigFaults, SlidingDftRejectsBadWindowAndBins)
+{
+    EXPECT_THROW(dsp::SlidingDft(0, {0}), RecoverableError);
+    EXPECT_THROW(dsp::SlidingDft(64, {}), RecoverableError);
+    EXPECT_EQ(caughtKind([] { dsp::SlidingDft(64, {64}); }),
+              ErrorKind::InvalidConfig);
+}
+
+TEST(ConfigFaults, LowPassRejectsAlphaOutsideDomain)
+{
+    std::vector<double> x(8, 1.0);
+    EXPECT_THROW(dsp::singlePoleLowPass(x, 0.0), RecoverableError);
+    EXPECT_THROW(dsp::singlePoleLowPass(x, 1.5), RecoverableError);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(StatsFaults, HistogramRejectsDegenerateRanges)
+{
+    EXPECT_EQ(caughtKind([] { Histogram(0.0, 1.0, 0); }),
+              ErrorKind::InvalidConfig);
+    EXPECT_EQ(caughtKind([] { Histogram(1.0, 1.0, 4); }),
+              ErrorKind::InvalidConfig);
+    EXPECT_EQ(caughtKind([] { Histogram(0.0, kNaN, 4); }),
+              ErrorKind::InvalidConfig);
+}
+
+TEST(StatsFaults, HistogramAddDropsAndCountsNaN)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.2);
+    h.add(kNaN);
+    h.add(0.9);
+    EXPECT_DOUBLE_EQ(h.total(), 2.0);
+    EXPECT_EQ(h.nanDropped(), 1u);
+    // Out-of-range (but not NaN) samples still clamp to the edge bins.
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.count(3), 2.0);
+}
+
+TEST(StatsFaults, FromSamplesRaisesWhenNothingUsable)
+{
+    EXPECT_EQ(caughtKind([] { Histogram::fromSamples({}, 8); }),
+              ErrorKind::InsufficientData);
+    EXPECT_EQ(caughtKind([] {
+        Histogram::fromSamples({kNaN, kNaN}, 8);
+    }), ErrorKind::InsufficientData);
+}
+
+TEST(StatsFaults, QuantileIgnoresNaNAndRaisesWhenEmpty)
+{
+    EXPECT_DOUBLE_EQ(quantile({1.0, kNaN, 3.0}, 0.5), 2.0);
+    EXPECT_EQ(caughtKind([] { quantile({}, 0.5); }),
+              ErrorKind::InsufficientData);
+    EXPECT_EQ(caughtKind([] { quantile({kNaN, kNaN}, 0.5); }),
+              ErrorKind::InsufficientData);
+}
+
+// --------------------------------------------------------------- timing
+
+TEST(TimingFaults, RecoverTimingValidatesConfigUpFront)
+{
+    std::vector<double> y(512, 0.0);
+
+    channel::TimingConfig bad_quantile;
+    bad_quantile.peakQuantile = 1.5;
+    EXPECT_EQ(caughtKind([&] { recoverTiming(y, bad_quantile); }),
+              ErrorKind::InvalidConfig);
+
+    channel::TimingConfig nan_quantile;
+    nan_quantile.peakQuantile = kNaN;
+    EXPECT_THROW(recoverTiming(y, nan_quantile), RecoverableError);
+
+    channel::TimingConfig bad_gap;
+    bad_gap.gapFillRatio = 0.4; // used to wrap `missing` to ~SIZE_MAX
+    EXPECT_EQ(caughtKind([&] { recoverTiming(y, bad_gap); }),
+              ErrorKind::InvalidConfig);
+
+    channel::TimingConfig bad_spacing;
+    bad_spacing.minSpacingRatio = 0.0;
+    EXPECT_THROW(recoverTiming(y, bad_spacing), RecoverableError);
+
+    channel::TimingConfig bad_lags;
+    bad_lags.minLag = 100;
+    bad_lags.maxLag = 100;
+    EXPECT_THROW(recoverTiming(y, bad_lags), RecoverableError);
+}
+
+// ------------------------------------------------------ stage boundaries
+
+TEST(StageBoundaries, ReceiveReportsShortCaptureAsStructuredFailure)
+{
+    sdr::IqCapture cap;
+    cap.sampleRate = 2.4e6;
+    cap.samples.assign(64, sdr::IqSample{0.01, -0.01});
+
+    channel::ReceiverConfig cfg;
+    channel::ReceiverResult res = channel::receive(cap, cfg);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.failure->kind, ErrorKind::InsufficientData);
+}
+
+TEST(StageBoundaries, RunCheckedIsolatesAFailingTrial)
+{
+    core::TrialRunner runner(99);
+    auto results = runner.runChecked<int>(
+        4, [](std::size_t trial, std::uint64_t) -> int {
+            if (trial == 1)
+                raiseError(ErrorKind::MalformedInput,
+                           "trial %zu hit malformed input", trial);
+            return static_cast<int>(trial) * 10;
+        });
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_TRUE(results[0].ok());
+    EXPECT_EQ(results[0].value(), 0);
+    ASSERT_FALSE(results[1].ok());
+    EXPECT_EQ(results[1].error().kind, ErrorKind::MalformedInput);
+    EXPECT_TRUE(results[2].ok());
+    EXPECT_TRUE(results[3].ok());
+    EXPECT_EQ(results[3].value(), 30);
+}
+
+TEST(StageBoundaries, RunSeededCheckedKeepsTrialOrder)
+{
+    std::vector<std::uint64_t> seeds{11, 22, 33};
+    auto results = core::TrialRunner::runSeededChecked<std::uint64_t>(
+        seeds, [](std::size_t, std::uint64_t seed) -> std::uint64_t {
+            if (seed == 22)
+                raiseError(ErrorKind::InsufficientData, "seed %llu",
+                           static_cast<unsigned long long>(seed));
+            return seed;
+        });
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].value(), 11u);
+    EXPECT_FALSE(results[1].ok());
+    EXPECT_EQ(results[2].value(), 33u);
+}
+
+TEST(StageBoundaries, AverageCovertChannelWithZeroRunsFailsGracefully)
+{
+    const core::DeviceProfile &dev = core::findDevice("DELL Precision");
+    core::CovertChannelResult avg = core::averageCovertChannel(
+        dev, core::nearFieldSetup(), core::CovertChannelOptions{}, 0);
+    ASSERT_FALSE(avg.ok());
+    EXPECT_EQ(avg.failure->kind, ErrorKind::InvalidConfig);
+}
+
+} // namespace
+} // namespace emsc

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/error.hpp"
+
 #include <cstdio>
 #include <string>
 
@@ -98,10 +100,10 @@ TEST(IqFile, ZeroMapsToMidScale)
     std::remove(path.c_str());
 }
 
-TEST(IqFile, MissingFileIsFatal)
+TEST(IqFile, MissingFileIsRecoverable)
 {
-    EXPECT_DEATH(readIqU8("/nonexistent/emsc.bin", 1e6, 0.0),
-                 "cannot open");
+    EXPECT_THROW(readIqU8("/nonexistent/emsc.bin", 1e6, 0.0),
+                 RecoverableError);
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 #include <complex>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "core/api.hpp"
@@ -32,19 +33,18 @@ namespace {
 
 TEST(ThreadPool, RunsSubmittedTasks)
 {
+    // Declared before the pool so the pool's destructor (which joins
+    // the workers) runs before the counter goes away.
+    std::atomic<int> counter{0};
     ThreadPool pool(2);
     EXPECT_EQ(pool.workerCount(), 2u);
 
-    std::atomic<int> counter{0};
-    std::mutex mtx;
-    std::condition_variable cv;
     for (int i = 0; i < 16; ++i)
-        pool.submit([&] {
-            if (counter.fetch_add(1) + 1 == 16)
-                cv.notify_one();
-        });
-    std::unique_lock<std::mutex> lock(mtx);
-    cv.wait(lock, [&] { return counter.load() == 16; });
+        pool.submit([&] { counter.fetch_add(1); });
+    // Poll rather than wait on a condition_variable: a worker could
+    // still be inside notify_one() when this frame destroys the cv.
+    while (counter.load() < 16)
+        std::this_thread::yield();
     EXPECT_EQ(counter.load(), 16);
 }
 

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/error.hpp"
+
 #include <cmath>
 
 #include "channel/acquisition.hpp"
@@ -151,8 +153,8 @@ TEST(Streaming, TakeResetsTheEnvelope)
 TEST(Streaming, RequiresAKnownCarrier)
 {
     AcquisitionConfig cfg;
-    EXPECT_DEATH(StreamingAcquirer(0.0, 1.455e6, 2.4e6, cfg),
-                 "carrier");
+    EXPECT_THROW(StreamingAcquirer(0.0, 1.455e6, 2.4e6, cfg),
+                 RecoverableError);
 }
 
 TEST(WelchSpectrum, FindsATonePeak)

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/error.hpp"
+
 #include <cmath>
 #include <set>
 
@@ -222,17 +224,17 @@ TEST(Config, RejectsNonsense)
     Rng rng(10);
     SdrConfig bad;
     bad.sampleRate = -1.0;
-    EXPECT_DEATH(RtlSdr(bad, rng), "sample rate");
+    EXPECT_THROW(RtlSdr(bad, rng), RecoverableError);
     SdrConfig bad2;
     bad2.adcBits = 40;
-    EXPECT_DEATH(RtlSdr(bad2, rng), "resolution");
+    EXPECT_THROW(RtlSdr(bad2, rng), RecoverableError);
 }
 
-TEST(Capture, EmptyWindowIsFatal)
+TEST(Capture, EmptyWindowIsRecoverable)
 {
     Rng rng(11);
     RtlSdr radio(SdrConfig{}, rng);
-    EXPECT_DEATH(radio.capture(emptyPlan(), 5, 5), "empty");
+    EXPECT_THROW(radio.capture(emptyPlan(), 5, 5), RecoverableError);
 }
 
 } // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/error.hpp"
+
 #include "channel/transmitter.hpp"
 #include "support/stats.hpp"
 
@@ -159,10 +161,11 @@ TEST(Transmitter, EstimatedBitPeriodApproximatesReality)
     EXPECT_NEAR(measured, est, est * 0.5);
 }
 
-TEST(Transmitter, EmptyBitsAreFatal)
+TEST(Transmitter, EmptyBitsAreRecoverable)
 {
     Rig rig;
-    EXPECT_DEATH(CovertTransmitter(rig.os, {}, TxParams{}), "empty");
+    EXPECT_THROW(CovertTransmitter(rig.os, {}, TxParams{}),
+                 RecoverableError);
 }
 
 } // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/error.hpp"
+
 #include <cmath>
 
 #include "cpu/core.hpp"
@@ -156,10 +158,10 @@ TEST(Buck, RejectsInvalidConfig)
     Rng rng(10);
     BuckConfig bad;
     bad.switchFrequency = 0.0;
-    EXPECT_DEATH(BuckConverter(bad, rng), "positive");
+    EXPECT_THROW(BuckConverter(bad, rng), RecoverableError);
     BuckConfig bad2;
     bad2.dutyCycle = 1.5;
-    EXPECT_DEATH(BuckConverter(bad2, rng), "duty");
+    EXPECT_THROW(BuckConverter(bad2, rng), RecoverableError);
 }
 
 TEST(Pmu, ActiveCoreEmitsFarMoreChargeThanIdle)

@@ -40,11 +40,13 @@ runOne(const core::DeviceProfile &d, const core::MeasurementSetup &s,
 int
 main()
 {
-    for (const auto &d : core::table1Devices())
-        runOne(d, core::nearFieldSetup(), 3000, 11);
-    core::DeviceProfile ref = core::referenceDevice();
-    for (double m : {1.0, 1.5, 2.5})
-        runOne(ref, core::distanceSetup(m), 2000, 22);
-    runOne(ref, core::throughWallSetup(), 2000, 33);
-    return 0;
+    return runOrDie([] {
+        for (const auto &d : core::table1Devices())
+            runOne(d, core::nearFieldSetup(), 3000, 11);
+        core::DeviceProfile ref = core::referenceDevice();
+        for (double m : {1.0, 1.5, 2.5})
+            runOne(ref, core::distanceSetup(m), 2000, 22);
+        runOne(ref, core::throughWallSetup(), 2000, 33);
+        return 0;
+    });
 }
