@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Ablation — fault-injection robustness: the burst-hardened pipeline
+ * (segmented self-healing receiver + interleaved Hamming + CRC-16)
+ * against the pre-hardening single-lock pipeline, on identically
+ * faulted runs.
+ *
+ * Faults are drawn from one deterministic FaultPlan per run (SDR
+ * dropouts, AGC gain steps, and in the harsh row also saturation, LO
+ * hops, transmitter preemption and mid-capture interferers). Recovery
+ * means the decoded payload matches the sent payload exactly.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace emsc;
+
+namespace {
+
+struct CellStats
+{
+    std::size_t recovered = 0;
+    std::size_t trials = 0;
+    double berSum = 0.0;
+
+    double recoveryPct() const
+    {
+        return trials == 0 ? 0.0
+                           : 100.0 * static_cast<double>(recovered) /
+                                 static_cast<double>(trials);
+    }
+    double meanBer() const
+    {
+        return trials == 0 ? 0.0
+                           : berSum / static_cast<double>(trials);
+    }
+};
+
+CellStats
+sweepCell(const core::DeviceProfile &dev,
+          const core::MeasurementSetup &setup,
+          const core::CovertChannelOptions &base, std::size_t trials)
+{
+    std::vector<std::uint64_t> seeds =
+        core::chainedSeeds(base.seed, trials, 2654435761u, 97);
+    std::vector<core::CovertChannelResult> all =
+        core::TrialRunner::runSeeded<core::CovertChannelResult>(
+            seeds, [&](std::size_t, std::uint64_t seed) {
+                core::CovertChannelOptions o = base;
+                o.seed = seed;
+                return core::runCovertChannel(dev, setup, o);
+            });
+
+    CellStats cell;
+    for (const core::CovertChannelResult &r : all) {
+        ++cell.trials;
+        bool exact = r.ok() && r.frameFound &&
+                     r.decodedPayload == base.payload;
+        cell.recovered += exact;
+        cell.berSum += r.ok() && r.frameFound ? r.ber : 1.0;
+    }
+    return cell;
+}
+
+/** The pre-hardening pipeline: single global lock, no interleaver,
+ * no CRC — what the repo shipped before the fault harness. */
+void
+makeLegacy(core::CovertChannelOptions &o)
+{
+    o.receiver.segmentation.enabled = false;
+    o.receiver.frame.interleaverDepth = 1;
+    o.receiver.frame.crc = false;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation — fault injection: hardened vs. "
+                  "single-lock pipeline");
+
+    core::DeviceProfile dev = core::referenceDevice();
+    core::MeasurementSetup setup = core::nearFieldSetup();
+
+    core::CovertChannelOptions base;
+    // Long enough (~0.3 s on the air) that a per-second fault rate
+    // lands several events inside every capture.
+    {
+        Rng rng(99);
+        base.payload.resize(600);
+        for (auto &b : base.payload)
+            b = rng.chance(0.5) ? 1 : 0;
+    }
+    base.seed = 31000;
+    constexpr std::size_t kTrials = 16;
+
+    // Determinism spot check: the same seed must realise the same plan.
+    {
+        sim::FaultConfig cfg = sim::dropoutGainStepConfig(base.seed);
+        sim::FaultPlan a = sim::buildFaultPlan(cfg, 0, kSecond);
+        sim::FaultPlan b = sim::buildFaultPlan(cfg, 0, kSecond);
+        std::printf("plan determinism: %s (%s)\n\n",
+                    a.events == b.events ? "OK" : "BROKEN",
+                    a.describe().c_str());
+    }
+
+    std::printf("%-22s %-20s %-20s\n", "",
+                "hardened (this PR)", "single lock (pre)");
+    std::printf("%-22s %-9s %-10s %-9s %-10s\n", "fault profile",
+                "recov%", "BER", "recov%", "BER");
+
+    // Dropout + gain-step rate sweep, including the acceptance row at
+    // the dropoutGainStepConfig rate (3/s each).
+    for (double rate : {0.0, 3.0, 8.0, 15.0, 25.0}) {
+        core::CovertChannelOptions hard = base;
+        hard.faults.dropoutRate = rate;
+        hard.faults.gainStepRate = rate;
+        core::CovertChannelOptions legacy = hard;
+        makeLegacy(legacy);
+
+        CellStats h = sweepCell(dev, setup, hard, kTrials);
+        CellStats l = sweepCell(dev, setup, legacy, kTrials);
+        char label[48];
+        std::snprintf(label, sizeof(label),
+                      "drop+gain %.0f/s", rate);
+        std::printf("%-22s %-9.1f %-10.2e %-9.1f %-10.2e\n", label,
+                    h.recoveryPct(), h.meanBer(), l.recoveryPct(),
+                    l.meanBer());
+    }
+
+    // Everything at once.
+    {
+        core::CovertChannelOptions hard = base;
+        hard.faults = sim::harshConfig(0);
+        core::CovertChannelOptions legacy = hard;
+        makeLegacy(legacy);
+        CellStats h = sweepCell(dev, setup, hard, kTrials);
+        CellStats l = sweepCell(dev, setup, legacy, kTrials);
+        std::printf("%-22s %-9.1f %-10.2e %-9.1f %-10.2e\n",
+                    "harsh (all families)", h.recoveryPct(),
+                    h.meanBer(), l.recoveryPct(), l.meanBer());
+    }
+
+    std::printf(
+        "\nThe single-lock pipeline loses its one carrier/timing/"
+        "threshold estimate to the first\ndropout or AGC step and "
+        "rarely recovers a frame; the segmented receiver re-locks\n"
+        "each clean span, bridges corrupt spans with erasures, and "
+        "the interleaved Hamming\ncode + CRC-16 absorb what remains."
+        "\n");
+    return 0;
+}

@@ -7,6 +7,8 @@
  *   emsc_tool covert  [--device <name>] [--distance <m> | --wall]
  *                     [--sleep <us>] [--bits <n>] [--seed <s>]
  *   emsc_tool keylog  [--device <name>] [--words <n>] [--wall]
+ *   emsc_tool faults  [--plan <dropout-gain|harsh>] [--seed <s>]
+ *                     [--fault-seed <s>] [--bits <n>] [--device <name>]
  *   emsc_tool capture <out.iq> [--device <name>] [--bits <n>]
  *   emsc_tool decode  <in.iq> <sample_rate_hz> <center_freq_hz>
  *
@@ -24,7 +26,9 @@
 #include "core/api.hpp"
 #include "sdr/iqfile.hpp"
 #include "sdr/rtlsdr.hpp"
+#include "sim/faults.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 #include "vrm/pmu.hpp"
 
 using namespace emsc;
@@ -40,6 +44,8 @@ struct Args
     std::size_t bits = 1024;
     std::size_t words = 20;
     std::uint64_t seed = 1;
+    std::string plan = "dropout-gain";
+    std::uint64_t faultSeed = 0; // 0 = derive from --seed
 };
 
 core::MeasurementSetup
@@ -77,6 +83,10 @@ parse(int argc, char **argv, int first)
             a.words = static_cast<std::size_t>(std::atoll(next()));
         else if (flag == "--seed")
             a.seed = static_cast<std::uint64_t>(std::atoll(next()));
+        else if (flag == "--plan")
+            a.plan = next();
+        else if (flag == "--fault-seed")
+            a.faultSeed = static_cast<std::uint64_t>(std::atoll(next()));
         else
             fatal("unknown flag '%s'", flag.c_str());
     }
@@ -116,6 +126,53 @@ cmdCovert(const Args &a)
                 "BER %.2e IP %.2e DP %.2e | %zu corrections\n",
                 r.carrierHz / 1e3, r.trBps, r.trPayloadBps, r.ber,
                 r.insertionProb, r.deletionProb, r.corrected);
+    return 0;
+}
+
+int
+cmdFaults(const Args &a)
+{
+    sim::FaultConfig fc;
+    if (a.plan == "dropout-gain")
+        fc = sim::dropoutGainStepConfig(a.faultSeed);
+    else if (a.plan == "harsh")
+        fc = sim::harshConfig(a.faultSeed);
+    else
+        fatal("unknown fault plan '%s' (try dropout-gain or harsh)",
+              a.plan.c_str());
+
+    // Mirror the seed derivation the experiment layer applies, so the
+    // plan printed here is bit-identical to the one the run realises.
+    sim::FaultConfig realised = fc;
+    if (realised.seed == 0)
+        realised.seed = deriveSeed(a.seed, 0x464155ull);
+    sim::FaultPlan preview =
+        sim::buildFaultPlan(realised, 0, fromSeconds(1.0));
+    std::printf("plan '%s' (fault seed %llu, first 1 s): %s\n",
+                a.plan.c_str(),
+                static_cast<unsigned long long>(realised.seed),
+                preview.describe().c_str());
+
+    core::CovertChannelOptions o;
+    o.payloadBits = a.bits;
+    o.seed = a.seed;
+    o.sleepPeriodUs = a.sleepUs;
+    o.faults = fc;
+    core::CovertChannelResult r = core::runCovertChannel(
+        core::findDevice(a.device), setupFor(a), o);
+    std::printf("%zu fault events scheduled | %zu segments, "
+                "%zu corrupt spans, %zu erased bits\n",
+                r.faultEvents, r.segmentsUsed, r.corruptedSpans,
+                r.erasedBits);
+    if (!r.frameFound) {
+        std::printf("no frame recovered\n");
+        return 1;
+    }
+    std::printf("frame %s (CRC %s) | BER %.2e | %zu corrections | "
+                "TR %.0f bps\n",
+                channel::frameIntegrityName(r.integrity),
+                r.crcOk ? "ok" : "failed", r.ber, r.corrected,
+                r.trBps);
     return 0;
 }
 
@@ -231,6 +288,9 @@ usage()
         "  covert  [--device N] [--distance M|--wall] [--sleep US]\n"
         "          [--bits N] [--seed S]     run the covert channel\n"
         "  keylog  [--device N] [--words N] [--wall]\n"
+        "  faults  [--plan dropout-gain|harsh] [--seed S]\n"
+        "          [--fault-seed S] [flags]  covert run under a "
+        "deterministic fault plan\n"
         "  capture <out.iq> [flags]          write rtl_sdr-format IQ\n"
         "  decode  <in.iq> <fs_hz> <fc_hz>   run the receiver on a "
         "file\n");
@@ -256,6 +316,8 @@ main(int argc, char **argv)
             return cmdCovert(parse(argc, argv, 2));
         if (cmd == "keylog")
             return cmdKeylog(parse(argc, argv, 2));
+        if (cmd == "faults")
+            return cmdFaults(parse(argc, argv, 2));
         if (cmd == "capture") {
             if (argc < 3) {
                 usage();

@@ -197,8 +197,10 @@ estimateCarrier(const sdr::IqCapture &capture,
         }
     }
     if (best_score < 0.0) {
-        warn("no modulated spectral line found in the %g-%g Hz band",
-             config.searchLowHz, config.searchHighHz);
+        if (!config.quietSearch)
+            warn("no modulated spectral line found in the %g-%g Hz "
+                 "band",
+                 config.searchLowHz, config.searchHighHz);
         return 0.0;
     }
 

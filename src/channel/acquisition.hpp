@@ -42,6 +42,13 @@ struct AcquisitionConfig
     /** Search band for the VRM fundamental (absolute Hz). */
     double searchLowHz = 200e3;
     double searchHighHz = 1.2e6;
+    /**
+     * Suppress the no-line-found warning. Speculative re-searches (the
+     * segmented receiver probing each clean span for an LO hop) expect
+     * to come up empty on weak spans and fall back to the global
+     * carrier; warning per span would flood fault-injection sweeps.
+     */
+    bool quietSearch = false;
 };
 
 /** Acquired envelope plus its geometry. */

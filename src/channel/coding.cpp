@@ -48,13 +48,10 @@ encodeBlock(const std::uint8_t *data, std::uint8_t *out)
     }
 }
 
-/** Decode one 15-bit block; returns corrections applied (0 or 1). */
+/** Syndrome of a 15-bit block (0 when all parity checks pass). */
 std::size_t
-decodeBlock(const std::uint8_t *coded, std::uint8_t *data)
+blockSyndrome(const std::uint8_t *block)
 {
-    std::uint8_t block[kBlockCoded];
-    std::copy(coded, coded + kBlockCoded, block);
-
     std::size_t syndrome = 0;
     for (std::size_t p = 1; p <= kBlockCoded; p <<= 1) {
         std::uint8_t parity = 0;
@@ -66,20 +63,104 @@ decodeBlock(const std::uint8_t *coded, std::uint8_t *data)
         if (parity)
             syndrome |= p;
     }
+    return syndrome;
+}
 
-    std::size_t corrected = 0;
-    if (syndrome != 0 && syndrome <= kBlockCoded) {
-        block[syndrome - 1] ^= 1;
-        corrected = 1;
-    }
-
+/** Copy the 11 data positions of a corrected block into `data`. */
+void
+extractData(const std::uint8_t *block, std::uint8_t *data)
+{
     std::size_t di = 0;
     for (std::size_t pos = 1; pos <= kBlockCoded; ++pos) {
         if (isPowerOfTwoPos(pos))
             continue;
         data[di++] = block[pos - 1];
     }
+}
+
+/** Decode one 15-bit block; returns corrections applied (0 or 1). */
+std::size_t
+decodeBlock(const std::uint8_t *coded, std::uint8_t *data)
+{
+    std::uint8_t block[kBlockCoded];
+    std::copy(coded, coded + kBlockCoded, block);
+
+    std::size_t syndrome = blockSyndrome(block);
+    std::size_t corrected = 0;
+    if (syndrome != 0 && syndrome <= kBlockCoded) {
+        block[syndrome - 1] ^= 1;
+        corrected = 1;
+    }
+
+    extractData(block, data);
     return corrected;
+}
+
+/**
+ * Erasure fills per block are enumerated exhaustively; past this many
+ * erased positions the block is unrecoverable anyway (distance 3), so
+ * we stop enumerating and fall back to zero-fill + error correction.
+ */
+constexpr std::size_t kMaxErasureEnum = 4;
+
+/**
+ * Decode one block with known-erased positions. Up to two erasures
+ * resolve exactly: among all fills of the erased bits, only the true
+ * codeword can have syndrome zero (distance-3 code, no other errors).
+ */
+void
+decodeBlockErasures(const std::uint8_t *coded, const std::uint8_t *erased,
+                    std::uint8_t *data, HammingDecodeResult &tally)
+{
+    std::size_t epos[kBlockCoded];
+    std::size_t ne = 0;
+    for (std::size_t i = 0; i < kBlockCoded; ++i)
+        if (erased[i])
+            epos[ne++] = i;
+
+    if (ne == 0) {
+        tally.corrected += decodeBlock(coded, data);
+        return;
+    }
+    tally.erasures += ne;
+
+    std::uint8_t block[kBlockCoded];
+    std::copy(coded, coded + kBlockCoded, block);
+
+    if (ne <= kMaxErasureEnum) {
+        for (std::size_t fill = 0; fill < (1u << ne); ++fill) {
+            for (std::size_t i = 0; i < ne; ++i)
+                block[epos[i]] = (fill >> i) & 1;
+            if (blockSyndrome(block) == 0) {
+                extractData(block, data);
+                return;
+            }
+        }
+    }
+    // No consistent fill (erasures plus real errors, or too many
+    // erasures): zero-fill and let single-error correction try.
+    for (std::size_t i = 0; i < ne; ++i)
+        block[epos[i]] = 0;
+    tally.corrected += decodeBlock(block, data);
+}
+
+/**
+ * Source index of each on-air bit for one interleaver chunk of `n`
+ * bits (n <= depth*15): the full depth-by-15 matrix read column-wise,
+ * filtered to indices present — a bijection for any n.
+ */
+std::vector<std::size_t>
+chunkOrder(std::size_t n, std::size_t depth)
+{
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    for (std::size_t col = 0; col < kBlockCoded; ++col)
+        for (std::size_t row = 0; row < depth; ++row) {
+            std::size_t idx = row * kBlockCoded + col;
+            if (idx < n)
+                order.push_back(idx);
+        }
+    return order;
 }
 
 } // namespace
@@ -134,6 +215,89 @@ hammingDecode(const Bits &coded)
     return res;
 }
 
+HammingDecodeResult
+hammingDecodeErasures(const Bits &coded, const Bits &erased)
+{
+    if (erased.empty())
+        return hammingDecode(coded);
+    if (erased.size() != coded.size())
+        raiseError(ErrorKind::MalformedInput,
+                   "erasure mask of %zu bits does not match %zu coded "
+                   "bits", erased.size(), coded.size());
+
+    HammingDecodeResult res;
+    std::size_t blocks = coded.size() / kBlockCoded;
+    res.bits.resize(blocks * kBlockData);
+    for (std::size_t i = 0; i < blocks; ++i)
+        decodeBlockErasures(&coded[i * kBlockCoded],
+                            &erased[i * kBlockCoded],
+                            &res.bits[i * kBlockData], res);
+    return res;
+}
+
+std::uint16_t
+crc16(const Bits &bits)
+{
+    std::uint16_t crc = 0xffff;
+    for (std::uint8_t b : bits) {
+        crc ^= static_cast<std::uint16_t>((b & 1) << 15);
+        crc = (crc & 0x8000)
+                  ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                  : static_cast<std::uint16_t>(crc << 1);
+    }
+    return crc;
+}
+
+Bits
+interleave(const Bits &bits, std::size_t depth)
+{
+    if (depth <= 1)
+        return bits;
+    Bits out;
+    out.reserve(bits.size());
+    std::size_t chunk = depth * kBlockCoded;
+    for (std::size_t base = 0; base < bits.size(); base += chunk) {
+        std::size_t n = std::min(chunk, bits.size() - base);
+        for (std::size_t idx : chunkOrder(n, depth))
+            out.push_back(bits[base + idx]);
+    }
+    return out;
+}
+
+Bits
+deinterleave(const Bits &bits, std::size_t depth)
+{
+    if (depth <= 1)
+        return bits;
+    Bits out(bits.size());
+    std::size_t chunk = depth * kBlockCoded;
+    for (std::size_t base = 0; base < bits.size(); base += chunk) {
+        std::size_t n = std::min(chunk, bits.size() - base);
+        std::vector<std::size_t> order = chunkOrder(n, depth);
+        for (std::size_t k = 0; k < n; ++k)
+            out[base + order[k]] = bits[base + k];
+    }
+    return out;
+}
+
+const char *
+frameIntegrityName(FrameIntegrity integrity)
+{
+    switch (integrity) {
+    case FrameIntegrity::None:
+        return "none";
+    case FrameIntegrity::Verified:
+        return "verified";
+    case FrameIntegrity::Corrected:
+        return "corrected";
+    case FrameIntegrity::Damaged:
+        return "damaged";
+    case FrameIntegrity::Unchecked:
+        return "unchecked";
+    }
+    return "unknown";
+}
+
 Bits
 buildFrame(const Bits &payload, const FrameConfig &config)
 {
@@ -154,8 +318,23 @@ buildFrame(const Bits &payload, const FrameConfig &config)
     for (int b = 15; b >= 0; --b)
         body.push_back((len >> b) & 1);
     body.insert(body.end(), payload.begin(), payload.end());
+    if (config.crc) {
+        std::uint16_t check = crc16(body);
+        for (int b = 15; b >= 0; --b)
+            body.push_back((check >> b) & 1);
+    }
 
     Bits coded = hammingEncode(body);
+    if (config.interleaverDepth > 1) {
+        // Pad to whole interleaver chunks so no chunk carrying frame
+        // bits also carries post-frame channel noise. The all-zero
+        // 15-bit block is a valid codeword; the decoded zeros fall
+        // past the claimed length and are truncated.
+        std::size_t chunk = config.interleaverDepth * 15;
+        while (coded.size() % chunk != 0)
+            coded.insert(coded.end(), 15, 0);
+        coded = interleave(coded, config.interleaverDepth);
+    }
     frame.insert(frame.end(), coded.begin(), coded.end());
     return frame;
 }
@@ -163,62 +342,156 @@ buildFrame(const Bits &payload, const FrameConfig &config)
 ParsedFrame
 parseFrame(const Bits &received, const FrameConfig &config)
 {
+    return parseFrame(received, Bits{}, config);
+}
+
+ParsedFrame
+parseFrame(const Bits &received, const Bits &erased,
+           const FrameConfig &config)
+{
+    if (!erased.empty() && erased.size() != received.size())
+        raiseError(ErrorKind::MalformedInput,
+                   "erasure mask of %zu bits does not match %zu "
+                   "received bits", erased.size(), received.size());
+
     ParsedFrame out;
     const Bits &pre = config.preamble;
     if (pre.empty() || received.size() < pre.size())
         return out;
 
-    // The preamble is preceded by a run of zeros; search for the best
-    // (fewest-mismatch) occurrence of [zeros..., preamble], preferring
-    // earlier matches on ties so we lock to the true frame start.
-    std::size_t best_pos = 0;
-    std::size_t best_cost = pre.size() + 1;
+    // The preamble is preceded by a run of zeros; score every
+    // occurrence of [zeros..., preamble] by mismatch count. Costs are
+    // in half-mismatch units: an erased position counts as half a
+    // mismatch, so real matches beat erased spans but a frame whose
+    // sync region caught a dropout can still be located.
+    auto costAt = [&](std::size_t i, std::uint8_t want) -> std::size_t {
+        if (!erased.empty() && erased[i])
+            return 1;
+        return received[i] != want ? 2 : 0;
+    };
     std::size_t zcheck = std::min<std::size_t>(config.zeroBits, 4);
+    std::size_t tol = 2 * config.preambleTolerance;
+
+    // Decode the body as if the preamble ended just before `start`.
+    auto decodeAt = [&](std::size_t pos) {
+        ParsedFrame f;
+        f.found = true;
+        f.payloadStart = pos + pre.size();
+        auto start = static_cast<std::ptrdiff_t>(f.payloadStart);
+        Bits coded(received.begin() + start, received.end());
+        Bits mask;
+        if (!erased.empty())
+            mask.assign(erased.begin() + start, erased.end());
+        if (config.interleaverDepth > 1) {
+            coded = deinterleave(coded, config.interleaverDepth);
+            if (!mask.empty())
+                mask = deinterleave(mask, config.interleaverDepth);
+        }
+        HammingDecodeResult dec = hammingDecodeErasures(coded, mask);
+        f.corrected = dec.corrected;
+        f.erasedBits = dec.erasures;
+
+        if (dec.bits.size() < 16) {
+            f.integrity = config.crc ? FrameIntegrity::Damaged
+                                     : FrameIntegrity::Unchecked;
+            return f;
+        }
+        std::uint16_t len = 0;
+        for (std::size_t b = 0; b < 16; ++b)
+            len = static_cast<std::uint16_t>((len << 1) |
+                                             (dec.bits[b] & 1));
+        f.claimedLength = len;
+
+        std::size_t avail = dec.bits.size() - 16;
+        std::size_t take = std::min<std::size_t>(len, avail);
+        f.payload.assign(dec.bits.begin() + 16,
+                         dec.bits.begin() + 16 +
+                             static_cast<std::ptrdiff_t>(take));
+
+        if (!config.crc) {
+            f.integrity = FrameIntegrity::Unchecked;
+            return f;
+        }
+        if (avail >= static_cast<std::size_t>(len) + 16) {
+            Bits body(dec.bits.begin(),
+                      dec.bits.begin() +
+                          16 + static_cast<std::ptrdiff_t>(len));
+            std::uint16_t stored = 0;
+            for (std::size_t b = 0; b < 16; ++b)
+                stored = static_cast<std::uint16_t>(
+                    (stored << 1) | (dec.bits[16 + len + b] & 1));
+            f.crcOk = crc16(body) == stored;
+        }
+        f.integrity = !f.crcOk ? FrameIntegrity::Damaged
+                      : (f.corrected == 0 && f.erasedBits == 0)
+                          ? FrameIntegrity::Verified
+                          : FrameIntegrity::Corrected;
+        return f;
+    };
+
+    // A corrupt stream can contain an accidental [zeros+preamble]
+    // pattern that scores no worse than the battered true one, and
+    // locking to it truncates the frame. So instead of trusting the
+    // single cheapest match, decode the few cheapest candidates and
+    // let the body's own evidence (CRC, correction count) arbitrate.
+    // Candidates above the preamble tolerance are considered too, but
+    // only accepted when the CRC verifies — far stronger evidence of
+    // a frame than the preamble bits themselves.
+    std::vector<std::pair<std::size_t, std::size_t>> cands; // cost,pos
     for (std::size_t pos = zcheck;
          pos + pre.size() <= received.size(); ++pos) {
         std::size_t cost = 0;
         for (std::size_t i = 0; i < pre.size(); ++i)
-            cost += received[pos + i] != pre[i];
+            cost += costAt(pos + i, pre[i]);
         for (std::size_t i = 0; i < zcheck; ++i)
-            cost += received[pos - 1 - i] != 0;
-        if (cost < best_cost) {
-            best_cost = cost;
-            best_pos = pos;
-        }
-        if (best_cost == 0)
-            break;
+            cost += costAt(pos - 1 - i, 0);
+        if (cost <= tol + 4)
+            cands.emplace_back(cost, pos);
     }
-    if (best_cost > config.preambleTolerance)
+    if (cands.empty())
         return out;
+    std::stable_sort(cands.begin(), cands.end());
+    constexpr std::size_t kMaxCandidates = 8;
+    if (cands.size() > kMaxCandidates)
+        cands.resize(kMaxCandidates);
 
-    out.found = true;
-    out.payloadStart = best_pos + pre.size();
-    if (std::getenv("EMSC_DEBUG_FRAME"))
+    auto rank = [](const ParsedFrame &f) {
+        switch (f.integrity) {
+        case FrameIntegrity::Verified: return 4;
+        case FrameIntegrity::Corrected: return 3;
+        case FrameIntegrity::Unchecked: return 2;
+        default: return 1;
+        }
+    };
+    std::size_t best_cost = 0;
+    for (const auto &[cost, pos] : cands) {
+        ParsedFrame f = decodeAt(pos);
+        bool in_tol = cost <= tol;
+        if (std::getenv("EMSC_DEBUG_FRAME"))
+            std::fprintf(stderr,
+                         "frame: cand pos=%zu cost=%zu -> %s "
+                         "(len=%zu corrected=%zu)\n",
+                         pos, cost, frameIntegrityName(f.integrity),
+                         f.claimedLength, f.corrected);
+        if (!in_tol && rank(f) < 3)
+            continue; // past tolerance and the body can't vouch for it
+        // Candidates arrive cheapest-cost-first, so within a rank the
+        // original preference (lowest cost, then earliest position)
+        // stands; only genuinely stronger body evidence overrides it.
+        if (!out.found || rank(f) > rank(out)) {
+            out = std::move(f);
+            best_cost = cost;
+        }
+        if (rank(out) == 4)
+            break; // verified clean: no better candidate exists
+    }
+    if (out.found && std::getenv("EMSC_DEBUG_FRAME"))
         std::fprintf(stderr,
-                     "frame: best_pos=%zu cost=%zu stream=%zu\n",
-                     best_pos, best_cost, received.size());
-
-    Bits coded(received.begin() +
-                   static_cast<std::ptrdiff_t>(out.payloadStart),
-               received.end());
-    HammingDecodeResult dec = hammingDecode(coded);
-    out.corrected = dec.corrected;
-
-    if (dec.bits.size() < 16)
-        return out;
-    std::uint16_t len = 0;
-    for (std::size_t b = 0; b < 16; ++b)
-        len = static_cast<std::uint16_t>((len << 1) | (dec.bits[b] & 1));
-    out.claimedLength = len;
-    if (std::getenv("EMSC_DEBUG_FRAME"))
-        std::fprintf(stderr, "frame: claimedLength=%u decoded=%zu\n",
-                     len, dec.bits.size());
-
-    std::size_t avail = dec.bits.size() - 16;
-    std::size_t take = std::min<std::size_t>(len, avail);
-    out.payload.assign(dec.bits.begin() + 16,
-                       dec.bits.begin() + 16 +
-                           static_cast<std::ptrdiff_t>(take));
+                     "frame: pos=%zu cost=%zu stream=%zu "
+                     "claimedLength=%zu integrity=%s\n",
+                     out.payloadStart - pre.size(), best_cost,
+                     received.size(), out.claimedLength,
+                     frameIntegrityName(out.integrity));
     return out;
 }
 

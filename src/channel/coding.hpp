@@ -10,6 +10,14 @@
  * §IV-C1: a synchronisation run of interleaved ones and zeros, a short
  * run of zeros, and a preamble marking the start of the data, followed
  * by a length header and the coded payload.
+ *
+ * Burst hardening: the coded body is passed through a block
+ * interleaver (depth rows of 15-bit codewords, read column-wise), so a
+ * contiguous burst of up to `interleaverDepth` channel bits lands as
+ * at most one error per codeword — exactly what Hamming(15,11) can
+ * correct. A CRC-16 appended to the body before coding lets the
+ * parser distinguish frames that decoded clean, decoded with
+ * corrections, or are still damaged after correction.
  */
 
 #ifndef EMSC_CHANNEL_CODING_HPP
@@ -44,6 +52,8 @@ struct HammingDecodeResult
     Bits bits;
     /** Number of single-bit errors corrected. */
     std::size_t corrected = 0;
+    /** Number of erased input bits resolved via erasure decoding. */
+    std::size_t erasures = 0;
 };
 
 /**
@@ -52,6 +62,37 @@ struct HammingDecodeResult
  * decode to a wrong codeword (distance-3 code).
  */
 HammingDecodeResult hammingDecode(const Bits &coded);
+
+/**
+ * Erasure-aware Hamming decode. `erased` marks input positions whose
+ * value is unknown (e.g. bits synthesised across an SDR dropout); it
+ * must be empty or the same length as `coded`. A distance-3 code
+ * resolves up to two erasures per block exactly (fill enumeration,
+ * zero-syndrome match); blocks with more erasures fall back to
+ * zero-fill plus ordinary single-error correction.
+ */
+HammingDecodeResult hammingDecodeErasures(const Bits &coded,
+                                          const Bits &erased);
+
+/**
+ * CRC-16/CCITT (poly 0x1021, init 0xffff) over a bit sequence, MSB
+ * first. As a degree-16 CRC it detects every single burst error of up
+ * to 16 bits.
+ */
+std::uint16_t crc16(const Bits &bits);
+
+/**
+ * Block-interleave a bit stream: each chunk of depth*15 bits is viewed
+ * as `depth` rows of 15 (one Hamming codeword per row) and emitted
+ * column-wise, so a channel burst of up to `depth` bits touches each
+ * codeword at most once. A partial trailing chunk uses the same
+ * permutation filtered to the bits present, keeping the map a
+ * bijection for any length. Depth <= 1 is the identity.
+ */
+Bits interleave(const Bits &bits, std::size_t depth);
+
+/** Inverse of interleave() for the same depth. */
+Bits deinterleave(const Bits &bits, std::size_t depth);
 
 /** Frame layout parameters. */
 struct FrameConfig
@@ -64,13 +105,43 @@ struct FrameConfig
     Bits preamble = {1, 1, 1, 1, 0, 0, 1, 0};
     /** Maximum mismatches tolerated when locating the preamble. */
     std::size_t preambleTolerance = 1;
+    /**
+     * Codeword-interleaver depth: a burst of up to this many channel
+     * bits degrades each codeword by at most one bit. 1 disables
+     * interleaving (legacy layout). The default absorbs the typical
+     * SDR dropout (a few ms ~ up to ~10 channel bits plus boundary
+     * guards) with at most two erasures per codeword.
+     */
+    std::size_t interleaverDepth = 8;
+    /** Append a CRC-16 to the body so the parser can verify it. */
+    bool crc = true;
 };
 
 /**
  * Build the on-air bit stream for a payload: sync + zeros + preamble +
- * Hamming-coded [16-bit length || payload].
+ * interleaved Hamming coding of [16-bit length || payload || CRC-16].
+ * The coded body is zero-padded to whole interleaver chunks so every
+ * chunk carrying frame bits is self-contained.
  */
 Bits buildFrame(const Bits &payload, const FrameConfig &config);
+
+/** How much of a parsed frame can be trusted. */
+enum class FrameIntegrity
+{
+    /** No frame located. */
+    None,
+    /** CRC verified with zero corrections and zero erasures. */
+    Verified,
+    /** CRC verified, but only after corrections/erasure recovery. */
+    Corrected,
+    /** Frame located but the CRC does not match: payload suspect. */
+    Damaged,
+    /** CRC disabled in the FrameConfig; nothing to check against. */
+    Unchecked,
+};
+
+/** Human-readable name of a FrameIntegrity value. */
+const char *frameIntegrityName(FrameIntegrity integrity);
 
 /** Outcome of locating and decoding a frame in a received stream. */
 struct ParsedFrame
@@ -85,6 +156,12 @@ struct ParsedFrame
     Bits payload;
     /** Single-bit corrections applied by the Hamming decoder. */
     std::size_t corrected = 0;
+    /** Erased channel bits resolved by erasure decoding. */
+    std::size_t erasedBits = 0;
+    /** Whether the frame CRC verified (false when crc disabled). */
+    bool crcOk = false;
+    /** Overall trust classification for the decode. */
+    FrameIntegrity integrity = FrameIntegrity::None;
 };
 
 /**
@@ -93,6 +170,15 @@ struct ParsedFrame
  * search to survive substitution errors.
  */
 ParsedFrame parseFrame(const Bits &received, const FrameConfig &config);
+
+/**
+ * parseFrame() with an erasure mask parallel to `received` (empty or
+ * same length): marked positions are treated as unknown by both the
+ * preamble search (half-weight mismatches) and the Hamming decoder
+ * (erasure decoding after deinterleaving).
+ */
+ParsedFrame parseFrame(const Bits &received, const Bits &erased,
+                       const FrameConfig &config);
 
 } // namespace emsc::channel
 

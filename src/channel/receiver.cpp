@@ -1,6 +1,7 @@
 #include "channel/receiver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "dsp/fft.hpp"
@@ -23,6 +24,523 @@ appendNote(std::string &diag, const std::string &note)
     if (!diag.empty())
         diag += "; ";
     diag += note;
+}
+
+/** Robust per-block envelope level: mean of the top decile. Every bit
+ * opens with an activity burst, so clean blocks spanning at least one
+ * bit keep a high top-decile level regardless of the bit values. */
+double
+blockLevel(const std::vector<double> &y, std::size_t lo, std::size_t hi)
+{
+    std::vector<double> v(y.begin() + static_cast<std::ptrdiff_t>(lo),
+                          y.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::size_t keep = std::max<std::size_t>(1, v.size() / 10);
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(
+                                    v.size() - keep),
+                     v.end());
+    double acc = 0.0;
+    for (std::size_t i = v.size() - keep; i < v.size(); ++i)
+        acc += v[i];
+    return acc / static_cast<double>(keep);
+}
+
+/**
+ * Segmented self-healing decode: classify the capture into clean
+ * segments separated by corrupt spans and AGC level steps, re-lock
+ * carrier/timing/threshold per segment, and bridge corrupt spans with
+ * erasure-marked bits. Returns false when the capture is clean (one
+ * full-span segment) or segmentation cannot get a foothold — the
+ * caller then runs the unchanged single-lock path.
+ */
+bool
+segmentedReceive(const sdr::IqCapture &capture,
+                 const ReceiverConfig &config,
+                 const AcquisitionConfig &acq, ReceiverResult &res)
+{
+    const SegmentationConfig &sc = config.segmentation;
+    const std::vector<double> &y = res.acquired.y;
+    if (y.size() < 64)
+        return false;
+
+    double tsig0 = res.timing.signalingTime > 4.0
+                       ? res.timing.signalingTime
+                       : 64.0;
+    std::size_t block = sc.blockSamples;
+    if (block == 0)
+        block = std::clamp<std::size_t>(
+            static_cast<std::size_t>(std::lround(2.0 * tsig0)), 32, 2048);
+    std::size_t nblocks = y.size() / block;
+    if (nblocks < 2)
+        return false;
+
+    // Classify each block: corrupt spans are detected on the *raw*
+    // samples (dropouts read back as exact zeros, saturation as
+    // full-scale clipping), levels on the envelope.
+    std::size_t dec = std::max<std::size_t>(1, acq.decimation);
+    std::vector<double> level(nblocks, 0.0);
+    std::vector<double> zero_frac(nblocks, 0.0);
+    std::vector<double> clip_frac(nblocks, 0.0);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        std::size_t lo = b * block;
+        std::size_t hi = lo + block;
+        level[b] = blockLevel(y, lo, hi);
+
+        std::size_t r0 = lo * dec;
+        std::size_t r1 = std::min(hi * dec, capture.samples.size());
+        if (r1 <= r0)
+            continue;
+        std::size_t zeros = 0, clipped = 0;
+        for (std::size_t i = r0; i < r1; ++i) {
+            double re = capture.samples[i].real();
+            double im = capture.samples[i].imag();
+            if (re == 0.0 && im == 0.0)
+                ++zeros;
+            if (std::abs(re) >= sc.clipLevel ||
+                std::abs(im) >= sc.clipLevel)
+                ++clipped;
+        }
+        auto n = static_cast<double>(r1 - r0);
+        zero_frac[b] = static_cast<double>(zeros) / n;
+        clip_frac[b] = static_cast<double>(clipped) / n;
+    }
+
+    // A weak capture quantises to many exact zeros everywhere, so a
+    // high zero fraction alone is not a dropout: the block's envelope
+    // must also have collapsed relative to the capture's median level.
+    double median_level;
+    {
+        std::vector<double> lv = level;
+        std::nth_element(lv.begin(),
+                         lv.begin() +
+                             static_cast<std::ptrdiff_t>(lv.size() / 2),
+                         lv.end());
+        median_level = lv[lv.size() / 2];
+    }
+    std::vector<char> corrupt(nblocks, 0);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        bool dead = zero_frac[b] >= sc.deadZeroFraction &&
+                    level[b] <= sc.deadLevelRatio * median_level;
+        bool clipping = clip_frac[b] >= sc.clippedFraction;
+        if (dead || clipping)
+            corrupt[b] = 1;
+    }
+
+    for (std::size_t b = 0; b < nblocks; ++b)
+        if (corrupt[b] && (b == 0 || !corrupt[b - 1]))
+            ++res.corruptedSpans;
+
+    // Clean runs, split further where the level steps (AGC re-train):
+    // a jump past stepRatio sustained for two blocks opens a segment.
+    std::vector<std::pair<std::size_t, std::size_t>> block_segs;
+    std::size_t b = 0;
+    while (b < nblocks) {
+        if (corrupt[b]) {
+            ++b;
+            continue;
+        }
+        std::size_t run_end = b;
+        while (run_end < nblocks && !corrupt[run_end])
+            ++run_end;
+        std::size_t s = b;
+        double track = std::max(level[b], 1e-300);
+        for (std::size_t i = b + 1; i < run_end; ++i) {
+            double r = level[i] / track;
+            bool jump = r > sc.stepRatio || r < 1.0 / sc.stepRatio;
+            if (jump && i + 1 < run_end) {
+                double r2 = level[i + 1] / track;
+                jump = r2 > sc.stepRatio || r2 < 1.0 / sc.stepRatio;
+            }
+            if (jump) {
+                block_segs.emplace_back(s, i);
+                s = i;
+                track = std::max(level[i], 1e-300);
+            } else {
+                track = std::max(0.8 * track + 0.2 * level[i], 1e-300);
+            }
+        }
+        block_segs.emplace_back(s, run_end);
+        b = run_end;
+    }
+    std::erase_if(block_segs, [&](const auto &p) {
+        return p.second - p.first < sc.minSegmentBlocks;
+    });
+    if (block_segs.empty())
+        return false;
+
+    bool clean = res.corruptedSpans == 0 && block_segs.size() == 1 &&
+                 block_segs[0].first == 0 &&
+                 block_segs[0].second == nblocks;
+    if (clean) {
+        // Single clean full-span segment: record it and let the caller
+        // run the exact single-lock path (bit-identical to pre-fault
+        // behaviour on clean captures).
+        ReceiverSegment seg;
+        seg.begin = 0;
+        seg.end = y.size();
+        seg.carrierHz = res.carrierHz;
+        seg.signalingTime = res.timing.signalingTime;
+        seg.level = level[nblocks / 2];
+        res.segments.push_back(seg);
+        return false;
+    }
+
+    // Re-lock each segment independently and stitch the bit streams,
+    // bridging inter-segment gaps with erasure-marked placeholder bits
+    // so lost spans stay substitution (not deletion) bursts.
+    double fs = capture.sampleRate;
+    double prev_last_start = -1.0;
+    double prev_tsig = 0.0;
+    res.labeled = LabeledBits{};
+    res.erasureMask.clear();
+    // Stream positions of the inter-segment junctions: each bridge's
+    // period count is a rounded estimate, and an off-by-one shifts
+    // every bit that follows — the one corruption the erasure mask
+    // cannot express. The re-parse below retries these ±1 bit.
+    std::vector<std::size_t> junctions;
+
+    auto push_erased = [&](std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+            res.labeled.bits.push_back(0);
+            res.labeled.bitPower.push_back(0.0);
+            res.erasureMask.push_back(1);
+        }
+    };
+
+    for (const auto &[sb, se] : block_segs) {
+        std::size_t begin = sb * block;
+        std::size_t end = se == nblocks ? y.size() : se * block;
+
+        ReceiverSegment seg;
+        seg.begin = begin;
+        seg.end = end;
+        seg.carrierHz = res.carrierHz;
+        {
+            std::vector<double> lv(level.begin() +
+                                       static_cast<std::ptrdiff_t>(sb),
+                                   level.begin() +
+                                       static_cast<std::ptrdiff_t>(se));
+            std::nth_element(lv.begin(), lv.begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 lv.size() / 2),
+                             lv.end());
+            seg.level = lv[lv.size() / 2];
+        }
+
+        std::vector<double> ys(y.begin() +
+                                   static_cast<std::ptrdiff_t>(begin),
+                               y.begin() + static_cast<std::ptrdiff_t>(end));
+
+        // Per-segment carrier re-acquisition: an LO hop moves the
+        // VRM line out of the tracked bins; long enough segments are
+        // re-searched and, if the carrier moved, re-acquired.
+        std::size_t r0 = begin * dec;
+        std::size_t r1 = std::min(end * dec, capture.samples.size());
+        if (fs > 0.0 && r1 > r0 && r1 - r0 >= 4 * acq.searchWindow) {
+            sdr::IqCapture sub;
+            sub.sampleRate = fs;
+            sub.centerFrequency = capture.centerFrequency;
+            sub.startTime =
+                capture.startTime +
+                fromSeconds(static_cast<double>(r0) / fs);
+            sub.samples.assign(capture.samples.begin() +
+                                   static_cast<std::ptrdiff_t>(r0),
+                               capture.samples.begin() +
+                                   static_cast<std::ptrdiff_t>(r1));
+            try {
+                AcquisitionConfig sub_acq = acq;
+                sub_acq.quietSearch = true;
+                double c = estimateCarrier(sub, sub_acq);
+                double bin_hz =
+                    fs / static_cast<double>(std::max<std::size_t>(
+                             acq.window, 1));
+                if (c > 0.0 &&
+                    std::abs(c - res.carrierHz) > 0.5 * bin_hz) {
+                    AcquiredSignal sub_sig = acquire(sub, acq, c);
+                    if (!sub_sig.y.empty()) {
+                        ys = std::move(sub_sig.y);
+                        seg.carrierHz = c;
+                    }
+                }
+            } catch (const RecoverableError &) {
+                // Too short/degenerate to re-search: keep the global
+                // carrier's envelope for this segment.
+            }
+        }
+
+        TimingConfig tc = config.timing;
+        if (tc.rampHint == 0)
+            tc.rampHint = acq.window / std::max<std::size_t>(dec, 1);
+        tc.periodHint = prev_tsig > 0.0 ? prev_tsig : tsig0;
+        BitTiming bt;
+        try {
+            bt = recoverTiming(ys, tc);
+        } catch (const RecoverableError &) {
+            bt = BitTiming{};
+        }
+        if (bt.starts.empty() || bt.signalingTime <= 0.0)
+            continue; // unusable segment: the gap bridging spans it
+
+        seg.signalingTime = bt.signalingTime;
+        LabeledBits lb = labelBits(ys, bt.starts, bt.signalingTime,
+                                   config.labeling);
+        seg.bits = lb.bits.size();
+
+        // A dropout inside a segment can swallow an edge, so the
+        // recovered starts grid skips a beat and the labeled stream
+        // silently loses a bit — a deletion the erasure mask cannot
+        // express. Re-insert erased placeholders wherever consecutive
+        // starts are more than ~1.5 signalling periods apart.
+        std::vector<char> bit_inserted(lb.bits.size(), 0);
+        std::vector<std::size_t> ambiguous_local;
+        if (bt.signalingTime > 0.0 && bt.starts.size() > 1 &&
+            lb.bits.size() == bt.starts.size()) {
+            LabeledBits patched;
+            std::vector<std::size_t> patched_starts;
+            std::vector<char> patched_inserted;
+            for (std::size_t i = 0; i < lb.bits.size(); ++i) {
+                if (i > 0) {
+                    double ratio =
+                        (static_cast<double>(bt.starts[i]) -
+                         static_cast<double>(bt.starts[i - 1])) /
+                        bt.signalingTime;
+                    long k = std::lround(ratio);
+                    if (k >= 2 && std::abs(ratio - static_cast<double>(
+                                                       k)) <= 0.3) {
+                        // Confidently integral multi-period gap: the
+                        // edge detector swallowed k-1 bits here.
+                        for (long m = 1; m < k; ++m) {
+                            patched.bits.push_back(0);
+                            patched.bitPower.push_back(0.0);
+                            patched_starts.push_back(
+                                bt.starts[i - 1] +
+                                static_cast<std::size_t>(std::lround(
+                                    static_cast<double>(m) *
+                                    bt.signalingTime)));
+                            patched_inserted.push_back(1);
+                        }
+                    } else if (ratio > 1.3 && ratio < 1.7) {
+                        // Could be jitter or a swallowed bit: leave
+                        // the stream alone but let the junction ±1
+                        // re-parse probe this position.
+                        ambiguous_local.push_back(patched.bits.size());
+                    }
+                }
+                patched.bits.push_back(lb.bits[i]);
+                patched.bitPower.push_back(lb.bitPower[i]);
+                patched_starts.push_back(bt.starts[i]);
+                patched_inserted.push_back(0);
+            }
+            if (patched.bits.size() != lb.bits.size()) {
+                patched.thresholds = lb.thresholds;
+                lb = std::move(patched);
+                bt.starts = std::move(patched_starts);
+                bit_inserted = std::move(patched_inserted);
+                seg.bits = lb.bits.size();
+            }
+        }
+
+        // Per-bit raw-sample scan: a dropout or saturation burst too
+        // short (or too off-centre) to condemn a whole block still
+        // kills the bits it overlaps. A sustained run of exact zeros
+        // or full-scale samples inside a bit's window marks that bit
+        // as an erasure — consecutive runs separate true faults from
+        // the scattered zeros of a merely weak capture.
+        std::vector<char> bit_erased(lb.bits.size(), 0);
+        {
+            constexpr std::size_t kRun = 32;
+            std::size_t base = begin * dec;
+            for (std::size_t i = 0; i < lb.bits.size() &&
+                                    i < bt.starts.size();
+                 ++i) {
+                std::size_t w0 = base + bt.starts[i] * dec;
+                std::size_t w1 = std::min(
+                    capture.samples.size(),
+                    base + static_cast<std::size_t>(std::lround(
+                               (static_cast<double>(bt.starts[i]) +
+                                bt.signalingTime) *
+                               static_cast<double>(dec))));
+                std::size_t zrun = 0, crun = 0;
+                for (std::size_t s = w0; s < w1; ++s) {
+                    double re = capture.samples[s].real();
+                    double im = capture.samples[s].imag();
+                    zrun = re == 0.0 && im == 0.0 ? zrun + 1 : 0;
+                    crun = std::abs(re) >= sc.clipLevel ||
+                                   std::abs(im) >= sc.clipLevel
+                               ? crun + 1
+                               : 0;
+                    if (zrun >= kRun || crun >= kRun) {
+                        bit_erased[i] = 1;
+                        break;
+                    }
+                }
+            }
+            for (std::size_t i = 0; i < bit_erased.size() &&
+                                    i < bit_inserted.size();
+                 ++i)
+                if (bit_inserted[i])
+                    bit_erased[i] = 1;
+        }
+
+        double first_start =
+            static_cast<double>(begin + bt.starts.front());
+        double tsig_bridge = prev_tsig > 0.0
+                                 ? 0.5 * (prev_tsig + bt.signalingTime)
+                                 : bt.signalingTime;
+        bool bridged = false;
+        if (prev_last_start < 0.0) {
+            // Leading corrupt span: the transmitter was already
+            // sending; synthesise the bits the gap must contain.
+            auto lead = static_cast<std::size_t>(std::max(
+                0.0, std::floor(first_start / tsig_bridge)));
+            push_erased(lead);
+            bridged = lead > 0;
+        } else {
+            double gap = first_start - prev_last_start;
+            long periods = std::lround(gap / tsig_bridge);
+            // The bits straddling any segment junction are suspect —
+            // cut mid-flight by a corrupt span, or labeled against a
+            // threshold from the wrong side of an AGC step. Erasing
+            // them trades a possible silent error for a marked one the
+            // interleaved code absorbs.
+            if (!res.erasureMask.empty())
+                res.erasureMask.back() = 1;
+            junctions.push_back(res.labeled.bits.size());
+            if (periods > 1)
+                push_erased(static_cast<std::size_t>(periods - 1));
+            bridged = true;
+        }
+
+        for (std::size_t local : ambiguous_local)
+            junctions.push_back(res.labeled.bits.size() + local);
+        res.labeled.bits.insert(res.labeled.bits.end(), lb.bits.begin(),
+                                lb.bits.end());
+        res.labeled.bitPower.insert(res.labeled.bitPower.end(),
+                                    lb.bitPower.begin(),
+                                    lb.bitPower.end());
+        res.labeled.thresholds.insert(res.labeled.thresholds.end(),
+                                      lb.thresholds.begin(),
+                                      lb.thresholds.end());
+        res.erasureMask.insert(res.erasureMask.end(), bit_erased.begin(),
+                               bit_erased.end());
+        res.erasureMask.resize(res.labeled.bits.size(), 0);
+        if (bridged && !lb.bits.empty()) {
+            // First bit after the span starts mid-ramp: guard-erase it.
+            res.erasureMask[res.erasureMask.size() - lb.bits.size()] = 1;
+        }
+
+        prev_last_start = static_cast<double>(begin + bt.starts.back());
+        prev_tsig = bt.signalingTime;
+        res.segments.push_back(seg);
+    }
+
+    if (res.segments.empty())
+        return false;
+
+    // Trailing corrupt span: synthesise the bits it must contain so a
+    // frame ending inside it still has erasures (not truncation).
+    double tail = static_cast<double>(y.size()) -
+                  (prev_last_start + prev_tsig);
+    if (prev_tsig > 0.0 && tail > 0.0)
+        push_erased(
+            static_cast<std::size_t>(std::floor(tail / prev_tsig)));
+
+    ParsedFrame seg_frame =
+        parseFrame(res.labeled.bits, res.erasureMask, config.frame);
+
+    auto rank = [](const ParsedFrame &f) {
+        if (!f.found)
+            return 0;
+        switch (f.integrity) {
+        case FrameIntegrity::Verified: return 4;
+        case FrameIntegrity::Corrected: return 3;
+        case FrameIntegrity::Unchecked: return 2;
+        case FrameIntegrity::Damaged: return 1;
+        case FrameIntegrity::None: return 1;
+        }
+        return 1;
+    };
+
+    // Junction ±1 re-parse: a bridge (or an ambiguous intra-segment
+    // gap) whose length in periods rounds the wrong way shifts every
+    // bit that follows. If the first parse is not CRC-clean, retry
+    // with one erased bit inserted or removed at each candidate
+    // position and keep the better decode. Greedy, so stacked
+    // off-by-ones at different junctions repair one per round.
+    if (rank(seg_frame) < 3 && !junctions.empty()) {
+        for (std::size_t round = 0;
+             round < junctions.size() && round < 4; ++round) {
+            bool improved = false;
+            for (std::size_t j = 0;
+                 j < junctions.size() && !improved; ++j) {
+                for (int delta : {1, -1}) {
+                    std::size_t pos = junctions[j];
+                    Bits bits = res.labeled.bits;
+                    Bits mask = res.erasureMask;
+                    std::vector<double> power = res.labeled.bitPower;
+                    auto p = static_cast<std::ptrdiff_t>(pos);
+                    if (delta > 0) {
+                        bits.insert(bits.begin() + p, 0);
+                        mask.insert(mask.begin() + p, 1);
+                        power.insert(power.begin() + p, 0.0);
+                    } else if (pos < bits.size()) {
+                        bits.erase(bits.begin() + p);
+                        mask.erase(mask.begin() + p);
+                        if (pos < power.size())
+                            power.erase(power.begin() + p);
+                    } else {
+                        continue;
+                    }
+                    ParsedFrame f = parseFrame(bits, mask, config.frame);
+                    // Strictly better integrity wins outright; with
+                    // rank tied (both still Damaged), fewer Hamming
+                    // corrections is the gradient that lets stacked
+                    // off-by-ones at different junctions be repaired
+                    // one round at a time.
+                    bool better =
+                        rank(f) > rank(seg_frame) ||
+                        (rank(f) == rank(seg_frame) && f.found &&
+                         f.corrected < seg_frame.corrected);
+                    if (better) {
+                        seg_frame = std::move(f);
+                        res.labeled.bits = std::move(bits);
+                        res.labeled.bitPower = std::move(power);
+                        res.erasureMask = std::move(mask);
+                        for (std::size_t k = j + 1;
+                             k < junctions.size(); ++k)
+                            junctions[k] = static_cast<std::size_t>(
+                                static_cast<std::ptrdiff_t>(
+                                    junctions[k]) +
+                                delta);
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+            if (!improved || rank(seg_frame) >= 3)
+                break;
+        }
+    }
+
+    // Safety net: also decode the capture with the single global lock
+    // and keep whichever frame is better. Segmenting a merely-noisy
+    // capture (level flutter at low SNR resembles AGC steps) must
+    // never lose a frame the whole-capture path would have found.
+    LabeledBits whole = labelBits(res.acquired.y, res.timing.starts,
+                                  res.timing.signalingTime,
+                                  config.labeling);
+    ParsedFrame whole_frame = parseFrame(whole.bits, config.frame);
+
+    bool keep_segmented =
+        rank(seg_frame) > rank(whole_frame) ||
+        (rank(seg_frame) == rank(whole_frame) && res.corruptedSpans > 0);
+    if (keep_segmented) {
+        res.frame = std::move(seg_frame);
+    } else {
+        res.labeled = std::move(whole);
+        res.frame = std::move(whole_frame);
+        res.erasureMask.clear();
+    }
+    return true;
 }
 
 /**
@@ -102,6 +620,10 @@ receiveInto(const sdr::IqCapture &capture, const ReceiverConfig &config,
         }
         acq.window = halved;
     }
+
+    if (config.segmentation.enabled &&
+        segmentedReceive(capture, config, acq, res))
+        return;
 
     res.labeled = labelBits(res.acquired.y, res.timing.starts,
                             res.timing.signalingTime, config.labeling);

@@ -25,6 +25,69 @@
 
 namespace emsc::channel {
 
+/**
+ * Corrupt-span detection and per-segment re-lock configuration.
+ *
+ * The receiver classifies the capture into clean segments separated by
+ * corrupt spans (SDR dropouts read as all-zero samples, saturation as
+ * runs of full-scale samples) and front-end level steps (AGC
+ * re-trains). Each clean segment re-acquires its own carrier, bit
+ * timing and labeling threshold; corrupt spans are bridged with
+ * erasure-marked bits so a burst of lost samples becomes a marked
+ * substitution burst the interleaved Hamming code can absorb, instead
+ * of a deletion that shifts every later bit.
+ */
+struct SegmentationConfig
+{
+    /** Master switch; off = the single-lock whole-capture pipeline. */
+    bool enabled = true;
+    /**
+     * Classification block length in decimated envelope samples.
+     * 0 = auto: about two recovered bit periods, so every clean block
+     * sees at least one bit-start activity burst.
+     */
+    std::size_t blockSamples = 0;
+    /** Fraction of exactly-zero raw samples marking a dropout block. */
+    double deadZeroFraction = 0.7;
+    /**
+     * A block only counts as a dropout when its envelope level is also
+     * below this fraction of the capture's median block level. Weak
+     * captures (distance, walls) quantise to many exact zeros without
+     * being dropouts; a true dropout span's envelope is essentially 0.
+     */
+    double deadLevelRatio = 0.05;
+    /** Fraction of full-scale raw samples marking a saturated block. */
+    double clippedFraction = 0.3;
+    /** |I| or |Q| at or above this counts as full-scale (clipped). */
+    double clipLevel = 0.97;
+    /**
+     * Adjacent block-level ratio (either direction, sustained for two
+     * blocks) that opens a new segment: an AGC gain step. Small
+     * enough to catch modest gain steps (whose stale threshold still
+     * mislabels bits), large enough that low-SNR level flutter does
+     * not shred clean captures into sub-lockable fragments.
+     */
+    double stepRatio = 1.30;
+    /** Segments shorter than this many blocks are treated as corrupt. */
+    std::size_t minSegmentBlocks = 3;
+};
+
+/** One clean span the receiver re-locked on. */
+struct ReceiverSegment
+{
+    /** Decimated envelope range [begin, end). */
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    /** Carrier this segment tracked (Hz; the global one unless re-estimated). */
+    double carrierHz = 0.0;
+    /** Signaling time recovered inside the segment. */
+    double signalingTime = 0.0;
+    /** Robust envelope level (for diagnostics). */
+    double level = 0.0;
+    /** Channel bits this segment contributed to the stream. */
+    std::size_t bits = 0;
+};
+
 /** Aggregate receiver configuration. */
 struct ReceiverConfig
 {
@@ -32,6 +95,7 @@ struct ReceiverConfig
     TimingConfig timing;
     LabelingConfig labeling;
     FrameConfig frame;
+    SegmentationConfig segmentation;
     /**
      * Shrink the sliding-DFT window when the recovered signaling time
      * shows the bits are shorter than the window can resolve (the
@@ -75,6 +139,20 @@ struct ReceiverResult
     LabeledBits labeled;
     /** Frame parse of the channel stream. */
     ParsedFrame frame;
+    /**
+     * Clean segments the receiver re-locked on. A clean capture has
+     * exactly one segment spanning the whole envelope (decoded by the
+     * very same single-lock path as with segmentation disabled).
+     */
+    std::vector<ReceiverSegment> segments;
+    /**
+     * Erasure mask parallel to labeled.bits: 1 marks bits synthesised
+     * across corrupt spans (their values are placeholders). Empty when
+     * the capture was clean or segmentation is disabled.
+     */
+    Bits erasureMask;
+    /** Number of contiguous corrupt spans (dropout/saturation) found. */
+    std::size_t corruptedSpans = 0;
     /**
      * Notes about configuration values receive() had to adjust to keep
      * the pipeline well-formed (e.g. a clamped minWindow or a window

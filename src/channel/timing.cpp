@@ -44,6 +44,10 @@ validateConfig(const TimingConfig &cfg)
         raiseError(ErrorKind::InvalidConfig,
                    "TimingConfig.maxLag (%zu) must exceed minLag "
                    "(%zu)", cfg.maxLag, cfg.minLag);
+    if (!(cfg.periodHint >= 0.0))
+        raiseError(ErrorKind::InvalidConfig,
+                   "TimingConfig.periodHint must be non-negative, "
+                   "got %g", cfg.periodHint);
 }
 
 /** One edge-detection pass; returns detected start indices. */
@@ -240,7 +244,9 @@ recoverTiming(const std::vector<double> &y, const TimingConfig &config)
     } else {
         tsig0 = estimateBitPeriod(y, config);
         if (tsig0 <= 0.0)
-            tsig0 = 64.0; // fall back to a generic scale
+            tsig0 = config.periodHint > 0.0
+                        ? config.periodHint
+                        : 64.0; // fall back to a generic scale
     }
 
     auto clamp_kernel = [&](double t) {

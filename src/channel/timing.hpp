@@ -54,6 +54,14 @@ struct TimingConfig
      * starts beyond it. Zero = unknown.
      */
     std::size_t rampHint = 0;
+    /**
+     * Expected signaling time in (decimated) samples, used when the
+     * autocorrelation finds no periodicity — e.g. a segment too short
+     * or too corrupt to measure, re-locked with the period recovered
+     * from an earlier clean segment. Zero = unknown; a generic scale
+     * of 64 samples is assumed instead.
+     */
+    double periodHint = 0.0;
 };
 
 /**

@@ -7,6 +7,7 @@
 #include "core/trial_runner.hpp"
 #include "cpu/apps.hpp"
 #include "support/logging.hpp"
+#include "support/thread_pool.hpp"
 #include "support/stats.hpp"
 #include "support/units.hpp"
 #include "vrm/pmu.hpp"
@@ -83,6 +84,22 @@ runCovertChannelImpl(const DeviceProfile &device,
         fromSeconds(est_bit * static_cast<double>(frame_bits.size()) * 3.0) +
         kSecond;
 
+    // The fault plan spans the whole horizon (not the capture window,
+    // which is only known after transmission) so preemption events can
+    // be scheduled before the kernel runs. Events past the eventual
+    // capture window simply never apply. The plan seed is derived from
+    // the run seed — not another master.fork(), which would shift every
+    // downstream RNG stream and break seeded reproductions.
+    sim::FaultPlan faults;
+    if (options.faults.active()) {
+        sim::FaultConfig fault_cfg = options.faults;
+        if (fault_cfg.seed == 0)
+            fault_cfg.seed = deriveSeed(options.seed, 0x464155ull);
+        faults = sim::buildFaultPlan(fault_cfg, 0, horizon);
+        result.faultEvents = faults.events.size();
+        os.schedulePreemptions(faults);
+    }
+
     if (options.backgroundActivity) {
         os.setBackgroundIntensity(options.backgroundIntensity);
         os.startBackgroundActivity(horizon);
@@ -123,6 +140,9 @@ runCovertChannelImpl(const DeviceProfile &device,
     std::vector<vrm::SwitchEvent> events = pmu.switchingEvents(t0, t1);
 
     em::SceneConfig scene = makeScene(device.emitterCoupling, setup);
+    if (faults.countOf(sim::FaultKind::InterfererOnset) > 0)
+        scene.environment =
+            em::applyInterfererOnsets(scene.environment, faults);
     em::ReceptionPlan plan =
         em::buildReceptionPlan(scene, events, t0, t1, rng_em);
 
@@ -130,7 +150,8 @@ runCovertChannelImpl(const DeviceProfile &device,
     if (options.autoTune)
         autoTuneSdr(sdr_cfg, device.buck.switchFrequency);
     sdr::RtlSdr radio(sdr_cfg, rng_sdr);
-    sdr::IqCapture capture = radio.capture(plan, t0, t1);
+    sdr::IqCapture capture =
+        radio.capture(plan, t0, t1, faults.empty() ? nullptr : &faults);
 
     // --- Receiver pipeline. ------------------------------------------
     channel::ReceiverResult rx = channel::receive(capture,
@@ -138,6 +159,11 @@ runCovertChannelImpl(const DeviceProfile &device,
     result.carrierHz = rx.carrierHz;
     result.frameFound = rx.frame.found;
     result.corrected = rx.frame.corrected;
+    result.segmentsUsed = rx.segments.size();
+    result.corruptedSpans = rx.corruptedSpans;
+    result.erasedBits = rx.frame.erasedBits;
+    result.crcOk = rx.frame.crcOk;
+    result.integrity = rx.frame.integrity;
     result.decodedPayload = rx.frame.payload;
 
     // A receiver-stage failure (not merely a missed frame) is this
@@ -225,8 +251,22 @@ averageCovertChannel(const DeviceProfile &device,
                 return runCovertChannel(device, setup, o);
             });
 
+    // Severity order for the aggregate integrity verdict: the averaged
+    // result reports the worst frame outcome any surviving run saw.
+    auto severity = [](channel::FrameIntegrity i) {
+        switch (i) {
+        case channel::FrameIntegrity::Verified: return 0;
+        case channel::FrameIntegrity::Unchecked: return 1;
+        case channel::FrameIntegrity::Corrected: return 2;
+        case channel::FrameIntegrity::Damaged: return 3;
+        case channel::FrameIntegrity::None: return 4;
+        }
+        return 4;
+    };
+
     CovertChannelResult avg;
     std::size_t found = 0;
+    bool all_crc_ok = true;
     for (const CovertChannelResult &one : all) {
         // Degrade per-trial: a failed run is counted and skipped, and
         // the sweep carries on with the runs that worked.
@@ -239,6 +279,8 @@ averageCovertChannel(const DeviceProfile &device,
         avg.payloadBits = one.payloadBits;
         avg.channelBits = one.channelBits;
         avg.carrierHz = one.carrierHz;
+        avg.faultEvents += one.faultEvents;
+        avg.corruptedSpans += one.corruptedSpans;
         if (!one.frameFound)
             continue;
         ++found;
@@ -250,6 +292,12 @@ averageCovertChannel(const DeviceProfile &device,
         avg.deletionProb += one.deletionProb;
         avg.elapsedS += one.elapsedS;
         avg.corrected += one.corrected;
+        avg.segmentsUsed += one.segmentsUsed;
+        avg.erasedBits += one.erasedBits;
+        all_crc_ok = all_crc_ok && one.crcOk;
+        if (severity(one.integrity) > severity(avg.integrity) ||
+            (found == 1))
+            avg.integrity = one.integrity;
     }
     // The aggregate is only a failure when no run survived; otherwise
     // the per-run error is advisory (failedRuns says how many).
@@ -258,6 +306,7 @@ averageCovertChannel(const DeviceProfile &device,
     if (found) {
         auto f = static_cast<double>(found);
         avg.frameFound = true;
+        avg.crcOk = all_crc_ok;
         avg.ber /= f;
         avg.berPayload /= f;
         avg.trBps /= f;

@@ -22,6 +22,7 @@
 #include "core/device.hpp"
 #include "core/setup.hpp"
 #include "sdr/rtlsdr.hpp"
+#include "sim/faults.hpp"
 #include "support/error.hpp"
 
 namespace emsc::core {
@@ -49,6 +50,16 @@ struct CovertChannelOptions
     sdr::SdrConfig sdr;
     /** Auto-tune the SDR so the fundamental + harmonic are in band. */
     bool autoTune = true;
+    /**
+     * Fault injection. With all rates zero (default) no plan is built
+     * and the run is bit-identical to pre-fault behaviour. When
+     * active, one deterministic FaultPlan is realised over the run's
+     * horizon and consumed by every stage (OS preemption, interferer
+     * onsets, SDR dropouts/saturation/gain steps/LO hops). A zero
+     * FaultConfig::seed derives the plan seed from the run seed, so
+     * each averaged run sees different faults, reproducibly.
+     */
+    sim::FaultConfig faults;
 };
 
 /** Covert-channel run outcome. */
@@ -81,6 +92,18 @@ struct CovertChannelResult
     double carrierHz = 0.0;
     /** Hamming corrections applied. */
     std::size_t corrected = 0;
+    /** Clean segments the receiver re-locked on (1 = clean capture). */
+    std::size_t segmentsUsed = 0;
+    /** Corrupt spans (dropouts/saturation) bridged by the receiver. */
+    std::size_t corruptedSpans = 0;
+    /** Channel bits erased across corrupt spans. */
+    std::size_t erasedBits = 0;
+    /** Frame CRC verdict (false when the CRC is disabled or failed). */
+    bool crcOk = false;
+    /** Frame integrity classification; averaged runs keep the worst. */
+    channel::FrameIntegrity integrity = channel::FrameIntegrity::None;
+    /** Fault events realised over this run's horizon. */
+    std::size_t faultEvents = 0;
     /** Decoded payload bits. */
     channel::Bits decodedPayload;
     /**

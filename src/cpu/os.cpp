@@ -89,6 +89,22 @@ OsModel::setBackgroundIntensity(double scale)
 }
 
 void
+OsModel::schedulePreemptions(const sim::FaultPlan &faults)
+{
+    double clock = core.config().pstates.fastest().frequency;
+    for (const sim::FaultEvent &e :
+         faults.ofKind(sim::FaultKind::Preemption)) {
+        if (e.start < kernel.now() || e.duration <= 0)
+            continue;
+        auto cycles = static_cast<std::uint64_t>(toSeconds(e.duration) *
+                                                 clock);
+        kernel.scheduleAt(e.start, [this, cycles] {
+            core.submit(cfg.interruptCycles + cycles, nullptr);
+        });
+    }
+}
+
+void
 OsModel::scheduleNextBackground(bool long_burst, TimeNs until)
 {
     double rate = (long_burst ? cfg.longBurstRate

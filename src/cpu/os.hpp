@@ -20,6 +20,7 @@
 #include <functional>
 
 #include "cpu/core.hpp"
+#include "sim/faults.hpp"
 #include "sim/kernel.hpp"
 #include "support/rng.hpp"
 
@@ -113,6 +114,16 @@ class OsModel
      * "resource-intensive background activity" (§IV-C2).
      */
     void setBackgroundIntensity(double scale);
+
+    /**
+     * Schedule scheduler-steal bursts from a fault plan's Preemption
+     * events: at each event start a competing task occupies the core
+     * for the event's duration (converted to cycles at the fastest
+     * P-state), stretching whatever bit the transmitter is sending.
+     * Events already in the past are skipped. Other fault kinds are
+     * ignored here.
+     */
+    void schedulePreemptions(const sim::FaultPlan &faults);
 
     const OsConfig &config() const { return cfg; }
     CpuCore &cpu() { return core; }

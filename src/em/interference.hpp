@@ -32,6 +32,10 @@ struct ToneInterferer
     double driftHz = 0.0;
     /** Wander period (seconds). */
     double driftPeriodS = 10.0;
+    /** Absolute time the source switches on (0: always on). */
+    TimeNs onset = 0;
+    /** How long it stays on after onset (0: until capture end). */
+    TimeNs activeDuration = 0;
 };
 
 /** A random broadband impulsive source (e.g. compressor commutation). */
@@ -46,6 +50,10 @@ struct ImpulsiveInterferer
     std::size_t burstLength = 3;
     /** Spacing of impulses within a burst. */
     TimeNs burstSpacing = 2 * kMicrosecond;
+    /** Absolute time the source switches on (0: always on). */
+    TimeNs onset = 0;
+    /** How long it stays on after onset (0: until capture end). */
+    TimeNs activeDuration = 0;
 };
 
 /** The full interference environment of a measurement. */
@@ -54,6 +62,16 @@ struct InterferenceEnvironment
     std::vector<ToneInterferer> tones;
     std::vector<ImpulsiveInterferer> impulses;
 };
+
+/**
+ * Check every interferer's fields — negative rates/amplitudes, a
+ * non-positive burstSpacing with a multi-impulse burst, a
+ * non-positive driftPeriodS with drift enabled, negative
+ * onset/activeDuration — and raise RecoverableError (kind
+ * InvalidConfig) on the first violation. Called by
+ * buildReceptionPlan(); exposed for direct use in tests and tools.
+ */
+void validateEnvironment(const InterferenceEnvironment &environment);
 
 /** A quiet lab: nothing but receiver noise. */
 InterferenceEnvironment quietEnvironment();

@@ -1,5 +1,6 @@
 #include "em/scene.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -68,6 +69,66 @@ twoRoomEnvironment()
     return env;
 }
 
+void
+validateEnvironment(const InterferenceEnvironment &environment)
+{
+    for (const ToneInterferer &tone : environment.tones) {
+        if (tone.amplitude < 0.0)
+            raiseError(ErrorKind::InvalidConfig,
+                       "tone interferer '%s': negative amplitude %g",
+                       tone.name.c_str(), tone.amplitude);
+        if (tone.driftHz != 0.0 && tone.driftPeriodS <= 0.0)
+            raiseError(ErrorKind::InvalidConfig,
+                       "tone interferer '%s': driftPeriodS %g must be "
+                       "positive when driftHz is set",
+                       tone.name.c_str(), tone.driftPeriodS);
+        if (tone.onset < 0 || tone.activeDuration < 0)
+            raiseError(ErrorKind::InvalidConfig,
+                       "tone interferer '%s': negative onset/duration",
+                       tone.name.c_str());
+    }
+    for (const ImpulsiveInterferer &imp : environment.impulses) {
+        if (imp.ratePerSecond < 0.0)
+            raiseError(ErrorKind::InvalidConfig,
+                       "impulsive interferer '%s': negative rate %g",
+                       imp.name.c_str(), imp.ratePerSecond);
+        if (imp.amplitude < 0.0)
+            raiseError(ErrorKind::InvalidConfig,
+                       "impulsive interferer '%s': negative amplitude %g",
+                       imp.name.c_str(), imp.amplitude);
+        if (imp.burstLength > 1 && imp.burstSpacing <= 0)
+            raiseError(ErrorKind::InvalidConfig,
+                       "impulsive interferer '%s': burstSpacing must be "
+                       "positive for a burst of %zu impulses",
+                       imp.name.c_str(), imp.burstLength);
+        if (imp.onset < 0 || imp.activeDuration < 0)
+            raiseError(ErrorKind::InvalidConfig,
+                       "impulsive interferer '%s': negative "
+                       "onset/duration", imp.name.c_str());
+    }
+}
+
+InterferenceEnvironment
+applyInterfererOnsets(InterferenceEnvironment environment,
+                      const sim::FaultPlan &faults)
+{
+    for (const sim::FaultEvent &e :
+         faults.ofKind(sim::FaultKind::InterfererOnset)) {
+        ImpulsiveInterferer imp;
+        imp.name = "fault interferer";
+        // Dense commutation ring-down: strong enough to disturb the
+        // envelope for the whole event, not just isolated samples.
+        imp.ratePerSecond = 80.0;
+        imp.amplitude = e.magnitude;
+        imp.burstLength = 4;
+        imp.burstSpacing = 2 * kMicrosecond;
+        imp.onset = e.start;
+        imp.activeDuration = e.duration;
+        environment.impulses.push_back(imp);
+    }
+    return environment;
+}
+
 ReceptionPlan
 buildReceptionPlan(const SceneConfig &config,
                    const std::vector<vrm::SwitchEvent> &events, TimeNs t0,
@@ -76,6 +137,7 @@ buildReceptionPlan(const SceneConfig &config,
     if (t1 <= t0)
         raiseError(ErrorKind::MalformedInput,
                    "buildReceptionPlan: empty capture window");
+    validateEnvironment(config.environment);
 
     ReceptionPlan plan;
     double scale = config.emitterCoupling *
@@ -99,15 +161,24 @@ buildReceptionPlan(const SceneConfig &config,
     for (const ImpulsiveInterferer &imp : config.environment.impulses) {
         if (imp.ratePerSecond <= 0.0)
             continue;
-        double t = static_cast<double>(t0);
+        // An interferer is only drawn while it is switched on: from its
+        // onset (if later than the window start) until onset+duration
+        // (or the window end for always-on sources).
+        TimeNs on0 = std::max(t0, imp.onset);
+        TimeNs on1 = t1;
+        if (imp.activeDuration > 0)
+            on1 = std::min(t1, imp.onset + imp.activeDuration);
+        if (on1 <= on0)
+            continue;
+        double t = static_cast<double>(on0);
         while (true) {
             t += fromSeconds(rng.exponential(1.0 / imp.ratePerSecond));
-            if (t >= static_cast<double>(t1))
+            if (t >= static_cast<double>(on1))
                 break;
             for (std::size_t k = 0; k < imp.burstLength; ++k) {
                 auto when = static_cast<TimeNs>(t) +
                             static_cast<TimeNs>(k) * imp.burstSpacing;
-                if (when >= t1)
+                if (when >= on1)
                     break;
                 // Alternate polarity within the ring-down.
                 double sign = (k % 2 == 0) ? 1.0 : -1.0;

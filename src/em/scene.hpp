@@ -17,6 +17,7 @@
 #include "em/antenna.hpp"
 #include "em/interference.hpp"
 #include "em/propagation.hpp"
+#include "sim/faults.hpp"
 #include "support/rng.hpp"
 #include "support/types.hpp"
 #include "vrm/buck.hpp"
@@ -72,6 +73,16 @@ struct SceneConfig
 ReceptionPlan buildReceptionPlan(const SceneConfig &config,
                                  const std::vector<vrm::SwitchEvent> &events,
                                  TimeNs t0, TimeNs t1, Rng &rng);
+
+/**
+ * Materialise a fault plan's InterfererOnset events as additional
+ * impulsive interferers that switch on at the event start for its
+ * duration — an appliance firing up mid-capture. Other fault kinds
+ * are ignored here (they belong to the SDR/OS stages).
+ */
+InterferenceEnvironment
+applyInterfererOnsets(InterferenceEnvironment environment,
+                      const sim::FaultPlan &faults);
 
 /**
  * Predicted signal-to-noise ratio (dB) of the VRM's fundamental bin

@@ -79,6 +79,20 @@ RtlSdr::addTones(std::vector<IqSample> &buf,
     for (const em::ToneInterferer &tone : tones) {
         if (tone.amplitude <= 0.0)
             continue;
+        // Samples during which the source is switched on.
+        std::size_t on0 = 0;
+        std::size_t on1 = buf.size();
+        if (tone.onset > t0)
+            on0 = std::min(buf.size(),
+                           static_cast<std::size_t>(
+                               toSeconds(tone.onset - t0) * fs));
+        if (tone.activeDuration > 0) {
+            TimeNs off = tone.onset + tone.activeDuration;
+            on1 = off <= t0 ? 0
+                            : std::min(buf.size(),
+                                       static_cast<std::size_t>(
+                                           toSeconds(off - t0) * fs));
+        }
         // Baseband offset of this tone through the (erroneous) LO.
         double base = tone.frequency - lo;
         // Recompute the phasor step once per block to track drift
@@ -97,8 +111,11 @@ RtlSdr::addTones(std::vector<IqSample> &buf,
             double step = kTwoPi * f_off / fs;
             std::size_t end = std::min(buf.size(), i + kBlock);
             for (std::size_t j = i; j < end; ++j) {
-                buf[j] += tone.amplitude *
-                          IqSample{std::cos(phase), std::sin(phase)};
+                // Keep the phase advancing across off spans so the
+                // tone is phase-continuous when it is on.
+                if (j >= on0 && j < on1)
+                    buf[j] += tone.amplitude *
+                              IqSample{std::cos(phase), std::sin(phase)};
                 phase += step;
             }
             if (phase > kTwoPi * 1e6)
@@ -160,8 +177,85 @@ RtlSdr::quantize(std::vector<IqSample> &buf)
     }
 }
 
+namespace {
+
+/** Sample index of an absolute time, clamped to the buffer. */
+std::size_t
+sampleIndex(TimeNs when, TimeNs t0, double fs, std::size_t n)
+{
+    if (when <= t0)
+        return 0;
+    return std::min(n, static_cast<std::size_t>(toSeconds(when - t0) * fs));
+}
+
+} // namespace
+
+void
+RtlSdr::applyAnalogFaults(std::vector<IqSample> &buf,
+                          const sim::FaultPlan &faults, TimeNs t0)
+{
+    double fs = cfg.sampleRate;
+    std::size_t n = buf.size();
+
+    // Saturation bursts: drive the span hard so quantize() clips it.
+    for (const sim::FaultEvent &e :
+         faults.ofKind(sim::FaultKind::Saturation)) {
+        std::size_t i0 = sampleIndex(e.start, t0, fs, n);
+        std::size_t i1 = sampleIndex(e.start + e.duration, t0, fs, n);
+        for (std::size_t i = i0; i < i1; ++i)
+            buf[i] *= e.magnitude;
+    }
+
+    // AGC re-trains: each step holds its gain until the next step.
+    std::vector<sim::FaultEvent> steps =
+        faults.ofKind(sim::FaultKind::GainStep);
+    for (std::size_t k = 0; k < steps.size(); ++k) {
+        std::size_t i0 = sampleIndex(steps[k].start, t0, fs, n);
+        std::size_t i1 = k + 1 < steps.size()
+                             ? sampleIndex(steps[k + 1].start, t0, fs, n)
+                             : n;
+        for (std::size_t i = i0; i < i1; ++i)
+            buf[i] *= steps[k].magnitude;
+    }
+
+    // Tuner re-locks: from each hop on, the LO is offset by the hop
+    // frequency (replaced by the next hop), rotating the baseband.
+    std::vector<sim::FaultEvent> hops =
+        faults.ofKind(sim::FaultKind::LoHop);
+    for (std::size_t k = 0; k < hops.size(); ++k) {
+        std::size_t i0 = sampleIndex(hops[k].start, t0, fs, n);
+        std::size_t i1 = k + 1 < hops.size()
+                             ? sampleIndex(hops[k + 1].start, t0, fs, n)
+                             : n;
+        double step = -kTwoPi * hops[k].magnitude / fs;
+        double phase = 0.0;
+        for (std::size_t i = i0; i < i1; ++i) {
+            buf[i] *= IqSample{std::cos(phase), std::sin(phase)};
+            phase += step;
+        }
+    }
+}
+
+void
+RtlSdr::applyDropouts(std::vector<IqSample> &buf,
+                      const sim::FaultPlan &faults, TimeNs t0)
+{
+    double fs = cfg.sampleRate;
+    std::size_t n = buf.size();
+    for (const sim::FaultEvent &e :
+         faults.ofKind(sim::FaultKind::Dropout)) {
+        std::size_t i0 = sampleIndex(e.start, t0, fs, n);
+        std::size_t i1 = sampleIndex(e.start + e.duration, t0, fs, n);
+        // Post-quantisation zeros: the host never saw these samples.
+        std::fill(buf.begin() + static_cast<std::ptrdiff_t>(i0),
+                  buf.begin() + static_cast<std::ptrdiff_t>(i1),
+                  IqSample{0.0, 0.0});
+    }
+}
+
 IqCapture
-RtlSdr::capture(const em::ReceptionPlan &plan, TimeNs t0, TimeNs t1)
+RtlSdr::capture(const em::ReceptionPlan &plan, TimeNs t0, TimeNs t1,
+                const sim::FaultPlan *faults)
 {
     if (t1 <= t0)
         raiseError(ErrorKind::MalformedInput,
@@ -180,8 +274,12 @@ RtlSdr::capture(const em::ReceptionPlan &plan, TimeNs t0, TimeNs t1)
     depositImpulses(cap.samples, plan.noiseImpulses, t0);
     addTones(cap.samples, plan.tones, t0);
     addNoise(cap.samples, plan.noiseRms);
+    if (faults && !faults->empty())
+        applyAnalogFaults(cap.samples, *faults, t0);
     if (!cfg.idealFrontEnd)
         quantize(cap.samples);
+    if (faults && !faults->empty())
+        applyDropouts(cap.samples, *faults, t0);
 
     return cap;
 }

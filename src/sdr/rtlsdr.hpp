@@ -16,6 +16,7 @@
 
 #include "em/scene.hpp"
 #include "sdr/iq.hpp"
+#include "sim/faults.hpp"
 #include "support/rng.hpp"
 
 namespace emsc::sdr {
@@ -60,9 +61,16 @@ class RtlSdr
     /**
      * Synthesise the capture for [t0, t1).
      *
-     * @param plan  scaled emissions + interference from the EM scene
+     * @param plan    scaled emissions + interference from the EM scene
+     * @param faults  optional fault plan; the SDR realises its Dropout
+     *                (samples zeroed as by USB buffer loss), Saturation
+     *                (front-end overload into ADC clipping), GainStep
+     *                (AGC re-train holding a new gain until the next
+     *                step) and LoHop (tuner re-lock offsetting the LO)
+     *                events and ignores the rest
      */
-    IqCapture capture(const em::ReceptionPlan &plan, TimeNs t0, TimeNs t1);
+    IqCapture capture(const em::ReceptionPlan &plan, TimeNs t0, TimeNs t1,
+                      const sim::FaultPlan *faults = nullptr);
 
     const SdrConfig &config() const { return cfg; }
 
@@ -84,6 +92,10 @@ class RtlSdr
                   const std::vector<em::ToneInterferer> &tones, TimeNs t0);
     void addNoise(std::vector<IqSample> &buf, double rms);
     void quantize(std::vector<IqSample> &buf);
+    void applyAnalogFaults(std::vector<IqSample> &buf,
+                           const sim::FaultPlan &faults, TimeNs t0);
+    void applyDropouts(std::vector<IqSample> &buf,
+                       const sim::FaultPlan &faults, TimeNs t0);
 
     SdrConfig cfg;
     Rng &rng;

@@ -1,0 +1,265 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace emsc::sim {
+
+namespace {
+
+/**
+ * Per-family stream indices for deriveSeed(). Fixed numbers (not enum
+ * order) so adding a fault family never reshuffles existing streams.
+ */
+constexpr std::uint64_t kStreamDropout = 11;
+constexpr std::uint64_t kStreamSaturation = 12;
+constexpr std::uint64_t kStreamGainStep = 13;
+constexpr std::uint64_t kStreamLoHop = 14;
+constexpr std::uint64_t kStreamPreemption = 15;
+constexpr std::uint64_t kStreamInterferer = 16;
+
+void
+validate(const FaultConfig &cfg, TimeNs t0, TimeNs t1)
+{
+    if (t1 <= t0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "buildFaultPlan: empty window [%lld, %lld)",
+                   static_cast<long long>(t0),
+                   static_cast<long long>(t1));
+
+    struct RateCheck
+    {
+        const char *name;
+        double rate;
+        TimeNs lo, hi;
+    };
+    const RateCheck rates[] = {
+        {"dropoutRate", cfg.dropoutRate, cfg.dropoutMin, cfg.dropoutMax},
+        {"saturationRate", cfg.saturationRate, cfg.saturationMin,
+         cfg.saturationMax},
+        // Point events have no span of their own; the placeholder
+        // bounds always satisfy the ordered-positive-span check.
+        {"gainStepRate", cfg.gainStepRate, 1, 1},
+        {"loHopRate", cfg.loHopRate, 1, 1},
+        {"preemptionRate", cfg.preemptionRate, cfg.preemptionMin,
+         cfg.preemptionMax},
+        {"interfererOnsetRate", cfg.interfererOnsetRate,
+         cfg.interfererMin, cfg.interfererMax},
+    };
+    for (const RateCheck &r : rates) {
+        if (!(r.rate >= 0.0))
+            raiseError(ErrorKind::InvalidConfig,
+                       "FaultConfig.%s must be non-negative, got %g",
+                       r.name, r.rate);
+        if (r.rate > 0.0 && (r.lo <= 0 || r.hi < r.lo))
+            raiseError(ErrorKind::InvalidConfig,
+                       "FaultConfig.%s span bounds [%lld, %lld] are "
+                       "not a positive, ordered range",
+                       r.name, static_cast<long long>(r.lo),
+                       static_cast<long long>(r.hi));
+    }
+    if (cfg.gainStepRate > 0.0 &&
+        !(cfg.gainStepMinDb > 0.0 && cfg.gainStepMaxDb >= cfg.gainStepMinDb))
+        raiseError(ErrorKind::InvalidConfig,
+                   "FaultConfig gain-step dB range [%g, %g] must be "
+                   "positive and ordered",
+                   cfg.gainStepMinDb, cfg.gainStepMaxDb);
+    if (cfg.loHopRate > 0.0 && !(cfg.loHopMaxHz > 0.0))
+        raiseError(ErrorKind::InvalidConfig,
+                   "FaultConfig.loHopMaxHz must be positive, got %g",
+                   cfg.loHopMaxHz);
+    if (cfg.interfererOnsetRate > 0.0 && !(cfg.interfererAmplitude > 0.0))
+        raiseError(ErrorKind::InvalidConfig,
+                   "FaultConfig.interfererAmplitude must be positive, "
+                   "got %g",
+                   cfg.interfererAmplitude);
+}
+
+/**
+ * Draw a Poisson event train over [t0, t1): exponential gaps at the
+ * given mean rate, each event realised by `emit(rng, start)`.
+ */
+template <typename Emit>
+void
+drawTrain(std::vector<FaultEvent> &out, double rate, TimeNs t0, TimeNs t1,
+          std::uint64_t seed, std::uint64_t stream, Emit emit)
+{
+    if (rate <= 0.0)
+        return;
+    Rng rng(deriveSeed(seed, stream));
+    double t = static_cast<double>(t0);
+    while (true) {
+        t += static_cast<double>(fromSeconds(rng.exponential(1.0 / rate)));
+        if (t >= static_cast<double>(t1))
+            break;
+        out.push_back(emit(rng, static_cast<TimeNs>(t)));
+    }
+}
+
+TimeNs
+spanDraw(Rng &rng, TimeNs lo, TimeNs hi)
+{
+    return static_cast<TimeNs>(
+        rng.uniformInt(static_cast<std::int64_t>(lo),
+                       static_cast<std::int64_t>(hi)));
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::Dropout:
+        return "dropout";
+    case FaultKind::Saturation:
+        return "saturation";
+    case FaultKind::GainStep:
+        return "gain-step";
+    case FaultKind::LoHop:
+        return "lo-hop";
+    case FaultKind::Preemption:
+        return "preemption";
+    case FaultKind::InterfererOnset:
+        return "interferer-onset";
+    }
+    return "unknown";
+}
+
+bool
+FaultConfig::active() const
+{
+    // Non-zero rather than positive: a negative rate is an *invalid*
+    // active config, and must reach buildFaultPlan()'s validation
+    // instead of silently disabling fault injection.
+    return dropoutRate != 0.0 || saturationRate != 0.0 ||
+           gainStepRate != 0.0 || loHopRate != 0.0 ||
+           preemptionRate != 0.0 || interfererOnsetRate != 0.0;
+}
+
+std::vector<FaultEvent>
+FaultPlan::ofKind(FaultKind kind) const
+{
+    std::vector<FaultEvent> out;
+    for (const FaultEvent &e : events)
+        if (e.kind == kind)
+            out.push_back(e);
+    return out;
+}
+
+std::size_t
+FaultPlan::countOf(FaultKind kind) const
+{
+    std::size_t n = 0;
+    for (const FaultEvent &e : events)
+        n += e.kind == kind;
+    return n;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    if (events.empty())
+        return "no faults";
+    const FaultKind kinds[] = {
+        FaultKind::Dropout,        FaultKind::Saturation,
+        FaultKind::GainStep,       FaultKind::LoHop,
+        FaultKind::Preemption,     FaultKind::InterfererOnset,
+    };
+    std::string out;
+    for (FaultKind k : kinds) {
+        std::size_t n = countOf(k);
+        if (n == 0)
+            continue;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s%zu %s(s)",
+                      out.empty() ? "" : ", ", n, faultKindName(k));
+        out += buf;
+    }
+    return out;
+}
+
+FaultPlan
+buildFaultPlan(const FaultConfig &config, TimeNs t0, TimeNs t1)
+{
+    validate(config, t0, t1);
+
+    FaultPlan plan;
+    drawTrain(plan.events, config.dropoutRate, t0, t1, config.seed,
+              kStreamDropout, [&](Rng &rng, TimeNs start) {
+                  return FaultEvent{FaultKind::Dropout, start,
+                                    spanDraw(rng, config.dropoutMin,
+                                             config.dropoutMax),
+                                    0.0};
+              });
+    drawTrain(plan.events, config.saturationRate, t0, t1, config.seed,
+              kStreamSaturation, [&](Rng &rng, TimeNs start) {
+                  return FaultEvent{FaultKind::Saturation, start,
+                                    spanDraw(rng, config.saturationMin,
+                                             config.saturationMax),
+                                    config.saturationGain};
+              });
+    drawTrain(plan.events, config.gainStepRate, t0, t1, config.seed,
+              kStreamGainStep, [&](Rng &rng, TimeNs start) {
+                  double db = rng.uniform(config.gainStepMinDb,
+                                          config.gainStepMaxDb);
+                  double factor = std::pow(10.0, db / 20.0);
+                  if (rng.chance(0.5))
+                      factor = 1.0 / factor;
+                  return FaultEvent{FaultKind::GainStep, start, 0, factor};
+              });
+    drawTrain(plan.events, config.loHopRate, t0, t1, config.seed,
+              kStreamLoHop, [&](Rng &rng, TimeNs start) {
+                  double hop =
+                      rng.uniform(-config.loHopMaxHz, config.loHopMaxHz);
+                  return FaultEvent{FaultKind::LoHop, start, 0, hop};
+              });
+    drawTrain(plan.events, config.preemptionRate, t0, t1, config.seed,
+              kStreamPreemption, [&](Rng &rng, TimeNs start) {
+                  return FaultEvent{FaultKind::Preemption, start,
+                                    spanDraw(rng, config.preemptionMin,
+                                             config.preemptionMax),
+                                    1.0};
+              });
+    drawTrain(plan.events, config.interfererOnsetRate, t0, t1,
+              config.seed, kStreamInterferer, [&](Rng &rng, TimeNs start) {
+                  return FaultEvent{FaultKind::InterfererOnset, start,
+                                    spanDraw(rng, config.interfererMin,
+                                             config.interfererMax),
+                                    config.interfererAmplitude};
+              });
+
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.start < b.start;
+                     });
+    return plan;
+}
+
+FaultConfig
+dropoutGainStepConfig(std::uint64_t seed)
+{
+    FaultConfig cfg;
+    cfg.dropoutRate = 3.0;
+    cfg.gainStepRate = 3.0;
+    cfg.seed = seed;
+    return cfg;
+}
+
+FaultConfig
+harshConfig(std::uint64_t seed)
+{
+    FaultConfig cfg = dropoutGainStepConfig(seed);
+    cfg.saturationRate = 1.0;
+    cfg.loHopRate = 0.5;
+    cfg.preemptionRate = 4.0;
+    cfg.interfererOnsetRate = 1.5;
+    return cfg;
+}
+
+} // namespace emsc::sim

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Deterministic fault-injection plans for the whole signal chain.
+ *
+ * The paper's real-world runs succeed despite USB buffer loss, AGC
+ * gain re-trains, LO re-tunes, scheduler preemption on the transmitter
+ * and appliances switching on mid-capture. A FaultPlan is the seeded,
+ * reproducible description of exactly such disturbances: a sorted list
+ * of timed fault events that every stage consumes from one shared
+ * plan — the SDR front end (dropouts, saturation, gain steps, LO
+ * hops), the OS model (preemption bursts stealing the transmitter's
+ * core) and the EM scene (interferers switching on mid-capture).
+ *
+ * Determinism contract: buildFaultPlan() depends only on (config,
+ * window, seed) — never on thread count or call order — so the same
+ * seed reproduces a bit-identical plan anywhere, and a failing run can
+ * be replayed exactly (see `emsc_tool faults`).
+ */
+
+#ifndef EMSC_SIM_FAULTS_HPP
+#define EMSC_SIM_FAULTS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace emsc::sim {
+
+/** What a single fault event does to the chain. */
+enum class FaultKind
+{
+    /** SDR samples lost (USB buffer overrun): the span reads as zeros. */
+    Dropout,
+    /** Front-end overload: the span is driven hard into ADC clipping. */
+    Saturation,
+    /**
+     * AGC re-train: front-end gain changes by `magnitude` (a linear
+     * amplitude factor) from `start` until the next GainStep.
+     */
+    GainStep,
+    /** Tuner re-lock: the LO jumps by `magnitude` Hz at `start`. */
+    LoHop,
+    /**
+     * Transmitter-side scheduler steal: another task occupies the core
+     * for `duration`, stretching the bit being sent.
+     */
+    Preemption,
+    /**
+     * An interferer (appliance) switches on at `start` with impulse
+     * amplitude `magnitude` and stays on for `duration`.
+     */
+    InterfererOnset,
+};
+
+/** Human-readable name of a FaultKind ("dropout", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One timed fault. Fields without meaning for a kind are zero. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::Dropout;
+    /** When the fault begins (absolute simulation time). */
+    TimeNs start = 0;
+    /** How long it lasts (span-like kinds; 0 for point events). */
+    TimeNs duration = 0;
+    /** Kind-specific magnitude (gain factor, Hz offset, amplitude). */
+    double magnitude = 0.0;
+
+    bool operator==(const FaultEvent &) const = default;
+};
+
+/**
+ * Fault-generation knobs. All rates default to zero, i.e. a default
+ * FaultConfig produces an empty plan and the chain behaves exactly as
+ * without fault injection.
+ */
+struct FaultConfig
+{
+    /** Mean SDR dropout rate (events per second) and span bounds. */
+    double dropoutRate = 0.0;
+    TimeNs dropoutMin = 500 * kMicrosecond;
+    TimeNs dropoutMax = 3 * kMillisecond;
+
+    /** Mean saturation-burst rate (per second) and span bounds. */
+    double saturationRate = 0.0;
+    TimeNs saturationMin = 300 * kMicrosecond;
+    TimeNs saturationMax = 2 * kMillisecond;
+    /** Linear gain applied during a saturation burst (drives clipping). */
+    double saturationGain = 25.0;
+
+    /** Mean AGC gain-step rate (per second). */
+    double gainStepRate = 0.0;
+    /** Gain-step magnitude range, in dB (sign drawn at random). */
+    double gainStepMinDb = 4.0;
+    double gainStepMaxDb = 12.0;
+
+    /** Mean LO-hop rate (per second) and maximum hop (Hz, either sign). */
+    double loHopRate = 0.0;
+    double loHopMaxHz = 1500.0;
+
+    /** Mean transmitter preemption rate (per second) and span bounds. */
+    double preemptionRate = 0.0;
+    TimeNs preemptionMin = 200 * kMicrosecond;
+    TimeNs preemptionMax = 1 * kMillisecond;
+
+    /** Mean interferer-onset rate (per second) and burst parameters. */
+    double interfererOnsetRate = 0.0;
+    double interfererAmplitude = 0.3;
+    TimeNs interfererMin = 5 * kMillisecond;
+    TimeNs interfererMax = 40 * kMillisecond;
+
+    /**
+     * Plan seed. The plan is a pure function of (config, window, seed);
+     * experiment drivers that embed a FaultConfig derive a run-specific
+     * seed when this is left at zero.
+     */
+    std::uint64_t seed = 0;
+
+    /** Whether any fault family has a non-zero rate. */
+    bool active() const;
+};
+
+/** The realised, sorted schedule of faults for one capture window. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+
+    /** Events of one kind, in time order. */
+    std::vector<FaultEvent> ofKind(FaultKind kind) const;
+
+    /** Number of events of one kind. */
+    std::size_t countOf(FaultKind kind) const;
+
+    /** One-line summary ("3 dropouts, 2 gain-steps, ...") for logs. */
+    std::string describe() const;
+
+    bool empty() const { return events.empty(); }
+};
+
+/**
+ * Realise a fault plan over [t0, t1). Each fault family draws from its
+ * own derived RNG stream, so enabling one family never perturbs the
+ * event times of another. Raises RecoverableError (kind InvalidConfig)
+ * on negative rates, inverted span bounds, or an empty window.
+ */
+FaultPlan buildFaultPlan(const FaultConfig &config, TimeNs t0, TimeNs t1);
+
+/**
+ * A ready-made plan of the acceptance scenario: SDR dropouts plus AGC
+ * gain steps, the combination that destroys a whole-capture receiver's
+ * single timing/threshold lock.
+ */
+FaultConfig dropoutGainStepConfig(std::uint64_t seed);
+
+/** Everything at once: the harshest named preset. */
+FaultConfig harshConfig(std::uint64_t seed);
+
+} // namespace emsc::sim
+
+#endif // EMSC_SIM_FAULTS_HPP

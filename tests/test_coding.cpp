@@ -133,10 +133,29 @@ TEST(Frame, LayoutHasSyncZerosPreamblePayload)
     for (std::size_t i = 0; i < cfg.preamble.size(); ++i)
         EXPECT_EQ(frame[cfg.syncBits + cfg.zeroBits + i],
                   cfg.preamble[i]);
-    // Coded body: (16 + 33) bits -> 5 blocks of 15.
+    // Coded body: (16 len + 33 payload + 16 crc) = 65 bits -> 6 blocks
+    // of 15 = 90 coded bits, zero-padded to a whole interleaver chunk
+    // of depth * 15 = 60 bits -> 120 on the air.
+    std::size_t body = frame.size() - cfg.syncBits - cfg.zeroBits -
+                       cfg.preamble.size();
+    EXPECT_EQ(body, 120u);
+}
+
+TEST(Frame, CrcDisabledShrinksBodyAndReportsUnchecked)
+{
+    FrameConfig cfg;
+    cfg.crc = false;
+    cfg.interleaverDepth = 1;
+    Bits payload = randomBits(33, 7);
+    Bits frame = buildFrame(payload, cfg);
+    // (16 + 33) = 49 bits -> 5 blocks -> 75, no padding at depth 1.
     std::size_t body = frame.size() - cfg.syncBits - cfg.zeroBits -
                        cfg.preamble.size();
     EXPECT_EQ(body, 75u);
+    ParsedFrame parsed = parseFrame(frame, cfg);
+    ASSERT_TRUE(parsed.found);
+    EXPECT_EQ(parsed.payload, payload);
+    EXPECT_EQ(parsed.integrity, FrameIntegrity::Unchecked);
 }
 
 TEST(Frame, ParseRecoversPayloadExactly)
@@ -171,21 +190,83 @@ TEST(Frame, ParseSurvivesLeadingAndTrailingJunk)
         EXPECT_EQ(parsed.payload[i], payload[i]);
 }
 
-TEST(Frame, SingleBitErrorsInBodyAreCorrected)
+TEST(Frame, BurstErrorsPerChunkAreCorrected)
 {
+    // The interleaver spreads a contiguous burst of up to `depth` on-air
+    // bits across distinct codewords, each of which corrects its single
+    // error — the whole point of burst-hardened framing.
     FrameConfig cfg;
     Bits payload = randomBits(44, 12);
     Bits frame = buildFrame(payload, cfg);
     std::size_t prefix =
         cfg.syncBits + cfg.zeroBits + cfg.preamble.size();
-    // One flip per coded block.
-    for (std::size_t block = 0; block * 15 + prefix < frame.size();
-         ++block)
-        frame[prefix + block * 15 + (block % 15)] ^= 1;
+    std::size_t chunk = cfg.interleaverDepth * 15;
+    for (std::size_t c = 0; prefix + c * chunk + cfg.interleaverDepth <=
+                            frame.size();
+         ++c)
+        for (std::size_t i = 0; i < cfg.interleaverDepth; ++i)
+            frame[prefix + c * chunk + i] ^= 1;
     ParsedFrame parsed = parseFrame(frame, cfg);
     ASSERT_TRUE(parsed.found);
     EXPECT_GT(parsed.corrected, 0u);
     EXPECT_EQ(parsed.payload, payload);
+    EXPECT_TRUE(parsed.crcOk);
+    EXPECT_EQ(parsed.integrity, FrameIntegrity::Corrected);
+}
+
+TEST(Frame, CleanParseReportsVerifiedIntegrity)
+{
+    FrameConfig cfg;
+    Bits payload = randomBits(50, 14);
+    ParsedFrame parsed = parseFrame(buildFrame(payload, cfg), cfg);
+    ASSERT_TRUE(parsed.found);
+    EXPECT_TRUE(parsed.crcOk);
+    EXPECT_EQ(parsed.integrity, FrameIntegrity::Verified);
+}
+
+TEST(Frame, GarbageBodyWithIntactPreambleReportsDamaged)
+{
+    FrameConfig cfg;
+    Bits payload = randomBits(60, 15);
+    Bits frame = buildFrame(payload, cfg);
+    std::size_t prefix =
+        cfg.syncBits + cfg.zeroBits + cfg.preamble.size();
+    // Trash enough of the body that Hamming cannot undo it.
+    Rng rng(16);
+    for (std::size_t i = prefix; i < frame.size(); ++i)
+        if (rng.chance(0.25))
+            frame[i] ^= 1;
+    ParsedFrame parsed = parseFrame(frame, cfg);
+    if (parsed.found) {
+        EXPECT_FALSE(parsed.crcOk);
+        EXPECT_EQ(parsed.integrity, FrameIntegrity::Damaged);
+    }
+}
+
+TEST(Frame, ErasedBurstIsRecoveredViaMask)
+{
+    // A dropout bridged by the receiver arrives as erasure-marked
+    // placeholder bits. With <= 2 erasures per codeword (distance 3)
+    // the decoder recovers the payload exactly.
+    FrameConfig cfg;
+    Bits payload = randomBits(44, 17);
+    Bits frame = buildFrame(payload, cfg);
+    std::size_t prefix =
+        cfg.syncBits + cfg.zeroBits + cfg.preamble.size();
+    Bits erased(frame.size(), 0);
+    // Erase a contiguous burst of 2 * depth on-air bits: after
+    // deinterleaving, each codeword sees at most two erasures.
+    std::size_t burst = 2 * cfg.interleaverDepth;
+    for (std::size_t i = 0; i < burst; ++i) {
+        frame[prefix + 7 + i] = 0; // placeholder value
+        erased[prefix + 7 + i] = 1;
+    }
+    ParsedFrame parsed = parseFrame(frame, erased, cfg);
+    ASSERT_TRUE(parsed.found);
+    EXPECT_EQ(parsed.payload, payload);
+    EXPECT_TRUE(parsed.crcOk);
+    EXPECT_GT(parsed.erasedBits, 0u);
+    EXPECT_EQ(parsed.integrity, FrameIntegrity::Corrected);
 }
 
 TEST(Frame, PreambleToleranceAllowsOneError)
@@ -198,17 +279,36 @@ TEST(Frame, PreambleToleranceAllowsOneError)
     EXPECT_TRUE(parsed.found);
 }
 
-TEST(Frame, TooManyPreambleErrorsRejects)
+TEST(Frame, BatteredPreambleIsVouchedForByCrc)
 {
     FrameConfig cfg;
     // All-zero payload: the coded body cannot imitate the preamble, so
-    // the only possible lock is the genuine (corrupted) one.
+    // the only possible lock is the genuine (corrupted) one. Three
+    // flips push the preamble past its own tolerance, but the intact
+    // body's CRC vouches for the lock position.
     Bits payload(22, 0);
     Bits frame = buildFrame(payload, cfg);
     std::size_t p0 = cfg.syncBits + cfg.zeroBits;
     frame[p0 + 0] ^= 1;
     frame[p0 + 3] ^= 1;
     frame[p0 + 5] ^= 1;
+    ParsedFrame parsed = parseFrame(frame, cfg);
+    EXPECT_TRUE(parsed.found);
+    EXPECT_TRUE(parsed.crcOk);
+    EXPECT_EQ(parsed.payload, payload);
+}
+
+TEST(Frame, TooManyPreambleErrorsRejects)
+{
+    FrameConfig cfg;
+    Bits payload(22, 0);
+    Bits frame = buildFrame(payload, cfg);
+    std::size_t p0 = cfg.syncBits + cfg.zeroBits;
+    // Four flips exceed even the CRC-vouched candidate window.
+    frame[p0 + 0] ^= 1;
+    frame[p0 + 3] ^= 1;
+    frame[p0 + 5] ^= 1;
+    frame[p0 + 6] ^= 1;
     ParsedFrame parsed = parseFrame(frame, cfg);
     EXPECT_FALSE(parsed.found);
 }
@@ -223,6 +323,109 @@ TEST(Frame, OversizedPayloadIsRecoverable)
 {
     Bits huge(70000, 1);
     EXPECT_THROW(buildFrame(huge, FrameConfig{}), RecoverableError);
+}
+
+TEST(Interleaver, DeinterleaveInvertsInterleaveAcrossShapes)
+{
+    // Bijection property, including partial trailing chunks.
+    for (std::size_t depth : {1u, 2u, 3u, 4u, 7u}) {
+        for (std::size_t n : {0u, 1u, 14u, 15u, 59u, 60u, 61u, 300u,
+                              1234u}) {
+            Bits x = randomBits(n, 1000 + 10 * depth + n);
+            Bits round = deinterleave(interleave(x, depth), depth);
+            EXPECT_EQ(round, x) << "depth " << depth << " n " << n;
+        }
+    }
+}
+
+TEST(Interleaver, DepthOneIsIdentity)
+{
+    Bits x = randomBits(137, 18);
+    EXPECT_EQ(interleave(x, 1), x);
+    EXPECT_EQ(deinterleave(x, 1), x);
+    EXPECT_EQ(interleave(x, 0), x);
+}
+
+TEST(Interleaver, SpreadsBurstsAcrossCodewords)
+{
+    // Any contiguous on-air burst of <= depth bits lands on at most
+    // one bit of each 15-bit codeword after deinterleaving.
+    constexpr std::size_t depth = 4;
+    constexpr std::size_t n = 8 * depth * 15;
+    for (std::size_t start = 0; start + depth <= n; ++start) {
+        Bits burst(n, 0);
+        for (std::size_t i = 0; i < depth; ++i)
+            burst[start + i] = 1;
+        Bits spread = deinterleave(burst, depth);
+        for (std::size_t w = 0; w * 15 < n; ++w) {
+            int hits = 0;
+            for (std::size_t i = 0; i < 15; ++i)
+                hits += spread[w * 15 + i];
+            EXPECT_LE(hits, 1) << "burst at " << start << " word " << w;
+        }
+    }
+}
+
+TEST(Crc16, DetectsAllSingleBurstsUpToSixteenBits)
+{
+    // A degree-16 CRC detects every single burst error of length <= 16:
+    // the error polynomial x^s * p(x) with deg(p) < 16, p != 0 is never
+    // divisible by the generator.
+    Bits msg = randomBits(96, 19);
+    std::uint16_t clean = crc16(msg);
+    Rng rng(20);
+    for (std::size_t len = 1; len <= 16; ++len) {
+        for (std::size_t start = 0; start + len <= msg.size(); ++start) {
+            // A burst has its first and last bits flipped; the interior
+            // pattern is arbitrary (sampled, plus the all-ones burst).
+            for (int variant = 0; variant < 3; ++variant) {
+                Bits damaged = msg;
+                damaged[start] ^= 1;
+                if (len > 1)
+                    damaged[start + len - 1] ^= 1;
+                for (std::size_t i = 1; i + 1 < len; ++i)
+                    if (variant == 0 || rng.chance(0.5))
+                        damaged[start + i] ^= 1;
+                EXPECT_NE(crc16(damaged), clean)
+                    << "burst start " << start << " len " << len;
+                if (len <= 2)
+                    break; // no interior: variants are identical
+            }
+        }
+    }
+}
+
+TEST(Crc16, MatchesKnownCheckValue)
+{
+    // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+    EXPECT_EQ(crc16(bytesToBits("123456789")), 0x29B1);
+}
+
+TEST(HammingErasures, TwoErasuresPerBlockAreExact)
+{
+    Bits data = randomBits(11 * 4, 21);
+    Bits coded = hammingEncode(data);
+    Bits erased(coded.size(), 0);
+    // Two erasures in each 15-bit block, values zeroed.
+    for (std::size_t blk = 0; blk < 4; ++blk) {
+        std::size_t a = blk * 15 + 3, b = blk * 15 + 11;
+        coded[a] = 0;
+        coded[b] = 0;
+        erased[a] = 1;
+        erased[b] = 1;
+    }
+    HammingDecodeResult res = hammingDecodeErasures(coded, erased);
+    ASSERT_GE(res.bits.size(), data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(res.bits[i], data[i]) << "bit " << i;
+    EXPECT_GT(res.erasures, 0u);
+}
+
+TEST(HammingErasures, MismatchedMaskIsRecoverable)
+{
+    Bits coded = randomBits(15, 22);
+    Bits erased(14, 0);
+    EXPECT_THROW(hammingDecodeErasures(coded, erased), RecoverableError);
 }
 
 /** Parameterised: frame round trip across payload sizes. */

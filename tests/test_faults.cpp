@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Fault-injection harness tests: deterministic FaultPlan generation,
+ * per-family stream independence, config validation at plan-build and
+ * scene-build time, and end-to-end reproducibility of faulted runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+#include "core/api.hpp"
+#include "em/scene.hpp"
+#include "sim/faults.hpp"
+
+namespace emsc {
+namespace {
+
+using sim::FaultConfig;
+using sim::FaultEvent;
+using sim::FaultKind;
+using sim::FaultPlan;
+
+TEST(FaultPlan, SameSeedIsBitIdentical)
+{
+    FaultConfig cfg = sim::harshConfig(42);
+    FaultPlan a = sim::buildFaultPlan(cfg, 0, kSecond);
+    FaultPlan b = sim::buildFaultPlan(cfg, 0, kSecond);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    EXPECT_TRUE(a.events == b.events);
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(FaultPlan, DifferentSeedsDiffer)
+{
+    FaultPlan a = sim::buildFaultPlan(sim::harshConfig(1), 0, kSecond);
+    FaultPlan b = sim::buildFaultPlan(sim::harshConfig(2), 0, kSecond);
+    EXPECT_FALSE(a.events == b.events);
+}
+
+TEST(FaultPlan, FamiliesDrawFromIndependentStreams)
+{
+    // Enabling a second fault family must not move the events of the
+    // first: each family draws from its own derived RNG stream.
+    FaultConfig only_gain;
+    only_gain.gainStepRate = 5.0;
+    only_gain.seed = 7;
+    FaultConfig both = only_gain;
+    both.dropoutRate = 5.0;
+
+    FaultPlan a = sim::buildFaultPlan(only_gain, 0, kSecond);
+    FaultPlan b = sim::buildFaultPlan(both, 0, kSecond);
+    EXPECT_TRUE(a.ofKind(FaultKind::GainStep) ==
+                b.ofKind(FaultKind::GainStep));
+    EXPECT_GT(b.countOf(FaultKind::Dropout), 0u);
+}
+
+TEST(FaultPlan, EventsSortedAndInsideWindow)
+{
+    FaultPlan plan =
+        sim::buildFaultPlan(sim::harshConfig(3), 10 * kMillisecond,
+                            200 * kMillisecond);
+    ASSERT_FALSE(plan.empty());
+    TimeNs prev = 0;
+    for (const FaultEvent &e : plan.events) {
+        EXPECT_GE(e.start, 10 * kMillisecond);
+        EXPECT_LT(e.start, 200 * kMillisecond);
+        EXPECT_GE(e.start, prev);
+        prev = e.start;
+    }
+}
+
+TEST(FaultPlan, DescribeNamesEveryFamily)
+{
+    FaultPlan plan = sim::buildFaultPlan(sim::harshConfig(4), 0,
+                                         2 * kSecond);
+    std::string d = plan.describe();
+    EXPECT_NE(d.find("dropout"), std::string::npos);
+    EXPECT_NE(d.find("gain-step"), std::string::npos);
+    EXPECT_EQ(FaultPlan{}.describe(), "no faults");
+}
+
+TEST(FaultPlan, DefaultConfigIsInactiveAndEmpty)
+{
+    FaultConfig cfg;
+    EXPECT_FALSE(cfg.active());
+    EXPECT_TRUE(sim::buildFaultPlan(cfg, 0, kSecond).empty());
+}
+
+TEST(FaultPlan, ValidationIsRecoverable)
+{
+    FaultConfig cfg;
+    EXPECT_THROW(sim::buildFaultPlan(cfg, 5, 5), RecoverableError);
+
+    cfg = FaultConfig{};
+    cfg.dropoutRate = -1.0;
+    EXPECT_THROW(sim::buildFaultPlan(cfg, 0, kSecond), RecoverableError);
+
+    cfg = FaultConfig{};
+    cfg.dropoutRate = 1.0;
+    cfg.dropoutMin = 2 * kMillisecond;
+    cfg.dropoutMax = 1 * kMillisecond;
+    EXPECT_THROW(sim::buildFaultPlan(cfg, 0, kSecond), RecoverableError);
+
+    cfg = FaultConfig{};
+    cfg.gainStepRate = 1.0;
+    cfg.gainStepMinDb = -3.0;
+    EXPECT_THROW(sim::buildFaultPlan(cfg, 0, kSecond), RecoverableError);
+
+    cfg = FaultConfig{};
+    cfg.loHopRate = 1.0;
+    cfg.loHopMaxHz = 0.0;
+    EXPECT_THROW(sim::buildFaultPlan(cfg, 0, kSecond), RecoverableError);
+}
+
+TEST(SceneValidation, RejectsNegativeImpulsiveRate)
+{
+    em::InterferenceEnvironment env;
+    em::ImpulsiveInterferer imp;
+    imp.name = "bad";
+    imp.ratePerSecond = -5.0;
+    imp.amplitude = 0.1;
+    env.impulses.push_back(imp);
+    EXPECT_THROW(em::validateEnvironment(env), RecoverableError);
+}
+
+TEST(SceneValidation, RejectsNegativeAmplitudes)
+{
+    em::InterferenceEnvironment env;
+    em::ImpulsiveInterferer imp;
+    imp.ratePerSecond = 5.0;
+    imp.amplitude = -0.1;
+    env.impulses.push_back(imp);
+    EXPECT_THROW(em::validateEnvironment(env), RecoverableError);
+
+    em::InterferenceEnvironment env2;
+    em::ToneInterferer tone;
+    tone.amplitude = -1.0;
+    env2.tones.push_back(tone);
+    EXPECT_THROW(em::validateEnvironment(env2), RecoverableError);
+}
+
+TEST(SceneValidation, RejectsZeroBurstSpacingWithMultiImpulseBursts)
+{
+    em::InterferenceEnvironment env;
+    em::ImpulsiveInterferer imp;
+    imp.ratePerSecond = 5.0;
+    imp.amplitude = 0.1;
+    imp.burstLength = 3;
+    imp.burstSpacing = 0;
+    env.impulses.push_back(imp);
+    EXPECT_THROW(em::validateEnvironment(env), RecoverableError);
+}
+
+TEST(SceneValidation, AcceptsQuietAndTypicalEnvironments)
+{
+    EXPECT_NO_THROW(em::validateEnvironment(em::quietEnvironment()));
+}
+
+TEST(SceneFaults, OnsetEventsAddGatedInterferers)
+{
+    FaultPlan plan;
+    plan.events.push_back(FaultEvent{FaultKind::InterfererOnset,
+                                     30 * kMillisecond,
+                                     10 * kMillisecond, 0.4});
+    em::InterferenceEnvironment env = em::applyInterfererOnsets(
+        em::quietEnvironment(), plan);
+    ASSERT_FALSE(env.impulses.empty());
+    const em::ImpulsiveInterferer &imp = env.impulses.back();
+    EXPECT_EQ(imp.onset, 30 * kMillisecond);
+    EXPECT_EQ(imp.activeDuration, 10 * kMillisecond);
+    EXPECT_DOUBLE_EQ(imp.amplitude, 0.4);
+    EXPECT_NO_THROW(em::validateEnvironment(env));
+}
+
+TEST(FaultedRun, SameSeedReproducesResultsExactly)
+{
+    core::DeviceProfile dev = core::referenceDevice();
+    core::CovertChannelOptions o;
+    o.payloadBits = 200;
+    o.seed = 404;
+    o.faults = sim::dropoutGainStepConfig(0); // derive from run seed
+
+    core::CovertChannelResult a =
+        core::runCovertChannel(dev, core::nearFieldSetup(), o);
+    core::CovertChannelResult b =
+        core::runCovertChannel(dev, core::nearFieldSetup(), o);
+    ASSERT_TRUE(a.ok());
+    EXPECT_GT(a.faultEvents, 0u);
+    EXPECT_EQ(a.faultEvents, b.faultEvents);
+    EXPECT_EQ(a.frameFound, b.frameFound);
+    EXPECT_DOUBLE_EQ(a.ber, b.ber);
+    EXPECT_EQ(a.decodedPayload, b.decodedPayload);
+    EXPECT_EQ(a.segmentsUsed, b.segmentsUsed);
+    EXPECT_EQ(a.corruptedSpans, b.corruptedSpans);
+}
+
+TEST(FaultedRun, InactiveFaultsMatchFaultFreeRunBitForBit)
+{
+    core::DeviceProfile dev = core::referenceDevice();
+    core::CovertChannelOptions o;
+    o.payloadBits = 200;
+    o.seed = 405;
+
+    core::CovertChannelResult clean =
+        core::runCovertChannel(dev, core::nearFieldSetup(), o);
+    o.faults = sim::FaultConfig{}; // explicitly default: inactive
+    core::CovertChannelResult same =
+        core::runCovertChannel(dev, core::nearFieldSetup(), o);
+    EXPECT_EQ(clean.decodedPayload, same.decodedPayload);
+    EXPECT_DOUBLE_EQ(clean.ber, same.ber);
+    EXPECT_EQ(clean.faultEvents, 0u);
+}
+
+TEST(FaultedRun, BadFaultConfigIsAStructuredFailure)
+{
+    core::DeviceProfile dev = core::referenceDevice();
+    core::CovertChannelOptions o;
+    o.payloadBits = 64;
+    o.seed = 406;
+    o.faults.dropoutRate = -2.0;
+    core::CovertChannelResult r =
+        core::runCovertChannel(dev, core::nearFieldSetup(), o);
+    EXPECT_FALSE(r.ok());
+    ASSERT_TRUE(r.failure.has_value());
+    EXPECT_EQ(r.failure->kind, ErrorKind::InvalidConfig);
+}
+
+} // namespace
+} // namespace emsc

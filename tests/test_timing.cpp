@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "channel/timing.hpp"
+#include "support/error.hpp"
 #include "support/rng.hpp"
 
 namespace emsc::channel {
@@ -176,6 +177,50 @@ TEST(RecoverTiming, EmptySignalYieldsNothing)
     BitTiming t = recoverTiming({}, TimingConfig{});
     EXPECT_TRUE(t.starts.empty());
     EXPECT_DOUBLE_EQ(t.signalingTime, 0.0);
+}
+
+TEST(RecoverTiming, AperiodicSignalFallsBackToGenericScale)
+{
+    // A constant envelope has no periodicity (estimateBitPeriod finds
+    // nothing) and no edges; the period hypothesis then falls back to
+    // the generic 64-sample scale, which is what the returned
+    // signaling time reports when fewer than three edges exist.
+    std::vector<double> y(256, 1.0);
+    ASSERT_DOUBLE_EQ(estimateBitPeriod(y, TimingConfig{}), 0.0);
+    BitTiming t = recoverTiming(y, TimingConfig{});
+    EXPECT_LT(t.starts.size(), 3u);
+    EXPECT_DOUBLE_EQ(t.signalingTime, 64.0);
+}
+
+TEST(RecoverTiming, PeriodHintOverridesGenericFallback)
+{
+    // A segment too corrupt to measure re-locks with the period carried
+    // over from an earlier clean segment instead of the generic scale.
+    std::vector<double> y(256, 1.0);
+    TimingConfig cfg;
+    cfg.periodHint = 100.0;
+    BitTiming t = recoverTiming(y, cfg);
+    EXPECT_DOUBLE_EQ(t.signalingTime, 100.0);
+}
+
+TEST(RecoverTiming, ExplicitKernelBeatsPeriodHint)
+{
+    // An explicit edge kernel pins the period hypothesis to 2 * l_d;
+    // the hint only matters when the autocorrelation came up empty.
+    std::vector<double> y(256, 1.0);
+    TimingConfig cfg;
+    cfg.periodHint = 100.0;
+    cfg.edgeKernel = 20;
+    BitTiming t = recoverTiming(y, cfg);
+    EXPECT_DOUBLE_EQ(t.signalingTime, 40.0);
+}
+
+TEST(RecoverTiming, NegativePeriodHintIsRecoverable)
+{
+    TimingConfig cfg;
+    cfg.periodHint = -1.0;
+    EXPECT_THROW(recoverTiming(std::vector<double>(64, 1.0), cfg),
+                 RecoverableError);
 }
 
 /** Parameterised sweep over bit periods. */
