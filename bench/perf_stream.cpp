@@ -1,0 +1,77 @@
+/**
+ * @file
+ * google-benchmark comparison of the streaming receiver against the
+ * batch receiver on the same capture: decode throughput, peak
+ * buffered sample memory (the streaming runtime's RSS proxy), and
+ * time to the first decoded bit.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "covert_rig.hpp"
+#include "stream/receiver_ops.hpp"
+#include "stream/sources.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace emsc;
+
+const bench::CovertRun &
+sharedRun()
+{
+    static bench::CovertRun run = bench::runInstrumented(600, 8);
+    return run;
+}
+
+void
+BM_BatchDecode(benchmark::State &state)
+{
+    const bench::CovertRun &run = sharedRun();
+    channel::ReceiverConfig cfg;
+    for (auto _ : state) {
+        auto rx = channel::receive(run.capture, cfg);
+        benchmark::DoNotOptimize(rx.frame.found);
+    }
+    // The batch receiver materialises the capture and its envelope.
+    state.counters["resident_samples"] =
+        static_cast<double>(run.capture.samples.size());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(run.capture.samples.size()));
+    state.SetLabel("600-bit capture, whole-buffer decode");
+}
+BENCHMARK(BM_BatchDecode);
+
+/**
+ * Streaming decode of the same capture, chunked at 32 Ki samples.
+ * Arg(1) is the inline cascade, Arg(4) the threaded pipeline; the
+ * decode is bit-identical between the two.
+ */
+void
+BM_StreamingDecode(benchmark::State &state)
+{
+    const bench::CovertRun &run = sharedRun();
+    auto threads = static_cast<std::size_t>(state.range(0));
+    ScopedThreadCount scoped(threads);
+    stream::ReceiverOps ops(channel::ReceiverConfig{});
+    stream::StreamingResult last;
+    for (auto _ : state) {
+        stream::MemoryChunkSource src(run.capture, 1 << 15);
+        last = ops.runStreaming(src);
+        benchmark::DoNotOptimize(last.rx.frame.found);
+    }
+    state.counters["peak_buffered_samples"] =
+        static_cast<double>(last.report.peakBufferedSamples);
+    state.counters["capture_samples"] =
+        static_cast<double>(run.capture.samples.size());
+    state.counters["first_bit_ms"] =
+        static_cast<double>(last.firstBitLatencyNs) * 1e-6;
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(run.capture.samples.size()));
+    state.SetLabel("600-bit capture, chunked bounded-memory decode");
+}
+BENCHMARK(BM_StreamingDecode)->Arg(1)->Arg(4)->UseRealTime();
+
+} // namespace

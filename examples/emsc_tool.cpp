@@ -11,11 +11,15 @@
  *                     [--fault-seed <s>] [--bits <n>] [--device <name>]
  *   emsc_tool capture <out.iq> [--device <name>] [--bits <n>]
  *   emsc_tool decode  <in.iq> <sample_rate_hz> <center_freq_hz>
+ *   emsc_tool stream  <in.iq> <sample_rate_hz> <center_freq_hz>
+ *                     [--chunk <samples>] [--keylog] [--warmup <samples>]
  *
  * `capture` writes the simulated RTL-SDR baseband in the interleaved
  * u8 format rtl_sdr(1) produces, so the emission can be inspected with
  * GNU Radio / inspectrum / gqrx; `decode` runs this repository's
- * receiver over any such file (including externally recorded ones).
+ * receiver over any such file (including externally recorded ones);
+ * `stream` decodes the same files through the bounded-memory streaming
+ * runtime and prints its per-stage observability report.
  */
 
 #include <cstdio>
@@ -27,6 +31,8 @@
 #include "sdr/iqfile.hpp"
 #include "sdr/rtlsdr.hpp"
 #include "sim/faults.hpp"
+#include "stream/receiver_ops.hpp"
+#include "stream/sources.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 #include "vrm/pmu.hpp"
@@ -46,6 +52,9 @@ struct Args
     std::uint64_t seed = 1;
     std::string plan = "dropout-gain";
     std::uint64_t faultSeed = 0; // 0 = derive from --seed
+    std::size_t chunk = 1 << 16;
+    std::size_t warmup = 0; // 0 = StreamingOptions default
+    bool keylogTee = false;
 };
 
 core::MeasurementSetup
@@ -87,6 +96,12 @@ parse(int argc, char **argv, int first)
             a.plan = next();
         else if (flag == "--fault-seed")
             a.faultSeed = static_cast<std::uint64_t>(std::atoll(next()));
+        else if (flag == "--chunk")
+            a.chunk = static_cast<std::size_t>(std::atoll(next()));
+        else if (flag == "--warmup")
+            a.warmup = static_cast<std::size_t>(std::atoll(next()));
+        else if (flag == "--keylog")
+            a.keylogTee = true;
         else
             fatal("unknown flag '%s'", flag.c_str());
     }
@@ -278,6 +293,45 @@ cmdDecode(const std::string &path, double fs, double fc)
     return 0;
 }
 
+int
+cmdStream(const std::string &path, double fs, double fc, const Args &a)
+{
+    stream::IqFileChunkSource source(path, fs, fc, a.chunk);
+    channel::ReceiverConfig rc;
+    stream::ReceiverOps ops(rc);
+    stream::StreamingOptions opts;
+    opts.detectKeystrokes = a.keylogTee;
+    if (a.warmup > 0)
+        opts.warmupSamples = a.warmup;
+    stream::StreamingResult r = ops.runStreaming(source, opts);
+
+    if (!r.rx.ok()) {
+        std::printf("streaming decode failed: %s\n",
+                    r.rx.failure->message.c_str());
+        return 1;
+    }
+    std::printf("%s decode | carrier %.1f kHz | %zu channel bits",
+                r.streamed ? "streaming" : "warm-up (batch)",
+                r.rx.carrierHz / 1e3, r.rx.labeled.bits.size());
+    if (r.rx.frame.found)
+        std::printf(" | payload %zu bits | %zu corrections",
+                    r.rx.frame.payload.size(), r.rx.frame.corrected);
+    else
+        std::printf(" | no frame recovered");
+    std::printf("\n");
+    if (r.streamed && r.firstBitLatencyNs > 0)
+        std::printf("first labeled bit after %.1f ms of wall time\n",
+                    static_cast<double>(r.firstBitLatencyNs) * 1e-6);
+    if (a.keylogTee)
+        std::printf("%zu keystrokes detected\n", r.keystrokes.size());
+    if (r.streamed) {
+        std::printf("\nper-stage report:\n%s", r.report.format().c_str());
+    }
+    if (!r.rx.diagnostic.empty())
+        std::printf("notes: %s\n", r.rx.diagnostic.c_str());
+    return r.rx.frame.found ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -293,7 +347,10 @@ usage()
         "deterministic fault plan\n"
         "  capture <out.iq> [flags]          write rtl_sdr-format IQ\n"
         "  decode  <in.iq> <fs_hz> <fc_hz>   run the receiver on a "
-        "file\n");
+        "file\n"
+        "  stream  <in.iq> <fs_hz> <fc_hz> [--chunk N] [--keylog]\n"
+        "          [--warmup N]              bounded-memory streaming "
+        "decode + per-stage report\n");
 }
 
 } // namespace
@@ -332,6 +389,15 @@ main(int argc, char **argv)
             }
             return cmdDecode(argv[2], std::atof(argv[3]),
                              std::atof(argv[4]));
+        }
+        if (cmd == "stream") {
+            if (argc < 5) {
+                usage();
+                return 2;
+            }
+            return cmdStream(argv[2], std::atof(argv[3]),
+                             std::atof(argv[4]),
+                             parse(argc, argv, 5));
         }
         usage();
         return 2;

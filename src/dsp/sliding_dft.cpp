@@ -7,15 +7,9 @@
 
 namespace emsc::dsp {
 
-namespace {
-
-/** Renormalise every this many samples to bound rounding drift. */
-constexpr std::size_t kRenormInterval = 1 << 16;
-
-} // namespace
-
-SlidingDft::SlidingDft(std::size_t window_size, std::vector<std::size_t> bins)
-    : m(window_size), binIdx(std::move(bins))
+SlidingDft::SlidingDft(std::size_t window_size, std::vector<std::size_t> bins,
+                       std::size_t renorm_interval)
+    : m(window_size), renormEvery(renorm_interval), binIdx(std::move(bins))
 {
     if (m == 0)
         raiseError(ErrorKind::InvalidConfig,
@@ -79,7 +73,7 @@ SlidingDft::push(Complex sample)
         y += std::abs(accum[i]);
     }
 
-    if (seen % kRenormInterval == 0)
+    if (renormEvery != 0 && seen % renormEvery == 0)
         renormalize();
     return y;
 }

@@ -29,10 +29,24 @@ class SlidingDft
 {
   public:
     /**
-     * @param window_size  M, the DFT length
-     * @param bins         indices k of the tracked bins (0 <= k < M)
+     * Default exact re-seed cadence. Every O(1) bin update multiplies
+     * the accumulated phasor by a twiddle whose magnitude rounds away
+     * from 1, so the drift grows linearly in pushed samples; re-seeding
+     * each bin exactly from the buffered window every interval bounds
+     * the error independent of run length (streaming captures run for
+     * minutes — hundreds of millions of hops).
      */
-    SlidingDft(std::size_t window_size, std::vector<std::size_t> bins);
+    static constexpr std::size_t kDefaultRenormInterval = 1 << 16;
+
+    /**
+     * @param window_size      M, the DFT length
+     * @param bins             indices k of the tracked bins (0 <= k < M)
+     * @param renorm_interval  pushes between exact re-seeds of the
+     *                         tracked bins (0 = never re-seed; only for
+     *                         drift measurements in tests)
+     */
+    SlidingDft(std::size_t window_size, std::vector<std::size_t> bins,
+               std::size_t renorm_interval = kDefaultRenormInterval);
 
     /**
      * Push one complex sample; @return the current Eq. (1) output
@@ -52,6 +66,9 @@ class SlidingDft
     /** Number of samples consumed so far. */
     std::size_t samplesSeen() const { return seen; }
 
+    /** Pushes between exact re-seeds (0 = never). */
+    std::size_t renormInterval() const { return renormEvery; }
+
     /** Reset all state as if freshly constructed. */
     void reset();
 
@@ -68,6 +85,7 @@ class SlidingDft
     void renormalize();
 
     std::size_t m;
+    std::size_t renormEvery;
     std::vector<std::size_t> binIdx;
     std::vector<Complex> twiddle; //!< exp(+2*pi*i*k/M) per tracked bin
     std::vector<Complex> accum;   //!< running F_n[k] per tracked bin

@@ -4,12 +4,11 @@
 #include <cmath>
 
 #include "channel/labeling.hpp"
+#include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/stats.hpp"
 
 namespace emsc::keylog {
-
-namespace {
 
 /**
  * Decision threshold for window energies. Keystrokes are sparse, so
@@ -49,8 +48,6 @@ selectEnergyThreshold(const std::vector<double> &energy,
         return std::min(bimodal, fallback * 4.0);
     return fallback;
 }
-
-} // namespace
 
 DetectionResult
 detectKeystrokes(const channel::AcquiredSignal &signal,
@@ -132,6 +129,165 @@ detectKeystrokes(const channel::AcquiredSignal &signal,
         close_run(out.windowEnergy.size() - gap);
 
     return out;
+}
+
+namespace {
+
+/** Windows buffered before the first online threshold calibration. */
+constexpr std::size_t kCalibrationWindows = 64;
+/** Threshold re-selection cadence (windows) once calibrated. */
+constexpr std::size_t kRefreshWindows = 256;
+/** Ring of recent window energies backing threshold adaptation. */
+constexpr std::size_t kEnergyRingWindows = 4096;
+
+} // namespace
+
+OnlineKeystrokeDetector::OnlineKeystrokeDetector(
+    double sample_rate, TimeNs capture_start,
+    const DetectorConfig &config)
+    : cfg(config), start(capture_start)
+{
+    if (sample_rate <= 0.0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "OnlineKeystrokeDetector requires a positive "
+                   "envelope rate");
+    perWindow = std::max<std::size_t>(
+        static_cast<std::size_t>(sample_rate * cfg.windowMs * 1e-3), 1);
+    windowNs =
+        fromSeconds(static_cast<double>(perWindow) / sample_rate);
+    mergeGap = static_cast<std::size_t>(
+        std::ceil(cfg.mergeGapMs / cfg.windowMs));
+    minRun = static_cast<std::size_t>(
+        std::ceil(cfg.minDurationMs / cfg.windowMs));
+    ringCap = kEnergyRingWindows;
+    ring.reserve(ringCap);
+    tail.reserve(mergeGap + 2);
+}
+
+void
+OnlineKeystrokeDetector::feed(const double *y, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += y[i] * y[i];
+        if (++accCount == perWindow) {
+            pushWindow(acc / static_cast<double>(perWindow));
+            acc = 0.0;
+            accCount = 0;
+        }
+    }
+}
+
+void
+OnlineKeystrokeDetector::pushWindow(double energy)
+{
+    if (ring.size() < ringCap) {
+        ring.push_back(energy);
+    } else {
+        ring[ringHead] = energy;
+        ringHead = (ringHead + 1) % ringCap;
+    }
+
+    if (!calibrated) {
+        // Buffer the first windows, select the threshold once enough
+        // have been seen, then replay them through the run logic so
+        // early keystrokes are not lost to an uncalibrated detector.
+        pending.push_back(energy);
+        if (pending.size() >= kCalibrationWindows) {
+            thr = selectEnergyThreshold(pending, cfg);
+            calibrated = true;
+            for (double e : pending)
+                runLogic(e);
+            pending.clear();
+        }
+        return;
+    }
+
+    // Slow adaptation: re-select from the recent-energy ring between
+    // bursts (never mid-run, so one keystroke sees one threshold).
+    if (!inRun && windows % kRefreshWindows == 0)
+        thr = selectEnergyThreshold(ring, cfg);
+    runLogic(energy);
+}
+
+void
+OnlineKeystrokeDetector::runLogic(double energy)
+{
+    std::size_t w = windows++;
+    bool hot = energy > thr;
+    if (hot) {
+        if (!inRun) {
+            inRun = true;
+            runStart = w;
+            runEnergy = 0.0;
+            tail.clear();
+        }
+        gap = 0;
+    } else if (!inRun) {
+        return;
+    } else {
+        ++gap;
+    }
+    runEnergy += energy;
+    if (tail.size() >= mergeGap + 2)
+        tail.erase(tail.begin());
+    tail.push_back(energy);
+    if (gap > mergeGap) {
+        closeRun(w - gap + 1, gap);
+        inRun = false;
+        gap = 0;
+    }
+}
+
+void
+OnlineKeystrokeDetector::closeRun(std::size_t end_window,
+                                  std::size_t drop_tail)
+{
+    std::size_t len = end_window - runStart;
+    if (len < minRun)
+        return;
+    // The trailing `drop_tail` windows were the closing gap (below
+    // threshold); exclude them from the burst's mean level, exactly as
+    // the batch detector's [run_start, end_window) sum does.
+    double energy = runEnergy;
+    std::size_t drop = std::min(drop_tail, tail.size());
+    for (std::size_t i = 0; i < drop; ++i)
+        energy -= tail[tail.size() - 1 - i];
+    DetectedKeystroke k;
+    k.start = start + static_cast<TimeNs>(runStart) * windowNs;
+    k.end = start + static_cast<TimeNs>(end_window) * windowNs;
+    k.level = energy / static_cast<double>(len);
+    ready.push_back(k);
+}
+
+void
+OnlineKeystrokeDetector::finish()
+{
+    if (!calibrated && !pending.empty()) {
+        thr = selectEnergyThreshold(pending, cfg);
+        calibrated = true;
+        for (double e : pending)
+            runLogic(e);
+        pending.clear();
+    }
+    if (inRun) {
+        closeRun(windows - gap, gap);
+        inRun = false;
+        gap = 0;
+    }
+}
+
+std::vector<DetectedKeystroke>
+OnlineKeystrokeDetector::poll()
+{
+    std::vector<DetectedKeystroke> out = std::move(ready);
+    ready.clear();
+    return out;
+}
+
+std::size_t
+OnlineKeystrokeDetector::bufferedSamples() const
+{
+    return accCount + (pending.size() + ring.size()) * perWindow;
 }
 
 } // namespace emsc::keylog

@@ -70,6 +70,95 @@ DetectionResult detectKeystrokes(const channel::AcquiredSignal &signal,
                                  TimeNs capture_start,
                                  const DetectorConfig &config);
 
+/**
+ * Decision threshold for per-window energies: bimodal histogram split
+ * when the active bump is strong enough, robust floor + k*MAD
+ * otherwise. Exposed for the streaming detector, which applies the
+ * same rule over a bounded ring of recent windows.
+ */
+double selectEnergyThreshold(const std::vector<double> &energy,
+                             const DetectorConfig &config);
+
+/**
+ * Streaming counterpart of detectKeystrokes(): consumes the envelope
+ * chunk by chunk and emits each keystroke as soon as its burst
+ * completes (run closed by a gap longer than mergeGapMs), instead of
+ * after the whole capture. Memory is bounded: a partial window
+ * accumulator plus a fixed ring of recent window energies for
+ * threshold adaptation.
+ *
+ * The decision rule matches the batch detector; the threshold is
+ * re-selected every thresholdRefreshWindows windows from the ring, so
+ * it adapts to slow level drift but — unlike the batch detector — is
+ * never computed from windows it has not seen yet. Detections can
+ * therefore differ slightly from the batch path near the start of a
+ * session, before the ring has filled.
+ */
+class OnlineKeystrokeDetector
+{
+  public:
+    /**
+     * @param sample_rate    decimated envelope rate (Hz)
+     * @param capture_start  absolute time of the first envelope sample
+     */
+    OnlineKeystrokeDetector(double sample_rate, TimeNs capture_start,
+                            const DetectorConfig &config);
+
+    /** Feed the next `n` contiguous envelope samples. */
+    void feed(const double *y, std::size_t n);
+
+    /** Flush: close a burst still open at end of stream. */
+    void finish();
+
+    /**
+     * Keystrokes completed since the last poll() (chronological).
+     * Clears the internal ready list.
+     */
+    std::vector<DetectedKeystroke> poll();
+
+    /** Current decision threshold (diagnostics). */
+    double threshold() const { return thr; }
+
+    /** Envelope windows consumed so far. */
+    std::size_t windowsSeen() const { return windows; }
+
+    /** Bounded internal retention in envelope-sample units. */
+    std::size_t bufferedSamples() const;
+
+  private:
+    void pushWindow(double energy);
+    void runLogic(double energy);
+    void closeRun(std::size_t end_window, std::size_t drop_tail);
+
+    DetectorConfig cfg;
+    TimeNs start;
+    std::size_t perWindow;
+    TimeNs windowNs;
+    std::size_t mergeGap;
+    std::size_t minRun;
+    /** Ring of recent window energies for threshold selection. */
+    std::vector<double> ring;
+    std::size_t ringCap;
+    std::size_t ringHead = 0;
+    double thr = 0.0;
+    bool calibrated = false;
+    /** Windows buffered before the first threshold calibration. */
+    std::vector<double> pending;
+    /** Partial-window accumulator. */
+    double acc = 0.0;
+    std::size_t accCount = 0;
+    /** Windows run through the decision logic so far. */
+    std::size_t windows = 0;
+    /** Open-run state (mirrors the batch run/merge logic). */
+    bool inRun = false;
+    std::size_t runStart = 0;
+    std::size_t gap = 0;
+    double runEnergy = 0.0;
+    /** Recent in-run window energies (to exclude the closing gap). */
+    std::vector<double> tail;
+    std::vector<DetectedKeystroke> ready;
+};
+
 } // namespace emsc::keylog
 
 #endif // EMSC_KEYLOG_DETECTOR_HPP

@@ -118,4 +118,71 @@ readIqU8(const std::string &path, double sample_rate,
     return cap;
 }
 
+IqFileReader::IqFileReader(const std::string &path, double sample_rate,
+                           double center_frequency)
+    : path(path), fs(sample_rate), fc(center_frequency)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        raiseError(ErrorKind::IoError, "cannot open '%s' for reading",
+                   path.c_str());
+}
+
+IqFileReader::~IqFileReader()
+{
+    if (file)
+        std::fclose(file);
+}
+
+std::size_t
+IqFileReader::readNext(std::size_t max_samples, std::vector<IqSample> &out)
+{
+    out.clear();
+    if (done || max_samples == 0)
+        return 0;
+    out.reserve(max_samples);
+
+    while (out.size() < max_samples) {
+        // Ask for exactly the bytes the remaining samples need (plus
+        // the odd byte a pending I component may leave), so the reader
+        // never buffers beyond the caller's chunk.
+        std::size_t want = (max_samples - out.size()) * 2 -
+                           (havePending ? 1 : 0);
+        buf.resize(want);
+        std::size_t n = std::fread(buf.data(), 1, want, file);
+        if (n == 0) {
+            if (std::ferror(file))
+                raiseError(ErrorKind::IoError,
+                           "read error on '%s' after %zu samples",
+                           path.c_str(), consumed + out.size());
+            done = true;
+            if (havePending) {
+                warn("'%s' has an odd byte count; trailing I sample "
+                     "dropped", path.c_str());
+                havePending = false;
+            }
+            break;
+        }
+        std::size_t i = 0;
+        if (havePending) {
+            out.push_back(IqSample{
+                (static_cast<double>(pending) - 127.5) / 127.5,
+                (static_cast<double>(buf[0]) - 127.5) / 127.5});
+            havePending = false;
+            i = 1;
+        }
+        for (; i + 1 < n; i += 2) {
+            out.push_back(IqSample{
+                (static_cast<double>(buf[i]) - 127.5) / 127.5,
+                (static_cast<double>(buf[i + 1]) - 127.5) / 127.5});
+        }
+        if (i < n) {
+            pending = buf[i];
+            havePending = true;
+        }
+    }
+    consumed += out.size();
+    return out.size();
+}
+
 } // namespace emsc::sdr

@@ -13,7 +13,9 @@
 #ifndef EMSC_SDR_IQFILE_HPP
 #define EMSC_SDR_IQFILE_HPP
 
+#include <cstdio>
 #include <string>
+#include <vector>
 
 #include "sdr/iq.hpp"
 
@@ -40,6 +42,57 @@ std::size_t writeIqU8(const IqCapture &capture, const std::string &path);
  */
 IqCapture readIqU8(const std::string &path, double sample_rate,
                    double center_frequency);
+
+/**
+ * Chunked reader for the same interleaved-u8 format: readNext() hands
+ * out the capture in caller-sized chunks without ever materialising
+ * the whole file, so a streaming pipeline's resident sample memory is
+ * bounded by the chunk size rather than the capture length. Error
+ * semantics match readIqU8(): an unopenable path or mid-file read
+ * error raises a RecoverableError of kind IoError, and a trailing odd
+ * byte costs only half a sample (with a warn()).
+ *
+ * Concatenating every readNext() chunk yields exactly the sample
+ * sequence readIqU8() returns for the same file.
+ */
+class IqFileReader
+{
+  public:
+    IqFileReader(const std::string &path, double sample_rate,
+                 double center_frequency);
+    ~IqFileReader();
+
+    IqFileReader(const IqFileReader &) = delete;
+    IqFileReader &operator=(const IqFileReader &) = delete;
+
+    /**
+     * Read up to `max_samples` complex samples into `out` (replacing
+     * its contents). @return the number of samples read; 0 only at end
+     * of file.
+     */
+    std::size_t readNext(std::size_t max_samples,
+                         std::vector<IqSample> &out);
+
+    /** Whether the file has been fully consumed. */
+    bool exhausted() const { return done; }
+
+    /** Complex samples handed out so far. */
+    std::size_t samplesRead() const { return consumed; }
+
+    double sampleRate() const { return fs; }
+    double centerFrequency() const { return fc; }
+
+  private:
+    std::FILE *file = nullptr;
+    std::string path;
+    double fs;
+    double fc;
+    std::size_t consumed = 0;
+    bool done = false;
+    unsigned char pending = 0;
+    bool havePending = false;
+    std::vector<unsigned char> buf;
+};
 
 } // namespace emsc::sdr
 

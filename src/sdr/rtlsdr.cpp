@@ -33,7 +33,7 @@ RtlSdr::actualLoFrequency() const
 void
 RtlSdr::depositImpulses(std::vector<IqSample> &buf,
                         const std::vector<em::FieldImpulse> &impulses,
-                        TimeNs t0)
+                        TimeNs t0, std::size_t first)
 {
     double fs = cfg.sampleRate;
     double lo = actualLoFrequency();
@@ -43,14 +43,17 @@ RtlSdr::depositImpulses(std::vector<IqSample> &buf,
     // Deposit a single complex impulse of amplitude `amp` occurring
     // `t_rel` seconds into the capture, linearly split between its two
     // neighbouring samples (adequately band-limited for bins well
-    // inside Nyquist; the fixed roll-off folds into calibration).
+    // inside Nyquist; the fixed roll-off folds into calibration). The
+    // mixer phase depends only on absolute time, so a chunk deposits
+    // exactly what the same impulse contributes to a whole-buffer
+    // capture.
     auto deposit = [&](double t_rel, double amp) {
         // Mixer phase at the impulse instant, including slow LO drift:
         // phi(t) = 2*pi*(lo*t + drift*t^2/2).
         double phase = kTwoPi * (lo * t_rel + 0.5 * drift * t_rel * t_rel);
         IqSample rotated = amp * IqSample{std::cos(phase),
                                           -std::sin(phase)};
-        double pos = t_rel * fs;
+        double pos = t_rel * fs - static_cast<double>(first);
         auto i0 = static_cast<std::ptrdiff_t>(std::floor(pos));
         double frac = pos - std::floor(pos);
         if (i0 >= 0 && i0 < n)
@@ -70,11 +73,18 @@ RtlSdr::depositImpulses(std::vector<IqSample> &buf,
 
 void
 RtlSdr::addTones(std::vector<IqSample> &buf,
-                 const std::vector<em::ToneInterferer> &tones, TimeNs t0)
+                 const std::vector<em::ToneInterferer> &tones, TimeNs t0,
+                 std::size_t first)
 {
     double fs = cfg.sampleRate;
     double lo = actualLoFrequency();
-    double start_s = toSeconds(t0);
+    double start_s = toSeconds(t0) + static_cast<double>(first) / fs;
+
+    // Clamp a global on/off sample index into this chunk.
+    auto local = [&](std::size_t global) {
+        return global > first ? std::min(buf.size(), global - first)
+                              : std::size_t{0};
+    };
 
     for (const em::ToneInterferer &tone : tones) {
         if (tone.amplitude <= 0.0)
@@ -83,15 +93,13 @@ RtlSdr::addTones(std::vector<IqSample> &buf,
         std::size_t on0 = 0;
         std::size_t on1 = buf.size();
         if (tone.onset > t0)
-            on0 = std::min(buf.size(),
-                           static_cast<std::size_t>(
-                               toSeconds(tone.onset - t0) * fs));
+            on0 = local(static_cast<std::size_t>(
+                toSeconds(tone.onset - t0) * fs));
         if (tone.activeDuration > 0) {
             TimeNs off = tone.onset + tone.activeDuration;
             on1 = off <= t0 ? 0
-                            : std::min(buf.size(),
-                                       static_cast<std::size_t>(
-                                           toSeconds(off - t0) * fs));
+                            : local(static_cast<std::size_t>(
+                                  toSeconds(off - t0) * fs));
         }
         // Baseband offset of this tone through the (erroneous) LO.
         double base = tone.frequency - lo;
@@ -179,20 +187,30 @@ RtlSdr::quantize(std::vector<IqSample> &buf)
 
 namespace {
 
-/** Sample index of an absolute time, clamped to the buffer. */
+/** Global sample index of an absolute time, clamped to [0, total]. */
 std::size_t
-sampleIndex(TimeNs when, TimeNs t0, double fs, std::size_t n)
+sampleIndex(TimeNs when, TimeNs t0, double fs, std::size_t total)
 {
     if (when <= t0)
         return 0;
-    return std::min(n, static_cast<std::size_t>(toSeconds(when - t0) * fs));
+    return std::min(total,
+                    static_cast<std::size_t>(toSeconds(when - t0) * fs));
+}
+
+/** Clamp a global sample index into chunk-local coordinates. */
+std::size_t
+chunkLocal(std::size_t global, std::size_t first, std::size_t count)
+{
+    return global > first ? std::min(count, global - first)
+                          : std::size_t{0};
 }
 
 } // namespace
 
 void
 RtlSdr::applyAnalogFaults(std::vector<IqSample> &buf,
-                          const sim::FaultPlan &faults, TimeNs t0)
+                          const sim::FaultPlan &faults, TimeNs t0,
+                          std::size_t first, std::size_t total)
 {
     double fs = cfg.sampleRate;
     std::size_t n = buf.size();
@@ -200,35 +218,49 @@ RtlSdr::applyAnalogFaults(std::vector<IqSample> &buf,
     // Saturation bursts: drive the span hard so quantize() clips it.
     for (const sim::FaultEvent &e :
          faults.ofKind(sim::FaultKind::Saturation)) {
-        std::size_t i0 = sampleIndex(e.start, t0, fs, n);
-        std::size_t i1 = sampleIndex(e.start + e.duration, t0, fs, n);
+        std::size_t i0 = chunkLocal(sampleIndex(e.start, t0, fs, total),
+                                    first, n);
+        std::size_t i1 = chunkLocal(
+            sampleIndex(e.start + e.duration, t0, fs, total), first, n);
         for (std::size_t i = i0; i < i1; ++i)
             buf[i] *= e.magnitude;
     }
 
-    // AGC re-trains: each step holds its gain until the next step.
+    // AGC re-trains: each step holds its gain until the next step —
+    // including across chunk boundaries, where the global index math
+    // keeps a step that fired in an earlier chunk applied here.
     std::vector<sim::FaultEvent> steps =
         faults.ofKind(sim::FaultKind::GainStep);
     for (std::size_t k = 0; k < steps.size(); ++k) {
-        std::size_t i0 = sampleIndex(steps[k].start, t0, fs, n);
-        std::size_t i1 = k + 1 < steps.size()
-                             ? sampleIndex(steps[k + 1].start, t0, fs, n)
-                             : n;
+        std::size_t i0 = chunkLocal(
+            sampleIndex(steps[k].start, t0, fs, total), first, n);
+        std::size_t i1 =
+            k + 1 < steps.size()
+                ? chunkLocal(sampleIndex(steps[k + 1].start, t0, fs,
+                                         total), first, n)
+                : n;
         for (std::size_t i = i0; i < i1; ++i)
             buf[i] *= steps[k].magnitude;
     }
 
     // Tuner re-locks: from each hop on, the LO is offset by the hop
-    // frequency (replaced by the next hop), rotating the baseband.
+    // frequency (replaced by the next hop), rotating the baseband. The
+    // rotation phase is anchored to the hop's *global* sample index,
+    // so a hop keeps rotating continuously from one chunk to the next.
     std::vector<sim::FaultEvent> hops =
         faults.ofKind(sim::FaultKind::LoHop);
     for (std::size_t k = 0; k < hops.size(); ++k) {
-        std::size_t i0 = sampleIndex(hops[k].start, t0, fs, n);
-        std::size_t i1 = k + 1 < hops.size()
-                             ? sampleIndex(hops[k + 1].start, t0, fs, n)
-                             : n;
+        std::size_t g0 = sampleIndex(hops[k].start, t0, fs, total);
+        std::size_t g1 = k + 1 < hops.size()
+                             ? sampleIndex(hops[k + 1].start, t0, fs,
+                                           total)
+                             : total;
+        std::size_t i0 = chunkLocal(g0, first, n);
+        std::size_t i1 = chunkLocal(g1, first, n);
         double step = -kTwoPi * hops[k].magnitude / fs;
-        double phase = 0.0;
+        std::size_t lead = i0 + first - g0;
+        double phase =
+            lead == 0 ? 0.0 : step * static_cast<double>(lead);
         for (std::size_t i = i0; i < i1; ++i) {
             buf[i] *= IqSample{std::cos(phase), std::sin(phase)};
             phase += step;
@@ -238,19 +270,59 @@ RtlSdr::applyAnalogFaults(std::vector<IqSample> &buf,
 
 void
 RtlSdr::applyDropouts(std::vector<IqSample> &buf,
-                      const sim::FaultPlan &faults, TimeNs t0)
+                      const sim::FaultPlan &faults, TimeNs t0,
+                      std::size_t first, std::size_t total)
 {
     double fs = cfg.sampleRate;
     std::size_t n = buf.size();
     for (const sim::FaultEvent &e :
          faults.ofKind(sim::FaultKind::Dropout)) {
-        std::size_t i0 = sampleIndex(e.start, t0, fs, n);
-        std::size_t i1 = sampleIndex(e.start + e.duration, t0, fs, n);
+        std::size_t i0 = chunkLocal(sampleIndex(e.start, t0, fs, total),
+                                    first, n);
+        std::size_t i1 = chunkLocal(
+            sampleIndex(e.start + e.duration, t0, fs, total), first, n);
         // Post-quantisation zeros: the host never saw these samples.
         std::fill(buf.begin() + static_cast<std::ptrdiff_t>(i0),
                   buf.begin() + static_cast<std::ptrdiff_t>(i1),
                   IqSample{0.0, 0.0});
     }
+}
+
+IqCapture
+RtlSdr::captureInto(const em::ReceptionPlan &plan, TimeNs t0,
+                    std::size_t first, std::size_t count,
+                    std::size_t total, const sim::FaultPlan *faults)
+{
+    IqCapture cap;
+    cap.sampleRate = cfg.sampleRate;
+    cap.centerFrequency = cfg.centerFrequency;
+    cap.startTime =
+        first == 0
+            ? t0
+            : t0 + fromSeconds(static_cast<double>(first) /
+                               cfg.sampleRate);
+    cap.samples.assign(count, IqSample{0.0, 0.0});
+
+    depositImpulses(cap.samples, plan.impulses, t0, first);
+    depositImpulses(cap.samples, plan.noiseImpulses, t0, first);
+    addTones(cap.samples, plan.tones, t0, first);
+    addNoise(cap.samples, plan.noiseRms);
+    if (faults && !faults->empty())
+        applyAnalogFaults(cap.samples, *faults, t0, first, total);
+    if (!cfg.idealFrontEnd)
+        quantize(cap.samples);
+    if (faults && !faults->empty())
+        applyDropouts(cap.samples, *faults, t0, first, total);
+
+    return cap;
+}
+
+std::size_t
+RtlSdr::sampleCount(TimeNs t0, TimeNs t1) const
+{
+    if (t1 <= t0)
+        return 0;
+    return static_cast<std::size_t>(toSeconds(t1 - t0) * cfg.sampleRate);
 }
 
 IqCapture
@@ -261,27 +333,28 @@ RtlSdr::capture(const em::ReceptionPlan &plan, TimeNs t0, TimeNs t1,
         raiseError(ErrorKind::MalformedInput,
                    "RtlSdr::capture of an empty window");
 
-    IqCapture cap;
-    cap.sampleRate = cfg.sampleRate;
-    cap.centerFrequency = cfg.centerFrequency;
-    cap.startTime = t0;
+    std::size_t count = sampleCount(t0, t1);
+    return captureInto(plan, t0, 0, count, count, faults);
+}
 
-    auto count = static_cast<std::size_t>(toSeconds(t1 - t0) *
-                                          cfg.sampleRate);
-    cap.samples.assign(count, IqSample{0.0, 0.0});
-
-    depositImpulses(cap.samples, plan.impulses, t0);
-    depositImpulses(cap.samples, plan.noiseImpulses, t0);
-    addTones(cap.samples, plan.tones, t0);
-    addNoise(cap.samples, plan.noiseRms);
-    if (faults && !faults->empty())
-        applyAnalogFaults(cap.samples, *faults, t0);
-    if (!cfg.idealFrontEnd)
-        quantize(cap.samples);
-    if (faults && !faults->empty())
-        applyDropouts(cap.samples, *faults, t0);
-
-    return cap;
+IqCapture
+RtlSdr::captureChunk(const em::ReceptionPlan &plan, TimeNs t0,
+                     std::size_t first_sample, std::size_t count,
+                     std::size_t total_samples,
+                     const sim::FaultPlan *faults)
+{
+    if (!cfg.idealFrontEnd && cfg.fixedGain <= 0.0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "captureChunk requires a fixed front-end gain "
+                   "(SdrConfig.fixedGain, see measureAgcGain) so chunk "
+                   "boundaries do not step in level");
+    if (first_sample + count > total_samples)
+        raiseError(ErrorKind::MalformedInput,
+                   "captureChunk [%zu, %zu) outside the %zu-sample "
+                   "window", first_sample, first_sample + count,
+                   total_samples);
+    return captureInto(plan, t0, first_sample, count, total_samples,
+                       faults);
 }
 
 } // namespace emsc::sdr

@@ -72,6 +72,29 @@ class RtlSdr
     IqCapture capture(const em::ReceptionPlan &plan, TimeNs t0, TimeNs t1,
                       const sim::FaultPlan *faults = nullptr);
 
+    /**
+     * Synthesise one chunk of the capture that capture(plan, t0, t1)
+     * would produce for the same window: samples
+     * [first_sample, first_sample + count) of the total_samples-long
+     * buffer starting at t0. Fault realisation uses global sample
+     * indices, so gain steps hold across chunk boundaries and LO-hop
+     * phase stays continuous. The AGC normalises over whatever buffer
+     * it sees, so chunked synthesis requires a fixed front end:
+     * config.fixedGain > 0 (see measureAgcGain()) or idealFrontEnd —
+     * anything else raises InvalidConfig.
+     *
+     * addNoise() consumes the shared RNG sequentially, so chunks must
+     * be requested in order, exactly once each, for the noise stream
+     * to match a whole-buffer capture.
+     */
+    IqCapture captureChunk(const em::ReceptionPlan &plan, TimeNs t0,
+                           std::size_t first_sample, std::size_t count,
+                           std::size_t total_samples,
+                           const sim::FaultPlan *faults = nullptr);
+
+    /** Samples capture(plan, t0, t1) would synthesise for the window. */
+    std::size_t sampleCount(TimeNs t0, TimeNs t1) const;
+
     const SdrConfig &config() const { return cfg; }
 
     /** True LO frequency including the ppm error (diagnostic). */
@@ -85,17 +108,27 @@ class RtlSdr
                           TimeNs t1);
 
   private:
+    // The synthesis helpers operate on one chunk of a conceptually
+    // larger buffer: `first` is the global sample index of buf[0] and
+    // `total` the full buffer length. A whole-buffer capture is the
+    // first = 0, total = buf.size() special case.
     void depositImpulses(std::vector<IqSample> &buf,
                          const std::vector<em::FieldImpulse> &impulses,
-                         TimeNs t0);
+                         TimeNs t0, std::size_t first);
     void addTones(std::vector<IqSample> &buf,
-                  const std::vector<em::ToneInterferer> &tones, TimeNs t0);
+                  const std::vector<em::ToneInterferer> &tones, TimeNs t0,
+                  std::size_t first);
     void addNoise(std::vector<IqSample> &buf, double rms);
     void quantize(std::vector<IqSample> &buf);
     void applyAnalogFaults(std::vector<IqSample> &buf,
-                           const sim::FaultPlan &faults, TimeNs t0);
+                           const sim::FaultPlan &faults, TimeNs t0,
+                           std::size_t first, std::size_t total);
     void applyDropouts(std::vector<IqSample> &buf,
-                       const sim::FaultPlan &faults, TimeNs t0);
+                       const sim::FaultPlan &faults, TimeNs t0,
+                       std::size_t first, std::size_t total);
+    IqCapture captureInto(const em::ReceptionPlan &plan, TimeNs t0,
+                          std::size_t first, std::size_t count,
+                          std::size_t total, const sim::FaultPlan *faults);
 
     SdrConfig cfg;
     Rng &rng;

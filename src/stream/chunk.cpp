@@ -1,0 +1,37 @@
+#include "stream/chunk.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace emsc::stream {
+
+ChunkSource::~ChunkSource() = default;
+
+MemoryChunkSource::MemoryChunkSource(const sdr::IqCapture &capture,
+                                     std::size_t chunk_samples)
+    : cap(&capture), chunk(chunk_samples)
+{
+    if (chunk == 0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "MemoryChunkSource chunk size must be positive");
+}
+
+bool
+MemoryChunkSource::next(IqChunk &out)
+{
+    if (cursor >= cap->samples.size())
+        return false;
+    std::size_t count = std::min(chunk, cap->samples.size() - cursor);
+    out.index = index++;
+    out.firstSample = cursor;
+    out.samples.assign(cap->samples.begin() +
+                           static_cast<std::ptrdiff_t>(cursor),
+                       cap->samples.begin() +
+                           static_cast<std::ptrdiff_t>(cursor + count));
+    cursor += count;
+    out.last = cursor >= cap->samples.size();
+    return true;
+}
+
+} // namespace emsc::stream

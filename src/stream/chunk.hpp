@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Chunked IQ ingestion: the unit of work of the streaming runtime.
+ *
+ * A capture too long to materialise (a typing session, a live SDR
+ * feed) enters the streaming pipeline as a sequence of contiguous
+ * IqChunk pieces produced by a ChunkSource. Chunks carry their global
+ * sample offset so downstream stages can reason in capture coordinates
+ * without ever holding more than a chunk (plus their own bounded
+ * state) in memory.
+ */
+
+#ifndef EMSC_STREAM_CHUNK_HPP
+#define EMSC_STREAM_CHUNK_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sdr/iq.hpp"
+#include "support/types.hpp"
+
+namespace emsc::stream {
+
+/** One contiguous piece of a capture. */
+struct IqChunk
+{
+    /** Sequence number (0, 1, 2, ... in production order). */
+    std::size_t index = 0;
+    /** Global sample index of samples[0] within the capture. */
+    std::size_t firstSample = 0;
+    /** The samples themselves. */
+    std::vector<sdr::IqSample> samples;
+    /** True on the final chunk of the capture. */
+    bool last = false;
+};
+
+/**
+ * Producer of consecutive capture chunks. next() hands out chunks in
+ * order, each starting exactly where the previous one ended;
+ * concatenating every chunk reconstructs the full capture.
+ */
+class ChunkSource
+{
+  public:
+    virtual ~ChunkSource();
+
+    /**
+     * Produce the next chunk into `out` (replacing its contents).
+     * @return false when the capture is exhausted (out is untouched).
+     */
+    virtual bool next(IqChunk &out) = 0;
+
+    /** Capture sample rate (Hz). */
+    virtual double sampleRate() const = 0;
+    /** Frequency the receiver believes it is tuned to (Hz). */
+    virtual double centerFrequency() const = 0;
+    /** Absolute time of the capture's first sample. */
+    virtual TimeNs startTime() const = 0;
+    /** Total samples the source will produce, or 0 when unknown. */
+    virtual std::size_t totalSamples() const = 0;
+};
+
+/**
+ * In-memory source: slices an existing capture into fixed-size chunks.
+ * Used by tests and by the warm-up replay inside runStreaming(); the
+ * capture is borrowed, not copied, and must outlive the source.
+ */
+class MemoryChunkSource : public ChunkSource
+{
+  public:
+    MemoryChunkSource(const sdr::IqCapture &capture,
+                      std::size_t chunk_samples);
+
+    bool next(IqChunk &out) override;
+    double sampleRate() const override { return cap->sampleRate; }
+    double centerFrequency() const override
+    {
+        return cap->centerFrequency;
+    }
+    TimeNs startTime() const override { return cap->startTime; }
+    std::size_t totalSamples() const override
+    {
+        return cap->samples.size();
+    }
+
+  private:
+    const sdr::IqCapture *cap;
+    std::size_t chunk;
+    std::size_t cursor = 0;
+    std::size_t index = 0;
+};
+
+} // namespace emsc::stream
+
+#endif // EMSC_STREAM_CHUNK_HPP

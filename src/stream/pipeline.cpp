@@ -1,0 +1,301 @@
+#include "stream/pipeline.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace emsc::stream {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsedNs(Clock::time_point since)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - since)
+            .count());
+}
+
+/** Internal unwind signal when a downstream queue was aborted. */
+struct QueueAborted
+{
+};
+
+} // namespace
+
+struct StreamPipeline::Worker
+{
+    std::unique_ptr<StreamStage> stage;
+    std::unique_ptr<SampleQueue> input;
+    std::size_t queueCapacity = 0;
+    StageStats stats;
+    std::size_t emitSeq = 0;
+};
+
+StreamPipeline::StreamPipeline() = default;
+StreamPipeline::~StreamPipeline() = default;
+
+void
+StreamPipeline::addStage(std::unique_ptr<StreamStage> stage,
+                         std::size_t queue_capacity)
+{
+    if (!stage)
+        panic("StreamPipeline::addStage with a null stage");
+    if (queue_capacity == 0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "stage queue capacity must be positive");
+    auto w = std::make_unique<Worker>();
+    w->stage = std::move(stage);
+    w->queueCapacity = queue_capacity;
+    w->stats.name = w->stage->name();
+    workers.push_back(std::move(w));
+}
+
+StreamReport
+StreamPipeline::run(ChunkSource &source)
+{
+    if (used)
+        panic("StreamPipeline::run called twice");
+    used = true;
+    if (workers.empty())
+        raiseError(ErrorKind::InvalidConfig,
+                   "StreamPipeline::run with no stages");
+
+    Clock::time_point t0 = Clock::now();
+    if (parallelThreads() <= 1 || insideParallelWorker())
+        runInline(source);
+    else
+        runThreaded(source);
+    report.totalNs = elapsedNs(t0);
+
+    report.peakBufferedSamples = 0;
+    report.stages.clear();
+    for (const auto &w : workers) {
+        report.peakBufferedSamples += w->stats.queuePeakSamples;
+        report.peakBufferedSamples += w->stats.peakBufferedSamples;
+        report.stages.push_back(w->stats);
+    }
+    return report;
+}
+
+void
+StreamPipeline::runInline(ChunkSource &source)
+{
+    // Single-threaded cascade: every message is carried through all
+    // stages depth-first on the calling thread. Exclusive per-stage
+    // timing subtracts the nested downstream time from the caller's.
+    std::function<void(std::size_t, StreamMessage &&)> feed =
+        [&](std::size_t i, StreamMessage &&msg) {
+            if (i >= workers.size())
+                return;
+            Worker &w = *workers[i];
+            ++w.stats.chunksIn;
+            w.stats.samplesIn += msg.sampleUnits();
+            std::uint64_t nested = 0;
+            StreamStage::Emit emit = [&](StreamMessage &&out) {
+                out.seq = w.emitSeq++;
+                ++w.stats.chunksOut;
+                Clock::time_point c0 = Clock::now();
+                feed(i + 1, std::move(out));
+                nested += elapsedNs(c0);
+            };
+            Clock::time_point p0 = Clock::now();
+            w.stage->process(std::move(msg), emit);
+            std::uint64_t dt = elapsedNs(p0);
+            w.stats.processNs += dt > nested ? dt - nested : 0;
+            w.stats.peakBufferedSamples =
+                std::max(w.stats.peakBufferedSamples,
+                         w.stage->bufferedSamples());
+        };
+
+    IqChunk chunk;
+    while (source.next(chunk)) {
+        ++report.sourceChunks;
+        report.sourceSamples += chunk.samples.size();
+        StreamMessage msg;
+        msg.seq = chunk.index;
+        msg.payload = std::move(chunk);
+        feed(0, std::move(msg));
+        chunk = IqChunk{};
+    }
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        Worker &w = *workers[i];
+        std::uint64_t nested = 0;
+        StreamStage::Emit emit = [&](StreamMessage &&out) {
+            out.seq = w.emitSeq++;
+            ++w.stats.chunksOut;
+            Clock::time_point c0 = Clock::now();
+            feed(i + 1, std::move(out));
+            nested += elapsedNs(c0);
+        };
+        Clock::time_point p0 = Clock::now();
+        w.stage->finish(emit);
+        std::uint64_t dt = elapsedNs(p0);
+        w.stats.processNs += dt > nested ? dt - nested : 0;
+        w.stats.peakBufferedSamples = std::max(
+            w.stats.peakBufferedSamples, w.stage->bufferedSamples());
+    }
+}
+
+void
+StreamPipeline::runThreaded(ChunkSource &source)
+{
+    for (auto &w : workers)
+        w->input = std::make_unique<SampleQueue>(w->queueCapacity);
+
+    std::atomic<bool> failed{false};
+    std::mutex errMtx;
+    std::exception_ptr firstError;
+    std::mutex doneMtx;
+    std::condition_variable doneCv;
+    std::size_t remaining = workers.size();
+
+    auto abortAll = [&] {
+        failed.store(true, std::memory_order_release);
+        for (auto &w : workers)
+            w->input->abort();
+    };
+    auto recordError = [&] {
+        {
+            std::lock_guard<std::mutex> lock(errMtx);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+        abortAll();
+    };
+
+    ThreadPool &pool = globalThreadPool();
+    pool.ensureWorkers(workers.size());
+
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        pool.submit([&, i] {
+            Worker &w = *workers[i];
+            SampleQueue *out = i + 1 < workers.size()
+                                   ? workers[i + 1]->input.get()
+                                   : nullptr;
+            StreamStage::Emit emit = [&](StreamMessage &&m) {
+                m.seq = w.emitSeq++;
+                ++w.stats.chunksOut;
+                if (out && !out->push(std::move(m)))
+                    throw QueueAborted{};
+            };
+            try {
+                StreamMessage msg;
+                while (w.input->pop(msg)) {
+                    ++w.stats.chunksIn;
+                    w.stats.samplesIn += msg.sampleUnits();
+                    Clock::time_point p0 = Clock::now();
+                    w.stage->process(std::move(msg), emit);
+                    w.stats.processNs += elapsedNs(p0);
+                    w.stats.peakBufferedSamples =
+                        std::max(w.stats.peakBufferedSamples,
+                                 w.stage->bufferedSamples());
+                }
+                if (!failed.load(std::memory_order_acquire)) {
+                    Clock::time_point p0 = Clock::now();
+                    w.stage->finish(emit);
+                    w.stats.processNs += elapsedNs(p0);
+                    w.stats.peakBufferedSamples =
+                        std::max(w.stats.peakBufferedSamples,
+                                 w.stage->bufferedSamples());
+                }
+                if (out)
+                    out->close();
+            } catch (const QueueAborted &) {
+                // Teardown in progress; nothing to record.
+            } catch (...) {
+                recordError();
+            }
+            {
+                // Notify under the lock: once remaining hits 0 the
+                // waiting run() may return and destroy the cv, so the
+                // notify must happen-before that wakeup.
+                std::lock_guard<std::mutex> lock(doneMtx);
+                --remaining;
+                doneCv.notify_all();
+            }
+        });
+    }
+
+    // The caller's thread pumps the source into the first queue;
+    // backpressure from any stage propagates here and throttles
+    // production.
+    try {
+        IqChunk chunk;
+        while (source.next(chunk)) {
+            ++report.sourceChunks;
+            report.sourceSamples += chunk.samples.size();
+            StreamMessage msg;
+            msg.seq = chunk.index;
+            msg.payload = std::move(chunk);
+            if (!workers[0]->input->push(std::move(msg)))
+                break; // aborted by a failing stage
+            chunk = IqChunk{};
+        }
+    } catch (...) {
+        recordError();
+    }
+    workers[0]->input->close();
+
+    {
+        std::unique_lock<std::mutex> lock(doneMtx);
+        doneCv.wait(lock, [&] { return remaining == 0; });
+    }
+
+    // Stage loops have joined (the cv wait synchronises-with their
+    // final notify), so stats and queues are safe to read unlocked.
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        SampleQueue::Stats qs = workers[i]->input->stats();
+        workers[i]->stats.queueHighWater = qs.highWater;
+        workers[i]->stats.queuePeakSamples = qs.peakSamples;
+        workers[i]->stats.stallPopNs = qs.popWaitNs;
+        if (i + 1 < workers.size())
+            workers[i]->stats.stallPushNs =
+                workers[i + 1]->input->stats().pushWaitNs;
+    }
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+std::string
+StreamReport::format() const
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-10s %10s %10s %12s %8s %10s %10s %6s %10s\n",
+                  "stage", "in", "out", "samples", "ns/smp",
+                  "stall-in", "stall-out", "qpeak", "buffered");
+    out += line;
+    for (const StageStats &s : stages) {
+        std::snprintf(
+            line, sizeof(line),
+            "%-10s %10zu %10zu %12zu %8.2f %8.1fms %8.1fms %6zu %10zu\n",
+            s.name.c_str(), s.chunksIn, s.chunksOut, s.samplesIn,
+            s.nsPerSample(),
+            static_cast<double>(s.stallPopNs) * 1e-6,
+            static_cast<double>(s.stallPushNs) * 1e-6, s.queueHighWater,
+            s.peakBufferedSamples);
+        out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "total: %.1f ms, %zu chunks, %zu samples, peak "
+                  "buffered %zu sample units\n",
+                  static_cast<double>(totalNs) * 1e-6, sourceChunks,
+                  sourceSamples, peakBufferedSamples);
+    out += line;
+    return out;
+}
+
+} // namespace emsc::stream

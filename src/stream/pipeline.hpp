@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Streaming pipeline scheduler with built-in per-stage observability.
+ *
+ * Each stage gets a bounded input queue and a single consumer loop
+ * running on the shared worker pool; the caller's thread pumps the
+ * ChunkSource into the first queue. Backpressure from any queue
+ * propagates back to the source, bounding resident memory, and the
+ * single-consumer FIFO discipline makes stage state — and therefore
+ * the final output — bit-identical for any thread count. When the
+ * configured thread count is 1 the pipeline degenerates to an inline
+ * cascade on the calling thread (no queues, no threads), which is also
+ * used from inside pool workers to avoid starving the pool.
+ *
+ * Error handling follows the repo contract: a RecoverableError thrown
+ * by any stage aborts every queue, the run tears down, and the first
+ * error is rethrown from run() for the stage boundary
+ * (ReceiverOps::runStreaming) to convert into a structured failure.
+ */
+
+#ifndef EMSC_STREAM_PIPELINE_HPP
+#define EMSC_STREAM_PIPELINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/sample_queue.hpp"
+#include "stream/stage.hpp"
+
+namespace emsc::stream {
+
+/** Counters for one stage of a completed run. */
+struct StageStats
+{
+    std::string name;
+    /** Messages consumed / emitted. */
+    std::size_t chunksIn = 0;
+    std::size_t chunksOut = 0;
+    /** Sample units consumed. */
+    std::size_t samplesIn = 0;
+    /** Time inside process()/finish(). */
+    std::uint64_t processNs = 0;
+    /** Time blocked waiting for input (consumer-side stall). */
+    std::uint64_t stallPopNs = 0;
+    /** Time blocked pushing output downstream (producer-side stall). */
+    std::uint64_t stallPushNs = 0;
+    /** Peak messages in this stage's input queue. */
+    std::size_t queueHighWater = 0;
+    /** Peak sample units in this stage's input queue. */
+    std::size_t queuePeakSamples = 0;
+    /** Peak sample units retained inside the stage itself. */
+    std::size_t peakBufferedSamples = 0;
+
+    double
+    nsPerSample() const
+    {
+        return samplesIn > 0 ? static_cast<double>(processNs) /
+                                   static_cast<double>(samplesIn)
+                             : 0.0;
+    }
+};
+
+/** Whole-run observability report. */
+struct StreamReport
+{
+    std::vector<StageStats> stages;
+    /** Wall time of the run (pump start to last stage finish). */
+    std::uint64_t totalNs = 0;
+    /** Raw IQ samples the source produced. */
+    std::size_t sourceSamples = 0;
+    /** Chunks the source produced. */
+    std::size_t sourceChunks = 0;
+    /**
+     * Upper bound on peak simultaneously-buffered sample units across
+     * the whole pipeline: sum of every queue's and every stage's peak.
+     * O(queue capacity x chunk + window) by construction — independent
+     * of capture length.
+     */
+    std::size_t peakBufferedSamples = 0;
+
+    /** Human-readable table for CLI output. */
+    std::string format() const;
+};
+
+class StreamPipeline
+{
+  public:
+    StreamPipeline();
+    ~StreamPipeline();
+
+    StreamPipeline(const StreamPipeline &) = delete;
+    StreamPipeline &operator=(const StreamPipeline &) = delete;
+
+    /**
+     * Append a stage. `queue_capacity` bounds the stage's input queue
+     * (messages). The pipeline owns the stage; callers needing to read
+     * results after the run keep a raw pointer (valid for the
+     * pipeline's lifetime).
+     */
+    void addStage(std::unique_ptr<StreamStage> stage,
+                  std::size_t queue_capacity = 4);
+
+    /**
+     * Drain the source through every stage. Blocks until the last
+     * stage has finished. May be called once per pipeline.
+     */
+    StreamReport run(ChunkSource &source);
+
+  private:
+    struct Worker;
+
+    void runInline(ChunkSource &source);
+    void runThreaded(ChunkSource &source);
+
+    std::vector<std::unique_ptr<Worker>> workers;
+    StreamReport report;
+    bool used = false;
+};
+
+} // namespace emsc::stream
+
+#endif // EMSC_STREAM_PIPELINE_HPP

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Receiver entry points over chunked captures.
+ *
+ * ReceiverOps::runStreaming() is the bounded-memory counterpart of
+ * channel::receive(): it calibrates carrier, window and bit timing on a
+ * short warm-up prefix of the capture, then decodes the rest through a
+ * StreamPipeline whose resident sample memory is O(window + chunk)
+ * regardless of capture length. On clean captures the decoded payload
+ * matches the batch path; under faults, corrupt-envelope masking feeds
+ * per-bit erasures to the same erasure-aware frame parser the batch
+ * segmented receiver uses.
+ */
+
+#ifndef EMSC_STREAM_RECEIVER_OPS_HPP
+#define EMSC_STREAM_RECEIVER_OPS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/receiver.hpp"
+#include "keylog/detector.hpp"
+#include "stream/chunk.hpp"
+#include "stream/pipeline.hpp"
+#include "stream/stages.hpp"
+
+namespace emsc::stream {
+
+/** Streaming-run knobs beyond the receiver configuration itself. */
+struct StreamingOptions
+{
+    /** Per-edge stage queue capacity (messages). */
+    std::size_t queueCapacity = 4;
+    /**
+     * Raw samples buffered for warm-up calibration (carrier search,
+     * window adaptation, initial signaling time). Clamped up to what
+     * the carrier search needs. A capture that ends inside the warm-up
+     * is simply decoded by the batch path — it fit in memory anyway.
+     */
+    std::size_t warmupSamples = 1 << 18;
+    /** Online carrier re-estimation (see CarrierTrackerConfig). */
+    CarrierTrackerConfig tracker;
+    /** Run the keystroke-detection tee. */
+    bool detectKeystrokes = false;
+    keylog::DetectorConfig detector;
+    /**
+     * Invoked as each keystroke burst completes. Called from a pipeline
+     * worker thread in multi-threaded runs; must be thread-safe with
+     * respect to the caller's own state.
+     */
+    KeystrokeStage::Callback onKeystroke;
+};
+
+/** Everything a streaming run produced. */
+struct StreamingResult
+{
+    /**
+     * Same shape as the batch receiver's result. acquired.y stays
+     * empty by design (the envelope is never retained — that is the
+     * point); rx.diagnostic says so.
+     */
+    channel::ReceiverResult rx;
+    /** Per-stage observability report. */
+    StreamReport report;
+    /** Keystrokes from the tee (when detectKeystrokes was set). */
+    std::vector<keylog::DetectedKeystroke> keystrokes;
+    /** ns from pipeline start to the first labeled bit (0 if none). */
+    std::uint64_t firstBitLatencyNs = 0;
+    /** False when the capture ended inside warm-up (batch fallback). */
+    bool streamed = false;
+};
+
+/**
+ * Facade bundling the batch and streaming receiver paths behind one
+ * configuration.
+ */
+class ReceiverOps
+{
+  public:
+    explicit ReceiverOps(const channel::ReceiverConfig &config)
+        : cfg(config)
+    {
+    }
+
+    /** The whole-capture pipeline (channel::receive). */
+    channel::ReceiverResult runBatch(const sdr::IqCapture &capture) const;
+
+    /**
+     * Decode a chunked capture with bounded memory. Never terminates
+     * the process: recoverable errors from warm-up or any stage land in
+     * result.rx.failure, exactly like the batch path.
+     */
+    StreamingResult runStreaming(ChunkSource &source,
+                                 const StreamingOptions &options = {}) const;
+
+    const channel::ReceiverConfig &config() const { return cfg; }
+
+  private:
+    void streamInto(ChunkSource &source, const StreamingOptions &options,
+                    StreamingResult &out) const;
+
+    channel::ReceiverConfig cfg;
+};
+
+} // namespace emsc::stream
+
+#endif // EMSC_STREAM_RECEIVER_OPS_HPP

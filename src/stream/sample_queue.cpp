@@ -1,0 +1,115 @@
+#include "stream/sample_queue.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace emsc::stream {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsedNs(Clock::time_point since)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - since)
+            .count());
+}
+
+} // namespace
+
+SampleQueue::SampleQueue(std::size_t capacity)
+{
+    if (capacity == 0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "SampleQueue capacity must be positive");
+    ring.resize(capacity);
+}
+
+bool
+SampleQueue::push(StreamMessage &&msg)
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    if (!aborted && count == ring.size()) {
+        Clock::time_point t0 = Clock::now();
+        notFull.wait(lock, [this] {
+            return aborted || count < ring.size();
+        });
+        acc.pushWaitNs += elapsedNs(t0);
+    }
+    if (aborted)
+        return false;
+    if (closed)
+        panic("SampleQueue::push after close");
+    std::size_t units = msg.sampleUnits();
+    ring[(head + count) % ring.size()] = std::move(msg);
+    ++count;
+    samples += units;
+    ++acc.pushed;
+    acc.highWater = std::max(acc.highWater, count);
+    acc.peakSamples = std::max(acc.peakSamples, samples);
+    lock.unlock();
+    notEmpty.notify_one();
+    return true;
+}
+
+bool
+SampleQueue::pop(StreamMessage &out)
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    if (!aborted && count == 0 && !closed) {
+        Clock::time_point t0 = Clock::now();
+        notEmpty.wait(lock,
+                      [this] { return aborted || count > 0 || closed; });
+        acc.popWaitNs += elapsedNs(t0);
+    }
+    if (aborted || count == 0)
+        return false;
+    out = std::move(ring[head]);
+    ring[head] = StreamMessage{};
+    head = (head + 1) % ring.size();
+    --count;
+    samples -= out.sampleUnits();
+    ++acc.popped;
+    lock.unlock();
+    notFull.notify_one();
+    return true;
+}
+
+void
+SampleQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        closed = true;
+    }
+    notEmpty.notify_all();
+}
+
+void
+SampleQueue::abort()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        aborted = true;
+        for (StreamMessage &m : ring)
+            m = StreamMessage{};
+        count = 0;
+        samples = 0;
+    }
+    notEmpty.notify_all();
+    notFull.notify_all();
+}
+
+SampleQueue::Stats
+SampleQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return acc;
+}
+
+} // namespace emsc::stream

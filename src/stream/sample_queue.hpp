@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fixed-capacity blocking ring buffer connecting pipeline stages.
+ *
+ * Backpressure is the memory bound: a producer faster than its
+ * consumer blocks in push() once the ring holds `capacity` messages,
+ * so no queue ever buffers more than capacity × chunk-size sample
+ * units regardless of capture length. close() ends the stream
+ * gracefully (consumers drain what remains); abort() ends it
+ * immediately (both sides unblock and fail fast), used for error
+ * teardown.
+ */
+
+#ifndef EMSC_STREAM_SAMPLE_QUEUE_HPP
+#define EMSC_STREAM_SAMPLE_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "stream/stage.hpp"
+
+namespace emsc::stream {
+
+class SampleQueue
+{
+  public:
+    /** Occupancy and wait accounting, read after the run completes. */
+    struct Stats
+    {
+        /** Messages pushed / popped over the queue's lifetime. */
+        std::size_t pushed = 0;
+        std::size_t popped = 0;
+        /** Peak simultaneous messages in the ring. */
+        std::size_t highWater = 0;
+        /** Peak simultaneous sample units in the ring. */
+        std::size_t peakSamples = 0;
+        /** Total nanoseconds producers spent blocked in push(). */
+        std::uint64_t pushWaitNs = 0;
+        /** Total nanoseconds consumers spent blocked in pop(). */
+        std::uint64_t popWaitNs = 0;
+    };
+
+    explicit SampleQueue(std::size_t capacity);
+
+    SampleQueue(const SampleQueue &) = delete;
+    SampleQueue &operator=(const SampleQueue &) = delete;
+
+    /**
+     * Enqueue a message, blocking while the ring is full.
+     * @return false when the queue was aborted (message dropped).
+     */
+    bool push(StreamMessage &&msg);
+
+    /**
+     * Dequeue the oldest message, blocking while the ring is empty.
+     * @return false when the stream ended: closed and drained, or
+     *         aborted.
+     */
+    bool pop(StreamMessage &out);
+
+    /** Mark the end of the stream; pending messages remain poppable. */
+    void close();
+
+    /** Tear the queue down: unblock everyone, drop pending messages. */
+    void abort();
+
+    Stats stats() const;
+
+  private:
+    mutable std::mutex mtx;
+    std::condition_variable notFull;
+    std::condition_variable notEmpty;
+    std::vector<StreamMessage> ring;
+    std::size_t head = 0;  // next pop position
+    std::size_t count = 0; // messages in the ring
+    std::size_t samples = 0;
+    bool closed = false;
+    bool aborted = false;
+    Stats acc;
+};
+
+} // namespace emsc::stream
+
+#endif // EMSC_STREAM_SAMPLE_QUEUE_HPP

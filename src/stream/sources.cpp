@@ -1,0 +1,84 @@
+#include "stream/sources.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace emsc::stream {
+
+IqFileChunkSource::IqFileChunkSource(const std::string &path,
+                                     double sample_rate,
+                                     double center_frequency,
+                                     std::size_t chunk_samples,
+                                     TimeNs capture_start)
+    : reader(path, sample_rate, center_frequency), start(capture_start),
+      chunk(chunk_samples)
+{
+    if (chunk == 0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "IqFileChunkSource chunk size must be positive");
+}
+
+bool
+IqFileChunkSource::next(IqChunk &out)
+{
+    if (finished)
+        return false;
+    std::size_t first = reader.samplesRead();
+    std::vector<sdr::IqSample> samples;
+    std::size_t got = reader.readNext(chunk, samples);
+    if (got == 0) {
+        finished = true;
+        return false;
+    }
+    out.index = index++;
+    out.firstSample = first;
+    out.samples = std::move(samples);
+    out.last = reader.exhausted();
+    finished = out.last;
+    return true;
+}
+
+SdrChunkSource::SdrChunkSource(const sdr::SdrConfig &config, Rng &rng,
+                               const em::ReceptionPlan &reception,
+                               TimeNs start, TimeNs end,
+                               std::size_t chunk_samples,
+                               const sim::FaultPlan *fault_plan)
+    : plan(&reception), faults(fault_plan), t0(start), chunk(chunk_samples)
+{
+    if (chunk == 0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "SdrChunkSource chunk size must be positive");
+    sdr::SdrConfig cfg = config;
+    if (!cfg.idealFrontEnd && cfg.fixedGain <= 0.0) {
+        // captureChunk() refuses the per-buffer AGC (it would step the
+        // level at every chunk boundary); probe the gain a whole-buffer
+        // capture would settle on and hold it for the run. The probe
+        // runs on a copy of the RNG so the shared noise stream the
+        // chunks will consume is left untouched.
+        Rng probe_rng = rng;
+        sdr::RtlSdr probe(cfg, probe_rng);
+        cfg.fixedGain = probe.measureAgcGain(reception, start, end);
+    }
+    sdr = std::make_unique<sdr::RtlSdr>(cfg, rng);
+    total = sdr->sampleCount(start, end);
+}
+
+bool
+SdrChunkSource::next(IqChunk &out)
+{
+    if (done >= total)
+        return false;
+    std::size_t count = std::min(chunk, total - done);
+    sdr::IqCapture piece =
+        sdr->captureChunk(*plan, t0, done, count, total, faults);
+    out.index = index++;
+    out.firstSample = done;
+    out.samples = std::move(piece.samples);
+    done += count;
+    out.last = done >= total;
+    return true;
+}
+
+} // namespace emsc::stream

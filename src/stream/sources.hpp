@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Production chunk sources: the RTL-SDR simulator and interleaved-u8
+ * capture files, both delivering bounded chunks so the streaming
+ * pipeline never materialises a whole capture.
+ */
+
+#ifndef EMSC_STREAM_SOURCES_HPP
+#define EMSC_STREAM_SOURCES_HPP
+
+#include <memory>
+#include <string>
+
+#include "em/scene.hpp"
+#include "sdr/iqfile.hpp"
+#include "sdr/rtlsdr.hpp"
+#include "sim/faults.hpp"
+#include "stream/chunk.hpp"
+#include "support/rng.hpp"
+
+namespace emsc::stream {
+
+/**
+ * Streams an rtl_sdr-format capture file chunk by chunk. totalSamples()
+ * is unknown (0): the file carries no header and the reader never scans
+ * ahead of the chunk it is handing out.
+ */
+class IqFileChunkSource : public ChunkSource
+{
+  public:
+    IqFileChunkSource(const std::string &path, double sample_rate,
+                      double center_frequency, std::size_t chunk_samples,
+                      TimeNs capture_start = 0);
+
+    bool next(IqChunk &out) override;
+    double sampleRate() const override { return reader.sampleRate(); }
+    double centerFrequency() const override
+    {
+        return reader.centerFrequency();
+    }
+    TimeNs startTime() const override { return start; }
+    std::size_t totalSamples() const override { return 0; }
+
+  private:
+    sdr::IqFileReader reader;
+    TimeNs start;
+    std::size_t chunk;
+    std::size_t index = 0;
+    bool finished = false;
+};
+
+/**
+ * Synthesises a live RTL-SDR capture chunk by chunk via
+ * RtlSdr::captureChunk(). Chunked synthesis needs a level-stable front
+ * end, so when the config neither fixes the gain nor runs ideal, the
+ * constructor probes the AGC once (RtlSdr::measureAgcGain on a private
+ * RNG copy, leaving the shared noise stream untouched) and locks that
+ * gain for every chunk; the resulting samples then match a
+ * whole-buffer capture() with the same fixed gain to within one ADC
+ * quantisation step (tone interferers re-derive their phase from
+ * absolute time at chunk boundaries instead of accumulating it sample
+ * by sample, so a rare pre-quantisation value rounds differently).
+ *
+ * next() must be driven in order, exactly once per chunk (the noise
+ * RNG is sequential); the pipeline's single pump loop guarantees this.
+ */
+class SdrChunkSource : public ChunkSource
+{
+  public:
+    SdrChunkSource(const sdr::SdrConfig &config, Rng &rng,
+                   const em::ReceptionPlan &plan, TimeNs t0, TimeNs t1,
+                   std::size_t chunk_samples,
+                   const sim::FaultPlan *faults = nullptr);
+
+    bool next(IqChunk &out) override;
+    double sampleRate() const override { return sdr->config().sampleRate; }
+    double centerFrequency() const override
+    {
+        return sdr->config().centerFrequency;
+    }
+    TimeNs startTime() const override { return t0; }
+    std::size_t totalSamples() const override { return total; }
+
+    /** Gain locked in for the run (the probe result or the config's). */
+    double fixedGain() const { return sdr->config().fixedGain; }
+
+  private:
+    std::unique_ptr<sdr::RtlSdr> sdr;
+    const em::ReceptionPlan *plan;
+    const sim::FaultPlan *faults;
+    TimeNs t0;
+    std::size_t total;
+    std::size_t chunk;
+    std::size_t done = 0;
+    std::size_t index = 0;
+};
+
+} // namespace emsc::stream
+
+#endif // EMSC_STREAM_SOURCES_HPP

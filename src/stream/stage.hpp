@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Streaming stage interface and the messages that flow between stages.
+ *
+ * A StreamStage consumes one message at a time and emits zero or more
+ * output messages. Stages keep whatever bounded internal state their
+ * algorithm needs (a sliding-DFT window, a pending envelope span, a
+ * batch of unlabeled bit powers) and report its size so the pipeline
+ * can prove the whole run's resident memory is O(window + chunk)
+ * rather than O(capture).
+ *
+ * Determinism contract: each stage instance is driven by exactly one
+ * consumer loop, in message order. Stage state therefore evolves
+ * identically regardless of how many threads the pipeline uses, and
+ * the final output stream is bit-identical for any thread count.
+ */
+
+#ifndef EMSC_STREAM_STAGE_HPP
+#define EMSC_STREAM_STAGE_HPP
+
+#include <cstddef>
+#include <functional>
+#include <variant>
+#include <vector>
+
+#include "channel/coding.hpp"
+#include "stream/chunk.hpp"
+
+namespace emsc::stream {
+
+/** A piece of the decimated Eq. (1) envelope. */
+struct EnvelopeChunk
+{
+    /** Global decimated index of y[0]. */
+    std::size_t firstIndex = 0;
+    /** Envelope samples. */
+    std::vector<double> y;
+    /**
+     * Parallel to y: true where the underlying raw samples showed a
+     * sustained dropout/saturation run (the envelope there is
+     * meaningless and bits overlapping it become erasures).
+     */
+    std::vector<char> corrupt;
+    /** Carrier estimate in effect while this chunk was acquired (Hz). */
+    double carrierHz = 0.0;
+};
+
+/** A run of recovered (and possibly labeled) channel bits. */
+struct BitChunk
+{
+    /** Global index of the first bit in this chunk. */
+    std::size_t firstBit = 0;
+    /** Labeled bits (empty until the labeling stage fills them). */
+    channel::Bits bits;
+    /** Erasure flags parallel to the bit stream. */
+    channel::Bits erased;
+    /** Per-bit average envelope power. */
+    std::vector<double> power;
+    /** Thresholds the labeling stage chose for this chunk's batches. */
+    std::vector<double> thresholds;
+    /** Bit start indices (decimated envelope coordinates). */
+    std::vector<std::size_t> starts;
+    /** Signaling-time estimate in effect for these bits. */
+    double signalingTime = 0.0;
+};
+
+/** The unit flowing through stage queues. */
+struct StreamMessage
+{
+    /** Per-edge sequence number (FIFO order within a queue). */
+    std::size_t seq = 0;
+    std::variant<IqChunk, EnvelopeChunk, BitChunk> payload;
+
+    /**
+     * Size of the message in "sample units" — raw IQ samples for an
+     * IqChunk, decimated envelope samples for an EnvelopeChunk, bits
+     * for a BitChunk. Used for queue occupancy accounting.
+     */
+    std::size_t
+    sampleUnits() const
+    {
+        if (const auto *iq = std::get_if<IqChunk>(&payload))
+            return iq->samples.size();
+        if (const auto *env = std::get_if<EnvelopeChunk>(&payload))
+            return env->y.size();
+        return std::get<BitChunk>(payload).power.size();
+    }
+};
+
+/** One processing stage of a streaming pipeline. */
+class StreamStage
+{
+  public:
+    /** Sink for a stage's outputs (pushes into the next queue). */
+    using Emit = std::function<void(StreamMessage &&)>;
+
+    virtual ~StreamStage();
+
+    /** Stage name for the observability report. */
+    virtual const char *name() const = 0;
+
+    /** Consume one message, emitting zero or more outputs. */
+    virtual void process(StreamMessage &&msg, const Emit &emit) = 0;
+
+    /** Flush state at end of stream (default: nothing pending). */
+    virtual void finish(const Emit &emit);
+
+    /**
+     * Current internal retention in sample units (same accounting as
+     * StreamMessage::sampleUnits). The pipeline tracks the peak.
+     */
+    virtual std::size_t bufferedSamples() const { return 0; }
+};
+
+} // namespace emsc::stream
+
+#endif // EMSC_STREAM_STAGE_HPP

@@ -1,0 +1,625 @@
+#include "stream/stages.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/convolution.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/window.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace emsc::stream {
+
+StreamStage::~StreamStage() = default;
+
+void
+StreamStage::finish(const Emit &)
+{
+}
+
+namespace {
+
+/** Raw-sample run length that condemns a span (matches the batch
+ * receiver's per-bit scan). */
+constexpr std::size_t kCorruptRun = 32;
+/** |I| or |Q| at or above this counts as full-scale (clipped). */
+constexpr double kClipLevel = 0.97;
+/** Spacing-ring capacity backing the running signaling-time median. */
+constexpr std::size_t kSpacingRing = 257;
+/** Pending-envelope cap in signaling times: past this much silence the
+ * open bit is force-closed so memory stays bounded. */
+constexpr double kSilenceCapTsig = 64.0;
+
+IqChunk &
+expectIq(StreamMessage &msg)
+{
+    auto *iq = std::get_if<IqChunk>(&msg.payload);
+    if (!iq)
+        panic("stream stage received a non-IQ message");
+    return *iq;
+}
+
+EnvelopeChunk &
+expectEnvelope(StreamMessage &msg)
+{
+    auto *env = std::get_if<EnvelopeChunk>(&msg.payload);
+    if (!env)
+        panic("stream stage received a non-envelope message");
+    return *env;
+}
+
+BitChunk &
+expectBits(StreamMessage &msg)
+{
+    auto *bits = std::get_if<BitChunk>(&msg.payload);
+    if (!bits)
+        panic("stream stage received a non-bit message");
+    return *bits;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- envelope
+
+EnvelopeStage::EnvelopeStage(double carrier_hz, double center_frequency,
+                             double sample_rate,
+                             const channel::AcquisitionConfig &acquisition,
+                             const CarrierTrackerConfig &tracker)
+    : acq(acquisition), trk(tracker), fc(center_frequency),
+      fs(sample_rate), carrierEst(carrier_hz), trackedCarrier(carrier_hz)
+{
+    acquirer = std::make_unique<channel::StreamingAcquirer>(
+        carrier_hz, fc, fs, acq);
+    if (trk.enabled) {
+        if (trk.snapshotWindow < 64)
+            raiseError(ErrorKind::InvalidConfig,
+                       "carrier-tracker snapshot window too small");
+        snapshotPlan = dsp::FftPlan::forSize(trk.snapshotWindow);
+        snapshot.assign(trk.snapshotWindow, sdr::IqSample{0.0, 0.0});
+    }
+}
+
+void
+EnvelopeStage::updateCarrier()
+{
+    // Hann-windowed FFT of the snapshot ring (oldest sample first).
+    std::size_t m = trk.snapshotWindow;
+    auto win_sp = dsp::cachedWindow(dsp::WindowKind::Hann, m);
+    const std::vector<double> &win = *win_sp;
+    std::vector<dsp::Complex> buf(m);
+    for (std::size_t i = 0; i < m; ++i)
+        buf[i] = snapshot[(snapHead + i) % m] * win[i];
+    snapshotPlan->transform(buf, false);
+
+    // Magnitude-weighted centroid of the neighbourhood around the
+    // tracked carrier, above the local floor so noise bins do not pull
+    // the estimate.
+    double off = trackedCarrier - fc;
+    auto center = static_cast<long long>(
+        std::llround(off * static_cast<double>(m) / fs));
+    std::vector<double> mag;
+    mag.reserve(2 * static_cast<std::size_t>(trk.trackBins) + 1);
+    for (int d = -trk.trackBins; d <= trk.trackBins; ++d) {
+        long long k = (center + d) % static_cast<long long>(m);
+        if (k < 0)
+            k += static_cast<long long>(m);
+        mag.push_back(std::abs(buf[static_cast<std::size_t>(k)]));
+    }
+    double floor = *std::min_element(mag.begin(), mag.end());
+    double wsum = 0.0, fsum = 0.0;
+    for (int d = -trk.trackBins; d <= trk.trackBins; ++d) {
+        double w =
+            mag[static_cast<std::size_t>(d + trk.trackBins)] - floor;
+        double freq =
+            fc + static_cast<double>(center + d) * fs /
+                     static_cast<double>(m);
+        wsum += w;
+        fsum += w * freq;
+    }
+    if (wsum <= 0.0)
+        return;
+
+    // Decaying-average re-estimate.
+    carrierEst = (1.0 - trk.alpha) * carrierEst + trk.alpha * (fsum / wsum);
+
+    // Re-seed the acquirer only when the line left its tracked bin —
+    // within the threshold the envelope stays bit-identical to an
+    // untracked run.
+    double bin_hz = fs / static_cast<double>(
+                             std::max<std::size_t>(acq.window, 1));
+    if (std::abs(carrierEst - trackedCarrier) >
+        trk.hopThresholdBins * bin_hz) {
+        acquirer = std::make_unique<channel::StreamingAcquirer>(
+            carrierEst, fc, fs, acq);
+        trackedCarrier = carrierEst;
+        ++reseeds;
+    }
+}
+
+void
+EnvelopeStage::process(StreamMessage &&msg, const Emit &emit)
+{
+    IqChunk &iq = expectIq(msg);
+    std::size_t dec = std::max<std::size_t>(acq.decimation, 1);
+
+    // Corrupt-run scan on the raw samples: global decimated indices of
+    // samples inside a sustained zero/clip run.
+    std::vector<std::pair<std::size_t, std::size_t>> corruptRanges;
+    for (std::size_t i = 0; i < iq.samples.size(); ++i) {
+        double re = iq.samples[i].real();
+        double im = iq.samples[i].imag();
+        zeroRun = re == 0.0 && im == 0.0 ? zeroRun + 1 : 0;
+        clipRun = std::abs(re) >= kClipLevel || std::abs(im) >= kClipLevel
+                      ? clipRun + 1
+                      : 0;
+        if (zeroRun >= kCorruptRun || clipRun >= kCorruptRun) {
+            std::size_t d = (iq.firstSample + i) / dec;
+            if (!corruptRanges.empty() &&
+                corruptRanges.back().second + 1 >= d)
+                corruptRanges.back().second = d;
+            else
+                corruptRanges.emplace_back(d, d);
+        }
+    }
+
+    // Tracker snapshot + periodic re-estimate (before feeding, so a
+    // detected hop re-seeds the acquirer for this chunk's samples at
+    // the earliest opportunity).
+    if (trk.enabled) {
+        for (const sdr::IqSample &s : iq.samples) {
+            snapshot[snapHead] = s;
+            snapHead = (snapHead + 1) % trk.snapshotWindow;
+        }
+        snapCount = std::min(snapCount + iq.samples.size(),
+                             trk.snapshotWindow);
+        rawSeen += iq.samples.size();
+        if (snapCount >= trk.snapshotWindow &&
+            rawSeen - lastUpdate >= trk.updateInterval) {
+            lastUpdate = rawSeen;
+            updateCarrier();
+        }
+    } else {
+        rawSeen += iq.samples.size();
+    }
+
+    acquirer->feed(iq.samples);
+    channel::AcquiredSignal sig = acquirer->take();
+    if (sig.y.empty())
+        return;
+
+    EnvelopeChunk out;
+    out.firstIndex = envCount;
+    out.carrierHz = carrierEst;
+    out.corrupt.assign(sig.y.size(), 0);
+    for (const auto &[lo, hi] : corruptRanges) {
+        std::size_t a = lo > envCount ? lo - envCount : 0;
+        if (a >= out.corrupt.size())
+            continue;
+        std::size_t b =
+            std::min(out.corrupt.size(),
+                     hi >= envCount ? hi - envCount + 1 : 0);
+        for (std::size_t j = a; j < b; ++j)
+            out.corrupt[j] = 1;
+    }
+    out.y = std::move(sig.y);
+    envCount += out.y.size();
+
+    StreamMessage m;
+    m.payload = std::move(out);
+    emit(std::move(m));
+}
+
+std::size_t
+EnvelopeStage::bufferedSamples() const
+{
+    // Sliding-DFT history plus the tracker snapshot, in raw samples.
+    return acq.window + snapshot.size();
+}
+
+// ----------------------------------------------------------------- keylog
+
+KeystrokeStage::KeystrokeStage(double envelope_rate, TimeNs capture_start,
+                               const keylog::DetectorConfig &config,
+                               Callback on_keystroke)
+    : detector(envelope_rate, capture_start, config),
+      callback(std::move(on_keystroke))
+{
+}
+
+void
+KeystrokeStage::drain()
+{
+    for (keylog::DetectedKeystroke &k : detector.poll()) {
+        if (callback)
+            callback(k);
+        detected.push_back(k);
+    }
+}
+
+void
+KeystrokeStage::process(StreamMessage &&msg, const Emit &emit)
+{
+    EnvelopeChunk &env = expectEnvelope(msg);
+    detector.feed(env.y.data(), env.y.size());
+    drain();
+    emit(std::move(msg));
+}
+
+void
+KeystrokeStage::finish(const Emit &emit)
+{
+    (void)emit;
+    detector.finish();
+    drain();
+}
+
+std::size_t
+KeystrokeStage::bufferedSamples() const
+{
+    return detector.bufferedSamples();
+}
+
+// ----------------------------------------------------------------- timing
+
+TimingStage::TimingStage(const TimingCalibration &calibration)
+    : cal(calibration)
+{
+    tsig = cal.signalingTime > 4.0 ? cal.signalingTime : 64.0;
+    kernel = std::clamp<std::size_t>(cal.edgeKernel & ~std::size_t{1},
+                                     4, 4096);
+    spanSamples = std::max<std::size_t>(
+        2048, static_cast<std::size_t>(std::lround(16.0 * tsig)));
+    refQ = cal.referenceQuantile;
+    // Seed the spacing ring so early spans cannot yank the median.
+    spacings.assign(8, tsig);
+}
+
+void
+TimingStage::emitBit(std::size_t a, std::size_t b, bool synthesized,
+                     BitChunk &out)
+{
+    double power = 0.0;
+    bool erasedBit = synthesized;
+    std::size_t lo = a > envFirst ? a - envFirst : 0;
+    std::size_t hi = b > envFirst ? b - envFirst : 0;
+    hi = std::min(hi, env.size());
+    if (lo < hi) {
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            acc += env[i] * env[i];
+            if (corrupt[i])
+                erasedBit = true;
+        }
+        power = acc / static_cast<double>(hi - lo);
+    } else {
+        // The interval's envelope was already trimmed (deep silence):
+        // nothing to measure, mark the placeholder as erased.
+        erasedBit = true;
+    }
+    out.starts.push_back(a);
+    out.power.push_back(power);
+    out.erased.push_back(erasedBit ? 1 : 0);
+    ++bitsOut;
+}
+
+void
+TimingStage::acceptStart(std::size_t global, BitChunk &out)
+{
+    if (!havePending) {
+        havePending = true;
+        pendingStart = global;
+        return;
+    }
+    if (global <= pendingStart)
+        return;
+    double gap = static_cast<double>(global - pendingStart);
+    if (gap < cal.timing.minSpacingRatio * tsig)
+        return; // too close: keep the earlier start (merge)
+
+    // Gap filling at multiples of the signaling time, as in the batch
+    // recovery: a gap of k periods hides k-1 missed bit starts.
+    long k = 1;
+    double ratio = gap / tsig;
+    if (ratio >= cal.timing.gapFillRatio)
+        k = std::max<long>(1, std::lround(ratio));
+    std::size_t prev = pendingStart;
+    for (long m = 1; m < k; ++m) {
+        auto s = pendingStart +
+                 static_cast<std::size_t>(std::lround(
+                     static_cast<double>(m) * gap /
+                     static_cast<double>(k)));
+        emitBit(prev, s, true, out);
+        prev = s;
+    }
+    emitBit(prev, global, false, out);
+
+    // Signaling-time adaptation: running median over recent spacings
+    // (per-period spacing when the gap was filled).
+    double spacing = gap / static_cast<double>(k);
+    if (spacings.size() >= kSpacingRing)
+        spacings.erase(spacings.begin());
+    spacings.push_back(spacing);
+    std::vector<double> v(spacings);
+    std::nth_element(v.begin(),
+                     v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2),
+                     v.end());
+    tsig = v[v.size() / 2];
+
+    pendingStart = global;
+}
+
+void
+TimingStage::trim(std::size_t keep_from_local)
+{
+    // Never trim past the open bit's start: its power is computed from
+    // this buffer when the next start arrives.
+    if (havePending) {
+        std::size_t pendLocal =
+            pendingStart > envFirst ? pendingStart - envFirst : 0;
+        keep_from_local = std::min(keep_from_local, pendLocal);
+    }
+    if (keep_from_local == 0)
+        return;
+    env.erase(env.begin(),
+              env.begin() + static_cast<std::ptrdiff_t>(keep_from_local));
+    corrupt.erase(corrupt.begin(),
+                  corrupt.begin() +
+                      static_cast<std::ptrdiff_t>(keep_from_local));
+    envFirst += keep_from_local;
+}
+
+void
+TimingStage::processSpans(bool final_span, BitChunk &out)
+{
+    for (;;) {
+        std::size_t w = final_span ? env.size()
+                                   : std::min(env.size(), spanSamples);
+        if (w < 4 * kernel)
+            return;
+        if (!final_span && env.size() < spanSamples)
+            return;
+
+        std::vector<double> window(env.begin(),
+                                   env.begin() +
+                                       static_cast<std::ptrdiff_t>(w));
+        std::vector<double> edge = dsp::edgeDetect(window, kernel);
+        dsp::PeakOptions opt;
+        opt.minDistance = std::max<std::size_t>(
+            4, static_cast<std::size_t>(std::lround(
+                   cal.timing.minSpacingRatio * tsig)));
+        std::vector<std::size_t> peaks = dsp::findPeaks(edge, opt);
+
+        // Threshold adaptation: decaying average of the span's peak
+        // quantile. Quiet spans (no bits) would drag the reference to
+        // the noise floor, so only spans with comparable activity
+        // update it.
+        if (!peaks.empty()) {
+            std::vector<double> heights;
+            heights.reserve(peaks.size());
+            for (std::size_t p : peaks)
+                heights.push_back(edge[p]);
+            double q = quantile(heights, cal.timing.peakQuantile);
+            if (refQ <= 0.0)
+                refQ = q;
+            else if (q > 0.35 * refQ)
+                refQ = 0.75 * refQ + 0.25 * q;
+        }
+        double thr = cal.timing.peakThresholdRatio * refQ;
+
+        // Commit region: peaks close to the span's right edge see an
+        // incomplete kernel footprint and re-appear (with full
+        // context) in the next span.
+        std::size_t commitEnd = final_span ? w : w - 2 * kernel;
+        for (std::size_t p : peaks) {
+            if (p >= commitEnd)
+                break;
+            if (edge[p] < thr)
+                continue;
+            acceptStart(envFirst + p, out);
+        }
+
+        if (final_span)
+            return;
+
+        // Keep kernel-length context behind the first uncommitted
+        // position, plus everything from the open bit's start.
+        std::size_t keep = w > 3 * kernel ? w - 3 * kernel : 0;
+
+        // Bounded-memory guarantee: during a long silence the open bit
+        // would pin the whole buffer; force-close it after
+        // kSilenceCapTsig signaling times (the batch path labels such
+        // a span near-zero anyway).
+        double cap = kSilenceCapTsig * tsig;
+        if (havePending &&
+            static_cast<double>(envFirst + env.size() - pendingStart) >
+                cap + static_cast<double>(spanSamples)) {
+            std::size_t close =
+                pendingStart +
+                static_cast<std::size_t>(std::lround(tsig));
+            emitBit(pendingStart, close, false, out);
+            havePending = false;
+        }
+        std::size_t before = envFirst;
+        trim(keep);
+        if (envFirst == before)
+            return; // no progress possible: wait for more envelope
+    }
+}
+
+void
+TimingStage::process(StreamMessage &&msg, const Emit &emit)
+{
+    EnvelopeChunk &chunk = expectEnvelope(msg);
+    if (chunk.firstIndex != envFirst + env.size())
+        panic("timing stage received a non-contiguous envelope chunk");
+    env.insert(env.end(), chunk.y.begin(), chunk.y.end());
+    corrupt.insert(corrupt.end(), chunk.corrupt.begin(),
+                   chunk.corrupt.end());
+
+    BitChunk out;
+    out.firstBit = bitsOut;
+    processSpans(false, out);
+    if (!out.power.empty()) {
+        out.signalingTime = tsig;
+        StreamMessage m;
+        m.payload = std::move(out);
+        emit(std::move(m));
+    }
+}
+
+void
+TimingStage::finish(const Emit &emit)
+{
+    BitChunk out;
+    out.firstBit = bitsOut;
+    processSpans(true, out);
+    if (havePending) {
+        // Final bit: one signaling time past the last start (clamped),
+        // matching the batch labeler's last-interval rule.
+        std::size_t close =
+            pendingStart + static_cast<std::size_t>(std::lround(tsig));
+        close = std::min(close, envFirst + env.size());
+        if (close > pendingStart)
+            emitBit(pendingStart, close, false, out);
+        havePending = false;
+    }
+    if (!out.power.empty()) {
+        out.signalingTime = tsig;
+        StreamMessage m;
+        m.payload = std::move(out);
+        emit(std::move(m));
+    }
+}
+
+std::size_t
+TimingStage::bufferedSamples() const
+{
+    return env.size();
+}
+
+// ------------------------------------------------------------------ label
+
+LabelStage::LabelStage(const channel::LabelingConfig &labeling,
+                       std::size_t batch_bits)
+    : cfg(labeling), batchBits(batch_bits)
+{
+}
+
+void
+LabelStage::flush(std::size_t count, const Emit &emit)
+{
+    if (count == 0)
+        return;
+    BitChunk out;
+    out.firstBit = nextFirstBit;
+    out.signalingTime = pending.signalingTime;
+    out.power.assign(pending.power.begin(),
+                     pending.power.begin() +
+                         static_cast<std::ptrdiff_t>(count));
+    out.erased.assign(pending.erased.begin(),
+                      pending.erased.begin() +
+                          static_cast<std::ptrdiff_t>(count));
+    out.starts.assign(pending.starts.begin(),
+                      pending.starts.begin() +
+                          static_cast<std::ptrdiff_t>(count));
+    double thr = channel::selectThreshold(out.power, cfg);
+    out.thresholds.push_back(thr);
+    out.bits.reserve(count);
+    for (double p : out.power)
+        out.bits.push_back(p > thr ? 1 : 0);
+
+    pending.power.erase(pending.power.begin(),
+                        pending.power.begin() +
+                            static_cast<std::ptrdiff_t>(count));
+    pending.erased.erase(pending.erased.begin(),
+                         pending.erased.begin() +
+                             static_cast<std::ptrdiff_t>(count));
+    pending.starts.erase(pending.starts.begin(),
+                         pending.starts.begin() +
+                             static_cast<std::ptrdiff_t>(count));
+    nextFirstBit += count;
+
+    StreamMessage m;
+    m.payload = std::move(out);
+    emit(std::move(m));
+}
+
+void
+LabelStage::process(StreamMessage &&msg, const Emit &emit)
+{
+    BitChunk &in = expectBits(msg);
+    pending.power.insert(pending.power.end(), in.power.begin(),
+                         in.power.end());
+    pending.erased.insert(pending.erased.end(), in.erased.begin(),
+                          in.erased.end());
+    pending.starts.insert(pending.starts.end(), in.starts.begin(),
+                          in.starts.end());
+    pending.signalingTime = in.signalingTime;
+    while (batchBits > 0 && pending.power.size() >= batchBits)
+        flush(batchBits, emit);
+}
+
+void
+LabelStage::finish(const Emit &emit)
+{
+    flush(pending.power.size(), emit);
+}
+
+std::size_t
+LabelStage::bufferedSamples() const
+{
+    return pending.power.size();
+}
+
+// ----------------------------------------------------------------- decode
+
+DecodeStage::DecodeStage(const channel::FrameConfig &frame)
+    : cfg(frame), epoch(std::chrono::steady_clock::now())
+{
+}
+
+void
+DecodeStage::process(StreamMessage &&msg, const Emit &emit)
+{
+    (void)emit;
+    BitChunk &in = expectBits(msg);
+    if (firstBitNs == 0 && !in.bits.empty())
+        firstBitNs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - epoch)
+                .count());
+    stream.bits.insert(stream.bits.end(), in.bits.begin(),
+                       in.bits.end());
+    stream.bitPower.insert(stream.bitPower.end(), in.power.begin(),
+                           in.power.end());
+    stream.thresholds.insert(stream.thresholds.end(),
+                             in.thresholds.begin(),
+                             in.thresholds.end());
+    erased.insert(erased.end(), in.erased.begin(), in.erased.end());
+    allStarts.insert(allStarts.end(), in.starts.begin(),
+                     in.starts.end());
+    if (in.signalingTime > 0.0)
+        tsig = in.signalingTime;
+    for (auto e : in.erased)
+        if (e)
+            sawErased = true;
+}
+
+void
+DecodeStage::finish(const Emit &emit)
+{
+    (void)emit;
+    if (stream.bits.empty())
+        return;
+    parsed = sawErased ? channel::parseFrame(stream.bits, erased, cfg)
+                       : channel::parseFrame(stream.bits, cfg);
+}
+
+std::size_t
+DecodeStage::bufferedSamples() const
+{
+    return stream.bits.size();
+}
+
+} // namespace emsc::stream

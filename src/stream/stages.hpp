@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Concrete streaming stages: envelope acquisition with an online
+ * carrier tracker, keystroke detection tee, incremental bit-timing
+ * recovery, batched labeling, and terminal frame decode.
+ *
+ * Stage graph (ReceiverOps::runStreaming wires it):
+ *
+ *   IqChunk -> [envelope] -> EnvelopeChunk -> ([keylog tee]) ->
+ *     [timing] -> BitChunk(power) -> [label] -> BitChunk(bits) ->
+ *     [decode]
+ *
+ * Each stage holds O(window + span) state — never the capture.
+ */
+
+#ifndef EMSC_STREAM_STAGES_HPP
+#define EMSC_STREAM_STAGES_HPP
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "channel/acquisition.hpp"
+#include "channel/coding.hpp"
+#include "channel/labeling.hpp"
+#include "channel/timing.hpp"
+#include "dsp/fft_plan.hpp"
+#include "keylog/detector.hpp"
+#include "stream/stage.hpp"
+
+namespace emsc::stream {
+
+/**
+ * Online carrier re-estimation: a periodic FFT over a small snapshot
+ * of recent raw samples re-locates the VRM line near the tracked
+ * carrier, and a decaying average smooths the estimate. When the
+ * smoothed estimate moves beyond hopThresholdBins acquisition bins
+ * (an LO hop or heavy drift), the envelope stage re-seeds its sliding
+ * DFT on the new carrier. Within the threshold the acquirer is left
+ * untouched, so clean captures produce a bit-identical envelope
+ * whether the tracker is armed or not.
+ */
+struct CarrierTrackerConfig
+{
+    bool enabled = true;
+    /** Raw samples between re-estimates. */
+    std::size_t updateInterval = 1 << 18;
+    /** Snapshot FFT size (raw samples, power of two). */
+    std::size_t snapshotWindow = 4096;
+    /** Decaying-average blend weight of each new estimate. */
+    double alpha = 0.25;
+    /** Re-seed when the estimate moves this many acquisition bins. */
+    double hopThresholdBins = 1.25;
+    /** Snapshot bins searched either side of the tracked carrier. */
+    int trackBins = 6;
+};
+
+/**
+ * Eq. (1) envelope acquisition over chunked input. Wraps
+ * channel::StreamingAcquirer (sliding DFT + Hann synthesis +
+ * decimation, state persisting across chunks), scans the raw samples
+ * for sustained dropout/saturation runs to produce the corrupt mask,
+ * and runs the online carrier tracker.
+ */
+class EnvelopeStage : public StreamStage
+{
+  public:
+    EnvelopeStage(double carrier_hz, double center_frequency,
+                  double sample_rate,
+                  const channel::AcquisitionConfig &acquisition,
+                  const CarrierTrackerConfig &tracker);
+
+    const char *name() const override { return "envelope"; }
+    void process(StreamMessage &&msg, const Emit &emit) override;
+    std::size_t bufferedSamples() const override;
+
+    /** Current (smoothed) carrier estimate in Hz. */
+    double carrierEstimate() const { return carrierEst; }
+    /** Times the tracker re-seeded the acquirer on a hop. */
+    std::size_t carrierReseeds() const { return reseeds; }
+    /** Decimated envelope samples emitted so far. */
+    std::size_t envelopeSamples() const { return envCount; }
+
+  private:
+    void updateCarrier();
+
+    channel::AcquisitionConfig acq;
+    CarrierTrackerConfig trk;
+    double fc;
+    double fs;
+    double carrierEst;
+    double trackedCarrier;
+    std::unique_ptr<channel::StreamingAcquirer> acquirer;
+    std::shared_ptr<const dsp::FftPlan> snapshotPlan;
+    /** Ring of the most recent snapshotWindow raw samples. */
+    std::vector<sdr::IqSample> snapshot;
+    std::size_t snapHead = 0;
+    std::size_t snapCount = 0;
+    std::size_t rawSeen = 0;
+    std::size_t lastUpdate = 0;
+    std::size_t reseeds = 0;
+    /** Global decimated index of the next envelope sample. */
+    std::size_t envCount = 0;
+    /** Raw-domain corrupt-run trackers (persist across chunks). */
+    std::size_t zeroRun = 0;
+    std::size_t clipRun = 0;
+};
+
+/**
+ * Pass-through tee feeding the online keystroke detector: envelope
+ * chunks are forwarded unchanged while completed keystroke bursts are
+ * surfaced through the callback (and accumulated for the final
+ * result).
+ */
+class KeystrokeStage : public StreamStage
+{
+  public:
+    using Callback =
+        std::function<void(const keylog::DetectedKeystroke &)>;
+
+    KeystrokeStage(double envelope_rate, TimeNs capture_start,
+                   const keylog::DetectorConfig &config,
+                   Callback on_keystroke = nullptr);
+
+    const char *name() const override { return "keylog"; }
+    void process(StreamMessage &&msg, const Emit &emit) override;
+    void finish(const Emit &emit) override;
+    std::size_t bufferedSamples() const override;
+
+    /** All keystrokes detected during the run. */
+    const std::vector<keylog::DetectedKeystroke> &events() const
+    {
+        return detected;
+    }
+
+  private:
+    void drain();
+
+    keylog::OnlineKeystrokeDetector detector;
+    Callback callback;
+    std::vector<keylog::DetectedKeystroke> detected;
+};
+
+/** Warm-up calibration handed to the incremental timing stage. */
+struct TimingCalibration
+{
+    /** Initial signaling-time estimate (decimated samples). */
+    double signalingTime = 64.0;
+    /** Edge kernel length l_d (even, >= 2). */
+    std::size_t edgeKernel = 16;
+    /**
+     * Calibrated reference edge-peak quantile: the warm-up envelope's
+     * quantile(peak heights, peakQuantile), which the stage adapts
+     * with a decaying average as spans arrive.
+     */
+    double referenceQuantile = 0.0;
+    /** Ratio/quantile knobs (same semantics as batch recoverTiming). */
+    channel::TimingConfig timing;
+};
+
+/**
+ * Incremental bit-timing recovery with threshold adaptation: edge
+ * detection and peak picking run span by span over a bounded pending
+ * window of the envelope; accepted starts are merged/gap-filled
+ * against the running signaling-time estimate (median over a bounded
+ * ring of recent spacings), and each completed bit interval is emitted
+ * as a per-bit power with its erasure flag (corrupt-envelope overlap).
+ * Bits are labeled downstream by LabelStage.
+ */
+class TimingStage : public StreamStage
+{
+  public:
+    explicit TimingStage(const TimingCalibration &calibration);
+
+    const char *name() const override { return "timing"; }
+    void process(StreamMessage &&msg, const Emit &emit) override;
+    void finish(const Emit &emit) override;
+    std::size_t bufferedSamples() const override;
+
+    /** Current signaling-time estimate (decimated samples). */
+    double signalingTime() const { return tsig; }
+
+  private:
+    void processSpans(bool final_span, BitChunk &out);
+    void acceptStart(std::size_t global, BitChunk &out);
+    void emitBit(std::size_t a, std::size_t b, bool synthesized,
+                 BitChunk &out);
+    void trim(std::size_t keep_from_local);
+
+    TimingCalibration cal;
+    /** Pending envelope span (global index of env[0] = envFirst). */
+    std::vector<double> env;
+    std::vector<char> corrupt;
+    std::size_t envFirst = 0;
+    /** Span geometry. */
+    std::size_t spanSamples;
+    std::size_t kernel;
+    /** Running signaling time: median over a bounded spacing ring. */
+    std::vector<double> spacings;
+    double tsig;
+    /** Adaptive edge-threshold reference quantile. */
+    double refQ;
+    /** Last accepted start (bit still open) in global coordinates. */
+    std::size_t pendingStart = 0;
+    bool havePending = false;
+    std::size_t bitsOut = 0;
+};
+
+/**
+ * Batched power labeling: accumulates per-bit powers until a batch is
+ * full, selects the bimodal-histogram threshold for the batch (the
+ * same channel::selectThreshold as the batch receiver), and emits the
+ * labeled bits. Threshold adaptation across batches tracks slow gain
+ * drift exactly as the batch labeler's per-batch thresholds do.
+ */
+class LabelStage : public StreamStage
+{
+  public:
+    LabelStage(const channel::LabelingConfig &labeling,
+               std::size_t batch_bits);
+
+    const char *name() const override { return "label"; }
+    void process(StreamMessage &&msg, const Emit &emit) override;
+    void finish(const Emit &emit) override;
+    std::size_t bufferedSamples() const override;
+
+  private:
+    void flush(std::size_t count, const Emit &emit);
+
+    channel::LabelingConfig cfg;
+    std::size_t batchBits;
+    BitChunk pending;
+    std::size_t nextFirstBit = 0;
+};
+
+/**
+ * Terminal stage: accumulates the labeled bit stream (bits are tiny —
+ * O(capture / 10^3) — and are the pipeline's product, not buffered
+ * samples), records time-to-first-bit, and parses the frame at end of
+ * stream (erasure-aware when any bit was erased).
+ */
+class DecodeStage : public StreamStage
+{
+  public:
+    explicit DecodeStage(const channel::FrameConfig &frame);
+
+    const char *name() const override { return "decode"; }
+    void process(StreamMessage &&msg, const Emit &emit) override;
+    void finish(const Emit &emit) override;
+    std::size_t bufferedSamples() const override;
+
+    const channel::LabeledBits &labeled() const { return stream; }
+    const channel::Bits &erasureMask() const { return erased; }
+    const std::vector<std::size_t> &starts() const { return allStarts; }
+    const channel::ParsedFrame &frame() const { return parsed; }
+    double signalingTime() const { return tsig; }
+    /** ns from stage construction to the first labeled bit; 0 if none. */
+    std::uint64_t firstBitLatencyNs() const { return firstBitNs; }
+    bool anyErased() const { return sawErased; }
+
+  private:
+    channel::FrameConfig cfg;
+    channel::LabeledBits stream;
+    channel::Bits erased;
+    std::vector<std::size_t> allStarts;
+    channel::ParsedFrame parsed;
+    double tsig = 0.0;
+    bool sawErased = false;
+    std::uint64_t firstBitNs = 0;
+    std::chrono::steady_clock::time_point epoch;
+};
+
+} // namespace emsc::stream
+
+#endif // EMSC_STREAM_STAGES_HPP

@@ -46,6 +46,12 @@ globalPool()
 
 } // namespace
 
+ThreadPool &
+globalThreadPool()
+{
+    return globalPool();
+}
+
 ThreadPool::ThreadPool(std::size_t workers)
 {
     ensureWorkers(workers);

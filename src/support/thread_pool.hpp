@@ -67,6 +67,17 @@ class ThreadPool
 };
 
 /**
+ * The shared pool backing parallelFor(), exposed for subsystems that
+ * need long-lived tasks (e.g. streaming stage loops) on the same
+ * workers. Created on first use and intentionally never destroyed, so
+ * submitted tasks may outlive static teardown. Callers must
+ * ensureWorkers() enough threads for their own concurrent long-running
+ * tasks plus one, or parallelFor() fan-out from inside those tasks
+ * could starve.
+ */
+ThreadPool &globalThreadPool();
+
+/**
  * Number of threads parallelFor() uses: the EMSC_THREADS environment
  * variable when set to a positive integer, otherwise
  * std::thread::hardware_concurrency(). Always >= 1. The environment is

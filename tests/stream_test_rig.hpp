@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Shared rig for the streaming tests: simulate one covert transmission
+ * on the reference laptop and keep the *reception plan* (not a
+ * capture), so the same emission can be synthesised whole-buffer for
+ * the batch receiver and chunk by chunk for the streaming one, with a
+ * shared fixed front-end gain and an identical SDR noise stream.
+ */
+
+#ifndef EMSC_TESTS_STREAM_TEST_RIG_HPP
+#define EMSC_TESTS_STREAM_TEST_RIG_HPP
+
+#include "core/api.hpp"
+#include "sdr/rtlsdr.hpp"
+#include "sim/faults.hpp"
+#include "support/thread_pool.hpp"
+#include "vrm/pmu.hpp"
+
+namespace emsc::test {
+
+/** One simulated transmission, ready to capture any number of times. */
+struct StreamRig
+{
+    channel::Bits payload;
+    channel::ReceiverConfig rxCfg;
+    em::ReceptionPlan plan;
+    TimeNs t0 = 0;
+    TimeNs t1 = 0;
+    /** fixedGain is pre-probed so chunked captures are level-stable. */
+    sdr::SdrConfig sdrCfg;
+    /** Seed of the SDR noise stream; reuse for bit-identical captures. */
+    std::uint64_t sdrSeed = 0;
+};
+
+inline StreamRig
+makeStreamRig(std::size_t payload_bits, std::uint64_t seed)
+{
+    core::DeviceProfile dev = core::referenceDevice();
+
+    Rng master(seed);
+    Rng rng_payload = master.fork();
+    Rng rng_os = master.fork();
+    Rng rng_vrm = master.fork();
+    Rng rng_em = master.fork();
+
+    StreamRig rig;
+    rig.sdrSeed = deriveSeed(seed, 0x5d12);
+    rig.payload.resize(payload_bits);
+    for (auto &b : rig.payload)
+        b = rng_payload.chance(0.5) ? 1 : 0;
+    channel::Bits frame =
+        channel::buildFrame(rig.payload, rig.rxCfg.frame);
+
+    sim::EventKernel kernel;
+    cpu::CpuCore core(kernel, dev.core);
+    cpu::OsModel os(kernel, core, dev.os, rng_os);
+    os.startBackgroundActivity(fromSeconds(30.0));
+
+    channel::TxParams txp;
+    txp.sleepPeriodUs = dev.defaultSleepUs;
+    channel::CovertTransmitter tx(os, frame, txp);
+    bool done = false;
+    TimeNs tx_end = 0;
+    kernel.scheduleAt(5 * kMillisecond, [&] {
+        tx.start([&] {
+            done = true;
+            tx_end = kernel.now();
+        });
+    });
+    while (!done && kernel.now() < fromSeconds(30.0))
+        kernel.runUntil(kernel.now() + 10 * kMillisecond);
+
+    rig.t0 = tx.sentBits().front().start - 20 * kMillisecond;
+    rig.t1 = tx_end + 20 * kMillisecond;
+
+    vrm::Pmu pmu(core, dev.buck, rng_vrm);
+    auto events = pmu.switchingEvents(rig.t0, rig.t1);
+    em::SceneConfig scene =
+        core::makeScene(dev.emitterCoupling, core::nearFieldSetup());
+    rig.plan = em::buildReceptionPlan(scene, events, rig.t0, rig.t1,
+                                      rng_em);
+
+    rig.sdrCfg.centerFrequency = 1.5 * dev.buck.switchFrequency;
+    {
+        // Probe the AGC once so every capture (batch or chunked) of
+        // this rig shares the same fixed gain.
+        Rng probe_rng(rig.sdrSeed);
+        sdr::RtlSdr probe(rig.sdrCfg, probe_rng);
+        rig.sdrCfg.fixedGain =
+            probe.measureAgcGain(rig.plan, rig.t0, rig.t1);
+    }
+    return rig;
+}
+
+/** Whole-buffer capture with the rig's fixed gain and noise seed. */
+inline sdr::IqCapture
+batchCapture(const StreamRig &rig, const sim::FaultPlan *faults = nullptr)
+{
+    Rng rng(rig.sdrSeed);
+    sdr::RtlSdr radio(rig.sdrCfg, rng);
+    return radio.capture(rig.plan, rig.t0, rig.t1, faults);
+}
+
+/** Integrity ranking used by the receiver's decode comparisons. */
+inline int
+frameRank(const channel::ParsedFrame &f)
+{
+    if (!f.found)
+        return 0;
+    switch (f.integrity) {
+    case channel::FrameIntegrity::Verified: return 4;
+    case channel::FrameIntegrity::Corrected: return 3;
+    case channel::FrameIntegrity::Unchecked: return 2;
+    case channel::FrameIntegrity::Damaged: return 1;
+    case channel::FrameIntegrity::None: return 1;
+    }
+    return 1;
+}
+
+} // namespace emsc::test
+
+#endif // EMSC_TESTS_STREAM_TEST_RIG_HPP

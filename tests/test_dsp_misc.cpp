@@ -193,6 +193,45 @@ TEST(SlidingDft, AcquireBatchesWholeCapture)
     EXPECT_NEAR(y.back(), 32.0, 1e-9);
 }
 
+TEST(SlidingDft, StaysExactOverTenMillionSamples)
+{
+    // Streaming captures push hundreds of millions of samples through
+    // one SlidingDft instance; the periodic exact re-seed must keep
+    // the O(1) bin updates from drifting. Push 10M samples and audit
+    // against a direct DFT of the trailing window at spread-out
+    // checkpoints (deliberately not aligned with the re-seed cadence).
+    const std::size_t m = 1024;
+    const std::vector<std::size_t> bins = {5, 37};
+    const std::size_t total = 10'000'000;
+    const std::size_t checkEvery = 999'983; // prime: straddles reseeds
+
+    Rng rng(90);
+    SlidingDft sdft(m, bins);
+    std::vector<Complex> ring(m);
+    for (std::size_t n = 0; n < total; ++n) {
+        Complex s{rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+        ring[n % m] = s;
+        double y = sdft.push(s);
+        if (n < m || n % checkEvery != 0)
+            continue;
+        double expected = 0.0;
+        for (std::size_t k : bins) {
+            Complex acc{0.0, 0.0};
+            for (std::size_t j = 0; j < m; ++j) {
+                double angle = -2.0 * std::numbers::pi *
+                               static_cast<double>(k * j) /
+                               static_cast<double>(m);
+                acc += ring[(n + 1 + j) % m] *
+                       Complex{std::cos(angle), std::sin(angle)};
+            }
+            expected += std::abs(acc);
+        }
+        ASSERT_NEAR(y, expected, 1e-6 * std::max(1.0, expected))
+            << "at sample " << n;
+    }
+    EXPECT_EQ(sdft.samplesSeen(), total);
+}
+
 TEST(Convolution, KnownSmallCase)
 {
     auto c = convolve({1.0, 2.0, 3.0}, {0.0, 1.0, 0.5});

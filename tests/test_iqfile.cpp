@@ -106,5 +106,72 @@ TEST(IqFile, MissingFileIsRecoverable)
                  RecoverableError);
 }
 
+TEST(IqFileReader, ChunkedReadsMatchWholeFileLoad)
+{
+    Rng rng(2);
+    IqCapture cap;
+    cap.sampleRate = 2.4e6;
+    cap.centerFrequency = 1.45e6;
+    for (int i = 0; i < 10007; ++i) // prime: no chunk size divides it
+        cap.samples.push_back(IqSample{rng.uniform(-0.9, 0.9),
+                                       rng.uniform(-0.9, 0.9)});
+    std::string path = tempPath("chunked");
+    writeIqU8(cap, path);
+    IqCapture whole = readIqU8(path, cap.sampleRate,
+                               cap.centerFrequency);
+
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{100},
+                              std::size_t{4096}, std::size_t{20000}}) {
+        IqFileReader reader(path, cap.sampleRate, cap.centerFrequency);
+        EXPECT_DOUBLE_EQ(reader.sampleRate(), cap.sampleRate);
+        std::vector<IqSample> all;
+        std::vector<IqSample> piece;
+        std::size_t got;
+        while ((got = reader.readNext(chunk, piece)) > 0) {
+            EXPECT_LE(got, chunk);
+            EXPECT_EQ(got, piece.size());
+            all.insert(all.end(), piece.begin(), piece.end());
+            EXPECT_EQ(reader.samplesRead(), all.size());
+        }
+        EXPECT_TRUE(reader.exhausted());
+        EXPECT_EQ(reader.readNext(chunk, piece), 0u); // stays at EOF
+        EXPECT_EQ(all, whole.samples) << "chunk size " << chunk;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(IqFileReader, OddTrailingByteCostsHalfASample)
+{
+    IqCapture cap;
+    cap.sampleRate = 1e6;
+    cap.samples.assign(100, IqSample{0.25, -0.25});
+    std::string path = tempPath("oddchunked");
+    writeIqU8(cap, path);
+    // Append a lone I byte with no matching Q.
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    unsigned char stray = 200;
+    ASSERT_EQ(std::fwrite(&stray, 1, 1, f), 1u);
+    std::fclose(f);
+
+    IqCapture whole = readIqU8(path, 1e6, 0.0);
+    EXPECT_EQ(whole.samples.size(), 100u);
+
+    IqFileReader reader(path, 1e6, 0.0);
+    std::vector<IqSample> all;
+    std::vector<IqSample> piece;
+    while (reader.readNext(7, piece) > 0)
+        all.insert(all.end(), piece.begin(), piece.end());
+    EXPECT_TRUE(reader.exhausted());
+    EXPECT_EQ(all, whole.samples);
+    std::remove(path.c_str());
+}
+
+TEST(IqFileReader, MissingFileIsRecoverable)
+{
+    EXPECT_THROW(IqFileReader("/nonexistent/emsc.bin", 1e6, 0.0),
+                 RecoverableError);
+}
+
 } // namespace
 } // namespace emsc::sdr

@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Streaming runtime unit tests: chunk sources, the bounded sample
+ * queue, pipeline scheduling/observability/error propagation, the
+ * envelope stage against the batch acquirer, and the online keystroke
+ * detector against the batch detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "channel/acquisition.hpp"
+#include "keylog/detector.hpp"
+#include "sdr/iqfile.hpp"
+#include "stream/pipeline.hpp"
+#include "stream/sample_queue.hpp"
+#include "stream/sources.hpp"
+#include "stream/stages.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+#include "stream_test_rig.hpp"
+
+namespace emsc {
+namespace {
+
+stream::StreamMessage
+iqMessage(std::size_t seq, std::size_t first, std::size_t n)
+{
+    stream::IqChunk c;
+    c.index = seq;
+    c.firstSample = first;
+    c.samples.assign(n, sdr::IqSample{1.0, 0.0});
+    stream::StreamMessage m;
+    m.seq = seq;
+    m.payload = std::move(c);
+    return m;
+}
+
+TEST(SampleQueue, FifoOrderAndCloseSemantics)
+{
+    stream::SampleQueue q(8);
+    for (std::size_t i = 0; i < 5; ++i)
+        ASSERT_TRUE(q.push(iqMessage(i, i * 10, 10)));
+    q.close();
+
+    stream::StreamMessage m;
+    for (std::size_t i = 0; i < 5; ++i) {
+        ASSERT_TRUE(q.pop(m));
+        EXPECT_EQ(m.seq, i);
+    }
+    EXPECT_FALSE(q.pop(m)); // closed and drained
+
+    stream::SampleQueue::Stats s = q.stats();
+    EXPECT_EQ(s.pushed, 5u);
+    EXPECT_EQ(s.popped, 5u);
+    EXPECT_EQ(s.highWater, 5u);
+    EXPECT_EQ(s.peakSamples, 50u);
+}
+
+TEST(SampleQueue, BackpressureBlocksProducerUntilConsumed)
+{
+    stream::SampleQueue q(2);
+    constexpr std::size_t kTotal = 50;
+    std::thread producer([&] {
+        for (std::size_t i = 0; i < kTotal; ++i)
+            ASSERT_TRUE(q.push(iqMessage(i, 0, 1)));
+        q.close();
+    });
+
+    stream::StreamMessage m;
+    std::size_t expected = 0;
+    while (q.pop(m))
+        EXPECT_EQ(m.seq, expected++);
+    producer.join();
+    EXPECT_EQ(expected, kTotal);
+    EXPECT_LE(q.stats().highWater, 2u);
+}
+
+TEST(SampleQueue, AbortUnblocksBlockedProducer)
+{
+    stream::SampleQueue q(1);
+    ASSERT_TRUE(q.push(iqMessage(0, 0, 1)));
+    std::atomic<bool> returned{false};
+    std::thread producer([&] {
+        stream::StreamMessage m = iqMessage(1, 0, 1);
+        EXPECT_FALSE(q.push(std::move(m))); // blocked, then aborted
+        returned.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(returned.load());
+    q.abort();
+    producer.join();
+    EXPECT_TRUE(returned.load());
+    stream::StreamMessage m;
+    EXPECT_FALSE(q.pop(m)); // aborted queues hand out nothing
+}
+
+TEST(MemoryChunkSource, ReconstructsCaptureWithOffsets)
+{
+    sdr::IqCapture cap;
+    cap.sampleRate = 1000.0;
+    cap.centerFrequency = 100.0;
+    cap.samples.resize(25);
+    for (std::size_t i = 0; i < cap.samples.size(); ++i)
+        cap.samples[i] = sdr::IqSample{static_cast<double>(i), 0.0};
+
+    stream::MemoryChunkSource src(cap, 10);
+    EXPECT_EQ(src.totalSamples(), 25u);
+
+    std::vector<sdr::IqSample> all;
+    stream::IqChunk c;
+    std::size_t chunks = 0;
+    while (src.next(c)) {
+        EXPECT_EQ(c.index, chunks);
+        EXPECT_EQ(c.firstSample, all.size());
+        all.insert(all.end(), c.samples.begin(), c.samples.end());
+        ++chunks;
+        EXPECT_EQ(c.last, all.size() == cap.samples.size());
+    }
+    EXPECT_EQ(chunks, 3u);
+    EXPECT_EQ(all, cap.samples);
+
+    EXPECT_THROW(stream::MemoryChunkSource(cap, 0), RecoverableError);
+}
+
+/** Toy stage: |sample| of each IQ chunk as an envelope chunk. */
+class MagStage : public stream::StreamStage
+{
+  public:
+    const char *name() const override { return "mag"; }
+    void
+    process(stream::StreamMessage &&msg, const Emit &emit) override
+    {
+        auto &iq = std::get<stream::IqChunk>(msg.payload);
+        stream::EnvelopeChunk env;
+        env.firstIndex = iq.firstSample;
+        env.y.reserve(iq.samples.size());
+        for (const sdr::IqSample &s : iq.samples)
+            env.y.push_back(std::abs(s));
+        stream::StreamMessage out;
+        out.payload = std::move(env);
+        emit(std::move(out));
+    }
+};
+
+/** Terminal collector of envelope samples, in arrival order. */
+class CollectStage : public stream::StreamStage
+{
+  public:
+    const char *name() const override { return "collect"; }
+    void
+    process(stream::StreamMessage &&msg, const Emit &) override
+    {
+        // Tolerate raw chunks (the error-propagation test forwards
+        // them unchanged); only envelope payloads are collected.
+        if (auto *env =
+                std::get_if<stream::EnvelopeChunk>(&msg.payload))
+            got.insert(got.end(), env->y.begin(), env->y.end());
+    }
+    std::vector<double> got;
+};
+
+sdr::IqCapture
+rampCapture(std::size_t n)
+{
+    sdr::IqCapture cap;
+    cap.sampleRate = 1000.0;
+    cap.samples.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        cap.samples[i] =
+            sdr::IqSample{std::sin(0.01 * static_cast<double>(i)),
+                          std::cos(0.013 * static_cast<double>(i))};
+    return cap;
+}
+
+std::vector<double>
+runToyPipeline(const sdr::IqCapture &cap, std::size_t threads,
+               stream::StreamReport *report = nullptr)
+{
+    ScopedThreadCount scoped(threads);
+    stream::StreamPipeline pipe;
+    auto collect = std::make_unique<CollectStage>();
+    CollectStage *cp = collect.get();
+    pipe.addStage(std::make_unique<MagStage>(), 3);
+    pipe.addStage(std::move(collect), 3);
+    stream::MemoryChunkSource src(cap, 97);
+    stream::StreamReport r = pipe.run(src);
+    if (report)
+        *report = r;
+    return cp->got;
+}
+
+TEST(StreamPipeline, ThreadCountDoesNotChangeOutput)
+{
+    sdr::IqCapture cap = rampCapture(1000);
+    std::vector<double> serial = runToyPipeline(cap, 1);
+    std::vector<double> threaded = runToyPipeline(cap, 4);
+    ASSERT_EQ(serial.size(), cap.samples.size());
+    EXPECT_EQ(serial, threaded); // bit-identical, not approximately
+}
+
+TEST(StreamPipeline, ReportCountsChunksAndSamples)
+{
+    sdr::IqCapture cap = rampCapture(1000);
+    stream::StreamReport rep;
+    runToyPipeline(cap, 4, &rep);
+
+    EXPECT_EQ(rep.sourceSamples, 1000u);
+    EXPECT_EQ(rep.sourceChunks, 11u); // ceil(1000 / 97)
+    ASSERT_EQ(rep.stages.size(), 2u);
+    EXPECT_EQ(rep.stages[0].name, "mag");
+    EXPECT_EQ(rep.stages[0].chunksIn, 11u);
+    EXPECT_EQ(rep.stages[0].chunksOut, 11u);
+    EXPECT_EQ(rep.stages[0].samplesIn, 1000u);
+    EXPECT_EQ(rep.stages[1].name, "collect");
+    EXPECT_EQ(rep.stages[1].chunksIn, 11u);
+    EXPECT_GT(rep.totalNs, 0u);
+
+    std::string text = rep.format();
+    EXPECT_NE(text.find("mag"), std::string::npos);
+    EXPECT_NE(text.find("collect"), std::string::npos);
+    EXPECT_NE(text.find("peak buffered"), std::string::npos);
+}
+
+/** Stage that fails on the N-th chunk it sees. */
+class FailingStage : public stream::StreamStage
+{
+  public:
+    explicit FailingStage(std::size_t fail_at) : failAt(fail_at) {}
+    const char *name() const override { return "failing"; }
+    void
+    process(stream::StreamMessage &&msg, const Emit &emit) override
+    {
+        if (++seen == failAt)
+            raiseError(ErrorKind::MalformedInput,
+                       "injected stage failure");
+        emit(std::move(msg));
+    }
+
+  private:
+    std::size_t failAt;
+    std::size_t seen = 0;
+};
+
+TEST(StreamPipeline, StageErrorPropagatesWithoutHanging)
+{
+    sdr::IqCapture cap = rampCapture(2000);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ScopedThreadCount scoped(threads);
+        stream::StreamPipeline pipe;
+        pipe.addStage(std::make_unique<FailingStage>(3), 2);
+        pipe.addStage(std::make_unique<CollectStage>(), 2);
+        stream::MemoryChunkSource src(cap, 100);
+        EXPECT_THROW(pipe.run(src), RecoverableError);
+    }
+}
+
+TEST(StreamPipeline, RejectsEmptyPipeline)
+{
+    stream::StreamPipeline pipe;
+    sdr::IqCapture cap = rampCapture(10);
+    stream::MemoryChunkSource src(cap, 5);
+    EXPECT_THROW(pipe.run(src), RecoverableError);
+}
+
+TEST(EnvelopeStage, MatchesBatchAcquireOnCleanCapture)
+{
+    test::StreamRig rig = test::makeStreamRig(16, 90210);
+    sdr::IqCapture cap = test::batchCapture(rig);
+
+    channel::AcquisitionConfig acq; // defaults, as receive() uses
+    double carrier = channel::estimateCarrier(cap, acq);
+    ASSERT_GT(carrier, 0.0);
+    channel::AcquiredSignal batch = channel::acquire(cap, acq, carrier);
+
+    ScopedThreadCount scoped(2);
+    stream::StreamPipeline pipe;
+    stream::CarrierTrackerConfig no_tracker;
+    no_tracker.enabled = false;
+    auto env = std::make_unique<stream::EnvelopeStage>(
+        carrier, cap.centerFrequency, cap.sampleRate, acq, no_tracker);
+    auto collect = std::make_unique<CollectStage>();
+    CollectStage *cp = collect.get();
+    pipe.addStage(std::move(env), 4);
+    pipe.addStage(std::move(collect), 4);
+    stream::MemoryChunkSource src(cap, 1 << 12);
+    stream::StreamReport rep = pipe.run(src);
+
+    ASSERT_EQ(cp->got.size(), batch.y.size());
+    for (std::size_t i = 0; i < batch.y.size(); ++i)
+        ASSERT_DOUBLE_EQ(cp->got[i], batch.y[i]) << "at sample " << i;
+
+    // Bounded retention: the pipeline never held anywhere near the
+    // whole capture.
+    EXPECT_LT(rep.peakBufferedSamples, cap.samples.size() / 2);
+}
+
+TEST(SdrChunkSource, ChunksMatchWholeBufferCapture)
+{
+    test::StreamRig rig = test::makeStreamRig(16, 777);
+    sim::FaultConfig fc = sim::dropoutGainStepConfig(42);
+    sim::FaultPlan faults = sim::buildFaultPlan(fc, rig.t0, rig.t1);
+    ASSERT_FALSE(faults.empty());
+
+    sdr::IqCapture whole = test::batchCapture(rig, &faults);
+
+    Rng rng(rig.sdrSeed);
+    stream::SdrChunkSource src(rig.sdrCfg, rng, rig.plan, rig.t0,
+                               rig.t1, 1 << 15, &faults);
+    EXPECT_EQ(src.totalSamples(), whole.samples.size());
+    EXPECT_DOUBLE_EQ(src.fixedGain(), rig.sdrCfg.fixedGain);
+
+    std::vector<sdr::IqSample> all;
+    stream::IqChunk c;
+    while (src.next(c)) {
+        EXPECT_EQ(c.firstSample, all.size());
+        all.insert(all.end(), c.samples.begin(), c.samples.end());
+    }
+    ASSERT_EQ(all.size(), whole.samples.size());
+
+    // Chunked synthesis is sample-accurate to one ADC step, not
+    // bit-exact: the tone interferers re-derive their phase from
+    // absolute time at each chunk boundary, while the whole-buffer
+    // path accumulates it sample by sample, so an occasional
+    // pre-quantisation value lands on the other side of a rounding
+    // boundary. Assert exactly that contract: differences of at most
+    // one quantisation level, at a small fraction of samples.
+    const double lsb = 1.0 / 127.0; // 8-bit ADC step
+    std::size_t mismatched = 0;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (all[i] == whole.samples[i])
+            continue;
+        ++mismatched;
+        ASSERT_LE(std::abs(all[i].real() - whole.samples[i].real()),
+                  1.5 * lsb)
+            << "at sample " << i;
+        ASSERT_LE(std::abs(all[i].imag() - whole.samples[i].imag()),
+                  1.5 * lsb)
+            << "at sample " << i;
+    }
+    EXPECT_LT(mismatched, all.size() / 50);
+}
+
+TEST(SdrChunkSource, ProbesAgcGainWhenUnset)
+{
+    test::StreamRig rig = test::makeStreamRig(16, 778);
+    sdr::SdrConfig agc = rig.sdrCfg;
+    agc.fixedGain = 0.0; // force the constructor probe
+
+    Rng rng(rig.sdrSeed);
+    stream::SdrChunkSource src(agc, rng, rig.plan, rig.t0, rig.t1,
+                               1 << 15);
+    EXPECT_NEAR(src.fixedGain(), rig.sdrCfg.fixedGain,
+                1e-12 * std::abs(rig.sdrCfg.fixedGain));
+
+    // The probe must not consume the shared RNG: the first chunk
+    // matches a fixed-gain whole capture from the same seed.
+    sdr::IqCapture whole = test::batchCapture(rig);
+    stream::IqChunk c;
+    ASSERT_TRUE(src.next(c));
+    for (std::size_t i = 0; i < c.samples.size(); ++i)
+        ASSERT_EQ(c.samples[i], whole.samples[i]) << "at sample " << i;
+}
+
+TEST(IqFileChunkSource, MatchesWholeFileReader)
+{
+    sdr::IqCapture cap = rampCapture(100001); // odd vs chunk size
+    cap.centerFrequency = 100e3;
+
+    std::string path = testing::TempDir() + "stream_chunks.iq";
+    sdr::writeIqU8(cap, path);
+    sdr::IqCapture whole =
+        sdr::readIqU8(path, cap.sampleRate, cap.centerFrequency);
+
+    stream::IqFileChunkSource src(path, cap.sampleRate,
+                                  cap.centerFrequency, 7777);
+    std::vector<sdr::IqSample> all;
+    stream::IqChunk c;
+    bool saw_last = false;
+    while (src.next(c)) {
+        EXPECT_FALSE(saw_last);
+        EXPECT_EQ(c.firstSample, all.size());
+        all.insert(all.end(), c.samples.begin(), c.samples.end());
+        saw_last = c.last;
+    }
+    EXPECT_TRUE(saw_last);
+    EXPECT_EQ(all, whole.samples);
+    std::remove(path.c_str());
+}
+
+TEST(OnlineKeystrokeDetector, MatchesBatchDetectorOnBursts)
+{
+    // Synthetic envelope: 5 ms windows of 100 samples at 20 kHz, two
+    // bursts comfortably above the idle floor.
+    const double fs = 20e3;
+    const std::size_t n = 40000; // 400 windows
+    channel::AcquiredSignal sig;
+    sig.sampleRate = fs;
+    sig.y.resize(n);
+    auto burst = [](std::size_t w) {
+        return (w >= 50 && w < 62) || (w >= 200 && w < 210);
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t w = i / 100;
+        double base =
+            0.1 + 0.01 * std::sin(0.37 * static_cast<double>(i));
+        sig.y[i] = burst(w) ? 1.0 + 0.05 * std::sin(
+                                        0.11 * static_cast<double>(i))
+                            : base;
+    }
+
+    keylog::DetectorConfig cfg;
+    keylog::DetectionResult batch =
+        keylog::detectKeystrokes(sig, 0, cfg);
+    ASSERT_EQ(batch.keystrokes.size(), 2u);
+
+    keylog::OnlineKeystrokeDetector online(fs, 0, cfg);
+    std::vector<keylog::DetectedKeystroke> events;
+    std::size_t pos = 0;
+    while (pos < n) {
+        std::size_t len = std::min<std::size_t>(777, n - pos);
+        online.feed(sig.y.data() + pos, len);
+        pos += len;
+        auto batch_events = online.poll();
+        events.insert(events.end(), batch_events.begin(),
+                      batch_events.end());
+    }
+    online.finish();
+    auto tail_events = online.poll();
+    events.insert(events.end(), tail_events.begin(), tail_events.end());
+
+    ASSERT_EQ(events.size(), batch.keystrokes.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].start, batch.keystrokes[i].start);
+        EXPECT_EQ(events[i].end, batch.keystrokes[i].end);
+        EXPECT_NEAR(events[i].level, batch.keystrokes[i].level,
+                    1e-9 * batch.keystrokes[i].level);
+    }
+    EXPECT_EQ(online.windowsSeen(), 400u);
+}
+
+TEST(OnlineKeystrokeDetector, EmitsBurstsAsTheyComplete)
+{
+    const double fs = 20e3;
+    keylog::DetectorConfig cfg;
+    keylog::OnlineKeystrokeDetector online(fs, 0, cfg);
+
+    std::vector<double> hot(100, 1.0), cold(100, 0.05);
+    // Calibration prefix: 70 idle windows.
+    for (int w = 0; w < 70; ++w)
+        online.feed(cold.data(), cold.size());
+    EXPECT_TRUE(online.poll().empty());
+    // A 10-window burst...
+    for (int w = 0; w < 10; ++w)
+        online.feed(hot.data(), hot.size());
+    EXPECT_TRUE(online.poll().empty()); // still open
+    // ...closes after the merge gap elapses, without finish().
+    for (int w = 0; w < 5; ++w)
+        online.feed(cold.data(), cold.size());
+    auto events = online.poll();
+    ASSERT_EQ(events.size(), 1u);
+    // Windows are 5 ms (100 samples at 20 kHz); the burst spans
+    // windows [70, 80).
+    EXPECT_EQ(events[0].start, static_cast<TimeNs>(70) * 5 * kMillisecond);
+    EXPECT_EQ(events[0].end, static_cast<TimeNs>(80) * 5 * kMillisecond);
+}
+
+} // namespace
+} // namespace emsc
