@@ -112,6 +112,22 @@ main()
     std::printf("%-22s %-9s %-10s %-9s %-10s\n", "fault profile",
                 "recov%", "BER", "recov%", "BER");
 
+    bench::BenchReport report("ablation_faults");
+    std::size_t total_trials = 0;
+    double total_ms = 0.0;
+    auto record_row = [&](const std::string &key, const CellStats &h,
+                          const CellStats &l, double row_ms) {
+        report.addWallMs(row_ms);
+        total_ms += row_ms;
+        total_trials += h.trials + l.trials;
+        report.setMetric(key + ".hardened.recovery_pct",
+                         h.recoveryPct());
+        report.setMetric(key + ".hardened.ber", h.meanBer());
+        report.setMetric(key + ".legacy.recovery_pct",
+                         l.recoveryPct());
+        report.setMetric(key + ".legacy.ber", l.meanBer());
+    };
+
     // Dropout + gain-step rate sweep, including the acceptance row at
     // the dropoutGainStepConfig rate (3/s each).
     for (double rate : {0.0, 3.0, 8.0, 15.0, 25.0}) {
@@ -121,6 +137,7 @@ main()
         core::CovertChannelOptions legacy = hard;
         makeLegacy(legacy);
 
+        bench::WallTimer timer;
         CellStats h = sweepCell(dev, setup, hard, kTrials);
         CellStats l = sweepCell(dev, setup, legacy, kTrials);
         char label[48];
@@ -129,6 +146,9 @@ main()
         std::printf("%-22s %-9.1f %-10.2e %-9.1f %-10.2e\n", label,
                     h.recoveryPct(), h.meanBer(), l.recoveryPct(),
                     l.meanBer());
+        char key[32];
+        std::snprintf(key, sizeof(key), "drop_gain_%.0fps", rate);
+        record_row(key, h, l, timer.ms());
     }
 
     // Everything at once.
@@ -137,12 +157,19 @@ main()
         hard.faults = sim::harshConfig(0);
         core::CovertChannelOptions legacy = hard;
         makeLegacy(legacy);
+        bench::WallTimer timer;
         CellStats h = sweepCell(dev, setup, hard, kTrials);
         CellStats l = sweepCell(dev, setup, legacy, kTrials);
         std::printf("%-22s %-9.1f %-10.2e %-9.1f %-10.2e\n",
                     "harsh (all families)", h.recoveryPct(),
                     h.meanBer(), l.recoveryPct(), l.meanBer());
+        record_row("harsh", h, l, timer.ms());
     }
+    if (total_ms > 0.0)
+        report.setThroughput("trials_per_s",
+                             static_cast<double>(total_trials) /
+                                 (total_ms * 1e-3));
+    report.write();
 
     std::printf(
         "\nThe single-lock pipeline loses its one carrier/timing/"

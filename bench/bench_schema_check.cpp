@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Validator for the machine-readable bench reports: loads every
+ * BENCH_*.json under the given directories and fails (exit 1) on any
+ * drift from the emsc.bench.v1 schema — wrong/missing keys, wrong
+ * types, or unknown top-level members. Pure C++ on purpose: the repo
+ * ships no Python, so the schema gate has to run anywhere the benches
+ * do.
+ *
+ * Usage: bench_schema_check [--selftest] [dir ...]
+ *
+ * With no directories the current directory is scanned. --selftest
+ * writes a reference BenchReport to a temporary directory first and
+ * validates it, so the ctest entry exercises the writer+validator
+ * round trip even before any bench has produced output.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "support/json.hpp"
+
+namespace fs = std::filesystem;
+using emsc::json::Value;
+
+namespace {
+
+/** Accumulates human-readable schema violations for one file. */
+struct Findings
+{
+    std::string file;
+    std::vector<std::string> errors;
+
+    void
+    fail(const std::string &what)
+    {
+        errors.push_back(what);
+    }
+};
+
+bool
+checkNumberMap(const Value &v, const char *key, Findings &out)
+{
+    if (!v.isObject()) {
+        out.fail(std::string(key) + " must be an object");
+        return false;
+    }
+    for (const auto &member : v.members())
+        if (!member.second.isNumber())
+            out.fail(std::string(key) + "." + member.first +
+                     " must be a number");
+    return true;
+}
+
+void
+checkReport(const Value &root, Findings &out)
+{
+    if (!root.isObject()) {
+        out.fail("top level must be an object");
+        return;
+    }
+
+    static const char *const kKnown[] = {
+        "schema", "name", "runs", "wall_ms", "throughput", "metrics",
+    };
+    for (const auto &member : root.members()) {
+        bool known = false;
+        for (const char *k : kKnown)
+            known |= member.first == k;
+        if (!known)
+            out.fail("unknown top-level key \"" + member.first + "\"");
+    }
+
+    const Value *schema = root.find("schema");
+    if (schema == nullptr || !schema->isString())
+        out.fail("missing string \"schema\"");
+    else if (schema->string() != "emsc.bench.v1")
+        out.fail("schema is \"" + schema->string() +
+                 "\", expected \"emsc.bench.v1\"");
+
+    const Value *name = root.find("name");
+    if (name == nullptr || !name->isString() || name->string().empty())
+        out.fail("missing non-empty string \"name\"");
+
+    const Value *runs = root.find("runs");
+    if (runs == nullptr || !runs->isNumber() || runs->number() < 0.0)
+        out.fail("missing non-negative number \"runs\"");
+
+    const Value *wall = root.find("wall_ms");
+    if (wall == nullptr || !wall->isObject()) {
+        out.fail("missing object \"wall_ms\"");
+    } else {
+        const Value *med = wall->find("median");
+        const Value *p90 = wall->find("p90");
+        if (med == nullptr || !med->isNumber())
+            out.fail("wall_ms.median must be a number");
+        if (p90 == nullptr || !p90->isNumber())
+            out.fail("wall_ms.p90 must be a number");
+        if (med != nullptr && p90 != nullptr && med->isNumber() &&
+            p90->isNumber() && p90->number() < med->number())
+            out.fail("wall_ms.p90 is below wall_ms.median");
+    }
+
+    const Value *tp = root.find("throughput");
+    if (tp == nullptr)
+        out.fail("missing object \"throughput\"");
+    else
+        checkNumberMap(*tp, "throughput", out);
+
+    const Value *metrics = root.find("metrics");
+    if (metrics == nullptr)
+        out.fail("missing object \"metrics\"");
+    else
+        checkNumberMap(*metrics, "metrics", out);
+}
+
+bool
+validateFile(const fs::path &path, Findings &out)
+{
+    out.file = path.string();
+    std::ifstream in(path);
+    if (!in) {
+        out.fail("cannot open file");
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    Value root;
+    std::string error;
+    if (!Value::parse(buf.str(), root, &error)) {
+        out.fail("JSON parse error: " + error);
+        return false;
+    }
+    checkReport(root, out);
+    return out.errors.empty();
+}
+
+/** Write a reference report and validate it (writer/validator
+ * round-trip check, independent of any bench having run). */
+bool
+selftest()
+{
+    fs::path dir = fs::temp_directory_path() / "emsc_bench_selftest";
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    fs::path file = dir / "BENCH_selftest.json";
+
+    emsc::bench::BenchReport report("selftest");
+    report.addWallMs(1.5);
+    report.addWallMs(2.5);
+    report.addWallMs(8.0);
+    report.setThroughput("items_per_s", 1234.5);
+    report.setMetric("ber", 2e-3);
+    report.write(file.string());
+
+    Findings f;
+    bool ok = validateFile(file, f);
+    for (const std::string &e : f.errors)
+        std::fprintf(stderr, "selftest: %s: %s\n", f.file.c_str(),
+                     e.c_str());
+    fs::remove(file, ec);
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool run_selftest = false;
+    std::vector<fs::path> dirs;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--selftest")
+            run_selftest = true;
+        else
+            dirs.emplace_back(arg);
+    }
+    if (dirs.empty())
+        dirs.emplace_back(".");
+
+    int failures = 0;
+    if (run_selftest) {
+        if (selftest()) {
+            std::printf("selftest: OK\n");
+        } else {
+            std::printf("selftest: FAILED\n");
+            ++failures;
+        }
+    }
+
+    std::size_t checked = 0;
+    for (const fs::path &dir : dirs) {
+        std::error_code ec;
+        fs::directory_iterator it(dir, ec), end;
+        if (ec) {
+            std::fprintf(stderr, "warn: cannot scan %s: %s\n",
+                         dir.string().c_str(),
+                         ec.message().c_str());
+            continue;
+        }
+        for (; it != end; ++it) {
+            const fs::path &p = it->path();
+            std::string fn = p.filename().string();
+            if (fn.rfind("BENCH_", 0) != 0 ||
+                p.extension() != ".json")
+                continue;
+            ++checked;
+            Findings f;
+            if (validateFile(p, f)) {
+                std::printf("OK   %s\n", p.string().c_str());
+            } else {
+                ++failures;
+                std::printf("FAIL %s\n", p.string().c_str());
+                for (const std::string &e : f.errors)
+                    std::fprintf(stderr, "  %s\n", e.c_str());
+            }
+        }
+    }
+
+    if (checked == 0)
+        std::printf("note: no BENCH_*.json files found (run the "
+                    "bench targets first)\n");
+    std::printf("%zu report(s) checked, %d failure(s)\n", checked,
+                failures);
+    return failures == 0 ? 0 : 1;
+}

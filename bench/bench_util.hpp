@@ -8,14 +8,132 @@
 #define EMSC_BENCH_BENCH_UTIL_HPP
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/api.hpp"
+#include "support/json.hpp"
 #include "support/stats.hpp"
 
 namespace emsc::bench {
+
+/** Steady-clock stopwatch for per-run wall samples in BenchReport. */
+class WallTimer
+{
+  public:
+    WallTimer() : t0_(std::chrono::steady_clock::now()) {}
+
+    /** Milliseconds elapsed since construction (or the last reset). */
+    double
+    ms() const
+    {
+        std::chrono::duration<double, std::milli> d =
+            std::chrono::steady_clock::now() - t0_;
+        return d.count();
+    }
+
+    /** Restart the stopwatch. */
+    void reset() { t0_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point t0_;
+};
+
+/**
+ * Machine-readable bench result with the stable "emsc.bench.v1"
+ * schema:
+ *
+ *     {
+ *       "schema": "emsc.bench.v1",
+ *       "name": "<bench name>",
+ *       "runs": <number of wall samples>,
+ *       "wall_ms": {"median": <ms>, "p90": <ms>},
+ *       "throughput": {"<unit key>": <number>, ...},
+ *       "metrics": {"<metric key>": <number>, ...}
+ *     }
+ *
+ * Every bench/ target writes `BENCH_<name>.json` into its working
+ * directory alongside the human-readable table; bench_schema_check
+ * validates the files so schema drift fails in CI rather than in the
+ * downstream tooling that diffs runs.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name) : name_(std::move(name))
+    {
+        throughput_ = json::Value::object();
+        metrics_ = json::Value::object();
+    }
+
+    /** Record one run's (row's, cell's) wall-clock time in ms. */
+    void addWallMs(double ms) { wallMs_.push_back(ms); }
+
+    /** Set a throughput figure; name the unit in the key
+     * (e.g. "tr_bps", "words_per_s"). */
+    void
+    setThroughput(const std::string &key, double v)
+    {
+        throughput_.set(key, v);
+    }
+
+    /** Set a key result metric (BER, TPR, recovery %, ...). */
+    void
+    setMetric(const std::string &key, double v)
+    {
+        metrics_.set(key, v);
+    }
+
+    /** Assemble the emsc.bench.v1 document. */
+    json::Value
+    toJson() const
+    {
+        json::Value wall = json::Value::object();
+        wall.set("median", wallMs_.empty() ? 0.0 : median(wallMs_));
+        wall.set("p90",
+                 wallMs_.empty() ? 0.0 : quantile(wallMs_, 0.9));
+
+        json::Value root = json::Value::object();
+        root.set("schema", "emsc.bench.v1");
+        root.set("name", name_);
+        root.set("runs", wallMs_.size());
+        root.set("wall_ms", wall);
+        root.set("throughput", throughput_);
+        root.set("metrics", metrics_);
+        return root;
+    }
+
+    /**
+     * Write the report; an empty path means `BENCH_<name>.json` in the
+     * current directory. Prints the destination so bench logs record
+     * where the machine-readable twin of the table went.
+     */
+    void
+    write(const std::string &path = std::string()) const
+    {
+        std::string dest =
+            path.empty() ? "BENCH_" + name_ + ".json" : path;
+        std::string text = toJson().dump(2);
+        text.push_back('\n');
+        std::FILE *f = std::fopen(dest.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "warn: cannot write %s\n",
+                         dest.c_str());
+            return;
+        }
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("bench report: %s\n", dest.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::vector<double> wallMs_;
+    json::Value throughput_;
+    json::Value metrics_;
+};
 
 /**
  * Median covert-channel metrics over several runs. The paper averages

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared main() for the google-benchmark perf targets (perf_dsp,
+ * perf_pipeline, perf_stream). Replaces benchmark::benchmark_main so
+ * that alongside the usual console table each target also emits a
+ * machine-readable `BENCH_<exe>.json` (emsc.bench.v1, written via the
+ * shared BenchReport), with one wall sample per benchmark and every
+ * user counter flattened into the metrics map.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+/**
+ * Console reporter that additionally keeps the per-iteration runs so
+ * main() can fold them into a BenchReport after the run completes.
+ * Aggregates (mean/median/stddev rows) and errored runs are shown on
+ * the console but excluded from the JSON.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const Run &r : runs) {
+            if (r.run_type != Run::RT_Iteration || r.error_occurred)
+                continue;
+            collected.push_back(r);
+        }
+    }
+
+    std::vector<Run> collected;
+};
+
+/** Strip the directory part of argv[0] for the report name. */
+std::string
+baseName(const char *argv0)
+{
+    std::string s(argv0 ? argv0 : "perf");
+    std::size_t slash = s.find_last_of('/');
+    return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+/** Benchmark names contain '/' for args ("BM_Stft/4096"); keep them
+ * readable but unambiguous as flat metric keys. */
+std::string
+metricKey(const std::string &bench, const std::string &suffix)
+{
+    std::string key = bench;
+    for (char &c : key)
+        if (c == '/')
+            c = ':';
+    return key + "." + suffix;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    emsc::bench::BenchReport report(baseName(argv[0]));
+    for (const auto &r : reporter.collected) {
+        double iters = r.iterations > 0
+                           ? static_cast<double>(r.iterations)
+                           : 1.0;
+        double real_ms = r.real_accumulated_time / iters * 1e3;
+        report.addWallMs(real_ms);
+        report.setMetric(metricKey(r.benchmark_name(), "ms"), real_ms);
+        for (const auto &kv : r.counters)
+            report.setMetric(metricKey(r.benchmark_name(), kv.first),
+                             static_cast<double>(kv.second));
+        if (r.counters.find("items_per_second") != r.counters.end())
+            report.setThroughput(
+                metricKey(r.benchmark_name(), "items_per_second"),
+                static_cast<double>(
+                    r.counters.at("items_per_second")));
+    }
+    report.write();
+
+    benchmark::Shutdown();
+    return 0;
+}

@@ -47,13 +47,16 @@ main()
                 "device", "BER", "TR", "IPe3", "DPe3", "BER", "TR",
                 "IPe3", "DPe3");
 
+    bench::BenchReport report("table2_nearfield");
     std::size_t i = 0;
     for (const core::DeviceProfile &dev : core::table1Devices()) {
         core::CovertChannelOptions o;
         o.payloadBits = 1500;
         o.seed = 2200 + i;
+        bench::WallTimer timer;
         core::CovertChannelResult r =
             bench::medianCovertRun(dev, setup, o, 5);
+        report.addWallMs(timer.ms());
 
         const PaperRow &p = kPaper[i];
         std::printf("%-20s | %-9.1e %-6.0f %-5.1f %-5.1f | "
@@ -61,8 +64,23 @@ main()
                     dev.name.c_str(), r.ber, r.trBps,
                     r.insertionProb * 1e3, r.deletionProb * 1e3, p.ber,
                     p.tr, p.ip * 1e3, p.dp * 1e3);
+
+        // Metric keys use the device name with spaces/parens folded to
+        // keep them shell-friendly.
+        std::string key = dev.name;
+        for (char &c : key) {
+            if (c == ' ')
+                c = '_';
+            else if (c == '(' || c == ')')
+                c = '.';
+        }
+        report.setMetric(key + ".ber", r.ber);
+        report.setMetric(key + ".insertion_prob", r.insertionProb);
+        report.setMetric(key + ".deletion_prob", r.deletionProb);
+        report.setThroughput(key + ".tr_bps", r.trBps);
         ++i;
     }
+    report.write();
 
     std::printf("\nshape checks: UNIX-family laptops reach ~3-4 kbps "
                 "while Windows Sleep() granularity\n"

@@ -52,12 +52,19 @@ main()
     // The three placements are independent trials with fixed seeds:
     // run them across the worker pool, then print rows in table order.
     std::vector<core::KeyloggingResult> results(3);
+    std::vector<double> wall_ms(3);
     parallelFor(3, [&](std::size_t i) {
         core::KeyloggingOptions o;
         o.words = 50;
         o.seed = 4400 + i;
+        bench::WallTimer timer;
         results[i] = core::runKeylogging(dev, setups[i], o);
+        wall_ms[i] = timer.ms();
     });
+
+    bench::BenchReport report("table4_keylogging");
+    const char *keys[] = {"near_10cm", "los_2m", "wall_1m5"};
+    double total_ms = 0.0;
     for (std::size_t i = 0; i < 3; ++i) {
         const core::KeyloggingResult &r = results[i];
         const PaperRow &p = kPaper[i];
@@ -66,7 +73,18 @@ main()
                     p.setup, r.chars.tpr(), r.chars.fpr(),
                     r.words.precision(), r.words.recall(), p.tpr, p.fpr,
                     p.precision, p.recall);
+        report.addWallMs(wall_ms[i]);
+        total_ms += wall_ms[i];
+        std::string key = keys[i];
+        report.setMetric(key + ".char_tpr", r.chars.tpr());
+        report.setMetric(key + ".char_fpr", r.chars.fpr());
+        report.setMetric(key + ".word_precision", r.words.precision());
+        report.setMetric(key + ".word_recall", r.words.recall());
     }
+    if (total_ms > 0.0)
+        report.setThroughput("words_per_s",
+                             3.0 * 50.0 / (total_ms * 1e-3));
+    report.write();
 
     std::printf("\nshape checks: keystroke TPR stays >=0.95 at every "
                 "placement, FPR stays low and tends\n"

@@ -14,6 +14,10 @@
  *   emsc_tool stream  <in.iq> <sample_rate_hz> <center_freq_hz>
  *                     [--chunk <samples>] [--keylog] [--warmup <samples>]
  *
+ * Global flags (any command): --metrics <file.json> writes the
+ * telemetry registry's snapshot after the run; --trace <file.json>
+ * writes a Chrome trace_event JSON (open in about:tracing/Perfetto).
+ *
  * `capture` writes the simulated RTL-SDR baseband in the interleaved
  * u8 format rtl_sdr(1) produces, so the emission can be inspected with
  * GNU Radio / inspectrum / gqrx; `decode` runs this repository's
@@ -26,6 +30,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/api.hpp"
 #include "sdr/iqfile.hpp"
@@ -34,6 +39,7 @@
 #include "stream/receiver_ops.hpp"
 #include "stream/sources.hpp"
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 #include "vrm/pmu.hpp"
 
@@ -350,7 +356,10 @@ usage()
         "file\n"
         "  stream  <in.iq> <fs_hz> <fc_hz> [--chunk N] [--keylog]\n"
         "          [--warmup N]              bounded-memory streaming "
-        "decode + per-stage report\n");
+        "decode + per-stage report\n"
+        "global flags (any command):\n"
+        "  --metrics <file.json>             write telemetry metrics\n"
+        "  --trace <file.json>               write Chrome trace JSON\n");
 }
 
 } // namespace
@@ -358,10 +367,33 @@ usage()
 int
 main(int argc, char **argv)
 {
+    // Global telemetry flags are stripped before subcommand parsing
+    // so every command accepts them in any position.
+    std::string metricsPath, tracePath;
+    std::vector<char *> kept;
+    kept.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--metrics" || flag == "--trace") {
+            if (i + 1 >= argc)
+                fatal("%s requires a file argument", flag.c_str());
+            (flag == "--metrics" ? metricsPath : tracePath) =
+                argv[++i];
+            continue;
+        }
+        kept.push_back(argv[i]);
+    }
+    argc = static_cast<int>(kept.size());
+    argv = kept.data();
+    if (!metricsPath.empty())
+        telemetry::MetricsRegistry::global().setEnabled(true);
+    if (!tracePath.empty())
+        telemetry::TraceCollector::global().setEnabled(true);
+
     // A bad file path or degenerate option surfaces here as a
     // RecoverableError; exiting with fatal() is the CLI's job, not
     // the library's.
-    return emsc::runOrDie([&]() -> int {
+    int code = emsc::runOrDie([&]() -> int {
         if (argc < 2) {
             usage();
             return 2;
@@ -402,4 +434,25 @@ main(int argc, char **argv)
         usage();
         return 2;
     });
+
+    // Reports are written even when the run itself failed: a failed
+    // decode's counters are exactly what one wants to inspect.
+    if (!metricsPath.empty() || !tracePath.empty()) {
+        int report_code = emsc::runOrDie([&]() -> int {
+            if (!metricsPath.empty()) {
+                telemetry::writeMetricsFile(metricsPath);
+                std::printf("metrics written to %s\n",
+                            metricsPath.c_str());
+            }
+            if (!tracePath.empty()) {
+                telemetry::writeTraceFile(tracePath);
+                std::printf("trace written to %s\n",
+                            tracePath.c_str());
+            }
+            return 0;
+        });
+        if (code == 0)
+            code = report_code;
+    }
+    return code;
 }

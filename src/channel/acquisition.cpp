@@ -12,6 +12,7 @@
 #include "dsp/window.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace emsc::channel {
@@ -73,6 +74,7 @@ estimateCarrier(const sdr::IqCapture &capture,
     // So the detector ranks bins by the p90-p50 swing of per-frame
     // magnitudes rather than by mean magnitude; p90 (not max) keeps
     // sparse broadband impulses from lending swing to steady tones.
+    telemetry::TraceSpan span("channel.estimate_carrier");
     std::size_t m = config.searchWindow;
     while (m > 512 && capture.samples.size() < 8 * m)
         m /= 2;
@@ -144,6 +146,7 @@ estimateCarrier(const sdr::IqCapture &capture,
     double best_score = -1.0;
     double best_freq = 0.0;
     std::size_t best_bin = 0;
+    std::uint64_t candidates = 0;
     for (std::size_t k = 0; k < m; ++k) {
         double freq = bin_freq(k);
         if (freq < config.searchLowHz || freq > config.searchHighHz)
@@ -158,6 +161,7 @@ estimateCarrier(const sdr::IqCapture &capture,
         if (swing[prev] > sw || swing[nxt] > sw)
             continue;
 
+        ++candidates;
         double score = sw;
         // Relative modulation depth: a strong but slightly wobbling
         // tone (oscillator drift scalloping across the bin) can show
@@ -196,6 +200,16 @@ estimateCarrier(const sdr::IqCapture &capture,
             best_bin = k;
         }
     }
+    static telemetry::Counter candCounter(
+        telemetry::MetricsRegistry::global(),
+        "channel.acquisition.candidates");
+    static telemetry::Counter searchCounter(
+        telemetry::MetricsRegistry::global(),
+        "channel.acquisition.searches");
+    static telemetry::Gauge snrGauge(telemetry::MetricsRegistry::global(),
+                                     "channel.carrier.snr_db");
+    candCounter.add(candidates);
+    searchCounter.add();
     if (best_score < 0.0) {
         if (!config.quietSearch)
             warn("no modulated spectral line found in the %g-%g Hz "
@@ -203,6 +217,12 @@ estimateCarrier(const sdr::IqCapture &capture,
                  config.searchLowHz, config.searchHighHz);
         return 0.0;
     }
+    // Carrier-lock SNR: modulation swing of the winning line over the
+    // typical swing of a noise bin, in dB (paper terms: how far the
+    // PMU spur stands out of the acquisition band's noise floor).
+    if (noise_swing > 0.0 && swing[best_bin] > 0.0)
+        snrGauge.set(20.0 *
+                     std::log10(swing[best_bin] / noise_swing));
 
     // The jitter-broadened line spans a few bins; refine the estimate
     // to the swing-weighted centroid of its neighbourhood so the

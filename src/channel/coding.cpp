@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace emsc::channel {
 
@@ -206,8 +207,16 @@ hammingEncode(const Bits &data)
 HammingDecodeResult
 hammingDecode(const Bits &coded)
 {
+    static telemetry::Counter decodes(
+        telemetry::MetricsRegistry::global(),
+        "channel.hamming.decodes");
+    static telemetry::Counter blocksDecoded(
+        telemetry::MetricsRegistry::global(),
+        "channel.hamming.blocks");
     HammingDecodeResult res;
     std::size_t blocks = coded.size() / kBlockCoded;
+    decodes.add();
+    blocksDecoded.add(blocks);
     res.bits.resize(blocks * kBlockData);
     for (std::size_t i = 0; i < blocks; ++i)
         res.corrected += decodeBlock(&coded[i * kBlockCoded],
@@ -353,6 +362,11 @@ parseFrame(const Bits &received, const Bits &erased,
         raiseError(ErrorKind::MalformedInput,
                    "erasure mask of %zu bits does not match %zu "
                    "received bits", erased.size(), received.size());
+
+    static telemetry::Counter searches(
+        telemetry::MetricsRegistry::global(),
+        "channel.frame.parses");
+    searches.add();
 
     ParsedFrame out;
     const Bits &pre = config.preamble;

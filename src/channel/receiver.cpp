@@ -6,6 +6,7 @@
 
 #include "dsp/fft.hpp"
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace emsc::channel {
 
@@ -593,49 +594,163 @@ receiveInto(const sdr::IqCapture &capture, const ReceiverConfig &config,
     // Acquire and recover timing; if the recovered signaling time is
     // too short for the analysis window (the window smears adjacent
     // bits together), halve the window and retry.
-    while (true) {
-        res.acquired = acquire(capture, acq, res.carrierHz);
-        res.windowUsed = acq.window;
-        channel::TimingConfig timing_cfg = config.timing;
-        if (timing_cfg.rampHint == 0)
-            timing_cfg.rampHint = acq.window / acq.decimation;
-        res.timing = recoverTiming(res.acquired.y, timing_cfg);
+    {
+        telemetry::TraceSpan acquire_span("receiver.acquire");
+        while (true) {
+            res.acquired = acquire(capture, acq, res.carrierHz);
+            res.windowUsed = acq.window;
+            channel::TimingConfig timing_cfg = config.timing;
+            if (timing_cfg.rampHint == 0)
+                timing_cfg.rampHint = acq.window / acq.decimation;
+            res.timing = recoverTiming(res.acquired.y, timing_cfg);
 
-        if (!config.adaptiveWindow)
-            break;
-        double bit_samples =
-            res.timing.signalingTime * static_cast<double>(acq.decimation);
-        bool too_coarse = res.timing.signalingTime > 0.0 &&
-                          bit_samples < 2.5 * static_cast<double>(acq.window);
-        std::size_t halved = acq.window / 2;
-        if (!too_coarse || halved < min_window)
-            break;
-        if (!dsp::isPowerOfTwo(halved)) {
-            // Unreachable while the entry validation holds; bail out
-            // with a diagnostic rather than aborting mid-pipeline.
-            appendNote(res.diagnostic,
-                       "adaptation stopped: halved window not a power "
-                       "of two");
-            break;
+            if (!config.adaptiveWindow)
+                break;
+            double bit_samples =
+                res.timing.signalingTime * static_cast<double>(acq.decimation);
+            bool too_coarse = res.timing.signalingTime > 0.0 &&
+                              bit_samples < 2.5 * static_cast<double>(acq.window);
+            std::size_t halved = acq.window / 2;
+            if (!too_coarse || halved < min_window)
+                break;
+            if (!dsp::isPowerOfTwo(halved)) {
+                // Unreachable while the entry validation holds; bail out
+                // with a diagnostic rather than aborting mid-pipeline.
+                appendNote(res.diagnostic,
+                           "adaptation stopped: halved window not a power "
+                           "of two");
+                break;
+            }
+            acq.window = halved;
         }
-        acq.window = halved;
     }
 
-    if (config.segmentation.enabled &&
-        segmentedReceive(capture, config, acq, res))
-        return;
+    if (config.segmentation.enabled) {
+        telemetry::TraceSpan span("receiver.segmented");
+        if (segmentedReceive(capture, config, acq, res))
+            return;
+    }
 
-    res.labeled = labelBits(res.acquired.y, res.timing.starts,
-                            res.timing.signalingTime, config.labeling);
+    {
+        telemetry::TraceSpan span("receiver.label");
+        res.labeled = labelBits(res.acquired.y, res.timing.starts,
+                                res.timing.signalingTime,
+                                config.labeling);
+    }
+    telemetry::TraceSpan span("receiver.frame");
     res.frame = parseFrame(res.labeled.bits, config.frame);
 }
 
 } // namespace
 
+void
+publishReceiverTelemetry(const ReceiverResult &res)
+{
+    telemetry::MetricsRegistry &reg =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter receptions(reg, "channel.receptions");
+    static telemetry::Counter bitsLabeled(reg, "channel.bits.labeled");
+    static telemetry::Counter framesFound(reg, "channel.frames.found");
+    static telemetry::Counter crcFailures(reg, "channel.crc.failures");
+    static telemetry::Counter corrected(reg,
+                                        "channel.hamming.corrected");
+    static telemetry::Counter erasedBits(reg,
+                                         "channel.hamming.erased_bits");
+    static telemetry::Counter erasuresBridged(
+        reg, "channel.erasures.bridged");
+    static telemetry::Counter corruptSpans(reg,
+                                           "channel.corrupt_spans");
+    static telemetry::Counter segmentsUsed(reg,
+                                           "channel.segments.used");
+    static telemetry::Counter failures(reg, "channel.failures");
+    static telemetry::Gauge carrierHz(reg, "channel.carrier.hz");
+    static telemetry::Gauge jitter(reg, "channel.timing.jitter");
+    static telemetry::Gauge signaling(reg,
+                                      "channel.timing.signaling_time");
+    static telemetry::Gauge margin(reg, "channel.threshold.margin");
+    static telemetry::Gauge windowUsed(reg, "channel.window_used");
+    if (!reg.enabled())
+        return;
+
+    receptions.add();
+    bitsLabeled.add(res.labeled.bits.size());
+    if (res.frame.found)
+        framesFound.add();
+    if (res.frame.integrity == FrameIntegrity::Damaged)
+        crcFailures.add();
+    corrected.add(res.frame.corrected);
+    erasedBits.add(res.frame.erasedBits);
+    std::size_t bridged = 0;
+    for (auto b : res.erasureMask)
+        bridged += b ? 1 : 0;
+    erasuresBridged.add(bridged);
+    corruptSpans.add(res.corruptedSpans);
+    segmentsUsed.add(res.segments.size());
+    if (res.failure)
+        failures.add();
+
+    if (res.carrierHz > 0.0)
+        carrierHz.set(res.carrierHz);
+    if (res.timing.signalingTime > 0.0)
+        signaling.set(res.timing.signalingTime);
+
+    // Timing-recovery jitter: median absolute deviation of the raw
+    // bit spacings, relative to the median spacing (unitless; the
+    // paper's timing instability from DVFS-driven beat wander).
+    std::vector<double> spacings = res.timing.rawSpacings;
+    if (spacings.empty() && res.timing.starts.size() >= 2)
+        for (std::size_t i = 0; i + 1 < res.timing.starts.size(); ++i)
+            spacings.push_back(static_cast<double>(
+                res.timing.starts[i + 1] - res.timing.starts[i]));
+    if (spacings.size() >= 2) {
+        std::sort(spacings.begin(), spacings.end());
+        double med = spacings[spacings.size() / 2];
+        if (med > 0.0) {
+            for (auto &sp : spacings)
+                sp = std::fabs(sp - med);
+            std::sort(spacings.begin(), spacings.end());
+            jitter.set(spacings[spacings.size() / 2] / med);
+        }
+    }
+
+    // Threshold margin: distance from the decision threshold to the
+    // nearer class mean, normalised by the class separation (0.5 is
+    // a perfectly centred threshold, ~0 a threshold kissing a class).
+    const LabeledBits &lab = res.labeled;
+    if (!lab.bits.empty() && lab.bitPower.size() == lab.bits.size() &&
+        !lab.thresholds.empty()) {
+        double mu1 = 0.0, mu0 = 0.0;
+        std::size_t n1 = 0, n0 = 0;
+        for (std::size_t i = 0; i < lab.bits.size(); ++i) {
+            if (lab.bits[i]) {
+                mu1 += lab.bitPower[i];
+                ++n1;
+            } else {
+                mu0 += lab.bitPower[i];
+                ++n0;
+            }
+        }
+        if (n1 && n0) {
+            mu1 /= static_cast<double>(n1);
+            mu0 /= static_cast<double>(n0);
+            std::vector<double> thr = lab.thresholds;
+            std::sort(thr.begin(), thr.end());
+            double t = thr[thr.size() / 2];
+            double sep = mu1 - mu0;
+            if (sep > 0.0)
+                margin.set(std::min(mu1 - t, t - mu0) / sep);
+        }
+    }
+
+    if (res.windowUsed)
+        windowUsed.set(static_cast<double>(res.windowUsed));
+}
+
 ReceiverResult
 receive(const sdr::IqCapture &capture, const ReceiverConfig &config)
 {
     ReceiverResult res;
+    telemetry::TraceSpan span("receiver.receive");
     try {
         receiveInto(capture, config, res);
     } catch (const RecoverableError &e) {
@@ -643,6 +758,7 @@ receive(const sdr::IqCapture &capture, const ReceiverConfig &config)
         // report the stage error instead of terminating the sweep.
         res.failure = e.toError();
     }
+    publishReceiverTelemetry(res);
     return res;
 }
 

@@ -174,6 +174,18 @@ struct ReceiverResult
 };
 
 /**
+ * Publish the channel-quality metrics of a completed (or partially
+ * completed) reception into the global telemetry registry: carrier
+ * frequency, timing jitter, threshold margin, Hamming corrections,
+ * CRC failures, bridged erasures and segmentation counts.  Both the
+ * batch receive() path and the streaming runtime feed their
+ * ReceiverResult through this one function, so the two paths report
+ * under the same stable metric names.  No-op while telemetry is
+ * disabled.
+ */
+void publishReceiverTelemetry(const ReceiverResult &res);
+
+/**
  * Run the full pipeline on a capture. Never terminates the process on
  * a malformed capture or config: recoverable errors from any stage are
  * caught and reported in ReceiverResult::failure.

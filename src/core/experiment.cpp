@@ -7,6 +7,7 @@
 #include "core/trial_runner.hpp"
 #include "cpu/apps.hpp"
 #include "support/logging.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 #include "support/stats.hpp"
 #include "support/units.hpp"
@@ -208,19 +209,50 @@ runCovertChannelImpl(const DeviceProfile &device,
     return result;
 }
 
+/** Fold one covert-channel run's outcome into the global registry. */
+void
+publishCovertTelemetry(const CovertChannelResult &result)
+{
+    telemetry::MetricsRegistry &reg =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter runs(reg, "core.covert.runs");
+    static telemetry::Counter framesFound(reg,
+                                          "core.covert.frames_found");
+    static telemetry::Counter failedRuns(reg, "core.covert.failed_runs");
+    static telemetry::Counter faultEvents(reg, "core.fault_events");
+    static telemetry::Gauge ber(reg, "core.covert.ber");
+    static telemetry::Gauge berPayload(reg, "core.covert.ber_payload");
+    static telemetry::Gauge trBps(reg, "core.covert.tr_bps");
+    if (!reg.enabled())
+        return;
+    runs.add();
+    if (result.frameFound)
+        framesFound.add();
+    if (result.failure)
+        failedRuns.add();
+    faultEvents.add(result.faultEvents);
+    if (result.frameFound) {
+        ber.set(result.ber);
+        berPayload.set(result.berPayload);
+        trBps.set(result.trBps);
+    }
+}
+
 } // namespace
 
 CovertChannelResult
 runCovertChannel(const DeviceProfile &device, const MeasurementSetup &setup,
                  const CovertChannelOptions &options)
 {
+    telemetry::TraceSpan span("core.covert_run");
+    CovertChannelResult result;
     try {
-        return runCovertChannelImpl(device, setup, options);
+        result = runCovertChannelImpl(device, setup, options);
     } catch (const RecoverableError &e) {
-        CovertChannelResult result;
         result.failure = e.toError();
-        return result;
     }
+    publishCovertTelemetry(result);
+    return result;
 }
 
 CovertChannelResult

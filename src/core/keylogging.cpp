@@ -8,6 +8,7 @@
 #include "sdr/rtlsdr.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
+#include "support/telemetry.hpp"
 #include "vrm/pmu.hpp"
 
 namespace emsc::core {
@@ -206,19 +207,60 @@ runKeyloggingImpl(const DeviceProfile &device,
     return result;
 }
 
+/**
+ * Publish one keylogging session's detection quality: the raw inputs
+ * of the paper's Table IV accuracies (matched / true / detected
+ * counts feeding TPR and FPR) plus the session-level rates.
+ */
+void
+publishKeyloggingTelemetry(const KeyloggingResult &result)
+{
+    telemetry::MetricsRegistry &reg =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter sessions(reg, "keylog.sessions");
+    static telemetry::Counter trueKeys(reg, "keylog.keystrokes.true");
+    static telemetry::Counter detected(reg,
+                                       "keylog.keystrokes.detected");
+    static telemetry::Counter matched(reg, "keylog.keystrokes.matched");
+    static telemetry::Counter falsePos(reg,
+                                       "keylog.keystrokes.false_pos");
+    static telemetry::Counter failures(reg, "keylog.failures");
+    static telemetry::Gauge tpr(reg, "keylog.char.tpr");
+    static telemetry::Gauge fpr(reg, "keylog.char.fpr");
+    static telemetry::Gauge wordPrecision(reg, "keylog.word.precision");
+    static telemetry::Gauge wordRecall(reg, "keylog.word.recall");
+    if (!reg.enabled())
+        return;
+    sessions.add();
+    if (result.failure) {
+        failures.add();
+        return;
+    }
+    trueKeys.add(result.chars.trueKeystrokes);
+    detected.add(result.chars.detections);
+    matched.add(result.chars.matched);
+    falsePos.add(result.chars.falsePositives);
+    tpr.set(result.chars.tpr());
+    fpr.set(result.chars.fpr());
+    wordPrecision.set(result.words.precision());
+    wordRecall.set(result.words.recall());
+}
+
 } // namespace
 
 KeyloggingResult
 runKeylogging(const DeviceProfile &device, const MeasurementSetup &setup,
               const KeyloggingOptions &options)
 {
+    telemetry::TraceSpan span("core.keylog_session");
+    KeyloggingResult result;
     try {
-        return runKeyloggingImpl(device, setup, options);
+        result = runKeyloggingImpl(device, setup, options);
     } catch (const RecoverableError &e) {
-        KeyloggingResult result;
         result.failure = e.toError();
-        return result;
     }
+    publishKeyloggingTelemetry(result);
+    return result;
 }
 
 } // namespace emsc::core

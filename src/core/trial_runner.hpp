@@ -31,9 +31,23 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace emsc::core {
+
+namespace detail {
+
+/** Per-trial telemetry shared by every TrialRunner entry point. */
+inline const telemetry::Counter &
+trialCounter()
+{
+    static telemetry::Counter trials(
+        telemetry::MetricsRegistry::global(), "core.trials");
+    return trials;
+}
+
+} // namespace detail
 
 /** Fans independent experiment trials out across the worker pool. */
 class TrialRunner
@@ -60,6 +74,8 @@ class TrialRunner
     {
         std::vector<R> out(trials);
         parallelFor(trials, [&](std::size_t i) {
+            telemetry::TraceSpan span("core.trial");
+            detail::trialCounter().add();
             out[i] = fn(i, trialSeed(i));
         });
         return out;
@@ -76,6 +92,8 @@ class TrialRunner
     {
         std::vector<R> out(seeds.size());
         parallelFor(seeds.size(), [&](std::size_t i) {
+            telemetry::TraceSpan span("core.trial");
+            detail::trialCounter().add();
             out[i] = fn(i, seeds[i]);
         });
         return out;
@@ -95,6 +113,8 @@ class TrialRunner
         // slots (each written exactly once) and are unwrapped after.
         std::vector<std::optional<Result<R>>> slots(trials);
         parallelFor(trials, [&](std::size_t i) {
+            telemetry::TraceSpan span("core.trial");
+            detail::trialCounter().add();
             slots[i] = attempt([&] { return fn(i, trialSeed(i)); });
         });
         std::vector<Result<R>> out;
@@ -111,6 +131,8 @@ class TrialRunner
     {
         std::vector<std::optional<Result<R>>> slots(seeds.size());
         parallelFor(seeds.size(), [&](std::size_t i) {
+            telemetry::TraceSpan span("core.trial");
+            detail::trialCounter().add();
             slots[i] = attempt([&] { return fn(i, seeds[i]); });
         });
         std::vector<Result<R>> out;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "support/logging.hpp"
+#include "support/telemetry.hpp"
 
 namespace emsc::dsp {
 
@@ -23,13 +24,22 @@ template <typename Plan>
 class PlanRegistry
 {
   public:
+    /**
+     * Look up the plan for `n`, constructing it on first use.
+     * `hits`/`misses` track cache effectiveness in the telemetry
+     * registry (one counter bump per lookup, not per sample).
+     */
     std::shared_ptr<const Plan>
-    get(std::size_t n)
+    get(std::size_t n, const telemetry::Counter &hits,
+        const telemetry::Counter &misses)
     {
         std::lock_guard<std::mutex> lock(mtx);
         auto it = plans.find(n);
-        if (it != plans.end())
+        if (it != plans.end()) {
+            hits.add();
             return it->second;
+        }
+        misses.add();
         auto plan = std::shared_ptr<const Plan>(new Plan(n));
         plans.emplace(n, plan);
         return plan;
@@ -88,7 +98,11 @@ FftPlan::FftPlan(std::size_t n) : n_(n)
 std::shared_ptr<const FftPlan>
 FftPlan::forSize(std::size_t n)
 {
-    return radix2Registry().get(n);
+    static telemetry::Counter hits(telemetry::MetricsRegistry::global(),
+                                   "dsp.fft_plan.hits");
+    static telemetry::Counter misses(telemetry::MetricsRegistry::global(),
+                                     "dsp.fft_plan.misses");
+    return radix2Registry().get(n, hits, misses);
 }
 
 std::size_t
@@ -168,7 +182,11 @@ BluesteinPlan::BluesteinPlan(std::size_t n) : n_(n)
 std::shared_ptr<const BluesteinPlan>
 BluesteinPlan::forSize(std::size_t n)
 {
-    return bluesteinRegistry().get(n);
+    static telemetry::Counter hits(telemetry::MetricsRegistry::global(),
+                                   "dsp.bluestein_plan.hits");
+    static telemetry::Counter misses(telemetry::MetricsRegistry::global(),
+                                     "dsp.bluestein_plan.misses");
+    return bluesteinRegistry().get(n, hits, misses);
 }
 
 std::size_t

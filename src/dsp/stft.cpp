@@ -6,6 +6,7 @@
 #include "dsp/fft_plan.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace emsc::dsp {
@@ -114,6 +115,12 @@ stftImpl(const std::vector<Complex> &signal, double sample_rate,
     std::size_t frames = (signal.size() - config.fftSize) / config.hop + 1;
     out.frames.resize(frames);
 
+    telemetry::TraceSpan span("dsp.stft");
+    telemetry::MetricsRegistry &reg = telemetry::MetricsRegistry::global();
+    // Frame timing is derived from one clock pair around the whole
+    // fan-out (mean ns/frame), never from per-frame clocks.
+    std::uint64_t t0 = reg.enabled() ? telemetry::steadyNowNs() : 0;
+
     // Frames are independent and each writes only its own row, so the
     // fan-out is bit-identical to the serial loop for any thread count.
     parallelFor(frames, [&](std::size_t t) {
@@ -139,6 +146,17 @@ stftImpl(const std::vector<Complex> &signal, double sample_rate,
             out.frames[t] = std::move(mags);
         }
     });
+    if (reg.enabled()) {
+        static telemetry::Counter frameCount(
+            telemetry::MetricsRegistry::global(), "dsp.stft.frames");
+        static telemetry::Histogram frameNs(
+            telemetry::MetricsRegistry::global(), "dsp.stft.frame_ns",
+            telemetry::expBounds(1e3, 1e7, 4.0));
+        std::uint64_t dt = telemetry::steadyNowNs() - t0;
+        frameCount.add(frames);
+        frameNs.observe(static_cast<double>(dt) /
+                        static_cast<double>(frames));
+    }
     return out;
 }
 

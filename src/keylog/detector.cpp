@@ -7,6 +7,7 @@
 #include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/stats.hpp"
+#include "support/telemetry.hpp"
 
 namespace emsc::keylog {
 
@@ -49,10 +50,34 @@ selectEnergyThreshold(const std::vector<double> &energy,
     return fallback;
 }
 
+namespace {
+
+/** Detection telemetry shared by the batch and online detectors so
+ * both report under the same stable names. */
+void
+publishDetectionTelemetry(std::size_t windows, double threshold,
+                          std::size_t keystrokes)
+{
+    telemetry::MetricsRegistry &reg =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter windowCount(reg, "keylog.windows");
+    static telemetry::Counter detections(reg, "keylog.detections");
+    static telemetry::Gauge thresholdGauge(reg, "keylog.threshold");
+    if (!reg.enabled())
+        return;
+    windowCount.add(windows);
+    detections.add(keystrokes);
+    if (threshold > 0.0)
+        thresholdGauge.set(threshold);
+}
+
+} // namespace
+
 DetectionResult
 detectKeystrokes(const channel::AcquiredSignal &signal,
                  TimeNs capture_start, const DetectorConfig &config)
 {
+    telemetry::TraceSpan span("keylog.detect");
     DetectionResult out;
     if (signal.y.empty() || signal.sampleRate <= 0.0)
         return out;
@@ -128,6 +153,8 @@ detectKeystrokes(const channel::AcquiredSignal &signal,
     if (in_run)
         close_run(out.windowEnergy.size() - gap);
 
+    publishDetectionTelemetry(out.windowEnergy.size(), out.threshold,
+                              out.keystrokes.size());
     return out;
 }
 
@@ -274,6 +301,7 @@ OnlineKeystrokeDetector::finish()
         inRun = false;
         gap = 0;
     }
+    publishDetectionTelemetry(windows, thr, ready.size());
 }
 
 std::vector<DetectedKeystroke>

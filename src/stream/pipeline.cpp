@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace emsc::stream {
@@ -71,6 +72,7 @@ StreamPipeline::run(ChunkSource &source)
         raiseError(ErrorKind::InvalidConfig,
                    "StreamPipeline::run with no stages");
 
+    telemetry::TraceSpan span("stream.run");
     Clock::time_point t0 = Clock::now();
     if (parallelThreads() <= 1 || insideParallelWorker())
         runInline(source);
@@ -81,10 +83,10 @@ StreamPipeline::run(ChunkSource &source)
     report.peakBufferedSamples = 0;
     report.stages.clear();
     for (const auto &w : workers) {
-        report.peakBufferedSamples += w->stats.queuePeakSamples;
-        report.peakBufferedSamples += w->stats.peakBufferedSamples;
+        report.peakBufferedSamples += w->stats.totalPeakSamples();
         report.stages.push_back(w->stats);
     }
+    report.publish();
     return report;
 }
 
@@ -266,6 +268,47 @@ StreamPipeline::runThreaded(ChunkSource &source)
 
     if (firstError)
         std::rethrow_exception(firstError);
+}
+
+void
+StreamReport::publish() const
+{
+    telemetry::MetricsRegistry &reg =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter runs(reg, "stream.pipeline.runs");
+    static telemetry::Counter totalNsCounter(reg,
+                                             "stream.pipeline.total_ns");
+    static telemetry::Counter srcSamples(reg, "stream.source.samples");
+    static telemetry::Counter srcChunks(reg, "stream.source.chunks");
+    static telemetry::Gauge peak(
+        reg, "stream.pipeline.peak_buffered_samples");
+    if (!reg.enabled())
+        return;
+    runs.add();
+    totalNsCounter.add(totalNs);
+    srcSamples.add(sourceSamples);
+    srcChunks.add(sourceChunks);
+    peak.max(static_cast<double>(peakBufferedSamples));
+    for (const StageStats &s : stages) {
+        // Stage names are dynamic, so resolve ids per run (a handful
+        // of registry lookups per pipeline, not per chunk).
+        std::string base = "stream.stage." + s.name + ".";
+        reg.counterAdd(reg.counterId(base + "chunks_in"), s.chunksIn);
+        reg.counterAdd(reg.counterId(base + "chunks_out"),
+                       s.chunksOut);
+        reg.counterAdd(reg.counterId(base + "samples_in"),
+                       s.samplesIn);
+        reg.counterAdd(reg.counterId(base + "process_ns"),
+                       s.processNs);
+        reg.counterAdd(reg.counterId(base + "stall_pop_ns"),
+                       s.stallPopNs);
+        reg.counterAdd(reg.counterId(base + "stall_push_ns"),
+                       s.stallPushNs);
+        reg.gaugeMax(reg.gaugeId(base + "queue_high_water"),
+                     static_cast<double>(s.queueHighWater));
+        reg.gaugeMax(reg.gaugeId(base + "peak_samples"),
+                     static_cast<double>(s.totalPeakSamples()));
+    }
 }
 
 std::string

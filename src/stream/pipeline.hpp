@@ -53,6 +53,18 @@ struct StageStats
     /** Peak sample units retained inside the stage itself. */
     std::size_t peakBufferedSamples = 0;
 
+    /**
+     * Peak sample units attributable to this stage: its input queue's
+     * peak plus its own internal buffering.  The single definition
+     * behind both StreamReport::peakBufferedSamples and the published
+     * stream.stage.<name>.peak_samples gauge.
+     */
+    std::size_t
+    totalPeakSamples() const
+    {
+        return queuePeakSamples + peakBufferedSamples;
+    }
+
     double
     nsPerSample() const
     {
@@ -82,6 +94,15 @@ struct StreamReport
 
     /** Human-readable table for CLI output. */
     std::string format() const;
+
+    /**
+     * Publish the report into the global telemetry registry under the
+     * stable stream.* metric names.  StreamReport itself stays a view
+     * over the same numbers; this is the one name table both the
+     * batch-style report consumers and the registry share.  No-op
+     * while telemetry is disabled.  Called by StreamPipeline::run().
+     */
+    void publish() const;
 };
 
 class StreamPipeline

@@ -13,6 +13,7 @@
 #include "dsp/peaks.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
+#include "support/telemetry.hpp"
 
 namespace emsc::stream {
 
@@ -118,11 +119,18 @@ ReceiverOps::runStreaming(ChunkSource &source,
                           const StreamingOptions &options) const
 {
     StreamingResult out;
+    telemetry::TraceSpan span("stream.streaming_decode");
     try {
         streamInto(source, options, out);
     } catch (const RecoverableError &e) {
         out.rx.failure = e.toError();
     }
+    // The warm-up batch fallback publishes inside channel::receive();
+    // every other outcome (streamed decode, carrier miss, stage
+    // failure) is reported here so both decode paths surface the same
+    // channel.* metric names.
+    if (!out.batchFallback)
+        channel::publishReceiverTelemetry(out.rx);
     return out;
 }
 
@@ -197,6 +205,7 @@ ReceiverOps::streamInto(ChunkSource &source,
         rx.diagnostic = std::move(diag);
         appendNote(rx.diagnostic,
                    "capture ended inside warm-up: batch decode");
+        out.batchFallback = true;
         out.report.sourceChunks = warm.size();
         out.report.sourceSamples = warmCap.samples.size();
         if (opts.detectKeystrokes && !rx.acquired.y.empty()) {

@@ -68,6 +68,11 @@ struct StreamingResult
     std::uint64_t firstBitLatencyNs = 0;
     /** False when the capture ended inside warm-up (batch fallback). */
     bool streamed = false;
+    /**
+     * True when the warm-up batch fallback decoded the capture (its
+     * channel::receive() call already published receiver telemetry).
+     */
+    bool batchFallback = false;
 };
 
 /**

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal JSON value model, writer and parser.
+ *
+ * The telemetry layer, the bench reporters and the schema validator
+ * all need to emit and re-read machine-readable reports without any
+ * external dependency, so this implements just enough of RFC 8259:
+ * null/bool/number/string/array/object values, a recursive-descent
+ * parser, and a writer with optional pretty-printing.  Objects keep
+ * insertion order (vector of pairs) so emitted reports are stable
+ * and diffable across runs.
+ */
+
+#ifndef EMSC_SUPPORT_JSON_HPP
+#define EMSC_SUPPORT_JSON_HPP
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace emsc::json {
+
+/** One JSON value; a tagged union with ordered object members. */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Value() = default;
+    Value(std::nullptr_t) {}
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(double n) : type_(Type::Number), number_(n) {}
+    Value(int n) : type_(Type::Number), number_(n) {}
+    Value(long n) : type_(Type::Number), number_(static_cast<double>(n)) {}
+    Value(unsigned n) : type_(Type::Number), number_(n) {}
+    Value(unsigned long n)
+        : type_(Type::Number), number_(static_cast<double>(n))
+    {
+    }
+    Value(unsigned long long n)
+        : type_(Type::Number), number_(static_cast<double>(n))
+    {
+    }
+    Value(const char *s) : type_(Type::String), string_(s) {}
+    Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+
+    static Value array() { Value v; v.type_ = Type::Array; return v; }
+    static Value object() { Value v; v.type_ = Type::Object; return v; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return number_; }
+    const std::string &string() const { return string_; }
+    const std::vector<Value> &items() const { return items_; }
+    const std::vector<std::pair<std::string, Value>> &members() const
+    {
+        return members_;
+    }
+
+    /** Append to an array value (converts a Null value to Array). */
+    Value &push(Value v);
+    /**
+     * Set an object member (converts a Null value to Object).
+     * Overwrites an existing member of the same key in place, so
+     * member order stays stable.
+     */
+    Value &set(const std::string &key, Value v);
+    /** Find an object member; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /**
+     * Serialise. `indent` > 0 pretty-prints with that many spaces
+     * per level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse `text` into `out`.  Returns true on success; on failure
+     * returns false and, when `error` is non-null, stores a short
+     * description with the byte offset of the problem.
+     */
+    static bool parse(const std::string &text, Value &out,
+                      std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> items_;
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+} // namespace emsc::json
+
+#endif // EMSC_SUPPORT_JSON_HPP

@@ -1,5 +1,6 @@
 #include "support/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,7 +8,9 @@ namespace emsc {
 
 namespace {
 
-bool g_verbose = true;
+// Atomic so worker threads may call inform() while a test scope
+// flips verbosity without a data race.
+std::atomic<bool> g_verbose{true};
 
 void
 vreport(const char *prefix, const char *fmt, va_list args)
@@ -22,19 +25,19 @@ vreport(const char *prefix, const char *fmt, va_list args)
 void
 setVerbose(bool verbose)
 {
-    g_verbose = verbose;
+    g_verbose.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return g_verbose;
+    return g_verbose.load(std::memory_order_relaxed);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (!g_verbose)
+    if (!g_verbose.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);

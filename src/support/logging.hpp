@@ -48,6 +48,27 @@ void setVerbose(bool verbose);
 /** @return whether inform() output is currently enabled. */
 bool verbose();
 
+/**
+ * RAII guard for the global verbosity flag: sets it for the scope
+ * and restores the previous value on exit, so tests and benches that
+ * silence inform() cannot leak the setting across cases.
+ */
+class ScopedVerbosity
+{
+  public:
+    explicit ScopedVerbosity(bool verbose_in_scope)
+        : prev_(verbose())
+    {
+        setVerbose(verbose_in_scope);
+    }
+    ~ScopedVerbosity() { setVerbose(prev_); }
+    ScopedVerbosity(const ScopedVerbosity &) = delete;
+    ScopedVerbosity &operator=(const ScopedVerbosity &) = delete;
+
+  private:
+    bool prev_;
+};
+
 } // namespace emsc
 
 #endif // EMSC_SUPPORT_LOGGING_HPP

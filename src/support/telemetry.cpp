@@ -1,0 +1,787 @@
+#include "support/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/logging.hpp"
+
+namespace emsc::telemetry {
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+namespace {
+
+/** Process-unique serial numbers keying the thread-local shard
+ * caches, so a cached shard pointer can never be mistaken for one
+ * belonging to a different (possibly destroyed) registry. */
+std::atomic<std::uint64_t> g_next_serial{1};
+
+void
+atomicAddDouble(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMinDouble(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (v < cur && !a.compare_exchange_weak(cur, v,
+                                               std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMaxDouble(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (v > cur && !a.compare_exchange_weak(cur, v,
+                                               std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+/**
+ * Per-thread shard.  The owning thread is the only writer: it grows
+ * the deques under `growth` and updates slots with relaxed atomics.
+ * Snapshot/reset threads take `growth` before touching the deques
+ * (std::deque never relocates existing elements, but its bookkeeping
+ * is not safe against a concurrent push_back).
+ */
+namespace {
+
+struct HistShardSlot
+{
+    explicit HistShardSlot(std::size_t nbuckets)
+        : buckets(std::make_unique<std::atomic<std::uint64_t>[]>(nbuckets)),
+          nbuckets(nbuckets)
+    {
+        for (std::size_t i = 0; i < nbuckets; ++i)
+            buckets[i].store(0, std::memory_order_relaxed);
+    }
+
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::size_t nbuckets = 0;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+};
+
+struct Shard
+{
+    mutable std::mutex growth;
+    std::deque<std::atomic<std::uint64_t>> counters;
+    std::deque<HistShardSlot> hists;
+};
+
+} // namespace
+
+struct MetricsRegistry::Impl
+{
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Desc
+    {
+        std::string name;
+        Kind kind;
+        /** Index into the kind's slot space. */
+        std::size_t slot;
+        std::vector<double> bounds; // histograms only
+    };
+
+    mutable std::mutex mtx;
+    std::unordered_map<std::string, std::size_t> names;
+    std::vector<Desc> metrics;
+    std::size_t counterSlots = 0;
+    std::size_t histSlots = 0;
+    /** Bucket bounds indexed by histogram slot (copy of Desc's). */
+    std::vector<std::vector<double>> histBounds;
+    /** Gauges are registry-level: set per capture, not per sample. */
+    std::deque<std::atomic<double>> gauges;
+    std::vector<std::unique_ptr<Shard>> shards;
+    /** Span aggregates; spans are coarse so a mutex map is fine. */
+    std::map<std::string, SpanStat> spans;
+    mutable std::mutex spanMtx;
+    std::uint64_t serial = 0;
+
+    Shard *localShard();
+    std::size_t registerMetric(std::string_view name, Kind kind,
+                               const std::vector<double> &bounds);
+};
+
+namespace {
+
+struct ShardCacheEntry
+{
+    std::uint64_t serial;
+    Shard *shard;
+};
+
+thread_local std::vector<ShardCacheEntry> t_shard_cache;
+
+} // namespace
+
+Shard *
+MetricsRegistry::Impl::localShard()
+{
+    for (const auto &entry : t_shard_cache)
+        if (entry.serial == serial)
+            return entry.shard;
+    auto owned = std::make_unique<Shard>();
+    Shard *shard = owned.get();
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        shards.push_back(std::move(owned));
+    }
+    t_shard_cache.push_back({serial, shard});
+    return shard;
+}
+
+std::size_t
+MetricsRegistry::Impl::registerMetric(std::string_view name, Kind kind,
+                                      const std::vector<double> &bounds)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = names.find(std::string(name));
+    if (it != names.end()) {
+        const Desc &desc = metrics[it->second];
+        if (desc.kind != kind)
+            panic("metric '%s' re-registered with a different kind",
+                  desc.name.c_str());
+        return desc.slot;
+    }
+    Desc desc;
+    desc.name = std::string(name);
+    desc.kind = kind;
+    switch (kind) {
+      case Kind::Counter:
+        desc.slot = counterSlots++;
+        break;
+      case Kind::Gauge:
+        desc.slot = gauges.size();
+        gauges.emplace_back(std::numeric_limits<double>::quiet_NaN());
+        break;
+      case Kind::Histogram:
+        if (bounds.empty())
+            panic("histogram '%s' needs at least one bucket bound",
+                  desc.name.c_str());
+        if (!std::is_sorted(bounds.begin(), bounds.end()))
+            panic("histogram '%s' bounds must be ascending",
+                  desc.name.c_str());
+        desc.bounds = bounds;
+        desc.slot = histSlots++;
+        histBounds.push_back(bounds);
+        break;
+    }
+    names.emplace(desc.name, metrics.size());
+    metrics.push_back(desc);
+    return metrics.back().slot;
+}
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>())
+{
+    impl_->serial = g_next_serial.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Leaked on purpose: call sites may report during static
+    // destruction and the thread-local shard caches outlive tests.
+    static MetricsRegistry *reg = new MetricsRegistry();
+    return *reg;
+}
+
+std::size_t
+MetricsRegistry::counterId(std::string_view name)
+{
+    return impl_->registerMetric(name, Impl::Kind::Counter, {});
+}
+
+std::size_t
+MetricsRegistry::gaugeId(std::string_view name)
+{
+    return impl_->registerMetric(name, Impl::Kind::Gauge, {});
+}
+
+std::size_t
+MetricsRegistry::histogramId(std::string_view name,
+                             const std::vector<double> &bounds)
+{
+    return impl_->registerMetric(name, Impl::Kind::Histogram, bounds);
+}
+
+void
+MetricsRegistry::counterAdd(std::size_t id, std::uint64_t n)
+{
+    Shard *shard = impl_->localShard();
+    if (id >= shard->counters.size()) {
+        std::lock_guard<std::mutex> lock(shard->growth);
+        while (shard->counters.size() <= id)
+            shard->counters.emplace_back(0);
+    }
+    shard->counters[id].fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::gaugeSet(std::size_t id, double v)
+{
+    std::atomic<double> *slot = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mtx);
+        if (id >= impl_->gauges.size())
+            panic("gauge id %zu out of range", id);
+        slot = &impl_->gauges[id];
+    }
+    slot->store(v, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::gaugeMax(std::size_t id, double v)
+{
+    std::atomic<double> *slot = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mtx);
+        if (id >= impl_->gauges.size())
+            panic("gauge id %zu out of range", id);
+        slot = &impl_->gauges[id];
+    }
+    double cur = slot->load(std::memory_order_relaxed);
+    if (std::isnan(cur)) {
+        // First write wins the NaN slot; races fall through to max.
+        if (slot->compare_exchange_strong(cur, v,
+                                          std::memory_order_relaxed))
+            return;
+    }
+    atomicMaxDouble(*slot, v);
+}
+
+void
+MetricsRegistry::histogramObserve(std::size_t id, double v)
+{
+    // Bounds are immutable once registered; copy the raw range out
+    // under the lock (the backing buffer never moves, but the table
+    // itself can reallocate while other histograms register).
+    const double *bfirst = nullptr;
+    const double *blast = nullptr;
+    std::size_t nslots = 0;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mtx);
+        if (id >= impl_->histBounds.size())
+            panic("histogram id %zu out of range", id);
+        const std::vector<double> &bounds = impl_->histBounds[id];
+        bfirst = bounds.data();
+        blast = bounds.data() + bounds.size();
+        nslots = impl_->histSlots;
+    }
+    Shard *shard = impl_->localShard();
+    if (id >= shard->hists.size()) {
+        // Collect the missing slots' bucket counts before taking the
+        // shard's growth lock: snapshot() holds the registry mutex
+        // while it takes growth, so taking them in the opposite order
+        // here would be a lock-order inversion. Reading hists.size()
+        // without growth is safe — this thread is the only grower.
+        std::vector<std::size_t> nbs;
+        {
+            std::lock_guard<std::mutex> lock(impl_->mtx);
+            for (std::size_t s = shard->hists.size(); s <= id; ++s)
+                nbs.push_back(s < nslots
+                                  ? impl_->histBounds[s].size() + 1
+                                  : 1);
+        }
+        std::lock_guard<std::mutex> lock(shard->growth);
+        for (std::size_t nb : nbs)
+            shard->hists.emplace_back(nb);
+    }
+    HistShardSlot &slot = shard->hists[id];
+    std::size_t bucket = static_cast<std::size_t>(
+        std::lower_bound(bfirst, blast, v) - bfirst);
+    if (bucket < slot.nbuckets)
+        slot.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+    atomicAddDouble(slot.sum, v);
+    atomicMinDouble(slot.min, v);
+    atomicMaxDouble(slot.max, v);
+}
+
+void
+MetricsRegistry::spanObserve(const char *name, std::uint64_t ns)
+{
+    std::lock_guard<std::mutex> lock(impl_->spanMtx);
+    SpanStat &stat = impl_->spans[name];
+    stat.count += 1;
+    stat.totalNs += ns;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(impl_->mtx);
+    for (const auto &desc : impl_->metrics) {
+        switch (desc.kind) {
+          case Impl::Kind::Counter: {
+            std::uint64_t total = 0;
+            for (const auto &shard : impl_->shards) {
+                std::lock_guard<std::mutex> slock(shard->growth);
+                if (desc.slot < shard->counters.size())
+                    total += shard->counters[desc.slot].load(
+                        std::memory_order_relaxed);
+            }
+            snap.counters.emplace_back(desc.name, total);
+            break;
+          }
+          case Impl::Kind::Gauge:
+            snap.gauges.emplace_back(
+                desc.name,
+                impl_->gauges[desc.slot].load(std::memory_order_relaxed));
+            break;
+          case Impl::Kind::Histogram: {
+            HistogramSnapshot h;
+            h.bounds = desc.bounds;
+            h.buckets.assign(desc.bounds.size() + 1, 0);
+            double lo = std::numeric_limits<double>::infinity();
+            double hi = -std::numeric_limits<double>::infinity();
+            for (const auto &shard : impl_->shards) {
+                std::lock_guard<std::mutex> slock(shard->growth);
+                if (desc.slot >= shard->hists.size())
+                    continue;
+                const HistShardSlot &slot = shard->hists[desc.slot];
+                std::size_t nb =
+                    std::min(slot.nbuckets, h.buckets.size());
+                for (std::size_t i = 0; i < nb; ++i)
+                    h.buckets[i] += slot.buckets[i].load(
+                        std::memory_order_relaxed);
+                h.count +=
+                    slot.count.load(std::memory_order_relaxed);
+                h.sum += slot.sum.load(std::memory_order_relaxed);
+                lo = std::min(lo,
+                              slot.min.load(std::memory_order_relaxed));
+                hi = std::max(hi,
+                              slot.max.load(std::memory_order_relaxed));
+            }
+            h.min = h.count ? lo : 0.0;
+            h.max = h.count ? hi : 0.0;
+            snap.histograms.emplace_back(desc.name, h);
+            break;
+          }
+        }
+    }
+    {
+        std::lock_guard<std::mutex> slock(impl_->spanMtx);
+        for (const auto &[name, stat] : impl_->spans)
+            snap.spans.emplace_back(name, stat);
+    }
+    auto byName = [](const auto &a, const auto &b) {
+        return a.first < b.first;
+    };
+    std::sort(snap.counters.begin(), snap.counters.end(), byName);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), byName);
+    std::sort(snap.histograms.begin(), snap.histograms.end(), byName);
+    std::sort(snap.spans.begin(), snap.spans.end(), byName);
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(impl_->mtx);
+    for (const auto &shard : impl_->shards) {
+        std::lock_guard<std::mutex> slock(shard->growth);
+        for (auto &c : shard->counters)
+            c.store(0, std::memory_order_relaxed);
+        for (auto &h : shard->hists) {
+            for (std::size_t i = 0; i < h.nbuckets; ++i)
+                h.buckets[i].store(0, std::memory_order_relaxed);
+            h.count.store(0, std::memory_order_relaxed);
+            h.sum.store(0.0, std::memory_order_relaxed);
+            h.min.store(std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+            h.max.store(-std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+        }
+    }
+    for (auto &g : impl_->gauges)
+        g.store(std::numeric_limits<double>::quiet_NaN(),
+                std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> slock(impl_->spanMtx);
+        impl_->spans.clear();
+    }
+}
+
+const std::uint64_t *
+MetricsSnapshot::counter(std::string_view name) const
+{
+    for (const auto &c : counters)
+        if (c.first == name)
+            return &c.second;
+    return nullptr;
+}
+
+const double *
+MetricsSnapshot::gauge(std::string_view name) const
+{
+    for (const auto &g : gauges)
+        if (g.first == name)
+            return &g.second;
+    return nullptr;
+}
+
+const HistogramSnapshot *
+MetricsSnapshot::histogram(std::string_view name) const
+{
+    for (const auto &h : histograms)
+        if (h.first == name)
+            return &h.second;
+    return nullptr;
+}
+
+const SpanStat *
+MetricsSnapshot::span(std::string_view name) const
+{
+    for (const auto &s : spans)
+        if (s.first == name)
+            return &s.second;
+    return nullptr;
+}
+
+std::vector<double>
+expBounds(double lo, double hi, double factor)
+{
+    if (lo <= 0.0 || hi < lo || factor <= 1.0)
+        panic("expBounds(%g, %g, %g): need 0 < lo <= hi, factor > 1",
+              lo, hi, factor);
+    std::vector<double> bounds;
+    for (double b = lo; b < hi * factor; b *= factor) {
+        bounds.push_back(b);
+        if (bounds.size() > 256)
+            panic("expBounds: more than 256 buckets");
+    }
+    return bounds;
+}
+
+/* ------------------------------------------------------------------ */
+/* Trace collector                                                     */
+/* ------------------------------------------------------------------ */
+
+namespace {
+
+constexpr std::size_t kMaxEventsPerThread = std::size_t(1) << 18;
+
+struct TraceBuf
+{
+    mutable std::mutex mtx;
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+};
+
+struct TraceCacheEntry
+{
+    std::uint64_t serial;
+    TraceBuf *buf;
+};
+
+thread_local std::vector<TraceCacheEntry> t_trace_cache;
+thread_local std::uint32_t t_span_depth = 0;
+
+} // namespace
+
+struct TraceCollector::Impl
+{
+    mutable std::mutex mtx;
+    std::vector<std::unique_ptr<TraceBuf>> bufs;
+    std::atomic<std::uint64_t> dropped{0};
+    std::uint64_t serial = 0;
+    std::uint64_t epochNs = 0;
+
+    TraceBuf *
+    localBuf()
+    {
+        for (const auto &entry : t_trace_cache)
+            if (entry.serial == serial)
+                return entry.buf;
+        auto owned = std::make_unique<TraceBuf>();
+        TraceBuf *buf = owned.get();
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            buf->tid = static_cast<std::uint32_t>(bufs.size() + 1);
+            bufs.push_back(std::move(owned));
+        }
+        t_trace_cache.push_back({serial, buf});
+        return buf;
+    }
+};
+
+TraceCollector::TraceCollector() : impl_(std::make_unique<Impl>())
+{
+    impl_->serial = g_next_serial.fetch_add(1, std::memory_order_relaxed);
+    impl_->epochNs = steadyNowNs();
+}
+
+TraceCollector::~TraceCollector() = default;
+
+TraceCollector &
+TraceCollector::global()
+{
+    static TraceCollector *collector = new TraceCollector();
+    return *collector;
+}
+
+void
+TraceCollector::record(const char *name, std::uint64_t start_ns,
+                       std::uint64_t dur_ns, std::uint32_t depth)
+{
+    TraceBuf *buf = impl_->localBuf();
+    std::lock_guard<std::mutex> lock(buf->mtx);
+    if (buf->events.size() >= kMaxEventsPerThread) {
+        impl_->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buf->events.push_back({name, buf->tid, depth, start_ns, dur_ns});
+}
+
+std::uint64_t
+TraceCollector::sinceEpochNs() const
+{
+    return steadyNowNs() - impl_->epochNs;
+}
+
+std::vector<TraceEvent>
+TraceCollector::events() const
+{
+    std::vector<TraceEvent> merged;
+    std::lock_guard<std::mutex> lock(impl_->mtx);
+    for (const auto &buf : impl_->bufs) {
+        std::lock_guard<std::mutex> block(buf->mtx);
+        merged.insert(merged.end(), buf->events.begin(),
+                      buf->events.end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.startNs < b.startNs;
+                     });
+    return merged;
+}
+
+std::uint64_t
+TraceCollector::dropped() const
+{
+    return impl_->dropped.load(std::memory_order_relaxed);
+}
+
+void
+TraceCollector::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mtx);
+    for (const auto &buf : impl_->bufs) {
+        std::lock_guard<std::mutex> block(buf->mtx);
+        buf->events.clear();
+    }
+    impl_->dropped.store(0, std::memory_order_relaxed);
+    impl_->epochNs = steadyNowNs();
+}
+
+std::string
+TraceCollector::chromeJson() const
+{
+    json::Value root = json::Value::object();
+    root.set("displayTimeUnit", "ms");
+    json::Value list = json::Value::array();
+    for (const TraceEvent &ev : events()) {
+        json::Value e = json::Value::object();
+        e.set("name", ev.name);
+        e.set("cat", "emsc");
+        e.set("ph", "X");
+        e.set("ts", static_cast<double>(ev.startNs) / 1e3);
+        e.set("dur", static_cast<double>(ev.durNs) / 1e3);
+        e.set("pid", 1);
+        e.set("tid", static_cast<double>(ev.tid));
+        json::Value args = json::Value::object();
+        args.set("depth", static_cast<double>(ev.depth));
+        e.set("args", std::move(args));
+        list.push(std::move(e));
+    }
+    root.set("traceEvents", std::move(list));
+    root.set("droppedEvents", static_cast<double>(dropped()));
+    return root.dump(0);
+}
+
+/* ------------------------------------------------------------------ */
+/* TraceSpan                                                           */
+/* ------------------------------------------------------------------ */
+
+TraceSpan::TraceSpan(const char *name) : name_(name)
+{
+    armed_ = MetricsRegistry::global().enabled() ||
+             TraceCollector::global().enabled();
+    if (!armed_)
+        return;
+    ++t_span_depth;
+    start_ = steadyNowNs();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!armed_)
+        return;
+    std::uint64_t end = steadyNowNs();
+    std::uint64_t dur = end > start_ ? end - start_ : 0;
+    --t_span_depth;
+    MetricsRegistry &reg = MetricsRegistry::global();
+    if (reg.enabled())
+        reg.spanObserve(name_, dur);
+    TraceCollector &collector = TraceCollector::global();
+    if (collector.enabled()) {
+        std::uint64_t since = collector.sinceEpochNs();
+        std::uint64_t rel_start = since > dur ? since - dur : 0;
+        collector.record(name_, rel_start, dur, t_span_depth);
+    }
+}
+
+std::uint32_t
+TraceSpan::currentDepth()
+{
+    return t_span_depth;
+}
+
+ScopedTelemetry::ScopedTelemetry(bool metrics, bool trace,
+                                 bool reset_on_exit)
+    : prevMetrics_(MetricsRegistry::global().enabled()),
+      prevTrace_(TraceCollector::global().enabled()),
+      resetOnExit_(reset_on_exit)
+{
+    if (metrics)
+        MetricsRegistry::global().setEnabled(true);
+    if (trace)
+        TraceCollector::global().setEnabled(true);
+}
+
+ScopedTelemetry::~ScopedTelemetry()
+{
+    MetricsRegistry::global().setEnabled(prevMetrics_);
+    TraceCollector::global().setEnabled(prevTrace_);
+    if (resetOnExit_) {
+        MetricsRegistry::global().reset();
+        TraceCollector::global().clear();
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Report serialisation                                                */
+/* ------------------------------------------------------------------ */
+
+json::Value
+metricsJson(const MetricsRegistry &reg)
+{
+    MetricsSnapshot snap = reg.snapshot();
+    json::Value root = json::Value::object();
+    root.set("schema", "emsc.metrics.v1");
+
+    json::Value counters = json::Value::object();
+    for (const auto &[name, v] : snap.counters)
+        counters.set(name, static_cast<double>(v));
+    root.set("counters", std::move(counters));
+
+    json::Value gauges = json::Value::object();
+    for (const auto &[name, v] : snap.gauges) {
+        // Unset gauges serialise as null rather than a fake zero.
+        if (std::isnan(v))
+            gauges.set(name, json::Value(nullptr));
+        else
+            gauges.set(name, v);
+    }
+    root.set("gauges", std::move(gauges));
+
+    json::Value hists = json::Value::object();
+    for (const auto &[name, h] : snap.histograms) {
+        json::Value entry = json::Value::object();
+        json::Value bounds = json::Value::array();
+        for (double b : h.bounds)
+            bounds.push(b);
+        entry.set("bounds", std::move(bounds));
+        json::Value buckets = json::Value::array();
+        for (std::uint64_t b : h.buckets)
+            buckets.push(static_cast<double>(b));
+        entry.set("buckets", std::move(buckets));
+        entry.set("count", static_cast<double>(h.count));
+        entry.set("sum", h.sum);
+        entry.set("min", h.min);
+        entry.set("max", h.max);
+        hists.set(name, std::move(entry));
+    }
+    root.set("histograms", std::move(hists));
+
+    json::Value spans = json::Value::object();
+    for (const auto &[name, s] : snap.spans) {
+        json::Value entry = json::Value::object();
+        entry.set("count", static_cast<double>(s.count));
+        entry.set("total_ns", static_cast<double>(s.totalNs));
+        entry.set("mean_ns",
+                  s.count ? static_cast<double>(s.totalNs) /
+                                static_cast<double>(s.count)
+                          : 0.0);
+        spans.set(name, std::move(entry));
+    }
+    root.set("spans", std::move(spans));
+    return root;
+}
+
+namespace {
+
+void
+writeTextFile(const std::string &path, const std::string &text,
+              const char *what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        raiseError(ErrorKind::IoError, "cannot open %s file '%s'",
+                   what, path.c_str());
+    std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = wrote == text.size();
+    ok = std::fflush(f) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok)
+        raiseError(ErrorKind::IoError, "short write to %s file '%s'",
+                   what, path.c_str());
+}
+
+} // namespace
+
+void
+writeMetricsFile(const std::string &path)
+{
+    writeTextFile(path, metricsJson(MetricsRegistry::global()).dump(2),
+                  "metrics");
+}
+
+void
+writeTraceFile(const std::string &path)
+{
+    writeTextFile(path, TraceCollector::global().chromeJson(), "trace");
+}
+
+} // namespace emsc::telemetry

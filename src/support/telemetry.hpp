@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Unified telemetry: a metrics registry and hierarchical trace spans.
+ *
+ * Every subsystem reports into one process-wide substrate instead of
+ * growing bespoke counter structs:
+ *
+ *  - MetricsRegistry holds named counters, gauges and fixed-bucket
+ *    histograms.  Counters and histograms are sharded per thread
+ *    (each thread owns a shard and updates it with relaxed atomics;
+ *    a snapshot merges all shards), so hot-path increments never
+ *    contend.  Gauges are registry-level atomics since they are
+ *    low-frequency (set once per capture, not per sample).
+ *  - TraceSpan is an RAII scoped timer.  Spans aggregate per-name
+ *    totals into the registry (the "spans" section of a metrics
+ *    report) and, when the TraceCollector is enabled, also record
+ *    individual events exportable as Chrome trace_event JSON for
+ *    about:tracing / Perfetto.
+ *
+ * Both layers are near-zero cost when disabled: every operation
+ * first checks one relaxed atomic flag and returns.  Telemetry is
+ * disabled by default; `emsc_tool --metrics/--trace` and tests turn
+ * it on explicitly.
+ *
+ * Instrumentation rules (the overhead budget): instrument per
+ * capture, per chunk, per trial or per stage — never per sample or
+ * per bit.  Span names must be string literals (they are stored as
+ * `const char *`).
+ */
+
+#ifndef EMSC_SUPPORT_TELEMETRY_HPP
+#define EMSC_SUPPORT_TELEMETRY_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emsc::json {
+class Value;
+}
+
+namespace emsc::telemetry {
+
+/** Monotonic clock reading in nanoseconds (std::steady_clock). */
+std::uint64_t steadyNowNs();
+
+/** Merged state of one histogram at snapshot time. */
+struct HistogramSnapshot
+{
+    /** Upper bucket bounds, ascending; values <= bounds[i] land in
+     * bucket i, values above the last bound in the overflow bucket. */
+    std::vector<double> bounds;
+    /** bounds.size() + 1 entries; last is the overflow bucket. */
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Aggregate of all exits of one named span. */
+struct SpanStat
+{
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+};
+
+/** Point-in-time merged view of a registry; names are sorted. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+    std::vector<std::pair<std::string, SpanStat>> spans;
+
+    /** Lookup helpers; nullptr when the name is not present. */
+    const std::uint64_t *counter(std::string_view name) const;
+    const double *gauge(std::string_view name) const;
+    const HistogramSnapshot *histogram(std::string_view name) const;
+    const SpanStat *span(std::string_view name) const;
+};
+
+/**
+ * Registry of named metrics.  Registration (counterId/gaugeId/
+ * histogramId) takes a lock and may be done eagerly at start-up or
+ * lazily from a call site; the returned id stays valid for the
+ * registry's lifetime (reset() clears values, not registrations).
+ * Update paths are lock-free on the owner thread's shard.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    ~MetricsRegistry();
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide registry all library call sites report to. */
+    static MetricsRegistry &global();
+
+    void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /** Register (or look up) a metric; panics on a kind mismatch. */
+    std::size_t counterId(std::string_view name);
+    std::size_t gaugeId(std::string_view name);
+    std::size_t histogramId(std::string_view name,
+                            const std::vector<double> &bounds);
+
+    /** Update paths; call only when enabled() (handles do the check). */
+    void counterAdd(std::size_t id, std::uint64_t n);
+    void gaugeSet(std::size_t id, double v);
+    /** Keep the running maximum (high-water marks). */
+    void gaugeMax(std::size_t id, double v);
+    void histogramObserve(std::size_t id, double v);
+
+    /** Fold one span exit into the per-name aggregates. */
+    void spanObserve(const char *name, std::uint64_t ns);
+
+    /** Merge every shard into a stable, name-sorted snapshot. */
+    MetricsSnapshot snapshot() const;
+    /** Zero all values; keeps registrations and issued ids valid. */
+    void reset();
+
+  private:
+    struct Impl;
+
+    std::atomic<bool> enabled_{false};
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Light handles caching a registry id; the intended call-site idiom
+ * is a function-local static:
+ *
+ *     static telemetry::Counter hits(
+ *         telemetry::MetricsRegistry::global(), "dsp.fft_plan.hits");
+ *     hits.add();
+ *
+ * All operations are no-ops (one relaxed load + branch) while the
+ * registry is disabled.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(MetricsRegistry &reg, std::string_view name)
+        : reg_(&reg), id_(reg.counterId(name))
+    {
+    }
+    void
+    add(std::uint64_t n = 1) const
+    {
+        if (reg_ && reg_->enabled())
+            reg_->counterAdd(id_, n);
+    }
+
+  private:
+    MetricsRegistry *reg_ = nullptr;
+    std::size_t id_ = 0;
+};
+
+class Gauge
+{
+  public:
+    Gauge() = default;
+    Gauge(MetricsRegistry &reg, std::string_view name)
+        : reg_(&reg), id_(reg.gaugeId(name))
+    {
+    }
+    void
+    set(double v) const
+    {
+        if (reg_ && reg_->enabled())
+            reg_->gaugeSet(id_, v);
+    }
+    void
+    max(double v) const
+    {
+        if (reg_ && reg_->enabled())
+            reg_->gaugeMax(id_, v);
+    }
+
+  private:
+    MetricsRegistry *reg_ = nullptr;
+    std::size_t id_ = 0;
+};
+
+class Histogram
+{
+  public:
+    Histogram() = default;
+    Histogram(MetricsRegistry &reg, std::string_view name,
+              const std::vector<double> &bounds)
+        : reg_(&reg), id_(reg.histogramId(name, bounds))
+    {
+    }
+    void
+    observe(double v) const
+    {
+        if (reg_ && reg_->enabled())
+            reg_->histogramObserve(id_, v);
+    }
+
+  private:
+    MetricsRegistry *reg_ = nullptr;
+    std::size_t id_ = 0;
+};
+
+/** Geometric bucket bounds from `lo` up to at least `hi`. */
+std::vector<double> expBounds(double lo, double hi, double factor = 2.0);
+
+/** One recorded span occurrence (timestamps relative to the
+ * collector's epoch so events from all threads share a timeline). */
+struct TraceEvent
+{
+    const char *name = nullptr;
+    std::uint32_t tid = 0;
+    /** Nesting depth on the recording thread at span entry. */
+    std::uint32_t depth = 0;
+    std::uint64_t startNs = 0;
+    std::uint64_t durNs = 0;
+};
+
+/**
+ * Collector of individual trace events, one bounded buffer per
+ * thread.  Disabled by default; when over the per-thread cap new
+ * events are counted as dropped instead of recorded.
+ */
+class TraceCollector
+{
+  public:
+    TraceCollector();
+    ~TraceCollector();
+    TraceCollector(const TraceCollector &) = delete;
+    TraceCollector &operator=(const TraceCollector &) = delete;
+
+    static TraceCollector &global();
+
+    void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    void record(const char *name, std::uint64_t start_ns,
+                std::uint64_t dur_ns, std::uint32_t depth);
+    /** Nanoseconds elapsed since the collector's epoch. */
+    std::uint64_t sinceEpochNs() const;
+
+    /** All recorded events, merged across threads, sorted by start. */
+    std::vector<TraceEvent> events() const;
+    std::uint64_t dropped() const;
+    void clear();
+
+    /** Chrome trace_event JSON ("X" complete events). */
+    std::string chromeJson() const;
+
+  private:
+    struct Impl;
+
+    std::atomic<bool> enabled_{false};
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * RAII scoped timer.  Armed when the global metrics registry or the
+ * global trace collector is enabled at construction; on destruction
+ * it folds the duration into the registry's span aggregates and,
+ * when tracing, records a TraceEvent.  `name` must be a string
+ * literal.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name);
+    ~TraceSpan();
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** Current nesting depth on this thread (for tests). */
+    static std::uint32_t currentDepth();
+
+  private:
+    const char *name_;
+    std::uint64_t start_ = 0;
+    bool armed_ = false;
+};
+
+/**
+ * Test/tool guard: enables the global registry (and optionally the
+ * global trace collector) for its scope, restoring the previous
+ * enabled state on exit.  `resetOnExit` additionally clears the
+ * values accumulated during the scope so test cases stay isolated.
+ */
+class ScopedTelemetry
+{
+  public:
+    explicit ScopedTelemetry(bool metrics = true, bool trace = false,
+                             bool reset_on_exit = true);
+    ~ScopedTelemetry();
+    ScopedTelemetry(const ScopedTelemetry &) = delete;
+    ScopedTelemetry &operator=(const ScopedTelemetry &) = delete;
+
+  private:
+    bool prevMetrics_;
+    bool prevTrace_;
+    bool resetOnExit_;
+};
+
+/** Serialise a snapshot of `reg` under the "emsc.metrics.v1" schema. */
+json::Value metricsJson(const MetricsRegistry &reg);
+
+/** Write the global registry's metrics JSON; raises IoError. */
+void writeMetricsFile(const std::string &path);
+/** Write the global collector's Chrome trace JSON; raises IoError. */
+void writeTraceFile(const std::string &path);
+
+} // namespace emsc::telemetry
+
+#endif // EMSC_SUPPORT_TELEMETRY_HPP

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Unit tests for the telemetry substrate: metric semantics, shard
+ * merge determinism, span nesting/aggregation, JSON round trips and a
+ * multi-threaded stress case (the latter is what the sanitize label
+ * exists for — tsan sees every shard/snapshot interleaving here).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/logging.hpp"
+#include "support/telemetry.hpp"
+
+using namespace emsc;
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+
+TEST(Telemetry, CounterSemantics)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+
+    telemetry::Counter c(reg, "test.counter");
+    c.add();
+    c.add(5);
+
+    // A second handle for the same name shares the slot.
+    telemetry::Counter again(reg, "test.counter");
+    again.add(4);
+
+    MetricsSnapshot snap = reg.snapshot();
+    ASSERT_NE(snap.counter("test.counter"), nullptr);
+    EXPECT_EQ(*snap.counter("test.counter"), 10u);
+    EXPECT_EQ(snap.counter("test.absent"), nullptr);
+}
+
+TEST(Telemetry, DisabledRegistryIsNoOp)
+{
+    MetricsRegistry reg; // disabled by default
+    telemetry::Counter c(reg, "test.counter");
+    telemetry::Gauge g(reg, "test.gauge");
+    telemetry::Histogram h(reg, "test.hist", {1.0, 2.0});
+
+    c.add(7);
+    g.set(3.0);
+    h.observe(1.5);
+
+    MetricsSnapshot snap = reg.snapshot();
+    ASSERT_NE(snap.counter("test.counter"), nullptr);
+    EXPECT_EQ(*snap.counter("test.counter"), 0u);
+    ASSERT_NE(snap.gauge("test.gauge"), nullptr);
+    EXPECT_TRUE(std::isnan(*snap.gauge("test.gauge"))); // unset
+    ASSERT_NE(snap.histogram("test.hist"), nullptr);
+    EXPECT_EQ(snap.histogram("test.hist")->count, 0u);
+}
+
+TEST(Telemetry, GaugeSetAndMax)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+
+    telemetry::Gauge g(reg, "test.gauge");
+    g.set(2.0);
+    g.set(-1.0); // set overwrites
+    EXPECT_DOUBLE_EQ(*reg.snapshot().gauge("test.gauge"), -1.0);
+
+    telemetry::Gauge hw(reg, "test.highwater");
+    hw.max(5.0);
+    hw.max(3.0); // max keeps the running maximum
+    hw.max(9.0);
+    EXPECT_DOUBLE_EQ(*reg.snapshot().gauge("test.highwater"), 9.0);
+}
+
+TEST(Telemetry, HistogramBucketsAndStats)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+
+    telemetry::Histogram h(reg, "test.hist", {1.0, 10.0, 100.0});
+    for (double v : {0.5, 5.0, 50.0, 500.0})
+        h.observe(v);
+
+    MetricsSnapshot snap = reg.snapshot();
+    const telemetry::HistogramSnapshot *hs = snap.histogram("test.hist");
+    ASSERT_NE(hs, nullptr);
+    ASSERT_EQ(hs->bounds.size(), 3u);
+    ASSERT_EQ(hs->buckets.size(), 4u); // + overflow
+    EXPECT_EQ(hs->buckets[0], 1u);     // 0.5 <= 1
+    EXPECT_EQ(hs->buckets[1], 1u);     // 5 <= 10
+    EXPECT_EQ(hs->buckets[2], 1u);     // 50 <= 100
+    EXPECT_EQ(hs->buckets[3], 1u);     // 500 overflows
+    EXPECT_EQ(hs->count, 4u);
+    EXPECT_DOUBLE_EQ(hs->sum, 555.5);
+    EXPECT_DOUBLE_EQ(hs->min, 0.5);
+    EXPECT_DOUBLE_EQ(hs->max, 500.0);
+}
+
+TEST(Telemetry, ExpBoundsCoverRange)
+{
+    std::vector<double> b = telemetry::expBounds(1.0, 8.0, 2.0);
+    ASSERT_GE(b.size(), 4u);
+    EXPECT_DOUBLE_EQ(b.front(), 1.0);
+    EXPECT_GE(b.back(), 8.0);
+    for (std::size_t i = 1; i < b.size(); ++i)
+        EXPECT_GT(b[i], b[i - 1]);
+}
+
+TEST(Telemetry, ShardMergeIsDeterministic)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    telemetry::Counter c(reg, "test.counter");
+    telemetry::Histogram h(reg, "test.hist",
+                           telemetry::expBounds(1.0, 1024.0));
+
+    constexpr int kThreads = 8;
+    constexpr int kAddsPerThread = 1000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&] {
+            for (int i = 0; i < kAddsPerThread; ++i) {
+                c.add();
+                h.observe(static_cast<double>(i % 100));
+            }
+        });
+    for (std::thread &w : workers)
+        w.join();
+
+    MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(*snap.counter("test.counter"),
+              static_cast<std::uint64_t>(kThreads * kAddsPerThread));
+    EXPECT_EQ(snap.histogram("test.hist")->count,
+              static_cast<std::uint64_t>(kThreads * kAddsPerThread));
+}
+
+TEST(Telemetry, ResetKeepsRegistrations)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    telemetry::Counter c(reg, "test.counter");
+    telemetry::Gauge g(reg, "test.gauge");
+    c.add(3);
+    g.set(1.5);
+
+    reg.reset();
+    MetricsSnapshot snap = reg.snapshot();
+    ASSERT_NE(snap.counter("test.counter"), nullptr);
+    EXPECT_EQ(*snap.counter("test.counter"), 0u);
+    EXPECT_TRUE(std::isnan(*snap.gauge("test.gauge")));
+
+    // Handles issued before the reset stay valid.
+    c.add(2);
+    EXPECT_EQ(*reg.snapshot().counter("test.counter"), 2u);
+}
+
+TEST(Telemetry, SpanNestingAndAggregation)
+{
+    telemetry::ScopedTelemetry scope(/*metrics=*/true, /*trace=*/true);
+
+    EXPECT_EQ(telemetry::TraceSpan::currentDepth(), 0u);
+    {
+        telemetry::TraceSpan outer("test.outer");
+        EXPECT_EQ(telemetry::TraceSpan::currentDepth(), 1u);
+        {
+            telemetry::TraceSpan inner("test.inner");
+            EXPECT_EQ(telemetry::TraceSpan::currentDepth(), 2u);
+        }
+        EXPECT_EQ(telemetry::TraceSpan::currentDepth(), 1u);
+    }
+    EXPECT_EQ(telemetry::TraceSpan::currentDepth(), 0u);
+
+    MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    const telemetry::SpanStat *outer = snap.span("test.outer");
+    const telemetry::SpanStat *inner = snap.span("test.inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->count, 1u);
+    EXPECT_EQ(inner->count, 1u);
+    // The outer span encloses the inner one.
+    EXPECT_GE(outer->totalNs, inner->totalNs);
+
+    // The collector saw both, ordered by start, depths recorded.
+    std::vector<telemetry::TraceEvent> events =
+        telemetry::TraceCollector::global().events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_STREQ(events[0].name, "test.outer");
+    EXPECT_STREQ(events[1].name, "test.inner");
+    EXPECT_EQ(events[0].depth, 0u);
+    EXPECT_EQ(events[1].depth, 1u);
+    EXPECT_LE(events[0].startNs, events[1].startNs);
+    EXPECT_GE(events[0].durNs, events[1].durNs);
+}
+
+TEST(Telemetry, ChromeTraceJsonParses)
+{
+    telemetry::ScopedTelemetry scope(/*metrics=*/true, /*trace=*/true);
+    {
+        telemetry::TraceSpan span("test.trace_json");
+    }
+
+    std::string text = telemetry::TraceCollector::global().chromeJson();
+    json::Value root;
+    std::string error;
+    ASSERT_TRUE(json::Value::parse(text, root, &error)) << error;
+    const json::Value *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->items().size(), 1u);
+    const json::Value &ev = events->items()[0];
+    EXPECT_EQ(ev.find("ph")->string(), "X");
+    EXPECT_EQ(ev.find("name")->string(), "test.trace_json");
+    EXPECT_TRUE(ev.find("ts")->isNumber());
+    EXPECT_TRUE(ev.find("dur")->isNumber());
+}
+
+TEST(Telemetry, MetricsJsonRoundTrip)
+{
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    telemetry::Counter c(reg, "test.counter");
+    telemetry::Gauge g(reg, "test.gauge");
+    telemetry::Gauge unset(reg, "test.unset");
+    telemetry::Histogram h(reg, "test.hist", {1.0, 2.0});
+    c.add(42);
+    g.set(2.5);
+    h.observe(1.5);
+    reg.spanObserve("test.span", 1000);
+
+    std::string text = telemetry::metricsJson(reg).dump(2);
+    json::Value root;
+    std::string error;
+    ASSERT_TRUE(json::Value::parse(text, root, &error)) << error;
+
+    EXPECT_EQ(root.find("schema")->string(), "emsc.metrics.v1");
+    EXPECT_DOUBLE_EQ(
+        root.find("counters")->find("test.counter")->number(), 42.0);
+    EXPECT_DOUBLE_EQ(root.find("gauges")->find("test.gauge")->number(),
+                     2.5);
+    // An unset gauge serialises as null, not NaN (invalid JSON).
+    EXPECT_TRUE(root.find("gauges")->find("test.unset")->isNull());
+    const json::Value *hist =
+        root.find("histograms")->find("test.hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->find("count")->number(), 1.0);
+    ASSERT_EQ(hist->find("buckets")->items().size(), 3u);
+    const json::Value *span = root.find("spans")->find("test.span");
+    ASSERT_NE(span, nullptr);
+    EXPECT_DOUBLE_EQ(span->find("count")->number(), 1.0);
+    EXPECT_DOUBLE_EQ(span->find("total_ns")->number(), 1000.0);
+}
+
+TEST(Json, ParserBasics)
+{
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::Value::parse(
+        "{\"a\": [1, 2.5, -3e2], \"b\": \"x\\n\\u00e9\", "
+        "\"c\": null, \"d\": true}",
+        v, &error))
+        << error;
+    EXPECT_DOUBLE_EQ(v.find("a")->items()[2].number(), -300.0);
+    EXPECT_EQ(v.find("b")->string(), "x\n\xc3\xa9");
+    EXPECT_TRUE(v.find("c")->isNull());
+    EXPECT_TRUE(v.find("d")->boolean());
+
+    // Round trip through dump() preserves structure.
+    json::Value again;
+    ASSERT_TRUE(json::Value::parse(v.dump(), again, &error)) << error;
+    EXPECT_EQ(again.find("a")->items().size(), 3u);
+
+    // Malformed input fails with a diagnostic, not a crash.
+    EXPECT_FALSE(json::Value::parse("{\"a\": }", v, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(json::Value::parse("", v, &error));
+}
+
+TEST(Json, SetOverwritesInPlace)
+{
+    json::Value obj = json::Value::object();
+    obj.set("x", 1.0);
+    obj.set("y", 2.0);
+    obj.set("x", 3.0); // overwrite keeps insertion order
+    ASSERT_EQ(obj.members().size(), 2u);
+    EXPECT_EQ(obj.members()[0].first, "x");
+    EXPECT_DOUBLE_EQ(obj.members()[0].second.number(), 3.0);
+}
+
+TEST(Telemetry, ConcurrentUpdatesWithSnapshots)
+{
+    // Stress shard growth, gauge CAS loops, span aggregation and
+    // concurrent snapshot/reset against updates; tsan verifies the
+    // interleavings, the final totals verify no update was lost.
+    MetricsRegistry reg;
+    reg.setEnabled(true);
+    telemetry::Counter c(reg, "stress.counter");
+    telemetry::Gauge g(reg, "stress.gauge");
+    telemetry::Histogram h(reg, "stress.hist", {10.0, 100.0});
+
+    constexpr int kThreads = 6;
+    constexpr int kIters = 2000;
+    std::atomic<bool> stop{false};
+    std::thread snapshotter([&] {
+        while (!stop.load()) {
+            MetricsSnapshot snap = reg.snapshot();
+            const std::uint64_t *n = snap.counter("stress.counter");
+            ASSERT_NE(n, nullptr);
+        }
+    });
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                c.add();
+                g.max(static_cast<double>(t * kIters + i));
+                h.observe(static_cast<double>(i % 200));
+                reg.spanObserve("stress.span", 10);
+            }
+        });
+    for (std::thread &w : workers)
+        w.join();
+    stop.store(true);
+    snapshotter.join();
+
+    MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(*snap.counter("stress.counter"),
+              static_cast<std::uint64_t>(kThreads * kIters));
+    EXPECT_DOUBLE_EQ(*snap.gauge("stress.gauge"),
+                     static_cast<double>(kThreads * kIters - 1));
+    EXPECT_EQ(snap.histogram("stress.hist")->count,
+              static_cast<std::uint64_t>(kThreads * kIters));
+    EXPECT_EQ(snap.span("stress.span")->count,
+              static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+TEST(Logging, ScopedVerbosityRestores)
+{
+    bool before = verbose();
+    setVerbose(true);
+    {
+        ScopedVerbosity quiet(false);
+        EXPECT_FALSE(verbose());
+        {
+            ScopedVerbosity loud(true);
+            EXPECT_TRUE(verbose());
+        }
+        EXPECT_FALSE(verbose());
+    }
+    EXPECT_TRUE(verbose());
+    setVerbose(before);
+}

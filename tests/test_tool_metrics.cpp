@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Golden-key tests for the metrics reports the tool surfaces: a covert
+ * run and a keylogging run must produce emsc.metrics.v1 JSON (the same
+ * writeMetricsFile path `emsc_tool --metrics` uses) containing the
+ * documented stable names, and the batch and streaming receivers must
+ * report under the same channel.* vocabulary (they share one
+ * publisher; this is the regression gate for that contract).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/api.hpp"
+#include "core/keylogging.hpp"
+#include "stream/receiver_ops.hpp"
+#include "stream/sources.hpp"
+#include "support/json.hpp"
+#include "support/logging.hpp"
+#include "support/telemetry.hpp"
+
+#include "stream_test_rig.hpp"
+
+namespace emsc {
+namespace {
+
+json::Value
+writeAndParseMetrics(const std::string &name)
+{
+    std::string path = ::testing::TempDir() + name;
+    telemetry::writeMetricsFile(path);
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    json::Value root;
+    std::string error;
+    EXPECT_TRUE(json::Value::parse(buf.str(), root, &error)) << error;
+    return root;
+}
+
+void
+expectNumberKey(const json::Value &root, const char *section,
+                const char *key)
+{
+    const json::Value *sec = root.find(section);
+    ASSERT_NE(sec, nullptr) << section;
+    const json::Value *v = sec->find(key);
+    ASSERT_NE(v, nullptr) << section << "." << key;
+    EXPECT_TRUE(v->isNumber() || v->isObject())
+        << section << "." << key;
+}
+
+TEST(ToolMetrics, CovertRunEmitsDocumentedKeys)
+{
+    ScopedVerbosity quiet(false);
+    telemetry::ScopedTelemetry scope(/*metrics=*/true, /*trace=*/true);
+
+    core::DeviceProfile dev = core::referenceDevice();
+    core::MeasurementSetup setup = core::nearFieldSetup();
+    core::CovertChannelOptions o;
+    o.payloadBits = 128;
+    o.seed = 777;
+    core::CovertChannelResult r = core::runCovertChannel(dev, setup, o);
+    ASSERT_TRUE(r.ok()) << r.failure->message;
+    ASSERT_TRUE(r.frameFound);
+
+    json::Value root = writeAndParseMetrics("covert_metrics.json");
+    EXPECT_EQ(root.find("schema")->string(), "emsc.metrics.v1");
+
+    // The documented acceptance keys: carrier SNR, timing jitter,
+    // threshold margin, correction/erasure tallies, span timings.
+    for (const char *g :
+         {"channel.carrier.hz", "channel.carrier.snr_db",
+          "channel.threshold.margin", "channel.timing.jitter",
+          "channel.timing.signaling_time", "core.covert.ber",
+          "core.covert.tr_bps"})
+        expectNumberKey(root, "gauges", g);
+    for (const char *c :
+         {"channel.receptions", "channel.bits.labeled",
+          "channel.frames.found", "channel.acquisition.searches",
+          "channel.acquisition.candidates", "channel.crc.failures",
+          "channel.hamming.corrected", "channel.hamming.erased_bits",
+          "channel.erasures.bridged", "channel.hamming.decodes",
+          "channel.frame.parses", "core.covert.runs",
+          "dsp.fft_plan.hits", "dsp.fft_plan.misses"})
+        expectNumberKey(root, "counters", c);
+    for (const char *s : {"core.covert_run", "receiver.receive",
+                          "receiver.acquire"})
+        expectNumberKey(root, "spans", s);
+
+    // The successful run actually moved the load-bearing numbers.
+    EXPECT_GT(root.find("counters")
+                  ->find("channel.bits.labeled")
+                  ->number(),
+              0.0);
+    EXPECT_GT(root.find("gauges")
+                  ->find("channel.carrier.snr_db")
+                  ->number(),
+              0.0);
+
+    // And the Chrome trace is loadable JSON with complete events.
+    std::string trace_path = ::testing::TempDir() + "covert_trace.json";
+    telemetry::writeTraceFile(trace_path);
+    std::ifstream in(trace_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    json::Value trace;
+    std::string error;
+    ASSERT_TRUE(json::Value::parse(buf.str(), trace, &error)) << error;
+    const json::Value *events = trace.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_FALSE(events->items().empty());
+}
+
+TEST(ToolMetrics, KeylogRunEmitsDocumentedKeys)
+{
+    ScopedVerbosity quiet(false);
+    telemetry::ScopedTelemetry scope;
+
+    core::DeviceProfile dev = core::referenceDevice();
+    core::MeasurementSetup setup = core::nearFieldSetup();
+    core::KeyloggingOptions o;
+    o.words = 6;
+    o.seed = 4242;
+    core::KeyloggingResult r = core::runKeylogging(dev, setup, o);
+    ASSERT_TRUE(r.ok()) << r.failure->message;
+
+    json::Value root = writeAndParseMetrics("keylog_metrics.json");
+    EXPECT_EQ(root.find("schema")->string(), "emsc.metrics.v1");
+
+    for (const char *c :
+         {"keylog.sessions", "keylog.windows", "keylog.detections",
+          "keylog.keystrokes.true", "keylog.keystrokes.detected",
+          "keylog.keystrokes.matched", "keylog.keystrokes.false_pos"})
+        expectNumberKey(root, "counters", c);
+    for (const char *g : {"keylog.char.tpr", "keylog.char.fpr",
+                          "keylog.word.precision",
+                          "keylog.word.recall", "keylog.threshold"})
+        expectNumberKey(root, "gauges", g);
+    expectNumberKey(root, "spans", "core.keylog_session");
+    expectNumberKey(root, "spans", "keylog.detect");
+
+    EXPECT_GT(root.find("counters")->find("keylog.windows")->number(),
+              0.0);
+}
+
+/** Touched = a counter that advanced (fault-path tallies excluded:
+ * whether a clean capture needs any correction may differ between the
+ * two decode strategies without breaking the naming contract). */
+std::set<std::string>
+touchedChannelCounters(const telemetry::MetricsSnapshot &snap)
+{
+    static const std::set<std::string> kFaultDependent = {
+        "channel.crc.failures",      "channel.hamming.corrected",
+        "channel.hamming.erased_bits", "channel.erasures.bridged",
+        "channel.corrupt_spans",     "channel.failures",
+    };
+    std::set<std::string> out;
+    for (const auto &kv : snap.counters)
+        if (kv.first.rfind("channel.", 0) == 0 && kv.second > 0 &&
+            kFaultDependent.count(kv.first) == 0)
+            out.insert(kv.first);
+    return out;
+}
+
+std::set<std::string>
+touchedChannelGauges(const telemetry::MetricsSnapshot &snap)
+{
+    std::set<std::string> out;
+    for (const auto &kv : snap.gauges)
+        if (kv.first.rfind("channel.", 0) == 0 && !std::isnan(kv.second))
+            out.insert(kv.first);
+    return out;
+}
+
+TEST(ToolMetrics, BatchAndStreamingReportTheSameChannelNames)
+{
+    ScopedVerbosity quiet(false);
+    telemetry::ScopedTelemetry scope;
+    telemetry::MetricsRegistry &reg = telemetry::MetricsRegistry::global();
+
+    test::StreamRig rig = test::makeStreamRig(96, 1234);
+
+    stream::ReceiverOps ops(rig.rxCfg);
+    channel::ReceiverResult batch = ops.runBatch(test::batchCapture(rig));
+    ASSERT_TRUE(batch.ok()) << batch.failure->message;
+    ASSERT_TRUE(batch.frame.found);
+    telemetry::MetricsSnapshot batch_snap = reg.snapshot();
+    std::set<std::string> batch_counters =
+        touchedChannelCounters(batch_snap);
+    std::set<std::string> batch_gauges =
+        touchedChannelGauges(batch_snap);
+
+    reg.reset();
+
+    Rng rng(rig.sdrSeed);
+    stream::SdrChunkSource src(rig.sdrCfg, rng, rig.plan, rig.t0,
+                               rig.t1, 1 << 15);
+    stream::StreamingResult sr = ops.runStreaming(src);
+    ASSERT_TRUE(sr.rx.ok()) << sr.rx.failure->message;
+    ASSERT_TRUE(sr.streamed); // genuine streaming path, not fallback
+    telemetry::MetricsSnapshot stream_snap = reg.snapshot();
+
+    // One publisher, one vocabulary: both decode paths advance the
+    // same channel.* counters and set the same channel.* gauges.
+    EXPECT_EQ(batch_counters, touchedChannelCounters(stream_snap));
+    EXPECT_EQ(batch_gauges, touchedChannelGauges(stream_snap));
+    EXPECT_TRUE(batch_counters.count("channel.receptions"));
+    EXPECT_TRUE(batch_counters.count("channel.bits.labeled"));
+    EXPECT_TRUE(batch_gauges.count("channel.carrier.hz"));
+
+    // The streaming run also published its per-stage registry view,
+    // and the registry's high-water gauge is the StreamReport number
+    // (one definition, two views — not two counters drifting apart).
+    const double *peak = stream_snap.gauge(
+        "stream.pipeline.peak_buffered_samples");
+    ASSERT_NE(peak, nullptr);
+    ASSERT_FALSE(std::isnan(*peak));
+    EXPECT_DOUBLE_EQ(*peak,
+                     static_cast<double>(sr.report.peakBufferedSamples));
+    ASSERT_NE(stream_snap.counter("stream.stage.envelope.samples_in"),
+              nullptr);
+    EXPECT_GT(*stream_snap.counter("stream.stage.envelope.samples_in"),
+              0u);
+}
+
+} // namespace
+} // namespace emsc
