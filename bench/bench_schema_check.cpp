@@ -7,6 +7,12 @@
  * ships no Python, so the schema gate has to run anywhere the benches
  * do.
  *
+ * Documented wall_ms conventions (enforced here as the invariant
+ * p90 >= median): median averages the two middle order statistics for
+ * even run counts, and p90 is the nearest-rank ceil(0.9 N)-th smallest
+ * wall sample — for 3 runs that is the max, never an interpolated
+ * value below it and never an index past the sorted vector.
+ *
  * Usage: bench_schema_check [--selftest] [dir ...]
  *
  * With no directories the current directory is scanned. --selftest
@@ -161,6 +167,28 @@ selftest()
 
     Findings f;
     bool ok = validateFile(file, f);
+
+    // Pin the documented wall_ms conventions: median of {1.5, 2.5, 8}
+    // is the middle sample, and the nearest-rank p90 of 3 runs is the
+    // max (not an interpolated value below it).
+    std::ifstream in(file);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Value root;
+    if (Value::parse(buf.str(), root)) {
+        const Value *wall = root.find("wall_ms");
+        const Value *med = wall ? wall->find("median") : nullptr;
+        const Value *p90 = wall ? wall->find("p90") : nullptr;
+        if (med == nullptr || med->number() != 2.5) {
+            f.fail("selftest median convention violated");
+            ok = false;
+        }
+        if (p90 == nullptr || p90->number() != 8.0) {
+            f.fail("selftest p90 nearest-rank convention violated");
+            ok = false;
+        }
+    }
+
     for (const std::string &e : f.errors)
         std::fprintf(stderr, "selftest: %s: %s\n", f.file.c_str(),
                      e.c_str());

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Soak benchmark for the multi-session receiver service: run N
+ * concurrent sessions (default 64) through one SessionManager over
+ * the shared thread pool, feeding every session the *same* capture
+ * round-robin, and verify each session's decode is bit-identical to a
+ * single-session ReceiverOps::runStreaming of the same chunk stream.
+ * Exits non-zero on any payload/bit mismatch or on missing serve.*
+ * telemetry, so it doubles as a correctness gate for the scheduler
+ * under real contention.
+ *
+ * Usage: perf_serve [--sessions N] [--payload BITS] [--seed S]
+ *
+ * Writes BENCH_perf_serve.json (emsc.bench.v1) plus the telemetry
+ * snapshot perf_serve_metrics.json (emsc.metrics.v1) with the
+ * serve.sessions.active / serve.admission.rejected /
+ * serve.queue.high_water instruments populated.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/manager.hpp"
+#include "stream/receiver_ops.hpp"
+#include "stream_test_rig.hpp"
+#include "support/telemetry.hpp"
+
+using namespace emsc;
+
+namespace {
+
+constexpr std::size_t kChunk = 1 << 15;
+
+double
+elapsedMs(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t sessions = 64;
+    std::size_t payloadBits = 96;
+    std::uint64_t seed = 1234;
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", argv[i]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--sessions") == 0)
+            sessions = static_cast<std::size_t>(std::atoll(next()));
+        else if (std::strcmp(argv[i], "--payload") == 0)
+            payloadBits = static_cast<std::size_t>(std::atoll(next()));
+        else if (std::strcmp(argv[i], "--seed") == 0)
+            seed = static_cast<std::uint64_t>(std::atoll(next()));
+        else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    telemetry::MetricsRegistry::global().setEnabled(true);
+
+    std::printf("perf_serve: %zu concurrent sessions, %zu-bit "
+                "payload, seed %llu\n",
+                sessions, payloadBits,
+                static_cast<unsigned long long>(seed));
+
+    test::StreamRig rig = test::makeStreamRig(payloadBits, seed);
+    sdr::IqCapture cap = test::batchCapture(rig);
+    std::vector<stream::IqChunk> chunks =
+        test::captureChunks(cap, kChunk);
+    std::printf("capture: %zu samples in %zu chunks\n",
+                cap.samples.size(), chunks.size());
+
+    stream::StreamMeta meta;
+    meta.sampleRate = cap.sampleRate;
+    meta.centerFrequency = cap.centerFrequency;
+    meta.startTime = cap.startTime;
+
+    // Single-session reference: the exact chunk stream through
+    // runStreaming. Every serve session must reproduce it bit for bit.
+    stream::StreamingResult ref;
+    {
+        test::CaptureChunkSource src(chunks, cap.sampleRate,
+                                     cap.centerFrequency,
+                                     cap.startTime);
+        stream::ReceiverOps ops(rig.rxCfg);
+        ref = ops.runStreaming(src, {});
+    }
+    if (ref.rx.failure || !ref.rx.frame.found ||
+        ref.rx.frame.payload != rig.payload) {
+        std::fprintf(stderr,
+                     "reference runStreaming did not decode the "
+                     "payload; rig is unusable\n");
+        return 1;
+    }
+
+    serve::SessionManager::Config mcfg;
+    mcfg.maxSessions = sessions;
+    serve::SessionManager mgr(rig.rxCfg, {}, mcfg);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::uint64_t> ids;
+    ids.reserve(sessions);
+    for (std::size_t s = 0; s < sessions; ++s)
+        ids.push_back(mgr.open(meta));
+
+    // Admission control must hold at exactly --sessions.
+    bool rejected = false;
+    try {
+        mgr.open(meta);
+    } catch (const RecoverableError &e) {
+        rejected = e.kind() == ErrorKind::ResourceExhausted;
+    }
+    if (!rejected) {
+        std::fprintf(stderr,
+                     "admission control admitted session %zu past "
+                     "--max-sessions %zu\n",
+                     sessions + 1, sessions);
+        return 1;
+    }
+
+    // Round-robin interleave: chunk 0 to every session, then chunk 1,
+    // ... so all sessions are genuinely concurrent in the scheduler.
+    for (const stream::IqChunk &proto : chunks) {
+        for (std::uint64_t id : ids) {
+            stream::IqChunk copy = proto;
+            while (!mgr.tryFeed(id, std::move(copy)))
+                std::this_thread::yield();
+        }
+    }
+
+    std::size_t mismatches = 0;
+    for (std::uint64_t id : ids) {
+        stream::StreamingResult r = mgr.close(id);
+        const bool match = !r.rx.failure && r.rx.frame.found &&
+                           r.rx.frame.payload == ref.rx.frame.payload &&
+                           r.rx.labeled.bits == ref.rx.labeled.bits &&
+                           r.rx.carrierHz == ref.rx.carrierHz;
+        if (!match) {
+            ++mismatches;
+            std::fprintf(
+                stderr, "session %llu diverged from reference%s%s\n",
+                static_cast<unsigned long long>(id),
+                r.rx.failure ? ": " : "",
+                r.rx.failure ? r.rx.failure->message.c_str() : "");
+        }
+    }
+    const double wallMs = elapsedMs(t0);
+
+    const double totalSamples = static_cast<double>(
+        cap.samples.size() * sessions);
+    std::printf("soak: %zu sessions in %.1f ms (%.1f Msps aggregate), "
+                "%zu mismatches\n",
+                sessions, wallMs, totalSamples / wallMs / 1e3,
+                mismatches);
+
+    // The serve.* instruments must be visible in the emitted
+    // emsc.metrics.v1 snapshot.
+    telemetry::writeMetricsFile("perf_serve_metrics.json");
+    json::Value snap =
+        telemetry::metricsJson(telemetry::MetricsRegistry::global());
+    const json::Value *gauges = snap.find("gauges");
+    const json::Value *counters = snap.find("counters");
+    bool metricsOk = gauges != nullptr && counters != nullptr;
+    for (const char *g : {"serve.sessions.active",
+                          "serve.queue.high_water"}) {
+        if (!metricsOk || gauges->find(g) == nullptr ||
+            !gauges->find(g)->isNumber()) {
+            std::fprintf(stderr, "gauge %s missing from metrics\n", g);
+            metricsOk = false;
+        }
+    }
+    if (!metricsOk || counters->find("serve.admission.rejected") ==
+                          nullptr ||
+        counters->find("serve.admission.rejected")->number() < 1.0) {
+        std::fprintf(
+            stderr,
+            "counter serve.admission.rejected missing or zero\n");
+        metricsOk = false;
+    }
+
+    bench::BenchReport report("perf_serve");
+    report.addWallMs(wallMs);
+    report.setThroughput("aggregate_msps",
+                         totalSamples / (wallMs * 1e3));
+    report.setMetric("sessions", static_cast<double>(sessions));
+    report.setMetric("chunks_per_session",
+                     static_cast<double>(chunks.size()));
+    report.setMetric("mismatches", static_cast<double>(mismatches));
+    report.setMetric("payload_bits",
+                     static_cast<double>(payloadBits));
+    report.write();
+
+    if (mismatches > 0 || !metricsOk)
+        return 1;
+    std::printf("all %zu sessions bit-identical to runStreaming\n",
+                sessions);
+    return 0;
+}

@@ -13,6 +13,9 @@
  *   emsc_tool decode  <in.iq> <sample_rate_hz> <center_freq_hz>
  *   emsc_tool stream  <in.iq> <sample_rate_hz> <center_freq_hz>
  *                     [--chunk <samples>] [--keylog] [--warmup <samples>]
+ *   emsc_tool serve   [--port <p>] [--rtl-port <p>] [--max-sessions <n>]
+ *                     [--quota-samples <n>] [--fs <hz>] [--fc <hz>]
+ *                     [--chunk <samples>] [--duration <s>]
  *
  * Global flags (any command): --metrics <file.json> writes the
  * telemetry registry's snapshot after the run; --trace <file.json>
@@ -26,15 +29,19 @@
  * runtime and prints its per-stage observability report.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/api.hpp"
 #include "sdr/iqfile.hpp"
 #include "sdr/rtlsdr.hpp"
+#include "serve/server.hpp"
 #include "sim/faults.hpp"
 #include "stream/receiver_ops.hpp"
 #include "stream/sources.hpp"
@@ -61,6 +68,14 @@ struct Args
     std::size_t chunk = 1 << 16;
     std::size_t warmup = 0; // 0 = StreamingOptions default
     bool keylogTee = false;
+    // serve
+    std::uint16_t port = 0;         // 0 = ephemeral
+    std::uint16_t rtlPort = 0;      // 0 = ephemeral
+    std::size_t maxSessions = 64;
+    std::size_t quotaSamples = 0;   // 0 = unlimited
+    double fs = 0.0;                // 0 = SdrConfig default
+    double fc = 0.0;
+    double durationSec = 0.0;       // 0 = run until SIGINT/SIGTERM
 };
 
 core::MeasurementSetup
@@ -108,6 +123,22 @@ parse(int argc, char **argv, int first)
             a.warmup = static_cast<std::size_t>(std::atoll(next()));
         else if (flag == "--keylog")
             a.keylogTee = true;
+        else if (flag == "--port")
+            a.port = static_cast<std::uint16_t>(std::atoi(next()));
+        else if (flag == "--rtl-port")
+            a.rtlPort = static_cast<std::uint16_t>(std::atoi(next()));
+        else if (flag == "--max-sessions")
+            a.maxSessions =
+                static_cast<std::size_t>(std::atoll(next()));
+        else if (flag == "--quota-samples")
+            a.quotaSamples =
+                static_cast<std::size_t>(std::atoll(next()));
+        else if (flag == "--fs")
+            a.fs = std::atof(next());
+        else if (flag == "--fc")
+            a.fc = std::atof(next());
+        else if (flag == "--duration")
+            a.durationSec = std::atof(next());
         else
             fatal("unknown flag '%s'", flag.c_str());
     }
@@ -338,11 +369,77 @@ cmdStream(const std::string &path, double fs, double fc, const Args &a)
     return r.rx.frame.found ? 0 : 1;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void
+serveSignal(int)
+{
+    g_serve_stop = 1;
+}
+
+int
+cmdServe(const Args &a)
+{
+    sdr::SdrConfig sdrDefaults;
+    serve::ServerConfig sc;
+    sc.port = a.port;
+    sc.rtlPort = a.rtlPort;
+    sc.chunkSamples = a.chunk;
+    sc.sessions.maxSessions = a.maxSessions;
+    sc.sessions.quotaSamples = a.quotaSamples;
+    sc.defaults.sampleRate =
+        a.fs > 0.0 ? a.fs : sdrDefaults.sampleRate;
+    sc.defaults.centerFrequency =
+        a.fc > 0.0 ? a.fc : sdrDefaults.centerFrequency;
+
+    channel::ReceiverConfig rc;
+    stream::StreamingOptions opts;
+    serve::Server server(rc, opts, sc);
+    server.start();
+    std::printf("serving on 127.0.0.1:%u (control) and "
+                "127.0.0.1:%u (rtl ingest)\n",
+                server.controlPort(), server.rtlPort());
+    std::printf("max sessions %zu, sample quota %s\n", a.maxSessions,
+                a.quotaSamples > 0
+                    ? std::to_string(a.quotaSamples).c_str()
+                    : "unlimited");
+
+    g_serve_stop = 0;
+    std::signal(SIGINT, serveSignal);
+    std::signal(SIGTERM, serveSignal);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(a.durationSec));
+    std::size_t reported = 0;
+    while (!g_serve_stop) {
+        if (a.durationSec > 0.0 &&
+            std::chrono::steady_clock::now() >= deadline)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        for (stream::StreamingResult &r : server.takeRtlResults()) {
+            ++reported;
+            std::printf("rtl session #%zu: %s decode, carrier %.1f "
+                        "kHz, %zu bits%s\n",
+                        reported,
+                        r.streamed ? "streaming" : "batch",
+                        r.rx.carrierHz / 1e3,
+                        r.rx.labeled.bits.size(),
+                        r.rx.frame.found ? ", frame recovered" : "");
+        }
+    }
+    server.stop();
+    std::printf("server stopped (%zu rtl sessions decoded)\n",
+                reported + server.takeRtlResults().size());
+    return 0;
+}
+
 void
 usage()
 {
     std::printf(
-        "usage: emsc_tool <scan|covert|keylog|capture|decode> ...\n"
+        "usage: emsc_tool "
+        "<scan|covert|keylog|capture|decode|stream|serve> ...\n"
         "  scan                              leakage audit of Table I "
         "devices\n"
         "  covert  [--device N] [--distance M|--wall] [--sleep US]\n"
@@ -357,6 +454,10 @@ usage()
         "  stream  <in.iq> <fs_hz> <fc_hz> [--chunk N] [--keylog]\n"
         "          [--warmup N]              bounded-memory streaming "
         "decode + per-stage report\n"
+        "  serve   [--port P] [--rtl-port P] [--max-sessions N]\n"
+        "          [--quota-samples N] [--fs HZ] [--fc HZ]\n"
+        "          [--chunk N] [--duration S] multi-session receiver "
+        "service on 127.0.0.1\n"
         "global flags (any command):\n"
         "  --metrics <file.json>             write telemetry metrics\n"
         "  --trace <file.json>               write Chrome trace JSON\n");
@@ -431,6 +532,8 @@ main(int argc, char **argv)
                              std::atof(argv[4]),
                              parse(argc, argv, 5));
         }
+        if (cmd == "serve")
+            return cmdServe(parse(argc, argv, 2));
         usage();
         return 2;
     });

@@ -138,6 +138,18 @@ std::size_t
 IqFileReader::readNext(std::size_t max_samples, std::vector<IqSample> &out)
 {
     out.clear();
+    if (truncated) {
+        // The previous call delivered every complete sample and parked
+        // the truncation here so the short final chunk still flowed
+        // through with its correct count; now surface the diagnostic.
+        truncated = false;
+        done = true;
+        raiseError(ErrorKind::MalformedInput,
+                   "'%s' is truncated mid-sample (odd byte count): "
+                   "trailing I byte has no Q component after %zu "
+                   "complete samples",
+                   path.c_str(), consumed);
+    }
     if (done || max_samples == 0)
         return 0;
     out.reserve(max_samples);
@@ -155,11 +167,26 @@ IqFileReader::readNext(std::size_t max_samples, std::vector<IqSample> &out)
                 raiseError(ErrorKind::IoError,
                            "read error on '%s' after %zu samples",
                            path.c_str(), consumed + out.size());
-            done = true;
             if (havePending) {
-                warn("'%s' has an odd byte count; trailing I sample "
-                     "dropped", path.c_str());
+                // EOF split a sample in half: the capture was
+                // truncated mid-write. Hand back whatever complete
+                // samples this chunk gathered first (so the short
+                // final chunk flows through with its correct count)
+                // and raise the structured error on the next call —
+                // or right now when there is nothing left to deliver.
                 havePending = false;
+                truncated = true;
+                if (out.empty()) {
+                    truncated = false;
+                    done = true;
+                    raiseError(ErrorKind::MalformedInput,
+                               "'%s' is truncated mid-sample (odd "
+                               "byte count): trailing I byte has no Q "
+                               "component after %zu complete samples",
+                               path.c_str(), consumed);
+                }
+            } else {
+                done = true;
             }
             break;
         }

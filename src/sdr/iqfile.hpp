@@ -47,10 +47,18 @@ IqCapture readIqU8(const std::string &path, double sample_rate,
  * Chunked reader for the same interleaved-u8 format: readNext() hands
  * out the capture in caller-sized chunks without ever materialising
  * the whole file, so a streaming pipeline's resident sample memory is
- * bounded by the chunk size rather than the capture length. Error
- * semantics match readIqU8(): an unopenable path or mid-file read
- * error raises a RecoverableError of kind IoError, and a trailing odd
- * byte costs only half a sample (with a warn()).
+ * bounded by the chunk size rather than the capture length. An
+ * unopenable path or mid-file read error raises a RecoverableError of
+ * kind IoError.
+ *
+ * A trailing odd byte means the capture was truncated mid-sample
+ * (half an I/Q pair). Unlike readIqU8()'s whole-buffer convenience
+ * path, the chunked reader is the live-ingest entry point, so it
+ * surfaces that as data rather than as a log line: every complete
+ * sample is still delivered (short final chunks flow through with
+ * their correct counts), after which readNext() raises a
+ * RecoverableError of kind MalformedInput carrying the
+ * truncated-sample diagnostic.
  *
  * Concatenating every readNext() chunk yields exactly the sample
  * sequence readIqU8() returns for the same file.
@@ -89,6 +97,8 @@ class IqFileReader
     double fc;
     std::size_t consumed = 0;
     bool done = false;
+    /** EOF hit mid-sample; the next readNext() raises the error. */
+    bool truncated = false;
     unsigned char pending = 0;
     bool havePending = false;
     std::vector<unsigned char> buf;

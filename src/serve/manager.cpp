@@ -1,0 +1,304 @@
+#include "serve/manager.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "support/telemetry.hpp"
+#include "support/thread_pool.hpp"
+
+namespace emsc::serve {
+
+namespace {
+
+telemetry::Gauge &
+activeGauge()
+{
+    static telemetry::Gauge g(telemetry::MetricsRegistry::global(),
+                              "serve.sessions.active");
+    return g;
+}
+
+telemetry::Gauge &
+queueHighWater()
+{
+    static telemetry::Gauge g(telemetry::MetricsRegistry::global(),
+                              "serve.queue.high_water");
+    return g;
+}
+
+telemetry::Counter &
+admissionRejected()
+{
+    static telemetry::Counter c(telemetry::MetricsRegistry::global(),
+                                "serve.admission.rejected");
+    return c;
+}
+
+telemetry::Counter &
+sessionsOpened()
+{
+    static telemetry::Counter c(telemetry::MetricsRegistry::global(),
+                                "serve.sessions.opened");
+    return c;
+}
+
+telemetry::Counter &
+sessionsClosed()
+{
+    static telemetry::Counter c(telemetry::MetricsRegistry::global(),
+                                "serve.sessions.closed");
+    return c;
+}
+
+telemetry::Counter &
+quotaExceeded()
+{
+    static telemetry::Counter c(telemetry::MetricsRegistry::global(),
+                                "serve.quota.exceeded");
+    return c;
+}
+
+} // namespace
+
+/**
+ * Session state. Lock ordering: the session mutex is leaf-level —
+ * never taken while holding the manager mutex's *callers'* locks and
+ * never held across decoder work. Exactly one thread at a time owns
+ * the decoder, marked by `busy`; `taskQueued` dedupes pool
+ * submissions; `closing` fences out new feeds and stale tasks.
+ */
+struct SessionManager::Session
+{
+    Session(std::uint64_t session_id, std::size_t quota,
+            const channel::ReceiverConfig &rx,
+            const stream::StreamMeta &meta,
+            const stream::StreamingOptions &opts)
+        : id(session_id), quotaSamples(quota), decoder(rx, meta, opts)
+    {
+        progress.id = session_id;
+    }
+
+    const std::uint64_t id;
+    const std::size_t quotaSamples;
+
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<stream::IqChunk> pending;
+    /** A drain task sits in the pool queue (dedupe flag). */
+    bool taskQueued = false;
+    /** Some thread currently owns the decoder. */
+    bool busy = false;
+    /** close() has started; feeds and stale tasks back off. */
+    bool closing = false;
+    /** Decoder failed: accept-and-drop further chunks. */
+    bool failed = false;
+    /** Raw samples actually pushed into the decoder (quota basis). */
+    std::size_t fedSamples = 0;
+    SessionProgress progress;
+    stream::StreamingDecoder decoder;
+};
+
+SessionManager::SessionManager(const channel::ReceiverConfig &receiver,
+                               const stream::StreamingOptions &options,
+                               const Config &config)
+    : rxCfg(receiver), streamOpts(options), cfg(config)
+{
+    // Drain tasks are short-lived and never wait on other tasks, so
+    // two workers are enough for liveness; more cores give more
+    // concurrent sessions actually decoding.
+    globalThreadPool().ensureWorkers(
+        std::max<std::size_t>(2, parallelThreads() - 1));
+}
+
+std::uint64_t
+SessionManager::open(const stream::StreamMeta &meta)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (sessions.size() >= cfg.maxSessions) {
+        admissionRejected().add();
+        raiseError(ErrorKind::ResourceExhausted,
+                   "session limit reached: %zu active of max %zu",
+                   sessions.size(), cfg.maxSessions);
+    }
+    const std::uint64_t id = nextId++;
+    // The decoder constructor may raise InvalidConfig; nothing has
+    // been inserted yet, so the map stays consistent.
+    auto s = std::make_shared<Session>(id, cfg.quotaSamples, rxCfg,
+                                       meta, streamOpts);
+    sessions.emplace(id, std::move(s));
+    activeGauge().set(static_cast<double>(sessions.size()));
+    sessionsOpened().add();
+    return id;
+}
+
+std::shared_ptr<SessionManager::Session>
+SessionManager::find(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = sessions.find(id);
+    if (it == sessions.end())
+        raiseError(ErrorKind::InvalidConfig,
+                   "unknown session id %llu",
+                   static_cast<unsigned long long>(id));
+    return it->second;
+}
+
+bool
+SessionManager::tryFeed(std::uint64_t id, stream::IqChunk &&chunk)
+{
+    std::shared_ptr<Session> s = find(id);
+    bool schedule = false;
+    {
+        std::lock_guard<std::mutex> lock(s->m);
+        if (s->closing)
+            raiseError(ErrorKind::InvalidConfig,
+                       "session %llu is closing",
+                       static_cast<unsigned long long>(s->id));
+        if (s->failed) {
+            // Accept and drop: the producer keeps its simple loop and
+            // learns about the failure from poll()/close().
+            return true;
+        }
+        if (s->pending.size() >= cfg.maxPendingChunks)
+            return false;
+        s->pending.push_back(std::move(chunk));
+        queueHighWater().max(static_cast<double>(s->pending.size()));
+        if (!s->busy && !s->taskQueued) {
+            s->taskQueued = true;
+            schedule = true;
+        }
+    }
+    if (schedule) {
+        // The task captures the shared_ptr, never `this`: the manager
+        // may be destroyed while stale tasks are still queued.
+        std::shared_ptr<Session> sp = s;
+        globalThreadPool().submit([sp] { drainLoop(sp); });
+    }
+    return true;
+}
+
+void
+SessionManager::drainLoop(const std::shared_ptr<Session> &s)
+{
+    std::unique_lock<std::mutex> lock(s->m);
+    s->taskQueued = false;
+    // close() owns the rest of this session's lifetime, and a second
+    // drainer must not touch the decoder concurrently.
+    if (s->busy || s->closing)
+        return;
+    s->busy = true;
+    while (!s->pending.empty() && !s->closing) {
+        stream::IqChunk chunk = std::move(s->pending.front());
+        s->pending.pop_front();
+        lock.unlock();
+        const bool ok = feedOne(*s, std::move(chunk));
+        lock.lock();
+        if (!ok) {
+            s->failed = true;
+            s->pending.clear();
+        }
+        updateProgressLocked(*s);
+    }
+    s->busy = false;
+    lock.unlock();
+    s->cv.notify_all();
+}
+
+bool
+SessionManager::feedOne(Session &s, stream::IqChunk &&chunk)
+{
+    if (s.quotaSamples > 0 &&
+        s.fedSamples + chunk.samples.size() > s.quotaSamples) {
+        quotaExceeded().add();
+        char msg[160];
+        std::snprintf(msg, sizeof msg,
+                      "session sample quota exceeded: %zu fed + %zu "
+                      "pending > quota %zu",
+                      s.fedSamples, chunk.samples.size(),
+                      s.quotaSamples);
+        s.decoder.fail(Error{ErrorKind::ResourceExhausted, msg});
+        return false;
+    }
+    s.fedSamples += chunk.samples.size();
+    try {
+        s.decoder.feed(std::move(chunk));
+    } catch (const RecoverableError &) {
+        // The decoder recorded the failure in its result already.
+        return false;
+    }
+    return true;
+}
+
+void
+SessionManager::updateProgressLocked(Session &s)
+{
+    s.progress.samplesIn = s.decoder.samplesIn();
+    s.progress.chunksIn = s.decoder.chunksIn();
+    s.progress.bitsDecoded = s.decoder.bitsDecoded();
+    s.progress.carrierHz = s.decoder.carrierEstimate();
+    s.progress.streaming = s.decoder.streaming();
+    if (s.decoder.failure()) {
+        s.progress.failed = true;
+        s.progress.failure = *s.decoder.failure();
+    }
+}
+
+SessionProgress
+SessionManager::poll(std::uint64_t id) const
+{
+    std::shared_ptr<Session> s = find(id);
+    std::lock_guard<std::mutex> lock(s->m);
+    SessionProgress out = s->progress;
+    out.pendingChunks = s->pending.size();
+    out.failed = out.failed || s->failed;
+    return out;
+}
+
+stream::StreamingResult
+SessionManager::close(std::uint64_t id)
+{
+    std::shared_ptr<Session> s = find(id);
+    std::deque<stream::IqChunk> leftover;
+    {
+        std::unique_lock<std::mutex> lock(s->m);
+        if (s->closing)
+            raiseError(ErrorKind::InvalidConfig,
+                       "session %llu is already closed",
+                       static_cast<unsigned long long>(s->id));
+        s->closing = true;
+        // Wait only for a *running* drainer (finite work: it re-checks
+        // `closing` per chunk). A merely queued task will observe
+        // `closing` and return, so this never deadlocks even when all
+        // pool workers are blocked in close() themselves.
+        s->cv.wait(lock, [&] { return !s->busy; });
+        s->busy = true;
+        leftover.swap(s->pending);
+    }
+
+    // Drain the remainder inline on the caller's thread.
+    bool ok = !s->failed;
+    while (ok && !leftover.empty()) {
+        stream::IqChunk chunk = std::move(leftover.front());
+        leftover.pop_front();
+        ok = feedOne(*s, std::move(chunk));
+    }
+    stream::StreamingResult result = s->decoder.finish();
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        sessions.erase(id);
+        activeGauge().set(static_cast<double>(sessions.size()));
+        sessionsClosed().add();
+    }
+    return result;
+}
+
+std::size_t
+SessionManager::activeSessions() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return sessions.size();
+}
+
+} // namespace emsc::serve

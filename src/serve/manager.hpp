@@ -1,0 +1,143 @@
+/**
+ * @file
+ * SessionManager: many concurrent receiver sessions multiplexed over
+ * the shared thread pool.
+ *
+ * Each session owns a push-driven StreamingDecoder plus a small queue
+ * of pending chunks. Feeding a chunk never blocks: tryFeed() enqueues
+ * and, if no drain task is already queued or running for that session,
+ * submits one to the global thread pool. The drain task pops pending
+ * chunks and pushes them through the decoder; at most one task per
+ * session is ever live, so the decoder itself needs no locking and a
+ * fixed-size pool interleaves an arbitrary number of sessions
+ * (no thread-per-stage, no thread-per-session).
+ *
+ * Admission control and quotas:
+ *  - open() rejects with ResourceExhausted once maxSessions are
+ *    active (`serve.admission.rejected` counts rejects).
+ *  - A per-session sample quota (quotaSamples) turns the session into
+ *    a failed one the moment it is exceeded; the failure surfaces on
+ *    poll()/close() while other sessions are untouched.
+ *  - maxPendingChunks bounds per-session queue memory; tryFeed()
+ *    returns false (backpressure) when the queue is full, and the
+ *    caller retries after draining the socket or waiting.
+ *
+ * close() is deadlock-free by construction: it never waits for a
+ * *queued* pool task, only for a currently-running drain to step out
+ * of the decoder, then drains the remaining chunks inline on the
+ * caller's thread. A stale queued task observes `closing` and returns
+ * immediately, so sessions can be closed even when every pool worker
+ * is itself blocked in close().
+ */
+
+#ifndef EMSC_SERVE_MANAGER_HPP
+#define EMSC_SERVE_MANAGER_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "stream/decoder.hpp"
+#include "stream/receiver_ops.hpp"
+#include "support/error.hpp"
+
+namespace emsc::serve {
+
+/** Snapshot of one session's progress for Status replies. */
+struct SessionProgress
+{
+    std::uint64_t id = 0;
+    std::size_t samplesIn = 0;
+    std::size_t chunksIn = 0;
+    /** Chunks accepted but not yet through the decoder. */
+    std::size_t pendingChunks = 0;
+    std::size_t bitsDecoded = 0;
+    double carrierHz = 0.0;
+    /** Warm-up finished, stage chain live. */
+    bool streaming = false;
+    bool failed = false;
+    /** Valid when failed. */
+    Error failure;
+};
+
+class SessionManager
+{
+  public:
+    struct Config
+    {
+        /** Admission limit: open() rejects beyond this. */
+        std::size_t maxSessions = 64;
+        /** Per-session raw-sample quota; 0 = unlimited. */
+        std::size_t quotaSamples = 0;
+        /** Per-session pending-chunk bound (backpressure point). */
+        std::size_t maxPendingChunks = 8;
+    };
+
+    SessionManager(const channel::ReceiverConfig &receiver,
+                   const stream::StreamingOptions &options,
+                   const Config &config);
+
+    SessionManager(const SessionManager &) = delete;
+    SessionManager &operator=(const SessionManager &) = delete;
+
+    /**
+     * Admit a new session.
+     * @return its id (never 0).
+     * @throws RecoverableError (ResourceExhausted) at the session
+     *         limit, or InvalidConfig from the decoder for a bad meta.
+     */
+    std::uint64_t open(const stream::StreamMeta &meta);
+
+    /**
+     * Queue one chunk for `id` and schedule a drain.
+     * @return false when the session's pending queue is full — the
+     *         caller must retry later (backpressure). Chunks fed to an
+     *         already-failed session are accepted and dropped: the
+     *         failure surfaces on poll()/close().
+     * @throws RecoverableError (InvalidConfig) for an unknown or
+     *         closing session.
+     */
+    bool tryFeed(std::uint64_t id, stream::IqChunk &&chunk);
+
+    /** @throws RecoverableError (InvalidConfig) for an unknown id. */
+    SessionProgress poll(std::uint64_t id) const;
+
+    /**
+     * Finish the session: drain whatever is still pending on the
+     * calling thread, finish the decoder, release the slot.
+     * @throws RecoverableError (InvalidConfig) for an unknown or
+     *         already-closing id.
+     */
+    stream::StreamingResult close(std::uint64_t id);
+
+    std::size_t activeSessions() const;
+    const Config &config() const { return cfg; }
+
+  private:
+    struct Session;
+
+    std::shared_ptr<Session> find(std::uint64_t id) const;
+    /** Pool-task body: drain pending chunks through the decoder. */
+    static void drainLoop(const std::shared_ptr<Session> &s);
+    /** Push one chunk (quota check + decoder.feed). Caller must hold
+     * the drain ownership (`busy`), not the session lock.
+     * @return false once the session has failed. */
+    static bool feedOne(Session &s, stream::IqChunk &&chunk);
+    static void updateProgressLocked(Session &s);
+
+    channel::ReceiverConfig rxCfg;
+    stream::StreamingOptions streamOpts;
+    Config cfg;
+
+    mutable std::mutex mtx;
+    std::map<std::uint64_t, std::shared_ptr<Session>> sessions;
+    std::uint64_t nextId = 1;
+};
+
+} // namespace emsc::serve
+
+#endif // EMSC_SERVE_MANAGER_HPP

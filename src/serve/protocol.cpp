@@ -1,0 +1,132 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace emsc::serve {
+
+const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+    case FrameType::Open: return "open";
+    case FrameType::OpenOk: return "open-ok";
+    case FrameType::Data: return "data";
+    case FrameType::Poll: return "poll";
+    case FrameType::Status: return "status";
+    case FrameType::Close: return "close";
+    case FrameType::Result: return "result";
+    case FrameType::Error: return "error";
+    }
+    return "unknown";
+}
+
+bool
+knownFrameType(std::uint8_t raw)
+{
+    return raw >= static_cast<std::uint8_t>(FrameType::Open) &&
+           raw <= static_cast<std::uint8_t>(FrameType::Error);
+}
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::uint8_t *body, std::size_t size)
+{
+    if (size + 1 > kMaxFrameLength)
+        raiseError(ErrorKind::InvalidConfig,
+                   "frame body of %zu bytes exceeds the %u-byte frame "
+                   "limit",
+                   size, kMaxFrameLength - 1);
+    std::vector<std::uint8_t> out;
+    out.reserve(4 + 1 + size);
+    const std::uint32_t length = static_cast<std::uint32_t>(size + 1);
+    out.push_back(static_cast<std::uint8_t>(length & 0xff));
+    out.push_back(static_cast<std::uint8_t>((length >> 8) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((length >> 16) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((length >> 24) & 0xff));
+    out.push_back(static_cast<std::uint8_t>(type));
+    if (size > 0)
+        out.insert(out.end(), body, body + size);
+    return out;
+}
+
+std::vector<std::uint8_t>
+encodeJsonFrame(FrameType type, const json::Value &body)
+{
+    const std::string text = body.dump();
+    return encodeFrame(
+        type, reinterpret_cast<const std::uint8_t *>(text.data()),
+        text.size());
+}
+
+json::Value
+parseJsonBody(const Frame &frame)
+{
+    if (frame.body.empty())
+        return json::Value::object();
+    std::string text(reinterpret_cast<const char *>(frame.body.data()),
+                     frame.body.size());
+    json::Value out;
+    std::string err;
+    if (!json::Value::parse(text, out, &err))
+        raiseError(ErrorKind::MalformedInput,
+                   "%s frame body is not valid JSON: %s",
+                   frameTypeName(frame.type), err.c_str());
+    return out;
+}
+
+void
+FrameReader::push(const std::uint8_t *data, std::size_t size)
+{
+    // Drop the consumed prefix before growing: a client that trickles
+    // bytes should not make the buffer creep upward forever.
+    if (cursor > 0 && (cursor == buf.size() || cursor >= 4096)) {
+        buf.erase(buf.begin(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(cursor));
+        cursor = 0;
+    }
+    buf.insert(buf.end(), data, data + size);
+}
+
+bool
+FrameReader::next(Frame &out)
+{
+    const std::size_t avail = buf.size() - cursor;
+    if (avail < 4)
+        return false;
+    const std::uint8_t *p = buf.data() + cursor;
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+    if (length == 0)
+        raiseError(ErrorKind::MalformedInput,
+                   "frame header declares zero length (missing type "
+                   "byte)");
+    if (length > kMaxFrameLength)
+        raiseError(ErrorKind::MalformedInput,
+                   "frame length %u exceeds the %u-byte limit", length,
+                   kMaxFrameLength);
+    if (avail < 4 + static_cast<std::size_t>(length))
+        return false;
+    const std::uint8_t raw = p[4];
+    if (!knownFrameType(raw))
+        raiseError(ErrorKind::MalformedInput,
+                   "unknown frame type 0x%02x", raw);
+    out.type = static_cast<FrameType>(raw);
+    out.body.assign(p + 5, p + 4 + length);
+    cursor += 4 + static_cast<std::size_t>(length);
+    return true;
+}
+
+void
+appendIqFromU8(const std::uint8_t *bytes, std::size_t size,
+               std::vector<sdr::IqSample> &out)
+{
+    out.reserve(out.size() + size / 2);
+    for (std::size_t i = 0; i + 1 < size; i += 2)
+        out.push_back(iqFromU8(bytes[i], bytes[i + 1]));
+}
+
+} // namespace emsc::serve

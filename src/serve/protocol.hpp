@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Length-prefixed wire protocol of the multi-session receiver service.
+ *
+ * Every frame on a control connection is
+ *
+ *     [u32 LE length][u8 type][body ...]
+ *
+ * where `length` counts the type byte plus the body (so the smallest
+ * legal frame is length 1: a bare type). The length is capped at
+ * kMaxFrameLength; anything larger — or a length of 0 — is a
+ * malformed stream and raises MalformedInput, because a desynchronised
+ * framing layer cannot be resynchronised safely.
+ *
+ * Frame types (client → server unless noted):
+ *
+ *   Open   (1)  JSON body: {"sample_rate": Hz, "center_freq": Hz,
+ *               "start_time_ns": ns} — every field optional, server
+ *               defaults apply. One session per connection.
+ *   OpenOk (2)  server → client, JSON {"session": id}.
+ *   Data   (3)  raw interleaved u8 IQ samples (rtl_sdr convention:
+ *               I,Q,I,Q..., 127.5 = zero). Must contain whole samples
+ *               (even byte count).
+ *   Poll   (4)  empty body; server answers Status.
+ *   Status (5)  server → client, JSON progress snapshot.
+ *   Close  (6)  empty body; server finishes the decode and answers
+ *               Result.
+ *   Result (7)  server → client, JSON decode result (payload bits,
+ *               frame integrity, failure if any).
+ *   Error  (8)  server → client, JSON {"kind", "message"}. Sent in
+ *               reply to a rejected or malformed request; framing-level
+ *               errors additionally close the connection.
+ *
+ * JSON bodies use the repo's own json::Value; a body that fails to
+ * parse raises MalformedInput.
+ */
+
+#ifndef EMSC_SERVE_PROTOCOL_HPP
+#define EMSC_SERVE_PROTOCOL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sdr/iq.hpp"
+#include "support/json.hpp"
+
+namespace emsc::serve {
+
+enum class FrameType : std::uint8_t {
+    Open = 1,
+    OpenOk = 2,
+    Data = 3,
+    Poll = 4,
+    Status = 5,
+    Close = 6,
+    Result = 7,
+    Error = 8,
+};
+
+/** Human-readable frame-type name ("open", "data", ...). */
+const char *frameTypeName(FrameType type);
+
+/** Whether `raw` is one of the FrameType values. */
+bool knownFrameType(std::uint8_t raw);
+
+/** Maximum legal `length` header value (type byte + body). 16 MiB of
+ * body bounds a malicious or corrupt peer's allocation. */
+constexpr std::uint32_t kMaxFrameLength = (1u << 24) + 1;
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::vector<std::uint8_t> body;
+};
+
+/** Serialise a frame: header + type + body. */
+std::vector<std::uint8_t> encodeFrame(FrameType type,
+                                      const std::uint8_t *body,
+                                      std::size_t size);
+
+/** Serialise a frame whose body is compact JSON. */
+std::vector<std::uint8_t> encodeJsonFrame(FrameType type,
+                                          const json::Value &body);
+
+/**
+ * Parse a frame's body as JSON. An empty body parses as an empty
+ * object (the protocol's optional-body convention).
+ * @throws RecoverableError (MalformedInput) on invalid JSON.
+ */
+json::Value parseJsonBody(const Frame &frame);
+
+/**
+ * Incremental frame parser over an arbitrary byte stream: push()
+ * whatever the socket produced, then drain complete frames with
+ * next(). Partial frames stay buffered across pushes.
+ */
+class FrameReader
+{
+  public:
+    /** Append raw bytes from the transport. */
+    void push(const std::uint8_t *data, std::size_t size);
+
+    /**
+     * Extract the next complete frame.
+     * @return false when no complete frame is buffered yet.
+     * @throws RecoverableError (MalformedInput) on a zero or oversized
+     *         length header or an unknown frame type — the stream is
+     *         unsynchronised and must be torn down.
+     */
+    bool next(Frame &out);
+
+    /** Bytes currently buffered (complete or partial). */
+    std::size_t buffered() const { return buf.size() - cursor; }
+
+  private:
+    std::vector<std::uint8_t> buf;
+    std::size_t cursor = 0;
+};
+
+/** rtl_sdr u8 → complex baseband, the readIqU8 convention. */
+inline sdr::IqSample
+iqFromU8(std::uint8_t i, std::uint8_t q)
+{
+    return sdr::IqSample{(static_cast<double>(i) - 127.5) / 127.5,
+                         (static_cast<double>(q) - 127.5) / 127.5};
+}
+
+/** Append `size/2` samples decoded from interleaved u8 bytes.
+ * `size` must be even (the caller owns half-sample handling). */
+void appendIqFromU8(const std::uint8_t *bytes, std::size_t size,
+                    std::vector<sdr::IqSample> &out);
+
+} // namespace emsc::serve
+
+#endif // EMSC_SERVE_PROTOCOL_HPP

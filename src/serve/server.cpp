@@ -1,0 +1,620 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "support/telemetry.hpp"
+
+namespace emsc::serve {
+
+namespace {
+
+telemetry::Counter &
+orphanedSessions()
+{
+    static telemetry::Counter c(telemetry::MetricsRegistry::global(),
+                                "serve.sessions.orphaned");
+    return c;
+}
+
+/** Bind a nonblocking loopback listener; returns {fd, bound port}. */
+std::pair<int, std::uint16_t>
+bindLoopback(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0)
+        raiseError(ErrorKind::IoError, "socket() failed: %s",
+                   std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+            0 ||
+        ::listen(fd, 16) < 0) {
+        int err = errno;
+        ::close(fd);
+        raiseError(ErrorKind::IoError,
+                   "cannot listen on 127.0.0.1:%u: %s", port,
+                   std::strerror(err));
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) <
+        0) {
+        int err = errno;
+        ::close(fd);
+        raiseError(ErrorKind::IoError, "getsockname() failed: %s",
+                   std::strerror(err));
+    }
+    return {fd, ntohs(addr.sin_port)};
+}
+
+} // namespace
+
+struct Server::Conn
+{
+    int fd = -1;
+    bool rtl = false;
+    bool dead = false;
+    /** Stop reading, drop once the out buffer drains. */
+    bool closeAfterFlush = false;
+
+    FrameReader reader;
+    std::vector<std::uint8_t> out;
+    std::size_t outCursor = 0;
+
+    std::uint64_t sessionId = 0;
+    bool sessionOpen = false;
+    /** Close frame seen; finish once the stalled chunk lands. */
+    bool closeRequested = false;
+
+    /** Backpressured chunk awaiting SessionManager capacity. */
+    std::optional<stream::IqChunk> stalled;
+    std::size_t nextChunkIndex = 0;
+    std::size_t nextFirstSample = 0;
+
+    /** rtl only: undecoded tail bytes (header prefix, odd byte). */
+    std::vector<std::uint8_t> raw;
+    bool rtlHeaderChecked = false;
+    /** rtl only: samples aggregated toward the next chunk. */
+    std::vector<sdr::IqSample> agg;
+};
+
+Server::Server(const channel::ReceiverConfig &receiver,
+               const stream::StreamingOptions &options,
+               const ServerConfig &config)
+    : manager(receiver, options, config.sessions), cfg(config)
+{
+    auto [cfd, cport] = bindLoopback(cfg.port);
+    controlFd = cfd;
+    controlPort_ = cport;
+    if (cfg.rtlIngest) {
+        try {
+            auto [rfd, rport] = bindLoopback(cfg.rtlPort);
+            rtlFd = rfd;
+            rtlPort_ = rport;
+        } catch (...) {
+            ::close(controlFd);
+            throw;
+        }
+    }
+}
+
+Server::~Server() { stop(); }
+
+void
+Server::start()
+{
+    if (running.exchange(true))
+        return;
+    stopRequested.store(false);
+    worker = std::thread([this] { loop(); });
+}
+
+void
+Server::stop()
+{
+    stopRequested.store(true);
+    if (worker.joinable())
+        worker.join();
+    running.store(false);
+    // Connections the loop never got to tear down (or that exist
+    // because start() was never called) are finished here.
+    for (auto &conn : conns)
+        finishConn(*conn);
+    conns.clear();
+    if (controlFd >= 0) {
+        ::close(controlFd);
+        controlFd = -1;
+    }
+    if (rtlFd >= 0) {
+        ::close(rtlFd);
+        rtlFd = -1;
+    }
+}
+
+std::vector<stream::StreamingResult>
+Server::takeRtlResults()
+{
+    std::lock_guard<std::mutex> lock(resultsMtx);
+    std::vector<stream::StreamingResult> out;
+    out.swap(rtlResults);
+    return out;
+}
+
+void
+Server::loop()
+{
+    while (!stopRequested.load()) {
+        std::vector<pollfd> fds;
+        fds.push_back({controlFd, POLLIN, 0});
+        if (rtlFd >= 0)
+            fds.push_back({rtlFd, POLLIN, 0});
+        const std::size_t firstConn = fds.size();
+        for (const auto &conn : conns) {
+            short events = 0;
+            // A stalled chunk pauses reading: the kernel buffer then
+            // backpressures the producer.
+            if (!conn->closeAfterFlush && !conn->stalled &&
+                !conn->closeRequested)
+                events |= POLLIN;
+            if (conn->outCursor < conn->out.size())
+                events |= POLLOUT;
+            fds.push_back({conn->fd, events, 0});
+        }
+
+        // Connections accepted below this line have no pollfd entry
+        // yet; only the first `polled` conns may be indexed into fds.
+        const std::size_t polled = conns.size();
+
+        ::poll(fds.data(), fds.size(), 10);
+
+        if (fds[0].revents & POLLIN)
+            acceptPending(controlFd, false);
+        if (rtlFd >= 0 && (fds[1].revents & POLLIN))
+            acceptPending(rtlFd, true);
+
+        for (std::size_t i = 0; i < polled; ++i) {
+            Conn &conn = *conns[i];
+            const short re = fds[firstConn + i].revents;
+            if (conn.dead)
+                continue;
+            if (re & POLLOUT) {
+                if (!flushOutput(conn)) {
+                    conn.dead = true;
+                    continue;
+                }
+            }
+            if (re & (POLLIN | POLLHUP | POLLERR)) {
+                if (!handleReadable(conn)) {
+                    conn.dead = true;
+                    continue;
+                }
+            }
+        }
+
+        for (auto &conn : conns) {
+            if (!conn->dead)
+                pumpStalled(*conn);
+            if (conn->closeAfterFlush &&
+                conn->outCursor >= conn->out.size())
+                conn->dead = true;
+        }
+
+        for (std::size_t i = 0; i < conns.size();) {
+            if (conns[i]->dead) {
+                finishConn(*conns[i]);
+                conns.erase(conns.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    for (auto &conn : conns)
+        finishConn(*conn);
+    conns.clear();
+}
+
+void
+Server::acceptPending(int listen_fd, bool rtl)
+{
+    for (;;) {
+        int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd < 0)
+            return;
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conn->rtl = rtl;
+        if (rtl) {
+            // rtl peers speak no control protocol: the session opens
+            // implicitly with the server defaults, and an admission
+            // reject simply drops the connection.
+            try {
+                conn->sessionId = manager.open(cfg.defaults);
+                conn->sessionOpen = true;
+            } catch (const RecoverableError &) {
+                ::close(fd);
+                continue;
+            }
+        }
+        conns.push_back(std::move(conn));
+    }
+}
+
+bool
+Server::handleReadable(Conn &conn)
+{
+    std::uint8_t buf[65536];
+    for (;;) {
+        ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+        if (n == 0) {
+            // Orderly EOF: flush what we owe, then drop. finishConn()
+            // settles any session still open.
+            conn.closeAfterFlush = true;
+            return true;
+        }
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true;
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        const bool ok =
+            conn.rtl ? handleRtlBytes(conn, buf,
+                                      static_cast<std::size_t>(n))
+                     : handleControlBytes(conn, buf,
+                                          static_cast<std::size_t>(n));
+        if (!ok)
+            return false;
+        // A stall (or a Close in the frame batch) pauses reading;
+        // whatever the kernel still holds waits for the next tick.
+        if (conn.stalled || conn.closeRequested ||
+            conn.closeAfterFlush)
+            return true;
+        if (n < static_cast<ssize_t>(sizeof buf))
+            return true;
+    }
+}
+
+bool
+Server::handleControlBytes(Conn &conn, const std::uint8_t *data,
+                           std::size_t size)
+{
+    conn.reader.push(data, size);
+    Frame frame;
+    for (;;) {
+        try {
+            if (!conn.reader.next(frame))
+                return true;
+        } catch (const RecoverableError &e) {
+            // Framing is gone: report once, stop reading, drop after
+            // the error frame drains.
+            sendError(conn, e.kind(), e.what());
+            conn.closeAfterFlush = true;
+            return true;
+        }
+        if (!handleFrame(conn, frame))
+            return false;
+        if (conn.stalled || conn.closeRequested ||
+            conn.closeAfterFlush)
+            return true;
+    }
+}
+
+bool
+Server::handleFrame(Conn &conn, const Frame &frame)
+{
+    switch (frame.type) {
+    case FrameType::Open: {
+        if (conn.sessionOpen) {
+            sendError(conn, ErrorKind::InvalidConfig,
+                      "session already open on this connection");
+            return true;
+        }
+        stream::StreamMeta meta = cfg.defaults;
+        try {
+            json::Value body = parseJsonBody(frame);
+            auto numField = [&body](const char *key, double &out) {
+                const json::Value *v = body.find(key);
+                if (!v)
+                    return;
+                if (!v->isNumber())
+                    raiseError(ErrorKind::MalformedInput,
+                               "open field \"%s\" must be a number",
+                               key);
+                out = v->number();
+            };
+            numField("sample_rate", meta.sampleRate);
+            numField("center_freq", meta.centerFrequency);
+            double start = static_cast<double>(meta.startTime);
+            numField("start_time_ns", start);
+            meta.startTime = static_cast<TimeNs>(start);
+            conn.sessionId = manager.open(meta);
+        } catch (const RecoverableError &e) {
+            sendError(conn, e.kind(), e.what());
+            return true;
+        }
+        conn.sessionOpen = true;
+        conn.closeRequested = false;
+        conn.nextChunkIndex = 0;
+        conn.nextFirstSample = 0;
+        json::Value ok = json::Value::object();
+        ok.set("session", static_cast<double>(conn.sessionId));
+        sendFrame(conn, encodeJsonFrame(FrameType::OpenOk, ok));
+        return true;
+    }
+    case FrameType::Data: {
+        if (!conn.sessionOpen) {
+            sendError(conn, ErrorKind::InvalidConfig,
+                      "data frame before open");
+            return true;
+        }
+        if (frame.body.size() % 2 != 0) {
+            // Mirror IqFileReader's truncated-sample contract: the
+            // frame is rejected with a diagnostic, the stream is
+            // still framed, the connection survives.
+            sendError(conn, ErrorKind::MalformedInput,
+                      "data frame carries a truncated IQ sample "
+                      "(odd byte count " +
+                          std::to_string(frame.body.size()) + ")");
+            return true;
+        }
+        if (frame.body.empty())
+            return true;
+        stream::IqChunk chunk;
+        chunk.index = conn.nextChunkIndex++;
+        chunk.firstSample = conn.nextFirstSample;
+        appendIqFromU8(frame.body.data(), frame.body.size(),
+                       chunk.samples);
+        conn.nextFirstSample += chunk.samples.size();
+        conn.stalled = std::move(chunk);
+        pumpStalled(conn);
+        return true;
+    }
+    case FrameType::Poll: {
+        if (!conn.sessionOpen) {
+            sendError(conn, ErrorKind::InvalidConfig,
+                      "poll frame before open");
+            return true;
+        }
+        SessionProgress p = manager.poll(conn.sessionId);
+        json::Value body = json::Value::object();
+        body.set("session", static_cast<double>(p.id));
+        body.set("samples_in", static_cast<double>(p.samplesIn));
+        body.set("chunks_in", static_cast<double>(p.chunksIn));
+        body.set("pending_chunks",
+                 static_cast<double>(p.pendingChunks));
+        body.set("bits_decoded", static_cast<double>(p.bitsDecoded));
+        body.set("carrier_hz", p.carrierHz);
+        body.set("streaming", p.streaming);
+        body.set("failed", p.failed);
+        if (p.failed) {
+            body.set("failure_kind", errorKindName(p.failure.kind));
+            body.set("failure_message", p.failure.message);
+        }
+        sendFrame(conn, encodeJsonFrame(FrameType::Status, body));
+        return true;
+    }
+    case FrameType::Close: {
+        if (!conn.sessionOpen) {
+            sendError(conn, ErrorKind::InvalidConfig,
+                      "close frame before open");
+            return true;
+        }
+        conn.closeRequested = true;
+        pumpStalled(conn);
+        return true;
+    }
+    default:
+        sendError(conn, ErrorKind::MalformedInput,
+                  std::string("unexpected ") +
+                      frameTypeName(frame.type) +
+                      " frame from client");
+        return true;
+    }
+}
+
+bool
+Server::handleRtlBytes(Conn &conn, const std::uint8_t *data,
+                       std::size_t size)
+{
+    conn.raw.insert(conn.raw.end(), data, data + size);
+    if (!conn.rtlHeaderChecked) {
+        if (conn.raw.size() < 4)
+            return true;
+        if (std::memcmp(conn.raw.data(), "RTL0", 4) == 0) {
+            // rtl_tcp prefixes its stream with a 12-byte banner
+            // (magic + tuner type + gain count); skip it.
+            if (conn.raw.size() < 12)
+                return true;
+            conn.raw.erase(conn.raw.begin(), conn.raw.begin() + 12);
+        }
+        conn.rtlHeaderChecked = true;
+    }
+    const std::size_t pairs = conn.raw.size() / 2;
+    appendIqFromU8(conn.raw.data(), pairs * 2, conn.agg);
+    conn.raw.erase(conn.raw.begin(),
+                   conn.raw.begin() +
+                       static_cast<std::ptrdiff_t>(pairs * 2));
+    while (!conn.stalled && conn.agg.size() >= cfg.chunkSamples) {
+        stream::IqChunk chunk;
+        chunk.index = conn.nextChunkIndex++;
+        chunk.firstSample = conn.nextFirstSample;
+        chunk.samples.assign(
+            conn.agg.begin(),
+            conn.agg.begin() +
+                static_cast<std::ptrdiff_t>(cfg.chunkSamples));
+        conn.agg.erase(conn.agg.begin(),
+                       conn.agg.begin() + static_cast<std::ptrdiff_t>(
+                                              cfg.chunkSamples));
+        conn.nextFirstSample += chunk.samples.size();
+        conn.stalled = std::move(chunk);
+        pumpStalled(conn);
+    }
+    return true;
+}
+
+void
+Server::pumpStalled(Conn &conn)
+{
+    if (conn.stalled) {
+        try {
+            if (!manager.tryFeed(conn.sessionId,
+                                 std::move(*conn.stalled)))
+                return;
+        } catch (const RecoverableError &e) {
+            conn.stalled.reset();
+            if (!conn.rtl)
+                sendError(conn, e.kind(), e.what());
+            return;
+        }
+        conn.stalled.reset();
+    }
+    if (conn.closeRequested && !conn.stalled) {
+        conn.closeRequested = false;
+        stream::StreamingResult result;
+        try {
+            result = manager.close(conn.sessionId);
+        } catch (const RecoverableError &e) {
+            conn.sessionOpen = false;
+            sendError(conn, e.kind(), e.what());
+            return;
+        }
+        conn.sessionOpen = false;
+        json::Value body = json::Value::object();
+        body.set("session", static_cast<double>(conn.sessionId));
+        body.set("ok", !result.rx.failure.has_value());
+        body.set("streamed", result.streamed);
+        body.set("batch_fallback", result.batchFallback);
+        body.set("frame_found", result.rx.frame.found);
+        body.set("bits_total",
+                 static_cast<double>(result.rx.labeled.bits.size()));
+        body.set("carrier_hz", result.rx.carrierHz);
+        if (result.rx.frame.found) {
+            json::Value payload = json::Value::array();
+            for (std::uint8_t bit : result.rx.frame.payload)
+                payload.push(static_cast<double>(bit));
+            body.set("payload_bits", std::move(payload));
+            body.set("integrity", channel::frameIntegrityName(
+                                      result.rx.frame.integrity));
+        }
+        if (result.rx.failure) {
+            json::Value failure = json::Value::object();
+            failure.set("kind",
+                        errorKindName(result.rx.failure->kind));
+            failure.set("message", result.rx.failure->message);
+            body.set("failure", std::move(failure));
+        }
+        sendFrame(conn, encodeJsonFrame(FrameType::Result, body));
+    }
+}
+
+bool
+Server::flushOutput(Conn &conn)
+{
+    while (conn.outCursor < conn.out.size()) {
+        ssize_t n = ::send(conn.fd, conn.out.data() + conn.outCursor,
+                           conn.out.size() - conn.outCursor,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true;
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        conn.outCursor += static_cast<std::size_t>(n);
+    }
+    conn.out.clear();
+    conn.outCursor = 0;
+    return true;
+}
+
+void
+Server::sendFrame(Conn &conn, std::vector<std::uint8_t> frame)
+{
+    conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+    flushOutput(conn);
+}
+
+void
+Server::sendError(Conn &conn, ErrorKind kind, const std::string &msg)
+{
+    json::Value body = json::Value::object();
+    body.set("kind", errorKindName(kind));
+    body.set("message", msg);
+    sendFrame(conn, encodeJsonFrame(FrameType::Error, body));
+}
+
+void
+Server::finishConn(Conn &conn)
+{
+    if (conn.sessionOpen) {
+        // Feed the stalled chunk home before closing so an rtl EOF
+        // decodes everything it received. close() drains inline, so a
+        // bounded retry converges as drain tasks free queue slots.
+        for (int i = 0; conn.stalled && i < 1000; ++i) {
+            try {
+                if (manager.tryFeed(conn.sessionId,
+                                    std::move(*conn.stalled)))
+                    conn.stalled.reset();
+            } catch (const RecoverableError &) {
+                conn.stalled.reset();
+            }
+            if (conn.stalled)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+        }
+        if (conn.rtl && !conn.agg.empty() && !conn.stalled) {
+            stream::IqChunk tail;
+            tail.index = conn.nextChunkIndex++;
+            tail.firstSample = conn.nextFirstSample;
+            tail.samples = std::move(conn.agg);
+            tail.last = true;
+            for (int i = 0; i < 1000; ++i) {
+                try {
+                    if (manager.tryFeed(conn.sessionId,
+                                        std::move(tail)))
+                        break;
+                } catch (const RecoverableError &) {
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        }
+        try {
+            stream::StreamingResult result =
+                manager.close(conn.sessionId);
+            if (conn.rtl) {
+                std::lock_guard<std::mutex> lock(resultsMtx);
+                rtlResults.push_back(std::move(result));
+            } else {
+                // A control client that vanished without Close left
+                // its decode behind; the result has no reader.
+                orphanedSessions().add();
+            }
+        } catch (const RecoverableError &) {
+        }
+        conn.sessionOpen = false;
+    }
+    if (conn.fd >= 0) {
+        ::close(conn.fd);
+        conn.fd = -1;
+    }
+}
+
+} // namespace emsc::serve

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Loopback socket front-end for the SessionManager.
+ *
+ * One background thread runs a poll() loop over two listeners:
+ *
+ *  - the *control* port speaks the length-prefixed frame protocol
+ *    (serve/protocol.hpp): Open → Data* → Poll* → Close, one session
+ *    per connection;
+ *  - the optional *rtl* port accepts raw rtl_tcp-style byte streams
+ *    (an optional 12-byte "RTL0" header followed by interleaved u8
+ *    IQ). Each connection becomes an implicit session with the
+ *    server's default StreamMeta; the decode result is published via
+ *    takeRtlResults() when the peer disconnects.
+ *
+ * The server binds 127.0.0.1 only: the service multiplexes local
+ * capture producers, it is not a network daemon.
+ *
+ * Backpressure: when SessionManager::tryFeed() rejects a chunk, the
+ * connection stops reading (POLLIN off) and retries the stalled chunk
+ * every loop tick until it is accepted — the kernel socket buffer then
+ * pushes back on the producer.
+ */
+
+#ifndef EMSC_SERVE_SERVER_HPP
+#define EMSC_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/manager.hpp"
+#include "serve/protocol.hpp"
+#include "stream/decoder.hpp"
+
+namespace emsc::serve {
+
+struct ServerConfig
+{
+    /** Control port; 0 picks an ephemeral port. */
+    std::uint16_t port = 0;
+    /** Whether to open the raw-IQ ingest listener at all. */
+    bool rtlIngest = true;
+    /** rtl ingest port; 0 picks an ephemeral port. */
+    std::uint16_t rtlPort = 0;
+    /** Meta for rtl sessions and Open frames with missing fields. */
+    stream::StreamMeta defaults;
+    /** Samples aggregated per chunk on the rtl ingest path. */
+    std::size_t chunkSamples = std::size_t{1} << 15;
+    SessionManager::Config sessions;
+};
+
+class Server
+{
+  public:
+    /**
+     * Bind the listeners (no thread yet).
+     * @throws RecoverableError (IoError) when a bind fails.
+     */
+    Server(const channel::ReceiverConfig &receiver,
+           const stream::StreamingOptions &options,
+           const ServerConfig &config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Start the poll loop on a background thread. */
+    void start();
+    /** Stop the loop, close connections, finish open sessions.
+     * Idempotent; also called by the destructor. */
+    void stop();
+
+    /** Actually-bound ports (resolved when ephemeral was requested). */
+    std::uint16_t controlPort() const { return controlPort_; }
+    /** 0 when rtl ingest is disabled. */
+    std::uint16_t rtlPort() const { return rtlPort_; }
+
+    SessionManager &sessions() { return manager; }
+
+    /** Completed rtl-session results accumulated since the last call
+     * (FIFO). Thread-safe. */
+    std::vector<stream::StreamingResult> takeRtlResults();
+
+  private:
+    struct Conn;
+
+    void loop();
+    void acceptPending(int listen_fd, bool rtl);
+    /** @return false when the connection must be dropped. */
+    bool handleReadable(Conn &conn);
+    bool handleControlBytes(Conn &conn, const std::uint8_t *data,
+                            std::size_t size);
+    bool handleFrame(Conn &conn, const Frame &frame);
+    bool handleRtlBytes(Conn &conn, const std::uint8_t *data,
+                        std::size_t size);
+    /** Push the connection's stalled/aggregated chunk if possible. */
+    void pumpStalled(Conn &conn);
+    bool flushOutput(Conn &conn);
+    void sendFrame(Conn &conn, std::vector<std::uint8_t> frame);
+    void sendError(Conn &conn, ErrorKind kind, const std::string &msg);
+    void finishConn(Conn &conn);
+
+    SessionManager manager;
+    ServerConfig cfg;
+    int controlFd = -1;
+    int rtlFd = -1;
+    std::uint16_t controlPort_ = 0;
+    std::uint16_t rtlPort_ = 0;
+
+    std::thread worker;
+    std::atomic<bool> running{false};
+    std::atomic<bool> stopRequested{false};
+
+    std::vector<std::unique_ptr<Conn>> conns;
+
+    std::mutex resultsMtx;
+    std::vector<stream::StreamingResult> rtlResults;
+};
+
+} // namespace emsc::serve
+
+#endif // EMSC_SERVE_SERVER_HPP

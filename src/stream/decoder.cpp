@@ -1,0 +1,457 @@
+#include "stream/decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "channel/acquisition.hpp"
+#include "channel/timing.hpp"
+#include "dsp/convolution.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+#include "support/telemetry.hpp"
+
+namespace emsc::stream {
+
+namespace detail {
+
+namespace {
+
+/** Smallest window the adaptation may reach (mirrors receive()). */
+constexpr std::size_t kWindowFloor = 16;
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsedNs(Clock::time_point since)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - since)
+            .count());
+}
+
+} // namespace
+
+void
+appendNote(std::string &diag, const std::string &note)
+{
+    if (!diag.empty())
+        diag += "; ";
+    diag += note;
+}
+
+std::size_t
+validateWindow(channel::AcquisitionConfig &acq, std::size_t min_window,
+               std::string &diag)
+{
+    if (min_window < kWindowFloor) {
+        char note[96];
+        std::snprintf(note, sizeof(note), "minWindow %zu clamped to %zu",
+                      min_window, kWindowFloor);
+        appendNote(diag, note);
+        min_window = kWindowFloor;
+    }
+    if (!dsp::isPowerOfTwo(min_window)) {
+        std::size_t rounded = dsp::nextPowerOfTwo(min_window);
+        char note[96];
+        std::snprintf(note, sizeof(note),
+                      "minWindow %zu rounded up to power of two %zu",
+                      min_window, rounded);
+        appendNote(diag, note);
+        min_window = rounded;
+    }
+    if (acq.window == 0 || !dsp::isPowerOfTwo(acq.window) ||
+        acq.window < min_window) {
+        std::size_t rounded =
+            std::max(dsp::nextPowerOfTwo(acq.window), min_window);
+        char note[96];
+        std::snprintf(note, sizeof(note),
+                      "acquisition window %zu adjusted to %zu", acq.window,
+                      rounded);
+        appendNote(diag, note);
+        acq.window = rounded;
+    }
+    return min_window;
+}
+
+std::size_t
+warmupTarget(const channel::AcquisitionConfig &acq, std::size_t requested,
+             std::string &diag)
+{
+    // The warm-up must at least feed the Welch carrier search.
+    std::size_t warmup = std::max(requested, 4 * acq.searchWindow);
+    if (warmup != requested) {
+        char note[96];
+        std::snprintf(note, sizeof(note),
+                      "warmupSamples raised to %zu for the carrier "
+                      "search",
+                      warmup);
+        appendNote(diag, note);
+    }
+    return warmup;
+}
+
+WarmupCalibration
+calibrateWarmup(const channel::ReceiverConfig &cfg,
+                const sdr::IqCapture &warm,
+                channel::AcquisitionConfig acq, std::size_t min_window,
+                channel::ReceiverResult &rx)
+{
+    WarmupCalibration out;
+    std::size_t dec = std::max<std::size_t>(1, acq.decimation);
+
+    rx.carrierHz = channel::estimateCarrier(warm, acq);
+    if (rx.carrierHz <= 0.0) {
+        appendNote(rx.diagnostic,
+                   "no carrier found in the warm-up prefix");
+        out.acq = acq;
+        return out;
+    }
+
+    channel::AcquiredSignal warmSig;
+    channel::BitTiming warmTiming;
+    while (true) {
+        warmSig = channel::acquire(warm, acq, rx.carrierHz);
+        rx.windowUsed = acq.window;
+        channel::TimingConfig tc = cfg.timing;
+        if (tc.rampHint == 0)
+            tc.rampHint = acq.window / dec;
+        try {
+            warmTiming = channel::recoverTiming(warmSig.y, tc);
+        } catch (const RecoverableError &) {
+            // Warm-up too short/flat to time: the streaming stage
+            // falls back to its generic calibration below.
+            warmTiming = channel::BitTiming{};
+        }
+        if (!cfg.adaptiveWindow)
+            break;
+        double bit_samples =
+            warmTiming.signalingTime * static_cast<double>(dec);
+        bool too_coarse =
+            warmTiming.signalingTime > 0.0 &&
+            bit_samples < 2.5 * static_cast<double>(acq.window);
+        std::size_t halved = acq.window / 2;
+        if (!too_coarse || halved < min_window)
+            break;
+        acq.window = halved;
+    }
+
+    TimingCalibration cal;
+    cal.timing = cfg.timing;
+    double tsig0 = warmTiming.signalingTime;
+    if (tsig0 <= 4.0)
+        tsig0 = cfg.timing.periodHint > 4.0 ? cfg.timing.periodHint
+                                            : 64.0;
+    cal.signalingTime = tsig0;
+    std::size_t l_d = cfg.timing.edgeKernel;
+    if (l_d == 0)
+        l_d = static_cast<std::size_t>(std::lround(0.5 * tsig0));
+    cal.edgeKernel = std::clamp<std::size_t>(l_d & ~std::size_t{1}, 4,
+                                             4096);
+    if (warmSig.y.size() >= 4 * cal.edgeKernel) {
+        // Seed the stage's adaptive edge threshold with the same
+        // quantile statistic the batch recovery uses.
+        try {
+            std::vector<double> edges =
+                dsp::edgeDetect(warmSig.y, cal.edgeKernel);
+            dsp::PeakOptions po;
+            po.minDistance = std::max<std::size_t>(
+                4, static_cast<std::size_t>(
+                       std::lround(cfg.timing.minSpacingRatio * tsig0)));
+            std::vector<std::size_t> pk = dsp::findPeaks(edges, po);
+            std::vector<double> heights;
+            heights.reserve(pk.size());
+            for (std::size_t i : pk)
+                heights.push_back(edges[i]);
+            if (!heights.empty())
+                cal.referenceQuantile =
+                    quantile(std::move(heights), cfg.timing.peakQuantile);
+        } catch (const RecoverableError &) {
+            // Leave the stage to self-seed from its first span.
+        }
+    }
+
+    out.acq = acq;
+    out.cal = cal;
+    out.decRate = warm.sampleRate / static_cast<double>(dec);
+    out.carrierFound = true;
+    return out;
+}
+
+StageSet
+buildStages(const channel::ReceiverConfig &cfg,
+            const WarmupCalibration &calib, double carrier_hz,
+            double center_frequency, double sample_rate,
+            TimeNs start_time, const StreamingOptions &opts)
+{
+    StageSet set;
+    auto env = std::make_unique<EnvelopeStage>(
+        carrier_hz, center_frequency, sample_rate, calib.acq,
+        opts.tracker);
+    set.envelope = env.get();
+    set.stages.push_back(std::move(env));
+    if (opts.detectKeystrokes) {
+        auto key = std::make_unique<KeystrokeStage>(
+            calib.decRate, start_time, opts.detector, opts.onKeystroke);
+        set.keystroke = key.get();
+        set.stages.push_back(std::move(key));
+    }
+    set.stages.push_back(std::make_unique<TimingStage>(calib.cal));
+    set.stages.push_back(std::make_unique<LabelStage>(
+        cfg.labeling, cfg.labeling.batchBits));
+    auto dec = std::make_unique<DecodeStage>(cfg.frame);
+    set.decode = dec.get();
+    set.stages.push_back(std::move(dec));
+    return set;
+}
+
+void
+assembleResult(const StageSet &set, double dec_rate, StreamingResult &out)
+{
+    channel::ReceiverResult &rx = out.rx;
+    rx.acquired.sampleRate = dec_rate;
+    rx.acquired.carrierHz = set.envelope->carrierEstimate();
+    appendNote(rx.diagnostic,
+               "streaming decode: envelope not retained (bounded "
+               "memory)");
+    rx.timing.signalingTime = set.decode->signalingTime();
+    rx.timing.starts = set.decode->starts();
+    rx.labeled = set.decode->labeled();
+    rx.frame = set.decode->frame();
+    if (set.decode->anyErased())
+        rx.erasureMask = set.decode->erasureMask();
+
+    channel::ReceiverSegment seg;
+    seg.begin = 0;
+    seg.end = set.envelope->envelopeSamples();
+    seg.carrierHz = set.envelope->carrierEstimate();
+    seg.signalingTime = rx.timing.signalingTime;
+    seg.bits = rx.labeled.bits.size();
+    rx.segments.push_back(seg);
+
+    out.firstBitLatencyNs = set.decode->firstBitLatencyNs();
+    if (set.keystroke)
+        out.keystrokes = set.keystroke->events();
+}
+
+void
+decodeWarmupBatch(const channel::ReceiverConfig &cfg,
+                  const sdr::IqCapture &warm,
+                  const StreamingOptions &opts, std::size_t chunk_count,
+                  StreamingResult &out)
+{
+    channel::ReceiverResult &rx = out.rx;
+    std::string diag = std::move(rx.diagnostic);
+    rx = channel::receive(warm, cfg);
+    if (!diag.empty())
+        appendNote(diag, rx.diagnostic);
+    else
+        diag = std::move(rx.diagnostic);
+    rx.diagnostic = std::move(diag);
+    appendNote(rx.diagnostic,
+               "capture ended inside warm-up: batch decode");
+    out.batchFallback = true;
+    out.report.sourceChunks = chunk_count;
+    out.report.sourceSamples = warm.samples.size();
+    if (opts.detectKeystrokes && !rx.acquired.y.empty()) {
+        keylog::DetectionResult det = keylog::detectKeystrokes(
+            rx.acquired, warm.startTime, opts.detector);
+        out.keystrokes = std::move(det.keystrokes);
+        if (opts.onKeystroke)
+            for (const keylog::DetectedKeystroke &k : out.keystrokes)
+                opts.onKeystroke(k);
+    }
+}
+
+} // namespace detail
+
+StreamingDecoder::StreamingDecoder(const channel::ReceiverConfig &config,
+                                   const StreamMeta &capture_meta,
+                                   const StreamingOptions &options)
+    : cfg(config), meta(capture_meta), opts(options)
+{
+    if (meta.sampleRate <= 0.0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "StreamingDecoder needs a positive sample rate "
+                   "(got %g)",
+                   meta.sampleRate);
+    acq = cfg.acquisition;
+    minWindow =
+        detail::validateWindow(acq, cfg.minWindow, result.rx.diagnostic);
+    warmupNeeded = detail::warmupTarget(acq, opts.warmupSamples,
+                                        result.rx.diagnostic);
+}
+
+void
+StreamingDecoder::feed(IqChunk &&chunk)
+{
+    if (finished_)
+        panic("StreamingDecoder::feed after finish");
+    if (!started) {
+        t0 = std::chrono::steady_clock::now();
+        started = true;
+    }
+    ++srcChunks;
+    srcSamples += chunk.samples.size();
+    if (dead_)
+        return; // counted for the report; decoding already settled
+
+    try {
+        if (!live_) {
+            warmSamples += chunk.samples.size();
+            bool last = chunk.last;
+            warm.push_back(std::move(chunk));
+            // A final chunk stays buffered: the capture fit inside the
+            // warm-up, so finish() batch-decodes it exactly as
+            // runStreaming() does when its source is exhausted early.
+            if (!last && warmSamples >= warmupNeeded)
+                beginStreaming();
+            return;
+        }
+        StreamMessage msg;
+        msg.seq = chunk.index;
+        msg.payload = std::move(chunk);
+        cascade.feed(std::move(msg));
+    } catch (const RecoverableError &e) {
+        dead_ = true;
+        if (!result.rx.failure)
+            result.rx.failure = e.toError();
+        throw;
+    }
+}
+
+void
+StreamingDecoder::fail(const Error &error)
+{
+    dead_ = true;
+    if (!result.rx.failure)
+        result.rx.failure = error;
+}
+
+void
+StreamingDecoder::beginStreaming()
+{
+    sdr::IqCapture warmCap;
+    warmCap.sampleRate = meta.sampleRate;
+    warmCap.centerFrequency = meta.centerFrequency;
+    warmCap.startTime = meta.startTime;
+    warmCap.samples.reserve(warmSamples);
+    for (const IqChunk &c : warm)
+        warmCap.samples.insert(warmCap.samples.end(), c.samples.begin(),
+                               c.samples.end());
+
+    detail::WarmupCalibration calib = detail::calibrateWarmup(
+        cfg, warmCap, acq, minWindow, result.rx);
+    if (!calib.carrierFound) {
+        dead_ = true;
+        warm.clear();
+        warm.shrink_to_fit();
+        return;
+    }
+    decRate = calib.decRate;
+    set = detail::buildStages(cfg, calib, result.rx.carrierHz,
+                              meta.centerFrequency, meta.sampleRate,
+                              meta.startTime, opts);
+    stats.assign(set.stages.size(), StageStats{});
+    for (std::size_t i = 0; i < set.stages.size(); ++i) {
+        stats[i].name = set.stages[i]->name();
+        cascade.attach(set.stages[i].get(), &stats[i]);
+    }
+
+    // Free the contiguous warm copy before streaming; the chunks
+    // themselves replay through the cascade.
+    warmCap.samples.clear();
+    warmCap.samples.shrink_to_fit();
+
+    live_ = true;
+    std::vector<IqChunk> replay = std::move(warm);
+    warm.clear();
+    warmSamples = 0;
+    for (IqChunk &c : replay) {
+        StreamMessage msg;
+        msg.seq = c.index;
+        msg.payload = std::move(c);
+        cascade.feed(std::move(msg));
+    }
+}
+
+StreamingResult
+StreamingDecoder::finish()
+{
+    if (finished_)
+        panic("StreamingDecoder::finish called twice");
+    finished_ = true;
+
+    bool failed = result.rx.failure.has_value();
+    if (!failed) {
+        try {
+            if (live_) {
+                cascade.finish();
+                result.streamed = true;
+            } else if (!dead_) {
+                // The whole capture fit inside the warm-up buffer: the
+                // batch path decodes it in one shot with identical
+                // results and no extra memory beyond what was already
+                // resident.
+                sdr::IqCapture warmCap;
+                warmCap.sampleRate = meta.sampleRate;
+                warmCap.centerFrequency = meta.centerFrequency;
+                warmCap.startTime = meta.startTime;
+                warmCap.samples.reserve(warmSamples);
+                for (const IqChunk &c : warm)
+                    warmCap.samples.insert(warmCap.samples.end(),
+                                           c.samples.begin(),
+                                           c.samples.end());
+                detail::decodeWarmupBatch(cfg, warmCap, opts,
+                                          warm.size(), result);
+            }
+        } catch (const RecoverableError &e) {
+            failed = true;
+            if (!result.rx.failure)
+                result.rx.failure = e.toError();
+        }
+    }
+    warm.clear();
+    warm.shrink_to_fit();
+
+    if (live_) {
+        result.report.totalNs = detail::elapsedNs(t0);
+        result.report.stages = stats;
+        result.report.peakBufferedSamples = 0;
+        for (const StageStats &s : stats)
+            result.report.peakBufferedSamples += s.totalPeakSamples();
+        if (!failed) {
+            result.report.publish();
+            detail::assembleResult(set, decRate, result);
+        }
+    }
+    result.report.sourceChunks = srcChunks;
+    result.report.sourceSamples = srcSamples;
+
+    // The warm-up batch fallback publishes inside channel::receive();
+    // every other outcome (streamed decode, carrier miss, failure) is
+    // reported here so both decode paths surface the same channel.*
+    // metric names — the exact runStreaming() contract.
+    if (!result.batchFallback)
+        channel::publishReceiverTelemetry(result.rx);
+    return std::move(result);
+}
+
+std::size_t
+StreamingDecoder::bitsDecoded() const
+{
+    return set.decode != nullptr ? set.decode->labeled().bits.size() : 0;
+}
+
+double
+StreamingDecoder::carrierEstimate() const
+{
+    return set.envelope != nullptr ? set.envelope->carrierEstimate()
+                                   : result.rx.carrierHz;
+}
+
+} // namespace emsc::stream

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Push-driven streaming decoder: the resumable counterpart of
+ * ReceiverOps::runStreaming() for callers that *receive* chunks
+ * instead of pulling them from a ChunkSource — the serve session
+ * layer, live socket ingest. feed() does a bounded amount of work on
+ * the calling thread and returns; no thread, queue, or consumer loop
+ * is owned per decoder, so a scheduler can interleave hundreds of
+ * decoders over a small worker pool.
+ *
+ * The decode itself is the exact runStreaming() algorithm: buffer a
+ * warm-up prefix, calibrate carrier/window/timing on it, then replay
+ * the buffered chunks and every later chunk through the same stage
+ * chain (via StageCascade). A capture that ends inside the warm-up is
+ * decoded by the batch path at finish(), and a feed() that raises a
+ * RecoverableError records the failure in the result before
+ * rethrowing — finish() afterwards still returns a well-formed
+ * StreamingResult, exactly like runStreaming()'s catch.
+ *
+ * Not thread-safe: the caller serialises feed()/finish()/accessors
+ * (the serve SessionManager guarantees one in-flight task per
+ * session).
+ */
+
+#ifndef EMSC_STREAM_DECODER_HPP
+#define EMSC_STREAM_DECODER_HPP
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stream/pipeline.hpp"
+#include "stream/receiver_ops.hpp"
+#include "stream/stages.hpp"
+
+namespace emsc::stream {
+
+namespace detail {
+
+/** Append "; note" to a diagnostic string (no separator when empty). */
+void appendNote(std::string &diag, const std::string &note);
+
+/**
+ * Window-geometry validation identical to the batch receive() entry:
+ * clamp minWindow, round both to powers of two, record diagnostics.
+ * Returns the validated minimum window.
+ */
+std::size_t validateWindow(channel::AcquisitionConfig &acq,
+                           std::size_t min_window, std::string &diag);
+
+/**
+ * Warm-up size actually buffered: the requested sample count raised
+ * (with a diagnostic note) to what the Welch carrier search needs.
+ */
+std::size_t warmupTarget(const channel::AcquisitionConfig &acq,
+                         std::size_t requested, std::string &diag);
+
+/** Everything warm-up calibration decided for the streaming stages. */
+struct WarmupCalibration
+{
+    /** Acquisition config after adaptive-window refinement. */
+    channel::AcquisitionConfig acq;
+    /** Timing seed handed to TimingStage. */
+    TimingCalibration cal;
+    /** Decimated envelope sample rate (Hz). */
+    double decRate = 0.0;
+    /** False when no carrier was found (nothing else is valid). */
+    bool carrierFound = false;
+};
+
+/**
+ * Calibrate on the buffered warm-up capture: carrier estimate,
+ * adaptive-window refinement, and the initial signaling-time /
+ * edge-kernel / reference-quantile seed. Records carrierHz,
+ * windowUsed and diagnostics into `rx` exactly as runStreaming()
+ * historically did.
+ */
+WarmupCalibration calibrateWarmup(const channel::ReceiverConfig &cfg,
+                                  const sdr::IqCapture &warm,
+                                  channel::AcquisitionConfig acq,
+                                  std::size_t min_window,
+                                  channel::ReceiverResult &rx);
+
+/** The wired stage chain plus the raw pointers result assembly needs.
+ * Stage order is pipeline order (envelope, [keylog], timing, label,
+ * decode). */
+struct StageSet
+{
+    std::vector<std::unique_ptr<StreamStage>> stages;
+    EnvelopeStage *envelope = nullptr;
+    /** Null unless StreamingOptions::detectKeystrokes. */
+    KeystrokeStage *keystroke = nullptr;
+    DecodeStage *decode = nullptr;
+};
+
+/** Build the runStreaming() stage chain from a warm-up calibration. */
+StageSet buildStages(const channel::ReceiverConfig &cfg,
+                     const WarmupCalibration &calib, double carrier_hz,
+                     double center_frequency, double sample_rate,
+                     TimeNs start_time, const StreamingOptions &opts);
+
+/**
+ * Fill the receiver-shaped result from the finished stage chain (the
+ * tail of runStreaming(): timing, labeled bits, frame, erasures,
+ * segment summary, keystrokes, first-bit latency).
+ */
+void assembleResult(const StageSet &set, double dec_rate,
+                    StreamingResult &out);
+
+/**
+ * Batch-decode a capture that ended inside the warm-up buffer (it fit
+ * in memory anyway): channel::receive over the buffered prefix, with
+ * the batch-fallback diagnostics and optional keystroke detection.
+ */
+void decodeWarmupBatch(const channel::ReceiverConfig &cfg,
+                       const sdr::IqCapture &warm,
+                       const StreamingOptions &opts,
+                       std::size_t chunk_count, StreamingResult &out);
+
+} // namespace detail
+
+/** Capture metadata a push-driven decode cannot read off a source. */
+struct StreamMeta
+{
+    /** Raw IQ sample rate (Hz); must be positive. */
+    double sampleRate = 0.0;
+    /** Frequency the receiver believes it is tuned to (Hz). */
+    double centerFrequency = 0.0;
+    /** Absolute time of the capture's first sample. */
+    TimeNs startTime = 0;
+};
+
+class StreamingDecoder
+{
+  public:
+    /**
+     * @throws RecoverableError (InvalidConfig) on a non-positive
+     * sample rate.
+     */
+    StreamingDecoder(const channel::ReceiverConfig &config,
+                     const StreamMeta &meta,
+                     const StreamingOptions &options = {});
+
+    StreamingDecoder(const StreamingDecoder &) = delete;
+    StreamingDecoder &operator=(const StreamingDecoder &) = delete;
+
+    /**
+     * Consume one chunk (chunks must arrive in capture order). May
+     * raise a RecoverableError from calibration or a stage; the
+     * failure is recorded in the result before the rethrow, and the
+     * decoder then ignores further chunks — finish() still returns.
+     */
+    void feed(IqChunk &&chunk);
+
+    /**
+     * Record an externally-detected failure (a quota breach, a wire
+     * error) and stop decoding; further chunks are counted but
+     * ignored. The first recorded failure wins.
+     */
+    void fail(const Error &error);
+
+    /**
+     * End of stream: flush the stages (or batch-decode a capture that
+     * never left warm-up), assemble the result, and publish stream/
+     * receiver telemetry exactly as runStreaming() does. Never throws
+     * a RecoverableError — late failures land in result.rx.failure.
+     * May be called once.
+     */
+    StreamingResult finish();
+
+    /** True after finish(). */
+    bool finished() const { return finished_; }
+    /** True once warm-up calibrated and the stage chain is running. */
+    bool streaming() const { return live_; }
+    /** Chunks / raw samples fed so far (including ignored ones). */
+    std::size_t chunksIn() const { return srcChunks; }
+    std::size_t samplesIn() const { return srcSamples; }
+    /** Labeled bits decoded so far (0 until streaming()). */
+    std::size_t bitsDecoded() const;
+    /** Current carrier estimate in Hz (0 until calibrated). */
+    double carrierEstimate() const;
+    /** First failure recorded so far, if any. */
+    const std::optional<Error> &failure() const
+    {
+        return result.rx.failure;
+    }
+
+  private:
+    void beginStreaming();
+
+    channel::ReceiverConfig cfg;
+    StreamMeta meta;
+    StreamingOptions opts;
+    /** Window-validated acquisition config (pre-calibration). */
+    channel::AcquisitionConfig acq;
+    std::size_t minWindow = 0;
+    std::size_t warmupNeeded = 0;
+
+    /** Warm-up buffer (cleared once streaming or at finish). */
+    std::vector<IqChunk> warm;
+    std::size_t warmSamples = 0;
+
+    /** Live stage chain (valid once live_). Stats addresses must stay
+     * stable for StageCascade, hence the one-shot assign(). */
+    detail::StageSet set;
+    std::vector<StageStats> stats;
+    StageCascade cascade;
+    double decRate = 0.0;
+
+    StreamingResult result;
+    std::size_t srcChunks = 0;
+    std::size_t srcSamples = 0;
+    std::chrono::steady_clock::time_point t0;
+    bool started = false;
+    bool live_ = false;
+    /** Decoding settled early (no carrier, error): ignore chunks. */
+    bool dead_ = false;
+    bool finished_ = false;
+};
+
+} // namespace emsc::stream
+
+#endif // EMSC_STREAM_DECODER_HPP

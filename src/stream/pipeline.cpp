@@ -93,32 +93,13 @@ StreamPipeline::run(ChunkSource &source)
 void
 StreamPipeline::runInline(ChunkSource &source)
 {
-    // Single-threaded cascade: every message is carried through all
-    // stages depth-first on the calling thread. Exclusive per-stage
-    // timing subtracts the nested downstream time from the caller's.
-    std::function<void(std::size_t, StreamMessage &&)> feed =
-        [&](std::size_t i, StreamMessage &&msg) {
-            if (i >= workers.size())
-                return;
-            Worker &w = *workers[i];
-            ++w.stats.chunksIn;
-            w.stats.samplesIn += msg.sampleUnits();
-            std::uint64_t nested = 0;
-            StreamStage::Emit emit = [&](StreamMessage &&out) {
-                out.seq = w.emitSeq++;
-                ++w.stats.chunksOut;
-                Clock::time_point c0 = Clock::now();
-                feed(i + 1, std::move(out));
-                nested += elapsedNs(c0);
-            };
-            Clock::time_point p0 = Clock::now();
-            w.stage->process(std::move(msg), emit);
-            std::uint64_t dt = elapsedNs(p0);
-            w.stats.processNs += dt > nested ? dt - nested : 0;
-            w.stats.peakBufferedSamples =
-                std::max(w.stats.peakBufferedSamples,
-                         w.stage->bufferedSamples());
-        };
+    // Single-threaded mode delegates to the shared StageCascade (the
+    // same scheduler the push-driven StreamingDecoder uses): every
+    // message is carried through all stages depth-first on the calling
+    // thread — no queues, no worker threads.
+    StageCascade cascade;
+    for (auto &w : workers)
+        cascade.attach(w->stage.get(), &w->stats);
 
     IqChunk chunk;
     while (source.next(chunk)) {
@@ -127,25 +108,78 @@ StreamPipeline::runInline(ChunkSource &source)
         StreamMessage msg;
         msg.seq = chunk.index;
         msg.payload = std::move(chunk);
-        feed(0, std::move(msg));
+        cascade.feed(std::move(msg));
         chunk = IqChunk{};
     }
-    for (std::size_t i = 0; i < workers.size(); ++i) {
-        Worker &w = *workers[i];
+    cascade.finish();
+}
+
+void
+StageCascade::attach(StreamStage *stage, StageStats *stats)
+{
+    if (stage == nullptr || stats == nullptr)
+        panic("StageCascade::attach with a null stage or stats");
+    if (done)
+        panic("StageCascade::attach after finish");
+    slots.push_back(Slot{stage, stats, 0});
+}
+
+void
+StageCascade::feed(StreamMessage &&msg)
+{
+    if (done)
+        panic("StageCascade::feed after finish");
+    feedFrom(0, std::move(msg));
+}
+
+void
+StageCascade::feedFrom(std::size_t index, StreamMessage &&msg)
+{
+    if (index >= slots.size())
+        return;
+    Slot &s = slots[index];
+    ++s.stats->chunksIn;
+    s.stats->samplesIn += msg.sampleUnits();
+    // Exclusive per-stage timing: subtract the nested downstream time
+    // from this stage's own.
+    std::uint64_t nested = 0;
+    StreamStage::Emit emit = [&](StreamMessage &&out) {
+        out.seq = s.emitSeq++;
+        ++s.stats->chunksOut;
+        Clock::time_point c0 = Clock::now();
+        feedFrom(index + 1, std::move(out));
+        nested += elapsedNs(c0);
+    };
+    Clock::time_point p0 = Clock::now();
+    s.stage->process(std::move(msg), emit);
+    std::uint64_t dt = elapsedNs(p0);
+    s.stats->processNs += dt > nested ? dt - nested : 0;
+    s.stats->peakBufferedSamples = std::max(
+        s.stats->peakBufferedSamples, s.stage->bufferedSamples());
+}
+
+void
+StageCascade::finish()
+{
+    if (done)
+        panic("StageCascade::finish called twice");
+    done = true;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        Slot &s = slots[i];
         std::uint64_t nested = 0;
         StreamStage::Emit emit = [&](StreamMessage &&out) {
-            out.seq = w.emitSeq++;
-            ++w.stats.chunksOut;
+            out.seq = s.emitSeq++;
+            ++s.stats->chunksOut;
             Clock::time_point c0 = Clock::now();
-            feed(i + 1, std::move(out));
+            feedFrom(i + 1, std::move(out));
             nested += elapsedNs(c0);
         };
         Clock::time_point p0 = Clock::now();
-        w.stage->finish(emit);
+        s.stage->finish(emit);
         std::uint64_t dt = elapsedNs(p0);
-        w.stats.processNs += dt > nested ? dt - nested : 0;
-        w.stats.peakBufferedSamples = std::max(
-            w.stats.peakBufferedSamples, w.stage->bufferedSamples());
+        s.stats->processNs += dt > nested ? dt - nested : 0;
+        s.stats->peakBufferedSamples = std::max(
+            s.stats->peakBufferedSamples, s.stage->bufferedSamples());
     }
 }
 

@@ -105,6 +105,53 @@ struct StreamReport
     void publish() const;
 };
 
+/**
+ * Inline depth-first stage scheduler: carries each message through a
+ * fixed stage chain on the calling thread with the same per-stage
+ * accounting (exclusive process time, peak buffered samples) as the
+ * threaded pipeline.  This is the resumable core shared by
+ * StreamPipeline's inline mode and the push-driven StreamingDecoder:
+ * feed() returns between messages instead of owning a consumer loop,
+ * so a scheduler (the serve session manager) can interleave many
+ * cascades over one worker pool without a thread per stage.
+ *
+ * Stages and stats are borrowed, not owned; both must stay alive and
+ * at stable addresses for the cascade's lifetime.  Not thread-safe —
+ * the caller serialises attach()/feed()/finish().  Determinism is the
+ * stage contract's: one driver, message order, so the output stream is
+ * bit-identical to a pipeline run over the same chunks.
+ */
+class StageCascade
+{
+  public:
+    /** Append a stage; `stats` accumulates its counters. */
+    void attach(StreamStage *stage, StageStats *stats);
+
+    /** Carry one message through every stage, depth-first. */
+    void feed(StreamMessage &&msg);
+
+    /**
+     * Flush every stage in chain order (upstream flushes feed the
+     * downstream stages). feed() must not be called afterwards.
+     */
+    void finish();
+
+    bool finished() const { return done; }
+
+  private:
+    struct Slot
+    {
+        StreamStage *stage = nullptr;
+        StageStats *stats = nullptr;
+        std::size_t emitSeq = 0;
+    };
+
+    void feedFrom(std::size_t index, StreamMessage &&msg);
+
+    std::vector<Slot> slots;
+    bool done = false;
+};
+
 class StreamPipeline
 {
   public:

@@ -1,72 +1,14 @@
 #include "stream/receiver_ops.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdio>
-#include <memory>
 #include <utility>
 
-#include "channel/acquisition.hpp"
-#include "channel/timing.hpp"
-#include "dsp/convolution.hpp"
-#include "dsp/fft.hpp"
-#include "dsp/peaks.hpp"
+#include "stream/decoder.hpp"
 #include "support/error.hpp"
-#include "support/stats.hpp"
 #include "support/telemetry.hpp"
 
 namespace emsc::stream {
 
 namespace {
-
-/** Smallest window the adaptation may reach (mirrors receive()). */
-constexpr std::size_t kWindowFloor = 16;
-
-void
-appendNote(std::string &diag, const std::string &note)
-{
-    if (!diag.empty())
-        diag += "; ";
-    diag += note;
-}
-
-/**
- * Window-geometry validation identical to the batch receive() entry:
- * clamp minWindow, round both to powers of two, record diagnostics.
- */
-std::size_t
-validateWindow(channel::AcquisitionConfig &acq, std::size_t min_window,
-               std::string &diag)
-{
-    if (min_window < kWindowFloor) {
-        char note[96];
-        std::snprintf(note, sizeof(note), "minWindow %zu clamped to %zu",
-                      min_window, kWindowFloor);
-        appendNote(diag, note);
-        min_window = kWindowFloor;
-    }
-    if (!dsp::isPowerOfTwo(min_window)) {
-        std::size_t rounded = dsp::nextPowerOfTwo(min_window);
-        char note[96];
-        std::snprintf(note, sizeof(note),
-                      "minWindow %zu rounded up to power of two %zu",
-                      min_window, rounded);
-        appendNote(diag, note);
-        min_window = rounded;
-    }
-    if (acq.window == 0 || !dsp::isPowerOfTwo(acq.window) ||
-        acq.window < min_window) {
-        std::size_t rounded =
-            std::max(dsp::nextPowerOfTwo(acq.window), min_window);
-        char note[96];
-        std::snprintf(note, sizeof(note),
-                      "acquisition window %zu adjusted to %zu", acq.window,
-                      rounded);
-        appendNote(diag, note);
-        acq.window = rounded;
-    }
-    return min_window;
-}
 
 /** Replays buffered warm-up chunks, then continues with the source. */
 class ReplayThenSource : public ChunkSource
@@ -146,20 +88,9 @@ ReceiverOps::streamInto(ChunkSource &source,
     channel::AcquisitionConfig acq = cfg.acquisition;
     channel::ReceiverResult &rx = out.rx;
     std::size_t min_window =
-        validateWindow(acq, cfg.minWindow, rx.diagnostic);
-    std::size_t dec = std::max<std::size_t>(1, acq.decimation);
-
-    // The warm-up must at least feed the Welch carrier search.
+        detail::validateWindow(acq, cfg.minWindow, rx.diagnostic);
     std::size_t warmup =
-        std::max(opts.warmupSamples, 4 * acq.searchWindow);
-    if (warmup != opts.warmupSamples) {
-        char note[96];
-        std::snprintf(note, sizeof(note),
-                      "warmupSamples raised to %zu for the carrier "
-                      "search",
-                      warmup);
-        appendNote(rx.diagnostic, note);
-    }
+        detail::warmupTarget(acq, opts.warmupSamples, rx.diagnostic);
 
     // ---- Warm-up: buffer a bounded prefix for calibration. ----
     std::vector<IqChunk> warm;
@@ -196,127 +127,24 @@ ReceiverOps::streamInto(ChunkSource &source,
         // The whole capture fit inside the warm-up buffer: the batch
         // path decodes it in one shot with identical results and no
         // extra memory beyond what was already resident.
-        std::string diag = std::move(rx.diagnostic);
-        rx = channel::receive(warmCap, cfg);
-        if (!diag.empty())
-            appendNote(diag, rx.diagnostic);
-        else
-            diag = std::move(rx.diagnostic);
-        rx.diagnostic = std::move(diag);
-        appendNote(rx.diagnostic,
-                   "capture ended inside warm-up: batch decode");
-        out.batchFallback = true;
-        out.report.sourceChunks = warm.size();
-        out.report.sourceSamples = warmCap.samples.size();
-        if (opts.detectKeystrokes && !rx.acquired.y.empty()) {
-            keylog::DetectionResult det = keylog::detectKeystrokes(
-                rx.acquired, warmCap.startTime, opts.detector);
-            out.keystrokes = std::move(det.keystrokes);
-            if (opts.onKeystroke)
-                for (const keylog::DetectedKeystroke &k : out.keystrokes)
-                    opts.onKeystroke(k);
-        }
+        detail::decodeWarmupBatch(cfg, warmCap, opts, warm.size(), out);
         return;
     }
 
     // ---- Calibration on the warm prefix. ----
-    rx.carrierHz = channel::estimateCarrier(warmCap, acq);
-    if (rx.carrierHz <= 0.0) {
-        appendNote(rx.diagnostic,
-                   "no carrier found in the warm-up prefix");
+    detail::WarmupCalibration calib =
+        detail::calibrateWarmup(cfg, warmCap, acq, min_window, rx);
+    if (!calib.carrierFound)
         return;
-    }
-
-    channel::AcquiredSignal warmSig;
-    channel::BitTiming warmTiming;
-    while (true) {
-        warmSig = channel::acquire(warmCap, acq, rx.carrierHz);
-        rx.windowUsed = acq.window;
-        channel::TimingConfig tc = cfg.timing;
-        if (tc.rampHint == 0)
-            tc.rampHint = acq.window / dec;
-        try {
-            warmTiming = channel::recoverTiming(warmSig.y, tc);
-        } catch (const RecoverableError &) {
-            // Warm-up too short/flat to time: the streaming stage
-            // falls back to its generic calibration below.
-            warmTiming = channel::BitTiming{};
-        }
-        if (!cfg.adaptiveWindow)
-            break;
-        double bit_samples =
-            warmTiming.signalingTime * static_cast<double>(dec);
-        bool too_coarse =
-            warmTiming.signalingTime > 0.0 &&
-            bit_samples < 2.5 * static_cast<double>(acq.window);
-        std::size_t halved = acq.window / 2;
-        if (!too_coarse || halved < min_window)
-            break;
-        acq.window = halved;
-    }
-
-    TimingCalibration cal;
-    cal.timing = cfg.timing;
-    double tsig0 = warmTiming.signalingTime;
-    if (tsig0 <= 4.0)
-        tsig0 = cfg.timing.periodHint > 4.0 ? cfg.timing.periodHint
-                                            : 64.0;
-    cal.signalingTime = tsig0;
-    std::size_t l_d = cfg.timing.edgeKernel;
-    if (l_d == 0)
-        l_d = static_cast<std::size_t>(std::lround(0.5 * tsig0));
-    cal.edgeKernel = std::clamp<std::size_t>(l_d & ~std::size_t{1}, 4,
-                                             4096);
-    if (warmSig.y.size() >= 4 * cal.edgeKernel) {
-        // Seed the stage's adaptive edge threshold with the same
-        // quantile statistic the batch recovery uses.
-        try {
-            std::vector<double> edges =
-                dsp::edgeDetect(warmSig.y, cal.edgeKernel);
-            dsp::PeakOptions po;
-            po.minDistance = std::max<std::size_t>(
-                4, static_cast<std::size_t>(
-                       std::lround(cfg.timing.minSpacingRatio * tsig0)));
-            std::vector<std::size_t> pk = dsp::findPeaks(edges, po);
-            std::vector<double> heights;
-            heights.reserve(pk.size());
-            for (std::size_t i : pk)
-                heights.push_back(edges[i]);
-            if (!heights.empty())
-                cal.referenceQuantile =
-                    quantile(std::move(heights), cfg.timing.peakQuantile);
-        } catch (const RecoverableError &) {
-            // Leave the stage to self-seed from its first span.
-        }
-    }
 
     // ---- Assemble and run the pipeline. ----
-    double decRate = warmCap.sampleRate / static_cast<double>(dec);
-
-    auto envStage = std::make_unique<EnvelopeStage>(
-        rx.carrierHz, warmCap.centerFrequency, warmCap.sampleRate, acq,
-        opts.tracker);
-    EnvelopeStage *envP = envStage.get();
-    std::unique_ptr<KeystrokeStage> keyStage;
-    KeystrokeStage *keyP = nullptr;
-    if (opts.detectKeystrokes) {
-        keyStage = std::make_unique<KeystrokeStage>(
-            decRate, warmCap.startTime, opts.detector, opts.onKeystroke);
-        keyP = keyStage.get();
-    }
-    auto timStage = std::make_unique<TimingStage>(cal);
-    auto labStage =
-        std::make_unique<LabelStage>(cfg.labeling, cfg.labeling.batchBits);
-    auto decStage = std::make_unique<DecodeStage>(cfg.frame);
-    DecodeStage *decP = decStage.get();
+    detail::StageSet set = detail::buildStages(
+        cfg, calib, rx.carrierHz, warmCap.centerFrequency,
+        warmCap.sampleRate, warmCap.startTime, opts);
 
     StreamPipeline pipe;
-    pipe.addStage(std::move(envStage), opts.queueCapacity);
-    if (keyStage)
-        pipe.addStage(std::move(keyStage), opts.queueCapacity);
-    pipe.addStage(std::move(timStage), opts.queueCapacity);
-    pipe.addStage(std::move(labStage), opts.queueCapacity);
-    pipe.addStage(std::move(decStage), opts.queueCapacity);
+    for (auto &stage : set.stages)
+        pipe.addStage(std::move(stage), opts.queueCapacity);
 
     // Free the contiguous warm copy before streaming: the chunks
     // themselves are replayed through the pipeline.
@@ -328,29 +156,7 @@ ReceiverOps::streamInto(ChunkSource &source,
     out.streamed = true;
 
     // ---- Assemble the receiver-shaped result. ----
-    rx.acquired.sampleRate = decRate;
-    rx.acquired.carrierHz = envP->carrierEstimate();
-    appendNote(rx.diagnostic,
-               "streaming decode: envelope not retained (bounded "
-               "memory)");
-    rx.timing.signalingTime = decP->signalingTime();
-    rx.timing.starts = decP->starts();
-    rx.labeled = decP->labeled();
-    rx.frame = decP->frame();
-    if (decP->anyErased())
-        rx.erasureMask = decP->erasureMask();
-
-    channel::ReceiverSegment seg;
-    seg.begin = 0;
-    seg.end = envP->envelopeSamples();
-    seg.carrierHz = envP->carrierEstimate();
-    seg.signalingTime = rx.timing.signalingTime;
-    seg.bits = rx.labeled.bits.size();
-    rx.segments.push_back(seg);
-
-    out.firstBitLatencyNs = decP->firstBitLatencyNs();
-    if (keyP)
-        out.keystrokes = keyP->events();
+    detail::assembleResult(set, calib.decRate, out);
 }
 
 } // namespace emsc::stream

@@ -34,17 +34,23 @@ bool
 SampleQueue::push(StreamMessage &&msg)
 {
     std::unique_lock<std::mutex> lock(mtx);
-    if (!aborted && count == ring.size()) {
+    std::uint64_t waited = 0;
+    if (!aborted && !closed && count == ring.size()) {
         Clock::time_point t0 = Clock::now();
         notFull.wait(lock, [this] {
-            return aborted || count < ring.size();
+            return aborted || closed || count < ring.size();
         });
-        acc.pushWaitNs += elapsedNs(t0);
+        waited = elapsedNs(t0);
     }
-    if (aborted)
+    if (aborted || closed) {
+        // The wait (if any) ended in teardown, not a transfer: leave
+        // pushWaitNs alone so stall time only measures successful
+        // backpressure, and count the post-close refusal.
+        if (closed && !aborted)
+            ++acc.rejectedAfterClose;
         return false;
-    if (closed)
-        panic("SampleQueue::push after close");
+    }
+    acc.pushWaitNs += waited;
     std::size_t units = msg.sampleUnits();
     ring[(head + count) % ring.size()] = std::move(msg);
     ++count;
@@ -61,14 +67,16 @@ bool
 SampleQueue::pop(StreamMessage &out)
 {
     std::unique_lock<std::mutex> lock(mtx);
+    std::uint64_t waited = 0;
     if (!aborted && count == 0 && !closed) {
         Clock::time_point t0 = Clock::now();
         notEmpty.wait(lock,
                       [this] { return aborted || count > 0 || closed; });
-        acc.popWaitNs += elapsedNs(t0);
+        waited = elapsedNs(t0);
     }
     if (aborted || count == 0)
-        return false;
+        return false; // woken for teardown/EOF: no transfer to charge
+    acc.popWaitNs += waited;
     out = std::move(ring[head]);
     ring[head] = StreamMessage{};
     head = (head + 1) % ring.size();
@@ -88,6 +96,10 @@ SampleQueue::close()
         closed = true;
     }
     notEmpty.notify_all();
+    // Producers blocked on a full ring must also wake: their push now
+    // resolves to a rejectedAfterClose refusal instead of waiting for
+    // space that may never appear once the consumer has drained out.
+    notFull.notify_all();
 }
 
 void

@@ -37,10 +37,18 @@ class SampleQueue
         std::size_t highWater = 0;
         /** Peak simultaneous sample units in the ring. */
         std::size_t peakSamples = 0;
-        /** Total nanoseconds producers spent blocked in push(). */
+        /**
+         * Total nanoseconds producers spent blocked in push() *for
+         * transfers that succeeded*. A waiter woken by abort() (or a
+         * close() racing its wait) is torn down, not transferring, so
+         * its wait time is excluded rather than inflating the
+         * stall-time a profile attributes to real backpressure.
+         */
         std::uint64_t pushWaitNs = 0;
-        /** Total nanoseconds consumers spent blocked in pop(). */
+        /** Same accounting on the consumer side of pop(). */
         std::uint64_t popWaitNs = 0;
+        /** push() calls refused because the queue was already closed. */
+        std::size_t rejectedAfterClose = 0;
     };
 
     explicit SampleQueue(std::size_t capacity);
@@ -50,7 +58,12 @@ class SampleQueue
 
     /**
      * Enqueue a message, blocking while the ring is full.
-     * @return false when the queue was aborted (message dropped).
+     * @return false when the queue was aborted or already closed (the
+     *         message is dropped; a post-close push is additionally
+     *         tallied in Stats::rejectedAfterClose). Closing the
+     *         stream is a producer-side statement that nothing else is
+     *         coming, so a late producer gets a refusal it can observe
+     *         instead of corrupting the drained ring.
      */
     bool push(StreamMessage &&msg);
 

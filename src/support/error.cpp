@@ -17,6 +17,8 @@ errorKindName(ErrorKind kind)
         return "insufficient-data";
       case ErrorKind::IoError:
         return "io-error";
+      case ErrorKind::ResourceExhausted:
+        return "resource-exhausted";
     }
     return "unknown";
 }

@@ -39,6 +39,8 @@ enum class ErrorKind {
     InsufficientData,
     /** A file or device I/O operation failed. */
     IoError,
+    /** A resource budget (quota, session slot, buffer cap) ran out. */
+    ResourceExhausted,
 };
 
 /** Human-readable name of an ErrorKind ("invalid-config", ...). */

@@ -13,6 +13,7 @@
 #include "core/api.hpp"
 #include "sdr/rtlsdr.hpp"
 #include "sim/faults.hpp"
+#include "stream/chunk.hpp"
 #include "support/thread_pool.hpp"
 #include "vrm/pmu.hpp"
 
@@ -100,6 +101,68 @@ batchCapture(const StreamRig &rig, const sim::FaultPlan *faults = nullptr)
     sdr::RtlSdr radio(rig.sdrCfg, rng);
     return radio.capture(rig.plan, rig.t0, rig.t1, faults);
 }
+
+/** Split a pre-rendered capture into streaming chunks (the exact
+ * chunking a push-driven feeder and a pull source must share for
+ * bit-identical decodes). The final chunk is marked last. */
+inline std::vector<stream::IqChunk>
+captureChunks(const sdr::IqCapture &cap, std::size_t chunk_samples)
+{
+    std::vector<stream::IqChunk> chunks;
+    for (std::size_t off = 0; off < cap.samples.size();
+         off += chunk_samples) {
+        stream::IqChunk c;
+        c.index = chunks.size();
+        c.firstSample = off;
+        std::size_t n =
+            std::min(chunk_samples, cap.samples.size() - off);
+        c.samples.assign(cap.samples.begin() +
+                             static_cast<std::ptrdiff_t>(off),
+                         cap.samples.begin() +
+                             static_cast<std::ptrdiff_t>(off + n));
+        chunks.push_back(std::move(c));
+    }
+    if (!chunks.empty())
+        chunks.back().last = true;
+    return chunks;
+}
+
+/** Pull-model source over pre-chunked samples, for reference runs the
+ * push-model serve path must match bit for bit. */
+class CaptureChunkSource : public stream::ChunkSource
+{
+  public:
+    CaptureChunkSource(std::vector<stream::IqChunk> chunk_list,
+                       double sample_rate, double center_frequency,
+                       TimeNs start_time = 0)
+        : chunks(std::move(chunk_list)), fs(sample_rate),
+          fc(center_frequency), start(start_time)
+    {
+    }
+
+    bool
+    next(stream::IqChunk &out) override
+    {
+        if (cursor >= chunks.size())
+            return false;
+        out = std::move(chunks[cursor]);
+        chunks[cursor] = stream::IqChunk{};
+        ++cursor;
+        return true;
+    }
+
+    double sampleRate() const override { return fs; }
+    double centerFrequency() const override { return fc; }
+    TimeNs startTime() const override { return start; }
+    std::size_t totalSamples() const override { return 0; }
+
+  private:
+    std::vector<stream::IqChunk> chunks;
+    double fs;
+    double fc;
+    TimeNs start;
+    std::size_t cursor = 0;
+};
 
 /** Integrity ranking used by the receiver's decode comparisons. */
 inline int

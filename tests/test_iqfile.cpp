@@ -140,14 +140,15 @@ TEST(IqFileReader, ChunkedReadsMatchWholeFileLoad)
     std::remove(path.c_str());
 }
 
-TEST(IqFileReader, OddTrailingByteCostsHalfASample)
+TEST(IqFileReader, OddTrailingByteDeliversSamplesThenRaises)
 {
     IqCapture cap;
     cap.sampleRate = 1e6;
     cap.samples.assign(100, IqSample{0.25, -0.25});
     std::string path = tempPath("oddchunked");
     writeIqU8(cap, path);
-    // Append a lone I byte with no matching Q.
+    // Append a lone I byte with no matching Q: a capture truncated
+    // mid-sample.
     std::FILE *f = std::fopen(path.c_str(), "ab");
     ASSERT_NE(f, nullptr);
     unsigned char stray = 200;
@@ -157,13 +158,42 @@ TEST(IqFileReader, OddTrailingByteCostsHalfASample)
     IqCapture whole = readIqU8(path, 1e6, 0.0);
     EXPECT_EQ(whole.samples.size(), 100u);
 
+    // Every complete sample flows through first — including the short
+    // final chunk (100 = 14 * 7 + 2) with its correct count — and only
+    // then does the reader raise the truncated-sample diagnostic.
     IqFileReader reader(path, 1e6, 0.0);
     std::vector<IqSample> all;
     std::vector<IqSample> piece;
-    while (reader.readNext(7, piece) > 0)
-        all.insert(all.end(), piece.begin(), piece.end());
+    bool raised = false;
+    try {
+        while (reader.readNext(7, piece) > 0)
+            all.insert(all.end(), piece.begin(), piece.end());
+    } catch (const RecoverableError &e) {
+        raised = true;
+        EXPECT_EQ(e.kind(), ErrorKind::MalformedInput);
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(raised);
     EXPECT_TRUE(reader.exhausted());
     EXPECT_EQ(all, whole.samples);
+    std::remove(path.c_str());
+}
+
+TEST(IqFileReader, LoneOddByteRaisesImmediately)
+{
+    std::string path = tempPath("lonebyte");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    unsigned char stray = 42;
+    ASSERT_EQ(std::fwrite(&stray, 1, 1, f), 1u);
+    std::fclose(f);
+
+    IqFileReader reader(path, 1e6, 0.0);
+    std::vector<IqSample> piece;
+    EXPECT_THROW(reader.readNext(8, piece), RecoverableError);
+    EXPECT_TRUE(reader.exhausted());
+    EXPECT_EQ(reader.readNext(8, piece), 0u); // error is not sticky
     std::remove(path.c_str());
 }
 

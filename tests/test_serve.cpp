@@ -1,0 +1,643 @@
+/**
+ * @file
+ * Session-layer and wire-protocol tests for the multi-session
+ * receiver service (src/serve/): frame codec round-trips, malformed
+ * framing, admission control, per-session quotas, concurrent
+ * open/feed/close churn over the shared pool, and a full
+ * socket-level client conversation including the rtl_tcp ingest path.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/manager.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "stream/receiver_ops.hpp"
+#include "stream_test_rig.hpp"
+#include "support/error.hpp"
+
+using namespace emsc;
+
+namespace {
+
+constexpr std::size_t kChunk = 1 << 15;
+
+/** One shared rig: the simulation is the slow part, captures from it
+ * are cheap and deterministic. */
+const test::StreamRig &
+rig()
+{
+    static test::StreamRig r = test::makeStreamRig(96, 1234);
+    return r;
+}
+
+const sdr::IqCapture &
+capture()
+{
+    static sdr::IqCapture cap = test::batchCapture(rig());
+    return cap;
+}
+
+stream::StreamMeta
+rigMeta()
+{
+    stream::StreamMeta meta;
+    meta.sampleRate = capture().sampleRate;
+    meta.centerFrequency = capture().centerFrequency;
+    meta.startTime = capture().startTime;
+    return meta;
+}
+
+/** The single-session runStreaming result every serve decode of the
+ * same chunk stream must reproduce bit for bit. */
+const stream::StreamingResult &
+reference()
+{
+    static stream::StreamingResult ref = [] {
+        test::CaptureChunkSource src(
+            test::captureChunks(capture(), kChunk),
+            capture().sampleRate, capture().centerFrequency,
+            capture().startTime);
+        stream::ReceiverOps ops(rig().rxCfg);
+        return ops.runStreaming(src, {});
+    }();
+    return ref;
+}
+
+/** Feed every chunk (spinning on backpressure), then close. */
+stream::StreamingResult
+feedAndClose(serve::SessionManager &mgr, std::uint64_t id)
+{
+    for (stream::IqChunk &c : test::captureChunks(capture(), kChunk)) {
+        while (!mgr.tryFeed(id, std::move(c)))
+            std::this_thread::yield();
+    }
+    return mgr.close(id);
+}
+
+void
+expectMatchesReference(const stream::StreamingResult &r)
+{
+    const stream::StreamingResult &ref = reference();
+    ASSERT_FALSE(r.rx.failure.has_value())
+        << r.rx.failure->message;
+    EXPECT_EQ(r.streamed, ref.streamed);
+    EXPECT_EQ(r.rx.carrierHz, ref.rx.carrierHz);
+    ASSERT_TRUE(r.rx.frame.found);
+    EXPECT_EQ(r.rx.frame.payload, ref.rx.frame.payload);
+    EXPECT_EQ(r.rx.frame.payload, rig().payload);
+    EXPECT_EQ(r.rx.labeled.bits, ref.rx.labeled.bits);
+    EXPECT_EQ(r.rx.timing.signalingTime, ref.rx.timing.signalingTime);
+    EXPECT_EQ(r.rx.timing.starts, ref.rx.timing.starts);
+}
+
+// ---------------------------------------------------------------
+// Wire protocol codec
+// ---------------------------------------------------------------
+
+TEST(ServeProtocol, FrameRoundTrip)
+{
+    json::Value body = json::Value::object();
+    body.set("session", 7);
+    std::vector<std::uint8_t> wire =
+        serve::encodeJsonFrame(serve::FrameType::OpenOk, body);
+
+    serve::FrameReader reader;
+    reader.push(wire.data(), wire.size());
+    serve::Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    EXPECT_EQ(frame.type, serve::FrameType::OpenOk);
+    json::Value parsed = serve::parseJsonBody(frame);
+    ASSERT_NE(parsed.find("session"), nullptr);
+    EXPECT_EQ(parsed.find("session")->number(), 7.0);
+    EXPECT_FALSE(reader.next(frame));
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ServeProtocol, ByteByByteDeliveryReassembles)
+{
+    std::vector<std::uint8_t> wire;
+    for (int i = 0; i < 3; ++i) {
+        std::uint8_t payload[2] = {static_cast<std::uint8_t>(i), 200};
+        auto f = serve::encodeFrame(serve::FrameType::Data, payload,
+                                    sizeof payload);
+        wire.insert(wire.end(), f.begin(), f.end());
+    }
+
+    serve::FrameReader reader;
+    std::size_t got = 0;
+    serve::Frame frame;
+    for (std::uint8_t b : wire) {
+        reader.push(&b, 1);
+        while (reader.next(frame)) {
+            EXPECT_EQ(frame.type, serve::FrameType::Data);
+            ASSERT_EQ(frame.body.size(), 2u);
+            EXPECT_EQ(frame.body[0], got);
+            ++got;
+        }
+    }
+    EXPECT_EQ(got, 3u);
+}
+
+TEST(ServeProtocol, EmptyBodyFrameIsLegal)
+{
+    auto wire = serve::encodeFrame(serve::FrameType::Poll, nullptr, 0);
+    EXPECT_EQ(wire.size(), 5u);
+    serve::FrameReader reader;
+    reader.push(wire.data(), wire.size());
+    serve::Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    EXPECT_EQ(frame.type, serve::FrameType::Poll);
+    EXPECT_TRUE(frame.body.empty());
+    EXPECT_TRUE(serve::parseJsonBody(frame).isObject());
+}
+
+TEST(ServeProtocol, ZeroLengthHeaderIsMalformed)
+{
+    const std::uint8_t wire[4] = {0, 0, 0, 0};
+    serve::FrameReader reader;
+    reader.push(wire, sizeof wire);
+    serve::Frame frame;
+    try {
+        reader.next(frame);
+        FAIL() << "zero-length frame accepted";
+    } catch (const RecoverableError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::MalformedInput);
+    }
+}
+
+TEST(ServeProtocol, OversizedLengthIsMalformed)
+{
+    const std::uint8_t wire[4] = {0xff, 0xff, 0xff, 0xff};
+    serve::FrameReader reader;
+    reader.push(wire, sizeof wire);
+    serve::Frame frame;
+    try {
+        reader.next(frame);
+        FAIL() << "oversized frame accepted";
+    } catch (const RecoverableError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::MalformedInput);
+    }
+}
+
+TEST(ServeProtocol, UnknownFrameTypeIsMalformed)
+{
+    const std::uint8_t wire[5] = {1, 0, 0, 0, 0x7f};
+    serve::FrameReader reader;
+    reader.push(wire, sizeof wire);
+    serve::Frame frame;
+    try {
+        reader.next(frame);
+        FAIL() << "unknown frame type accepted";
+    } catch (const RecoverableError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::MalformedInput);
+    }
+}
+
+TEST(ServeProtocol, BadJsonBodyIsMalformed)
+{
+    serve::Frame frame;
+    frame.type = serve::FrameType::Open;
+    const char *text = "{not json";
+    frame.body.assign(text, text + std::strlen(text));
+    try {
+        serve::parseJsonBody(frame);
+        FAIL() << "invalid JSON accepted";
+    } catch (const RecoverableError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::MalformedInput);
+    }
+}
+
+TEST(ServeProtocol, IqConversionMatchesFileReader)
+{
+    // 127/128 straddle the 127.5 zero exactly as sdr::readIqU8 does.
+    sdr::IqSample s = serve::iqFromU8(127, 128);
+    EXPECT_NEAR(s.real(), -0.5 / 127.5, 1e-12);
+    EXPECT_NEAR(s.imag(), 0.5 / 127.5, 1e-12);
+    const std::uint8_t bytes[4] = {0, 255, 127, 128};
+    std::vector<sdr::IqSample> out;
+    serve::appendIqFromU8(bytes, sizeof bytes, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0].real(), -1.0);
+    EXPECT_DOUBLE_EQ(out[0].imag(), 1.0);
+}
+
+// ---------------------------------------------------------------
+// Session manager
+// ---------------------------------------------------------------
+
+TEST(ServeManager, SingleSessionMatchesRunStreaming)
+{
+    serve::SessionManager::Config cfg;
+    serve::SessionManager mgr(rig().rxCfg, {}, cfg);
+    std::uint64_t id = mgr.open(rigMeta());
+    EXPECT_EQ(mgr.activeSessions(), 1u);
+    stream::StreamingResult r = feedAndClose(mgr, id);
+    EXPECT_EQ(mgr.activeSessions(), 0u);
+    expectMatchesReference(r);
+}
+
+TEST(ServeManager, AdmissionRejectsAtLimitAndRecovers)
+{
+    serve::SessionManager::Config cfg;
+    cfg.maxSessions = 2;
+    serve::SessionManager mgr(rig().rxCfg, {}, cfg);
+    std::uint64_t a = mgr.open(rigMeta());
+    std::uint64_t b = mgr.open(rigMeta());
+    try {
+        mgr.open(rigMeta());
+        FAIL() << "third session admitted past maxSessions=2";
+    } catch (const RecoverableError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::ResourceExhausted);
+    }
+    EXPECT_EQ(mgr.activeSessions(), 2u);
+    mgr.close(a);
+    // A slot freed by close() is immediately reusable.
+    std::uint64_t c = mgr.open(rigMeta());
+    EXPECT_NE(c, a);
+    mgr.close(b);
+    mgr.close(c);
+    EXPECT_EQ(mgr.activeSessions(), 0u);
+}
+
+TEST(ServeManager, UnknownAndDoubleCloseRaise)
+{
+    serve::SessionManager mgr(rig().rxCfg, {}, {});
+    EXPECT_THROW(mgr.poll(42), RecoverableError);
+    EXPECT_THROW(mgr.close(42), RecoverableError);
+    std::uint64_t id = mgr.open(rigMeta());
+    mgr.close(id);
+    EXPECT_THROW(mgr.close(id), RecoverableError);
+    EXPECT_THROW(mgr.tryFeed(id, stream::IqChunk{}), RecoverableError);
+}
+
+TEST(ServeManager, QuotaExceededFailsSessionWithoutCollateral)
+{
+    serve::SessionManager::Config cfg;
+    // The quota bites mid-capture: enough to start streaming, not
+    // enough to finish.
+    cfg.quotaSamples = capture().samples.size() / 2;
+    serve::SessionManager mgr(rig().rxCfg, {}, cfg);
+
+    std::uint64_t throttled = mgr.open(rigMeta());
+    for (stream::IqChunk &c : test::captureChunks(capture(), kChunk)) {
+        while (!mgr.tryFeed(throttled, std::move(c)))
+            std::this_thread::yield();
+    }
+    stream::StreamingResult starved = mgr.close(throttled);
+    ASSERT_TRUE(starved.rx.failure.has_value());
+    EXPECT_EQ(starved.rx.failure->kind, ErrorKind::ResourceExhausted);
+
+    // The failure is the quota's, not the config's: a fresh unlimited
+    // manager still decodes bit-identically to runStreaming.
+    serve::SessionManager clean(rig().rxCfg, {}, {});
+    std::uint64_t id = clean.open(rigMeta());
+    expectMatchesReference(feedAndClose(clean, id));
+}
+
+TEST(ServeManager, QuotaTeardownLeavesOtherSessionsBitIdentical)
+{
+    serve::SessionManager::Config cfg;
+    cfg.quotaSamples = capture().samples.size() / 2;
+    serve::SessionManager mgr(rig().rxCfg, {}, cfg);
+
+    std::uint64_t doomed = mgr.open(rigMeta());
+
+    // The healthy session runs in a quota-free manager sharing the
+    // same pool while the doomed one is torn down next to it.
+    serve::SessionManager unlimited(rig().rxCfg, {}, {});
+    std::uint64_t healthy = unlimited.open(rigMeta());
+
+    std::vector<stream::IqChunk> doomedChunks =
+        test::captureChunks(capture(), kChunk);
+    std::vector<stream::IqChunk> healthyChunks =
+        test::captureChunks(capture(), kChunk);
+    for (std::size_t i = 0; i < doomedChunks.size(); ++i) {
+        while (!mgr.tryFeed(doomed, std::move(doomedChunks[i])))
+            std::this_thread::yield();
+        while (
+            !unlimited.tryFeed(healthy, std::move(healthyChunks[i])))
+            std::this_thread::yield();
+    }
+
+    stream::StreamingResult failed = mgr.close(doomed);
+    ASSERT_TRUE(failed.rx.failure.has_value());
+    EXPECT_EQ(failed.rx.failure->kind, ErrorKind::ResourceExhausted);
+
+    expectMatchesReference(unlimited.close(healthy));
+}
+
+TEST(ServeManager, PollReportsProgress)
+{
+    serve::SessionManager mgr(rig().rxCfg, {}, {});
+    std::uint64_t id = mgr.open(rigMeta());
+    serve::SessionProgress before = mgr.poll(id);
+    EXPECT_EQ(before.samplesIn, 0u);
+    EXPECT_FALSE(before.failed);
+
+    for (stream::IqChunk &c : test::captureChunks(capture(), kChunk)) {
+        while (!mgr.tryFeed(id, std::move(c)))
+            std::this_thread::yield();
+    }
+    stream::StreamingResult r = mgr.close(id);
+    ASSERT_FALSE(r.rx.failure.has_value());
+    // After close the id is gone; progress was last visible pre-close.
+    EXPECT_THROW(mgr.poll(id), RecoverableError);
+    EXPECT_GT(r.rx.labeled.bits.size(), 0u);
+}
+
+TEST(ServeManager, ConcurrentOpenFeedCloseChurn)
+{
+    serve::SessionManager::Config cfg;
+    cfg.maxSessions = 16;
+    serve::SessionManager mgr(rig().rxCfg, {}, cfg);
+
+    // Short per-session streams: churn is about lifecycle races, not
+    // decode quality. Each thread opens/feeds/closes in a loop while
+    // its neighbours do the same over the shared pool.
+    std::vector<stream::IqChunk> proto =
+        test::captureChunks(capture(), kChunk);
+    proto.resize(3);
+    proto.back().last = false;
+
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 6;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int round = 0; round < kRounds; ++round) {
+                try {
+                    std::uint64_t id = mgr.open(rigMeta());
+                    for (const stream::IqChunk &c : proto) {
+                        stream::IqChunk copy = c;
+                        while (!mgr.tryFeed(id, std::move(copy)))
+                            std::this_thread::yield();
+                    }
+                    mgr.poll(id);
+                    mgr.close(id);
+                } catch (const RecoverableError &e) {
+                    // Admission rejects are expected under churn;
+                    // anything else is a real failure.
+                    if (e.kind() != ErrorKind::ResourceExhausted)
+                        failures.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(mgr.activeSessions(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Socket server
+// ---------------------------------------------------------------
+
+int
+connectLoopback(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0)
+        << std::strerror(errno);
+    return fd;
+}
+
+void
+sendAll(int fd, const std::vector<std::uint8_t> &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n =
+            ::send(fd, bytes.data() + off, bytes.size() - off, 0);
+        ASSERT_GT(n, 0) << std::strerror(errno);
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+/** Blocking-read frames until one arrives (or the peer closes). */
+bool
+readFrame(int fd, serve::FrameReader &reader, serve::Frame &out)
+{
+    for (;;) {
+        if (reader.next(out))
+            return true;
+        std::uint8_t buf[4096];
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            return false;
+        reader.push(buf, static_cast<std::size_t>(n));
+    }
+}
+
+serve::ServerConfig
+rigServerConfig()
+{
+    serve::ServerConfig sc;
+    sc.defaults = rigMeta();
+    sc.chunkSamples = kChunk;
+    return sc;
+}
+
+TEST(ServeServer, ControlConversationDecodesPayload)
+{
+    serve::Server server(rig().rxCfg, {}, rigServerConfig());
+    server.start();
+    int fd = connectLoopback(server.controlPort());
+    serve::FrameReader reader;
+    serve::Frame frame;
+
+    sendAll(fd, serve::encodeJsonFrame(serve::FrameType::Open,
+                                       json::Value::object()));
+    ASSERT_TRUE(readFrame(fd, reader, frame));
+    ASSERT_EQ(frame.type, serve::FrameType::OpenOk);
+    json::Value ok = serve::parseJsonBody(frame);
+    ASSERT_NE(ok.find("session"), nullptr);
+
+    // The wire carries u8 IQ, so quantise the capture exactly like
+    // the rtl_sdr file writer would.
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(capture().samples.size() * 2);
+    auto toU8 = [](double v) {
+        double clamped = std::min(1.0, std::max(-1.0, v));
+        return static_cast<std::uint8_t>(
+            std::lround(clamped * 127.5 + 127.5));
+    };
+    for (const sdr::IqSample &s : capture().samples) {
+        bytes.push_back(toU8(s.real()));
+        bytes.push_back(toU8(s.imag()));
+    }
+    for (std::size_t off = 0; off < bytes.size(); off += 2 * kChunk) {
+        std::size_t n = std::min(bytes.size() - off, 2 * kChunk);
+        sendAll(fd, serve::encodeFrame(serve::FrameType::Data,
+                                       bytes.data() + off, n));
+    }
+
+    sendAll(fd, serve::encodeFrame(serve::FrameType::Poll, nullptr, 0));
+    ASSERT_TRUE(readFrame(fd, reader, frame));
+    ASSERT_EQ(frame.type, serve::FrameType::Status);
+    json::Value status = serve::parseJsonBody(frame);
+    ASSERT_NE(status.find("samples_in"), nullptr);
+
+    sendAll(fd,
+            serve::encodeFrame(serve::FrameType::Close, nullptr, 0));
+    ASSERT_TRUE(readFrame(fd, reader, frame));
+    ASSERT_EQ(frame.type, serve::FrameType::Result);
+    json::Value result = serve::parseJsonBody(frame);
+    ASSERT_NE(result.find("ok"), nullptr);
+    EXPECT_TRUE(result.find("ok")->boolean());
+    ASSERT_NE(result.find("frame_found"), nullptr);
+    ASSERT_TRUE(result.find("frame_found")->boolean());
+    const json::Value *payload = result.find("payload_bits");
+    ASSERT_NE(payload, nullptr);
+    ASSERT_EQ(payload->items().size(), rig().payload.size());
+    for (std::size_t i = 0; i < rig().payload.size(); ++i)
+        EXPECT_EQ(payload->items()[i].number(),
+                  static_cast<double>(rig().payload[i]));
+
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServeServer, MalformedWireFrameGetsErrorAndDisconnect)
+{
+    serve::Server server(rig().rxCfg, {}, rigServerConfig());
+    server.start();
+    int fd = connectLoopback(server.controlPort());
+
+    // A zero length header desynchronises the stream for good.
+    const std::uint8_t bad[5] = {0, 0, 0, 0, 1};
+    sendAll(fd, std::vector<std::uint8_t>(bad, bad + sizeof bad));
+
+    serve::FrameReader reader;
+    serve::Frame frame;
+    ASSERT_TRUE(readFrame(fd, reader, frame));
+    EXPECT_EQ(frame.type, serve::FrameType::Error);
+    json::Value err = serve::parseJsonBody(frame);
+    ASSERT_NE(err.find("kind"), nullptr);
+    EXPECT_EQ(err.find("kind")->string(), "malformed-input");
+    // ... after which the server hangs up.
+    EXPECT_FALSE(readFrame(fd, reader, frame));
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServeServer, TruncatedDataFrameIsRejectedNotFatal)
+{
+    serve::Server server(rig().rxCfg, {}, rigServerConfig());
+    server.start();
+    int fd = connectLoopback(server.controlPort());
+    serve::FrameReader reader;
+    serve::Frame frame;
+
+    sendAll(fd, serve::encodeJsonFrame(serve::FrameType::Open,
+                                       json::Value::object()));
+    ASSERT_TRUE(readFrame(fd, reader, frame));
+    ASSERT_EQ(frame.type, serve::FrameType::OpenOk);
+
+    // Odd byte count: a truncated IQ sample. The frame is refused
+    // with a diagnostic but the framing (and session) survives.
+    const std::uint8_t odd[3] = {1, 2, 3};
+    sendAll(fd,
+            serve::encodeFrame(serve::FrameType::Data, odd, sizeof odd));
+    ASSERT_TRUE(readFrame(fd, reader, frame));
+    ASSERT_EQ(frame.type, serve::FrameType::Error);
+    json::Value err = serve::parseJsonBody(frame);
+    EXPECT_EQ(err.find("kind")->string(), "malformed-input");
+
+    // The connection still answers polls.
+    sendAll(fd, serve::encodeFrame(serve::FrameType::Poll, nullptr, 0));
+    ASSERT_TRUE(readFrame(fd, reader, frame));
+    EXPECT_EQ(frame.type, serve::FrameType::Status);
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServeServer, OpenRejectedAtSessionLimit)
+{
+    serve::ServerConfig sc = rigServerConfig();
+    sc.sessions.maxSessions = 1;
+    serve::Server server(rig().rxCfg, {}, sc);
+    server.start();
+
+    int first = connectLoopback(server.controlPort());
+    serve::FrameReader r1;
+    serve::Frame frame;
+    sendAll(first, serve::encodeJsonFrame(serve::FrameType::Open,
+                                          json::Value::object()));
+    ASSERT_TRUE(readFrame(first, r1, frame));
+    ASSERT_EQ(frame.type, serve::FrameType::OpenOk);
+
+    int second = connectLoopback(server.controlPort());
+    serve::FrameReader r2;
+    sendAll(second, serve::encodeJsonFrame(serve::FrameType::Open,
+                                           json::Value::object()));
+    ASSERT_TRUE(readFrame(second, r2, frame));
+    ASSERT_EQ(frame.type, serve::FrameType::Error);
+    json::Value err = serve::parseJsonBody(frame);
+    EXPECT_EQ(err.find("kind")->string(), "resource-exhausted");
+
+    ::close(first);
+    ::close(second);
+    server.stop();
+}
+
+TEST(ServeServer, RtlIngestDecodesACapture)
+{
+    serve::Server server(rig().rxCfg, {}, rigServerConfig());
+    server.start();
+    ASSERT_NE(server.rtlPort(), 0);
+    int fd = connectLoopback(server.rtlPort());
+
+    // rtl_tcp banner: "RTL0" + tuner type + gain count.
+    std::vector<std::uint8_t> bytes = {'R', 'T', 'L', '0', 0, 0,
+                                       0,   5,   0,   0,   0, 29};
+    auto toU8 = [](double v) {
+        double clamped = std::min(1.0, std::max(-1.0, v));
+        return static_cast<std::uint8_t>(
+            std::lround(clamped * 127.5 + 127.5));
+    };
+    for (const sdr::IqSample &s : capture().samples) {
+        bytes.push_back(toU8(s.real()));
+        bytes.push_back(toU8(s.imag()));
+    }
+    sendAll(fd, bytes);
+    ::close(fd); // EOF finishes the implicit session
+
+    std::vector<stream::StreamingResult> results;
+    for (int i = 0; i < 500 && results.empty(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        results = server.takeRtlResults();
+    }
+    server.stop();
+    auto late = server.takeRtlResults();
+    results.insert(results.end(),
+                   std::make_move_iterator(late.begin()),
+                   std::make_move_iterator(late.end()));
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_FALSE(results[0].rx.failure.has_value())
+        << results[0].rx.failure->message;
+    ASSERT_TRUE(results[0].rx.frame.found);
+    EXPECT_EQ(results[0].rx.frame.payload, rig().payload);
+}
+
+} // namespace

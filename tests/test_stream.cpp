@@ -101,6 +101,73 @@ TEST(SampleQueue, AbortUnblocksBlockedProducer)
     EXPECT_FALSE(q.pop(m)); // aborted queues hand out nothing
 }
 
+TEST(SampleQueue, PushAfterCloseIsRefusedAndCounted)
+{
+    stream::SampleQueue q(4);
+    ASSERT_TRUE(q.push(iqMessage(0, 0, 1)));
+    q.close();
+    EXPECT_FALSE(q.push(iqMessage(1, 0, 1)));
+    EXPECT_FALSE(q.push(iqMessage(2, 0, 1)));
+
+    stream::SampleQueue::Stats s = q.stats();
+    EXPECT_EQ(s.pushed, 1u);
+    EXPECT_EQ(s.rejectedAfterClose, 2u);
+
+    // The message enqueued before the close still drains.
+    stream::StreamMessage m;
+    EXPECT_TRUE(q.pop(m));
+    EXPECT_FALSE(q.pop(m));
+}
+
+TEST(SampleQueue, CloseUnblocksFullRingProducer)
+{
+    stream::SampleQueue q(1);
+    ASSERT_TRUE(q.push(iqMessage(0, 0, 1)));
+    std::atomic<bool> returned{false};
+    std::thread producer([&] {
+        stream::StreamMessage m = iqMessage(1, 0, 1);
+        EXPECT_FALSE(q.push(std::move(m))); // blocked, then closed
+        returned.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(returned.load());
+    q.close();
+    producer.join();
+    EXPECT_TRUE(returned.load());
+    EXPECT_EQ(q.stats().rejectedAfterClose, 1u);
+
+    stream::StreamMessage m;
+    EXPECT_TRUE(q.pop(m)); // pre-close message survives
+    EXPECT_EQ(m.seq, 0u);
+    EXPECT_FALSE(q.pop(m));
+}
+
+TEST(SampleQueue, AbortedWaitsAreNotChargedToTransfers)
+{
+    stream::SampleQueue q(1);
+    ASSERT_TRUE(q.push(iqMessage(0, 0, 1)));
+    std::thread producer([&] {
+        stream::StreamMessage m = iqMessage(1, 0, 1);
+        EXPECT_FALSE(q.push(std::move(m)));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    q.abort();
+    producer.join();
+    // The producer demonstrably waited ~30 ms, but the wait ended in
+    // teardown: none of it may be attributed to successful transfers.
+    EXPECT_EQ(q.stats().pushWaitNs, 0u);
+
+    stream::SampleQueue q2(2);
+    std::thread consumer([&] {
+        stream::StreamMessage m;
+        EXPECT_FALSE(q2.pop(m)); // blocked, then aborted
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    q2.abort();
+    consumer.join();
+    EXPECT_EQ(q2.stats().popWaitNs, 0u);
+}
+
 TEST(MemoryChunkSource, ReconstructsCaptureWithOffsets)
 {
     sdr::IqCapture cap;

@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench_util.hpp"
 #include "core/api.hpp"
 #include "core/keylogging.hpp"
 #include "stream/receiver_ops.hpp"
@@ -227,6 +228,34 @@ TEST(ToolMetrics, BatchAndStreamingReportTheSameChannelNames)
               nullptr);
     EXPECT_GT(*stream_snap.counter("stream.stage.envelope.samples_in"),
               0u);
+}
+
+TEST(BenchWallStats, MedianAveragesEvenCountsAndP90IsNearestRank)
+{
+    using bench::wallMedian;
+    using bench::wallP90;
+
+    // p90 of 3 runs is the max — not an interpolated value below it,
+    // and no index past the sorted vector.
+    EXPECT_DOUBLE_EQ(wallP90({1.5, 8.0, 2.5}), 8.0);
+    EXPECT_DOUBLE_EQ(wallP90({7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(wallP90({3.0, 1.0}), 3.0);
+    // Nearest-rank at an exact-integer product: ceil(0.9 * 10) = 9th
+    // smallest of ten.
+    std::vector<double> ten;
+    for (int i = 1; i <= 10; ++i)
+        ten.push_back(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(wallP90(ten), 9.0);
+
+    // Median of even N averages the two middle order statistics.
+    EXPECT_DOUBLE_EQ(wallMedian({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(wallMedian({5.0, 1.0, 9.0}), 5.0);
+    EXPECT_DOUBLE_EQ(wallMedian({}), 0.0);
+    EXPECT_DOUBLE_EQ(wallP90({}), 0.0);
+
+    // The schema invariant the validator enforces.
+    std::vector<double> runs = {12.0, 3.0, 5.0, 5.5, 4.0};
+    EXPECT_GE(wallP90(runs), wallMedian(runs));
 }
 
 } // namespace
