@@ -71,6 +71,50 @@ BM_SlidingDftPush(benchmark::State &state)
 }
 BENCHMARK(BM_SlidingDftPush)->Arg(1)->Arg(2)->Arg(6);
 
+/**
+ * Chunked sliding-DFT feed — the streaming hot path. The whole 4096
+ * sample block goes through pushChunk so the SIMD bin bank processes
+ * runs between renormalisation boundaries; compare against
+ * BM_SlidingDftPush to see the dispatch + per-call overhead removed,
+ * and run with EMSC_SIMD=scalar for the scalar-kernel baseline.
+ */
+void
+BM_SlidingDftChunk(benchmark::State &state)
+{
+    auto bins = static_cast<std::size_t>(state.range(0));
+    std::vector<std::size_t> tracked;
+    for (std::size_t i = 0; i < bins; ++i)
+        tracked.push_back(i * 37 + 3);
+    dsp::SlidingDft sdft(1024, tracked);
+    auto x = randomComplex(4096);
+    std::vector<double> y(x.size());
+    for (auto _ : state) {
+        sdft.pushChunk(x.data(), x.size(), y.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_SlidingDftChunk)->Arg(1)->Arg(2)->Arg(6);
+
+/** Packed real-input FFT vs the complex transform of the same size. */
+void
+BM_FftRealPacked(benchmark::State &state)
+{
+    auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(n);
+    std::vector<double> x(n);
+    for (auto &v : x)
+        v = rng.gaussian(0.0, 1.0);
+    for (auto _ : state) {
+        auto spec = dsp::fftRealPacked(x);
+        benchmark::DoNotOptimize(spec.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftRealPacked)->Arg(1024)->Arg(4096)->Arg(16384);
+
 void
 BM_EdgeDetect(benchmark::State &state)
 {

@@ -301,10 +301,28 @@ StreamingAcquirer::StreamingAcquirer(double carrier_hz,
 void
 StreamingAcquirer::feed(const std::vector<sdr::IqSample> &samples)
 {
-    y.reserve(y.size() + samples.size() / cfg.decimation + 1);
-    for (const sdr::IqSample &s : samples) {
-        sdft->push(s);
-        if (counter++ % cfg.decimation == 0) {
+    std::size_t dec = cfg.decimation;
+    y.reserve(y.size() + samples.size() / dec + 1);
+
+    // Feed the sliding DFT in runs that each end exactly on the next
+    // decimated output instant (the sample whose pre-increment counter
+    // is ≡ 0 mod decimation), so the emission phase is sample-exact
+    // with the historical per-sample loop. Eq. (1) outputs are skipped
+    // (null y_out): the envelope is synthesised from the raw bins via
+    // the Hann 3-bin identity only at the decimated rate.
+    std::size_t i = 0, n = samples.size();
+    while (i < n) {
+        std::size_t phase = counter % dec;
+        std::size_t run = phase == 0 ? 1 : dec - phase + 1;
+        bool emits = true;
+        if (run > n - i) {
+            run = n - i;
+            emits = (counter + run - 1) % dec == 0;
+        }
+        sdft->pushChunk(samples.data() + i, run, nullptr);
+        counter += run;
+        i += run;
+        if (emits) {
             double v = 0.0;
             for (const auto &t : triplets) {
                 dsp::Complex hann =

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
+#include "dsp/simd/simd.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
 
@@ -30,25 +32,28 @@ convolveFft(const std::vector<double> &a, const std::vector<double> &b)
     if (a.empty() || b.empty())
         return {};
     std::size_t out_len = a.size() + b.size() - 1;
-    std::size_t n = nextPowerOfTwo(out_len);
+    std::size_t n =
+        std::max<std::size_t>(2, nextPowerOfTwo(out_len));
 
-    std::vector<Complex> fa(n, Complex{0.0, 0.0});
-    std::vector<Complex> fb(n, Complex{0.0, 0.0});
-    for (std::size_t i = 0; i < a.size(); ++i)
-        fa[i] = Complex{a[i], 0.0};
-    for (std::size_t i = 0; i < b.size(); ++i)
-        fb[i] = Complex{b[i], 0.0};
+    // Both operands are real, so the transform runs through the
+    // packed real-input plan: two half-size FFTs and one half-size
+    // inverse instead of three full complex transforms.
+    auto plan = RealFftPlan::forSize(n);
+    std::size_t bins = plan->spectrumSize();
+    std::vector<double> pa(n, 0.0), pb(n, 0.0);
+    std::copy(a.begin(), a.end(), pa.begin());
+    std::copy(b.begin(), b.end(), pb.begin());
 
-    fftRadix2(fa, false);
-    fftRadix2(fb, false);
-    for (std::size_t i = 0; i < n; ++i)
+    std::vector<Complex> scratch(n / 2);
+    std::vector<Complex> fa(bins), fb(bins);
+    plan->forward(pa.data(), fa.data(), scratch.data());
+    plan->forward(pb.data(), fb.data(), scratch.data());
+    for (std::size_t i = 0; i < bins; ++i)
         fa[i] *= fb[i];
-    fftRadix2(fa, true);
+    plan->inverse(fa.data(), pa.data(), scratch.data());
 
-    std::vector<double> out(out_len);
-    for (std::size_t i = 0; i < out_len; ++i)
-        out[i] = fa[i].real();
-    return out;
+    pa.resize(out_len);
+    return pa;
 }
 
 std::vector<double>
@@ -62,29 +67,16 @@ edgeDetect(const std::vector<double> &signal, std::size_t l_d)
         return {};
 
     std::size_t half = l_d / 2;
-    std::vector<double> out(signal.size(), 0.0);
+    std::size_t n = signal.size();
+    std::vector<double> out(n);
 
-    // out[i] = sum(signal[i .. i+half-1]) - sum(signal[i-half .. i-1]),
-    // computed with a running window for O(N) total cost. A rising step
-    // at index i maximises this difference at i.
-    auto n = static_cast<std::ptrdiff_t>(signal.size());
-    auto h = static_cast<std::ptrdiff_t>(half);
-    auto sample = [&](std::ptrdiff_t idx) {
-        idx = std::clamp<std::ptrdiff_t>(idx, 0, n - 1);
-        return signal[static_cast<std::size_t>(idx)];
-    };
-
-    double ahead = 0.0, behind = 0.0;
-    for (std::ptrdiff_t j = 0; j < h; ++j) {
-        ahead += sample(j);
-        behind += sample(-1 - j);
-    }
-    for (std::ptrdiff_t i = 0; i < n; ++i) {
-        out[static_cast<std::size_t>(i)] = ahead - behind;
-        // Slide the window one sample to the right.
-        ahead += sample(i + h) - sample(i);
-        behind += sample(i) - sample(i - h);
-    }
+    // out[i] = sum(signal[i .. i+half-1]) - sum(signal[i-half .. i-1])
+    // with clamped indices; a rising step at index i maximises the
+    // difference at i. Dispatched to the active SIMD backend; the
+    // scratch buffer is the vector backends' prefix-sum workspace.
+    std::vector<double> scratch(n + 1);
+    simd::kernels().edgeDetect(signal.data(), n, half, scratch.data(),
+                               out.data());
     return out;
 }
 

@@ -1,9 +1,12 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <numbers>
 
 #include "dsp/fft_plan.hpp"
+#include "dsp/simd/simd.hpp"
+#include "support/error.hpp"
 #include "support/logging.hpp"
 
 namespace emsc::dsp {
@@ -17,6 +20,12 @@ constexpr double kPi = std::numbers::pi;
 std::size_t
 nextPowerOfTwo(std::size_t n)
 {
+    // Beyond 2^63 (on 64-bit) the shift below would wrap to zero and
+    // loop forever; no power of two >= n exists in size_t, so reject.
+    constexpr std::size_t kLargest = (SIZE_MAX >> 1) + 1;
+    if (n > kLargest)
+        raiseError(ErrorKind::InvalidConfig,
+                   "nextPowerOfTwo(%zu) does not fit in size_t", n);
     std::size_t p = 1;
     while (p < n)
         p <<= 1;
@@ -55,12 +64,10 @@ ifft(const std::vector<Complex> &input)
         fftRadix2(data, true);
         return data;
     }
-    std::vector<Complex> out =
-        BluesteinPlan::forSize(input.size())->transform(input, true);
-    double inv = 1.0 / static_cast<double>(out.size());
-    for (Complex &x : out)
-        x *= inv;
-    return out;
+    // Both plan classes apply 1/N inside their inverse transform (the
+    // normalisation contract lives at the plan layer), so no
+    // path-dependent scaling happens here.
+    return BluesteinPlan::forSize(input.size())->transform(input, true);
 }
 
 std::vector<Complex>
@@ -72,12 +79,46 @@ fftReal(const std::vector<double> &input)
     return fft(data);
 }
 
+std::vector<Complex>
+fftRealPacked(const std::vector<double> &input)
+{
+    if (!isPowerOfTwo(input.size()) || input.size() < 2)
+        raiseError(ErrorKind::InvalidConfig,
+                   "fftRealPacked requires a power-of-two size >= 2, "
+                   "got %zu", input.size());
+    auto plan = RealFftPlan::forSize(input.size());
+    std::vector<Complex> scratch(input.size() / 2);
+    std::vector<Complex> spectrum(plan->spectrumSize());
+    plan->forward(input.data(), spectrum.data(), scratch.data());
+    return spectrum;
+}
+
+std::vector<double>
+ifftRealPacked(const std::vector<Complex> &spectrum)
+{
+    if (spectrum.size() < 2)
+        raiseError(ErrorKind::InvalidConfig,
+                   "ifftRealPacked requires at least 2 bins, got %zu",
+                   spectrum.size());
+    std::size_t n = 2 * (spectrum.size() - 1);
+    if (!isPowerOfTwo(n))
+        raiseError(ErrorKind::InvalidConfig,
+                   "ifftRealPacked requires a half-spectrum of "
+                   "2^k + 1 bins, got %zu", spectrum.size());
+    auto plan = RealFftPlan::forSize(n);
+    std::vector<Complex> scratch(n / 2);
+    std::vector<double> out(n);
+    plan->inverse(spectrum.data(), out.data(), scratch.data());
+    return out;
+}
+
 std::vector<double>
 magnitudes(const std::vector<Complex> &spectrum)
 {
     std::vector<double> out(spectrum.size());
-    for (std::size_t i = 0; i < spectrum.size(); ++i)
-        out[i] = std::abs(spectrum[i]);
+    if (!spectrum.empty())
+        simd::kernels().magnitudes(spectrum.data(), spectrum.size(),
+                                   out.data());
     return out;
 }
 

@@ -27,7 +27,10 @@ isPowerOfTwo(std::size_t n)
     return n != 0 && (n & (n - 1)) == 0;
 }
 
-/** Smallest power of two that is >= n. */
+/**
+ * Smallest power of two that is >= n. Raises ErrorKind::InvalidConfig
+ * when no such power of two fits in size_t (n > SIZE_MAX/2 + 1).
+ */
 std::size_t nextPowerOfTwo(std::size_t n);
 
 /**
@@ -50,6 +53,20 @@ std::vector<Complex> ifft(const std::vector<Complex> &input);
  * half is the conjugate mirror, retained for simplicity of use).
  */
 std::vector<Complex> fftReal(const std::vector<double> &input);
+
+/**
+ * Packed real-input FFT (RealFftPlan): the unnormalised lower
+ * half-spectrum X[0 .. N/2] of a real signal of power-of-two length
+ * N >= 2, at roughly half the cost of a complexified transform. The
+ * omitted upper bins are conj(X[N-k]).
+ */
+std::vector<Complex> fftRealPacked(const std::vector<double> &input);
+
+/**
+ * Inverse of fftRealPacked (1/N normalised): consumes the N/2+1-bin
+ * half-spectrum of a real signal of length N, returns the N reals.
+ */
+std::vector<double> ifftRealPacked(const std::vector<Complex> &spectrum);
 
 /** Magnitudes |X[k]| of a complex spectrum. */
 std::vector<double> magnitudes(const std::vector<Complex> &spectrum);

@@ -71,6 +71,13 @@ bluesteinRegistry()
     return *reg;
 }
 
+PlanRegistry<RealFftPlan> &
+realRegistry()
+{
+    static auto *reg = new PlanRegistry<RealFftPlan>();
+    return *reg;
+}
+
 } // namespace
 
 FftPlan::FftPlan(std::size_t n) : n_(n)
@@ -117,7 +124,12 @@ FftPlan::transform(std::vector<Complex> &data, bool inverse) const
     if (data.size() != n_)
         panic("FftPlan size mismatch: plan %zu, data %zu", n_,
               data.size());
+    transform(data.data(), inverse);
+}
 
+void
+FftPlan::transform(Complex *data, bool inverse) const
+{
     for (std::size_t i = 1; i < n_; ++i) {
         std::size_t j = bitrev_[i];
         if (i < j)
@@ -141,8 +153,8 @@ FftPlan::transform(std::vector<Complex> &data, bool inverse) const
 
     if (inverse) {
         double inv = 1.0 / static_cast<double>(n_);
-        for (Complex &x : data)
-            x *= inv;
+        for (std::size_t i = 0; i < n_; ++i)
+            data[i] *= inv;
     }
 }
 
@@ -220,7 +232,97 @@ BluesteinPlan::transform(const std::vector<Complex> &input,
         Complex c = inverse ? std::conj(chirp_[k]) : chirp_[k];
         out[k] = a[k] * c;
     }
+    // The inverse direction applies 1/N here so both plan classes
+    // share one normalisation contract (forward unnormalised, inverse
+    // scaled); historically this scaling lived in ifft(), leaving a
+    // bare BluesteinPlan inverse un-normalised unlike FftPlan's.
+    if (inverse) {
+        double inv = 1.0 / static_cast<double>(n_);
+        for (Complex &v : out)
+            v *= inv;
+    }
     return out;
+}
+
+RealFftPlan::RealFftPlan(std::size_t n) : n_(n)
+{
+    if (!isPowerOfTwo(n) || n < 2)
+        panic("RealFftPlan requires a power-of-two size >= 2, got %zu",
+              n);
+    half_ = FftPlan::forSize(n / 2);
+    rot_.resize(n / 2 + 1);
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+        double angle = -2.0 * kPi * static_cast<double>(k) /
+                       static_cast<double>(n);
+        rot_[k] = std::polar(1.0, angle);
+    }
+}
+
+std::shared_ptr<const RealFftPlan>
+RealFftPlan::forSize(std::size_t n)
+{
+    static telemetry::Counter hits(telemetry::MetricsRegistry::global(),
+                                   "dsp.real_fft_plan.hits");
+    static telemetry::Counter misses(
+        telemetry::MetricsRegistry::global(),
+        "dsp.real_fft_plan.misses");
+    return realRegistry().get(n, hits, misses);
+}
+
+std::size_t
+RealFftPlan::cachedCount()
+{
+    return realRegistry().count();
+}
+
+void
+RealFftPlan::forward(const double *x, Complex *spectrum,
+                     Complex *scratch) const
+{
+    std::size_t nh = n_ / 2;
+    // Pack adjacent reals into one complex sample and run the
+    // half-size transform: Z = FFT_{N/2}(x[2k] + i x[2k+1]).
+    for (std::size_t k = 0; k < nh; ++k)
+        scratch[k] = Complex{x[2 * k], x[2 * k + 1]};
+    half_->transform(scratch, false);
+
+    // Untangle even/odd sub-spectra: with Zc = conj(Z[(nh-k) % nh]),
+    // E = (Z + Zc)/2 and O = (Z - Zc)/(2i) are the DFTs of the even
+    // and odd samples, and X[k] = E + w^k O with w = exp(-2*pi*i/N).
+    Complex z0 = scratch[0];
+    spectrum[0] = Complex{z0.real() + z0.imag(), 0.0};
+    spectrum[nh] = Complex{z0.real() - z0.imag(), 0.0};
+    for (std::size_t k = 1; k < nh; ++k) {
+        Complex zk = scratch[k];
+        Complex zc = std::conj(scratch[nh - k]);
+        Complex e = 0.5 * (zk + zc);
+        Complex d = zk - zc;
+        Complex o{0.5 * d.imag(), -0.5 * d.real()};
+        spectrum[k] = e + rot_[k] * o;
+    }
+}
+
+void
+RealFftPlan::inverse(const Complex *spectrum, double *x,
+                     Complex *scratch) const
+{
+    std::size_t nh = n_ / 2;
+    // Invert the untangling: recover Z[k] = E + iO from the
+    // half-spectrum (conj(X[nh-k]) = E - w^k O for a real signal),
+    // then one normalised inverse half-size FFT unpacks the reals.
+    for (std::size_t k = 0; k < nh; ++k) {
+        Complex xa = spectrum[k];
+        Complex xb = std::conj(spectrum[nh - k]);
+        Complex e = 0.5 * (xa + xb);
+        Complex t = 0.5 * (xa - xb);
+        Complex o = std::conj(rot_[k]) * t;
+        scratch[k] = e + Complex{-o.imag(), o.real()};
+    }
+    half_->transform(scratch, true);
+    for (std::size_t k = 0; k < nh; ++k) {
+        x[2 * k] = scratch[k].real();
+        x[2 * k + 1] = scratch[k].imag();
+    }
 }
 
 } // namespace emsc::dsp

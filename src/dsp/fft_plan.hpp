@@ -42,6 +42,9 @@ class FftPlan
     /** In-place transform (unnormalised forward; inverse applies 1/N). */
     void transform(std::vector<Complex> &data, bool inverse) const;
 
+    /** Raw-buffer variant; `data` must hold size() elements. */
+    void transform(Complex *data, bool inverse) const;
+
     /** Transform size. */
     std::size_t size() const { return n_; }
 
@@ -69,9 +72,10 @@ class BluesteinPlan
     static std::size_t cachedCount();
 
     /**
-     * Unnormalised DFT of `input` (length must equal size()); the
-     * inverse direction omits the 1/N factor, matching fftRadix2's
-     * convention before normalisation.
+     * DFT of `input` (length must equal size()). Same normalisation
+     * contract as FftPlan::transform: the forward direction is
+     * unnormalised and the inverse applies 1/N, so ifft() needs no
+     * path-dependent scaling.
      */
     std::vector<Complex> transform(const std::vector<Complex> &input,
                                    bool inverse) const;
@@ -89,6 +93,54 @@ class BluesteinPlan
     std::vector<Complex> chirp_;        //!< forward chirp, length n
     std::vector<Complex> filterFwd_;    //!< FFT of the forward filter
     std::vector<Complex> filterInv_;    //!< FFT of the inverse filter
+};
+
+/**
+ * Real-input FFT plan for one even power-of-two size N >= 2: packs N
+ * reals into an N/2-point complex FFT and untangles the half-spectrum
+ * with precomputed twiddles, roughly halving the work of a
+ * complexified transform. Used by convolveFft and the real-input
+ * STFT, where the envelope signals are real by construction.
+ */
+class RealFftPlan
+{
+  public:
+    /** Fetch (or build and cache) the plan for a power-of-two N >= 2. */
+    static std::shared_ptr<const RealFftPlan> forSize(std::size_t n);
+
+    /** Number of distinct real-FFT plans currently cached. */
+    static std::size_t cachedCount();
+
+    /**
+     * Unnormalised forward transform of `x` (size() reals) into the
+     * lower half-spectrum `spectrum[0 .. size()/2]` (DC through
+     * Nyquist inclusive — the upper bins are the conjugate mirror).
+     * `scratch` must hold size()/2 Complex values.
+     */
+    void forward(const double *x, Complex *spectrum,
+                 Complex *scratch) const;
+
+    /**
+     * Exact inverse of forward() including the 1/N factor (same
+     * inverse-normalises contract as FftPlan): consumes the
+     * half-spectrum `spectrum[0 .. size()/2]`, writes size() reals.
+     */
+    void inverse(const Complex *spectrum, double *x,
+                 Complex *scratch) const;
+
+    /** Real transform length N. */
+    std::size_t size() const { return n_; }
+
+    /** Half-spectrum length, size()/2 + 1. */
+    std::size_t spectrumSize() const { return n_ / 2 + 1; }
+
+    /** Build an uncached plan; prefer forSize() for shared reuse. */
+    explicit RealFftPlan(std::size_t n);
+
+  private:
+    std::size_t n_;
+    std::shared_ptr<const FftPlan> half_; //!< inner N/2-point plan
+    std::vector<Complex> rot_;            //!< exp(-2*pi*i*k/N), k <= N/2
 };
 
 } // namespace emsc::dsp

@@ -4,37 +4,46 @@
 
 namespace emsc::dsp {
 
-std::vector<std::size_t>
-findPeaks(const std::vector<double> &signal, const PeakOptions &options)
+void
+findPeaksInto(const double *signal, std::size_t n,
+              const PeakOptions &options, PeakScratch &scratch,
+              std::vector<std::size_t> &out)
 {
-    std::vector<std::size_t> candidates;
-    std::size_t n = signal.size();
+    out.clear();
+    std::vector<std::size_t> &candidates = scratch.candidates;
+    candidates.clear();
     for (std::size_t i = 0; i < n; ++i) {
         double v = signal[i];
         if (v < options.minHeight)
             continue;
-        if (i > 0 && signal[i - 1] >= v)
+        // A peak needs a genuine rise into the sample: index 0 has no
+        // left neighbour, so it can never be one.
+        if (i == 0 || signal[i - 1] >= v)
             continue;
-        // Walk any plateau to find where it ends; peak iff it then drops.
+        // Walk any plateau to find where it ends; peak iff it then
+        // drops. A plateau running into the boundary is NOT a peak —
+        // the signal may continue rising past the truncation point.
         std::size_t j = i;
         while (j + 1 < n && signal[j + 1] == v)
             ++j;
-        bool rises_after = j + 1 < n && signal[j + 1] > v;
-        if (!rises_after)
+        if (j + 1 < n && signal[j + 1] < v)
             candidates.push_back(i);
     }
 
-    if (options.minDistance <= 1 || candidates.size() < 2)
-        return candidates;
+    if (options.minDistance <= 1 || candidates.size() < 2) {
+        out = candidates;
+        return;
+    }
 
     // Enforce spacing, keeping the taller of any conflicting pair.
-    std::vector<std::size_t> by_height(candidates);
+    std::vector<std::size_t> &by_height = scratch.byHeight;
+    by_height = candidates;
     std::sort(by_height.begin(), by_height.end(),
               [&](std::size_t a, std::size_t b) {
                   return signal[a] > signal[b];
               });
-    std::vector<bool> keep(signal.size(), false);
-    std::vector<std::size_t> accepted;
+    std::vector<std::size_t> &accepted = scratch.accepted;
+    accepted.clear();
     for (std::size_t c : by_height) {
         bool ok = true;
         for (std::size_t a : accepted) {
@@ -44,16 +53,23 @@ findPeaks(const std::vector<double> &signal, const PeakOptions &options)
                 break;
             }
         }
-        if (ok) {
+        if (ok)
             accepted.push_back(c);
-            keep[c] = true;
-        }
     }
 
+    // Survivors in ascending index order (candidates are unique, so a
+    // sort of the accepted set is equivalent to the historical
+    // keep-mask walk over candidates).
+    out = accepted;
+    std::sort(out.begin(), out.end());
+}
+
+std::vector<std::size_t>
+findPeaks(const std::vector<double> &signal, const PeakOptions &options)
+{
+    PeakScratch scratch;
     std::vector<std::size_t> out;
-    for (std::size_t c : candidates)
-        if (keep[c])
-            out.push_back(c);
+    findPeaksInto(signal.data(), signal.size(), options, scratch, out);
     return out;
 }
 

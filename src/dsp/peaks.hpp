@@ -29,9 +29,33 @@ struct PeakOptions
 /**
  * Indices of local maxima of the signal satisfying the options, in
  * ascending index order. Plateau maxima report their first index.
+ *
+ * Boundary semantics: a peak requires a genuine rise before it and a
+ * genuine drop after it, so index 0, plateaus starting at index 0,
+ * and plateaus running into the end of the signal are never reported
+ * — a truncated capture ending mid-pulse must not yield a phantom
+ * peak.
  */
 std::vector<std::size_t> findPeaks(const std::vector<double> &signal,
                                    const PeakOptions &options);
+
+/** Reusable workspace for findPeaksInto(); contents are opaque. */
+struct PeakScratch
+{
+    std::vector<std::size_t> candidates;
+    std::vector<std::size_t> byHeight;
+    std::vector<std::size_t> accepted;
+};
+
+/**
+ * findPeaks() into a caller-owned output vector with caller-owned
+ * scratch, so steady-state streaming callers allocate nothing once
+ * the buffers have reached their high-water marks. `out` is cleared
+ * first; results are identical to findPeaks().
+ */
+void findPeaksInto(const double *signal, std::size_t n,
+                   const PeakOptions &options, PeakScratch &scratch,
+                   std::vector<std::size_t> &out);
 
 /**
  * Refine each peak index to the weighted centroid of the samples in a

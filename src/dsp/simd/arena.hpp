@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Grow-only bump allocator for per-chunk DSP scratch buffers.
+ *
+ * The streaming stages need a handful of span-sized scratch arrays
+ * (edge-detect window, prefix sums, peak workspaces) on every chunk;
+ * allocating them per call made the steady-state path malloc-bound.
+ * An Arena hands out doubles from one block, reset()s in O(1) between
+ * chunks, and only touches the heap while the high-water mark is
+ * still growing — after warm-up the stream path performs no
+ * allocations.
+ */
+
+#ifndef EMSC_DSP_SIMD_ARENA_HPP
+#define EMSC_DSP_SIMD_ARENA_HPP
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace emsc::dsp::simd {
+
+class Arena
+{
+  public:
+    /**
+     * Allocate `n` doubles (uninitialised). The pointer stays valid
+     * until the next reset(). Never returns null; n == 0 is bumped to
+     * one element so distinct calls return distinct pointers.
+     */
+    double *
+    doubles(std::size_t n)
+    {
+        if (n == 0)
+            n = 1;
+        if (used_ + n > cap_)
+            grow(n);
+        double *p = blocks_.back().get() + used_;
+        used_ += n;
+        total_ += n;
+        return p;
+    }
+
+    /**
+     * Invalidate all outstanding pointers and recycle the memory.
+     * When the previous cycle spilled into extra blocks, they are
+     * consolidated into one block sized to the cycle's total, so a
+     * steady-state workload settles into zero allocations.
+     */
+    void
+    reset()
+    {
+        if (blocks_.size() > 1 || cap_ < total_) {
+            std::size_t want = total_;
+            blocks_.clear();
+            blocks_.push_back(std::make_unique<double[]>(want));
+            cap_ = want;
+        }
+        used_ = blocks_.empty() ? cap_ : 0;
+        total_ = 0;
+    }
+
+    /** Doubles currently reserved across all blocks. */
+    std::size_t capacity() const { return cap_; }
+
+  private:
+    void
+    grow(std::size_t n)
+    {
+        // New block large enough for the request and for doubling the
+        // high-water mark, so repeated growth converges quickly.
+        std::size_t want = cap_ > n ? cap_ : n;
+        if (want < 64)
+            want = 64;
+        blocks_.push_back(std::make_unique<double[]>(want));
+        cap_ = want;
+        used_ = 0;
+    }
+
+    /** Only the last block is carved from; earlier blocks just keep
+     * their outstanding pointers alive until reset(). */
+    std::vector<std::unique_ptr<double[]>> blocks_;
+    std::size_t cap_ = 0;   //!< capacity of the last block
+    std::size_t used_ = 0;  //!< doubles carved from the last block
+    std::size_t total_ = 0; //!< doubles handed out this cycle
+};
+
+} // namespace emsc::dsp::simd
+
+#endif // EMSC_DSP_SIMD_ARENA_HPP

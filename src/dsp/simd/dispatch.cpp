@@ -1,0 +1,129 @@
+/**
+ * @file
+ * One-time backend selection for the SIMD kernel tables.
+ *
+ * Selection order: an EMSC_SIMD=scalar|avx2|neon override when set
+ * (unavailable or unrecognised values warn once and fall through),
+ * otherwise the best backend both compiled in and supported by the
+ * running CPU. The choice is made on first use and never changes, so
+ * every stage of a run sees the same arithmetic.
+ */
+
+#include "dsp/simd/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "support/logging.hpp"
+
+namespace emsc::dsp::simd {
+
+namespace {
+
+bool
+cpuHasAvx2Fma()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+Backend
+chooseBackend()
+{
+    const char *env = std::getenv("EMSC_SIMD");
+    if (env != nullptr && *env != '\0') {
+        Backend want = Backend::Scalar;
+        bool known = true;
+        if (std::strcmp(env, "scalar") == 0)
+            want = Backend::Scalar;
+        else if (std::strcmp(env, "avx2") == 0)
+            want = Backend::Avx2;
+        else if (std::strcmp(env, "neon") == 0)
+            want = Backend::Neon;
+        else
+            known = false;
+
+        if (!known)
+            warn("EMSC_SIMD=%s not recognised (expected "
+                 "scalar|avx2|neon); auto-selecting",
+                 env);
+        else if (!backendAvailable(want))
+            warn("EMSC_SIMD=%s requested but unavailable on this "
+                 "host; auto-selecting",
+                 env);
+        else
+            return want;
+    }
+
+    if (backendAvailable(Backend::Avx2))
+        return Backend::Avx2;
+    if (backendAvailable(Backend::Neon))
+        return Backend::Neon;
+    return Backend::Scalar;
+}
+
+} // namespace
+
+const char *
+backendName(Backend b)
+{
+    switch (b) {
+    case Backend::Scalar:
+        return "scalar";
+    case Backend::Avx2:
+        return "avx2";
+    case Backend::Neon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+bool
+backendAvailable(Backend b)
+{
+    switch (b) {
+    case Backend::Scalar:
+        return true;
+    case Backend::Avx2:
+        return avx2Kernels() != nullptr && cpuHasAvx2Fma();
+    case Backend::Neon:
+        return neonKernels() != nullptr;
+    }
+    return false;
+}
+
+Backend
+activeBackend()
+{
+    static const Backend chosen = chooseBackend();
+    return chosen;
+}
+
+const Kernels &
+kernels()
+{
+    static const Kernels *table = kernelsFor(activeBackend());
+    return *table;
+}
+
+const Kernels *
+kernelsFor(Backend b)
+{
+    if (!backendAvailable(b))
+        return nullptr;
+    switch (b) {
+    case Backend::Scalar:
+        return &scalarKernels();
+    case Backend::Avx2:
+        return avx2Kernels();
+    case Backend::Neon:
+        return neonKernels();
+    }
+    return nullptr;
+}
+
+} // namespace emsc::dsp::simd

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * AVX2+FMA kernels. This translation unit is compiled with
+ * -mavx2 -mfma on x86 only (see src/dsp/CMakeLists.txt); whether the
+ * running CPU actually supports the instructions is checked at
+ * dispatch time (backendAvailable), never here.
+ *
+ * Numerical contract: within 1e-9 relative error of the scalar
+ * backend (tests/test_simd.cpp). The complex multiply uses the naive
+ * FMA form (no __muldc3 special-value handling — DSP data is finite)
+ * and magnitudes use sqrt(re^2 + im^2) instead of hypot; both are
+ * well inside the contract for the dynamic ranges the receiver sees.
+ */
+
+#include "dsp/simd/simd.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace emsc::dsp::simd {
+
+namespace {
+
+/** Horizontal sum of the four lanes. */
+inline double
+hsum(__m256d v)
+{
+    __m128d lo = _mm256_castpd256_pd128(v);
+    __m128d hi = _mm256_extractf128_pd(v, 1);
+    lo = _mm_add_pd(lo, hi);
+    __m128d swapped = _mm_unpackhi_pd(lo, lo);
+    return _mm_cvtsd_f64(_mm_add_sd(lo, swapped));
+}
+
+void
+sdftChunkAvx2(const SdftBank &bank, const Complex *x, std::size_t n,
+              Complex *history, std::size_t m, std::size_t *head,
+              double *y_out)
+{
+    std::size_t h = *head;
+    std::size_t nb = bank.bins;
+    std::size_t nb4 = nb & ~std::size_t{3};
+
+    for (std::size_t s = 0; s < n; ++s) {
+        Complex sample = x[s];
+        Complex oldest = history[h];
+        history[h] = sample;
+        h = h + 1 == m ? 0 : h + 1;
+
+        // delta = sample - oldest, broadcast across the bin lanes.
+        double dr = sample.real() - oldest.real();
+        double di = sample.imag() - oldest.imag();
+        __m256d vdr = _mm256_set1_pd(dr);
+        __m256d vdi = _mm256_set1_pd(di);
+        __m256d ysum = _mm256_setzero_pd();
+
+        std::size_t i = 0;
+        for (; i < nb4; i += 4) {
+            __m256d ar = _mm256_loadu_pd(bank.accRe + i);
+            __m256d ai = _mm256_loadu_pd(bank.accIm + i);
+            __m256d tr = _mm256_loadu_pd(bank.twRe + i);
+            __m256d ti = _mm256_loadu_pd(bank.twIm + i);
+            __m256d nr = _mm256_add_pd(ar, vdr);
+            __m256d ni = _mm256_add_pd(ai, vdi);
+            // (nr + i*ni) * (tr + i*ti)
+            __m256d rr = _mm256_fmsub_pd(nr, tr, _mm256_mul_pd(ni, ti));
+            __m256d ri = _mm256_fmadd_pd(nr, ti, _mm256_mul_pd(ni, tr));
+            _mm256_storeu_pd(bank.accRe + i, rr);
+            _mm256_storeu_pd(bank.accIm + i, ri);
+            if (y_out) {
+                __m256d mag2 =
+                    _mm256_fmadd_pd(rr, rr, _mm256_mul_pd(ri, ri));
+                ysum = _mm256_add_pd(ysum, _mm256_sqrt_pd(mag2));
+            }
+        }
+        double y = y_out ? hsum(ysum) : 0.0;
+        for (; i < nb; ++i) {
+            double nr = bank.accRe[i] + dr;
+            double ni = bank.accIm[i] + di;
+            double rr = nr * bank.twRe[i] - ni * bank.twIm[i];
+            double ri = nr * bank.twIm[i] + ni * bank.twRe[i];
+            bank.accRe[i] = rr;
+            bank.accIm[i] = ri;
+            if (y_out)
+                y += std::sqrt(rr * rr + ri * ri);
+        }
+        if (y_out)
+            y_out[s] = y;
+    }
+    *head = h;
+}
+
+void
+magnitudesAvx2(const Complex *z, std::size_t n, double *out)
+{
+    const auto *p = reinterpret_cast<const double *>(z);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256d a = _mm256_loadu_pd(p + 2 * i);     // r0 i0 r1 i1
+        __m256d b = _mm256_loadu_pd(p + 2 * i + 4); // r2 i2 r3 i3
+        __m256d a2 = _mm256_mul_pd(a, a);
+        __m256d b2 = _mm256_mul_pd(b, b);
+        // hadd within 128-bit lanes: [m0, m2, m1, m3] -> permute to
+        // ascending order.
+        __m256d sums = _mm256_hadd_pd(a2, b2);
+        sums = _mm256_permute4x64_pd(sums, _MM_SHUFFLE(3, 1, 2, 0));
+        _mm256_storeu_pd(out + i, _mm256_sqrt_pd(sums));
+    }
+    for (; i < n; ++i) {
+        double re = z[i].real(), im = z[i].imag();
+        out[i] = std::sqrt(re * re + im * im);
+    }
+}
+
+/**
+ * Tile size for the prefix-sum edge detector. Prefix sums accumulate
+ * rounding error proportional to the running total, so one prefix
+ * over a megasample signal would breach the 1e-9 contract; per-tile
+ * local prefixes keep the running totals (and therefore the error)
+ * bounded independent of signal length.
+ */
+constexpr std::size_t kEdgeTile = 4096;
+
+void
+edgeDetectAvx2(const double *x, std::size_t n, std::size_t half,
+               double *scratch, double *out)
+{
+    auto nn = static_cast<std::ptrdiff_t>(n);
+    auto h = static_cast<std::ptrdiff_t>(half);
+    double x0 = x[0];
+    double xn = x[n - 1];
+
+    // Scalar closed-form for positions whose window clamps at either
+    // boundary: ahead(i) = sum x[i .. i+h-1], behind(i) =
+    // sum x[i-h .. i-1], clamped terms folded in analytically.
+    auto edge_at = [&](std::ptrdiff_t i, const double *q,
+                       std::ptrdiff_t lo) {
+        // q = local prefix over x[lo .. ), q[k] = sum x[lo .. lo+k).
+        std::ptrdiff_t a_end = std::min<std::ptrdiff_t>(i + h, nn);
+        double ahead = q[a_end - lo] - q[i - lo] +
+                       static_cast<double>(std::max<std::ptrdiff_t>(
+                           i + h - nn, 0)) *
+                           xn;
+        std::ptrdiff_t b_begin = std::max<std::ptrdiff_t>(i - h, 0);
+        double behind = q[i - lo] - q[b_begin - lo] +
+                        static_cast<double>(std::max<std::ptrdiff_t>(
+                            h - i, 0)) *
+                            x0;
+        return ahead - behind;
+    };
+
+    for (std::ptrdiff_t t0 = 0; t0 < nn;
+         t0 += static_cast<std::ptrdiff_t>(kEdgeTile)) {
+        std::ptrdiff_t t1 = std::min<std::ptrdiff_t>(
+            t0 + static_cast<std::ptrdiff_t>(kEdgeTile), nn);
+        // Local prefix over the tile plus h of context on both sides.
+        std::ptrdiff_t lo = std::max<std::ptrdiff_t>(t0 - h, 0);
+        std::ptrdiff_t hi = std::min<std::ptrdiff_t>(t1 + h, nn);
+        double *q = scratch;
+        q[0] = 0.0;
+        for (std::ptrdiff_t k = lo; k < hi; ++k)
+            q[k - lo + 1] = q[k - lo] + x[k];
+
+        // Interior positions (no clamping): out[i] =
+        // q[i+h-lo] - 2 q[i-lo] + q[i-h-lo], vectorised.
+        std::ptrdiff_t v0 = std::max<std::ptrdiff_t>(t0, h);
+        std::ptrdiff_t v1 = std::min<std::ptrdiff_t>(t1, nn - h);
+        std::ptrdiff_t i = t0;
+        for (; i < std::min(t1, v0); ++i)
+            out[i] = edge_at(i, q, lo);
+        if (v1 > v0) {
+            const __m256d two = _mm256_set1_pd(2.0);
+            for (; i + 4 <= v1; i += 4) {
+                __m256d pa = _mm256_loadu_pd(q + (i + h - lo));
+                __m256d pc = _mm256_loadu_pd(q + (i - lo));
+                __m256d pb = _mm256_loadu_pd(q + (i - h - lo));
+                __m256d r = _mm256_fnmadd_pd(two, pc,
+                                             _mm256_add_pd(pa, pb));
+                _mm256_storeu_pd(out + i, r);
+            }
+            for (; i < v1; ++i)
+                out[i] = q[i + h - lo] - 2.0 * q[i - lo] +
+                         q[i - h - lo];
+        }
+        for (; i < t1; ++i)
+            out[i] = edge_at(i, q, lo);
+    }
+}
+
+void
+magEdgeAvx2(const Complex *z, std::size_t n, std::size_t half,
+            double *mag_out, double *scratch, double *edge_out)
+{
+    magnitudesAvx2(z, n, mag_out);
+    edgeDetectAvx2(mag_out, n, half, scratch, edge_out);
+}
+
+} // namespace
+
+const Kernels *
+avx2Kernels()
+{
+    static const Kernels k{sdftChunkAvx2, magnitudesAvx2,
+                           edgeDetectAvx2, magEdgeAvx2};
+    return &k;
+}
+
+} // namespace emsc::dsp::simd
+
+#else // !(__AVX2__ && __FMA__)
+
+namespace emsc::dsp::simd {
+
+const Kernels *
+avx2Kernels()
+{
+    return nullptr;
+}
+
+} // namespace emsc::dsp::simd
+
+#endif

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Scalar reference kernels. These are the historical per-call C++
+ * loops moved verbatim behind the dispatch table: same std::complex
+ * multiply, same std::abs (hypot), same accumulation order — so the
+ * EMSC_SIMD=scalar path is bit-identical to the pre-SIMD code and
+ * serves as the ground truth the vector backends are tested against.
+ */
+
+#include "dsp/simd/simd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emsc::dsp::simd {
+
+namespace {
+
+void
+sdftChunkScalar(const SdftBank &bank, const Complex *x, std::size_t n,
+                Complex *history, std::size_t m, std::size_t *head,
+                double *y_out)
+{
+    std::size_t h = *head;
+    for (std::size_t s = 0; s < n; ++s) {
+        Complex sample = x[s];
+        Complex oldest = history[h];
+        history[h] = sample;
+        h = (h + 1) % m;
+
+        double y = 0.0;
+        for (std::size_t i = 0; i < bank.bins; ++i) {
+            Complex acc{bank.accRe[i], bank.accIm[i]};
+            acc = (acc + sample - oldest) * Complex{bank.twRe[i],
+                                                    bank.twIm[i]};
+            bank.accRe[i] = acc.real();
+            bank.accIm[i] = acc.imag();
+            if (y_out)
+                y += std::abs(acc);
+        }
+        if (y_out)
+            y_out[s] = y;
+    }
+    *head = h;
+}
+
+void
+magnitudesScalar(const Complex *z, std::size_t n, double *out)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::abs(z[i]);
+}
+
+void
+edgeDetectScalar(const double *x, std::size_t n, std::size_t half,
+                 double * /*scratch*/, double *out)
+{
+    // Running-window recurrence, identical to the historical
+    // dsp::edgeDetect loop (clamped indices at both boundaries).
+    auto nn = static_cast<std::ptrdiff_t>(n);
+    auto h = static_cast<std::ptrdiff_t>(half);
+    auto sample = [&](std::ptrdiff_t idx) {
+        idx = std::clamp<std::ptrdiff_t>(idx, 0, nn - 1);
+        return x[static_cast<std::size_t>(idx)];
+    };
+
+    double ahead = 0.0, behind = 0.0;
+    for (std::ptrdiff_t j = 0; j < h; ++j) {
+        ahead += sample(j);
+        behind += sample(-1 - j);
+    }
+    for (std::ptrdiff_t i = 0; i < nn; ++i) {
+        out[static_cast<std::size_t>(i)] = ahead - behind;
+        ahead += sample(i + h) - sample(i);
+        behind += sample(i) - sample(i - h);
+    }
+}
+
+void
+magEdgeScalar(const Complex *z, std::size_t n, std::size_t half,
+              double *mag_out, double *scratch, double *edge_out)
+{
+    magnitudesScalar(z, n, mag_out);
+    edgeDetectScalar(mag_out, n, half, scratch, edge_out);
+}
+
+} // namespace
+
+const Kernels &
+scalarKernels()
+{
+    static const Kernels k{sdftChunkScalar, magnitudesScalar,
+                           edgeDetectScalar, magEdgeScalar};
+    return k;
+}
+
+} // namespace emsc::dsp::simd

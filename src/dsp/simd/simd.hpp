@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the hot-path DSP layer.
+ *
+ * The streaming receiver spends its wall time in three inner loops:
+ * the per-sample sliding-DFT bin update (Eq. (1)), spectrum magnitude
+ * extraction, and the +1/-1 edge-detection correlation of §IV-B2.
+ * Each is exposed here as a function-pointer kernel with a scalar
+ * reference implementation and optional AVX2 / NEON backends. The
+ * backend is selected once per process (first use) from CPU features,
+ * overridable with EMSC_SIMD=scalar|avx2|neon for A/B testing.
+ *
+ * Equivalence contract (enforced by tests/test_simd.cpp):
+ *  - the scalar backend is bit-identical to the historical per-call
+ *    C++ loops (same std::complex arithmetic, same accumulation
+ *    order), so EMSC_SIMD=scalar reproduces old outputs exactly;
+ *  - every other backend matches scalar within 1e-9 relative error
+ *    (relative to the output's own scale), which the downstream
+ *    threshold logic is insensitive to.
+ */
+
+#ifndef EMSC_DSP_SIMD_SIMD_HPP
+#define EMSC_DSP_SIMD_SIMD_HPP
+
+#include <cstddef>
+
+#include "dsp/fft.hpp"
+
+namespace emsc::dsp::simd {
+
+/** Available kernel backends. */
+enum class Backend
+{
+    Scalar,
+    Avx2,
+    Neon,
+};
+
+/**
+ * Structure-of-arrays view of a sliding-DFT bin bank: split re/im
+ * accumulators and twiddles so a vector lane maps to a tracked bin.
+ * All four arrays have length `bins`; accRe/accIm are updated in
+ * place.
+ */
+struct SdftBank
+{
+    double *accRe;
+    double *accIm;
+    const double *twRe;
+    const double *twIm;
+    std::size_t bins;
+};
+
+/**
+ * Kernel table for one backend. All pointers are non-null.
+ */
+struct Kernels
+{
+    /**
+     * Push `n` samples through the bin bank: for each sample,
+     * F <- (F + x_new - x_old) * W^k for every tracked bin (Eq. (1)
+     * update), maintaining the circular `history` of `m` samples with
+     * its oldest entry at `*head`. When `y_out` is non-null it
+     * receives the per-sample Eq. (1) output sum_k |F[k]| (length n);
+     * passing null skips the magnitude work entirely — the streaming
+     * acquirer synthesises its envelope from the raw bins instead.
+     */
+    void (*sdftChunk)(const SdftBank &bank, const Complex *x,
+                      std::size_t n, Complex *history, std::size_t m,
+                      std::size_t *head, double *y_out);
+
+    /** out[i] = |z[i]| for i < n. */
+    void (*magnitudes)(const Complex *z, std::size_t n, double *out);
+
+    /**
+     * Edge detection (§IV-B2): out[i] = sum(x[i .. i+half-1]) -
+     * sum(x[i-half .. i-1]) with indices clamped to [0, n-1]; `half`
+     * is l_d/2 >= 1 and n > 0. `scratch` must hold at least n+1
+     * doubles (prefix-sum workspace; backends may ignore it).
+     */
+    void (*edgeDetect)(const double *x, std::size_t n, std::size_t half,
+                       double *scratch, double *out);
+
+    /**
+     * Fused magnitude + edge detection: mag_out[i] = |z[i]| followed
+     * by edgeDetect(mag_out) into edge_out, without a second pass over
+     * memory in vector backends. Same scratch requirement as
+     * edgeDetect; mag_out and edge_out each hold n doubles.
+     */
+    void (*magEdge)(const Complex *z, std::size_t n, std::size_t half,
+                    double *mag_out, double *scratch, double *edge_out);
+};
+
+/** Human-readable backend name ("scalar", "avx2", "neon"). */
+const char *backendName(Backend b);
+
+/** True when the backend is compiled in and the CPU supports it. */
+bool backendAvailable(Backend b);
+
+/**
+ * The process-wide backend: EMSC_SIMD override when set and
+ * available (unavailable or unknown values warn and fall through),
+ * otherwise the best available backend. Chosen once, on first call.
+ */
+Backend activeBackend();
+
+/** Kernel table of the active backend. */
+const Kernels &kernels();
+
+/**
+ * Kernel table of a specific backend, or nullptr when unavailable.
+ * Lets tests cross-check backends against each other in one process.
+ */
+const Kernels *kernelsFor(Backend b);
+
+/** Reference (always-available) scalar table. */
+const Kernels &scalarKernels();
+
+/** Compiled-in vector tables; nullptr when not built for this arch.
+ * CPU support is NOT checked here — use backendAvailable(). */
+const Kernels *avx2Kernels();
+const Kernels *neonKernels();
+
+} // namespace emsc::dsp::simd
+
+#endif // EMSC_DSP_SIMD_SIMD_HPP

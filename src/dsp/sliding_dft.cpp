@@ -1,9 +1,12 @@
 #include "dsp/sliding_dft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#include "dsp/simd/simd.hpp"
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 namespace emsc::dsp {
 
@@ -24,16 +27,20 @@ SlidingDft::SlidingDft(std::size_t window_size, std::vector<std::size_t> bins,
                        "%zu", k, m);
         double angle = 2.0 * std::numbers::pi * static_cast<double>(k) /
                        static_cast<double>(m);
-        twiddle.push_back(std::polar(1.0, angle));
+        Complex tw = std::polar(1.0, angle);
+        twRe.push_back(tw.real());
+        twIm.push_back(tw.imag());
     }
-    accum.assign(binIdx.size(), Complex{0.0, 0.0});
+    accRe.assign(binIdx.size(), 0.0);
+    accIm.assign(binIdx.size(), 0.0);
     history.assign(m, Complex{0.0, 0.0});
 }
 
 void
 SlidingDft::reset()
 {
-    accum.assign(binIdx.size(), Complex{0.0, 0.0});
+    accRe.assign(binIdx.size(), 0.0);
+    accIm.assign(binIdx.size(), 0.0);
     history.assign(m, Complex{0.0, 0.0});
     head = 0;
     seen = 0;
@@ -42,6 +49,10 @@ SlidingDft::reset()
 void
 SlidingDft::renormalize()
 {
+    static telemetry::Counter renorms(
+        telemetry::MetricsRegistry::global(), "dsp.sdft.renorms");
+    renorms.add();
+
     // Recompute each tracked bin exactly from the buffered window. The
     // circular buffer holds the window with its oldest sample at head;
     // rebuilding uses the standard DFT definition over that ordering.
@@ -55,26 +66,38 @@ SlidingDft::renormalize()
             acc += sample *
                    std::polar(1.0, base * static_cast<double>(j));
         }
-        accum[i] = acc;
+        accRe[i] = acc.real();
+        accIm[i] = acc.imag();
+    }
+}
+
+void
+SlidingDft::pushChunk(const Complex *x, std::size_t n, double *y_out)
+{
+    const simd::Kernels &k = simd::kernels();
+    simd::SdftBank bank{accRe.data(), accIm.data(), twRe.data(),
+                        twIm.data(), binIdx.size()};
+    std::size_t i = 0;
+    while (i < n) {
+        // Stop each kernel run at the next re-seed boundary so the
+        // renormalisation cadence is sample-exact with push().
+        std::size_t run = n - i;
+        if (renormEvery != 0)
+            run = std::min(run, renormEvery - seen % renormEvery);
+        k.sdftChunk(bank, x + i, run, history.data(), m, &head,
+                    y_out != nullptr ? y_out + i : nullptr);
+        seen += run;
+        i += run;
+        if (renormEvery != 0 && seen % renormEvery == 0)
+            renormalize();
     }
 }
 
 double
 SlidingDft::push(Complex sample)
 {
-    Complex oldest = history[head];
-    history[head] = sample;
-    head = (head + 1) % m;
-    ++seen;
-
     double y = 0.0;
-    for (std::size_t i = 0; i < binIdx.size(); ++i) {
-        accum[i] = (accum[i] + sample - oldest) * twiddle[i];
-        y += std::abs(accum[i]);
-    }
-
-    if (renormEvery != 0 && seen % renormEvery == 0)
-        renormalize();
+    pushChunk(&sample, 1, &y);
     return y;
 }
 
@@ -84,10 +107,8 @@ SlidingDft::acquire(const std::vector<Complex> &capture,
                     const std::vector<std::size_t> &bins)
 {
     SlidingDft sdft(window_size, bins);
-    std::vector<double> out;
-    out.reserve(capture.size());
-    for (Complex s : capture)
-        out.push_back(sdft.push(s));
+    std::vector<double> out(capture.size());
+    sdft.pushChunk(capture.data(), capture.size(), out.data());
     return out;
 }
 

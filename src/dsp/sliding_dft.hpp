@@ -54,8 +54,23 @@ class SlidingDft
      */
     double push(Complex sample);
 
+    /**
+     * Push `n` samples through the vectorised kernel in one call,
+     * splitting internally at renormalisation boundaries so the
+     * re-seed cadence is sample-exact with the push() loop. When
+     * `y_out` is non-null it receives the per-sample Eq. (1) outputs
+     * (length n); null skips the magnitude work — callers that
+     * synthesise their envelope from binValue() (the streaming
+     * acquirer's Hann triplets) pay nothing for outputs they ignore.
+     */
+    void pushChunk(const Complex *x, std::size_t n, double *y_out);
+
     /** Current complex value of tracked bin i (index into bins()). */
-    Complex binValue(std::size_t i) const { return accum[i]; }
+    Complex
+    binValue(std::size_t i) const
+    {
+        return Complex{accRe[i], accIm[i]};
+    }
 
     /** Tracked bin indices. */
     const std::vector<std::size_t> &bins() const { return binIdx; }
@@ -87,8 +102,10 @@ class SlidingDft
     std::size_t m;
     std::size_t renormEvery;
     std::vector<std::size_t> binIdx;
-    std::vector<Complex> twiddle; //!< exp(+2*pi*i*k/M) per tracked bin
-    std::vector<Complex> accum;   //!< running F_n[k] per tracked bin
+    /** Split re/im twiddles exp(+2*pi*i*k/M) and running accumulators
+     * F_n[k], structure-of-arrays so one SIMD lane maps to one bin. */
+    std::vector<double> twRe, twIm;
+    std::vector<double> accRe, accIm;
     std::vector<Complex> history; //!< circular buffer of the last M samples
     std::size_t head = 0;
     std::size_t seen = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/fft_plan.hpp"
+#include "dsp/simd/simd.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/telemetry.hpp"
@@ -81,16 +82,118 @@ Spectrogram::renderAscii(std::size_t max_rows, std::size_t max_cols) const
 
 namespace {
 
-Spectrogram
-stftImpl(const std::vector<Complex> &signal, double sample_rate,
-         const StftConfig &config, bool real_input, double center_freq_hz)
+void
+validateStftConfig(const StftConfig &config, double sample_rate)
 {
+    if (!isPowerOfTwo(config.fftSize))
+        raiseError(ErrorKind::InvalidConfig,
+                   "stft fftSize must be a power of two, got %zu",
+                   config.fftSize);
     if (config.fftSize == 0 || config.hop == 0)
         raiseError(ErrorKind::InvalidConfig,
                    "stft requires positive fftSize and hop");
     if (sample_rate <= 0.0)
         raiseError(ErrorKind::InvalidConfig,
                    "stft requires a positive sample rate");
+}
+
+/** Telemetry bracket shared by the real/complex frame fan-outs: frame
+ * timing is derived from one clock pair around the whole fan-out
+ * (mean ns/frame), never from per-frame clocks. */
+class StftTelemetry
+{
+  public:
+    StftTelemetry()
+        : reg_(telemetry::MetricsRegistry::global()),
+          t0_(reg_.enabled() ? telemetry::steadyNowNs() : 0)
+    {
+    }
+
+    void
+    done(std::size_t frames)
+    {
+        if (!reg_.enabled() || frames == 0)
+            return;
+        static telemetry::Counter frameCount(
+            telemetry::MetricsRegistry::global(), "dsp.stft.frames");
+        static telemetry::Histogram frameNs(
+            telemetry::MetricsRegistry::global(), "dsp.stft.frame_ns",
+            telemetry::expBounds(1e3, 1e7, 4.0));
+        std::uint64_t dt = telemetry::steadyNowNs() - t0_;
+        frameCount.add(frames);
+        frameNs.observe(static_cast<double>(dt) /
+                        static_cast<double>(frames));
+    }
+
+  private:
+    telemetry::MetricsRegistry &reg_;
+    std::uint64_t t0_;
+};
+
+} // namespace
+
+Spectrogram
+stft(const std::vector<double> &signal, double sample_rate,
+     const StftConfig &config)
+{
+    validateStftConfig(config, sample_rate);
+
+    std::shared_ptr<const std::vector<double>> window_sp =
+        cachedWindow(config.window, config.fftSize);
+    const std::vector<double> &window = *window_sp;
+
+    Spectrogram out;
+    out.sampleRate = sample_rate;
+    out.hop = config.hop;
+    out.fftSize = config.fftSize;
+    out.binZeroHz = 0.0;
+
+    if (signal.size() < config.fftSize)
+        return out;
+
+    std::size_t half = config.fftSize / 2;
+    std::size_t frames = (signal.size() - config.fftSize) / config.hop + 1;
+    out.frames.resize(frames);
+
+    telemetry::TraceSpan span("dsp.stft");
+    StftTelemetry telem;
+
+    if (config.fftSize >= 2) {
+        // Real input runs through the packed real-FFT plan: half-size
+        // transform per frame, half+1 magnitude bins out.
+        std::shared_ptr<const RealFftPlan> plan =
+            RealFftPlan::forSize(config.fftSize);
+        const simd::Kernels &kern = simd::kernels();
+        parallelFor(frames, [&](std::size_t t) {
+            thread_local std::vector<double> rbuf;
+            thread_local std::vector<Complex> scratch, spec;
+            rbuf.resize(config.fftSize);
+            scratch.resize(config.fftSize / 2);
+            spec.resize(half + 1);
+            std::size_t start = t * config.hop;
+            for (std::size_t i = 0; i < config.fftSize; ++i)
+                rbuf[i] = signal[start + i] * window[i];
+            plan->forward(rbuf.data(), spec.data(), scratch.data());
+            std::vector<double> mags(half + 1);
+            kern.magnitudes(spec.data(), half + 1, mags.data());
+            out.frames[t] = std::move(mags);
+        });
+    } else {
+        // fftSize == 1: the single bin is just the windowed sample.
+        parallelFor(frames, [&](std::size_t t) {
+            std::size_t start = t * config.hop;
+            out.frames[t] = {std::abs(signal[start] * window[0])};
+        });
+    }
+    telem.done(frames);
+    return out;
+}
+
+Spectrogram
+stftComplex(const std::vector<Complex> &signal, double sample_rate,
+            const StftConfig &config, double center_freq_hz)
+{
+    validateStftConfig(config, sample_rate);
 
     std::shared_ptr<const std::vector<double>> window_sp =
         cachedWindow(config.window, config.fftSize);
@@ -101,25 +204,17 @@ stftImpl(const std::vector<Complex> &signal, double sample_rate,
     out.sampleRate = sample_rate;
     out.hop = config.hop;
     out.fftSize = config.fftSize;
-
-    std::size_t half = config.fftSize / 2;
-    if (real_input) {
-        out.binZeroHz = 0.0;
-    } else {
-        out.binZeroHz = center_freq_hz - sample_rate / 2.0;
-    }
+    out.binZeroHz = center_freq_hz - sample_rate / 2.0;
 
     if (signal.size() < config.fftSize)
         return out;
 
+    std::size_t half = config.fftSize / 2;
     std::size_t frames = (signal.size() - config.fftSize) / config.hop + 1;
     out.frames.resize(frames);
 
     telemetry::TraceSpan span("dsp.stft");
-    telemetry::MetricsRegistry &reg = telemetry::MetricsRegistry::global();
-    // Frame timing is derived from one clock pair around the whole
-    // fan-out (mean ns/frame), never from per-frame clocks.
-    std::uint64_t t0 = reg.enabled() ? telemetry::steadyNowNs() : 0;
+    StftTelemetry telem;
 
     // Frames are independent and each writes only its own row, so the
     // fan-out is bit-identical to the serial loop for any thread count.
@@ -131,60 +226,16 @@ stftImpl(const std::vector<Complex> &signal, double sample_rate,
             buf[i] = signal[start + i] * window[i];
         plan->transform(buf, false);
 
-        if (real_input) {
-            std::vector<double> mags(half + 1);
-            for (std::size_t k = 0; k <= half; ++k)
-                mags[k] = std::abs(buf[k]);
-            out.frames[t] = std::move(mags);
-        } else {
-            // fftshift: bins [-fs/2, fs/2) in ascending frequency.
-            std::vector<double> mags(config.fftSize);
-            for (std::size_t k = 0; k < config.fftSize; ++k) {
-                std::size_t src = (k + half) % config.fftSize;
-                mags[k] = std::abs(buf[src]);
-            }
-            out.frames[t] = std::move(mags);
+        // fftshift: bins [-fs/2, fs/2) in ascending frequency.
+        std::vector<double> mags(config.fftSize);
+        for (std::size_t k = 0; k < config.fftSize; ++k) {
+            std::size_t src = (k + half) % config.fftSize;
+            mags[k] = std::abs(buf[src]);
         }
+        out.frames[t] = std::move(mags);
     });
-    if (reg.enabled()) {
-        static telemetry::Counter frameCount(
-            telemetry::MetricsRegistry::global(), "dsp.stft.frames");
-        static telemetry::Histogram frameNs(
-            telemetry::MetricsRegistry::global(), "dsp.stft.frame_ns",
-            telemetry::expBounds(1e3, 1e7, 4.0));
-        std::uint64_t dt = telemetry::steadyNowNs() - t0;
-        frameCount.add(frames);
-        frameNs.observe(static_cast<double>(dt) /
-                        static_cast<double>(frames));
-    }
+    telem.done(frames);
     return out;
-}
-
-} // namespace
-
-Spectrogram
-stft(const std::vector<double> &signal, double sample_rate,
-     const StftConfig &config)
-{
-    if (!isPowerOfTwo(config.fftSize))
-        raiseError(ErrorKind::InvalidConfig,
-                   "stft fftSize must be a power of two, got %zu",
-                   config.fftSize);
-    std::vector<Complex> cplx(signal.size());
-    for (std::size_t i = 0; i < signal.size(); ++i)
-        cplx[i] = Complex{signal[i], 0.0};
-    return stftImpl(cplx, sample_rate, config, true, 0.0);
-}
-
-Spectrogram
-stftComplex(const std::vector<Complex> &signal, double sample_rate,
-            const StftConfig &config, double center_freq_hz)
-{
-    if (!isPowerOfTwo(config.fftSize))
-        raiseError(ErrorKind::InvalidConfig,
-                   "stft fftSize must be a power of two, got %zu",
-                   config.fftSize);
-    return stftImpl(signal, sample_rate, config, false, center_freq_hz);
 }
 
 } // namespace emsc::dsp

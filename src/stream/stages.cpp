@@ -5,6 +5,7 @@
 
 #include "dsp/convolution.hpp"
 #include "dsp/peaks.hpp"
+#include "dsp/simd/simd.hpp"
 #include "dsp/window.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
@@ -87,10 +88,10 @@ EnvelopeStage::updateCarrier()
     std::size_t m = trk.snapshotWindow;
     auto win_sp = dsp::cachedWindow(dsp::WindowKind::Hann, m);
     const std::vector<double> &win = *win_sp;
-    std::vector<dsp::Complex> buf(m);
+    snapBuf.resize(m);
     for (std::size_t i = 0; i < m; ++i)
-        buf[i] = snapshot[(snapHead + i) % m] * win[i];
-    snapshotPlan->transform(buf, false);
+        snapBuf[i] = snapshot[(snapHead + i) % m] * win[i];
+    snapshotPlan->transform(snapBuf, false);
 
     // Magnitude-weighted centroid of the neighbourhood around the
     // tracked carrier, above the local floor so noise bins do not pull
@@ -98,19 +99,19 @@ EnvelopeStage::updateCarrier()
     double off = trackedCarrier - fc;
     auto center = static_cast<long long>(
         std::llround(off * static_cast<double>(m) / fs));
-    std::vector<double> mag;
-    mag.reserve(2 * static_cast<std::size_t>(trk.trackBins) + 1);
+    snapMag.clear();
+    snapMag.reserve(2 * static_cast<std::size_t>(trk.trackBins) + 1);
     for (int d = -trk.trackBins; d <= trk.trackBins; ++d) {
         long long k = (center + d) % static_cast<long long>(m);
         if (k < 0)
             k += static_cast<long long>(m);
-        mag.push_back(std::abs(buf[static_cast<std::size_t>(k)]));
+        snapMag.push_back(std::abs(snapBuf[static_cast<std::size_t>(k)]));
     }
-    double floor = *std::min_element(mag.begin(), mag.end());
+    double floor = *std::min_element(snapMag.begin(), snapMag.end());
     double wsum = 0.0, fsum = 0.0;
     for (int d = -trk.trackBins; d <= trk.trackBins; ++d) {
         double w =
-            mag[static_cast<std::size_t>(d + trk.trackBins)] - floor;
+            snapMag[static_cast<std::size_t>(d + trk.trackBins)] - floor;
         double freq =
             fc + static_cast<double>(center + d) * fs /
                      static_cast<double>(m);
@@ -145,7 +146,9 @@ EnvelopeStage::process(StreamMessage &&msg, const Emit &emit)
 
     // Corrupt-run scan on the raw samples: global decimated indices of
     // samples inside a sustained zero/clip run.
-    std::vector<std::pair<std::size_t, std::size_t>> corruptRanges;
+    std::vector<std::pair<std::size_t, std::size_t>> &corruptRanges =
+        corruptScratch;
+    corruptRanges.clear();
     for (std::size_t i = 0; i < iq.samples.size(); ++i) {
         double re = iq.samples[i].real();
         double im = iq.samples[i].imag();
@@ -380,26 +383,32 @@ TimingStage::processSpans(bool final_span, BitChunk &out)
         if (!final_span && env.size() < spanSamples)
             return;
 
-        std::vector<double> window(env.begin(),
-                                   env.begin() +
-                                       static_cast<std::ptrdiff_t>(w));
-        std::vector<double> edge = dsp::edgeDetect(window, kernel);
+        // Edge detection runs on the env prefix in place (the kernel
+        // only reads it), with the prefix-sum scratch and edge output
+        // carved from the stage arena: once warm the span loop makes
+        // no heap allocations.
+        arena.reset();
+        double *scratch = arena.doubles(w + 1);
+        double *edge = arena.doubles(w);
+        dsp::simd::kernels().edgeDetect(env.data(), w, kernel / 2,
+                                        scratch, edge);
         dsp::PeakOptions opt;
         opt.minDistance = std::max<std::size_t>(
             4, static_cast<std::size_t>(std::lround(
                    cal.timing.minSpacingRatio * tsig)));
-        std::vector<std::size_t> peaks = dsp::findPeaks(edge, opt);
+        dsp::findPeaksInto(edge, w, opt, peakScratch, peaksBuf);
+        const std::vector<std::size_t> &peaks = peaksBuf;
 
         // Threshold adaptation: decaying average of the span's peak
         // quantile. Quiet spans (no bits) would drag the reference to
         // the noise floor, so only spans with comparable activity
         // update it.
         if (!peaks.empty()) {
-            std::vector<double> heights;
-            heights.reserve(peaks.size());
+            heightsBuf.clear();
+            heightsBuf.reserve(peaks.size());
             for (std::size_t p : peaks)
-                heights.push_back(edge[p]);
-            double q = quantile(heights, cal.timing.peakQuantile);
+                heightsBuf.push_back(edge[p]);
+            double q = quantile(heightsBuf, cal.timing.peakQuantile);
             if (refQ <= 0.0)
                 refQ = q;
             else if (q > 0.35 * refQ)

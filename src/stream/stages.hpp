@@ -28,6 +28,8 @@
 #include "channel/labeling.hpp"
 #include "channel/timing.hpp"
 #include "dsp/fft_plan.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/simd/arena.hpp"
 #include "keylog/detector.hpp"
 #include "stream/stage.hpp"
 
@@ -107,6 +109,10 @@ class EnvelopeStage : public StreamStage
     /** Raw-domain corrupt-run trackers (persist across chunks). */
     std::size_t zeroRun = 0;
     std::size_t clipRun = 0;
+    /** Per-chunk / per-update scratch (reused, never per-call). */
+    std::vector<std::pair<std::size_t, std::size_t>> corruptScratch;
+    std::vector<dsp::Complex> snapBuf;
+    std::vector<double> snapMag;
 };
 
 /**
@@ -207,6 +213,13 @@ class TimingStage : public StreamStage
     std::size_t pendingStart = 0;
     bool havePending = false;
     std::size_t bitsOut = 0;
+    /** Per-span scratch: arena for the edge/prefix buffers plus
+     * reusable peak workspaces, so the steady-state span loop
+     * performs no allocations once warm. */
+    dsp::simd::Arena arena;
+    dsp::PeakScratch peakScratch;
+    std::vector<std::size_t> peaksBuf;
+    std::vector<double> heightsBuf;
 };
 
 /**

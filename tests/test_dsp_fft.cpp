@@ -11,6 +11,7 @@
 #include <numbers>
 
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 #include "support/rng.hpp"
 
 namespace emsc::dsp {
@@ -131,6 +132,45 @@ TEST(FftBasics, MagnitudesMatchAbs)
     auto m = magnitudes(X);
     for (std::size_t i = 0; i < X.size(); ++i)
         EXPECT_DOUBLE_EQ(m[i], std::abs(X[i]));
+}
+
+TEST(FftBasics, InverseNormalizationLivesAtThePlanLayer)
+{
+    // Regression: the 1/N fold used to be applied by ifft() itself on
+    // the Bluestein path while the radix-2 path scaled inside
+    // FftPlan::transform — so calling a BluesteinPlan's inverse
+    // directly returned values N times too large. The contract is now
+    // uniform: every plan's inverse carries the full 1/N and ifft()
+    // does no path-dependent scaling. An all-ones spectrum must invert
+    // to a unit impulse through the plans themselves.
+    {
+        std::vector<Complex> x(8, Complex{1.0, 0.0});
+        FftPlan::forSize(8)->transform(x, true);
+        EXPECT_NEAR(std::abs(x[0] - Complex{1.0, 0.0}), 0.0, 1e-12);
+        for (std::size_t i = 1; i < x.size(); ++i)
+            EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-12) << "i=" << i;
+    }
+    {
+        std::vector<Complex> X(12, Complex{1.0, 0.0});
+        auto x = BluesteinPlan::forSize(12)->transform(X, true);
+        ASSERT_EQ(x.size(), 12u);
+        EXPECT_NEAR(std::abs(x[0] - Complex{1.0, 0.0}), 0.0, 1e-9);
+        for (std::size_t i = 1; i < x.size(); ++i)
+            EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-9) << "i=" << i;
+    }
+}
+
+TEST(FftBasics, RoundTripPinsNormalizationOnBothPaths)
+{
+    // Power-of-two (radix-2 plan) and non-power-of-two (Bluestein
+    // plan) sizes side by side, so a scaling change on either path
+    // breaks this test directly.
+    for (std::size_t n : {16u, 12u, 1000u}) {
+        auto x = randomSignal(n, 400 + n);
+        auto back = ifft(fft(x));
+        EXPECT_LT(maxError(back, x), 1e-9 * static_cast<double>(n))
+            << "n=" << n;
+    }
 }
 
 /** Parameterised: FFT equals the reference DFT for many sizes. */

@@ -340,6 +340,49 @@ TEST(Peaks, PlateauReportsFirstIndex)
     EXPECT_EQ(p[0], 1u);
 }
 
+TEST(Peaks, BoundaryPlateausAreNotPeaks)
+{
+    // Regression: a truncated capture ending mid-pulse used to report
+    // the trailing plateau (no genuine drop after it) as a peak, and
+    // index 0 was accepted without a left neighbour. Both boundary
+    // shapes must stay silent.
+    EXPECT_TRUE(
+        findPeaks({0.0, 1.0, 3.0, 3.0}, PeakOptions{}).empty());
+    EXPECT_TRUE(
+        findPeaks({3.0, 3.0, 1.0, 0.0}, PeakOptions{}).empty());
+    EXPECT_TRUE(findPeaks({0.0, 1.0, 2.0}, PeakOptions{}).empty());
+    EXPECT_TRUE(findPeaks({2.0, 1.0, 0.0}, PeakOptions{}).empty());
+    EXPECT_TRUE(findPeaks({1.0}, PeakOptions{}).empty());
+    EXPECT_TRUE(findPeaks({1.0, 1.0}, PeakOptions{}).empty());
+}
+
+TEST(Peaks, InteriorPeaksNextToBoundaryPlateausSurvive)
+{
+    // The boundary rule must not eat genuine interior maxima.
+    auto p = findPeaks({0.0, 2.0, 0.5, 3.0, 3.0}, PeakOptions{});
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p[0], 1u);
+}
+
+TEST(Peaks, ScratchVariantMatchesAllocatingVariant)
+{
+    Rng rng(31);
+    std::vector<double> x(500);
+    for (auto &v : x)
+        v = rng.uniform(0.0, 1.0);
+    PeakOptions opt;
+    opt.minDistance = 5;
+    opt.minHeight = 0.3;
+    auto ref = findPeaks(x, opt);
+    PeakScratch scratch;
+    std::vector<std::size_t> out;
+    // Reuse the scratch across calls: results must be stable.
+    for (int round = 0; round < 3; ++round) {
+        findPeaksInto(x.data(), x.size(), opt, scratch, out);
+        EXPECT_EQ(out, ref);
+    }
+}
+
 TEST(Peaks, RefineCentroidsSymmetricPeak)
 {
     std::vector<double> x(50, 0.0);

@@ -25,6 +25,7 @@
 #include "core/experiment.hpp"
 #include "core/setup.hpp"
 #include "core/trial_runner.hpp"
+#include "dsp/fft.hpp"
 #include "dsp/filters.hpp"
 #include "dsp/sliding_dft.hpp"
 #include "dsp/stft.hpp"
@@ -171,6 +172,23 @@ TEST(ConfigFaults, SlidingDftRejectsBadWindowAndBins)
     EXPECT_THROW(dsp::SlidingDft(0, {0}), RecoverableError);
     EXPECT_THROW(dsp::SlidingDft(64, {}), RecoverableError);
     EXPECT_EQ(caughtKind([] { dsp::SlidingDft(64, {64}); }),
+              ErrorKind::InvalidConfig);
+}
+
+TEST(ConfigFaults, NextPowerOfTwoRejectsUnrepresentableSizes)
+{
+    // The largest power of two a size_t can hold is 2^(bits-1); one
+    // past it the doubling shift would wrap to zero and loop forever,
+    // so the helper must reject instead of hanging.
+    constexpr std::size_t kLargest =
+        (std::numeric_limits<std::size_t>::max() >> 1) + 1;
+    EXPECT_EQ(dsp::nextPowerOfTwo(kLargest), kLargest);
+    EXPECT_EQ(caughtKind([] { dsp::nextPowerOfTwo(kLargest + 1); }),
+              ErrorKind::InvalidConfig);
+    EXPECT_EQ(caughtKind([] {
+                  dsp::nextPowerOfTwo(
+                      std::numeric_limits<std::size_t>::max());
+              }),
               ErrorKind::InvalidConfig);
 }
 

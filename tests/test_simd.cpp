@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Equivalence contract for the runtime-dispatched SIMD kernels
+ * (src/dsp/simd/): the scalar backend must be bit-identical to the
+ * historical per-call loops, every compiled-in vector backend must
+ * match scalar within 1e-9 relative error, and the chunked sliding
+ * DFT must reproduce the per-sample push() path exactly — including
+ * across renormalisation boundaries (with the dsp.sdft.renorms
+ * counter making each re-seed visible).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
+#include "dsp/simd/arena.hpp"
+#include "dsp/simd/simd.hpp"
+#include "dsp/sliding_dft.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/telemetry.hpp"
+
+namespace emsc::dsp {
+namespace {
+
+std::vector<Complex>
+randomComplex(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Complex> x(n);
+    for (auto &v : x)
+        v = Complex{rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+    return x;
+}
+
+std::vector<double>
+randomReal(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> x(n);
+    for (auto &v : x)
+        v = rng.gaussian(0.0, 1.0);
+    return x;
+}
+
+/** Every backend compiled in and usable on this machine. */
+std::vector<simd::Backend>
+availableBackends()
+{
+    std::vector<simd::Backend> v{simd::Backend::Scalar};
+    for (simd::Backend b : {simd::Backend::Avx2, simd::Backend::Neon})
+        if (simd::backendAvailable(b))
+            v.push_back(b);
+    return v;
+}
+
+double
+maxAbs(const std::vector<double> &v)
+{
+    double m = 0.0;
+    for (double x : v)
+        m = std::max(m, std::abs(x));
+    return m;
+}
+
+// ------------------------------------------------------------- dispatch
+
+TEST(SimdDispatch, ActiveBackendIsAvailableAndNamed)
+{
+    simd::Backend b = simd::activeBackend();
+    EXPECT_TRUE(simd::backendAvailable(b));
+    EXPECT_NE(simd::backendName(b), nullptr);
+    EXPECT_NE(simd::kernelsFor(b), nullptr);
+    // The scalar table is always reachable.
+    EXPECT_TRUE(simd::backendAvailable(simd::Backend::Scalar));
+    ASSERT_NE(simd::kernelsFor(simd::Backend::Scalar), nullptr);
+    EXPECT_EQ(simd::kernelsFor(simd::Backend::Scalar),
+              &simd::scalarKernels());
+}
+
+// ------------------------------------------- scalar vs historical loops
+
+TEST(SimdScalar, SdftChunkBitIdenticalToHistoricalPushLoop)
+{
+    const std::size_t m = 64;
+    const std::size_t bins = 6;
+    auto x = randomComplex(1000, 11);
+
+    std::vector<double> twRe(bins), twIm(bins);
+    for (std::size_t i = 0; i < bins; ++i) {
+        Complex tw = std::polar(
+            1.0, 2.0 * std::numbers::pi *
+                     static_cast<double>(i * 9 + 3) /
+                     static_cast<double>(m));
+        twRe[i] = tw.real();
+        twIm[i] = tw.imag();
+    }
+
+    // Historical per-sample loop, exactly as SlidingDft::push wrote it
+    // before the kernel extraction.
+    std::vector<Complex> refAcc(bins), refHist(m);
+    std::vector<double> refY(x.size());
+    std::size_t refHead = 0;
+    for (std::size_t s = 0; s < x.size(); ++s) {
+        Complex oldest = refHist[refHead];
+        refHist[refHead] = x[s];
+        refHead = (refHead + 1) % m;
+        double y = 0.0;
+        for (std::size_t i = 0; i < bins; ++i) {
+            refAcc[i] = (refAcc[i] + x[s] - oldest) *
+                        Complex{twRe[i], twIm[i]};
+            y += std::abs(refAcc[i]);
+        }
+        refY[s] = y;
+    }
+
+    std::vector<double> accRe(bins, 0.0), accIm(bins, 0.0);
+    std::vector<Complex> hist(m);
+    std::vector<double> y(x.size());
+    std::size_t head = 0;
+    simd::SdftBank bank{accRe.data(), accIm.data(), twRe.data(),
+                        twIm.data(), bins};
+    simd::scalarKernels().sdftChunk(bank, x.data(), x.size(),
+                                    hist.data(), m, &head, y.data());
+
+    EXPECT_EQ(head, refHead);
+    for (std::size_t i = 0; i < bins; ++i) {
+        EXPECT_EQ(accRe[i], refAcc[i].real()) << "bin " << i;
+        EXPECT_EQ(accIm[i], refAcc[i].imag()) << "bin " << i;
+    }
+    for (std::size_t s = 0; s < x.size(); ++s)
+        ASSERT_EQ(y[s], refY[s]) << "sample " << s;
+}
+
+TEST(SimdScalar, EdgeDetectBitIdenticalToHistoricalRecurrence)
+{
+    for (std::size_t n : {1u, 2u, 9u, 400u}) {
+        for (std::size_t half : {1u, 4u, 12u, 600u}) {
+            auto x = randomReal(n, 100 + n + half);
+            // Historical clamped double-window sum, O(n*half).
+            std::vector<double> ref(n);
+            auto at = [&](std::ptrdiff_t i) {
+                i = std::clamp<std::ptrdiff_t>(
+                    i, 0, static_cast<std::ptrdiff_t>(n) - 1);
+                return x[static_cast<std::size_t>(i)];
+            };
+            for (std::size_t i = 0; i < n; ++i) {
+                double ahead = 0.0, behind = 0.0;
+                for (std::size_t j = 0; j < half; ++j) {
+                    ahead += at(static_cast<std::ptrdiff_t>(i + j));
+                    behind += at(static_cast<std::ptrdiff_t>(i) - 1 -
+                                 static_cast<std::ptrdiff_t>(j));
+                }
+                ref[i] = ahead - behind;
+            }
+            std::vector<double> scratch(n + 1), out(n);
+            simd::scalarKernels().edgeDetect(x.data(), n, half,
+                                             scratch.data(),
+                                             out.data());
+            double scale = std::max(1.0, maxAbs(ref));
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_NEAR(out[i], ref[i], 1e-12 * scale)
+                    << "n=" << n << " half=" << half << " i=" << i;
+        }
+    }
+}
+
+// ------------------------------------------- vector backends vs scalar
+
+class SimdBackends : public ::testing::TestWithParam<simd::Backend>
+{
+  protected:
+    const simd::Kernels &
+    table() const
+    {
+        const simd::Kernels *k = simd::kernelsFor(GetParam());
+        EXPECT_NE(k, nullptr);
+        return *k;
+    }
+};
+
+TEST_P(SimdBackends, SdftChunkMatchesScalar)
+{
+    const std::size_t m = 128;
+    for (std::size_t bins : {1u, 2u, 3u, 6u, 9u}) {
+        auto x = randomComplex(3000, 7 + bins);
+        std::vector<double> twRe(bins), twIm(bins);
+        for (std::size_t i = 0; i < bins; ++i) {
+            Complex tw = std::polar(
+                1.0, 2.0 * std::numbers::pi *
+                         static_cast<double>(i * 13 + 5) /
+                         static_cast<double>(m));
+            twRe[i] = tw.real();
+            twIm[i] = tw.imag();
+        }
+
+        auto run = [&](const simd::Kernels &k, std::vector<double> &re,
+                       std::vector<double> &im,
+                       std::vector<double> &y) {
+            re.assign(bins, 0.0);
+            im.assign(bins, 0.0);
+            y.assign(x.size(), 0.0);
+            std::vector<Complex> hist(m);
+            std::size_t head = 0;
+            simd::SdftBank bank{re.data(), im.data(), twRe.data(),
+                                twIm.data(), bins};
+            k.sdftChunk(bank, x.data(), x.size(), hist.data(), m,
+                        &head, y.data());
+        };
+
+        std::vector<double> sRe, sIm, sY, vRe, vIm, vY;
+        run(simd::scalarKernels(), sRe, sIm, sY);
+        run(table(), vRe, vIm, vY);
+
+        double yScale = std::max(1.0, maxAbs(sY));
+        for (std::size_t s = 0; s < x.size(); ++s)
+            ASSERT_NEAR(vY[s], sY[s], 1e-9 * yScale)
+                << "bins=" << bins << " sample=" << s;
+        for (std::size_t i = 0; i < bins; ++i) {
+            double aScale = std::max(
+                1.0, std::hypot(sRe[i], sIm[i]));
+            EXPECT_NEAR(vRe[i], sRe[i], 1e-9 * aScale);
+            EXPECT_NEAR(vIm[i], sIm[i], 1e-9 * aScale);
+        }
+
+        // Null y_out must leave the accumulators on the same path.
+        std::vector<double> nRe(bins, 0.0), nIm(bins, 0.0);
+        std::vector<Complex> hist(m);
+        std::size_t head = 0;
+        simd::SdftBank bank{nRe.data(), nIm.data(), twRe.data(),
+                            twIm.data(), bins};
+        table().sdftChunk(bank, x.data(), x.size(), hist.data(), m,
+                          &head, nullptr);
+        for (std::size_t i = 0; i < bins; ++i) {
+            EXPECT_EQ(nRe[i], vRe[i]);
+            EXPECT_EQ(nIm[i], vIm[i]);
+        }
+    }
+}
+
+TEST_P(SimdBackends, MagnitudesMatchScalar)
+{
+    for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 1001u}) {
+        auto z = randomComplex(n, 40 + n);
+        std::vector<double> ref(n), out(n);
+        simd::scalarKernels().magnitudes(z.data(), n, ref.data());
+        table().magnitudes(z.data(), n, out.data());
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_NEAR(out[i], ref[i],
+                        1e-9 * std::max(1.0, ref[i]))
+                << "n=" << n << " i=" << i;
+    }
+}
+
+TEST_P(SimdBackends, EdgeDetectMatchesScalarAcrossTileBoundaries)
+{
+    // Sizes straddle the vector backends' internal tiling and the
+    // h >= n all-clamped regime.
+    const std::size_t sizes[] = {1, 3, 100, 4095, 4096, 4097, 9001};
+    const std::size_t halves[] = {1, 12, 517, 12000};
+    for (std::size_t n : sizes) {
+        for (std::size_t half : halves) {
+            auto x = randomReal(n, 3 * n + half);
+            std::vector<double> scratch(n + 1), ref(n), out(n);
+            simd::scalarKernels().edgeDetect(x.data(), n, half,
+                                             scratch.data(),
+                                             ref.data());
+            table().edgeDetect(x.data(), n, half, scratch.data(),
+                               out.data());
+            double scale = std::max(1.0, maxAbs(ref));
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_NEAR(out[i], ref[i], 1e-9 * scale)
+                    << "n=" << n << " half=" << half << " i=" << i;
+        }
+    }
+}
+
+TEST_P(SimdBackends, MagEdgeMatchesSeparateScalarPasses)
+{
+    const std::size_t n = 3000, half = 8;
+    auto z = randomComplex(n, 77);
+    std::vector<double> refMag(n), refEdge(n), scratch(n + 1);
+    simd::scalarKernels().magnitudes(z.data(), n, refMag.data());
+    simd::scalarKernels().edgeDetect(refMag.data(), n, half,
+                                     scratch.data(), refEdge.data());
+
+    std::vector<double> mag(n), edge(n);
+    table().magEdge(z.data(), n, half, mag.data(), scratch.data(),
+                    edge.data());
+    double mScale = std::max(1.0, maxAbs(refMag));
+    double eScale = std::max(1.0, maxAbs(refEdge));
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(mag[i], refMag[i], 1e-9 * mScale) << i;
+        ASSERT_NEAR(edge[i], refEdge[i], 1e-9 * eScale) << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAvailable, SimdBackends,
+    ::testing::ValuesIn(availableBackends()),
+    [](const ::testing::TestParamInfo<simd::Backend> &info) {
+        return simd::backendName(info.param);
+    });
+
+// ----------------------------------------------------- sliding DFT API
+
+TEST(SlidingDftChunk, PushChunkBitIdenticalToPushLoop)
+{
+    const std::size_t m = 64;
+    const std::vector<std::size_t> bins = {3, 17, 40};
+    const std::size_t renorm = 257; // prime, crossed mid-slice below
+    auto x = randomComplex(2000, 5);
+
+    SlidingDft perSample(m, bins, renorm);
+    std::vector<double> yRef(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        yRef[i] = perSample.push(x[i]);
+
+    SlidingDft chunked(m, bins, renorm);
+    std::vector<double> y(x.size());
+    std::size_t i = 0, slice = 1;
+    while (i < x.size()) {
+        std::size_t n = std::min(slice, x.size() - i);
+        chunked.pushChunk(x.data() + i, n, y.data() + i);
+        i += n;
+        slice = slice % 97 + 3; // varying, renorm-straddling slices
+    }
+
+    EXPECT_EQ(chunked.samplesSeen(), perSample.samplesSeen());
+    for (std::size_t s = 0; s < x.size(); ++s)
+        ASSERT_EQ(y[s], yRef[s]) << "sample " << s;
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+        EXPECT_EQ(chunked.binValue(b).real(),
+                  perSample.binValue(b).real());
+        EXPECT_EQ(chunked.binValue(b).imag(),
+                  perSample.binValue(b).imag());
+    }
+}
+
+TEST(SlidingDftRenorm, DriftBoundedAcrossReseedsWithSixBins)
+{
+    // Table-III worst case: 6 tracked bins, several renormalisation
+    // boundaries. Audit Eq. (1) outputs against a direct DFT of the
+    // trailing window right at and right after each re-seed, and
+    // check the dsp.sdft.renorms counter counts every re-seed.
+    telemetry::ScopedTelemetry scope(/*metrics=*/true);
+    const telemetry::MetricsSnapshot before =
+        telemetry::MetricsRegistry::global().snapshot();
+    const std::uint64_t *c0 = before.counter("dsp.sdft.renorms");
+    const std::uint64_t renormsBefore = c0 != nullptr ? *c0 : 0;
+
+    const std::size_t m = 1024;
+    const std::vector<std::size_t> bins = {3, 37, 101, 257, 511, 767};
+    const std::size_t interval = 1 << 12;
+    const std::size_t total = 3 * interval + 500;
+
+    Rng rng(42);
+    SlidingDft sdft(m, bins, interval);
+    std::vector<Complex> ring(m);
+    for (std::size_t n = 0; n < total; ++n) {
+        Complex s{rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)};
+        ring[n % m] = s;
+        double y = sdft.push(s);
+        bool boundary = (n + 1) % interval == 0 ||
+                        (n + 1) % interval == 1;
+        if (n < m || !boundary)
+            continue;
+        double expected = 0.0;
+        for (std::size_t k : bins) {
+            Complex acc{0.0, 0.0};
+            for (std::size_t j = 0; j < m; ++j) {
+                double angle = -2.0 * std::numbers::pi *
+                               static_cast<double>(k * j) /
+                               static_cast<double>(m);
+                acc += ring[(n + 1 + j) % m] *
+                       Complex{std::cos(angle), std::sin(angle)};
+            }
+            expected += std::abs(acc);
+        }
+        ASSERT_NEAR(y, expected, 1e-6 * std::max(1.0, expected))
+            << "at sample " << n;
+    }
+
+    const telemetry::MetricsSnapshot after =
+        telemetry::MetricsRegistry::global().snapshot();
+    const std::uint64_t *c1 = after.counter("dsp.sdft.renorms");
+    ASSERT_NE(c1, nullptr);
+    EXPECT_EQ(*c1 - renormsBefore, total / interval);
+}
+
+// ------------------------------------------------------- real-input FFT
+
+TEST(RealFft, PackedForwardMatchesComplexFft)
+{
+    for (std::size_t n : {2u, 4u, 8u, 256u, 1024u}) {
+        auto x = randomReal(n, 60 + n);
+        auto packed = fftRealPacked(x);
+        auto full = fftReal(x);
+        ASSERT_EQ(packed.size(), n / 2 + 1);
+        for (std::size_t k = 0; k <= n / 2; ++k)
+            ASSERT_LT(std::abs(packed[k] - full[k]),
+                      1e-9 * static_cast<double>(n))
+                << "n=" << n << " k=" << k;
+    }
+}
+
+TEST(RealFft, PackedRoundTripRecoversSignal)
+{
+    for (std::size_t n : {2u, 16u, 1024u}) {
+        auto x = randomReal(n, 90 + n);
+        auto back = ifftRealPacked(fftRealPacked(x));
+        ASSERT_EQ(back.size(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_NEAR(back[i], x[i], 1e-12 * static_cast<double>(n))
+                << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(RealFft, RejectsInvalidSizes)
+{
+    EXPECT_THROW(fftRealPacked(std::vector<double>(12)),
+                 RecoverableError);
+    EXPECT_THROW(fftRealPacked(std::vector<double>(1)),
+                 RecoverableError);
+    EXPECT_THROW(ifftRealPacked(std::vector<Complex>(1)),
+                 RecoverableError);
+    // 8 bins => n = 14, not a power of two.
+    EXPECT_THROW(ifftRealPacked(std::vector<Complex>(8)),
+                 RecoverableError);
+}
+
+// --------------------------------------------------------------- arena
+
+TEST(Arena, SteadyStateReusesTheSameBlock)
+{
+    simd::Arena arena;
+    // First cycle spills across blocks while the high-water mark
+    // grows.
+    arena.doubles(100);
+    arena.doubles(300);
+    arena.doubles(50);
+    arena.reset();
+
+    // Second cycle: consolidated into one block.
+    double *a = arena.doubles(100);
+    double *b = arena.doubles(300);
+    double *c = arena.doubles(50);
+    std::size_t cap = arena.capacity();
+    EXPECT_EQ(b, a + 100);
+    EXPECT_EQ(c, b + 300);
+
+    // Third cycle returns identical pointers with no further growth.
+    arena.reset();
+    EXPECT_EQ(arena.doubles(100), a);
+    EXPECT_EQ(arena.doubles(300), b);
+    EXPECT_EQ(arena.doubles(50), c);
+    EXPECT_EQ(arena.capacity(), cap);
+
+    // Zero-sized requests still give distinct live pointers.
+    arena.reset();
+    EXPECT_NE(arena.doubles(0), arena.doubles(0));
+}
+
+} // namespace
+} // namespace emsc::dsp

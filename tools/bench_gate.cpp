@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Regression gate over two emsc.bench.v1 reports: compares a current
+ * report against a committed baseline and exits non-zero when any
+ * throughput entry dropped (or wall_ms.median rose) by more than the
+ * threshold. Pure C++ on top of support/json so the gate runs
+ * anywhere the benches do — no Python, no external diff tooling.
+ *
+ * Rules (threshold defaults to 10%):
+ *   - every `throughput` key present in the baseline must exist in
+ *     the current report; a vanished series is a failure, not a skip;
+ *   - a throughput entry more than threshold below baseline fails;
+ *   - `wall_ms.median` more than threshold above baseline fails;
+ *   - improvements and new keys always pass (they become the new
+ *     baseline when the artifact is re-committed).
+ *
+ * Usage: bench_gate [--threshold PCT] [--selftest]
+ *                   [baseline.json current.json]
+ *
+ * --selftest exercises the comparison rules on in-memory reports
+ * (identical, small drop, big drop, missing key, slower median) so
+ * the ctest entry is meaningful before any bench has ever run.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/json.hpp"
+
+using emsc::json::Value;
+
+namespace {
+
+/** The slice of an emsc.bench.v1 report the gate compares. */
+struct GateReport
+{
+    std::string name;
+    double wallMedian = 0.0;
+    std::vector<std::pair<std::string, double>> throughput;
+
+    const double *
+    find(const std::string &key) const
+    {
+        for (const auto &kv : throughput)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+bool
+loadReport(const std::string &text, GateReport &out, std::string &err)
+{
+    Value root;
+    if (!Value::parse(text, root, &err))
+        return false;
+    const Value *schema = root.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->string() != "emsc.bench.v1") {
+        err = "not an emsc.bench.v1 report";
+        return false;
+    }
+    const Value *name = root.find("name");
+    out.name = name != nullptr && name->isString() ? name->string()
+                                                   : "(unnamed)";
+    const Value *wall = root.find("wall_ms");
+    const Value *med = wall != nullptr ? wall->find("median") : nullptr;
+    if (med == nullptr || !med->isNumber()) {
+        err = "missing number wall_ms.median";
+        return false;
+    }
+    out.wallMedian = med->number();
+    const Value *tp = root.find("throughput");
+    if (tp == nullptr || !tp->isObject()) {
+        err = "missing object \"throughput\"";
+        return false;
+    }
+    for (const auto &member : tp->members()) {
+        if (!member.second.isNumber()) {
+            err = "throughput." + member.first + " is not a number";
+            return false;
+        }
+        out.throughput.emplace_back(member.first,
+                                    member.second.number());
+    }
+    return true;
+}
+
+bool
+loadReportFile(const std::string &path, GateReport &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    if (!loadReport(buf.str(), out, err)) {
+        std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Percent change of current vs baseline (positive = increase). */
+double
+pctChange(double baseline, double current)
+{
+    if (baseline == 0.0)
+        return 0.0;
+    return (current - baseline) / baseline * 100.0;
+}
+
+/**
+ * Compare current against baseline; returns the number of regressions
+ * and, unless quiet, prints one line per compared series.
+ */
+int
+compareReports(const GateReport &base, const GateReport &cur,
+               double threshold_pct, bool quiet)
+{
+    int regressions = 0;
+
+    double wallDelta = pctChange(base.wallMedian, cur.wallMedian);
+    bool wallBad = base.wallMedian > 0.0 && wallDelta > threshold_pct;
+    if (wallBad)
+        ++regressions;
+    if (!quiet)
+        std::printf("%-4s wall_ms.median  %12.4f -> %12.4f  (%+.1f%%)\n",
+                    wallBad ? "FAIL" : "ok", base.wallMedian,
+                    cur.wallMedian, wallDelta);
+
+    for (const auto &kv : base.throughput) {
+        const double *now = cur.find(kv.first);
+        if (now == nullptr) {
+            ++regressions;
+            if (!quiet)
+                std::printf("FAIL %s  missing from current report\n",
+                            kv.first.c_str());
+            continue;
+        }
+        double delta = pctChange(kv.second, *now);
+        bool bad = delta < -threshold_pct;
+        if (bad)
+            ++regressions;
+        if (!quiet)
+            std::printf("%-4s %s  %12.4g -> %12.4g  (%+.1f%%)\n",
+                        bad ? "FAIL" : "ok", kv.first.c_str(),
+                        kv.second, *now, delta);
+    }
+    return regressions;
+}
+
+/** Build a minimal v1 document and round-trip it through the writer
+ * and parser so the selftest also covers loadReport itself. */
+std::string
+syntheticReport(double wall_median, double a, double b, bool with_b)
+{
+    Value root = Value::object();
+    root.set("schema", "emsc.bench.v1");
+    root.set("name", "selftest");
+    root.set("runs", 3);
+    Value wall = Value::object();
+    wall.set("median", wall_median);
+    wall.set("p90", wall_median * 1.2);
+    root.set("wall_ms", std::move(wall));
+    Value tp = Value::object();
+    tp.set("alpha.items_per_second", a);
+    if (with_b)
+        tp.set("beta.items_per_second", b);
+    root.set("throughput", std::move(tp));
+    root.set("metrics", Value::object());
+    return root.dump(2);
+}
+
+bool
+selftestCase(const char *what, const std::string &base_text,
+             const std::string &cur_text, double threshold,
+             bool expect_pass)
+{
+    GateReport base, cur;
+    std::string err;
+    if (!loadReport(base_text, base, err) ||
+        !loadReport(cur_text, cur, err)) {
+        std::fprintf(stderr, "selftest %s: load failed: %s\n", what,
+                     err.c_str());
+        return false;
+    }
+    bool passed = compareReports(base, cur, threshold, true) == 0;
+    if (passed != expect_pass) {
+        std::fprintf(stderr,
+                     "selftest %s: expected %s but gate said %s\n",
+                     what, expect_pass ? "pass" : "fail",
+                     passed ? "pass" : "fail");
+        return false;
+    }
+    return true;
+}
+
+bool
+selftest()
+{
+    std::string base = syntheticReport(10.0, 1000.0, 2000.0, true);
+    bool ok = true;
+    // Identical reports pass at any threshold.
+    ok &= selftestCase("identical", base, base, 10.0, true);
+    // A 12% throughput drop trips the default 10% gate.
+    ok &= selftestCase("big-drop", base,
+                       syntheticReport(10.0, 880.0, 2000.0, true),
+                       10.0, false);
+    // A 5% drop is inside the band.
+    ok &= selftestCase("small-drop", base,
+                       syntheticReport(10.0, 950.0, 2000.0, true),
+                       10.0, true);
+    // A vanished baseline series fails even when the rest improved.
+    ok &= selftestCase("missing-key", base,
+                       syntheticReport(10.0, 5000.0, 0.0, false),
+                       10.0, false);
+    // Median wall time 12% up fails; throughput unchanged.
+    ok &= selftestCase("slower-median", base,
+                       syntheticReport(11.2, 1000.0, 2000.0, true),
+                       10.0, false);
+    // Improvements never fail.
+    ok &= selftestCase("faster", base,
+                       syntheticReport(8.0, 1500.0, 2600.0, true),
+                       10.0, true);
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double threshold = 10.0;
+    bool run_selftest = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--selftest") {
+            run_selftest = true;
+        } else if (arg == "--threshold" && i + 1 < argc) {
+            threshold = std::atof(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: bench_gate [--threshold PCT] "
+                        "[--selftest] [baseline.json current.json]\n");
+            return 0;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (threshold <= 0.0 || !std::isfinite(threshold)) {
+        std::fprintf(stderr, "error: threshold must be positive\n");
+        return 2;
+    }
+
+    if (run_selftest) {
+        if (!selftest()) {
+            std::printf("selftest: FAILED\n");
+            return 1;
+        }
+        std::printf("selftest: OK\n");
+        if (paths.empty())
+            return 0;
+    }
+
+    if (paths.size() != 2) {
+        std::fprintf(stderr, "error: expected a baseline and a "
+                             "current report (see --help)\n");
+        return 2;
+    }
+
+    GateReport base, cur;
+    if (!loadReportFile(paths[0], base) ||
+        !loadReportFile(paths[1], cur))
+        return 2;
+
+    std::printf("bench_gate: %s vs %s (threshold %.1f%%)\n",
+                base.name.c_str(), cur.name.c_str(), threshold);
+    int regressions = compareReports(base, cur, threshold, false);
+    if (regressions > 0) {
+        std::printf("%d regression(s) beyond %.1f%%\n", regressions,
+                    threshold);
+        return 1;
+    }
+    std::printf("no regressions beyond %.1f%%\n", threshold);
+    return 0;
+}
