@@ -9,72 +9,20 @@
  * dropouts, AGC gain steps, and in the harsh row also saturation, LO
  * hops, transmitter preemption and mid-capture interferers). Recovery
  * means the decoded payload matches the sent payload exactly.
+ *
+ * Each fault profile (5 dropout/gain rates + the harsh row) is one
+ * engine work unit computing the hardened and single-lock cells on
+ * the same seeds; the rows fan out as in-process shards and both the
+ * table and BENCH_ablation_faults.json come from the merged journals.
  */
 
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "engine/merge.hpp"
+#include "engine/sweeps.hpp"
 
 using namespace emsc;
-
-namespace {
-
-struct CellStats
-{
-    std::size_t recovered = 0;
-    std::size_t trials = 0;
-    double berSum = 0.0;
-
-    double recoveryPct() const
-    {
-        return trials == 0 ? 0.0
-                           : 100.0 * static_cast<double>(recovered) /
-                                 static_cast<double>(trials);
-    }
-    double meanBer() const
-    {
-        return trials == 0 ? 0.0
-                           : berSum / static_cast<double>(trials);
-    }
-};
-
-CellStats
-sweepCell(const core::DeviceProfile &dev,
-          const core::MeasurementSetup &setup,
-          const core::CovertChannelOptions &base, std::size_t trials)
-{
-    std::vector<std::uint64_t> seeds =
-        core::chainedSeeds(base.seed, trials, 2654435761u, 97);
-    std::vector<core::CovertChannelResult> all =
-        core::TrialRunner::runSeeded<core::CovertChannelResult>(
-            seeds, [&](std::size_t, std::uint64_t seed) {
-                core::CovertChannelOptions o = base;
-                o.seed = seed;
-                return core::runCovertChannel(dev, setup, o);
-            });
-
-    CellStats cell;
-    for (const core::CovertChannelResult &r : all) {
-        ++cell.trials;
-        bool exact = r.ok() && r.frameFound &&
-                     r.decodedPayload == base.payload;
-        cell.recovered += exact;
-        cell.berSum += r.ok() && r.frameFound ? r.ber : 1.0;
-    }
-    return cell;
-}
-
-/** The pre-hardening pipeline: single global lock, no interleaver,
- * no CRC — what the repo shipped before the fault harness. */
-void
-makeLegacy(core::CovertChannelOptions &o)
-{
-    o.receiver.segmentation.enabled = false;
-    o.receiver.frame.interleaverDepth = 1;
-    o.receiver.frame.crc = false;
-}
-
-} // namespace
 
 int
 main()
@@ -82,24 +30,9 @@ main()
     bench::header("Ablation — fault injection: hardened vs. "
                   "single-lock pipeline");
 
-    core::DeviceProfile dev = core::referenceDevice();
-    core::MeasurementSetup setup = core::nearFieldSetup();
-
-    core::CovertChannelOptions base;
-    // Long enough (~0.3 s on the air) that a per-second fault rate
-    // lands several events inside every capture.
-    {
-        Rng rng(99);
-        base.payload.resize(600);
-        for (auto &b : base.payload)
-            b = rng.chance(0.5) ? 1 : 0;
-    }
-    base.seed = 31000;
-    constexpr std::size_t kTrials = 16;
-
     // Determinism spot check: the same seed must realise the same plan.
     {
-        sim::FaultConfig cfg = sim::dropoutGainStepConfig(base.seed);
+        sim::FaultConfig cfg = sim::dropoutGainStepConfig(31000);
         sim::FaultPlan a = sim::buildFaultPlan(cfg, 0, kSecond);
         sim::FaultPlan b = sim::buildFaultPlan(cfg, 0, kSecond);
         std::printf("plan determinism: %s (%s)\n\n",
@@ -112,64 +45,32 @@ main()
     std::printf("%-22s %-9s %-10s %-9s %-10s\n", "fault profile",
                 "recov%", "BER", "recov%", "BER");
 
-    bench::BenchReport report("ablation_faults");
-    std::size_t total_trials = 0;
-    double total_ms = 0.0;
-    auto record_row = [&](const std::string &key, const CellStats &h,
-                          const CellStats &l, double row_ms) {
-        report.addWallMs(row_ms);
-        total_ms += row_ms;
-        total_trials += h.trials + l.trials;
-        report.setMetric(key + ".hardened.recovery_pct",
-                         h.recoveryPct());
-        report.setMetric(key + ".hardened.ber", h.meanBer());
-        report.setMetric(key + ".legacy.recovery_pct",
-                         l.recoveryPct());
-        report.setMetric(key + ".legacy.ber", l.meanBer());
-    };
+    engine::Sweep sweep = engine::ablationFaultsSweep();
+    engine::ShardOptions opts;
+    opts.shards = sweep.units;
+    opts.dir = "engine_journals";
+    engine::runSweepInProcess(sweep, opts);
+    engine::MergeOutcome merged =
+        engine::mergeSweep(sweep, opts.dir, opts.shards);
 
-    // Dropout + gain-step rate sweep, including the acceptance row at
-    // the dropoutGainStepConfig rate (3/s each).
-    for (double rate : {0.0, 3.0, 8.0, 15.0, 25.0}) {
-        core::CovertChannelOptions hard = base;
-        hard.faults.dropoutRate = rate;
-        hard.faults.gainStepRate = rate;
-        core::CovertChannelOptions legacy = hard;
-        makeLegacy(legacy);
-
-        bench::WallTimer timer;
-        CellStats h = sweepCell(dev, setup, hard, kTrials);
-        CellStats l = sweepCell(dev, setup, legacy, kTrials);
-        char label[48];
-        std::snprintf(label, sizeof(label),
-                      "drop+gain %.0f/s", rate);
-        std::printf("%-22s %-9.1f %-10.2e %-9.1f %-10.2e\n", label,
-                    h.recoveryPct(), h.meanBer(), l.recoveryPct(),
-                    l.meanBer());
-        char key[32];
-        std::snprintf(key, sizeof(key), "drop_gain_%.0fps", rate);
-        record_row(key, h, l, timer.ms());
-    }
-
-    // Everything at once.
-    {
-        core::CovertChannelOptions hard = base;
-        hard.faults = sim::harshConfig(0);
-        core::CovertChannelOptions legacy = hard;
-        makeLegacy(legacy);
-        bench::WallTimer timer;
-        CellStats h = sweepCell(dev, setup, hard, kTrials);
-        CellStats l = sweepCell(dev, setup, legacy, kTrials);
+    const char *labels[] = {"drop+gain 0/s",  "drop+gain 3/s",
+                            "drop+gain 8/s",  "drop+gain 15/s",
+                            "drop+gain 25/s", "harsh (all families)"};
+    for (const engine::UnitRecord &rec : merged.unitRecords) {
+        if (rec.status != engine::UnitStatus::Ok)
+            continue;
+        const json::Value *row = rec.result.find("row");
+        if (row == nullptr || rec.unit >= 6)
+            continue;
         std::printf("%-22s %-9.1f %-10.2e %-9.1f %-10.2e\n",
-                    "harsh (all families)", h.recoveryPct(),
-                    h.meanBer(), l.recoveryPct(), l.meanBer());
-        record_row("harsh", h, l, timer.ms());
+                    labels[rec.unit],
+                    row->find("hardened_recovery_pct")->number(),
+                    row->find("hardened_ber")->number(),
+                    row->find("legacy_recovery_pct")->number(),
+                    row->find("legacy_ber")->number());
     }
-    if (total_ms > 0.0)
-        report.setThroughput("trials_per_s",
-                             static_cast<double>(total_trials) /
-                                 (total_ms * 1e-3));
-    report.write();
+    std::string dest = engine::writeMergedReport(merged);
+    std::printf("bench report: %s\n", dest.c_str());
 
     std::printf(
         "\nThe single-lock pipeline loses its one carrier/timing/"
@@ -178,5 +79,5 @@ main()
         "each clean span, bridges corrupt spans with erasures, and "
         "the interleaved Hamming\ncode + CRC-16 absorb what remains."
         "\n");
-    return 0;
+    return merged.complete() ? 0 : 1;
 }

@@ -178,61 +178,17 @@ class BenchReport
 };
 
 /**
- * Median covert-channel metrics over several runs. The paper averages
- * 5 runs per cell; with simulated seeds an occasional run loses the
- * timing lock entirely, and the median keeps one such outlier from
- * dominating a cell the way it would a mean.
- *
- * Runs fan out across the worker pool (EMSC_THREADS); the seed chain
- * is the historical serial one, precomputed up front, so the metrics
- * are bit-identical to the old serial loop for any thread count.
+ * Median covert-channel metrics over several runs. The body moved to
+ * core::medianCovertChannel so the experiment engine's sweeps
+ * (src/engine/sweeps.cpp) can share it; this forwarder keeps the
+ * historical bench call sites unchanged.
  */
 inline core::CovertChannelResult
 medianCovertRun(const core::DeviceProfile &dev,
                 const core::MeasurementSetup &setup,
                 core::CovertChannelOptions o, std::size_t runs = 5)
 {
-    std::vector<std::uint64_t> seeds =
-        core::chainedSeeds(o.seed, runs, 2654435761u, 97);
-    std::vector<core::CovertChannelResult> all =
-        core::TrialRunner::runSeeded<core::CovertChannelResult>(
-            seeds, [&](std::size_t, std::uint64_t seed) {
-                core::CovertChannelOptions oo = o;
-                oo.seed = seed;
-                return core::runCovertChannel(dev, setup, oo);
-            });
-    // A run that ended in a recoverable failure (res.ok() false) is
-    // scored like a lost timing lock rather than polluting the median
-    // with its zeroed metrics, and is tallied in failedRuns.
-    auto med_of = [&](auto getter) {
-        std::vector<double> xs;
-        for (const auto &res : all)
-            xs.push_back(res.ok() && res.frameFound ? getter(res)
-                                                    : 1.0);
-        return median(xs);
-    };
-    core::CovertChannelResult out = all.front();
-    out.frameFound = false;
-    out.failure.reset();
-    for (const auto &res : all) {
-        out.frameFound |= res.ok() && res.frameFound;
-        if (!res.ok()) {
-            ++out.failedRuns;
-            if (!out.failure)
-                out.failure = res.failure;
-        }
-    }
-    if (out.failedRuns < all.size())
-        out.failure.reset();
-    out.ber = med_of([](const auto &r) { return r.ber; });
-    out.insertionProb =
-        med_of([](const auto &r) { return r.insertionProb; });
-    out.deletionProb =
-        med_of([](const auto &r) { return r.deletionProb; });
-    out.trBps = med_of([](const auto &r) { return r.trBps; });
-    out.trPayloadBps =
-        med_of([](const auto &r) { return r.trPayloadBps; });
-    return out;
+    return core::medianCovertChannel(dev, setup, std::move(o), runs);
 }
 
 /** Print a section header. */

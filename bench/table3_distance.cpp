@@ -4,14 +4,19 @@
  * As the paper does, the transmission rate is lowered with distance so
  * the BER stays roughly constant; the achievable TR at each distance
  * is the reported figure.
+ *
+ * The sweep runs through the experiment engine (engine/sweeps.hpp):
+ * each distance is one work unit, the rows fan out as in-process
+ * shards, and the table is printed from the merged journal records —
+ * the same path `emsc_tool sweep --shard i/N` + `emsc_tool merge`
+ * takes across processes.
  */
 
 #include <cstdio>
-#include <vector>
 
 #include "bench_util.hpp"
-#include "core/api.hpp"
-#include "support/thread_pool.hpp"
+#include "engine/merge.hpp"
+#include "engine/sweeps.hpp"
 
 using namespace emsc;
 
@@ -31,30 +36,6 @@ const PaperRow kPaper[] = {
     {2.5, 8e-3, 1110},
 };
 
-/** Highest-rate sleep period meeting the BER budget at this setup. */
-core::CovertChannelResult
-bestRate(const core::DeviceProfile &dev,
-         const core::MeasurementSetup &setup, double target_ber,
-         std::uint64_t seed)
-{
-    const double sleeps[] = {100.0, 150.0, 200.0, 300.0,
-                             400.0, 600.0, 800.0};
-    core::CovertChannelResult last;
-    for (double s : sleeps) {
-        core::CovertChannelOptions o;
-        o.payloadBits = 1200;
-        o.seed = seed;
-        o.sleepPeriodUs = s;
-        core::CovertChannelResult r =
-            bench::medianCovertRun(dev, setup, o, 3);
-        last = r;
-        double err = r.ber + r.insertionProb + r.deletionProb;
-        if (r.frameFound && err <= target_ber)
-            return r;
-    }
-    return last;
-}
-
 } // namespace
 
 int
@@ -62,36 +43,46 @@ main()
 {
     bench::header("Table III — TR and BER vs. LoS distance");
 
-    core::DeviceProfile dev = core::referenceDevice();
-
     std::printf("%-10s | %-22s | %-16s\n", "", "measured (this repo)",
                 "paper");
     std::printf("%-10s | %-10s %-10s | %-8s %-6s\n", "distance", "BER",
                 "TR (bps)", "BER", "TR");
-    // The distances are independent: sweep them across the worker pool
-    // (seeds stay pinned to the row index), then print rows in order.
-    const std::vector<double> distances = {1.0, 1.5, 2.5};
-    std::vector<core::CovertChannelResult> rows(distances.size());
-    parallelFor(distances.size(), [&](std::size_t i) {
-        rows[i] = bestRate(dev, core::distanceSetup(distances[i]), 1e-2,
-                           3300 + i);
-    });
-    for (std::size_t i = 0; i < distances.size(); ++i) {
-        double meters = distances[i];
-        const core::CovertChannelResult &r = rows[i];
+
+    // One work unit per distance; the units fan out across the worker
+    // pool as in-process shards (seeds stay pinned to the row index),
+    // then the rows print in unit order from the merged journals.
+    engine::Sweep sweep = engine::table3DistanceSweep();
+    engine::ShardOptions opts;
+    opts.shards = sweep.units;
+    opts.dir = "engine_journals";
+    engine::runSweepInProcess(sweep, opts);
+    engine::MergeOutcome merged =
+        engine::mergeSweep(sweep, opts.dir, opts.shards);
+
+    for (const engine::UnitRecord &rec : merged.unitRecords) {
+        if (rec.status != engine::UnitStatus::Ok)
+            continue;
+        const json::Value *row = rec.result.find("row");
+        if (row == nullptr)
+            continue;
+        double meters = row->find("meters")->number();
+        double ber = row->find("ber")->number();
+        double tr = row->find("tr_bps")->number();
         // Table III lists two 1 m rows; print the matching paper rows.
         for (const PaperRow &p : kPaper) {
             if (p.meters != meters)
                 continue;
             std::printf("%-8.1fm | %-10.1e %-10.0f | %-8.0e %-6.0f\n",
-                        meters, r.ber, r.trBps, p.ber, p.tr);
+                        meters, ber, tr, p.ber, p.tr);
         }
     }
+    std::string dest = engine::writeMergedReport(merged);
+    std::printf("bench report: %s\n", dest.c_str());
 
     std::printf("\nshape check: the achievable rate falls monotonically "
                 "with distance while the BER\n"
                 "budget is held, exactly the paper's procedure "
                 "(\"we decrease TR so that BER ... is\n"
                 "almost the same\")\n");
-    return 0;
+    return merged.complete() ? 0 : 1;
 }

@@ -5,14 +5,19 @@
  * The paper types 1000 random words at each distance; we type a
  * smaller corpus per placement (the per-word statistics converge
  * quickly; see DESIGN.md) on the same DELL Precision profile.
+ *
+ * The three placements run through the experiment engine as one work
+ * unit each (engine/sweeps.hpp), fanned out as in-process shards; the
+ * table and the merged BENCH_table4_keylogging.json both come from
+ * the journal records, the same artifacts `emsc_tool sweep`/`merge`
+ * produce across processes.
  */
 
 #include <cstdio>
-#include <vector>
 
 #include "bench_util.hpp"
-#include "core/keylogging.hpp"
-#include "support/thread_pool.hpp"
+#include "engine/merge.hpp"
+#include "engine/sweeps.hpp"
 
 using namespace emsc;
 
@@ -37,58 +42,51 @@ main()
 {
     bench::header("Table IV — keylogging accuracy vs. distance");
 
-    core::DeviceProfile dev = core::findDevice("Precision");
-    core::MeasurementSetup setups[] = {
-        core::nearFieldSetup(),
-        core::distanceSetup(2.0),
-        core::throughWallSetup(),
-    };
-
     std::printf("%-14s | %-23s | %-23s\n", "",
                 "measured (this repo)", "paper");
     std::printf("%-14s | %-5s %-5s %-5s %-5s | %-5s %-5s %-5s %-5s\n",
                 "setup", "TPR", "FPR", "P", "R", "TPR", "FPR", "P", "R");
 
     // The three placements are independent trials with fixed seeds:
-    // run them across the worker pool, then print rows in table order.
-    std::vector<core::KeyloggingResult> results(3);
-    std::vector<double> wall_ms(3);
-    parallelFor(3, [&](std::size_t i) {
-        core::KeyloggingOptions o;
-        o.words = 50;
-        o.seed = 4400 + i;
-        bench::WallTimer timer;
-        results[i] = core::runKeylogging(dev, setups[i], o);
-        wall_ms[i] = timer.ms();
-    });
+    // run them as in-process shards, then print rows in table order.
+    engine::Sweep sweep = engine::table4KeyloggingSweep();
+    engine::ShardOptions opts;
+    opts.shards = sweep.units;
+    opts.dir = "engine_journals";
+    engine::runSweepInProcess(sweep, opts);
+    engine::MergeOutcome merged =
+        engine::mergeSweep(sweep, opts.dir, opts.shards);
 
-    bench::BenchReport report("table4_keylogging");
-    const char *keys[] = {"near_10cm", "los_2m", "wall_1m5"};
     double total_ms = 0.0;
-    for (std::size_t i = 0; i < 3; ++i) {
-        const core::KeyloggingResult &r = results[i];
-        const PaperRow &p = kPaper[i];
+    double total_words = 0.0;
+    for (const engine::UnitRecord &rec : merged.unitRecords) {
+        if (rec.status != engine::UnitStatus::Ok)
+            continue;
+        const json::Value *row = rec.result.find("row");
+        if (row == nullptr || rec.unit >= 3)
+            continue;
         std::printf("%-14s | %-5.2f %-5.3f %-5.2f %-5.2f | "
                     "%-5.2f %-5.3f %-5.2f %-5.2f\n",
-                    p.setup, r.chars.tpr(), r.chars.fpr(),
-                    r.words.precision(), r.words.recall(), p.tpr, p.fpr,
-                    p.precision, p.recall);
-        report.addWallMs(wall_ms[i]);
-        total_ms += wall_ms[i];
-        std::string key = keys[i];
-        report.setMetric(key + ".char_tpr", r.chars.tpr());
-        report.setMetric(key + ".char_fpr", r.chars.fpr());
-        report.setMetric(key + ".word_precision", r.words.precision());
-        report.setMetric(key + ".word_recall", r.words.recall());
+                    kPaper[rec.unit].setup,
+                    row->find("char_tpr")->number(),
+                    row->find("char_fpr")->number(),
+                    row->find("word_precision")->number(),
+                    row->find("word_recall")->number(),
+                    kPaper[rec.unit].tpr, kPaper[rec.unit].fpr,
+                    kPaper[rec.unit].precision,
+                    kPaper[rec.unit].recall);
+        total_ms += rec.wallMs;
+        total_words += row->find("words")->number();
     }
     if (total_ms > 0.0)
-        report.setThroughput("words_per_s",
-                             3.0 * 50.0 / (total_ms * 1e-3));
-    report.write();
+        std::printf("typing throughput: %.1f words/s\n",
+                    total_words / (total_ms * 1e-3));
+    std::string dest = engine::writeMergedReport(merged);
+    std::printf("bench report: %s\n", dest.c_str());
 
     std::printf("\nshape checks: keystroke TPR stays >=0.95 at every "
                 "placement, FPR stays low and tends\n"
                 "down with distance, word-length precision sits near "
                 "0.6-0.7 with recall near 1.0\n");
-    return 0;
+    return merged.complete() ? 0 : 1;
 }

@@ -15,7 +15,19 @@
  *                     [--chunk <samples>] [--keylog] [--warmup <samples>]
  *   emsc_tool serve   [--port <p>] [--rtl-port <p>] [--max-sessions <n>]
  *                     [--quota-samples <n>] [--fs <hz>] [--fc <hz>]
- *                     [--chunk <samples>] [--duration <s>]
+ *                     [--chunk <samples>] [--duration <s>] [--grace <s>]
+ *   emsc_tool sweep   <name> [--shard <i>/<N>] [--shards <N>]
+ *                     [--dir <d>] [--resume] [--watchdog <s>]
+ *                     [--retries <n>] [--merge]
+ *   emsc_tool merge   <name> [--shards <N>] [--dir <d>] [--out <f>]
+ *
+ * `sweep` runs a named experiment sweep (engine/sweeps.hpp) through
+ * the crash-safe work-unit engine: each finished unit is journaled
+ * (fsync'd, CRC-guarded), `--shard i/N` runs one shard of the
+ * deterministic partition for multi-process fan-out, `--resume` skips
+ * units already journaled, and `merge` aggregates the shard journals
+ * into the final deterministic emsc.bench.v1 artifact — bit-identical
+ * however the sweep was sharded, killed or resumed.
  *
  * Global flags (any command): --metrics <file.json> writes the
  * telemetry registry's snapshot after the run; --trace <file.json>
@@ -39,6 +51,8 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "engine/merge.hpp"
+#include "engine/sweeps.hpp"
 #include "sdr/iqfile.hpp"
 #include "sdr/rtlsdr.hpp"
 #include "serve/server.hpp"
@@ -76,6 +90,17 @@ struct Args
     double fs = 0.0;                // 0 = SdrConfig default
     double fc = 0.0;
     double durationSec = 0.0;       // 0 = run until SIGINT/SIGTERM
+    double graceSec = 5.0;          // serve drain deadline; 0 = abort
+    // sweep / merge
+    std::size_t shard = 0;
+    std::size_t shards = 1;
+    bool shardPinned = false;       // --shard i/N given: run one shard
+    std::string dir = "engine_journals";
+    bool resume = false;
+    double watchdogSec = 0.0;       // 0 = no per-unit watchdog
+    std::size_t retries = 1;        // attempts per unit
+    bool mergeAfter = false;        // sweep --merge
+    std::string out;                // merge --out
 };
 
 core::MeasurementSetup
@@ -139,6 +164,33 @@ parse(int argc, char **argv, int first)
             a.fc = std::atof(next());
         else if (flag == "--duration")
             a.durationSec = std::atof(next());
+        else if (flag == "--grace")
+            a.graceSec = std::atof(next());
+        else if (flag == "--shard") {
+            // i/N: this process runs shard i of an N-way partition.
+            const char *v = next();
+            char *slash = nullptr;
+            unsigned long i = std::strtoul(v, &slash, 10);
+            if (slash == nullptr || *slash != '/')
+                fatal("--shard wants i/N (e.g. --shard 0/4)");
+            unsigned long n = std::strtoul(slash + 1, nullptr, 10);
+            a.shard = i;
+            a.shards = n;
+            a.shardPinned = true;
+        } else if (flag == "--shards")
+            a.shards = static_cast<std::size_t>(std::atoll(next()));
+        else if (flag == "--dir")
+            a.dir = next();
+        else if (flag == "--resume")
+            a.resume = true;
+        else if (flag == "--watchdog")
+            a.watchdogSec = std::atof(next());
+        else if (flag == "--retries")
+            a.retries = static_cast<std::size_t>(std::atoll(next()));
+        else if (flag == "--merge")
+            a.mergeAfter = true;
+        else if (flag == "--out")
+            a.out = next();
         else
             fatal("unknown flag '%s'", flag.c_str());
     }
@@ -369,6 +421,72 @@ cmdStream(const std::string &path, double fs, double fc, const Args &a)
     return r.rx.frame.found ? 0 : 1;
 }
 
+void
+printShardOutcome(std::size_t shard, const engine::ShardOutcome &s)
+{
+    std::printf("shard %zu: %zu run, %zu skipped, %zu ok, "
+                "%zu failed (%zu timeout), %zu retries",
+                shard, s.unitsRun, s.unitsSkipped, s.unitsOk,
+                s.unitsFailed, s.unitsTimedOut, s.retries);
+    if (s.journalDropped > 0)
+        std::printf(", %zu corrupt journal lines dropped",
+                    s.journalDropped);
+    std::printf("\n");
+}
+
+int
+runMerge(const engine::Sweep &sweep, const Args &a)
+{
+    engine::MergeOutcome merged =
+        engine::mergeSweep(sweep, a.dir, a.shards);
+    std::string dest = engine::writeMergedReport(merged, a.out);
+    std::printf("merged %zu/%zu units (%zu failed, %zu missing; "
+                "%zu/%zu shard journals) -> %s\n",
+                merged.unitsCompleted, merged.unitsTotal,
+                merged.unitsFailed, merged.unitsMissing,
+                merged.shardsFound, a.shards, dest.c_str());
+    for (std::size_t unit : merged.missingUnits)
+        std::printf("  unit %zu missing: re-run its shard (%zu/%zu) "
+                    "with --resume\n",
+                    unit, unit % a.shards, a.shards);
+    return merged.complete() ? 0 : 1;
+}
+
+int
+cmdSweep(const std::string &name, const Args &a)
+{
+    engine::Sweep sweep = engine::makeSweep(name);
+    engine::ShardOptions o;
+    o.shards = a.shards;
+    o.dir = a.dir;
+    o.resume = a.resume;
+    o.watchdogSeconds = a.watchdogSec;
+    o.maxAttempts = a.retries;
+    std::printf("sweep %s: %zu units over %zu shard%s in %s\n",
+                sweep.name.c_str(), sweep.units, a.shards,
+                a.shards == 1 ? "" : "s", a.dir.c_str());
+    if (a.shardPinned) {
+        o.shard = a.shard;
+        printShardOutcome(a.shard, engine::runShard(sweep, o));
+        // A pinned shard is one worker of a multi-process fan-out;
+        // merging is a separate step once every shard has run.
+        return 0;
+    }
+    std::vector<engine::ShardOutcome> outcomes =
+        engine::runSweepInProcess(sweep, o);
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        printShardOutcome(i, outcomes[i]);
+    if (!a.mergeAfter)
+        return 0;
+    return runMerge(sweep, a);
+}
+
+int
+cmdMerge(const std::string &name, const Args &a)
+{
+    return runMerge(engine::makeSweep(name), a);
+}
+
 volatile std::sig_atomic_t g_serve_stop = 0;
 
 void
@@ -428,7 +546,13 @@ cmdServe(const Args &a)
                         r.rx.frame.found ? ", frame recovered" : "");
         }
     }
-    server.stop();
+    // Graceful SIGTERM/SIGINT path: stop accepting sessions, drain
+    // in-flight ones (final Result/Error frames included) for up to
+    // --grace seconds, then tear down whatever remains.
+    if (a.graceSec > 0.0)
+        server.shutdown(a.graceSec);
+    else
+        server.stop();
     std::printf("server stopped (%zu rtl sessions decoded)\n",
                 reported + server.takeRtlResults().size());
     return 0;
@@ -456,8 +580,16 @@ usage()
         "decode + per-stage report\n"
         "  serve   [--port P] [--rtl-port P] [--max-sessions N]\n"
         "          [--quota-samples N] [--fs HZ] [--fc HZ]\n"
-        "          [--chunk N] [--duration S] multi-session receiver "
+        "          [--chunk N] [--duration S] [--grace S]\n"
+        "                                    multi-session receiver "
         "service on 127.0.0.1\n"
+        "  sweep   <name> [--shard I/N] [--shards N] [--dir D]\n"
+        "          [--resume] [--watchdog S] [--retries N] [--merge]\n"
+        "                                    crash-safe sharded "
+        "experiment sweep\n"
+        "  merge   <name> [--shards N] [--dir D] [--out F]\n"
+        "                                    merge shard journals "
+        "into the bench artifact\n"
         "global flags (any command):\n"
         "  --metrics <file.json>             write telemetry metrics\n"
         "  --trace <file.json>               write Chrome trace JSON\n");
@@ -534,6 +666,19 @@ main(int argc, char **argv)
         }
         if (cmd == "serve")
             return cmdServe(parse(argc, argv, 2));
+        if (cmd == "sweep" || cmd == "merge") {
+            if (argc < 3 || argv[2][0] == '-') {
+                std::printf("known sweeps:");
+                for (const std::string &n : engine::sweepNames())
+                    std::printf(" %s", n.c_str());
+                std::printf("\n");
+                usage();
+                return 2;
+            }
+            Args a = parse(argc, argv, 3);
+            return cmd == "sweep" ? cmdSweep(argv[2], a)
+                                  : cmdMerge(argv[2], a);
+        }
         usage();
         return 2;
     });

@@ -350,6 +350,62 @@ averageCovertChannel(const DeviceProfile &device,
     return avg;
 }
 
+CovertChannelResult
+medianCovertChannel(const DeviceProfile &device,
+                    const MeasurementSetup &setup,
+                    CovertChannelOptions options, std::size_t runs)
+{
+    if (runs == 0) {
+        CovertChannelResult result;
+        result.failure = Error{ErrorKind::InvalidConfig,
+                               "medianCovertChannel needs at least "
+                               "one run"};
+        return result;
+    }
+
+    std::vector<std::uint64_t> seeds =
+        chainedSeeds(options.seed, runs, 2654435761u, 97);
+    std::vector<CovertChannelResult> all =
+        TrialRunner::runSeeded<CovertChannelResult>(
+            seeds, [&](std::size_t, std::uint64_t seed) {
+                CovertChannelOptions o = options;
+                o.seed = seed;
+                return runCovertChannel(device, setup, o);
+            });
+    // A run that ended in a recoverable failure (res.ok() false) is
+    // scored like a lost timing lock rather than polluting the median
+    // with its zeroed metrics, and is tallied in failedRuns.
+    auto med_of = [&](auto getter) {
+        std::vector<double> xs;
+        for (const auto &res : all)
+            xs.push_back(res.ok() && res.frameFound ? getter(res)
+                                                    : 1.0);
+        return median(xs);
+    };
+    CovertChannelResult out = all.front();
+    out.frameFound = false;
+    out.failure.reset();
+    for (const auto &res : all) {
+        out.frameFound |= res.ok() && res.frameFound;
+        if (!res.ok()) {
+            ++out.failedRuns;
+            if (!out.failure)
+                out.failure = res.failure;
+        }
+    }
+    if (out.failedRuns < all.size())
+        out.failure.reset();
+    out.ber = med_of([](const auto &r) { return r.ber; });
+    out.insertionProb =
+        med_of([](const auto &r) { return r.insertionProb; });
+    out.deletionProb =
+        med_of([](const auto &r) { return r.deletionProb; });
+    out.trBps = med_of([](const auto &r) { return r.trBps; });
+    out.trPayloadBps =
+        med_of([](const auto &r) { return r.trPayloadBps; });
+    return out;
+}
+
 namespace {
 
 /** Body of runStateProbe; may throw RecoverableError. */

@@ -141,6 +141,22 @@ CovertChannelResult averageCovertChannel(const DeviceProfile &device,
                                          CovertChannelOptions options,
                                          std::size_t runs);
 
+/**
+ * Median covert-channel metrics over `runs` runs. The paper averages
+ * 5 runs per cell; with simulated seeds an occasional run loses the
+ * timing lock entirely, and the median keeps one such outlier from
+ * dominating a cell the way it would a mean.
+ *
+ * Runs fan out across the worker pool (EMSC_THREADS); the seed chain
+ * is the historical serial one (chainedSeeds 2654435761/97),
+ * precomputed up front, so the metrics are bit-identical to the old
+ * serial loop for any thread count.
+ */
+CovertChannelResult medianCovertChannel(const DeviceProfile &device,
+                                        const MeasurementSetup &setup,
+                                        CovertChannelOptions options,
+                                        std::size_t runs = 5);
+
 /** §III BIOS-toggle probe options. */
 struct StateProbeOptions
 {

@@ -1,0 +1,318 @@
+#include "engine/engine.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "support/telemetry.hpp"
+#include "support/thread_pool.hpp"
+
+namespace emsc::engine {
+
+namespace {
+
+struct EngineCounters
+{
+    telemetry::Counter shardStarted, shardCompleted;
+    telemetry::Counter unitRun, unitOk, unitFailed, unitTimeout,
+        unitSkipped;
+    telemetry::Counter retryAttempts, retryExhausted;
+    telemetry::Counter journalResumed, journalDropped;
+
+    EngineCounters()
+    {
+        telemetry::MetricsRegistry &reg =
+            telemetry::MetricsRegistry::global();
+        shardStarted = {reg, "engine.shard.started"};
+        shardCompleted = {reg, "engine.shard.completed"};
+        unitRun = {reg, "engine.unit.run"};
+        unitOk = {reg, "engine.unit.ok"};
+        unitFailed = {reg, "engine.unit.failed"};
+        unitTimeout = {reg, "engine.unit.timeout"};
+        unitSkipped = {reg, "engine.unit.skipped"};
+        retryAttempts = {reg, "engine.retry.attempts"};
+        retryExhausted = {reg, "engine.retry.exhausted"};
+        journalResumed = {reg, "engine.journal.resumed"};
+        journalDropped = {reg, "engine.journal.dropped"};
+    }
+};
+
+const EngineCounters &
+counters()
+{
+    static EngineCounters c;
+    return c;
+}
+
+double
+wallMsSince(std::chrono::steady_clock::time_point t0)
+{
+    std::chrono::duration<double, std::milli> d =
+        std::chrono::steady_clock::now() - t0;
+    return d.count();
+}
+
+/** Result slot shared with a watchdog worker thread. The worker
+ * writes under the mutex unless the shard already abandoned it, so an
+ * abandoned worker's late result is discarded, never raced on. */
+struct WatchdogSlot
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    bool abandoned = false;
+    std::optional<json::Value> result;
+    std::optional<Error> error;
+};
+
+/** One attempt of one unit; Ok/Failed only (no timeout path). */
+void
+attemptInline(const Sweep &sweep, std::size_t unit,
+              std::uint64_t seed, std::optional<json::Value> &result,
+              std::optional<Error> &error)
+{
+    try {
+        result = sweep.run(unit, seed);
+    } catch (const RecoverableError &e) {
+        error = e.toError();
+    }
+}
+
+/**
+ * One attempt under the watchdog: the unit runs on its own thread;
+ * if it misses the deadline the thread is abandoned (detached) and
+ * the attempt reports a timeout.
+ * @return false on timeout.
+ */
+bool
+attemptWatched(const Sweep &sweep, std::size_t unit,
+               std::uint64_t seed, double budget_seconds,
+               std::optional<json::Value> &result,
+               std::optional<Error> &error)
+{
+    auto slot = std::make_shared<WatchdogSlot>();
+    WorkUnitFn fn = sweep.run;
+    std::thread worker([slot, fn, unit, seed] {
+        std::optional<json::Value> r;
+        std::optional<Error> e;
+        try {
+            r = fn(unit, seed);
+        } catch (const RecoverableError &ex) {
+            e = ex.toError();
+        }
+        std::lock_guard<std::mutex> lock(slot->m);
+        if (slot->abandoned)
+            return; // the shard moved on; discard the late result
+        slot->result = std::move(r);
+        slot->error = std::move(e);
+        slot->done = true;
+        slot->cv.notify_all();
+    });
+
+    std::unique_lock<std::mutex> lock(slot->m);
+    bool finished = slot->cv.wait_for(
+        lock, std::chrono::duration<double>(budget_seconds),
+        [&] { return slot->done; });
+    if (finished) {
+        lock.unlock();
+        worker.join();
+        result = std::move(slot->result);
+        error = std::move(slot->error);
+        return true;
+    }
+    slot->abandoned = true;
+    lock.unlock();
+    worker.detach();
+    return false;
+}
+
+UnitRecord
+executeUnit(const Sweep &sweep, std::size_t unit,
+            const ShardOptions &opts, ShardOutcome &outcome)
+{
+    UnitRecord rec;
+    rec.unit = unit;
+    rec.seed = unitSeed(sweep, unit);
+
+    for (std::size_t attempt = 1;; ++attempt) {
+        rec.attempts = attempt;
+        auto t0 = std::chrono::steady_clock::now();
+        std::optional<json::Value> result;
+        std::optional<Error> error;
+        bool in_time = true;
+        {
+            telemetry::TraceSpan span("engine.unit");
+            if (opts.watchdogSeconds > 0.0)
+                in_time = attemptWatched(sweep, unit, rec.seed,
+                                         opts.watchdogSeconds,
+                                         result, error);
+            else
+                attemptInline(sweep, unit, rec.seed, result, error);
+        }
+        rec.wallMs = wallMsSince(t0);
+
+        if (!in_time) {
+            // Hung once, presumed to hang again — and the abandoned
+            // worker may still hold whatever it stalled on, so a
+            // retry could stack hung threads. Fail the unit, keep
+            // the shard alive.
+            rec.status = UnitStatus::TimedOut;
+            rec.error = {ErrorKind::ResourceExhausted,
+                         "work unit exceeded the " +
+                             std::to_string(opts.watchdogSeconds) +
+                             " s watchdog budget"};
+            counters().unitTimeout.add();
+            ++outcome.unitsTimedOut;
+            ++outcome.unitsFailed;
+            return rec;
+        }
+        if (result.has_value()) {
+            rec.status = UnitStatus::Ok;
+            rec.result = std::move(*result);
+            counters().unitOk.add();
+            ++outcome.unitsOk;
+            return rec;
+        }
+        if (attempt < opts.maxAttempts) {
+            counters().retryAttempts.add();
+            ++outcome.retries;
+            double backoff =
+                opts.retryBackoffSeconds *
+                static_cast<double>(std::size_t{1} << (attempt - 1));
+            if (backoff > 0.0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
+            continue;
+        }
+        rec.status = UnitStatus::Failed;
+        rec.error = std::move(*error);
+        counters().unitFailed.add();
+        if (opts.maxAttempts > 1)
+            counters().retryExhausted.add();
+        ++outcome.unitsFailed;
+        return rec;
+    }
+}
+
+void
+validate(const Sweep &sweep, const ShardOptions &opts)
+{
+    if (sweep.name.empty())
+        raiseError(ErrorKind::InvalidConfig, "sweep has no name");
+    if (sweep.units == 0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "sweep '%s' has no work units",
+                   sweep.name.c_str());
+    if (!sweep.run)
+        raiseError(ErrorKind::InvalidConfig,
+                   "sweep '%s' has no work-unit function",
+                   sweep.name.c_str());
+    if (opts.shards == 0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "shard count must be >= 1");
+    if (opts.shard >= opts.shards)
+        raiseError(ErrorKind::InvalidConfig,
+                   "shard index %zu out of range (%zu shards)",
+                   opts.shard, opts.shards);
+    if (opts.maxAttempts == 0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "maxAttempts must be >= 1");
+    if (opts.retryBackoffSeconds < 0.0 || opts.watchdogSeconds < 0.0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "watchdog/backoff must be >= 0");
+}
+
+} // namespace
+
+std::uint64_t
+unitSeed(const Sweep &sweep, std::size_t unit)
+{
+    return deriveSeed(sweep.seed, unit);
+}
+
+ShardOutcome
+runShard(const Sweep &sweep, const ShardOptions &opts)
+{
+    validate(sweep, opts);
+    counters().shardStarted.add();
+    telemetry::TraceSpan span("engine.shard");
+
+    ensureDir(opts.dir);
+    const std::string path =
+        journalPath(opts.dir, sweep.name, opts.shard, opts.shards);
+    JournalHeader header;
+    header.sweep = sweep.name;
+    header.shard = opts.shard;
+    header.shards = opts.shards;
+    header.units = sweep.units;
+    header.seed = sweep.seed;
+
+    ShardOutcome outcome;
+    std::set<std::size_t> completed;
+    std::optional<JournalWriter> writer;
+    if (opts.resume) {
+        JournalContents prior = loadJournal(path);
+        outcome.journalDropped = prior.droppedLines;
+        if (prior.droppedLines > 0)
+            counters().journalDropped.add(prior.droppedLines);
+        if (prior.exists && prior.headerOk) {
+            if (!prior.header.matches(header))
+                raiseError(
+                    ErrorKind::InvalidConfig,
+                    "journal %s belongs to a different run "
+                    "(sweep '%s', shard %zu/%zu, %zu units); "
+                    "delete it or pick another --dir",
+                    path.c_str(), prior.header.sweep.c_str(),
+                    prior.header.shard, prior.header.shards,
+                    prior.header.units);
+            for (const UnitRecord &rec : prior.records)
+                completed.insert(rec.unit);
+            counters().journalResumed.add();
+            writer = JournalWriter::resume(path, prior.validBytes);
+        }
+        // A missing, empty, or corrupt-before-the-header journal
+        // resumes as a fresh run.
+    }
+    if (!writer.has_value())
+        writer = JournalWriter::fresh(path, header);
+
+    for (std::size_t unit = opts.shard; unit < sweep.units;
+         unit += opts.shards) {
+        if (completed.count(unit) != 0) {
+            counters().unitSkipped.add();
+            ++outcome.unitsSkipped;
+            continue;
+        }
+        counters().unitRun.add();
+        ++outcome.unitsRun;
+        UnitRecord rec = executeUnit(sweep, unit, opts, outcome);
+        writer->append(rec);
+    }
+    writer->close();
+    counters().shardCompleted.add();
+    return outcome;
+}
+
+std::vector<ShardOutcome>
+runSweepInProcess(const Sweep &sweep, ShardOptions options)
+{
+    options.shard = 0;
+    validate(sweep, options);
+    std::vector<ShardOutcome> outcomes(options.shards);
+    // Pre-register the journal directory once so shards never race
+    // mkdir; each shard owns its own journal file thereafter.
+    ensureDir(options.dir);
+    parallelFor(options.shards, [&](std::size_t shard) {
+        ShardOptions o = options;
+        o.shard = shard;
+        outcomes[shard] = runShard(sweep, o);
+    });
+    return outcomes;
+}
+
+} // namespace emsc::engine

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Work-unit experiment engine: crash-safe sharded sweep execution.
+ *
+ * A sweep is a named list of independent work units, each a pure
+ * function of (unit index, derived seed) returning a JSON payload.
+ * The engine partitions units over shards deterministically (unit u
+ * belongs to shard u % N), runs each shard's units in index order,
+ * and appends every finished unit to that shard's journal
+ * (engine/journal.hpp), so a crash loses at most the unit in flight.
+ *
+ * Shards run in separate processes (`emsc_tool sweep --shard i/N`)
+ * or in-process over the shared ThreadPool (runSweepInProcess). The
+ * partition, the per-unit seeds (deriveSeed(master, unit)) and the
+ * merge (engine/merge.hpp) are all independent of shard count,
+ * scheduling, resume history and retry count, so the merged artifact
+ * is bit-identical to an uninterrupted single-process run.
+ *
+ * Robustness machinery around each unit:
+ *  - resume: units already journaled are skipped, not re-run;
+ *  - retry: a unit raising RecoverableError is retried with
+ *    exponential backoff up to maxAttempts, then journaled Failed;
+ *  - watchdog: a unit exceeding watchdogSeconds is abandoned (its
+ *    worker thread is detached, its eventual result discarded) and
+ *    journaled TimedOut — the shard keeps going instead of hanging.
+ *    Timeouts are not retried: a unit that hung once is presumed to
+ *    hang again, and its abandoned thread may still hold the stall.
+ *
+ * Telemetry (emsc.metrics.v1): engine.shard.{started,completed},
+ * engine.unit.{run,ok,failed,timeout,skipped},
+ * engine.retry.{attempts,exhausted}, engine.journal.{resumed,dropped}.
+ */
+
+#ifndef EMSC_ENGINE_ENGINE_HPP
+#define EMSC_ENGINE_ENGINE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/journal.hpp"
+#include "support/json.hpp"
+
+namespace emsc::engine {
+
+/**
+ * One work unit: pure function of its arguments, returning the
+ * sweep-defined JSON payload. Convention for units feeding a merged
+ * bench report: return an object whose "metrics" / "throughput"
+ * members (flat key → number objects) are folded into the merged
+ * emsc.bench.v1 artifact; anything else (e.g. a "row" object for
+ * human tables) rides along untouched. May raise RecoverableError
+ * (retried); anything else is a bug and propagates.
+ */
+using WorkUnitFn =
+    std::function<json::Value(std::size_t unit, std::uint64_t seed)>;
+
+/** A named, decomposed experiment sweep. */
+struct Sweep
+{
+    std::string name;
+    /** Total work units; unit indices are [0, units). */
+    std::size_t units = 0;
+    /** Master seed; per-unit seeds derive from it (unitSeed). */
+    std::uint64_t seed = 0;
+    WorkUnitFn run;
+};
+
+/** Seed for one unit: deriveSeed(sweep.seed, unit) — a function of
+ * the unit index only, never of sharding or scheduling. */
+std::uint64_t unitSeed(const Sweep &sweep, std::size_t unit);
+
+/** Shard execution options. */
+struct ShardOptions
+{
+    /** This shard's index in [0, shards). */
+    std::size_t shard = 0;
+    /** Total shards the sweep is partitioned over. */
+    std::size_t shards = 1;
+    /** Journal directory (created if missing). */
+    std::string dir = "engine_journals";
+    /** Skip units already journaled instead of truncating. */
+    bool resume = false;
+    /** Per-unit watchdog budget; 0 disables the watchdog. */
+    double watchdogSeconds = 0.0;
+    /** Attempts per unit (1 = no retry) for RecoverableError. */
+    std::size_t maxAttempts = 1;
+    /** First retry backoff; doubles per further attempt. */
+    double retryBackoffSeconds = 0.05;
+};
+
+/** What one shard run did (journals carry the per-unit detail). */
+struct ShardOutcome
+{
+    std::size_t unitsRun = 0;
+    /** Units skipped because the journal already had them. */
+    std::size_t unitsSkipped = 0;
+    std::size_t unitsOk = 0;
+    /** Terminal failures, including timeouts. */
+    std::size_t unitsFailed = 0;
+    std::size_t unitsTimedOut = 0;
+    /** Re-attempts consumed across all units. */
+    std::size_t retries = 0;
+    /** Corrupt/torn journal lines dropped during the resume scan. */
+    std::size_t journalDropped = 0;
+};
+
+/**
+ * Run the shard's units in index order, journaling each as it
+ * finishes. With resume set, previously journaled units (any
+ * status) are skipped; a journal whose header does not match the
+ * sweep raises InvalidConfig, and a missing/empty/corrupt-header
+ * journal is recreated fresh. Raises InvalidConfig for a malformed
+ * sweep or options.
+ */
+ShardOutcome runShard(const Sweep &sweep, const ShardOptions &options);
+
+/**
+ * Multi-shard fan-out inside one process: runs shards 0..N-1 (N =
+ * options.shards; options.shard is ignored) across the shared
+ * ThreadPool via parallelFor. Journals land exactly as if each shard
+ * had run in its own process.
+ */
+std::vector<ShardOutcome> runSweepInProcess(const Sweep &sweep,
+                                            ShardOptions options);
+
+} // namespace emsc::engine
+
+#endif // EMSC_ENGINE_ENGINE_HPP

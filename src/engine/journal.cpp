@@ -1,0 +1,442 @@
+#include "engine/journal.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace emsc::engine {
+
+namespace {
+
+constexpr const char *kSchema = "emsc.journal.v1";
+
+std::array<std::uint32_t, 256>
+crcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+std::string
+seedString(std::uint64_t seed)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, seed);
+    return buf;
+}
+
+/** Parse a decimal u64; false on any malformed input. */
+bool
+parseSeed(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+numberField(const json::Value &obj, const char *key, double &out)
+{
+    const json::Value *v = obj.find(key);
+    if (v == nullptr || !v->isNumber())
+        return false;
+    out = v->number();
+    return true;
+}
+
+bool
+sizeField(const json::Value &obj, const char *key, std::size_t &out)
+{
+    double d = 0.0;
+    if (!numberField(obj, key, d) || d < 0.0)
+        return false;
+    out = static_cast<std::size_t>(d);
+    return true;
+}
+
+bool
+stringField(const json::Value &obj, const char *key, std::string &out)
+{
+    const json::Value *v = obj.find(key);
+    if (v == nullptr || !v->isString())
+        return false;
+    out = v->string();
+    return true;
+}
+
+bool
+parseStatus(const std::string &name, UnitStatus &out)
+{
+    for (UnitStatus s : {UnitStatus::Ok, UnitStatus::Failed,
+                         UnitStatus::TimedOut}) {
+        if (name == unitStatusName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseKind(const std::string &name, ErrorKind &out)
+{
+    for (ErrorKind k :
+         {ErrorKind::InvalidConfig, ErrorKind::MalformedInput,
+          ErrorKind::InsufficientData, ErrorKind::IoError,
+          ErrorKind::ResourceExhausted}) {
+        if (name == errorKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+json::Value
+headerJson(const JournalHeader &header)
+{
+    json::Value v = json::Value::object();
+    v.set("schema", kSchema);
+    v.set("sweep", header.sweep);
+    v.set("shard", header.shard);
+    v.set("shards", header.shards);
+    v.set("units", header.units);
+    v.set("seed", seedString(header.seed));
+    return v;
+}
+
+bool
+parseHeader(const json::Value &v, JournalHeader &out)
+{
+    std::string schema, seed;
+    if (!stringField(v, "schema", schema) || schema != kSchema)
+        return false;
+    if (!stringField(v, "sweep", out.sweep) ||
+        !sizeField(v, "shard", out.shard) ||
+        !sizeField(v, "shards", out.shards) ||
+        !sizeField(v, "units", out.units) ||
+        !stringField(v, "seed", seed) || !parseSeed(seed, out.seed))
+        return false;
+    return out.shards >= 1 && out.shard < out.shards;
+}
+
+bool
+parseRecord(const json::Value &v, UnitRecord &out)
+{
+    std::string seed, status;
+    if (!sizeField(v, "unit", out.unit) ||
+        !stringField(v, "seed", seed) ||
+        !parseSeed(seed, out.seed) ||
+        !stringField(v, "status", status) ||
+        !parseStatus(status, out.status) ||
+        !sizeField(v, "attempts", out.attempts))
+        return false;
+    numberField(v, "wall_ms", out.wallMs); // optional
+    if (out.status == UnitStatus::Ok) {
+        const json::Value *result = v.find("result");
+        if (result == nullptr)
+            return false;
+        out.result = *result;
+        return true;
+    }
+    const json::Value *err = v.find("error");
+    std::string kind;
+    if (err == nullptr || !stringField(*err, "kind", kind) ||
+        !parseKind(kind, out.error.kind) ||
+        !stringField(*err, "message", out.error.message))
+        return false;
+    return true;
+}
+
+/** `<crc hex8> <json>` with the CRC verified; false on any defect. */
+bool
+parseLine(std::string_view line, json::Value &out)
+{
+    if (line.size() < 10 || line[8] != ' ')
+        return false;
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 8; ++i) {
+        char c = line[static_cast<std::size_t>(i)];
+        std::uint32_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint32_t>(c - 'a' + 10);
+        else
+            return false;
+        stored = stored << 4 | digit;
+    }
+    std::string_view body = line.substr(9);
+    if (crc32(body) != stored)
+        return false;
+    return json::Value::parse(std::string(body), out, nullptr);
+}
+
+std::string
+formatLine(const std::string &json_text)
+{
+    char crc[16];
+    std::snprintf(crc, sizeof crc, "%08x", crc32(json_text));
+    std::string line;
+    line.reserve(json_text.size() + 10);
+    line += crc;
+    line += ' ';
+    line += json_text;
+    line += '\n';
+    return line;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(std::string_view text)
+{
+    static const std::array<std::uint32_t, 256> table = crcTable();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (unsigned char c : text)
+        crc = table[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+const char *
+unitStatusName(UnitStatus status)
+{
+    switch (status) {
+    case UnitStatus::Ok:
+        return "ok";
+    case UnitStatus::Failed:
+        return "failed";
+    case UnitStatus::TimedOut:
+        return "timeout";
+    }
+    return "unknown";
+}
+
+std::string
+journalPath(const std::string &dir, const std::string &sweep,
+            std::size_t shard, std::size_t shards)
+{
+    char suffix[64];
+    std::snprintf(suffix, sizeof suffix, ".shard-%zu-of-%zu.journal",
+                  shard, shards);
+    std::string path = dir.empty() ? std::string(".") : dir;
+    if (path.back() != '/')
+        path += '/';
+    return path + sweep + suffix;
+}
+
+void
+ensureDir(const std::string &dir)
+{
+    if (dir.empty() || dir == ".")
+        return;
+    std::string prefix;
+    prefix.reserve(dir.size());
+    for (std::size_t i = 0; i <= dir.size(); ++i) {
+        if (i < dir.size() && dir[i] != '/') {
+            prefix += dir[i];
+            continue;
+        }
+        if (!prefix.empty() && prefix != ".") {
+            if (::mkdir(prefix.c_str(), 0777) != 0 &&
+                errno != EEXIST)
+                raiseError(ErrorKind::IoError,
+                           "cannot create directory %s: %s",
+                           prefix.c_str(), std::strerror(errno));
+        }
+        if (i < dir.size())
+            prefix += '/';
+    }
+}
+
+json::Value
+unitRecordJson(const UnitRecord &record)
+{
+    json::Value v = json::Value::object();
+    v.set("unit", record.unit);
+    v.set("seed", seedString(record.seed));
+    v.set("status", unitStatusName(record.status));
+    v.set("attempts", record.attempts);
+    v.set("wall_ms", record.wallMs);
+    if (record.status == UnitStatus::Ok) {
+        v.set("result", record.result);
+    } else {
+        json::Value err = json::Value::object();
+        err.set("kind", errorKindName(record.error.kind));
+        err.set("message", record.error.message);
+        v.set("error", std::move(err));
+    }
+    return v;
+}
+
+JournalContents
+loadJournal(const std::string &path)
+{
+    JournalContents out;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        if (errno == ENOENT)
+            return out;
+        raiseError(ErrorKind::IoError, "cannot open %s: %s",
+                   path.c_str(), std::strerror(errno));
+    }
+    std::string text;
+    char buf[1 << 16];
+    for (;;) {
+        std::size_t n = std::fread(buf, 1, sizeof buf, f);
+        text.append(buf, n);
+        if (n < sizeof buf) {
+            bool bad = std::ferror(f) != 0;
+            std::fclose(f);
+            if (bad)
+                raiseError(ErrorKind::IoError, "cannot read %s",
+                           path.c_str());
+            break;
+        }
+    }
+    out.exists = true;
+
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            // Torn tail: an append died mid-write.
+            ++out.droppedLines;
+            return out;
+        }
+        std::string_view line(text.data() + pos, nl - pos);
+        json::Value v;
+        bool ok = parseLine(line, v);
+        if (ok && first) {
+            ok = parseHeader(v, out.header);
+            if (ok)
+                out.headerOk = true;
+        } else if (ok) {
+            UnitRecord rec;
+            ok = parseRecord(v, rec);
+            if (ok)
+                out.records.push_back(std::move(rec));
+        }
+        if (!ok) {
+            // Stop at the first bad line: the append-only contract
+            // means everything after it is equally suspect.
+            std::size_t rest = nl + 1;
+            ++out.droppedLines;
+            while ((rest = text.find('\n', rest)) !=
+                   std::string::npos) {
+                ++out.droppedLines;
+                ++rest;
+            }
+            if (text.back() != '\n')
+                ++out.droppedLines;
+            return out;
+        }
+        first = false;
+        pos = nl + 1;
+        out.validBytes = pos;
+    }
+    return out;
+}
+
+JournalWriter::JournalWriter(std::FILE *file, std::string path)
+    : file_(file), path_(std::move(path))
+{
+}
+
+JournalWriter::JournalWriter(JournalWriter &&other) noexcept
+    : file_(other.file_), path_(std::move(other.path_))
+{
+    other.file_ = nullptr;
+}
+
+JournalWriter &
+JournalWriter::operator=(JournalWriter &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        file_ = other.file_;
+        path_ = std::move(other.path_);
+        other.file_ = nullptr;
+    }
+    return *this;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+void
+JournalWriter::close()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+JournalWriter
+JournalWriter::fresh(const std::string &path,
+                     const JournalHeader &header)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        raiseError(ErrorKind::IoError, "cannot create journal %s: %s",
+                   path.c_str(), std::strerror(errno));
+    JournalWriter w(f, path);
+    w.writeLine(headerJson(header).dump(0));
+    return w;
+}
+
+JournalWriter
+JournalWriter::resume(const std::string &path, std::size_t valid_bytes)
+{
+    if (::truncate(path.c_str(),
+                   static_cast<off_t>(valid_bytes)) != 0)
+        raiseError(ErrorKind::IoError,
+                   "cannot truncate journal %s to %zu bytes: %s",
+                   path.c_str(), valid_bytes, std::strerror(errno));
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr)
+        raiseError(ErrorKind::IoError, "cannot append journal %s: %s",
+                   path.c_str(), std::strerror(errno));
+    return JournalWriter(f, path);
+}
+
+void
+JournalWriter::writeLine(const std::string &json_text)
+{
+    std::string line = formatLine(json_text);
+    bool ok = file_ != nullptr &&
+              std::fwrite(line.data(), 1, line.size(), file_) ==
+                  line.size();
+    ok = ok && std::fflush(file_) == 0;
+    ok = ok && ::fsync(fileno(file_)) == 0;
+    if (!ok)
+        raiseError(ErrorKind::IoError, "cannot append to journal %s",
+                   path_.c_str());
+}
+
+void
+JournalWriter::append(const UnitRecord &record)
+{
+    writeLine(unitRecordJson(record).dump(0));
+}
+
+} // namespace emsc::engine

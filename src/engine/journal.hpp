@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Crash-safe work-unit journal ("emsc.journal.v1").
+ *
+ * Each experiment shard appends one record per completed work unit to
+ * a line-oriented journal file, so a crash (or SIGKILL) loses at most
+ * the unit that was in flight — never the units already finished.
+ *
+ * Format: every line, including the header, is
+ *
+ *     <crc32 hex8> <compact JSON>\n
+ *
+ * where the CRC-32 covers the JSON text. Line 1 is the header
+ * (schema, sweep name, shard i/N, unit count, master seed); every
+ * following line is one UnitRecord. Appends are flushed and fsync'd
+ * record by record, so a torn final record — the only corruption an
+ * append-crash can produce — fails its CRC (or lacks its newline) and
+ * is dropped on load. Loading stops at the first bad line: an
+ * append-only file corrupted mid-way is suspect from that point on,
+ * and resume re-executes everything that no longer parses.
+ *
+ * Seeds are stored as decimal strings, not JSON numbers: a 64-bit
+ * seed does not round-trip through a double.
+ */
+
+#ifndef EMSC_ENGINE_JOURNAL_HPP
+#define EMSC_ENGINE_JOURNAL_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace emsc::engine {
+
+/** CRC-32 (IEEE, reflected 0xEDB88320) over `text`. */
+std::uint32_t crc32(std::string_view text);
+
+/** Identity of one shard's journal; all fields must match on resume
+ * and across the shards of one merge. */
+struct JournalHeader
+{
+    std::string sweep;
+    std::size_t shard = 0;
+    std::size_t shards = 1;
+    /** Total units in the whole sweep (not just this shard). */
+    std::size_t units = 0;
+    /** The sweep's master seed (provenance). */
+    std::uint64_t seed = 0;
+
+    bool
+    matches(const JournalHeader &other) const
+    {
+        return sweep == other.sweep && shard == other.shard &&
+               shards == other.shards && units == other.units &&
+               seed == other.seed;
+    }
+};
+
+/** Terminal state of one work unit. */
+enum class UnitStatus {
+    /** The unit ran to completion and produced a result. */
+    Ok,
+    /** Every attempt raised a RecoverableError. */
+    Failed,
+    /** The unit exceeded the watchdog budget and was abandoned. */
+    TimedOut,
+};
+
+/** Journal/wire name of a UnitStatus ("ok", "failed", "timeout"). */
+const char *unitStatusName(UnitStatus status);
+
+/** One completed (or terminally failed) work unit. */
+struct UnitRecord
+{
+    std::size_t unit = 0;
+    std::uint64_t seed = 0;
+    UnitStatus status = UnitStatus::Ok;
+    /** Attempts consumed, including the final one. */
+    std::size_t attempts = 1;
+    /** Wall clock of the final attempt (telemetry only: merge output
+     * is a pure function of `result`, never of timing). */
+    double wallMs = 0.0;
+    /** Sweep-defined payload; meaningful when status == Ok. */
+    json::Value result;
+    /** The final error; meaningful when status != Ok. */
+    Error error;
+};
+
+/** `<dir>/<sweep>.shard-<i>-of-<N>.journal` */
+std::string journalPath(const std::string &dir,
+                        const std::string &sweep, std::size_t shard,
+                        std::size_t shards);
+
+/** Create `dir` (and parents) if missing; raises IoError. */
+void ensureDir(const std::string &dir);
+
+/** Everything a journal file yielded on load. */
+struct JournalContents
+{
+    /** False when the file does not exist at all. */
+    bool exists = false;
+    /** True when line 1 parsed as a valid emsc.journal.v1 header. */
+    bool headerOk = false;
+    JournalHeader header;
+    std::vector<UnitRecord> records;
+    /** Lines dropped: the first torn/corrupt line and everything
+     * after it (a partial tail counts as one line). */
+    std::size_t droppedLines = 0;
+    /** Byte length of the clean prefix; resume truncates here before
+     * appending so new records never concatenate onto a torn line. */
+    std::size_t validBytes = 0;
+};
+
+/**
+ * Load and validate a journal. Never throws on corruption — corrupt
+ * content is reported via droppedLines/headerOk so the caller can
+ * resume from the last good record. Raises IoError only when the
+ * file exists but cannot be read.
+ */
+JournalContents loadJournal(const std::string &path);
+
+/**
+ * Append-side handle. Records are written with fflush + fsync per
+ * append: crash-safety over throughput (a work unit is seconds of
+ * compute; one fsync is noise).
+ */
+class JournalWriter
+{
+  public:
+    /** Truncate/create `path` and write the header. */
+    static JournalWriter fresh(const std::string &path,
+                               const JournalHeader &header);
+
+    /**
+     * Open `path` for appending after a resume scan: truncates the
+     * file to `valid_bytes` (cutting off a torn tail) and appends
+     * from there. The caller must have verified the on-disk header.
+     */
+    static JournalWriter resume(const std::string &path,
+                                std::size_t valid_bytes);
+
+    JournalWriter(JournalWriter &&other) noexcept;
+    JournalWriter &operator=(JournalWriter &&other) noexcept;
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+    ~JournalWriter();
+
+    /** Append one record, fsync'd. Raises IoError on failure. */
+    void append(const UnitRecord &record);
+
+    /** Flush and close early (the destructor also closes). */
+    void close();
+
+  private:
+    JournalWriter(std::FILE *file, std::string path);
+
+    void writeLine(const std::string &json_text);
+
+    std::FILE *file_ = nullptr;
+    std::string path_;
+};
+
+/** Serialise a record to its journal JSON (exposed for tests). */
+json::Value unitRecordJson(const UnitRecord &record);
+
+} // namespace emsc::engine
+
+#endif // EMSC_ENGINE_JOURNAL_HPP

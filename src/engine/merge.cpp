@@ -1,0 +1,139 @@
+#include "engine/merge.hpp"
+
+#include <map>
+#include <utility>
+
+namespace emsc::engine {
+
+namespace {
+
+/** Fold a unit result's flat key → number object into `dest`. */
+void
+foldNumberMap(json::Value &dest, const json::Value *src)
+{
+    if (src == nullptr || !src->isObject())
+        return;
+    for (const auto &member : src->members())
+        if (member.second.isNumber())
+            dest.set(member.first, member.second);
+}
+
+} // namespace
+
+MergeOutcome
+mergeSweep(const Sweep &sweep, const std::string &dir,
+           std::size_t shards)
+{
+    if (sweep.name.empty() || sweep.units == 0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "mergeSweep needs a named, non-empty sweep");
+    if (shards == 0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "mergeSweep needs at least one shard");
+
+    MergeOutcome out;
+    out.unitsTotal = sweep.units;
+
+    // Collect the best record per unit across all shard journals.
+    // The unit → shard map is deterministic, so there is normally one
+    // candidate; if duplicates ever exist (journals copied around), an
+    // Ok record wins over a Failed one.
+    std::map<std::size_t, UnitRecord> byUnit;
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+        const std::string path =
+            journalPath(dir, sweep.name, shard, shards);
+        JournalContents contents = loadJournal(path);
+        out.journalDropped += contents.droppedLines;
+        if (!contents.exists || !contents.headerOk) {
+            ++out.shardsMissing;
+            continue;
+        }
+        JournalHeader expect;
+        expect.sweep = sweep.name;
+        expect.shard = shard;
+        expect.shards = shards;
+        expect.units = sweep.units;
+        expect.seed = sweep.seed;
+        if (!contents.header.matches(expect))
+            raiseError(ErrorKind::InvalidConfig,
+                       "journal %s belongs to a different run "
+                       "(sweep '%s', shard %zu/%zu, %zu units)",
+                       path.c_str(), contents.header.sweep.c_str(),
+                       contents.header.shard, contents.header.shards,
+                       contents.header.units);
+        ++out.shardsFound;
+        for (UnitRecord &rec : contents.records) {
+            if (rec.unit >= sweep.units ||
+                rec.seed != unitSeed(sweep, rec.unit))
+                continue; // stale record from an older definition
+            auto it = byUnit.find(rec.unit);
+            if (it == byUnit.end() ||
+                (it->second.status != UnitStatus::Ok &&
+                 rec.status == UnitStatus::Ok))
+                byUnit[rec.unit] = std::move(rec);
+        }
+    }
+
+    json::Value throughput = json::Value::object();
+    json::Value metrics = json::Value::object();
+    for (std::size_t unit = 0; unit < sweep.units; ++unit) {
+        auto it = byUnit.find(unit);
+        if (it == byUnit.end()) {
+            ++out.unitsMissing;
+            out.missingUnits.push_back(unit);
+            continue;
+        }
+        out.unitRecords.push_back(it->second);
+        if (it->second.status != UnitStatus::Ok) {
+            ++out.unitsFailed;
+            continue;
+        }
+        ++out.unitsCompleted;
+        foldNumberMap(metrics, it->second.result.find("metrics"));
+        foldNumberMap(throughput,
+                      it->second.result.find("throughput"));
+    }
+
+    // Provenance counters ride in the metrics block so the report
+    // stays plain emsc.bench.v1 for every existing consumer.
+    metrics.set("engine.units_total", out.unitsTotal);
+    metrics.set("engine.units_completed", out.unitsCompleted);
+    metrics.set("engine.units_failed", out.unitsFailed);
+    metrics.set("engine.units_missing", out.unitsMissing);
+
+    // wall_ms is zero by contract: the merged artifact is a pure
+    // function of unit results, so a resumed run merges bit-identical
+    // to an uninterrupted one. Real timing lives in the journals.
+    json::Value wall = json::Value::object();
+    wall.set("median", 0.0);
+    wall.set("p90", 0.0);
+
+    json::Value report = json::Value::object();
+    report.set("schema", "emsc.bench.v1");
+    report.set("name", sweep.name);
+    report.set("runs", out.unitsCompleted);
+    report.set("wall_ms", std::move(wall));
+    report.set("throughput", std::move(throughput));
+    report.set("metrics", std::move(metrics));
+    out.report = std::move(report);
+    return out;
+}
+
+std::string
+writeMergedReport(const MergeOutcome &merge, const std::string &path)
+{
+    const json::Value *name = merge.report.find("name");
+    std::string dest = path;
+    if (dest.empty()) {
+        if (name == nullptr || !name->isString())
+            raiseError(ErrorKind::InvalidConfig,
+                       "merged report has no name to derive a "
+                       "file name from");
+        dest = "BENCH_" + name->string() + ".json";
+    }
+    std::string text = merge.report.dump(2);
+    json::writeFileAtomic(dest, text);
+    return dest;
+}
+
+} // namespace emsc::engine

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Merge step: aggregate shard journals into one emsc.bench.v1 report.
+ *
+ * The merged artifact is a pure function of the per-unit results in
+ * unit-index order — never of wall clock, shard count, resume history
+ * or retry count — so a killed-and-resumed sharded sweep merges
+ * bit-identically to an uninterrupted single-process run. Real timing
+ * stays in the journals (UnitRecord::wallMs) and in telemetry; the
+ * merged report's wall_ms block is zero by contract.
+ *
+ * Missing shards and failed/missing units degrade gracefully: the
+ * report still forms, and its metrics carry the provenance counters
+ * engine.units_total / engine.units_completed / engine.units_failed /
+ * engine.units_missing so a consumer can tell a full merge from a
+ * partial one.
+ */
+
+#ifndef EMSC_ENGINE_MERGE_HPP
+#define EMSC_ENGINE_MERGE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "support/json.hpp"
+
+namespace emsc::engine {
+
+/** Aggregate of all shard journals of one sweep. */
+struct MergeOutcome
+{
+    std::size_t unitsTotal = 0;
+    /** Units journaled Ok. */
+    std::size_t unitsCompleted = 0;
+    /** Units journaled Failed or TimedOut. */
+    std::size_t unitsFailed = 0;
+    /** Units with no journal record (shard missing or cut short). */
+    std::size_t unitsMissing = 0;
+    /** Shard journals found with a valid, matching header. */
+    std::size_t shardsFound = 0;
+    /** Shard journals absent or too corrupt to carry a header. */
+    std::size_t shardsMissing = 0;
+    /** Corrupt/torn journal lines dropped across all shards. */
+    std::size_t journalDropped = 0;
+    /** Unit indices with no usable record, ascending. */
+    std::vector<std::size_t> missingUnits;
+    /** Usable records in ascending unit order (the benches print
+     * their human tables from these; wallMs carries real timing). */
+    std::vector<UnitRecord> unitRecords;
+    /** The merged emsc.bench.v1 document. */
+    json::Value report;
+
+    /** True when every unit completed Ok. */
+    bool
+    complete() const
+    {
+        return unitsCompleted == unitsTotal;
+    }
+};
+
+/**
+ * Scan the `shards` journals of `sweep` under `dir` and build the
+ * merged report. Records whose stored seed disagrees with
+ * unitSeed(sweep, unit) are treated as missing (a stale journal from
+ * an older sweep definition must not contaminate the merge); a
+ * journal whose header names a different sweep/partition raises
+ * InvalidConfig. Missing journals merely count into
+ * shardsMissing/unitsMissing.
+ */
+MergeOutcome mergeSweep(const Sweep &sweep, const std::string &dir,
+                        std::size_t shards);
+
+/**
+ * Write the merged report atomically (tmp + fsync + rename). An empty
+ * path defaults to `BENCH_<sweep name>.json` in the current
+ * directory. Returns the path written.
+ */
+std::string writeMergedReport(const MergeOutcome &merge,
+                              const std::string &path = std::string());
+
+} // namespace emsc::engine
+
+#endif // EMSC_ENGINE_MERGE_HPP

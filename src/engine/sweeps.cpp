@@ -1,0 +1,266 @@
+#include "engine/sweeps.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "core/api.hpp"
+#include "support/rng.hpp"
+
+namespace emsc::engine {
+
+namespace {
+
+/** Highest-rate sleep period meeting the BER budget at this setup
+ * (Table III procedure: lower TR with distance until the BER holds). */
+core::CovertChannelResult
+bestRate(const core::DeviceProfile &dev,
+         const core::MeasurementSetup &setup, double target_ber,
+         std::uint64_t seed)
+{
+    const double sleeps[] = {100.0, 150.0, 200.0, 300.0,
+                             400.0, 600.0, 800.0};
+    core::CovertChannelResult last;
+    for (double s : sleeps) {
+        core::CovertChannelOptions o;
+        o.payloadBits = 1200;
+        o.seed = seed;
+        o.sleepPeriodUs = s;
+        core::CovertChannelResult r =
+            core::medianCovertChannel(dev, setup, o, 3);
+        last = r;
+        double err = r.ber + r.insertionProb + r.deletionProb;
+        if (r.frameFound && err <= target_ber)
+            return r;
+    }
+    return last;
+}
+
+struct CellStats
+{
+    std::size_t recovered = 0;
+    std::size_t trials = 0;
+    double berSum = 0.0;
+
+    double
+    recoveryPct() const
+    {
+        return trials == 0 ? 0.0
+                           : 100.0 * static_cast<double>(recovered) /
+                                 static_cast<double>(trials);
+    }
+    double
+    meanBer() const
+    {
+        return trials == 0 ? 0.0
+                           : berSum / static_cast<double>(trials);
+    }
+};
+
+CellStats
+sweepCell(const core::DeviceProfile &dev,
+          const core::MeasurementSetup &setup,
+          const core::CovertChannelOptions &base, std::size_t trials)
+{
+    std::vector<std::uint64_t> seeds =
+        core::chainedSeeds(base.seed, trials, 2654435761u, 97);
+    std::vector<core::CovertChannelResult> all =
+        core::TrialRunner::runSeeded<core::CovertChannelResult>(
+            seeds, [&](std::size_t, std::uint64_t seed) {
+                core::CovertChannelOptions o = base;
+                o.seed = seed;
+                return core::runCovertChannel(dev, setup, o);
+            });
+
+    CellStats cell;
+    for (const core::CovertChannelResult &r : all) {
+        ++cell.trials;
+        bool exact = r.ok() && r.frameFound &&
+                     r.decodedPayload == base.payload;
+        cell.recovered += exact;
+        cell.berSum += r.ok() && r.frameFound ? r.ber : 1.0;
+    }
+    return cell;
+}
+
+/** The pre-hardening pipeline: single global lock, no interleaver,
+ * no CRC — what the repo shipped before the fault harness. */
+void
+makeLegacy(core::CovertChannelOptions &o)
+{
+    o.receiver.segmentation.enabled = false;
+    o.receiver.frame.interleaverDepth = 1;
+    o.receiver.frame.crc = false;
+}
+
+} // namespace
+
+Sweep
+table3DistanceSweep()
+{
+    Sweep sweep;
+    sweep.name = "table3_distance";
+    sweep.units = 3;
+    sweep.seed = 3300;
+    sweep.run = [](std::size_t unit, std::uint64_t) {
+        const double distances[] = {1.0, 1.5, 2.5};
+        const char *keys[] = {"los_1m0", "los_1m5", "los_2m5"};
+        double meters = distances[unit];
+        core::DeviceProfile dev = core::referenceDevice();
+        core::CovertChannelResult r = bestRate(
+            dev, core::distanceSetup(meters), 1e-2, 3300 + unit);
+
+        std::string key = keys[unit];
+        json::Value metrics = json::Value::object();
+        metrics.set(key + ".ber", r.ber);
+        metrics.set(key + ".tr_bps", r.trBps);
+        metrics.set(key + ".insertion_prob", r.insertionProb);
+        metrics.set(key + ".deletion_prob", r.deletionProb);
+
+        json::Value row = json::Value::object();
+        row.set("meters", meters);
+        row.set("ber", r.ber);
+        row.set("tr_bps", r.trBps);
+
+        json::Value out = json::Value::object();
+        out.set("metrics", std::move(metrics));
+        out.set("row", std::move(row));
+        return out;
+    };
+    return sweep;
+}
+
+Sweep
+table4KeyloggingSweep()
+{
+    Sweep sweep;
+    sweep.name = "table4_keylogging";
+    sweep.units = 3;
+    sweep.seed = 4400;
+    sweep.run = [](std::size_t unit, std::uint64_t) {
+        const char *keys[] = {"near_10cm", "los_2m", "wall_1m5"};
+        core::DeviceProfile dev = core::findDevice("Precision");
+        core::MeasurementSetup setup =
+            unit == 0   ? core::nearFieldSetup()
+            : unit == 1 ? core::distanceSetup(2.0)
+                        : core::throughWallSetup();
+
+        core::KeyloggingOptions o;
+        o.words = 50;
+        o.seed = 4400 + unit;
+        core::KeyloggingResult r = core::runKeylogging(dev, setup, o);
+
+        std::string key = keys[unit];
+        json::Value metrics = json::Value::object();
+        metrics.set(key + ".char_tpr", r.chars.tpr());
+        metrics.set(key + ".char_fpr", r.chars.fpr());
+        metrics.set(key + ".word_precision", r.words.precision());
+        metrics.set(key + ".word_recall", r.words.recall());
+
+        json::Value row = json::Value::object();
+        row.set("char_tpr", r.chars.tpr());
+        row.set("char_fpr", r.chars.fpr());
+        row.set("word_precision", r.words.precision());
+        row.set("word_recall", r.words.recall());
+        row.set("words", o.words);
+
+        json::Value out = json::Value::object();
+        out.set("metrics", std::move(metrics));
+        out.set("row", std::move(row));
+        return out;
+    };
+    return sweep;
+}
+
+Sweep
+ablationFaultsSweep()
+{
+    Sweep sweep;
+    sweep.name = "ablation_faults";
+    sweep.units = 6;
+    sweep.seed = 31000;
+    sweep.run = [](std::size_t unit, std::uint64_t) {
+        constexpr std::size_t kTrials = 16;
+        const double rates[] = {0.0, 3.0, 8.0, 15.0, 25.0};
+
+        core::DeviceProfile dev = core::referenceDevice();
+        core::MeasurementSetup setup = core::nearFieldSetup();
+
+        core::CovertChannelOptions base;
+        // Long enough (~0.3 s on the air) that a per-second fault
+        // rate lands several events inside every capture.
+        {
+            Rng rng(99);
+            base.payload.resize(600);
+            for (auto &b : base.payload)
+                b = rng.chance(0.5) ? 1 : 0;
+        }
+        base.seed = 31000;
+
+        std::string key;
+        core::CovertChannelOptions hard = base;
+        if (unit < 5) {
+            hard.faults.dropoutRate = rates[unit];
+            hard.faults.gainStepRate = rates[unit];
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "drop_gain_%.0fps",
+                          rates[unit]);
+            key = buf;
+        } else {
+            hard.faults = sim::harshConfig(0);
+            key = "harsh";
+        }
+        core::CovertChannelOptions legacy = hard;
+        makeLegacy(legacy);
+
+        CellStats h = sweepCell(dev, setup, hard, kTrials);
+        CellStats l = sweepCell(dev, setup, legacy, kTrials);
+
+        json::Value metrics = json::Value::object();
+        metrics.set(key + ".hardened.recovery_pct", h.recoveryPct());
+        metrics.set(key + ".hardened.ber", h.meanBer());
+        metrics.set(key + ".legacy.recovery_pct", l.recoveryPct());
+        metrics.set(key + ".legacy.ber", l.meanBer());
+
+        json::Value row = json::Value::object();
+        row.set("hardened_recovery_pct", h.recoveryPct());
+        row.set("hardened_ber", h.meanBer());
+        row.set("legacy_recovery_pct", l.recoveryPct());
+        row.set("legacy_ber", l.meanBer());
+        row.set("trials", h.trials + l.trials);
+
+        json::Value out = json::Value::object();
+        out.set("metrics", std::move(metrics));
+        out.set("row", std::move(row));
+        return out;
+    };
+    return sweep;
+}
+
+std::vector<std::string>
+sweepNames()
+{
+    return {"table3_distance", "table4_keylogging",
+            "ablation_faults"};
+}
+
+Sweep
+makeSweep(const std::string &name)
+{
+    if (name == "table3_distance")
+        return table3DistanceSweep();
+    if (name == "table4_keylogging")
+        return table4KeyloggingSweep();
+    if (name == "ablation_faults")
+        return ablationFaultsSweep();
+    std::string known;
+    for (const std::string &n : sweepNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += n;
+    }
+    raiseError(ErrorKind::InvalidConfig,
+               "unknown sweep '%s' (known: %s)", name.c_str(),
+               known.c_str());
+}
+
+} // namespace emsc::engine

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <optional>
 #include <utility>
@@ -22,6 +23,22 @@ orphanedSessions()
 {
     static telemetry::Counter c(telemetry::MetricsRegistry::global(),
                                 "serve.sessions.orphaned");
+    return c;
+}
+
+telemetry::Counter &
+shutdownDrained()
+{
+    static telemetry::Counter c(telemetry::MetricsRegistry::global(),
+                                "serve.shutdown.drained");
+    return c;
+}
+
+telemetry::Counter &
+shutdownAborted()
+{
+    static telemetry::Counter c(telemetry::MetricsRegistry::global(),
+                                "serve.shutdown.aborted");
     return c;
 }
 
@@ -122,6 +139,18 @@ Server::start()
 }
 
 void
+Server::shutdown(double grace_seconds)
+{
+    drainGraceSeconds.store(grace_seconds);
+    drainRequested.store(true);
+    // The loop exits on its own once every connection drained or the
+    // deadline passed; stop() below is just the idempotent cleanup.
+    if (worker.joinable())
+        worker.join();
+    stop();
+}
+
+void
 Server::stop()
 {
     stopRequested.store(true);
@@ -155,10 +184,42 @@ Server::takeRtlResults()
 void
 Server::loop()
 {
+    bool draining = false;
+    std::chrono::steady_clock::time_point drainDeadline;
     while (!stopRequested.load()) {
+        if (!draining && drainRequested.load()) {
+            // Drain: no new sessions (listeners close now), every
+            // live connection is pushed onto its normal close path so
+            // the protocol's final Result/Error frames still go out.
+            draining = true;
+            drainDeadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        drainGraceSeconds.load()));
+            if (controlFd >= 0) {
+                ::close(controlFd);
+                controlFd = -1;
+            }
+            if (rtlFd >= 0) {
+                ::close(rtlFd);
+                rtlFd = -1;
+            }
+            for (auto &conn : conns)
+                if (!conn->dead)
+                    beginDrain(*conn);
+        }
+        if (draining &&
+            (conns.empty() ||
+             std::chrono::steady_clock::now() >= drainDeadline))
+            break;
+
         std::vector<pollfd> fds;
+        // fd -1 entries are ignored by poll() and keep the index
+        // layout stable once the listeners close during a drain.
         fds.push_back({controlFd, POLLIN, 0});
-        if (rtlFd >= 0)
+        if (cfg.rtlIngest)
             fds.push_back({rtlFd, POLLIN, 0});
         const std::size_t firstConn = fds.size();
         for (const auto &conn : conns) {
@@ -206,6 +267,11 @@ Server::loop()
         for (auto &conn : conns) {
             if (!conn->dead)
                 pumpStalled(*conn);
+            // Once a draining connection's session has settled (its
+            // Result/Error frame is queued), drop it after the flush.
+            if (draining && !conn->sessionOpen &&
+                !conn->closeAfterFlush)
+                conn->closeAfterFlush = true;
             if (conn->closeAfterFlush &&
                 conn->outCursor >= conn->out.size())
                 conn->dead = true;
@@ -214,6 +280,8 @@ Server::loop()
         for (std::size_t i = 0; i < conns.size();) {
             if (conns[i]->dead) {
                 finishConn(*conns[i]);
+                if (draining)
+                    shutdownDrained().add();
                 conns.erase(conns.begin() +
                             static_cast<std::ptrdiff_t>(i));
             } else {
@@ -222,9 +290,34 @@ Server::loop()
         }
     }
 
+    // Connections still here were cut off: either a hard stop() or a
+    // drain that ran out its deadline.
+    if (draining && !conns.empty())
+        shutdownAborted().add(conns.size());
     for (auto &conn : conns)
         finishConn(*conn);
     conns.clear();
+}
+
+void
+Server::beginDrain(Conn &conn)
+{
+    if (conn.rtl) {
+        // An rtl peer speaks no protocol: stop reading, decode what
+        // already arrived, publish via takeRtlResults() (finishConn).
+        conn.closeAfterFlush = true;
+        return;
+    }
+    if (conn.sessionOpen) {
+        // Behave as if the client sent Close: the stalled chunk still
+        // lands and the normal Result frame goes out.
+        conn.closeRequested = true;
+        pumpStalled(conn);
+        return;
+    }
+    sendError(conn, ErrorKind::ResourceExhausted,
+              "server draining for shutdown");
+    conn.closeAfterFlush = true;
 }
 
 void

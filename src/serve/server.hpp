@@ -74,6 +74,20 @@ class Server
      * Idempotent; also called by the destructor. */
     void stop();
 
+    /**
+     * Graceful shutdown (SIGTERM path): close the listeners so no new
+     * session can arrive, ask every in-flight session to finish — the
+     * control protocol's normal Result (or an Error frame for
+     * sessionless connections) is emitted before the connection drops
+     * — and wait up to `grace_seconds` for the drain. Connections
+     * still alive at the deadline are torn down the hard way.
+     * Telemetry: serve.shutdown.drained counts connections that
+     * finished inside the deadline, serve.shutdown.aborted those cut
+     * off at it. Blocks until the loop has exited; idempotent with
+     * stop().
+     */
+    void shutdown(double grace_seconds);
+
     /** Actually-bound ports (resolved when ephemeral was requested). */
     std::uint16_t controlPort() const { return controlPort_; }
     /** 0 when rtl ingest is disabled. */
@@ -99,6 +113,8 @@ class Server
                         std::size_t size);
     /** Push the connection's stalled/aggregated chunk if possible. */
     void pumpStalled(Conn &conn);
+    /** Put one connection on the drain path (see shutdown()). */
+    void beginDrain(Conn &conn);
     bool flushOutput(Conn &conn);
     void sendFrame(Conn &conn, std::vector<std::uint8_t> frame);
     void sendError(Conn &conn, ErrorKind kind, const std::string &msg);
@@ -114,6 +130,9 @@ class Server
     std::thread worker;
     std::atomic<bool> running{false};
     std::atomic<bool> stopRequested{false};
+    std::atomic<bool> drainRequested{false};
+    /** Read by the loop once drainRequested is observed. */
+    std::atomic<double> drainGraceSeconds{0.0};
 
     std::vector<std::unique_ptr<Conn>> conns;
 

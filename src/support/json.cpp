@@ -1,9 +1,14 @@
 #include "support/json.hpp"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "support/error.hpp"
 
 namespace emsc::json {
 
@@ -452,6 +457,27 @@ Value::parse(const std::string &text, Value &out, std::string *error)
 {
     Parser parser(text, error);
     return parser.run(out);
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &text)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        raiseError(ErrorKind::IoError, "cannot create %s: %s",
+                   tmp.c_str(), std::strerror(errno));
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+              text.size();
+    ok = std::fflush(f) == 0 && ok;
+    ok = ::fsync(fileno(f)) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        std::remove(tmp.c_str());
+        raiseError(ErrorKind::IoError, "cannot write %s: %s",
+                   path.c_str(), std::strerror(err));
+    }
 }
 
 } // namespace emsc::json

@@ -101,6 +101,18 @@ class Value
     std::vector<std::pair<std::string, Value>> members_;
 };
 
+/**
+ * Crash-safe file write: the text lands in `path + ".tmp"`, is
+ * fsync'd, and is renamed over `path`, so readers observe either the
+ * old content or the complete new content — never a torn file. Used
+ * for merged sweep artifacts and any report a concurrent process may
+ * read while it is being replaced.
+ *
+ * @throws RecoverableError (IoError) when any step fails; the tmp
+ *         file is removed on failure.
+ */
+void writeFileAtomic(const std::string &path, const std::string &text);
+
 } // namespace emsc::json
 
 #endif // EMSC_SUPPORT_JSON_HPP

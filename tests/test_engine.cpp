@@ -1,0 +1,680 @@
+/**
+ * @file
+ * Crash-safety tests for the work-unit experiment engine
+ * (src/engine/): journal round-trips and corruption recovery
+ * (torn tail, bit flip, empty file), resume-skips-completed,
+ * watchdog timeouts, retry with backoff, merge determinism across
+ * shard counts, graceful degradation on missing shards, and the
+ * kill-mid-sweep integration test — SIGKILL a forked shard child,
+ * resume, and require the merged report to be bit-identical to an
+ * uninterrupted run.
+ */
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "engine/journal.hpp"
+#include "engine/merge.hpp"
+#include "engine/sweeps.hpp"
+#include "support/error.hpp"
+#include "support/telemetry.hpp"
+
+using namespace emsc;
+
+namespace {
+
+/** Per-test scratch directory, wiped on entry so reruns are clean. */
+std::string
+freshDir(const std::string &name)
+{
+    std::string dir = "test_engine_journals/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/**
+ * Toy sweep whose unit payloads are pure functions of (unit, seed):
+ * merging it is deterministic by construction, and the seed lands in
+ * the metrics so a wrong derivation chain shows up as a value diff.
+ */
+engine::Sweep
+toySweep(std::size_t units, std::uint64_t master_seed = 42)
+{
+    engine::Sweep s;
+    s.name = "toy";
+    s.units = units;
+    s.seed = master_seed;
+    s.run = [](std::size_t unit, std::uint64_t seed) {
+        json::Value payload = json::Value::object();
+        json::Value metrics = json::Value::object();
+        std::string key = "unit" + std::to_string(unit);
+        metrics.set(key + ".value",
+                    static_cast<double>(unit * 10 + 1));
+        metrics.set(key + ".seed_lo",
+                    static_cast<double>(seed & 0xffffu));
+        payload.set("metrics", std::move(metrics));
+        return payload;
+    };
+    return s;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+}
+
+std::uint64_t
+counterValue(const char *name)
+{
+    telemetry::MetricsSnapshot snap =
+        telemetry::MetricsRegistry::global().snapshot();
+    const std::uint64_t *v = snap.counter(name);
+    return v != nullptr ? *v : 0;
+}
+
+// ---------------------------------------------------------------
+// Journal format
+// ---------------------------------------------------------------
+
+engine::JournalHeader
+toyHeader(const engine::Sweep &sweep, std::size_t shard,
+          std::size_t shards)
+{
+    engine::JournalHeader h;
+    h.sweep = sweep.name;
+    h.shard = shard;
+    h.shards = shards;
+    h.units = sweep.units;
+    h.seed = sweep.seed;
+    return h;
+}
+
+TEST(EngineJournal, RoundTripAllStatuses)
+{
+    std::string dir = freshDir("roundtrip");
+    engine::ensureDir(dir);
+    engine::Sweep sweep = toySweep(4);
+    std::string path = engine::journalPath(dir, sweep.name, 0, 2);
+
+    engine::UnitRecord ok;
+    ok.unit = 0;
+    ok.seed = engine::unitSeed(sweep, 0);
+    ok.status = engine::UnitStatus::Ok;
+    ok.attempts = 1;
+    ok.wallMs = 1.5;
+    ok.result = sweep.run(0, ok.seed);
+
+    engine::UnitRecord failed;
+    failed.unit = 2;
+    failed.seed = engine::unitSeed(sweep, 2);
+    failed.status = engine::UnitStatus::Failed;
+    failed.attempts = 3;
+    failed.error = {ErrorKind::InsufficientData, "too few samples"};
+
+    engine::UnitRecord hung;
+    hung.unit = 4;
+    hung.seed = engine::unitSeed(sweep, 4);
+    hung.status = engine::UnitStatus::TimedOut;
+    hung.error = {ErrorKind::ResourceExhausted, "watchdog"};
+
+    {
+        engine::JournalWriter w =
+            engine::JournalWriter::fresh(path, toyHeader(sweep, 0, 2));
+        w.append(ok);
+        w.append(failed);
+        w.append(hung);
+    }
+
+    engine::JournalContents j = engine::loadJournal(path);
+    EXPECT_TRUE(j.exists);
+    ASSERT_TRUE(j.headerOk);
+    EXPECT_TRUE(j.header.matches(toyHeader(sweep, 0, 2)));
+    EXPECT_EQ(j.droppedLines, 0u);
+    ASSERT_EQ(j.records.size(), 3u);
+
+    EXPECT_EQ(j.records[0].unit, 0u);
+    EXPECT_EQ(j.records[0].seed, ok.seed);
+    EXPECT_EQ(j.records[0].status, engine::UnitStatus::Ok);
+    EXPECT_EQ(j.records[0].attempts, 1u);
+    EXPECT_DOUBLE_EQ(j.records[0].wallMs, 1.5);
+    EXPECT_EQ(j.records[0].result.dump(), ok.result.dump());
+
+    EXPECT_EQ(j.records[1].status, engine::UnitStatus::Failed);
+    EXPECT_EQ(j.records[1].attempts, 3u);
+    EXPECT_EQ(j.records[1].error.kind, ErrorKind::InsufficientData);
+    EXPECT_EQ(j.records[1].error.message, "too few samples");
+
+    EXPECT_EQ(j.records[2].status, engine::UnitStatus::TimedOut);
+    EXPECT_EQ(j.records[2].error.kind, ErrorKind::ResourceExhausted);
+}
+
+TEST(EngineJournal, TornTailRecordIsDroppedAndResumable)
+{
+    std::string dir = freshDir("torn");
+    engine::Sweep sweep = toySweep(3);
+    engine::ShardOptions opts;
+    opts.dir = dir;
+    engine::runShard(sweep, opts);
+
+    std::string path = engine::journalPath(dir, sweep.name, 0, 1);
+    std::string whole = readFile(path);
+    ASSERT_GT(whole.size(), 8u);
+    // A crash mid-append leaves a record missing its tail (and its
+    // newline); emulate one by cutting the last few bytes.
+    writeFile(path, whole.substr(0, whole.size() - 5));
+
+    engine::JournalContents j = engine::loadJournal(path);
+    ASSERT_TRUE(j.headerOk);
+    EXPECT_EQ(j.records.size(), 2u);
+    EXPECT_EQ(j.droppedLines, 1u);
+    EXPECT_LT(j.validBytes, whole.size() - 5);
+
+    // Appending after resume-truncation yields a clean journal again.
+    {
+        engine::JournalWriter w =
+            engine::JournalWriter::resume(path, j.validBytes);
+        engine::UnitRecord rec;
+        rec.unit = 2;
+        rec.seed = engine::unitSeed(sweep, 2);
+        rec.result = sweep.run(2, rec.seed);
+        w.append(rec);
+    }
+    engine::JournalContents again = engine::loadJournal(path);
+    EXPECT_EQ(again.droppedLines, 0u);
+    ASSERT_EQ(again.records.size(), 3u);
+    EXPECT_EQ(again.records[2].unit, 2u);
+}
+
+TEST(EngineJournal, BitFlipFailsCrcAndStopsTheScan)
+{
+    std::string dir = freshDir("bitflip");
+    engine::Sweep sweep = toySweep(3);
+    engine::ShardOptions opts;
+    opts.dir = dir;
+    engine::runShard(sweep, opts);
+
+    std::string path = engine::journalPath(dir, sweep.name, 0, 1);
+    std::string whole = readFile(path);
+    // Flip one payload byte inside the *second* record line: the
+    // scan must keep record 1 and drop everything from the flip on.
+    std::size_t firstNl = whole.find('\n');
+    std::size_t secondNl = whole.find('\n', firstNl + 1);
+    std::size_t thirdNl = whole.find('\n', secondNl + 1);
+    ASSERT_NE(thirdNl, std::string::npos);
+    whole[secondNl + 12] ^= 0x20;
+    writeFile(path, whole);
+
+    engine::JournalContents j = engine::loadJournal(path);
+    ASSERT_TRUE(j.headerOk);
+    ASSERT_EQ(j.records.size(), 1u);
+    EXPECT_EQ(j.records[0].unit, 0u);
+    EXPECT_EQ(j.droppedLines, 2u);
+    EXPECT_EQ(j.validBytes, secondNl + 1);
+}
+
+TEST(EngineJournal, EmptyJournalResumesAsAFreshRun)
+{
+    std::string dir = freshDir("empty");
+    engine::ensureDir(dir);
+    engine::Sweep sweep = toySweep(3);
+    std::string path = engine::journalPath(dir, sweep.name, 0, 1);
+    writeFile(path, "");
+
+    engine::JournalContents j = engine::loadJournal(path);
+    EXPECT_TRUE(j.exists);
+    EXPECT_FALSE(j.headerOk);
+    EXPECT_TRUE(j.records.empty());
+
+    engine::ShardOptions opts;
+    opts.dir = dir;
+    opts.resume = true;
+    engine::ShardOutcome out = engine::runShard(sweep, opts);
+    EXPECT_EQ(out.unitsRun, 3u);
+    EXPECT_EQ(out.unitsSkipped, 0u);
+    EXPECT_EQ(engine::loadJournal(path).records.size(), 3u);
+}
+
+// ---------------------------------------------------------------
+// Shard execution: resume, retry, watchdog
+// ---------------------------------------------------------------
+
+TEST(EngineShard, ResumeSkipsJournaledUnits)
+{
+    std::string dir = freshDir("resume_skip");
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    engine::Sweep sweep = toySweep(4);
+    engine::WorkUnitFn inner = sweep.run;
+    sweep.run = [calls, inner](std::size_t unit, std::uint64_t seed) {
+        calls->fetch_add(1);
+        return inner(unit, seed);
+    };
+
+    engine::ShardOptions opts;
+    opts.dir = dir;
+    engine::ShardOutcome first = engine::runShard(sweep, opts);
+    EXPECT_EQ(first.unitsRun, 4u);
+    EXPECT_EQ(calls->load(), 4);
+
+    opts.resume = true;
+    engine::ShardOutcome second = engine::runShard(sweep, opts);
+    EXPECT_EQ(second.unitsRun, 0u);
+    EXPECT_EQ(second.unitsSkipped, 4u);
+    EXPECT_EQ(calls->load(), 4) << "resume re-ran a journaled unit";
+}
+
+TEST(EngineShard, ResumeReexecutesOnlyTheTornUnit)
+{
+    std::string dir = freshDir("resume_torn");
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    engine::Sweep sweep = toySweep(4);
+    engine::WorkUnitFn inner = sweep.run;
+    sweep.run = [calls, inner](std::size_t unit, std::uint64_t seed) {
+        calls->fetch_add(1);
+        return inner(unit, seed);
+    };
+
+    engine::ShardOptions opts;
+    opts.dir = dir;
+    engine::runShard(sweep, opts);
+    std::string refDump =
+        engine::mergeSweep(sweep, dir, 1).report.dump(2);
+
+    std::string path = engine::journalPath(dir, sweep.name, 0, 1);
+    std::string whole = readFile(path);
+    writeFile(path, whole.substr(0, whole.size() - 7));
+
+    opts.resume = true;
+    engine::ShardOutcome out = engine::runShard(sweep, opts);
+    EXPECT_EQ(out.unitsSkipped, 3u);
+    EXPECT_EQ(out.unitsRun, 1u);
+    EXPECT_EQ(out.journalDropped, 1u);
+    EXPECT_EQ(calls->load(), 5);
+
+    engine::MergeOutcome merged = engine::mergeSweep(sweep, dir, 1);
+    EXPECT_TRUE(merged.complete());
+    EXPECT_EQ(merged.report.dump(2), refDump);
+}
+
+TEST(EngineShard, ResumeRejectsAForeignJournal)
+{
+    std::string dir = freshDir("foreign");
+    engine::Sweep sweep = toySweep(3);
+    engine::ShardOptions opts;
+    opts.dir = dir;
+    engine::runShard(sweep, opts);
+
+    // Same path, different sweep definition: resuming must refuse
+    // rather than silently mix two experiments.
+    engine::Sweep other = toySweep(3, /*master_seed=*/43);
+    opts.resume = true;
+    EXPECT_THROW(engine::runShard(other, opts), RecoverableError);
+}
+
+TEST(EngineShard, RetryRecoversAfterRecoverableErrors)
+{
+    std::string dir = freshDir("retry_ok");
+    auto unit0Calls = std::make_shared<std::atomic<int>>(0);
+    engine::Sweep sweep = toySweep(3);
+    engine::WorkUnitFn inner = sweep.run;
+    sweep.run = [unit0Calls, inner](std::size_t unit,
+                                    std::uint64_t seed) {
+        if (unit == 0 && unit0Calls->fetch_add(1) < 2)
+            raiseError(ErrorKind::InsufficientData,
+                       "transient capture glitch");
+        return inner(unit, seed);
+    };
+
+    engine::ShardOptions opts;
+    opts.dir = dir;
+    opts.maxAttempts = 3;
+    opts.retryBackoffSeconds = 0.001;
+    engine::ShardOutcome out = engine::runShard(sweep, opts);
+    EXPECT_EQ(out.unitsOk, 3u);
+    EXPECT_EQ(out.unitsFailed, 0u);
+    EXPECT_EQ(out.retries, 2u);
+
+    engine::JournalContents j = engine::loadJournal(
+        engine::journalPath(dir, sweep.name, 0, 1));
+    ASSERT_EQ(j.records.size(), 3u);
+    EXPECT_EQ(j.records[0].attempts, 3u);
+    EXPECT_EQ(j.records[0].status, engine::UnitStatus::Ok);
+    EXPECT_EQ(j.records[1].attempts, 1u);
+}
+
+TEST(EngineShard, RetryExhaustionMarksTheUnitFailed)
+{
+    std::string dir = freshDir("retry_fail");
+    engine::Sweep sweep = toySweep(2);
+    engine::WorkUnitFn inner = sweep.run;
+    sweep.run = [inner](std::size_t unit, std::uint64_t seed) {
+        if (unit == 1)
+            raiseError(ErrorKind::InsufficientData, "always broken");
+        return inner(unit, seed);
+    };
+
+    engine::ShardOptions opts;
+    opts.dir = dir;
+    opts.maxAttempts = 2;
+    opts.retryBackoffSeconds = 0.001;
+    engine::ShardOutcome out = engine::runShard(sweep, opts);
+    EXPECT_EQ(out.unitsOk, 1u);
+    EXPECT_EQ(out.unitsFailed, 1u);
+    EXPECT_EQ(out.retries, 1u);
+
+    engine::JournalContents j = engine::loadJournal(
+        engine::journalPath(dir, sweep.name, 0, 1));
+    ASSERT_EQ(j.records.size(), 2u);
+    EXPECT_EQ(j.records[1].status, engine::UnitStatus::Failed);
+    EXPECT_EQ(j.records[1].attempts, 2u);
+    EXPECT_EQ(j.records[1].error.kind, ErrorKind::InsufficientData);
+
+    // The merge degrades instead of refusing: report forms, the
+    // failed unit's metrics are absent, provenance says 1 failed.
+    engine::MergeOutcome merged = engine::mergeSweep(sweep, dir, 1);
+    EXPECT_FALSE(merged.complete());
+    EXPECT_EQ(merged.unitsFailed, 1u);
+    const json::Value *metrics = merged.report.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_NE(metrics->find("unit0.value"), nullptr);
+    EXPECT_EQ(metrics->find("unit1.value"), nullptr);
+    ASSERT_NE(metrics->find("engine.units_failed"), nullptr);
+    EXPECT_EQ(metrics->find("engine.units_failed")->number(), 1.0);
+}
+
+TEST(EngineShard, WatchdogAbandonsHungUnitAndShardCompletes)
+{
+    std::string dir = freshDir("watchdog");
+    auto release = std::make_shared<std::atomic<bool>>(false);
+    engine::Sweep sweep = toySweep(3);
+    engine::WorkUnitFn inner = sweep.run;
+    sweep.run = [release, inner](std::size_t unit,
+                                 std::uint64_t seed) {
+        if (unit == 1) {
+            // Simulated stall: holds until the test releases it,
+            // far past the watchdog budget.
+            for (int i = 0; i < 1000 && !release->load(); ++i)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+        }
+        return inner(unit, seed);
+    };
+
+    engine::ShardOptions opts;
+    opts.dir = dir;
+    opts.watchdogSeconds = 0.2;
+    opts.maxAttempts = 3; // timeouts must NOT consume retries
+    engine::ShardOutcome out = engine::runShard(sweep, opts);
+    EXPECT_EQ(out.unitsOk, 2u);
+    EXPECT_EQ(out.unitsTimedOut, 1u);
+    EXPECT_EQ(out.unitsFailed, 1u);
+    EXPECT_EQ(out.retries, 0u);
+
+    engine::JournalContents j = engine::loadJournal(
+        engine::journalPath(dir, sweep.name, 0, 1));
+    ASSERT_EQ(j.records.size(), 3u);
+    EXPECT_EQ(j.records[1].unit, 1u);
+    EXPECT_EQ(j.records[1].status, engine::UnitStatus::TimedOut);
+    EXPECT_EQ(j.records[1].error.kind, ErrorKind::ResourceExhausted);
+    EXPECT_EQ(j.records[1].attempts, 1u);
+
+    engine::MergeOutcome merged = engine::mergeSweep(sweep, dir, 1);
+    EXPECT_FALSE(merged.complete());
+    EXPECT_EQ(merged.unitsFailed, 1u);
+    EXPECT_EQ(merged.unitsCompleted, 2u);
+
+    // Let the abandoned worker wind down before the test exits.
+    release->store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+}
+
+// ---------------------------------------------------------------
+// Merge determinism and degradation
+// ---------------------------------------------------------------
+
+TEST(EngineMerge, ReportIsInvariantUnderShardCount)
+{
+    engine::Sweep sweep = toySweep(6);
+
+    std::string dirA = freshDir("invariant_1shard");
+    engine::ShardOptions one;
+    one.dir = dirA;
+    engine::runShard(sweep, one);
+    std::string dumpA =
+        engine::mergeSweep(sweep, dirA, 1).report.dump(2);
+
+    std::string dirB = freshDir("invariant_3shard");
+    engine::ShardOptions three;
+    three.dir = dirB;
+    three.shards = 3;
+    engine::runSweepInProcess(sweep, three);
+    engine::MergeOutcome merged = engine::mergeSweep(sweep, dirB, 3);
+
+    EXPECT_EQ(merged.report.dump(2), dumpA);
+    // wall_ms is zero by contract: timing must never leak into the
+    // merged artifact, or resume would not be bit-identical.
+    const json::Value *wall = merged.report.find("wall_ms");
+    ASSERT_NE(wall, nullptr);
+    EXPECT_EQ(wall->find("median")->number(), 0.0);
+    EXPECT_EQ(wall->find("p90")->number(), 0.0);
+}
+
+TEST(EngineMerge, MissingShardDegradesWithProvenance)
+{
+    std::string dir = freshDir("missing_shard");
+    engine::Sweep sweep = toySweep(6);
+    // Run shards 0 and 2 of 3; shard 1 (units 1 and 4) never ran.
+    for (std::size_t shard : {std::size_t{0}, std::size_t{2}}) {
+        engine::ShardOptions opts;
+        opts.dir = dir;
+        opts.shard = shard;
+        opts.shards = 3;
+        engine::runShard(sweep, opts);
+    }
+
+    engine::MergeOutcome merged = engine::mergeSweep(sweep, dir, 3);
+    EXPECT_EQ(merged.shardsFound, 2u);
+    EXPECT_EQ(merged.shardsMissing, 1u);
+    EXPECT_EQ(merged.unitsCompleted, 4u);
+    EXPECT_EQ(merged.unitsMissing, 2u);
+    ASSERT_EQ(merged.missingUnits.size(), 2u);
+    EXPECT_EQ(merged.missingUnits[0], 1u);
+    EXPECT_EQ(merged.missingUnits[1], 4u);
+    EXPECT_FALSE(merged.complete());
+
+    const json::Value *metrics = merged.report.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_NE(metrics->find("engine.units_missing"), nullptr);
+    EXPECT_EQ(metrics->find("engine.units_missing")->number(), 2.0);
+    EXPECT_EQ(metrics->find("engine.units_total")->number(), 6.0);
+}
+
+TEST(EngineMerge, StaleSeedRecordCountsAsMissing)
+{
+    std::string dir = freshDir("stale_seed");
+    engine::Sweep sweep = toySweep(2);
+    engine::ShardOptions opts;
+    opts.dir = dir;
+    engine::runShard(sweep, opts);
+
+    // Rewrite unit 1's record with a wrong seed, as a journal from an
+    // older sweep definition would carry: the merge must treat the
+    // unit as missing, not trust a stale result.
+    std::string path = engine::journalPath(dir, sweep.name, 0, 1);
+    engine::JournalContents j = engine::loadJournal(path);
+    ASSERT_EQ(j.records.size(), 2u);
+    engine::UnitRecord stale = j.records[1];
+    stale.seed ^= 1;
+    {
+        engine::JournalHeader h = toyHeader(sweep, 0, 1);
+        engine::JournalWriter w = engine::JournalWriter::fresh(path, h);
+        w.append(j.records[0]);
+        w.append(stale);
+    }
+
+    engine::MergeOutcome merged = engine::mergeSweep(sweep, dir, 1);
+    EXPECT_EQ(merged.unitsCompleted, 1u);
+    EXPECT_EQ(merged.unitsMissing, 1u);
+    ASSERT_EQ(merged.missingUnits.size(), 1u);
+    EXPECT_EQ(merged.missingUnits[0], 1u);
+}
+
+TEST(EngineMerge, PredefinedSweepsAreRegistered)
+{
+    for (const std::string &name : engine::sweepNames()) {
+        engine::Sweep sweep = engine::makeSweep(name);
+        EXPECT_EQ(sweep.name, name);
+        EXPECT_GT(sweep.units, 0u);
+        EXPECT_TRUE(static_cast<bool>(sweep.run));
+    }
+    EXPECT_THROW(engine::makeSweep("no_such_sweep"),
+                 RecoverableError);
+}
+
+// ---------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------
+
+TEST(EngineTelemetry, ShardRunPublishesEngineCounters)
+{
+    telemetry::MetricsRegistry &reg =
+        telemetry::MetricsRegistry::global();
+    reg.setEnabled(true);
+    std::uint64_t runBefore = counterValue("engine.unit.run");
+    std::uint64_t shardBefore = counterValue("engine.shard.completed");
+
+    std::string dir = freshDir("telemetry");
+    engine::Sweep sweep = toySweep(3);
+    engine::ShardOptions opts;
+    opts.dir = dir;
+    engine::runShard(sweep, opts);
+    opts.resume = true;
+    engine::runShard(sweep, opts);
+    reg.setEnabled(false);
+
+    EXPECT_EQ(counterValue("engine.unit.run"), runBefore + 3);
+    EXPECT_EQ(counterValue("engine.shard.completed"), shardBefore + 2);
+    EXPECT_GE(counterValue("engine.unit.skipped"), 3u);
+    EXPECT_GE(counterValue("engine.journal.resumed"), 1u);
+}
+
+// ---------------------------------------------------------------
+// Kill-mid-sweep integration: SIGKILL a shard child, resume, merge
+// bit-identically to a run that was never interrupted.
+// ---------------------------------------------------------------
+
+/** Toy sweep slowed to ~80 ms per unit so a SIGKILL reliably lands
+ * while the shard is mid-run. */
+engine::Sweep
+slowSweep(std::size_t units)
+{
+    engine::Sweep s = toySweep(units);
+    engine::WorkUnitFn inner = s.run;
+    s.run = [inner](std::size_t unit, std::uint64_t seed) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(80));
+        return inner(unit, seed);
+    };
+    return s;
+}
+
+TEST(EngineIntegration, KillMidSweepThenResumeIsBitIdentical)
+{
+    engine::Sweep sweep = slowSweep(6);
+
+    // Reference: the same sweep, never interrupted.
+    std::string dirRef = freshDir("kill_reference");
+    engine::ShardOptions ref;
+    ref.dir = dirRef;
+    ref.shards = 2;
+    engine::runSweepInProcess(sweep, ref);
+    std::string refDump =
+        engine::mergeSweep(sweep, dirRef, 2).report.dump(2);
+    // (The run above also warmed every engine-internal lazy static,
+    // so the forked child below allocates nothing under a lock that
+    // another thread could be holding at fork time.)
+
+    std::string dirKill = freshDir("kill_victim");
+    engine::ensureDir(dirKill);
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+        // Child: run shard 0 like `emsc_tool sweep --shard 0/2`
+        // would; no gtest machinery, no exit handlers.
+        try {
+            engine::ShardOptions child;
+            child.dir = dirKill;
+            child.shard = 0;
+            child.shards = 2;
+            engine::runShard(sweep, child);
+        } catch (...) {
+        }
+        _exit(0);
+    }
+
+    // Wait for at least one journaled unit, then kill the child the
+    // hard way, mid-sweep.
+    std::string path = engine::journalPath(dirKill, sweep.name, 0, 2);
+    bool sawProgress = false;
+    for (int i = 0; i < 2000; ++i) {
+        engine::JournalContents j = engine::loadJournal(path);
+        if (j.headerOk && !j.records.empty()) {
+            sawProgress = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(sawProgress) << "child never journaled a unit";
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    // The killed shard resumed at most re-runs the unit in flight.
+    engine::ShardOptions resumed;
+    resumed.dir = dirKill;
+    resumed.shard = 0;
+    resumed.shards = 2;
+    resumed.resume = true;
+    engine::ShardOutcome out = engine::runShard(sweep, resumed);
+    EXPECT_GE(out.unitsSkipped, 1u);
+
+    engine::ShardOptions other = resumed;
+    other.shard = 1;
+    other.resume = false;
+    engine::runShard(sweep, other);
+
+    engine::MergeOutcome merged = engine::mergeSweep(sweep, dirKill, 2);
+    EXPECT_TRUE(merged.complete());
+    EXPECT_EQ(merged.report.dump(2), refDump)
+        << "kill + resume changed the merged artifact";
+}
+
+} // namespace

@@ -25,6 +25,7 @@
 #include "stream/receiver_ops.hpp"
 #include "stream_test_rig.hpp"
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 
 using namespace emsc;
 
@@ -638,6 +639,134 @@ TEST(ServeServer, RtlIngestDecodesACapture)
         << results[0].rx.failure->message;
     ASSERT_TRUE(results[0].rx.frame.found);
     EXPECT_EQ(results[0].rx.frame.payload, rig().payload);
+}
+
+// ---------------------------------------------------------------
+// Graceful shutdown (SIGTERM drain)
+// ---------------------------------------------------------------
+
+std::uint64_t
+counterValue(const char *name)
+{
+    telemetry::MetricsSnapshot snap =
+        telemetry::MetricsRegistry::global().snapshot();
+    const std::uint64_t *v = snap.counter(name);
+    return v != nullptr ? *v : 0;
+}
+
+TEST(ServeServer, GracefulShutdownDrainsInFlightSession)
+{
+    telemetry::MetricsRegistry &reg =
+        telemetry::MetricsRegistry::global();
+    reg.setEnabled(true);
+    std::uint64_t drainedBefore =
+        counterValue("serve.shutdown.drained");
+
+    serve::Server server(rig().rxCfg, {}, rigServerConfig());
+    server.start();
+    int fd = connectLoopback(server.controlPort());
+    serve::FrameReader reader;
+    serve::Frame frame;
+
+    sendAll(fd, serve::encodeJsonFrame(serve::FrameType::Open,
+                                       json::Value::object()));
+    ASSERT_TRUE(readFrame(fd, reader, frame));
+    ASSERT_EQ(frame.type, serve::FrameType::OpenOk);
+
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(capture().samples.size() * 2);
+    auto toU8 = [](double v) {
+        double clamped = std::min(1.0, std::max(-1.0, v));
+        return static_cast<std::uint8_t>(
+            std::lround(clamped * 127.5 + 127.5));
+    };
+    for (const sdr::IqSample &s : capture().samples) {
+        bytes.push_back(toU8(s.real()));
+        bytes.push_back(toU8(s.imag()));
+    }
+    for (std::size_t off = 0; off < bytes.size(); off += 2 * kChunk) {
+        std::size_t n = std::min(bytes.size() - off, 2 * kChunk);
+        sendAll(fd, serve::encodeFrame(serve::FrameType::Data,
+                                       bytes.data() + off, n));
+    }
+    // Make sure everything sent has actually been ingested before the
+    // drain starts; a drain finalises what arrived, it is not obliged
+    // to wait for bytes still sitting in a socket buffer.
+    const double total = static_cast<double>(capture().samples.size());
+    for (int i = 0; i < 1000; ++i) {
+        sendAll(fd,
+                serve::encodeFrame(serve::FrameType::Poll, nullptr, 0));
+        ASSERT_TRUE(readFrame(fd, reader, frame));
+        ASSERT_EQ(frame.type, serve::FrameType::Status);
+        json::Value status = serve::parseJsonBody(frame);
+        if (status.find("samples_in")->number() >= total)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    // No Close frame: the shutdown itself must finish the session and
+    // emit the protocol's normal Result frame before disconnecting.
+    server.shutdown(/*grace_seconds=*/30.0);
+
+    ASSERT_TRUE(readFrame(fd, reader, frame));
+    ASSERT_EQ(frame.type, serve::FrameType::Result);
+    json::Value result = serve::parseJsonBody(frame);
+    ASSERT_NE(result.find("ok"), nullptr);
+    EXPECT_TRUE(result.find("ok")->boolean());
+    ASSERT_NE(result.find("frame_found"), nullptr);
+    ASSERT_TRUE(result.find("frame_found")->boolean());
+    const json::Value *payload = result.find("payload_bits");
+    ASSERT_NE(payload, nullptr);
+    ASSERT_EQ(payload->items().size(), rig().payload.size());
+    for (std::size_t i = 0; i < rig().payload.size(); ++i)
+        EXPECT_EQ(payload->items()[i].number(),
+                  static_cast<double>(rig().payload[i]));
+    // ... after which the server hangs up.
+    EXPECT_FALSE(readFrame(fd, reader, frame));
+    ::close(fd);
+
+    EXPECT_EQ(counterValue("serve.shutdown.drained"),
+              drainedBefore + 1);
+    reg.setEnabled(false);
+}
+
+TEST(ServeServer, GracefulShutdownRejectsSessionlessConnection)
+{
+    serve::Server server(rig().rxCfg, {}, rigServerConfig());
+    server.start();
+    int fd = connectLoopback(server.controlPort());
+    serve::FrameReader reader;
+    serve::Frame frame;
+
+    // Round-trip one frame so the connection is registered with the
+    // loop before the listeners close.
+    sendAll(fd, serve::encodeFrame(serve::FrameType::Poll, nullptr, 0));
+    ASSERT_TRUE(readFrame(fd, reader, frame));
+    ASSERT_EQ(frame.type, serve::FrameType::Error);
+
+    server.shutdown(/*grace_seconds=*/30.0);
+
+    // A connection with no open session cannot produce a Result; it
+    // gets a clean Error frame instead of a silent disconnect.
+    ASSERT_TRUE(readFrame(fd, reader, frame));
+    ASSERT_EQ(frame.type, serve::FrameType::Error);
+    json::Value err = serve::parseJsonBody(frame);
+    ASSERT_NE(err.find("kind"), nullptr);
+    EXPECT_EQ(err.find("kind")->string(), "resource-exhausted");
+    EXPECT_FALSE(readFrame(fd, reader, frame));
+    ::close(fd);
+
+    // New connections are refused once the listeners are down.
+    int late = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(late, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.controlPort());
+    EXPECT_NE(::connect(late, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    ::close(late);
 }
 
 } // namespace

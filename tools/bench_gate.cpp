@@ -17,6 +17,13 @@
  * Usage: bench_gate [--threshold PCT] [--selftest]
  *                   [baseline.json current.json]
  *
+ * Exit codes: 0 pass, 1 regression, 2 usage/current-report error,
+ * 3 baseline missing or unparseable. Code 3 means "no baseline,
+ * skipping gate" — a fresh checkout (or a brand-new bench with no
+ * committed artifact yet) is not a regression, so CI can map it to
+ * SKIP instead of FAIL. Errors in the *current* report stay hard
+ * failures (2): the report the gate was asked to judge must parse.
+ *
  * --selftest exercises the comparison rules on in-memory reports
  * (identical, small drop, big drop, missing key, slower median) so
  * the ctest entry is meaningful before any bench has ever run.
@@ -93,22 +100,17 @@ loadReport(const std::string &text, GateReport &out, std::string &err)
 }
 
 bool
-loadReportFile(const std::string &path, GateReport &out)
+loadReportFile(const std::string &path, GateReport &out,
+               std::string &err)
 {
     std::ifstream in(path);
     if (!in) {
-        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        err = "cannot open";
         return false;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    std::string err;
-    if (!loadReport(buf.str(), out, err)) {
-        std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
-                     err.c_str());
-        return false;
-    }
-    return true;
+    return loadReport(buf.str(), out, err);
 }
 
 /** Percent change of current vs baseline (positive = increase). */
@@ -280,9 +282,21 @@ main(int argc, char **argv)
     }
 
     GateReport base, cur;
-    if (!loadReportFile(paths[0], base) ||
-        !loadReportFile(paths[1], cur))
+    std::string err;
+    if (!loadReportFile(paths[0], base, err)) {
+        // A missing or malformed baseline is the expected state of a
+        // fresh checkout, not a regression: report it loudly but with
+        // a distinct exit code so callers can treat it as a skip.
+        std::fprintf(stderr, "bench_gate: %s: %s\n", paths[0].c_str(),
+                     err.c_str());
+        std::printf("no baseline, skipping gate\n");
+        return 3;
+    }
+    if (!loadReportFile(paths[1], cur, err)) {
+        std::fprintf(stderr, "error: %s: %s\n", paths[1].c_str(),
+                     err.c_str());
         return 2;
+    }
 
     std::printf("bench_gate: %s vs %s (threshold %.1f%%)\n",
                 base.name.c_str(), cur.name.c_str(), threshold);
