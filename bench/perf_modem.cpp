@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark timing of the modem demodulators: whole-capture
+ * and chunked decode of one pre-built near-field transmission per
+ * modem. The transmit/capture simulation runs once per modem outside
+ * the timed region; the benchmark measures demodulation only, which
+ * is the receiver-side cost an online attacker pays per capture.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/api.hpp"
+#include "modem/link.hpp"
+#include "modem/modem.hpp"
+#include "stream/chunk.hpp"
+
+namespace {
+
+using namespace emsc;
+
+struct ModemRig
+{
+    modem::ModemLinkOptions options;
+    modem::ModemCapture cap;
+};
+
+ModemRig
+buildRig(modem::ModemKind kind)
+{
+    ModemRig r;
+    r.options.modem.kind = kind;
+    r.options.payloadBits = 96;
+    r.options.seed = 7;
+    r.cap = modem::buildModemCapture(core::referenceDevice(),
+                                     core::nearFieldSetup(), r.options);
+    return r;
+}
+
+const ModemRig &
+sharedRig(modem::ModemKind kind)
+{
+    switch (kind) {
+    case modem::ModemKind::OokRz: {
+        static ModemRig r = buildRig(kind);
+        return r;
+    }
+    case modem::ModemKind::Bfsk: {
+        static ModemRig r = buildRig(kind);
+        return r;
+    }
+    default: {
+        static ModemRig r = buildRig(modem::ModemKind::Mlask4);
+        return r;
+    }
+    }
+}
+
+void
+BM_ModemDemodulate(benchmark::State &state, modem::ModemKind kind)
+{
+    const ModemRig &rig = sharedRig(kind);
+    auto demod =
+        modem::makeDemodulator(rig.options.modem, rig.options.receiver,
+                               rig.cap.switchingFrequency);
+    modem::DemodResult last;
+    for (auto _ : state) {
+        last = demod->demodulate(rig.cap.capture);
+        benchmark::DoNotOptimize(last.frame.found);
+    }
+    state.counters["frame_found"] = last.frame.found ? 1.0 : 0.0;
+    state.counters["symbols_decoded"] =
+        static_cast<double>(last.symbolsDecoded);
+    state.counters["capture_samples"] =
+        static_cast<double>(rig.cap.capture.samples.size());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(rig.cap.capture.samples.size()));
+    state.SetLabel("96-bit near-field capture, whole-buffer decode");
+}
+BENCHMARK_CAPTURE(BM_ModemDemodulate, ook_rz, modem::ModemKind::OokRz);
+BENCHMARK_CAPTURE(BM_ModemDemodulate, bfsk, modem::ModemKind::Bfsk);
+BENCHMARK_CAPTURE(BM_ModemDemodulate, mlask4, modem::ModemKind::Mlask4);
+
+void
+BM_ModemDemodulateStream(benchmark::State &state, modem::ModemKind kind)
+{
+    const ModemRig &rig = sharedRig(kind);
+    auto demod =
+        modem::makeDemodulator(rig.options.modem, rig.options.receiver,
+                               rig.cap.switchingFrequency);
+    modem::DemodResult last;
+    for (auto _ : state) {
+        stream::MemoryChunkSource src(rig.cap.capture, 1 << 15);
+        last = demod->demodulateStream(src);
+        benchmark::DoNotOptimize(last.frame.found);
+    }
+    state.counters["frame_found"] = last.frame.found ? 1.0 : 0.0;
+    state.counters["symbols_decoded"] =
+        static_cast<double>(last.symbolsDecoded);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(rig.cap.capture.samples.size()));
+    state.SetLabel("96-bit near-field capture, 32Ki-sample chunks");
+}
+BENCHMARK_CAPTURE(BM_ModemDemodulateStream, ook_rz,
+                  modem::ModemKind::OokRz);
+BENCHMARK_CAPTURE(BM_ModemDemodulateStream, bfsk,
+                  modem::ModemKind::Bfsk);
+BENCHMARK_CAPTURE(BM_ModemDemodulateStream, mlask4,
+                  modem::ModemKind::Mlask4);
+
+} // namespace

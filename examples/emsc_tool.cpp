@@ -53,6 +53,7 @@
 #include "core/api.hpp"
 #include "engine/merge.hpp"
 #include "engine/sweeps.hpp"
+#include "modem/link.hpp"
 #include "sdr/iqfile.hpp"
 #include "sdr/rtlsdr.hpp"
 #include "serve/server.hpp"
@@ -74,6 +75,7 @@ struct Args
     double distance = 0.0; // 0 = near field
     bool wall = false;
     double sleepUs = 0.0;
+    std::string modem = "ook-rz";
     std::size_t bits = 1024;
     std::size_t words = 20;
     std::uint64_t seed = 1;
@@ -132,6 +134,8 @@ parse(int argc, char **argv, int first)
             a.wall = true;
         else if (flag == "--sleep")
             a.sleepUs = std::atof(next());
+        else if (flag == "--modem")
+            a.modem = next();
         else if (flag == "--bits")
             a.bits = static_cast<std::size_t>(std::atoll(next()));
         else if (flag == "--words")
@@ -216,6 +220,30 @@ cmdScan()
 int
 cmdCovert(const Args &a)
 {
+    if (a.modem != "ook-rz") {
+        // Non-default modems route through the modem link driver; the
+        // default keeps the legacy covert-channel path bit-for-bit.
+        modem::ModemLinkOptions o;
+        o.modem.kind = modem::parseModemName(a.modem);
+        o.payloadBits = a.bits;
+        o.seed = a.seed;
+        o.sleepPeriodUs = a.sleepUs;
+        modem::ModemLinkResult r = modem::runModemLink(
+            core::findDevice(a.device), setupFor(a), o);
+        if (!r.ok())
+            fatal("%s", r.failure->message.c_str());
+        if (!r.frameFound) {
+            std::printf("no frame recovered\n");
+            return 1;
+        }
+        std::printf("modem %s | carrier %.1f kHz | TR %.0f bps "
+                    "(payload %.0f bps) | BER %.2e IP %.2e DP %.2e | "
+                    "%zu erased\n",
+                    a.modem.c_str(), r.carrierHz / 1e3, r.trBps,
+                    r.trPayloadBps, r.ber, r.insertionProb,
+                    r.deletionProb, r.erasedSymbols);
+        return 0;
+    }
     core::CovertChannelOptions o;
     o.payloadBits = a.bits;
     o.seed = a.seed;
@@ -567,6 +595,7 @@ usage()
         "  scan                              leakage audit of Table I "
         "devices\n"
         "  covert  [--device N] [--distance M|--wall] [--sleep US]\n"
+        "          [--modem ook-rz|bfsk|mlask4]\n"
         "          [--bits N] [--seed S]     run the covert channel\n"
         "  keylog  [--device N] [--words N] [--wall]\n"
         "  faults  [--plan dropout-gain|harsh] [--seed S]\n"

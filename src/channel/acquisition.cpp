@@ -62,19 +62,36 @@ welchSpectrum(const sdr::IqCapture &capture, std::size_t window,
     return sum;
 }
 
-double
-estimateCarrier(const sdr::IqCapture &capture,
+namespace {
+
+/** Per-bin frame-to-frame modulation statistics of a capture. */
+struct BinSwingStats
+{
+    /** Search FFT size actually used (may shrink on short captures). */
+    std::size_t m = 0;
+    /** p90-p50 per-frame magnitude swing of every bin. */
+    std::vector<double> swing;
+    /** Per-frame magnitude median of every bin. */
+    std::vector<double> med;
+    /** Typical swing of a noise bin (the swing median). */
+    double noiseSwing = 0.0;
+};
+
+/**
+ * The shared heavy half of the carrier search. The VRM line is the
+ * one spectral feature whose magnitude is *modulated* by processor
+ * activity — that is the side channel itself. Steady interferer tones
+ * (and their window-leakage skirts) have large means but almost no
+ * frame-to-frame swing, and noise bins have swing proportional to
+ * their (low) level. So the detectors rank bins by the p90-p50 swing
+ * of per-frame magnitudes rather than by mean magnitude; p90 (not
+ * max) keeps sparse broadband impulses from lending swing to steady
+ * tones.
+ */
+BinSwingStats
+computeBinSwing(const sdr::IqCapture &capture,
                 const AcquisitionConfig &config)
 {
-    // The VRM line is the one spectral feature whose magnitude is
-    // *modulated* by processor activity — that is the side channel
-    // itself. Steady interferer tones (and their window-leakage
-    // skirts) have large means but almost no frame-to-frame swing,
-    // and noise bins have swing proportional to their (low) level.
-    // So the detector ranks bins by the p90-p50 swing of per-frame
-    // magnitudes rather than by mean magnitude; p90 (not max) keeps
-    // sparse broadband impulses from lending swing to steady tones.
-    telemetry::TraceSpan span("channel.estimate_carrier");
     std::size_t m = config.searchWindow;
     while (m > 512 && capture.samples.size() < 8 * m)
         m /= 2;
@@ -113,8 +130,12 @@ estimateCarrier(const sdr::IqCapture &capture,
             mags[k][f] = std::abs(buf[k]);
     });
 
-    std::vector<double> swing(m, 0.0);
-    std::vector<double> med(m, 0.0);
+    BinSwingStats st;
+    st.m = m;
+    st.swing.assign(m, 0.0);
+    st.med.assign(m, 0.0);
+    std::vector<double> &swing = st.swing;
+    std::vector<double> &med = st.med;
     parallelFor(m, [&](std::size_t k) {
         std::vector<double> v(mags[k].begin(),
                               mags[k].begin() +
@@ -133,8 +154,104 @@ estimateCarrier(const sdr::IqCapture &capture,
     // Reference level: the typical swing of a noise bin.
     std::vector<double> sorted_swing(swing);
     std::sort(sorted_swing.begin(), sorted_swing.end());
-    double noise_swing = sorted_swing[m / 2];
+    st.noiseSwing = sorted_swing[m / 2];
+    return st;
+}
 
+/**
+ * Score one candidate bin exactly as estimateCarrier always has;
+ * returns < 0 for bins that are not candidates (out of band, below
+ * the noise gate, or not a local swing maximum).
+ */
+double
+scoreCandidate(const sdr::IqCapture &capture,
+               const AcquisitionConfig &config, const BinSwingStats &st,
+               std::size_t k, double freq)
+{
+    const std::vector<double> &swing = st.swing;
+    std::size_t m = st.m;
+    double fs = capture.sampleRate;
+    if (freq < config.searchLowHz || freq > config.searchHighHz)
+        return -1.0;
+    double sw = swing[k];
+    if (sw < 3.2 * st.noiseSwing)
+        return -1.0;
+    // Local maximum of the swing (a tone's steady skirt cannot
+    // mask a modulated line here, since skirts barely swing).
+    std::size_t prev = (k + m - 1) % m;
+    std::size_t nxt = (k + 1) % m;
+    if (swing[prev] > sw || swing[nxt] > sw)
+        return -1.0;
+
+    double score = sw;
+    // Relative modulation depth: a strong but slightly wobbling
+    // tone (oscillator drift scalloping across the bin) can show
+    // sizable absolute swing, yet only a small fraction of its
+    // median; a real on-off-keyed line swings by at least its
+    // idle-floor level. Anything below ~20% relative modulation is
+    // certainly not the side channel.
+    double rel = st.med[k] > 0.0 ? sw / st.med[k] : 1.0;
+    score *= std::clamp((rel - 0.2) / 0.55, 0.02, 1.0);
+    // Harmonic structure: a genuine switching fundamental has a
+    // modulated partner at 2f (when in band); a bin that is itself
+    // the second harmonic of a modulated lower line is demoted so
+    // we lock the fundamental — unless the caller declared an FDM
+    // scene, where a line at 2f is a second legitimate transmitter.
+    double f2 = 2.0 * freq;
+    if (std::abs(f2 - capture.centerFrequency) < fs / 2.0) {
+        double sw2 = swing[capture.binForFrequency(f2, m)];
+        if (sw2 > std::max(0.25 * sw, 2.0 * st.noiseSwing))
+            score *= 1.6;
+    }
+    if (!config.fdmAware) {
+        double fhalf = freq / 2.0;
+        if (fhalf >= config.searchLowHz &&
+            std::abs(fhalf - capture.centerFrequency) < fs / 2.0) {
+            double swh = swing[capture.binForFrequency(fhalf, m)];
+            if (swh > std::max(0.35 * sw, 2.0 * st.noiseSwing))
+                score *= 0.25;
+        }
+    }
+    return score;
+}
+
+/**
+ * Swing-weighted centroid of the line's neighbourhood: the
+ * jitter-broadened line spans a few bins, so the refined estimate
+ * lands on the line's true centre.
+ */
+double
+refineCentroid(const sdr::IqCapture &capture, const BinSwingStats &st,
+               std::size_t best_bin, double best_freq)
+{
+    std::size_t m = st.m;
+    double fs = capture.sampleRate;
+    auto bin_freq = [&](std::size_t k) {
+        double off = static_cast<double>(k) * fs / static_cast<double>(m);
+        if (off >= fs / 2.0)
+            off -= fs;
+        return capture.centerFrequency + off;
+    };
+    double wsum = 0.0, fsum = 0.0;
+    for (std::ptrdiff_t d = -3; d <= 3; ++d) {
+        std::size_t kk = (best_bin + m + static_cast<std::size_t>(
+                              static_cast<std::ptrdiff_t>(m) + d)) % m;
+        double w = std::max(st.swing[kk] - st.noiseSwing, 0.0);
+        wsum += w;
+        fsum += w * bin_freq(kk);
+    }
+    return wsum > 0.0 ? fsum / wsum : best_freq;
+}
+
+} // namespace
+
+double
+estimateCarrier(const sdr::IqCapture &capture,
+                const AcquisitionConfig &config)
+{
+    telemetry::TraceSpan span("channel.estimate_carrier");
+    BinSwingStats st = computeBinSwing(capture, config);
+    std::size_t m = st.m;
     double fs = capture.sampleRate;
     auto bin_freq = [&](std::size_t k) {
         double off = static_cast<double>(k) * fs / static_cast<double>(m);
@@ -149,50 +266,15 @@ estimateCarrier(const sdr::IqCapture &capture,
     std::uint64_t candidates = 0;
     for (std::size_t k = 0; k < m; ++k) {
         double freq = bin_freq(k);
-        if (freq < config.searchLowHz || freq > config.searchHighHz)
+        double score = scoreCandidate(capture, config, st, k, freq);
+        if (score < 0.0)
             continue;
-        double sw = swing[k];
-        if (sw < 3.2 * noise_swing)
-            continue;
-        // Local maximum of the swing (a tone's steady skirt cannot
-        // mask a modulated line here, since skirts barely swing).
-        std::size_t prev = (k + m - 1) % m;
-        std::size_t nxt = (k + 1) % m;
-        if (swing[prev] > sw || swing[nxt] > sw)
-            continue;
-
         ++candidates;
-        double score = sw;
-        // Relative modulation depth: a strong but slightly wobbling
-        // tone (oscillator drift scalloping across the bin) can show
-        // sizable absolute swing, yet only a small fraction of its
-        // median; a real on-off-keyed line swings by at least its
-        // idle-floor level. Anything below ~20% relative modulation is
-        // certainly not the side channel.
-        double rel = med[k] > 0.0 ? sw / med[k] : 1.0;
-        score *= std::clamp((rel - 0.2) / 0.55, 0.02, 1.0);
-        // Harmonic structure: a genuine switching fundamental has a
-        // modulated partner at 2f (when in band); a bin that is itself
-        // the second harmonic of a modulated lower line is demoted so
-        // we lock the fundamental.
-        double f2 = 2.0 * freq;
-        if (std::abs(f2 - capture.centerFrequency) < fs / 2.0) {
-            double sw2 = swing[capture.binForFrequency(f2, m)];
-            if (sw2 > std::max(0.25 * sw, 2.0 * noise_swing))
-                score *= 1.6;
-        }
-        double fhalf = freq / 2.0;
-        if (fhalf >= config.searchLowHz &&
-            std::abs(fhalf - capture.centerFrequency) < fs / 2.0) {
-            double swh = swing[capture.binForFrequency(fhalf, m)];
-            if (swh > std::max(0.35 * sw, 2.0 * noise_swing))
-                score *= 0.25;
-        }
 
         if (std::getenv("EMSC_DEBUG_CARRIER"))
             std::fprintf(stderr,
                          "carrier cand f=%.0f swing=%.2f score=%.2f\n",
-                         freq, sw, score);
+                         freq, st.swing[k], score);
 
         if (score > best_score) {
             best_score = score;
@@ -220,22 +302,85 @@ estimateCarrier(const sdr::IqCapture &capture,
     // Carrier-lock SNR: modulation swing of the winning line over the
     // typical swing of a noise bin, in dB (paper terms: how far the
     // PMU spur stands out of the acquisition band's noise floor).
-    if (noise_swing > 0.0 && swing[best_bin] > 0.0)
+    if (st.noiseSwing > 0.0 && st.swing[best_bin] > 0.0)
         snrGauge.set(20.0 *
-                     std::log10(swing[best_bin] / noise_swing));
+                     std::log10(st.swing[best_bin] / st.noiseSwing));
 
-    // The jitter-broadened line spans a few bins; refine the estimate
-    // to the swing-weighted centroid of its neighbourhood so the
-    // tracked bin lands on the line's true centre.
-    double wsum = 0.0, fsum = 0.0;
-    for (std::ptrdiff_t d = -3; d <= 3; ++d) {
-        std::size_t kk = (best_bin + m + static_cast<std::size_t>(
-                              static_cast<std::ptrdiff_t>(m) + d)) % m;
-        double w = std::max(swing[kk] - noise_swing, 0.0);
-        wsum += w;
-        fsum += w * bin_freq(kk);
+    return refineCentroid(capture, st, best_bin, best_freq);
+}
+
+std::vector<CarrierLine>
+estimateCarriers(const sdr::IqCapture &capture,
+                 const AcquisitionConfig &config, std::size_t max_lines)
+{
+    telemetry::TraceSpan span("channel.estimate_carrier");
+    std::vector<CarrierLine> lines;
+    if (max_lines == 0)
+        return lines;
+    BinSwingStats st = computeBinSwing(capture, config);
+    std::size_t m = st.m;
+    double fs = capture.sampleRate;
+    auto bin_freq = [&](std::size_t k) {
+        double off = static_cast<double>(k) * fs / static_cast<double>(m);
+        if (off >= fs / 2.0)
+            off -= fs;
+        return capture.centerFrequency + off;
+    };
+
+    struct Scored
+    {
+        std::size_t bin;
+        double freq;
+        double score;
+    };
+    std::vector<Scored> cands;
+    std::uint64_t candidates = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+        double freq = bin_freq(k);
+        double score = scoreCandidate(capture, config, st, k, freq);
+        if (score < 0.0)
+            continue;
+        ++candidates;
+        cands.push_back(Scored{k, freq, score});
     }
-    return wsum > 0.0 ? fsum / wsum : best_freq;
+    static telemetry::Counter candCounter(
+        telemetry::MetricsRegistry::global(),
+        "channel.acquisition.candidates");
+    static telemetry::Counter searchCounter(
+        telemetry::MetricsRegistry::global(),
+        "channel.acquisition.searches");
+    candCounter.add(candidates);
+    searchCounter.add();
+
+    // Strongest first; stable on the bin index so equal scores rank
+    // deterministically.
+    std::sort(cands.begin(), cands.end(),
+              [](const Scored &a, const Scored &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.bin < b.bin;
+              });
+
+    // Greedy pick with a two-bin exclusion zone: a jitter-broadened
+    // line can raise shoulder maxima beside its main bin, and those
+    // must not count as separate transmitters.
+    double bin_hz = fs / static_cast<double>(m);
+    for (const Scored &c : cands) {
+        if (lines.size() >= max_lines)
+            break;
+        double refined = refineCentroid(capture, st, c.bin, c.freq);
+        bool dup = false;
+        for (const CarrierLine &l : lines)
+            if (std::abs(l.frequencyHz - refined) < 2.0 * bin_hz)
+                dup = true;
+        if (dup)
+            continue;
+        lines.push_back(CarrierLine{refined, c.score, st.swing[c.bin]});
+    }
+    if (lines.empty() && !config.quietSearch)
+        warn("no modulated spectral line found in the %g-%g Hz band",
+             config.searchLowHz, config.searchHighHz);
+    return lines;
 }
 
 StreamingAcquirer::StreamingAcquirer(double carrier_hz,

@@ -49,6 +49,16 @@ struct AcquisitionConfig
      * carrier; warning per span would flood fault-injection sweeps.
      */
     bool quietSearch = false;
+    /**
+     * FDM-aware carrier search. The default (false) demotes a
+     * modulated line when a modulated line also sits at half its
+     * frequency — correct with a single transmitter, where the true
+     * fundamental's second harmonic must not outrank it. With two FDM
+     * transmitters keyed on harmonically related lines f and 2f that
+     * heuristic silently discards the 2f transmitter; setting this
+     * keeps both lines rankable so estimateCarriers() returns each.
+     */
+    bool fdmAware = false;
 };
 
 /** Acquired envelope plus its geometry. */
@@ -78,6 +88,29 @@ std::vector<double> welchSpectrum(const sdr::IqCapture &capture,
  */
 double estimateCarrier(const sdr::IqCapture &capture,
                        const AcquisitionConfig &config);
+
+/** One modulated spectral line found by estimateCarriers(). */
+struct CarrierLine
+{
+    /** Centroid-refined line frequency (absolute Hz). */
+    double frequencyHz = 0.0;
+    /** Detector score (same scale estimateCarrier ranks by). */
+    double score = 0.0;
+    /** p90-p50 per-frame magnitude swing of the line's bin. */
+    double swing = 0.0;
+};
+
+/**
+ * Multi-transmitter variant of estimateCarrier(): every modulated
+ * line in the search band, strongest first, up to `max_lines`. Lines
+ * closer than two search bins are merged (strongest wins). With
+ * config.fdmAware set, a line at the second harmonic of another
+ * modulated line keeps its full score, so FDM transmitters on f and
+ * 2f both surface; unset, ranking matches estimateCarrier exactly.
+ */
+std::vector<CarrierLine> estimateCarriers(const sdr::IqCapture &capture,
+                                          const AcquisitionConfig &config,
+                                          std::size_t max_lines);
 
 /**
  * Run Eq. (1) over the capture: track the carrier and its harmonics

@@ -23,6 +23,12 @@ namespace {
 void
 validateConfig(const TimingConfig &cfg)
 {
+    if (cfg.symbolModel != SymbolModel::OokRz)
+        raiseError(ErrorKind::InvalidConfig,
+                   "timing recovery's edge-train estimator is "
+                   "RZ-only; envelope declares symbol model '%s' — "
+                   "recover a fixed symbol grid in the modem layer "
+                   "instead", symbolModelName(cfg.symbolModel));
     if (!(cfg.peakQuantile >= 0.0 && cfg.peakQuantile <= 1.0))
         raiseError(ErrorKind::InvalidConfig,
                    "TimingConfig.peakQuantile must be in [0, 1], "
@@ -89,9 +95,22 @@ detectStarts(const std::vector<double> &y, std::size_t l_d,
 
 } // namespace
 
+const char *
+symbolModelName(SymbolModel model)
+{
+    switch (model) {
+    case SymbolModel::OokRz:
+        return "ook-rz";
+    case SymbolModel::FixedGrid:
+        return "fixed-grid";
+    }
+    return "unknown";
+}
+
 double
 estimateBitPeriod(const std::vector<double> &y, const TimingConfig &config)
 {
+    validateConfig(config);
     if (y.size() < 2 * config.minLag + 16)
         return 0.0;
 

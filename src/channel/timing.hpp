@@ -22,6 +22,28 @@
 namespace emsc::channel {
 
 /**
+ * Symbol-timing model of the envelope handed to timing recovery.
+ *
+ * The edge-train estimator below is derived for the paper's RZ keying
+ * only: every bit opens with a rising activity burst, so the rise
+ * train is periodic at the signaling time. Synchronous modems (B-FSK,
+ * multi-level ASK) key a fixed symbol grid with no per-symbol rise —
+ * their envelopes used to be accepted silently and produced garbage
+ * timing. Declaring the model makes that mismatch a hard
+ * InvalidConfig instead: fixed-grid demodulators recover their symbol
+ * clock in the modem layer and must never reach this estimator.
+ */
+enum class SymbolModel {
+    /** Return-to-zero OOK: each bit opens with a rising edge. */
+    OokRz,
+    /** Synchronous fixed symbol grid (B-FSK, ML-ASK): no edge train. */
+    FixedGrid,
+};
+
+/** Human-readable name of a SymbolModel ("ook-rz", "fixed-grid"). */
+const char *symbolModelName(SymbolModel model);
+
+/**
  * Timing-recovery configuration.
  *
  * recoverTiming() validates the ratio fields up front and raises a
@@ -31,6 +53,12 @@ namespace emsc::channel {
  */
 struct TimingConfig
 {
+    /**
+     * Which symbol model produced the envelope. Both estimateBitPeriod
+     * and recoverTiming raise InvalidConfig for anything but OokRz —
+     * see SymbolModel.
+     */
+    SymbolModel symbolModel = SymbolModel::OokRz;
     /**
      * Edge kernel length l_d in (decimated) samples; 0 = derive
      * automatically from the envelope's autocorrelation.

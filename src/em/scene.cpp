@@ -130,26 +130,45 @@ applyInterfererOnsets(InterferenceEnvironment environment,
 }
 
 ReceptionPlan
-buildReceptionPlan(const SceneConfig &config,
-                   const std::vector<vrm::SwitchEvent> &events, TimeNs t0,
-                   TimeNs t1, Rng &rng)
+buildMultiReceptionPlan(const SceneConfig &config,
+                        const std::vector<EmitterStream> &emitters,
+                        TimeNs t0, TimeNs t1, Rng &rng)
 {
     if (t1 <= t0)
         raiseError(ErrorKind::MalformedInput,
                    "buildReceptionPlan: empty capture window");
+    if (emitters.empty())
+        raiseError(ErrorKind::InvalidConfig,
+                   "buildMultiReceptionPlan: no emitters");
     validateEnvironment(config.environment);
 
     ReceptionPlan plan;
-    double scale = config.emitterCoupling *
-                   config.path.amplitudeFactor() * config.antenna.gain;
-
-    plan.impulses.reserve(events.size());
-    for (const vrm::SwitchEvent &e : events) {
-        if (e.time < t0 || e.time >= t1)
-            continue;
-        plan.impulses.push_back(
-            FieldImpulse{e.time, e.amplitude * scale, e.width});
+    std::size_t total = 0;
+    for (const EmitterStream &em : emitters) {
+        if (em.events == nullptr)
+            raiseError(ErrorKind::InvalidConfig,
+                       "buildMultiReceptionPlan: emitter with no "
+                       "event stream");
+        total += em.events->size();
     }
+    plan.impulses.reserve(total);
+    for (const EmitterStream &em : emitters) {
+        double scale = em.emitterCoupling * em.path.amplitudeFactor() *
+                       config.antenna.gain;
+        for (const vrm::SwitchEvent &e : *em.events) {
+            if (e.time < t0 || e.time >= t1)
+                continue;
+            plan.impulses.push_back(
+                FieldImpulse{e.time, e.amplitude * scale, e.width});
+        }
+    }
+    // Merge the per-emitter streams (each already time-sorted) into
+    // one time-ordered stream; stable, so a single emitter's order —
+    // and thus buildReceptionPlan's output — is untouched.
+    std::stable_sort(plan.impulses.begin(), plan.impulses.end(),
+                     [](const FieldImpulse &a, const FieldImpulse &b) {
+                         return a.time < b.time;
+                     });
 
     // Interference reaches the antenna directly (its own path is folded
     // into the configured amplitudes) but still scales with antenna gain.
@@ -193,6 +212,18 @@ buildReceptionPlan(const SceneConfig &config,
 
     plan.noiseRms = config.antenna.noiseRms;
     return plan;
+}
+
+ReceptionPlan
+buildReceptionPlan(const SceneConfig &config,
+                   const std::vector<vrm::SwitchEvent> &events, TimeNs t0,
+                   TimeNs t1, Rng &rng)
+{
+    std::vector<EmitterStream> one(1);
+    one[0].emitterCoupling = config.emitterCoupling;
+    one[0].path = config.path;
+    one[0].events = &events;
+    return buildMultiReceptionPlan(config, one, t0, t1, rng);
 }
 
 double

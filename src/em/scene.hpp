@@ -75,6 +75,38 @@ ReceptionPlan buildReceptionPlan(const SceneConfig &config,
                                  TimeNs t0, TimeNs t1, Rng &rng);
 
 /**
+ * One transmitter's contribution to a multi-transmitter scene: its
+ * own coupling constant and propagation path (near/far geometry), and
+ * its VRM burst stream. The antenna and interference environment stay
+ * scene-wide properties of the SceneConfig.
+ */
+struct EmitterStream
+{
+    /** Device-specific coupling constant (see SceneConfig). */
+    double emitterCoupling = 1.0;
+    /** Path from this transmitter to the shared antenna. */
+    PropagationPath path;
+    /** This transmitter's switching bursts (borrowed, time-sorted). */
+    const std::vector<vrm::SwitchEvent> *events = nullptr;
+};
+
+/**
+ * Multi-transmitter variant of buildReceptionPlan(): several machines
+ * radiating into one antenna — a same-harmonic collision, FDM on
+ * distinct switching frequencies, or a near/far capture-effect scene.
+ * Each emitter's impulses are scaled by its own coupling x path
+ * (x the shared antenna gain) and the streams are merged in time
+ * order. Interference and noise are drawn once for the scene, with
+ * rng consumed exactly as the single-transmitter builder does. With
+ * one emitter the result is identical to buildReceptionPlan given the
+ * same base config, events and rng state.
+ */
+ReceptionPlan
+buildMultiReceptionPlan(const SceneConfig &config,
+                        const std::vector<EmitterStream> &emitters,
+                        TimeNs t0, TimeNs t1, Rng &rng);
+
+/**
  * Materialise a fault plan's InterfererOnset events as additional
  * impulsive interferers that switch on at the event start for its
  * duration — an appliance firing up mid-capture. Other fault kinds

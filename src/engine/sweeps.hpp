@@ -37,6 +37,15 @@ Sweep table4KeyloggingSweep();
  * pipeline (6 units: 5 dropout/gain rates + the harsh profile). */
 Sweep ablationFaultsSweep();
 
+/** Table III extension: throughput/BER per modulation scheme with a
+ * fixed rate ladder and the adaptive-rate controller (3 units, one
+ * per modem: ook-rz, bfsk, mlask4). */
+Sweep table3ModulationsSweep();
+
+/** Ablation: two-transmitter scenes — collision, FDM on f and 2f,
+ * near/far capture (3 units). */
+Sweep ablationCollisionSweep();
+
 /** Registered sweep names, in registry order. */
 std::vector<std::string> sweepNames();
 

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Binary FSK over the VRM switching frequency.
+ *
+ * Transmit side: every symbol period the modulator commands the buck
+ * controller to f0 = fsw*(1-dev) (space) or f1 = fsw*(1+dev) (mark)
+ * through the PMU's frequency plan, and keeps the core busy for most
+ * of the symbol so the line is actually radiating. Symbols sit on an
+ * absolute time grid (the attacker's analogue of an absolute-deadline
+ * timer loop), so OS jitter does not accumulate across the frame.
+ *
+ * Receive side: two sliding-DFT envelope banks track the mark and
+ * space lines; the normalised discriminator d = (y1-y0)/(y1+y0)
+ * swings to +-1 with the keyed line. The symbol grid offset is
+ * recovered by exhaustive search (the period is agreed, only the
+ * phase is unknown), maximising per-symbol discriminator decisiveness.
+ * Low-|d| symbols and symbols over detected corrupt spans become
+ * erasures for the frame parser rather than coin flips.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "channel/acquisition.hpp"
+#include "modem/fixed_grid.hpp"
+#include "modem/impl.hpp"
+#include "support/error.hpp"
+
+namespace emsc::modem::detail {
+
+namespace {
+
+/**
+ * Warm-up bits prepended to the frame: they pull the core to its
+ * fastest P-state before the sync word and, being alternating, merely
+ * extend the frame's alternating sync run as seen by the parser.
+ */
+constexpr std::uint8_t kWarmup[] = {1, 0, 1, 0};
+constexpr std::size_t kWarmupBits = 4;
+
+class BfskModulator final : public Modulator
+{
+  public:
+    BfskModulator(const BfskConfig &config, double fsw)
+        : cfg(config), f0(fsw * (1.0 - config.deviation)),
+          f1(fsw * (1.0 + config.deviation))
+    {
+        if (cfg.symbolPeriodUs <= 0.0 || cfg.deviation <= 0.0 ||
+            cfg.busyDuty <= 0.0 || cfg.busyDuty > 1.0)
+            raiseError(ErrorKind::InvalidConfig,
+                       "bfsk: symbolPeriodUs/deviation must be positive "
+                       "and busyDuty in (0, 1]");
+    }
+
+    ModemKind kind() const override { return ModemKind::Bfsk; }
+
+    double
+    nominalBitPeriodS(const cpu::OsModel &os) const override
+    {
+        (void)os;
+        return cfg.symbolPeriodUs * 1e-6;
+    }
+
+    std::size_t
+    symbolCount(std::size_t frame_bits) const override
+    {
+        return frame_bits + kWarmupBits;
+    }
+
+    void
+    start(sim::EventKernel &kernel, cpu::OsModel &os,
+          const channel::Bits &bits, TimeNs start,
+          std::function<void(TimeNs)> done) override
+    {
+        channel::Bits stream(kWarmup, kWarmup + kWarmupBits);
+        stream.insert(stream.end(), bits.begin(), bits.end());
+
+        auto period = static_cast<TimeNs>(
+            std::llround(cfg.symbolPeriodUs * 1e3));
+        double freq = os.cpu().config().pstates.fastest().frequency;
+        auto cycles = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(cfg.busyDuty *
+                                          cfg.symbolPeriodUs * 1e-6 *
+                                          freq));
+
+        plan.emplace(0.0);
+        for (std::size_t k = 0; k < stream.size(); ++k) {
+            TimeNs at = start + static_cast<TimeNs>(k) * period;
+            plan->set(at, stream[k] ? f1 : f0);
+            kernel.scheduleAt(at, [&os, cycles] {
+                os.runBusyCycles(cycles, [] {});
+            });
+        }
+        TimeNs end =
+            start + static_cast<TimeNs>(stream.size()) * period;
+        plan->set(end, 0.0);
+        kernel.scheduleAt(end, [&kernel, done = std::move(done)] {
+            done(kernel.now());
+        });
+    }
+
+    const sim::Timeline<Hertz> *
+    frequencyPlan() const override
+    {
+        return plan ? &*plan : nullptr;
+    }
+
+  private:
+    BfskConfig cfg;
+    double f0;
+    double f1;
+    std::optional<sim::Timeline<Hertz>> plan;
+};
+
+class BfskDemodulator final : public Demodulator
+{
+  public:
+    BfskDemodulator(const ModemConfig &config,
+                    const channel::ReceiverConfig &receiver, double fsw)
+        : cfg(config.bfsk), frame(receiver.frame),
+          markErasures(config.markFaultErasures),
+          f0(fsw * (1.0 - config.bfsk.deviation)),
+          f1(fsw * (1.0 + config.bfsk.deviation))
+    {
+    }
+
+    ModemKind kind() const override { return ModemKind::Bfsk; }
+
+    DemodResult
+    demodulate(const sdr::IqCapture &capture) override
+    {
+        Banks banks(*this, capture.sampleRate, capture.centerFrequency);
+        banks.feed(capture.samples);
+        return decide(banks);
+    }
+
+    DemodResult
+    demodulateStream(stream::ChunkSource &source) override
+    {
+        Banks banks(*this, source.sampleRate(),
+                    source.centerFrequency());
+        stream::IqChunk chunk;
+        while (source.next(chunk))
+            banks.feed(chunk.samples);
+        return decide(banks);
+    }
+
+  private:
+    /** The incremental state both entry points feed identically. */
+    struct Banks
+    {
+        static channel::AcquisitionConfig
+        acqFor(const BfskDemodulator &d)
+        {
+            channel::AcquisitionConfig acq;
+            acq.window = d.cfg.window;
+            acq.decimation = d.cfg.decimation;
+            acq.harmonics = 1;
+            return acq;
+        }
+
+        Banks(const BfskDemodulator &d, double sample_rate,
+              double center_freq)
+            : sampleRate(sample_rate),
+              space(d.f0, center_freq, sample_rate, acqFor(d)),
+              mark(d.f1, center_freq, sample_rate, acqFor(d))
+        {
+        }
+
+        void
+        feed(const std::vector<sdr::IqSample> &samples)
+        {
+            space.feed(samples);
+            mark.feed(samples);
+            scanner.feed(samples);
+        }
+
+        double sampleRate;
+        channel::StreamingAcquirer space;
+        channel::StreamingAcquirer mark;
+        FaultSpanScanner scanner;
+    };
+
+    DemodResult
+    decide(Banks &banks)
+    {
+        DemodResult out;
+        out.kind = ModemKind::Bfsk;
+        out.carrierHz = f1;
+        out.symbolRateHz = 1e6 / cfg.symbolPeriodUs;
+        try {
+            decideImpl(banks, out);
+        } catch (const RecoverableError &e) {
+            out.failure = e.toError();
+        }
+        return out;
+    }
+
+    void
+    decideImpl(Banks &banks, DemodResult &out)
+    {
+        const std::vector<double> &y0 = banks.space.envelope();
+        const std::vector<double> &y1 = banks.mark.envelope();
+        std::size_t n = std::min(y0.size(), y1.size());
+        auto spans = banks.scanner.finish();
+        out.corruptSpans = spans.size();
+
+        double dec_rate =
+            banks.sampleRate / static_cast<double>(cfg.decimation);
+        double period = cfg.symbolPeriodUs * 1e-6 * dec_rate;
+        if (static_cast<double>(n) < 4.0 * period)
+            raiseError(ErrorKind::InsufficientData,
+                       "bfsk: capture too short (%zu envelope samples "
+                       "for a %g-sample symbol)", n, period);
+
+        std::vector<double> s(n), d(n);
+        for (std::size_t i = 0; i < n; ++i)
+            s[i] = y0[i] + y1[i];
+        double eps = 1e-6 * percentile(s, 0.9) + 1e-30;
+        for (std::size_t i = 0; i < n; ++i)
+            d[i] = (y1[i] - y0[i]) / (s[i] + eps);
+
+        // Active span: where either keyed line carries energy. The
+        // nominal-frequency background (idle gaps, other processes)
+        // lands bins away from both lines and stays below threshold.
+        double thr = 0.3 * percentile(s, 0.9);
+        std::size_t a0 = n, a1 = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (s[i] > thr) {
+                if (a0 == n)
+                    a0 = i;
+                a1 = i;
+            }
+        }
+        if (a0 == n || static_cast<double>(a1 - a0) < period)
+            raiseError(ErrorKind::InsufficientData,
+                       "bfsk: no keyed activity above the noise floor");
+
+        PrefixSum pd(d);
+        // Measurement window per symbol: skip the DFT ramp-in at the
+        // symbol start and the idle tail at its end.
+        auto win = [&](double a, std::size_t &w0, std::size_t &w1) {
+            w0 = static_cast<std::size_t>(
+                std::llround(a + 0.35 * period));
+            w1 = static_cast<std::size_t>(
+                std::llround(a + 0.90 * period));
+        };
+
+        std::size_t end = std::min(
+            n - 1, a1 + static_cast<std::size_t>(period));
+        SymbolGrid grid = searchGridOffset(
+            a0, end, period, [&](const SymbolGrid &g) {
+                double acc = 0.0;
+                for (std::size_t k = 0; k < g.count; ++k) {
+                    std::size_t w0, w1;
+                    win(g.start(k), w0, w1);
+                    acc += std::fabs(pd.mean(w0, w1));
+                }
+                return acc / static_cast<double>(g.count);
+            });
+        if (grid.count == 0)
+            raiseError(ErrorKind::InsufficientData,
+                       "bfsk: no symbol grid fits the active span");
+
+        std::vector<std::uint8_t> bad =
+            markCorruptEnvelope(spans, n, cfg.decimation, cfg.window);
+        std::vector<double> badf(bad.begin(), bad.end());
+        PrefixSum pbad(badf);
+
+        out.bits.reserve(grid.count);
+        out.erasures.assign(grid.count, 0);
+        bool any_erased = false;
+        for (std::size_t k = 0; k < grid.count; ++k) {
+            double a = grid.start(k);
+            std::size_t w0, w1;
+            win(a, w0, w1);
+            double md = pd.mean(w0, w1);
+            out.bits.push_back(md > 0.0 ? 1 : 0);
+            bool erase = std::fabs(md) < cfg.erasureMargin;
+            if (markErasures && !erase) {
+                auto b0 = static_cast<std::size_t>(std::floor(a));
+                auto b1 = static_cast<std::size_t>(
+                    std::ceil(a + period));
+                erase = pbad.sum(b0, b1) > 0.0;
+            }
+            if (erase) {
+                out.erasures[k] = 1;
+                any_erased = true;
+                ++out.erasedSymbols;
+            }
+        }
+        out.symbolsDecoded = grid.count;
+
+        out.frame = any_erased
+                        ? channel::parseFrame(out.bits, out.erasures,
+                                              frame)
+                        : channel::parseFrame(out.bits, frame);
+        if (!any_erased)
+            out.erasures.clear();
+    }
+
+    BfskConfig cfg;
+    channel::FrameConfig frame;
+    bool markErasures;
+    double f0;
+    double f1;
+};
+
+} // namespace
+
+std::unique_ptr<Modulator>
+makeBfskModulator(const ModemConfig &config, double switch_frequency_hz)
+{
+    return std::make_unique<BfskModulator>(config.bfsk,
+                                           switch_frequency_hz);
+}
+
+std::unique_ptr<Demodulator>
+makeBfskDemodulator(const ModemConfig &config,
+                    const channel::ReceiverConfig &receiver,
+                    double switch_frequency_hz)
+{
+    return std::make_unique<BfskDemodulator>(config, receiver,
+                                             switch_frequency_hz);
+}
+
+} // namespace emsc::modem::detail

@@ -1,0 +1,114 @@
+#include "modem/fixed_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace emsc::modem::detail {
+
+void
+FaultSpanScanner::closeRun(std::size_t run, std::size_t min_run)
+{
+    if (run >= min_run)
+        spans.emplace_back(pos - run, pos);
+}
+
+void
+FaultSpanScanner::feed(const std::vector<sdr::IqSample> &samples)
+{
+    for (const sdr::IqSample &s : samples) {
+        double mag = std::max(std::abs(s.real()), std::abs(s.imag()));
+        if (mag <= cfg.deadLevel) {
+            ++deadRun;
+        } else {
+            closeRun(deadRun, cfg.minDeadRun);
+            deadRun = 0;
+        }
+        if (mag >= cfg.clipLevel) {
+            ++clipRun;
+        } else {
+            closeRun(clipRun, cfg.minClipRun);
+            clipRun = 0;
+        }
+        ++pos;
+    }
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+FaultSpanScanner::finish()
+{
+    closeRun(deadRun, cfg.minDeadRun);
+    deadRun = 0;
+    closeRun(clipRun, cfg.minClipRun);
+    clipRun = 0;
+
+    std::sort(spans.begin(), spans.end());
+    std::vector<std::pair<std::size_t, std::size_t>> merged;
+    for (const auto &[b, e] : spans) {
+        if (!merged.empty() && b <= merged.back().second + cfg.mergeGap)
+            merged.back().second = std::max(merged.back().second, e);
+        else
+            merged.emplace_back(b, e);
+    }
+    spans.clear();
+    return merged;
+}
+
+PrefixSum::PrefixSum(const std::vector<double> &x) : ps(x.size() + 1, 0.0)
+{
+    for (std::size_t i = 0; i < x.size(); ++i)
+        ps[i + 1] = ps[i] + x[i];
+}
+
+double
+PrefixSum::sum(std::size_t a, std::size_t b) const
+{
+    a = std::min(a, ps.size() - 1);
+    b = std::min(b, ps.size() - 1);
+    if (b <= a)
+        return 0.0;
+    return ps[b] - ps[a];
+}
+
+double
+PrefixSum::mean(std::size_t a, std::size_t b) const
+{
+    a = std::min(a, ps.size() - 1);
+    b = std::min(b, ps.size() - 1);
+    if (b <= a)
+        return 0.0;
+    return (ps[b] - ps[a]) / static_cast<double>(b - a);
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(xs.size() - 1) + 0.5);
+    std::nth_element(xs.begin(),
+                     xs.begin() + static_cast<std::ptrdiff_t>(idx),
+                     xs.end());
+    return xs[idx];
+}
+
+std::vector<std::uint8_t>
+markCorruptEnvelope(
+    const std::vector<std::pair<std::size_t, std::size_t>> &spans,
+    std::size_t envelope_len, std::size_t decimation, std::size_t window)
+{
+    std::vector<std::uint8_t> bad(envelope_len, 0);
+    if (decimation == 0)
+        return bad;
+    for (const auto &[r0, r1] : spans) {
+        std::size_t jlo = (r0 + decimation - 1) / decimation;
+        std::size_t jhi = (r1 + window) / decimation + 1;
+        for (std::size_t j = jlo; j < std::min(jhi, envelope_len); ++j)
+            bad[j] = 1;
+    }
+    return bad;
+}
+
+} // namespace emsc::modem::detail

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Shared machinery for the fixed-symbol-grid demodulators (B-FSK,
+ * ML-ASK): incremental corrupt-span scanning, prefix-sum windows over
+ * the decimated envelope, and the exhaustive grid-offset search.
+ *
+ * Internal to the modem library.
+ */
+
+#ifndef EMSC_MODEM_FIXED_GRID_HPP
+#define EMSC_MODEM_FIXED_GRID_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sdr/iq.hpp"
+
+namespace emsc::modem::detail {
+
+/** Raw-sample corrupt-span detector thresholds. */
+struct SpanScannerConfig
+{
+    /** max(|I|,|Q|) at or below this counts as a dead sample. */
+    double deadLevel = 0.02;
+    /** Dead runs shorter than this many raw samples are ignored. */
+    std::size_t minDeadRun = 192;
+    /** max(|I|,|Q|) at or above this counts as clipped. */
+    double clipLevel = 0.97;
+    /** Clip runs shorter than this many raw samples are ignored. */
+    std::size_t minClipRun = 8;
+    /** Spans closer than this many raw samples are merged. */
+    std::size_t mergeGap = 1024;
+};
+
+/**
+ * Incremental dropout/saturation span scanner. Run state carries
+ * across feed() calls, so chunked and whole-capture scans of the same
+ * samples produce identical spans — the property the batch/streaming
+ * decode-equality guarantee rests on.
+ */
+class FaultSpanScanner
+{
+  public:
+    explicit FaultSpanScanner(const SpanScannerConfig &config = {})
+        : cfg(config)
+    {
+    }
+
+    /** Scan the next contiguous chunk of raw samples. */
+    void feed(const std::vector<sdr::IqSample> &samples);
+
+    /** Close open runs and return merged spans [begin, end). */
+    std::vector<std::pair<std::size_t, std::size_t>> finish();
+
+  private:
+    void closeRun(std::size_t run, std::size_t min_run);
+
+    SpanScannerConfig cfg;
+    std::size_t pos = 0;
+    std::size_t deadRun = 0;
+    std::size_t clipRun = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+};
+
+/** Prefix sums for O(1) window means over an envelope. */
+class PrefixSum
+{
+  public:
+    explicit PrefixSum(const std::vector<double> &x);
+
+    /** Sum over [a, b) with indices clamped to the data. */
+    double sum(std::size_t a, std::size_t b) const;
+
+    /** Mean over [a, b); 0 when the window is empty. */
+    double mean(std::size_t a, std::size_t b) const;
+
+    std::size_t size() const { return ps.size() - 1; }
+
+  private:
+    std::vector<double> ps;
+};
+
+/** p-th percentile (0..1) of a vector; 0 when empty. */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Mark decimated-envelope samples affected by raw corrupt spans.
+ * Envelope sample j summarises the trailing `window` raw samples
+ * ending at j*decimation, so a raw span [r0, r1) touches every j with
+ * j*decimation in [r0, r1 + window).
+ */
+std::vector<std::uint8_t>
+markCorruptEnvelope(const std::vector<std::pair<std::size_t, std::size_t>> &spans,
+                    std::size_t envelope_len, std::size_t decimation,
+                    std::size_t window);
+
+/** A symbol grid on the decimated envelope. */
+struct SymbolGrid
+{
+    /** Envelope index of the first symbol's start. */
+    double firstStart = 0.0;
+    /** Symbol period in envelope samples (not necessarily integer). */
+    double periodSamples = 0.0;
+    /** Number of whole symbols on the grid. */
+    std::size_t count = 0;
+
+    double start(std::size_t k) const
+    {
+        return firstStart + static_cast<double>(k) * periodSamples;
+    }
+};
+
+/**
+ * Exhaustive symbol-grid offset search. Tries every integer offset in
+ * [-P, P) around `active_begin`, keeps whole symbols inside
+ * [active_begin, active_end], and returns the grid maximising
+ * `score(grid)` (higher is better). `score` is called once per
+ * candidate with at least one symbol; count==0 grids are skipped.
+ */
+template <typename ScoreFn>
+SymbolGrid
+searchGridOffset(std::size_t active_begin, std::size_t active_end,
+                 double period_samples, ScoreFn &&score)
+{
+    SymbolGrid best;
+    double best_score = 0.0;
+    bool have = false;
+    auto p = static_cast<long long>(period_samples);
+    if (p < 1)
+        p = 1;
+    for (long long off = -p; off < p; ++off) {
+        double first =
+            static_cast<double>(active_begin) + static_cast<double>(off);
+        if (first < 0.0)
+            continue;
+        double span = static_cast<double>(active_end) - first;
+        if (span < period_samples)
+            continue;
+        SymbolGrid grid;
+        grid.firstStart = first;
+        grid.periodSamples = period_samples;
+        grid.count = static_cast<std::size_t>(span / period_samples);
+        double s = score(grid);
+        if (!have || s > best_score) {
+            have = true;
+            best_score = s;
+            best = grid;
+        }
+    }
+    return best;
+}
+
+} // namespace emsc::modem::detail
+
+#endif // EMSC_MODEM_FIXED_GRID_HPP

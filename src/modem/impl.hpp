@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Internal per-modem factory hooks wired together by modem.cpp.
+ */
+
+#ifndef EMSC_MODEM_IMPL_HPP
+#define EMSC_MODEM_IMPL_HPP
+
+#include <memory>
+
+#include "modem/modem.hpp"
+
+namespace emsc::modem::detail {
+
+std::unique_ptr<Modulator> makeOokRzModulator(const ModemConfig &config);
+std::unique_ptr<Demodulator>
+makeOokRzDemodulator(const ModemConfig &config,
+                     const channel::ReceiverConfig &receiver);
+
+std::unique_ptr<Modulator> makeBfskModulator(const ModemConfig &config,
+                                             double switch_frequency_hz);
+std::unique_ptr<Demodulator>
+makeBfskDemodulator(const ModemConfig &config,
+                    const channel::ReceiverConfig &receiver,
+                    double switch_frequency_hz);
+
+std::unique_ptr<Modulator> makeMlaskModulator(const ModemConfig &config,
+                                              double switch_frequency_hz);
+std::unique_ptr<Demodulator>
+makeMlaskDemodulator(const ModemConfig &config,
+                     const channel::ReceiverConfig &receiver,
+                     double switch_frequency_hz);
+
+} // namespace emsc::modem::detail
+
+#endif // EMSC_MODEM_IMPL_HPP

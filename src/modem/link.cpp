@@ -1,0 +1,277 @@
+#include "modem/link.hpp"
+
+#include <algorithm>
+
+#include "channel/metrics.hpp"
+#include "cpu/os.hpp"
+#include "em/scene.hpp"
+#include "sim/kernel.hpp"
+#include "stream/chunk.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "support/telemetry.hpp"
+#include "support/thread_pool.hpp"
+#include "vrm/pmu.hpp"
+
+namespace emsc::modem {
+
+namespace {
+
+/** Lead-in of system idle time before the transmitter starts. */
+constexpr TimeNs kLeadIn = 5 * kMillisecond;
+
+channel::Bits
+randomPayload(std::size_t nbits, Rng &rng)
+{
+    channel::Bits bits(nbits);
+    for (auto &b : bits)
+        b = rng.chance(0.5) ? 1 : 0;
+    return bits;
+}
+
+} // namespace
+
+ModemCapture
+buildModemCapture(const core::DeviceProfile &device,
+                  const core::MeasurementSetup &setup,
+                  const ModemLinkOptions &options)
+{
+    // Same master/fork discipline as core::runCovertChannel so seeded
+    // modem runs reproduce independently of modem kind.
+    Rng master(options.seed);
+    Rng rng_payload = master.fork();
+    Rng rng_os = master.fork();
+    Rng rng_vrm = master.fork();
+    Rng rng_em = master.fork();
+    Rng rng_sdr = master.fork();
+
+    ModemCapture out;
+    out.switchingFrequency = device.buck.switchFrequency;
+    out.payload = options.payload.empty()
+                      ? randomPayload(options.payloadBits, rng_payload)
+                      : options.payload;
+    out.frameBits =
+        channel::buildFrame(out.payload, options.receiver.frame);
+
+    sim::EventKernel kernel;
+    cpu::CpuCore core(kernel, device.core);
+    cpu::OsModel os(kernel, core, device.os, rng_os);
+
+    ModemConfig modem_cfg = options.modem;
+    modem_cfg.ook.sleepPeriodUs = options.sleepPeriodUs > 0.0
+                                      ? options.sleepPeriodUs
+                                      : device.defaultSleepUs;
+    std::unique_ptr<Modulator> mod =
+        makeModulator(modem_cfg, device.buck.switchFrequency);
+    out.symbolsSent = mod->symbolCount(out.frameBits.size());
+
+    double est_bit = mod->nominalBitPeriodS(os);
+    TimeNs horizon =
+        kLeadIn +
+        fromSeconds(est_bit *
+                    static_cast<double>(out.frameBits.size()) * 3.0) +
+        kSecond;
+
+    sim::FaultPlan faults;
+    if (options.faults.active()) {
+        sim::FaultConfig fault_cfg = options.faults;
+        if (fault_cfg.seed == 0)
+            fault_cfg.seed = deriveSeed(options.seed, 0x464155ull);
+        faults = sim::buildFaultPlan(fault_cfg, 0, horizon);
+        out.faultEvents = faults.events.size();
+        os.schedulePreemptions(faults);
+    }
+
+    if (options.backgroundActivity) {
+        os.setBackgroundIntensity(options.backgroundIntensity);
+        os.startBackgroundActivity(horizon);
+    }
+
+    bool done = false;
+    TimeNs tx_end = 0;
+    mod->start(kernel, os, out.frameBits, kLeadIn, [&](TimeNs end) {
+        done = true;
+        tx_end = end;
+    });
+
+    while (!done && kernel.now() < horizon)
+        kernel.runUntil(kernel.now() + 10 * kMillisecond);
+    if (!done) {
+        warn("modem transmission did not finish within the horizon");
+        tx_end = kernel.now();
+    }
+
+    out.txStart = mod->txStart(kLeadIn);
+    out.txEnd = tx_end;
+    out.elapsedS = toSeconds(tx_end - out.txStart);
+
+    TimeNs margin = fromSeconds(options.captureMarginS);
+    TimeNs t0 = std::max<TimeNs>(0, out.txStart - margin);
+    TimeNs t1 = tx_end + margin;
+
+    vrm::Pmu pmu(core, device.buck, rng_vrm);
+    if (const sim::Timeline<Hertz> *plan = mod->frequencyPlan())
+        pmu.setFrequencyPlan(*plan);
+    std::vector<vrm::SwitchEvent> events = pmu.switchingEvents(t0, t1);
+
+    em::SceneConfig scene = makeScene(device.emitterCoupling, setup);
+    if (faults.countOf(sim::FaultKind::InterfererOnset) > 0)
+        scene.environment =
+            em::applyInterfererOnsets(scene.environment, faults);
+    em::ReceptionPlan plan =
+        em::buildReceptionPlan(scene, events, t0, t1, rng_em);
+
+    sdr::SdrConfig sdr_cfg = options.sdr;
+    if (options.autoTune)
+        sdr_cfg.centerFrequency = 1.5 * device.buck.switchFrequency;
+    sdr::RtlSdr radio(sdr_cfg, rng_sdr);
+    out.capture =
+        radio.capture(plan, t0, t1, faults.empty() ? nullptr : &faults);
+    return out;
+}
+
+namespace {
+
+ModemLinkResult
+runModemLinkImpl(const core::DeviceProfile &device,
+                 const core::MeasurementSetup &setup,
+                 const ModemLinkOptions &options)
+{
+    ModemLinkResult result;
+    result.kind = options.modem.kind;
+
+    ModemCapture cap = buildModemCapture(device, setup, options);
+    result.payloadBits = cap.payload.size();
+    result.channelBits = cap.frameBits.size();
+    result.symbolsSent = cap.symbolsSent;
+    result.faultEvents = cap.faultEvents;
+    result.elapsedS = cap.elapsedS;
+    if (result.elapsedS > 0.0) {
+        result.trBps = static_cast<double>(cap.frameBits.size()) /
+                       result.elapsedS;
+        result.trPayloadBps =
+            static_cast<double>(cap.payload.size()) / result.elapsedS;
+    }
+
+    std::unique_ptr<Demodulator> demod = makeDemodulator(
+        options.modem, options.receiver, device.buck.switchFrequency);
+    DemodResult rx;
+    if (options.streamingDecode) {
+        stream::MemoryChunkSource source(cap.capture,
+                                         options.streamChunkSamples);
+        rx = demod->demodulateStream(source);
+    } else {
+        rx = demod->demodulate(cap.capture);
+    }
+
+    result.carrierHz = rx.carrierHz;
+    result.frameFound = rx.frame.found;
+    result.symbolsDecoded = rx.symbolsDecoded;
+    result.erasedSymbols = rx.erasedSymbols;
+    result.corruptSpans = rx.corruptSpans;
+    result.crcOk = rx.frame.crcOk;
+    result.integrity = rx.frame.integrity;
+    result.decodedPayload = rx.frame.payload;
+    if (!rx.ok()) {
+        result.failure = rx.failure;
+        return result;
+    }
+    if (!rx.frame.found)
+        return result;
+
+    const channel::FrameConfig &fc = options.receiver.frame;
+    std::size_t prefix = fc.syncBits + fc.zeroBits + fc.preamble.size();
+    channel::Bits tx_body(cap.frameBits.begin() +
+                              static_cast<std::ptrdiff_t>(prefix),
+                          cap.frameBits.end());
+    channel::Bits rx_tail(
+        rx.bits.begin() + static_cast<std::ptrdiff_t>(std::min(
+                              rx.frame.payloadStart, rx.bits.size())),
+        rx.bits.end());
+    channel::AlignmentCounts counts =
+        channel::alignBitsSemiGlobal(tx_body, rx_tail);
+    result.ber = counts.errorRate();
+    result.insertionProb = counts.insertionRate();
+    result.deletionProb = counts.deletionRate();
+    // Symbol-error estimate from bit substitutions: one decision per
+    // bit for the binary modems, one per bit pair for mlask4.
+    result.symbolErrors = options.modem.kind == ModemKind::Mlask4
+                              ? (counts.substitutions + 1) / 2
+                              : counts.substitutions;
+
+    channel::AlignmentCounts pcounts =
+        channel::alignBits(cap.payload, rx.frame.payload);
+    result.berPayload =
+        (static_cast<double>(pcounts.substitutions) +
+         static_cast<double>(pcounts.insertions) +
+         static_cast<double>(pcounts.deletions)) /
+        static_cast<double>(cap.payload.size());
+    return result;
+}
+
+/** Per-modem symbol counters under the documented metric names. */
+void
+publishModemTelemetry(const ModemLinkResult &result)
+{
+    telemetry::MetricsRegistry &reg = telemetry::MetricsRegistry::global();
+    static telemetry::Counter runs(reg, "modem.runs");
+    static telemetry::Counter framesFound(reg, "modem.frames_found");
+    static telemetry::Counter failedRuns(reg, "modem.failed_runs");
+    static telemetry::Counter ookSymbols(reg, "modem.ook-rz.symbols");
+    static telemetry::Counter ookErrors(reg,
+                                        "modem.ook-rz.symbol_errors");
+    static telemetry::Counter bfskSymbols(reg, "modem.bfsk.symbols");
+    static telemetry::Counter bfskErrors(reg,
+                                         "modem.bfsk.symbol_errors");
+    static telemetry::Counter mlaskSymbols(reg, "modem.mlask4.symbols");
+    static telemetry::Counter mlaskErrors(reg,
+                                          "modem.mlask4.symbol_errors");
+    if (!reg.enabled())
+        return;
+    runs.add();
+    if (result.frameFound)
+        framesFound.add();
+    if (result.failure)
+        failedRuns.add();
+    telemetry::Counter *symbols = nullptr;
+    telemetry::Counter *errors = nullptr;
+    switch (result.kind) {
+    case ModemKind::OokRz:
+        symbols = &ookSymbols;
+        errors = &ookErrors;
+        break;
+    case ModemKind::Bfsk:
+        symbols = &bfskSymbols;
+        errors = &bfskErrors;
+        break;
+    case ModemKind::Mlask4:
+        symbols = &mlaskSymbols;
+        errors = &mlaskErrors;
+        break;
+    }
+    if (symbols != nullptr) {
+        symbols->add(result.symbolsDecoded);
+        errors->add(result.symbolErrors);
+    }
+}
+
+} // namespace
+
+ModemLinkResult
+runModemLink(const core::DeviceProfile &device,
+             const core::MeasurementSetup &setup,
+             const ModemLinkOptions &options)
+{
+    telemetry::TraceSpan span("modem.link_run");
+    ModemLinkResult result;
+    result.kind = options.modem.kind;
+    try {
+        result = runModemLinkImpl(device, setup, options);
+    } catch (const RecoverableError &e) {
+        result.failure = e.toError();
+    }
+    publishModemTelemetry(result);
+    return result;
+}
+
+} // namespace emsc::modem

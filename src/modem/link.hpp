@@ -1,0 +1,120 @@
+/**
+ * @file
+ * End-to-end covert-channel runs through the modem abstraction: the
+ * modem-generic counterpart of core::runCovertChannel(). One options
+ * struct drives transmitter scheduling, fault injection, EM scene
+ * assembly, SDR capture and demodulation for any registered modem,
+ * with the same seeding discipline as the legacy driver (one master
+ * RNG, fixed fork order) so runs are reproducible across machines.
+ */
+
+#ifndef EMSC_MODEM_LINK_HPP
+#define EMSC_MODEM_LINK_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "channel/coding.hpp"
+#include "channel/receiver.hpp"
+#include "core/device.hpp"
+#include "core/setup.hpp"
+#include "modem/modem.hpp"
+#include "sdr/rtlsdr.hpp"
+#include "sim/faults.hpp"
+#include "support/error.hpp"
+
+namespace emsc::modem {
+
+/** Options for one modem link run. */
+struct ModemLinkOptions
+{
+    ModemConfig modem;
+    /** Random payload length when payload is empty. */
+    std::size_t payloadBits = 256;
+    channel::Bits payload;
+    std::uint64_t seed = 1;
+    /** OOK-RZ rate knob (us); 0 = the device's default. */
+    double sleepPeriodUs = 0.0;
+    bool backgroundActivity = true;
+    double backgroundIntensity = 1.0;
+    double captureMarginS = 0.02;
+    /** Frame format (all modems) + full pipeline config (OOK). */
+    channel::ReceiverConfig receiver;
+    sdr::SdrConfig sdr;
+    /** Center the SDR so the relevant lines fall in band. */
+    bool autoTune = true;
+    sim::FaultConfig faults;
+    /** Decode via the chunked entry point instead of whole-capture. */
+    bool streamingDecode = false;
+    std::size_t streamChunkSamples = 1 << 15;
+};
+
+/** The transmit+capture half of a link run (demodulation not yet run). */
+struct ModemCapture
+{
+    sdr::IqCapture capture;
+    channel::Bits payload;
+    channel::Bits frameBits;
+    TimeNs txStart = 0;
+    TimeNs txEnd = 0;
+    double elapsedS = 0.0;
+    std::size_t symbolsSent = 0;
+    std::size_t faultEvents = 0;
+    double switchingFrequency = 0.0;
+};
+
+/**
+ * Run the transmitter simulation and synthesise the capture for a
+ * modem link, without demodulating. Shared by runModemLink(), the
+ * round-trip tests and the demodulation benchmarks (which want a
+ * fixed capture to decode repeatedly). May throw RecoverableError.
+ */
+ModemCapture buildModemCapture(const core::DeviceProfile &device,
+                               const core::MeasurementSetup &setup,
+                               const ModemLinkOptions &options);
+
+/** Outcome of one modem link run. */
+struct ModemLinkResult
+{
+    ModemKind kind = ModemKind::OokRz;
+    bool frameFound = false;
+    /** Channel-bit error rates from semi-global alignment. */
+    double ber = 0.0;
+    double insertionProb = 0.0;
+    double deletionProb = 0.0;
+    /** Payload-level error rate (subs+ins+del over payload bits). */
+    double berPayload = 0.0;
+    double trBps = 0.0;
+    double trPayloadBps = 0.0;
+    double elapsedS = 0.0;
+    double carrierHz = 0.0;
+    std::size_t payloadBits = 0;
+    std::size_t channelBits = 0;
+    std::size_t symbolsSent = 0;
+    std::size_t symbolsDecoded = 0;
+    /** Channel-symbol substitution count from the alignment. */
+    std::size_t symbolErrors = 0;
+    std::size_t erasedSymbols = 0;
+    std::size_t corruptSpans = 0;
+    std::size_t faultEvents = 0;
+    bool crcOk = false;
+    channel::FrameIntegrity integrity = channel::FrameIntegrity::None;
+    channel::Bits decodedPayload;
+    std::optional<Error> failure;
+
+    bool ok() const { return !failure.has_value(); }
+};
+
+/**
+ * One full link run: modulate, propagate, capture, demodulate,
+ * score. Never terminates the process; recoverable errors land in
+ * result.failure. Publishes modem.<name>.symbols and
+ * modem.<name>.symbol_errors telemetry.
+ */
+ModemLinkResult runModemLink(const core::DeviceProfile &device,
+                             const core::MeasurementSetup &setup,
+                             const ModemLinkOptions &options);
+
+} // namespace emsc::modem
+
+#endif // EMSC_MODEM_LINK_HPP

@@ -1,0 +1,646 @@
+/**
+ * @file
+ * Four-level amplitude-shift keying over graded throttling states.
+ *
+ * Transmit side: each symbol period the modulator burns a busy loop
+ * sized to one of four duty fractions; the time-averaged envelope at
+ * the switching line scales with the duty, giving four
+ * distinguishable amplitude levels. Levels carry Gray-coded bit pairs
+ * so a one-level decision error costs one bit, not two. A training
+ * prefix of descending level ramps lets the receiver recover the
+ * per-level decision thresholds without knowing the channel gain (and
+ * its leading full-duty symbols warm the P-state governor up).
+ *
+ * Receive side: a single sliding-DFT envelope bank at the switching
+ * line; symbol grid phase by exhaustive offset search scoring each
+ * candidate with a shape-matched correlation: every symbol is split
+ * into early/late half-window means and matched against the expected
+ * busy-run occupancy of each level (the busy run starts at the symbol
+ * boundary and is stretched by the trailing-window DFT smear), so the
+ * scorer peaks only where the windows actually contain the symbol's
+ * energy — a plain whole-symbol-mean correlation is flat across the
+ * onset-delay/smear band because the periodic training ramp still
+ * orders its levels under a shifted grid while random data symbols
+ * inherit the previous symbol's smear. The training ramp is located
+ * by the same shape-matched correlation against the [3,2,1,0]xN
+ * pattern; the
+ * labelled training symbols give the four level centroids directly
+ * (background bursts around the transmission would otherwise pollute a
+ * blind clustering), thresholds are the inter-centroid midpoints, and
+ * symbols over detected corrupt spans erase both of their bits.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "channel/acquisition.hpp"
+#include "modem/fixed_grid.hpp"
+#include "modem/impl.hpp"
+#include "support/error.hpp"
+
+namespace emsc::modem::detail {
+
+namespace {
+
+constexpr std::size_t kLevels = 4;
+
+/** Gray code of a 2-bit value (level index <- bit pair). */
+inline std::size_t
+grayEncode(std::size_t p)
+{
+    return p ^ (p >> 1);
+}
+
+/** Inverse Gray code of a 2-bit value (bit pair <- level index). */
+inline std::size_t
+grayDecode(std::size_t g)
+{
+    std::size_t hi = (g >> 1) & 1;
+    std::size_t lo = (g & 1) ^ hi;
+    return (hi << 1) | lo;
+}
+
+/** Symbol levels for a frame: training ramps then Gray-coded pairs. */
+std::vector<std::size_t>
+symbolLevels(const channel::Bits &bits, std::size_t training_repeats)
+{
+    std::vector<std::size_t> levels;
+    levels.reserve(training_repeats * kLevels + bits.size() / 2 + 1);
+    for (std::size_t r = 0; r < training_repeats; ++r)
+        for (std::size_t l = kLevels; l-- > 0;)
+            levels.push_back(l);
+    for (std::size_t i = 0; i < bits.size(); i += 2) {
+        std::size_t hi = bits[i];
+        std::size_t lo = i + 1 < bits.size() ? bits[i + 1] : 0;
+        levels.push_back(grayEncode((hi << 1) | lo));
+    }
+    return levels;
+}
+
+class MlaskModulator final : public Modulator
+{
+  public:
+    MlaskModulator(const MlaskConfig &config, double fsw) : cfg(config)
+    {
+        (void)fsw;
+        if (cfg.symbolPeriodUs <= 0.0)
+            raiseError(ErrorKind::InvalidConfig,
+                       "mlask4: symbolPeriodUs must be positive");
+        for (std::size_t l = 1; l < kLevels; ++l)
+            if (cfg.dutyLevels[l] <= cfg.dutyLevels[l - 1])
+                raiseError(ErrorKind::InvalidConfig,
+                           "mlask4: dutyLevels must be strictly "
+                           "ascending");
+        if (cfg.dutyLevels.front() <= 0.0 || cfg.dutyLevels.back() > 1.0)
+            raiseError(ErrorKind::InvalidConfig,
+                       "mlask4: dutyLevels must lie in (0, 1]");
+    }
+
+    ModemKind kind() const override { return ModemKind::Mlask4; }
+
+    double
+    nominalBitPeriodS(const cpu::OsModel &os) const override
+    {
+        (void)os;
+        // Two bits per symbol; the 3x horizon slack in the link driver
+        // absorbs the training prefix.
+        return cfg.symbolPeriodUs * 1e-6 * 0.5;
+    }
+
+    std::size_t
+    symbolCount(std::size_t frame_bits) const override
+    {
+        return cfg.trainingRepeats * kLevels + (frame_bits + 1) / 2;
+    }
+
+    void
+    start(sim::EventKernel &kernel, cpu::OsModel &os,
+          const channel::Bits &bits, TimeNs start,
+          std::function<void(TimeNs)> done) override
+    {
+        std::vector<std::size_t> levels =
+            symbolLevels(bits, cfg.trainingRepeats);
+        auto period = static_cast<TimeNs>(
+            std::llround(cfg.symbolPeriodUs * 1e3));
+        double freq = os.cpu().config().pstates.fastest().frequency;
+        for (std::size_t k = 0; k < levels.size(); ++k) {
+            auto cycles = std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(
+                       cfg.dutyLevels[levels[k]] *
+                       cfg.symbolPeriodUs * 1e-6 * freq));
+            kernel.scheduleAt(
+                start + static_cast<TimeNs>(k) * period,
+                [&os, cycles] { os.runBusyCycles(cycles, [] {}); });
+        }
+        TimeNs end =
+            start + static_cast<TimeNs>(levels.size()) * period;
+        kernel.scheduleAt(end, [&kernel, done = std::move(done)] {
+            done(kernel.now());
+        });
+    }
+
+  private:
+    MlaskConfig cfg;
+};
+
+class MlaskDemodulator final : public Demodulator
+{
+  public:
+    MlaskDemodulator(const ModemConfig &config,
+                     const channel::ReceiverConfig &receiver, double fsw)
+        : cfg(config.mlask), frame(receiver.frame),
+          markErasures(config.markFaultErasures), carrier(fsw)
+    {
+    }
+
+    ModemKind kind() const override { return ModemKind::Mlask4; }
+
+    DemodResult
+    demodulate(const sdr::IqCapture &capture) override
+    {
+        Bank bank(*this, capture.sampleRate, capture.centerFrequency);
+        bank.feed(capture.samples);
+        return decide(bank);
+    }
+
+    DemodResult
+    demodulateStream(stream::ChunkSource &source) override
+    {
+        Bank bank(*this, source.sampleRate(), source.centerFrequency());
+        stream::IqChunk chunk;
+        while (source.next(chunk))
+            bank.feed(chunk.samples);
+        return decide(bank);
+    }
+
+  private:
+    struct Bank
+    {
+        static channel::AcquisitionConfig
+        acqFor(const MlaskDemodulator &d)
+        {
+            channel::AcquisitionConfig acq;
+            acq.window = d.cfg.window;
+            acq.decimation = d.cfg.decimation;
+            acq.harmonics = 1;
+            return acq;
+        }
+
+        Bank(const MlaskDemodulator &d, double sample_rate,
+             double center_freq)
+            : sampleRate(sample_rate),
+              line(d.carrier, center_freq, sample_rate, acqFor(d))
+        {
+        }
+
+        void
+        feed(const std::vector<sdr::IqSample> &samples)
+        {
+            line.feed(samples);
+            scanner.feed(samples);
+        }
+
+        double sampleRate;
+        channel::StreamingAcquirer line;
+        FaultSpanScanner scanner;
+    };
+
+    DemodResult
+    decide(Bank &bank)
+    {
+        DemodResult out;
+        out.kind = ModemKind::Mlask4;
+        out.carrierHz = carrier;
+        out.symbolRateHz = 1e6 / cfg.symbolPeriodUs;
+        try {
+            decideImpl(bank, out);
+        } catch (const RecoverableError &e) {
+            out.failure = e.toError();
+        }
+        return out;
+    }
+
+    void
+    decideImpl(Bank &bank, DemodResult &out)
+    {
+        const std::vector<double> &y = bank.line.envelope();
+        std::size_t n = y.size();
+        auto spans = bank.scanner.finish();
+        out.corruptSpans = spans.size();
+        std::vector<std::uint8_t> bad =
+            markCorruptEnvelope(spans, n, cfg.decimation, cfg.window);
+        std::vector<double> badf(bad.begin(), bad.end());
+        PrefixSum pbad(badf);
+
+        double dec_rate =
+            bank.sampleRate / static_cast<double>(cfg.decimation);
+        double period = cfg.symbolPeriodUs * 1e-6 * dec_rate;
+        std::size_t min_symbols = cfg.trainingRepeats * kLevels;
+        if (static_cast<double>(n) <
+            static_cast<double>(min_symbols + 4) * period)
+            raiseError(ErrorKind::InsufficientData,
+                       "mlask4: capture too short (%zu envelope "
+                       "samples, need the %zu-symbol training prefix "
+                       "plus a frame)", n, min_symbols);
+
+        // Smooth over one symbol period so low-duty symbols do not
+        // fragment the active span.
+        PrefixSum py(y);
+        auto pi = static_cast<std::size_t>(std::max(1.0, period));
+        std::vector<double> sm(n);
+        for (std::size_t i = 0; i < n; ++i)
+            sm[i] = py.mean(i + 1 > pi ? i + 1 - pi : 0, i + 1);
+
+        double thr = 0.15 * percentile(sm, 0.9);
+        std::size_t a0 = n, a1 = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (sm[i] > thr) {
+                if (a0 == n)
+                    a0 = i;
+                a1 = i;
+            }
+        }
+        if (a0 == n ||
+            static_cast<double>(a1 - a0) <
+                static_cast<double>(min_symbols) * period)
+            raiseError(ErrorKind::InsufficientData,
+                       "mlask4: no symbol activity above the noise "
+                       "floor");
+
+        // Per-symbol statistic. The window starts where the trailing
+        // DFT window lies fully inside the symbol (envelope sample j
+        // covers raw samples [j*dec - window, j*dec), so the first
+        // window/dec samples smear in the previous symbol's tail).
+        // All levels share one busy amplitude — only the length of
+        // the front busy run encodes the level — so once the front
+        // run ends, any later high sample is an OS background burst,
+        // not signal: clip it to the idle floor before averaging.
+        // Without this, bursts in a low-duty symbol's idle tail
+        // reliably push it up a level.
+        double smear = static_cast<double>(cfg.window) /
+                       static_cast<double>(cfg.decimation);
+        double global_span =
+            percentile(y, 0.9) - percentile(y, 0.1);
+        // Returns {clipped mean, clipped-sample count}. A symbol with
+        // a significant clipped count is ambiguous — the high tail
+        // could equally be a burst (clipping is right) or the back
+        // half of a preemption-split busy run (clipping is wrong) —
+        // so the caller erases it rather than trusting the decision.
+        // The busy/idle threshold is taken from the symbol's own
+        // min/max so a mid-capture gain step (fault injection) does
+        // not invalidate it; near-flat symbols (all idle, or all busy
+        // at L3) have nothing to clip and pass through unchanged.
+        auto symbol_stat =
+            [&](double a) -> std::pair<double, std::size_t> {
+            auto w0 = static_cast<std::size_t>(
+                std::llround(a + std::min(smear, 0.45 * period)));
+            auto w1 = static_cast<std::size_t>(
+                std::llround(a + period));
+            w1 = std::min(w1, n);
+            if (w1 <= w0)
+                return {0.0, 0};
+            double mn = y[w0], mx = y[w0];
+            for (std::size_t i = w0; i < w1; ++i) {
+                mn = std::min(mn, y[i]);
+                mx = std::max(mx, y[i]);
+            }
+            if (mx - mn < 0.2 * global_span)
+                return {py.mean(w0, w1), 0};
+            double burst_thr = mn + 0.3 * (mx - mn);
+            double acc = 0.0;
+            bool in_front = true;
+            std::size_t low_run = 0, clipped = 0;
+            for (std::size_t i = w0; i < w1; ++i) {
+                double v = y[i];
+                if (in_front) {
+                    // Momentary dips (pulse-skip ripple, P-state
+                    // ramps) must not end the run: require a few
+                    // consecutive low samples.
+                    low_run = v < burst_thr ? low_run + 1 : 0;
+                    if (low_run >= 3)
+                        in_front = false;
+                } else if (v > burst_thr) {
+                    v = mn;
+                    ++clipped;
+                }
+                acc += v;
+            }
+            return {acc / static_cast<double>(w1 - w0), clipped};
+        };
+        // Half-symbol means for the grid-phase search. Scoring whole-
+        // symbol means against the training ramp has a plateau as wide
+        // as the onset-delay+smear band: a grid shifted a few samples
+        // early still orders the training levels correctly (it swaps
+        // trailing idle for the previous symbol's smear tail), and on
+        // data symbols — whose neighbours are not a known ramp — that
+        // same spill decides levels. Splitting each symbol into early
+        // and late halves and matching both against the expected busy
+        // occupancy of each half makes the score peak where the
+        // windows actually contain the symbol's energy.
+        double half = 0.5 * period;
+        auto early_mean = [&](double a) {
+            auto w0 = static_cast<std::size_t>(std::llround(a));
+            auto w1 = std::min(
+                static_cast<std::size_t>(std::llround(a + half)), n);
+            return w1 > w0 ? py.mean(w0, w1) : 0.0;
+        };
+        auto late_mean = [&](double a) {
+            auto w0 = static_cast<std::size_t>(
+                std::llround(a + half));
+            auto w1 = std::min(
+                static_cast<std::size_t>(std::llround(a + period)),
+                n);
+            return w1 > w0 ? py.mean(w0, w1) : 0.0;
+        };
+        // Expected busy occupancy of each half-window per level: the
+        // busy run covers [0, duty*P + smear] of the (energy-aligned)
+        // symbol, so the measured half-means fit
+        // `mean = floor + gain * occupancy` with one (gain, floor)
+        // across both halves — exactly what a Pearson correlation
+        // against the occupancy template absorbs.
+        std::array<double, kLevels> occE{}, occL{};
+        for (std::size_t l = 0; l < kLevels; ++l) {
+            double dur = cfg.dutyLevels[l] * period + smear;
+            occE[l] = std::min(dur, half) / half;
+            occL[l] = std::clamp((dur - half) / (period - half), 0.0,
+                                 1.0);
+        }
+
+        // Known training level pattern, used both to score candidate
+        // grid phases (the descending ramps correlate sharply only on
+        // the true symbol boundaries) and to anchor the frame start.
+        std::vector<std::size_t> tmpl;
+        tmpl.reserve(min_symbols);
+        for (std::size_t r = 0; r < cfg.trainingRepeats; ++r)
+            for (std::size_t l = kLevels; l-- > 0;)
+                tmpl.push_back(l);
+
+        // A symbol overlapping a detected corrupt span (dropout,
+        // saturation) must not vote in the phase search or the
+        // training correlation — one dropout inside the training
+        // prefix would otherwise poison the true phase's score and
+        // shift the whole grid.
+        auto symbol_bad = [&](double a) {
+            auto b0 = static_cast<std::size_t>(
+                std::max(0.0, std::floor(a)));
+            auto b1 = std::min(
+                n, static_cast<std::size_t>(std::ceil(a + period)));
+            return b1 > b0 && pbad.sum(b0, b1) > 0.0;
+        };
+
+        auto shape_features = [&](const SymbolGrid &g,
+                                  std::vector<double> &e,
+                                  std::vector<double> &l,
+                                  std::vector<std::uint8_t> &sk) {
+            e.resize(g.count);
+            l.resize(g.count);
+            sk.resize(g.count);
+            for (std::size_t k = 0; k < g.count; ++k) {
+                double a = g.start(k);
+                e[k] = early_mean(a);
+                l[k] = late_mean(a);
+                sk[k] = symbol_bad(a) ? 1 : 0;
+            }
+        };
+        std::size_t end = std::min(
+            n - 1, a1 + static_cast<std::size_t>(period));
+        std::vector<double> fe, fl;
+        std::vector<std::uint8_t> fsk;
+        SymbolGrid grid = searchGridOffset(
+            a0, end, period, [&](const SymbolGrid &g) {
+                shape_features(g, fe, fl, fsk);
+                return locateTrainingShape(fe, fl, tmpl, occE, occL,
+                                           fsk)
+                    .second;
+            });
+        if (grid.count < min_symbols)
+            raiseError(ErrorKind::InsufficientData,
+                       "mlask4: symbol grid shorter than the training "
+                       "prefix (%zu of %zu symbols)", grid.count,
+                       min_symbols);
+
+        constexpr std::size_t kClipErase = 3;
+        std::vector<double> means(grid.count);
+        std::vector<std::size_t> clipped(grid.count);
+        std::vector<std::uint8_t> skip(grid.count);
+        for (std::size_t k = 0; k < grid.count; ++k) {
+            auto [m, c] = symbol_stat(grid.start(k));
+            means[k] = m;
+            clipped[k] = c;
+            skip[k] = symbol_bad(grid.start(k)) ? 1 : 0;
+        }
+
+        // Locate the training ramp by correlation with its known
+        // level pattern. Symbols before the ramp are pre-transmission
+        // background and are dropped, not decoded.
+        shape_features(grid, fe, fl, fsk);
+        std::size_t s0 =
+            locateTrainingShape(fe, fl, tmpl, occE, occL, fsk).first;
+
+        // Average the labelled training symbols into per-level
+        // centroids, preferring symbols untouched by burst clipping
+        // or fault spans.
+        std::array<double, kLevels> centroids{};
+        std::array<std::size_t, kLevels> cnt{};
+        for (std::size_t i = 0; i < tmpl.size(); ++i) {
+            if (clipped[s0 + i] >= kClipErase || skip[s0 + i] != 0)
+                continue;
+            centroids[tmpl[i]] += means[s0 + i];
+            ++cnt[tmpl[i]];
+        }
+        for (std::size_t i = 0; i < tmpl.size(); ++i) {
+            if (cnt[tmpl[i]] > 0)
+                continue;
+            centroids[tmpl[i]] += means[s0 + i];
+        }
+        for (std::size_t l = 0; l < kLevels; ++l) {
+            double d = cnt[l] > 0
+                           ? static_cast<double>(cnt[l])
+                           : static_cast<double>(
+                                 cfg.trainingRepeats);
+            centroids[l] /= d;
+        }
+        bool ascending = true;
+        for (std::size_t l = 1; l < kLevels; ++l)
+            ascending = ascending && centroids[l] > centroids[l - 1];
+        if (!ascending) {
+            // Training mislocated (e.g. swamped by interference):
+            // fall back to blind clustering of the post-anchor
+            // symbols so a frame search still gets a chance.
+            std::vector<double> tail(
+                means.begin() + static_cast<std::ptrdiff_t>(s0),
+                means.end());
+            centroids = cluster(tail);
+            out.diagnostic = "training ramp not recovered; "
+                             "fell back to blind level clustering";
+        }
+        out.levelThresholds.resize(kLevels - 1);
+        for (std::size_t l = 0; l + 1 < kLevels; ++l)
+            out.levelThresholds[l] =
+                0.5 * (centroids[l] + centroids[l + 1]);
+
+        out.bits.reserve((grid.count - s0) * 2);
+        out.erasures.reserve((grid.count - s0) * 2);
+        bool any_erased = false;
+        for (std::size_t k = s0; k < grid.count; ++k) {
+            std::size_t level = 0;
+            while (level + 1 < kLevels &&
+                   means[k] > out.levelThresholds[level])
+                ++level;
+            std::size_t p = grayDecode(level);
+            // Low-confidence decision: too close to a neighbouring
+            // threshold relative to the local inter-centroid gap, or
+            // enough clipped energy that burst and split busy run
+            // cannot be told apart.
+            bool erase = clipped[k] >= kClipErase;
+            for (std::size_t l = 0; l + 1 < kLevels; ++l) {
+                double gap = centroids[l + 1] - centroids[l];
+                if (std::fabs(means[k] - out.levelThresholds[l]) <
+                    cfg.erasureMargin * gap)
+                    erase = true;
+            }
+            if (markErasures && !erase)
+                erase = skip[k] != 0;
+            out.bits.push_back((p >> 1) & 1);
+            out.bits.push_back(p & 1);
+            out.erasures.push_back(erase ? 1 : 0);
+            out.erasures.push_back(erase ? 1 : 0);
+            if (erase) {
+                any_erased = true;
+                ++out.erasedSymbols;
+            }
+        }
+        out.symbolsDecoded = grid.count - s0;
+
+        out.frame = any_erased
+                        ? channel::parseFrame(out.bits, out.erasures,
+                                              frame)
+                        : channel::parseFrame(out.bits, frame);
+        if (!any_erased)
+            out.erasures.clear();
+    }
+
+    /**
+     * {index, correlation} of the training ramp inside the per-symbol
+     * early/late half-window means, by maximum masked Pearson
+     * correlation against the expected per-level half-occupancies.
+     * Each candidate window contributes two points per symbol (early,
+     * late) to one correlation, fitting `mean = floor + gain *
+     * occupancy` with a single gain/floor — so the score rewards
+     * windows that contain each symbol's energy where the level's
+     * duty says it should be, and decays off the true grid phase
+     * instead of plateauing the way whole-symbol means do. Symbols
+     * flagged in `skip` (fault-span overlap) are left out; a window
+     * with fewer than half its symbols clean is not considered.
+     */
+    static std::pair<std::size_t, double>
+    locateTrainingShape(const std::vector<double> &early,
+                        const std::vector<double> &late,
+                        const std::vector<std::size_t> &tmpl,
+                        const std::array<double, kLevels> &occ_early,
+                        const std::array<double, kLevels> &occ_late,
+                        const std::vector<std::uint8_t> &skip)
+    {
+        std::size_t w = tmpl.size();
+        std::size_t best = 0;
+        double best_score = -1.0;
+        for (std::size_t s = 0; s + w <= early.size(); ++s) {
+            double m_mean = 0.0, t_mean = 0.0;
+            std::size_t used = 0;
+            for (std::size_t i = 0; i < w; ++i) {
+                if (skip[s + i] != 0)
+                    continue;
+                m_mean += early[s + i] + late[s + i];
+                t_mean += occ_early[tmpl[i]] + occ_late[tmpl[i]];
+                ++used;
+            }
+            if (used < (w + 1) / 2)
+                continue;
+            m_mean /= static_cast<double>(2 * used);
+            t_mean /= static_cast<double>(2 * used);
+            double dot = 0.0, m_norm = 0.0, t_norm = 0.0;
+            auto accum = [&](double m, double t) {
+                double dm = m - m_mean;
+                double dt = t - t_mean;
+                dot += dm * dt;
+                m_norm += dm * dm;
+                t_norm += dt * dt;
+            };
+            for (std::size_t i = 0; i < w; ++i) {
+                if (skip[s + i] != 0)
+                    continue;
+                accum(early[s + i], occ_early[tmpl[i]]);
+                accum(late[s + i], occ_late[tmpl[i]]);
+            }
+            double score =
+                dot / std::sqrt(t_norm * m_norm + 1e-30);
+            if (score > best_score) {
+                best_score = score;
+                best = s;
+            }
+        }
+        return {best, best_score};
+    }
+
+    /** Deterministic 1-D Lloyd clustering, centroids ascending. */
+    static std::array<double, kLevels>
+    cluster(const std::vector<double> &xs)
+    {
+        std::array<double, kLevels> c{};
+        for (std::size_t l = 0; l < kLevels; ++l)
+            c[l] = percentile(
+                xs, (static_cast<double>(l) + 0.5) /
+                        static_cast<double>(kLevels));
+        for (int iter = 0; iter < 25; ++iter) {
+            std::array<double, kLevels> sum{};
+            std::array<std::size_t, kLevels> cnt{};
+            for (double x : xs) {
+                std::size_t best = 0;
+                double best_d = std::fabs(x - c[0]);
+                for (std::size_t l = 1; l < kLevels; ++l) {
+                    double dl = std::fabs(x - c[l]);
+                    if (dl < best_d) {
+                        best_d = dl;
+                        best = l;
+                    }
+                }
+                sum[best] += x;
+                ++cnt[best];
+            }
+            for (std::size_t l = 0; l < kLevels; ++l)
+                if (cnt[l] > 0)
+                    c[l] = sum[l] / static_cast<double>(cnt[l]);
+            std::sort(c.begin(), c.end());
+        }
+        return c;
+    }
+
+    MlaskConfig cfg;
+    channel::FrameConfig frame;
+    bool markErasures;
+    double carrier;
+};
+
+} // namespace
+
+std::unique_ptr<Modulator>
+makeMlaskModulator(const ModemConfig &config, double switch_frequency_hz)
+{
+    return std::make_unique<MlaskModulator>(config.mlask,
+                                            switch_frequency_hz);
+}
+
+std::unique_ptr<Demodulator>
+makeMlaskDemodulator(const ModemConfig &config,
+                     const channel::ReceiverConfig &receiver,
+                     double switch_frequency_hz)
+{
+    return std::make_unique<MlaskDemodulator>(config, receiver,
+                                              switch_frequency_hz);
+}
+
+} // namespace emsc::modem::detail

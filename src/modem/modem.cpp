@@ -1,0 +1,70 @@
+#include "modem/modem.hpp"
+
+#include "modem/impl.hpp"
+#include "support/error.hpp"
+
+namespace emsc::modem {
+
+const char *
+modemName(ModemKind kind)
+{
+    switch (kind) {
+    case ModemKind::OokRz:
+        return "ook-rz";
+    case ModemKind::Bfsk:
+        return "bfsk";
+    case ModemKind::Mlask4:
+        return "mlask4";
+    }
+    return "unknown";
+}
+
+ModemKind
+parseModemName(const std::string &name)
+{
+    if (name == "ook-rz")
+        return ModemKind::OokRz;
+    if (name == "bfsk")
+        return ModemKind::Bfsk;
+    if (name == "mlask4")
+        return ModemKind::Mlask4;
+    raiseError(ErrorKind::InvalidConfig,
+               "unknown modem '%s' (expected ook-rz, bfsk or mlask4)",
+               name.c_str());
+}
+
+std::unique_ptr<Modulator>
+makeModulator(const ModemConfig &config, double switch_frequency_hz)
+{
+    switch (config.kind) {
+    case ModemKind::OokRz:
+        return detail::makeOokRzModulator(config);
+    case ModemKind::Bfsk:
+        return detail::makeBfskModulator(config, switch_frequency_hz);
+    case ModemKind::Mlask4:
+        return detail::makeMlaskModulator(config, switch_frequency_hz);
+    }
+    raiseError(ErrorKind::InvalidConfig, "unknown modem kind %d",
+               static_cast<int>(config.kind));
+}
+
+std::unique_ptr<Demodulator>
+makeDemodulator(const ModemConfig &config,
+                const channel::ReceiverConfig &receiver,
+                double switch_frequency_hz)
+{
+    switch (config.kind) {
+    case ModemKind::OokRz:
+        return detail::makeOokRzDemodulator(config, receiver);
+    case ModemKind::Bfsk:
+        return detail::makeBfskDemodulator(config, receiver,
+                                           switch_frequency_hz);
+    case ModemKind::Mlask4:
+        return detail::makeMlaskDemodulator(config, receiver,
+                                            switch_frequency_hz);
+    }
+    raiseError(ErrorKind::InvalidConfig, "unknown modem kind %d",
+               static_cast<int>(config.kind));
+}
+
+} // namespace emsc::modem

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Pluggable modulation subsystem.
+ *
+ * The covert channel's original encoding — OOK with return-to-zero
+ * activity bursts (Fig. 3) — is only one way to key data onto the
+ * VRM's switching emanation. This module abstracts "how bits become
+ * power-state activity" (Modulator) and "how a capture becomes bits"
+ * (Demodulator) behind one interface and ships three modems:
+ *
+ *  - ook-rz:  the legacy scheme, delegating to CovertTransmitter and
+ *             the channel/stream receiver pipelines (bit-identical to
+ *             using them directly);
+ *  - bfsk:    binary FSK — each symbol retunes the VRM's switching
+ *             frequency to one of two lines around the nominal, read
+ *             back with a two-bin sliding-DFT discriminator;
+ *  - mlask4:  4-level ASK — graded busy-duty symbols produce four
+ *             distinguishable envelope amplitudes, Gray-mapped to bit
+ *             pairs, with per-level thresholds recovered from a
+ *             training prefix by 1-D clustering.
+ *
+ * Demodulators expose both a whole-capture and a chunked entry point;
+ * the batch path routes through the same incremental core as the
+ * streaming one, so the two decode identically by construction.
+ */
+
+#ifndef EMSC_MODEM_MODEM_HPP
+#define EMSC_MODEM_MODEM_HPP
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "channel/coding.hpp"
+#include "channel/receiver.hpp"
+#include "channel/transmitter.hpp"
+#include "cpu/os.hpp"
+#include "sdr/iq.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+#include "stream/chunk.hpp"
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace emsc::modem {
+
+/** The shipped modulation schemes. */
+enum class ModemKind
+{
+    OokRz,
+    Bfsk,
+    Mlask4,
+};
+
+/** Stable name of a modem ("ook-rz", "bfsk", "mlask4"). */
+const char *modemName(ModemKind kind);
+
+/** Inverse of modemName(); raises InvalidConfig on unknown names. */
+ModemKind parseModemName(const std::string &name);
+
+/** Binary-FSK parameters. */
+struct BfskConfig
+{
+    /** Symbol period (us). */
+    double symbolPeriodUs = 400.0;
+    /**
+     * Fractional frequency shift: a 0-symbol commands
+     * fsw*(1 - deviation), a 1-symbol fsw*(1 + deviation). The
+     * default puts each line ~3 search bins away from the nominal, so
+     * idle-time background activity (which emits at the nominal
+     * frequency) does not leak into either mark/space bin.
+     */
+    double deviation = 0.03;
+    /**
+     * Fraction of each symbol spent busy. The idle tail absorbs
+     * syscall overhead and scheduler slip so symbols stay on the
+     * absolute grid.
+     */
+    double busyDuty = 0.90;
+    /** Sliding-DFT window for the mark/space envelope banks. */
+    std::size_t window = 256;
+    /** Envelope decimation. */
+    std::size_t decimation = 16;
+    /**
+     * |mark-space discriminator| below this marks the symbol as an
+     * erasure instead of guessing the bit.
+     */
+    double erasureMargin = 0.12;
+};
+
+/** Four-level ASK parameters. */
+struct MlaskConfig
+{
+    /** Symbol period (us). */
+    double symbolPeriodUs = 600.0;
+    /**
+     * Busy-duty of each amplitude level, ascending. Graded duty maps
+     * to graded envelope amplitude at the switching line; the spacing
+     * widens toward the top to compensate for the envelope's concave
+     * duty response (the idle skip-mode floor compresses high duties
+     * more than low ones).
+     */
+    std::array<double, 4> dutyLevels{0.12, 0.33, 0.57, 0.95};
+    /**
+     * Training prefix: this many repeats of the level ramp
+     * [3,2,1,0] precede the frame so the receiver can recover the
+     * four level thresholds before decoding (the leading full-duty
+     * symbols double as a P-state warm-up).
+     */
+    std::size_t trainingRepeats = 8;
+    /** Sliding-DFT window for the envelope. */
+    std::size_t window = 256;
+    /** Envelope decimation. */
+    std::size_t decimation = 16;
+    /**
+     * A symbol whose mean sits within this fraction of the local
+     * inter-centroid gap of a decision threshold erases its bit pair
+     * instead of guessing the level.
+     */
+    double erasureMargin = 0.18;
+};
+
+/** One modem choice plus the per-scheme knobs. */
+struct ModemConfig
+{
+    ModemKind kind = ModemKind::OokRz;
+    /** OOK-RZ transmitter timing (the legacy TxParams). */
+    channel::TxParams ook;
+    BfskConfig bfsk;
+    MlaskConfig mlask;
+    /**
+     * Mark symbols overlapping detected corrupt spans (SDR dropouts,
+     * saturation) as erasures for the frame parser instead of
+     * decoding garbage values. Applies to the fixed-grid modems; the
+     * OOK path has its own segmented-receiver erasure machinery.
+     */
+    bool markFaultErasures = true;
+};
+
+/**
+ * Transmitter side of a modem: schedules the OS/CPU activity (and,
+ * for frequency-keying schemes, the VRM retune plan) that encodes a
+ * frame's channel bits.
+ */
+class Modulator
+{
+  public:
+    virtual ~Modulator() = default;
+
+    virtual ModemKind kind() const = 0;
+
+    /** Estimated average seconds per channel bit (horizon planning). */
+    virtual double nominalBitPeriodS(const cpu::OsModel &os) const = 0;
+
+    /** Channel symbols emitted for a frame of `frame_bits` bits. */
+    virtual std::size_t symbolCount(std::size_t frame_bits) const = 0;
+
+    /**
+     * Schedule the transmission of `bits` beginning at `start`;
+     * `done(end)` fires once on the kernel after the final symbol.
+     * Call before running the kernel.
+     */
+    virtual void start(sim::EventKernel &kernel, cpu::OsModel &os,
+                       const channel::Bits &bits, TimeNs start,
+                       std::function<void(TimeNs)> done) = 0;
+
+    /** Time the first symbol actually started (valid after the run). */
+    virtual TimeNs txStart(TimeNs scheduled_start) const
+    {
+        return scheduled_start;
+    }
+
+    /**
+     * Switching-frequency command timeline for frequency-keying
+     * modems (values in Hz; <= 0 means nominal), or nullptr for
+     * amplitude-only schemes. Valid after start(); the link driver
+     * installs it into the PMU before synthesising switch events.
+     */
+    virtual const sim::Timeline<Hertz> *frequencyPlan() const
+    {
+        return nullptr;
+    }
+};
+
+/** Everything a demodulation pass extracted from one capture. */
+struct DemodResult
+{
+    ModemKind kind = ModemKind::OokRz;
+    /** Demodulated channel bits (includes training/garbage symbols). */
+    channel::Bits bits;
+    /** Erasure mask parallel to bits; empty when nothing was erased. */
+    channel::Bits erasures;
+    /** Frame parse of the bit stream. */
+    channel::ParsedFrame frame;
+    /** Spectral line (or mark line) the demodulator tracked (Hz). */
+    double carrierHz = 0.0;
+    /** Symbol rate used/recovered (Hz; 0 for the self-timed OOK path). */
+    double symbolRateHz = 0.0;
+    /** Symbols (OOK: bits) decoded from the capture. */
+    std::size_t symbolsDecoded = 0;
+    /** Symbols erased (fault spans or low-confidence decisions). */
+    std::size_t erasedSymbols = 0;
+    /** Corrupt spans (dropout/saturation) detected in the capture. */
+    std::size_t corruptSpans = 0;
+    /** mlask4: recovered inter-level decision thresholds (ascending). */
+    std::vector<double> levelThresholds;
+    /** Notes about adjusted/degraded configuration, if any. */
+    std::string diagnostic;
+    /** Set when demodulation stopped on a recoverable error. */
+    std::optional<Error> failure;
+
+    bool ok() const { return !failure.has_value(); }
+};
+
+/**
+ * Receiver side of a modem. Stateless across calls: one instance can
+ * decode many captures.
+ */
+class Demodulator
+{
+  public:
+    virtual ~Demodulator() = default;
+
+    virtual ModemKind kind() const = 0;
+
+    /** Decode a whole capture. */
+    virtual DemodResult demodulate(const sdr::IqCapture &capture) = 0;
+
+    /**
+     * Decode a chunked capture. For the fixed-grid modems this is the
+     * same incremental core the batch entry feeds, so the decoded
+     * payload is identical; for OOK it is the bounded-memory
+     * streaming receiver.
+     */
+    virtual DemodResult demodulateStream(stream::ChunkSource &source) = 0;
+};
+
+/**
+ * Build the transmitter for a modem.
+ *
+ * @param switch_frequency_hz  the target VRM's nominal switching
+ *                             frequency (frequency-keying modems
+ *                             derive their mark/space lines from it)
+ */
+std::unique_ptr<Modulator> makeModulator(const ModemConfig &config,
+                                         double switch_frequency_hz);
+
+/**
+ * Build the receiver for a modem. `receiver` supplies the frame
+ * format for every modem and the full pipeline configuration for the
+ * OOK path; `switch_frequency_hz` anchors the fixed-grid modems'
+ * expected spectral lines (a covert-channel receiver knows the agreed
+ * band; tuner/oscillator ppm errors are far below one DFT bin).
+ */
+std::unique_ptr<Demodulator>
+makeDemodulator(const ModemConfig &config,
+                const channel::ReceiverConfig &receiver,
+                double switch_frequency_hz);
+
+} // namespace emsc::modem
+
+#endif // EMSC_MODEM_MODEM_HPP

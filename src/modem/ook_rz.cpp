@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The OOK-RZ modem: a thin adapter over the legacy transmitter and
+ * receiver pipelines. The point of this file is what it does NOT do —
+ * it adds no processing of its own, so decoding through the modem
+ * abstraction is bit-identical to calling channel::receive() /
+ * stream::ReceiverOps directly (asserted by tests/test_modem.cpp).
+ */
+
+#include <algorithm>
+
+#include "modem/impl.hpp"
+#include "stream/receiver_ops.hpp"
+
+namespace emsc::modem::detail {
+
+namespace {
+
+class OokRzModulator final : public Modulator
+{
+  public:
+    explicit OokRzModulator(const channel::TxParams &params) : p(params) {}
+
+    ModemKind kind() const override { return ModemKind::OokRz; }
+
+    double
+    nominalBitPeriodS(const cpu::OsModel &os) const override
+    {
+        return channel::CovertTransmitter::estimatedBitPeriod(os, p);
+    }
+
+    std::size_t
+    symbolCount(std::size_t frame_bits) const override
+    {
+        return frame_bits;
+    }
+
+    void
+    start(sim::EventKernel &kernel, cpu::OsModel &os,
+          const channel::Bits &bits, TimeNs start,
+          std::function<void(TimeNs)> done) override
+    {
+        tx = std::make_unique<channel::CovertTransmitter>(os, bits, p);
+        kernel.scheduleAt(start, [this, &kernel, done = std::move(done)] {
+            tx->start([&kernel, done] { done(kernel.now()); });
+        });
+    }
+
+    TimeNs
+    txStart(TimeNs scheduled_start) const override
+    {
+        if (tx && !tx->sentBits().empty())
+            return tx->sentBits().front().start;
+        return scheduled_start;
+    }
+
+  private:
+    channel::TxParams p;
+    std::unique_ptr<channel::CovertTransmitter> tx;
+};
+
+class OokRzDemodulator final : public Demodulator
+{
+  public:
+    explicit OokRzDemodulator(const channel::ReceiverConfig &config)
+        : cfg(config)
+    {
+    }
+
+    ModemKind kind() const override { return ModemKind::OokRz; }
+
+    DemodResult
+    demodulate(const sdr::IqCapture &capture) override
+    {
+        return fromReceiver(channel::receive(capture, cfg));
+    }
+
+    DemodResult
+    demodulateStream(stream::ChunkSource &source) override
+    {
+        stream::ReceiverOps ops(cfg);
+        stream::StreamingResult sr = ops.runStreaming(source);
+        return fromReceiver(sr.rx);
+    }
+
+  private:
+    DemodResult
+    fromReceiver(const channel::ReceiverResult &rx) const
+    {
+        DemodResult out;
+        out.kind = ModemKind::OokRz;
+        out.bits = rx.labeled.bits;
+        out.erasures = rx.erasureMask;
+        out.frame = rx.frame;
+        out.carrierHz = rx.carrierHz;
+        out.symbolsDecoded = rx.labeled.bits.size();
+        out.erasedSymbols = static_cast<std::size_t>(
+            std::count(rx.erasureMask.begin(), rx.erasureMask.end(), 1));
+        out.corruptSpans = rx.corruptedSpans;
+        out.diagnostic = rx.diagnostic;
+        out.failure = rx.failure;
+        return out;
+    }
+
+    channel::ReceiverConfig cfg;
+};
+
+} // namespace
+
+std::unique_ptr<Modulator>
+makeOokRzModulator(const ModemConfig &config)
+{
+    return std::make_unique<OokRzModulator>(config.ook);
+}
+
+std::unique_ptr<Demodulator>
+makeOokRzDemodulator(const ModemConfig &config,
+                     const channel::ReceiverConfig &receiver)
+{
+    (void)config;
+    return std::make_unique<OokRzDemodulator>(receiver);
+}
+
+} // namespace emsc::modem::detail

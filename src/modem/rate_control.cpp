@@ -1,0 +1,76 @@
+#include "modem/rate_control.hpp"
+
+#include "support/error.hpp"
+#include "support/telemetry.hpp"
+
+namespace emsc::modem {
+
+RateController::RateController(const RateControllerConfig &config)
+    : cfg(config), cur(config.start),
+      verdict(config.rungs, -1)
+{
+    if (cfg.rungs == 0)
+        raiseError(ErrorKind::InvalidConfig,
+                   "rate controller needs at least one rung");
+    if (cfg.start >= cfg.rungs)
+        raiseError(ErrorKind::InvalidConfig,
+                   "rate controller start rung %zu out of range "
+                   "(%zu rungs)", cfg.start, cfg.rungs);
+    if (!cfg.rungBps.empty() && cfg.rungBps.size() != cfg.rungs)
+        raiseError(ErrorKind::InvalidConfig,
+                   "rate controller rungBps has %zu entries for %zu "
+                   "rungs", cfg.rungBps.size(), cfg.rungs);
+    publishRate();
+}
+
+void
+RateController::publishRate() const
+{
+    telemetry::MetricsRegistry &reg = telemetry::MetricsRegistry::global();
+    static telemetry::Gauge currentBps(reg, "modem.rate.current_bps");
+    if (!reg.enabled() || cfg.rungBps.empty())
+        return;
+    currentBps.set(cfg.rungBps[cur]);
+}
+
+void
+RateController::moveTo(std::size_t rung)
+{
+    telemetry::MetricsRegistry &reg = telemetry::MetricsRegistry::global();
+    static telemetry::Counter steps(reg, "modem.rate.steps");
+    cur = rung;
+    ++transitions;
+    if (reg.enabled())
+        steps.add();
+    publishRate();
+}
+
+bool
+RateController::report(double ber)
+{
+    if (done)
+        return false;
+    bool pass = ber <= cfg.targetBer;
+    verdict[cur] = pass ? 1 : 0;
+    if (!pass) {
+        if (cur + 1 < cfg.rungs) {
+            bool settled_below = verdict[cur + 1] != -1;
+            moveTo(cur + 1);
+            // Stepping back onto a probed rung ends the walk: with a
+            // passing rung below we are one overshoot step past the
+            // best rate; with a failing one there is nothing better.
+            done = settled_below;
+        } else {
+            // Slowest rung still fails: nowhere left to go.
+            done = true;
+        }
+    } else {
+        if (cur > 0 && verdict[cur - 1] == -1)
+            moveTo(cur - 1);
+        else
+            done = true;
+    }
+    return !done;
+}
+
+} // namespace emsc::modem

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Adaptive-rate link control: a deterministic probe-measure-step
+ * state machine over a ladder of symbol rates.
+ *
+ * The driver owns the ladder (e.g. OOK sleep periods or FSK/ASK
+ * symbol periods, fastest first) and runs one probe transmission per
+ * step; the controller decides the next rung from the measured BER.
+ * The policy is a visited-set hill climb: a failing rung steps down,
+ * a passing rung steps up while a faster rung is untried, and the
+ * walk settles as soon as it would revisit a rung — which, under BER
+ * monotone in rate, is exactly the fastest passing rung, reached
+ * within one overshoot step of any start.
+ */
+
+#ifndef EMSC_MODEM_RATE_CONTROL_HPP
+#define EMSC_MODEM_RATE_CONTROL_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace emsc::modem {
+
+/** Controller configuration. */
+struct RateControllerConfig
+{
+    /** Ladder size; rung 0 is the fastest rate. */
+    std::size_t rungs = 0;
+    /** Starting rung. */
+    std::size_t start = 0;
+    /** A probe passes when its BER is at or below this. */
+    double targetBer = 1e-2;
+    /**
+     * Payload bit rate of each rung (fastest first), published as the
+     * modem.rate.current_bps gauge when provided. Size must be 0 or
+     * `rungs`.
+     */
+    std::vector<double> rungBps;
+};
+
+/**
+ * The probe-measure-step state machine. Pure and deterministic apart
+ * from its telemetry side effects (modem.rate.current_bps gauge,
+ * modem.rate.steps counter).
+ */
+class RateController
+{
+  public:
+    /** Raises InvalidConfig on an empty ladder or bad start/bps size. */
+    explicit RateController(const RateControllerConfig &config);
+
+    /** Rung the next probe should run at. */
+    std::size_t current() const { return cur; }
+
+    /** Rate transitions taken so far. */
+    std::size_t steps() const { return transitions; }
+
+    /** True once the controller has settled on a rung. */
+    bool settled() const { return done; }
+
+    /**
+     * Feed the BER measured by a probe at current(). Returns true
+     * while another probe is required, false once settled.
+     */
+    bool report(double ber);
+
+  private:
+    void moveTo(std::size_t rung);
+    void publishRate() const;
+
+    RateControllerConfig cfg;
+    std::size_t cur;
+    std::size_t transitions = 0;
+    bool done = false;
+    /** Per-rung verdict: -1 untried, 0 failed, 1 passed. */
+    std::vector<int> verdict;
+};
+
+} // namespace emsc::modem
+
+#endif // EMSC_MODEM_RATE_CONTROL_HPP

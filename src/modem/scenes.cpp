@@ -1,0 +1,252 @@
+#include "modem/scenes.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "channel/metrics.hpp"
+#include "channel/transmitter.hpp"
+#include "core/setup.hpp"
+#include "cpu/os.hpp"
+#include "em/scene.hpp"
+#include "sim/kernel.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "vrm/pmu.hpp"
+
+namespace emsc::modem {
+
+const char *
+twoTxSceneName(TwoTxScene scene)
+{
+    switch (scene) {
+    case TwoTxScene::Collision:
+        return "collision";
+    case TwoTxScene::Fdm:
+        return "fdm";
+    case TwoTxScene::NearFar:
+        return "near-far";
+    }
+    return "unknown";
+}
+
+namespace {
+
+constexpr TimeNs kLeadIn = 5 * kMillisecond;
+
+channel::Bits
+randomPayload(std::size_t nbits, Rng &rng)
+{
+    channel::Bits bits(nbits);
+    for (auto &b : bits)
+        b = rng.chance(0.5) ? 1 : 0;
+    return bits;
+}
+
+/** One transmitter's simulation stack, kept alive for PMU synthesis. */
+struct TxRun
+{
+    core::DeviceProfile device;
+    channel::Bits payload;
+    channel::Bits frameBits;
+    std::unique_ptr<sim::EventKernel> kernel;
+    std::unique_ptr<cpu::CpuCore> core;
+    std::unique_ptr<cpu::OsModel> os;
+    std::unique_ptr<channel::CovertTransmitter> tx;
+    TimeNs start = 0;
+    TimeNs end = 0;
+};
+
+void
+runTransmitter(TxRun &run, const TwoTxOptions &options, Rng &rng_os)
+{
+    run.kernel = std::make_unique<sim::EventKernel>();
+    run.core = std::make_unique<cpu::CpuCore>(*run.kernel,
+                                              run.device.core);
+    run.os = std::make_unique<cpu::OsModel>(*run.kernel, *run.core,
+                                            run.device.os, rng_os);
+
+    channel::TxParams params;
+    params.sleepPeriodUs = options.sleepPeriodUs > 0.0
+                               ? options.sleepPeriodUs
+                               : run.device.defaultSleepUs;
+    run.tx = std::make_unique<channel::CovertTransmitter>(
+        *run.os, run.frameBits, params);
+
+    double est_bit =
+        channel::CovertTransmitter::estimatedBitPeriod(*run.os, params);
+    TimeNs horizon =
+        kLeadIn +
+        fromSeconds(est_bit *
+                    static_cast<double>(run.frameBits.size()) * 3.0) +
+        kSecond;
+    run.os->startBackgroundActivity(horizon);
+
+    bool done = false;
+    run.kernel->scheduleAt(kLeadIn, [&] {
+        run.tx->start([&] {
+            done = true;
+            run.end = run.kernel->now();
+        });
+    });
+    while (!done && run.kernel->now() < horizon)
+        run.kernel->runUntil(run.kernel->now() + 10 * kMillisecond);
+    if (!done) {
+        warn("two-tx scene: transmitter did not finish in the horizon");
+        run.end = run.kernel->now();
+    }
+    run.start = run.tx->sentBits().empty()
+                    ? kLeadIn
+                    : run.tx->sentBits().front().start;
+}
+
+/** Score one decode attempt against one transmitter's payload. */
+TwoTxOutcome
+scoreAgainst(const channel::ReceiverResult &rx,
+             const channel::Bits &payload)
+{
+    TwoTxOutcome out;
+    out.frameFound = rx.frame.found;
+    out.carrierHz = rx.carrierHz;
+    if (!rx.frame.found)
+        return out;
+    channel::AlignmentCounts counts =
+        channel::alignBits(payload, rx.frame.payload);
+    out.berPayload = (static_cast<double>(counts.substitutions) +
+                      static_cast<double>(counts.insertions) +
+                      static_cast<double>(counts.deletions)) /
+                     static_cast<double>(payload.size());
+    out.payloadRecovered = rx.frame.payload == payload;
+    return out;
+}
+
+TwoTxResult
+runTwoTransmitterSceneImpl(TwoTxScene scene,
+                           const core::DeviceProfile &device,
+                           const TwoTxOptions &options)
+{
+    Rng master(options.seed);
+    Rng rng_payload_a = master.fork();
+    Rng rng_payload_b = master.fork();
+    Rng rng_os_a = master.fork();
+    Rng rng_os_b = master.fork();
+    Rng rng_vrm_a = master.fork();
+    Rng rng_vrm_b = master.fork();
+    Rng rng_em = master.fork();
+    Rng rng_sdr = master.fork();
+
+    TwoTxResult result;
+    result.scene = scene;
+
+    TxRun a, b;
+    a.device = device;
+    b.device = device;
+    switch (scene) {
+    case TwoTxScene::Collision:
+    case TwoTxScene::NearFar:
+        // Distinct oscillators: the same nominal part, a few hundred
+        // ppm apart — well inside one search bin, a true co-channel.
+        b.device.buck.frequencyErrorPpm += 300.0;
+        break;
+    case TwoTxScene::Fdm:
+        // A keys the low line f, B the high line 2f. Running A's buck
+        // at 50% duty nulls its even harmonics, so A's second
+        // harmonic does not land on B's fundamental.
+        a.device.buck.switchFrequency = 0.5 * device.buck.switchFrequency;
+        a.device.buck.dutyCycle = 0.5;
+        break;
+    }
+
+    a.payload = randomPayload(options.payloadBits, rng_payload_a);
+    b.payload = randomPayload(options.payloadBits, rng_payload_b);
+    a.frameBits = channel::buildFrame(a.payload, options.receiver.frame);
+    b.frameBits = channel::buildFrame(b.payload, options.receiver.frame);
+
+    runTransmitter(a, options, rng_os_a);
+    runTransmitter(b, options, rng_os_b);
+
+    TimeNs margin = fromSeconds(options.captureMarginS);
+    TimeNs t0 = std::max<TimeNs>(0, std::min(a.start, b.start) - margin);
+    TimeNs t1 = std::max(a.end, b.end) + margin;
+
+    vrm::Pmu pmu_a(*a.core, a.device.buck, rng_vrm_a);
+    std::vector<vrm::SwitchEvent> events_a = pmu_a.switchingEvents(t0, t1);
+    vrm::Pmu pmu_b(*b.core, b.device.buck, rng_vrm_b);
+    std::vector<vrm::SwitchEvent> events_b = pmu_b.switchingEvents(t0, t1);
+
+    core::MeasurementSetup near = core::nearFieldSetup();
+    em::SceneConfig scene_cfg =
+        core::makeScene(device.emitterCoupling, near);
+    std::vector<em::EmitterStream> emitters(2);
+    emitters[0].emitterCoupling = device.emitterCoupling;
+    emitters[0].path = near.path;
+    emitters[0].events = &events_a;
+    emitters[1].emitterCoupling = device.emitterCoupling;
+    emitters[1].path = scene == TwoTxScene::NearFar
+                           ? core::distanceSetup(options.farDistanceM).path
+                           : near.path;
+    emitters[1].events = &events_b;
+    em::ReceptionPlan plan =
+        em::buildMultiReceptionPlan(scene_cfg, emitters, t0, t1, rng_em);
+
+    sdr::SdrConfig sdr_cfg = options.sdr;
+    // Center between the lowest fundamental and its first harmonic so
+    // every keyed line stays in band.
+    sdr_cfg.centerFrequency =
+        1.5 * std::min(a.device.buck.switchFrequency,
+                       b.device.buck.switchFrequency);
+    sdr::RtlSdr radio(sdr_cfg, rng_sdr);
+    sdr::IqCapture capture = radio.capture(plan, t0, t1);
+
+    // Carrier census: the FDM-aware multi-line search, plus what the
+    // legacy single-line estimator would have picked.
+    channel::AcquisitionConfig search = options.receiver.acquisition;
+    search.fdmAware = true;
+    search.quietSearch = true;
+    result.lines = channel::estimateCarriers(capture, search, 4);
+    channel::AcquisitionConfig single = options.receiver.acquisition;
+    single.quietSearch = true;
+    result.singleEstimateHz = channel::estimateCarrier(capture, single);
+
+    if (scene == TwoTxScene::Fdm) {
+        // Per-transmitter decode on a band around its own line,
+        // fundamental only (the harmonic bins belong to the other
+        // transmitter's part of the spectrum).
+        const TxRun *runs[2] = {&a, &b};
+        for (std::size_t i = 0; i < 2; ++i) {
+            channel::ReceiverConfig cfg = options.receiver;
+            double fx = runs[i]->device.buck.switchFrequency;
+            cfg.acquisition.searchLowHz = fx - 40e3;
+            cfg.acquisition.searchHighHz = fx + 40e3;
+            cfg.acquisition.harmonics = 1;
+            channel::ReceiverResult rx = channel::receive(capture, cfg);
+            result.tx[i] = scoreAgainst(rx, runs[i]->payload);
+        }
+    } else {
+        // One full-band decode; score it against both payloads. Both
+        // outcomes share the frame/carrier — the interesting question
+        // is whose payload (if anyone's) survived.
+        channel::ReceiverResult rx =
+            channel::receive(capture, options.receiver);
+        result.tx[0] = scoreAgainst(rx, a.payload);
+        result.tx[1] = scoreAgainst(rx, b.payload);
+    }
+    return result;
+}
+
+} // namespace
+
+TwoTxResult
+runTwoTransmitterScene(TwoTxScene scene, const core::DeviceProfile &device,
+                       const TwoTxOptions &options)
+{
+    TwoTxResult result;
+    result.scene = scene;
+    try {
+        result = runTwoTransmitterSceneImpl(scene, device, options);
+    } catch (const RecoverableError &e) {
+        result.failure = e.toError();
+    }
+    return result;
+}
+
+} // namespace emsc::modem

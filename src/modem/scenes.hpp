@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Multi-transmitter scene experiments: two machines radiating into
+ * one antenna.
+ *
+ * Three geometries matter for the ablation:
+ *  - collision: both VRMs on the same nominal switching frequency at
+ *    comparable power — co-channel interference, neither reliably
+ *    decodable;
+ *  - fdm: transmitters keyed on harmonically related lines f and 2f.
+ *    The low transmitter runs its buck at 50% duty so its second
+ *    harmonic (which would land exactly on the high transmitter's
+ *    fundamental) is nulled, and the FDM-aware carrier search keeps
+ *    the 2f line from being demoted as "somebody's harmonic";
+ *  - near-far: same frequency, but one transmitter close and one
+ *    distant — the classic capture effect, the near one wins.
+ */
+
+#ifndef EMSC_MODEM_SCENES_HPP
+#define EMSC_MODEM_SCENES_HPP
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "channel/acquisition.hpp"
+#include "channel/receiver.hpp"
+#include "core/device.hpp"
+#include "sdr/rtlsdr.hpp"
+#include "support/error.hpp"
+
+namespace emsc::modem {
+
+/** The two-transmitter geometries. */
+enum class TwoTxScene
+{
+    Collision,
+    Fdm,
+    NearFar,
+};
+
+/** Stable name ("collision", "fdm", "near-far"). */
+const char *twoTxSceneName(TwoTxScene scene);
+
+/** Options for a two-transmitter run. */
+struct TwoTxOptions
+{
+    std::uint64_t seed = 1;
+    /** Payload bits per transmitter (payloads are independent). */
+    std::size_t payloadBits = 96;
+    /** OOK sleep period (us); 0 = the device default. */
+    double sleepPeriodUs = 0.0;
+    double captureMarginS = 0.02;
+    /** Receiver pipeline template (acquisition band is overridden). */
+    channel::ReceiverConfig receiver;
+    sdr::SdrConfig sdr;
+    /** Line-of-sight distance of the far transmitter (near-far). */
+    double farDistanceM = 0.3;
+};
+
+/** Per-transmitter outcome. */
+struct TwoTxOutcome
+{
+    bool frameFound = false;
+    /** Decoded payload matches this transmitter's payload exactly. */
+    bool payloadRecovered = false;
+    /** Payload-level error rate against this transmitter's payload. */
+    double berPayload = 1.0;
+    /** Line the decode attempt locked on (Hz; 0 = none). */
+    double carrierHz = 0.0;
+};
+
+/** Everything a two-transmitter run produced. */
+struct TwoTxResult
+{
+    TwoTxScene scene = TwoTxScene::Collision;
+    /** Outcome per transmitter (index 0 = tx A, 1 = tx B). */
+    std::array<TwoTxOutcome, 2> tx;
+    /** Modulated lines found by the FDM-aware carrier search. */
+    std::vector<channel::CarrierLine> lines;
+    /**
+     * What the legacy single-carrier estimator picks on the same
+     * capture (Hz) — in the FDM scene it demotes the 2f line and
+     * reports only the low one, which is the regression the fdmAware
+     * flag exists for.
+     */
+    double singleEstimateHz = 0.0;
+    std::optional<Error> failure;
+
+    bool ok() const { return !failure.has_value(); }
+};
+
+/**
+ * Run a two-transmitter scene: two independent OS/CPU/VRM stacks
+ * (seeded from one master), their switch-event streams merged through
+ * em::buildMultiReceptionPlan into one capture, then per-transmitter
+ * decode attempts. Never terminates the process.
+ */
+TwoTxResult runTwoTransmitterScene(TwoTxScene scene,
+                                   const core::DeviceProfile &device,
+                                   const TwoTxOptions &options);
+
+} // namespace emsc::modem
+
+#endif // EMSC_MODEM_SCENES_HPP

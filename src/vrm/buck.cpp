@@ -26,12 +26,14 @@ BuckConverter::effectiveFrequency() const
 
 std::vector<SwitchEvent>
 BuckConverter::generate(const sim::Timeline<double> &load, TimeNs t0,
-                        TimeNs t1)
+                        TimeNs t1,
+                        const sim::Timeline<Hertz> *frequency_plan)
 {
     std::vector<SwitchEvent> events;
     if (t1 <= t0)
         return events;
 
+    double ppm_scale = 1.0 + cfg.frequencyErrorPpm * 1e-6;
     double period_s = 1.0 / effectiveFrequency();
     auto nominal_period = static_cast<double>(fromSeconds(period_s));
     auto width = std::max<TimeNs>(
@@ -46,6 +48,27 @@ BuckConverter::generate(const sim::Timeline<double> &load, TimeNs t0,
     double deficit = 0.0; // accumulated un-replenished charge (coulombs)
     double q_nominal = cfg.shedThreshold * period_s;
 
+    // Commanded-frequency plan (modem retuning), walked the same way.
+    const sim::Timeline<Hertz>::Point *fplan = nullptr;
+    std::size_t fn = 0, fi = 0;
+    double commanded = 0.0; // <= 0 means nominal
+    if (frequency_plan != nullptr && frequency_plan->size() > 0) {
+        fplan = frequency_plan->changePoints().data();
+        fn = frequency_plan->changePoints().size();
+        commanded = frequency_plan->at(t0);
+    }
+    auto retune = [&](double freq_hz) {
+        double eff = (freq_hz > 0.0 ? freq_hz : cfg.switchFrequency)
+                     * ppm_scale;
+        period_s = 1.0 / eff;
+        nominal_period = static_cast<double>(fromSeconds(period_s));
+        width = std::max<TimeNs>(
+            1, static_cast<TimeNs>(nominal_period * cfg.dutyCycle));
+        q_nominal = cfg.shedThreshold * period_s;
+    };
+    if (fplan != nullptr)
+        retune(commanded);
+
     std::size_t estimated = static_cast<std::size_t>(
         toSeconds(t1 - t0) * effectiveFrequency()) + 16;
     events.reserve(estimated);
@@ -55,6 +78,13 @@ BuckConverter::generate(const sim::Timeline<double> &load, TimeNs t0,
         while (pi < points.size() && points[pi].time <= now) {
             current = points[pi].value;
             ++pi;
+        }
+        while (fi < fn && fplan[fi].time <= now) {
+            if (fplan[fi].value != commanded) {
+                commanded = fplan[fi].value;
+                retune(commanded);
+            }
+            ++fi;
         }
 
         if (current >= cfg.shedThreshold) {

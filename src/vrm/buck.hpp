@@ -67,10 +67,21 @@ class BuckConverter
     /**
      * Produce all bursts in [t0, t1) given the load the core drew.
      *
-     * @param load  piecewise-constant load current (amps) vs. time
+     * A modem may retune the converter on the fly (B-FSK keys bits as
+     * switching-frequency shifts, COVID-bit style) by supplying a
+     * piecewise-constant plan of commanded frequencies. Plan values
+     * <= 0 mean "nominal". The per-unit ppm error applies to commanded
+     * frequencies exactly as it does to the nominal one. With no plan
+     * the event stream — including the jitter draw sequence — is
+     * identical to the historical fixed-frequency behaviour.
+     *
+     * @param load            piecewise-constant load current (amps)
+     * @param frequency_plan  optional commanded switching frequency
+     *                        (hertz) vs. time; nullptr = fixed nominal
      */
-    std::vector<SwitchEvent> generate(const sim::Timeline<double> &load,
-                                      TimeNs t0, TimeNs t1);
+    std::vector<SwitchEvent>
+    generate(const sim::Timeline<double> &load, TimeNs t0, TimeNs t1,
+             const sim::Timeline<Hertz> *frequency_plan = nullptr);
 
     /** Effective switching frequency including the static error. */
     Hertz effectiveFrequency() const;

@@ -14,6 +14,8 @@
 #ifndef EMSC_VRM_PMU_HPP
 #define EMSC_VRM_PMU_HPP
 
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "cpu/core.hpp"
@@ -43,7 +45,26 @@ class Pmu
     std::vector<SwitchEvent>
     switchingEvents(TimeNs t0, TimeNs t1)
     {
-        return buck.generate(core.currentTrace(), t0, t1);
+        return buck.generate(core.currentTrace(), t0, t1,
+                             plan ? &*plan : nullptr);
+    }
+
+    /**
+     * Install a commanded switching-frequency plan (modem retuning,
+     * e.g. B-FSK). Values <= 0 fall back to the nominal frequency;
+     * with no plan installed the VRM runs fixed-frequency as before.
+     */
+    void
+    setFrequencyPlan(sim::Timeline<Hertz> frequency_plan)
+    {
+        plan = std::move(frequency_plan);
+    }
+
+    /** The installed frequency plan, if any. */
+    const sim::Timeline<Hertz> *
+    frequencyPlan() const
+    {
+        return plan ? &*plan : nullptr;
     }
 
     /** The VRM's actual switching frequency (with unit error). */
@@ -54,6 +75,7 @@ class Pmu
   private:
     const cpu::CpuCore &core;
     BuckConverter buck;
+    std::optional<sim::Timeline<Hertz>> plan;
 };
 
 } // namespace emsc::vrm

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Modulation-subsystem tests: modem registry round-trips, OOK-RZ
+ * bit-identity with the legacy receiver (batch and streaming),
+ * near-field round-trips for every modem across seeds, batch-vs-
+ * streaming payload equality, fault-erasure marking, the fixed-grid
+ * timing guard, FDM-aware carrier search, two-transmitter scenes and
+ * the adaptive-rate controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "channel/acquisition.hpp"
+#include "channel/receiver.hpp"
+#include "channel/timing.hpp"
+#include "core/api.hpp"
+#include "engine/sweeps.hpp"
+#include "modem/link.hpp"
+#include "modem/modem.hpp"
+#include "modem/rate_control.hpp"
+#include "modem/scenes.hpp"
+#include "sim/faults.hpp"
+#include "stream/chunk.hpp"
+#include "stream/receiver_ops.hpp"
+#include "support/error.hpp"
+#include "support/logging.hpp"
+
+namespace emsc {
+namespace {
+
+constexpr std::size_t kChunk = 1 << 15;
+
+/** One shared OOK transmission for the bit-identity tests. */
+struct OokRig
+{
+    modem::ModemLinkOptions options;
+    modem::ModemCapture cap;
+};
+
+const OokRig &
+ookRig()
+{
+    static OokRig rig = [] {
+        OokRig r;
+        r.options.modem.kind = modem::ModemKind::OokRz;
+        r.options.payloadBits = 96;
+        r.options.seed = 1234;
+        r.cap = modem::buildModemCapture(core::referenceDevice(),
+                                         core::nearFieldSetup(),
+                                         r.options);
+        return r;
+    }();
+    return rig;
+}
+
+TEST(ModemRegistry, NamesRoundTripAndUnknownNamesAreRejected)
+{
+    using modem::ModemKind;
+    for (ModemKind kind :
+         {ModemKind::OokRz, ModemKind::Bfsk, ModemKind::Mlask4})
+        EXPECT_EQ(modem::parseModemName(modem::modemName(kind)), kind);
+    try {
+        modem::parseModemName("qam-4096");
+        FAIL() << "unknown modem name accepted";
+    } catch (const RecoverableError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::InvalidConfig);
+    }
+}
+
+TEST(ModemRegistry, SweepTableIncludesTheModulationSweeps)
+{
+    std::vector<std::string> names = engine::sweepNames();
+    auto has = [&](const char *n) {
+        return std::find(names.begin(), names.end(), n) != names.end();
+    };
+    EXPECT_TRUE(has("table3_modulations"));
+    EXPECT_TRUE(has("ablation_collision"));
+}
+
+TEST(FixedGridTiming, NonOokSymbolModelIsRejected)
+{
+    std::vector<double> y(4096, 0.0);
+    channel::TimingConfig cfg;
+    cfg.symbolModel = channel::SymbolModel::FixedGrid;
+    try {
+        channel::estimateBitPeriod(y, cfg);
+        FAIL() << "estimateBitPeriod accepted a fixed-grid envelope";
+    } catch (const RecoverableError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::InvalidConfig);
+    }
+    try {
+        channel::recoverTiming(y, cfg);
+        FAIL() << "recoverTiming accepted a fixed-grid envelope";
+    } catch (const RecoverableError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::InvalidConfig);
+    }
+}
+
+TEST(OokRzModem, BatchDecodeIsBitIdenticalToTheLegacyReceiver)
+{
+    ScopedVerbosity quiet(false);
+    const OokRig &rig = ookRig();
+    channel::ReceiverResult ref =
+        channel::receive(rig.cap.capture, rig.options.receiver);
+    ASSERT_TRUE(ref.ok()) << ref.failure->message;
+
+    auto demod =
+        modem::makeDemodulator(rig.options.modem, rig.options.receiver,
+                               rig.cap.switchingFrequency);
+    modem::DemodResult dr = demod->demodulate(rig.cap.capture);
+    ASSERT_TRUE(dr.ok()) << dr.failure->message;
+
+    EXPECT_EQ(dr.bits, ref.labeled.bits);
+    EXPECT_EQ(dr.erasures, ref.erasureMask);
+    EXPECT_EQ(dr.frame.found, ref.frame.found);
+    EXPECT_EQ(dr.frame.payload, ref.frame.payload);
+    EXPECT_DOUBLE_EQ(dr.carrierHz, ref.carrierHz);
+    EXPECT_EQ(dr.corruptSpans, ref.corruptedSpans);
+
+    ASSERT_TRUE(dr.frame.found);
+    EXPECT_EQ(dr.frame.payload, rig.cap.payload);
+}
+
+TEST(OokRzModem, StreamingDecodeIsBitIdenticalToTheStreamingReceiver)
+{
+    ScopedVerbosity quiet(false);
+    const OokRig &rig = ookRig();
+    stream::ReceiverOps ops(rig.options.receiver);
+    stream::MemoryChunkSource ref_src(rig.cap.capture, kChunk);
+    channel::ReceiverResult ref = ops.runStreaming(ref_src).rx;
+    ASSERT_TRUE(ref.ok()) << ref.failure->message;
+
+    auto demod =
+        modem::makeDemodulator(rig.options.modem, rig.options.receiver,
+                               rig.cap.switchingFrequency);
+    stream::MemoryChunkSource src(rig.cap.capture, kChunk);
+    modem::DemodResult dr = demod->demodulateStream(src);
+    ASSERT_TRUE(dr.ok()) << dr.failure->message;
+
+    EXPECT_EQ(dr.bits, ref.labeled.bits);
+    EXPECT_EQ(dr.erasures, ref.erasureMask);
+    EXPECT_EQ(dr.frame.found, ref.frame.found);
+    EXPECT_EQ(dr.frame.payload, ref.frame.payload);
+
+    ASSERT_TRUE(dr.frame.found);
+    EXPECT_EQ(dr.frame.payload, rig.cap.payload);
+}
+
+TEST(FdmAcquisition, SingleTransmitterRankingMatchesTheLegacyEstimator)
+{
+    // Regression for the fdmAware flag's default: with one
+    // transmitter the harmonic-demotion heuristic must keep the
+    // fundamental ranked first, exactly as estimateCarrier picks it.
+    ScopedVerbosity quiet(false);
+    const OokRig &rig = ookRig();
+    const channel::AcquisitionConfig &acq =
+        rig.options.receiver.acquisition;
+    ASSERT_FALSE(acq.fdmAware);
+
+    double single = channel::estimateCarrier(rig.cap.capture, acq);
+    ASSERT_GT(single, 0.0);
+    std::vector<channel::CarrierLine> lines =
+        channel::estimateCarriers(rig.cap.capture, acq, 4);
+    ASSERT_FALSE(lines.empty());
+    EXPECT_DOUBLE_EQ(lines.front().frequencyHz, single);
+    // The second harmonic must not outrank the fundamental.
+    for (std::size_t i = 1; i < lines.size(); ++i)
+        EXPECT_LE(lines[i].score, lines.front().score);
+}
+
+TEST(ModemRoundTrip, EveryModemDecodesNearFieldAcrossSeeds)
+{
+    ScopedVerbosity quiet(false);
+    core::DeviceProfile dev = core::referenceDevice();
+    core::MeasurementSetup setup = core::nearFieldSetup();
+    using modem::ModemKind;
+    for (ModemKind kind :
+         {ModemKind::OokRz, ModemKind::Bfsk, ModemKind::Mlask4}) {
+        for (std::uint64_t seed : {2u, 23u}) {
+            modem::ModemLinkOptions o;
+            o.modem.kind = kind;
+            o.payloadBits = 96;
+            o.seed = seed;
+            modem::ModemLinkResult r =
+                modem::runModemLink(dev, setup, o);
+            ASSERT_TRUE(r.ok()) << modem::modemName(kind) << " seed "
+                                << seed << ": "
+                                << r.failure->message;
+            EXPECT_TRUE(r.frameFound)
+                << modem::modemName(kind) << " seed " << seed;
+            EXPECT_LT(r.berPayload, 1e-2)
+                << modem::modemName(kind) << " seed " << seed;
+            EXPECT_GT(r.symbolsDecoded, 0u);
+            EXPECT_GT(r.trPayloadBps, 0.0);
+        }
+    }
+}
+
+TEST(ModemRoundTrip, BatchAndStreamingDecodeTheSamePayload)
+{
+    ScopedVerbosity quiet(false);
+    core::DeviceProfile dev = core::referenceDevice();
+    core::MeasurementSetup setup = core::nearFieldSetup();
+    using modem::ModemKind;
+    for (ModemKind kind :
+         {ModemKind::OokRz, ModemKind::Bfsk, ModemKind::Mlask4}) {
+        modem::ModemLinkOptions o;
+        o.modem.kind = kind;
+        o.payloadBits = 64;
+        o.seed = 5;
+        modem::ModemLinkResult batch =
+            modem::runModemLink(dev, setup, o);
+        o.streamingDecode = true;
+        modem::ModemLinkResult strm =
+            modem::runModemLink(dev, setup, o);
+        ASSERT_TRUE(batch.ok() && strm.ok()) << modem::modemName(kind);
+        EXPECT_EQ(batch.frameFound, strm.frameFound)
+            << modem::modemName(kind);
+        EXPECT_EQ(batch.decodedPayload, strm.decodedPayload)
+            << modem::modemName(kind);
+        EXPECT_TRUE(batch.frameFound) << modem::modemName(kind);
+    }
+}
+
+TEST(ModemFaults, ErasureMarkingIsNoWorseUnderFaults)
+{
+    ScopedVerbosity quiet(false);
+    core::DeviceProfile dev = core::referenceDevice();
+    core::MeasurementSetup setup = core::nearFieldSetup();
+    using modem::ModemKind;
+    for (ModemKind kind : {ModemKind::Bfsk, ModemKind::Mlask4}) {
+        double ber_marked = 0.0, ber_plain = 0.0;
+        std::size_t erased_marked = 0, erased_plain = 0;
+        for (bool mark : {true, false}) {
+            modem::ModemLinkOptions o;
+            o.modem.kind = kind;
+            o.modem.markFaultErasures = mark;
+            o.payloadBits = 64;
+            o.seed = 9;
+            o.faults = sim::dropoutGainStepConfig(0);
+            modem::ModemLinkResult r =
+                modem::runModemLink(dev, setup, o);
+            ASSERT_TRUE(r.ok()) << modem::modemName(kind);
+            EXPECT_TRUE(r.frameFound) << modem::modemName(kind);
+            EXPECT_GT(r.faultEvents, 0u);
+            (mark ? ber_marked : ber_plain) = r.berPayload;
+            (mark ? erased_marked : erased_plain) = r.erasedSymbols;
+        }
+        // Marking fault spans as erasures may only help the frame
+        // parser, never hurt it.
+        EXPECT_LE(ber_marked, ber_plain + 1e-12)
+            << modem::modemName(kind);
+        EXPECT_GE(erased_marked, erased_plain)
+            << modem::modemName(kind);
+    }
+}
+
+TEST(TwoTransmitterScenes, FdmDecodesBothPayloads)
+{
+    ScopedVerbosity quiet(false);
+    modem::TwoTxOptions o;
+    o.seed = 3;
+    modem::TwoTxResult r = modem::runTwoTransmitterScene(
+        modem::TwoTxScene::Fdm, core::referenceDevice(), o);
+    ASSERT_TRUE(r.ok()) << r.failure->message;
+    EXPECT_TRUE(r.tx[0].payloadRecovered);
+    EXPECT_TRUE(r.tx[1].payloadRecovered);
+
+    // The two transmitters sit on harmonically related lines f and
+    // 2f, and the FDM-aware search surfaced both.
+    double lo = std::min(r.tx[0].carrierHz, r.tx[1].carrierHz);
+    double hi = std::max(r.tx[0].carrierHz, r.tx[1].carrierHz);
+    ASSERT_GT(lo, 0.0);
+    EXPECT_NEAR(hi / lo, 2.0, 0.05);
+    ASSERT_GE(r.lines.size(), 2u);
+
+    // The legacy single-carrier estimator demotes the 2f line on the
+    // same capture — the regression the fdmAware flag exists for.
+    EXPECT_NEAR(r.singleEstimateHz, lo, 0.02 * lo);
+}
+
+TEST(RateControl, SettlesOnTheFastestPassingRungFromAnyStart)
+{
+    // Synthetic monotone BER ladder: rungs 0..1 fail the 1e-2
+    // target, rungs 2..3 pass, so the fastest passing rung is 2.
+    const std::vector<double> ber = {0.2, 0.05, 0.004, 0.001};
+    for (std::size_t start = 0; start < ber.size(); ++start) {
+        modem::RateControllerConfig cfg;
+        cfg.rungs = ber.size();
+        cfg.start = start;
+        modem::RateController ctl(cfg);
+        std::size_t probes = 0;
+        while (ctl.report(ber[ctl.current()]) &&
+               probes < 3 * ber.size())
+            ++probes;
+        EXPECT_TRUE(ctl.settled()) << "start " << start;
+        EXPECT_EQ(ctl.current(), 2u) << "start " << start;
+        // The visited-set walk reaches the answer within one
+        // overshoot step of any start.
+        EXPECT_LE(ctl.steps(), ber.size()) << "start " << start;
+    }
+}
+
+TEST(RateControl, RejectsDegenerateConfigurations)
+{
+    auto expect_invalid = [](modem::RateControllerConfig cfg) {
+        try {
+            modem::RateController ctl(cfg);
+            FAIL() << "degenerate ladder accepted";
+        } catch (const RecoverableError &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::InvalidConfig);
+        }
+    };
+    modem::RateControllerConfig empty;
+    expect_invalid(empty);
+
+    modem::RateControllerConfig bad_start;
+    bad_start.rungs = 3;
+    bad_start.start = 3;
+    expect_invalid(bad_start);
+
+    modem::RateControllerConfig bad_bps;
+    bad_bps.rungs = 3;
+    bad_bps.rungBps = {100.0, 50.0};
+    expect_invalid(bad_bps);
+}
+
+} // namespace
+} // namespace emsc

@@ -19,6 +19,8 @@
 #include "bench_util.hpp"
 #include "core/api.hpp"
 #include "core/keylogging.hpp"
+#include "modem/link.hpp"
+#include "modem/rate_control.hpp"
 #include "stream/receiver_ops.hpp"
 #include "stream/sources.hpp"
 #include "support/json.hpp"
@@ -228,6 +230,52 @@ TEST(ToolMetrics, BatchAndStreamingReportTheSameChannelNames)
               nullptr);
     EXPECT_GT(*stream_snap.counter("stream.stage.envelope.samples_in"),
               0u);
+}
+
+TEST(ToolMetrics, ModemRunEmitsDocumentedKeys)
+{
+    ScopedVerbosity quiet(false);
+    telemetry::ScopedTelemetry scope;
+
+    core::DeviceProfile dev = core::referenceDevice();
+    core::MeasurementSetup setup = core::nearFieldSetup();
+    modem::ModemLinkOptions o;
+    o.modem.kind = modem::ModemKind::Bfsk;
+    o.payloadBits = 64;
+    o.seed = 5;
+    modem::ModemLinkResult r = modem::runModemLink(dev, setup, o);
+    ASSERT_TRUE(r.ok()) << r.failure->message;
+    ASSERT_TRUE(r.frameFound);
+
+    // An adaptive-rate walk over a synthetic ladder publishes the
+    // rate gauge and step counter next to the link metrics.
+    modem::RateControllerConfig rc;
+    rc.rungs = 3;
+    rc.start = 2;
+    rc.rungBps = {1200.0, 800.0, 400.0};
+    modem::RateController ctl(rc);
+    const double ladder_ber[] = {0.5, 0.002, 0.001};
+    while (ctl.report(ladder_ber[ctl.current()]))
+        ;
+    ASSERT_TRUE(ctl.settled());
+    EXPECT_EQ(ctl.current(), 1u);
+
+    json::Value root = writeAndParseMetrics("modem_metrics.json");
+    EXPECT_EQ(root.find("schema")->string(), "emsc.metrics.v1");
+    for (const char *c :
+         {"modem.runs", "modem.frames_found", "modem.bfsk.symbols",
+          "modem.bfsk.symbol_errors", "modem.rate.steps"})
+        expectNumberKey(root, "counters", c);
+    expectNumberKey(root, "gauges", "modem.rate.current_bps");
+
+    EXPECT_GT(
+        root.find("counters")->find("modem.bfsk.symbols")->number(),
+        0.0);
+    EXPECT_DOUBLE_EQ(
+        root.find("gauges")->find("modem.rate.current_bps")->number(),
+        800.0);
+    EXPECT_GT(root.find("counters")->find("modem.rate.steps")->number(),
+              0.0);
 }
 
 TEST(BenchWallStats, MedianAveragesEvenCountsAndP90IsNearestRank)
