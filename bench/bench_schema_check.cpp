@@ -1,11 +1,12 @@
 /**
  * @file
- * Validator for the machine-readable bench reports: loads every
- * BENCH_*.json under the given directories and fails (exit 1) on any
- * drift from the emsc.bench.v1 schema — wrong/missing keys, wrong
- * types, or unknown top-level members. Pure C++ on purpose: the repo
- * ships no Python, so the schema gate has to run anywhere the benches
- * do.
+ * Validator for the machine-readable reports: loads every
+ * BENCH_*.json (emsc.bench.v1) and flight-*.json (emsc.flight.v1
+ * post-mortems from the signal-quality flight recorder) under the
+ * given directories and fails (exit 1) on any drift from the schema
+ * — wrong/missing keys, wrong types, or unknown top-level members.
+ * Pure C++ on purpose: the repo ships no Python, so the schema gate
+ * has to run anywhere the benches do.
  *
  * Documented wall_ms conventions (enforced here as the invariant
  * p90 >= median): median averages the two middle order statistics for
@@ -16,9 +17,10 @@
  * Usage: bench_schema_check [--selftest] [dir ...]
  *
  * With no directories the current directory is scanned. --selftest
- * writes a reference BenchReport to a temporary directory first and
- * validates it, so the ctest entry exercises the writer+validator
- * round trip even before any bench has produced output.
+ * writes a reference BenchReport and a reference flight-recorder
+ * post-mortem to a temporary directory first and validates both, so
+ * the ctest entry exercises the writer+validator round trip even
+ * before any bench has produced output or any decode has failed.
  */
 
 #include <cstdio>
@@ -29,6 +31,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "support/flight.hpp"
 #include "support/json.hpp"
 
 namespace fs = std::filesystem;
@@ -125,6 +128,101 @@ checkReport(const Value &root, Findings &out)
         checkNumberMap(*metrics, "metrics", out);
 }
 
+/** Validate an emsc.flight.v1 post-mortem (support/flight.hpp). */
+void
+checkFlight(const Value &root, Findings &out)
+{
+    if (!root.isObject()) {
+        out.fail("top level must be an object");
+        return;
+    }
+
+    static const char *const kKnown[] = {
+        "schema", "reason", "dumped_at_ns", "events", "envelope",
+    };
+    for (const auto &member : root.members()) {
+        bool known = false;
+        for (const char *k : kKnown)
+            known |= member.first == k;
+        if (!known)
+            out.fail("unknown top-level key \"" + member.first + "\"");
+    }
+
+    const Value *schema = root.find("schema");
+    if (schema == nullptr || !schema->isString())
+        out.fail("missing string \"schema\"");
+    else if (schema->string() != "emsc.flight.v1")
+        out.fail("schema is \"" + schema->string() +
+                 "\", expected \"emsc.flight.v1\"");
+
+    const Value *reason = root.find("reason");
+    if (reason == nullptr || !reason->isString() ||
+        reason->string().empty())
+        out.fail("missing non-empty string \"reason\"");
+
+    const Value *at = root.find("dumped_at_ns");
+    if (at == nullptr || !at->isNumber() || at->number() < 0.0)
+        out.fail("missing non-negative number \"dumped_at_ns\"");
+
+    const Value *events = root.find("events");
+    if (events == nullptr || !events->isArray()) {
+        out.fail("missing array \"events\"");
+    } else {
+        std::size_t i = 0;
+        for (const Value &e : events->items()) {
+            const std::string at_i =
+                "events[" + std::to_string(i++) + "]";
+            if (!e.isObject()) {
+                out.fail(at_i + " must be an object");
+                continue;
+            }
+            const Value *t = e.find("t_ns");
+            if (t == nullptr || !t->isNumber() || t->number() < 0.0)
+                out.fail(at_i + ".t_ns must be a non-negative number");
+            const Value *kind = e.find("kind");
+            if (kind == nullptr || !kind->isString() ||
+                kind->string().empty())
+                out.fail(at_i + ".kind must be a non-empty string");
+            const Value *data = e.find("data");
+            if (data == nullptr || !data->isObject())
+                out.fail(at_i + ".data must be an object");
+        }
+    }
+
+    const Value *env = root.find("envelope");
+    if (env == nullptr) {
+        out.fail("missing \"envelope\" (null or object)");
+    } else if (!env->isNull()) {
+        if (!env->isObject()) {
+            out.fail("envelope must be null or an object");
+        } else {
+            const Value *rate = env->find("sample_rate");
+            if (rate == nullptr || !rate->isNumber() ||
+                rate->number() <= 0.0)
+                out.fail("envelope.sample_rate must be a positive "
+                         "number");
+            const Value *first = env->find("first_index");
+            if (first == nullptr || !first->isNumber() ||
+                first->number() < 0.0)
+                out.fail("envelope.first_index must be a "
+                         "non-negative number");
+            const Value *samples = env->find("samples");
+            if (samples == nullptr || !samples->isArray() ||
+                samples->items().empty()) {
+                out.fail("envelope.samples must be a non-empty "
+                         "array");
+            } else {
+                for (const Value &s : samples->items())
+                    if (!s.isNumber()) {
+                        out.fail("envelope.samples must contain only "
+                                 "numbers");
+                        break;
+                    }
+            }
+        }
+    }
+}
+
 bool
 validateFile(const fs::path &path, Findings &out)
 {
@@ -143,7 +241,10 @@ validateFile(const fs::path &path, Findings &out)
         out.fail("JSON parse error: " + error);
         return false;
     }
-    checkReport(root, out);
+    if (path.filename().string().rfind("flight-", 0) == 0)
+        checkFlight(root, out);
+    else
+        checkReport(root, out);
     return out.errors.empty();
 }
 
@@ -196,6 +297,37 @@ selftest()
     return ok;
 }
 
+/** Write a post-mortem through the real FlightRecorder and validate
+ * it, so the recorder's writer and this validator cannot drift. */
+bool
+flightSelftest()
+{
+    fs::path dir = fs::temp_directory_path() / "emsc_flight_selftest";
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+
+    emsc::flight::FlightRecorder rec;
+    rec.arm(dir.string());
+    Value lock = Value::object();
+    lock.set("carrier_hz", 147000.0);
+    lock.set("snr_db", 18.5);
+    rec.record("carrier_lock", std::move(lock));
+    rec.record("retry"); // event with no payload: data must dump {}
+    const double env[] = {0.1, 0.9, 0.2, 0.8};
+    rec.recordEnvelope(env, 4, 1.8e6);
+    std::string path = rec.dump("selftest");
+
+    Findings f;
+    bool ok = !path.empty() && validateFile(path, f);
+    if (path.empty())
+        f.fail("FlightRecorder::dump wrote no file");
+    for (const std::string &e : f.errors)
+        std::fprintf(stderr, "flight selftest: %s: %s\n",
+                     f.file.c_str(), e.c_str());
+    fs::remove_all(dir, ec);
+    return ok;
+}
+
 } // namespace
 
 int
@@ -221,6 +353,12 @@ main(int argc, char **argv)
             std::printf("selftest: FAILED\n");
             ++failures;
         }
+        if (flightSelftest()) {
+            std::printf("flight selftest: OK\n");
+        } else {
+            std::printf("flight selftest: FAILED\n");
+            ++failures;
+        }
     }
 
     std::size_t checked = 0;
@@ -236,8 +374,9 @@ main(int argc, char **argv)
         for (; it != end; ++it) {
             const fs::path &p = it->path();
             std::string fn = p.filename().string();
-            if (fn.rfind("BENCH_", 0) != 0 ||
-                p.extension() != ".json")
+            const bool bench = fn.rfind("BENCH_", 0) == 0;
+            const bool flight = fn.rfind("flight-", 0) == 0;
+            if ((!bench && !flight) || p.extension() != ".json")
                 continue;
             ++checked;
             Findings f;

@@ -26,8 +26,10 @@
 
 #include "bench_util.hpp"
 #include "serve/manager.hpp"
+#include "serve/metrics_http.hpp"
 #include "stream/receiver_ops.hpp"
 #include "stream_test_rig.hpp"
+#include "support/exposition.hpp"
 #include "support/telemetry.hpp"
 
 using namespace emsc;
@@ -73,6 +75,14 @@ main(int argc, char **argv)
     }
 
     telemetry::MetricsRegistry::global().setEnabled(true);
+
+    // Live exposition endpoint over the whole soak: after the run
+    // quiesces, a scrape must equal the end-of-run snapshot on every
+    // value (the tentpole's scrape-equality contract).
+    serve::MetricsEndpoint endpoint;
+    endpoint.start();
+    std::printf("metrics exposition on http://127.0.0.1:%u/metrics\n",
+                endpoint.port());
 
     std::printf("perf_serve: %zu concurrent sessions, %zu-bit "
                 "payload, seed %llu\n",
@@ -193,6 +203,42 @@ main(int argc, char **argv)
             "counter serve.admission.rejected missing or zero\n");
         metricsOk = false;
     }
+
+    // Scrape-equality gate: the run has quiesced (every session
+    // closed), so a live scrape of the endpoint must agree with the
+    // end-of-run snapshot on every counter/gauge/histogram value,
+    // and the Prometheus text scrape must be exactly the text render
+    // of the scraped JSON.
+    try {
+        std::string scraped = serve::httpGet(
+            "127.0.0.1", endpoint.port(), "/metrics.json");
+        std::string scrapedProm = serve::httpGet(
+            "127.0.0.1", endpoint.port(), "/metrics");
+        json::Value doc;
+        std::string err;
+        if (!json::Value::parse(scraped, doc, &err))
+            throw RecoverableError(ErrorKind::MalformedInput,
+                                   "scrape parse: " + err);
+        telemetry::MetricsSnapshot scrapeSnap =
+            telemetry::snapshotFromJson(doc);
+        if (telemetry::metricsJson(scrapeSnap).dump(2) !=
+            snap.dump(2)) {
+            std::fprintf(stderr, "live scrape disagrees with the "
+                                 "end-of-run metrics snapshot\n");
+            metricsOk = false;
+        }
+        if (telemetry::prometheusText(scrapeSnap) != scrapedProm) {
+            std::fprintf(stderr,
+                         "/metrics text scrape disagrees with the "
+                         "text render of /metrics.json\n");
+            metricsOk = false;
+        }
+    } catch (const RecoverableError &e) {
+        std::fprintf(stderr, "scrape-equality check failed: %s\n",
+                     e.what());
+        metricsOk = false;
+    }
+    endpoint.stop();
 
     bench::BenchReport report("perf_serve");
     report.addWallMs(wallMs);

@@ -11,6 +11,7 @@
 #include "covert_rig.hpp"
 #include "stream/receiver_ops.hpp"
 #include "stream/sources.hpp"
+#include "support/flight.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -73,5 +74,39 @@ BM_StreamingDecode(benchmark::State &state)
     state.SetLabel("600-bit capture, chunked bounded-memory decode");
 }
 BENCHMARK(BM_StreamingDecode)->Arg(1)->Arg(4)->UseRealTime();
+
+/**
+ * The inline streaming decode with the flight recorder armed in
+ * record-only mode (arm(""): events + envelope excerpts accumulate,
+ * no files are written), against BM_StreamingDecode/1 as the
+ * disarmed twin.  This is the enforcement point of the recorder's
+ * documented overhead contract — armed throughput must stay within
+ * 3% of disarmed (bench_gate --threshold 3 over this report's
+ * baseline; see support/flight.hpp).
+ */
+void
+BM_StreamingDecodeFlightArmed(benchmark::State &state)
+{
+    const bench::CovertRun &run = sharedRun();
+    ScopedThreadCount scoped(1);
+    flight::FlightRecorder &fr = flight::FlightRecorder::global();
+    fr.arm("");
+    stream::ReceiverOps ops(channel::ReceiverConfig{});
+    stream::StreamingResult last;
+    for (auto _ : state) {
+        stream::MemoryChunkSource src(run.capture, 1 << 15);
+        last = ops.runStreaming(src);
+        benchmark::DoNotOptimize(last.rx.frame.found);
+    }
+    state.counters["flight_events"] =
+        static_cast<double>(fr.events().size());
+    fr.disarm();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(run.capture.samples.size()));
+    state.SetLabel(
+        "600-bit capture, flight recorder armed (record-only)");
+}
+BENCHMARK(BM_StreamingDecodeFlightArmed);
 
 } // namespace

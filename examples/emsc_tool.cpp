@@ -20,6 +20,10 @@
  *                     [--dir <d>] [--resume] [--watchdog <s>]
  *                     [--retries <n>] [--merge]
  *   emsc_tool merge   <name> [--shards <N>] [--dir <d>] [--out <f>]
+ *   emsc_tool top     [--port <p>] [--host <h>] [--interval <s>]
+ *                     [--once]
+ *   emsc_tool top     <sweep> [--shards <N>] [--dir <d>]
+ *                     [--interval <s>] [--once]
  *
  * `sweep` runs a named experiment sweep (engine/sweeps.hpp) through
  * the crash-safe work-unit engine: each finished unit is journaled
@@ -29,9 +33,26 @@
  * into the final deterministic emsc.bench.v1 artifact — bit-identical
  * however the sweep was sharded, killed or resumed.
  *
+ * `top` is the live view: with --port it polls another process's
+ * metrics exposition endpoint (/metrics.json, see --metrics-port
+ * below) and renders the counters/rates dashboard; with a sweep name
+ * it tails the shard journals offline — no cooperation from the
+ * running shards needed — and renders per-shard progress plus an ETA.
+ *
  * Global flags (any command): --metrics <file.json> writes the
  * telemetry registry's snapshot after the run; --trace <file.json>
- * writes a Chrome trace_event JSON (open in about:tracing/Perfetto).
+ * writes a Chrome trace_event JSON (open in about:tracing/Perfetto);
+ * --metrics-port <p> serves live snapshots over loopback HTTP while
+ * the command runs (/metrics Prometheus text, /metrics.json,
+ * /series.json; 0 picks an ephemeral port, printed at startup);
+ * --flight-dir <dir> arms the signal-quality flight recorder, which
+ * dumps an emsc.flight.v1 post-mortem there when a decode fails, a
+ * CRC hard-fails, or the sweep watchdog/retry fires.
+ *
+ * A pinned-shard sweep (`--shard i/N`) writes --metrics/--trace to a
+ * per-shard path (suffix ".shard-i-of-N") so concurrent shards never
+ * clobber each other; `merge` folds those per-shard metrics files
+ * into the base --metrics path.
  *
  * `capture` writes the simulated RTL-SDR baseband in the interleaved
  * u8 format rtl_sdr(1) produces, so the emission can be inspected with
@@ -46,23 +67,31 @@
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/api.hpp"
+#include "engine/journal.hpp"
 #include "engine/merge.hpp"
+#include "engine/progress.hpp"
 #include "engine/sweeps.hpp"
 #include "modem/link.hpp"
 #include "sdr/iqfile.hpp"
 #include "sdr/rtlsdr.hpp"
+#include "serve/metrics_http.hpp"
 #include "serve/server.hpp"
 #include "sim/faults.hpp"
 #include "stream/receiver_ops.hpp"
 #include "stream/sources.hpp"
 #include "support/error.hpp"
+#include "support/exposition.hpp"
+#include "support/flight.hpp"
+#include "support/json.hpp"
 #include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
+#include "support/topview.hpp"
 #include "vrm/pmu.hpp"
 
 using namespace emsc;
@@ -103,6 +132,10 @@ struct Args
     std::size_t retries = 1;        // attempts per unit
     bool mergeAfter = false;        // sweep --merge
     std::string out;                // merge --out
+    // top
+    std::string host = "127.0.0.1";
+    double intervalSec = 1.0;
+    bool once = false;
 };
 
 core::MeasurementSetup
@@ -195,6 +228,12 @@ parse(int argc, char **argv, int first)
             a.mergeAfter = true;
         else if (flag == "--out")
             a.out = next();
+        else if (flag == "--host")
+            a.host = next();
+        else if (flag == "--interval")
+            a.intervalSec = std::atof(next());
+        else if (flag == "--once")
+            a.once = true;
         else
             fatal("unknown flag '%s'", flag.c_str());
     }
@@ -586,6 +625,88 @@ cmdServe(const Args &a)
     return 0;
 }
 
+/** Sleep one refresh interval, waking early on SIGINT/SIGTERM.
+ * Returns false when the user asked to stop. */
+bool
+topSleep(double seconds)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (g_serve_stop)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return g_serve_stop == 0;
+}
+
+int
+cmdTopLive(const Args &a)
+{
+    if (a.port == 0)
+        fatal("top needs --port <metrics port> to poll a live "
+              "process, or a sweep name for offline journal mode");
+    g_serve_stop = 0;
+    std::signal(SIGINT, serveSignal);
+    std::signal(SIGTERM, serveSignal);
+    telemetry::MetricsSnapshot prev;
+    bool have_prev = false;
+    auto last = std::chrono::steady_clock::now();
+    for (;;) {
+        std::string body =
+            serve::httpGet(a.host, a.port, "/metrics.json");
+        json::Value doc;
+        std::string err;
+        if (!json::Value::parse(body, doc, &err))
+            raiseError(ErrorKind::MalformedInput,
+                       "bad /metrics.json from %s:%u: %s",
+                       a.host.c_str(), a.port, err.c_str());
+        telemetry::MetricsSnapshot cur =
+            telemetry::snapshotFromJson(doc);
+        const auto now = std::chrono::steady_clock::now();
+        const double dt =
+            std::chrono::duration<double>(now - last).count();
+        last = now;
+        if (!a.once)
+            std::printf("\x1b[H\x1b[2J"); // home + clear screen
+        std::printf("emsc top — %s:%u  (refresh %.1fs)\n\n%s",
+                    a.host.c_str(), a.port, a.intervalSec,
+                    telemetry::renderMetricsTop(
+                        cur, have_prev ? &prev : nullptr, dt)
+                        .c_str());
+        std::fflush(stdout);
+        prev = cur;
+        have_prev = true;
+        if (a.once || !topSleep(a.intervalSec))
+            return 0;
+    }
+}
+
+int
+cmdTopSweep(const std::string &name, const Args &a)
+{
+    engine::Sweep sweep = engine::makeSweep(name);
+    g_serve_stop = 0;
+    std::signal(SIGINT, serveSignal);
+    std::signal(SIGTERM, serveSignal);
+    for (;;) {
+        engine::SweepProgress p = engine::sweepProgress(
+            a.dir, sweep.name, sweep.units, a.shards);
+        if (!a.once)
+            std::printf("\x1b[H\x1b[2J");
+        std::printf("%s", engine::renderSweepTop(p).c_str());
+        std::fflush(stdout);
+        if (p.complete())
+            return 0;
+        if (a.once)
+            return 1;
+        if (!topSleep(a.intervalSec))
+            return 0;
+    }
+}
+
 void
 usage()
 {
@@ -619,9 +740,20 @@ usage()
         "  merge   <name> [--shards N] [--dir D] [--out F]\n"
         "                                    merge shard journals "
         "into the bench artifact\n"
+        "  top     [--port P] [--host H] [--interval S] [--once]\n"
+        "                                    live dashboard polling a "
+        "--metrics-port endpoint\n"
+        "  top     <sweep> [--shards N] [--dir D] [--interval S] "
+        "[--once]\n"
+        "                                    offline sweep progress "
+        "from the shard journals\n"
         "global flags (any command):\n"
         "  --metrics <file.json>             write telemetry metrics\n"
-        "  --trace <file.json>               write Chrome trace JSON\n");
+        "  --trace <file.json>               write Chrome trace JSON\n"
+        "  --metrics-port <p>                serve live metrics over "
+        "loopback HTTP (0 = ephemeral)\n"
+        "  --flight-dir <dir>                dump emsc.flight.v1 "
+        "post-mortems on decode/CRC/watchdog failures\n");
 }
 
 } // namespace
@@ -631,26 +763,88 @@ main(int argc, char **argv)
 {
     // Global telemetry flags are stripped before subcommand parsing
     // so every command accepts them in any position.
-    std::string metricsPath, tracePath;
+    std::string metricsPath, tracePath, flightDir;
+    bool serveMetrics = false;
+    std::uint16_t metricsPort = 0;
     std::vector<char *> kept;
     kept.reserve(static_cast<std::size_t>(argc));
     for (int i = 0; i < argc; ++i) {
         std::string flag = argv[i];
-        if (flag == "--metrics" || flag == "--trace") {
+        if (flag == "--metrics" || flag == "--trace" ||
+            flag == "--flight-dir") {
             if (i + 1 >= argc)
-                fatal("%s requires a file argument", flag.c_str());
-            (flag == "--metrics" ? metricsPath : tracePath) =
-                argv[++i];
+                fatal("%s requires a value", flag.c_str());
+            (flag == "--metrics"  ? metricsPath
+             : flag == "--trace" ? tracePath
+                                 : flightDir) = argv[++i];
+            continue;
+        }
+        if (flag == "--metrics-port") {
+            if (i + 1 >= argc)
+                fatal("%s requires a value", flag.c_str());
+            serveMetrics = true;
+            metricsPort =
+                static_cast<std::uint16_t>(std::atoi(argv[++i]));
             continue;
         }
         kept.push_back(argv[i]);
     }
     argc = static_cast<int>(kept.size());
     argv = kept.data();
-    if (!metricsPath.empty())
+
+    // A pinned sweep shard is one of N concurrent processes: give
+    // each its own metrics/trace file so they never clobber each
+    // other, and let `merge` fold the shard metrics back together.
+    std::string cmdName = argc >= 2 ? argv[1] : "";
+    std::size_t shardOf = 0, shardsTotal = 1;
+    bool shardSeen = false;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+            char *slash = nullptr;
+            shardOf = std::strtoul(argv[i + 1], &slash, 10);
+            if (slash != nullptr && *slash == '/') {
+                shardsTotal = std::strtoul(slash + 1, nullptr, 10);
+                shardSeen = true;
+            }
+        } else if (std::strcmp(argv[i], "--shards") == 0 &&
+                   i + 1 < argc) {
+            shardsTotal = static_cast<std::size_t>(
+                std::atoll(argv[i + 1]));
+        }
+    }
+    const std::string mergedMetricsPath = metricsPath;
+    if (cmdName == "sweep" && shardSeen) {
+        if (!metricsPath.empty())
+            metricsPath = engine::shardSuffixedPath(
+                metricsPath, shardOf, shardsTotal);
+        if (!tracePath.empty())
+            tracePath = engine::shardSuffixedPath(tracePath, shardOf,
+                                                  shardsTotal);
+    }
+
+    if (!metricsPath.empty() || serveMetrics)
         telemetry::MetricsRegistry::global().setEnabled(true);
     if (!tracePath.empty())
         telemetry::TraceCollector::global().setEnabled(true);
+    if (!flightDir.empty())
+        flight::FlightRecorder::global().arm(flightDir);
+
+    std::unique_ptr<serve::MetricsEndpoint> endpoint;
+    if (serveMetrics) {
+        serve::MetricsEndpointConfig mc;
+        mc.port = metricsPort;
+        endpoint = std::make_unique<serve::MetricsEndpoint>(mc);
+        emsc::runOrDie([&]() -> int {
+            endpoint->start();
+            return 0;
+        });
+        std::printf("metrics exposition on "
+                    "http://127.0.0.1:%u/metrics\n",
+                    endpoint->port());
+        // The port line is what a scraper/`top` wrapper greps for;
+        // make it visible before the (possibly long) run starts.
+        std::fflush(stdout);
+    }
 
     // A bad file path or degenerate option surfaces here as a
     // RecoverableError; exiting with fatal() is the CLI's job, not
@@ -695,6 +889,13 @@ main(int argc, char **argv)
         }
         if (cmd == "serve")
             return cmdServe(parse(argc, argv, 2));
+        if (cmd == "top") {
+            // A non-flag first operand is a sweep name: offline
+            // journal-tailing mode.  Otherwise poll a live endpoint.
+            if (argc >= 3 && argv[2][0] != '-')
+                return cmdTopSweep(argv[2], parse(argc, argv, 3));
+            return cmdTopLive(parse(argc, argv, 2));
+        }
         if (cmd == "sweep" || cmd == "merge") {
             if (argc < 3 || argv[2][0] == '-') {
                 std::printf("known sweeps:");
@@ -712,11 +913,48 @@ main(int argc, char **argv)
         return 2;
     });
 
+    // The exposition sidecar outlives the command body so a scrape
+    // taken right after the run quiesces still answers; it stops
+    // before the end-of-run files are written.
+    endpoint.reset();
+
+    // `merge` folds the per-shard metrics files written by pinned
+    // sweep shards into one emsc.metrics.v1 at the base --metrics
+    // path — the observability analogue of the journal merge.  The
+    // merge process's own registry (idle: merge runs no decodes) is
+    // not written in that case.
+    bool mergedShardMetrics = false;
+    if (cmdName == "merge" && !mergedMetricsPath.empty()) {
+        int merge_code = emsc::runOrDie([&]() -> int {
+            std::vector<std::string> parts;
+            for (std::size_t i = 0; i < shardsTotal; ++i)
+                parts.push_back(engine::shardSuffixedPath(
+                    mergedMetricsPath, i, shardsTotal));
+            std::size_t loaded = 0;
+            telemetry::MetricsSnapshot merged =
+                telemetry::mergeMetricsFiles(parts, &loaded);
+            if (loaded == 0)
+                return 0; // no shard files: fall back to registry
+            json::writeFileAtomic(
+                mergedMetricsPath,
+                telemetry::metricsJson(merged).dump(2) + "\n");
+            std::printf("metrics merged from %zu shard file%s to "
+                        "%s\n",
+                        loaded, loaded == 1 ? "" : "s",
+                        mergedMetricsPath.c_str());
+            mergedShardMetrics = true;
+            return 0;
+        });
+        if (code == 0)
+            code = merge_code;
+    }
+
     // Reports are written even when the run itself failed: a failed
     // decode's counters are exactly what one wants to inspect.
-    if (!metricsPath.empty() || !tracePath.empty()) {
+    if ((!metricsPath.empty() && !mergedShardMetrics) ||
+        !tracePath.empty()) {
         int report_code = emsc::runOrDie([&]() -> int {
-            if (!metricsPath.empty()) {
+            if (!metricsPath.empty() && !mergedShardMetrics) {
                 telemetry::writeMetricsFile(metricsPath);
                 std::printf("metrics written to %s\n",
                             metricsPath.c_str());

@@ -11,6 +11,7 @@
 #include "dsp/sliding_dft.hpp"
 #include "dsp/window.hpp"
 #include "support/error.hpp"
+#include "support/flight.hpp"
 #include "support/logging.hpp"
 #include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
@@ -249,6 +250,13 @@ double
 estimateCarrier(const sdr::IqCapture &capture,
                 const AcquisitionConfig &config)
 {
+    return estimateCarrierDetailed(capture, config).hz;
+}
+
+CarrierEstimate
+estimateCarrierDetailed(const sdr::IqCapture &capture,
+                        const AcquisitionConfig &config)
+{
     telemetry::TraceSpan span("channel.estimate_carrier");
     BinSwingStats st = computeBinSwing(capture, config);
     std::size_t m = st.m;
@@ -297,16 +305,28 @@ estimateCarrier(const sdr::IqCapture &capture,
             warn("no modulated spectral line found in the %g-%g Hz "
                  "band",
                  config.searchLowHz, config.searchHighHz);
-        return 0.0;
+        return CarrierEstimate{};
     }
+    CarrierEstimate est;
     // Carrier-lock SNR: modulation swing of the winning line over the
     // typical swing of a noise bin, in dB (paper terms: how far the
     // PMU spur stands out of the acquisition band's noise floor).
-    if (st.noiseSwing > 0.0 && st.swing[best_bin] > 0.0)
-        snrGauge.set(20.0 *
-                     std::log10(st.swing[best_bin] / st.noiseSwing));
+    if (st.noiseSwing > 0.0 && st.swing[best_bin] > 0.0) {
+        est.snrDb = 20.0 * std::log10(st.swing[best_bin] / st.noiseSwing);
+        snrGauge.set(est.snrDb);
+    }
 
-    return refineCentroid(capture, st, best_bin, best_freq);
+    est.hz = refineCentroid(capture, st, best_bin, best_freq);
+    flight::FlightRecorder &rec = flight::FlightRecorder::global();
+    if (rec.armed()) {
+        json::Value data = json::Value::object();
+        data.set("carrier_hz", est.hz);
+        data.set("snr_db", std::isnan(est.snrDb)
+                               ? json::Value(nullptr)
+                               : json::Value(est.snrDb));
+        rec.record("carrier_lock", std::move(data));
+    }
+    return est;
 }
 
 std::vector<CarrierLine>

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -88,6 +89,29 @@ std::vector<double> welchSpectrum(const sdr::IqCapture &capture,
  */
 double estimateCarrier(const sdr::IqCapture &capture,
                        const AcquisitionConfig &config);
+
+/** Carrier estimate plus the lock quality behind it. */
+struct CarrierEstimate
+{
+    /** Centroid-refined fundamental (Hz); 0 when no line was found. */
+    double hz = 0.0;
+    /**
+     * Modulation swing of the winning line over a typical noise
+     * bin's swing, in dB — the same value published to the
+     * channel.carrier.snr_db gauge. NaN when no line was found or
+     * the noise floor was degenerate.
+     */
+    double snrDb = std::numeric_limits<double>::quiet_NaN();
+};
+
+/**
+ * estimateCarrier() plus the carrier-lock SNR, for callers that need
+ * the lock quality itself (streaming warm-up calibration, the serve
+ * Status frame, flight-recorder post-mortems) rather than only the
+ * published gauge.
+ */
+CarrierEstimate estimateCarrierDetailed(const sdr::IqCapture &capture,
+                                        const AcquisitionConfig &config);
 
 /** One modulated spectral line found by estimateCarriers(). */
 struct CarrierLine

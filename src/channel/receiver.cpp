@@ -6,6 +6,8 @@
 
 #include "dsp/fft.hpp"
 #include "support/error.hpp"
+#include "support/flight.hpp"
+#include "support/json.hpp"
 #include "support/telemetry.hpp"
 
 namespace emsc::channel {
@@ -643,56 +645,21 @@ receiveInto(const sdr::IqCapture &capture, const ReceiverConfig &config,
 
 } // namespace
 
-void
-publishReceiverTelemetry(const ReceiverResult &res)
+SignalQuality
+summarizeQuality(const ReceiverResult &res)
 {
-    telemetry::MetricsRegistry &reg =
-        telemetry::MetricsRegistry::global();
-    static telemetry::Counter receptions(reg, "channel.receptions");
-    static telemetry::Counter bitsLabeled(reg, "channel.bits.labeled");
-    static telemetry::Counter framesFound(reg, "channel.frames.found");
-    static telemetry::Counter crcFailures(reg, "channel.crc.failures");
-    static telemetry::Counter corrected(reg,
-                                        "channel.hamming.corrected");
-    static telemetry::Counter erasedBits(reg,
-                                         "channel.hamming.erased_bits");
-    static telemetry::Counter erasuresBridged(
-        reg, "channel.erasures.bridged");
-    static telemetry::Counter corruptSpans(reg,
-                                           "channel.corrupt_spans");
-    static telemetry::Counter segmentsUsed(reg,
-                                           "channel.segments.used");
-    static telemetry::Counter failures(reg, "channel.failures");
-    static telemetry::Gauge carrierHz(reg, "channel.carrier.hz");
-    static telemetry::Gauge jitter(reg, "channel.timing.jitter");
-    static telemetry::Gauge signaling(reg,
-                                      "channel.timing.signaling_time");
-    static telemetry::Gauge margin(reg, "channel.threshold.margin");
-    static telemetry::Gauge windowUsed(reg, "channel.window_used");
-    if (!reg.enabled())
-        return;
-
-    receptions.add();
-    bitsLabeled.add(res.labeled.bits.size());
-    if (res.frame.found)
-        framesFound.add();
-    if (res.frame.integrity == FrameIntegrity::Damaged)
-        crcFailures.add();
-    corrected.add(res.frame.corrected);
-    erasedBits.add(res.frame.erasedBits);
-    std::size_t bridged = 0;
+    SignalQuality q;
+    q.bitsLabeled = res.labeled.bits.size();
+    q.frameFound = res.frame.found;
+    q.crcDamaged = res.frame.integrity == FrameIntegrity::Damaged;
+    q.failed = res.failure.has_value();
+    q.windowUsed = res.windowUsed;
     for (auto b : res.erasureMask)
-        bridged += b ? 1 : 0;
-    erasuresBridged.add(bridged);
-    corruptSpans.add(res.corruptedSpans);
-    segmentsUsed.add(res.segments.size());
-    if (res.failure)
-        failures.add();
-
+        q.erasuresBridged += b ? 1 : 0;
     if (res.carrierHz > 0.0)
-        carrierHz.set(res.carrierHz);
+        q.carrierHz = res.carrierHz;
     if (res.timing.signalingTime > 0.0)
-        signaling.set(res.timing.signalingTime);
+        q.signalingTime = res.timing.signalingTime;
 
     // Timing-recovery jitter: median absolute deviation of the raw
     // bit spacings, relative to the median spacing (unitless; the
@@ -709,7 +676,7 @@ publishReceiverTelemetry(const ReceiverResult &res)
             for (auto &sp : spacings)
                 sp = std::fabs(sp - med);
             std::sort(spacings.begin(), spacings.end());
-            jitter.set(spacings[spacings.size() / 2] / med);
+            q.jitter = spacings[spacings.size() / 2] / med;
         }
     }
 
@@ -738,12 +705,112 @@ publishReceiverTelemetry(const ReceiverResult &res)
             double t = thr[thr.size() / 2];
             double sep = mu1 - mu0;
             if (sep > 0.0)
-                margin.set(std::min(mu1 - t, t - mu0) / sep);
+                q.thresholdMargin = std::min(mu1 - t, t - mu0) / sep;
         }
     }
+    return q;
+}
 
-    if (res.windowUsed)
-        windowUsed.set(static_cast<double>(res.windowUsed));
+namespace {
+
+/** Flight-recorder tap: one "reception" event per decode carrying
+ * the same values summarizeQuality feeds the gauges, plus the dump
+ * trigger for failed decodes. */
+void
+tapFlightRecorder(const ReceiverResult &res, const SignalQuality &q)
+{
+    flight::FlightRecorder &rec = flight::FlightRecorder::global();
+    if (!rec.armed())
+        return;
+
+    auto numOrNull = [](double v) {
+        return std::isnan(v) ? json::Value(nullptr) : json::Value(v);
+    };
+    json::Value data = json::Value::object();
+    data.set("carrier_hz", numOrNull(q.carrierHz));
+    data.set("jitter", numOrNull(q.jitter));
+    data.set("threshold_margin", numOrNull(q.thresholdMargin));
+    data.set("signaling_time", numOrNull(q.signalingTime));
+    data.set("window_used", static_cast<double>(q.windowUsed));
+    data.set("bits_labeled", static_cast<double>(q.bitsLabeled));
+    data.set("erasures_bridged",
+             static_cast<double>(q.erasuresBridged));
+    data.set("corrupt_spans", static_cast<double>(res.corruptedSpans));
+    data.set("frame_found", q.frameFound);
+    data.set("crc_damaged", q.crcDamaged);
+    if (res.failure)
+        data.set("failure", res.failure->message);
+    rec.record("reception", std::move(data));
+    if (!res.acquired.y.empty())
+        rec.recordEnvelope(res.acquired.y.data(), res.acquired.y.size(),
+                           res.acquired.sampleRate);
+
+    if (q.failed)
+        rec.dump("decode_failure");
+    else if (q.crcDamaged)
+        rec.dump("crc_damaged");
+    else if (!q.frameFound && res.carrierHz > 0.0)
+        rec.dump("no_frame");
+}
+
+} // namespace
+
+void
+publishReceiverTelemetry(const ReceiverResult &res)
+{
+    const SignalQuality q = summarizeQuality(res);
+    tapFlightRecorder(res, q);
+
+    telemetry::MetricsRegistry &reg =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter receptions(reg, "channel.receptions");
+    static telemetry::Counter bitsLabeled(reg, "channel.bits.labeled");
+    static telemetry::Counter framesFound(reg, "channel.frames.found");
+    static telemetry::Counter crcFailures(reg, "channel.crc.failures");
+    static telemetry::Counter corrected(reg,
+                                        "channel.hamming.corrected");
+    static telemetry::Counter erasedBits(reg,
+                                         "channel.hamming.erased_bits");
+    static telemetry::Counter erasuresBridged(
+        reg, "channel.erasures.bridged");
+    static telemetry::Counter corruptSpans(reg,
+                                           "channel.corrupt_spans");
+    static telemetry::Counter segmentsUsed(reg,
+                                           "channel.segments.used");
+    static telemetry::Counter failures(reg, "channel.failures");
+    static telemetry::Gauge carrierHz(reg, "channel.carrier.hz");
+    static telemetry::Gauge jitter(reg, "channel.timing.jitter");
+    static telemetry::Gauge signaling(reg,
+                                      "channel.timing.signaling_time");
+    static telemetry::Gauge margin(reg, "channel.threshold.margin");
+    static telemetry::Gauge windowUsed(reg, "channel.window_used");
+    if (!reg.enabled())
+        return;
+
+    receptions.add();
+    bitsLabeled.add(q.bitsLabeled);
+    if (q.frameFound)
+        framesFound.add();
+    if (q.crcDamaged)
+        crcFailures.add();
+    corrected.add(res.frame.corrected);
+    erasedBits.add(res.frame.erasedBits);
+    erasuresBridged.add(q.erasuresBridged);
+    corruptSpans.add(res.corruptedSpans);
+    segmentsUsed.add(res.segments.size());
+    if (q.failed)
+        failures.add();
+
+    if (!std::isnan(q.carrierHz))
+        carrierHz.set(q.carrierHz);
+    if (!std::isnan(q.signalingTime))
+        signaling.set(q.signalingTime);
+    if (!std::isnan(q.jitter))
+        jitter.set(q.jitter);
+    if (!std::isnan(q.thresholdMargin))
+        margin.set(q.thresholdMargin);
+    if (q.windowUsed)
+        windowUsed.set(static_cast<double>(q.windowUsed));
 }
 
 ReceiverResult

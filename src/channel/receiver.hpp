@@ -13,6 +13,7 @@
 #ifndef EMSC_CHANNEL_RECEIVER_HPP
 #define EMSC_CHANNEL_RECEIVER_HPP
 
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -174,6 +175,37 @@ struct ReceiverResult
 };
 
 /**
+ * Signal-quality summary of one reception — the scalar values behind
+ * the channel.* gauges, computed once and consumed by both the
+ * telemetry publisher and the flight recorder so a post-mortem's
+ * numbers match the published telemetry by construction.
+ * NaN marks a quantity the reception did not yield.
+ */
+struct SignalQuality
+{
+    /** Timing-recovery jitter: MAD of the raw bit spacings over the
+     * median spacing (unitless). */
+    double jitter = std::numeric_limits<double>::quiet_NaN();
+    /** Decision-threshold margin: distance from the threshold to the
+     * nearer class mean over the class separation. */
+    double thresholdMargin = std::numeric_limits<double>::quiet_NaN();
+    /** Recovered signaling time (decimated samples per bit). */
+    double signalingTime = std::numeric_limits<double>::quiet_NaN();
+    /** Estimated carrier (Hz); NaN when no carrier was found. */
+    double carrierHz = std::numeric_limits<double>::quiet_NaN();
+    /** Sliding-DFT decision window actually used (0 = none). */
+    std::size_t windowUsed = 0;
+    std::size_t bitsLabeled = 0;
+    std::size_t erasuresBridged = 0;
+    bool frameFound = false;
+    bool crcDamaged = false;
+    bool failed = false;
+};
+
+/** Compute the SignalQuality summary of a (possibly partial) result. */
+SignalQuality summarizeQuality(const ReceiverResult &res);
+
+/**
  * Publish the channel-quality metrics of a completed (or partially
  * completed) reception into the global telemetry registry: carrier
  * frequency, timing jitter, threshold margin, Hamming corrections,
@@ -182,6 +214,13 @@ struct ReceiverResult
  * ReceiverResult through this one function, so the two paths report
  * under the same stable metric names.  No-op while telemetry is
  * disabled.
+ *
+ * This is also the flight-recorder tap: when the recorder is armed,
+ * every reception records a "reception" event carrying the same
+ * SignalQuality values as the gauges plus an excerpt of the acquired
+ * envelope, and a failed decode (pipeline failure, damaged CRC, or a
+ * carrier without a frame) triggers an emsc.flight.v1 post-mortem
+ * dump.  The tap runs even while the metrics registry is disabled.
  */
 void publishReceiverTelemetry(const ReceiverResult &res);
 

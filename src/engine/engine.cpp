@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "support/flight.hpp"
 #include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
@@ -169,6 +170,16 @@ executeUnit(const Sweep &sweep, std::size_t unit,
             counters().unitTimeout.add();
             ++outcome.unitsTimedOut;
             ++outcome.unitsFailed;
+            flight::FlightRecorder &fr = flight::FlightRecorder::global();
+            if (fr.armed()) {
+                json::Value data = json::Value::object();
+                data.set("sweep", sweep.name);
+                data.set("unit", static_cast<double>(unit));
+                data.set("attempt", static_cast<double>(attempt));
+                data.set("budget_s", opts.watchdogSeconds);
+                fr.record("watchdog_timeout", std::move(data));
+                fr.dump("watchdog");
+            }
             return rec;
         }
         if (result.has_value()) {
@@ -181,6 +192,17 @@ executeUnit(const Sweep &sweep, std::size_t unit,
         if (attempt < opts.maxAttempts) {
             counters().retryAttempts.add();
             ++outcome.retries;
+            flight::FlightRecorder &fr = flight::FlightRecorder::global();
+            if (fr.armed()) {
+                json::Value data = json::Value::object();
+                data.set("sweep", sweep.name);
+                data.set("unit", static_cast<double>(unit));
+                data.set("attempt", static_cast<double>(attempt));
+                if (error)
+                    data.set("error", error->message);
+                fr.record("retry", std::move(data));
+                fr.dump("retry");
+            }
             double backoff =
                 opts.retryBackoffSeconds *
                 static_cast<double>(std::size_t{1} << (attempt - 1));

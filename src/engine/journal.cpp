@@ -243,6 +243,22 @@ journalPath(const std::string &dir, const std::string &sweep,
     return path + sweep + suffix;
 }
 
+std::string
+shardSuffixedPath(const std::string &path, std::size_t shard,
+                  std::size_t shards)
+{
+    char tag[48];
+    std::snprintf(tag, sizeof tag, ".shard-%zu-of-%zu", shard, shards);
+    std::size_t dot = path.rfind('.');
+    std::size_t slash = path.rfind('/');
+    bool has_ext = dot != std::string::npos &&
+                   (slash == std::string::npos || dot > slash + 1) &&
+                   dot != 0;
+    if (!has_ext)
+        return path + tag;
+    return path.substr(0, dot) + tag + path.substr(dot);
+}
+
 void
 ensureDir(const std::string &dir)
 {

@@ -96,6 +96,16 @@ std::string journalPath(const std::string &dir,
                         const std::string &sweep, std::size_t shard,
                         std::size_t shards);
 
+/**
+ * Insert a ".shard-<i>-of-<N>" tag before `path`'s extension
+ * ("m.json" -> "m.shard-0-of-4.json"; no extension appends the tag),
+ * so concurrent shards of one sweep write distinct metrics/trace
+ * files instead of clobbering a shared snapshot, and merge knows
+ * where to find every shard's file.
+ */
+std::string shardSuffixedPath(const std::string &path, std::size_t shard,
+                              std::size_t shards);
+
 /** Create `dir` (and parents) if missing; raises IoError. */
 void ensureDir(const std::string &dir);
 

@@ -1,0 +1,125 @@
+#include "engine/progress.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "engine/journal.hpp"
+
+namespace emsc::engine {
+
+SweepProgress
+sweepProgress(const std::string &dir, const std::string &sweep,
+              std::size_t units, std::size_t shards)
+{
+    SweepProgress out;
+    out.sweep = sweep;
+    out.units = units;
+    out.shards = shards ? shards : 1;
+
+    double okWallTotal = 0.0;
+    std::size_t okCount = 0;
+    for (std::size_t i = 0; i < out.shards; ++i) {
+        ShardProgress sp;
+        sp.shard = i;
+        JournalContents jc =
+            loadJournal(journalPath(dir, sweep, i, out.shards));
+        sp.found = jc.exists;
+        sp.headerOk = jc.headerOk;
+        sp.droppedLines = jc.droppedLines;
+        if (jc.headerOk && out.units == 0)
+            out.units = jc.header.units;
+        double wall = 0.0;
+        std::size_t ok_here = 0;
+        for (const UnitRecord &rec : jc.records) {
+            ++sp.done;
+            sp.attempts += rec.attempts;
+            switch (rec.status) {
+            case UnitStatus::Ok:
+                ++sp.ok;
+                wall += rec.wallMs;
+                ++ok_here;
+                break;
+            case UnitStatus::Failed:
+                ++sp.failed;
+                break;
+            case UnitStatus::TimedOut:
+                ++sp.timedOut;
+                break;
+            }
+        }
+        if (ok_here)
+            sp.meanOkWallMs = wall / static_cast<double>(ok_here);
+        okWallTotal += wall;
+        okCount += ok_here;
+        out.perShard.push_back(sp);
+    }
+
+    // The deterministic partition: shard i owns units i, i+N, ...
+    for (ShardProgress &sp : out.perShard) {
+        if (out.units > sp.shard)
+            sp.unitsAssigned =
+                (out.units - sp.shard + out.shards - 1) / out.shards;
+        out.done += sp.done;
+        out.ok += sp.ok;
+        out.failed += sp.failed;
+        out.timedOut += sp.timedOut;
+        out.retries += sp.attempts >= sp.done ? sp.attempts - sp.done
+                                              : 0;
+    }
+
+    double sweepMean =
+        okCount ? okWallTotal / static_cast<double>(okCount) : 0.0;
+    if (okCount && out.units) {
+        // Shards run concurrently: the sweep finishes when its
+        // slowest shard does.
+        double worst = 0.0;
+        for (const ShardProgress &sp : out.perShard) {
+            std::size_t left = sp.unitsAssigned > sp.done
+                                   ? sp.unitsAssigned - sp.done
+                                   : 0;
+            double mean =
+                sp.meanOkWallMs > 0.0 ? sp.meanOkWallMs : sweepMean;
+            worst = std::max(worst,
+                             static_cast<double>(left) * mean / 1e3);
+        }
+        out.etaSeconds = worst;
+    }
+    return out;
+}
+
+std::string
+renderSweepTop(const SweepProgress &p)
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "sweep %s: %zu/%zu units  ok %zu  failed %zu  "
+                  "timeout %zu  retries %zu\n",
+                  p.sweep.c_str(), p.done, p.units, p.ok, p.failed,
+                  p.timedOut, p.retries);
+    out += line;
+    if (p.etaSeconds >= 0.0) {
+        std::snprintf(line, sizeof line, "eta: %.0fs\n", p.etaSeconds);
+        out += line;
+    } else {
+        out += "eta: n/a (no completed units yet)\n";
+    }
+    out += "shard      done/assigned    ok  fail  tout  "
+           "mean-ms  journal\n";
+    for (const ShardProgress &sp : p.perShard) {
+        const char *state = !sp.found      ? "missing"
+                            : !sp.headerOk ? "bad-header"
+                            : sp.droppedLines ? "torn-tail"
+                                              : "ok";
+        std::snprintf(line, sizeof line,
+                      "%5zu  %6zu/%-8zu  %4zu  %4zu  %4zu  %7.1f  %s\n",
+                      sp.shard, sp.done, sp.unitsAssigned, sp.ok,
+                      sp.failed, sp.timedOut, sp.meanOkWallMs, state);
+        out += line;
+    }
+    if (p.complete())
+        out += "sweep complete\n";
+    return out;
+}
+
+} // namespace emsc::engine

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Offline sweep progress: journal tailing, ETA, and the text view
+ * behind `emsc_tool top <sweep>`.
+ *
+ * A sweep's shard journals (engine/journal.hpp) are append-only and
+ * loadable at any moment — loadJournal() never throws on a torn tail
+ * — so progress needs no cooperation from the running shards: tail
+ * the journals, count records against the deterministic unit
+ * partition (unit u belongs to shard u % N), and estimate time left
+ * from the mean Ok wall time.  Works identically on a live sweep, a
+ * crashed one, and a finished one.
+ */
+
+#ifndef EMSC_ENGINE_PROGRESS_HPP
+#define EMSC_ENGINE_PROGRESS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emsc::engine {
+
+/** Progress of one shard, as read from its journal. */
+struct ShardProgress
+{
+    std::size_t shard = 0;
+    /** False when the journal file does not exist yet. */
+    bool found = false;
+    /** False when the journal exists but its header is unusable. */
+    bool headerOk = false;
+    /** Units assigned to this shard by the u % N partition. */
+    std::size_t unitsAssigned = 0;
+    std::size_t done = 0;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t timedOut = 0;
+    /** Attempts summed over journaled units (>= done; the excess is
+     * retries). */
+    std::size_t attempts = 0;
+    /** Journal lines dropped as torn/corrupt on load. */
+    std::size_t droppedLines = 0;
+    /** Mean wall ms of this shard's Ok units (0 when none yet). */
+    double meanOkWallMs = 0.0;
+};
+
+/** Aggregated view over all shards of one sweep. */
+struct SweepProgress
+{
+    std::string sweep;
+    std::size_t units = 0;
+    std::size_t shards = 1;
+    std::vector<ShardProgress> perShard;
+    std::size_t done = 0;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t timedOut = 0;
+    std::size_t retries = 0;
+    /**
+     * Estimated seconds until the slowest shard finishes, assuming
+     * shards run concurrently and future units cost the observed
+     * mean Ok wall time (per shard when it has history, the sweep
+     * mean otherwise).  Negative when no timing history exists yet.
+     */
+    double etaSeconds = -1.0;
+    bool complete() const { return units > 0 && done >= units; }
+};
+
+/**
+ * Tail the shard journals of `sweep` in `dir`.  `units` may be 0
+ * when unknown; the first readable journal header supplies it (the
+ * header records the whole sweep's unit count).
+ */
+SweepProgress sweepProgress(const std::string &dir,
+                            const std::string &sweep, std::size_t units,
+                            std::size_t shards);
+
+/** Render the per-shard progress table + ETA (pure function, so the
+ * layout is testable without a filesystem). */
+std::string renderSweepTop(const SweepProgress &progress);
+
+} // namespace emsc::engine
+
+#endif // EMSC_ENGINE_PROGRESS_HPP

@@ -5,6 +5,8 @@
 #include <numbers>
 
 #include "support/error.hpp"
+#include "support/flight.hpp"
+#include "support/json.hpp"
 
 namespace emsc::sdr {
 
@@ -302,6 +304,24 @@ RtlSdr::captureInto(const em::ReceptionPlan &plan, TimeNs t0,
             : t0 + fromSeconds(static_cast<double>(first) /
                                cfg.sampleRate);
     cap.samples.assign(count, IqSample{0.0, 0.0});
+
+    // Flight tap: log the fault plan once per capture window (chunked
+    // captures would repeat it per chunk), so a post-mortem shows the
+    // injected faults next to the decode that tripped over them.
+    if (faults && !faults->empty() && first == 0) {
+        flight::FlightRecorder &rec = flight::FlightRecorder::global();
+        if (rec.armed()) {
+            for (const sim::FaultEvent &e : faults->events) {
+                json::Value data = json::Value::object();
+                data.set("fault", sim::faultKindName(e.kind));
+                data.set("start_ns", static_cast<double>(e.start));
+                data.set("duration_ns",
+                         static_cast<double>(e.duration));
+                data.set("magnitude", e.magnitude);
+                rec.record("fault", std::move(data));
+            }
+        }
+    }
 
     depositImpulses(cap.samples, plan.impulses, t0, first);
     depositImpulses(cap.samples, plan.noiseImpulses, t0, first);

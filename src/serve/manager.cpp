@@ -236,7 +236,9 @@ SessionManager::updateProgressLocked(Session &s)
     s.progress.samplesIn = s.decoder.samplesIn();
     s.progress.chunksIn = s.decoder.chunksIn();
     s.progress.bitsDecoded = s.decoder.bitsDecoded();
+    s.progress.framesDecoded = s.decoder.framesDecoded();
     s.progress.carrierHz = s.decoder.carrierEstimate();
+    s.progress.snrDb = s.decoder.snrDb();
     s.progress.streaming = s.decoder.streaming();
     if (s.decoder.failure()) {
         s.progress.failed = true;

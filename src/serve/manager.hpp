@@ -56,7 +56,11 @@ struct SessionProgress
     /** Chunks accepted but not yet through the decoder. */
     std::size_t pendingChunks = 0;
     std::size_t bitsDecoded = 0;
+    /** Frames decoded so far (0 or 1: one frame per session). */
+    std::size_t framesDecoded = 0;
     double carrierHz = 0.0;
+    /** Warm-up carrier-lock SNR (dB); NaN until calibrated. */
+    double snrDb = std::numeric_limits<double>::quiet_NaN();
     /** Warm-up finished, stage chain live. */
     bool streaming = false;
     bool failed = false;

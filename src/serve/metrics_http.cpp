@@ -1,0 +1,258 @@
+#include "serve/metrics_http.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/exposition.hpp"
+#include "support/json.hpp"
+
+namespace emsc::serve {
+
+namespace {
+
+/** Same loopback-only bind as the serve control listener. */
+std::pair<int, std::uint16_t>
+bindLoopbackHttp(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0)
+        raiseError(ErrorKind::IoError, "socket() failed: %s",
+                   std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+            0 ||
+        ::listen(fd, 16) < 0) {
+        int err = errno;
+        ::close(fd);
+        raiseError(ErrorKind::IoError,
+                   "cannot listen on 127.0.0.1:%u: %s", port,
+                   std::strerror(err));
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) <
+        0) {
+        int err = errno;
+        ::close(fd);
+        raiseError(ErrorKind::IoError, "getsockname() failed: %s",
+                   std::strerror(err));
+    }
+    return {fd, ntohs(addr.sin_port)};
+}
+
+std::string
+httpResponse(int status, const char *statusText,
+             const std::string &contentType, const std::string &body)
+{
+    std::string out = "HTTP/1.0 " + std::to_string(status) + " " +
+                      statusText + "\r\n";
+    out += "Content-Type: " + contentType + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+/** Blocking write of the whole buffer (client sockets are blocking). */
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+MetricsEndpoint::MetricsEndpoint(const MetricsEndpointConfig &config)
+    : cfg(config), snapshotter_(config.ringCapacity)
+{
+}
+
+MetricsEndpoint::~MetricsEndpoint()
+{
+    stop();
+}
+
+void
+MetricsEndpoint::start()
+{
+    if (running_.load())
+        return;
+    auto [fd, bound] = bindLoopbackHttp(cfg.port);
+    listenFd_ = fd;
+    boundPort_ = bound;
+    stopping_.store(false);
+    running_.store(true);
+    snapshotter_.start(cfg.periodMs);
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+MetricsEndpoint::stop()
+{
+    if (!running_.load())
+        return;
+    stopping_.store(true);
+    if (thread_.joinable())
+        thread_.join();
+    snapshotter_.stop();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    running_.store(false);
+}
+
+std::string
+MetricsEndpoint::respond(const std::string &path)
+{
+    if (path == "/metrics") {
+        telemetry::TimedSnapshot ts = snapshotter_.scrape();
+        return httpResponse(200, "OK",
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            telemetry::prometheusText(ts.snap));
+    }
+    if (path == "/metrics.json") {
+        telemetry::TimedSnapshot ts = snapshotter_.scrape();
+        return httpResponse(200, "OK", "application/json",
+                            telemetry::metricsJson(ts.snap).dump(2));
+    }
+    if (path == "/series.json")
+        return httpResponse(200, "OK", "application/json",
+                            snapshotter_.ring().seriesJson().dump(2));
+    if (path == "/healthz")
+        return httpResponse(200, "OK", "text/plain", "ok\n");
+    return httpResponse(404, "Not Found", "text/plain",
+                        "unknown path\n");
+}
+
+void
+MetricsEndpoint::loop()
+{
+    while (!stopping_.load()) {
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        int rc = ::poll(&pfd, 1, 100);
+        if (rc <= 0)
+            continue;
+        int client = ::accept(listenFd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        // Scrapers are loopback and short-lived: one bounded blocking
+        // request/response per connection, 2 s ceiling.
+        timeval tv{};
+        tv.tv_sec = 2;
+        ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+        std::string req;
+        char buf[1024];
+        while (req.size() < 8192 &&
+               req.find("\r\n\r\n") == std::string::npos) {
+            ssize_t n = ::read(client, buf, sizeof buf);
+            if (n <= 0)
+                break;
+            req.append(buf, static_cast<std::size_t>(n));
+        }
+        std::string path;
+        if (req.rfind("GET ", 0) == 0) {
+            std::size_t end = req.find(' ', 4);
+            if (end != std::string::npos)
+                path = req.substr(4, end - 4);
+        }
+        std::string resp =
+            path.empty()
+                ? httpResponse(400, "Bad Request", "text/plain",
+                               "only GET is supported\n")
+                : respond(path);
+        writeAll(client, resp);
+        ::close(client);
+    }
+}
+
+std::string
+httpGet(const std::string &host, std::uint16_t port,
+        const std::string &path)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    std::string service = std::to_string(port);
+    int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+    if (rc != 0)
+        raiseError(ErrorKind::IoError, "cannot resolve %s: %s",
+                   host.c_str(), ::gai_strerror(rc));
+    int fd = -1;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        raiseError(ErrorKind::IoError, "cannot connect to %s:%u",
+                   host.c_str(), port);
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+    std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                      "\r\nConnection: close\r\n\r\n";
+    if (!writeAll(fd, req)) {
+        ::close(fd);
+        raiseError(ErrorKind::IoError, "write to %s:%u failed",
+                   host.c_str(), port);
+    }
+    std::string resp;
+    char buf[4096];
+    while (true) {
+        ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        resp.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    std::size_t split = resp.find("\r\n\r\n");
+    if (split == std::string::npos)
+        raiseError(ErrorKind::MalformedInput,
+                   "malformed HTTP response from %s:%u", host.c_str(),
+                   port);
+    std::string statusLine = resp.substr(0, resp.find("\r\n"));
+    if (statusLine.find(" 200 ") == std::string::npos)
+        raiseError(ErrorKind::IoError, "HTTP error from %s:%u: %s",
+                   host.c_str(), port, statusLine.c_str());
+    return resp.substr(split + 4);
+}
+
+} // namespace emsc::serve

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Metrics exposition endpoint: a tiny loopback HTTP/1.0 listener
+ * serving live views of the global telemetry registry.
+ *
+ * Routes:
+ *   /metrics       Prometheus text exposition format 0.0.4
+ *   /metrics.json  emsc.metrics.v1 snapshot
+ *   /series.json   emsc.metrics.series.v1 (the snapshotter's ring of
+ *                  recent snapshots with per-counter deltas/rates)
+ *   /healthz       "ok\n" liveness probe
+ *
+ * Every /metrics and /metrics.json request takes a *fresh* registry
+ * snapshot (recorded into the same ring the periodic sampler feeds),
+ * so a scrape always equals the registry state at scrape time — a
+ * scrape taken after a run quiesces is byte-for-value identical to
+ * the end-of-run emsc.metrics.v1 file.
+ *
+ * One endpoint serves every tool: `emsc_tool serve` starts it next
+ * to the session listener, `emsc_tool sweep` (and any other
+ * subcommand) as a sidecar via the global --metrics-port flag, and
+ * perf_serve embeds one to assert scrape/snapshot equality.  Binds
+ * 127.0.0.1 only, same trust model as the serve control socket.
+ */
+
+#ifndef EMSC_SERVE_METRICS_HTTP_HPP
+#define EMSC_SERVE_METRICS_HTTP_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "support/snapshotter.hpp"
+
+namespace emsc::serve {
+
+struct MetricsEndpointConfig
+{
+    /** TCP port on 127.0.0.1; 0 = ephemeral (read back via port()). */
+    std::uint16_t port = 0;
+    /** Period of the background ring sampler (ms). */
+    std::size_t periodMs = 500;
+    /** Ring capacity in snapshots (periodMs * capacity of history). */
+    std::size_t ringCapacity = 120;
+};
+
+class MetricsEndpoint
+{
+  public:
+    explicit MetricsEndpoint(const MetricsEndpointConfig &config = {});
+    ~MetricsEndpoint();
+    MetricsEndpoint(const MetricsEndpoint &) = delete;
+    MetricsEndpoint &operator=(const MetricsEndpoint &) = delete;
+
+    /** Bind, start the acceptor thread and the ring sampler.
+     * Raises IoError when the port cannot be bound; idempotent. */
+    void start();
+    /** Stop and join; idempotent, called by the destructor. */
+    void stop();
+
+    /** Bound port (valid after start()). */
+    std::uint16_t port() const { return boundPort_; }
+    bool running() const { return running_.load(); }
+
+  private:
+    void loop();
+    std::string respond(const std::string &path);
+
+    MetricsEndpointConfig cfg;
+    telemetry::Snapshotter snapshotter_;
+    int listenFd_ = -1;
+    std::uint16_t boundPort_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+};
+
+/**
+ * Minimal HTTP/1.0 GET client for the endpoint above (used by
+ * `emsc_tool top` and the tests; not a general HTTP client).
+ * Returns the response body; raises IoError on connect/read errors
+ * or a non-200 status.
+ */
+std::string httpGet(const std::string &host, std::uint16_t port,
+                    const std::string &path);
+
+} // namespace emsc::serve
+
+#endif // EMSC_SERVE_METRICS_HTTP_HPP

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <optional>
 #include <utility>
@@ -491,7 +492,12 @@ Server::handleFrame(Conn &conn, const Frame &frame)
         body.set("pending_chunks",
                  static_cast<double>(p.pendingChunks));
         body.set("bits_decoded", static_cast<double>(p.bitsDecoded));
+        body.set("frames_decoded",
+                 static_cast<double>(p.framesDecoded));
         body.set("carrier_hz", p.carrierHz);
+        // Unmeasured SNR serialises as null, mirroring gauge JSON.
+        body.set("snr_db", std::isnan(p.snrDb) ? json::Value(nullptr)
+                                               : json::Value(p.snrDb));
         body.set("streaming", p.streaming);
         body.set("failed", p.failed);
         if (p.failed) {

@@ -104,7 +104,10 @@ calibrateWarmup(const channel::ReceiverConfig &cfg,
     WarmupCalibration out;
     std::size_t dec = std::max<std::size_t>(1, acq.decimation);
 
-    rx.carrierHz = channel::estimateCarrier(warm, acq);
+    channel::CarrierEstimate est =
+        channel::estimateCarrierDetailed(warm, acq);
+    rx.carrierHz = est.hz;
+    out.snrDb = est.snrDb;
     if (rx.carrierHz <= 0.0) {
         appendNote(rx.diagnostic,
                    "no carrier found in the warm-up prefix");
@@ -346,6 +349,7 @@ StreamingDecoder::beginStreaming()
 
     detail::WarmupCalibration calib = detail::calibrateWarmup(
         cfg, warmCap, acq, minWindow, result.rx);
+    snrDb_ = calib.snrDb;
     if (!calib.carrierFound) {
         dead_ = true;
         warm.clear();
@@ -445,6 +449,12 @@ std::size_t
 StreamingDecoder::bitsDecoded() const
 {
     return set.decode != nullptr ? set.decode->labeled().bits.size() : 0;
+}
+
+std::size_t
+StreamingDecoder::framesDecoded() const
+{
+    return set.decode != nullptr && set.decode->frame().found ? 1 : 0;
 }
 
 double

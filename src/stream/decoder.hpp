@@ -27,6 +27,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -67,6 +68,9 @@ struct WarmupCalibration
     TimingCalibration cal;
     /** Decimated envelope sample rate (Hz). */
     double decRate = 0.0;
+    /** Carrier-lock SNR of the warm-up estimate (dB; NaN when the
+     * estimator could not measure it). */
+    double snrDb = std::numeric_limits<double>::quiet_NaN();
     /** False when no carrier was found (nothing else is valid). */
     bool carrierFound = false;
 };
@@ -180,8 +184,13 @@ class StreamingDecoder
     std::size_t samplesIn() const { return srcSamples; }
     /** Labeled bits decoded so far (0 until streaming()). */
     std::size_t bitsDecoded() const;
+    /** Frames decoded so far (0 or 1: one frame per session). */
+    std::size_t framesDecoded() const;
     /** Current carrier estimate in Hz (0 until calibrated). */
     double carrierEstimate() const;
+    /** Carrier-lock SNR measured during warm-up calibration (dB;
+     * NaN until calibrated or when unmeasurable). */
+    double snrDb() const { return snrDb_; }
     /** First failure recorded so far, if any. */
     const std::optional<Error> &failure() const
     {
@@ -211,6 +220,7 @@ class StreamingDecoder
     double decRate = 0.0;
 
     StreamingResult result;
+    double snrDb_ = std::numeric_limits<double>::quiet_NaN();
     std::size_t srcChunks = 0;
     std::size_t srcSamples = 0;
     std::chrono::steady_clock::time_point t0;

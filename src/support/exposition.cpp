@@ -1,0 +1,349 @@
+#include "support/exposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace emsc::telemetry {
+
+namespace {
+
+/** Shortest %g form that still round-trips a double; integers print
+ * without an exponent so counter samples stay human-readable. */
+std::string
+formatValue(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[64];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(probe, "%lf", &back);
+        if (back == v)
+            return probe;
+    }
+    return buf;
+}
+
+std::string
+formatValue(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+emitHeader(std::string &out, const std::string &pname,
+           std::string_view source, const char *type)
+{
+    out += "# HELP " + pname + " emsc metric " +
+           promEscapeHelp(source) + "\n";
+    out += "# TYPE " + pname + " " + type + "\n";
+}
+
+const json::Value &
+requireObject(const json::Value &doc, const char *key)
+{
+    const json::Value *v = doc.find(key);
+    if (!v || !v->isObject())
+        raiseError(ErrorKind::MalformedInput,
+                   "metrics document: missing object section '%s'", key);
+    return *v;
+}
+
+double
+requireNumber(const json::Value &obj, const char *key, const char *where)
+{
+    const json::Value *v = obj.find(key);
+    if (!v || !v->isNumber())
+        raiseError(ErrorKind::MalformedInput,
+                   "metrics document: %s missing number '%s'", where, key);
+    return v->number();
+}
+
+} // namespace
+
+std::string
+promName(std::string_view name, std::string_view suffix)
+{
+    std::string out = "emsc_";
+    out.reserve(out.size() + name.size() + suffix.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    out.append(suffix);
+    return out;
+}
+
+std::string
+promEscapeLabel(std::string_view value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+promEscapeHelp(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+prometheusText(const MetricsSnapshot &snap)
+{
+    std::string out;
+    // Sections render in the snapshot's name-sorted order, so output
+    // is byte-stable across scrapes of identical state.
+    for (const auto &[name, v] : snap.counters) {
+        std::string pname = promName(name, "_total");
+        emitHeader(out, pname, name, "counter");
+        out += pname + " " + formatValue(v) + "\n";
+    }
+    for (const auto &[name, v] : snap.gauges) {
+        if (std::isnan(v))
+            continue; // unset gauge: no sample, not a fake zero
+        std::string pname = promName(name);
+        emitHeader(out, pname, name, "gauge");
+        out += pname + " " + formatValue(v) + "\n";
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        std::string pname = promName(name);
+        emitHeader(out, pname, name, "histogram");
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            cum += i < h.buckets.size() ? h.buckets[i] : 0;
+            out += pname + "_bucket{le=\"" +
+                   promEscapeLabel(formatValue(h.bounds[i])) + "\"} " +
+                   formatValue(cum) + "\n";
+        }
+        out += pname + "_bucket{le=\"+Inf\"} " + formatValue(h.count) +
+               "\n";
+        out += pname + "_sum " + formatValue(h.sum) + "\n";
+        out += pname + "_count " + formatValue(h.count) + "\n";
+    }
+    for (const auto &[name, s] : snap.spans) {
+        std::string cname = promName(name, "_span_count_total");
+        emitHeader(out, cname, name, "counter");
+        out += cname + " " + formatValue(s.count) + "\n";
+        std::string tname = promName(name, "_span_ns_total");
+        emitHeader(out, tname, name, "counter");
+        out += tname + " " + formatValue(s.totalNs) + "\n";
+    }
+    return out;
+}
+
+MetricsSnapshot
+snapshotFromJson(const json::Value &doc)
+{
+    const json::Value *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->string() != "emsc.metrics.v1")
+        raiseError(ErrorKind::MalformedInput,
+                   "metrics document: schema is not emsc.metrics.v1");
+
+    MetricsSnapshot snap;
+    for (const auto &[name, v] : requireObject(doc, "counters").members()) {
+        if (!v.isNumber())
+            raiseError(ErrorKind::MalformedInput,
+                       "metrics document: counter '%s' is not a number",
+                       name.c_str());
+        snap.counters.emplace_back(name,
+                                   static_cast<std::uint64_t>(v.number()));
+    }
+    for (const auto &[name, v] : requireObject(doc, "gauges").members()) {
+        if (v.isNull()) {
+            snap.gauges.emplace_back(
+                name, std::numeric_limits<double>::quiet_NaN());
+            continue;
+        }
+        if (!v.isNumber())
+            raiseError(ErrorKind::MalformedInput,
+                       "metrics document: gauge '%s' is not a number",
+                       name.c_str());
+        snap.gauges.emplace_back(name, v.number());
+    }
+    for (const auto &[name, v] :
+         requireObject(doc, "histograms").members()) {
+        if (!v.isObject())
+            raiseError(ErrorKind::MalformedInput,
+                       "metrics document: histogram '%s' is not an object",
+                       name.c_str());
+        HistogramSnapshot h;
+        const json::Value *bounds = v.find("bounds");
+        const json::Value *buckets = v.find("buckets");
+        if (!bounds || !bounds->isArray() || !buckets ||
+            !buckets->isArray())
+            raiseError(ErrorKind::MalformedInput,
+                       "metrics document: histogram '%s' missing "
+                       "bounds/buckets",
+                       name.c_str());
+        for (const json::Value &b : bounds->items())
+            h.bounds.push_back(b.number());
+        for (const json::Value &b : buckets->items())
+            h.buckets.push_back(static_cast<std::uint64_t>(b.number()));
+        h.count = static_cast<std::uint64_t>(
+            requireNumber(v, "count", name.c_str()));
+        h.sum = requireNumber(v, "sum", name.c_str());
+        h.min = requireNumber(v, "min", name.c_str());
+        h.max = requireNumber(v, "max", name.c_str());
+        snap.histograms.emplace_back(name, std::move(h));
+    }
+    for (const auto &[name, v] : requireObject(doc, "spans").members()) {
+        if (!v.isObject())
+            raiseError(ErrorKind::MalformedInput,
+                       "metrics document: span '%s' is not an object",
+                       name.c_str());
+        SpanStat s;
+        s.count = static_cast<std::uint64_t>(
+            requireNumber(v, "count", name.c_str()));
+        s.totalNs = static_cast<std::uint64_t>(
+            requireNumber(v, "total_ns", name.c_str()));
+        snap.spans.emplace_back(name, s);
+    }
+    return snap;
+}
+
+MetricsSnapshot
+mergeSnapshots(const std::vector<MetricsSnapshot> &parts)
+{
+    MetricsSnapshot out;
+    auto counterAt = [&](const std::string &name) -> std::uint64_t & {
+        for (auto &[n, v] : out.counters)
+            if (n == name)
+                return v;
+        out.counters.emplace_back(name, 0);
+        return out.counters.back().second;
+    };
+    for (const MetricsSnapshot &part : parts) {
+        for (const auto &[name, v] : part.counters)
+            counterAt(name) += v;
+        for (const auto &[name, v] : part.gauges) {
+            double *prev = nullptr;
+            for (auto &[n, g] : out.gauges)
+                if (n == name)
+                    prev = &g;
+            if (!prev) {
+                out.gauges.emplace_back(name, v);
+            } else if (std::isnan(*prev) ||
+                       (!std::isnan(v) && v > *prev)) {
+                *prev = v;
+            }
+        }
+        for (const auto &[name, h] : part.histograms) {
+            HistogramSnapshot *prev = nullptr;
+            for (auto &[n, ph] : out.histograms)
+                if (n == name)
+                    prev = &ph;
+            if (!prev) {
+                out.histograms.emplace_back(name, h);
+                continue;
+            }
+            if (prev->bounds != h.bounds)
+                raiseError(ErrorKind::MalformedInput,
+                           "cannot merge histogram '%s': shards disagree "
+                           "on bucket bounds",
+                           name.c_str());
+            if (prev->buckets.size() < h.buckets.size())
+                prev->buckets.resize(h.buckets.size(), 0);
+            for (std::size_t i = 0; i < h.buckets.size(); ++i)
+                prev->buckets[i] += h.buckets[i];
+            if (h.count) {
+                prev->min = prev->count ? std::min(prev->min, h.min)
+                                        : h.min;
+                prev->max = prev->count ? std::max(prev->max, h.max)
+                                        : h.max;
+            }
+            prev->count += h.count;
+            prev->sum += h.sum;
+        }
+        for (const auto &[name, s] : part.spans) {
+            SpanStat *prev = nullptr;
+            for (auto &[n, ps] : out.spans)
+                if (n == name)
+                    prev = &ps;
+            if (!prev) {
+                out.spans.emplace_back(name, s);
+            } else {
+                prev->count += s.count;
+                prev->totalNs += s.totalNs;
+            }
+        }
+    }
+    auto byName = [](const auto &a, const auto &b) {
+        return a.first < b.first;
+    };
+    std::sort(out.counters.begin(), out.counters.end(), byName);
+    std::sort(out.gauges.begin(), out.gauges.end(), byName);
+    std::sort(out.histograms.begin(), out.histograms.end(), byName);
+    std::sort(out.spans.begin(), out.spans.end(), byName);
+    return out;
+}
+
+MetricsSnapshot
+mergeMetricsFiles(const std::vector<std::string> &paths,
+                  std::size_t *loaded)
+{
+    std::vector<MetricsSnapshot> parts;
+    for (const std::string &path : paths) {
+        std::ifstream in(path);
+        if (!in.is_open())
+            continue; // shard never ran or wrote no metrics: skip
+        std::ostringstream text;
+        text << in.rdbuf();
+        if (!in.good() && !in.eof())
+            raiseError(ErrorKind::IoError,
+                       "cannot read metrics file '%s'", path.c_str());
+        json::Value doc;
+        std::string err;
+        if (!json::Value::parse(text.str(), doc, &err))
+            raiseError(ErrorKind::MalformedInput,
+                       "metrics file '%s': %s", path.c_str(),
+                       err.c_str());
+        parts.push_back(snapshotFromJson(doc));
+    }
+    if (loaded)
+        *loaded = parts.size();
+    return mergeSnapshots(parts);
+}
+
+} // namespace emsc::telemetry

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Metrics exposition encoders and snapshot algebra.
+ *
+ * The telemetry registry serialises to one canonical JSON document
+ * (emsc.metrics.v1, see telemetry::metricsJson).  This module adds
+ * the read-side counterparts needed by the live observability layer:
+ *
+ *  - prometheusText() renders a MetricsSnapshot in the Prometheus
+ *    text exposition format (version 0.0.4).  Both encoders consume
+ *    the *same* MetricsSnapshot, so a text scrape and a JSON scrape
+ *    taken from one snapshot agree on every value by construction.
+ *  - snapshotFromJson() parses an emsc.metrics.v1 document back into
+ *    a MetricsSnapshot — used by `emsc_tool top` (polling the
+ *    /metrics.json endpoint), by `merge` (aggregating per-shard
+ *    metrics files), and by the JSON/text round-trip test.
+ *  - mergeSnapshots() folds snapshots from N sweep shards into one:
+ *    counters, histograms and spans sum; gauges keep the maximum
+ *    finite value (they are point-in-time readings such as
+ *    high-water marks, so "max across shards" is the only merge that
+ *    never invents a value no shard observed).
+ *
+ * Name translation to Prometheus conventions: every character
+ * outside [a-zA-Z0-9_] becomes '_', the result is prefixed "emsc_",
+ * counters gain the "_total" suffix, and span aggregates expose two
+ * counter series ("<name>_span_count_total", "<name>_span_ns_total").
+ */
+
+#ifndef EMSC_SUPPORT_EXPOSITION_HPP
+#define EMSC_SUPPORT_EXPOSITION_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/telemetry.hpp"
+
+namespace emsc::json {
+class Value;
+}
+
+namespace emsc::telemetry {
+
+/** "emsc_" + name with every char outside [a-zA-Z0-9_] replaced by
+ * '_', plus an optional suffix ("_total" for counters). */
+std::string promName(std::string_view name, std::string_view suffix = "");
+
+/** Escape a label value: backslash, double quote and newline. */
+std::string promEscapeLabel(std::string_view value);
+
+/** Escape HELP text: backslash and newline (quotes stay literal). */
+std::string promEscapeHelp(std::string_view text);
+
+/** Render `snap` as Prometheus text exposition format 0.0.4. */
+std::string prometheusText(const MetricsSnapshot &snap);
+
+/** Parse an emsc.metrics.v1 document; raises MalformedInput when the
+ * schema tag is wrong or a section has the wrong shape. */
+MetricsSnapshot snapshotFromJson(const json::Value &doc);
+
+/** Fold shard snapshots into one (see file comment for semantics);
+ * raises MalformedInput when two shards disagree on a histogram's
+ * bucket bounds. */
+MetricsSnapshot mergeSnapshots(const std::vector<MetricsSnapshot> &parts);
+
+/** Load every existing path as emsc.metrics.v1 and merge; paths that
+ * do not exist are skipped.  Returns the number of files folded in
+ * via `loaded` (0 means "nothing to merge").  Raises on unreadable
+ * or malformed files that do exist. */
+MetricsSnapshot mergeMetricsFiles(const std::vector<std::string> &paths,
+                                  std::size_t *loaded = nullptr);
+
+} // namespace emsc::telemetry
+
+#endif // EMSC_SUPPORT_EXPOSITION_HPP

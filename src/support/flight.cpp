@@ -1,0 +1,200 @@
+#include "support/flight.hpp"
+
+#include <cstdio>
+
+#include <sys/stat.h>
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/telemetry.hpp"
+
+namespace emsc::flight {
+
+namespace {
+
+/** mkdir -p, best effort: dump() reports the real failure if this
+ * could not produce a usable directory. */
+void
+ensureDumpDir(const std::string &dir)
+{
+    std::string sofar;
+    for (std::size_t i = 0; i <= dir.size(); ++i) {
+        if (i < dir.size() && dir[i] != '/') {
+            sofar += dir[i];
+            continue;
+        }
+        if (!sofar.empty())
+            ::mkdir(sofar.c_str(), 0777);
+        if (i < dir.size())
+            sofar += '/';
+    }
+}
+
+} // namespace
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    static FlightRecorder instance;
+    return instance;
+}
+
+void
+FlightRecorder::arm(const std::string &dir, std::size_t maxDumps)
+{
+    if (!dir.empty())
+        ensureDumpDir(dir);
+    std::lock_guard<std::mutex> lock(mutex_);
+    dir_ = dir;
+    maxDumps_ = maxDumps;
+    dumpsWritten_ = 0;
+    dumpsSuppressed_ = 0;
+    seq_ = 0;
+    events_.clear();
+    envelope_.clear();
+    envelopeRate_ = 0.0;
+    envelopeFirstIndex_ = 0;
+    armed_.store(true, std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::disarm()
+{
+    armed_.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    dir_.clear();
+    events_.clear();
+    envelope_.clear();
+    envelopeRate_ = 0.0;
+    envelopeFirstIndex_ = 0;
+}
+
+void
+FlightRecorder::record(const char *kind, json::Value data)
+{
+    if (!armed())
+        return;
+    static telemetry::Counter recorded(
+        telemetry::MetricsRegistry::global(), "flight.events");
+    recorded.add();
+    FlightEvent ev;
+    ev.tNs = telemetry::steadyNowNs();
+    ev.kind = kind;
+    ev.data = std::move(data);
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(ev));
+    while (events_.size() > maxEvents())
+        events_.pop_front();
+}
+
+void
+FlightRecorder::recordEnvelope(const double *y, std::size_t n,
+                               double sampleRate)
+{
+    if (!armed() || !y || n == 0)
+        return;
+    std::size_t keep = n < maxEnvelopeSamples() ? n : maxEnvelopeSamples();
+    std::lock_guard<std::mutex> lock(mutex_);
+    envelope_.assign(y + (n - keep), y + n);
+    envelopeRate_ = sampleRate;
+    envelopeFirstIndex_ = n - keep;
+}
+
+json::Value
+FlightRecorder::dumpJson(const std::string &reason) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value root = json::Value::object();
+    root.set("schema", "emsc.flight.v1");
+    root.set("reason", reason);
+    root.set("dumped_at_ns",
+             static_cast<double>(telemetry::steadyNowNs()));
+    json::Value list = json::Value::array();
+    for (const FlightEvent &ev : events_) {
+        json::Value e = json::Value::object();
+        e.set("t_ns", static_cast<double>(ev.tNs));
+        e.set("kind", ev.kind);
+        e.set("data", ev.data.isNull() ? json::Value::object()
+                                       : ev.data);
+        list.push(std::move(e));
+    }
+    root.set("events", std::move(list));
+    if (envelope_.empty()) {
+        root.set("envelope", json::Value(nullptr));
+    } else {
+        json::Value env = json::Value::object();
+        env.set("sample_rate", envelopeRate_);
+        env.set("first_index",
+                static_cast<double>(envelopeFirstIndex_));
+        json::Value samples = json::Value::array();
+        for (double v : envelope_)
+            samples.push(v);
+        env.set("samples", std::move(samples));
+        root.set("envelope", std::move(env));
+    }
+    return root;
+}
+
+std::string
+FlightRecorder::dump(const std::string &reason)
+{
+    if (!armed())
+        return "";
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (dir_.empty())
+            return ""; // record-only mode
+        if (dumpsWritten_ >= maxDumps_) {
+            ++dumpsSuppressed_;
+            static telemetry::Counter suppressed(
+                telemetry::MetricsRegistry::global(),
+                "flight.dumps_suppressed");
+            suppressed.add();
+            return "";
+        }
+        char name[128];
+        std::snprintf(name, sizeof(name), "flight-%04llu-%s.json",
+                      static_cast<unsigned long long>(seq_++),
+                      reason.c_str());
+        path = dir_ + "/" + name;
+    }
+    json::Value doc = dumpJson(reason);
+    try {
+        json::writeFileAtomic(path, doc.dump(2));
+    } catch (const RecoverableError &e) {
+        warn("flight dump failed: %s", e.what());
+        return "";
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++dumpsWritten_;
+    }
+    static telemetry::Counter dumps(telemetry::MetricsRegistry::global(),
+                                    "flight.dumps");
+    dumps.add();
+    return path;
+}
+
+std::vector<FlightEvent>
+FlightRecorder::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<FlightEvent>(events_.begin(), events_.end());
+}
+
+std::size_t
+FlightRecorder::dumpsWritten() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dumpsWritten_;
+}
+
+std::size_t
+FlightRecorder::dumpsSuppressed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dumpsSuppressed_;
+}
+
+} // namespace emsc::flight

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Signal-quality flight recorder.
+ *
+ * A bounded ring of timestamped events fed from the receiver/stream
+ * path (carrier locks, per-reception quality summaries, fault
+ * events, watchdog/retry firings) plus a bounded excerpt of the most
+ * recent demodulated envelope.  When a decode fails, a CRC
+ * hard-fails, or the engine's watchdog/retry fires, the recorder
+ * dumps everything it holds as one self-contained "emsc.flight.v1"
+ * JSON post-mortem — the signal-quality context *around* the
+ * failure, which aggregate counters cannot reconstruct.
+ *
+ * Overhead contract (enforced by the perf_stream armed-vs-disabled
+ * sub-bench and bench_gate, budget <3% throughput): armed() is one
+ * relaxed atomic load, and a disarmed recorder does nothing else.
+ * Armed recording takes a mutex but only at per-capture / per-frame
+ * / per-fault granularity — never per sample — mirroring the
+ * telemetry instrumentation rules.
+ *
+ * arm("") arms recording without a dump directory: events and the
+ * envelope excerpt accumulate and dumpJson() works, but dump() never
+ * touches the filesystem.  Tools wire directories via --flight-dir;
+ * the armed bench uses arm("") to measure pure tap cost.
+ */
+
+#ifndef EMSC_SUPPORT_FLIGHT_HPP
+#define EMSC_SUPPORT_FLIGHT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace emsc::flight {
+
+/** One recorded event; `data` is a small JSON object whose shape
+ * depends on `kind` (see DESIGN.md §12 for the catalogue). */
+struct FlightEvent
+{
+    std::uint64_t tNs = 0;
+    std::string kind;
+    json::Value data;
+};
+
+class FlightRecorder
+{
+  public:
+    /** The process-wide recorder all taps report to. */
+    static FlightRecorder &global();
+
+    FlightRecorder() = default;
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /**
+     * Arm the recorder.  `dir` is where dump() writes post-mortems
+     * ("" = record-only, no files); `maxDumps` caps files written
+     * per arm() so a pathological run cannot fill a disk — further
+     * dumps are counted as suppressed.
+     */
+    void arm(const std::string &dir, std::size_t maxDumps = 32);
+    /** Disarm and clear all recorded state. */
+    void disarm();
+    /** One relaxed load; every tap checks this first. */
+    bool
+    armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** Record an event (no-op when disarmed). */
+    void record(const char *kind, json::Value data = json::Value());
+    /**
+     * Keep the tail of the most recent demodulated envelope (at most
+     * `maxEnvelopeSamples()` samples) so a post-mortem shows the
+     * waveform the decision was made on.  No-op when disarmed.
+     */
+    void recordEnvelope(const double *y, std::size_t n,
+                        double sampleRate);
+
+    /** The post-mortem document for the current ring state. */
+    json::Value dumpJson(const std::string &reason) const;
+    /**
+     * Write a post-mortem named "flight-<seq>-<reason>.json" into
+     * the armed directory.  Returns the path written, or "" when
+     * disarmed, record-only, or past the dump cap.  Write failures
+     * are logged, never thrown: a post-mortem must not turn one
+     * failure into two.
+     */
+    std::string dump(const std::string &reason);
+
+    /** Events currently held (copy; for tests and tools). */
+    std::vector<FlightEvent> events() const;
+    std::size_t dumpsWritten() const;
+    std::size_t dumpsSuppressed() const;
+
+    static constexpr std::size_t maxEvents() { return 256; }
+    static constexpr std::size_t maxEnvelopeSamples() { return 512; }
+
+  private:
+    std::atomic<bool> armed_{false};
+    mutable std::mutex mutex_;
+    std::string dir_;
+    std::size_t maxDumps_ = 0;
+    std::size_t dumpsWritten_ = 0;
+    std::size_t dumpsSuppressed_ = 0;
+    std::uint64_t seq_ = 0;
+    std::deque<FlightEvent> events_;
+    std::vector<double> envelope_;
+    double envelopeRate_ = 0.0;
+    std::uint64_t envelopeFirstIndex_ = 0;
+};
+
+} // namespace emsc::flight
+
+#endif // EMSC_SUPPORT_FLIGHT_HPP

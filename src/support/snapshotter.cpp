@@ -1,0 +1,165 @@
+#include "support/snapshotter.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "support/json.hpp"
+
+namespace emsc::telemetry {
+
+SnapshotRing::SnapshotRing(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+}
+
+void
+SnapshotRing::push(TimedSnapshot snap)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.push_back(std::move(snap));
+    while (ring_.size() > capacity_)
+        ring_.pop_front();
+}
+
+std::size_t
+SnapshotRing::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+TimedSnapshot
+SnapshotRing::oldest() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.empty() ? TimedSnapshot{} : ring_.front();
+}
+
+TimedSnapshot
+SnapshotRing::newest() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.empty() ? TimedSnapshot{} : ring_.back();
+}
+
+json::Value
+SnapshotRing::seriesJson() const
+{
+    std::deque<TimedSnapshot> copy;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        copy = ring_;
+    }
+    json::Value root = json::Value::object();
+    root.set("schema", "emsc.metrics.series.v1");
+    root.set("capacity", static_cast<double>(capacity_));
+
+    json::Value frames = json::Value::array();
+    for (const TimedSnapshot &ts : copy) {
+        json::Value frame = json::Value::object();
+        frame.set("t_ns", static_cast<double>(ts.steadyNs));
+        json::Value counters = json::Value::object();
+        for (const auto &[name, v] : ts.snap.counters)
+            counters.set(name, static_cast<double>(v));
+        frame.set("counters", std::move(counters));
+        json::Value gauges = json::Value::object();
+        for (const auto &[name, v] : ts.snap.gauges)
+            gauges.set(name, std::isnan(v) ? json::Value(nullptr)
+                                           : json::Value(v));
+        frame.set("gauges", std::move(gauges));
+        frames.push(std::move(frame));
+    }
+    root.set("frames", std::move(frames));
+
+    json::Value deltas = json::Value::object();
+    if (copy.size() >= 2) {
+        const TimedSnapshot &prev = copy[copy.size() - 2];
+        for (const auto &[name, v] : copy.back().snap.counters) {
+            const std::uint64_t *was = prev.snap.counter(name);
+            std::uint64_t base = was ? *was : 0;
+            deltas.set(name,
+                       static_cast<double>(v >= base ? v - base : 0));
+        }
+    }
+    root.set("deltas", std::move(deltas));
+
+    json::Value rates = json::Value::object();
+    if (copy.size() >= 2 &&
+        copy.back().steadyNs > copy.front().steadyNs) {
+        double window = static_cast<double>(copy.back().steadyNs -
+                                            copy.front().steadyNs) /
+                        1e9;
+        for (const auto &[name, v] : copy.back().snap.counters) {
+            const std::uint64_t *was = copy.front().snap.counter(name);
+            std::uint64_t base = was ? *was : 0;
+            double delta =
+                static_cast<double>(v >= base ? v - base : 0);
+            rates.set(name, delta / window);
+        }
+    }
+    root.set("rates_per_s", std::move(rates));
+    return root;
+}
+
+Snapshotter::Snapshotter(std::size_t ringCapacity) : ring_(ringCapacity) {}
+
+Snapshotter::~Snapshotter()
+{
+    stop();
+}
+
+void
+Snapshotter::start(std::size_t periodMs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (thread_.joinable())
+        return;
+    stopping_ = false;
+    thread_ = std::thread([this, periodMs] { loop(periodMs); });
+}
+
+void
+Snapshotter::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!thread_.joinable())
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    thread_ = std::thread();
+    stopping_ = false;
+}
+
+TimedSnapshot
+Snapshotter::scrape()
+{
+    TimedSnapshot ts;
+    ts.steadyNs = steadyNowNs();
+    ts.snap = MetricsRegistry::global().snapshot();
+    ring_.push(ts);
+    return ts;
+}
+
+void
+Snapshotter::loop(std::size_t periodMs)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        cv_.wait_for(lock, std::chrono::milliseconds(periodMs),
+                     [this] { return stopping_; });
+        if (stopping_)
+            break;
+        lock.unlock();
+        TimedSnapshot ts;
+        ts.steadyNs = steadyNowNs();
+        ts.snap = MetricsRegistry::global().snapshot();
+        ring_.push(std::move(ts));
+        lock.lock();
+    }
+}
+
+} // namespace emsc::telemetry

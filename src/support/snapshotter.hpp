@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Periodic metrics snapshotter with a bounded in-memory time series.
+ *
+ * The exposition endpoint needs two views of the registry: "now"
+ * (one fresh snapshot per scrape) and "recently" (a short history so
+ * rates and deltas of serve.sessions.active, engine.unit.*,
+ * modem.*.symbol_errors are visible while the run is live).  The
+ * Snapshotter provides both: a background thread samples the global
+ * registry every `periodMs` into a SnapshotRing holding the last N
+ * timed snapshots; scrape() additionally takes an immediate sample
+ * (pushed into the same ring) and returns it, so what a scraper sees
+ * is by construction the registry state at scrape time — identical
+ * to an end-of-run emsc.metrics.v1 written from the same state.
+ *
+ * Memory is bounded by capacity × snapshot size; at the default 120
+ * frames and sub-millisecond snapshot cost the sampler is invisible
+ * next to the receiver's own work.
+ */
+
+#ifndef EMSC_SUPPORT_SNAPSHOTTER_HPP
+#define EMSC_SUPPORT_SNAPSHOTTER_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "support/telemetry.hpp"
+
+namespace emsc::json {
+class Value;
+}
+
+namespace emsc::telemetry {
+
+/** One ring entry: a snapshot plus the steady-clock time it was
+ * taken, so consumers can turn counter deltas into rates. */
+struct TimedSnapshot
+{
+    std::uint64_t steadyNs = 0;
+    MetricsSnapshot snap;
+};
+
+/** Bounded, thread-safe history of timed snapshots (oldest evicted
+ * first).  All methods lock; push/seriesJson are not hot paths. */
+class SnapshotRing
+{
+  public:
+    explicit SnapshotRing(std::size_t capacity = 120);
+
+    void push(TimedSnapshot snap);
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    /** Oldest and newest entries; empty snapshots when size()==0. */
+    TimedSnapshot oldest() const;
+    TimedSnapshot newest() const;
+
+    /**
+     * "emsc.metrics.series.v1": frames of {t_ns, counters, gauges}
+     * (histograms/spans are omitted from frames — they are bulky and
+     * their deltas are rarely what a live view needs), plus
+     * "deltas" (newest minus previous frame, per counter) and
+     * "rates_per_s" (newest minus oldest over the window).
+     */
+    json::Value seriesJson() const;
+
+  private:
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::deque<TimedSnapshot> ring_;
+};
+
+/** Background sampler of the global MetricsRegistry. */
+class Snapshotter
+{
+  public:
+    explicit Snapshotter(std::size_t ringCapacity = 120);
+    ~Snapshotter();
+    Snapshotter(const Snapshotter &) = delete;
+    Snapshotter &operator=(const Snapshotter &) = delete;
+
+    /** Start the periodic sampler; idempotent. */
+    void start(std::size_t periodMs = 500);
+    /** Stop and join the sampler thread; idempotent. */
+    void stop();
+
+    /** Take a fresh snapshot now, record it in the ring, return it. */
+    TimedSnapshot scrape();
+
+    const SnapshotRing &ring() const { return ring_; }
+
+  private:
+    void loop(std::size_t periodMs);
+
+    SnapshotRing ring_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::thread thread_;
+};
+
+} // namespace emsc::telemetry
+
+#endif // EMSC_SUPPORT_SNAPSHOTTER_HPP

@@ -695,9 +695,8 @@ ScopedTelemetry::~ScopedTelemetry()
 /* ------------------------------------------------------------------ */
 
 json::Value
-metricsJson(const MetricsRegistry &reg)
+metricsJson(const MetricsSnapshot &snap)
 {
-    MetricsSnapshot snap = reg.snapshot();
     json::Value root = json::Value::object();
     root.set("schema", "emsc.metrics.v1");
 
@@ -748,6 +747,12 @@ metricsJson(const MetricsRegistry &reg)
     }
     root.set("spans", std::move(spans));
     return root;
+}
+
+json::Value
+metricsJson(const MetricsRegistry &reg)
+{
+    return metricsJson(reg.snapshot());
 }
 
 namespace {

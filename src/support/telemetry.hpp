@@ -308,6 +308,8 @@ class ScopedTelemetry
     bool resetOnExit_;
 };
 
+/** Serialise a snapshot under the "emsc.metrics.v1" schema. */
+json::Value metricsJson(const MetricsSnapshot &snap);
 /** Serialise a snapshot of `reg` under the "emsc.metrics.v1" schema. */
 json::Value metricsJson(const MetricsRegistry &reg);
 

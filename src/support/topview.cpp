@@ -1,0 +1,150 @@
+#include "support/topview.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace emsc::telemetry {
+
+namespace {
+
+struct RateContext
+{
+    const MetricsSnapshot *prev = nullptr;
+    double dt = 0.0;
+};
+
+std::string
+num(double v)
+{
+    char buf[48];
+    if (std::fabs(v) >= 1000.0 || v == std::floor(v))
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3g", v);
+    return buf;
+}
+
+double
+counterDelta(const RateContext &ctx, std::string_view name,
+             std::uint64_t cur)
+{
+    if (!ctx.prev)
+        return 0.0;
+    const std::uint64_t *was = ctx.prev->counter(name);
+    std::uint64_t base = was ? *was : 0;
+    return cur >= base ? static_cast<double>(cur - base) : 0.0;
+}
+
+void
+counterLine(std::string &out, const RateContext &ctx,
+            std::string_view name, std::uint64_t v)
+{
+    char buf[160];
+    if (ctx.prev && ctx.dt > 0.0) {
+        double rate = counterDelta(ctx, name, v) / ctx.dt;
+        std::snprintf(buf, sizeof(buf), "  %-38.*s %12llu  %10s/s\n",
+                      static_cast<int>(name.size()), name.data(),
+                      static_cast<unsigned long long>(v),
+                      num(rate).c_str());
+    } else {
+        std::snprintf(buf, sizeof(buf), "  %-38.*s %12llu\n",
+                      static_cast<int>(name.size()), name.data(),
+                      static_cast<unsigned long long>(v));
+    }
+    out += buf;
+}
+
+void
+gaugeLine(std::string &out, std::string_view name, double v)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %-38.*s %12s\n",
+                  static_cast<int>(name.size()), name.data(),
+                  num(v).c_str());
+    out += buf;
+}
+
+bool
+hasPrefix(std::string_view name, std::string_view prefix)
+{
+    return name.size() >= prefix.size() &&
+           name.substr(0, prefix.size()) == prefix;
+}
+
+/** Emit one namespace section; returns whether anything rendered. */
+bool
+section(std::string &out, const MetricsSnapshot &cur,
+        const RateContext &ctx, const char *title,
+        std::string_view prefix)
+{
+    std::string body;
+    for (const auto &[name, v] : cur.counters)
+        if (hasPrefix(name, prefix))
+            counterLine(body, ctx, name, v);
+    for (const auto &[name, v] : cur.gauges)
+        if (hasPrefix(name, prefix) && !std::isnan(v))
+            gaugeLine(body, name, v);
+    if (body.empty())
+        return false;
+    out += std::string(title) + "\n" + body;
+    return true;
+}
+
+} // namespace
+
+std::string
+renderMetricsTop(const MetricsSnapshot &cur, const MetricsSnapshot *prev,
+                 double dtSeconds)
+{
+    RateContext ctx{prev, dtSeconds};
+    std::string out;
+    bool any = false;
+    any |= section(out, cur, ctx, "serve", "serve.");
+    any |= section(out, cur, ctx, "engine", "engine.");
+    any |= section(out, cur, ctx, "channel", "channel.");
+
+    // modem section with a rolling symbol-error rate derived from
+    // the symbol/symbol_errors counter deltas over the interval.
+    std::string modem;
+    for (const auto &[name, v] : cur.counters)
+        if (hasPrefix(name, "modem."))
+            counterLine(modem, ctx, name, v);
+    for (const auto &[name, v] : cur.gauges)
+        if (hasPrefix(name, "modem.") && !std::isnan(v))
+            gaugeLine(modem, name, v);
+    if (prev) {
+        // Pair every "modem.<x>.symbol_errors" with "modem.<x>.symbols".
+        for (const auto &[name, v] : cur.counters) {
+            constexpr std::string_view kSuffix = ".symbol_errors";
+            if (!hasPrefix(name, "modem.") || name.size() < kSuffix.size() ||
+                name.substr(name.size() - kSuffix.size()) != kSuffix)
+                continue;
+            std::string base =
+                name.substr(0, name.size() - kSuffix.size());
+            const std::uint64_t *symbols =
+                cur.counter(base + ".symbols");
+            if (!symbols)
+                continue;
+            double dErr = counterDelta(ctx, name, v);
+            double dSym =
+                counterDelta(ctx, base + ".symbols", *symbols);
+            if (dSym > 0.0)
+                gaugeLine(modem, base + ".rolling_ser",
+                          dErr / dSym);
+        }
+    }
+    if (!modem.empty()) {
+        out += "modem\n" + modem;
+        any = true;
+    }
+
+    any |= section(out, cur, ctx, "stream", "stream.");
+    any |= section(out, cur, ctx, "flight", "flight.");
+    if (!any)
+        out += "(no metrics yet — is the registry enabled?)\n";
+    return out;
+}
+
+} // namespace emsc::telemetry

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Text renderer for the live metrics view (`emsc_tool top`).
+ *
+ * Pure function of two snapshots (current + optional previous with
+ * the wall-clock distance between them), so the layout is unit
+ * testable without sockets or timers.  The view groups the metric
+ * namespaces an operator watches during a run — serve.* session
+ * state, engine.* unit progress, channel.* signal quality, modem.*
+ * symbol errors, flight.* dump activity — and derives per-second
+ * rates plus a rolling symbol-error rate from the counter deltas.
+ */
+
+#ifndef EMSC_SUPPORT_TOPVIEW_HPP
+#define EMSC_SUPPORT_TOPVIEW_HPP
+
+#include <string>
+
+#include "support/telemetry.hpp"
+
+namespace emsc::telemetry {
+
+/**
+ * Render `cur` as a multi-line dashboard.  When `prev` is non-null
+ * and `dtSeconds` > 0, counter lines gain a "/s" rate column and the
+ * modem section shows the rolling symbol-error rate over the
+ * interval.
+ */
+std::string renderMetricsTop(const MetricsSnapshot &cur,
+                             const MetricsSnapshot *prev,
+                             double dtSeconds);
+
+} // namespace emsc::telemetry
+
+#endif // EMSC_SUPPORT_TOPVIEW_HPP

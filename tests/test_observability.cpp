@@ -1,0 +1,769 @@
+/**
+ * @file
+ * Tests for the live observability layer: Prometheus text exposition
+ * (golden format + JSON/text round trip), snapshot merge algebra,
+ * the snapshot ring/series, the signal-quality flight recorder, the
+ * loopback metrics endpoint, shard-suffixed report paths, offline
+ * sweep progress, and the `emsc_tool top` renderers.
+ *
+ * The closing test is the layer's acceptance criterion: a decode
+ * failure injected through the deterministic fault plan must produce
+ * a valid emsc.flight.v1 post-mortem whose recorded SNR / jitter /
+ * decision window agree exactly with the telemetry the batch
+ * pipeline published for the same reception.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "engine/journal.hpp"
+#include "engine/progress.hpp"
+#include "serve/metrics_http.hpp"
+#include "sim/faults.hpp"
+#include "support/error.hpp"
+#include "support/exposition.hpp"
+#include "support/flight.hpp"
+#include "support/json.hpp"
+#include "support/snapshotter.hpp"
+#include "support/telemetry.hpp"
+#include "support/topview.hpp"
+
+namespace fs = std::filesystem;
+using namespace emsc;
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/** Fresh scratch directory under the system temp dir. */
+fs::path
+scratchDir(const char *name)
+{
+    fs::path dir = fs::temp_directory_path() / name;
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir, ec);
+    return dir;
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+json::Value
+parseOrDie(const std::string &text)
+{
+    json::Value doc;
+    std::string err;
+    EXPECT_TRUE(json::Value::parse(text, doc, &err)) << err;
+    return doc;
+}
+
+/** A snapshot exercising every section, in sorted order. */
+telemetry::MetricsSnapshot
+sampleSnapshot()
+{
+    telemetry::MetricsSnapshot snap;
+    snap.counters.emplace_back("a.count", 3);
+    snap.gauges.emplace_back("g.unset", kNaN);
+    snap.gauges.emplace_back("g.v", 1.5);
+    telemetry::HistogramSnapshot h;
+    h.bounds = {1.0, 2.0};
+    h.buckets = {1, 2, 3};
+    h.count = 6;
+    h.sum = 7.5;
+    h.min = 0.5;
+    h.max = 3.0;
+    snap.histograms.emplace_back("h", h);
+    telemetry::SpanStat s;
+    s.count = 2;
+    s.totalNs = 300;
+    snap.spans.emplace_back("s", s);
+    return snap;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+
+TEST(PrometheusFormat, NameSanitisationAndSuffix)
+{
+    EXPECT_EQ(telemetry::promName("channel.carrier.snr_db"),
+              "emsc_channel_carrier_snr_db");
+    EXPECT_EQ(telemetry::promName("serve.sessions.active", "_total"),
+              "emsc_serve_sessions_active_total");
+    EXPECT_EQ(telemetry::promName("weird-name!v2"),
+              "emsc_weird_name_v2");
+}
+
+TEST(PrometheusFormat, Escaping)
+{
+    EXPECT_EQ(telemetry::promEscapeLabel("a\\b\"c\nd"),
+              "a\\\\b\\\"c\\nd");
+    // HELP text escapes backslash and newline; quotes stay literal.
+    EXPECT_EQ(telemetry::promEscapeHelp("a\\b\"c\nd"),
+              "a\\\\b\"c\\nd");
+}
+
+TEST(PrometheusFormat, GoldenRender)
+{
+    const std::string golden =
+        "# HELP emsc_a_count_total emsc metric a.count\n"
+        "# TYPE emsc_a_count_total counter\n"
+        "emsc_a_count_total 3\n"
+        "# HELP emsc_g_v emsc metric g.v\n"
+        "# TYPE emsc_g_v gauge\n"
+        "emsc_g_v 1.5\n"
+        "# HELP emsc_h emsc metric h\n"
+        "# TYPE emsc_h histogram\n"
+        "emsc_h_bucket{le=\"1\"} 1\n"
+        "emsc_h_bucket{le=\"2\"} 3\n"
+        "emsc_h_bucket{le=\"+Inf\"} 6\n"
+        "emsc_h_sum 7.5\n"
+        "emsc_h_count 6\n"
+        "# HELP emsc_s_span_count_total emsc metric s\n"
+        "# TYPE emsc_s_span_count_total counter\n"
+        "emsc_s_span_count_total 2\n"
+        "# HELP emsc_s_span_ns_total emsc metric s\n"
+        "# TYPE emsc_s_span_ns_total counter\n"
+        "emsc_s_span_ns_total 300\n";
+    // Note: the NaN gauge g.unset renders no sample and no header — a
+    // gauge that was never set must not masquerade as zero.
+    EXPECT_EQ(telemetry::prometheusText(sampleSnapshot()), golden);
+}
+
+TEST(PrometheusFormat, StableAcrossRenders)
+{
+    telemetry::MetricsSnapshot snap = sampleSnapshot();
+    EXPECT_EQ(telemetry::prometheusText(snap),
+              telemetry::prometheusText(snap));
+}
+
+// ---------------------------------------------------------------------------
+// emsc.metrics.v1 round trip: JSON and text agree on every value
+
+TEST(MetricsRoundTrip, JsonAndTextAgreeOnEveryValue)
+{
+    telemetry::ScopedTelemetry scoped;
+    telemetry::MetricsRegistry &reg =
+        telemetry::MetricsRegistry::global();
+    telemetry::Counter hits(reg, "obs.rt.hits");
+    hits.add(41);
+    telemetry::Gauge level(reg, "obs.rt.level");
+    level.set(0.125);
+    telemetry::Histogram lat(reg, "obs.rt.latency",
+                             {1.0, 10.0, 100.0});
+    lat.observe(0.5);
+    lat.observe(42.0);
+    lat.observe(1000.0);
+    reg.spanObserve("obs.rt.span", 123456);
+
+    telemetry::MetricsSnapshot snap = reg.snapshot();
+    json::Value doc = telemetry::metricsJson(snap);
+    telemetry::MetricsSnapshot back =
+        telemetry::snapshotFromJson(parseOrDie(doc.dump(2)));
+
+    // The reparsed snapshot must reproduce the JSON byte for byte and
+    // the text render byte for byte: both encoders see one state.
+    EXPECT_EQ(telemetry::metricsJson(back).dump(2), doc.dump(2));
+    EXPECT_EQ(telemetry::prometheusText(back),
+              telemetry::prometheusText(snap));
+
+    ASSERT_NE(back.counter("obs.rt.hits"), nullptr);
+    EXPECT_EQ(*back.counter("obs.rt.hits"), 41u);
+    ASSERT_NE(back.gauge("obs.rt.level"), nullptr);
+    EXPECT_EQ(*back.gauge("obs.rt.level"), 0.125);
+    const telemetry::HistogramSnapshot *h =
+        back.histogram("obs.rt.latency");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 3u);
+    EXPECT_EQ(h->sum, 1042.5);
+    ASSERT_NE(back.span("obs.rt.span"), nullptr);
+    EXPECT_EQ(back.span("obs.rt.span")->totalNs, 123456u);
+}
+
+TEST(MetricsRoundTrip, UnsetGaugeSurvivesAsNull)
+{
+    telemetry::MetricsSnapshot snap;
+    snap.gauges.emplace_back("g.unset", kNaN);
+    json::Value doc = telemetry::metricsJson(snap);
+    const json::Value *g = doc.find("gauges")->find("g.unset");
+    ASSERT_NE(g, nullptr);
+    EXPECT_TRUE(g->isNull());
+    telemetry::MetricsSnapshot back =
+        telemetry::snapshotFromJson(parseOrDie(doc.dump()));
+    ASSERT_NE(back.gauge("g.unset"), nullptr);
+    EXPECT_TRUE(std::isnan(*back.gauge("g.unset")));
+}
+
+TEST(MetricsRoundTrip, WrongSchemaRaises)
+{
+    json::Value doc = json::Value::object();
+    doc.set("schema", "emsc.bench.v1");
+    EXPECT_THROW(telemetry::snapshotFromJson(doc), RecoverableError);
+}
+
+// ---------------------------------------------------------------------------
+// Merge algebra
+
+TEST(MergeSnapshots, CountersSumGaugesKeepMaxFinite)
+{
+    telemetry::MetricsSnapshot a, b;
+    a.counters.emplace_back("c", 2);
+    b.counters.emplace_back("c", 5);
+    b.counters.emplace_back("only_b", 1);
+    a.gauges.emplace_back("g", 3.0);
+    b.gauges.emplace_back("g", 1.0);
+    a.gauges.emplace_back("g.nan", kNaN);
+    b.gauges.emplace_back("g.nan", 2.5);
+
+    telemetry::MetricsSnapshot m = telemetry::mergeSnapshots({a, b});
+    EXPECT_EQ(*m.counter("c"), 7u);
+    EXPECT_EQ(*m.counter("only_b"), 1u);
+    EXPECT_EQ(*m.gauge("g"), 3.0);
+    // A NaN (never set) gauge must not hide the shard that did set it.
+    EXPECT_EQ(*m.gauge("g.nan"), 2.5);
+}
+
+TEST(MergeSnapshots, HistogramsSumAndBoundsMismatchRaises)
+{
+    telemetry::HistogramSnapshot h1, h2;
+    h1.bounds = h2.bounds = {1.0, 2.0};
+    h1.buckets = {1, 0, 1};
+    h2.buckets = {0, 2, 0};
+    h1.count = 2;
+    h2.count = 2;
+    h1.sum = 3.0;
+    h2.sum = 3.5;
+    h1.min = 0.5;
+    h1.max = 2.5;
+    h2.min = 1.5;
+    h2.max = 1.8;
+    telemetry::MetricsSnapshot a, b;
+    a.histograms.emplace_back("h", h1);
+    b.histograms.emplace_back("h", h2);
+
+    telemetry::MetricsSnapshot m = telemetry::mergeSnapshots({a, b});
+    const telemetry::HistogramSnapshot *h = m.histogram("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 4u);
+    EXPECT_EQ(h->sum, 6.5);
+    EXPECT_EQ(h->min, 0.5);
+    EXPECT_EQ(h->max, 2.5);
+    EXPECT_EQ(h->buckets, (std::vector<std::uint64_t>{1, 2, 1}));
+
+    b.histograms[0].second.bounds = {1.0, 4.0};
+    EXPECT_THROW(telemetry::mergeSnapshots({a, b}), RecoverableError);
+}
+
+TEST(MergeSnapshots, MergeMetricsFilesSkipsMissingShards)
+{
+    fs::path dir = scratchDir("emsc_obs_merge_files");
+    telemetry::MetricsSnapshot part;
+    part.counters.emplace_back("c", 4);
+    json::writeFileAtomic((dir / "m.shard-0-of-3.json").string(),
+                          telemetry::metricsJson(part).dump(2));
+    json::writeFileAtomic((dir / "m.shard-2-of-3.json").string(),
+                          telemetry::metricsJson(part).dump(2));
+
+    std::size_t loaded = 0;
+    telemetry::MetricsSnapshot merged = telemetry::mergeMetricsFiles(
+        {(dir / "m.shard-0-of-3.json").string(),
+         (dir / "m.shard-1-of-3.json").string(), // never written
+         (dir / "m.shard-2-of-3.json").string()},
+        &loaded);
+    EXPECT_EQ(loaded, 2u);
+    EXPECT_EQ(*merged.counter("c"), 8u);
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot ring + snapshotter
+
+TEST(SnapshotRing, EvictsOldestAtCapacity)
+{
+    telemetry::SnapshotRing ring(3);
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+        telemetry::TimedSnapshot ts;
+        ts.steadyNs = i * 1000;
+        ring.push(std::move(ts));
+    }
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.oldest().steadyNs, 3000u);
+    EXPECT_EQ(ring.newest().steadyNs, 5000u);
+}
+
+TEST(SnapshotRing, SeriesDeltasAndRates)
+{
+    telemetry::SnapshotRing ring(8);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        telemetry::TimedSnapshot ts;
+        ts.steadyNs = i * 1000000000ull; // one frame per second
+        ts.snap.counters.emplace_back("c", 10 * i);
+        ring.push(std::move(ts));
+    }
+    json::Value series = ring.seriesJson();
+    EXPECT_EQ(series.find("schema")->string(),
+              "emsc.metrics.series.v1");
+    EXPECT_EQ(series.find("frames")->items().size(), 3u);
+    // Newest (20) minus previous (10).
+    EXPECT_EQ(series.find("deltas")->find("c")->number(), 10.0);
+    // (20 - 0) over the 2 s window.
+    EXPECT_EQ(series.find("rates_per_s")->find("c")->number(), 10.0);
+}
+
+TEST(Snapshotter, ScrapeReturnsFreshStateAndFeedsRing)
+{
+    telemetry::ScopedTelemetry scoped;
+    telemetry::Counter hits(telemetry::MetricsRegistry::global(),
+                            "obs.snap.hits");
+    telemetry::Snapshotter snap(8);
+    hits.add(7);
+    telemetry::TimedSnapshot ts = snap.scrape();
+    ASSERT_NE(ts.snap.counter("obs.snap.hits"), nullptr);
+    EXPECT_EQ(*ts.snap.counter("obs.snap.hits"), 7u);
+    EXPECT_EQ(snap.ring().size(), 1u);
+    // A second scrape sees the increment immediately — no sampling
+    // period to wait out.
+    hits.add(1);
+    EXPECT_EQ(*snap.scrape().snap.counter("obs.snap.hits"), 8u);
+    EXPECT_EQ(snap.ring().size(), 2u);
+}
+
+TEST(Snapshotter, StartStopIsIdempotent)
+{
+    telemetry::Snapshotter snap(4);
+    snap.start(10);
+    snap.start(10);
+    snap.stop();
+    snap.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST(FlightRecorderTest, DisarmedTapsAreNoops)
+{
+    flight::FlightRecorder rec;
+    EXPECT_FALSE(rec.armed());
+    rec.record("x");
+    const double y[] = {1.0};
+    rec.recordEnvelope(y, 1, 1e6);
+    EXPECT_TRUE(rec.events().empty());
+    EXPECT_EQ(rec.dump("any"), "");
+}
+
+TEST(FlightRecorderTest, RecordOnlyModeNeverTouchesDisk)
+{
+    flight::FlightRecorder rec;
+    rec.arm("");
+    rec.record("x");
+    EXPECT_EQ(rec.events().size(), 1u);
+    EXPECT_EQ(rec.dump("r"), "");
+    EXPECT_EQ(rec.dumpsWritten(), 0u);
+    // Record-only is not "suppressed": there is no cap to hit.
+    EXPECT_EQ(rec.dumpsSuppressed(), 0u);
+    rec.disarm();
+    EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(FlightRecorderTest, DumpWritesSelfContainedDocument)
+{
+    fs::path dir = scratchDir("emsc_obs_flight");
+    flight::FlightRecorder rec;
+    rec.arm(dir.string());
+
+    json::Value lock = json::Value::object();
+    lock.set("carrier_hz", 147000.0);
+    rec.record("carrier_lock", std::move(lock));
+    rec.record("retry"); // payload-free event
+
+    std::vector<double> env(700);
+    for (std::size_t i = 0; i < env.size(); ++i)
+        env[i] = static_cast<double>(i);
+    rec.recordEnvelope(env.data(), env.size(), 1.8e6);
+
+    std::string path = rec.dump("decode_failure");
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(rec.dumpsWritten(), 1u);
+
+    json::Value doc = parseOrDie(slurp(path));
+    EXPECT_EQ(doc.find("schema")->string(), "emsc.flight.v1");
+    EXPECT_EQ(doc.find("reason")->string(), "decode_failure");
+    ASSERT_NE(doc.find("events"), nullptr);
+    ASSERT_EQ(doc.find("events")->items().size(), 2u);
+    const json::Value &retry = doc.find("events")->items()[1];
+    EXPECT_EQ(retry.find("kind")->string(), "retry");
+    EXPECT_TRUE(retry.find("data")->isObject());
+
+    // Envelope keeps only the tail, with its offset recorded.
+    const json::Value *e = doc.find("envelope");
+    ASSERT_TRUE(e != nullptr && e->isObject());
+    EXPECT_EQ(e->find("sample_rate")->number(), 1.8e6);
+    const auto &samples = e->find("samples")->items();
+    ASSERT_EQ(samples.size(),
+              flight::FlightRecorder::maxEnvelopeSamples());
+    EXPECT_EQ(e->find("first_index")->number(),
+              static_cast<double>(env.size() - samples.size()));
+    EXPECT_EQ(samples.front().number(),
+              static_cast<double>(env.size() - samples.size()));
+    EXPECT_EQ(samples.back().number(),
+              static_cast<double>(env.size() - 1));
+
+    rec.disarm();
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+}
+
+TEST(FlightRecorderTest, EventRingIsBounded)
+{
+    flight::FlightRecorder rec;
+    rec.arm("");
+    for (int i = 0; i < 300; ++i)
+        rec.record("e");
+    EXPECT_EQ(rec.events().size(),
+              flight::FlightRecorder::maxEvents());
+    rec.disarm();
+}
+
+TEST(FlightRecorderTest, DumpCapSuppressesFurtherFiles)
+{
+    fs::path dir = scratchDir("emsc_obs_flight_cap");
+    flight::FlightRecorder rec;
+    rec.arm(dir.string(), 2);
+    rec.record("e");
+    EXPECT_FALSE(rec.dump("a").empty());
+    EXPECT_FALSE(rec.dump("b").empty());
+    EXPECT_TRUE(rec.dump("c").empty());
+    EXPECT_EQ(rec.dumpsWritten(), 2u);
+    EXPECT_EQ(rec.dumpsSuppressed(), 1u);
+    rec.disarm();
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-suffixed report paths
+
+TEST(ShardPaths, SuffixInsertsBeforeExtension)
+{
+    EXPECT_EQ(engine::shardSuffixedPath("m.json", 0, 4),
+              "m.shard-0-of-4.json");
+    EXPECT_EQ(engine::shardSuffixedPath("out/run.metrics.json", 2, 8),
+              "out/run.metrics.shard-2-of-8.json");
+}
+
+TEST(ShardPaths, NoExtensionAppends)
+{
+    EXPECT_EQ(engine::shardSuffixedPath("metrics", 1, 2),
+              "metrics.shard-1-of-2");
+    // A dot in a directory name is not an extension.
+    EXPECT_EQ(engine::shardSuffixedPath("dir.v2/metrics", 1, 2),
+              "dir.v2/metrics.shard-1-of-2");
+    // A leading dot is a hidden file, not an extension.
+    EXPECT_EQ(engine::shardSuffixedPath(".hidden", 0, 2),
+              ".hidden.shard-0-of-2");
+}
+
+// ---------------------------------------------------------------------------
+// Offline sweep progress (journal tailing)
+
+TEST(SweepProgressTest, TailsJournalsAndEstimatesEta)
+{
+    fs::path dir = scratchDir("emsc_obs_progress");
+    engine::JournalHeader hdr;
+    hdr.sweep = "demo";
+    hdr.shards = 2;
+    hdr.units = 6;
+    hdr.seed = 9;
+
+    // Shard 0: all three of its units done.
+    hdr.shard = 0;
+    {
+        engine::JournalWriter w = engine::JournalWriter::fresh(
+            engine::journalPath(dir.string(), "demo", 0, 2), hdr);
+        for (std::size_t unit : {0u, 2u, 4u}) {
+            engine::UnitRecord rec;
+            rec.unit = unit;
+            rec.seed = 1;
+            rec.status = engine::UnitStatus::Ok;
+            rec.attempts = 1;
+            rec.wallMs = 100.0;
+            rec.result = json::Value(1.0);
+            w.append(rec);
+        }
+    }
+    // Shard 1: one failure after a retry, two units still to run.
+    hdr.shard = 1;
+    {
+        engine::JournalWriter w = engine::JournalWriter::fresh(
+            engine::journalPath(dir.string(), "demo", 1, 2), hdr);
+        engine::UnitRecord rec;
+        rec.unit = 1;
+        rec.seed = 1;
+        rec.status = engine::UnitStatus::Failed;
+        rec.attempts = 2;
+        rec.wallMs = 50.0;
+        w.append(rec);
+    }
+
+    // units = 0: the journal headers must supply the total.
+    engine::SweepProgress p =
+        engine::sweepProgress(dir.string(), "demo", 0, 2);
+    EXPECT_EQ(p.units, 6u);
+    EXPECT_EQ(p.done, 4u);
+    EXPECT_EQ(p.ok, 3u);
+    EXPECT_EQ(p.failed, 1u);
+    EXPECT_EQ(p.retries, 1u);
+    EXPECT_FALSE(p.complete());
+    ASSERT_EQ(p.perShard.size(), 2u);
+    EXPECT_EQ(p.perShard[0].unitsAssigned, 3u);
+    EXPECT_EQ(p.perShard[1].unitsAssigned, 3u);
+    EXPECT_EQ(p.perShard[0].meanOkWallMs, 100.0);
+    // Two units left on shard 1 at the sweep-mean 100 ms: 0.2 s.
+    EXPECT_NEAR(p.etaSeconds, 0.2, 1e-9);
+
+    std::string view = engine::renderSweepTop(p);
+    EXPECT_NE(view.find("sweep demo: 4/6 units"), std::string::npos);
+    EXPECT_NE(view.find("eta:"), std::string::npos);
+    EXPECT_EQ(view.find("sweep complete"), std::string::npos);
+
+    // A shard whose journal does not exist yet renders as missing.
+    engine::SweepProgress p3 =
+        engine::sweepProgress(dir.string(), "demo", 0, 3);
+    std::string view3 = engine::renderSweepTop(p3);
+    EXPECT_NE(view3.find("missing"), std::string::npos);
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+}
+
+TEST(SweepProgressTest, CompleteSweepRendersFooter)
+{
+    engine::SweepProgress p;
+    p.sweep = "demo";
+    p.units = 2;
+    p.done = 2;
+    p.ok = 2;
+    engine::ShardProgress sp;
+    sp.found = true;
+    sp.headerOk = true;
+    sp.unitsAssigned = 2;
+    sp.done = 2;
+    sp.ok = 2;
+    p.perShard.push_back(sp);
+    EXPECT_TRUE(p.complete());
+    EXPECT_NE(engine::renderSweepTop(p).find("sweep complete"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Live metrics view
+
+TEST(TopView, SectionsRatesAndRollingSer)
+{
+    telemetry::MetricsSnapshot prev, cur;
+    prev.counters.emplace_back("modem.bfsk.symbol_errors", 0);
+    prev.counters.emplace_back("modem.bfsk.symbols", 0);
+    prev.counters.emplace_back("serve.sessions.opened", 2);
+    cur.counters.emplace_back("modem.bfsk.symbol_errors", 5);
+    cur.counters.emplace_back("modem.bfsk.symbols", 100);
+    cur.counters.emplace_back("serve.sessions.opened", 6);
+    cur.gauges.emplace_back("channel.carrier.hz", 147000.0);
+    cur.gauges.emplace_back("channel.timing.jitter", kNaN);
+
+    std::string view = telemetry::renderMetricsTop(cur, &prev, 2.0);
+    EXPECT_NE(view.find("serve\n"), std::string::npos);
+    EXPECT_NE(view.find("channel\n"), std::string::npos);
+    EXPECT_NE(view.find("modem\n"), std::string::npos);
+    // 4 new sessions over 2 s.
+    EXPECT_NE(view.find("2/s"), std::string::npos);
+    // Rolling symbol-error rate: 5 / 100 over the interval.
+    EXPECT_NE(view.find("modem.bfsk.rolling_ser"), std::string::npos);
+    EXPECT_NE(view.find("0.05"), std::string::npos);
+    // NaN gauges must not render.
+    EXPECT_EQ(view.find("channel.timing.jitter"), std::string::npos);
+}
+
+TEST(TopView, EmptySnapshotExplainsItself)
+{
+    telemetry::MetricsSnapshot cur;
+    EXPECT_NE(telemetry::renderMetricsTop(cur, nullptr, 0.0)
+                  .find("no metrics yet"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics exposition endpoint
+
+TEST(MetricsEndpointTest, ServesAllRoutesOverLoopback)
+{
+    telemetry::ScopedTelemetry scoped;
+    telemetry::Counter hits(telemetry::MetricsRegistry::global(),
+                            "obs.http.hits");
+    hits.add(5);
+
+    serve::MetricsEndpointConfig cfg;
+    cfg.periodMs = 50;
+    serve::MetricsEndpoint ep(cfg);
+    ep.start();
+    ASSERT_NE(ep.port(), 0);
+
+    EXPECT_EQ(serve::httpGet("127.0.0.1", ep.port(), "/healthz"),
+              "ok\n");
+
+    json::Value doc = parseOrDie(
+        serve::httpGet("127.0.0.1", ep.port(), "/metrics.json"));
+    EXPECT_EQ(doc.find("schema")->string(), "emsc.metrics.v1");
+    const json::Value *c = doc.find("counters")->find("obs.http.hits");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->number(), 5.0);
+
+    std::string prom =
+        serve::httpGet("127.0.0.1", ep.port(), "/metrics");
+    EXPECT_NE(prom.find("emsc_obs_http_hits_total 5"),
+              std::string::npos);
+
+    json::Value series = parseOrDie(
+        serve::httpGet("127.0.0.1", ep.port(), "/series.json"));
+    EXPECT_EQ(series.find("schema")->string(),
+              "emsc.metrics.series.v1");
+    // The two scrapes above each pushed a frame into the ring.
+    EXPECT_GE(series.find("frames")->items().size(), 2u);
+
+    EXPECT_THROW(serve::httpGet("127.0.0.1", ep.port(), "/nope"),
+                 RecoverableError);
+    ep.stop();
+    ep.stop(); // idempotent
+}
+
+TEST(MetricsEndpointTest, ScrapeEqualsEndOfRunSnapshot)
+{
+    telemetry::ScopedTelemetry scoped;
+    telemetry::Counter hits(telemetry::MetricsRegistry::global(),
+                            "obs.http.eq");
+    hits.add(3);
+    serve::MetricsEndpoint ep;
+    ep.start();
+    std::string scraped =
+        serve::httpGet("127.0.0.1", ep.port(), "/metrics.json");
+    ep.stop();
+    // Nothing ran between scrape and snapshot: they must agree on
+    // every value (the tentpole's scrape-equality contract).
+    EXPECT_EQ(telemetry::metricsJson(telemetry::snapshotFromJson(
+                                         parseOrDie(scraped)))
+                  .dump(2),
+              telemetry::metricsJson(
+                  telemetry::MetricsRegistry::global().snapshot())
+                  .dump(2));
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: a fault-plan decode failure post-mortem matches the
+// telemetry the batch pipeline published for the same reception.
+
+TEST(FlightAcceptance, FaultedDecodeDumpMatchesPublishedTelemetry)
+{
+    telemetry::ScopedTelemetry scoped;
+    fs::path dir = scratchDir("emsc_obs_acceptance");
+    flight::FlightRecorder &rec = flight::FlightRecorder::global();
+    rec.arm(dir.string());
+
+    // The PR 3 deterministic fault plan that damages the frame CRC
+    // (same plan `emsc_tool faults --plan harsh` realises).
+    core::CovertChannelOptions o;
+    o.payloadBits = 256;
+    o.seed = 1;
+    o.faults = sim::harshConfig(0);
+    core::CovertChannelResult r = core::runCovertChannel(
+        core::findDevice("DELL Inspiron"), core::nearFieldSetup(), o);
+    ASSERT_GT(r.faultEvents, 0u);
+
+    ASSERT_GE(rec.dumpsWritten(), 1u);
+    rec.disarm();
+
+    // Exactly the documented dump naming, and a schema-valid body.
+    fs::path dump;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        std::string fn = entry.path().filename().string();
+        EXPECT_EQ(fn.rfind("flight-", 0), 0u) << fn;
+        if (dump.empty())
+            dump = entry.path();
+    }
+    ASSERT_FALSE(dump.empty());
+    json::Value doc = parseOrDie(slurp(dump));
+    EXPECT_EQ(doc.find("schema")->string(), "emsc.flight.v1");
+
+    // The post-mortem's last reception and carrier lock must carry
+    // the same values the registry gauges published for that decode.
+    const json::Value *reception = nullptr;
+    const json::Value *lock = nullptr;
+    for (const json::Value &e : doc.find("events")->items()) {
+        if (e.find("kind")->string() == "reception")
+            reception = e.find("data");
+        if (e.find("kind")->string() == "carrier_lock")
+            lock = e.find("data");
+    }
+    ASSERT_NE(reception, nullptr);
+    ASSERT_NE(lock, nullptr);
+
+    telemetry::MetricsSnapshot snap =
+        telemetry::MetricsRegistry::global().snapshot();
+    auto expectMatchesGauge = [&](const char *key,
+                                  const char *gaugeName) {
+        const json::Value *v = reception->find(key);
+        ASSERT_NE(v, nullptr) << key;
+        if (v->isNull())
+            return; // value unknown for this reception: no gauge set
+        const double *g = snap.gauge(gaugeName);
+        ASSERT_NE(g, nullptr) << gaugeName;
+        EXPECT_EQ(v->number(), *g) << key;
+    };
+    expectMatchesGauge("jitter", "channel.timing.jitter");
+    expectMatchesGauge("threshold_margin", "channel.threshold.margin");
+    expectMatchesGauge("window_used", "channel.window_used");
+    expectMatchesGauge("signaling_time",
+                       "channel.timing.signaling_time");
+    expectMatchesGauge("carrier_hz", "channel.carrier.hz");
+
+    const json::Value *snr = lock->find("snr_db");
+    ASSERT_NE(snr, nullptr);
+    if (!snr->isNull()) {
+        const double *g = snap.gauge("channel.carrier.snr_db");
+        ASSERT_NE(g, nullptr);
+        EXPECT_EQ(snr->number(), *g);
+    }
+
+    // The fault injection itself is on the record: the plan's events
+    // appear as "fault" entries, and the decode decision is flagged.
+    bool sawFault = false;
+    for (const json::Value &e : doc.find("events")->items())
+        sawFault |= e.find("kind")->string() == "fault";
+    EXPECT_TRUE(sawFault);
+    ASSERT_NE(reception->find("crc_damaged"), nullptr);
+
+    // flight.* counters reflect what happened.
+    ASSERT_NE(snap.counter("flight.dumps"), nullptr);
+    EXPECT_GE(*snap.counter("flight.dumps"), 1u);
+    ASSERT_NE(snap.counter("flight.events"), nullptr);
+    EXPECT_GE(*snap.counter("flight.events"), 2u);
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+}

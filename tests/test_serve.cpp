@@ -498,6 +498,20 @@ TEST(ServeServer, ControlConversationDecodesPayload)
     ASSERT_EQ(frame.type, serve::FrameType::Status);
     json::Value status = serve::parseJsonBody(frame);
     ASSERT_NE(status.find("samples_in"), nullptr);
+    // Live per-session metrics in the Status frame: queue depth,
+    // samples consumed, frames decoded, and the warm-up SNR estimate
+    // (null until calibration, a finite dB value after).
+    ASSERT_NE(status.find("pending_chunks"), nullptr);
+    EXPECT_GE(status.find("pending_chunks")->number(), 0.0);
+    // Chunks may still sit in the pending queue at poll time, so the
+    // consumed-sample count is bounded by the capture, not equal.
+    EXPECT_LE(status.find("samples_in")->number(),
+              static_cast<double>(capture().samples.size()));
+    ASSERT_NE(status.find("frames_decoded"), nullptr);
+    EXPECT_GE(status.find("frames_decoded")->number(), 0.0);
+    const json::Value *snr = status.find("snr_db");
+    ASSERT_NE(snr, nullptr);
+    EXPECT_TRUE(snr->isNull() || snr->isNumber());
 
     sendAll(fd,
             serve::encodeFrame(serve::FrameType::Close, nullptr, 0));
